@@ -1,0 +1,186 @@
+//===- bench/micro_benchmarks.cpp - google-benchmark microbenches ---------===//
+//
+// Hot-path microbenchmarks: frontend, lowering, symbolic likelihood
+// compilation, tape evaluation, mutation proposals, splicing, and the
+// grid-density operations that dominate the Figure 8 baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GridDensity.h"
+#include "parse/Parser.h"
+#include "suite/Prepare.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace psketch;
+
+namespace {
+
+const PreparedBenchmark &trueSkill() {
+  static const PreparedBenchmark P = [] {
+    DiagEngine Diags;
+    auto Prepared = prepareBenchmark(*findBenchmark("TrueSkill"), Diags);
+    if (!Prepared)
+      std::abort();
+    return std::move(*Prepared);
+  }();
+  return P;
+}
+
+void BM_ParseTrueSkill(benchmark::State &State) {
+  const Benchmark *B = findBenchmark("TrueSkill");
+  for (auto _ : State) {
+    DiagEngine Diags;
+    auto P = parseProgramSource(B->TargetSource, Diags);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_ParseTrueSkill);
+
+void BM_TypeCheckTrueSkill(benchmark::State &State) {
+  const PreparedBenchmark &P = trueSkill();
+  for (auto _ : State) {
+    auto Clone = P.Target->clone();
+    DiagEngine Diags;
+    auto Sigs = typeCheck(*Clone, Diags);
+    benchmark::DoNotOptimize(Sigs);
+  }
+}
+BENCHMARK(BM_TypeCheckTrueSkill);
+
+void BM_LowerTrueSkill(benchmark::State &State) {
+  const PreparedBenchmark &P = trueSkill();
+  for (auto _ : State) {
+    DiagEngine Diags;
+    auto LP = lowerProgram(*P.Target, P.Inputs, Diags);
+    benchmark::DoNotOptimize(LP);
+  }
+}
+BENCHMARK(BM_LowerTrueSkill);
+
+void BM_CompileLikelihood(benchmark::State &State) {
+  const PreparedBenchmark &P = trueSkill();
+  for (auto _ : State) {
+    auto F = LikelihoodFunction::compile(*P.TargetLowered, P.Data);
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_CompileLikelihood);
+
+void BM_EvalLikelihoodRow(benchmark::State &State) {
+  const PreparedBenchmark &P = trueSkill();
+  auto F = LikelihoodFunction::compile(*P.TargetLowered, P.Data);
+  size_t I = 0;
+  for (auto _ : State) {
+    double LL = F->logLikelihoodRow(P.Data.row(I));
+    benchmark::DoNotOptimize(LL);
+    I = (I + 1) % P.Data.numRows();
+  }
+}
+BENCHMARK(BM_EvalLikelihoodRow);
+
+void BM_EvalLikelihoodDataset(benchmark::State &State) {
+  const PreparedBenchmark &P = trueSkill();
+  auto F = LikelihoodFunction::compile(*P.TargetLowered, P.Data);
+  for (auto _ : State) {
+    double LL = F->logLikelihood(P.Data);
+    benchmark::DoNotOptimize(LL);
+  }
+}
+BENCHMARK(BM_EvalLikelihoodDataset);
+
+void BM_ScoreCandidateEndToEnd(benchmark::State &State) {
+  const PreparedBenchmark &P = trueSkill();
+  SynthesisConfig Config;
+  Synthesizer Synth(*P.Sketch, P.Inputs, P.Data, Config);
+  for (auto _ : State) {
+    auto LL = Synth.scoreWithMoG(*P.Target);
+    benchmark::DoNotOptimize(LL);
+  }
+}
+BENCHMARK(BM_ScoreCandidateEndToEnd);
+
+void BM_MutatePropose(benchmark::State &State) {
+  std::vector<HoleSignature> Sigs = {
+      {0, ScalarKind::Real, {}},
+      {1, ScalarKind::Bool, {ScalarKind::Real, ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R(1);
+  Mutator M(Sigs, Gen, Cfg, R);
+  DiagEngine Diags;
+  std::vector<ExprPtr> Current;
+  Current.push_back(parseExprSource("Gaussian(100.0, 10.0)", Diags));
+  Current.push_back(parseExprSource(
+      "Gaussian(%0, 15.0) > Gaussian(%1, 15.0)", Diags));
+  for (auto _ : State) {
+    auto Proposal = M.propose(Current);
+    benchmark::DoNotOptimize(Proposal);
+  }
+}
+BENCHMARK(BM_MutatePropose);
+
+void BM_SpliceTrueSkill(benchmark::State &State) {
+  const PreparedBenchmark &P = trueSkill();
+  DiagEngine Diags;
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseExprSource("Gaussian(100.0, 10.0)", Diags));
+  Completions.push_back(parseExprSource(
+      "Gaussian(%0, 15.0) > Gaussian(%1, 15.0)", Diags));
+  for (auto _ : State) {
+    auto Program = spliceCompletions(*P.Sketch, Completions);
+    benchmark::DoNotOptimize(Program);
+  }
+}
+BENCHMARK(BM_SpliceTrueSkill);
+
+void BM_ForwardSampleRun(benchmark::State &State) {
+  const PreparedBenchmark &P = trueSkill();
+  ForwardSampler S(*P.TargetLowered);
+  Rng R(3);
+  for (auto _ : State) {
+    auto Slots = S.runOnce(R);
+    benchmark::DoNotOptimize(Slots);
+  }
+}
+BENCHMARK(BM_ForwardSampleRun);
+
+void BM_GridConvolveAdd(benchmark::State &State) {
+  GridConfig G;
+  GridDensity A = GridDensity::gaussian(0.0, 1.0, G);
+  GridDensity B = GridDensity::gaussian(5.0, 2.0, G);
+  for (auto _ : State) {
+    GridDensity S = GridDensity::convolveAdd(A, B, G);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_GridConvolveAdd);
+
+void BM_GridProbGreater(benchmark::State &State) {
+  GridConfig G;
+  GridDensity A = GridDensity::gaussian(0.0, 1.0, G);
+  GridDensity B = GridDensity::gaussian(0.5, 2.0, G);
+  for (auto _ : State) {
+    double P = GridDensity::probGreater(A, B);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_GridProbGreater);
+
+void BM_MoGAddSymbolic(benchmark::State &State) {
+  NumExprBuilder Builder;
+  MoGAlgebra A(Builder);
+  SymValue X = SymValue::mog({{Builder.constant(1.0), Builder.constant(0.0),
+                               Builder.constant(1.0)}});
+  SymValue Y = SymValue::mog({{Builder.constant(1.0), Builder.constant(5.0),
+                               Builder.constant(2.0)}});
+  for (auto _ : State) {
+    SymValue S = A.add(X, Y);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_MoGAddSymbolic);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+//===- bench/table1_synthesis.cpp - Reproduces Table 1 --------------------===//
+//
+// Synthesizes every one of the 16 benchmarks from its sketch + dataset
+// and reports, per row: synthesis time, target-program data
+// log-likelihood, synthesized-program data log-likelihood, and dataset
+// size — next to the paper's reported numbers.  Absolute times differ
+// (hardware, substrate); the comparison of interest is synthesized LL
+// vs target LL per row, which should be close or better, as in the
+// paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Prepare.h"
+
+#include <cstdio>
+
+using namespace psketch;
+
+int main() {
+  std::printf("Table 1: synthesis results for PSKETCH (paper values in "
+              "brackets)\n");
+  std::printf("%-14s %10s %14s %14s %9s   %-30s\n", "benchmark",
+              "time(s)", "target LL", "synth LL", "|D|",
+              "paper [time, target, synth]");
+  double TotalSeconds = 0;
+  unsigned Succeeded = 0;
+  for (const Benchmark &B : allBenchmarks()) {
+    DiagEngine Diags;
+    auto P = prepareBenchmark(B, Diags);
+    if (!P) {
+      std::printf("%-14s PREPARE FAILED\n%s", B.Name.c_str(),
+                  Diags.str().c_str());
+      continue;
+    }
+    BenchmarkRunResult Row = runBenchmark(*P);
+    TotalSeconds += Row.Seconds;
+    Succeeded += Row.Succeeded;
+    std::printf("%-14s %10.2f %14.2f %14.2f %9u   [%.0f, %.2f, %.2f]\n",
+                Row.Name.c_str(), Row.Seconds, Row.TargetLL,
+                Row.SynthesizedLL, Row.DatasetSize, B.Paper.TimeSec,
+                B.Paper.TargetLL, B.Paper.SynthesizedLL);
+  }
+  std::printf("\n%u/16 benchmarks synthesized; total MH time %.1f s\n",
+              Succeeded, TotalSeconds);
+  std::printf("(seeds fixed per benchmark; see src/suite/Benchmarks.cpp)\n");
+  return Succeeded == allBenchmarks().size() ? 0 : 1;
+}

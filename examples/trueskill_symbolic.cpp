@@ -1,0 +1,70 @@
+//===- examples/trueskill_symbolic.cpp - The Figure 4 worked example ------===//
+//
+// Prints the symbolic environment and per-row likelihood expression the
+// LL(.) operator derives for the two-player, one-game TrueSkill
+// candidate of Figure 4: skills map to their MoG priors, performances
+// to MoGs whose means are symbolic references to the observed skills,
+// and the game outcome to the erf comparison probability.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/Likelihood.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+
+#include <cstdio>
+
+using namespace psketch;
+
+int main() {
+  const char *Source = R"(
+program TS2(p1: int, p2: int, result: bool) {
+  skills: real[2];
+  perf1: real;
+  perf2: real;
+  r: bool;
+  skills[0] ~ Gaussian(100.0, 10.0);
+  skills[1] ~ Gaussian(100.0, 10.0);
+  perf1 ~ Gaussian(skills[p1], 15.0);
+  perf2 ~ Gaussian(skills[p2], 15.0);
+  r = perf1 > perf2;
+  observe(result == r);
+  return skills;
+}
+)";
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  if (!P || !typeCheck(*P, Diags)) {
+    std::printf("errors:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  InputBindings In;
+  In.setInt("p1", 0);
+  In.setInt("p2", 1);
+  In.setScalar("result", 1.0, ScalarKind::Bool);
+  auto LP = lowerProgram(*P, In, Diags);
+  if (!LP) {
+    std::printf("lowering failed:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // Figure 2's data: the user picked skills 105 and 95.
+  Dataset Data({"skills[0]", "skills[1]"});
+  Data.addRow({105.0, 95.0});
+
+  std::printf("Figure 4 worked example: symbolic execution of the "
+              "2-player/1-game candidate\n");
+  std::printf("(data references $0, $1 are the observed skills columns)"
+              "\n\n%s\n",
+              symbolicReport(*LP, Data,
+                             {"skills[0]", "skills[1]", "perf1", "perf2",
+                              "r"})
+                  .c_str());
+
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  std::printf("evaluated on the Figure 2 data row (105, 95): "
+              "log Pr(D | P[H]) = %.4f\n(tape: %zu instructions, "
+              "evaluated once per row)\n",
+              F->logLikelihoodRow(Data.row(0)), F->tapeSize());
+  return 0;
+}

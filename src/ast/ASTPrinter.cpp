@@ -1,0 +1,268 @@
+//===- ast/ASTPrinter.cpp - Pretty printer for the sketching language ----===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+
+#include "support/Casting.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+/// Precedence context: a subexpression is parenthesized when its own
+/// binding strength is below the context's.
+void printExprPrec(std::ostream &OS, const Expr &E, int MinPrec);
+
+void printNumber(std::ostream &OS, double V, ScalarKind K) {
+  if (K == ScalarKind::Bool) {
+    OS << (V != 0.0 ? "true" : "false");
+    return;
+  }
+  if (K == ScalarKind::Int) {
+    OS << static_cast<long long>(V);
+    return;
+  }
+  // Reals: print enough digits to round-trip, and always include a
+  // decimal point so the lexer re-reads a real literal.
+  std::ostringstream SS;
+  SS.precision(17);
+  SS << V;
+  std::string S = SS.str();
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  OS << S;
+}
+
+void printArgs(std::ostream &OS, const std::vector<ExprPtr> &Args) {
+  OS << '(';
+  for (size_t I = 0, E = Args.size(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    printExprPrec(OS, *Args[I], 0);
+  }
+  OS << ')';
+}
+
+void printExprPrec(std::ostream &OS, const Expr &E, int MinPrec) {
+  switch (E.getKind()) {
+  case Expr::Kind::Const: {
+    const auto &C = cast<ConstExpr>(E);
+    // Negative literals need parens in tight contexts like `a - -1.0`'s
+    // RHS; printing them unconditionally parenthesized keeps it simple.
+    bool Negative = C.getValue() < 0 && C.getScalarKind() != ScalarKind::Bool;
+    if (Negative && MinPrec > 0)
+      OS << '(';
+    printNumber(OS, C.getValue(), C.getScalarKind());
+    if (Negative && MinPrec > 0)
+      OS << ')';
+    return;
+  }
+  case Expr::Kind::Var:
+    OS << cast<VarExpr>(E).getName();
+    return;
+  case Expr::Kind::Index: {
+    const auto &IX = cast<IndexExpr>(E);
+    OS << IX.getArrayName() << '[';
+    printExprPrec(OS, IX.getIndex(), 0);
+    OS << ']';
+    return;
+  }
+  case Expr::Kind::HoleArg:
+    OS << '%' << cast<HoleArgExpr>(E).getArgIndex();
+    return;
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    constexpr int UnaryPrec = 7;
+    if (UnaryPrec < MinPrec)
+      OS << '(';
+    OS << unaryOpName(U.getOp());
+    printExprPrec(OS, U.getSub(), UnaryPrec);
+    if (UnaryPrec < MinPrec)
+      OS << ')';
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    int Prec = binaryOpPrecedence(B.getOp());
+    if (Prec < MinPrec)
+      OS << '(';
+    // All binary operators are printed left-associatively: the left
+    // child may share this precedence, the right child must bind
+    // tighter.
+    printExprPrec(OS, B.getLHS(), Prec);
+    OS << ' ' << binaryOpName(B.getOp()) << ' ';
+    printExprPrec(OS, B.getRHS(), Prec + 1);
+    if (Prec < MinPrec)
+      OS << ')';
+    return;
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(E);
+    OS << "ite(";
+    printExprPrec(OS, I.getCond(), 0);
+    OS << ", ";
+    printExprPrec(OS, I.getThen(), 0);
+    OS << ", ";
+    printExprPrec(OS, I.getElse(), 0);
+    OS << ')';
+    return;
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(E);
+    OS << distKindName(S.getDist());
+    printArgs(OS, S.getArgs());
+    return;
+  }
+  case Expr::Kind::Hole: {
+    const auto &H = cast<HoleExpr>(E);
+    OS << "??";
+    if (H.getNumArgs() != 0)
+      printArgs(OS, H.getArgs());
+    return;
+  }
+  }
+}
+
+void printIndent(std::ostream &OS, unsigned Indent) {
+  for (unsigned I = 0; I != Indent; ++I)
+    OS << "  ";
+}
+
+void printBlockBody(std::ostream &OS, const BlockStmt &B, unsigned Indent) {
+  OS << "{\n";
+  for (const StmtPtr &S : B.getStmts())
+    printStmt(OS, *S, Indent + 1);
+  printIndent(OS, Indent);
+  OS << "}";
+}
+
+} // namespace
+
+void psketch::printExpr(std::ostream &OS, const Expr &E) {
+  printExprPrec(OS, E, 0);
+}
+
+void psketch::printStmt(std::ostream &OS, const Stmt &S, unsigned Indent) {
+  printIndent(OS, Indent);
+  switch (S.getKind()) {
+  case Stmt::Kind::Skip:
+    OS << "skip;\n";
+    return;
+  case Stmt::Kind::Assign: {
+    const auto &A = cast<AssignStmt>(S);
+    OS << A.getTarget().Name;
+    if (A.getTarget().isArrayElement()) {
+      OS << '[';
+      printExpr(OS, *A.getTarget().Index);
+      OS << ']';
+    }
+    // Probabilistic assignments print with `~` and the distribution call
+    // without duplicating the `=` form, matching the input syntax.
+    if (A.isProbabilistic()) {
+      const auto &Draw = cast<SampleExpr>(A.getValue());
+      OS << " ~ " << distKindName(Draw.getDist());
+      OS << '(';
+      for (unsigned I = 0, E = Draw.getNumArgs(); I != E; ++I) {
+        if (I)
+          OS << ", ";
+        printExpr(OS, Draw.getArg(I));
+      }
+      OS << ");\n";
+      return;
+    }
+    OS << " = ";
+    printExpr(OS, A.getValue());
+    OS << ";\n";
+    return;
+  }
+  case Stmt::Kind::Observe: {
+    OS << "observe(";
+    printExpr(OS, cast<ObserveStmt>(S).getCond());
+    OS << ");\n";
+    return;
+  }
+  case Stmt::Kind::Block: {
+    printBlockBody(OS, cast<BlockStmt>(S), Indent);
+    OS << '\n';
+    return;
+  }
+  case Stmt::Kind::If: {
+    const auto &I = cast<IfStmt>(S);
+    OS << "if (";
+    printExpr(OS, I.getCond());
+    OS << ") ";
+    printBlockBody(OS, I.getThen(), Indent);
+    if (!I.getElse().empty()) {
+      OS << " else ";
+      printBlockBody(OS, I.getElse(), Indent);
+    }
+    OS << '\n';
+    return;
+  }
+  case Stmt::Kind::For: {
+    const auto &F = cast<ForStmt>(S);
+    OS << "for " << F.getIndexVar() << " in ";
+    printExpr(OS, F.getLo());
+    OS << "..";
+    printExpr(OS, F.getHi());
+    OS << ' ';
+    printBlockBody(OS, F.getBody(), Indent);
+    OS << '\n';
+    return;
+  }
+  }
+}
+
+void psketch::printProgram(std::ostream &OS, const Program &P) {
+  OS << "program " << P.getName() << '(';
+  for (size_t I = 0, E = P.getParams().size(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << P.getParams()[I].Name << ": " << P.getParams()[I].Ty.str();
+  }
+  OS << ") {\n";
+  for (const LocalDecl &D : P.getDecls()) {
+    OS << "  " << D.Name << ": " << scalarKindName(D.Kind);
+    if (D.isArray()) {
+      OS << '[';
+      printExpr(OS, *D.ArraySize);
+      OS << ']';
+    }
+    OS << ";\n";
+  }
+  for (const StmtPtr &S : P.getBody().getStmts())
+    printStmt(OS, *S, 1);
+  OS << "  return ";
+  for (size_t I = 0, E = P.getReturns().size(); I != E; ++I) {
+    if (I)
+      OS << ", ";
+    OS << P.getReturns()[I];
+  }
+  OS << ";\n}\n";
+}
+
+std::string psketch::toString(const Expr &E) {
+  std::ostringstream OS;
+  printExpr(OS, E);
+  return OS.str();
+}
+
+std::string psketch::toString(const Stmt &S) {
+  std::ostringstream OS;
+  printStmt(OS, S);
+  return OS.str();
+}
+
+std::string psketch::toString(const Program &P) {
+  std::ostringstream OS;
+  printProgram(OS, P);
+  return OS.str();
+}

@@ -1,0 +1,41 @@
+//===- ast/ASTPrinter.h - Pretty printer for the sketching language ------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions, statements and programs back to concrete syntax.
+/// The output re-parses to a structurally equal AST (round-trip property
+/// checked in tests/parse).  Synthesized completions are printed with
+/// hole formals as `%0`, `%1`, ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_AST_ASTPRINTER_H
+#define PSKETCH_AST_ASTPRINTER_H
+
+#include "ast/Program.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace psketch {
+
+/// Prints \p E to \p OS with minimal parentheses.
+void printExpr(std::ostream &OS, const Expr &E);
+
+/// Prints \p S to \p OS, indented by \p Indent levels (two spaces each).
+void printStmt(std::ostream &OS, const Stmt &S, unsigned Indent = 0);
+
+/// Prints the complete program.
+void printProgram(std::ostream &OS, const Program &P);
+
+/// Convenience renderers to std::string.
+std::string toString(const Expr &E);
+std::string toString(const Stmt &S);
+std::string toString(const Program &P);
+
+} // namespace psketch
+
+#endif // PSKETCH_AST_ASTPRINTER_H

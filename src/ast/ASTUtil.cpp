@@ -1,0 +1,316 @@
+//===- ast/ASTUtil.cpp - AST traversal, equality, substitution -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTUtil.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace psketch;
+
+void psketch::forEachChildSlot(Expr &E,
+                               const std::function<void(ExprPtr &)> &Fn) {
+  switch (E.getKind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+  case Expr::Kind::HoleArg:
+    return;
+  case Expr::Kind::Index:
+    Fn(cast<IndexExpr>(E).getIndexPtr());
+    return;
+  case Expr::Kind::Unary:
+    Fn(cast<UnaryExpr>(E).getSubPtr());
+    return;
+  case Expr::Kind::Binary: {
+    auto &B = cast<BinaryExpr>(E);
+    Fn(B.getLHSPtr());
+    Fn(B.getRHSPtr());
+    return;
+  }
+  case Expr::Kind::Ite: {
+    auto &I = cast<IteExpr>(E);
+    Fn(I.getCondPtr());
+    Fn(I.getThenPtr());
+    Fn(I.getElsePtr());
+    return;
+  }
+  case Expr::Kind::Sample:
+    for (ExprPtr &A : cast<SampleExpr>(E).getArgs())
+      Fn(A);
+    return;
+  case Expr::Kind::Hole:
+    for (ExprPtr &A : cast<HoleExpr>(E).getArgs())
+      Fn(A);
+    return;
+  }
+}
+
+void psketch::forEachNode(const Expr &E,
+                          const std::function<void(const Expr &)> &Fn) {
+  Fn(E);
+  // The const traversal reuses the mutable slot walker on a const_cast;
+  // the callback below never mutates.
+  forEachChildSlot(const_cast<Expr &>(E), [&](ExprPtr &Child) {
+    forEachNode(*Child, Fn);
+  });
+}
+
+void psketch::collectExprSlots(ExprPtr &Root, std::vector<ExprPtr *> &Slots) {
+  Slots.push_back(&Root);
+  forEachChildSlot(*Root, [&](ExprPtr &Child) {
+    collectExprSlots(Child, Slots);
+  });
+}
+
+size_t psketch::exprSize(const Expr &E) {
+  size_t N = 0;
+  forEachNode(E, [&](const Expr &) { ++N; });
+  return N;
+}
+
+size_t psketch::exprDepth(const Expr &E) {
+  size_t Max = 0;
+  forEachChildSlot(const_cast<Expr &>(E), [&](ExprPtr &Child) {
+    Max = std::max(Max, exprDepth(*Child));
+  });
+  return Max + 1;
+}
+
+bool psketch::structurallyEqual(const Expr &A, const Expr &B) {
+  if (A.getKind() != B.getKind())
+    return false;
+  switch (A.getKind()) {
+  case Expr::Kind::Const: {
+    const auto &CA = cast<ConstExpr>(A), &CB = cast<ConstExpr>(B);
+    return CA.getValue() == CB.getValue() &&
+           CA.getScalarKind() == CB.getScalarKind();
+  }
+  case Expr::Kind::Var:
+    return cast<VarExpr>(A).getName() == cast<VarExpr>(B).getName();
+  case Expr::Kind::Index: {
+    const auto &IA = cast<IndexExpr>(A), &IB = cast<IndexExpr>(B);
+    return IA.getArrayName() == IB.getArrayName() &&
+           structurallyEqual(IA.getIndex(), IB.getIndex());
+  }
+  case Expr::Kind::HoleArg:
+    return cast<HoleArgExpr>(A).getArgIndex() ==
+           cast<HoleArgExpr>(B).getArgIndex();
+  case Expr::Kind::Unary: {
+    const auto &UA = cast<UnaryExpr>(A), &UB = cast<UnaryExpr>(B);
+    return UA.getOp() == UB.getOp() &&
+           structurallyEqual(UA.getSub(), UB.getSub());
+  }
+  case Expr::Kind::Binary: {
+    const auto &BA = cast<BinaryExpr>(A), &BB = cast<BinaryExpr>(B);
+    return BA.getOp() == BB.getOp() &&
+           structurallyEqual(BA.getLHS(), BB.getLHS()) &&
+           structurallyEqual(BA.getRHS(), BB.getRHS());
+  }
+  case Expr::Kind::Ite: {
+    const auto &IA = cast<IteExpr>(A), &IB = cast<IteExpr>(B);
+    return structurallyEqual(IA.getCond(), IB.getCond()) &&
+           structurallyEqual(IA.getThen(), IB.getThen()) &&
+           structurallyEqual(IA.getElse(), IB.getElse());
+  }
+  case Expr::Kind::Sample: {
+    const auto &SA = cast<SampleExpr>(A), &SB = cast<SampleExpr>(B);
+    if (SA.getDist() != SB.getDist() ||
+        SA.getNumArgs() != SB.getNumArgs())
+      return false;
+    for (unsigned I = 0, E = SA.getNumArgs(); I != E; ++I)
+      if (!structurallyEqual(SA.getArg(I), SB.getArg(I)))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Hole: {
+    const auto &HA = cast<HoleExpr>(A), &HB = cast<HoleExpr>(B);
+    if (HA.getHoleId() != HB.getHoleId() ||
+        HA.getNumArgs() != HB.getNumArgs())
+      return false;
+    for (unsigned I = 0, E = HA.getNumArgs(); I != E; ++I)
+      if (!structurallyEqual(HA.getArg(I), HB.getArg(I)))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+bool psketch::structurallyEqual(const Stmt &A, const Stmt &B) {
+  if (A.getKind() != B.getKind())
+    return false;
+  switch (A.getKind()) {
+  case Stmt::Kind::Skip:
+    return true;
+  case Stmt::Kind::Assign: {
+    const auto &SA = cast<AssignStmt>(A), &SB = cast<AssignStmt>(B);
+    if (SA.getTarget().Name != SB.getTarget().Name)
+      return false;
+    if (SA.getTarget().isArrayElement() != SB.getTarget().isArrayElement())
+      return false;
+    if (SA.getTarget().isArrayElement() &&
+        !structurallyEqual(*SA.getTarget().Index, *SB.getTarget().Index))
+      return false;
+    return structurallyEqual(SA.getValue(), SB.getValue());
+  }
+  case Stmt::Kind::Observe:
+    return structurallyEqual(cast<ObserveStmt>(A).getCond(),
+                             cast<ObserveStmt>(B).getCond());
+  case Stmt::Kind::Block: {
+    const auto &BA = cast<BlockStmt>(A), &BB = cast<BlockStmt>(B);
+    if (BA.getStmts().size() != BB.getStmts().size())
+      return false;
+    for (size_t I = 0, E = BA.getStmts().size(); I != E; ++I)
+      if (!structurallyEqual(*BA.getStmts()[I], *BB.getStmts()[I]))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::If: {
+    const auto &IA = cast<IfStmt>(A), &IB = cast<IfStmt>(B);
+    return structurallyEqual(IA.getCond(), IB.getCond()) &&
+           structurallyEqual(IA.getThen(), IB.getThen()) &&
+           structurallyEqual(IA.getElse(), IB.getElse());
+  }
+  case Stmt::Kind::For: {
+    const auto &FA = cast<ForStmt>(A), &FB = cast<ForStmt>(B);
+    return FA.getIndexVar() == FB.getIndexVar() &&
+           structurallyEqual(FA.getLo(), FB.getLo()) &&
+           structurallyEqual(FA.getHi(), FB.getHi()) &&
+           structurallyEqual(FA.getBody(), FB.getBody());
+  }
+  }
+  return false;
+}
+
+static size_t hashCombine(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+size_t psketch::structuralHash(const Expr &E) {
+  size_t H = hashCombine(0, size_t(E.getKind()));
+  switch (E.getKind()) {
+  case Expr::Kind::Const: {
+    const auto &C = cast<ConstExpr>(E);
+    H = hashCombine(H, std::hash<double>()(C.getValue()));
+    H = hashCombine(H, size_t(C.getScalarKind()));
+    break;
+  }
+  case Expr::Kind::Var:
+    H = hashCombine(H, std::hash<std::string>()(cast<VarExpr>(E).getName()));
+    break;
+  case Expr::Kind::Index:
+    H = hashCombine(
+        H, std::hash<std::string>()(cast<IndexExpr>(E).getArrayName()));
+    break;
+  case Expr::Kind::HoleArg:
+    H = hashCombine(H, cast<HoleArgExpr>(E).getArgIndex());
+    break;
+  case Expr::Kind::Unary:
+    H = hashCombine(H, size_t(cast<UnaryExpr>(E).getOp()));
+    break;
+  case Expr::Kind::Binary:
+    H = hashCombine(H, size_t(cast<BinaryExpr>(E).getOp()));
+    break;
+  case Expr::Kind::Ite:
+    break;
+  case Expr::Kind::Sample:
+    H = hashCombine(H, size_t(cast<SampleExpr>(E).getDist()));
+    break;
+  case Expr::Kind::Hole:
+    H = hashCombine(H, cast<HoleExpr>(E).getHoleId());
+    break;
+  }
+  forEachChildSlot(const_cast<Expr &>(E), [&](ExprPtr &Child) {
+    H = hashCombine(H, structuralHash(*Child));
+  });
+  return H;
+}
+
+void psketch::forEachStmtExprSlot(Stmt &S,
+                                  const std::function<void(ExprPtr &)> &Fn) {
+  switch (S.getKind()) {
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Assign: {
+    auto &A = cast<AssignStmt>(S);
+    if (A.getTarget().isArrayElement())
+      Fn(A.getTarget().Index);
+    Fn(A.getValuePtr());
+    return;
+  }
+  case Stmt::Kind::Observe:
+    Fn(cast<ObserveStmt>(S).getCondPtr());
+    return;
+  case Stmt::Kind::Block:
+    for (StmtPtr &Sub : cast<BlockStmt>(S).getStmts())
+      forEachStmtExprSlot(*Sub, Fn);
+    return;
+  case Stmt::Kind::If: {
+    auto &I = cast<IfStmt>(S);
+    Fn(I.getCondPtr());
+    forEachStmtExprSlot(I.getThen(), Fn);
+    forEachStmtExprSlot(I.getElse(), Fn);
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto &F = cast<ForStmt>(S);
+    Fn(F.getLoPtr());
+    Fn(F.getHiPtr());
+    forEachStmtExprSlot(F.getBody(), Fn);
+    return;
+  }
+  }
+}
+
+std::vector<HoleExpr *> psketch::collectHoles(Program &P) {
+  std::vector<HoleExpr *> Holes;
+  std::function<void(Expr &)> Visit = [&](Expr &E) {
+    if (auto *H = dyn_cast<HoleExpr>(&E))
+      Holes.push_back(H);
+    forEachChildSlot(E, [&](ExprPtr &Child) { Visit(*Child); });
+  };
+  forEachStmtExprSlot(P.getBody(), [&](ExprPtr &E) { Visit(*E); });
+  return Holes;
+}
+
+std::vector<const HoleExpr *> psketch::collectHoles(const Program &P) {
+  std::vector<HoleExpr *> Mutable = collectHoles(const_cast<Program &>(P));
+  return {Mutable.begin(), Mutable.end()};
+}
+
+ExprPtr
+psketch::substituteHoleArgs(const Expr &Completion,
+                            const std::vector<const Expr *> &Actuals) {
+  if (const auto *Arg = dyn_cast<HoleArgExpr>(&Completion)) {
+    assert(Arg->getArgIndex() < Actuals.size() &&
+           "hole formal index out of range");
+    return Actuals[Arg->getArgIndex()]->clone();
+  }
+  ExprPtr Copy = Completion.clone();
+  forEachChildSlot(*Copy, [&](ExprPtr &Child) {
+    Child = substituteHoleArgs(*Child, Actuals);
+  });
+  return Copy;
+}
+
+bool psketch::containsSample(const Expr &E) {
+  bool Found = false;
+  forEachNode(E, [&](const Expr &N) {
+    if (isa<SampleExpr>(N))
+      Found = true;
+  });
+  return Found;
+}
+
+bool psketch::containsHole(const Expr &E) {
+  bool Found = false;
+  forEachNode(E, [&](const Expr &N) {
+    if (isa<HoleExpr>(N))
+      Found = true;
+  });
+  return Found;
+}

@@ -1,0 +1,80 @@
+//===- ast/ASTUtil.h - AST traversal, equality, substitution -------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic traversal utilities over expression and statement trees,
+/// structural equality/hashing, hole collection, and the hole-formal
+/// substitution that splices completions into sketches.  The mutable
+/// slot-based traversals (ExprPtr& callbacks) are what the mutation
+/// operators of Section 4.1 use to rewrite candidate programs in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_AST_ASTUTIL_H
+#define PSKETCH_AST_ASTUTIL_H
+
+#include "ast/Program.h"
+
+#include <functional>
+#include <vector>
+
+namespace psketch {
+
+/// Invokes \p Fn on each direct child slot of \p E (non-recursive).
+void forEachChildSlot(Expr &E, const std::function<void(ExprPtr &)> &Fn);
+
+/// Invokes \p Fn on each node of \p E in pre-order (const, recursive).
+void forEachNode(const Expr &E, const std::function<void(const Expr &)> &Fn);
+
+/// Collects pointers to every expression slot in the tree rooted at
+/// \p Root, including \p Root itself, in pre-order.  The returned slots
+/// stay valid while the tree shape is unchanged; replacing the
+/// expression held by a slot is the mutation primitive.
+void collectExprSlots(ExprPtr &Root, std::vector<ExprPtr *> &Slots);
+
+/// Number of nodes in the expression tree.
+size_t exprSize(const Expr &E);
+
+/// Maximum depth of the expression tree (a leaf has depth 1).
+size_t exprDepth(const Expr &E);
+
+/// Structural equality of expression trees (locations ignored).
+bool structurallyEqual(const Expr &A, const Expr &B);
+
+/// Structural equality of statement trees (locations ignored).
+bool structurallyEqual(const Stmt &A, const Stmt &B);
+
+/// Structural hash consistent with structurallyEqual.
+size_t structuralHash(const Expr &E);
+
+/// Invokes \p Fn on each top-level expression slot reachable from \p S:
+/// assignment values and indices, observe conditions, if conditions, for
+/// bounds; recurses into nested blocks/ifs/fors but not into the
+/// expressions themselves.
+void forEachStmtExprSlot(Stmt &S, const std::function<void(ExprPtr &)> &Fn);
+
+/// Collects every hole in \p P in syntactic order.  Pointers remain
+/// valid while the program is alive and unmutated.
+std::vector<HoleExpr *> collectHoles(Program &P);
+
+/// Const variant of collectHoles.
+std::vector<const HoleExpr *> collectHoles(const Program &P);
+
+/// Returns a copy of \p Completion in which every HoleArgExpr `%i` is
+/// replaced by a clone of \p Actuals[i].  Indices beyond the actuals are
+/// a programming error (asserted).
+ExprPtr substituteHoleArgs(const Expr &Completion,
+                           const std::vector<const Expr *> &Actuals);
+
+/// True if \p E contains a node of kind Sample (a distribution draw).
+bool containsSample(const Expr &E);
+
+/// True if \p E contains any hole.
+bool containsHole(const Expr &E);
+
+} // namespace psketch
+
+#endif // PSKETCH_AST_ASTUTIL_H

@@ -1,0 +1,59 @@
+//===- ast/Expr.cpp - Expression AST of the sketching language -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Expr.h"
+
+using namespace psketch;
+
+Expr::~Expr() = default;
+
+ExprPtr ConstExpr::clone() const {
+  return std::make_unique<ConstExpr>(Value, Ty, getLoc());
+}
+
+ExprPtr VarExpr::clone() const {
+  return std::make_unique<VarExpr>(Name, getLoc());
+}
+
+ExprPtr IndexExpr::clone() const {
+  return std::make_unique<IndexExpr>(ArrayName, Index->clone(), getLoc());
+}
+
+ExprPtr HoleArgExpr::clone() const {
+  return std::make_unique<HoleArgExpr>(ArgIndex, Ty, getLoc());
+}
+
+ExprPtr UnaryExpr::clone() const {
+  return std::make_unique<UnaryExpr>(Op, Sub->clone(), getLoc());
+}
+
+ExprPtr BinaryExpr::clone() const {
+  return std::make_unique<BinaryExpr>(Op, LHS->clone(), RHS->clone(),
+                                      getLoc());
+}
+
+ExprPtr IteExpr::clone() const {
+  return std::make_unique<IteExpr>(Cond->clone(), Then->clone(),
+                                   Else->clone(), getLoc());
+}
+
+ExprPtr SampleExpr::clone() const {
+  std::vector<ExprPtr> NewArgs;
+  NewArgs.reserve(Args.size());
+  for (const ExprPtr &A : Args)
+    NewArgs.push_back(A->clone());
+  return std::make_unique<SampleExpr>(Dist, std::move(NewArgs), getLoc());
+}
+
+ExprPtr HoleExpr::clone() const {
+  std::vector<ExprPtr> NewArgs;
+  NewArgs.reserve(Args.size());
+  for (const ExprPtr &A : Args)
+    NewArgs.push_back(A->clone());
+  auto H = std::make_unique<HoleExpr>(HoleId, std::move(NewArgs), getLoc());
+  H->setExpectedKind(ExpectedKind);
+  return H;
+}

@@ -1,0 +1,277 @@
+//===- ast/Expr.h - Expression AST of the sketching language -------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression nodes for the Figure 3 grammar: variables, constants,
+/// unary/binary/ternary operations, distribution draws, and the two hole
+/// forms (`??` and `??(E1, ..., En)`).  Hole completions are expressions
+/// over *formal* hole parameters, represented by HoleArgExpr; splicing a
+/// completion into a sketch substitutes the hole's actual argument
+/// expressions for those formals (see synth/Splice.h).
+///
+/// Nodes are owned through std::unique_ptr and support deep clone(),
+/// structural equality and hashing (ast/ASTUtil.h), and kind-based
+/// casting via the isa<>/cast<>/dyn_cast<> templates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_AST_EXPR_H
+#define PSKETCH_AST_EXPR_H
+
+#include "ast/Ops.h"
+#include "ast/Type.h"
+#include "support/Diag.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class of all expression nodes.
+class Expr {
+public:
+  enum class Kind {
+    Const,
+    Var,
+    Index,
+    HoleArg,
+    Unary,
+    Binary,
+    Ite,
+    Sample,
+    Hole,
+  };
+
+  virtual ~Expr();
+
+  Kind getKind() const { return K; }
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  /// Deep copy of this expression tree.
+  virtual ExprPtr clone() const = 0;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+/// A literal constant.  Booleans are stored as 0/1; the scalar kind
+/// distinguishes real, bool and int literals.
+class ConstExpr : public Expr {
+public:
+  ConstExpr(double Value, ScalarKind Ty, SourceLoc Loc = {})
+      : Expr(Kind::Const, Loc), Value(Value), Ty(Ty) {}
+
+  static ExprPtr real(double V, SourceLoc Loc = {}) {
+    return std::make_unique<ConstExpr>(V, ScalarKind::Real, Loc);
+  }
+  static ExprPtr boolean(bool V, SourceLoc Loc = {}) {
+    return std::make_unique<ConstExpr>(V ? 1.0 : 0.0, ScalarKind::Bool, Loc);
+  }
+  static ExprPtr integer(long V, SourceLoc Loc = {}) {
+    return std::make_unique<ConstExpr>(double(V), ScalarKind::Int, Loc);
+  }
+
+  double getValue() const { return Value; }
+  void setValue(double V) { Value = V; }
+  ScalarKind getScalarKind() const { return Ty; }
+  bool isTrue() const { return Value != 0.0; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Const; }
+
+private:
+  double Value;
+  ScalarKind Ty;
+};
+
+/// A reference to a scalar variable or parameter.
+class VarExpr : public Expr {
+public:
+  explicit VarExpr(std::string Name, SourceLoc Loc = {})
+      : Expr(Kind::Var, Loc), Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Var; }
+
+private:
+  std::string Name;
+};
+
+/// An array element reference `a[i]`.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(std::string ArrayName, ExprPtr Index, SourceLoc Loc = {})
+      : Expr(Kind::Index, Loc), ArrayName(std::move(ArrayName)),
+        Index(std::move(Index)) {}
+
+  const std::string &getArrayName() const { return ArrayName; }
+  const Expr &getIndex() const { return *Index; }
+  ExprPtr &getIndexPtr() { return Index; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Index; }
+
+private:
+  std::string ArrayName;
+  ExprPtr Index;
+};
+
+/// A reference to the I-th formal parameter of a hole, written `%I` in
+/// completion syntax.  Only legal inside hole completions.
+class HoleArgExpr : public Expr {
+public:
+  HoleArgExpr(unsigned ArgIndex, ScalarKind Ty = ScalarKind::Real,
+              SourceLoc Loc = {})
+      : Expr(Kind::HoleArg, Loc), ArgIndex(ArgIndex), Ty(Ty) {}
+
+  unsigned getArgIndex() const { return ArgIndex; }
+  void setArgIndex(unsigned I) { ArgIndex = I; }
+  ScalarKind getScalarKind() const { return Ty; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::HoleArg; }
+
+private:
+  unsigned ArgIndex;
+  ScalarKind Ty;
+};
+
+/// A unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Sub, SourceLoc Loc = {})
+      : Expr(Kind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+
+  UnaryOp getOp() const { return Op; }
+  const Expr &getSub() const { return *Sub; }
+  ExprPtr &getSubPtr() { return Sub; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Sub;
+};
+
+/// A binary operation.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc = {})
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp getOp() const { return Op; }
+  void setOp(BinaryOp O) { Op = O; }
+  const Expr &getLHS() const { return *LHS; }
+  const Expr &getRHS() const { return *RHS; }
+  ExprPtr &getLHSPtr() { return LHS; }
+  ExprPtr &getRHSPtr() { return RHS; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+};
+
+/// The ternary conditional `ite(c, a, b)`.
+class IteExpr : public Expr {
+public:
+  IteExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else, SourceLoc Loc = {})
+      : Expr(Kind::Ite, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr &getCond() const { return *Cond; }
+  const Expr &getThen() const { return *Then; }
+  const Expr &getElse() const { return *Else; }
+  ExprPtr &getCondPtr() { return Cond; }
+  ExprPtr &getThenPtr() { return Then; }
+  ExprPtr &getElsePtr() { return Else; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Ite; }
+
+private:
+  ExprPtr Cond, Then, Else;
+};
+
+/// A draw from a primitive distribution, e.g. `Gaussian(mu, 15.0)`.
+/// Appears both in probabilistic assignments `x ~ Gaussian(...)` (sugar
+/// for an assignment whose RHS is a SampleExpr) and inside synthesized
+/// hole completions.
+class SampleExpr : public Expr {
+public:
+  SampleExpr(DistKind Dist, std::vector<ExprPtr> Args, SourceLoc Loc = {})
+      : Expr(Kind::Sample, Loc), Dist(Dist), Args(std::move(Args)) {}
+
+  DistKind getDist() const { return Dist; }
+  unsigned getNumArgs() const { return unsigned(Args.size()); }
+  const Expr &getArg(unsigned I) const { return *Args[I]; }
+  std::vector<ExprPtr> &getArgs() { return Args; }
+  const std::vector<ExprPtr> &getArgs() const { return Args; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Sample; }
+
+private:
+  DistKind Dist;
+  std::vector<ExprPtr> Args;
+};
+
+/// A hole: `??` (independent) or `??(E1, ..., En)` (with dependences).
+/// HoleId numbers holes in program order; the type checker records the
+/// expected scalar type so the synthesizer generates well-typed
+/// completions.
+class HoleExpr : public Expr {
+public:
+  HoleExpr(unsigned HoleId, std::vector<ExprPtr> Args, SourceLoc Loc = {})
+      : Expr(Kind::Hole, Loc), HoleId(HoleId), Args(std::move(Args)) {}
+
+  unsigned getHoleId() const { return HoleId; }
+  void setHoleId(unsigned Id) { HoleId = Id; }
+  unsigned getNumArgs() const { return unsigned(Args.size()); }
+  const Expr &getArg(unsigned I) const { return *Args[I]; }
+  std::vector<ExprPtr> &getArgs() { return Args; }
+  const std::vector<ExprPtr> &getArgs() const { return Args; }
+
+  ScalarKind getExpectedKind() const { return ExpectedKind; }
+  void setExpectedKind(ScalarKind K) { ExpectedKind = K; }
+
+  ExprPtr clone() const override;
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Hole; }
+
+private:
+  unsigned HoleId;
+  std::vector<ExprPtr> Args;
+  ScalarKind ExpectedKind = ScalarKind::Real;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_AST_EXPR_H

@@ -1,0 +1,122 @@
+//===- ast/Ops.cpp - Operators and distribution kinds ---------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Ops.h"
+
+using namespace psketch;
+
+const char *psketch::unaryOpName(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Not:
+    return "!";
+  case UnaryOp::Neg:
+    return "-";
+  }
+  return "<invalid>";
+}
+
+const char *psketch::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Eq:
+    return "==";
+  }
+  return "<invalid>";
+}
+
+const char *psketch::distKindName(DistKind K) {
+  switch (K) {
+  case DistKind::Gaussian:
+    return "Gaussian";
+  case DistKind::Bernoulli:
+    return "Bernoulli";
+  case DistKind::Beta:
+    return "Beta";
+  case DistKind::Gamma:
+    return "Gamma";
+  case DistKind::Poisson:
+    return "Poisson";
+  }
+  return "<invalid>";
+}
+
+unsigned psketch::distArity(DistKind K) {
+  switch (K) {
+  case DistKind::Gaussian:
+  case DistKind::Beta:
+  case DistKind::Gamma:
+    return 2;
+  case DistKind::Bernoulli:
+  case DistKind::Poisson:
+    return 1;
+  }
+  return 0;
+}
+
+bool psketch::distReturnsBool(DistKind K) {
+  return K == DistKind::Bernoulli;
+}
+
+bool psketch::isArithOp(BinaryOp Op) {
+  return Op == BinaryOp::Add || Op == BinaryOp::Sub || Op == BinaryOp::Mul;
+}
+
+bool psketch::isLogicalOp(BinaryOp Op) {
+  return Op == BinaryOp::And || Op == BinaryOp::Or;
+}
+
+bool psketch::isCompareOp(BinaryOp Op) {
+  return Op == BinaryOp::Gt || Op == BinaryOp::Lt;
+}
+
+std::vector<BinaryOp> psketch::equivalentOps(BinaryOp Op) {
+  std::vector<BinaryOp> Result;
+  auto AddAllBut = [&](std::initializer_list<BinaryOp> Class) {
+    for (BinaryOp Candidate : Class)
+      if (Candidate != Op)
+        Result.push_back(Candidate);
+  };
+  if (isArithOp(Op))
+    AddAllBut({BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul});
+  else if (isLogicalOp(Op))
+    AddAllBut({BinaryOp::And, BinaryOp::Or});
+  else if (isCompareOp(Op))
+    AddAllBut({BinaryOp::Gt, BinaryOp::Lt});
+  return Result;
+}
+
+int psketch::binaryOpPrecedence(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Or:
+    return 1;
+  case BinaryOp::And:
+    return 2;
+  case BinaryOp::Eq:
+    return 3;
+  case BinaryOp::Gt:
+  case BinaryOp::Lt:
+    return 4;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return 5;
+  case BinaryOp::Mul:
+    return 6;
+  }
+  return 0;
+}

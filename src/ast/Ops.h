@@ -1,0 +1,70 @@
+//===- ast/Ops.h - Operators and distribution kinds -----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operator and primitive-distribution enumerations for the Figure 3
+/// expression grammar, together with classification helpers used by the
+/// type checker and by mutation Operation-3 (operator-for-operator swaps
+/// among "operators with equivalent type", Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_AST_OPS_H
+#define PSKETCH_AST_OPS_H
+
+#include "ast/Type.h"
+
+#include <vector>
+
+namespace psketch {
+
+/// Unary operators; Figure 3 lists {!}, and we additionally support
+/// numeric negation for convenience in hand-written models.
+enum class UnaryOp { Not, Neg };
+
+/// Binary operators of Figure 3 ({+, -, x, &&, ||, >}) plus the
+/// comparisons `<` and `==` that the paper's example programs use in
+/// observe statements.
+enum class BinaryOp { Add, Sub, Mul, And, Or, Gt, Lt, Eq };
+
+/// Primitive distributions with symbolic MoG approximations (Figure 5).
+enum class DistKind { Gaussian, Bernoulli, Beta, Gamma, Poisson };
+
+/// Source spelling of a unary operator.
+const char *unaryOpName(UnaryOp Op);
+
+/// Source spelling of a binary operator.
+const char *binaryOpName(BinaryOp Op);
+
+/// Source spelling of a distribution constructor.
+const char *distKindName(DistKind K);
+
+/// Number of parameters the distribution constructor takes.
+unsigned distArity(DistKind K);
+
+/// True for distributions whose draws are boolean (Bernoulli).
+bool distReturnsBool(DistKind K);
+
+/// True for {+, -, x}: numeric x numeric -> numeric.
+bool isArithOp(BinaryOp Op);
+
+/// True for {&&, ||}: bool x bool -> bool.
+bool isLogicalOp(BinaryOp Op);
+
+/// True for {>, <}: numeric x numeric -> bool.
+bool isCompareOp(BinaryOp Op);
+
+/// Operators with the same type signature as \p Op, excluding \p Op
+/// itself; the candidate set for mutation Operation-3.  `==` has no
+/// swap partners (its operands may be boolean).
+std::vector<BinaryOp> equivalentOps(BinaryOp Op);
+
+/// Binding strength for the pretty printer; higher binds tighter.
+int binaryOpPrecedence(BinaryOp Op);
+
+} // namespace psketch
+
+#endif // PSKETCH_AST_OPS_H

@@ -1,0 +1,32 @@
+//===- ast/Program.cpp - Whole-program AST --------------------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Program.h"
+
+using namespace psketch;
+
+const Param *Program::findParam(const std::string &ParamName) const {
+  for (const Param &P : Params)
+    if (P.Name == ParamName)
+      return &P;
+  return nullptr;
+}
+
+const LocalDecl *Program::findDecl(const std::string &DeclName) const {
+  for (const LocalDecl &D : Decls)
+    if (D.Name == DeclName)
+      return &D;
+  return nullptr;
+}
+
+std::unique_ptr<Program> Program::clone() const {
+  std::vector<LocalDecl> NewDecls;
+  NewDecls.reserve(Decls.size());
+  for (const LocalDecl &D : Decls)
+    NewDecls.push_back(D.clone());
+  return std::make_unique<Program>(Name, Params, std::move(NewDecls),
+                                   Body->cloneBlock(), Returns);
+}

@@ -1,0 +1,97 @@
+//===- ast/Program.h - Whole-program AST ----------------------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is the unit the synthesizer operates on: a named parameter
+/// list (the inputs, e.g. TrueSkill's games), local variable
+/// declarations (scalars and arrays), a body block, and the list of
+/// returned variables — the observable outputs whose joint distribution
+/// is the meaning of the program (Section 2 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_AST_PROGRAM_H
+#define PSKETCH_AST_PROGRAM_H
+
+#include "ast/Stmt.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// A program input.  Array parameters are unsized; their extent comes
+/// from the concrete input binding at lowering time.
+struct Param {
+  std::string Name;
+  Type Ty;
+};
+
+/// A local variable declaration.  Arrays carry a size expression over
+/// the program parameters (e.g. `skills: real[count]`).
+struct LocalDecl {
+  std::string Name;
+  ScalarKind Kind = ScalarKind::Real;
+  ExprPtr ArraySize; ///< Null for scalar declarations.
+
+  LocalDecl() = default;
+  LocalDecl(std::string Name, ScalarKind Kind, ExprPtr ArraySize = nullptr)
+      : Name(std::move(Name)), Kind(Kind), ArraySize(std::move(ArraySize)) {}
+
+  bool isArray() const { return ArraySize != nullptr; }
+  Type type() const { return Type(Kind, isArray()); }
+  LocalDecl clone() const {
+    return LocalDecl(Name, Kind, ArraySize ? ArraySize->clone() : nullptr);
+  }
+};
+
+/// A complete program or sketch.
+class Program {
+public:
+  Program() : Body(std::make_unique<BlockStmt>()) {}
+  Program(std::string Name, std::vector<Param> Params,
+          std::vector<LocalDecl> Decls, std::unique_ptr<BlockStmt> Body,
+          std::vector<std::string> Returns)
+      : Name(std::move(Name)), Params(std::move(Params)),
+        Decls(std::move(Decls)), Body(std::move(Body)),
+        Returns(std::move(Returns)) {}
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  const std::vector<Param> &getParams() const { return Params; }
+  std::vector<Param> &getParams() { return Params; }
+
+  const std::vector<LocalDecl> &getDecls() const { return Decls; }
+  std::vector<LocalDecl> &getDecls() { return Decls; }
+
+  const BlockStmt &getBody() const { return *Body; }
+  BlockStmt &getBody() { return *Body; }
+
+  const std::vector<std::string> &getReturns() const { return Returns; }
+  std::vector<std::string> &getReturns() { return Returns; }
+
+  /// Looks up a parameter by name; returns null if absent.
+  const Param *findParam(const std::string &Name) const;
+
+  /// Looks up a local declaration by name; returns null if absent.
+  const LocalDecl *findDecl(const std::string &Name) const;
+
+  /// Deep copy.
+  std::unique_ptr<Program> clone() const;
+
+private:
+  std::string Name;
+  std::vector<Param> Params;
+  std::vector<LocalDecl> Decls;
+  std::unique_ptr<BlockStmt> Body;
+  std::vector<std::string> Returns;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_AST_PROGRAM_H

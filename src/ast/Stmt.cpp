@@ -1,0 +1,48 @@
+//===- ast/Stmt.cpp - Statement AST of the sketching language ------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Stmt.h"
+
+#include "support/Casting.h"
+
+using namespace psketch;
+
+Stmt::~Stmt() = default;
+
+StmtPtr SkipStmt::clone() const {
+  return std::make_unique<SkipStmt>(getLoc());
+}
+
+bool AssignStmt::isProbabilistic() const { return isa<SampleExpr>(*Value); }
+
+StmtPtr AssignStmt::clone() const {
+  return std::make_unique<AssignStmt>(Target.clone(), Value->clone(),
+                                      getLoc());
+}
+
+StmtPtr ObserveStmt::clone() const {
+  return std::make_unique<ObserveStmt>(Cond->clone(), getLoc());
+}
+
+StmtPtr BlockStmt::clone() const { return cloneBlock(); }
+
+std::unique_ptr<BlockStmt> BlockStmt::cloneBlock() const {
+  std::vector<StmtPtr> NewStmts;
+  NewStmts.reserve(Stmts.size());
+  for (const StmtPtr &S : Stmts)
+    NewStmts.push_back(S->clone());
+  return std::make_unique<BlockStmt>(std::move(NewStmts), getLoc());
+}
+
+StmtPtr IfStmt::clone() const {
+  return std::make_unique<IfStmt>(Cond->clone(), Then->cloneBlock(),
+                                  Else->cloneBlock(), getLoc());
+}
+
+StmtPtr ForStmt::clone() const {
+  return std::make_unique<ForStmt>(IndexVar, Lo->clone(), Hi->clone(),
+                                   Body->cloneBlock(), getLoc());
+}

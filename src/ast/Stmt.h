@@ -1,0 +1,199 @@
+//===- ast/Stmt.h - Statement AST of the sketching language --------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement nodes for the Figure 3 grammar: skip, assignment (both the
+/// deterministic `x = E` form and the probabilistic `x ~ Dist(theta)`
+/// form, which is represented as an assignment whose RHS is a
+/// SampleExpr), observe, sequential composition (BlockStmt), conditional
+/// composition, and the bounded for-loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_AST_STMT_H
+#define PSKETCH_AST_STMT_H
+
+#include "ast/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Base class of all statement nodes.
+class Stmt {
+public:
+  enum class Kind { Skip, Assign, Observe, Block, If, For };
+
+  virtual ~Stmt();
+
+  Kind getKind() const { return K; }
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  /// Deep copy of this statement tree.
+  virtual StmtPtr clone() const = 0;
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+/// The assignable left-hand side of an assignment: a scalar variable or
+/// an array element.
+struct LValue {
+  std::string Name;
+  ExprPtr Index; ///< Null for scalar targets.
+
+  LValue() = default;
+  LValue(std::string Name, ExprPtr Index = nullptr)
+      : Name(std::move(Name)), Index(std::move(Index)) {}
+
+  bool isArrayElement() const { return Index != nullptr; }
+  LValue clone() const {
+    return LValue(Name, Index ? Index->clone() : nullptr);
+  }
+};
+
+/// `skip;` — the no-op statement.
+class SkipStmt : public Stmt {
+public:
+  explicit SkipStmt(SourceLoc Loc = {}) : Stmt(Kind::Skip, Loc) {}
+
+  StmtPtr clone() const override;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Skip; }
+};
+
+/// `x = E;` or `x ~ Dist(theta);` (probabilistic when the RHS is a
+/// SampleExpr).
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(LValue Target, ExprPtr Value, SourceLoc Loc = {})
+      : Stmt(Kind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+
+  const LValue &getTarget() const { return Target; }
+  LValue &getTarget() { return Target; }
+  const Expr &getValue() const { return *Value; }
+  ExprPtr &getValuePtr() { return Value; }
+
+  /// True when the RHS draws from a distribution at the top level, i.e.
+  /// this is the paper's probabilistic assignment form.
+  bool isProbabilistic() const;
+
+  StmtPtr clone() const override;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assign; }
+
+private:
+  LValue Target;
+  ExprPtr Value;
+};
+
+/// `observe(phi);` — conditions the program on \p phi holding.
+class ObserveStmt : public Stmt {
+public:
+  explicit ObserveStmt(ExprPtr Cond, SourceLoc Loc = {})
+      : Stmt(Kind::Observe, Loc), Cond(std::move(Cond)) {}
+
+  const Expr &getCond() const { return *Cond; }
+  ExprPtr &getCondPtr() { return Cond; }
+
+  StmtPtr clone() const override;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Observe; }
+
+private:
+  ExprPtr Cond;
+};
+
+/// A sequence of statements; Figure 3's `S1; S2` generalized to a list.
+class BlockStmt : public Stmt {
+public:
+  explicit BlockStmt(std::vector<StmtPtr> Stmts = {}, SourceLoc Loc = {})
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+
+  const std::vector<StmtPtr> &getStmts() const { return Stmts; }
+  std::vector<StmtPtr> &getStmts() { return Stmts; }
+  void append(StmtPtr S) { Stmts.push_back(std::move(S)); }
+  bool empty() const { return Stmts.empty(); }
+
+  StmtPtr clone() const override;
+
+  /// Clone returning the derived type (clone() erases to StmtPtr).
+  std::unique_ptr<BlockStmt> cloneBlock() const;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// `if (E) { ... } else { ... }`; the else block may be empty.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, std::unique_ptr<BlockStmt> Then,
+         std::unique_ptr<BlockStmt> Else, SourceLoc Loc = {})
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr &getCond() const { return *Cond; }
+  ExprPtr &getCondPtr() { return Cond; }
+  const BlockStmt &getThen() const { return *Then; }
+  BlockStmt &getThen() { return *Then; }
+  const BlockStmt &getElse() const { return *Else; }
+  BlockStmt &getElse() { return *Else; }
+
+  StmtPtr clone() const override;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  std::unique_ptr<BlockStmt> Then;
+  std::unique_ptr<BlockStmt> Else;
+};
+
+/// `for i in Lo..Hi { ... }` iterates i over the half-open integer range
+/// [Lo, Hi).  Bounds must be constant-foldable given the program inputs;
+/// the lowering pass (sem/Lower.h) unrolls the loop, per the paper's
+/// bounded-loop assumption.
+class ForStmt : public Stmt {
+public:
+  ForStmt(std::string IndexVar, ExprPtr Lo, ExprPtr Hi,
+          std::unique_ptr<BlockStmt> Body, SourceLoc Loc = {})
+      : Stmt(Kind::For, Loc), IndexVar(std::move(IndexVar)),
+        Lo(std::move(Lo)), Hi(std::move(Hi)), Body(std::move(Body)) {}
+
+  const std::string &getIndexVar() const { return IndexVar; }
+  const Expr &getLo() const { return *Lo; }
+  const Expr &getHi() const { return *Hi; }
+  ExprPtr &getLoPtr() { return Lo; }
+  ExprPtr &getHiPtr() { return Hi; }
+  const BlockStmt &getBody() const { return *Body; }
+  BlockStmt &getBody() { return *Body; }
+
+  StmtPtr clone() const override;
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+
+private:
+  std::string IndexVar;
+  ExprPtr Lo, Hi;
+  std::unique_ptr<BlockStmt> Body;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_AST_STMT_H

@@ -1,0 +1,28 @@
+//===- ast/Type.cpp - Types of the sketching language ---------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Type.h"
+
+using namespace psketch;
+
+const char *psketch::scalarKindName(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Real:
+    return "real";
+  case ScalarKind::Bool:
+    return "bool";
+  case ScalarKind::Int:
+    return "int";
+  }
+  return "<invalid>";
+}
+
+std::string Type::str() const {
+  std::string S = scalarKindName(Kind);
+  if (IsArray)
+    S += "[]";
+  return S;
+}

@@ -1,0 +1,66 @@
+//===- ast/Type.h - Types of the sketching language -----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of the PSketch language: the scalar types real, bool
+/// and int, plus arrays of scalars.  Arrays are one-dimensional and sized
+/// either by a program parameter or a constant (Section 4, Figure 3 of
+/// the paper keeps loops bounded, so array extents are always concrete at
+/// lowering time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_AST_TYPE_H
+#define PSKETCH_AST_TYPE_H
+
+#include <string>
+
+namespace psketch {
+
+/// The scalar types of Figure 3's expression language.
+enum class ScalarKind { Real, Bool, Int };
+
+/// Returns the source spelling ("real", "bool", "int").
+const char *scalarKindName(ScalarKind K);
+
+/// A scalar or array type.
+struct Type {
+  ScalarKind Kind = ScalarKind::Real;
+  bool IsArray = false;
+
+  constexpr Type() = default;
+  constexpr Type(ScalarKind Kind, bool IsArray = false)
+      : Kind(Kind), IsArray(IsArray) {}
+
+  static constexpr Type real() { return {ScalarKind::Real}; }
+  static constexpr Type boolean() { return {ScalarKind::Bool}; }
+  static constexpr Type integer() { return {ScalarKind::Int}; }
+  static constexpr Type array(ScalarKind K) { return {K, true}; }
+
+  bool isReal() const { return Kind == ScalarKind::Real && !IsArray; }
+  bool isBool() const { return Kind == ScalarKind::Bool && !IsArray; }
+  bool isInt() const { return Kind == ScalarKind::Int && !IsArray; }
+  bool isScalar() const { return !IsArray; }
+
+  /// Real and int scalars are interchangeable as numeric operands; the
+  /// type checker uses this for arithmetic promotion.
+  bool isNumeric() const { return !IsArray && Kind != ScalarKind::Bool; }
+
+  /// The element type of an array type.
+  Type element() const { return {Kind, false}; }
+
+  bool operator==(const Type &RHS) const {
+    return Kind == RHS.Kind && IsArray == RHS.IsArray;
+  }
+  bool operator!=(const Type &RHS) const { return !(*this == RHS); }
+
+  /// Source spelling, e.g. "real" or "int[]".
+  std::string str() const;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_AST_TYPE_H

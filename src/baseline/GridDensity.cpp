@@ -1,0 +1,244 @@
+//===- baseline/GridDensity.cpp - Numeric densities on uniform grids -----===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GridDensity.h"
+
+#include "support/Special.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace psketch;
+
+GridDensity::GridDensity(double Lo, double Hi, std::vector<double> Vals)
+    : LoBound(Lo), HiBound(Hi), Values(std::move(Vals)) {
+  assert(Lo < Hi && "empty grid support");
+  assert(Values.size() >= 2 && "grid needs at least two samples");
+}
+
+double GridDensity::step() const {
+  return (HiBound - LoBound) / double(Values.size() - 1);
+}
+
+double GridDensity::x(size_t I) const {
+  return LoBound + double(I) * step();
+}
+
+double GridDensity::pdfAt(double X) const {
+  if (X < LoBound || X > HiBound || Values.empty())
+    return 0.0;
+  double T = (X - LoBound) / step();
+  size_t I = size_t(T);
+  if (I + 1 >= Values.size())
+    return Values.back();
+  double Frac = T - double(I);
+  return Values[I] * (1.0 - Frac) + Values[I + 1] * Frac;
+}
+
+double GridDensity::totalMass() const {
+  // Trapezoid rule.
+  double Sum = 0;
+  for (size_t I = 0; I + 1 < Values.size(); ++I)
+    Sum += 0.5 * (Values[I] + Values[I + 1]);
+  return Sum * step();
+}
+
+void GridDensity::normalize() {
+  double Mass = totalMass();
+  if (Mass <= 0)
+    return;
+  for (double &V : Values)
+    V /= Mass;
+}
+
+double GridDensity::mean() const {
+  double Sum = 0, Mass = 0;
+  for (size_t I = 0; I + 1 < Values.size(); ++I) {
+    double V = 0.5 * (Values[I] + Values[I + 1]);
+    double X = 0.5 * (x(I) + x(I + 1));
+    Sum += V * X;
+    Mass += V;
+  }
+  return Mass > 0 ? Sum / Mass : 0.0;
+}
+
+double GridDensity::stddev() const {
+  double M = mean();
+  double Sum = 0, Mass = 0;
+  for (size_t I = 0; I + 1 < Values.size(); ++I) {
+    double V = 0.5 * (Values[I] + Values[I + 1]);
+    double X = 0.5 * (x(I) + x(I + 1)) - M;
+    Sum += V * X * X;
+    Mass += V;
+  }
+  return Mass > 0 && Sum > 0 ? std::sqrt(Sum / Mass) : 0.0;
+}
+
+GridDensity GridDensity::gaussian(double Mu, double Sigma,
+                                  const GridConfig &G) {
+  double S = std::max(std::fabs(Sigma), 1e-6);
+  double Lo = Mu - G.PadSigmas * S, Hi = Mu + G.PadSigmas * S;
+  std::vector<double> Vals(G.Points);
+  double Step = (Hi - Lo) / double(G.Points - 1);
+  for (unsigned I = 0; I != G.Points; ++I)
+    Vals[I] = gaussianPdf(Lo + Step * I, Mu, S);
+  GridDensity D(Lo, Hi, std::move(Vals));
+  D.normalize();
+  return D;
+}
+
+GridDensity GridDensity::beta(double A, double B, const GridConfig &G) {
+  assert(A > 0 && B > 0 && "Beta parameters must be positive");
+  double LogNorm = std::lgamma(A + B) - std::lgamma(A) - std::lgamma(B);
+  std::vector<double> Vals(G.Points);
+  double Step = 1.0 / double(G.Points - 1);
+  for (unsigned I = 0; I != G.Points; ++I) {
+    double X = std::clamp(Step * I, 1e-9, 1.0 - 1e-9);
+    Vals[I] = std::exp(LogNorm + (A - 1.0) * std::log(X) +
+                       (B - 1.0) * std::log1p(-X));
+  }
+  GridDensity D(0.0, 1.0, std::move(Vals));
+  D.normalize();
+  return D;
+}
+
+GridDensity GridDensity::gammaDist(double Shape, double Scale,
+                                   const GridConfig &G) {
+  assert(Shape > 0 && Scale > 0 && "Gamma parameters must be positive");
+  double Mean = Shape * Scale;
+  double Sd = std::sqrt(Shape) * Scale;
+  double Lo = 0.0, Hi = Mean + G.PadSigmas * Sd;
+  double LogNorm = -std::lgamma(Shape) - Shape * std::log(Scale);
+  std::vector<double> Vals(G.Points);
+  double Step = (Hi - Lo) / double(G.Points - 1);
+  for (unsigned I = 0; I != G.Points; ++I) {
+    double X = std::max(Lo + Step * I, 1e-12);
+    Vals[I] =
+        std::exp(LogNorm + (Shape - 1.0) * std::log(X) - X / Scale);
+  }
+  GridDensity D(Lo, Hi, std::move(Vals));
+  D.normalize();
+  return D;
+}
+
+GridDensity GridDensity::pointMass(double V, double Bandwidth,
+                                   const GridConfig &G) {
+  return gaussian(V, std::max(Bandwidth, 1e-6), G);
+}
+
+GridDensity GridDensity::convolveAdd(const GridDensity &A,
+                                     const GridDensity &B,
+                                     const GridConfig &G) {
+  double Lo = A.lo() + B.lo(), Hi = A.hi() + B.hi();
+  std::vector<double> Vals(G.Points, 0.0);
+  double Step = (Hi - Lo) / double(G.Points - 1);
+  double SA = A.step();
+  // f_{X+Y}(z) = Int f_X(x) f_Y(z - x) dx, rectangle rule over A's grid.
+  for (unsigned I = 0; I != G.Points; ++I) {
+    double Z = Lo + Step * I;
+    double Sum = 0;
+    for (size_t J = 0, E = A.points(); J != E; ++J)
+      Sum += A.values()[J] * B.pdfAt(Z - A.x(J));
+    Vals[I] = Sum * SA;
+  }
+  GridDensity D(Lo, Hi, std::move(Vals));
+  D.normalize();
+  return D;
+}
+
+GridDensity GridDensity::convolveSub(const GridDensity &A,
+                                     const GridDensity &B,
+                                     const GridConfig &G) {
+  return convolveAdd(A, scaled(B, -1.0), G);
+}
+
+GridDensity GridDensity::scaled(const GridDensity &A, double K) {
+  if (K == 0.0) {
+    // Degenerate: a spike at zero, represented with a tight Gaussian.
+    GridConfig G;
+    G.Points = unsigned(A.points());
+    return pointMass(0.0, 1e-3, G);
+  }
+  double Lo = A.lo() * K, Hi = A.hi() * K;
+  if (Lo > Hi)
+    std::swap(Lo, Hi);
+  std::vector<double> Vals(A.points());
+  double Step = (Hi - Lo) / double(A.points() - 1);
+  double AbsK = std::fabs(K);
+  for (size_t I = 0, E = A.points(); I != E; ++I)
+    Vals[I] = A.pdfAt((Lo + Step * I) / K) / AbsK;
+  GridDensity D(Lo, Hi, std::move(Vals));
+  D.normalize();
+  return D;
+}
+
+GridDensity GridDensity::shifted(const GridDensity &A, double K) {
+  return GridDensity(A.lo() + K, A.hi() + K, A.values());
+}
+
+GridDensity GridDensity::mixture(const GridDensity &A, double WA,
+                                 const GridDensity &B,
+                                 const GridConfig &G) {
+  WA = std::clamp(WA, 0.0, 1.0);
+  double Lo = std::min(A.lo(), B.lo()), Hi = std::max(A.hi(), B.hi());
+  std::vector<double> Vals(G.Points);
+  double Step = (Hi - Lo) / double(G.Points - 1);
+  for (unsigned I = 0; I != G.Points; ++I) {
+    double X = Lo + Step * I;
+    Vals[I] = WA * A.pdfAt(X) + (1.0 - WA) * B.pdfAt(X);
+  }
+  GridDensity D(Lo, Hi, std::move(Vals));
+  D.normalize();
+  return D;
+}
+
+double GridDensity::probGreater(const GridDensity &A, const GridDensity &B) {
+  // Pr(X > Y) = Int f_X(x) F_Y(x) dx; build F_Y by cumulative
+  // integration, then integrate against f_X.
+  std::vector<double> CdfB(B.points(), 0.0);
+  double SB = B.step();
+  for (size_t I = 1, E = B.points(); I != E; ++I)
+    CdfB[I] = CdfB[I - 1] +
+              0.5 * (B.values()[I - 1] + B.values()[I]) * SB;
+  auto CdfAt = [&](double X) {
+    if (X <= B.lo())
+      return 0.0;
+    if (X >= B.hi())
+      return CdfB.back();
+    double T = (X - B.lo()) / SB;
+    size_t I = size_t(T);
+    if (I + 1 >= CdfB.size())
+      return CdfB.back();
+    double Frac = T - double(I);
+    return CdfB[I] * (1.0 - Frac) + CdfB[I + 1] * Frac;
+  };
+  double P = 0;
+  double SA = A.step();
+  for (size_t I = 0, E = A.points(); I != E; ++I)
+    P += A.values()[I] * CdfAt(A.x(I)) * SA;
+  return std::clamp(P, 0.0, 1.0);
+}
+
+GridDensity GridDensity::compoundGaussian(const GridDensity &Mean,
+                                          double Sigma,
+                                          const GridConfig &G) {
+  double S = std::max(std::fabs(Sigma), 1e-6);
+  double Lo = Mean.lo() - G.PadSigmas * S, Hi = Mean.hi() + G.PadSigmas * S;
+  std::vector<double> Vals(G.Points, 0.0);
+  double Step = (Hi - Lo) / double(G.Points - 1);
+  double SM = Mean.step();
+  for (unsigned I = 0; I != G.Points; ++I) {
+    double Y = Lo + Step * I;
+    double Sum = 0;
+    for (size_t J = 0, E = Mean.points(); J != E; ++J)
+      Sum += Mean.values()[J] * gaussianPdf(Y, Mean.x(J), S);
+    Vals[I] = Sum * SM;
+  }
+  GridDensity D(Lo, Hi, std::move(Vals));
+  D.normalize();
+  return D;
+}

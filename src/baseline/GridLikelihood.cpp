@@ -1,0 +1,440 @@
+//===- baseline/GridLikelihood.cpp - Integration-based likelihood --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GridLikelihood.h"
+
+#include "likelihood/Likelihood.h"
+#include "support/Casting.h"
+#include "support/Special.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace psketch;
+
+struct GridLikelihoodEvaluator::Value {
+  enum class Kind { Known, Density, Bern, Unit };
+  Kind K = Kind::Unit;
+  double Scalar = 0;
+  GridDensity Dens;
+
+  static Value known(double V) {
+    Value X;
+    X.K = Kind::Known;
+    X.Scalar = V;
+    return X;
+  }
+  static Value density(GridDensity D) {
+    Value X;
+    X.K = Kind::Density;
+    X.Dens = std::move(D);
+    return X;
+  }
+  static Value bern(double P) {
+    Value X;
+    X.K = Kind::Bern;
+    X.Scalar = clampProb(P);
+    return X;
+  }
+  static Value unit() { return Value(); }
+
+  bool isKnown() const { return K == Kind::Known; }
+  bool isDensity() const { return K == Kind::Density; }
+  bool isBern() const { return K == Kind::Bern; }
+};
+
+namespace {
+
+void updatedSlotNames(const std::vector<StmtPtr> &Stmts,
+                      std::set<std::string> &Out) {
+  for (const StmtPtr &S : Stmts) {
+    if (const auto *A = dyn_cast<AssignStmt>(S.get()))
+      Out.insert(A->getTarget().Name);
+    else if (const auto *I = dyn_cast<IfStmt>(S.get())) {
+      updatedSlotNames(I->getThen().getStmts(), Out);
+      updatedSlotNames(I->getElse().getStmts(), Out);
+    }
+  }
+}
+
+/// One per-row numeric execution.
+class RowEvaluator {
+public:
+  using Value = GridLikelihoodEvaluator::Value;
+
+  RowEvaluator(const LoweredProgram &LP, const GridConfig &Config,
+               const std::unordered_map<std::string, unsigned> &Observed,
+               const std::vector<double> &Row)
+      : LP(LP), Config(Config), Observed(Observed), Row(Row) {}
+
+  std::optional<double> run();
+
+private:
+  using Env = std::vector<std::optional<Value>>;
+
+  bool execStmts(const std::vector<StmtPtr> &Stmts, Env &E, double &Rho);
+  Value evalExpr(const Expr &Ex, const Env &E);
+
+  Value lift(const Value &V) const {
+    if (V.isDensity())
+      return V;
+    if (V.isKnown())
+      return Value::density(
+          GridDensity::pointMass(V.Scalar, Config.Bandwidth, Config));
+    return Value::unit();
+  }
+
+  double probabilityOf(const Value &V) const {
+    if (V.isBern())
+      return V.Scalar;
+    if (V.isKnown())
+      return std::fabs(V.Scalar) > 0.5 ? 1.0 : 0.0;
+    return 1.0; // Unit fallback, as in the symbolic path.
+  }
+
+  double logDensityAt(const Value &V, double X) const {
+    switch (V.K) {
+    case Value::Kind::Known:
+      return gaussianLogPdf(X, V.Scalar, Config.Bandwidth);
+    case Value::Kind::Density:
+      return std::log(std::max(V.Dens.pdfAt(X), TinyProb));
+    case Value::Kind::Bern:
+      return bernoulliLogPmf(X != 0.0, V.Scalar);
+    case Value::Kind::Unit:
+      // Match the symbolic path: an unmodeled observed output is
+      // penalized, not scored as a free success.
+      return std::log(TinyProb);
+    }
+    return std::log(TinyProb);
+  }
+
+  const LoweredProgram &LP;
+  const GridConfig &Config;
+  const std::unordered_map<std::string, unsigned> &Observed;
+  const std::vector<double> &Row;
+  bool Malformed = false;
+};
+
+RowEvaluator::Value RowEvaluator::evalExpr(const Expr &Ex, const Env &E) {
+  switch (Ex.getKind()) {
+  case Expr::Kind::Const: {
+    const auto &C = cast<ConstExpr>(Ex);
+    if (C.getScalarKind() == ScalarKind::Bool)
+      return Value::bern(C.isTrue() ? 1.0 : 0.0);
+    return Value::known(C.getValue());
+  }
+  case Expr::Kind::Var: {
+    const std::string &Slot = cast<VarExpr>(Ex).getName();
+    auto ObsIt = Observed.find(Slot);
+    if (ObsIt != Observed.end()) {
+      unsigned SlotId = LP.slotId(Slot);
+      bool IsBool =
+          SlotId != ~0u && LP.SlotKinds[SlotId] == ScalarKind::Bool;
+      double V = Row[ObsIt->second];
+      return IsBool ? Value::bern(V) : Value::known(V);
+    }
+    unsigned SlotId = LP.slotId(Slot);
+    if (SlotId == ~0u || !E[SlotId].has_value()) {
+      Malformed = true;
+      return Value::unit();
+    }
+    return *E[SlotId];
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(Ex);
+    Value Sub = evalExpr(U.getSub(), E);
+    if (U.getOp() == UnaryOp::Not)
+      return Sub.isBern() ? Value::bern(1.0 - Sub.Scalar) : Value::unit();
+    if (Sub.isKnown())
+      return Value::known(-Sub.Scalar);
+    if (Sub.isDensity())
+      return Value::density(GridDensity::scaled(Sub.Dens, -1.0));
+    return Value::unit();
+  }
+  case Expr::Kind::Binary: {
+    const auto &Bin = cast<BinaryExpr>(Ex);
+    Value L = evalExpr(Bin.getLHS(), E);
+    Value R = evalExpr(Bin.getRHS(), E);
+    switch (Bin.getOp()) {
+    case BinaryOp::Add:
+      if (L.isKnown() && R.isKnown())
+        return Value::known(L.Scalar + R.Scalar);
+      if (L.isKnown() && R.isDensity())
+        return Value::density(GridDensity::shifted(R.Dens, L.Scalar));
+      if (L.isDensity() && R.isKnown())
+        return Value::density(GridDensity::shifted(L.Dens, R.Scalar));
+      if (L.isDensity() && R.isDensity())
+        return Value::density(
+            GridDensity::convolveAdd(L.Dens, R.Dens, Config));
+      return Value::unit();
+    case BinaryOp::Sub:
+      if (L.isKnown() && R.isKnown())
+        return Value::known(L.Scalar - R.Scalar);
+      if (L.isDensity() && R.isKnown())
+        return Value::density(GridDensity::shifted(L.Dens, -R.Scalar));
+      if (L.isKnown() && R.isDensity())
+        return Value::density(GridDensity::shifted(
+            GridDensity::scaled(R.Dens, -1.0), L.Scalar));
+      if (L.isDensity() && R.isDensity())
+        return Value::density(
+            GridDensity::convolveSub(L.Dens, R.Dens, Config));
+      return Value::unit();
+    case BinaryOp::Mul:
+      if (L.isKnown() && R.isKnown())
+        return Value::known(L.Scalar * R.Scalar);
+      if (L.isKnown() && R.isDensity())
+        return Value::density(GridDensity::scaled(R.Dens, L.Scalar));
+      if (L.isDensity() && R.isKnown())
+        return Value::density(GridDensity::scaled(L.Dens, R.Scalar));
+      return Value::unit();
+    case BinaryOp::And:
+      if (L.isBern() && R.isBern())
+        return Value::bern(L.Scalar * R.Scalar);
+      return Value::unit();
+    case BinaryOp::Or:
+      if (L.isBern() && R.isBern())
+        return Value::bern(1.0 - (1.0 - L.Scalar) * (1.0 - R.Scalar));
+      return Value::unit();
+    case BinaryOp::Gt:
+    case BinaryOp::Lt: {
+      if (Bin.getOp() == BinaryOp::Lt)
+        std::swap(L, R);
+      if (L.isKnown() && R.isKnown())
+        return Value::bern(L.Scalar > R.Scalar ? 1.0 : 0.0);
+      Value LD = lift(L), RD = lift(R);
+      if (!LD.isDensity() || !RD.isDensity())
+        return Value::unit();
+      return Value::bern(GridDensity::probGreater(LD.Dens, RD.Dens));
+    }
+    case BinaryOp::Eq:
+      if (L.isBern() && R.isBern())
+        return Value::bern(L.Scalar * R.Scalar +
+                           (1.0 - L.Scalar) * (1.0 - R.Scalar));
+      if (L.isKnown() && R.isKnown())
+        return Value::bern(L.Scalar == R.Scalar ? 1.0 : 0.0);
+      return Value::unit();
+    }
+    return Value::unit();
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(Ex);
+    Value C = evalExpr(I.getCond(), E);
+    if (!C.isBern())
+      return Value::unit();
+    double P = C.Scalar;
+    if (P >= 1.0 - 1e-12)
+      return evalExpr(I.getThen(), E);
+    if (P <= 1e-12)
+      return evalExpr(I.getElse(), E);
+    Value T = evalExpr(I.getThen(), E);
+    Value F = evalExpr(I.getElse(), E);
+    if (T.isBern() && F.isBern())
+      return Value::bern(P * T.Scalar + (1.0 - P) * F.Scalar);
+    Value TD = lift(T), FD = lift(F);
+    if (!TD.isDensity() || !FD.isDensity())
+      return Value::unit();
+    return Value::density(GridDensity::mixture(TD.Dens, P, FD.Dens, Config));
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(Ex);
+    std::vector<Value> Args;
+    Args.reserve(S.getNumArgs());
+    for (unsigned I = 0, N = S.getNumArgs(); I != N; ++I)
+      Args.push_back(evalExpr(S.getArg(I), E));
+    auto ScalarOf = [&](const Value &V, double &Out) {
+      if (V.isKnown()) {
+        Out = V.Scalar;
+        return true;
+      }
+      if (V.isDensity()) {
+        Out = V.Dens.mean();
+        return true;
+      }
+      return false;
+    };
+    switch (S.getDist()) {
+    case DistKind::Gaussian: {
+      double Sigma;
+      if (!ScalarOf(Args[1], Sigma))
+        return Value::unit();
+      Sigma = std::fabs(Sigma);
+      if (Args[0].isKnown())
+        return Value::density(
+            GridDensity::gaussian(Args[0].Scalar, Sigma, Config));
+      if (Args[0].isDensity())
+        // The expensive compounding integral the paper's Section 1
+        // motivates.
+        return Value::density(
+            GridDensity::compoundGaussian(Args[0].Dens, Sigma, Config));
+      return Value::unit();
+    }
+    case DistKind::Bernoulli: {
+      double P;
+      if (!ScalarOf(Args[0], P))
+        return Value::unit();
+      return Value::bern(P);
+    }
+    case DistKind::Beta: {
+      double A, B;
+      if (!ScalarOf(Args[0], A) || !ScalarOf(Args[1], B) || A <= 0 ||
+          B <= 0)
+        return Value::unit();
+      return Value::density(GridDensity::beta(A, B, Config));
+    }
+    case DistKind::Gamma: {
+      double K, Theta;
+      if (!ScalarOf(Args[0], K) || !ScalarOf(Args[1], Theta) || K <= 0 ||
+          Theta <= 0)
+        return Value::unit();
+      return Value::density(GridDensity::gammaDist(K, Theta, Config));
+    }
+    case DistKind::Poisson: {
+      double Lambda;
+      if (!ScalarOf(Args[0], Lambda) || Lambda < 0)
+        return Value::unit();
+      double Mean, Sd;
+      poissonMoments(std::max(Lambda, 1e-9), Mean, Sd);
+      return Value::density(GridDensity::gaussian(Mean, Sd, Config));
+    }
+    }
+    return Value::unit();
+  }
+  case Expr::Kind::Index:
+  case Expr::Kind::HoleArg:
+  case Expr::Kind::Hole:
+    Malformed = true;
+    return Value::unit();
+  }
+  return Value::unit();
+}
+
+bool RowEvaluator::execStmts(const std::vector<StmtPtr> &Stmts, Env &E,
+                             double &Rho) {
+  for (const StmtPtr &S : Stmts) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto &A = cast<AssignStmt>(*S);
+      unsigned SlotId = LP.slotId(A.getTarget().Name);
+      if (SlotId == ~0u)
+        return false;
+      E[SlotId] = evalExpr(A.getValue(), E);
+      break;
+    }
+    case Stmt::Kind::Observe: {
+      const auto &O = cast<ObserveStmt>(*S);
+      if (const auto *Eq = dyn_cast<BinaryExpr>(&O.getCond());
+          Eq && Eq->getOp() == BinaryOp::Eq) {
+        Value L = evalExpr(Eq->getLHS(), E);
+        Value R = evalExpr(Eq->getRHS(), E);
+        if (L.isDensity() && R.isKnown()) {
+          Rho *= std::max(L.Dens.pdfAt(R.Scalar), TinyProb);
+          break;
+        }
+        if (R.isDensity() && L.isKnown()) {
+          Rho *= std::max(R.Dens.pdfAt(L.Scalar), TinyProb);
+          break;
+        }
+        Value Agreement = evalExpr(O.getCond(), E);
+        Rho *= probabilityOf(Agreement);
+        break;
+      }
+      Rho *= probabilityOf(evalExpr(O.getCond(), E));
+      break;
+    }
+    case Stmt::Kind::If: {
+      const auto &I = cast<IfStmt>(*S);
+      Value C = evalExpr(I.getCond(), E);
+      double P = C.isBern() ? C.Scalar : probabilityOf(C);
+      Env ThenEnv = E, ElseEnv = E;
+      double ThenRho = 1.0, ElseRho = 1.0;
+      if (!execStmts(I.getThen().getStmts(), ThenEnv, ThenRho) ||
+          !execStmts(I.getElse().getStmts(), ElseEnv, ElseRho))
+        return false;
+      Rho *= P * ThenRho + (1.0 - P) * ElseRho;
+      std::set<std::string> Updated;
+      updatedSlotNames(I.getThen().getStmts(), Updated);
+      updatedSlotNames(I.getElse().getStmts(), Updated);
+      for (const std::string &Slot : Updated) {
+        unsigned SlotId = LP.slotId(Slot);
+        if (SlotId == ~0u || !ThenEnv[SlotId].has_value() ||
+            !ElseEnv[SlotId].has_value())
+          return false;
+        const Value &T = *ThenEnv[SlotId];
+        const Value &F = *ElseEnv[SlotId];
+        if (T.isBern() && F.isBern()) {
+          E[SlotId] = Value::bern(P * T.Scalar + (1.0 - P) * F.Scalar);
+          continue;
+        }
+        Value TD = lift(T), FD = lift(F);
+        if (!TD.isDensity() || !FD.isDensity()) {
+          E[SlotId] = Value::unit();
+          continue;
+        }
+        E[SlotId] = Value::density(
+            GridDensity::mixture(TD.Dens, P, FD.Dens, Config));
+      }
+      break;
+    }
+    case Stmt::Kind::Skip:
+      break;
+    case Stmt::Kind::Block:
+    case Stmt::Kind::For:
+      return false;
+    }
+    if (Malformed)
+      return false;
+  }
+  return true;
+}
+
+std::optional<double> RowEvaluator::run() {
+  Env E(LP.Slots.size());
+  double Rho = 1.0;
+  if (!execStmts(LP.Stmts, E, Rho) || Malformed)
+    return std::nullopt;
+  double LL = std::log(std::max(Rho, TinyProb));
+  std::vector<std::pair<std::string, unsigned>> Ordered(Observed.begin(),
+                                                        Observed.end());
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &X, const auto &Y) { return X.second < Y.second; });
+  for (const auto &[Slot, Col] : Ordered) {
+    unsigned SlotId = LP.slotId(Slot);
+    if (SlotId == ~0u)
+      continue;
+    if (!E[SlotId].has_value()) {
+      LL += std::log(TinyProb);
+      continue;
+    }
+    LL += logDensityAt(*E[SlotId], Row[Col]);
+  }
+  return LL;
+}
+
+} // namespace
+
+GridLikelihoodEvaluator::GridLikelihoodEvaluator(const LoweredProgram &LP,
+                                                 const Dataset &Data,
+                                                 GridConfig Config)
+    : LP(LP), Data(Data), Config(Config),
+      Observed(observedSlots(LP, Data)) {}
+
+std::optional<double> GridLikelihoodEvaluator::logLikelihoodRow(
+    const std::vector<double> &Row) const {
+  RowEvaluator Eval(LP, Config, Observed, Row);
+  return Eval.run();
+}
+
+std::optional<double> GridLikelihoodEvaluator::logLikelihood() const {
+  double Total = 0;
+  for (const std::vector<double> &Row : Data.rows()) {
+    auto LL = logLikelihoodRow(Row);
+    if (!LL)
+      return std::nullopt;
+    Total += *LL;
+  }
+  return Total;
+}

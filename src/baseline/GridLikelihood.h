@@ -1,0 +1,58 @@
+//===- baseline/GridLikelihood.h - Integration-based likelihood ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "without approximation" likelihood of Figure 8: evaluates
+/// Pr(D | P[H]) by numeric integration over grid densities, one full
+/// symbolic-free execution per data row (observed values enter as
+/// numbers, so nothing can be compiled once and reused — which is
+/// precisely why this path is orders of magnitude slower than the
+/// compiled MoG tape).  Also used by tests as an accuracy oracle for
+/// the MoG approximation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_BASELINE_GRIDLIKELIHOOD_H
+#define PSKETCH_BASELINE_GRIDLIKELIHOOD_H
+
+#include "baseline/GridDensity.h"
+#include "likelihood/Dataset.h"
+#include "sem/Lower.h"
+
+#include <optional>
+
+namespace psketch {
+
+/// Evaluates the likelihood of a lowered program by numeric
+/// integration.
+class GridLikelihoodEvaluator {
+public:
+  GridLikelihoodEvaluator(const LoweredProgram &LP, const Dataset &Data,
+                          GridConfig Config = {});
+
+  /// log Pr(row | P) for one data row; nullopt when the candidate is
+  /// malformed.
+  std::optional<double> logLikelihoodRow(const std::vector<double> &Row) const;
+
+  /// Sum over all rows of the dataset.
+  std::optional<double> logLikelihood() const;
+
+  /// The numeric value lattice (Known / Density / Bern / Unit);
+  /// defined in the implementation file, public so the per-row
+  /// evaluator can use it.
+  struct Value;
+
+private:
+
+  const LoweredProgram &LP;
+  const Dataset &Data;
+  GridConfig Config;
+  std::unordered_map<std::string, unsigned> Observed;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_BASELINE_GRIDLIKELIHOOD_H

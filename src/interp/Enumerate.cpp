@@ -1,0 +1,284 @@
+//===- interp/Enumerate.cpp - Exact enumeration for finite programs -------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Enumerate.h"
+
+#include "support/Casting.h"
+#include "support/Special.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace psketch;
+
+namespace {
+
+/// The distribution of one expression's value given a fixed
+/// environment: value -> probability.  Exact because every SampleExpr
+/// occurrence is an independent draw.
+using ValueDist = std::map<double, double>;
+
+class Enumerator {
+public:
+  Enumerator(const LoweredProgram &LP, size_t MaxPaths)
+      : LP(LP), MaxPaths(MaxPaths) {}
+
+  bool run(std::map<std::vector<double>, double> &OutcomeWeights) {
+    std::vector<double> Env(LP.Slots.size(), 0.0);
+    exec(LP.Stmts, 0, Env, 1.0, OutcomeWeights);
+    return !Failed;
+  }
+
+private:
+  /// Weighted values of \p E under \p Env; empty on failure.
+  ValueDist evalExpr(const Expr &E, const std::vector<double> &Env) {
+    ValueDist Out;
+    if (Failed)
+      return Out;
+    switch (E.getKind()) {
+    case Expr::Kind::Const:
+      Out[cast<ConstExpr>(E).getValue()] = 1.0;
+      return Out;
+    case Expr::Kind::Var: {
+      unsigned Id = LP.slotId(cast<VarExpr>(E).getName());
+      if (Id == ~0u) {
+        Failed = true;
+        return Out;
+      }
+      Out[Env[Id]] = 1.0;
+      return Out;
+    }
+    case Expr::Kind::Unary: {
+      const auto &U = cast<UnaryExpr>(E);
+      for (auto [V, P] : evalExpr(U.getSub(), Env)) {
+        double R = U.getOp() == UnaryOp::Not ? (V != 0.0 ? 0.0 : 1.0) : -V;
+        Out[R] += P;
+      }
+      return Out;
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = cast<BinaryExpr>(E);
+      ValueDist L = evalExpr(B.getLHS(), Env);
+      for (auto [LV, LP2] : L) {
+        // Short-circuit semantics match the forward sampler.
+        if (B.getOp() == BinaryOp::And && LV == 0.0) {
+          Out[0.0] += LP2;
+          continue;
+        }
+        if (B.getOp() == BinaryOp::Or && LV != 0.0) {
+          Out[1.0] += LP2;
+          continue;
+        }
+        for (auto [RV, RP] : evalExpr(B.getRHS(), Env)) {
+          double R = 0;
+          switch (B.getOp()) {
+          case BinaryOp::Add:
+            R = LV + RV;
+            break;
+          case BinaryOp::Sub:
+            R = LV - RV;
+            break;
+          case BinaryOp::Mul:
+            R = LV * RV;
+            break;
+          case BinaryOp::And:
+            R = (LV != 0.0 && RV != 0.0) ? 1.0 : 0.0;
+            break;
+          case BinaryOp::Or:
+            R = (LV != 0.0 || RV != 0.0) ? 1.0 : 0.0;
+            break;
+          case BinaryOp::Gt:
+            R = LV > RV ? 1.0 : 0.0;
+            break;
+          case BinaryOp::Lt:
+            R = LV < RV ? 1.0 : 0.0;
+            break;
+          case BinaryOp::Eq:
+            R = LV == RV ? 1.0 : 0.0;
+            break;
+          }
+          Out[R] += LP2 * RP;
+        }
+      }
+      return Out;
+    }
+    case Expr::Kind::Ite: {
+      const auto &I = cast<IteExpr>(E);
+      for (auto [CV, CP] : evalExpr(I.getCond(), Env)) {
+        const Expr &Branch = CV != 0.0 ? I.getThen() : I.getElse();
+        for (auto [BV, BP] : evalExpr(Branch, Env))
+          Out[BV] += CP * BP;
+      }
+      return Out;
+    }
+    case Expr::Kind::Sample: {
+      const auto &S = cast<SampleExpr>(E);
+      if (S.getDist() != DistKind::Bernoulli) {
+        Failed = true; // Continuous draw: not enumerable.
+        return Out;
+      }
+      for (auto [PV, PP] : evalExpr(S.getArg(0), Env)) {
+        double P = std::clamp(PV, 0.0, 1.0);
+        Out[1.0] += PP * P;
+        Out[0.0] += PP * (1.0 - P);
+      }
+      return Out;
+    }
+    case Expr::Kind::Index:
+    case Expr::Kind::HoleArg:
+    case Expr::Kind::Hole:
+      Failed = true;
+      return Out;
+    }
+    return Out;
+  }
+
+  void exec(const std::vector<StmtPtr> &Stmts, size_t Index,
+            std::vector<double> Env, double Weight,
+            std::map<std::vector<double>, double> &OutcomeWeights) {
+    if (Failed || Weight == 0.0)
+      return;
+    if (Index == Stmts.size()) {
+      if (++Paths > MaxPaths) {
+        Failed = true;
+        return;
+      }
+      OutcomeWeights[Env] += Weight;
+      return;
+    }
+    const Stmt &S = *Stmts[Index];
+    switch (S.getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto &A = cast<AssignStmt>(S);
+      unsigned Id = LP.slotId(A.getTarget().Name);
+      if (Id == ~0u) {
+        Failed = true;
+        return;
+      }
+      for (auto [V, P] : evalExpr(A.getValue(), Env)) {
+        std::vector<double> Next = Env;
+        Next[Id] = V;
+        exec(Stmts, Index + 1, std::move(Next), Weight * P,
+             OutcomeWeights);
+      }
+      return;
+    }
+    case Stmt::Kind::Observe: {
+      const auto &O = cast<ObserveStmt>(S);
+      double TrueMass = 0;
+      for (auto [V, P] : evalExpr(O.getCond(), Env))
+        if (V != 0.0)
+          TrueMass += P;
+      exec(Stmts, Index + 1, std::move(Env), Weight * TrueMass,
+           OutcomeWeights);
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto &I = cast<IfStmt>(S);
+      for (auto [CV, CP] : evalExpr(I.getCond(), Env)) {
+        const BlockStmt &Branch = CV != 0.0 ? I.getThen() : I.getElse();
+        // Run the branch, then continue with the tail; splice the
+        // branch statements virtually by chaining executions.
+        execBranchThenTail(Branch.getStmts(), Stmts, Index + 1, Env,
+                           Weight * CP, OutcomeWeights);
+      }
+      return;
+    }
+    case Stmt::Kind::Skip:
+      exec(Stmts, Index + 1, std::move(Env), Weight, OutcomeWeights);
+      return;
+    case Stmt::Kind::Block:
+    case Stmt::Kind::For:
+      Failed = true; // Not present in lowered programs.
+      return;
+    }
+  }
+
+  /// Executes \p Branch to completion, then resumes \p Tail at
+  /// \p TailIndex for every branch-final state.
+  void execBranchThenTail(const std::vector<StmtPtr> &Branch,
+                          const std::vector<StmtPtr> &Tail,
+                          size_t TailIndex, const std::vector<double> &Env,
+                          double Weight,
+                          std::map<std::vector<double>, double> &Out) {
+    std::map<std::vector<double>, double> BranchOutcomes;
+    exec(Branch, 0, Env, Weight, BranchOutcomes);
+    if (Failed)
+      return;
+    for (auto &[BranchEnv, BranchWeight] : BranchOutcomes)
+      exec(Tail, TailIndex, BranchEnv, BranchWeight, Out);
+  }
+
+  const LoweredProgram &LP;
+  size_t MaxPaths;
+  size_t Paths = 0;
+  bool Failed = false;
+};
+
+} // namespace
+
+std::optional<ExactDistribution>
+ExactDistribution::enumerate(const LoweredProgram &LP, size_t MaxPaths) {
+  Enumerator E(LP, MaxPaths);
+  std::map<std::vector<double>, double> OutcomeWeights;
+  if (!E.run(OutcomeWeights))
+    return std::nullopt;
+  ExactDistribution D(LP);
+  for (auto &[Env, Weight] : OutcomeWeights)
+    D.Evidence += Weight;
+  if (D.Evidence <= 0)
+    return std::nullopt; // Every path violates the observes.
+  for (auto &[Env, Weight] : OutcomeWeights)
+    D.Outcomes.push_back({Env, Weight / D.Evidence});
+  return D;
+}
+
+double ExactDistribution::marginalTrue(const std::string &Slot) const {
+  unsigned Id = LP.slotId(Slot);
+  if (Id == ~0u)
+    return 0;
+  double P = 0;
+  for (const Outcome &O : Outcomes)
+    if (O.Slots[Id] != 0.0)
+      P += O.Probability;
+  return P;
+}
+
+double ExactDistribution::mean(const std::string &Slot) const {
+  unsigned Id = LP.slotId(Slot);
+  if (Id == ~0u)
+    return 0;
+  double M = 0;
+  for (const Outcome &O : Outcomes)
+    M += O.Slots[Id] * O.Probability;
+  return M;
+}
+
+double ExactDistribution::logProbabilityOfRow(
+    const std::vector<std::string> &Columns,
+    const std::vector<double> &Row) const {
+  std::vector<unsigned> Ids;
+  Ids.reserve(Columns.size());
+  for (const std::string &Col : Columns)
+    Ids.push_back(LP.slotId(Col));
+  double P = 0;
+  for (const Outcome &O : Outcomes) {
+    bool Match = true;
+    for (size_t I = 0; I != Ids.size() && Match; ++I)
+      Match = Ids[I] != ~0u && O.Slots[Ids[I]] == Row[I];
+    if (Match)
+      P += O.Probability;
+  }
+  return std::log(std::max(P, TinyProb));
+}
+
+double ExactDistribution::logLikelihood(const Dataset &Data) const {
+  double Total = 0;
+  for (const std::vector<double> &Row : Data.rows())
+    Total += logProbabilityOfRow(Data.columns(), Row);
+  return Total;
+}

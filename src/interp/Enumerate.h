@@ -1,0 +1,83 @@
+//===- interp/Enumerate.h - Exact enumeration for finite programs ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact inference for programs whose only randomness is Bernoulli
+/// draws (Pearl-style Boolean networks such as Burglary, or the
+/// examination chains of the Clickthrough models): enumerates every
+/// outcome of every draw, weighting paths by their probabilities and
+/// zeroing paths that violate observe statements.  Yields
+///
+///  * the exact posterior over slot valuations (normalized),
+///  * exact marginals Pr(slot = true | observes), and
+///  * the exact log-likelihood of a data row over the returned slots,
+///
+/// which the tests use as ground truth for the MoG likelihood and the
+/// rejection sampler on Boolean benchmarks.  Programs with continuous
+/// draws are rejected (nullopt) — that is what the MoG machinery is
+/// for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_INTERP_ENUMERATE_H
+#define PSKETCH_INTERP_ENUMERATE_H
+
+#include "likelihood/Dataset.h"
+#include "sem/Lower.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace psketch {
+
+/// The exact joint distribution over final slot valuations of a
+/// finite probabilistic program, conditioned on its observes.
+class ExactDistribution {
+public:
+  /// One valuation and its (normalized posterior) probability.
+  struct Outcome {
+    std::vector<double> Slots;
+    double Probability = 0;
+  };
+
+  /// Enumerates \p LP exactly.  Returns nullopt when the program draws
+  /// from a continuous distribution, the enumeration exceeds
+  /// \p MaxPaths paths, or every path violates the observes.
+  static std::optional<ExactDistribution>
+  enumerate(const LoweredProgram &LP, size_t MaxPaths = 1 << 20);
+
+  const std::vector<Outcome> &outcomes() const { return Outcomes; }
+
+  /// Probability that every observe holds (the model evidence before
+  /// normalization).
+  double evidence() const { return Evidence; }
+
+  /// Exact posterior marginal Pr(slot != 0).
+  double marginalTrue(const std::string &Slot) const;
+
+  /// Exact posterior expectation of a slot.
+  double mean(const std::string &Slot) const;
+
+  /// Exact log probability of observing \p Row for the given columns
+  /// (a dataset row over a subset of slots).
+  double logProbabilityOfRow(const std::vector<std::string> &Columns,
+                             const std::vector<double> &Row) const;
+
+  /// Exact log-likelihood of a whole dataset whose columns are slots.
+  double logLikelihood(const Dataset &Data) const;
+
+private:
+  explicit ExactDistribution(const LoweredProgram &LP) : LP(LP) {}
+
+  const LoweredProgram &LP;
+  std::vector<Outcome> Outcomes;
+  double Evidence = 0;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_INTERP_ENUMERATE_H

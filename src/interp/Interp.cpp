@@ -1,0 +1,212 @@
+//===- interp/Interp.cpp - Concrete execution of probabilistic programs --===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include "support/Casting.h"
+
+#include <cmath>
+
+using namespace psketch;
+
+std::optional<double>
+ForwardSampler::evalExpr(const Expr &E, const std::vector<double> &Slots,
+                         const std::vector<bool> &Defined, Rng &R) const {
+  switch (E.getKind()) {
+  case Expr::Kind::Const:
+    return cast<ConstExpr>(E).getValue();
+  case Expr::Kind::Var: {
+    unsigned Id = LP.slotId(cast<VarExpr>(E).getName());
+    if (Id == ~0u || !Defined[Id])
+      return std::nullopt;
+    return Slots[Id];
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    auto Sub = evalExpr(U.getSub(), Slots, Defined, R);
+    if (!Sub)
+      return std::nullopt;
+    return U.getOp() == UnaryOp::Not ? (*Sub != 0.0 ? 0.0 : 1.0) : -*Sub;
+  }
+  case Expr::Kind::Binary: {
+    const auto &Bin = cast<BinaryExpr>(E);
+    auto L = evalExpr(Bin.getLHS(), Slots, Defined, R);
+    if (!L)
+      return std::nullopt;
+    // Short-circuit keeps draw counts deterministic per path.
+    if (Bin.getOp() == BinaryOp::And && *L == 0.0)
+      return 0.0;
+    if (Bin.getOp() == BinaryOp::Or && *L != 0.0)
+      return 1.0;
+    auto Rhs = evalExpr(Bin.getRHS(), Slots, Defined, R);
+    if (!Rhs)
+      return std::nullopt;
+    switch (Bin.getOp()) {
+    case BinaryOp::Add:
+      return *L + *Rhs;
+    case BinaryOp::Sub:
+      return *L - *Rhs;
+    case BinaryOp::Mul:
+      return *L * *Rhs;
+    case BinaryOp::And:
+      return (*L != 0.0 && *Rhs != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::Or:
+      return (*L != 0.0 || *Rhs != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::Gt:
+      return *L > *Rhs ? 1.0 : 0.0;
+    case BinaryOp::Lt:
+      return *L < *Rhs ? 1.0 : 0.0;
+    case BinaryOp::Eq:
+      return *L == *Rhs ? 1.0 : 0.0;
+    }
+    return std::nullopt;
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(E);
+    auto C = evalExpr(I.getCond(), Slots, Defined, R);
+    if (!C)
+      return std::nullopt;
+    return evalExpr(*C != 0.0 ? I.getThen() : I.getElse(), Slots, Defined,
+                    R);
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(E);
+    std::vector<double> Args;
+    Args.reserve(S.getNumArgs());
+    for (unsigned I = 0, N = S.getNumArgs(); I != N; ++I) {
+      auto A = evalExpr(S.getArg(I), Slots, Defined, R);
+      if (!A)
+        return std::nullopt;
+      Args.push_back(*A);
+    }
+    switch (S.getDist()) {
+    case DistKind::Gaussian:
+      return R.gaussian(Args[0], std::fabs(Args[1]));
+    case DistKind::Bernoulli:
+      return R.bernoulli(Args[0]) ? 1.0 : 0.0;
+    case DistKind::Beta:
+      if (!(Args[0] > 0) || !(Args[1] > 0))
+        return std::nullopt;
+      return R.beta(Args[0], Args[1]);
+    case DistKind::Gamma:
+      if (!(Args[0] > 0) || !(Args[1] > 0))
+        return std::nullopt;
+      return R.gamma(Args[0], Args[1]);
+    case DistKind::Poisson:
+      if (Args[0] < 0)
+        return std::nullopt;
+      return double(R.poisson(Args[0]));
+    }
+    return std::nullopt;
+  }
+  case Expr::Kind::Index:
+  case Expr::Kind::HoleArg:
+  case Expr::Kind::Hole:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool ForwardSampler::execStmts(const std::vector<StmtPtr> &Stmts,
+                               std::vector<double> &Slots,
+                               std::vector<bool> &Defined, Rng &R) const {
+  for (const StmtPtr &S : Stmts) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto &A = cast<AssignStmt>(*S);
+      unsigned Id = LP.slotId(A.getTarget().Name);
+      if (Id == ~0u)
+        return false;
+      auto V = evalExpr(A.getValue(), Slots, Defined, R);
+      if (!V)
+        return false;
+      Slots[Id] = *V;
+      Defined[Id] = true;
+      break;
+    }
+    case Stmt::Kind::Observe: {
+      auto C = evalExpr(cast<ObserveStmt>(*S).getCond(), Slots, Defined, R);
+      if (!C || *C == 0.0)
+        return false; // Invalid run.
+      break;
+    }
+    case Stmt::Kind::If: {
+      const auto &I = cast<IfStmt>(*S);
+      auto C = evalExpr(I.getCond(), Slots, Defined, R);
+      if (!C)
+        return false;
+      const BlockStmt &Branch = *C != 0.0 ? I.getThen() : I.getElse();
+      if (!execStmts(Branch.getStmts(), Slots, Defined, R))
+        return false;
+      break;
+    }
+    case Stmt::Kind::Skip:
+      break;
+    case Stmt::Kind::Block:
+    case Stmt::Kind::For:
+      return false; // Not present in lowered programs.
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<double>> ForwardSampler::runOnce(Rng &R) const {
+  std::vector<double> Slots(LP.Slots.size(), 0.0);
+  std::vector<bool> Defined(LP.Slots.size(), false);
+  if (!execStmts(LP.Stmts, Slots, Defined, R))
+    return std::nullopt;
+  return Slots;
+}
+
+double ForwardSampler::acceptanceRate(Rng &R, size_t Attempts) const {
+  if (Attempts == 0)
+    return 0.0;
+  size_t Accepted = 0;
+  for (size_t I = 0; I != Attempts; ++I)
+    if (runOnce(R))
+      ++Accepted;
+  return double(Accepted) / double(Attempts);
+}
+
+Dataset psketch::generateDataset(const LoweredProgram &LP, size_t NumRows,
+                                 Rng &R, size_t MaxAttempts) {
+  ForwardSampler Sampler(LP);
+  Dataset Data(LP.ReturnSlots);
+  std::vector<unsigned> ReturnIds;
+  ReturnIds.reserve(LP.ReturnSlots.size());
+  for (const std::string &Slot : LP.ReturnSlots)
+    ReturnIds.push_back(LP.slotId(Slot));
+  for (size_t Attempt = 0; Attempt < MaxAttempts && Data.numRows() < NumRows;
+       ++Attempt) {
+    auto Slots = Sampler.runOnce(R);
+    if (!Slots)
+      continue;
+    std::vector<double> Row;
+    Row.reserve(ReturnIds.size());
+    for (unsigned Id : ReturnIds)
+      Row.push_back((*Slots)[Id]);
+    Data.addRow(std::move(Row));
+  }
+  return Data;
+}
+
+std::vector<double> psketch::posteriorSamples(const LoweredProgram &LP,
+                                              const std::string &Slot,
+                                              size_t Count, Rng &R,
+                                              size_t MaxAttempts) {
+  ForwardSampler Sampler(LP);
+  unsigned Id = LP.slotId(Slot);
+  std::vector<double> Samples;
+  if (Id == ~0u)
+    return Samples;
+  for (size_t Attempt = 0; Attempt < MaxAttempts && Samples.size() < Count;
+       ++Attempt) {
+    auto Slots = Sampler.runOnce(R);
+    if (Slots)
+      Samples.push_back((*Slots)[Id]);
+  }
+  return Samples;
+}

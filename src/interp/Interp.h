@@ -1,0 +1,72 @@
+//===- interp/Interp.h - Concrete execution of probabilistic programs ----===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete (sampling) semantics of lowered programs: a forward sampler
+/// that draws probabilistic assignments from an Rng and classifies runs
+/// as valid/invalid by their observe statements (Section 2's semantics).
+/// On top of it:
+///
+///  * dataset generation — "we generated data sets by running the
+///    program multiple times and collecting the outputs" (Section 5);
+///  * rejection-sampling posterior estimation for the Figure 7
+///    marginal-distribution comparison; and
+///  * empirical mean/stddev summaries used by tests to validate the
+///    MoG approximation against ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_INTERP_INTERP_H
+#define PSKETCH_INTERP_INTERP_H
+
+#include "likelihood/Dataset.h"
+#include "sem/Lower.h"
+#include "support/Rng.h"
+
+#include <optional>
+#include <vector>
+
+namespace psketch {
+
+/// Executes lowered programs concretely.
+class ForwardSampler {
+public:
+  explicit ForwardSampler(const LoweredProgram &LP) : LP(LP) {}
+
+  /// Runs the program once with draws from \p R.  Returns the final
+  /// value of every slot for a valid run, or nullopt when an observe
+  /// failed (invalid run) or a slot was read before assignment.
+  std::optional<std::vector<double>> runOnce(Rng &R) const;
+
+  /// Valid-run acceptance rate over \p Attempts runs (diagnostics).
+  double acceptanceRate(Rng &R, size_t Attempts) const;
+
+private:
+  bool execStmts(const std::vector<StmtPtr> &Stmts,
+                 std::vector<double> &Slots, std::vector<bool> &Defined,
+                 Rng &R) const;
+  std::optional<double> evalExpr(const Expr &E,
+                                 const std::vector<double> &Slots,
+                                 const std::vector<bool> &Defined,
+                                 Rng &R) const;
+
+  const LoweredProgram &LP;
+};
+
+/// Collects \p NumRows valid runs of \p LP and tabulates the returned
+/// slots — the paper's dataset-generation procedure.  Gives up (and
+/// returns a short dataset) after \p MaxAttempts runs.
+Dataset generateDataset(const LoweredProgram &LP, size_t NumRows, Rng &R,
+                        size_t MaxAttempts = 1000000);
+
+/// Posterior samples of one slot from valid runs (rejection sampling).
+std::vector<double> posteriorSamples(const LoweredProgram &LP,
+                                     const std::string &Slot, size_t Count,
+                                     Rng &R, size_t MaxAttempts = 10000000);
+
+} // namespace psketch
+
+#endif // PSKETCH_INTERP_INTERP_H

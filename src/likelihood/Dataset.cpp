@@ -1,0 +1,45 @@
+//===- likelihood/Dataset.cpp - Observed data tables ---------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/Dataset.h"
+
+using namespace psketch;
+
+Dataset::Dataset(std::vector<std::string> Columns) : Cols(std::move(Columns)) {
+  for (unsigned I = 0, E = unsigned(Cols.size()); I != E; ++I)
+    ColIds[Cols[I]] = I;
+}
+
+unsigned Dataset::columnId(const std::string &Column) const {
+  auto It = ColIds.find(Column);
+  return It == ColIds.end() ? ~0u : It->second;
+}
+
+void Dataset::addRow(std::vector<double> Row) {
+  assert(Row.size() == Cols.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+double Dataset::at(size_t Row, const std::string &Column) const {
+  unsigned Col = columnId(Column);
+  assert(Col != ~0u && "unknown column");
+  return row(Row)[Col];
+}
+
+std::vector<double> Dataset::columnValues(const std::string &Column) const {
+  unsigned Col = columnId(Column);
+  assert(Col != ~0u && "unknown column");
+  std::vector<double> Out;
+  Out.reserve(Rows.size());
+  for (const std::vector<double> &R : Rows)
+    Out.push_back(R[Col]);
+  return Out;
+}
+
+void Dataset::truncate(size_t N) {
+  if (N < Rows.size())
+    Rows.resize(N);
+}

@@ -1,0 +1,70 @@
+//===- likelihood/Dataset.h - Observed data tables -----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dataset D of the synthesis problem: a table whose columns are
+/// observed program slots (typically the returned variables, e.g.
+/// `skills[0]`, `skills[1]`, ...) and whose rows are independent
+/// observations — in the paper's evaluation, outputs collected from
+/// running the target program (Section 5, "data set size" column of
+/// Table 1).  Booleans are stored as 0/1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_DATASET_H
+#define PSKETCH_LIKELIHOOD_DATASET_H
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace psketch {
+
+/// A column-named table of observations.
+class Dataset {
+public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> Columns);
+
+  const std::vector<std::string> &columns() const { return Cols; }
+  size_t numColumns() const { return Cols.size(); }
+  size_t numRows() const { return Rows.size(); }
+  bool empty() const { return Rows.empty(); }
+
+  /// Index of \p Column, or ~0u when absent.
+  unsigned columnId(const std::string &Column) const;
+  bool hasColumn(const std::string &Column) const {
+    return columnId(Column) != ~0u;
+  }
+
+  /// Appends a row; must have one value per column.
+  void addRow(std::vector<double> Row);
+
+  const std::vector<double> &row(size_t I) const {
+    assert(I < Rows.size() && "row index out of range");
+    return Rows[I];
+  }
+  const std::vector<std::vector<double>> &rows() const { return Rows; }
+
+  /// Value at (\p Row, \p Column-name); column must exist.
+  double at(size_t Row, const std::string &Column) const;
+
+  /// All values of one column.
+  std::vector<double> columnValues(const std::string &Column) const;
+
+  /// Keeps only the first \p N rows.
+  void truncate(size_t N);
+
+private:
+  std::vector<std::string> Cols;
+  std::unordered_map<std::string, unsigned> ColIds;
+  std::vector<std::vector<double>> Rows;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_DATASET_H

@@ -1,0 +1,124 @@
+//===- likelihood/DatasetIO.cpp - CSV import/export for datasets ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/DatasetIO.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+std::vector<std::string> splitCsvLine(const std::string &Line) {
+  std::vector<std::string> Fields;
+  std::string Field;
+  for (char C : Line) {
+    if (C == ',') {
+      Fields.push_back(Field);
+      Field.clear();
+      continue;
+    }
+    if (C == '\r')
+      continue;
+    Field += C;
+  }
+  Fields.push_back(Field);
+  // Trim surrounding whitespace per field.
+  for (std::string &F : Fields) {
+    size_t Begin = F.find_first_not_of(" \t");
+    size_t End = F.find_last_not_of(" \t");
+    F = Begin == std::string::npos ? "" : F.substr(Begin, End - Begin + 1);
+  }
+  return Fields;
+}
+
+} // namespace
+
+std::optional<Dataset> psketch::readDatasetCsv(std::istream &In,
+                                               DiagEngine &Diags) {
+  std::string Line;
+  if (!std::getline(In, Line)) {
+    Diags.error({}, "empty CSV input");
+    return std::nullopt;
+  }
+  std::vector<std::string> Header = splitCsvLine(Line);
+  for (const std::string &Col : Header) {
+    if (Col.empty()) {
+      Diags.error({1, 1}, "empty column name in CSV header");
+      return std::nullopt;
+    }
+  }
+  Dataset Data(Header);
+  unsigned LineNo = 1;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line == "\r")
+      continue;
+    std::vector<std::string> Fields = splitCsvLine(Line);
+    if (Fields.size() != Header.size()) {
+      Diags.error({LineNo, 1},
+                  "row has " + std::to_string(Fields.size()) +
+                      " fields, header has " +
+                      std::to_string(Header.size()));
+      return std::nullopt;
+    }
+    std::vector<double> Row;
+    Row.reserve(Fields.size());
+    for (const std::string &F : Fields) {
+      char *End = nullptr;
+      double V = std::strtod(F.c_str(), &End);
+      if (F.empty() || End != F.c_str() + F.size()) {
+        Diags.error({LineNo, 1}, "malformed numeric field '" + F + "'");
+        return std::nullopt;
+      }
+      Row.push_back(V);
+    }
+    Data.addRow(std::move(Row));
+  }
+  return Data;
+}
+
+std::optional<Dataset>
+psketch::readDatasetCsvFile(const std::string &Path, DiagEngine &Diags) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error({}, "cannot open '" + Path + "'");
+    return std::nullopt;
+  }
+  return readDatasetCsv(In, Diags);
+}
+
+void psketch::writeDatasetCsv(std::ostream &Out, const Dataset &Data) {
+  for (size_t I = 0, E = Data.numColumns(); I != E; ++I) {
+    if (I)
+      Out << ',';
+    Out << Data.columns()[I];
+  }
+  Out << '\n';
+  std::ostringstream Number;
+  Number.precision(17);
+  for (const std::vector<double> &Row : Data.rows()) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I)
+        Out << ',';
+      Number.str("");
+      Number << Row[I];
+      Out << Number.str();
+    }
+    Out << '\n';
+  }
+}
+
+bool psketch::writeDatasetCsvFile(const std::string &Path,
+                                  const Dataset &Data) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  writeDatasetCsv(Out, Data);
+  return true;
+}

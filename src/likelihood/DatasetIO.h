@@ -1,0 +1,44 @@
+//===- likelihood/DatasetIO.h - CSV import/export for datasets ------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSV serialization of datasets so users can bring observations from
+/// outside the library (the `psketch` command-line driver) and export
+/// generated data.  Format: one header line naming the observed slots
+/// (e.g. `skills[0],skills[1],r[0]`), then one numeric row per line;
+/// booleans are 0/1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_DATASETIO_H
+#define PSKETCH_LIKELIHOOD_DATASETIO_H
+
+#include "likelihood/Dataset.h"
+#include "support/Diag.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace psketch {
+
+/// Parses CSV text into a dataset; reports malformed headers/rows to
+/// \p Diags and returns nullopt.
+std::optional<Dataset> readDatasetCsv(std::istream &In, DiagEngine &Diags);
+
+/// Reads a CSV file; nullopt when the file cannot be opened or parsed.
+std::optional<Dataset> readDatasetCsvFile(const std::string &Path,
+                                          DiagEngine &Diags);
+
+/// Writes CSV (header + rows).
+void writeDatasetCsv(std::ostream &Out, const Dataset &Data);
+
+/// Writes a CSV file; false when the file cannot be created.
+bool writeDatasetCsvFile(const std::string &Path, const Dataset &Data);
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_DATASETIO_H

@@ -1,0 +1,230 @@
+//===- likelihood/LLOperator.cpp - The LL(.) symbolic executor -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/LLOperator.h"
+
+#include "support/Casting.h"
+#include "support/Special.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace psketch;
+
+LLExecutor::LLExecutor(
+    MoGAlgebra &Algebra,
+    const std::unordered_map<std::string, unsigned> &Observed)
+    : Algebra(Algebra), B(Algebra.builder()), Observed(Observed) {}
+
+SymValue LLExecutor::evalExpr(const Expr &Ex, const Env &E) {
+  switch (Ex.getKind()) {
+  case Expr::Kind::Const: {
+    const auto &C = cast<ConstExpr>(Ex);
+    if (C.getScalarKind() == ScalarKind::Bool)
+      return SymValue::bern(B.constant(C.isTrue() ? 1.0 : 0.0));
+    return SymValue::known(B.constant(C.getValue()));
+  }
+  case Expr::Kind::Var: {
+    const std::string &Slot = cast<VarExpr>(Ex).getName();
+    // Observed slots evaluate to their data values (Figure 4 keeps
+    // skill[0] symbolic in perf1's mean); the data reference is plugged
+    // in per row at tape-evaluation time.
+    auto ObsIt = Observed.find(Slot);
+    if (ObsIt != Observed.end()) {
+      unsigned SlotId = LP->slotId(Slot);
+      bool IsBool = SlotId != ~0u &&
+                    LP->SlotKinds[SlotId] == ScalarKind::Bool;
+      NumId Ref = B.dataRef(ObsIt->second);
+      return IsBool ? SymValue::bern(Ref) : SymValue::known(Ref);
+    }
+    unsigned SlotId = LP->slotId(Slot);
+    if (SlotId == ~0u || !E[SlotId].has_value()) {
+      Malformed = true;
+      return SymValue::unit();
+    }
+    return *E[SlotId];
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(Ex);
+    SymValue Sub = evalExpr(U.getSub(), E);
+    return U.getOp() == UnaryOp::Not ? Algebra.logicalNot(Sub)
+                                     : Algebra.negate(Sub);
+  }
+  case Expr::Kind::Binary: {
+    const auto &Bin = cast<BinaryExpr>(Ex);
+    SymValue L = evalExpr(Bin.getLHS(), E);
+    SymValue R = evalExpr(Bin.getRHS(), E);
+    return Algebra.applyBinary(Bin.getOp(), L, R);
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(Ex);
+    SymValue C = evalExpr(I.getCond(), E);
+    SymValue T = evalExpr(I.getThen(), E);
+    SymValue F = evalExpr(I.getElse(), E);
+    return Algebra.ite(C, T, F);
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(Ex);
+    std::vector<SymValue> Args;
+    Args.reserve(S.getNumArgs());
+    for (unsigned I = 0, N = S.getNumArgs(); I != N; ++I)
+      Args.push_back(evalExpr(S.getArg(I), E));
+    return Algebra.applyDist(S.getDist(), Args);
+  }
+  case Expr::Kind::Index:
+  case Expr::Kind::HoleArg:
+  case Expr::Kind::Hole:
+    // Lowering removes all of these; seeing one means the candidate was
+    // not preprocessed correctly.
+    Malformed = true;
+    return SymValue::unit();
+  }
+  return SymValue::unit();
+}
+
+namespace {
+
+/// Slots assigned anywhere below the given lowered statements.
+void updatedSlotNames(const std::vector<StmtPtr> &Stmts,
+                      std::set<std::string> &Out) {
+  for (const StmtPtr &S : Stmts) {
+    if (const auto *A = dyn_cast<AssignStmt>(S.get()))
+      Out.insert(A->getTarget().Name);
+    else if (const auto *I = dyn_cast<IfStmt>(S.get())) {
+      updatedSlotNames(I->getThen().getStmts(), Out);
+      updatedSlotNames(I->getElse().getStmts(), Out);
+    }
+  }
+}
+
+} // namespace
+
+bool LLExecutor::execStmts(const std::vector<StmtPtr> &Stmts, Env &E,
+                           NumId &LocalRho) {
+  for (const StmtPtr &S : Stmts) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto &A = cast<AssignStmt>(*S);
+      unsigned SlotId = LP->slotId(A.getTarget().Name);
+      if (SlotId == ~0u) {
+        Malformed = true;
+        return false;
+      }
+      E[SlotId] = evalExpr(A.getValue(), E);
+      break;
+    }
+    case Stmt::Kind::Observe: {
+      const auto &O = cast<ObserveStmt>(*S);
+      // Extension beyond Figure 5: `observe(x == e)` with a continuous
+      // x conditions with a density factor (soft conditioning); the
+      // boolean case is the paper's probability factor.
+      if (const auto *Eq = dyn_cast<BinaryExpr>(&O.getCond());
+          Eq && Eq->getOp() == BinaryOp::Eq) {
+        SymValue L = evalExpr(Eq->getLHS(), E);
+        SymValue R = evalExpr(Eq->getRHS(), E);
+        if (L.isMoG() && R.isKnown()) {
+          NumId Pdf = B.exp(Algebra.logDensityAt(L, R.knownValue()));
+          LocalRho = B.mul(LocalRho, Pdf);
+          break;
+        }
+        if (R.isMoG() && L.isKnown()) {
+          NumId Pdf = B.exp(Algebra.logDensityAt(R, L.knownValue()));
+          LocalRho = B.mul(LocalRho, Pdf);
+          break;
+        }
+        LocalRho = B.mul(LocalRho,
+                         Algebra.probabilityOf(Algebra.equal(L, R)));
+        break;
+      }
+      SymValue Cond = evalExpr(O.getCond(), E);
+      LocalRho = B.mul(LocalRho, Algebra.probabilityOf(Cond));
+      break;
+    }
+    case Stmt::Kind::If: {
+      const auto &I = cast<IfStmt>(*S);
+      SymValue Cond = evalExpr(I.getCond(), E);
+      NumId P = Algebra.probabilityOf(Cond);
+      Env ThenEnv = E, ElseEnv = E;
+      NumId ThenRho = B.constant(1.0), ElseRho = B.constant(1.0);
+      if (!execStmts(I.getThen().getStmts(), ThenEnv, ThenRho) ||
+          !execStmts(I.getElse().getStmts(), ElseEnv, ElseRho))
+        return false;
+      // rho' = rho * (p * rho1 + (1 - p) * rho2).
+      NumId NotP = B.sub(B.constant(1.0), P);
+      LocalRho = B.mul(LocalRho, B.add(B.mul(P, ThenRho),
+                                       B.mul(NotP, ElseRho)));
+      // envmerge over the slots either branch updates.
+      std::set<std::string> Updated;
+      updatedSlotNames(I.getThen().getStmts(), Updated);
+      updatedSlotNames(I.getElse().getStmts(), Updated);
+      for (const std::string &Slot : Updated) {
+        unsigned SlotId = LP->slotId(Slot);
+        if (SlotId == ~0u) {
+          Malformed = true;
+          return false;
+        }
+        if (!ThenEnv[SlotId].has_value() || !ElseEnv[SlotId].has_value()) {
+          // One-sided definition survived normalization only if the
+          // identity assignment read an undefined slot.
+          Malformed = true;
+          return false;
+        }
+        E[SlotId] = Algebra.ite(Cond, *ThenEnv[SlotId], *ElseEnv[SlotId]);
+      }
+      break;
+    }
+    case Stmt::Kind::Skip:
+      break;
+    case Stmt::Kind::Block:
+    case Stmt::Kind::For:
+      // Lowered programs contain neither.
+      Malformed = true;
+      return false;
+    }
+    if (Malformed)
+      return false;
+  }
+  return true;
+}
+
+std::optional<NumId> LLExecutor::run(const LoweredProgram &Lowered) {
+  LP = &Lowered;
+  Malformed = false;
+  Final.assign(LP->Slots.size(), std::nullopt);
+  NumId RhoProduct = B.constant(1.0);
+  if (!execStmts(LP->Stmts, Final, RhoProduct) || Malformed)
+    return std::nullopt;
+  Rho = RhoProduct;
+
+  NumId Root = B.log(B.max(Rho, B.constant(TinyProb)));
+  // Deterministic column order keeps floating-point sums reproducible.
+  std::vector<std::pair<std::string, unsigned>> Ordered(Observed.begin(),
+                                                        Observed.end());
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &X, const auto &Y) { return X.second < Y.second; });
+  for (const auto &[Slot, Col] : Ordered) {
+    unsigned SlotId = LP->slotId(Slot);
+    if (SlotId == ~0u)
+      continue; // Observed column the program does not model.
+    NumId X = B.dataRef(Col);
+    if (!Final[SlotId].has_value()) {
+      // The candidate never generates an observed output: score it as
+      // (log-)improbable rather than silently ignoring the column.
+      Root = B.add(Root, B.constant(std::log(TinyProb)));
+      continue;
+    }
+    Root = B.add(Root, Algebra.logDensityAt(*Final[SlotId], X));
+  }
+  return Root;
+}
+
+const SymValue *LLExecutor::finalValue(const std::string &Slot) const {
+  unsigned SlotId = LP ? LP->slotId(Slot) : ~0u;
+  if (SlotId == ~0u || !Final[SlotId].has_value())
+    return nullptr;
+  return &*Final[SlotId];
+}

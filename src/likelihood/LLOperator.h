@@ -1,0 +1,85 @@
+//===- likelihood/LLOperator.h - The LL(.) symbolic executor (Fig. 5) ----===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolically executes a lowered program with the LL(S, nu, rho)
+/// operator of Figure 5: every slot maps to a SymValue (nu), and observe
+/// statements multiply into a constraint product (rho).  References to
+/// *observed* slots (dataset columns) evaluate to their data values —
+/// symbolically, DataRef nodes — exactly as Figure 4 keeps `skill[0]`
+/// symbolic inside perf1's mean; latent slots evaluate to their
+/// accumulated MoG/Bernoulli densities and are marginalized by the
+/// Figure 6 rules.
+///
+/// Conditionals execute both branches and merge with envmerge:
+/// nu'(v) = ite(cond, nu1(v), nu2(v)) and
+/// rho' = rho * (p * rho1 + (1-p) * rho2).
+///
+/// The final per-row log-likelihood is
+///     log rho  +  sum over observed slots s of log density_nu(s)(D[s]),
+/// which the facade (Likelihood.h) compiles to a Tape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_LLOPERATOR_H
+#define PSKETCH_LIKELIHOOD_LLOPERATOR_H
+
+#include "likelihood/Dataset.h"
+#include "sem/Lower.h"
+#include "symbolic/Algebra.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace psketch {
+
+/// Runs LL(.) over a lowered program.  One instance per candidate
+/// program; the builder inside \p Algebra accumulates the symbolic
+/// nodes.
+class LLExecutor {
+public:
+  /// \p Observed maps slot names to dataset column ids for every slot
+  /// observed in the data.
+  LLExecutor(MoGAlgebra &Algebra,
+             const std::unordered_map<std::string, unsigned> &Observed);
+
+  /// Executes \p LP; returns the per-row log-likelihood root, or
+  /// nullopt when the program is irrecoverably malformed (e.g. reads a
+  /// slot that was never written).
+  std::optional<NumId> run(const LoweredProgram &LP);
+
+  /// After run(): the final symbolic value of \p Slot, for tests and
+  /// the worked-example printer.
+  const SymValue *finalValue(const std::string &Slot) const;
+
+  /// After run(): the final symbolic constraint product (rho).
+  NumId constraintProduct() const { return Rho; }
+
+private:
+  /// Per-slot environment nu.
+  using Env = std::vector<std::optional<SymValue>>;
+
+  /// Executes statements into \p E, multiplying observe factors into
+  /// \p LocalRho (linear space, starts at 1 for each context).
+  bool execStmts(const std::vector<StmtPtr> &Stmts, Env &E,
+                 NumId &LocalRho);
+
+  SymValue evalExpr(const Expr &Ex, const Env &E);
+
+  MoGAlgebra &Algebra;
+  NumExprBuilder &B;
+  const std::unordered_map<std::string, unsigned> &Observed;
+  const LoweredProgram *LP = nullptr;
+  Env Final;
+  NumId Rho = 0;
+  bool Malformed = false;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_LLOPERATOR_H

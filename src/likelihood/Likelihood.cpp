@@ -1,0 +1,107 @@
+//===- likelihood/Likelihood.cpp - Compiled likelihood functions ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/Likelihood.h"
+
+#include <sstream>
+
+using namespace psketch;
+
+std::unordered_map<std::string, unsigned>
+psketch::observedSlots(const LoweredProgram &LP, const Dataset &Data) {
+  std::unordered_map<std::string, unsigned> Observed;
+  for (unsigned Col = 0, E = unsigned(Data.numColumns()); Col != E; ++Col) {
+    const std::string &Name = Data.columns()[Col];
+    if (LP.slotId(Name) != ~0u)
+      Observed[Name] = Col;
+  }
+  return Observed;
+}
+
+std::optional<LikelihoodFunction>
+LikelihoodFunction::compile(const LoweredProgram &LP, const Dataset &Data,
+                            AlgebraConfig Config) {
+  NumExprBuilder B;
+  MoGAlgebra Algebra(B, Config);
+  auto Observed = observedSlots(LP, Data);
+  LLExecutor Exec(Algebra, Observed);
+  std::optional<NumId> Root = Exec.run(LP);
+  if (!Root)
+    return std::nullopt;
+  LikelihoodFunction F;
+  F.Compiled = std::make_shared<Tape>(B, *Root);
+  return F;
+}
+
+double
+LikelihoodFunction::logLikelihoodRow(const std::vector<double> &Row) const {
+  return Compiled->eval(Row, Scratch);
+}
+
+double LikelihoodFunction::logLikelihood(const Dataset &Data) const {
+  double Total = 0;
+  for (const std::vector<double> &Row : Data.rows())
+    Total += Compiled->eval(Row, Scratch);
+  return Total;
+}
+
+namespace {
+
+std::string describeValue(const NumExprBuilder &B, const SymValue &V) {
+  std::ostringstream OS;
+  switch (V.kind()) {
+  case SymValue::Kind::Known:
+    OS << "Known(" << B.str(V.knownValue()) << ")";
+    return OS.str();
+  case SymValue::Kind::Bern:
+    OS << "Bernoulli(p = " << B.str(V.bernProb()) << ")";
+    return OS.str();
+  case SymValue::Kind::MoG: {
+    OS << "MoG(" << V.components().size() << "; ";
+    bool First = true;
+    for (const MoGComponent &C : V.components()) {
+      if (!First)
+        OS << " + ";
+      First = false;
+      OS << B.str(C.W) << " * N(" << B.str(C.Mu) << ", " << B.str(C.Sigma)
+         << ")";
+    }
+    OS << ")";
+    return OS.str();
+  }
+  case SymValue::Kind::Unit:
+    return "Unit";
+  }
+  return "<invalid>";
+}
+
+} // namespace
+
+std::string
+psketch::symbolicReport(const LoweredProgram &LP, const Dataset &Data,
+                        const std::vector<std::string> &SlotsOfInterest,
+                        AlgebraConfig Config) {
+  NumExprBuilder B;
+  MoGAlgebra Algebra(B, Config);
+  auto Observed = observedSlots(LP, Data);
+  LLExecutor Exec(Algebra, Observed);
+  std::optional<NumId> Root = Exec.run(LP);
+  std::ostringstream OS;
+  if (!Root) {
+    OS << "<malformed candidate>\n";
+    return OS.str();
+  }
+  const std::vector<std::string> &Slots =
+      SlotsOfInterest.empty() ? LP.Slots : SlotsOfInterest;
+  for (const std::string &Slot : Slots) {
+    const SymValue *V = Exec.finalValue(Slot);
+    OS << Slot << " |-> " << (V ? describeValue(B, *V) : "<undefined>")
+       << '\n';
+  }
+  OS << "rho |-> " << B.str(Exec.constraintProduct()) << '\n';
+  OS << "log Pr(D | P[H]) per row |-> " << B.str(*Root) << '\n';
+  return OS.str();
+}

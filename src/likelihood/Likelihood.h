@@ -1,0 +1,74 @@
+//===- likelihood/Likelihood.h - Compiled likelihood functions ------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public likelihood API: compile a candidate program against a
+/// dataset schema once (symbolic LL + tape), then evaluate
+/// log Pr(D | P[H]) over all rows in linear time.  This is the fast
+/// path that makes the MCMC search feasible (Section 4.3; compare
+/// baseline/GridLikelihood.h for the integration-based comparator of
+/// Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_LIKELIHOOD_H
+#define PSKETCH_LIKELIHOOD_LIKELIHOOD_H
+
+#include "likelihood/Dataset.h"
+#include "likelihood/LLOperator.h"
+#include "likelihood/Tape.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace psketch {
+
+/// A compiled per-program likelihood function.
+class LikelihoodFunction {
+public:
+  /// Compiles \p LP against the columns of \p Data.  Returns nullopt
+  /// when the candidate is malformed (reads an unwritten slot, contains
+  /// residual holes).
+  static std::optional<LikelihoodFunction>
+  compile(const LoweredProgram &LP, const Dataset &Data,
+          AlgebraConfig Config = {});
+
+  /// log-likelihood of one row.
+  double logLikelihoodRow(const std::vector<double> &Row) const;
+
+  /// Sum of per-row log-likelihoods over the whole dataset (the paper's
+  /// data log-likelihood, Table 1).
+  double logLikelihood(const Dataset &Data) const;
+
+  /// Instruction count of the compiled tape.
+  size_t tapeSize() const { return Compiled->size(); }
+
+private:
+  LikelihoodFunction() = default;
+
+  std::shared_ptr<Tape> Compiled;
+  // Scratch buffer reused across rows (mutable: evaluation is
+  // const).
+  mutable std::vector<double> Scratch;
+};
+
+/// Builds the observed-slot map: every dataset column that names a slot
+/// of \p LP.
+std::unordered_map<std::string, unsigned>
+observedSlots(const LoweredProgram &LP, const Dataset &Data);
+
+/// Renders the final symbolic environment and the per-row likelihood
+/// expression of \p LP against \p Data — the Figure 4 worked-example
+/// view.  \p SlotsOfInterest selects the rows of the report (empty =
+/// every slot).
+std::string symbolicReport(const LoweredProgram &LP, const Dataset &Data,
+                           const std::vector<std::string> &SlotsOfInterest,
+                           AlgebraConfig Config = {});
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_LIKELIHOOD_H

@@ -1,0 +1,111 @@
+//===- likelihood/Tape.cpp - Flat evaluation tape for NumExpr DAGs --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/Tape.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace psketch;
+
+Tape::Tape(const NumExprBuilder &B, NumId Root) {
+  // Builder ids are already topologically ordered (operands are created
+  // before their users), so one marking pass from the root followed by a
+  // forward renumbering scan compiles the tape.
+  std::vector<uint8_t> Live(Root + 1, 0);
+  Live[Root] = 1;
+  for (NumId Id = Root + 1; Id-- > 0;) {
+    if (!Live[Id])
+      continue;
+    const NumNode &N = B.node(Id);
+    if (N.Op == NumOp::Const || N.Op == NumOp::DataRef)
+      continue;
+    Live[N.A] = 1;
+    if (numOpIsBinary(N.Op))
+      Live[N.B] = 1;
+  }
+  std::vector<NumId> Renumber(Root + 1, 0);
+  for (NumId Id = 0; Id <= Root; ++Id) {
+    if (!Live[Id])
+      continue;
+    NumNode N = B.node(Id);
+    if (N.Op != NumOp::Const && N.Op != NumOp::DataRef) {
+      N.A = Renumber[N.A];
+      if (numOpIsBinary(N.Op))
+        N.B = Renumber[N.B];
+    }
+    Renumber[Id] = NumId(Code.size());
+    Code.push_back(N);
+  }
+}
+
+double Tape::eval(const std::vector<double> &Row,
+                  std::vector<double> &Scratch) const {
+  Scratch.resize(Code.size());
+  double *R = Scratch.data();
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const NumNode &N = Code[I];
+    switch (N.Op) {
+    case NumOp::Const:
+      R[I] = N.Value;
+      break;
+    case NumOp::DataRef: {
+      size_t Slot = size_t(N.Value);
+      assert(Slot < Row.size() && "data reference outside row");
+      R[I] = Row[Slot];
+      break;
+    }
+    case NumOp::Add:
+      R[I] = R[N.A] + R[N.B];
+      break;
+    case NumOp::Sub:
+      R[I] = R[N.A] - R[N.B];
+      break;
+    case NumOp::Mul:
+      R[I] = R[N.A] * R[N.B];
+      break;
+    case NumOp::Div:
+      R[I] = R[N.A] / R[N.B];
+      break;
+    case NumOp::Neg:
+      R[I] = -R[N.A];
+      break;
+    case NumOp::Abs:
+      R[I] = std::fabs(R[N.A]);
+      break;
+    case NumOp::Log:
+      R[I] = std::log(R[N.A]);
+      break;
+    case NumOp::Exp:
+      R[I] = std::exp(R[N.A]);
+      break;
+    case NumOp::Sqrt:
+      R[I] = std::sqrt(R[N.A]);
+      break;
+    case NumOp::Erf:
+      R[I] = std::erf(R[N.A]);
+      break;
+    case NumOp::Max:
+      R[I] = R[N.A] > R[N.B] ? R[N.A] : R[N.B];
+      break;
+    case NumOp::Min:
+      R[I] = R[N.A] < R[N.B] ? R[N.A] : R[N.B];
+      break;
+    case NumOp::Gt:
+      R[I] = R[N.A] > R[N.B] ? 1.0 : 0.0;
+      break;
+    case NumOp::Eq:
+      R[I] = R[N.A] == R[N.B] ? 1.0 : 0.0;
+      break;
+    }
+  }
+  return Code.empty() ? 0.0 : R[Code.size() - 1];
+}
+
+double Tape::eval(const std::vector<double> &Row) const {
+  std::vector<double> Scratch;
+  return eval(Row, Scratch);
+}

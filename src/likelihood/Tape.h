@@ -1,0 +1,50 @@
+//===- likelihood/Tape.h - Flat evaluation tape for NumExpr DAGs ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles the per-row log-likelihood NumExpr DAG into a flat
+/// register-based instruction tape.  Hash-consing in NumExprBuilder
+/// already gives CSE; the tape prunes nodes unreachable from the root
+/// and renumbers the survivors densely, so evaluation is a single linear
+/// scan per data row — the paper's "plug in the desired data to evaluate
+/// the likelihood in linear time" (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_TAPE_H
+#define PSKETCH_LIKELIHOOD_TAPE_H
+
+#include "symbolic/NumExpr.h"
+
+#include <vector>
+
+namespace psketch {
+
+/// A compiled, self-contained evaluation tape (independent of the
+/// builder it came from).
+class Tape {
+public:
+  /// Compiles the DAG reachable from \p Root in \p B.
+  Tape(const NumExprBuilder &B, NumId Root);
+
+  /// Number of retained instructions.
+  size_t size() const { return Code.size(); }
+
+  /// Evaluates against one data row.  \p Scratch is caller-provided to
+  /// avoid per-call allocation; it is resized as needed.
+  double eval(const std::vector<double> &Row,
+              std::vector<double> &Scratch) const;
+
+  /// Convenience evaluation with internal scratch (allocates).
+  double eval(const std::vector<double> &Row) const;
+
+private:
+  std::vector<NumNode> Code; ///< Operands renumbered into tape space.
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_TAPE_H

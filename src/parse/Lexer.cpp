@@ -1,0 +1,293 @@
+//===- parse/Lexer.cpp - Lexer for the sketching language -----------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Lexer.h"
+
+#include "support/Diag.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace psketch;
+
+const char *psketch::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::RealLit:
+    return "real literal";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwReal:
+    return "'real'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwObserve:
+    return "'observe'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwIte:
+    return "'ite'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Hole:
+    return "'?\?'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::EqEq:
+    return "'=='";
+  }
+  return "<invalid token>";
+}
+
+Lexer::Lexer(std::string Source, DiagEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  size_t P = Pos + Ahead;
+  return P < Source.size() ? Source[P] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind K, SourceLoc Loc) const {
+  Token T;
+  T.Kind = K;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Start) {
+  std::string Digits;
+  bool IsReal = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Digits += advance();
+  // A '.' continues the literal only when followed by a digit, so that
+  // the range punctuation `..` is left intact.
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsReal = true;
+    Digits += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char Sign = peek(1);
+    unsigned DigitAt = (Sign == '+' || Sign == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(peek(DigitAt)))) {
+      IsReal = true;
+      Digits += advance(); // e
+      if (Sign == '+' || Sign == '-')
+        Digits += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Digits += advance();
+    }
+  }
+  Token T = makeToken(IsReal ? TokenKind::RealLit : TokenKind::IntLit, Start);
+  T.Number = std::strtod(Digits.c_str(), nullptr);
+  T.Text = std::move(Digits);
+  return T;
+}
+
+Token Lexer::lexIdent(SourceLoc Start) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"program", TokenKind::KwProgram}, {"real", TokenKind::KwReal},
+      {"bool", TokenKind::KwBool},       {"int", TokenKind::KwInt},
+      {"for", TokenKind::KwFor},         {"in", TokenKind::KwIn},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"observe", TokenKind::KwObserve}, {"return", TokenKind::KwReturn},
+      {"skip", TokenKind::KwSkip},       {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"ite", TokenKind::KwIte},
+  };
+  std::string Name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Name += advance();
+  auto It = Keywords.find(Name);
+  if (It != Keywords.end())
+    return makeToken(It->second, Start);
+  Token T = makeToken(TokenKind::Ident, Start);
+  T.Text = std::move(Name);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Start = loc();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Start);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Start);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdent(Start);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start);
+  case ')':
+    return makeToken(TokenKind::RParen, Start);
+  case '{':
+    return makeToken(TokenKind::LBrace, Start);
+  case '}':
+    return makeToken(TokenKind::RBrace, Start);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start);
+  case ',':
+    return makeToken(TokenKind::Comma, Start);
+  case ';':
+    return makeToken(TokenKind::Semi, Start);
+  case ':':
+    return makeToken(TokenKind::Colon, Start);
+  case '~':
+    return makeToken(TokenKind::Tilde, Start);
+  case '%':
+    return makeToken(TokenKind::Percent, Start);
+  case '+':
+    return makeToken(TokenKind::Plus, Start);
+  case '-':
+    return makeToken(TokenKind::Minus, Start);
+  case '*':
+    return makeToken(TokenKind::Star, Start);
+  case '!':
+    return makeToken(TokenKind::Bang, Start);
+  case '>':
+    return makeToken(TokenKind::Greater, Start);
+  case '<':
+    return makeToken(TokenKind::Less, Start);
+  case '.':
+    if (match('.'))
+      return makeToken(TokenKind::DotDot, Start);
+    Diags.error(Start, "stray '.'; did you mean '..'?");
+    return next();
+  case '?':
+    if (match('?'))
+      return makeToken(TokenKind::Hole, Start);
+    Diags.error(Start, "stray '?'; holes are written '?\?'");
+    return next();
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqEq, Start);
+    return makeToken(TokenKind::Assign, Start);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AndAnd, Start);
+    Diags.error(Start, "stray '&'; did you mean '&&'?");
+    return next();
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::OrOr, Start);
+    Diags.error(Start, "stray '|'; did you mean '||'?");
+    return next();
+  default:
+    Diags.error(Start, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::Eof))
+      return Tokens;
+  }
+}

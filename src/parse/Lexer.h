@@ -1,0 +1,58 @@
+//===- parse/Lexer.h - Lexer for the sketching language -------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer.  Comments run from `//` to end of line.  A `.`
+/// only continues a numeric literal when followed by a digit, so the
+/// range token `..` after an integer (`0..n`) lexes correctly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_PARSE_LEXER_H
+#define PSKETCH_PARSE_LEXER_H
+
+#include "parse/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+class DiagEngine;
+
+/// Lexes one source buffer.  Errors (stray characters, malformed
+/// numbers) are reported to the DiagEngine and skipped.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagEngine &Diags);
+
+  /// Lexes the next token; returns Eof at end of input (repeatedly).
+  Token next();
+
+  /// Lexes the entire buffer, terminating with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  SourceLoc loc() const { return {Line, Col}; }
+
+  Token makeToken(TokenKind K, SourceLoc Loc) const;
+  Token lexNumber(SourceLoc Start);
+  Token lexIdent(SourceLoc Start);
+
+  std::string Source;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_PARSE_LEXER_H

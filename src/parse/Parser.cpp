@@ -1,0 +1,540 @@
+//===- parse/Parser.cpp - Parser for the sketching language ---------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parse/Parser.h"
+
+#include "support/Casting.h"
+
+#include <optional>
+#include <unordered_map>
+
+using namespace psketch;
+
+namespace {
+
+std::optional<DistKind> lookupDist(const std::string &Name) {
+  static const std::unordered_map<std::string, DistKind> Dists = {
+      {"Gaussian", DistKind::Gaussian}, {"Bernoulli", DistKind::Bernoulli},
+      {"Beta", DistKind::Beta},         {"Gamma", DistKind::Gamma},
+      {"Poisson", DistKind::Poisson},
+  };
+  auto It = Dists.find(Name);
+  if (It == Dists.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<BinaryOp> binaryOpFor(TokenKind K) {
+  switch (K) {
+  case TokenKind::OrOr:
+    return BinaryOp::Or;
+  case TokenKind::AndAnd:
+    return BinaryOp::And;
+  case TokenKind::EqEq:
+    return BinaryOp::Eq;
+  case TokenKind::Greater:
+    return BinaryOp::Gt;
+  case TokenKind::Less:
+    return BinaryOp::Lt;
+  case TokenKind::Plus:
+    return BinaryOp::Add;
+  case TokenKind::Minus:
+    return BinaryOp::Sub;
+  case TokenKind::Star:
+    return BinaryOp::Mul;
+  default:
+    return std::nullopt;
+  }
+}
+
+} // namespace
+
+Parser::Parser(std::string Source, DiagEngine &Diags)
+    : Lex(std::move(Source), Diags), Diags(Diags) {
+  Tok = Lex.next();
+  Next = Lex.next();
+}
+
+void Parser::consume() {
+  Tok = Next;
+  if (!Tok.is(TokenKind::Eof))
+    Next = Lex.next();
+  else
+    Next = Tok;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (Tok.is(K)) {
+    consume();
+    return true;
+  }
+  Diags.error(Tok.Loc, std::string("expected ") + tokenKindName(K) + " " +
+                           Context + ", found " + tokenKindName(Tok.Kind));
+  return false;
+}
+
+bool Parser::consumeIf(TokenKind K) {
+  if (!Tok.is(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::parseParamList(std::vector<Param> &Params) {
+  if (consumeIf(TokenKind::RParen))
+    return true;
+  do {
+    if (!Tok.is(TokenKind::Ident)) {
+      Diags.error(Tok.Loc, "expected parameter name");
+      return false;
+    }
+    Param P;
+    P.Name = Tok.Text;
+    consume();
+    if (!expect(TokenKind::Colon, "after parameter name"))
+      return false;
+    ScalarKind K;
+    if (consumeIf(TokenKind::KwReal))
+      K = ScalarKind::Real;
+    else if (consumeIf(TokenKind::KwBool))
+      K = ScalarKind::Bool;
+    else if (consumeIf(TokenKind::KwInt))
+      K = ScalarKind::Int;
+    else {
+      Diags.error(Tok.Loc, "expected parameter type");
+      return false;
+    }
+    bool IsArray = false;
+    if (consumeIf(TokenKind::LBracket)) {
+      if (!expect(TokenKind::RBracket, "in array parameter type"))
+        return false;
+      IsArray = true;
+    }
+    P.Ty = Type(K, IsArray);
+    Params.push_back(std::move(P));
+  } while (consumeIf(TokenKind::Comma));
+  return expect(TokenKind::RParen, "after parameter list");
+}
+
+bool Parser::parseDecl(std::vector<LocalDecl> &Decls) {
+  LocalDecl D;
+  D.Name = Tok.Text;
+  consume(); // identifier
+  consume(); // ':'
+  if (consumeIf(TokenKind::KwReal))
+    D.Kind = ScalarKind::Real;
+  else if (consumeIf(TokenKind::KwBool))
+    D.Kind = ScalarKind::Bool;
+  else if (consumeIf(TokenKind::KwInt))
+    D.Kind = ScalarKind::Int;
+  else {
+    Diags.error(Tok.Loc, "expected type in declaration");
+    return false;
+  }
+  if (consumeIf(TokenKind::LBracket)) {
+    D.ArraySize = parseExpr();
+    if (!D.ArraySize)
+      return false;
+    if (!expect(TokenKind::RBracket, "after array size"))
+      return false;
+  }
+  if (!expect(TokenKind::Semi, "after declaration"))
+    return false;
+  Decls.push_back(std::move(D));
+  return true;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = Tok.Loc;
+  if (!expect(TokenKind::LBrace, "to open block"))
+    return nullptr;
+  auto Block = std::make_unique<BlockStmt>(std::vector<StmtPtr>(), Loc);
+  while (!Tok.is(TokenKind::RBrace) && !Tok.is(TokenKind::Eof)) {
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    Block->append(std::move(S));
+  }
+  if (!expect(TokenKind::RBrace, "to close block"))
+    return nullptr;
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::KwSkip: {
+    consume();
+    if (!expect(TokenKind::Semi, "after 'skip'"))
+      return nullptr;
+    return std::make_unique<SkipStmt>(Loc);
+  }
+  case TokenKind::KwObserve: {
+    consume();
+    if (!expect(TokenKind::LParen, "after 'observe'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after observe condition") ||
+        !expect(TokenKind::Semi, "after observe statement"))
+      return nullptr;
+    return std::make_unique<ObserveStmt>(std::move(Cond), Loc);
+  }
+  case TokenKind::KwIf: {
+    consume();
+    if (!expect(TokenKind::LParen, "after 'if'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after if condition"))
+      return nullptr;
+    auto Then = parseBlock();
+    if (!Then)
+      return nullptr;
+    std::unique_ptr<BlockStmt> Else;
+    if (consumeIf(TokenKind::KwElse)) {
+      Else = parseBlock();
+      if (!Else)
+        return nullptr;
+    } else {
+      Else = std::make_unique<BlockStmt>();
+    }
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else), Loc);
+  }
+  case TokenKind::KwFor: {
+    consume();
+    if (!Tok.is(TokenKind::Ident)) {
+      Diags.error(Tok.Loc, "expected loop variable after 'for'");
+      return nullptr;
+    }
+    std::string IndexVar = Tok.Text;
+    consume();
+    if (!expect(TokenKind::KwIn, "after loop variable"))
+      return nullptr;
+    ExprPtr Lo = parseExpr();
+    if (!Lo)
+      return nullptr;
+    if (!expect(TokenKind::DotDot, "in loop range"))
+      return nullptr;
+    ExprPtr Hi = parseExpr();
+    if (!Hi)
+      return nullptr;
+    auto Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(IndexVar), std::move(Lo),
+                                     std::move(Hi), std::move(Body), Loc);
+  }
+  case TokenKind::Ident: {
+    LValue Target(Tok.Text);
+    consume();
+    if (consumeIf(TokenKind::LBracket)) {
+      Target.Index = parseExpr();
+      if (!Target.Index)
+        return nullptr;
+      if (!expect(TokenKind::RBracket, "after array index"))
+        return nullptr;
+    }
+    if (consumeIf(TokenKind::Tilde)) {
+      // Probabilistic assignment: `x ~ Dist(args);`.
+      if (!Tok.is(TokenKind::Ident)) {
+        Diags.error(Tok.Loc, "expected distribution name after '~'");
+        return nullptr;
+      }
+      auto Dist = lookupDist(Tok.Text);
+      if (!Dist) {
+        Diags.error(Tok.Loc, "unknown distribution '" + Tok.Text + "'");
+        return nullptr;
+      }
+      SourceLoc DistLoc = Tok.Loc;
+      consume();
+      if (!expect(TokenKind::LParen, "after distribution name"))
+        return nullptr;
+      std::vector<ExprPtr> Args;
+      if (!parseArgList(Args))
+        return nullptr;
+      if (Args.size() != distArity(*Dist)) {
+        Diags.error(DistLoc, std::string(distKindName(*Dist)) + " expects " +
+                                 std::to_string(distArity(*Dist)) +
+                                 " arguments");
+        return nullptr;
+      }
+      if (!expect(TokenKind::Semi, "after probabilistic assignment"))
+        return nullptr;
+      auto Draw =
+          std::make_unique<SampleExpr>(*Dist, std::move(Args), DistLoc);
+      return std::make_unique<AssignStmt>(std::move(Target), std::move(Draw),
+                                          Loc);
+    }
+    if (!expect(TokenKind::Assign, "in assignment"))
+      return nullptr;
+    ExprPtr Value = parseExpr();
+    if (!Value)
+      return nullptr;
+    if (!expect(TokenKind::Semi, "after assignment"))
+      return nullptr;
+    return std::make_unique<AssignStmt>(std::move(Target), std::move(Value),
+                                        Loc);
+  }
+  default:
+    Diags.error(Tok.Loc, std::string("expected statement, found ") +
+                             tokenKindName(Tok.Kind));
+    return nullptr;
+  }
+}
+
+bool Parser::parseArgList(std::vector<ExprPtr> &Args) {
+  if (consumeIf(TokenKind::RParen))
+    return true;
+  do {
+    ExprPtr E = parseExpr();
+    if (!E)
+      return false;
+    Args.push_back(std::move(E));
+  } while (consumeIf(TokenKind::Comma));
+  return expect(TokenKind::RParen, "after argument list");
+}
+
+ExprPtr Parser::parseExpr() { return parseBinaryRHS(1, parseUnary()); }
+
+ExprPtr Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    auto Op = binaryOpFor(Tok.Kind);
+    if (!Op || binaryOpPrecedence(*Op) < MinPrec)
+      return LHS;
+    int Prec = binaryOpPrecedence(*Op);
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    // Left-associative: fold while the next operator binds tighter.
+    RHS = parseBinaryRHS(Prec + 1, std::move(RHS));
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(*Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = Tok.Loc;
+  if (consumeIf(TokenKind::Bang)) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(Sub), Loc);
+  }
+  if (consumeIf(TokenKind::Minus)) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    // Fold negation of a numeric literal into the constant so the
+    // printer/parser round trip preserves structure.
+    if (auto *C = dyn_cast<ConstExpr>(Sub.get());
+        C && C->getScalarKind() != ScalarKind::Bool) {
+      C->setValue(-C->getValue());
+      C->setLoc(Loc);
+      return Sub;
+    }
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(Sub), Loc);
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::RealLit: {
+    double V = Tok.Number;
+    consume();
+    return ConstExpr::real(V, Loc);
+  }
+  case TokenKind::IntLit: {
+    double V = Tok.Number;
+    consume();
+    return ConstExpr::integer(long(V), Loc);
+  }
+  case TokenKind::KwTrue:
+    consume();
+    return ConstExpr::boolean(true, Loc);
+  case TokenKind::KwFalse:
+    consume();
+    return ConstExpr::boolean(false, Loc);
+  case TokenKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "after parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  case TokenKind::KwIte: {
+    consume();
+    if (!expect(TokenKind::LParen, "after 'ite'"))
+      return nullptr;
+    std::vector<ExprPtr> Args;
+    if (!parseArgList(Args))
+      return nullptr;
+    if (Args.size() != 3) {
+      Diags.error(Loc, "ite expects 3 arguments");
+      return nullptr;
+    }
+    return std::make_unique<IteExpr>(std::move(Args[0]), std::move(Args[1]),
+                                     std::move(Args[2]), Loc);
+  }
+  case TokenKind::Hole: {
+    consume();
+    std::vector<ExprPtr> Args;
+    if (consumeIf(TokenKind::LParen)) {
+      if (!parseArgList(Args))
+        return nullptr;
+    }
+    return std::make_unique<HoleExpr>(NextHoleId++, std::move(Args), Loc);
+  }
+  case TokenKind::Percent: {
+    consume();
+    if (!Tok.is(TokenKind::IntLit)) {
+      Diags.error(Tok.Loc, "expected hole-formal index after '%'");
+      return nullptr;
+    }
+    unsigned Index = unsigned(Tok.Number);
+    consume();
+    return std::make_unique<HoleArgExpr>(Index, ScalarKind::Real, Loc);
+  }
+  case TokenKind::Ident: {
+    std::string Name = Tok.Text;
+    consume();
+    if (Tok.is(TokenKind::LParen)) {
+      auto Dist = lookupDist(Name);
+      if (!Dist) {
+        Diags.error(Loc, "unknown distribution '" + Name + "'");
+        return nullptr;
+      }
+      consume();
+      std::vector<ExprPtr> Args;
+      if (!parseArgList(Args))
+        return nullptr;
+      if (Args.size() != distArity(*Dist)) {
+        Diags.error(Loc, std::string(distKindName(*Dist)) + " expects " +
+                             std::to_string(distArity(*Dist)) + " arguments");
+        return nullptr;
+      }
+      return std::make_unique<SampleExpr>(*Dist, std::move(Args), Loc);
+    }
+    if (consumeIf(TokenKind::LBracket)) {
+      ExprPtr Index = parseExpr();
+      if (!Index)
+        return nullptr;
+      if (!expect(TokenKind::RBracket, "after array index"))
+        return nullptr;
+      return std::make_unique<IndexExpr>(std::move(Name), std::move(Index),
+                                         Loc);
+    }
+    return std::make_unique<VarExpr>(std::move(Name), Loc);
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found ") +
+                         tokenKindName(Tok.Kind));
+    return nullptr;
+  }
+}
+
+std::unique_ptr<Program> Parser::parseProgramUnit() {
+  if (!expect(TokenKind::KwProgram, "at start of program"))
+    return nullptr;
+  if (!Tok.is(TokenKind::Ident)) {
+    Diags.error(Tok.Loc, "expected program name");
+    return nullptr;
+  }
+  std::string Name = Tok.Text;
+  consume();
+  if (!expect(TokenKind::LParen, "after program name"))
+    return nullptr;
+  std::vector<Param> Params;
+  if (!parseParamList(Params))
+    return nullptr;
+  if (!expect(TokenKind::LBrace, "to open program body"))
+    return nullptr;
+
+  std::vector<LocalDecl> Decls;
+  auto Body = std::make_unique<BlockStmt>();
+  std::vector<std::string> Returns;
+  for (;;) {
+    if (Tok.is(TokenKind::Eof)) {
+      Diags.error(Tok.Loc, "unexpected end of input in program body");
+      return nullptr;
+    }
+    if (Tok.is(TokenKind::KwReturn)) {
+      consume();
+      do {
+        if (!Tok.is(TokenKind::Ident)) {
+          Diags.error(Tok.Loc, "expected variable name in return list");
+          return nullptr;
+        }
+        Returns.push_back(Tok.Text);
+        consume();
+      } while (consumeIf(TokenKind::Comma));
+      if (!expect(TokenKind::Semi, "after return list") ||
+          !expect(TokenKind::RBrace, "to close program body"))
+        return nullptr;
+      break;
+    }
+    // `name : type ...` introduces a declaration; anything else is a
+    // statement.
+    if (Tok.is(TokenKind::Ident) && Next.is(TokenKind::Colon)) {
+      if (!parseDecl(Decls))
+        return nullptr;
+      continue;
+    }
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    Body->append(std::move(S));
+  }
+  if (!Tok.is(TokenKind::Eof)) {
+    Diags.error(Tok.Loc, "trailing tokens after program");
+    return nullptr;
+  }
+  return std::make_unique<Program>(std::move(Name), std::move(Params),
+                                   std::move(Decls), std::move(Body),
+                                   std::move(Returns));
+}
+
+ExprPtr Parser::parseStandaloneExpr() {
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (!Tok.is(TokenKind::Eof)) {
+    Diags.error(Tok.Loc, "trailing tokens after expression");
+    return nullptr;
+  }
+  return E;
+}
+
+std::unique_ptr<Program>
+psketch::parseProgramSource(const std::string &Source, DiagEngine &Diags) {
+  Parser P(Source, Diags);
+  auto Result = P.parseProgramUnit();
+  if (Diags.hasErrors())
+    return nullptr;
+  return Result;
+}
+
+ExprPtr psketch::parseExprSource(const std::string &Source,
+                                 DiagEngine &Diags) {
+  Parser P(Source, Diags);
+  auto Result = P.parseStandaloneExpr();
+  if (Diags.hasErrors())
+    return nullptr;
+  return Result;
+}

@@ -1,0 +1,88 @@
+//===- parse/Parser.h - Parser for the sketching language -----------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the Figure 3 grammar with sketching
+/// extensions.  Concrete syntax:
+///
+/// \code
+///   program TrueSkill(nplayers: int, p1: int[], p2: int[],
+///                     result: bool[]) {
+///     skills: real[nplayers];
+///     r: bool[ngames];
+///     for i in 0..nplayers { skills[i] ~ Gaussian(100.0, 10.0); }
+///     for g in 0..ngames {
+///       r[g] = ??(skills[p1[g]], skills[p2[g]]);
+///     }
+///     for g in 0..ngames { observe(result[g] == r[g]); }
+///     return skills;
+///   }
+/// \endcode
+///
+/// Holes are written `??` (independent) or `??(e1, ..., ek)` (with
+/// dependences) and are numbered in syntactic order.  Hole-completion
+/// expressions may additionally reference hole formals `%0, %1, ...`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_PARSE_PARSER_H
+#define PSKETCH_PARSE_PARSER_H
+
+#include "ast/Program.h"
+#include "parse/Lexer.h"
+
+#include <memory>
+
+namespace psketch {
+
+/// Parses one source buffer.  On error, diagnostics are recorded and a
+/// null result is returned.
+class Parser {
+public:
+  Parser(std::string Source, DiagEngine &Diags);
+
+  /// Parses a complete `program ... { ... }` unit.
+  std::unique_ptr<Program> parseProgramUnit();
+
+  /// Parses a standalone expression (used for hole completions in tests
+  /// and tools); fails if trailing tokens remain.
+  ExprPtr parseStandaloneExpr();
+
+private:
+  // Token stream management (one token of lookahead past Tok).
+  const Token &tok() const { return Tok; }
+  const Token &peekNext() const { return Next; }
+  void consume();
+  bool expect(TokenKind K, const char *Context);
+  bool consumeIf(TokenKind K);
+
+  // Grammar productions.
+  bool parseParamList(std::vector<Param> &Params);
+  bool parseDecl(std::vector<LocalDecl> &Decls);
+  StmtPtr parseStmt();
+  std::unique_ptr<BlockStmt> parseBlock();
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+  bool parseArgList(std::vector<ExprPtr> &Args);
+
+  Token Tok, Next;
+  Lexer Lex;
+  DiagEngine &Diags;
+  unsigned NextHoleId = 0;
+};
+
+/// Convenience wrapper: parse \p Source as a program.
+std::unique_ptr<Program> parseProgramSource(const std::string &Source,
+                                            DiagEngine &Diags);
+
+/// Convenience wrapper: parse \p Source as an expression.
+ExprPtr parseExprSource(const std::string &Source, DiagEngine &Diags);
+
+} // namespace psketch
+
+#endif // PSKETCH_PARSE_PARSER_H

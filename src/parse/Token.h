@@ -1,0 +1,85 @@
+//===- parse/Token.h - Tokens of the sketching language -------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the lexer.  Distribution constructors are
+/// lexed as identifiers and resolved by the parser so the set of
+/// primitive distributions stays in one place (ast/Ops.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_PARSE_TOKEN_H
+#define PSKETCH_PARSE_TOKEN_H
+
+#include "support/Diag.h"
+
+#include <string>
+
+namespace psketch {
+
+enum class TokenKind {
+  Eof,
+  Ident,
+  RealLit,
+  IntLit,
+  // Keywords.
+  KwProgram,
+  KwReal,
+  KwBool,
+  KwInt,
+  KwFor,
+  KwIn,
+  KwIf,
+  KwElse,
+  KwObserve,
+  KwReturn,
+  KwSkip,
+  KwTrue,
+  KwFalse,
+  KwIte,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Assign,   // =
+  Tilde,    // ~
+  DotDot,   // ..
+  Hole,     // ??
+  Percent,  // %
+  Plus,
+  Minus,
+  Star,
+  AndAnd,
+  OrOr,
+  Bang,
+  Greater,
+  Less,
+  EqEq,
+};
+
+/// Human-readable token-kind name for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+/// A lexed token.  Text is filled for identifiers; Number for numeric
+/// literals.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  double Number = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_PARSE_TOKEN_H

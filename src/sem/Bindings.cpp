@@ -1,0 +1,39 @@
+//===- sem/Bindings.cpp - Concrete program inputs -------------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Bindings.h"
+
+using namespace psketch;
+
+void InputBindings::setScalar(const std::string &Name, double Value,
+                              ScalarKind Kind) {
+  Map[Name] = InputValue{Type(Kind, /*IsArray=*/false), {Value}};
+}
+
+void InputBindings::setArray(const std::string &Name,
+                             std::vector<double> Values, ScalarKind Kind) {
+  Map[Name] = InputValue{Type(Kind, /*IsArray=*/true), std::move(Values)};
+}
+
+void InputBindings::setIntArray(const std::string &Name,
+                                const std::vector<long> &Values) {
+  std::vector<double> Doubles(Values.begin(), Values.end());
+  setArray(Name, std::move(Doubles), ScalarKind::Int);
+}
+
+void InputBindings::setBoolArray(const std::string &Name,
+                                 const std::vector<bool> &Values) {
+  std::vector<double> Doubles;
+  Doubles.reserve(Values.size());
+  for (bool V : Values)
+    Doubles.push_back(V ? 1.0 : 0.0);
+  setArray(Name, std::move(Doubles), ScalarKind::Bool);
+}
+
+const InputValue *InputBindings::find(const std::string &Name) const {
+  auto It = Map.find(Name);
+  return It == Map.end() ? nullptr : &It->second;
+}

@@ -1,0 +1,72 @@
+//===- sem/Bindings.h - Concrete program inputs ---------------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete values for a program's parameters (e.g. TrueSkill's games
+/// array and player count).  Bindings drive loop unrolling and constant
+/// folding in the lowering pass, the forward sampler, and likelihood
+/// compilation.  Booleans are stored as 0/1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SEM_BINDINGS_H
+#define PSKETCH_SEM_BINDINGS_H
+
+#include "ast/Type.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace psketch {
+
+/// A bound input value: one double for scalars, a vector for arrays.
+struct InputValue {
+  Type Ty;
+  std::vector<double> Values;
+
+  bool isArray() const { return Ty.IsArray; }
+  double scalar() const { return Values.at(0); }
+};
+
+/// Maps parameter names to concrete values.
+class InputBindings {
+public:
+  /// Binds a scalar parameter.
+  void setScalar(const std::string &Name, double Value,
+                 ScalarKind Kind = ScalarKind::Real);
+
+  /// Binds an integer scalar parameter.
+  void setInt(const std::string &Name, long Value) {
+    setScalar(Name, double(Value), ScalarKind::Int);
+  }
+
+  /// Binds an array parameter.
+  void setArray(const std::string &Name, std::vector<double> Values,
+                ScalarKind Kind = ScalarKind::Real);
+
+  /// Binds an integer array parameter.
+  void setIntArray(const std::string &Name, const std::vector<long> &Values);
+
+  /// Binds a boolean array parameter.
+  void setBoolArray(const std::string &Name, const std::vector<bool> &Values);
+
+  bool has(const std::string &Name) const { return Map.count(Name) != 0; }
+
+  /// Returns the binding for \p Name, or null when absent.
+  const InputValue *find(const std::string &Name) const;
+
+  const std::unordered_map<std::string, InputValue> &all() const {
+    return Map;
+  }
+
+private:
+  std::unordered_map<std::string, InputValue> Map;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SEM_BINDINGS_H

@@ -1,0 +1,467 @@
+//===- sem/Lower.cpp - Lowering: unrolling, folding, normalization -------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Lower.h"
+
+#include "ast/ASTUtil.h"
+#include "support/Casting.h"
+
+#include <cmath>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+using namespace psketch;
+
+unsigned LoweredProgram::slotId(const std::string &Slot) const {
+  auto It = SlotIds.find(Slot);
+  return It == SlotIds.end() ? ~0u : It->second;
+}
+
+namespace {
+
+std::string slotName(const std::string &Array, long Index) {
+  return Array + "[" + std::to_string(Index) + "]";
+}
+
+class Lowerer {
+public:
+  Lowerer(const Program &P, const InputBindings &Inputs, DiagEngine &Diags)
+      : P(P), Inputs(Inputs), Diags(Diags) {}
+
+  std::unique_ptr<LoweredProgram> run();
+
+private:
+  bool registerSlots(LoweredProgram &LP);
+  bool lowerStmt(const Stmt &S, std::vector<StmtPtr> &Out);
+  ExprPtr lowerExpr(const Expr &E);
+  std::optional<long> evalInt(const Expr &E);
+
+  /// Slots assigned anywhere in the given lowered statements (including
+  /// inside nested ifs).
+  static void updatedSlots(const std::vector<StmtPtr> &Stmts,
+                           std::set<std::string> &Slots);
+
+  const Program &P;
+  const InputBindings &Inputs;
+  DiagEngine &Diags;
+  LoweredProgram *LP = nullptr;
+  std::unordered_map<std::string, long> LoopVals;
+};
+
+bool Lowerer::registerSlots(LoweredProgram &Out) {
+  auto AddSlot = [&](const std::string &Name, ScalarKind Kind) {
+    Out.SlotIds[Name] = unsigned(Out.Slots.size());
+    Out.Slots.push_back(Name);
+    Out.SlotKinds.push_back(Kind);
+  };
+  for (const LocalDecl &D : P.getDecls()) {
+    if (!D.isArray()) {
+      AddSlot(D.Name, D.Kind);
+      continue;
+    }
+    auto Size = evalInt(*D.ArraySize);
+    if (!Size || *Size < 0) {
+      Diags.error(D.ArraySize->getLoc(),
+                  "array size of '" + D.Name +
+                      "' is not a non-negative input constant");
+      return false;
+    }
+    for (long I = 0; I != *Size; ++I)
+      AddSlot(slotName(D.Name, I), D.Kind);
+  }
+  for (const std::string &R : P.getReturns()) {
+    const LocalDecl *D = P.findDecl(R);
+    if (!D) {
+      Diags.error({}, "returned variable '" + R + "' is not a local");
+      return false;
+    }
+    if (!D->isArray()) {
+      Out.ReturnSlots.push_back(R);
+      continue;
+    }
+    auto Size = evalInt(*D->ArraySize);
+    for (long I = 0; I != *Size; ++I)
+      Out.ReturnSlots.push_back(slotName(R, I));
+  }
+  return true;
+}
+
+std::optional<long> Lowerer::evalInt(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::Const: {
+    const auto &C = cast<ConstExpr>(E);
+    if (C.getScalarKind() == ScalarKind::Bool)
+      return std::nullopt;
+    double V = C.getValue();
+    if (V != std::floor(V))
+      return std::nullopt;
+    return long(V);
+  }
+  case Expr::Kind::Var: {
+    const std::string &Name = cast<VarExpr>(E).getName();
+    auto It = LoopVals.find(Name);
+    if (It != LoopVals.end())
+      return It->second;
+    const InputValue *IV = Inputs.find(Name);
+    if (IV && !IV->isArray() && IV->Ty.Kind == ScalarKind::Int)
+      return long(IV->scalar());
+    return std::nullopt;
+  }
+  case Expr::Kind::Index: {
+    const auto &IX = cast<IndexExpr>(E);
+    const InputValue *IV = Inputs.find(IX.getArrayName());
+    if (!IV || !IV->isArray())
+      return std::nullopt;
+    auto Idx = evalInt(IX.getIndex());
+    if (!Idx || *Idx < 0 || size_t(*Idx) >= IV->Values.size())
+      return std::nullopt;
+    double V = IV->Values[size_t(*Idx)];
+    if (V != std::floor(V))
+      return std::nullopt;
+    return long(V);
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    if (U.getOp() != UnaryOp::Neg)
+      return std::nullopt;
+    auto Sub = evalInt(U.getSub());
+    if (!Sub)
+      return std::nullopt;
+    return -*Sub;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    auto L = evalInt(B.getLHS());
+    auto R = evalInt(B.getRHS());
+    if (!L || !R)
+      return std::nullopt;
+    switch (B.getOp()) {
+    case BinaryOp::Add:
+      return *L + *R;
+    case BinaryOp::Sub:
+      return *L - *R;
+    case BinaryOp::Mul:
+      return *L * *R;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+ExprPtr Lowerer::lowerExpr(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::Const:
+    return E.clone();
+  case Expr::Kind::Var: {
+    const std::string &Name = cast<VarExpr>(E).getName();
+    auto It = LoopVals.find(Name);
+    if (It != LoopVals.end())
+      return ConstExpr::integer(It->second, E.getLoc());
+    if (const InputValue *IV = Inputs.find(Name)) {
+      if (IV->isArray()) {
+        Diags.error(E.getLoc(),
+                    "input array '" + Name + "' used without an index");
+        return nullptr;
+      }
+      return std::make_unique<ConstExpr>(IV->scalar(), IV->Ty.Kind,
+                                         E.getLoc());
+    }
+    if (LP->SlotIds.count(Name))
+      return std::make_unique<VarExpr>(Name, E.getLoc());
+    Diags.error(E.getLoc(), "unbound variable '" + Name + "'");
+    return nullptr;
+  }
+  case Expr::Kind::Index: {
+    const auto &IX = cast<IndexExpr>(E);
+    auto Idx = evalInt(IX.getIndex());
+    if (!Idx) {
+      Diags.error(E.getLoc(),
+                  "array index into '" + IX.getArrayName() +
+                      "' is not an input-computable constant");
+      return nullptr;
+    }
+    if (const InputValue *IV = Inputs.find(IX.getArrayName())) {
+      if (*Idx < 0 || size_t(*Idx) >= IV->Values.size()) {
+        Diags.error(E.getLoc(), "index " + std::to_string(*Idx) +
+                                    " out of bounds for input array '" +
+                                    IX.getArrayName() + "'");
+        return nullptr;
+      }
+      return std::make_unique<ConstExpr>(IV->Values[size_t(*Idx)],
+                                         IV->Ty.Kind, E.getLoc());
+    }
+    std::string Slot = slotName(IX.getArrayName(), *Idx);
+    if (!LP->SlotIds.count(Slot)) {
+      Diags.error(E.getLoc(), "index " + std::to_string(*Idx) +
+                                  " out of bounds for array '" +
+                                  IX.getArrayName() + "'");
+      return nullptr;
+    }
+    return std::make_unique<VarExpr>(Slot, E.getLoc());
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    ExprPtr Sub = lowerExpr(U.getSub());
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(U.getOp(), std::move(Sub),
+                                       E.getLoc());
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    ExprPtr L = lowerExpr(B.getLHS());
+    ExprPtr R = lowerExpr(B.getRHS());
+    if (!L || !R)
+      return nullptr;
+    return std::make_unique<BinaryExpr>(B.getOp(), std::move(L),
+                                        std::move(R), E.getLoc());
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(E);
+    ExprPtr C = lowerExpr(I.getCond());
+    ExprPtr T = lowerExpr(I.getThen());
+    ExprPtr F = lowerExpr(I.getElse());
+    if (!C || !T || !F)
+      return nullptr;
+    return std::make_unique<IteExpr>(std::move(C), std::move(T),
+                                     std::move(F), E.getLoc());
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(E);
+    std::vector<ExprPtr> Args;
+    Args.reserve(S.getNumArgs());
+    for (const ExprPtr &A : S.getArgs()) {
+      ExprPtr LA = lowerExpr(*A);
+      if (!LA)
+        return nullptr;
+      Args.push_back(std::move(LA));
+    }
+    return std::make_unique<SampleExpr>(S.getDist(), std::move(Args),
+                                        E.getLoc());
+  }
+  case Expr::Kind::HoleArg:
+  case Expr::Kind::Hole:
+    Diags.error(E.getLoc(),
+                "holes must be instantiated before lowering");
+    return nullptr;
+  }
+  return nullptr;
+}
+
+void Lowerer::updatedSlots(const std::vector<StmtPtr> &Stmts,
+                           std::set<std::string> &Slots) {
+  for (const StmtPtr &S : Stmts) {
+    if (const auto *A = dyn_cast<AssignStmt>(S.get())) {
+      Slots.insert(A->getTarget().Name);
+    } else if (const auto *I = dyn_cast<IfStmt>(S.get())) {
+      updatedSlots(I->getThen().getStmts(), Slots);
+      updatedSlots(I->getElse().getStmts(), Slots);
+    }
+  }
+}
+
+bool Lowerer::lowerStmt(const Stmt &S, std::vector<StmtPtr> &Out) {
+  switch (S.getKind()) {
+  case Stmt::Kind::Skip:
+    return true;
+  case Stmt::Kind::Assign: {
+    const auto &A = cast<AssignStmt>(S);
+    std::string Slot = A.getTarget().Name;
+    if (Inputs.find(Slot)) {
+      Diags.error(S.getLoc(), "cannot assign to input '" + Slot + "'");
+      return false;
+    }
+    if (A.getTarget().isArrayElement()) {
+      auto Idx = evalInt(*A.getTarget().Index);
+      if (!Idx) {
+        Diags.error(S.getLoc(),
+                    "assignment index into '" + Slot +
+                        "' is not an input-computable constant");
+        return false;
+      }
+      std::string Element = slotName(Slot, *Idx);
+      if (!LP->SlotIds.count(Element)) {
+        Diags.error(S.getLoc(), "index " + std::to_string(*Idx) +
+                                    " out of bounds for array '" + Slot +
+                                    "'");
+        return false;
+      }
+      Slot = std::move(Element);
+    }
+    if (!LP->SlotIds.count(Slot)) {
+      Diags.error(S.getLoc(), "assignment to unknown slot '" + Slot + "'");
+      return false;
+    }
+    ExprPtr Value = lowerExpr(A.getValue());
+    if (!Value)
+      return false;
+    Out.push_back(std::make_unique<AssignStmt>(LValue(Slot),
+                                               std::move(Value), S.getLoc()));
+    return true;
+  }
+  case Stmt::Kind::Observe: {
+    ExprPtr Cond = lowerExpr(cast<ObserveStmt>(S).getCond());
+    if (!Cond)
+      return false;
+    Out.push_back(std::make_unique<ObserveStmt>(std::move(Cond), S.getLoc()));
+    return true;
+  }
+  case Stmt::Kind::Block: {
+    for (const StmtPtr &Sub : cast<BlockStmt>(S).getStmts())
+      if (!lowerStmt(*Sub, Out))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::If: {
+    const auto &I = cast<IfStmt>(S);
+    ExprPtr Cond = lowerExpr(I.getCond());
+    if (!Cond)
+      return false;
+    std::vector<StmtPtr> ThenStmts, ElseStmts;
+    if (!lowerStmt(I.getThen(), ThenStmts) ||
+        !lowerStmt(I.getElse(), ElseStmts))
+      return false;
+    // The paper's pre-pass: make both branches update the same slot set
+    // by adding identity assignments for one-sided updates.
+    std::set<std::string> ThenUpd, ElseUpd;
+    updatedSlots(ThenStmts, ThenUpd);
+    updatedSlots(ElseStmts, ElseUpd);
+    for (const std::string &Slot : ThenUpd)
+      if (!ElseUpd.count(Slot))
+        ElseStmts.push_back(std::make_unique<AssignStmt>(
+            LValue(Slot), std::make_unique<VarExpr>(Slot), S.getLoc()));
+    for (const std::string &Slot : ElseUpd)
+      if (!ThenUpd.count(Slot))
+        ThenStmts.push_back(std::make_unique<AssignStmt>(
+            LValue(Slot), std::make_unique<VarExpr>(Slot), S.getLoc()));
+    Out.push_back(std::make_unique<IfStmt>(
+        std::move(Cond),
+        std::make_unique<BlockStmt>(std::move(ThenStmts)),
+        std::make_unique<BlockStmt>(std::move(ElseStmts)), S.getLoc()));
+    return true;
+  }
+  case Stmt::Kind::For: {
+    const auto &F = cast<ForStmt>(S);
+    auto Lo = evalInt(F.getLo());
+    auto Hi = evalInt(F.getHi());
+    if (!Lo || !Hi) {
+      Diags.error(S.getLoc(),
+                  "loop bounds are not input-computable constants");
+      return false;
+    }
+    if (LoopVals.count(F.getIndexVar())) {
+      Diags.error(S.getLoc(), "nested reuse of loop variable '" +
+                                  F.getIndexVar() + "'");
+      return false;
+    }
+    for (long I = *Lo; I < *Hi; ++I) {
+      LoopVals[F.getIndexVar()] = I;
+      bool Ok = lowerStmt(F.getBody(), Out);
+      LoopVals.erase(F.getIndexVar());
+      if (!Ok)
+        return false;
+    }
+    return true;
+  }
+  }
+  return false;
+}
+
+std::unique_ptr<LoweredProgram> Lowerer::run() {
+  auto Result = std::make_unique<LoweredProgram>();
+  LP = Result.get();
+  if (!registerSlots(*Result))
+    return nullptr;
+  if (!lowerStmt(P.getBody(), Result->Stmts))
+    return nullptr;
+  return Result;
+}
+
+/// Collects slot names read by an expression (post-lowering, every
+/// VarExpr names a slot).
+void collectUses(const Expr &E, std::unordered_set<std::string> &Uses) {
+  forEachNode(E, [&](const Expr &N) {
+    if (const auto *V = dyn_cast<VarExpr>(&N))
+      Uses.insert(V->getName());
+  });
+}
+
+bool checkStmts(const std::vector<StmtPtr> &Stmts,
+                std::unordered_set<std::string> &Defined,
+                DiagEngine &Diags) {
+  for (const StmtPtr &S : Stmts) {
+    if (const auto *A = dyn_cast<AssignStmt>(S.get())) {
+      std::unordered_set<std::string> Uses;
+      collectUses(A->getValue(), Uses);
+      for (const std::string &U : Uses)
+        if (!Defined.count(U)) {
+          Diags.error(S->getLoc(),
+                      "slot '" + U + "' may be read before assignment");
+          return false;
+        }
+      Defined.insert(A->getTarget().Name);
+      continue;
+    }
+    if (const auto *O = dyn_cast<ObserveStmt>(S.get())) {
+      std::unordered_set<std::string> Uses;
+      collectUses(O->getCond(), Uses);
+      for (const std::string &U : Uses)
+        if (!Defined.count(U)) {
+          Diags.error(S->getLoc(),
+                      "slot '" + U + "' may be read before assignment");
+          return false;
+        }
+      continue;
+    }
+    const auto *I = cast<IfStmt>(S.get());
+    std::unordered_set<std::string> Uses;
+    collectUses(I->getCond(), Uses);
+    for (const std::string &U : Uses)
+      if (!Defined.count(U)) {
+        Diags.error(S->getLoc(),
+                    "slot '" + U + "' may be read before assignment");
+        return false;
+      }
+    std::unordered_set<std::string> ThenDef = Defined, ElseDef = Defined;
+    if (!checkStmts(I->getThen().getStmts(), ThenDef, Diags) ||
+        !checkStmts(I->getElse().getStmts(), ElseDef, Diags))
+      return false;
+    // Only slots defined on both paths are definitely assigned after.
+    for (const std::string &D : ThenDef)
+      if (ElseDef.count(D))
+        Defined.insert(D);
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<LoweredProgram>
+psketch::lowerProgram(const Program &P, const InputBindings &Inputs,
+                      DiagEngine &Diags) {
+  Lowerer L(P, Inputs, Diags);
+  auto Result = L.run();
+  if (Diags.hasErrors())
+    return nullptr;
+  return Result;
+}
+
+bool psketch::checkDefiniteAssignment(const LoweredProgram &LP,
+                                      DiagEngine &Diags) {
+  std::unordered_set<std::string> Defined;
+  if (!checkStmts(LP.Stmts, Defined, Diags))
+    return false;
+  for (const std::string &R : LP.ReturnSlots)
+    if (!Defined.count(R)) {
+      Diags.error({}, "returned slot '" + R + "' is never assigned");
+      return false;
+    }
+  return true;
+}

@@ -1,0 +1,74 @@
+//===- sem/Lower.h - Lowering: unrolling, folding, normalization ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a hole-free program plus concrete input bindings to the
+/// straight-line slot form consumed by the LL(.) likelihood operator
+/// (Figure 5), the numeric-integration baseline and the forward
+/// sampler:
+///
+///  * bounded `for` loops are fully unrolled (the paper's assumption);
+///  * loop indices and all references to program inputs are constant
+///    folded away;
+///  * array elements become scalar *slots* named `arr[i]`;
+///  * `if` branches are normalized to update the same slot set by
+///    appending identity assignments (the paper's pre-pass); and
+///  * statements reduce to Assign (scalar slot target), Observe and If.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SEM_LOWER_H
+#define PSKETCH_SEM_LOWER_H
+
+#include "ast/Program.h"
+#include "sem/Bindings.h"
+#include "support/Diag.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace psketch {
+
+/// The lowered form of a program under fixed inputs.  Statements are
+/// AssignStmt (scalar LValue naming a slot), ObserveStmt, or IfStmt
+/// whose blocks recursively contain only lowered statements.  Every
+/// variable reference inside expressions is a VarExpr whose name is a
+/// slot.
+struct LoweredProgram {
+  std::vector<StmtPtr> Stmts;
+
+  /// Every assignable slot, in declaration order (`x`, `skills[0]`,
+  /// `skills[1]`, ...), with its scalar type.
+  std::vector<std::string> Slots;
+  std::vector<ScalarKind> SlotKinds;
+  std::unordered_map<std::string, unsigned> SlotIds;
+
+  /// The program's returned variables expanded to slots; this is the
+  /// observable output tuple whose joint density the likelihood
+  /// machinery scores against the dataset.
+  std::vector<std::string> ReturnSlots;
+
+  /// Returns the id for \p Slot or ~0u when unknown.
+  unsigned slotId(const std::string &Slot) const;
+};
+
+/// Lowers \p P under \p Inputs.  \p P must be hole-free and well typed.
+/// Returns nullptr and reports to \p Diags on failure (unbound inputs,
+/// non-constant loop bounds or array indices, out-of-bounds accesses).
+std::unique_ptr<LoweredProgram>
+lowerProgram(const Program &P, const InputBindings &Inputs,
+             DiagEngine &Diags);
+
+/// Checks definite assignment on a lowered program: every slot read is
+/// written on all paths beforehand, and every returned slot is written.
+/// Used as part of the synthesis validity filter.
+bool checkDefiniteAssignment(const LoweredProgram &LP, DiagEngine &Diags);
+
+} // namespace psketch
+
+#endif // PSKETCH_SEM_LOWER_H

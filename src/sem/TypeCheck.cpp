@@ -1,0 +1,420 @@
+//===- sem/TypeCheck.cpp - Type checking ----------------------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/TypeCheck.h"
+
+#include "ast/ASTUtil.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <unordered_map>
+
+using namespace psketch;
+
+namespace {
+
+/// Shared expression-typing logic for program checking and completion
+/// checking.  In program mode, variables resolve through the scope; in
+/// completion mode only hole formals are visible.
+class Checker {
+public:
+  Checker(DiagEngine *Diags) : Diags(Diags) {}
+
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Failed = true;
+    if (Diags)
+      Diags->error(Loc, Msg);
+  }
+
+  bool failed() const { return Failed; }
+
+  // Scope management (program mode).
+  void declare(const std::string &Name, Type Ty) { Scope[Name] = Ty; }
+  const Type *lookup(const std::string &Name) const {
+    auto It = Scope.find(Name);
+    return It == Scope.end() ? nullptr : &It->second;
+  }
+
+  /// Names introduced as loop indices; reusing one as a sibling loop's
+  /// index is allowed (common across the benchmarks).
+  std::unordered_set<std::string> LoopVars;
+
+  /// Types an expression; returns nullopt on failure.  \p Expected, when
+  /// set, types holes encountered in this expression.
+  std::optional<Type> typeOf(Expr &E, std::optional<ScalarKind> Expected);
+
+  /// Per-hole signatures, by hole id.
+  std::map<unsigned, HoleSignature> Holes;
+
+  /// Completion mode: hole formal types ( non-null only when checking a
+  /// completion against a signature).
+  const HoleSignature *CompletionSig = nullptr;
+
+private:
+  std::optional<Type> typeOfSample(SampleExpr &S);
+
+  std::unordered_map<std::string, Type> Scope;
+  DiagEngine *Diags;
+  bool Failed = false;
+};
+
+bool isDistParamShape(const Expr &E) {
+  // Section 4.1: "parameters of distributions are only variables (and
+  // not general expressions) while generating the programs".  We accept
+  // variables, array elements, hole formals and constants.
+  switch (E.getKind()) {
+  case Expr::Kind::Var:
+  case Expr::Kind::Index:
+  case Expr::Kind::HoleArg:
+  case Expr::Kind::Const:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<Type> Checker::typeOfSample(SampleExpr &S) {
+  if (S.getNumArgs() != distArity(S.getDist())) {
+    error(S.getLoc(), std::string(distKindName(S.getDist())) +
+                          " expects " + std::to_string(distArity(S.getDist())) +
+                          " arguments");
+    return std::nullopt;
+  }
+  for (ExprPtr &A : S.getArgs()) {
+    auto Ty = typeOf(*A, ScalarKind::Real);
+    if (!Ty)
+      return std::nullopt;
+    if (!Ty->isNumeric()) {
+      error(A->getLoc(), "distribution parameter must be numeric");
+      return std::nullopt;
+    }
+  }
+  if (distReturnsBool(S.getDist()))
+    return Type::boolean();
+  if (S.getDist() == DistKind::Poisson)
+    return Type::integer();
+  return Type::real();
+}
+
+std::optional<Type> Checker::typeOf(Expr &E,
+                                    std::optional<ScalarKind> Expected) {
+  switch (E.getKind()) {
+  case Expr::Kind::Const:
+    return Type(cast<ConstExpr>(E).getScalarKind());
+  case Expr::Kind::Var: {
+    auto &V = cast<VarExpr>(E);
+    const Type *Ty = lookup(V.getName());
+    if (!Ty) {
+      error(V.getLoc(), "use of undeclared variable '" + V.getName() + "'");
+      return std::nullopt;
+    }
+    if (Ty->IsArray) {
+      error(V.getLoc(),
+            "array '" + V.getName() + "' used without an index");
+      return std::nullopt;
+    }
+    return *Ty;
+  }
+  case Expr::Kind::Index: {
+    auto &IX = cast<IndexExpr>(E);
+    const Type *Ty = lookup(IX.getArrayName());
+    if (!Ty) {
+      error(IX.getLoc(),
+            "use of undeclared array '" + IX.getArrayName() + "'");
+      return std::nullopt;
+    }
+    if (!Ty->IsArray) {
+      error(IX.getLoc(), "'" + IX.getArrayName() + "' is not an array");
+      return std::nullopt;
+    }
+    auto IdxTy = typeOf(*cast<IndexExpr>(E).getIndexPtr(), ScalarKind::Int);
+    if (!IdxTy)
+      return std::nullopt;
+    if (!IdxTy->isInt()) {
+      error(IX.getLoc(), "array index must be an integer");
+      return std::nullopt;
+    }
+    return Ty->element();
+  }
+  case Expr::Kind::HoleArg: {
+    auto &A = cast<HoleArgExpr>(E);
+    if (!CompletionSig) {
+      error(A.getLoc(), "hole formal '%" + std::to_string(A.getArgIndex()) +
+                            "' outside a hole completion");
+      return std::nullopt;
+    }
+    if (A.getArgIndex() >= CompletionSig->ArgKinds.size()) {
+      error(A.getLoc(), "hole formal index out of range");
+      return std::nullopt;
+    }
+    return Type(CompletionSig->ArgKinds[A.getArgIndex()]);
+  }
+  case Expr::Kind::Unary: {
+    auto &U = cast<UnaryExpr>(E);
+    auto SubTy = typeOf(*U.getSubPtr(),
+                        U.getOp() == UnaryOp::Not
+                            ? std::optional<ScalarKind>(ScalarKind::Bool)
+                            : std::optional<ScalarKind>(ScalarKind::Real));
+    if (!SubTy)
+      return std::nullopt;
+    if (U.getOp() == UnaryOp::Not) {
+      if (!SubTy->isBool()) {
+        error(U.getLoc(), "operand of '!' must be boolean");
+        return std::nullopt;
+      }
+      return Type::boolean();
+    }
+    if (!SubTy->isNumeric()) {
+      error(U.getLoc(), "operand of unary '-' must be numeric");
+      return std::nullopt;
+    }
+    return *SubTy;
+  }
+  case Expr::Kind::Binary: {
+    auto &B = cast<BinaryExpr>(E);
+    std::optional<ScalarKind> SubExpected;
+    if (isLogicalOp(B.getOp()))
+      SubExpected = ScalarKind::Bool;
+    else if (isArithOp(B.getOp()) || isCompareOp(B.getOp()))
+      SubExpected = ScalarKind::Real;
+    auto LTy = typeOf(*B.getLHSPtr(), SubExpected);
+    auto RTy = typeOf(*B.getRHSPtr(), SubExpected);
+    if (!LTy || !RTy)
+      return std::nullopt;
+    if (isArithOp(B.getOp())) {
+      if (!LTy->isNumeric() || !RTy->isNumeric()) {
+        error(B.getLoc(), std::string("operands of '") +
+                              binaryOpName(B.getOp()) + "' must be numeric");
+        return std::nullopt;
+      }
+      return (LTy->isInt() && RTy->isInt()) ? Type::integer() : Type::real();
+    }
+    if (isLogicalOp(B.getOp())) {
+      if (!LTy->isBool() || !RTy->isBool()) {
+        error(B.getLoc(), std::string("operands of '") +
+                              binaryOpName(B.getOp()) + "' must be boolean");
+        return std::nullopt;
+      }
+      return Type::boolean();
+    }
+    if (isCompareOp(B.getOp())) {
+      if (!LTy->isNumeric() || !RTy->isNumeric()) {
+        error(B.getLoc(), std::string("operands of '") +
+                              binaryOpName(B.getOp()) + "' must be numeric");
+        return std::nullopt;
+      }
+      return Type::boolean();
+    }
+    // Equality: both boolean or both numeric.
+    bool BothBool = LTy->isBool() && RTy->isBool();
+    bool BothNum = LTy->isNumeric() && RTy->isNumeric();
+    if (!BothBool && !BothNum) {
+      error(B.getLoc(), "operands of '==' must both be boolean or both "
+                        "numeric");
+      return std::nullopt;
+    }
+    return Type::boolean();
+  }
+  case Expr::Kind::Ite: {
+    auto &I = cast<IteExpr>(E);
+    auto CTy = typeOf(*I.getCondPtr(), ScalarKind::Bool);
+    if (!CTy)
+      return std::nullopt;
+    if (!CTy->isBool()) {
+      error(I.getLoc(), "ite condition must be boolean");
+      return std::nullopt;
+    }
+    auto TTy = typeOf(*I.getThenPtr(), Expected);
+    auto ETy = typeOf(*I.getElsePtr(), Expected);
+    if (!TTy || !ETy)
+      return std::nullopt;
+    if (TTy->isBool() && ETy->isBool())
+      return Type::boolean();
+    if (TTy->isNumeric() && ETy->isNumeric())
+      return (TTy->isInt() && ETy->isInt()) ? Type::integer() : Type::real();
+    error(I.getLoc(), "ite branches must both be boolean or both numeric");
+    return std::nullopt;
+  }
+  case Expr::Kind::Sample:
+    return typeOfSample(cast<SampleExpr>(E));
+  case Expr::Kind::Hole: {
+    auto &H = cast<HoleExpr>(E);
+    ScalarKind Kind = Expected.value_or(ScalarKind::Real);
+    H.setExpectedKind(Kind);
+    HoleSignature &Sig = Holes[H.getHoleId()];
+    Sig.HoleId = H.getHoleId();
+    Sig.ResultKind = Kind;
+    Sig.ArgKinds.clear();
+    for (ExprPtr &A : H.getArgs()) {
+      auto ATy = typeOf(*A, std::nullopt);
+      if (!ATy)
+        return std::nullopt;
+      if (!ATy->isScalar()) {
+        error(A->getLoc(), "hole arguments must be scalars");
+        return std::nullopt;
+      }
+      Sig.ArgKinds.push_back(ATy->Kind);
+    }
+    return Type(Kind);
+  }
+  }
+  return std::nullopt;
+}
+
+/// Statement-level checking (program mode only).
+class StmtChecker {
+public:
+  StmtChecker(Checker &C) : C(C) {}
+
+  void check(Stmt &S);
+
+private:
+  Checker &C;
+};
+
+void StmtChecker::check(Stmt &S) {
+  switch (S.getKind()) {
+  case Stmt::Kind::Skip:
+    return;
+  case Stmt::Kind::Assign: {
+    auto &A = cast<AssignStmt>(S);
+    const Type *TargetTy = C.lookup(A.getTarget().Name);
+    if (!TargetTy) {
+      C.error(S.getLoc(), "assignment to undeclared variable '" +
+                              A.getTarget().Name + "'");
+      return;
+    }
+    Type SlotTy = *TargetTy;
+    if (A.getTarget().isArrayElement()) {
+      if (!TargetTy->IsArray) {
+        C.error(S.getLoc(),
+                "'" + A.getTarget().Name + "' is not an array");
+        return;
+      }
+      auto IdxTy = C.typeOf(*A.getTarget().Index, ScalarKind::Int);
+      if (IdxTy && !IdxTy->isInt())
+        C.error(A.getTarget().Index->getLoc(),
+                "array index must be an integer");
+      SlotTy = TargetTy->element();
+    } else if (TargetTy->IsArray) {
+      C.error(S.getLoc(), "cannot assign to whole array '" +
+                              A.getTarget().Name + "'");
+      return;
+    }
+    auto ValTy = C.typeOf(*A.getValuePtr(), SlotTy.Kind);
+    if (!ValTy)
+      return;
+    bool Compatible = (SlotTy.isBool() && ValTy->isBool()) ||
+                      (SlotTy.isNumeric() && ValTy->isNumeric());
+    if (!Compatible)
+      C.error(S.getLoc(), "cannot assign " + ValTy->str() + " to '" +
+                              A.getTarget().Name + "' of type " +
+                              SlotTy.str());
+    return;
+  }
+  case Stmt::Kind::Observe: {
+    auto &O = cast<ObserveStmt>(S);
+    auto Ty = C.typeOf(*O.getCondPtr(), ScalarKind::Bool);
+    if (Ty && !Ty->isBool())
+      C.error(S.getLoc(), "observe condition must be boolean");
+    return;
+  }
+  case Stmt::Kind::Block:
+    for (StmtPtr &Sub : cast<BlockStmt>(S).getStmts())
+      check(*Sub);
+    return;
+  case Stmt::Kind::If: {
+    auto &I = cast<IfStmt>(S);
+    auto Ty = C.typeOf(*I.getCondPtr(), ScalarKind::Bool);
+    if (Ty && !Ty->isBool())
+      C.error(S.getLoc(), "if condition must be boolean");
+    check(I.getThen());
+    check(I.getElse());
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto &F = cast<ForStmt>(S);
+    auto LoTy = C.typeOf(*F.getLoPtr(), ScalarKind::Int);
+    auto HiTy = C.typeOf(*F.getHiPtr(), ScalarKind::Int);
+    if (LoTy && !LoTy->isInt())
+      C.error(F.getLo().getLoc(), "loop bound must be an integer");
+    if (HiTy && !HiTy->isInt())
+      C.error(F.getHi().getLoc(), "loop bound must be an integer");
+    // A loop variable may not shadow a parameter or declaration, but
+    // sibling loops may reuse the same index name.
+    if (C.lookup(F.getIndexVar()) && !C.LoopVars.count(F.getIndexVar()))
+      C.error(S.getLoc(),
+              "loop variable '" + F.getIndexVar() + "' shadows a variable");
+    C.LoopVars.insert(F.getIndexVar());
+    C.declare(F.getIndexVar(), Type::integer());
+    check(F.getBody());
+    // No undeclare: reuse of the same index name in sibling loops is
+    // common in the benchmarks, so leave it visible as an int.
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::optional<std::vector<HoleSignature>>
+psketch::typeCheck(Program &P, DiagEngine &Diags) {
+  Checker C(&Diags);
+  for (const Param &Pm : P.getParams()) {
+    if (C.lookup(Pm.Name))
+      C.error({}, "duplicate parameter '" + Pm.Name + "'");
+    C.declare(Pm.Name, Pm.Ty);
+  }
+  for (const LocalDecl &D : P.getDecls()) {
+    if (C.lookup(D.Name))
+      C.error({}, "duplicate declaration of '" + D.Name + "'");
+    if (D.isArray()) {
+      auto SizeTy =
+          C.typeOf(*const_cast<LocalDecl &>(D).ArraySize, ScalarKind::Int);
+      if (SizeTy && !SizeTy->isInt())
+        C.error(D.ArraySize->getLoc(), "array size must be an integer");
+    }
+    C.declare(D.Name, D.type());
+  }
+  StmtChecker SC(C);
+  SC.check(P.getBody());
+  for (const std::string &R : P.getReturns()) {
+    if (!C.lookup(R))
+      C.error({}, "returned variable '" + R + "' is not declared");
+  }
+  if (C.failed() || Diags.hasErrors())
+    return std::nullopt;
+  std::vector<HoleSignature> Result;
+  Result.reserve(C.Holes.size());
+  for (auto &[Id, Sig] : C.Holes)
+    Result.push_back(std::move(Sig));
+  return Result;
+}
+
+bool psketch::checkCompletion(const Expr &E, const HoleSignature &Sig) {
+  Checker C(nullptr);
+  C.CompletionSig = &Sig;
+  auto Ty = C.typeOf(const_cast<Expr &>(E), Sig.ResultKind);
+  if (!Ty || C.failed())
+    return false;
+  bool Compatible =
+      (Sig.ResultKind == ScalarKind::Bool)
+          ? Ty->isBool()
+          : Ty->isNumeric();
+  if (!Compatible)
+    return false;
+  // Enforce the distribution-parameter restriction on completions.
+  bool Ok = true;
+  forEachNode(E, [&](const Expr &N) {
+    if (const auto *S = dyn_cast<SampleExpr>(&N))
+      for (const ExprPtr &A : S->getArgs())
+        if (!isDistParamShape(*A))
+          Ok = false;
+  });
+  return Ok;
+}

@@ -1,0 +1,53 @@
+//===- sem/TypeCheck.h - Type checking for programs and completions ------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checking of programs, sketches and hole completions.  Checking a
+/// sketch additionally annotates each hole with its expected scalar type
+/// and yields per-hole signatures (argument types + result type), which
+/// is what the synthesizer's typed expression generator consumes.
+///
+/// Checking a *completion* validates an expression over hole formals
+/// against a signature; the MCMC mutation loop uses this as the paper's
+/// "quick syntactic check" that rejects nonsensical mutants
+/// (Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SEM_TYPECHECK_H
+#define PSKETCH_SEM_TYPECHECK_H
+
+#include "ast/Program.h"
+#include "support/Diag.h"
+
+#include <optional>
+#include <vector>
+
+namespace psketch {
+
+/// The interface of one hole: result type and formal-parameter types.
+struct HoleSignature {
+  unsigned HoleId = 0;
+  ScalarKind ResultKind = ScalarKind::Real;
+  std::vector<ScalarKind> ArgKinds;
+};
+
+/// Type-checks \p P (which may contain holes).  Reports problems to
+/// \p Diags, annotates holes with expected kinds, and returns the hole
+/// signatures in hole-id order.  Returns std::nullopt on error.
+std::optional<std::vector<HoleSignature>> typeCheck(Program &P,
+                                                    DiagEngine &Diags);
+
+/// Type-checks a hole completion \p E against \p Sig.  The completion
+/// may reference hole formals `%i` (typed by the signature) but no
+/// program variables; distribution arguments are restricted to
+/// variables and constants, per Section 4.1 of the paper.  Returns true
+/// when the completion is well typed.
+bool checkCompletion(const Expr &E, const HoleSignature &Sig);
+
+} // namespace psketch
+
+#endif // PSKETCH_SEM_TYPECHECK_H

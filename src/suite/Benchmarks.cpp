@@ -1,0 +1,675 @@
+//===- suite/Benchmarks.cpp - The 16 paper benchmarks --------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Benchmarks.h"
+
+using namespace psketch;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Burglary (Pearl [14]): boolean causal network conditioned on the
+// phone call being received.
+// --------------------------------------------------------------------------
+
+const char *BurglaryTarget = R"(
+program Burglary() {
+  earthquake: bool;
+  burglary: bool;
+  alarm: bool;
+  phoneWorking: bool;
+  maryWakes: bool;
+  called: bool;
+  earthquake ~ Bernoulli(0.1);
+  burglary ~ Bernoulli(0.1);
+  alarm = earthquake || burglary;
+  if (earthquake) {
+    phoneWorking ~ Bernoulli(0.7);
+  } else {
+    phoneWorking ~ Bernoulli(0.99);
+  }
+  if (alarm) {
+    if (earthquake) {
+      maryWakes ~ Bernoulli(0.8);
+    } else {
+      maryWakes ~ Bernoulli(0.6);
+    }
+  } else {
+    maryWakes ~ Bernoulli(0.2);
+  }
+  called = maryWakes && phoneWorking;
+  observe(called);
+  return earthquake, burglary, alarm, phoneWorking, maryWakes, called;
+}
+)";
+
+const char *BurglarySketch = R"(
+program BurglarySketch() {
+  earthquake: bool;
+  burglary: bool;
+  alarm: bool;
+  phoneWorking: bool;
+  maryWakes: bool;
+  called: bool;
+  earthquake = ??;
+  burglary = ??;
+  alarm = earthquake || burglary;
+  if (earthquake) {
+    phoneWorking = ??;
+  } else {
+    phoneWorking = ??;
+  }
+  if (alarm) {
+    if (earthquake) {
+      maryWakes = ??;
+    } else {
+      maryWakes = ??;
+    }
+  } else {
+    maryWakes = ??;
+  }
+  called = maryWakes && phoneWorking;
+  observe(called);
+  return earthquake, burglary, alarm, phoneWorking, maryWakes, called;
+}
+)";
+
+// --------------------------------------------------------------------------
+// TrueSkill (Herbrich et al. [12]): the paper's running example
+// (Figures 1 and 2).
+// --------------------------------------------------------------------------
+
+// The paper's dataset pairs game outcomes with skills (both tables in
+// Figure 2 are data, and Figure 4's likelihood has a density factor
+// for r at its observed value).  Game outcomes are therefore returned
+// variables here; the Figure 7 experiment appends the observe
+// conditioning (see bench/figure7_posteriors.cpp and DESIGN.md §3).
+const char *TrueSkillTarget = R"(
+program TrueSkill(nplayers: int, ngames: int, p1: int[], p2: int[]) {
+  skills: real[nplayers];
+  r: bool[ngames];
+  perf1: real;
+  perf2: real;
+  for i in 0..nplayers {
+    skills[i] ~ Gaussian(100.0, 10.0);
+  }
+  for g in 0..ngames {
+    perf1 ~ Gaussian(skills[p1[g]], 15.0);
+    perf2 ~ Gaussian(skills[p2[g]], 15.0);
+    r[g] = perf1 > perf2;
+  }
+  return skills, r;
+}
+)";
+
+const char *TrueSkillSketch = R"(
+program TrueSkillSketch(nplayers: int, ngames: int, p1: int[], p2: int[]) {
+  skills: real[nplayers];
+  r: bool[ngames];
+  for i in 0..nplayers {
+    skills[i] = ??;
+  }
+  for g in 0..ngames {
+    r[g] = ??(skills[p1[g]], skills[p2[g]]);
+  }
+  return skills, r;
+}
+)";
+
+InputBindings trueSkillInputs() {
+  InputBindings In;
+  In.setInt("nplayers", 3);
+  In.setInt("ngames", 3);
+  In.setIntArray("p1", {0, 1, 0});
+  In.setIntArray("p2", {1, 2, 2});
+  return In;
+}
+
+// --------------------------------------------------------------------------
+// Clinical (Infer.NET [23]): drug effectiveness from control/treated
+// groups.
+// --------------------------------------------------------------------------
+
+const char *ClinicalTarget = R"(
+program Clinical(ncontrol: int, ntreated: int) {
+  isEffective: bool;
+  probControl: real;
+  probTreatedEff: real;
+  probTreated: real;
+  control: bool[ncontrol];
+  treated: bool[ntreated];
+  isEffective ~ Bernoulli(0.5);
+  probControl ~ Beta(3.0, 5.0);
+  probTreatedEff ~ Beta(6.0, 2.0);
+  probTreated = ite(isEffective, probTreatedEff, probControl);
+  for i in 0..ncontrol {
+    control[i] ~ Bernoulli(probControl);
+  }
+  for i in 0..ntreated {
+    treated[i] ~ Bernoulli(probTreated);
+  }
+  return isEffective, control, treated;
+}
+)";
+
+const char *ClinicalSketch = R"(
+program ClinicalSketch(ncontrol: int, ntreated: int) {
+  isEffective: bool;
+  probControl: real;
+  probTreatedEff: real;
+  probTreated: real;
+  control: bool[ncontrol];
+  treated: bool[ntreated];
+  isEffective = ??;
+  probControl = ??;
+  probTreatedEff = ??;
+  probTreated = ??(isEffective, probTreatedEff, probControl);
+  for i in 0..ncontrol {
+    control[i] = ??(probControl);
+  }
+  for i in 0..ntreated {
+    treated[i] = ??(probTreated);
+  }
+  return isEffective, control, treated;
+}
+)";
+
+InputBindings clinicalInputs() {
+  InputBindings In;
+  In.setInt("ncontrol", 6);
+  In.setInt("ntreated", 6);
+  return In;
+}
+
+// --------------------------------------------------------------------------
+// Clickthrough 1 & 2 (Infer.NET [23]): cascade model of link
+// examination.  Same generative model; the two rows of Table 1 differ
+// in how much of it the sketch leaves open.
+// --------------------------------------------------------------------------
+
+const char *ClickthroughTarget = R"(
+program Clickthrough(nlinks: int) {
+  cont: real;
+  examine: bool[nlinks];
+  cont ~ Beta(4.0, 2.0);
+  examine[0] = true;
+  for j in 1..nlinks {
+    examine[j] = examine[j - 1] && Bernoulli(cont);
+  }
+  return examine;
+}
+)";
+
+const char *Clickthrough1Sketch = R"(
+program Clickthrough1Sketch(nlinks: int) {
+  cont: real;
+  examine: bool[nlinks];
+  cont = ??;
+  examine[0] = ??;
+  for j in 1..nlinks {
+    examine[j] = ??(examine[j - 1], cont);
+  }
+  return examine;
+}
+)";
+
+const char *Clickthrough2Sketch = R"(
+program Clickthrough2Sketch(nlinks: int) {
+  cont: real;
+  examine: bool[nlinks];
+  cont ~ Beta(4.0, 2.0);
+  examine[0] = true;
+  for j in 1..nlinks {
+    examine[j] = ??(examine[j - 1], cont);
+  }
+  return examine;
+}
+)";
+
+InputBindings clickthroughInputs() {
+  InputBindings In;
+  In.setInt("nlinks", 4);
+  return In;
+}
+
+// --------------------------------------------------------------------------
+// Clickthrough 3 & 4 (Infer.NET [23]): examination and click.  Again
+// one model, two sketches of increasing openness.
+// --------------------------------------------------------------------------
+
+const char *ClickthroughClickTarget = R"(
+program ClickthroughClick(nlinks: int) {
+  appeal: real;
+  relevance: real;
+  examine: bool[nlinks];
+  click: bool[nlinks];
+  appeal ~ Beta(4.0, 2.0);
+  relevance ~ Beta(3.0, 3.0);
+  examine[0] = true;
+  click[0] = Bernoulli(relevance);
+  for j in 1..nlinks {
+    examine[j] = examine[j - 1] && Bernoulli(appeal);
+    click[j] = examine[j] && Bernoulli(relevance);
+  }
+  return examine, click;
+}
+)";
+
+const char *Clickthrough3Sketch = R"(
+program Clickthrough3Sketch(nlinks: int) {
+  appeal: real;
+  relevance: real;
+  examine: bool[nlinks];
+  click: bool[nlinks];
+  appeal ~ Beta(4.0, 2.0);
+  relevance ~ Beta(3.0, 3.0);
+  examine[0] = true;
+  click[0] = Bernoulli(relevance);
+  for j in 1..nlinks {
+    examine[j] = ??(examine[j - 1], appeal);
+    click[j] = ??(examine[j], relevance);
+  }
+  return examine, click;
+}
+)";
+
+const char *Clickthrough4Sketch = R"(
+program Clickthrough4Sketch(nlinks: int) {
+  appeal: real;
+  relevance: real;
+  examine: bool[nlinks];
+  click: bool[nlinks];
+  appeal = ??;
+  relevance = ??;
+  examine[0] = ??;
+  click[0] = ??(relevance);
+  for j in 1..nlinks {
+    examine[j] = ??(examine[j - 1], appeal);
+    click[j] = ??(examine[j], relevance);
+  }
+  return examine, click;
+}
+)";
+
+// --------------------------------------------------------------------------
+// Conference (Infer.NET [23]): accept/reject from paper quality seen
+// through a noisy review.
+// --------------------------------------------------------------------------
+
+const char *ConferenceTarget = R"(
+program Conference(npapers: int) {
+  quality: real[npapers];
+  review: real;
+  accept: bool[npapers];
+  for p in 0..npapers {
+    quality[p] ~ Gaussian(0.0, 1.0);
+    review ~ Gaussian(quality[p], 0.5);
+    accept[p] = review > 0.8;
+  }
+  return quality, accept;
+}
+)";
+
+const char *ConferenceSketch = R"(
+program ConferenceSketch(npapers: int) {
+  quality: real[npapers];
+  review: real;
+  accept: bool[npapers];
+  for p in 0..npapers {
+    quality[p] = ??;
+    review = ??(quality[p]);
+    accept[p] = ??(review);
+  }
+  return quality, accept;
+}
+)";
+
+InputBindings conferenceInputs() {
+  InputBindings In;
+  In.setInt("npapers", 4);
+  return In;
+}
+
+// --------------------------------------------------------------------------
+// Grading (Bachrach et al. [1]): crowdsourced test grading from
+// student ability and question difficulty.
+// --------------------------------------------------------------------------
+
+const char *GradingTarget = R"(
+program Grading(nstudents: int, nquestions: int, nresponses: int,
+                sid: int[], qid: int[]) {
+  ability: real[nstudents];
+  difficulty: real[nquestions];
+  perf: real;
+  correct: bool[nresponses];
+  for s in 0..nstudents {
+    ability[s] ~ Gaussian(0.0, 1.0);
+  }
+  for q in 0..nquestions {
+    difficulty[q] ~ Gaussian(0.0, 1.0);
+  }
+  for r in 0..nresponses {
+    perf ~ Gaussian(ability[sid[r]], 0.5);
+    correct[r] = perf > difficulty[qid[r]];
+  }
+  return ability, difficulty, correct;
+}
+)";
+
+const char *GradingSketch = R"(
+program GradingSketch(nstudents: int, nquestions: int, nresponses: int,
+                      sid: int[], qid: int[]) {
+  ability: real[nstudents];
+  difficulty: real[nquestions];
+  perf: real;
+  correct: bool[nresponses];
+  for s in 0..nstudents {
+    ability[s] = ??;
+  }
+  for q in 0..nquestions {
+    difficulty[q] = ??;
+  }
+  for r in 0..nresponses {
+    perf = ??(ability[sid[r]]);
+    correct[r] = ??(perf, difficulty[qid[r]]);
+  }
+  return ability, difficulty, correct;
+}
+)";
+
+InputBindings gradingInputs() {
+  InputBindings In;
+  In.setInt("nstudents", 3);
+  In.setInt("nquestions", 3);
+  In.setInt("nresponses", 9);
+  In.setIntArray("sid", {0, 0, 0, 1, 1, 1, 2, 2, 2});
+  In.setIntArray("qid", {0, 1, 2, 0, 1, 2, 0, 1, 2});
+  return In;
+}
+
+// --------------------------------------------------------------------------
+// Handedness (Infer.NET [23]): shared Beta-distributed probability of
+// right-handedness.
+// --------------------------------------------------------------------------
+
+const char *HandednessTarget = R"(
+program Handedness(npeople: int) {
+  probRight: real;
+  isRight: bool[npeople];
+  probRight ~ Beta(9.0, 1.0);
+  for i in 0..npeople {
+    isRight[i] ~ Bernoulli(probRight);
+  }
+  return isRight;
+}
+)";
+
+const char *HandednessSketch = R"(
+program HandednessSketch(npeople: int) {
+  probRight: real;
+  isRight: bool[npeople];
+  probRight = ??;
+  for i in 0..npeople {
+    isRight[i] = ??(probRight);
+  }
+  return isRight;
+}
+)";
+
+InputBindings handednessInputs() {
+  InputBindings In;
+  In.setInt("npeople", 8);
+  return In;
+}
+
+// --------------------------------------------------------------------------
+// Gender Height (Infer.NET [23]): mixture of male/female heights.
+// --------------------------------------------------------------------------
+
+const char *GenderHeightTarget = R"(
+program GenderHeight(npeople: int) {
+  isMale: bool[npeople];
+  height: real[npeople];
+  for i in 0..npeople {
+    isMale[i] ~ Bernoulli(0.5);
+    height[i] = ite(isMale[i], Gaussian(177.0, 7.0), Gaussian(164.0, 6.5));
+  }
+  return isMale, height;
+}
+)";
+
+const char *GenderHeightSketch = R"(
+program GenderHeightSketch(npeople: int) {
+  isMale: bool[npeople];
+  height: real[npeople];
+  for i in 0..npeople {
+    isMale[i] = ??;
+    height[i] = ??(isMale[i]);
+  }
+  return isMale, height;
+}
+)";
+
+InputBindings genderHeightInputs() {
+  InputBindings In;
+  In.setInt("npeople", 2);
+  return In;
+}
+
+// --------------------------------------------------------------------------
+// MoG 1-3: two-component mixture of Gaussians with decreasing amounts
+// of information about the latent component indicator (Section 5).
+// --------------------------------------------------------------------------
+
+const char *MoG1Target = R"(
+program MoG1() {
+  z: bool;
+  x: real;
+  z ~ Bernoulli(0.3);
+  x = ite(z, Gaussian(0.0, 1.0), Gaussian(10.0, 2.0));
+  return z, x;
+}
+)";
+
+const char *MoG1Sketch = R"(
+program MoG1Sketch() {
+  z: bool;
+  x: real;
+  z = ??;
+  x = ??(z);
+  return z, x;
+}
+)";
+
+const char *MoG2Target = R"(
+program MoG2() {
+  x: real;
+  x = ite(Bernoulli(0.3), Gaussian(0.0, 1.0), Gaussian(10.0, 2.0));
+  return x;
+}
+)";
+
+const char *MoG2Sketch = R"(
+program MoG2Sketch() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+const char *MoG3Target = R"(
+program MoG3() {
+  z: bool;
+  x: real;
+  z ~ Bernoulli(0.3);
+  x = ite(z, Gaussian(0.0, 1.0), Gaussian(10.0, 2.0));
+  return x;
+}
+)";
+
+const char *MoG3Sketch = R"(
+program MoG3Sketch() {
+  z: bool;
+  x: real;
+  z = ??;
+  x = ??(z);
+  return x;
+}
+)";
+
+// --------------------------------------------------------------------------
+// RATS (Gelman et al. [4]): hierarchical linear growth of rat weights.
+// --------------------------------------------------------------------------
+
+const char *RatsTarget = R"(
+program Rats(nrats: int, ndays: int, day: real[]) {
+  alpha: real[nrats];
+  slope: real[nrats];
+  mu: real;
+  weight: real[nrats * ndays];
+  for r in 0..nrats {
+    alpha[r] ~ Gaussian(240.0, 15.0);
+    slope[r] ~ Gaussian(6.0, 0.8);
+    for t in 0..ndays {
+      mu = alpha[r] + slope[r] * day[t];
+      weight[r * ndays + t] ~ Gaussian(mu, 6.0);
+    }
+  }
+  return weight;
+}
+)";
+
+const char *RatsSketch = R"(
+program RatsSketch(nrats: int, ndays: int, day: real[]) {
+  alpha: real[nrats];
+  slope: real[nrats];
+  mu: real;
+  weight: real[nrats * ndays];
+  for r in 0..nrats {
+    alpha[r] = ??;
+    slope[r] = ??;
+    for t in 0..ndays {
+      mu = ??(alpha[r], slope[r], day[t]);
+      weight[r * ndays + t] = ??(mu);
+    }
+  }
+  return weight;
+}
+)";
+
+InputBindings ratsInputs() {
+  InputBindings In;
+  In.setInt("nrats", 3);
+  In.setInt("ndays", 5);
+  In.setArray("day", {8.0, 15.0, 22.0, 29.0, 36.0});
+  return In;
+}
+
+// --------------------------------------------------------------------------
+// Gaussian: a single Gaussian variable (Section 5's sanity model).
+// --------------------------------------------------------------------------
+
+const char *GaussianTarget = R"(
+program GaussianModel() {
+  x: real;
+  x ~ Gaussian(100.0, 10.0);
+  return x;
+}
+)";
+
+const char *GaussianSketch = R"(
+program GaussianSketch() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+InputBindings noInputs() { return InputBindings(); }
+
+SynthesisConfig synthConfig(unsigned Iterations, uint64_t Seed,
+                            unsigned Chains, bool GrowShrink = false) {
+  SynthesisConfig C;
+  C.Iterations = Iterations;
+  C.Seed = Seed;
+  C.Chains = Chains;
+  // The grow/shrink proposal extension pays off on mixture-shaped
+  // posteriors (GenderHeight, MoG*) and only bloats candidates
+  // elsewhere; see bench/ablation_design_choices.
+  C.Mut.EnableGrowShrink = GrowShrink;
+  return C;
+}
+
+std::vector<Benchmark> buildBenchmarks() {
+  std::vector<Benchmark> B;
+  B.push_back({"Burglary", BurglaryTarget, BurglarySketch, noInputs, 100,
+               7001, synthConfig(4000, 101, 3),
+               {89, -71.94, -71.37, 100}});
+  B.push_back({"TrueSkill", TrueSkillTarget, TrueSkillSketch,
+               trueSkillInputs, 400, 7002, synthConfig(8000, 102, 6),
+               {114, -718.33, -697.68, 400}});
+  B.push_back({"Clinical", ClinicalTarget, ClinicalSketch, clinicalInputs,
+               100, 7003, synthConfig(5000, 103, 3),
+               {149, -102.26, -98.09, 100}});
+  B.push_back({"Clickthrough1", ClickthroughTarget, Clickthrough1Sketch,
+               clickthroughInputs, 400, 7004, synthConfig(5000, 104, 3),
+               {117, -102.75, -103.91, 400}});
+  B.push_back({"Clickthrough2", ClickthroughTarget, Clickthrough2Sketch,
+               clickthroughInputs, 400, 7005, synthConfig(3000, 105, 2),
+               {37, -102.75, -102.34, 400}});
+  B.push_back({"Clickthrough3", ClickthroughClickTarget, Clickthrough3Sketch,
+               clickthroughInputs, 400, 7006, synthConfig(6000, 106, 3),
+               {120, -263.73, -263.82, 400}});
+  B.push_back({"Clickthrough4", ClickthroughClickTarget, Clickthrough4Sketch,
+               clickthroughInputs, 400, 7007, synthConfig(8000, 107, 4),
+               {312, -263.73, -263.12, 400}});
+  B.push_back({"Conference", ConferenceTarget, ConferenceSketch,
+               conferenceInputs, 400, 7008, synthConfig(10000, 108, 6),
+               {113, -251.81, -195.33, 400}});
+  B.push_back({"Grading", GradingTarget, GradingSketch, gradingInputs, 400,
+               7009, synthConfig(10000, 109, 6),
+               {353, -179.04, -181.82, 400}});
+  B.push_back({"Handedness", HandednessTarget, HandednessSketch,
+               handednessInputs, 100, 7010, synthConfig(4000, 110, 2),
+               {145, -90.71, -90.32, 100}});
+  B.push_back({"GenderHeight", GenderHeightTarget, GenderHeightSketch,
+               genderHeightInputs, 100, 7011, synthConfig(10000, 111, 10, true),
+               {451, -780.02, -727.88, 100}});
+  B.push_back({"MoG1", MoG1Target, MoG1Sketch, noInputs, 100, 7012,
+               synthConfig(12000, 112, 6, true),
+               {113, -479.15, -472.59, 100}});
+  B.push_back({"MoG2", MoG2Target, MoG2Sketch, noInputs, 100, 7013,
+               synthConfig(10000, 113, 16, true),
+               {7, -405.27, -411.19, 100}});
+  B.push_back({"MoG3", MoG3Target, MoG3Sketch, noInputs, 100, 7014,
+               synthConfig(12000, 114, 6, true),
+               {2, -405.27, -405.43, 100}});
+  SynthesisConfig RatsConfig = synthConfig(12000, 115, 6);
+  // The growth model is linear in day; products are sound here
+  // (Known-times-MoG scaling) and required to express slope * day.
+  RatsConfig.Gen.ArithOps = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul};
+  B.push_back({"RATS", RatsTarget, RatsSketch, ratsInputs, 400, 7015,
+               RatsConfig,
+               {215, -1140.68, -1047.54, 400}});
+  B.push_back({"Gaussian", GaussianTarget, GaussianSketch, noInputs, 400,
+               7016, synthConfig(2500, 116, 2),
+               {10, -1483.67, -1479.2, 400}});
+  return B;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &psketch::allBenchmarks() {
+  static const std::vector<Benchmark> Benchmarks = buildBenchmarks();
+  return Benchmarks;
+}
+
+const Benchmark *psketch::findBenchmark(const std::string &Name) {
+  for (const Benchmark &B : allBenchmarks())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,60 @@
+//===- suite/Benchmarks.h - The 16 paper benchmarks ----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 16 probabilistic-program benchmarks of Section 5, re-implemented
+/// in the PSketch language from the paper's descriptions and citations
+/// (Burglary [14], TrueSkill [12], Clinical/Clickthrough/Conference/
+/// Handedness/GenderHeight [23], Grading [1], MoG variants, RATS [4],
+/// Gaussian).  Each benchmark carries its target program, its sketch
+/// (probabilistic computations replaced by holes, as the paper's
+/// methodology prescribes), concrete input bindings, the dataset size
+/// of Table 1, a synthesis configuration, and the paper's reported
+/// numbers for shape comparison in EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUITE_BENCHMARKS_H
+#define PSKETCH_SUITE_BENCHMARKS_H
+
+#include "sem/Bindings.h"
+#include "synth/Synthesizer.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Numbers the paper reports for one Table 1 row.
+struct PaperRow {
+  double TimeSec = 0;
+  double TargetLL = 0;
+  double SynthesizedLL = 0;
+  unsigned DatasetSize = 0;
+};
+
+/// One benchmark of the evaluation.
+struct Benchmark {
+  std::string Name;
+  std::string TargetSource;
+  std::string SketchSource;
+  std::function<InputBindings()> MakeInputs;
+  unsigned DatasetSize = 100;
+  uint64_t DataSeed = 7;
+  SynthesisConfig Synth;
+  PaperRow Paper;
+};
+
+/// All 16 benchmarks, in Table 1 order.
+const std::vector<Benchmark> &allBenchmarks();
+
+/// Lookup by name; null when unknown.
+const Benchmark *findBenchmark(const std::string &Name);
+
+} // namespace psketch
+
+#endif // PSKETCH_SUITE_BENCHMARKS_H

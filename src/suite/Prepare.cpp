@@ -1,0 +1,78 @@
+//===- suite/Prepare.cpp - Benchmark preparation and execution -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Prepare.h"
+
+#include "ast/ASTPrinter.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+
+using namespace psketch;
+
+std::optional<PreparedBenchmark>
+psketch::prepareBenchmark(const Benchmark &B, DiagEngine &Diags) {
+  PreparedBenchmark P;
+  P.Spec = &B;
+  P.Target = parseProgramSource(B.TargetSource, Diags);
+  if (!P.Target) {
+    Diags.error({}, "benchmark '" + B.Name + "': target failed to parse");
+    return std::nullopt;
+  }
+  P.Sketch = parseProgramSource(B.SketchSource, Diags);
+  if (!P.Sketch) {
+    Diags.error({}, "benchmark '" + B.Name + "': sketch failed to parse");
+    return std::nullopt;
+  }
+  if (!typeCheck(*P.Target, Diags) || !typeCheck(*P.Sketch, Diags)) {
+    Diags.error({}, "benchmark '" + B.Name + "': type checking failed");
+    return std::nullopt;
+  }
+  P.Inputs = B.MakeInputs();
+  P.TargetLowered = lowerProgram(*P.Target, P.Inputs, Diags);
+  if (!P.TargetLowered || !checkDefiniteAssignment(*P.TargetLowered, Diags))
+    return std::nullopt;
+
+  Rng DataRng(B.DataSeed);
+  P.Data = generateDataset(*P.TargetLowered, B.DatasetSize, DataRng);
+  if (P.Data.numRows() != B.DatasetSize) {
+    Diags.error({}, "benchmark '" + B.Name +
+                        "': dataset generation fell short (" +
+                        std::to_string(P.Data.numRows()) + " rows)");
+    return std::nullopt;
+  }
+
+  auto F = LikelihoodFunction::compile(*P.TargetLowered, P.Data,
+                                       B.Synth.Algebra);
+  if (!F) {
+    Diags.error({}, "benchmark '" + B.Name +
+                        "': target likelihood failed to compile");
+    return std::nullopt;
+  }
+  P.TargetLL = F->logLikelihood(P.Data);
+  return P;
+}
+
+BenchmarkRunResult
+psketch::runBenchmark(const PreparedBenchmark &Prepared,
+                      const SynthesisConfig *ConfigOverride) {
+  const Benchmark &B = *Prepared.Spec;
+  BenchmarkRunResult Row;
+  Row.Name = B.Name;
+  Row.TargetLL = Prepared.TargetLL;
+  Row.DatasetSize = unsigned(Prepared.Data.numRows());
+
+  SynthesisConfig Config = ConfigOverride ? *ConfigOverride : B.Synth;
+  Synthesizer Synth(*Prepared.Sketch, Prepared.Inputs, Prepared.Data,
+                    Config);
+  SynthesisResult Result = Synth.run();
+  Row.Succeeded = Result.Succeeded;
+  Row.Stats = Result.Stats;
+  Row.Seconds = Result.Stats.Seconds;
+  Row.SynthesizedLL = Result.BestLogLikelihood;
+  if (Result.BestProgram)
+    Row.BestProgramSource = toString(*Result.BestProgram);
+  return Row;
+}

@@ -1,0 +1,64 @@
+//===- suite/Prepare.h - Benchmark preparation and execution -------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a Benchmark description into runnable artifacts — parsed
+/// target and sketch, lowered target, generated dataset (the paper's
+/// methodology: run the target, collect outputs) — and drives one
+/// Table 1 row: synthesize from the sketch and compare data
+/// log-likelihoods of target and synthesized programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUITE_PREPARE_H
+#define PSKETCH_SUITE_PREPARE_H
+
+#include "interp/Interp.h"
+#include "suite/Benchmarks.h"
+
+#include <memory>
+#include <optional>
+
+namespace psketch {
+
+/// Parsed/lowered/measured artifacts of one benchmark.
+struct PreparedBenchmark {
+  const Benchmark *Spec = nullptr;
+  std::unique_ptr<Program> Target;
+  std::unique_ptr<Program> Sketch;
+  InputBindings Inputs;
+  std::unique_ptr<LoweredProgram> TargetLowered;
+  Dataset Data;
+  double TargetLL = 0; ///< log Pr(D | target) under the MoG likelihood.
+};
+
+/// Parses, checks, lowers and generates data for \p B.  Returns
+/// nullopt (with diagnostics) on any failure — the test suite asserts
+/// this never happens for the 16 shipped benchmarks.
+std::optional<PreparedBenchmark> prepareBenchmark(const Benchmark &B,
+                                                  DiagEngine &Diags);
+
+/// One row of Table 1.
+struct BenchmarkRunResult {
+  std::string Name;
+  bool Succeeded = false;
+  double Seconds = 0;
+  double TargetLL = 0;
+  double SynthesizedLL = 0;
+  unsigned DatasetSize = 0;
+  SynthesisStats Stats;
+  std::string BestProgramSource;
+};
+
+/// Runs synthesis for \p Prepared with its benchmark's configuration
+/// (overridable via \p ConfigOverride).
+BenchmarkRunResult
+runBenchmark(const PreparedBenchmark &Prepared,
+             const SynthesisConfig *ConfigOverride = nullptr);
+
+} // namespace psketch
+
+#endif // PSKETCH_SUITE_PREPARE_H

@@ -1,0 +1,83 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast helpers ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal re-implementation of LLVM's kind-based casting templates.
+///
+/// A class opts in by providing a nested `classof(const Base *)` static
+/// predicate (usually implemented by comparing a Kind enumerator).  The
+/// templates below then provide checked downcasts without RTTI:
+///
+/// \code
+///   if (const auto *BO = dyn_cast<BinaryExpr>(E))
+///     ... use BO ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_CASTING_H
+#define PSKETCH_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace psketch {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+/// Downcast that returns null when the dynamic type does not match.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates null inputs.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_CASTING_H

@@ -1,0 +1,62 @@
+//===- support/Diag.cpp - Source locations and diagnostics ---------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+#include <sstream>
+
+using namespace psketch;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  std::ostringstream OS;
+  OS << Line << ':' << Col;
+  return OS.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << Loc.str() << ": ";
+  switch (Kind) {
+  case DiagKind::Error:
+    OS << "error: ";
+    break;
+  case DiagKind::Warning:
+    OS << "warning: ";
+    break;
+  case DiagKind::Note:
+    OS << "note: ";
+    break;
+  }
+  OS << Message;
+  return OS.str();
+}
+
+void DiagEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+}
+
+void DiagEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+std::string DiagEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << '\n';
+  return OS.str();
+}
+
+void DiagEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

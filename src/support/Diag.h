@@ -1,0 +1,74 @@
+//===- support/Diag.h - Source locations and diagnostics -----------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink shared by the lexer, parser and
+/// semantic analysis.  Diagnostics accumulate in a DiagEngine; callers
+/// inspect hasErrors() and render messages with DiagEngine::str().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_DIAG_H
+#define PSKETCH_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// A 1-based line/column position in a source buffer.  Line 0 denotes an
+/// unknown location (e.g. programmatically-built ASTs).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single positioned message.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one source buffer.
+class DiagEngine {
+public:
+  /// Records an error at \p Loc; message style follows the LLVM
+  /// convention (lowercase first word, no trailing period).
+  void error(SourceLoc Loc, std::string Message);
+
+  /// Records a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Message);
+
+  /// Records a note at \p Loc.
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string str() const;
+
+  /// Drops all recorded diagnostics.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_DIAG_H

@@ -1,0 +1,79 @@
+//===- support/Histogram.cpp - Fixed-bin histograms ----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace psketch;
+
+Histogram::Histogram(double Lo, double Hi, size_t Bins)
+    : Lo(Lo), Hi(Hi), Counts(Bins, 0) {
+  assert(Lo < Hi && "histogram range is empty");
+  assert(Bins > 0 && "histogram needs at least one bin");
+}
+
+void Histogram::add(double X) {
+  double T = (X - Lo) / (Hi - Lo) * double(Counts.size());
+  long I = long(std::floor(T));
+  if (I < 0)
+    I = 0;
+  if (I >= long(Counts.size()))
+    I = long(Counts.size()) - 1;
+  ++Counts[size_t(I)];
+  ++Total;
+  Sum += X;
+  SumSq += X * X;
+}
+
+void Histogram::addAll(const std::vector<double> &Xs) {
+  for (double X : Xs)
+    add(X);
+}
+
+double Histogram::binCenter(size_t I) const {
+  assert(I < Counts.size() && "bin index out of range");
+  double Width = (Hi - Lo) / double(Counts.size());
+  return Lo + (double(I) + 0.5) * Width;
+}
+
+double Histogram::density(size_t I) const {
+  if (Total == 0)
+    return 0.0;
+  double Width = (Hi - Lo) / double(Counts.size());
+  return mass(I) / Width;
+}
+
+double Histogram::mass(size_t I) const {
+  assert(I < Counts.size() && "bin index out of range");
+  return Total ? double(Counts[I]) / double(Total) : 0.0;
+}
+
+double Histogram::stddev() const {
+  if (Total < 2)
+    return 0.0;
+  double Mean = Sum / double(Total);
+  double Var = SumSq / double(Total) - Mean * Mean;
+  return Var > 0 ? std::sqrt(Var) : 0.0;
+}
+
+double Histogram::l1Distance(const Histogram &A, const Histogram &B) {
+  assert(A.bins() == B.bins() && A.lo() == B.lo() && A.hi() == B.hi() &&
+         "histograms must share binning");
+  double D = 0;
+  for (size_t I = 0, E = A.bins(); I != E; ++I)
+    D += std::abs(A.mass(I) - B.mass(I));
+  return D;
+}
+
+std::string Histogram::series(const std::string &Label) const {
+  std::ostringstream OS;
+  for (size_t I = 0, E = bins(); I != E; ++I)
+    OS << Label << ' ' << binCenter(I) << ' ' << density(I) << '\n';
+  return OS.str();
+}

@@ -1,0 +1,69 @@
+//===- support/Histogram.h - Fixed-bin histograms for posteriors ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-bin histogram used to summarize posterior samples (Figure 7 of
+/// the paper) and to compare empirical distributions in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_HISTOGRAM_H
+#define PSKETCH_SUPPORT_HISTOGRAM_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Histogram over [Lo, Hi) with \p Bins equal-width bins.  Samples
+/// outside the range are clamped into the boundary bins so no mass is
+/// silently dropped.
+class Histogram {
+public:
+  Histogram(double Lo, double Hi, size_t Bins);
+
+  void add(double X);
+  void addAll(const std::vector<double> &Xs);
+
+  size_t bins() const { return Counts.size(); }
+  double lo() const { return Lo; }
+  double hi() const { return Hi; }
+  size_t total() const { return Total; }
+
+  /// Center of bin \p I.
+  double binCenter(size_t I) const;
+
+  /// Normalized density estimate for bin \p I (integrates to ~1).
+  double density(size_t I) const;
+
+  /// Fraction of samples in bin \p I.
+  double mass(size_t I) const;
+
+  /// Mean of the recorded samples.
+  double mean() const { return Total ? Sum / double(Total) : 0.0; }
+
+  /// Standard deviation of the recorded samples.
+  double stddev() const;
+
+  /// L1 distance between the bin-mass vectors of two histograms with the
+  /// same binning; in [0, 2].
+  static double l1Distance(const Histogram &A, const Histogram &B);
+
+  /// Renders "center density" rows, one per bin, for plotting.
+  std::string series(const std::string &Label) const;
+
+private:
+  double Lo, Hi;
+  std::vector<size_t> Counts;
+  size_t Total = 0;
+  double Sum = 0;
+  double SumSq = 0;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,91 @@
+//===- support/Rng.cpp - Seeded random number generation ------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace psketch;
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(Engine);
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "uniform() bounds out of order");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+int Rng::uniformInt(int Lo, int Hi) {
+  assert(Lo <= Hi && "uniformInt() bounds out of order");
+  return std::uniform_int_distribution<int>(Lo, Hi)(Engine);
+}
+
+size_t Rng::index(size_t N) {
+  assert(N > 0 && "index() over an empty range");
+  return std::uniform_int_distribution<size_t>(0, N - 1)(Engine);
+}
+
+double Rng::gaussian(double Mu, double Sigma) {
+  assert(Sigma >= 0 && "negative standard deviation");
+  return std::normal_distribution<double>(Mu, Sigma)(Engine);
+}
+
+bool Rng::bernoulli(double P) {
+  P = std::clamp(P, 0.0, 1.0);
+  return uniform() < P;
+}
+
+double Rng::beta(double A, double B) {
+  assert(A > 0 && B > 0 && "Beta parameters must be positive");
+  double X = gamma(A, 1.0);
+  double Y = gamma(B, 1.0);
+  double Sum = X + Y;
+  // Both Gamma draws being zero has probability zero but can occur with
+  // denormal underflow for tiny shapes; fall back to the mean.
+  if (Sum <= 0)
+    return A / (A + B);
+  return X / Sum;
+}
+
+double Rng::gamma(double Shape, double Scale) {
+  assert(Shape > 0 && Scale > 0 && "Gamma parameters must be positive");
+  return std::gamma_distribution<double>(Shape, Scale)(Engine);
+}
+
+int Rng::poisson(double Lambda) {
+  assert(Lambda >= 0 && "Poisson rate must be non-negative");
+  if (Lambda == 0)
+    return 0;
+  return std::poisson_distribution<int>(Lambda)(Engine);
+}
+
+int Rng::geometric(double P) {
+  P = std::clamp(P, 1e-12, 1.0);
+  // std::geometric_distribution counts failures before the first success;
+  // the paper's proposal wants the number of mutations >= 1.
+  return std::geometric_distribution<int>(P)(Engine) + 1;
+}
+
+size_t Rng::weightedIndex(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "weightedIndex() over an empty range");
+  double Total = 0;
+  for (double W : Weights) {
+    assert(W >= 0 && "negative weight");
+    Total += W;
+  }
+  assert(Total > 0 && "weightedIndex() requires positive total weight");
+  double Target = uniform() * Total;
+  double Acc = 0;
+  for (size_t I = 0, E = Weights.size(); I != E; ++I) {
+    Acc += Weights[I];
+    if (Target < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}

@@ -1,0 +1,87 @@
+//===- support/Rng.h - Seeded random number generation --------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, explicitly-seeded random source with the samplers that
+/// the PSketch language and the MCMC-SYN search need: uniform, Gaussian,
+/// Bernoulli, Beta, Gamma, Poisson and Geometric draws.
+///
+/// All stochastic components of the library take an Rng by reference so
+/// that every experiment is reproducible from a single 64-bit seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_RNG_H
+#define PSKETCH_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace psketch {
+
+/// Deterministic pseudo-random source.  Wraps a Mersenne twister and
+/// exposes the distribution draws used across the library.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0) : Engine(Seed) {}
+
+  /// Re-seeds the generator; the subsequent stream is a pure function of
+  /// \p Seed.
+  void seed(uint64_t Seed) { Engine.seed(Seed); }
+
+  /// Uniform draw in [0, 1).
+  double uniform();
+
+  /// Uniform draw in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Uniform integer in the inclusive range [Lo, Hi].
+  int uniformInt(int Lo, int Hi);
+
+  /// Uniform index in [0, N); \p N must be positive.
+  size_t index(size_t N);
+
+  /// Gaussian draw with mean \p Mu and standard deviation \p Sigma.
+  double gaussian(double Mu, double Sigma);
+
+  /// Bernoulli draw; returns true with probability \p P (clamped to
+  /// [0, 1]).
+  bool bernoulli(double P);
+
+  /// Beta(\p A, \p B) draw via the two-Gamma construction.
+  double beta(double A, double B);
+
+  /// Gamma draw with shape \p Shape and scale \p Scale.
+  double gamma(double Shape, double Scale);
+
+  /// Poisson draw with rate \p Lambda.
+  int poisson(double Lambda);
+
+  /// Geometric draw counting the number of trials until the first
+  /// success, i.e. the support is {1, 2, 3, ...}.
+  int geometric(double P);
+
+  /// Picks a uniformly random element of \p Items; the vector must be
+  /// non-empty.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    return Items[index(Items.size())];
+  }
+
+  /// Draws an index according to the (unnormalized, non-negative)
+  /// weights in \p Weights; the total weight must be positive.
+  size_t weightedIndex(const std::vector<double> &Weights);
+
+  /// Access to the raw engine for std distribution interop.
+  std::mt19937_64 &engine() { return Engine; }
+
+private:
+  std::mt19937_64 Engine;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_RNG_H

@@ -1,0 +1,106 @@
+//===- support/Special.cpp - Special functions and log-space math --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Special.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace psketch;
+
+double psketch::gaussianPdf(double X, double Mu, double Sigma) {
+  return std::exp(gaussianLogPdf(X, Mu, Sigma));
+}
+
+double psketch::gaussianLogPdf(double X, double Mu, double Sigma) {
+  if (!(Sigma > 0))
+    return std::log(TinyProb);
+  double Z = (X - Mu) / Sigma;
+  return -0.5 * Z * Z - std::log(Sigma) - 0.5 * Log2Pi;
+}
+
+double psketch::gaussianCdf(double X, double Mu, double Sigma) {
+  if (!(Sigma > 0))
+    return X >= Mu ? 1.0 : 0.0;
+  return 0.5 * std::erfc(-(X - Mu) / (Sigma * std::sqrt(2.0)));
+}
+
+double psketch::gaussianGreaterProb(double MuA, double SigmaA, double MuB,
+                                    double SigmaB) {
+  // A - B ~ Gaussian(MuA - MuB, sqrt(SigmaA^2 + SigmaB^2)); Pr(A > B)
+  // is the upper tail at zero.
+  double Var = SigmaA * SigmaA + SigmaB * SigmaB;
+  if (!(Var > 0))
+    return MuA > MuB ? 1.0 : (MuA < MuB ? 0.0 : 0.5);
+  double Z = (MuA - MuB) / std::sqrt(2.0 * Var);
+  return 0.5 * (1.0 + std::erf(Z));
+}
+
+double psketch::logAddExp(double A, double B) {
+  if (A == -std::numeric_limits<double>::infinity())
+    return B;
+  if (B == -std::numeric_limits<double>::infinity())
+    return A;
+  double M = std::max(A, B);
+  return M + std::log1p(std::exp(std::min(A, B) - M));
+}
+
+double psketch::logSumExp(const std::vector<double> &Values) {
+  assert(!Values.empty() && "logSumExp of an empty set");
+  double M = *std::max_element(Values.begin(), Values.end());
+  if (M == -std::numeric_limits<double>::infinity())
+    return M;
+  double Sum = 0;
+  for (double V : Values)
+    Sum += std::exp(V - M);
+  return M + std::log(Sum);
+}
+
+double psketch::clampProb(double P) {
+  if (std::isnan(P))
+    return TinyProb;
+  return std::clamp(P, TinyProb, 1.0 - 1e-15);
+}
+
+double psketch::bernoulliLogPmf(bool Outcome, double P) {
+  return std::log(Outcome ? clampProb(P) : clampProb(1.0 - P));
+}
+
+double psketch::mixtureLogPdf(double X, const std::vector<double> &W,
+                              const std::vector<double> &Mu,
+                              const std::vector<double> &Sigma) {
+  assert(W.size() == Mu.size() && Mu.size() == Sigma.size() &&
+         "mixture component arrays must agree in length");
+  assert(!W.empty() && "mixture must have at least one component");
+  std::vector<double> Terms;
+  Terms.reserve(W.size());
+  for (size_t I = 0, E = W.size(); I != E; ++I) {
+    double LogW = W[I] > 0 ? std::log(W[I]) : std::log(TinyProb);
+    Terms.push_back(LogW + gaussianLogPdf(X, Mu[I], Sigma[I]));
+  }
+  return logSumExp(Terms);
+}
+
+void psketch::betaMoments(double A, double B, double &Mean, double &Sd) {
+  assert(A > 0 && B > 0 && "Beta parameters must be positive");
+  Mean = A / (A + B);
+  Sd = std::sqrt(A * B / ((A + B) * (A + B) * (A + B + 1.0)));
+}
+
+void psketch::gammaMoments(double Shape, double Scale, double &Mean,
+                           double &Sd) {
+  assert(Shape > 0 && Scale > 0 && "Gamma parameters must be positive");
+  Mean = Shape * Scale;
+  Sd = std::sqrt(Shape) * Scale;
+}
+
+void psketch::poissonMoments(double Lambda, double &Mean, double &Sd) {
+  assert(Lambda >= 0 && "Poisson rate must be non-negative");
+  Mean = Lambda;
+  Sd = std::sqrt(Lambda);
+}

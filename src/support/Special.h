@@ -1,0 +1,78 @@
+//===- support/Special.h - Special functions and log-space math ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Numeric helpers shared by the symbolic likelihood algebra (Figure 6 of
+/// the paper), the numeric-integration baseline and the samplers:
+/// Gaussian pdf/cdf, the error function, log-sum-exp, and probability
+/// clamping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_SPECIAL_H
+#define PSKETCH_SUPPORT_SPECIAL_H
+
+#include <cstddef>
+#include <vector>
+
+namespace psketch {
+
+/// Smallest probability the likelihood machinery will take a logarithm
+/// of; keeps log-likelihoods finite so the MH ratio stays well defined.
+inline constexpr double TinyProb = 1e-300;
+
+/// log(2 * pi), used by Gaussian log densities.
+inline constexpr double Log2Pi = 1.8378770664093454835606594728112;
+
+/// Density of a univariate Gaussian at \p X.
+double gaussianPdf(double X, double Mu, double Sigma);
+
+/// Log-density of a univariate Gaussian at \p X.  Returns a very negative
+/// (but finite) value for degenerate \p Sigma.
+double gaussianLogPdf(double X, double Mu, double Sigma);
+
+/// Cumulative distribution function of a univariate Gaussian.
+double gaussianCdf(double X, double Mu, double Sigma);
+
+/// Pr(A > B) for independent Gaussians A and B, via the error function;
+/// this is the paper's rule for `MoG > MoG` applied to one component
+/// pair.
+double gaussianGreaterProb(double MuA, double SigmaA, double MuB,
+                           double SigmaB);
+
+/// Numerically stable log(exp(A) + exp(B)).
+double logAddExp(double A, double B);
+
+/// Numerically stable log of a sum of exponentials.
+double logSumExp(const std::vector<double> &Values);
+
+/// Clamps \p P into [TinyProb, 1 - TinyProb] so logs and MH ratios stay
+/// finite.
+double clampProb(double P);
+
+/// Log of a Bernoulli likelihood: log(P) when \p Outcome, log(1-P)
+/// otherwise, with clamping.
+double bernoulliLogPmf(bool Outcome, double P);
+
+/// Log-density of a mixture of Gaussians with component arrays \p W,
+/// \p Mu, \p Sigma (all of the same length) at \p X.
+double mixtureLogPdf(double X, const std::vector<double> &W,
+                     const std::vector<double> &Mu,
+                     const std::vector<double> &Sigma);
+
+/// Mean and standard deviation of a Beta(A, B) distribution; the paper's
+/// moment-matched MoG approximation of Beta (Figure 5).
+void betaMoments(double A, double B, double &Mean, double &Sd);
+
+/// Mean and standard deviation of a Gamma(Shape, Scale) distribution.
+void gammaMoments(double Shape, double Scale, double &Mean, double &Sd);
+
+/// Mean and standard deviation of a Poisson(Lambda) distribution.
+void poissonMoments(double Lambda, double &Mean, double &Sd);
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_SPECIAL_H

@@ -1,0 +1,422 @@
+//===- symbolic/Algebra.cpp - The Figure 6 MoG/Bernoulli algebra ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Algebra.h"
+
+#include "support/Special.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace psketch;
+
+bool MoGAlgebra::knownConst(const SymValue &V, double &Out) const {
+  return V.isKnown() && B.isConst(V.knownValue(), Out);
+}
+
+SymValue MoGAlgebra::toMoG(const SymValue &V) const {
+  switch (V.kind()) {
+  case SymValue::Kind::MoG:
+    return V;
+  case SymValue::Kind::Known:
+    return SymValue::mog({{B.constant(1.0), V.knownValue(),
+                           B.constant(Config.Bandwidth)}});
+  case SymValue::Kind::Bern:
+  case SymValue::Kind::Unit:
+    return SymValue::unit();
+  }
+  return SymValue::unit();
+}
+
+SymValue MoGAlgebra::meanOf(const SymValue &V) const {
+  if (V.isKnown())
+    return V;
+  if (!V.isMoG())
+    return SymValue::unit();
+  NumId Mean = B.constant(0.0);
+  for (const MoGComponent &C : V.components())
+    Mean = B.add(Mean, B.mul(C.W, C.Mu));
+  return SymValue::known(Mean);
+}
+
+std::vector<MoGComponent>
+MoGAlgebra::capped(std::vector<MoGComponent> Comps) const {
+  if (Comps.size() <= Config.MaxComponents)
+    return Comps;
+  // Prefer dropping the smallest constant weights; components with
+  // data-dependent weights sort last (kept when possible).
+  std::stable_sort(Comps.begin(), Comps.end(),
+                   [&](const MoGComponent &X, const MoGComponent &Y) {
+                     double WX, WY;
+                     bool CX = B.isConst(X.W, WX), CY = B.isConst(Y.W, WY);
+                     if (CX && CY)
+                       return WX > WY;
+                     return CY && !CX; // non-const first == kept
+                   });
+  Comps.resize(Config.MaxComponents);
+  // Renormalize symbolically so the mixture still integrates to one.
+  NumId Total = B.constant(0.0);
+  for (const MoGComponent &C : Comps)
+    Total = B.add(Total, C.W);
+  Total = B.max(Total, B.constant(TinyProb));
+  for (MoGComponent &C : Comps)
+    C.W = B.div(C.W, Total);
+  return Comps;
+}
+
+SymValue MoGAlgebra::add(const SymValue &A, const SymValue &C) const {
+  if (A.isKnown() && C.isKnown())
+    return SymValue::known(B.add(A.knownValue(), C.knownValue()));
+  if (!Config.StrictConstLifting) {
+    // Exact shift: Known + MoG translates every component mean.
+    if (A.isKnown() && C.isMoG()) {
+      std::vector<MoGComponent> Out;
+      for (const MoGComponent &M : C.components())
+        Out.push_back({M.W, B.add(M.Mu, A.knownValue()), M.Sigma});
+      return SymValue::mog(std::move(Out));
+    }
+    if (A.isMoG() && C.isKnown())
+      return add(C, A);
+  }
+  SymValue MA = toMoG(A), MC = toMoG(C);
+  if (!MA.isMoG() || !MC.isMoG())
+    return SymValue::unit();
+  std::vector<MoGComponent> Out;
+  Out.reserve(MA.components().size() * MC.components().size());
+  for (const MoGComponent &X : MA.components())
+    for (const MoGComponent &Y : MC.components())
+      Out.push_back({B.mul(X.W, Y.W), B.add(X.Mu, Y.Mu),
+                     B.sqrt(B.add(B.mul(X.Sigma, X.Sigma),
+                                  B.mul(Y.Sigma, Y.Sigma)))});
+  return SymValue::mog(capped(std::move(Out)));
+}
+
+SymValue MoGAlgebra::sub(const SymValue &A, const SymValue &C) const {
+  if (A.isKnown() && C.isKnown())
+    return SymValue::known(B.sub(A.knownValue(), C.knownValue()));
+  if (!Config.StrictConstLifting) {
+    if (A.isMoG() && C.isKnown()) {
+      std::vector<MoGComponent> Out;
+      for (const MoGComponent &M : A.components())
+        Out.push_back({M.W, B.sub(M.Mu, C.knownValue()), M.Sigma});
+      return SymValue::mog(std::move(Out));
+    }
+    if (A.isKnown() && C.isMoG())
+      return add(A, negate(C));
+  }
+  SymValue MA = toMoG(A), MC = toMoG(C);
+  if (!MA.isMoG() || !MC.isMoG())
+    return SymValue::unit();
+  std::vector<MoGComponent> Out;
+  Out.reserve(MA.components().size() * MC.components().size());
+  for (const MoGComponent &X : MA.components())
+    for (const MoGComponent &Y : MC.components())
+      Out.push_back({B.mul(X.W, Y.W), B.sub(X.Mu, Y.Mu),
+                     B.sqrt(B.add(B.mul(X.Sigma, X.Sigma),
+                                  B.mul(Y.Sigma, Y.Sigma)))});
+  return SymValue::mog(capped(std::move(Out)));
+}
+
+SymValue MoGAlgebra::negate(const SymValue &A) const {
+  if (A.isKnown())
+    return SymValue::known(B.neg(A.knownValue()));
+  if (!A.isMoG())
+    return SymValue::unit();
+  std::vector<MoGComponent> Out;
+  for (const MoGComponent &M : A.components())
+    Out.push_back({M.W, B.neg(M.Mu), M.Sigma});
+  return SymValue::mog(std::move(Out));
+}
+
+SymValue MoGAlgebra::mul(const SymValue &A, const SymValue &C) const {
+  if (A.isKnown() && C.isKnown())
+    return SymValue::known(B.mul(A.knownValue(), C.knownValue()));
+  if (!Config.StrictConstLifting) {
+    // Exact scaling: k * MoG scales means and (absolutely) deviations.
+    const SymValue *K = A.isKnown() ? &A : (C.isKnown() ? &C : nullptr);
+    const SymValue *M = A.isMoG() ? &A : (C.isMoG() ? &C : nullptr);
+    if (K && M) {
+      NumId Scale = K->knownValue();
+      NumId AbsScale = B.abs(Scale);
+      std::vector<MoGComponent> Out;
+      for (const MoGComponent &X : M->components())
+        Out.push_back({X.W, B.mul(X.Mu, Scale), B.mul(X.Sigma, AbsScale)});
+      return SymValue::mog(std::move(Out));
+    }
+  }
+  SymValue MA = toMoG(A), MC = toMoG(C);
+  if (!MA.isMoG() || !MC.isMoG())
+    return SymValue::unit();
+  // The paper's product approximation (Figure 6): a precision-weighted
+  // combination per component pair.  Gaussians are not closed under
+  // products, so this is explicitly approximate (starred rule).
+  std::vector<MoGComponent> Out;
+  Out.reserve(MA.components().size() * MC.components().size());
+  for (const MoGComponent &X : MA.components())
+    for (const MoGComponent &Y : MC.components()) {
+      NumId V1 = B.mul(X.Sigma, X.Sigma);
+      NumId V2 = B.mul(Y.Sigma, Y.Sigma);
+      NumId Denom = B.max(B.add(V1, V2), B.constant(1e-18));
+      NumId Mu =
+          B.div(B.add(B.mul(X.Mu, V2), B.mul(Y.Mu, V1)), Denom);
+      NumId Sigma = B.sqrt(B.div(B.mul(V1, V2), Denom));
+      Out.push_back({B.mul(X.W, Y.W), Mu, Sigma});
+    }
+  return SymValue::mog(capped(std::move(Out)));
+}
+
+SymValue MoGAlgebra::greater(const SymValue &A, const SymValue &C) const {
+  if (A.isKnown() && C.isKnown())
+    return SymValue::bern(B.gt(A.knownValue(), C.knownValue()));
+  // Lift Knowns as zero-width components so comparisons against data
+  // values stay exact (bandwidth-b under strict lifting).
+  auto Lift = [&](const SymValue &V) -> SymValue {
+    if (V.isKnown())
+      return SymValue::mog(
+          {{B.constant(1.0), V.knownValue(),
+            B.constant(Config.StrictConstLifting ? Config.Bandwidth : 0.0)}});
+    return V;
+  };
+  SymValue MA = Lift(A), MC = Lift(C);
+  if (!MA.isMoG() || !MC.isMoG())
+    return SymValue::unit();
+  NumId P = B.constant(0.0);
+  for (const MoGComponent &X : MA.components())
+    for (const MoGComponent &Y : MC.components()) {
+      NumId Pair = B.gaussianGreaterProb(X.Mu, X.Sigma, Y.Mu, Y.Sigma);
+      P = B.add(P, B.mul(B.mul(X.W, Y.W), Pair));
+    }
+  return SymValue::bern(B.clampProb(P));
+}
+
+SymValue MoGAlgebra::less(const SymValue &A, const SymValue &C) const {
+  return greater(C, A);
+}
+
+SymValue MoGAlgebra::equal(const SymValue &A, const SymValue &C) const {
+  if (A.isBern() && C.isBern()) {
+    NumId P1 = A.bernProb(), P2 = C.bernProb();
+    NumId Agree = B.add(B.mul(P1, P2), B.mul(B.sub(B.constant(1.0), P1),
+                                             B.sub(B.constant(1.0), P2)));
+    return SymValue::bern(B.clampProb(Agree));
+  }
+  if (A.isKnown() && C.isKnown())
+    return SymValue::bern(B.eq(A.knownValue(), C.knownValue()));
+  return SymValue::unit();
+}
+
+SymValue MoGAlgebra::logicalAnd(const SymValue &A, const SymValue &C) const {
+  if (!A.isBern() || !C.isBern())
+    return SymValue::unit();
+  return SymValue::bern(B.mul(A.bernProb(), C.bernProb()));
+}
+
+SymValue MoGAlgebra::logicalOr(const SymValue &A, const SymValue &C) const {
+  if (!A.isBern() || !C.isBern())
+    return SymValue::unit();
+  NumId One = B.constant(1.0);
+  NumId P = B.sub(One, B.mul(B.sub(One, A.bernProb()),
+                             B.sub(One, C.bernProb())));
+  return SymValue::bern(P);
+}
+
+SymValue MoGAlgebra::logicalNot(const SymValue &A) const {
+  if (!A.isBern())
+    return SymValue::unit();
+  return SymValue::bern(B.sub(B.constant(1.0), A.bernProb()));
+}
+
+SymValue MoGAlgebra::ite(const SymValue &Cond, const SymValue &Then,
+                         const SymValue &Else) const {
+  if (!Cond.isBern())
+    return SymValue::unit();
+  NumId P = Cond.bernProb();
+  double PV;
+  if (B.isConst(P, PV)) {
+    if (PV >= 1.0)
+      return Then;
+    if (PV <= 0.0)
+      return Else;
+  }
+  if (Then.isBern() && Else.isBern()) {
+    NumId Mixed = B.add(B.mul(P, Then.bernProb()),
+                        B.mul(B.sub(B.constant(1.0), P), Else.bernProb()));
+    return SymValue::bern(B.clampProb(Mixed));
+  }
+  SymValue MT = toMoG(Then), ME = toMoG(Else);
+  if (!MT.isMoG() || !ME.isMoG())
+    return SymValue::unit();
+  std::vector<MoGComponent> Out;
+  Out.reserve(MT.components().size() + ME.components().size());
+  NumId NotP = B.sub(B.constant(1.0), P);
+  for (const MoGComponent &X : MT.components())
+    Out.push_back({B.mul(X.W, P), X.Mu, X.Sigma});
+  for (const MoGComponent &Y : ME.components())
+    Out.push_back({B.mul(Y.W, NotP), Y.Mu, Y.Sigma});
+  return SymValue::mog(capped(std::move(Out)));
+}
+
+SymValue MoGAlgebra::applyBinary(BinaryOp Op, const SymValue &A,
+                                 const SymValue &C) const {
+  switch (Op) {
+  case BinaryOp::Add:
+    return add(A, C);
+  case BinaryOp::Sub:
+    return sub(A, C);
+  case BinaryOp::Mul:
+    return mul(A, C);
+  case BinaryOp::And:
+    return logicalAnd(A, C);
+  case BinaryOp::Or:
+    return logicalOr(A, C);
+  case BinaryOp::Gt:
+    return greater(A, C);
+  case BinaryOp::Lt:
+    return less(A, C);
+  case BinaryOp::Eq:
+    return equal(A, C);
+  }
+  return SymValue::unit();
+}
+
+SymValue MoGAlgebra::gaussian(const SymValue &Mu, const SymValue &Sigma) const {
+  // A mixture-distributed Sigma is collapsed to its mean (moment
+  // approximation); the compound-mean rule below is Figure 6's
+  // Gaussian-with-MoG-parameters row.
+  SymValue SigmaScalar = Sigma.isKnown() ? Sigma : meanOf(Sigma);
+  if (!SigmaScalar.isKnown())
+    return SymValue::unit();
+  NumId S = B.abs(SigmaScalar.knownValue());
+  if (Mu.isKnown())
+    return SymValue::mog({{B.constant(1.0), Mu.knownValue(), S}});
+  if (Mu.isMoG()) {
+    // Gaussian(m, s) with m ~ MoG(w, mu, sigma) compounds exactly to
+    // MoG(w, mu, sqrt(sigma^2 + s^2)).
+    std::vector<MoGComponent> Out;
+    NumId SSq = B.mul(S, S);
+    for (const MoGComponent &X : Mu.components())
+      Out.push_back({X.W, X.Mu,
+                     B.sqrt(B.add(B.mul(X.Sigma, X.Sigma), SSq))});
+    return SymValue::mog(std::move(Out));
+  }
+  return SymValue::unit();
+}
+
+SymValue MoGAlgebra::bernoulli(const SymValue &P) const {
+  SymValue Scalar = P.isKnown() ? P : meanOf(P);
+  if (!Scalar.isKnown())
+    return SymValue::unit();
+  return SymValue::bern(B.clampProb(Scalar.knownValue()));
+}
+
+SymValue MoGAlgebra::beta(const SymValue &A, const SymValue &C) const {
+  SymValue SA = A.isKnown() ? A : meanOf(A);
+  SymValue SC = C.isKnown() ? C : meanOf(C);
+  if (!SA.isKnown() || !SC.isKnown())
+    return SymValue::unit();
+  // Figure 5: Beta(a1, a2) ~ MoG(1, [a1/(a1+a2)],
+  //   [sqrt(a1 a2 / ((a1+a2)^2 (a1+a2+1)))]).
+  NumId A1 = B.max(SA.knownValue(), B.constant(1e-9));
+  NumId A2 = B.max(SC.knownValue(), B.constant(1e-9));
+  NumId Sum = B.add(A1, A2);
+  NumId Mean = B.div(A1, Sum);
+  NumId Var = B.div(B.mul(A1, A2),
+                    B.mul(B.mul(Sum, Sum), B.add(Sum, B.constant(1.0))));
+  return SymValue::mog({{B.constant(1.0), Mean, B.sqrt(Var)}});
+}
+
+SymValue MoGAlgebra::gammaDist(const SymValue &Shape,
+                               const SymValue &Scale) const {
+  SymValue SK = Shape.isKnown() ? Shape : meanOf(Shape);
+  SymValue SS = Scale.isKnown() ? Scale : meanOf(Scale);
+  if (!SK.isKnown() || !SS.isKnown())
+    return SymValue::unit();
+  // Figure 5: Gamma(k, theta) ~ MoG(1, [k theta], [sqrt(k) theta]).
+  NumId K = B.max(SK.knownValue(), B.constant(1e-9));
+  NumId Theta = B.abs(SS.knownValue());
+  return SymValue::mog(
+      {{B.constant(1.0), B.mul(K, Theta), B.mul(B.sqrt(K), Theta)}});
+}
+
+SymValue MoGAlgebra::poisson(const SymValue &Lambda) const {
+  SymValue SL = Lambda.isKnown() ? Lambda : meanOf(Lambda);
+  if (!SL.isKnown())
+    return SymValue::unit();
+  // Figure 5: Poisson(lambda) ~ MoG(1, [lambda], [sqrt(lambda)]).
+  NumId L = B.max(SL.knownValue(), B.constant(1e-9));
+  return SymValue::mog({{B.constant(1.0), L, B.sqrt(L)}});
+}
+
+SymValue MoGAlgebra::applyDist(DistKind K,
+                               const std::vector<SymValue> &Args) const {
+  assert(Args.size() == distArity(K) && "distribution arity mismatch");
+  switch (K) {
+  case DistKind::Gaussian:
+    return gaussian(Args[0], Args[1]);
+  case DistKind::Bernoulli:
+    return bernoulli(Args[0]);
+  case DistKind::Beta:
+    return beta(Args[0], Args[1]);
+  case DistKind::Gamma:
+    return gammaDist(Args[0], Args[1]);
+  case DistKind::Poisson:
+    return poisson(Args[0]);
+  }
+  return SymValue::unit();
+}
+
+NumId MoGAlgebra::logDensityAt(const SymValue &V, NumId X) const {
+  switch (V.kind()) {
+  case SymValue::Kind::Known:
+    // A point mass smoothed with the bandwidth-b Gaussian, matching the
+    // paper's constant rule.
+    return B.gaussianLogPdf(X, V.knownValue(),
+                            B.constant(Config.Bandwidth));
+  case SymValue::Kind::MoG: {
+    const std::vector<MoGComponent> &Comps = V.components();
+    double W0;
+    // Single-component fast path avoids the exp/log round trip and its
+    // tail underflow.
+    if (Comps.size() == 1 && B.isConst(Comps[0].W, W0) && W0 == 1.0)
+      return B.gaussianLogPdf(X, Comps[0].Mu, Comps[0].Sigma);
+    NumId Density = B.constant(0.0);
+    for (const MoGComponent &C : Comps) {
+      NumId Pdf = B.exp(B.gaussianLogPdf(X, C.Mu, C.Sigma));
+      Density = B.add(Density, B.mul(C.W, Pdf));
+    }
+    return B.log(B.max(Density, B.constant(TinyProb)));
+  }
+  case SymValue::Kind::Bern: {
+    NumId P = V.bernProb();
+    NumId One = B.constant(1.0);
+    NumId Match =
+        B.add(B.mul(X, P), B.mul(B.sub(One, X), B.sub(One, P)));
+    return B.log(B.max(Match, B.constant(TinyProb)));
+  }
+  case SymValue::Kind::Unit:
+    // An observed output the candidate fails to model must not score
+    // as a free success (that would make Unit the optimum of the MH
+    // search); treat it like an unassigned output.
+    return B.constant(std::log(TinyProb));
+  }
+  return B.constant(std::log(TinyProb));
+}
+
+NumId MoGAlgebra::probabilityOf(const SymValue &V) const {
+  switch (V.kind()) {
+  case SymValue::Kind::Bern:
+    return V.bernProb();
+  case SymValue::Kind::Known:
+    // Defensive: a numeric used as a truth value counts as "non-zero".
+    return B.gt(B.abs(V.knownValue()), B.constant(0.5));
+  case SymValue::Kind::MoG:
+  case SymValue::Kind::Unit:
+    // The paper's unsupported-operator fallback: the unit expression.
+    return B.constant(1.0);
+  }
+  return B.constant(1.0);
+}

@@ -1,0 +1,347 @@
+//===- symbolic/NumExpr.cpp - Hash-consed numeric expression DAG ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/NumExpr.h"
+
+#include "support/Special.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+using namespace psketch;
+
+bool psketch::numOpIsBinary(NumOp Op) {
+  switch (Op) {
+  case NumOp::Add:
+  case NumOp::Sub:
+  case NumOp::Mul:
+  case NumOp::Div:
+  case NumOp::Max:
+  case NumOp::Min:
+  case NumOp::Gt:
+  case NumOp::Eq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *psketch::numOpName(NumOp Op) {
+  switch (Op) {
+  case NumOp::Const:
+    return "const";
+  case NumOp::DataRef:
+    return "data";
+  case NumOp::Add:
+    return "+";
+  case NumOp::Sub:
+    return "-";
+  case NumOp::Mul:
+    return "*";
+  case NumOp::Div:
+    return "/";
+  case NumOp::Neg:
+    return "neg";
+  case NumOp::Abs:
+    return "abs";
+  case NumOp::Log:
+    return "log";
+  case NumOp::Exp:
+    return "exp";
+  case NumOp::Sqrt:
+    return "sqrt";
+  case NumOp::Erf:
+    return "erf";
+  case NumOp::Max:
+    return "max";
+  case NumOp::Min:
+    return "min";
+  case NumOp::Gt:
+    return "gt";
+  case NumOp::Eq:
+    return "eq";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+uint64_t hashNode(const NumNode &N) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &N.Value, sizeof(Bits));
+  uint64_t H = uint64_t(N.Op) * 0x9e3779b97f4a7c15ULL;
+  H ^= Bits + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  H ^= (uint64_t(N.A) << 32 | N.B) + 0x9e3779b97f4a7c15ULL + (H << 6) +
+       (H >> 2);
+  return H;
+}
+
+bool sameNode(const NumNode &X, const NumNode &Y) {
+  return X.Op == Y.Op && X.A == Y.A && X.B == Y.B &&
+         std::memcmp(&X.Value, &Y.Value, sizeof(double)) == 0;
+}
+
+double applyUnary(NumOp Op, double A) {
+  switch (Op) {
+  case NumOp::Neg:
+    return -A;
+  case NumOp::Abs:
+    return std::fabs(A);
+  case NumOp::Log:
+    return std::log(A);
+  case NumOp::Exp:
+    return std::exp(A);
+  case NumOp::Sqrt:
+    return std::sqrt(A);
+  case NumOp::Erf:
+    return std::erf(A);
+  default:
+    assert(false && "not a unary op");
+    return 0;
+  }
+}
+
+double applyBinary(NumOp Op, double A, double B) {
+  switch (Op) {
+  case NumOp::Add:
+    return A + B;
+  case NumOp::Sub:
+    return A - B;
+  case NumOp::Mul:
+    return A * B;
+  case NumOp::Div:
+    return A / B;
+  case NumOp::Max:
+    return A > B ? A : B;
+  case NumOp::Min:
+    return A < B ? A : B;
+  case NumOp::Gt:
+    return A > B ? 1.0 : 0.0;
+  case NumOp::Eq:
+    return A == B ? 1.0 : 0.0;
+  default:
+    assert(false && "not a binary op");
+    return 0;
+  }
+}
+
+} // namespace
+
+NumId NumExprBuilder::intern(NumNode N) {
+  uint64_t H = hashNode(N);
+  std::vector<NumId> &Bucket = Buckets[H];
+  for (NumId Id : Bucket)
+    if (sameNode(Nodes[Id], N))
+      return Id;
+  NumId Id = NumId(Nodes.size());
+  Nodes.push_back(N);
+  Bucket.push_back(Id);
+  return Id;
+}
+
+bool NumExprBuilder::isConst(NumId Id, double &V) const {
+  const NumNode &N = Nodes[Id];
+  if (N.Op != NumOp::Const)
+    return false;
+  V = N.Value;
+  return true;
+}
+
+NumId NumExprBuilder::constant(double V) {
+  return intern({NumOp::Const, V, 0, 0});
+}
+
+NumId NumExprBuilder::dataRef(unsigned Slot) {
+  return intern({NumOp::DataRef, double(Slot), 0, 0});
+}
+
+NumId NumExprBuilder::add(NumId A, NumId B) {
+  double VA, VB;
+  bool CA = isConst(A, VA), CB = isConst(B, VB);
+  if (CA && CB)
+    return constant(VA + VB);
+  if (CA && VA == 0)
+    return B;
+  if (CB && VB == 0)
+    return A;
+  return intern({NumOp::Add, 0, A, B});
+}
+
+NumId NumExprBuilder::sub(NumId A, NumId B) {
+  double VA, VB;
+  bool CA = isConst(A, VA), CB = isConst(B, VB);
+  if (CA && CB)
+    return constant(VA - VB);
+  if (CB && VB == 0)
+    return A;
+  if (A == B)
+    return constant(0);
+  return intern({NumOp::Sub, 0, A, B});
+}
+
+NumId NumExprBuilder::mul(NumId A, NumId B) {
+  double VA, VB;
+  bool CA = isConst(A, VA), CB = isConst(B, VB);
+  if (CA && CB)
+    return constant(VA * VB);
+  if ((CA && VA == 0) || (CB && VB == 0))
+    return constant(0);
+  if (CA && VA == 1)
+    return B;
+  if (CB && VB == 1)
+    return A;
+  return intern({NumOp::Mul, 0, A, B});
+}
+
+NumId NumExprBuilder::div(NumId A, NumId B) {
+  double VA, VB;
+  bool CA = isConst(A, VA), CB = isConst(B, VB);
+  if (CA && CB && VB != 0)
+    return constant(VA / VB);
+  if (CB && VB == 1)
+    return A;
+  return intern({NumOp::Div, 0, A, B});
+}
+
+NumId NumExprBuilder::neg(NumId A) {
+  double VA;
+  if (isConst(A, VA))
+    return constant(-VA);
+  if (Nodes[A].Op == NumOp::Neg)
+    return Nodes[A].A;
+  return intern({NumOp::Neg, 0, A, 0});
+}
+
+NumId NumExprBuilder::abs(NumId A) {
+  double VA;
+  if (isConst(A, VA))
+    return constant(std::fabs(VA));
+  if (Nodes[A].Op == NumOp::Abs)
+    return A;
+  return intern({NumOp::Abs, 0, A, 0});
+}
+
+NumId NumExprBuilder::log(NumId A) {
+  double VA;
+  if (isConst(A, VA))
+    return constant(std::log(VA));
+  return intern({NumOp::Log, 0, A, 0});
+}
+
+NumId NumExprBuilder::exp(NumId A) {
+  double VA;
+  if (isConst(A, VA))
+    return constant(std::exp(VA));
+  return intern({NumOp::Exp, 0, A, 0});
+}
+
+NumId NumExprBuilder::sqrt(NumId A) {
+  double VA;
+  if (isConst(A, VA))
+    return constant(std::sqrt(VA));
+  return intern({NumOp::Sqrt, 0, A, 0});
+}
+
+NumId NumExprBuilder::erf(NumId A) {
+  double VA;
+  if (isConst(A, VA))
+    return constant(std::erf(VA));
+  return intern({NumOp::Erf, 0, A, 0});
+}
+
+NumId NumExprBuilder::max(NumId A, NumId B) {
+  double VA, VB;
+  if (isConst(A, VA) && isConst(B, VB))
+    return constant(VA > VB ? VA : VB);
+  if (A == B)
+    return A;
+  return intern({NumOp::Max, 0, A, B});
+}
+
+NumId NumExprBuilder::min(NumId A, NumId B) {
+  double VA, VB;
+  if (isConst(A, VA) && isConst(B, VB))
+    return constant(VA < VB ? VA : VB);
+  if (A == B)
+    return A;
+  return intern({NumOp::Min, 0, A, B});
+}
+
+NumId NumExprBuilder::gt(NumId A, NumId B) {
+  double VA, VB;
+  if (isConst(A, VA) && isConst(B, VB))
+    return constant(VA > VB ? 1.0 : 0.0);
+  return intern({NumOp::Gt, 0, A, B});
+}
+
+NumId NumExprBuilder::eq(NumId A, NumId B) {
+  double VA, VB;
+  if (isConst(A, VA) && isConst(B, VB))
+    return constant(VA == VB ? 1.0 : 0.0);
+  if (A == B)
+    return constant(1.0);
+  return intern({NumOp::Eq, 0, A, B});
+}
+
+NumId NumExprBuilder::clampProb(NumId P) {
+  return max(min(P, constant(1.0 - 1e-15)), constant(TinyProb));
+}
+
+NumId NumExprBuilder::gaussianLogPdf(NumId X, NumId Mu, NumId Sigma) {
+  // Guard Sigma away from zero so degenerate candidates score very low
+  // instead of producing NaNs that would poison the MH ratio.
+  NumId S = max(Sigma, constant(1e-9));
+  NumId Z = div(sub(X, Mu), S);
+  NumId Quad = mul(constant(-0.5), mul(Z, Z));
+  return sub(Quad, add(log(S), constant(0.5 * Log2Pi)));
+}
+
+NumId NumExprBuilder::gaussianGreaterProb(NumId MuA, NumId SigmaA, NumId MuB,
+                                          NumId SigmaB) {
+  NumId Var = add(mul(SigmaA, SigmaA), mul(SigmaB, SigmaB));
+  NumId Denom = sqrt(mul(constant(2.0), max(Var, constant(1e-18))));
+  NumId Z = div(sub(MuA, MuB), Denom);
+  return mul(constant(0.5), add(constant(1.0), erf(Z)));
+}
+
+double NumExprBuilder::eval(NumId Id, const std::vector<double> &Row) const {
+  const NumNode &N = Nodes[Id];
+  switch (N.Op) {
+  case NumOp::Const:
+    return N.Value;
+  case NumOp::DataRef: {
+    size_t Slot = size_t(N.Value);
+    assert(Slot < Row.size() && "data reference outside row");
+    return Row[Slot];
+  }
+  default:
+    if (numOpIsBinary(N.Op))
+      return applyBinary(N.Op, eval(N.A, Row), eval(N.B, Row));
+    return applyUnary(N.Op, eval(N.A, Row));
+  }
+}
+
+std::string NumExprBuilder::str(NumId Id) const {
+  const NumNode &N = Nodes[Id];
+  std::ostringstream OS;
+  switch (N.Op) {
+  case NumOp::Const:
+    OS << N.Value;
+    return OS.str();
+  case NumOp::DataRef:
+    OS << "$" << unsigned(N.Value);
+    return OS.str();
+  default:
+    break;
+  }
+  OS << numOpName(N.Op) << '(' << str(N.A);
+  if (numOpIsBinary(N.Op))
+    OS << ", " << str(N.B);
+  OS << ')';
+  return OS.str();
+}

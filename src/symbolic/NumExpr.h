@@ -1,0 +1,127 @@
+//===- symbolic/NumExpr.h - Hash-consed numeric expression DAG -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The numeric IR underneath the symbolic likelihood: parameters of
+/// symbolic MoG/Bernoulli densities are NumExpr nodes — expressions over
+/// *data references* (observed-variable slots) and constants.  The paper
+/// computes the likelihood expression "symbolically ... at compile time,
+/// and plug[s] in the desired data to evaluate the likelihood in linear
+/// time" (Section 3); NumExpr is that compile-time object.
+///
+/// Nodes live in a NumExprBuilder, are hash-consed (structurally equal
+/// subexpressions share one id, giving CSE for free), and are constant
+/// folded on construction.  The likelihood tape compiler
+/// (likelihood/Tape.h) turns the final log-likelihood DAG into a flat
+/// instruction sequence evaluated once per data row.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYMBOLIC_NUMEXPR_H
+#define PSKETCH_SYMBOLIC_NUMEXPR_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace psketch {
+
+/// Operation of one NumExpr node.
+enum class NumOp : uint8_t {
+  Const,   ///< Literal; Value holds it.
+  DataRef, ///< Row value of observed slot #A.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Abs,
+  Log,
+  Exp,
+  Sqrt,
+  Erf,
+  Max,
+  Min,
+  Gt, ///< Indicator: 1 when A > B else 0.
+  Eq, ///< Indicator: 1 when A == B else 0.
+};
+
+/// Returns true for operations with two operands.
+bool numOpIsBinary(NumOp Op);
+
+/// Returns the printable name of \p Op.
+const char *numOpName(NumOp Op);
+
+/// Index of a node within its builder.
+using NumId = uint32_t;
+
+/// One DAG node.  A/B index operands (B unused for unary ops); Value is
+/// the literal for Const and the slot index for DataRef.
+struct NumNode {
+  NumOp Op = NumOp::Const;
+  double Value = 0;
+  NumId A = 0;
+  NumId B = 0;
+};
+
+/// Owns and uniquifies NumExpr nodes.  All construction goes through the
+/// smart factories below, which constant fold and apply cheap algebraic
+/// identities (x+0, x*1, x*0, double negation) so the compiled tape
+/// stays small.
+class NumExprBuilder {
+public:
+  NumId constant(double V);
+  NumId dataRef(unsigned Slot);
+  NumId add(NumId A, NumId B);
+  NumId sub(NumId A, NumId B);
+  NumId mul(NumId A, NumId B);
+  NumId div(NumId A, NumId B);
+  NumId neg(NumId A);
+  NumId abs(NumId A);
+  NumId log(NumId A);
+  NumId exp(NumId A);
+  NumId sqrt(NumId A);
+  NumId erf(NumId A);
+  NumId max(NumId A, NumId B);
+  NumId min(NumId A, NumId B);
+  NumId gt(NumId A, NumId B);
+  NumId eq(NumId A, NumId B);
+
+  /// Clamps \p P into [TinyProb, 1 - 1e-15] (symbolically).
+  NumId clampProb(NumId P);
+
+  /// log of the density of Gaussian(\p Mu, \p Sigma) at \p X, guarded
+  /// against degenerate Sigma.
+  NumId gaussianLogPdf(NumId X, NumId Mu, NumId Sigma);
+
+  /// Pr(A > B) for Gaussians, the Figure 6 `erf` rule for one component
+  /// pair: 1/2 + 1/2 erf((MuA - MuB) / sqrt(2 (SigmaA^2 + SigmaB^2))).
+  NumId gaussianGreaterProb(NumId MuA, NumId SigmaA, NumId MuB, NumId SigmaB);
+
+  const NumNode &node(NumId Id) const { return Nodes[Id]; }
+  size_t size() const { return Nodes.size(); }
+
+  /// True when \p Id is a literal; \p V receives its value.
+  bool isConst(NumId Id, double &V) const;
+
+  /// Interpreted evaluation against one data row (tests and reference
+  /// results; hot paths use the compiled tape instead).
+  double eval(NumId Id, const std::vector<double> &Row) const;
+
+  /// Renders the expression as a readable string (tests, debugging).
+  std::string str(NumId Id) const;
+
+private:
+  NumId intern(NumNode N);
+
+  std::vector<NumNode> Nodes;
+  std::unordered_map<uint64_t, std::vector<NumId>> Buckets;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYMBOLIC_NUMEXPR_H

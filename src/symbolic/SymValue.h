@@ -1,0 +1,104 @@
+//===- symbolic/SymValue.h - Symbolic density values ----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract values manipulated by the LL(.) operator (Figure 5):
+/// every program variable maps to one of
+///
+///  * Known  — a deterministic number, symbolic over data references
+///             (observed variables evaluate to Known data refs, as in
+///             Figure 4 where perf1's mean stays `skill[0]`);
+///  * MoG    — a mixture of Gaussians whose weights/means/deviations are
+///             NumExpr over data references (continuous latents);
+///  * Bern   — a Bernoulli with a NumExpr success probability (boolean
+///             values, random or not); or
+///  * Unit   — the paper's fallback for unsupported operator
+///             combinations: "the unit expression (which always
+///             evaluates to 1)".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYMBOLIC_SYMVALUE_H
+#define PSKETCH_SYMBOLIC_SYMVALUE_H
+
+#include "symbolic/NumExpr.h"
+
+#include <cassert>
+#include <vector>
+
+namespace psketch {
+
+/// One Gaussian component of a symbolic mixture.
+struct MoGComponent {
+  NumId W = 0;     ///< Mixing fraction.
+  NumId Mu = 0;    ///< Mean.
+  NumId Sigma = 0; ///< Standard deviation.
+};
+
+/// A symbolic density value.
+class SymValue {
+public:
+  enum class Kind { Known, MoG, Bern, Unit };
+
+  SymValue() : K(Kind::Unit) {}
+
+  static SymValue known(NumId V) {
+    SymValue S;
+    S.K = Kind::Known;
+    S.Scalar = V;
+    return S;
+  }
+
+  static SymValue mog(std::vector<MoGComponent> Components) {
+    assert(!Components.empty() && "mixture needs at least one component");
+    SymValue S;
+    S.K = Kind::MoG;
+    S.Components = std::move(Components);
+    return S;
+  }
+
+  static SymValue bern(NumId P) {
+    SymValue S;
+    S.K = Kind::Bern;
+    S.Scalar = P;
+    return S;
+  }
+
+  static SymValue unit() { return SymValue(); }
+
+  Kind kind() const { return K; }
+  bool isKnown() const { return K == Kind::Known; }
+  bool isMoG() const { return K == Kind::MoG; }
+  bool isBern() const { return K == Kind::Bern; }
+  bool isUnit() const { return K == Kind::Unit; }
+
+  /// The Known value.
+  NumId knownValue() const {
+    assert(isKnown() && "not a Known value");
+    return Scalar;
+  }
+
+  /// The Bernoulli success probability.
+  NumId bernProb() const {
+    assert(isBern() && "not a Bernoulli value");
+    return Scalar;
+  }
+
+  /// The mixture components.
+  const std::vector<MoGComponent> &components() const {
+    assert(isMoG() && "not a mixture value");
+    return Components;
+  }
+
+private:
+  Kind K;
+  NumId Scalar = 0;
+  std::vector<MoGComponent> Components;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYMBOLIC_SYMVALUE_H

@@ -1,0 +1,373 @@
+//===- synth/Generator.cpp - Typed random completion generation ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Generator.h"
+
+#include "support/Casting.h"
+#include "support/Special.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace psketch;
+
+std::vector<unsigned> ExprGenerator::formalsOfKind(ScalarKind Kind) const {
+  std::vector<unsigned> Result;
+  for (unsigned I = 0, E = unsigned(Sig.ArgKinds.size()); I != E; ++I) {
+    ScalarKind K = Sig.ArgKinds[I];
+    bool Numeric = K != ScalarKind::Bool;
+    bool WantNumeric = Kind != ScalarKind::Bool;
+    if (Numeric == WantNumeric)
+      Result.push_back(I);
+  }
+  return Result;
+}
+
+ExprPtr ExprGenerator::generateConstant(ScalarKind Kind, GenRole Role) {
+  if (Kind == ScalarKind::Bool)
+    return ConstExpr::boolean(R.bernoulli(0.5));
+  switch (Role) {
+  case GenRole::DistProb:
+    return ConstExpr::real(R.uniform(0.02, 0.98));
+  case GenRole::DistScale:
+    return ConstExpr::real(std::fabs(R.gaussian(0.0, Config.ConstSd)) + 0.5);
+  case GenRole::DistMean:
+  case GenRole::Value:
+    return ConstExpr::real(R.gaussian(0.0, Config.ConstSd));
+  }
+  return ConstExpr::real(0.0);
+}
+
+ExprPtr ExprGenerator::generateTerminal(ScalarKind Kind, GenRole Role) {
+  std::vector<unsigned> Formals = formalsOfKind(Kind);
+  // Prefer formals when available: holes with dependences exist
+  // precisely because the user believes the value depends on them.
+  if (!Formals.empty() && R.bernoulli(0.6)) {
+    unsigned I = Formals[R.index(Formals.size())];
+    return std::make_unique<HoleArgExpr>(I, Sig.ArgKinds[I]);
+  }
+  return generateConstant(Kind, Role);
+}
+
+ExprPtr ExprGenerator::generateSample(unsigned Depth) {
+  std::vector<DistKind> RealDists;
+  for (DistKind D : Config.Dists)
+    if (!distReturnsBool(D))
+      RealDists.push_back(D);
+  if (RealDists.empty())
+    return generateTerminal(ScalarKind::Real);
+  DistKind D = RealDists[R.index(RealDists.size())];
+  std::vector<ExprPtr> Args;
+  for (unsigned I = 0, E = distArity(D); I != E; ++I) {
+    GenRole Role = GenRole::DistScale;
+    if (D == DistKind::Gaussian && I == 0)
+      Role = GenRole::DistMean;
+    // Distribution parameters are variables or constants only
+    // (Section 4.1), so draw terminals.
+    Args.push_back(generateTerminal(ScalarKind::Real, Role));
+    (void)Depth;
+  }
+  return std::make_unique<SampleExpr>(D, std::move(Args));
+}
+
+ExprPtr ExprGenerator::generate(ScalarKind Kind, unsigned Depth,
+                                GenRole Role) {
+  // Distribution-parameter positions never recurse.
+  if (Role != GenRole::Value)
+    return generateTerminal(Kind, Role);
+  bool MustTerminate = Depth + 1 >= Config.MaxDepth;
+  if (MustTerminate || R.bernoulli(Config.TerminalBias))
+    return generateTerminal(Kind, Role);
+  if (Kind == ScalarKind::Bool) {
+    // Boolean productions: comparison, logic, Bernoulli draw, ite, not.
+    enum { Cmp, Logic, Draw, Ite, Not, NumChoices };
+    std::vector<double> W(NumChoices, 0.0);
+    W[Cmp] = Config.CompareOps.empty() ? 0.0 : 3.0;
+    W[Logic] = Config.LogicalOps.empty() ? 0.0 : 1.0;
+    bool HasBern = false;
+    for (DistKind D : Config.Dists)
+      HasBern |= distReturnsBool(D);
+    W[Draw] = (Config.AllowSample && HasBern) ? 1.5 : 0.0;
+    W[Ite] = Config.AllowIte ? 0.5 : 0.0;
+    W[Not] = Config.AllowNot ? 0.5 : 0.0;
+    double Total = 0;
+    for (double X : W)
+      Total += X;
+    if (Total == 0)
+      return generateTerminal(Kind, Role);
+    switch (R.weightedIndex(W)) {
+    case Cmp: {
+      BinaryOp Op = Config.CompareOps[R.index(Config.CompareOps.size())];
+      return std::make_unique<BinaryExpr>(
+          Op, generate(ScalarKind::Real, Depth + 1),
+          generate(ScalarKind::Real, Depth + 1));
+    }
+    case Logic: {
+      BinaryOp Op = Config.LogicalOps[R.index(Config.LogicalOps.size())];
+      return std::make_unique<BinaryExpr>(
+          Op, generate(ScalarKind::Bool, Depth + 1),
+          generate(ScalarKind::Bool, Depth + 1));
+    }
+    case Draw:
+      return std::make_unique<SampleExpr>(
+          DistKind::Bernoulli,
+          [&] {
+            std::vector<ExprPtr> Args;
+            Args.push_back(
+                generateTerminal(ScalarKind::Real, GenRole::DistProb));
+            return Args;
+          }());
+    case Ite:
+      return std::make_unique<IteExpr>(
+          generate(ScalarKind::Bool, Depth + 1),
+          generate(ScalarKind::Bool, Depth + 1),
+          generate(ScalarKind::Bool, Depth + 1));
+    case Not:
+      return std::make_unique<UnaryExpr>(
+          UnaryOp::Not, generate(ScalarKind::Bool, Depth + 1));
+    }
+    return generateTerminal(Kind, Role);
+  }
+  // Numeric productions: arithmetic, distribution draw, ite.
+  enum { Arith, Draw, Ite, NumChoices };
+  std::vector<double> W(NumChoices, 0.0);
+  W[Arith] = Config.ArithOps.empty() ? 0.0 : 1.5;
+  W[Draw] = Config.AllowSample ? 2.5 : 0.0;
+  W[Ite] = Config.AllowIte ? 0.6 : 0.0;
+  double Total = 0;
+  for (double X : W)
+    Total += X;
+  if (Total == 0)
+    return generateTerminal(Kind, Role);
+  switch (R.weightedIndex(W)) {
+  case Arith: {
+    BinaryOp Op = Config.ArithOps[R.index(Config.ArithOps.size())];
+    return std::make_unique<BinaryExpr>(
+        Op, generate(ScalarKind::Real, Depth + 1),
+        generate(ScalarKind::Real, Depth + 1));
+  }
+  case Draw:
+    return generateSample(Depth + 1);
+  case Ite:
+    return std::make_unique<IteExpr>(generate(ScalarKind::Bool, Depth + 1),
+                                     generate(ScalarKind::Real, Depth + 1),
+                                     generate(ScalarKind::Real, Depth + 1));
+  }
+  return generateTerminal(Kind, Role);
+}
+
+ExprPtr ExprGenerator::generate() {
+  return generate(Sig.ResultKind, /*Depth=*/0);
+}
+
+//===----------------------------------------------------------------------===//
+// grammarLogProb: the density of generate() producing a given tree.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr double NegInf = -std::numeric_limits<double>::infinity();
+
+/// Density of the role-specific constant proposal at value \p V.
+double constantLogDensity(double V, ScalarKind Kind, GenRole Role,
+                          const GeneratorConfig &Config) {
+  if (Kind == ScalarKind::Bool)
+    return std::log(0.5);
+  switch (Role) {
+  case GenRole::DistProb:
+    return (V >= 0.02 && V <= 0.98) ? -std::log(0.96) : NegInf;
+  case GenRole::DistScale: {
+    // |Gaussian(0, ConstSd)| + 0.5: folded normal shifted by 0.5.
+    if (V < 0.5)
+      return NegInf;
+    return std::log(2.0) + gaussianLogPdf(V - 0.5, 0.0, Config.ConstSd);
+  }
+  case GenRole::DistMean:
+  case GenRole::Value:
+    return gaussianLogPdf(V, 0.0, Config.ConstSd);
+  }
+  return NegInf;
+}
+
+/// Probability density of generateTerminal(Kind, Role) yielding \p E.
+double terminalLogProb(const Expr &E, const HoleSignature &Sig,
+                       const GeneratorConfig &Config, ScalarKind Kind,
+                       GenRole Role) {
+  std::vector<unsigned> Formals;
+  for (unsigned I = 0, N = unsigned(Sig.ArgKinds.size()); I != N; ++I) {
+    bool Numeric = Sig.ArgKinds[I] != ScalarKind::Bool;
+    bool WantNumeric = Kind != ScalarKind::Bool;
+    if (Numeric == WantNumeric)
+      Formals.push_back(I);
+  }
+  double FormalBranch = Formals.empty() ? 0.0 : 0.6;
+  if (const auto *Arg = dyn_cast<HoleArgExpr>(&E)) {
+    bool Eligible = std::find(Formals.begin(), Formals.end(),
+                              Arg->getArgIndex()) != Formals.end();
+    if (!Eligible)
+      return NegInf;
+    return std::log(FormalBranch / double(Formals.size()));
+  }
+  if (const auto *C = dyn_cast<ConstExpr>(&E)) {
+    double ConstBranch = 1.0 - FormalBranch;
+    if (ConstBranch <= 0)
+      return NegInf;
+    return std::log(ConstBranch) +
+           constantLogDensity(C->getValue(), Kind, Role, Config);
+  }
+  return NegInf;
+}
+
+bool hasBernoulli(const GeneratorConfig &Config) {
+  for (DistKind D : Config.Dists)
+    if (distReturnsBool(D))
+      return true;
+  return false;
+}
+
+std::vector<DistKind> realDists(const GeneratorConfig &Config) {
+  std::vector<DistKind> Out;
+  for (DistKind D : Config.Dists)
+    if (!distReturnsBool(D))
+      Out.push_back(D);
+  return Out;
+}
+
+bool contains(const std::vector<BinaryOp> &Set, BinaryOp Op) {
+  return std::find(Set.begin(), Set.end(), Op) != Set.end();
+}
+
+} // namespace
+
+double psketch::grammarLogProb(const Expr &E, const HoleSignature &Sig,
+                               const GeneratorConfig &Config,
+                               ScalarKind Kind, unsigned Depth,
+                               GenRole Role) {
+  // Distribution-parameter positions never recurse.
+  if (Role != GenRole::Value)
+    return terminalLogProb(E, Sig, Config, Kind, Role);
+
+  bool IsTerminalNode = isa<ConstExpr>(&E) || isa<HoleArgExpr>(&E);
+  bool MustTerminate = Depth + 1 >= Config.MaxDepth;
+  if (MustTerminate)
+    return IsTerminalNode
+               ? terminalLogProb(E, Sig, Config, Kind, Role)
+               : NegInf;
+  if (IsTerminalNode)
+    return std::log(Config.TerminalBias) +
+           terminalLogProb(E, Sig, Config, Kind, Role);
+
+  double LogStructural = std::log1p(-Config.TerminalBias);
+
+  if (Kind == ScalarKind::Bool) {
+    double WCmp = Config.CompareOps.empty() ? 0.0 : 3.0;
+    double WLogic = Config.LogicalOps.empty() ? 0.0 : 1.0;
+    double WDraw =
+        (Config.AllowSample && hasBernoulli(Config)) ? 1.5 : 0.0;
+    double WIte = Config.AllowIte ? 0.5 : 0.0;
+    double WNot = Config.AllowNot ? 0.5 : 0.0;
+    double Total = WCmp + WLogic + WDraw + WIte + WNot;
+    if (Total == 0)
+      return NegInf; // Structural node but only terminals derivable.
+    if (const auto *B = dyn_cast<BinaryExpr>(&E)) {
+      if (isCompareOp(B->getOp())) {
+        if (WCmp == 0 || !contains(Config.CompareOps, B->getOp()))
+          return NegInf;
+        return LogStructural + std::log(WCmp / Total) -
+               std::log(double(Config.CompareOps.size())) +
+               grammarLogProb(B->getLHS(), Sig, Config, ScalarKind::Real,
+                              Depth + 1) +
+               grammarLogProb(B->getRHS(), Sig, Config, ScalarKind::Real,
+                              Depth + 1);
+      }
+      if (isLogicalOp(B->getOp())) {
+        if (WLogic == 0 || !contains(Config.LogicalOps, B->getOp()))
+          return NegInf;
+        return LogStructural + std::log(WLogic / Total) -
+               std::log(double(Config.LogicalOps.size())) +
+               grammarLogProb(B->getLHS(), Sig, Config, ScalarKind::Bool,
+                              Depth + 1) +
+               grammarLogProb(B->getRHS(), Sig, Config, ScalarKind::Bool,
+                              Depth + 1);
+      }
+      return NegInf;
+    }
+    if (const auto *S = dyn_cast<SampleExpr>(&E)) {
+      if (WDraw == 0 || S->getDist() != DistKind::Bernoulli)
+        return NegInf;
+      return LogStructural + std::log(WDraw / Total) +
+             terminalLogProb(S->getArg(0), Sig, Config, ScalarKind::Real,
+                             GenRole::DistProb);
+    }
+    if (const auto *I = dyn_cast<IteExpr>(&E)) {
+      if (WIte == 0)
+        return NegInf;
+      return LogStructural + std::log(WIte / Total) +
+             grammarLogProb(I->getCond(), Sig, Config, ScalarKind::Bool,
+                            Depth + 1) +
+             grammarLogProb(I->getThen(), Sig, Config, ScalarKind::Bool,
+                            Depth + 1) +
+             grammarLogProb(I->getElse(), Sig, Config, ScalarKind::Bool,
+                            Depth + 1);
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(&E)) {
+      if (WNot == 0 || U->getOp() != UnaryOp::Not)
+        return NegInf;
+      return LogStructural + std::log(WNot / Total) +
+             grammarLogProb(U->getSub(), Sig, Config, ScalarKind::Bool,
+                            Depth + 1);
+    }
+    return NegInf;
+  }
+
+  // Numeric productions.
+  double WArith = Config.ArithOps.empty() ? 0.0 : 1.5;
+  double WDraw = Config.AllowSample ? 2.5 : 0.0;
+  double WIte = Config.AllowIte ? 0.6 : 0.0;
+  double Total = WArith + WDraw + WIte;
+  if (Total == 0)
+    return NegInf;
+  if (const auto *B = dyn_cast<BinaryExpr>(&E)) {
+    if (WArith == 0 || !isArithOp(B->getOp()) ||
+        !contains(Config.ArithOps, B->getOp()))
+      return NegInf;
+    return LogStructural + std::log(WArith / Total) -
+           std::log(double(Config.ArithOps.size())) +
+           grammarLogProb(B->getLHS(), Sig, Config, ScalarKind::Real,
+                          Depth + 1) +
+           grammarLogProb(B->getRHS(), Sig, Config, ScalarKind::Real,
+                          Depth + 1);
+  }
+  if (const auto *S = dyn_cast<SampleExpr>(&E)) {
+    std::vector<DistKind> Dists = realDists(Config);
+    if (WDraw == 0 || Dists.empty() ||
+        std::find(Dists.begin(), Dists.end(), S->getDist()) == Dists.end())
+      return NegInf;
+    double LP = LogStructural + std::log(WDraw / Total) -
+                std::log(double(Dists.size()));
+    for (unsigned I = 0, N = S->getNumArgs(); I != N; ++I) {
+      GenRole ArgRole = (S->getDist() == DistKind::Gaussian && I == 0)
+                            ? GenRole::DistMean
+                            : GenRole::DistScale;
+      LP += terminalLogProb(S->getArg(I), Sig, Config, ScalarKind::Real,
+                            ArgRole);
+    }
+    return LP;
+  }
+  if (const auto *I = dyn_cast<IteExpr>(&E)) {
+    if (WIte == 0)
+      return NegInf;
+    return LogStructural + std::log(WIte / Total) +
+           grammarLogProb(I->getCond(), Sig, Config, ScalarKind::Bool,
+                          Depth + 1) +
+           grammarLogProb(I->getThen(), Sig, Config, ScalarKind::Real,
+                          Depth + 1) +
+           grammarLogProb(I->getElse(), Sig, Config, ScalarKind::Real,
+                          Depth + 1);
+  }
+  return NegInf;
+}

@@ -1,0 +1,118 @@
+//===- synth/Generator.h - Typed random completion generation ------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random well-typed hole completions from the Figure 3
+/// grammar "with a bias to replace all non-terminals with terminals"
+/// (mutation Operation-4 and the initial draw H ~ Sigma_P[.] of
+/// Algorithm 1, line 2).  Distribution parameters are restricted to
+/// variables (hole formals) and constants, per Section 4.1, and constant
+/// leaves are drawn from parameter-appropriate proposal ranges
+/// (probabilities from [0,1], scales positive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_GENERATOR_H
+#define PSKETCH_SYNTH_GENERATOR_H
+
+#include "ast/Expr.h"
+#include "sem/TypeCheck.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace psketch {
+
+/// Grammar and sizing knobs for random completion generation.
+struct GeneratorConfig {
+  /// Maximum expression depth; at the limit only terminals are drawn.
+  unsigned MaxDepth = 4;
+
+  /// Probability of stopping at a terminal before the depth limit (the
+  /// paper's terminal bias).
+  double TerminalBias = 0.55;
+
+  /// Real-valued constants are proposed from Gaussian(0, ConstSd)
+  /// except in distribution-parameter positions, which use
+  /// parameter-specific ranges.
+  double ConstSd = 30.0;
+
+  /// Operators available to generated completions.  Figure 3 includes
+  /// x, but the Figure 6 product rule is a *density* approximation that
+  /// diverges badly from the sampling semantics when both operands are
+  /// random, and MH happily exploits that gap; products are therefore
+  /// opt-in (RATS enables them for its linear model, where x is the
+  /// sound Known-times-MoG scaling).
+  std::vector<BinaryOp> ArithOps = {BinaryOp::Add, BinaryOp::Sub};
+  std::vector<BinaryOp> LogicalOps = {BinaryOp::And, BinaryOp::Or};
+  std::vector<BinaryOp> CompareOps = {BinaryOp::Gt, BinaryOp::Lt};
+
+  /// Distributions available to generated completions.
+  std::vector<DistKind> Dists = {DistKind::Gaussian, DistKind::Bernoulli,
+                                 DistKind::Beta, DistKind::Gamma};
+
+  /// Structural features.
+  bool AllowIte = true;
+  bool AllowNot = true;
+  bool AllowSample = true;
+};
+
+/// The role a generated position plays; selects constant proposal
+/// ranges and enforces the distribution-parameter restriction.
+enum class GenRole {
+  Value,      ///< Ordinary expression position.
+  DistMean,   ///< Location parameter (Gaussian mean).
+  DistScale,  ///< Positive scale (sigma, Gamma scale, Beta/Gamma shape).
+  DistProb,   ///< Probability in [0, 1] (Bernoulli).
+};
+
+/// Draws random well-typed completions for one hole signature.
+class ExprGenerator {
+public:
+  ExprGenerator(const HoleSignature &Sig, const GeneratorConfig &Config,
+                Rng &R)
+      : Sig(Sig), Config(Config), R(R) {}
+
+  /// A fresh completion of the hole's result kind.
+  ExprPtr generate();
+
+  /// A fresh subexpression of \p Kind at \p Depth (for Operation-4
+  /// subtree regeneration).  \p Role restricts the shape in
+  /// distribution-parameter positions.
+  ExprPtr generate(ScalarKind Kind, unsigned Depth,
+                   GenRole Role = GenRole::Value);
+
+  /// A terminal (hole formal or constant) of \p Kind.
+  ExprPtr generateTerminal(ScalarKind Kind, GenRole Role = GenRole::Value);
+
+  /// A constant appropriate for \p Role.
+  ExprPtr generateConstant(ScalarKind Kind, GenRole Role);
+
+  /// Indices of hole formals whose kind is \p Kind.
+  std::vector<unsigned> formalsOfKind(ScalarKind Kind) const;
+
+private:
+  ExprPtr generateSample(unsigned Depth);
+
+  const HoleSignature &Sig;
+  const GeneratorConfig &Config;
+  Rng &R;
+};
+
+/// Log of the probability density that ExprGenerator::generate(Kind,
+/// Depth, Role) under \p Sig and \p Config produces exactly the tree
+/// \p E (mixing discrete structure probabilities with continuous
+/// constant densities).  Returns -infinity for trees the generator
+/// cannot produce.  Used by the approximate asymmetric MH proposal
+/// ratio (Operation-4's reverse density) and validated against Monte
+/// Carlo frequencies in tests.
+double grammarLogProb(const Expr &E, const HoleSignature &Sig,
+                      const GeneratorConfig &Config, ScalarKind Kind,
+                      unsigned Depth = 0, GenRole Role = GenRole::Value);
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_GENERATOR_H

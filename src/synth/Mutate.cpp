@@ -1,0 +1,283 @@
+//===- synth/Mutate.cpp - The Section 4.1 mutation proposal --------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Mutate.h"
+
+#include "ast/ASTUtil.h"
+#include "support/Casting.h"
+#include "support/Special.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+void collectTypedSlotsImpl(ExprPtr &Root, ScalarKind Kind, bool IsDistParam,
+                           std::vector<TypedSlot> &Slots) {
+  Slots.push_back({&Root, Kind, IsDistParam});
+  Expr &E = *Root;
+  switch (E.getKind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+  case Expr::Kind::HoleArg:
+    return;
+  case Expr::Kind::Index:
+    collectTypedSlotsImpl(cast<IndexExpr>(E).getIndexPtr(), ScalarKind::Int,
+                          false, Slots);
+    return;
+  case Expr::Kind::Unary: {
+    auto &U = cast<UnaryExpr>(E);
+    ScalarKind SubKind =
+        U.getOp() == UnaryOp::Not ? ScalarKind::Bool : ScalarKind::Real;
+    collectTypedSlotsImpl(U.getSubPtr(), SubKind, false, Slots);
+    return;
+  }
+  case Expr::Kind::Binary: {
+    auto &B = cast<BinaryExpr>(E);
+    ScalarKind SubKind =
+        isLogicalOp(B.getOp()) ? ScalarKind::Bool : ScalarKind::Real;
+    collectTypedSlotsImpl(B.getLHSPtr(), SubKind, false, Slots);
+    collectTypedSlotsImpl(B.getRHSPtr(), SubKind, false, Slots);
+    return;
+  }
+  case Expr::Kind::Ite: {
+    auto &I = cast<IteExpr>(E);
+    collectTypedSlotsImpl(I.getCondPtr(), ScalarKind::Bool, false, Slots);
+    collectTypedSlotsImpl(I.getThenPtr(), Kind, false, Slots);
+    collectTypedSlotsImpl(I.getElsePtr(), Kind, false, Slots);
+    return;
+  }
+  case Expr::Kind::Sample:
+    for (ExprPtr &A : cast<SampleExpr>(E).getArgs())
+      collectTypedSlotsImpl(A, ScalarKind::Real, /*IsDistParam=*/true,
+                            Slots);
+    return;
+  case Expr::Kind::Hole:
+    for (ExprPtr &A : cast<HoleExpr>(E).getArgs())
+      collectTypedSlotsImpl(A, ScalarKind::Real, false, Slots);
+    return;
+  }
+}
+
+} // namespace
+
+void psketch::collectTypedSlots(ExprPtr &Root, ScalarKind RootKind,
+                                std::vector<TypedSlot> &Slots) {
+  collectTypedSlotsImpl(Root, RootKind, /*IsDistParam=*/false, Slots);
+}
+
+bool Mutator::applyVariableSwap(TypedSlot Slot, const HoleSignature &Sig) {
+  auto *Arg = dyn_cast<HoleArgExpr>(Slot.Ptr->get());
+  if (!Arg || Sig.ArgKinds.size() < 2)
+    return false;
+  // Operation-1: replace with one of the *other* formals, uniformly.
+  std::vector<unsigned> Others;
+  for (unsigned I = 0, E = unsigned(Sig.ArgKinds.size()); I != E; ++I)
+    if (I != Arg->getArgIndex())
+      Others.push_back(I);
+  if (Others.empty())
+    return false;
+  unsigned Chosen = Others[R.index(Others.size())];
+  *Slot.Ptr = std::make_unique<HoleArgExpr>(Chosen, Sig.ArgKinds[Chosen]);
+  return true;
+}
+
+bool Mutator::applyConstantPerturb(TypedSlot Slot) {
+  auto *C = dyn_cast<ConstExpr>(Slot.Ptr->get());
+  if (!C || C->getScalarKind() == ScalarKind::Bool)
+    return false;
+  // Operation-2: c' ~ Gaussian(c, sigma_c).
+  double Old = C->getValue();
+  double Sigma = Config.ConstAbsSd + Config.ConstRelSd * std::fabs(Old);
+  double NewValue = R.gaussian(Old, Sigma);
+  if (C->getScalarKind() == ScalarKind::Int)
+    NewValue = std::round(NewValue);
+  C->setValue(NewValue);
+  // Nearly symmetric; sigma_c depends on |c|, so the reverse draw uses
+  // a slightly different deviation.
+  double ReverseSigma =
+      Config.ConstAbsSd + Config.ConstRelSd * std::fabs(NewValue);
+  QRatio += gaussianLogPdf(Old, NewValue, ReverseSigma) -
+            gaussianLogPdf(NewValue, Old, Sigma);
+  return true;
+}
+
+bool Mutator::applyOperatorSwap(TypedSlot Slot) {
+  Expr *E = Slot.Ptr->get();
+  if (auto *B = dyn_cast<BinaryExpr>(E)) {
+    // Swap within the equivalence class, but never introduce an
+    // operator the generator configuration excludes.
+    auto Allowed = [&](BinaryOp Op) {
+      const std::vector<BinaryOp> &Set =
+          isArithOp(Op) ? GenConfig.ArithOps
+          : isLogicalOp(Op) ? GenConfig.LogicalOps
+                            : GenConfig.CompareOps;
+      return std::find(Set.begin(), Set.end(), Op) != Set.end();
+    };
+    std::vector<BinaryOp> Others;
+    for (BinaryOp Op : equivalentOps(B->getOp()))
+      if (Allowed(Op))
+        Others.push_back(Op);
+    if (Others.empty())
+      return false;
+    B->setOp(Others[R.index(Others.size())]);
+    return true;
+  }
+  if (auto *S = dyn_cast<SampleExpr>(E)) {
+    // Swap among real-valued two-parameter distributions (equivalent
+    // type: same arity, same result kind).
+    std::vector<DistKind> Others;
+    for (DistKind D : GenConfig.Dists)
+      if (D != S->getDist() && distArity(D) == distArity(S->getDist()) &&
+          distReturnsBool(D) == distReturnsBool(S->getDist()))
+        Others.push_back(D);
+    if (Others.empty())
+      return false;
+    DistKind NewDist = Others[R.index(Others.size())];
+    std::vector<ExprPtr> Args = std::move(S->getArgs());
+    *Slot.Ptr = std::make_unique<SampleExpr>(NewDist, std::move(Args),
+                                             E->getLoc());
+    return true;
+  }
+  return false;
+}
+
+bool Mutator::applyRegenerate(TypedSlot Slot, const HoleSignature &Sig) {
+  // Operation-4: replace the subtree with a fresh derivation of the
+  // corresponding non-terminal.
+  ExprGenerator Gen(Sig, GenConfig, R);
+  GenRole Role = Slot.IsDistParam ? GenRole::DistScale : GenRole::Value;
+  ExprPtr Fresh = Gen.generate(Slot.Kind, /*Depth=*/0, Role);
+  if (exprSize(*Fresh) > Config.MaxNodes)
+    return false;
+  // The reverse move regenerates the old subtree at the same slot.
+  QRatio += grammarLogProb(**Slot.Ptr, Sig, GenConfig, Slot.Kind, 0, Role) -
+            grammarLogProb(*Fresh, Sig, GenConfig, Slot.Kind, 0, Role);
+  *Slot.Ptr = std::move(Fresh);
+  return true;
+}
+
+bool Mutator::applyGrow(TypedSlot Slot, const HoleSignature &Sig) {
+  if (Slot.IsDistParam)
+    return false;
+  ExprGenerator Gen(Sig, GenConfig, R);
+  ExprPtr Cond = Gen.generate(ScalarKind::Bool, /*Depth=*/1);
+  ExprPtr Fresh = Gen.generate(Slot.Kind, /*Depth=*/1);
+  ExprPtr Current = std::move(*Slot.Ptr);
+  if (exprSize(*Current) + exprSize(*Cond) + exprSize(*Fresh) + 1 >
+      Config.MaxNodes) {
+    *Slot.Ptr = std::move(Current);
+    return false;
+  }
+  // The reverse move is a shrink picking the kept side (1/2); the
+  // forward density generated the condition and the fresh branch.
+  QRatio -= grammarLogProb(*Cond, Sig, GenConfig, ScalarKind::Bool, 1) +
+            grammarLogProb(*Fresh, Sig, GenConfig, Slot.Kind, 1);
+  // Keep the fitted expression on a random side.
+  if (R.bernoulli(0.5))
+    *Slot.Ptr = std::make_unique<IteExpr>(std::move(Cond),
+                                          std::move(Current),
+                                          std::move(Fresh));
+  else
+    *Slot.Ptr = std::make_unique<IteExpr>(std::move(Cond), std::move(Fresh),
+                                          std::move(Current));
+  return true;
+}
+
+bool Mutator::applyShrink(TypedSlot Slot) {
+  auto *Ite = dyn_cast<IteExpr>(Slot.Ptr->get());
+  if (!Ite)
+    return false;
+  bool KeepThen = R.bernoulli(0.5);
+  // The reverse move is a grow that regenerates the dropped condition
+  // and branch.  The shrink slot's hole is unknown here; grow/shrink
+  // density terms use the first signature's formals conservatively
+  // when multiple holes exist (approximation; see header comment).
+  const HoleSignature &Sig = Sigs.front();
+  const Expr &Dropped = KeepThen ? Ite->getElse() : Ite->getThen();
+  QRatio += grammarLogProb(Ite->getCond(), Sig, GenConfig,
+                           ScalarKind::Bool, 1) +
+            grammarLogProb(Dropped, Sig, GenConfig, Slot.Kind, 1);
+  ExprPtr Kept = KeepThen ? std::move(Ite->getThenPtr())
+                          : std::move(Ite->getElsePtr());
+  *Slot.Ptr = std::move(Kept);
+  return true;
+}
+
+bool Mutator::mutateOnce(std::vector<ExprPtr> &Completions) {
+  assert(Completions.size() == Sigs.size() &&
+         "completion tuple arity mismatch");
+  // Choose a node uniformly over the union of the tuple's ASTs: gather
+  // typed slots per hole, then index into the concatenation.
+  std::vector<std::pair<TypedSlot, unsigned>> All;
+  for (unsigned H = 0, E = unsigned(Completions.size()); H != E; ++H) {
+    std::vector<TypedSlot> Slots;
+    collectTypedSlots(Completions[H], Sigs[H].ResultKind, Slots);
+    for (const TypedSlot &S : Slots)
+      All.push_back({S, H});
+  }
+  if (All.empty())
+    return false;
+  auto [Slot, HoleIdx] = All[R.index(All.size())];
+  const HoleSignature &Sig = Sigs[HoleIdx];
+
+  // Determine the applicable operations for this node and pick one
+  // uniformly (Section 4.1).
+  enum OpKind { VarSwap, ConstPerturb, OpSwap, Regen, Grow, Shrink };
+  std::vector<OpKind> Applicable;
+  Expr *E = Slot.Ptr->get();
+  if (isa<HoleArgExpr>(E) && Sig.ArgKinds.size() >= 2)
+    Applicable.push_back(VarSwap);
+  if (const auto *C = dyn_cast<ConstExpr>(E);
+      C && C->getScalarKind() != ScalarKind::Bool)
+    Applicable.push_back(ConstPerturb);
+  if (const auto *B = dyn_cast<BinaryExpr>(E);
+      B && !equivalentOps(B->getOp()).empty())
+    Applicable.push_back(OpSwap);
+  if (isa<SampleExpr>(E))
+    Applicable.push_back(OpSwap);
+  Applicable.push_back(Regen); // Operation-4 applies to all node types.
+  if (Config.EnableGrowShrink) {
+    // Grow is gated: including it unconditionally bloats candidates
+    // (every slot is eligible), which slows scoring without improving
+    // mixing.
+    if (!Slot.IsDistParam && R.bernoulli(0.25))
+      Applicable.push_back(Grow);
+    if (isa<IteExpr>(E))
+      Applicable.push_back(Shrink);
+  }
+
+  switch (Applicable[R.index(Applicable.size())]) {
+  case VarSwap:
+    return applyVariableSwap(Slot, Sig);
+  case ConstPerturb:
+    return applyConstantPerturb(Slot);
+  case OpSwap:
+    return applyOperatorSwap(Slot);
+  case Regen:
+    return applyRegenerate(Slot, Sig);
+  case Grow:
+    return applyGrow(Slot, Sig);
+  case Shrink:
+    return applyShrink(Slot);
+  }
+  return false;
+}
+
+std::vector<ExprPtr>
+Mutator::propose(const std::vector<ExprPtr> &Completions) {
+  QRatio = 0;
+  std::vector<ExprPtr> Proposal;
+  Proposal.reserve(Completions.size());
+  for (const ExprPtr &C : Completions)
+    Proposal.push_back(C->clone());
+  int N = R.geometric(Config.GeomP);
+  for (int I = 0; I != N; ++I)
+    mutateOnce(Proposal);
+  return Proposal;
+}

@@ -1,0 +1,118 @@
+//===- synth/Mutate.h - The Section 4.1 mutation proposal ----------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MH proposal distribution Pr(H' | H): draw a mutation count n
+/// from a geometric distribution, then apply n random AST mutation
+/// operations to the completion tuple.  Each operation picks a node
+/// uniformly at random over the union of all completions' ASTs and
+/// applies one of the applicable operations uniformly:
+///
+///  * Operation-1 — a hole-formal reference is replaced by a different
+///    formal of the hole;
+///  * Operation-2 — a real constant c is replaced by a draw from
+///    Gaussian(c, sigma_c);
+///  * Operation-3 — an operator is replaced by another operator of
+///    equivalent type; and
+///  * Operation-4 — the whole subtree is regenerated from the grammar
+///    with terminal bias.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_MUTATE_H
+#define PSKETCH_SYNTH_MUTATE_H
+
+#include "synth/Generator.h"
+
+#include <vector>
+
+namespace psketch {
+
+/// Knobs of the mutation proposal.
+struct MutateConfig {
+  /// Success probability of the geometric mutation-count draw; the
+  /// expected number of mutations per proposal is 1/GeomP.
+  double GeomP = 0.6;
+
+  /// Operation-2 standard deviation: sigma_c = ConstAbsSd +
+  /// ConstRelSd * |c|.  The relative term lets large constants (e.g.
+  /// TrueSkill's 100) move at a useful scale.
+  double ConstAbsSd = 1.0;
+  double ConstRelSd = 0.15;
+
+  /// Maximum nodes per completion; Operation-4 results exceeding this
+  /// are retried as another operation (keeps proposals from bloating).
+  size_t MaxNodes = 32;
+
+  /// Extension beyond the paper's four operations (DESIGN.md §3):
+  /// grow replaces a subtree E by ite(fresh-cond, E, fresh) keeping the
+  /// fitted expression as one branch, and shrink collapses an ite to
+  /// one branch.  They let the chain enter/leave mixtures without
+  /// abandoning an already-fitted mode; set to false for the
+  /// paper-literal proposal (ablated in bench/ablation_design_choices).
+  bool EnableGrowShrink = true;
+};
+
+/// A mutable slot in a completion tree, annotated with the scalar kind
+/// an expression in this position must have and whether the position is
+/// a distribution parameter (restricted to variables/constants).
+struct TypedSlot {
+  ExprPtr *Ptr = nullptr;
+  ScalarKind Kind = ScalarKind::Real;
+  bool IsDistParam = false;
+};
+
+/// Collects the typed slots of \p Root (including the root itself,
+/// whose kind is \p RootKind).
+void collectTypedSlots(ExprPtr &Root, ScalarKind RootKind,
+                       std::vector<TypedSlot> &Slots);
+
+/// Mutates completion tuples under per-hole signatures.
+class Mutator {
+public:
+  Mutator(const std::vector<HoleSignature> &Sigs,
+          const GeneratorConfig &GenConfig, const MutateConfig &Config,
+          Rng &R)
+      : Sigs(Sigs), GenConfig(GenConfig), Config(Config), R(R) {}
+
+  /// Proposes a mutated copy of \p Completions (one entry per hole, in
+  /// hole-id order).  Always returns a structurally valid tuple; type
+  /// correctness is re-checked by the synthesizer's validity filter.
+  std::vector<ExprPtr> propose(const std::vector<ExprPtr> &Completions);
+
+  /// Approximate log proposal-density ratio of the last propose():
+  /// log Q(H | H') - log Q(H' | H).  Symmetric operations contribute
+  /// zero; Operation-2 contributes the (slightly asymmetric, since
+  /// sigma_c depends on |c|) Gaussian densities; Operation-4 and
+  /// grow/shrink contribute grammar generation densities
+  /// (grammarLogProb).  Slot-count and applicable-set asymmetries are
+  /// ignored — see DESIGN.md §3.
+  double lastProposalLogQRatio() const { return QRatio; }
+
+  /// Applies exactly one mutation operation at a random node of the
+  /// tuple (exposed for tests).  Returns false if no operation applied.
+  bool mutateOnce(std::vector<ExprPtr> &Completions);
+
+  // Individual operations on one slot (exposed for tests).  Each
+  // returns false when inapplicable to the node in the slot.
+  bool applyVariableSwap(TypedSlot Slot, const HoleSignature &Sig);
+  bool applyConstantPerturb(TypedSlot Slot);
+  bool applyOperatorSwap(TypedSlot Slot);
+  bool applyRegenerate(TypedSlot Slot, const HoleSignature &Sig);
+  bool applyGrow(TypedSlot Slot, const HoleSignature &Sig);
+  bool applyShrink(TypedSlot Slot);
+
+private:
+  const std::vector<HoleSignature> &Sigs;
+  const GeneratorConfig &GenConfig;
+  const MutateConfig &Config;
+  Rng &R;
+  double QRatio = 0;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_MUTATE_H

@@ -1,0 +1,55 @@
+//===- synth/Splice.cpp - Instantiating sketches with completions --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Splice.h"
+
+#include "ast/ASTUtil.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace psketch;
+
+namespace {
+
+void spliceExpr(ExprPtr &Slot, const std::vector<const Expr *> &Completions) {
+  if (auto *H = dyn_cast<HoleExpr>(Slot.get())) {
+    assert(H->getHoleId() < Completions.size() &&
+           Completions[H->getHoleId()] && "missing completion for hole");
+    std::vector<const Expr *> Actuals;
+    Actuals.reserve(H->getNumArgs());
+    for (const ExprPtr &A : H->getArgs())
+      Actuals.push_back(A.get());
+    Slot = substituteHoleArgs(*Completions[H->getHoleId()], Actuals);
+    return;
+  }
+  forEachChildSlot(*Slot, [&](ExprPtr &Child) {
+    spliceExpr(Child, Completions);
+  });
+}
+
+} // namespace
+
+std::unique_ptr<Program>
+psketch::spliceCompletions(const Program &Sketch,
+                           const std::vector<const Expr *> &Completions) {
+  std::unique_ptr<Program> Result = Sketch.clone();
+  forEachStmtExprSlot(Result->getBody(), [&](ExprPtr &E) {
+    spliceExpr(E, Completions);
+  });
+  return Result;
+}
+
+std::unique_ptr<Program>
+psketch::spliceCompletions(const Program &Sketch,
+                           const std::vector<ExprPtr> &Completions) {
+  std::vector<const Expr *> Raw;
+  Raw.reserve(Completions.size());
+  for (const ExprPtr &C : Completions)
+    Raw.push_back(C.get());
+  return spliceCompletions(Sketch, Raw);
+}

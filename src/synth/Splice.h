@@ -1,0 +1,38 @@
+//===- synth/Splice.h - Instantiating sketches with completions ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splicing produces P[H] from a sketch P[.] and a completion tuple H:
+/// each hole `??(e1, ..., ek)` is replaced by its completion with the
+/// hole formals `%i` substituted by the hole's actual arguments ei.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_SPLICE_H
+#define PSKETCH_SYNTH_SPLICE_H
+
+#include "ast/Program.h"
+
+#include <memory>
+#include <vector>
+
+namespace psketch {
+
+/// Returns a copy of \p Sketch with hole #i replaced by
+/// \p Completions[i].  Completions must cover every hole id occurring
+/// in the sketch (asserted).
+std::unique_ptr<Program>
+spliceCompletions(const Program &Sketch,
+                  const std::vector<const Expr *> &Completions);
+
+/// Convenience overload over owned completions.
+std::unique_ptr<Program>
+spliceCompletions(const Program &Sketch,
+                  const std::vector<ExprPtr> &Completions);
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_SPLICE_H

@@ -1,0 +1,150 @@
+//===- synth/Synthesizer.cpp - MCMC-SYN (Algorithm 1) ---------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include <chrono>
+#include <cmath>
+
+using namespace psketch;
+
+Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
+                         const Dataset &Data, SynthesisConfig Config)
+    : Sketch(SketchIn.clone()), Inputs(Inputs), Data(Data),
+      Config(std::move(Config)) {
+  auto SigsOpt = typeCheck(*Sketch, Diags);
+  if (!SigsOpt)
+    return;
+  Sigs = std::move(*SigsOpt);
+  // The parser numbers holes densely in order of occurrence; the tuple
+  // representation relies on it.
+  for (unsigned I = 0, E = unsigned(Sigs.size()); I != E; ++I) {
+    if (Sigs[I].HoleId != I) {
+      Diags.error({}, "hole ids are not contiguous");
+      return;
+    }
+  }
+  SketchValid = true;
+  Score = [this](const Program &Candidate) {
+    return scoreWithMoG(Candidate);
+  };
+}
+
+std::optional<double>
+Synthesizer::scoreWithMoG(const Program &Candidate) const {
+  DiagEngine LocalDiags;
+  auto LP = lowerProgram(Candidate, Inputs, LocalDiags);
+  if (!LP)
+    return std::nullopt;
+  if (!checkDefiniteAssignment(*LP, LocalDiags))
+    return std::nullopt;
+  auto F = LikelihoodFunction::compile(*LP, Data, Config.Algebra);
+  if (!F)
+    return std::nullopt;
+  double LL = F->logLikelihood(Data);
+  if (std::isnan(LL))
+    return std::nullopt;
+  return LL;
+}
+
+bool Synthesizer::completionsValid(
+    const std::vector<ExprPtr> &Completions) const {
+  for (unsigned I = 0, E = unsigned(Sigs.size()); I != E; ++I)
+    if (!checkCompletion(*Completions[I], Sigs[I]))
+      return false;
+  return true;
+}
+
+void Synthesizer::runChain(uint64_t Seed, SynthesisResult &Result) {
+  Rng R(Seed);
+  Mutator Mut(Sigs, Config.Gen, Config.Mut, R);
+
+  auto RecordBest = [&](const std::vector<ExprPtr> &Completions, double LL) {
+    if (Result.Succeeded && LL <= Result.BestLogLikelihood)
+      return;
+    Result.BestCompletions.clear();
+    for (const ExprPtr &C : Completions)
+      Result.BestCompletions.push_back(C->clone());
+    Result.BestLogLikelihood = LL;
+    Result.Succeeded = true;
+  };
+
+  // Algorithm 1, line 2: H ~ Sigma_P[.] — draw until the tuple passes
+  // the validity filter and scores.
+  std::vector<ExprPtr> Current;
+  double CurrentLL = 0;
+  bool Initialized = false;
+  for (unsigned Try = 0; Try != Config.MaxInitTries && !Initialized; ++Try) {
+    std::vector<ExprPtr> Candidate;
+    Candidate.reserve(Sigs.size());
+    for (const HoleSignature &Sig : Sigs) {
+      ExprGenerator Gen(Sig, Config.Gen, R);
+      Candidate.push_back(Gen.generate());
+    }
+    if (!completionsValid(Candidate))
+      continue;
+    auto Spliced = spliceCompletions(*Sketch, Candidate);
+    auto LL = Score(*Spliced);
+    ++Result.Stats.Scored;
+    if (!LL)
+      continue;
+    Current = std::move(Candidate);
+    CurrentLL = *LL;
+    Initialized = true;
+  }
+  if (!Initialized)
+    return;
+  RecordBest(Current, CurrentLL);
+
+  for (unsigned Iter = 0; Iter != Config.Iterations; ++Iter) {
+    // Line 4: H' := mutate(H).
+    std::vector<ExprPtr> Proposal = Mut.propose(Current);
+    ++Result.Stats.Proposed;
+    if (!completionsValid(Proposal)) {
+      ++Result.Stats.Invalid;
+    } else {
+      auto Spliced = spliceCompletions(*Sketch, Proposal);
+      auto LL = Score(*Spliced);
+      ++Result.Stats.Scored;
+      if (!LL) {
+        ++Result.Stats.Invalid;
+      } else {
+        // Line 5: accept with min(1, ratio); with a uniform prior the
+        // ratio is the likelihood ratio times (optionally) the
+        // approximate proposal-density ratio of Section 4.2.
+        double LogAlpha = *LL - CurrentLL;
+        if (Config.UseProposalRatio)
+          LogAlpha += Mut.lastProposalLogQRatio();
+        if (LogAlpha >= 0 || std::log(R.uniform()) < LogAlpha) {
+          Current = std::move(Proposal);
+          CurrentLL = *LL;
+          ++Result.Stats.Accepted;
+        }
+      }
+    }
+    // Line 8: S := S + {H}; line 10's argmax over S reduces to keeping
+    // the best current state seen so far.
+    RecordBest(Current, CurrentLL);
+    if (Config.TrackBestTrace)
+      Result.BestTrace.push_back(Result.BestLogLikelihood);
+  }
+}
+
+SynthesisResult Synthesizer::run() {
+  SynthesisResult Result;
+  if (!SketchValid)
+    return Result;
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned Chain = 0; Chain != std::max(Config.Chains, 1u); ++Chain)
+    runChain(Config.Seed + Chain, Result);
+  auto End = std::chrono::steady_clock::now();
+  Result.Stats.Seconds =
+      std::chrono::duration<double>(End - Start).count();
+
+  if (Result.Succeeded)
+    Result.BestProgram = spliceCompletions(*Sketch, Result.BestCompletions);
+  return Result;
+}

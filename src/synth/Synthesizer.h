@@ -1,0 +1,140 @@
+//===- synth/Synthesizer.h - MCMC-SYN (Algorithm 1) -----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthesis algorithm of the paper: a Metropolis-Hastings random
+/// walk over hole-completion tuples.  Each iteration mutates the
+/// current tuple (Section 4.1), filters out nonsensical mutants with
+/// the quick syntactic/type check, scores Pr(D | P[H']) with the
+/// compiled MoG likelihood (Section 4.3), and accepts with the MH
+/// ratio (Section 4.2; symmetric-proposal form by default — see
+/// DESIGN.md §3).  The returned program is the argmax-likelihood member
+/// of the sample set S (Algorithm 1, line 10).
+///
+/// The scorer is pluggable so the Figure 8 experiment can swap in the
+/// numeric-integration baseline (baseline/GridLikelihood.h) and measure
+/// candidates-per-second for both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_SYNTHESIZER_H
+#define PSKETCH_SYNTH_SYNTHESIZER_H
+
+#include "likelihood/Likelihood.h"
+#include "synth/Mutate.h"
+#include "synth/Splice.h"
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+
+namespace psketch {
+
+/// All knobs of one synthesis run.
+struct SynthesisConfig {
+  /// MH iterations per chain (Algorithm 1's N).
+  unsigned Iterations = 4000;
+
+  /// Independent restarts.  MH converges asymptotically (Section 4.4)
+  /// but a finite budget can trap a single chain in a local optimum;
+  /// the best state across chains is returned.  Chain c uses seed
+  /// Seed + c.
+  unsigned Chains = 1;
+
+  /// Seed for the whole run (initial draw, proposals, acceptances).
+  uint64_t Seed = 1;
+
+  /// Attempts to draw a valid initial completion tuple.
+  unsigned MaxInitTries = 500;
+
+  GeneratorConfig Gen;
+  MutateConfig Mut;
+  AlgebraConfig Algebra;
+
+  /// Record the best-so-far log-likelihood after every iteration
+  /// (convergence plots).
+  bool TrackBestTrace = false;
+
+  /// Include the approximate proposal-density ratio
+  /// Pr(H | H') / Pr(H' | H) in the acceptance probability
+  /// (Section 4.2's full MH ratio) instead of assuming a symmetric
+  /// proposal; ablated in bench/ablation_design_choices.
+  bool UseProposalRatio = false;
+};
+
+/// Counters and timing of one run.
+struct SynthesisStats {
+  unsigned Proposed = 0;  ///< Mutation proposals drawn.
+  unsigned Accepted = 0;  ///< Proposals accepted by the MH ratio.
+  unsigned Invalid = 0;   ///< Proposals rejected by the validity filter.
+  unsigned Scored = 0;    ///< Candidates whose likelihood was evaluated.
+  double Seconds = 0;     ///< Wall-clock of the MH loop.
+
+  /// The Figure 8 metric, scaled to the paper's reporting window.
+  double candidatesPer100Sec() const {
+    return Seconds > 0 ? double(Scored) / Seconds * 100.0 : 0;
+  }
+  double acceptanceRate() const {
+    return Proposed ? double(Accepted) / double(Proposed) : 0;
+  }
+};
+
+/// Outcome of one synthesis run.
+struct SynthesisResult {
+  bool Succeeded = false;
+  std::vector<ExprPtr> BestCompletions; ///< One per hole, hole-id order.
+  double BestLogLikelihood = -std::numeric_limits<double>::infinity();
+  std::unique_ptr<Program> BestProgram; ///< The spliced best candidate.
+  SynthesisStats Stats;
+  std::vector<double> BestTrace; ///< Best-so-far LL per iteration.
+};
+
+/// Runs MCMC-SYN over one sketch + dataset.
+class Synthesizer {
+public:
+  /// Scores a fully-spliced candidate program; nullopt marks the
+  /// candidate invalid.  The default scorer lowers the candidate and
+  /// evaluates the compiled MoG likelihood over the dataset.
+  using Scorer = std::function<std::optional<double>(const Program &)>;
+
+  Synthesizer(const Program &Sketch, const InputBindings &Inputs,
+              const Dataset &Data, SynthesisConfig Config);
+
+  /// False when the sketch itself fails to type check; diagnostics()
+  /// explains.
+  bool valid() const { return SketchValid; }
+  const DiagEngine &diagnostics() const { return Diags; }
+
+  /// Replaces the likelihood scorer (Figure 8 baseline mode).
+  void setScorer(Scorer S) { Score = std::move(S); }
+
+  /// The default MoG-likelihood scoring of one candidate (exposed so
+  /// benches can time scoring in isolation).
+  std::optional<double> scoreWithMoG(const Program &Candidate) const;
+
+  /// Algorithm 1.
+  SynthesisResult run();
+
+  const std::vector<HoleSignature> &holeSignatures() const { return Sigs; }
+
+private:
+  bool completionsValid(const std::vector<ExprPtr> &Completions) const;
+  void runChain(uint64_t Seed, SynthesisResult &Result);
+
+  std::unique_ptr<Program> Sketch;
+  InputBindings Inputs;
+  const Dataset &Data;
+  SynthesisConfig Config;
+  std::vector<HoleSignature> Sigs;
+  Scorer Score;
+  DiagEngine Diags;
+  bool SketchValid = false;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_SYNTHESIZER_H

@@ -1,0 +1,247 @@
+//===- tool/Driver.cpp - The psketch command implementations --------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tool/Driver.h"
+
+#include "ast/ASTPrinter.h"
+#include "interp/Enumerate.h"
+#include "interp/Interp.h"
+#include "likelihood/DatasetIO.h"
+#include "likelihood/Likelihood.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+#include "synth/Synthesizer.h"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+/// Loads, parses and type checks the program file.
+std::unique_ptr<Program> loadProgram(const std::string &Path,
+                                     std::ostream &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err << "error: cannot open '" << Path << "'\n";
+    return nullptr;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  DiagEngine Diags;
+  auto P = parseProgramSource(Buffer.str(), Diags);
+  if (!P || !typeCheck(*P, Diags)) {
+    Err << Path << ":\n" << Diags.str();
+    return nullptr;
+  }
+  return P;
+}
+
+std::unique_ptr<LoweredProgram> lowerLoaded(const Program &P,
+                                            const InputBindings &Inputs,
+                                            std::ostream &Err) {
+  DiagEngine Diags;
+  auto LP = lowerProgram(P, Inputs, Diags);
+  if (!LP) {
+    Err << Diags.str();
+    return nullptr;
+  }
+  return LP;
+}
+
+std::optional<Dataset> loadData(const std::string &Path,
+                                std::ostream &Err) {
+  DiagEngine Diags;
+  auto Data = readDatasetCsvFile(Path, Diags);
+  if (!Data)
+    Err << Path << ":\n" << Diags.str();
+  return Data;
+}
+
+int cmdPrint(const ToolOptions &Opts, std::ostream &Out,
+             std::ostream &Err) {
+  auto P = loadProgram(Opts.ProgramPath, Err);
+  if (!P)
+    return 1;
+  Out << toString(*P);
+  return 0;
+}
+
+int cmdSample(const ToolOptions &Opts, std::ostream &Out,
+              std::ostream &Err) {
+  auto P = loadProgram(Opts.ProgramPath, Err);
+  if (!P)
+    return 1;
+  auto LP = lowerLoaded(*P, Opts.Inputs, Err);
+  if (!LP)
+    return 1;
+  Rng R(Opts.Seed);
+  Dataset Data = generateDataset(*LP, Opts.Rows, R);
+  if (Data.numRows() < Opts.Rows)
+    Err << "warning: only " << Data.numRows() << " of " << Opts.Rows
+        << " requested rows were accepted (observe statements reject "
+           "the rest)\n";
+  if (!Opts.OutPath.empty()) {
+    if (!writeDatasetCsvFile(Opts.OutPath, Data)) {
+      Err << "error: cannot write '" << Opts.OutPath << "'\n";
+      return 1;
+    }
+    Out << "wrote " << Data.numRows() << " rows to " << Opts.OutPath
+        << "\n";
+    return 0;
+  }
+  writeDatasetCsv(Out, Data);
+  return 0;
+}
+
+int cmdScore(const ToolOptions &Opts, std::ostream &Out,
+             std::ostream &Err) {
+  auto P = loadProgram(Opts.ProgramPath, Err);
+  if (!P)
+    return 1;
+  auto LP = lowerLoaded(*P, Opts.Inputs, Err);
+  if (!LP)
+    return 1;
+  auto Data = loadData(Opts.DataPath, Err);
+  if (!Data)
+    return 1;
+  auto F = LikelihoodFunction::compile(*LP, *Data);
+  if (!F) {
+    Err << "error: candidate is malformed (reads an unwritten slot?)\n";
+    return 1;
+  }
+  Out << "rows: " << Data->numRows() << "\n";
+  Out << "log-likelihood: " << F->logLikelihood(*Data) << "\n";
+  Out << "per-row: " << F->logLikelihood(*Data) / double(Data->numRows())
+      << "\n";
+  return 0;
+}
+
+int cmdReport(const ToolOptions &Opts, std::ostream &Out,
+              std::ostream &Err) {
+  auto P = loadProgram(Opts.ProgramPath, Err);
+  if (!P)
+    return 1;
+  auto LP = lowerLoaded(*P, Opts.Inputs, Err);
+  if (!LP)
+    return 1;
+  auto Data = loadData(Opts.DataPath, Err);
+  if (!Data)
+    return 1;
+  Out << symbolicReport(*LP, *Data, Opts.Slots);
+  return 0;
+}
+
+int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
+             std::ostream &Err) {
+  auto Sketch = loadProgram(Opts.ProgramPath, Err);
+  if (!Sketch)
+    return 1;
+  auto Data = loadData(Opts.DataPath, Err);
+  if (!Data)
+    return 1;
+  SynthesisConfig Config;
+  Config.Iterations = Opts.Iterations;
+  Config.Chains = Opts.Chains;
+  Config.Seed = Opts.Seed;
+  Synthesizer Synth(*Sketch, Opts.Inputs, *Data, Config);
+  if (!Synth.valid()) {
+    Err << Synth.diagnostics().str();
+    return 1;
+  }
+  SynthesisResult Result = Synth.run();
+  if (!Result.Succeeded) {
+    Err << "error: no valid completion found (try more --iterations or "
+           "--chains)\n";
+    return 1;
+  }
+  Out << "// synthesized in " << Result.Stats.Seconds << " s; "
+      << Result.Stats.Scored << " candidates scored; log-likelihood "
+      << Result.BestLogLikelihood << "\n";
+  Out << toString(*Result.BestProgram);
+  if (!Opts.OutPath.empty()) {
+    std::ofstream File(Opts.OutPath);
+    if (!File) {
+      Err << "error: cannot write '" << Opts.OutPath << "'\n";
+      return 1;
+    }
+    File << toString(*Result.BestProgram);
+  }
+  return 0;
+}
+
+int cmdPosterior(const ToolOptions &Opts, std::ostream &Out,
+                 std::ostream &Err) {
+  auto P = loadProgram(Opts.ProgramPath, Err);
+  if (!P)
+    return 1;
+  auto LP = lowerLoaded(*P, Opts.Inputs, Err);
+  if (!LP)
+    return 1;
+  // Finite (Boolean-latent) programs get exact answers; everything
+  // else falls back to rejection sampling.
+  if (auto D = ExactDistribution::enumerate(*LP)) {
+    Out << "method: exact enumeration (" << D->outcomes().size()
+        << " outcomes, evidence " << D->evidence() << ")\n";
+    for (const std::string &Slot : Opts.Slots)
+      Out << Slot << ": mean " << D->mean(Slot) << ", Pr(true) "
+          << D->marginalTrue(Slot) << "\n";
+    return 0;
+  }
+  Out << "method: rejection sampling (" << Opts.Samples
+      << " requested samples)\n";
+  for (const std::string &Slot : Opts.Slots) {
+    Rng R(Opts.Seed);
+    std::vector<double> Samples =
+        posteriorSamples(*LP, Slot, Opts.Samples, R);
+    if (Samples.empty()) {
+      Err << "warning: no valid samples for '" << Slot
+          << "' (unknown slot or zero acceptance)\n";
+      continue;
+    }
+    double Mean = 0, SumSq = 0;
+    for (double X : Samples)
+      Mean += X;
+    Mean /= double(Samples.size());
+    for (double X : Samples)
+      SumSq += (X - Mean) * (X - Mean);
+    double Sd = Samples.size() > 1
+                    ? std::sqrt(SumSq / double(Samples.size() - 1))
+                    : 0.0;
+    Out << Slot << ": mean " << Mean << ", sd " << Sd << " ("
+        << Samples.size() << " samples)\n";
+  }
+  return 0;
+}
+
+} // namespace
+
+int psketch::runTool(const ToolOptions &Opts, std::ostream &Out,
+                     std::ostream &Err) {
+  if (!Opts.valid()) {
+    for (const std::string &E : Opts.Errors)
+      Err << "error: " << E << "\n";
+    Err << toolUsage();
+    return 2;
+  }
+  if (Opts.Command == "print")
+    return cmdPrint(Opts, Out, Err);
+  if (Opts.Command == "sample")
+    return cmdSample(Opts, Out, Err);
+  if (Opts.Command == "score")
+    return cmdScore(Opts, Out, Err);
+  if (Opts.Command == "report")
+    return cmdReport(Opts, Out, Err);
+  if (Opts.Command == "synth")
+    return cmdSynth(Opts, Out, Err);
+  if (Opts.Command == "posterior")
+    return cmdPosterior(Opts, Out, Err);
+  Err << toolUsage();
+  return 2;
+}

@@ -1,0 +1,29 @@
+//===- tool/Driver.h - The psketch command implementations ----------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the `psketch` subcommands over the library API.  Factored
+/// out of main() so tests can drive the tool end to end with in-memory
+/// streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_TOOL_DRIVER_H
+#define PSKETCH_TOOL_DRIVER_H
+
+#include "tool/ToolOptions.h"
+
+#include <iosfwd>
+
+namespace psketch {
+
+/// Runs one tool invocation; returns the process exit code.  All
+/// output goes to \p Out, all diagnostics to \p Err.
+int runTool(const ToolOptions &Opts, std::ostream &Out, std::ostream &Err);
+
+} // namespace psketch
+
+#endif // PSKETCH_TOOL_DRIVER_H

@@ -1,0 +1,187 @@
+//===- tool/ToolOptions.cpp - Command-line parsing for psketch ------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tool/ToolOptions.h"
+
+#include <cstdlib>
+#include <optional>
+
+using namespace psketch;
+
+namespace {
+
+/// Splits "name=value"; returns false when '=' is missing.
+bool splitBinding(const std::string &Arg, std::string &Name,
+                  std::string &Value) {
+  size_t Eq = Arg.find('=');
+  if (Eq == std::string::npos || Eq == 0)
+    return false;
+  Name = Arg.substr(0, Eq);
+  Value = Arg.substr(Eq + 1);
+  return true;
+}
+
+std::optional<double> parseNumber(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+  char *End = nullptr;
+  double V = std::strtod(Text.c_str(), &End);
+  if (End != Text.c_str() + Text.size())
+    return std::nullopt;
+  return V;
+}
+
+std::optional<std::vector<double>> parseNumberList(const std::string &Text) {
+  std::vector<double> Values;
+  std::string Field;
+  auto Flush = [&]() -> bool {
+    auto V = parseNumber(Field);
+    if (!V)
+      return false;
+    Values.push_back(*V);
+    Field.clear();
+    return true;
+  };
+  for (char C : Text) {
+    if (C == ',') {
+      if (!Flush())
+        return std::nullopt;
+      continue;
+    }
+    Field += C;
+  }
+  if (!Flush())
+    return std::nullopt;
+  return Values;
+}
+
+} // namespace
+
+std::string psketch::toolUsage() {
+  return "usage: psketch "
+         "<print|sample|score|report|synth|posterior> [options]\n"
+         "  print  --program FILE\n"
+         "  sample --program FILE [--rows N] [--seed S] [--out FILE.csv]\n"
+         "  score  --program FILE --data FILE.csv\n"
+         "  report --program FILE --data FILE.csv [--slot NAME ...]\n"
+         "  synth  --sketch FILE --data FILE.csv [--iterations N]\n"
+         "         [--chains N] [--seed S]\n"
+         "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
+         "inputs: --int n=3 --real x=1.5 --bool b=1\n"
+         "        --ints a=0,1 --reals a=1.5,2 --bools a=1,0\n";
+}
+
+ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
+  ToolOptions Opts;
+  if (Args.empty()) {
+    Opts.Errors.push_back("missing command");
+    return Opts;
+  }
+  Opts.Command = Args[0];
+  const bool KnownCommand =
+      Opts.Command == "print" || Opts.Command == "sample" ||
+      Opts.Command == "score" || Opts.Command == "report" ||
+      Opts.Command == "synth" || Opts.Command == "posterior";
+  if (!KnownCommand)
+    Opts.Errors.push_back("unknown command '" + Opts.Command + "'");
+
+  auto NextValue = [&](size_t &I, const std::string &Flag,
+                       std::string &Out) {
+    if (I + 1 >= Args.size()) {
+      Opts.Errors.push_back("missing value after " + Flag);
+      return false;
+    }
+    Out = Args[++I];
+    return true;
+  };
+
+  for (size_t I = 1; I < Args.size(); ++I) {
+    const std::string &Flag = Args[I];
+    std::string Value;
+    if (Flag == "--program" || Flag == "--sketch") {
+      if (NextValue(I, Flag, Value))
+        Opts.ProgramPath = Value;
+    } else if (Flag == "--data") {
+      if (NextValue(I, Flag, Value))
+        Opts.DataPath = Value;
+    } else if (Flag == "--out") {
+      if (NextValue(I, Flag, Value))
+        Opts.OutPath = Value;
+    } else if (Flag == "--slot") {
+      if (NextValue(I, Flag, Value))
+        Opts.Slots.push_back(Value);
+    } else if (Flag == "--rows" || Flag == "--iterations" ||
+               Flag == "--chains" || Flag == "--seed" ||
+               Flag == "--samples") {
+      if (!NextValue(I, Flag, Value))
+        continue;
+      auto V = parseNumber(Value);
+      if (!V || *V < 0) {
+        Opts.Errors.push_back("malformed value for " + Flag + ": '" +
+                              Value + "'");
+        continue;
+      }
+      if (Flag == "--rows")
+        Opts.Rows = unsigned(*V);
+      else if (Flag == "--samples")
+        Opts.Samples = unsigned(*V);
+      else if (Flag == "--iterations")
+        Opts.Iterations = unsigned(*V);
+      else if (Flag == "--chains")
+        Opts.Chains = unsigned(*V);
+      else
+        Opts.Seed = uint64_t(*V);
+    } else if (Flag == "--int" || Flag == "--real" || Flag == "--bool") {
+      if (!NextValue(I, Flag, Value))
+        continue;
+      std::string Name, Text;
+      auto Num = splitBinding(Value, Name, Text)
+                     ? parseNumber(Text)
+                     : std::nullopt;
+      if (!Num) {
+        Opts.Errors.push_back("malformed binding for " + Flag + ": '" +
+                              Value + "'");
+        continue;
+      }
+      ScalarKind Kind = Flag == "--int"    ? ScalarKind::Int
+                        : Flag == "--real" ? ScalarKind::Real
+                                           : ScalarKind::Bool;
+      Opts.Inputs.setScalar(Name, *Num, Kind);
+    } else if (Flag == "--ints" || Flag == "--reals" || Flag == "--bools") {
+      if (!NextValue(I, Flag, Value))
+        continue;
+      std::string Name, Text;
+      auto Nums = splitBinding(Value, Name, Text)
+                      ? parseNumberList(Text)
+                      : std::nullopt;
+      if (!Nums) {
+        Opts.Errors.push_back("malformed binding for " + Flag + ": '" +
+                              Value + "'");
+        continue;
+      }
+      ScalarKind Kind = Flag == "--ints"    ? ScalarKind::Int
+                        : Flag == "--reals" ? ScalarKind::Real
+                                            : ScalarKind::Bool;
+      Opts.Inputs.setArray(Name, std::move(*Nums), Kind);
+    } else {
+      Opts.Errors.push_back("unknown flag '" + Flag + "'");
+    }
+  }
+
+  // Per-command requirements.
+  if (KnownCommand) {
+    if (Opts.ProgramPath.empty())
+      Opts.Errors.push_back("missing --program/--sketch");
+    bool NeedsData = Opts.Command == "score" || Opts.Command == "report" ||
+                     Opts.Command == "synth";
+    if (NeedsData && Opts.DataPath.empty())
+      Opts.Errors.push_back("command '" + Opts.Command +
+                            "' requires --data");
+    if (Opts.Command == "posterior" && Opts.Slots.empty())
+      Opts.Errors.push_back("command 'posterior' requires --slot");
+  }
+  return Opts;
+}

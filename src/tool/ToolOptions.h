@@ -1,0 +1,65 @@
+//===- tool/ToolOptions.h - Command-line parsing for psketch --------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Option parsing for the `psketch` command-line driver, factored out
+/// of main() so the tests can exercise it directly.  Supported
+/// commands:
+///
+///   psketch print  --program FILE
+///   psketch sample --program FILE --rows N [--out FILE.csv] [--seed S]
+///   psketch score  --program FILE --data FILE.csv
+///   psketch report --program FILE --data FILE.csv [--slot NAME ...]
+///   psketch synth  --sketch FILE --data FILE.csv
+///                  [--iterations N] [--chains N] [--seed S]
+///   psketch posterior --program FILE --slot NAME [--samples N]
+///                  [--seed S]
+///
+/// Program inputs are bound with repeatable flags:
+///   --int n=3  --real x=1.5  --bool flag=1
+///   --ints p1=0,1,0  --reals day=8,15,22  --bools result=1,1,0
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_TOOL_TOOLOPTIONS_H
+#define PSKETCH_TOOL_TOOLOPTIONS_H
+
+#include "sem/Bindings.h"
+
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Parsed command line of one `psketch` invocation.
+struct ToolOptions {
+  std::string Command;
+  std::string ProgramPath; ///< --program or --sketch.
+  std::string DataPath;    ///< --data.
+  std::string OutPath;     ///< --out.
+  std::vector<std::string> Slots; ///< --slot (report).
+  unsigned Rows = 100;
+  unsigned Samples = 20000; ///< --samples (posterior).
+  unsigned Iterations = 4000;
+  unsigned Chains = 2;
+  uint64_t Seed = 1;
+  InputBindings Inputs;
+
+  /// Parse failures, in order; empty means the options are usable.
+  std::vector<std::string> Errors;
+
+  bool valid() const { return Errors.empty(); }
+
+  /// Parses argv[1..]; never throws, collects problems into Errors.
+  static ToolOptions parse(const std::vector<std::string> &Args);
+};
+
+/// One-line usage summary for diagnostics.
+std::string toolUsage();
+
+} // namespace psketch
+
+#endif // PSKETCH_TOOL_TOOLOPTIONS_H

@@ -1,0 +1,15 @@
+//===- tool/psketch_main.cpp - Entry point of the psketch driver ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tool/Driver.h"
+
+#include <iostream>
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  psketch::ToolOptions Opts = psketch::ToolOptions::parse(Args);
+  return psketch::runTool(Opts, std::cout, std::cerr);
+}

@@ -1,0 +1,107 @@
+//===- tests/ast/ExprTest.cpp - Expression node unit tests ----------------===//
+
+#include "ast/Expr.h"
+
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(ExprTest, ConstFactories) {
+  ExprPtr R = ConstExpr::real(3.5);
+  ExprPtr B = ConstExpr::boolean(true);
+  ExprPtr I = ConstExpr::integer(-4);
+  EXPECT_EQ(cast<ConstExpr>(*R).getScalarKind(), ScalarKind::Real);
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(*R).getValue(), 3.5);
+  EXPECT_EQ(cast<ConstExpr>(*B).getScalarKind(), ScalarKind::Bool);
+  EXPECT_TRUE(cast<ConstExpr>(*B).isTrue());
+  EXPECT_EQ(cast<ConstExpr>(*I).getScalarKind(), ScalarKind::Int);
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(*I).getValue(), -4.0);
+}
+
+TEST(ExprTest, KindsAreDistinct) {
+  ExprPtr V = std::make_unique<VarExpr>("x");
+  ExprPtr C = ConstExpr::real(0);
+  EXPECT_EQ(V->getKind(), Expr::Kind::Var);
+  EXPECT_EQ(C->getKind(), Expr::Kind::Const);
+  EXPECT_NE(V->getKind(), C->getKind());
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto Inner = std::make_unique<VarExpr>("y");
+  VarExpr *InnerRaw = Inner.get();
+  ExprPtr Neg =
+      std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(Inner));
+  ExprPtr Copy = Neg->clone();
+  auto &CopyUnary = cast<UnaryExpr>(*Copy);
+  EXPECT_NE(&CopyUnary.getSub(), InnerRaw);
+  EXPECT_EQ(cast<VarExpr>(CopyUnary.getSub()).getName(), "y");
+  // Mutating the copy leaves the original untouched.
+  cast<VarExpr>(*CopyUnary.getSubPtr()).setName("z");
+  EXPECT_EQ(InnerRaw->getName(), "y");
+}
+
+TEST(ExprTest, CloneBinaryPreservesOperatorAndChildren) {
+  ExprPtr E = std::make_unique<BinaryExpr>(
+      BinaryOp::Mul, std::make_unique<VarExpr>("a"), ConstExpr::real(2.0));
+  ExprPtr Copy = E->clone();
+  auto &B = cast<BinaryExpr>(*Copy);
+  EXPECT_EQ(B.getOp(), BinaryOp::Mul);
+  EXPECT_EQ(cast<VarExpr>(B.getLHS()).getName(), "a");
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(B.getRHS()).getValue(), 2.0);
+}
+
+TEST(ExprTest, SampleExprHoldsDistAndArgs) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(ConstExpr::real(0.0));
+  Args.push_back(ConstExpr::real(1.0));
+  SampleExpr S(DistKind::Gaussian, std::move(Args));
+  EXPECT_EQ(S.getDist(), DistKind::Gaussian);
+  EXPECT_EQ(S.getNumArgs(), 2u);
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(S.getArg(1)).getValue(), 1.0);
+}
+
+TEST(ExprTest, HoleCarriesIdArgsAndExpectedKind) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::make_unique<VarExpr>("s"));
+  HoleExpr H(3, std::move(Args));
+  EXPECT_EQ(H.getHoleId(), 3u);
+  EXPECT_EQ(H.getNumArgs(), 1u);
+  H.setExpectedKind(ScalarKind::Bool);
+  ExprPtr Copy = H.clone();
+  EXPECT_EQ(cast<HoleExpr>(*Copy).getExpectedKind(), ScalarKind::Bool);
+  EXPECT_EQ(cast<HoleExpr>(*Copy).getHoleId(), 3u);
+}
+
+TEST(ExprTest, HoleArgIndexAndKind) {
+  HoleArgExpr A(2, ScalarKind::Bool);
+  EXPECT_EQ(A.getArgIndex(), 2u);
+  EXPECT_EQ(A.getScalarKind(), ScalarKind::Bool);
+  ExprPtr Copy = A.clone();
+  EXPECT_EQ(cast<HoleArgExpr>(*Copy).getArgIndex(), 2u);
+  EXPECT_EQ(cast<HoleArgExpr>(*Copy).getScalarKind(), ScalarKind::Bool);
+}
+
+TEST(ExprTest, IndexExprNamesArray) {
+  IndexExpr IX("skills", ConstExpr::integer(2));
+  EXPECT_EQ(IX.getArrayName(), "skills");
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(IX.getIndex()).getValue(), 2.0);
+}
+
+TEST(ExprTest, IteCloneDeep) {
+  IteExpr I(ConstExpr::boolean(true), ConstExpr::real(1.0),
+            ConstExpr::real(2.0));
+  ExprPtr Copy = I.clone();
+  auto &CI = cast<IteExpr>(*Copy);
+  EXPECT_TRUE(cast<ConstExpr>(CI.getCond()).isTrue());
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(CI.getElse()).getValue(), 2.0);
+}
+
+TEST(ExprTest, SourceLocRoundTrip) {
+  VarExpr V("x", SourceLoc{5, 9});
+  EXPECT_EQ(V.getLoc().Line, 5u);
+  EXPECT_EQ(V.getLoc().Col, 9u);
+  ExprPtr Copy = V.clone();
+  EXPECT_EQ(Copy->getLoc().Line, 5u);
+}

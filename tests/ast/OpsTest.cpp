@@ -1,0 +1,93 @@
+//===- tests/ast/OpsTest.cpp - Operator helper unit tests -----------------===//
+
+#include "ast/Ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace psketch;
+
+TEST(OpsTest, Names) {
+  EXPECT_STREQ(binaryOpName(BinaryOp::Add), "+");
+  EXPECT_STREQ(binaryOpName(BinaryOp::And), "&&");
+  EXPECT_STREQ(binaryOpName(BinaryOp::Eq), "==");
+  EXPECT_STREQ(unaryOpName(UnaryOp::Not), "!");
+  EXPECT_STREQ(unaryOpName(UnaryOp::Neg), "-");
+  EXPECT_STREQ(distKindName(DistKind::Gaussian), "Gaussian");
+  EXPECT_STREQ(distKindName(DistKind::Poisson), "Poisson");
+  EXPECT_STREQ(scalarKindName(ScalarKind::Bool), "bool");
+}
+
+TEST(OpsTest, DistArity) {
+  EXPECT_EQ(distArity(DistKind::Gaussian), 2u);
+  EXPECT_EQ(distArity(DistKind::Beta), 2u);
+  EXPECT_EQ(distArity(DistKind::Gamma), 2u);
+  EXPECT_EQ(distArity(DistKind::Bernoulli), 1u);
+  EXPECT_EQ(distArity(DistKind::Poisson), 1u);
+}
+
+TEST(OpsTest, DistReturnsBoolOnlyForBernoulli) {
+  EXPECT_TRUE(distReturnsBool(DistKind::Bernoulli));
+  EXPECT_FALSE(distReturnsBool(DistKind::Gaussian));
+  EXPECT_FALSE(distReturnsBool(DistKind::Poisson));
+}
+
+TEST(OpsTest, OperatorClasses) {
+  EXPECT_TRUE(isArithOp(BinaryOp::Add));
+  EXPECT_TRUE(isArithOp(BinaryOp::Mul));
+  EXPECT_FALSE(isArithOp(BinaryOp::And));
+  EXPECT_TRUE(isLogicalOp(BinaryOp::Or));
+  EXPECT_FALSE(isLogicalOp(BinaryOp::Gt));
+  EXPECT_TRUE(isCompareOp(BinaryOp::Lt));
+  EXPECT_FALSE(isCompareOp(BinaryOp::Eq));
+}
+
+TEST(OpsTest, EquivalentOpsExcludeSelfAndKeepClass) {
+  auto Arith = equivalentOps(BinaryOp::Add);
+  EXPECT_EQ(Arith.size(), 2u);
+  EXPECT_EQ(std::count(Arith.begin(), Arith.end(), BinaryOp::Add), 0);
+  EXPECT_EQ(std::count(Arith.begin(), Arith.end(), BinaryOp::Sub), 1);
+  EXPECT_EQ(std::count(Arith.begin(), Arith.end(), BinaryOp::Mul), 1);
+
+  auto Logic = equivalentOps(BinaryOp::And);
+  ASSERT_EQ(Logic.size(), 1u);
+  EXPECT_EQ(Logic[0], BinaryOp::Or);
+
+  auto Cmp = equivalentOps(BinaryOp::Gt);
+  ASSERT_EQ(Cmp.size(), 1u);
+  EXPECT_EQ(Cmp[0], BinaryOp::Lt);
+}
+
+TEST(OpsTest, EqualityHasNoSwapPartners) {
+  EXPECT_TRUE(equivalentOps(BinaryOp::Eq).empty());
+}
+
+TEST(OpsTest, PrecedenceOrdering) {
+  EXPECT_LT(binaryOpPrecedence(BinaryOp::Or),
+            binaryOpPrecedence(BinaryOp::And));
+  EXPECT_LT(binaryOpPrecedence(BinaryOp::And),
+            binaryOpPrecedence(BinaryOp::Eq));
+  EXPECT_LT(binaryOpPrecedence(BinaryOp::Eq),
+            binaryOpPrecedence(BinaryOp::Gt));
+  EXPECT_LT(binaryOpPrecedence(BinaryOp::Gt),
+            binaryOpPrecedence(BinaryOp::Add));
+  EXPECT_LT(binaryOpPrecedence(BinaryOp::Add),
+            binaryOpPrecedence(BinaryOp::Mul));
+  EXPECT_EQ(binaryOpPrecedence(BinaryOp::Add),
+            binaryOpPrecedence(BinaryOp::Sub));
+}
+
+TEST(OpsTest, TypeSpellings) {
+  EXPECT_EQ(Type::real().str(), "real");
+  EXPECT_EQ(Type::array(ScalarKind::Int).str(), "int[]");
+  EXPECT_EQ(Type::boolean().str(), "bool");
+}
+
+TEST(OpsTest, TypePredicates) {
+  EXPECT_TRUE(Type::real().isNumeric());
+  EXPECT_TRUE(Type::integer().isNumeric());
+  EXPECT_FALSE(Type::boolean().isNumeric());
+  EXPECT_FALSE(Type::array(ScalarKind::Real).isNumeric());
+  EXPECT_EQ(Type::array(ScalarKind::Real).element(), Type::real());
+}

@@ -1,0 +1,132 @@
+//===- tests/ast/PrinterTest.cpp - Pretty-printer unit tests --------------===//
+
+#include "ast/ASTPrinter.h"
+
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+/// Parses an expression (must succeed) and returns its printed form.
+std::string reprint(const std::string &Source) {
+  DiagEngine Diags;
+  ExprPtr E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E ? toString(*E) : "<parse error>";
+}
+
+} // namespace
+
+TEST(PrinterTest, Literals) {
+  EXPECT_EQ(reprint("1.5"), "1.5");
+  EXPECT_EQ(reprint("3"), "3");
+  EXPECT_EQ(reprint("true"), "true");
+  EXPECT_EQ(reprint("false"), "false");
+}
+
+TEST(PrinterTest, RealLiteralKeepsDecimalPoint) {
+  // Reals must re-lex as reals even when integral-valued.
+  EXPECT_EQ(reprint("2.0"), "2.0");
+  EXPECT_EQ(reprint("100.0"), "100.0");
+}
+
+TEST(PrinterTest, PrecedenceNeedsNoParensWhenNatural) {
+  EXPECT_EQ(reprint("a + b * c"), "a + b * c");
+  EXPECT_EQ(reprint("a * b + c"), "a * b + c");
+}
+
+TEST(PrinterTest, ParensPreservedWhenRequired) {
+  EXPECT_EQ(reprint("(a + b) * c"), "(a + b) * c");
+  EXPECT_EQ(reprint("a * (b + c)"), "a * (b + c)");
+}
+
+TEST(PrinterTest, LeftAssociativeSubtraction) {
+  EXPECT_EQ(reprint("a - b - c"), "a - b - c");
+  EXPECT_EQ(reprint("a - (b - c)"), "a - (b - c)");
+}
+
+TEST(PrinterTest, BooleanOperators) {
+  EXPECT_EQ(reprint("a && b || c"), "a && b || c");
+  EXPECT_EQ(reprint("a && (b || c)"), "a && (b || c)");
+  EXPECT_EQ(reprint("!a && b"), "!a && b");
+  EXPECT_EQ(reprint("!(a && b)"), "!(a && b)");
+}
+
+TEST(PrinterTest, Comparisons) {
+  EXPECT_EQ(reprint("a + b > c"), "a + b > c");
+  EXPECT_EQ(reprint("a > b && c < d"), "a > b && c < d");
+  EXPECT_EQ(reprint("a == b"), "a == b");
+}
+
+TEST(PrinterTest, IndexAndIte) {
+  EXPECT_EQ(reprint("skills[p1[2]]"), "skills[p1[2]]");
+  EXPECT_EQ(reprint("ite(z, 1.0, 2.0)"), "ite(z, 1.0, 2.0)");
+}
+
+TEST(PrinterTest, Distributions) {
+  EXPECT_EQ(reprint("Gaussian(100.0, 10.0)"), "Gaussian(100.0, 10.0)");
+  EXPECT_EQ(reprint("Bernoulli(0.5)"), "Bernoulli(0.5)");
+}
+
+TEST(PrinterTest, HolesAndFormals) {
+  EXPECT_EQ(reprint("?\?"), "?\?");
+  EXPECT_EQ(reprint("?\?(a, b)"), "?\?(a, b)");
+  EXPECT_EQ(reprint("%0 + %1"), "%0 + %1");
+}
+
+TEST(PrinterTest, NegativeConstantFoldedByParser) {
+  EXPECT_EQ(reprint("-2.5"), "-2.5");
+  // In an operand position the negative literal is parenthesized.
+  EXPECT_EQ(reprint("a - -2.5"), "a - (-2.5)");
+}
+
+TEST(PrinterTest, ProgramLayout) {
+  const char *Source = R"(
+program Tiny(n: int) {
+  x: real;
+  a: real[n];
+  x ~ Gaussian(0.0, 1.0);
+  for i in 0..n {
+    a[i] = x + 1.0;
+  }
+  observe(x > 0.0);
+  return x, a;
+}
+)";
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  std::string Printed = toString(*P);
+  EXPECT_NE(Printed.find("program Tiny(n: int) {"), std::string::npos);
+  EXPECT_NE(Printed.find("  x: real;"), std::string::npos);
+  EXPECT_NE(Printed.find("  a: real[n];"), std::string::npos);
+  EXPECT_NE(Printed.find("  x ~ Gaussian(0.0, 1.0);"), std::string::npos);
+  EXPECT_NE(Printed.find("  for i in 0..n {"), std::string::npos);
+  EXPECT_NE(Printed.find("  observe(x > 0.0);"), std::string::npos);
+  EXPECT_NE(Printed.find("  return x, a;"), std::string::npos);
+}
+
+TEST(PrinterTest, IfElseLayout) {
+  const char *Source = R"(
+program P() {
+  x: real;
+  b: bool;
+  b ~ Bernoulli(0.5);
+  if (b) {
+    x = 1.0;
+  } else {
+    x = 2.0;
+  }
+  return x;
+}
+)";
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  std::string Printed = toString(*P);
+  EXPECT_NE(Printed.find("if (b) {"), std::string::npos);
+  EXPECT_NE(Printed.find("} else {"), std::string::npos);
+}

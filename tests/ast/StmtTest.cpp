@@ -1,0 +1,132 @@
+//===- tests/ast/StmtTest.cpp - Statement node unit tests -----------------===//
+
+#include "ast/Stmt.h"
+
+#include "ast/Program.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+StmtPtr makeAssign(const char *Name, double V) {
+  return std::make_unique<AssignStmt>(LValue(Name), ConstExpr::real(V));
+}
+
+} // namespace
+
+TEST(StmtTest, SkipCloneAndKind) {
+  SkipStmt S;
+  EXPECT_EQ(S.getKind(), Stmt::Kind::Skip);
+  StmtPtr C = S.clone();
+  EXPECT_TRUE(isa<SkipStmt>(C.get()));
+}
+
+TEST(StmtTest, AssignScalarTarget) {
+  StmtPtr S = makeAssign("x", 1.0);
+  auto &A = cast<AssignStmt>(*S);
+  EXPECT_EQ(A.getTarget().Name, "x");
+  EXPECT_FALSE(A.getTarget().isArrayElement());
+  EXPECT_FALSE(A.isProbabilistic());
+}
+
+TEST(StmtTest, AssignArrayElementTarget) {
+  AssignStmt A(LValue("arr", ConstExpr::integer(3)), ConstExpr::real(0));
+  EXPECT_TRUE(A.getTarget().isArrayElement());
+  StmtPtr C = A.clone();
+  auto &CA = cast<AssignStmt>(*C);
+  EXPECT_TRUE(CA.getTarget().isArrayElement());
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(*CA.getTarget().Index).getValue(), 3.0);
+}
+
+TEST(StmtTest, ProbabilisticAssignDetected) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(ConstExpr::real(0.5));
+  AssignStmt A(LValue("z"), std::make_unique<SampleExpr>(
+                                DistKind::Bernoulli, std::move(Args)));
+  EXPECT_TRUE(A.isProbabilistic());
+}
+
+TEST(StmtTest, NestedSampleIsNotProbabilisticForm) {
+  // x = 1 + Bernoulli(...) has a draw inside, but the statement is a
+  // deterministic assignment syntactically.
+  std::vector<ExprPtr> Args;
+  Args.push_back(ConstExpr::real(0.5));
+  ExprPtr Draw =
+      std::make_unique<SampleExpr>(DistKind::Bernoulli, std::move(Args));
+  AssignStmt A(LValue("x"),
+               std::make_unique<BinaryExpr>(BinaryOp::Add,
+                                            ConstExpr::real(1.0),
+                                            std::move(Draw)));
+  EXPECT_FALSE(A.isProbabilistic());
+}
+
+TEST(StmtTest, BlockAppendsAndClones) {
+  BlockStmt B;
+  B.append(makeAssign("x", 1.0));
+  B.append(makeAssign("y", 2.0));
+  EXPECT_EQ(B.getStmts().size(), 2u);
+  auto Copy = B.cloneBlock();
+  EXPECT_EQ(Copy->getStmts().size(), 2u);
+  EXPECT_EQ(cast<AssignStmt>(*Copy->getStmts()[1]).getTarget().Name, "y");
+}
+
+TEST(StmtTest, IfHoldsBranches) {
+  auto Then = std::make_unique<BlockStmt>();
+  Then->append(makeAssign("x", 1.0));
+  auto Else = std::make_unique<BlockStmt>();
+  IfStmt I(ConstExpr::boolean(true), std::move(Then), std::move(Else));
+  EXPECT_EQ(I.getThen().getStmts().size(), 1u);
+  EXPECT_TRUE(I.getElse().empty());
+  StmtPtr C = I.clone();
+  EXPECT_EQ(cast<IfStmt>(*C).getThen().getStmts().size(), 1u);
+}
+
+TEST(StmtTest, ForHoldsRangeAndBody) {
+  auto Body = std::make_unique<BlockStmt>();
+  Body->append(makeAssign("x", 0.0));
+  ForStmt F("i", ConstExpr::integer(0), ConstExpr::integer(5),
+            std::move(Body));
+  EXPECT_EQ(F.getIndexVar(), "i");
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(F.getHi()).getValue(), 5.0);
+  StmtPtr C = F.clone();
+  EXPECT_EQ(cast<ForStmt>(*C).getIndexVar(), "i");
+  EXPECT_EQ(cast<ForStmt>(*C).getBody().getStmts().size(), 1u);
+}
+
+TEST(StmtTest, ObserveClones) {
+  ObserveStmt O(std::make_unique<VarExpr>("flag"));
+  StmtPtr C = O.clone();
+  EXPECT_EQ(cast<VarExpr>(cast<ObserveStmt>(*C).getCond()).getName(),
+            "flag");
+}
+
+TEST(StmtTest, ProgramCloneIsDeep) {
+  Program P;
+  P.setName("demo");
+  P.getParams().push_back({"n", Type::integer()});
+  P.getDecls().push_back(LocalDecl("x", ScalarKind::Real));
+  P.getBody().append(makeAssign("x", 1.0));
+  P.getReturns().push_back("x");
+  auto Copy = P.clone();
+  EXPECT_EQ(Copy->getName(), "demo");
+  EXPECT_EQ(Copy->getDecls().size(), 1u);
+  EXPECT_EQ(Copy->getBody().getStmts().size(), 1u);
+  // Mutating the copy does not affect the original.
+  Copy->getBody().append(makeAssign("x", 2.0));
+  EXPECT_EQ(P.getBody().getStmts().size(), 1u);
+}
+
+TEST(StmtTest, ProgramLookups) {
+  Program P;
+  P.getParams().push_back({"n", Type::integer()});
+  P.getDecls().push_back(
+      LocalDecl("a", ScalarKind::Real, ConstExpr::integer(4)));
+  EXPECT_NE(P.findParam("n"), nullptr);
+  EXPECT_EQ(P.findParam("zzz"), nullptr);
+  ASSERT_NE(P.findDecl("a"), nullptr);
+  EXPECT_TRUE(P.findDecl("a")->isArray());
+  EXPECT_EQ(P.findDecl("a")->type(), Type::array(ScalarKind::Real));
+}

@@ -1,0 +1,171 @@
+//===- tests/ast/UtilTest.cpp - AST utility unit tests --------------------===//
+
+#include "ast/ASTUtil.h"
+
+#include "ast/ASTPrinter.h"
+#include "parse/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+ExprPtr parse(const std::string &Source) {
+  DiagEngine Diags;
+  ExprPtr E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+} // namespace
+
+TEST(UtilTest, ExprSizeCountsNodes) {
+  EXPECT_EQ(exprSize(*parse("x")), 1u);
+  EXPECT_EQ(exprSize(*parse("x + y")), 3u);
+  EXPECT_EQ(exprSize(*parse("ite(a, b + c, d)")), 6u);
+  EXPECT_EQ(exprSize(*parse("Gaussian(x, 1.0)")), 3u);
+}
+
+TEST(UtilTest, ExprDepth) {
+  EXPECT_EQ(exprDepth(*parse("x")), 1u);
+  EXPECT_EQ(exprDepth(*parse("x + y")), 2u);
+  EXPECT_EQ(exprDepth(*parse("x + y * z")), 3u);
+}
+
+TEST(UtilTest, ForEachChildSlotVisitsDirectChildren) {
+  ExprPtr E = parse("ite(a, b, c)");
+  int Count = 0;
+  forEachChildSlot(*E, [&](ExprPtr &) { ++Count; });
+  EXPECT_EQ(Count, 3);
+}
+
+TEST(UtilTest, CollectExprSlotsIncludesRoot) {
+  ExprPtr E = parse("x + y");
+  std::vector<ExprPtr *> Slots;
+  collectExprSlots(E, Slots);
+  ASSERT_EQ(Slots.size(), 3u);
+  EXPECT_EQ(Slots[0], &E);
+}
+
+TEST(UtilTest, StructuralEqualityIgnoresLocations) {
+  ExprPtr A = parse("x + 1.0 * y");
+  ExprPtr B = parse("x   +   1.0*y");
+  EXPECT_TRUE(structurallyEqual(*A, *B));
+}
+
+TEST(UtilTest, StructuralInequality) {
+  EXPECT_FALSE(structurallyEqual(*parse("x + y"), *parse("x - y")));
+  EXPECT_FALSE(structurallyEqual(*parse("x"), *parse("y")));
+  EXPECT_FALSE(structurallyEqual(*parse("1.0"), *parse("1")));
+  EXPECT_FALSE(
+      structurallyEqual(*parse("Gaussian(x, 1.0)"), *parse("Beta(x, 1.0)")));
+  EXPECT_FALSE(structurallyEqual(*parse("%0"), *parse("%1")));
+}
+
+TEST(UtilTest, StructuralHashConsistentWithEquality) {
+  ExprPtr A = parse("ite(z, Gaussian(0.0, 1.0), Gaussian(10.0, 2.0))");
+  ExprPtr B = A->clone();
+  EXPECT_EQ(structuralHash(*A), structuralHash(*B));
+}
+
+TEST(UtilTest, StructuralHashUsuallyDiffers) {
+  // Not a guarantee, but these simple cases must not collide.
+  EXPECT_NE(structuralHash(*parse("x + y")), structuralHash(*parse("x - y")));
+  EXPECT_NE(structuralHash(*parse("1.0")), structuralHash(*parse("2.0")));
+}
+
+TEST(UtilTest, SubstituteHoleArgsReplacesFormals) {
+  ExprPtr Completion = parse("Gaussian(%0, 15.0) > Gaussian(%1, 15.0)");
+  ExprPtr A0 = parse("skills[0]");
+  ExprPtr A1 = parse("skills[1]");
+  ExprPtr Result =
+      substituteHoleArgs(*Completion, {A0.get(), A1.get()});
+  EXPECT_EQ(toString(*Result),
+            "Gaussian(skills[0], 15.0) > Gaussian(skills[1], 15.0)");
+}
+
+TEST(UtilTest, SubstituteHoleArgsClonesActuals) {
+  ExprPtr Completion = parse("%0 + %0");
+  ExprPtr Actual = parse("y");
+  ExprPtr Result = substituteHoleArgs(*Completion, {Actual.get()});
+  auto &B = cast<BinaryExpr>(*Result);
+  EXPECT_NE(&B.getLHS(), &B.getRHS());
+  EXPECT_EQ(toString(*Result), "y + y");
+}
+
+TEST(UtilTest, ContainsSampleAndHole) {
+  EXPECT_TRUE(containsSample(*parse("1.0 + Gaussian(0.0, 1.0)")));
+  EXPECT_FALSE(containsSample(*parse("1.0 + x")));
+  EXPECT_TRUE(containsHole(*parse("x + ??")));
+  EXPECT_FALSE(containsHole(*parse("x + y")));
+}
+
+TEST(UtilTest, CollectHolesFindsAllInOrder) {
+  const char *Source = R"(
+program S(n: int) {
+  x: real;
+  b: bool;
+  x = ??;
+  b = ??(x, n);
+  observe(b);
+  return x;
+}
+)";
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  auto Holes = collectHoles(*P);
+  ASSERT_EQ(Holes.size(), 2u);
+  EXPECT_EQ(Holes[0]->getHoleId(), 0u);
+  EXPECT_EQ(Holes[0]->getNumArgs(), 0u);
+  EXPECT_EQ(Holes[1]->getHoleId(), 1u);
+  EXPECT_EQ(Holes[1]->getNumArgs(), 2u);
+}
+
+TEST(UtilTest, ForEachStmtExprSlotReachesAllStatementExprs) {
+  const char *Source = R"(
+program S(n: int) {
+  x: real;
+  a: real[n];
+  x = 1.0;
+  a[2] = x;
+  observe(x > 0.0);
+  if (x > 1.0) {
+    x = 2.0;
+  }
+  for i in 0..n {
+    x = 3.0;
+  }
+  return x;
+}
+)";
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  int Count = 0;
+  forEachStmtExprSlot(P->getBody(), [&](ExprPtr &) { ++Count; });
+  // x=1.0 (1), a[2]=x (index + value = 2), observe (1), if cond +
+  // nested assign (2), for lo/hi + nested assign (3).
+  EXPECT_EQ(Count, 9);
+}
+
+TEST(UtilTest, StmtStructuralEquality) {
+  const char *Source = R"(
+program S() {
+  x: real;
+  x = 1.0;
+  observe(x > 0.0);
+  return x;
+}
+)";
+  DiagEngine D1, D2;
+  auto P1 = parseProgramSource(Source, D1);
+  auto P2 = parseProgramSource(Source, D2);
+  ASSERT_TRUE(P1 && P2);
+  EXPECT_TRUE(structurallyEqual(P1->getBody(), P2->getBody()));
+  auto P3 = P1->clone();
+  P3->getBody().append(std::make_unique<SkipStmt>());
+  EXPECT_FALSE(structurallyEqual(P1->getBody(), P3->getBody()));
+}

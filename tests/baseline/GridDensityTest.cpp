@@ -1,0 +1,128 @@
+//===- tests/baseline/GridDensityTest.cpp - Grid density unit tests -------===//
+
+#include "baseline/GridDensity.h"
+
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+const GridConfig G; // Defaults: 257 points, 8 sigma, bandwidth 0.1.
+
+} // namespace
+
+TEST(GridDensityTest, GaussianMassMeanStddev) {
+  GridDensity D = GridDensity::gaussian(3.0, 2.0, G);
+  EXPECT_NEAR(D.totalMass(), 1.0, 1e-6);
+  EXPECT_NEAR(D.mean(), 3.0, 1e-6);
+  EXPECT_NEAR(D.stddev(), 2.0, 1e-3);
+}
+
+TEST(GridDensityTest, GaussianPdfInterpolation) {
+  GridDensity D = GridDensity::gaussian(0.0, 1.0, G);
+  for (double X : {-2.0, -0.5, 0.0, 1.3})
+    EXPECT_NEAR(D.pdfAt(X), gaussianPdf(X, 0.0, 1.0), 1e-3);
+  EXPECT_DOUBLE_EQ(D.pdfAt(100.0), 0.0);
+}
+
+TEST(GridDensityTest, BetaMoments) {
+  GridDensity D = GridDensity::beta(2.0, 6.0, G);
+  double Mean, Sd;
+  betaMoments(2.0, 6.0, Mean, Sd);
+  EXPECT_NEAR(D.totalMass(), 1.0, 1e-6);
+  EXPECT_NEAR(D.mean(), Mean, 1e-3);
+  EXPECT_NEAR(D.stddev(), Sd, 1e-2);
+}
+
+TEST(GridDensityTest, GammaMoments) {
+  GridDensity D = GridDensity::gammaDist(4.0, 0.5, G);
+  EXPECT_NEAR(D.totalMass(), 1.0, 1e-4);
+  EXPECT_NEAR(D.mean(), 2.0, 1e-2);
+  EXPECT_NEAR(D.stddev(), 1.0, 1e-2);
+}
+
+TEST(GridDensityTest, ConvolutionAddsGaussians) {
+  GridDensity A = GridDensity::gaussian(1.0, 3.0, G);
+  GridDensity B = GridDensity::gaussian(2.0, 4.0, G);
+  GridDensity S = GridDensity::convolveAdd(A, B, G);
+  EXPECT_NEAR(S.mean(), 3.0, 0.01);
+  EXPECT_NEAR(S.stddev(), 5.0, 0.05);
+  // Pointwise agreement with the closed form.
+  for (double X : {-5.0, 0.0, 3.0, 8.0})
+    EXPECT_NEAR(S.pdfAt(X), gaussianPdf(X, 3.0, 5.0), 2e-3);
+}
+
+TEST(GridDensityTest, ConvolutionSubtracts) {
+  GridDensity A = GridDensity::gaussian(5.0, 3.0, G);
+  GridDensity B = GridDensity::gaussian(2.0, 4.0, G);
+  GridDensity S = GridDensity::convolveSub(A, B, G);
+  EXPECT_NEAR(S.mean(), 3.0, 0.02);
+  EXPECT_NEAR(S.stddev(), 5.0, 0.05);
+}
+
+TEST(GridDensityTest, ScaledDensity) {
+  GridDensity A = GridDensity::gaussian(2.0, 1.0, G);
+  GridDensity S = GridDensity::scaled(A, -3.0);
+  EXPECT_NEAR(S.mean(), -6.0, 0.01);
+  EXPECT_NEAR(S.stddev(), 3.0, 0.02);
+  EXPECT_NEAR(S.totalMass(), 1.0, 1e-6);
+}
+
+TEST(GridDensityTest, ShiftedDensity) {
+  GridDensity A = GridDensity::gaussian(0.0, 1.0, G);
+  GridDensity S = GridDensity::shifted(A, 10.0);
+  EXPECT_NEAR(S.mean(), 10.0, 1e-6);
+  EXPECT_NEAR(S.stddev(), 1.0, 1e-3);
+}
+
+TEST(GridDensityTest, MixtureMassAndMean) {
+  GridDensity A = GridDensity::gaussian(0.0, 1.0, G);
+  GridDensity B = GridDensity::gaussian(10.0, 1.0, G);
+  GridDensity M = GridDensity::mixture(A, 0.25, B, G);
+  EXPECT_NEAR(M.totalMass(), 1.0, 1e-6);
+  EXPECT_NEAR(M.mean(), 7.5, 0.05);
+}
+
+TEST(GridDensityTest, ProbGreaterMatchesErfFormula) {
+  GridDensity A = GridDensity::gaussian(3.0, 1.0, G);
+  GridDensity B = GridDensity::gaussian(1.0, 2.0, G);
+  EXPECT_NEAR(GridDensity::probGreater(A, B),
+              gaussianGreaterProb(3.0, 1.0, 1.0, 2.0), 1e-3);
+}
+
+TEST(GridDensityTest, ProbGreaterComplementary) {
+  GridDensity A = GridDensity::gaussian(0.0, 1.5, G);
+  GridDensity B = GridDensity::gaussian(0.5, 2.5, G);
+  double P = GridDensity::probGreater(A, B);
+  double Q = GridDensity::probGreater(B, A);
+  EXPECT_NEAR(P + Q, 1.0, 1e-3);
+}
+
+TEST(GridDensityTest, CompoundGaussianVarianceLaw) {
+  GridDensity Mean = GridDensity::gaussian(100.0, 10.0, G);
+  GridDensity D = GridDensity::compoundGaussian(Mean, 15.0, G);
+  EXPECT_NEAR(D.mean(), 100.0, 0.1);
+  EXPECT_NEAR(D.stddev(), std::sqrt(325.0), 0.2);
+}
+
+TEST(GridDensityTest, PointMassIsNarrow) {
+  GridDensity D = GridDensity::pointMass(5.0, 0.01, G);
+  EXPECT_NEAR(D.mean(), 5.0, 1e-6);
+  EXPECT_LT(D.stddev(), 0.02);
+}
+
+TEST(GridDensityTest, NormalizeRestoresUnitMass) {
+  GridDensity D = GridDensity::gaussian(0.0, 1.0, G);
+  std::vector<double> Doubled;
+  for (double V : D.values())
+    Doubled.push_back(2.0 * V);
+  GridDensity E(D.lo(), D.hi(), Doubled);
+  EXPECT_NEAR(E.totalMass(), 2.0, 1e-5);
+  E.normalize();
+  EXPECT_NEAR(E.totalMass(), 1.0, 1e-9);
+}

@@ -1,0 +1,233 @@
+//===- tests/baseline/GridLikelihoodTest.cpp - Integration baseline ------===//
+//
+// The integration-based likelihood is the accuracy oracle: on models
+// inside the MoG closure (Gaussians, mixtures, Bernoulli logic) the two
+// paths must agree closely, which is the paper's claim that the
+// approximation "does not affect the quality of the synthesized
+// programs".
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GridLikelihood.h"
+
+#include "interp/Interp.h"
+#include "likelihood/Likelihood.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<LoweredProgram> lowerSource(const std::string &Source,
+                                            const InputBindings &Inputs) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (!P)
+    return nullptr;
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  auto LP = lowerProgram(*P, Inputs, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  return LP;
+}
+
+} // namespace
+
+TEST(GridLikelihoodTest, AgreesWithMoGOnGaussianModel) {
+  auto LP = lowerSource(R"(
+program G() {
+  x: real;
+  x ~ Gaussian(3.0, 2.0);
+  return x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"x"});
+  for (double X : {0.0, 2.0, 3.5, 6.0})
+    Data.addRow({X});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  GridLikelihoodEvaluator Grid(*LP, Data);
+  auto LL = Grid.logLikelihood();
+  ASSERT_TRUE(LL);
+  EXPECT_NEAR(*LL, F->logLikelihood(Data), 0.05);
+}
+
+TEST(GridLikelihoodTest, AgreesWithMoGOnSumOfGaussians) {
+  auto LP = lowerSource(R"(
+program S() {
+  a: real;
+  b: real;
+  y: real;
+  a ~ Gaussian(1.0, 3.0);
+  b ~ Gaussian(2.0, 4.0);
+  y = a + b;
+  return y;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"y"});
+  Data.addRow({4.0});
+  Data.addRow({-2.0});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  GridLikelihoodEvaluator Grid(*LP, Data);
+  auto LL = Grid.logLikelihood();
+  ASSERT_TRUE(F && LL);
+  EXPECT_NEAR(*LL, F->logLikelihood(Data), 0.05);
+}
+
+TEST(GridLikelihoodTest, AgreesWithMoGOnMixture) {
+  auto LP = lowerSource(R"(
+program M() {
+  x: real;
+  x = ite(Bernoulli(0.3), Gaussian(0.0, 1.0), Gaussian(10.0, 2.0));
+  return x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"x"});
+  for (double X : {0.0, 1.0, 9.0, 11.0})
+    Data.addRow({X});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  GridLikelihoodEvaluator Grid(*LP, Data);
+  auto LL = Grid.logLikelihood();
+  ASSERT_TRUE(F && LL);
+  EXPECT_NEAR(*LL, F->logLikelihood(Data), 0.1);
+}
+
+TEST(GridLikelihoodTest, AgreesWithMoGOnBernoulliChain) {
+  auto LP = lowerSource(R"(
+program C() {
+  a: bool;
+  b: bool;
+  c: bool;
+  a ~ Bernoulli(0.4);
+  b ~ Bernoulli(0.7);
+  c = a && b;
+  return a, b, c;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"a", "b", "c"});
+  Data.addRow({1.0, 1.0, 1.0});
+  Data.addRow({1.0, 0.0, 0.0});
+  Data.addRow({0.0, 1.0, 0.0});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  GridLikelihoodEvaluator Grid(*LP, Data);
+  auto LL = Grid.logLikelihood();
+  ASSERT_TRUE(F && LL);
+  EXPECT_NEAR(*LL, F->logLikelihood(Data), 1e-6);
+}
+
+TEST(GridLikelihoodTest, AgreesWithMoGOnTrueSkillRow) {
+  const char *Source = R"(
+program TS(p1: int, p2: int, result: bool) {
+  skills: real[2];
+  perf1: real;
+  perf2: real;
+  r: bool;
+  skills[0] ~ Gaussian(100.0, 10.0);
+  skills[1] ~ Gaussian(100.0, 10.0);
+  perf1 ~ Gaussian(skills[p1], 15.0);
+  perf2 ~ Gaussian(skills[p2], 15.0);
+  r = perf1 > perf2;
+  observe(result == r);
+  return skills;
+}
+)";
+  InputBindings In;
+  In.setInt("p1", 0);
+  In.setInt("p2", 1);
+  In.setScalar("result", 1.0, ScalarKind::Bool);
+  auto LP = lowerSource(Source, In);
+  ASSERT_TRUE(LP);
+  Dataset Data({"skills[0]", "skills[1]"});
+  Data.addRow({105.0, 95.0});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  GridLikelihoodEvaluator Grid(*LP, Data);
+  auto LL = Grid.logLikelihoodRow(Data.row(0));
+  ASSERT_TRUE(F && LL);
+  EXPECT_NEAR(*LL, F->logLikelihoodRow(Data.row(0)), 0.05);
+}
+
+TEST(GridLikelihoodTest, BetaBernoulliCloseToMoGApproximation) {
+  // Beta is approximated by moment matching on the MoG side; the two
+  // paths agree only approximately — but the *ordering* of candidate
+  // qualities is preserved, which is what MH needs.
+  auto Truth = lowerSource(R"(
+program H() {
+  p: real;
+  z: bool;
+  p ~ Beta(9.0, 1.0);
+  z ~ Bernoulli(p);
+  return z;
+}
+)",
+                           {});
+  ASSERT_TRUE(Truth);
+  Dataset Data({"z"});
+  for (int I = 0; I < 9; ++I)
+    Data.addRow({1.0});
+  Data.addRow({0.0});
+  auto F = LikelihoodFunction::compile(*Truth, Data);
+  GridLikelihoodEvaluator Grid(*Truth, Data);
+  auto LL = Grid.logLikelihood();
+  ASSERT_TRUE(F && LL);
+  EXPECT_NEAR(*LL, F->logLikelihood(Data), 1.0);
+}
+
+TEST(GridLikelihoodTest, MalformedCandidateReturnsNullopt) {
+  auto LP = lowerSource(R"(
+program P() {
+  x: real;
+  y: real;
+  y = x + 1.0;
+  x = 0.0;
+  return y;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"y"});
+  Data.addRow({1.0});
+  GridLikelihoodEvaluator Grid(*LP, Data);
+  EXPECT_FALSE(Grid.logLikelihood().has_value());
+}
+
+TEST(GridLikelihoodTest, CandidateOrderingMatchesMoGPath) {
+  // Two candidate programs; the baseline and the approximation must
+  // rank them identically.
+  Rng R(21);
+  auto Truth = lowerSource(R"(
+program T() {
+  x: real;
+  x ~ Gaussian(5.0, 1.0);
+  return x;
+}
+)",
+                           {});
+  ASSERT_TRUE(Truth);
+  Dataset Data = generateDataset(*Truth, 50, R);
+  auto Bad = lowerSource(R"(
+program B() {
+  x: real;
+  x ~ Gaussian(-5.0, 1.0);
+  return x;
+}
+)",
+                         {});
+  auto FT = LikelihoodFunction::compile(*Truth, Data);
+  auto FB = LikelihoodFunction::compile(*Bad, Data);
+  GridLikelihoodEvaluator GT(*Truth, Data), GB(*Bad, Data);
+  auto LT = GT.logLikelihood(), LB = GB.logLikelihood();
+  ASSERT_TRUE(FT && FB && LT && LB);
+  EXPECT_GT(FT->logLikelihood(Data), FB->logLikelihood(Data));
+  EXPECT_GT(*LT, *LB);
+}

@@ -1,0 +1,92 @@
+//===- tests/integration/FuzzScoringTest.cpp - Randomized robustness ------===//
+//
+// Robustness sweep: random completions for every benchmark sketch are
+// spliced and scored.  Whatever the mutation machinery can produce,
+// scoring must never crash, and every reported likelihood must be a
+// finite number (invalid candidates must be reported as invalid, not
+// as NaN or +inf scores the MH ratio would then consume).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "suite/Prepare.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+class FuzzScoring : public ::testing::TestWithParam<const Benchmark *> {};
+
+std::vector<const Benchmark *> fuzzTargets() {
+  // A representative slice; running all 16 here would double the test
+  // suite's wall clock for little extra coverage.
+  std::vector<const Benchmark *> Out;
+  for (const char *Name :
+       {"TrueSkill", "Burglary", "Clinical", "RATS", "MoG3"})
+    Out.push_back(findBenchmark(Name));
+  return Out;
+}
+
+} // namespace
+
+TEST_P(FuzzScoring, RandomCompletionsNeverYieldNonFiniteScores) {
+  const Benchmark *B = GetParam();
+  ASSERT_NE(B, nullptr);
+  DiagEngine Diags;
+  auto P = prepareBenchmark(*B, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  // Score with a small dataset slice: fuzzing exercises code paths,
+  // not statistics.
+  Dataset Slice = P->Data;
+  Slice.truncate(5);
+
+  SynthesisConfig Config = B->Synth;
+  Synthesizer Synth(*P->Sketch, P->Inputs, Slice, Config);
+  ASSERT_TRUE(Synth.valid());
+  const auto &Sigs = Synth.holeSignatures();
+
+  Rng R(0xF022 + Sigs.size());
+  GeneratorConfig WildGen = Config.Gen;
+  // Open the grammar wider than the synthesis default so the fuzz also
+  // covers products of random values and all distributions.
+  WildGen.ArithOps = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul};
+  WildGen.Dists = {DistKind::Gaussian, DistKind::Bernoulli, DistKind::Beta,
+                   DistKind::Gamma, DistKind::Poisson};
+  WildGen.MaxDepth = 6;
+  WildGen.TerminalBias = 0.35;
+
+  unsigned Valid = 0, Invalid = 0;
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    std::vector<ExprPtr> Completions;
+    bool TupleOk = true;
+    for (const HoleSignature &Sig : Sigs) {
+      ExprGenerator Gen(Sig, WildGen, R);
+      Completions.push_back(Gen.generate());
+      TupleOk &= checkCompletion(*Completions.back(), Sig);
+    }
+    if (!TupleOk) {
+      ++Invalid;
+      continue;
+    }
+    auto Candidate = spliceCompletions(*P->Sketch, Completions);
+    auto Score = Synth.scoreWithMoG(*Candidate);
+    if (!Score) {
+      ++Invalid;
+      continue;
+    }
+    EXPECT_TRUE(std::isfinite(*Score)) << toString(*Candidate);
+    ++Valid;
+  }
+  // The generator is correct-by-construction most of the time.
+  EXPECT_GT(Valid, 100u) << "valid " << Valid << " invalid " << Invalid;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, FuzzScoring, ::testing::ValuesIn(fuzzTargets()),
+    [](const ::testing::TestParamInfo<const Benchmark *> &Info) {
+      return Info.param->Name;
+    });

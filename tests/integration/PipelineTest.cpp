@@ -1,0 +1,129 @@
+//===- tests/integration/PipelineTest.cpp - Whole-pipeline smoke ----------===//
+//
+// Parse -> typecheck -> lower -> sample -> compile likelihood ->
+// evaluate, end to end on the paper's running example.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "likelihood/Likelihood.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+#include "suite/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+TEST(PipelineTest, TrueSkillEndToEnd) {
+  const Benchmark *B = findBenchmark("TrueSkill");
+  ASSERT_NE(B, nullptr);
+  DiagEngine Diags;
+  auto P = parseProgramSource(B->TargetSource, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  auto Sigs = typeCheck(*P, Diags);
+  ASSERT_TRUE(Sigs) << Diags.str();
+  EXPECT_TRUE(Sigs->empty()); // Target has no holes.
+
+  InputBindings In = B->MakeInputs();
+  auto LP = lowerProgram(*P, In, Diags);
+  ASSERT_TRUE(LP) << Diags.str();
+  EXPECT_TRUE(checkDefiniteAssignment(*LP, Diags)) << Diags.str();
+
+  // 3 skills + 3 results + 2 perf slots.
+  EXPECT_EQ(LP->Slots.size(), 8u);
+  EXPECT_EQ(LP->ReturnSlots.size(), 6u);
+
+  Rng R(42);
+  Dataset Data = generateDataset(*LP, 100, R);
+  ASSERT_EQ(Data.numRows(), 100u);
+  EXPECT_EQ(Data.numColumns(), 6u);
+
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double LL = F->logLikelihood(Data);
+  EXPECT_TRUE(std::isfinite(LL));
+  EXPECT_LT(LL, 0.0);
+
+  // Game outcomes must correlate with skill gaps: among rows where
+  // player 0 beat player 1, the average skill gap is positive.
+  unsigned R0 = Data.columnId("r[0]");
+  unsigned S0 = Data.columnId("skills[0]"), S1 = Data.columnId("skills[1]");
+  ASSERT_NE(R0, ~0u);
+  double WinGap = 0, LossGap = 0;
+  size_t Wins = 0, Losses = 0;
+  for (const auto &Row : Data.rows()) {
+    if (Row[R0] != 0.0) {
+      WinGap += Row[S0] - Row[S1];
+      ++Wins;
+    } else {
+      LossGap += Row[S0] - Row[S1];
+      ++Losses;
+    }
+  }
+  ASSERT_GT(Wins, 0u);
+  ASSERT_GT(Losses, 0u);
+  EXPECT_GT(WinGap / double(Wins), LossGap / double(Losses));
+}
+
+TEST(PipelineTest, SymbolicReportMentionsKeyStructure) {
+  const Benchmark *B = findBenchmark("TrueSkill");
+  ASSERT_NE(B, nullptr);
+  DiagEngine Diags;
+  auto P = parseProgramSource(B->TargetSource, Diags);
+  ASSERT_TRUE(P);
+  ASSERT_TRUE(typeCheck(*P, Diags));
+  auto LP = lowerProgram(*P, B->MakeInputs(), Diags);
+  ASSERT_TRUE(LP);
+  Dataset Data(LP->ReturnSlots);
+  Data.addRow({105.0, 95.0, 90.0, 1.0, 1.0, 1.0});
+  std::string Report =
+      symbolicReport(*LP, Data, {"skills[0]", "perf1", "r[0]"});
+  // Figure 4's shape: prior, symbolic-mean performance, erf-based
+  // result probability.
+  EXPECT_NE(Report.find("skills[0] |-> MoG(1; 1 * N(100, 10))"),
+            std::string::npos);
+  EXPECT_NE(Report.find("perf1 |-> MoG(1; 1 * N($0, 15))"),
+            std::string::npos);
+  EXPECT_NE(Report.find("erf"), std::string::npos);
+  EXPECT_NE(Report.find("log Pr(D | P[H]) per row"), std::string::npos);
+}
+
+TEST(PipelineTest, LikelihoodPrefersGeneratingProgram) {
+  // For each of three simple models, the generating model must beat the
+  // other two on its own data (the basic premise of ML-driven search).
+  const char *Sources[3] = {
+      R"(program A() { x: real; x ~ Gaussian(0.0, 1.0); return x; })",
+      R"(program B() { x: real; x ~ Gaussian(8.0, 1.0); return x; })",
+      R"(program C() { x: real; x = ite(Bernoulli(0.5), Gaussian(0.0, 1.0),
+                                        Gaussian(8.0, 1.0)); return x; })",
+  };
+  std::vector<std::unique_ptr<LoweredProgram>> Programs;
+  for (const char *S : Sources) {
+    DiagEngine Diags;
+    auto P = parseProgramSource(S, Diags);
+    ASSERT_TRUE(P) << Diags.str();
+    ASSERT_TRUE(typeCheck(*P, Diags));
+    auto LP = lowerProgram(*P, {}, Diags);
+    ASSERT_TRUE(LP);
+    Programs.push_back(std::move(LP));
+  }
+  Rng R(77);
+  for (size_t Gen = 0; Gen != 3; ++Gen) {
+    Dataset Data = generateDataset(*Programs[Gen], 300, R);
+    double Best = -1e300;
+    size_t BestIdx = 99;
+    for (size_t Model = 0; Model != 3; ++Model) {
+      auto F = LikelihoodFunction::compile(*Programs[Model], Data);
+      ASSERT_TRUE(F);
+      double LL = F->logLikelihood(Data);
+      if (LL > Best) {
+        Best = LL;
+        BestIdx = Model;
+      }
+    }
+    EXPECT_EQ(BestIdx, Gen) << "generator " << Gen;
+  }
+}

@@ -1,0 +1,96 @@
+//===- tests/integration/SuiteTest.cpp - Benchmark suite validation -------===//
+//
+// Every one of the 16 paper benchmarks must parse, type check, lower,
+// generate its full dataset, and compile a finite target likelihood —
+// the preconditions of every Table 1 row.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Prepare.h"
+
+#include "ast/ASTUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+class SuiteTest : public ::testing::TestWithParam<const Benchmark *> {};
+
+std::vector<const Benchmark *> benchmarkPointers() {
+  std::vector<const Benchmark *> Out;
+  for (const Benchmark &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+} // namespace
+
+TEST(SuiteInventoryTest, HasAllSixteenPaperBenchmarks) {
+  EXPECT_EQ(allBenchmarks().size(), 16u);
+  for (const char *Name :
+       {"Burglary", "TrueSkill", "Clinical", "Clickthrough1",
+        "Clickthrough2", "Clickthrough3", "Clickthrough4", "Conference",
+        "Grading", "Handedness", "GenderHeight", "MoG1", "MoG2", "MoG3",
+        "RATS", "Gaussian"})
+    EXPECT_NE(findBenchmark(Name), nullptr) << Name;
+  EXPECT_EQ(findBenchmark("NoSuchBenchmark"), nullptr);
+}
+
+TEST(SuiteInventoryTest, PaperRowsMatchTable1) {
+  // Spot-check the transcription of Table 1.
+  const Benchmark *TS = findBenchmark("TrueSkill");
+  ASSERT_NE(TS, nullptr);
+  EXPECT_DOUBLE_EQ(TS->Paper.TargetLL, -718.33);
+  EXPECT_DOUBLE_EQ(TS->Paper.SynthesizedLL, -697.68);
+  EXPECT_EQ(TS->Paper.DatasetSize, 400u);
+  const Benchmark *G = findBenchmark("Gaussian");
+  ASSERT_NE(G, nullptr);
+  EXPECT_DOUBLE_EQ(G->Paper.TargetLL, -1483.67);
+}
+
+TEST_P(SuiteTest, PreparesSuccessfully) {
+  DiagEngine Diags;
+  auto P = prepareBenchmark(*GetParam(), Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  EXPECT_EQ(P->Data.numRows(), GetParam()->DatasetSize);
+  EXPECT_TRUE(std::isfinite(P->TargetLL));
+  EXPECT_LT(P->TargetLL, 0.0);
+}
+
+TEST_P(SuiteTest, SketchHasHolesAndTargetHasNone) {
+  DiagEngine Diags;
+  auto P = prepareBenchmark(*GetParam(), Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  EXPECT_TRUE(collectHoles(*P->Target).empty());
+  EXPECT_FALSE(collectHoles(*P->Sketch).empty());
+}
+
+TEST_P(SuiteTest, SketchAndTargetShareInterface) {
+  DiagEngine Diags;
+  auto P = prepareBenchmark(*GetParam(), Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  // Same returns (the observable interface the data covers).
+  EXPECT_EQ(P->Target->getReturns(), P->Sketch->getReturns());
+  EXPECT_EQ(P->Target->getParams().size(), P->Sketch->getParams().size());
+}
+
+TEST_P(SuiteTest, DatasetIsReproducibleFromSeed) {
+  DiagEngine D1, D2;
+  auto P1 = prepareBenchmark(*GetParam(), D1);
+  auto P2 = prepareBenchmark(*GetParam(), D2);
+  ASSERT_TRUE(P1 && P2);
+  ASSERT_EQ(P1->Data.numRows(), P2->Data.numRows());
+  for (size_t I = 0; I < P1->Data.numRows(); ++I)
+    EXPECT_EQ(P1->Data.row(I), P2->Data.row(I));
+  EXPECT_DOUBLE_EQ(P1->TargetLL, P2->TargetLL);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteTest, ::testing::ValuesIn(benchmarkPointers()),
+    [](const ::testing::TestParamInfo<const Benchmark *> &Info) {
+      return Info.param->Name;
+    });

@@ -1,0 +1,89 @@
+//===- tests/integration/SynthesisEndToEndTest.cpp - Table 1 rows ---------===//
+//
+// Fast end-to-end synthesis checks on a subset of benchmarks: the
+// synthesized program's data log-likelihood must come close to (or
+// beat) the target program's, the paper's Table 1 success criterion.
+// Iteration budgets are reduced to keep the test suite quick; the full
+// budgets run in bench/table1_synthesis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Prepare.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+/// Runs one benchmark with a reduced iteration budget and checks the
+/// synthesized LL is within \p Slack nats of the target LL.
+void expectSynthClose(const char *Name, unsigned Iterations,
+                      double Slack) {
+  const Benchmark *B = findBenchmark(Name);
+  ASSERT_NE(B, nullptr);
+  DiagEngine Diags;
+  auto P = prepareBenchmark(*B, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  SynthesisConfig Config = B->Synth;
+  Config.Iterations = Iterations;
+  BenchmarkRunResult Row = runBenchmark(*P, &Config);
+  ASSERT_TRUE(Row.Succeeded) << Name;
+  EXPECT_TRUE(std::isfinite(Row.SynthesizedLL));
+  EXPECT_GT(Row.SynthesizedLL, Row.TargetLL - Slack)
+      << Name << ": target " << Row.TargetLL << " synthesized "
+      << Row.SynthesizedLL << "\n"
+      << Row.BestProgramSource;
+}
+
+} // namespace
+
+TEST(SynthesisEndToEndTest, Gaussian) {
+  expectSynthClose("Gaussian", 2000, 10.0);
+}
+
+TEST(SynthesisEndToEndTest, Handedness) {
+  expectSynthClose("Handedness", 2500, 10.0);
+}
+
+TEST(SynthesisEndToEndTest, Clickthrough2) {
+  expectSynthClose("Clickthrough2", 2500, 15.0);
+}
+
+TEST(SynthesisEndToEndTest, TrueSkill) {
+  expectSynthClose("TrueSkill", 4000, 80.0);
+}
+
+TEST(SynthesisEndToEndTest, MoG1) { expectSynthClose("MoG1", 8000, 25.0); }
+
+TEST(SynthesisEndToEndTest, SynthesizedProgramSamplesPlausibly) {
+  // The synthesized Gaussian model must produce samples whose moments
+  // match the data (not just score well symbolically).
+  const Benchmark *B = findBenchmark("Gaussian");
+  ASSERT_NE(B, nullptr);
+  DiagEngine Diags;
+  auto P = prepareBenchmark(*B, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  SynthesisConfig Config = B->Synth;
+  Config.Iterations = 2500;
+  Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Config);
+  auto Result = Synth.run();
+  ASSERT_TRUE(Result.Succeeded);
+  ASSERT_TRUE(Result.BestProgram);
+
+  auto LP = lowerProgram(*Result.BestProgram, P->Inputs, Diags);
+  ASSERT_TRUE(LP) << Diags.str();
+  Rng R(123);
+  Dataset Samples = generateDataset(*LP, 2000, R);
+  ASSERT_GT(Samples.numRows(), 500u);
+  double DataMean = 0, SampleMean = 0;
+  for (const auto &Row : P->Data.rows())
+    DataMean += Row[0];
+  DataMean /= double(P->Data.numRows());
+  for (const auto &Row : Samples.rows())
+    SampleMean += Row[0];
+  SampleMean /= double(Samples.numRows());
+  EXPECT_NEAR(SampleMean, DataMean, 2.0);
+}

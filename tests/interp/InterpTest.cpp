@@ -1,0 +1,298 @@
+//===- tests/interp/InterpTest.cpp - Forward sampler unit tests -----------===//
+
+#include "interp/Interp.h"
+
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<LoweredProgram> lowerSource(const std::string &Source,
+                                            const InputBindings &Inputs) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (!P)
+    return nullptr;
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  auto LP = lowerProgram(*P, Inputs, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  return LP;
+}
+
+} // namespace
+
+TEST(InterpTest, DeterministicProgramIsExact) {
+  auto LP = lowerSource(R"(
+program D() {
+  x: real;
+  y: real;
+  b: bool;
+  x = 2.0 + 3.0 * 4.0;
+  y = ite(x > 10.0, x - 1.0, x + 1.0);
+  b = !(x < y);
+  return x, y, b;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(1);
+  ForwardSampler S(*LP);
+  auto Slots = S.runOnce(R);
+  ASSERT_TRUE(Slots);
+  EXPECT_DOUBLE_EQ((*Slots)[LP->slotId("x")], 14.0);
+  EXPECT_DOUBLE_EQ((*Slots)[LP->slotId("y")], 13.0);
+  EXPECT_DOUBLE_EQ((*Slots)[LP->slotId("b")], 1.0);
+}
+
+TEST(InterpTest, GaussianSampleMoments) {
+  auto LP = lowerSource(R"(
+program G() {
+  x: real;
+  x ~ Gaussian(10.0, 2.0);
+  return x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(2);
+  ForwardSampler S(*LP);
+  double Sum = 0, SumSq = 0;
+  const int N = 50000;
+  unsigned Id = LP->slotId("x");
+  for (int I = 0; I < N; ++I) {
+    auto Slots = S.runOnce(R);
+    ASSERT_TRUE(Slots);
+    Sum += (*Slots)[Id];
+    SumSq += (*Slots)[Id] * (*Slots)[Id];
+  }
+  double Mean = Sum / N;
+  EXPECT_NEAR(Mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(SumSq / N - Mean * Mean), 2.0, 0.05);
+}
+
+TEST(InterpTest, ObserveRejectsInvalidRuns) {
+  auto LP = lowerSource(R"(
+program O() {
+  z: bool;
+  z ~ Bernoulli(0.5);
+  observe(z);
+  return z;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(3);
+  ForwardSampler S(*LP);
+  // All surviving runs satisfy the observation.
+  unsigned Id = LP->slotId("z");
+  int Valid = 0;
+  for (int I = 0; I < 1000; ++I) {
+    auto Slots = S.runOnce(R);
+    if (!Slots)
+      continue;
+    ++Valid;
+    EXPECT_DOUBLE_EQ((*Slots)[Id], 1.0);
+  }
+  EXPECT_NEAR(double(Valid) / 1000.0, 0.5, 0.05);
+}
+
+TEST(InterpTest, AcceptanceRateMatchesObserveProbability) {
+  auto LP = lowerSource(R"(
+program O() {
+  z: bool;
+  z ~ Bernoulli(0.2);
+  observe(z);
+  return z;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(4);
+  ForwardSampler S(*LP);
+  EXPECT_NEAR(S.acceptanceRate(R, 20000), 0.2, 0.01);
+}
+
+TEST(InterpTest, IfTakesSampledBranch) {
+  auto LP = lowerSource(R"(
+program B() {
+  z: bool;
+  x: real;
+  z ~ Bernoulli(0.25);
+  if (z) { x = 1.0; } else { x = 0.0; }
+  return z, x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(5);
+  ForwardSampler S(*LP);
+  double SumX = 0;
+  const int N = 40000;
+  for (int I = 0; I < N; ++I) {
+    auto Slots = S.runOnce(R);
+    ASSERT_TRUE(Slots);
+    EXPECT_EQ((*Slots)[LP->slotId("x")], (*Slots)[LP->slotId("z")]);
+    SumX += (*Slots)[LP->slotId("x")];
+  }
+  EXPECT_NEAR(SumX / N, 0.25, 0.01);
+}
+
+TEST(InterpTest, GenerateDatasetShape) {
+  auto LP = lowerSource(R"(
+program G(n: int) {
+  a: real[n];
+  for i in 0..n { a[i] ~ Gaussian(0.0, 1.0); }
+  return a;
+}
+)",
+                        [] {
+                          InputBindings In;
+                          In.setInt("n", 3);
+                          return In;
+                        }());
+  ASSERT_TRUE(LP);
+  Rng R(6);
+  Dataset Data = generateDataset(*LP, 25, R);
+  EXPECT_EQ(Data.numRows(), 25u);
+  EXPECT_EQ(Data.numColumns(), 3u);
+  EXPECT_EQ(Data.columns()[1], "a[1]");
+}
+
+TEST(InterpTest, GenerateDatasetGivesUpGracefully) {
+  auto LP = lowerSource(R"(
+program Impossible() {
+  z: bool;
+  z ~ Bernoulli(0.5);
+  observe(z && !z);
+  return z;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(7);
+  Dataset Data = generateDataset(*LP, 10, R, /*MaxAttempts=*/2000);
+  EXPECT_EQ(Data.numRows(), 0u);
+}
+
+TEST(InterpTest, PosteriorShiftsTowardObservations) {
+  // Conditioning on player 0 beating player 1 must raise player 0's
+  // posterior mean above player 1's (the Figure 7 sanity property).
+  const char *Source = R"(
+program TS(p1: int, p2: int, result: bool) {
+  skills: real[2];
+  perf1: real;
+  perf2: real;
+  r: bool;
+  skills[0] ~ Gaussian(100.0, 10.0);
+  skills[1] ~ Gaussian(100.0, 10.0);
+  perf1 ~ Gaussian(skills[p1], 15.0);
+  perf2 ~ Gaussian(skills[p2], 15.0);
+  r = perf1 > perf2;
+  observe(result == r);
+  return skills;
+}
+)";
+  InputBindings In;
+  In.setInt("p1", 0);
+  In.setInt("p2", 1);
+  In.setScalar("result", 1.0, ScalarKind::Bool);
+  auto LP = lowerSource(Source, In);
+  ASSERT_TRUE(LP);
+  Rng R(8);
+  auto S0 = posteriorSamples(*LP, "skills[0]", 4000, R);
+  auto S1 = posteriorSamples(*LP, "skills[1]", 4000, R);
+  ASSERT_EQ(S0.size(), 4000u);
+  ASSERT_EQ(S1.size(), 4000u);
+  double M0 = 0, M1 = 0;
+  for (double X : S0)
+    M0 += X;
+  for (double X : S1)
+    M1 += X;
+  M0 /= double(S0.size());
+  M1 /= double(S1.size());
+  EXPECT_GT(M0, 100.0);
+  EXPECT_LT(M1, 100.0);
+  EXPECT_GT(M0 - M1, 3.0);
+}
+
+TEST(InterpTest, PosteriorSamplesUnknownSlotIsEmpty) {
+  auto LP = lowerSource(R"(
+program G() {
+  x: real;
+  x ~ Gaussian(0.0, 1.0);
+  return x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(9);
+  EXPECT_TRUE(posteriorSamples(*LP, "nonexistent", 10, R).empty());
+}
+
+TEST(InterpTest, BetaGammaPoissonDrawsAreInSupport) {
+  auto LP = lowerSource(R"(
+program D() {
+  a: real;
+  b: real;
+  c: int;
+  a ~ Beta(2.0, 3.0);
+  b ~ Gamma(2.0, 1.5);
+  c ~ Poisson(4.0);
+  return a, b, c;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(10);
+  ForwardSampler S(*LP);
+  for (int I = 0; I < 500; ++I) {
+    auto Slots = S.runOnce(R);
+    ASSERT_TRUE(Slots);
+    double A = (*Slots)[LP->slotId("a")];
+    double B = (*Slots)[LP->slotId("b")];
+    double C = (*Slots)[LP->slotId("c")];
+    EXPECT_GE(A, 0.0);
+    EXPECT_LE(A, 1.0);
+    EXPECT_GE(B, 0.0);
+    EXPECT_GE(C, 0.0);
+    EXPECT_EQ(C, std::floor(C));
+  }
+}
+
+TEST(InterpTest, ShortCircuitAvoidsUnnecessaryDraws) {
+  // false && Bernoulli(...) must not consume a draw: two programs with
+  // and without the right operand behave identically given one seed.
+  auto LP = lowerSource(R"(
+program SC() {
+  z: bool;
+  x: real;
+  z = false && Bernoulli(0.5);
+  x ~ Gaussian(0.0, 1.0);
+  return z, x;
+}
+)",
+                        {});
+  auto Ref = lowerSource(R"(
+program Ref() {
+  z: bool;
+  x: real;
+  z = false;
+  x ~ Gaussian(0.0, 1.0);
+  return z, x;
+}
+)",
+                         {});
+  ASSERT_TRUE(LP && Ref);
+  Rng R1(11), R2(11);
+  auto A = ForwardSampler(*LP).runOnce(R1);
+  auto B = ForwardSampler(*Ref).runOnce(R2);
+  ASSERT_TRUE(A && B);
+  EXPECT_DOUBLE_EQ((*A)[LP->slotId("x")], (*B)[Ref->slotId("x")]);
+}

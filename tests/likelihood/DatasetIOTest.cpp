@@ -1,0 +1,93 @@
+//===- tests/likelihood/DatasetIOTest.cpp - CSV I/O unit tests ------------===//
+
+#include "likelihood/DatasetIO.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace psketch;
+
+TEST(DatasetIOTest, ReadsHeaderAndRows) {
+  std::istringstream In("x,skills[0]\n1.5,2\n-3,4.25\n");
+  DiagEngine Diags;
+  auto Data = readDatasetCsv(In, Diags);
+  ASSERT_TRUE(Data) << Diags.str();
+  EXPECT_EQ(Data->numColumns(), 2u);
+  EXPECT_EQ(Data->columns()[1], "skills[0]");
+  ASSERT_EQ(Data->numRows(), 2u);
+  EXPECT_DOUBLE_EQ(Data->at(0, "x"), 1.5);
+  EXPECT_DOUBLE_EQ(Data->at(1, "skills[0]"), 4.25);
+}
+
+TEST(DatasetIOTest, ToleratesWhitespaceAndCrLf) {
+  std::istringstream In("x , y\r\n 1 , 2 \r\n\r\n3,4\n");
+  DiagEngine Diags;
+  auto Data = readDatasetCsv(In, Diags);
+  ASSERT_TRUE(Data) << Diags.str();
+  EXPECT_EQ(Data->columns()[0], "x");
+  EXPECT_EQ(Data->columns()[1], "y");
+  ASSERT_EQ(Data->numRows(), 2u);
+  EXPECT_DOUBLE_EQ(Data->at(0, "y"), 2.0);
+}
+
+TEST(DatasetIOTest, RejectsEmptyInput) {
+  std::istringstream In("");
+  DiagEngine Diags;
+  EXPECT_FALSE(readDatasetCsv(In, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(DatasetIOTest, RejectsArityMismatch) {
+  std::istringstream In("a,b\n1,2,3\n");
+  DiagEngine Diags;
+  EXPECT_FALSE(readDatasetCsv(In, Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(DatasetIOTest, RejectsMalformedNumber) {
+  std::istringstream In("a\nhello\n");
+  DiagEngine Diags;
+  EXPECT_FALSE(readDatasetCsv(In, Diags));
+  EXPECT_NE(Diags.str().find("malformed numeric"), std::string::npos);
+}
+
+TEST(DatasetIOTest, RejectsEmptyColumnName) {
+  std::istringstream In("a,,c\n1,2,3\n");
+  DiagEngine Diags;
+  EXPECT_FALSE(readDatasetCsv(In, Diags));
+}
+
+TEST(DatasetIOTest, RoundTripPreservesValues) {
+  Dataset Data({"x", "y[3]"});
+  Data.addRow({1.2345678901234567, -42.0});
+  Data.addRow({0.0, 1e-9});
+  std::ostringstream Out;
+  writeDatasetCsv(Out, Data);
+  std::istringstream In(Out.str());
+  DiagEngine Diags;
+  auto Back = readDatasetCsv(In, Diags);
+  ASSERT_TRUE(Back) << Diags.str();
+  EXPECT_EQ(Back->columns(), Data.columns());
+  ASSERT_EQ(Back->numRows(), 2u);
+  for (size_t R = 0; R < 2; ++R)
+    for (size_t C = 0; C < 2; ++C)
+      EXPECT_DOUBLE_EQ(Back->row(R)[C], Data.row(R)[C]);
+}
+
+TEST(DatasetIOTest, FileRoundTrip) {
+  Dataset Data({"v"});
+  Data.addRow({7.5});
+  std::string Path = ::testing::TempDir() + "/psketch_dataset_io.csv";
+  ASSERT_TRUE(writeDatasetCsvFile(Path, Data));
+  DiagEngine Diags;
+  auto Back = readDatasetCsvFile(Path, Diags);
+  ASSERT_TRUE(Back) << Diags.str();
+  EXPECT_DOUBLE_EQ(Back->at(0, "v"), 7.5);
+}
+
+TEST(DatasetIOTest, MissingFileReportsError) {
+  DiagEngine Diags;
+  EXPECT_FALSE(readDatasetCsvFile("/nonexistent/nope.csv", Diags));
+  EXPECT_TRUE(Diags.hasErrors());
+}

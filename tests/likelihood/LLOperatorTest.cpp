@@ -1,0 +1,281 @@
+//===- tests/likelihood/LLOperatorTest.cpp - LL(.) operator tests ---------===//
+//
+// Includes the Figure 4 worked example: the two-player/one-game
+// TrueSkill candidate, whose final environment must map skills to
+// MoG(100, 10) priors, perf to MoG(skill_ref, 15), and r to the erf
+// comparison probability.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/LLOperator.h"
+
+#include "likelihood/Likelihood.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<Program> P;
+  std::unique_ptr<LoweredProgram> LP;
+};
+
+Compiled lower(const std::string &Source, const InputBindings &Inputs) {
+  DiagEngine Diags;
+  Compiled C;
+  C.P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(C.P) << Diags.str();
+  if (!C.P)
+    return C;
+  EXPECT_TRUE(typeCheck(*C.P, Diags)) << Diags.str();
+  C.LP = lowerProgram(*C.P, Inputs, Diags);
+  EXPECT_TRUE(C.LP) << Diags.str();
+  return C;
+}
+
+} // namespace
+
+TEST(LLOperatorTest, Figure4WorkedExample) {
+  // Figure 4: TrueSkill with 2 players and 1 game, skills observed.
+  const char *Source = R"(
+program TS2(p1: int, p2: int, result: bool) {
+  skills: real[2];
+  perf1: real;
+  perf2: real;
+  r: bool;
+  skills[0] ~ Gaussian(100.0, 10.0);
+  skills[1] ~ Gaussian(100.0, 10.0);
+  perf1 ~ Gaussian(skills[p1], 15.0);
+  perf2 ~ Gaussian(skills[p2], 15.0);
+  r = perf1 > perf2;
+  observe(result == r);
+  return skills;
+}
+)";
+  InputBindings In;
+  In.setInt("p1", 0);
+  In.setInt("p2", 1);
+  In.setScalar("result", 1.0, ScalarKind::Bool);
+  Compiled C = lower(Source, In);
+  ASSERT_TRUE(C.LP);
+
+  Dataset Data({"skills[0]", "skills[1]"});
+  Data.addRow({105.0, 95.0});
+
+  NumExprBuilder B;
+  MoGAlgebra Algebra(B);
+  auto Observed = observedSlots(*C.LP, Data);
+  LLExecutor Exec(Algebra, Observed);
+  auto Root = Exec.run(*C.LP);
+  ASSERT_TRUE(Root.has_value());
+
+  // skills[0] |-> MoG(1, [1], [100], [10]).
+  const SymValue *S0 = Exec.finalValue("skills[0]");
+  ASSERT_TRUE(S0 && S0->isMoG());
+  double V = 0;
+  ASSERT_TRUE(B.isConst(S0->components()[0].Mu, V));
+  EXPECT_DOUBLE_EQ(V, 100.0);
+  ASSERT_TRUE(B.isConst(S0->components()[0].Sigma, V));
+  EXPECT_DOUBLE_EQ(V, 10.0);
+
+  // perf1 |-> MoG(1, [1], [skill ref], [15]): mean is symbolic over
+  // the observed skill column, per Figure 4.
+  const SymValue *P1 = Exec.finalValue("perf1");
+  ASSERT_TRUE(P1 && P1->isMoG());
+  EXPECT_FALSE(B.isConst(P1->components()[0].Mu, V));
+  EXPECT_DOUBLE_EQ(B.eval(P1->components()[0].Mu, Data.row(0)), 105.0);
+  ASSERT_TRUE(B.isConst(P1->components()[0].Sigma, V));
+  EXPECT_DOUBLE_EQ(V, 15.0);
+
+  // r |-> Bernoulli(1/2 + 1/2 erf((skill0 - skill1) / sqrt(2*450))).
+  const SymValue *RVal = Exec.finalValue("r");
+  ASSERT_TRUE(RVal && RVal->isBern());
+  double P = B.eval(RVal->bernProb(), Data.row(0));
+  EXPECT_NEAR(P, 0.5 * (1.0 + std::erf((105.0 - 95.0) / std::sqrt(900.0))),
+              1e-12);
+
+  // The total per-row log-likelihood: prior densities at the observed
+  // skills plus the observe factor.
+  double Expected = gaussianLogPdf(105.0, 100.0, 10.0) +
+                    gaussianLogPdf(95.0, 100.0, 10.0) + std::log(P);
+  EXPECT_NEAR(B.eval(*Root, Data.row(0)), Expected, 1e-9);
+}
+
+TEST(LLOperatorTest, ObserveOfFalseConstantKillsLikelihood) {
+  const char *Source = R"(
+program P() {
+  x: real;
+  x ~ Gaussian(0.0, 1.0);
+  observe(false);
+  return x;
+}
+)";
+  Compiled C = lower(Source, {});
+  ASSERT_TRUE(C.LP);
+  Dataset Data({"x"});
+  Data.addRow({0.0});
+  auto F = LikelihoodFunction::compile(*C.LP, Data);
+  ASSERT_TRUE(F);
+  EXPECT_LT(F->logLikelihoodRow(Data.row(0)), std::log(TinyProb) + 1.0);
+}
+
+TEST(LLOperatorTest, IfMergesEnvironmentsByConditionProbability) {
+  const char *Source = R"(
+program P() {
+  b: bool;
+  x: real;
+  b ~ Bernoulli(0.25);
+  if (b) {
+    x ~ Gaussian(0.0, 1.0);
+  } else {
+    x ~ Gaussian(10.0, 2.0);
+  }
+  return x;
+}
+)";
+  Compiled C = lower(Source, {});
+  ASSERT_TRUE(C.LP);
+  Dataset Data({"x"});
+  Data.addRow({0.0});
+  NumExprBuilder B;
+  MoGAlgebra Algebra(B);
+  LLExecutor Exec(Algebra, observedSlots(*C.LP, Data));
+  auto Root = Exec.run(*C.LP);
+  ASSERT_TRUE(Root);
+  const SymValue *X = Exec.finalValue("x");
+  ASSERT_TRUE(X && X->isMoG());
+  ASSERT_EQ(X->components().size(), 2u);
+  double W0 = 0, W1 = 0;
+  ASSERT_TRUE(B.isConst(X->components()[0].W, W0));
+  ASSERT_TRUE(B.isConst(X->components()[1].W, W1));
+  EXPECT_NEAR(W0, 0.25, 1e-12);
+  EXPECT_NEAR(W1, 0.75, 1e-12);
+}
+
+TEST(LLOperatorTest, ObserveInsideIfWeightsConstraint) {
+  const char *Source = R"(
+program P() {
+  b: bool;
+  x: real;
+  b ~ Bernoulli(0.5);
+  x = 1.0;
+  if (b) {
+    observe(false);
+  } else {
+    x = 2.0;
+  }
+  return x;
+}
+)";
+  Compiled C = lower(Source, {});
+  ASSERT_TRUE(C.LP);
+  Dataset Data({"x"});
+  Data.addRow({2.0});
+  NumExprBuilder B;
+  MoGAlgebra Algebra(B);
+  LLExecutor Exec(Algebra, observedSlots(*C.LP, Data));
+  auto Root = Exec.run(*C.LP);
+  ASSERT_TRUE(Root);
+  // rho = 0.5 * 0 + 0.5 * 1 = 0.5.
+  EXPECT_NEAR(B.eval(Exec.constraintProduct(), Data.row(0)), 0.5, 1e-12);
+}
+
+TEST(LLOperatorTest, ContinuousEqualityObserveIsDensityFactor) {
+  const char *Source = R"(
+program P(target: real) {
+  x: real;
+  y: real;
+  x ~ Gaussian(0.0, 2.0);
+  observe(x == target);
+  y = 1.0;
+  return y;
+}
+)";
+  InputBindings In;
+  In.setScalar("target", 1.5, ScalarKind::Real);
+  Compiled C = lower(Source, In);
+  ASSERT_TRUE(C.LP);
+  Dataset Data({"y"});
+  Data.addRow({1.0});
+  NumExprBuilder B;
+  MoGAlgebra Algebra(B);
+  LLExecutor Exec(Algebra, observedSlots(*C.LP, Data));
+  auto Root = Exec.run(*C.LP);
+  ASSERT_TRUE(Root);
+  EXPECT_NEAR(B.eval(Exec.constraintProduct(), Data.row(0)),
+              gaussianPdf(1.5, 0.0, 2.0), 1e-9);
+}
+
+TEST(LLOperatorTest, MalformedCandidateReportsFailure) {
+  // Read of a never-written slot: the LL operator signals malformed
+  // instead of producing a bogus likelihood.
+  const char *Source = R"(
+program P() {
+  x: real;
+  y: real;
+  y = x + 1.0;
+  x = 0.0;
+  return y;
+}
+)";
+  Compiled C = lower(Source, {});
+  ASSERT_TRUE(C.LP);
+  Dataset Data({"y"});
+  Data.addRow({1.0});
+  NumExprBuilder B;
+  MoGAlgebra Algebra(B);
+  LLExecutor Exec(Algebra, observedSlots(*C.LP, Data));
+  EXPECT_FALSE(Exec.run(*C.LP).has_value());
+}
+
+TEST(LLOperatorTest, UnobservedReturnIsNotScored) {
+  const char *Source = R"(
+program P() {
+  x: real;
+  y: real;
+  x ~ Gaussian(0.0, 1.0);
+  y ~ Gaussian(5.0, 1.0);
+  return x, y;
+}
+)";
+  Compiled C = lower(Source, {});
+  ASSERT_TRUE(C.LP);
+  // Dataset observes only x.
+  Dataset Data({"x"});
+  Data.addRow({0.0});
+  auto F = LikelihoodFunction::compile(*C.LP, Data);
+  ASSERT_TRUE(F);
+  EXPECT_NEAR(F->logLikelihoodRow(Data.row(0)),
+              gaussianLogPdf(0.0, 0.0, 1.0), 1e-9);
+}
+
+TEST(LLOperatorTest, BooleanObservedSlotsUseDataValues) {
+  const char *Source = R"(
+program P() {
+  z: bool;
+  x: real;
+  z ~ Bernoulli(0.3);
+  x = ite(z, Gaussian(0.0, 1.0), Gaussian(10.0, 2.0));
+  return z, x;
+}
+)";
+  Compiled C = lower(Source, {});
+  ASSERT_TRUE(C.LP);
+  Dataset Data({"z", "x"});
+  Data.addRow({1.0, 0.5});
+  Data.addRow({0.0, 9.5});
+  auto F = LikelihoodFunction::compile(*C.LP, Data);
+  ASSERT_TRUE(F);
+  // Row 0: z=1 chooses the first component exactly.
+  EXPECT_NEAR(F->logLikelihoodRow(Data.row(0)),
+              std::log(0.3) + gaussianLogPdf(0.5, 0.0, 1.0), 1e-6);
+  EXPECT_NEAR(F->logLikelihoodRow(Data.row(1)),
+              std::log(0.7) + gaussianLogPdf(9.5, 10.0, 2.0), 1e-6);
+}

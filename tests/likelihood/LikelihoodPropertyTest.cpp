@@ -1,0 +1,178 @@
+//===- tests/likelihood/LikelihoodPropertyTest.cpp - Parameter sweeps -----===//
+//
+// Parameterized property sweeps over randomly drawn model parameters:
+// for programs whose exact density has a closed form (Gaussians,
+// affine transforms, two-component mixtures, Bernoulli chains), the
+// compiled likelihood must match the closed form for *every* drawn
+// parameterization, not just the hand-picked cases of LikelihoodTest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/Likelihood.h"
+
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+#include "support/Rng.h"
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<LoweredProgram> lowerSource(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (!P)
+    return nullptr;
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  auto LP = lowerProgram(*P, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  return LP;
+}
+
+std::string num(double V) {
+  std::ostringstream OS;
+  OS.precision(17);
+  OS << V;
+  std::string S = OS.str();
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+class LikelihoodProperty : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override { R.seed(GetParam()); }
+  Rng R{0};
+};
+
+} // namespace
+
+TEST_P(LikelihoodProperty, AffineGaussianClosedForm) {
+  double Mu = R.uniform(-50, 50);
+  double Sigma = R.uniform(0.5, 20);
+  double Scale = R.uniform(-4, 4);
+  double Shift = R.uniform(-30, 30);
+  if (std::fabs(Scale) < 0.1)
+    Scale = 0.5;
+  std::string Source = "program P() {\n  x: real;\n  y: real;\n"
+                       "  x ~ Gaussian(" +
+                       num(Mu) + ", " + num(Sigma) + ");\n  y = " +
+                       num(Scale) + " * x + " + num(Shift) +
+                       ";\n  return y;\n}\n";
+  auto LP = lowerSource(Source);
+  ASSERT_TRUE(LP);
+  Dataset Data({"y"});
+  for (int I = 0; I < 7; ++I)
+    Data.addRow({R.uniform(-100, 100)});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  // y ~ Gaussian(Scale*Mu + Shift, |Scale|*Sigma).
+  double Expected = 0;
+  for (const auto &Row : Data.rows())
+    Expected += gaussianLogPdf(Row[0], Scale * Mu + Shift,
+                               std::fabs(Scale) * Sigma);
+  EXPECT_NEAR(F->logLikelihood(Data), Expected, 1e-8);
+}
+
+TEST_P(LikelihoodProperty, SumOfTwoGaussiansClosedForm) {
+  double Mu1 = R.uniform(-20, 20), S1 = R.uniform(0.5, 10);
+  double Mu2 = R.uniform(-20, 20), S2 = R.uniform(0.5, 10);
+  std::string Source = "program P() {\n  a: real;\n  b: real;\n"
+                       "  y: real;\n  a ~ Gaussian(" +
+                       num(Mu1) + ", " + num(S1) + ");\n  b ~ Gaussian(" +
+                       num(Mu2) + ", " + num(S2) +
+                       ");\n  y = a - b;\n  return y;\n}\n";
+  auto LP = lowerSource(Source);
+  ASSERT_TRUE(LP);
+  Dataset Data({"y"});
+  for (int I = 0; I < 7; ++I)
+    Data.addRow({R.uniform(-60, 60)});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double Expected = 0;
+  for (const auto &Row : Data.rows())
+    Expected += gaussianLogPdf(Row[0], Mu1 - Mu2,
+                               std::sqrt(S1 * S1 + S2 * S2));
+  EXPECT_NEAR(F->logLikelihood(Data), Expected, 1e-8);
+}
+
+TEST_P(LikelihoodProperty, TwoComponentMixtureClosedForm) {
+  double P1 = R.uniform(0.1, 0.9);
+  double MuA = R.uniform(-20, 0), SA = R.uniform(0.5, 4);
+  double MuB = R.uniform(0, 20), SB = R.uniform(0.5, 4);
+  std::string Source =
+      "program P() {\n  x: real;\n  x = ite(Bernoulli(" + num(P1) +
+      "), Gaussian(" + num(MuA) + ", " + num(SA) + "), Gaussian(" +
+      num(MuB) + ", " + num(SB) + "));\n  return x;\n}\n";
+  auto LP = lowerSource(Source);
+  ASSERT_TRUE(LP);
+  Dataset Data({"x"});
+  for (int I = 0; I < 7; ++I)
+    Data.addRow({R.uniform(-25, 25)});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double Expected = 0;
+  for (const auto &Row : Data.rows())
+    Expected +=
+        mixtureLogPdf(Row[0], {P1, 1 - P1}, {MuA, MuB}, {SA, SB});
+  EXPECT_NEAR(F->logLikelihood(Data), Expected, 1e-8);
+}
+
+TEST_P(LikelihoodProperty, BernoulliChainClosedForm) {
+  double PA = R.uniform(0.05, 0.95);
+  double PB = R.uniform(0.05, 0.95);
+  std::string Source = "program P() {\n  a: bool;\n  b: bool;\n"
+                       "  c: bool;\n  a ~ Bernoulli(" +
+                       num(PA) + ");\n  b ~ Bernoulli(" + num(PB) +
+                       ");\n  c = a && b;\n  return a, b, c;\n}\n";
+  auto LP = lowerSource(Source);
+  ASSERT_TRUE(LP);
+  Dataset Data({"a", "b", "c"});
+  for (int A = 0; A <= 1; ++A)
+    for (int B = 0; B <= 1; ++B)
+      Data.addRow({double(A), double(B), double(A && B)});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double Expected = 0;
+  for (const auto &Row : Data.rows())
+    Expected += bernoulliLogPmf(Row[0] != 0, PA) +
+                bernoulliLogPmf(Row[1] != 0, PB);
+  // c is deterministic given (a, b): log 1 contribution on every
+  // consistent row.
+  EXPECT_NEAR(F->logLikelihood(Data), Expected, 1e-8);
+}
+
+TEST_P(LikelihoodProperty, ConditionedGaussianTailFactor) {
+  double Mu = R.uniform(-5, 5);
+  double Sigma = R.uniform(0.5, 4);
+  double Threshold = R.uniform(-6, 6);
+  std::string Source = "program P() {\n  x: real;\n  y: real;\n"
+                       "  x ~ Gaussian(" +
+                       num(Mu) + ", " + num(Sigma) +
+                       ");\n  observe(x > " + num(Threshold) +
+                       ");\n  y = 0.0;\n  return y;\n}\n";
+  auto LP = lowerSource(Source);
+  ASSERT_TRUE(LP);
+  Dataset Data({"y"});
+  Data.addRow({0.0});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  // rho = Pr(x > t); y contributes a bandwidth point-mass density at
+  // its own value (exactly matched at y = 0).
+  double Rho = 1.0 - gaussianCdf(Threshold, Mu, Sigma);
+  double PointMass = gaussianLogPdf(0.0, 0.0, 0.1);
+  EXPECT_NEAR(F->logLikelihoodRow(Data.row(0)),
+              std::log(clampProb(Rho)) + PointMass, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikelihoodProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u, 808u, 909u,
+                                           1010u));

@@ -1,0 +1,245 @@
+//===- tests/likelihood/LikelihoodTest.cpp - Compiled likelihood tests ----===//
+
+#include "likelihood/Likelihood.h"
+
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<LoweredProgram> lowerSource(const std::string &Source,
+                                            const InputBindings &Inputs) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (!P)
+    return nullptr;
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  auto LP = lowerProgram(*P, Inputs, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  return LP;
+}
+
+} // namespace
+
+TEST(LikelihoodTest, GaussianModelMatchesClosedForm) {
+  auto LP = lowerSource(R"(
+program G() {
+  x: real;
+  x ~ Gaussian(3.0, 2.0);
+  return x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"x"});
+  for (double X : {1.0, 2.0, 3.0, 4.5, 7.0})
+    Data.addRow({X});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double Expected = 0;
+  for (const auto &Row : Data.rows())
+    Expected += gaussianLogPdf(Row[0], 3.0, 2.0);
+  EXPECT_NEAR(F->logLikelihood(Data), Expected, 1e-9);
+}
+
+TEST(LikelihoodTest, BernoulliModelMatchesClosedForm) {
+  auto LP = lowerSource(R"(
+program Coin() {
+  z: bool;
+  z ~ Bernoulli(0.2);
+  return z;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"z"});
+  Data.addRow({1.0});
+  Data.addRow({0.0});
+  Data.addRow({0.0});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  EXPECT_NEAR(F->logLikelihood(Data),
+              std::log(0.2) + 2 * std::log(0.8), 1e-9);
+}
+
+TEST(LikelihoodTest, MixtureModelMatchesClosedForm) {
+  auto LP = lowerSource(R"(
+program Mix() {
+  x: real;
+  x = ite(Bernoulli(0.3), Gaussian(0.0, 1.0), Gaussian(10.0, 2.0));
+  return x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"x"});
+  for (double X : {-0.5, 0.2, 9.0, 10.5, 12.0})
+    Data.addRow({X});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double Expected = 0;
+  for (const auto &Row : Data.rows())
+    Expected +=
+        mixtureLogPdf(Row[0], {0.3, 0.7}, {0.0, 10.0}, {1.0, 2.0});
+  EXPECT_NEAR(F->logLikelihood(Data), Expected, 1e-9);
+}
+
+TEST(LikelihoodTest, SumOfGaussiansUsesConvolvedDensity) {
+  auto LP = lowerSource(R"(
+program Sum() {
+  a: real;
+  b: real;
+  y: real;
+  a ~ Gaussian(1.0, 3.0);
+  b ~ Gaussian(2.0, 4.0);
+  y = a + b;
+  return y;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Data({"y"});
+  Data.addRow({4.0});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  // y ~ N(3, 5): the Section 1 motivating integral, solved by the
+  // closure rule instead of quadrature.
+  EXPECT_NEAR(F->logLikelihoodRow(Data.row(0)),
+              gaussianLogPdf(4.0, 3.0, 5.0), 1e-9);
+}
+
+TEST(LikelihoodTest, CorrectParametersScoreHigherThanWrongOnes) {
+  Rng R(5);
+  auto Truth = lowerSource(R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)",
+                           {});
+  ASSERT_TRUE(Truth);
+  Dataset Data = generateDataset(*Truth, 200, R);
+  ASSERT_EQ(Data.numRows(), 200u);
+
+  auto Wrong = lowerSource(R"(
+program W() {
+  x: real;
+  x ~ Gaussian(0.0, 2.0);
+  return x;
+}
+)",
+                           {});
+  auto FT = LikelihoodFunction::compile(*Truth, Data);
+  auto FW = LikelihoodFunction::compile(*Wrong, Data);
+  ASSERT_TRUE(FT && FW);
+  EXPECT_GT(FT->logLikelihood(Data), FW->logLikelihood(Data) + 100.0);
+}
+
+TEST(LikelihoodTest, TrueSkillConsistentResultsScoreHigher) {
+  const char *Source = R"(
+program TS(nplayers: int, ngames: int, p1: int[], p2: int[],
+           result: bool[]) {
+  skills: real[nplayers];
+  r: bool[ngames];
+  perf1: real;
+  perf2: real;
+  for i in 0..nplayers { skills[i] ~ Gaussian(100.0, 10.0); }
+  for g in 0..ngames {
+    perf1 ~ Gaussian(skills[p1[g]], 15.0);
+    perf2 ~ Gaussian(skills[p2[g]], 15.0);
+    r[g] = perf1 > perf2;
+  }
+  for g in 0..ngames { observe(result[g] == r[g]); }
+  return skills;
+}
+)";
+  InputBindings In;
+  In.setInt("nplayers", 2);
+  In.setInt("ngames", 1);
+  In.setIntArray("p1", {0});
+  In.setIntArray("p2", {1});
+  In.setBoolArray("result", {true});
+  auto LP = lowerSource(Source, In);
+  ASSERT_TRUE(LP);
+  Dataset Data({"skills[0]", "skills[1]"});
+  Data.addRow({105.0, 95.0});
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double ConsistentLL = F->logLikelihoodRow(Data.row(0));
+
+  // Same skills, but the observed result contradicts them.
+  Dataset Flipped({"skills[0]", "skills[1]"});
+  Flipped.addRow({95.0, 105.0});
+  double InconsistentLL = F->logLikelihoodRow(Flipped.row(0));
+  EXPECT_GT(ConsistentLL, InconsistentLL);
+}
+
+TEST(LikelihoodTest, CompileRejectsResidualHoleViaLowering) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)",
+                              Diags);
+  ASSERT_TRUE(P);
+  ASSERT_TRUE(typeCheck(*P, Diags));
+  auto LP = lowerProgram(*P, {}, Diags);
+  EXPECT_FALSE(LP);
+}
+
+TEST(LikelihoodTest, TapeSizeIsIndependentOfRowCount) {
+  auto LP = lowerSource(R"(
+program G() {
+  x: real;
+  x ~ Gaussian(0.0, 1.0);
+  return x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Dataset Small({"x"});
+  Small.addRow({0.0});
+  Dataset Large({"x"});
+  for (int I = 0; I < 500; ++I)
+    Large.addRow({double(I)});
+  auto FS = LikelihoodFunction::compile(*LP, Small);
+  auto FL = LikelihoodFunction::compile(*LP, Large);
+  ASSERT_TRUE(FS && FL);
+  // The "compile once, evaluate per row" property.
+  EXPECT_EQ(FS->tapeSize(), FL->tapeSize());
+}
+
+TEST(LikelihoodTest, EmpiricalLikelihoodAgreesWithSampler) {
+  // The compiled likelihood of the generating program should roughly
+  // equal the average log-density of fresh samples (cross-entropy).
+  auto LP = lowerSource(R"(
+program G() {
+  x: real;
+  x ~ Gaussian(-2.0, 1.5);
+  return x;
+}
+)",
+                        {});
+  ASSERT_TRUE(LP);
+  Rng R(11);
+  Dataset Data = generateDataset(*LP, 2000, R);
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double PerRow = F->logLikelihood(Data) / double(Data.numRows());
+  // Differential entropy of N(mu, sigma): 0.5 log(2 pi e sigma^2).
+  double Entropy = 0.5 * std::log(2 * M_PI * M_E * 1.5 * 1.5);
+  EXPECT_NEAR(PerRow, -Entropy, 0.1);
+}

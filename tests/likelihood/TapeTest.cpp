@@ -1,0 +1,100 @@
+//===- tests/likelihood/TapeTest.cpp - Tape compiler unit tests -----------===//
+
+#include "likelihood/Tape.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(TapeTest, EvaluatesSimpleExpression) {
+  NumExprBuilder B;
+  NumId Root = B.add(B.mul(B.dataRef(0), B.constant(2.0)), B.constant(1.0));
+  Tape T(B, Root);
+  EXPECT_DOUBLE_EQ(T.eval({3.0}), 7.0);
+  EXPECT_DOUBLE_EQ(T.eval({-1.0}), -1.0);
+}
+
+TEST(TapeTest, MatchesBuilderEvalOnRandomDags) {
+  Rng R(99);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    NumExprBuilder B;
+    std::vector<NumId> Pool = {B.dataRef(0), B.dataRef(1),
+                               B.constant(R.uniform(-2, 2))};
+    for (int I = 0; I < 30; ++I) {
+      NumId A = Pool[R.index(Pool.size())];
+      NumId C = Pool[R.index(Pool.size())];
+      switch (R.index(7)) {
+      case 0:
+        Pool.push_back(B.add(A, C));
+        break;
+      case 1:
+        Pool.push_back(B.sub(A, C));
+        break;
+      case 2:
+        Pool.push_back(B.mul(A, C));
+        break;
+      case 3:
+        Pool.push_back(B.max(A, C));
+        break;
+      case 4:
+        Pool.push_back(B.erf(A));
+        break;
+      case 5:
+        Pool.push_back(B.abs(A));
+        break;
+      case 6:
+        Pool.push_back(B.exp(B.min(A, B.constant(3.0))));
+        break;
+      }
+    }
+    NumId Root = Pool.back();
+    Tape T(B, Root);
+    std::vector<double> Row = {R.uniform(-3, 3), R.uniform(-3, 3)};
+    EXPECT_NEAR(T.eval(Row), B.eval(Root, Row), 1e-12);
+  }
+}
+
+TEST(TapeTest, PrunesUnreachableNodes) {
+  NumExprBuilder B;
+  // Build garbage the root never uses.
+  for (int I = 0; I < 100; ++I)
+    B.add(B.dataRef(0), B.constant(double(I) + 0.5));
+  NumId Root = B.mul(B.dataRef(1), B.constant(3.0));
+  Tape T(B, Root);
+  EXPECT_LT(T.size(), 10u);
+  EXPECT_DOUBLE_EQ(T.eval({0.0, 2.0}), 6.0);
+}
+
+TEST(TapeTest, SharedSubexpressionsEvaluatedOnce) {
+  NumExprBuilder B;
+  NumId Shared = B.mul(B.dataRef(0), B.dataRef(0));
+  NumId Root = B.add(Shared, Shared);
+  Tape T(B, Root);
+  // data^2 appears once in the tape thanks to hash consing: nodes are
+  // {data, mul, add}.
+  EXPECT_EQ(T.size(), 3u);
+  EXPECT_DOUBLE_EQ(T.eval({3.0}), 18.0);
+}
+
+TEST(TapeTest, ScratchReuseGivesSameResults) {
+  NumExprBuilder B;
+  NumId Root = B.gaussianLogPdf(B.dataRef(0), B.constant(1.0),
+                                B.constant(2.0));
+  Tape T(B, Root);
+  std::vector<double> Scratch;
+  double First = T.eval({0.5}, Scratch);
+  double Second = T.eval({0.5}, Scratch);
+  EXPECT_DOUBLE_EQ(First, Second);
+  // Different rows through the same scratch.
+  EXPECT_NE(T.eval({0.5}, Scratch), T.eval({2.5}, Scratch));
+}
+
+TEST(TapeTest, ConstantRootTape) {
+  NumExprBuilder B;
+  NumId Root = B.constant(42.0);
+  Tape T(B, Root);
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_DOUBLE_EQ(T.eval({}), 42.0);
+}

@@ -1,0 +1,134 @@
+//===- tests/parse/LexerTest.cpp - Lexer unit tests -----------------------===//
+
+#include "parse/Lexer.h"
+
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, DiagEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  DiagEngine Diags;
+  std::vector<TokenKind> Ks;
+  for (const Token &T : lex(Source, Diags))
+    Ks.push_back(T.Kind);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Ks;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInputIsEof) {
+  auto Ks = kinds("");
+  ASSERT_EQ(Ks.size(), 1u);
+  EXPECT_EQ(Ks[0], TokenKind::Eof);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Ks = kinds("program foo real if skills");
+  EXPECT_EQ(Ks[0], TokenKind::KwProgram);
+  EXPECT_EQ(Ks[1], TokenKind::Ident);
+  EXPECT_EQ(Ks[2], TokenKind::KwReal);
+  EXPECT_EQ(Ks[3], TokenKind::KwIf);
+  EXPECT_EQ(Ks[4], TokenKind::Ident);
+}
+
+TEST(LexerTest, NumbersIntVsReal) {
+  DiagEngine Diags;
+  auto Ts = lex("42 3.5 1e3 2E-2 7", Diags);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::IntLit);
+  EXPECT_DOUBLE_EQ(Ts[0].Number, 42.0);
+  EXPECT_EQ(Ts[1].Kind, TokenKind::RealLit);
+  EXPECT_DOUBLE_EQ(Ts[1].Number, 3.5);
+  EXPECT_EQ(Ts[2].Kind, TokenKind::RealLit);
+  EXPECT_DOUBLE_EQ(Ts[2].Number, 1000.0);
+  EXPECT_EQ(Ts[3].Kind, TokenKind::RealLit);
+  EXPECT_DOUBLE_EQ(Ts[3].Number, 0.02);
+  EXPECT_EQ(Ts[4].Kind, TokenKind::IntLit);
+}
+
+TEST(LexerTest, RangeAfterIntegerLexesAsDotDot) {
+  auto Ks = kinds("0..n");
+  ASSERT_GE(Ks.size(), 4u);
+  EXPECT_EQ(Ks[0], TokenKind::IntLit);
+  EXPECT_EQ(Ks[1], TokenKind::DotDot);
+  EXPECT_EQ(Ks[2], TokenKind::Ident);
+}
+
+TEST(LexerTest, RealThenRangeStillWorks) {
+  // `1.5..n` — the literal stops before the range.
+  auto Ks = kinds("1.5..n");
+  EXPECT_EQ(Ks[0], TokenKind::RealLit);
+  EXPECT_EQ(Ks[1], TokenKind::DotDot);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto Ks = kinds("( ) { } [ ] , ; : = ~ ?? % + - * && || ! > < ==");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen,  TokenKind::RParen,   TokenKind::LBrace,
+      TokenKind::RBrace,  TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Comma,   TokenKind::Semi,     TokenKind::Colon,
+      TokenKind::Assign,  TokenKind::Tilde,    TokenKind::Hole,
+      TokenKind::Percent, TokenKind::Plus,     TokenKind::Minus,
+      TokenKind::Star,    TokenKind::AndAnd,   TokenKind::OrOr,
+      TokenKind::Bang,    TokenKind::Greater,  TokenKind::Less,
+      TokenKind::EqEq,    TokenKind::Eof};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(LexerTest, AssignVsEquality) {
+  auto Ks = kinds("= == =");
+  EXPECT_EQ(Ks[0], TokenKind::Assign);
+  EXPECT_EQ(Ks[1], TokenKind::EqEq);
+  EXPECT_EQ(Ks[2], TokenKind::Assign);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Ks = kinds("x // comment with ?? and 1.5\ny");
+  ASSERT_EQ(Ks.size(), 3u);
+  EXPECT_EQ(Ks[0], TokenKind::Ident);
+  EXPECT_EQ(Ks[1], TokenKind::Ident);
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  DiagEngine Diags;
+  auto Ts = lex("a\n  b", Diags);
+  EXPECT_EQ(Ts[0].Loc.Line, 1u);
+  EXPECT_EQ(Ts[0].Loc.Col, 1u);
+  EXPECT_EQ(Ts[1].Loc.Line, 2u);
+  EXPECT_EQ(Ts[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, StrayCharactersReportErrors) {
+  DiagEngine Diags;
+  lex("a # b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, StraySingleAmpersand) {
+  DiagEngine Diags;
+  lex("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, StraySingleQuestionMark) {
+  DiagEngine Diags;
+  lex("a ? b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, IdentifiersWithUnderscoresAndDigits) {
+  DiagEngine Diags;
+  auto Ts = lex("my_var2 _x", Diags);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Ident);
+  EXPECT_EQ(Ts[0].Text, "my_var2");
+  EXPECT_EQ(Ts[1].Text, "_x");
+}

@@ -1,0 +1,214 @@
+//===- tests/parse/ParserTest.cpp - Parser unit tests ---------------------===//
+
+#include "parse/Parser.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+bool parseFails(const std::string &Source) {
+  DiagEngine Diags;
+  return parseProgramSource(Source, Diags) == nullptr && Diags.hasErrors();
+}
+
+ExprPtr exprOk(const std::string &Source) {
+  DiagEngine Diags;
+  auto E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+} // namespace
+
+TEST(ParserTest, MinimalProgram) {
+  auto P = parseOk("program Empty() { x: real; x = 1.0; return x; }");
+  EXPECT_EQ(P->getName(), "Empty");
+  EXPECT_TRUE(P->getParams().empty());
+  EXPECT_EQ(P->getDecls().size(), 1u);
+  EXPECT_EQ(P->getReturns().size(), 1u);
+}
+
+TEST(ParserTest, ParameterTypes) {
+  auto P = parseOk("program P(n: int, xs: real[], f: bool) "
+                   "{ y: real; y = 1.0; return y; }");
+  ASSERT_EQ(P->getParams().size(), 3u);
+  EXPECT_EQ(P->getParams()[0].Ty, Type::integer());
+  EXPECT_EQ(P->getParams()[1].Ty, Type::array(ScalarKind::Real));
+  EXPECT_EQ(P->getParams()[2].Ty, Type::boolean());
+}
+
+TEST(ParserTest, DeclarationsScalarAndArray) {
+  auto P = parseOk("program P(n: int) { x: real; a: bool[n + 1]; "
+                   "x = 1.0; return x; }");
+  ASSERT_EQ(P->getDecls().size(), 2u);
+  EXPECT_FALSE(P->getDecls()[0].isArray());
+  ASSERT_TRUE(P->getDecls()[1].isArray());
+  EXPECT_EQ(P->getDecls()[1].Kind, ScalarKind::Bool);
+}
+
+TEST(ParserTest, ProbabilisticAssignmentSugar) {
+  auto P =
+      parseOk("program P() { x: real; x ~ Gaussian(0.0, 1.0); return x; }");
+  const auto &A = cast<AssignStmt>(*P->getBody().getStmts()[0]);
+  EXPECT_TRUE(A.isProbabilistic());
+  EXPECT_EQ(cast<SampleExpr>(A.getValue()).getDist(), DistKind::Gaussian);
+}
+
+TEST(ParserTest, ObserveIfForStatements) {
+  auto P = parseOk(R"(
+program P(n: int) {
+  x: real;
+  b: bool;
+  x = 0.0;
+  b ~ Bernoulli(0.5);
+  observe(b);
+  if (b) { x = 1.0; } else { x = 2.0; }
+  for i in 0..n { x = x + 1.0; }
+  skip;
+  return x;
+}
+)");
+  const auto &Stmts = P->getBody().getStmts();
+  ASSERT_EQ(Stmts.size(), 6u);
+  EXPECT_TRUE(isa<ObserveStmt>(Stmts[2].get()));
+  EXPECT_TRUE(isa<IfStmt>(Stmts[3].get()));
+  EXPECT_TRUE(isa<ForStmt>(Stmts[4].get()));
+  EXPECT_TRUE(isa<SkipStmt>(Stmts[5].get()));
+}
+
+TEST(ParserTest, IfWithoutElseGetsEmptyElse) {
+  auto P = parseOk(R"(
+program P() {
+  x: real;
+  b: bool;
+  b ~ Bernoulli(0.5);
+  x = 0.0;
+  if (b) { x = 1.0; }
+  return x;
+}
+)");
+  const auto &I = cast<IfStmt>(*P->getBody().getStmts()[2]);
+  EXPECT_TRUE(I.getElse().empty());
+}
+
+TEST(ParserTest, HoleNumberingIsSyntacticOrder) {
+  auto P = parseOk(R"(
+program S() {
+  x: real;
+  y: real;
+  x = ??;
+  y = ??(x) + ??;
+  return y;
+}
+)");
+  auto Holes = collectHoles(*P);
+  ASSERT_EQ(Holes.size(), 3u);
+  EXPECT_EQ(Holes[0]->getHoleId(), 0u);
+  EXPECT_EQ(Holes[1]->getHoleId(), 1u);
+  EXPECT_EQ(Holes[2]->getHoleId(), 2u);
+  EXPECT_EQ(Holes[1]->getNumArgs(), 1u);
+}
+
+TEST(ParserTest, PrecedenceShapes) {
+  ExprPtr E = exprOk("a + b > c && d || e");
+  // || at the root.
+  auto &Or = cast<BinaryExpr>(*E);
+  EXPECT_EQ(Or.getOp(), BinaryOp::Or);
+  auto &And = cast<BinaryExpr>(Or.getLHS());
+  EXPECT_EQ(And.getOp(), BinaryOp::And);
+  auto &Gt = cast<BinaryExpr>(And.getLHS());
+  EXPECT_EQ(Gt.getOp(), BinaryOp::Gt);
+  auto &Add = cast<BinaryExpr>(Gt.getLHS());
+  EXPECT_EQ(Add.getOp(), BinaryOp::Add);
+}
+
+TEST(ParserTest, LeftAssociativity) {
+  ExprPtr E = exprOk("a - b - c");
+  auto &Outer = cast<BinaryExpr>(*E);
+  EXPECT_EQ(toString(Outer.getLHS()), "a - b");
+  EXPECT_EQ(toString(Outer.getRHS()), "c");
+}
+
+TEST(ParserTest, UnaryMinusFoldsLiterals) {
+  ExprPtr E = exprOk("-3.5");
+  ASSERT_TRUE(isa<ConstExpr>(E.get()));
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(*E).getValue(), -3.5);
+  // Negation of a non-literal stays a unary node.
+  ExprPtr V = exprOk("-x");
+  EXPECT_TRUE(isa<UnaryExpr>(V.get()));
+}
+
+TEST(ParserTest, NestedIndexing) {
+  ExprPtr E = exprOk("skills[p1[g]]");
+  auto &Outer = cast<IndexExpr>(*E);
+  EXPECT_EQ(Outer.getArrayName(), "skills");
+  EXPECT_TRUE(isa<IndexExpr>(&Outer.getIndex()));
+}
+
+TEST(ParserTest, ErrorUnknownDistribution) {
+  EXPECT_TRUE(parseFails(
+      "program P() { x: real; x ~ Cauchy(0.0, 1.0); return x; }"));
+  DiagEngine Diags;
+  EXPECT_EQ(parseExprSource("Uniform(0.0, 1.0)", Diags), nullptr);
+}
+
+TEST(ParserTest, ErrorDistributionArity) {
+  EXPECT_TRUE(parseFails(
+      "program P() { x: real; x ~ Gaussian(1.0); return x; }"));
+  EXPECT_TRUE(parseFails(
+      "program P() { x: real; x ~ Bernoulli(0.1, 0.2); return x; }"));
+}
+
+TEST(ParserTest, ErrorMissingSemicolon) {
+  EXPECT_TRUE(parseFails("program P() { x: real; x = 1.0 return x; }"));
+}
+
+TEST(ParserTest, ErrorMissingReturn) {
+  EXPECT_TRUE(parseFails("program P() { x: real; x = 1.0; }"));
+}
+
+TEST(ParserTest, ErrorTrailingTokens) {
+  EXPECT_TRUE(parseFails(
+      "program P() { x: real; x = 1.0; return x; } extra"));
+  DiagEngine Diags;
+  EXPECT_EQ(parseExprSource("1 + 2 extra", Diags), nullptr);
+}
+
+TEST(ParserTest, ErrorIteArity) {
+  DiagEngine Diags;
+  EXPECT_EQ(parseExprSource("ite(a, b)", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, ErrorBadHoleFormal) {
+  DiagEngine Diags;
+  EXPECT_EQ(parseExprSource("% x", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, MultipleReturns) {
+  auto P = parseOk(
+      "program P() { x: real; y: real; x = 1.0; y = 2.0; return x, y; }");
+  ASSERT_EQ(P->getReturns().size(), 2u);
+  EXPECT_EQ(P->getReturns()[0], "x");
+  EXPECT_EQ(P->getReturns()[1], "y");
+}
+
+TEST(ParserTest, DeclAfterStatementAllowed) {
+  auto P = parseOk(
+      "program P() { x: real; x = 1.0; y: real; y = x; return y; }");
+  EXPECT_EQ(P->getDecls().size(), 2u);
+}

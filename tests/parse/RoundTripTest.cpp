@@ -1,0 +1,93 @@
+//===- tests/parse/RoundTripTest.cpp - Print/parse round-trip property ----===//
+//
+// The printer's output must re-parse to a structurally equal AST.  The
+// corpus covers hand-picked expressions and every benchmark target and
+// sketch in the suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "parse/Parser.h"
+#include "suite/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+void expectExprRoundTrip(const std::string &Source) {
+  DiagEngine D1;
+  ExprPtr First = parseExprSource(Source, D1);
+  ASSERT_TRUE(First) << Source << "\n" << D1.str();
+  std::string Printed = toString(*First);
+  DiagEngine D2;
+  ExprPtr Second = parseExprSource(Printed, D2);
+  ASSERT_TRUE(Second) << Printed << "\n" << D2.str();
+  EXPECT_TRUE(structurallyEqual(*First, *Second))
+      << Source << " -> " << Printed << " -> " << toString(*Second);
+}
+
+void expectProgramRoundTrip(const std::string &Source) {
+  DiagEngine D1;
+  auto First = parseProgramSource(Source, D1);
+  ASSERT_TRUE(First) << D1.str();
+  std::string Printed = toString(*First);
+  DiagEngine D2;
+  auto Second = parseProgramSource(Printed, D2);
+  ASSERT_TRUE(Second) << Printed << "\n" << D2.str();
+  EXPECT_TRUE(structurallyEqual(First->getBody(), Second->getBody()))
+      << Printed;
+  EXPECT_EQ(First->getReturns(), Second->getReturns());
+  EXPECT_EQ(First->getDecls().size(), Second->getDecls().size());
+  // Idempotence: printing the reparse gives the identical text.
+  EXPECT_EQ(Printed, toString(*Second));
+}
+
+class ExprRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ExprRoundTrip, PrintParsePreservesStructure) {
+  expectExprRoundTrip(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ExprRoundTrip,
+    ::testing::Values(
+        "1.5", "42", "true", "-0.25", "x", "a[i]",
+        "a + b * c", "(a + b) * c", "a - b - c", "a - (b - c)",
+        "a && b || !c", "!(a || b)",
+        "a > b && c < d", "x == y", "flag == (a > b)",
+        "ite(z, 1.0, 2.0)", "ite(a > b, x + y, x - y)",
+        "Gaussian(100.0, 10.0)", "Bernoulli(0.5)", "Beta(1.0, 1.0)",
+        "Gamma(2.0, 3.0)", "Poisson(4.0)",
+        "Gaussian(skills[p1[g]], 15.0) > Gaussian(skills[p2[g]], 15.0)",
+        "?\?", "?\?(a, b)", "%0 + %1 * %2",
+        "ite(Bernoulli(0.3), Gaussian(0.0, 1.0), Gaussian(10.0, 2.0))",
+        "1.0e-3 + 2.5", "a * (-1.5)"));
+
+class BenchmarkRoundTrip
+    : public ::testing::TestWithParam<const Benchmark *> {};
+
+TEST_P(BenchmarkRoundTrip, TargetRoundTrips) {
+  expectProgramRoundTrip(GetParam()->TargetSource);
+}
+
+TEST_P(BenchmarkRoundTrip, SketchRoundTrips) {
+  expectProgramRoundTrip(GetParam()->SketchSource);
+}
+
+std::vector<const Benchmark *> benchmarkPointers() {
+  std::vector<const Benchmark *> Out;
+  for (const Benchmark &B : allBenchmarks())
+    Out.push_back(&B);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, BenchmarkRoundTrip, ::testing::ValuesIn(benchmarkPointers()),
+    [](const ::testing::TestParamInfo<const Benchmark *> &Info) {
+      return Info.param->Name;
+    });
+
+} // namespace

@@ -1,0 +1,57 @@
+//===- tests/sem/BindingsTest.cpp - InputBindings unit tests --------------===//
+
+#include "sem/Bindings.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(BindingsTest, ScalarBindings) {
+  InputBindings In;
+  In.setScalar("x", 2.5);
+  In.setInt("n", 7);
+  In.setScalar("flag", 1.0, ScalarKind::Bool);
+  ASSERT_TRUE(In.has("x"));
+  EXPECT_EQ(In.find("x")->Ty, Type::real());
+  EXPECT_DOUBLE_EQ(In.find("x")->scalar(), 2.5);
+  EXPECT_EQ(In.find("n")->Ty, Type::integer());
+  EXPECT_DOUBLE_EQ(In.find("n")->scalar(), 7.0);
+  EXPECT_EQ(In.find("flag")->Ty, Type::boolean());
+}
+
+TEST(BindingsTest, ArrayBindings) {
+  InputBindings In;
+  In.setArray("day", {8.0, 15.0, 22.0});
+  In.setIntArray("p1", {0, 1, 0});
+  In.setBoolArray("result", {true, false, true});
+  ASSERT_TRUE(In.find("day")->isArray());
+  EXPECT_EQ(In.find("day")->Values.size(), 3u);
+  EXPECT_EQ(In.find("p1")->Ty, Type::array(ScalarKind::Int));
+  EXPECT_DOUBLE_EQ(In.find("p1")->Values[1], 1.0);
+  EXPECT_EQ(In.find("result")->Ty, Type::array(ScalarKind::Bool));
+  EXPECT_DOUBLE_EQ(In.find("result")->Values[1], 0.0);
+}
+
+TEST(BindingsTest, MissingNamesReturnNull) {
+  InputBindings In;
+  EXPECT_FALSE(In.has("nope"));
+  EXPECT_EQ(In.find("nope"), nullptr);
+}
+
+TEST(BindingsTest, RebindingReplaces) {
+  InputBindings In;
+  In.setInt("n", 3);
+  In.setInt("n", 9);
+  EXPECT_DOUBLE_EQ(In.find("n")->scalar(), 9.0);
+  In.setArray("n", {1.0, 2.0});
+  EXPECT_TRUE(In.find("n")->isArray());
+}
+
+TEST(BindingsTest, CopySemantics) {
+  InputBindings In;
+  In.setInt("n", 3);
+  InputBindings Copy = In;
+  In.setInt("n", 5);
+  EXPECT_DOUBLE_EQ(Copy.find("n")->scalar(), 3.0);
+  EXPECT_EQ(Copy.all().size(), 1u);
+}

@@ -1,0 +1,290 @@
+//===- tests/sem/LowerTest.cpp - Lowering unit tests ----------------------===//
+
+#include "sem/Lower.h"
+
+#include "ast/ASTPrinter.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<LoweredProgram> lower(const std::string &Source,
+                                      const InputBindings &Inputs,
+                                      std::string *Errors = nullptr) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (!P)
+    return nullptr;
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  auto LP = lowerProgram(*P, Inputs, Diags);
+  if (Errors)
+    *Errors = Diags.str();
+  return LP;
+}
+
+size_t countAssigns(const std::vector<StmtPtr> &Stmts) {
+  size_t N = 0;
+  for (const StmtPtr &S : Stmts) {
+    if (isa<AssignStmt>(S.get()))
+      ++N;
+    else if (const auto *I = dyn_cast<IfStmt>(S.get()))
+      N += countAssigns(I->getThen().getStmts()) +
+           countAssigns(I->getElse().getStmts());
+  }
+  return N;
+}
+
+} // namespace
+
+TEST(LowerTest, UnrollsLoopFully) {
+  InputBindings In;
+  In.setInt("n", 4);
+  auto LP = lower(R"(
+program P(n: int) {
+  a: real[n];
+  for i in 0..n { a[i] ~ Gaussian(0.0, 1.0); }
+  return a;
+}
+)",
+                  In);
+  ASSERT_TRUE(LP);
+  EXPECT_EQ(LP->Stmts.size(), 4u);
+  EXPECT_EQ(LP->Slots.size(), 4u);
+  EXPECT_EQ(LP->Slots[2], "a[2]");
+  EXPECT_EQ(LP->ReturnSlots.size(), 4u);
+}
+
+TEST(LowerTest, SlotIdsAreDense) {
+  InputBindings In;
+  In.setInt("n", 2);
+  auto LP = lower(R"(
+program P(n: int) {
+  x: real;
+  a: bool[n];
+  x = 1.0;
+  for i in 0..n { a[i] = x > 0.0; }
+  return x, a;
+}
+)",
+                  In);
+  ASSERT_TRUE(LP);
+  EXPECT_EQ(LP->slotId("x"), 0u);
+  EXPECT_EQ(LP->slotId("a[0]"), 1u);
+  EXPECT_EQ(LP->slotId("a[1]"), 2u);
+  EXPECT_EQ(LP->slotId("nope"), ~0u);
+  EXPECT_EQ(LP->SlotKinds[1], ScalarKind::Bool);
+}
+
+TEST(LowerTest, FoldsInputScalarsAndArrays) {
+  InputBindings In;
+  In.setInt("n", 1);
+  In.setArray("data", {7.5});
+  auto LP = lower(R"(
+program P(n: int, data: real[]) {
+  x: real;
+  x = data[0] + 1.0;
+  return x;
+}
+)",
+                  In);
+  ASSERT_TRUE(LP);
+  const auto &A = cast<AssignStmt>(*LP->Stmts[0]);
+  const auto &Add = cast<BinaryExpr>(A.getValue());
+  EXPECT_DOUBLE_EQ(cast<ConstExpr>(Add.getLHS()).getValue(), 7.5);
+}
+
+TEST(LowerTest, FoldsIndirectIndexing) {
+  InputBindings In;
+  In.setInt("n", 1);
+  In.setIntArray("idx", {2});
+  auto LP = lower(R"(
+program P(n: int, idx: int[]) {
+  a: real[3];
+  for i in 0..3 { a[i] = 0.0; }
+  a[idx[0]] = 1.0;
+  return a;
+}
+)",
+                  In);
+  ASSERT_TRUE(LP);
+  const auto &Last = cast<AssignStmt>(*LP->Stmts.back());
+  EXPECT_EQ(Last.getTarget().Name, "a[2]");
+}
+
+TEST(LowerTest, LoopBoundsFromInputExpressions) {
+  InputBindings In;
+  In.setInt("rows", 2);
+  In.setInt("cols", 3);
+  auto LP = lower(R"(
+program P(rows: int, cols: int) {
+  m: real[rows * cols];
+  for r in 0..rows {
+    for c in 0..cols {
+      m[r * cols + c] = 1.0;
+    }
+  }
+  return m;
+}
+)",
+                  In);
+  ASSERT_TRUE(LP);
+  EXPECT_EQ(LP->Stmts.size(), 6u);
+  EXPECT_EQ(LP->Slots.size(), 6u);
+  const auto &Last = cast<AssignStmt>(*LP->Stmts.back());
+  EXPECT_EQ(Last.getTarget().Name, "m[5]");
+}
+
+TEST(LowerTest, EmptyLoopLowersToNothing) {
+  InputBindings In;
+  In.setInt("n", 0);
+  auto LP = lower(R"(
+program P(n: int) {
+  x: real;
+  x = 1.0;
+  for i in 0..n { x = 2.0; }
+  return x;
+}
+)",
+                  In);
+  ASSERT_TRUE(LP);
+  EXPECT_EQ(LP->Stmts.size(), 1u);
+}
+
+TEST(LowerTest, BranchNormalizationAddsIdentityAssigns) {
+  InputBindings In;
+  auto LP = lower(R"(
+program P() {
+  x: real;
+  y: real;
+  b: bool;
+  b ~ Bernoulli(0.5);
+  x = 0.0;
+  y = 0.0;
+  if (b) { x = 1.0; } else { y = 2.0; }
+  return x, y;
+}
+)",
+                  In);
+  ASSERT_TRUE(LP);
+  const auto &I = cast<IfStmt>(*LP->Stmts.back());
+  // Both branches must update {x, y} after normalization.
+  EXPECT_EQ(countAssigns(I.getThen().getStmts()), 2u);
+  EXPECT_EQ(countAssigns(I.getElse().getStmts()), 2u);
+  // The identity assignment is literally `y = y`.
+  bool FoundIdentity = false;
+  for (const StmtPtr &S : I.getThen().getStmts()) {
+    const auto &A = cast<AssignStmt>(*S);
+    if (A.getTarget().Name == "y")
+      if (const auto *V = dyn_cast<VarExpr>(&A.getValue()))
+        FoundIdentity = V->getName() == "y";
+  }
+  EXPECT_TRUE(FoundIdentity);
+}
+
+TEST(LowerTest, ErrorNonConstantLoopBound) {
+  InputBindings In;
+  std::string Errors;
+  auto LP = lower(R"(
+program P() {
+  x: real;
+  k: int;
+  k = 3;
+  x = 0.0;
+  for i in 0..k { x = x + 1.0; }
+  return x;
+}
+)",
+                  In, &Errors);
+  EXPECT_FALSE(LP);
+  EXPECT_NE(Errors.find("loop bounds"), std::string::npos);
+}
+
+TEST(LowerTest, ErrorOutOfBoundsConstantIndex) {
+  InputBindings In;
+  In.setInt("n", 2);
+  std::string Errors;
+  auto LP = lower(R"(
+program P(n: int) {
+  a: real[n];
+  a[5] = 1.0;
+  return a;
+}
+)",
+                  In, &Errors);
+  EXPECT_FALSE(LP);
+  EXPECT_NE(Errors.find("out of bounds"), std::string::npos);
+}
+
+TEST(LowerTest, ErrorUnboundInput) {
+  InputBindings In; // n missing
+  std::string Errors;
+  auto LP = lower(R"(
+program P(n: int) {
+  a: real[n];
+  a[0] = 1.0;
+  return a;
+}
+)",
+                  In, &Errors);
+  EXPECT_FALSE(LP);
+}
+
+TEST(LowerTest, ErrorResidualHole) {
+  InputBindings In;
+  std::string Errors;
+  auto LP = lower(R"(
+program P() {
+  x: real;
+  x = ??;
+  return x;
+}
+)",
+                  In, &Errors);
+  EXPECT_FALSE(LP);
+  EXPECT_NE(Errors.find("holes"), std::string::npos);
+}
+
+TEST(LowerTest, ErrorAssignToInput) {
+  InputBindings In;
+  In.setInt("n", 1);
+  std::string Errors;
+  // `n` is a parameter; the type checker does not declare it writable,
+  // so parse-level assignment to it is caught at lowering.
+  DiagEngine Diags;
+  auto P = parseProgramSource(R"(
+program P(n: int) {
+  x: real;
+  x = 1.0;
+  return x;
+}
+)",
+                              Diags);
+  ASSERT_TRUE(P);
+  // Inject an assignment to the input after parsing.
+  P->getBody().append(std::make_unique<AssignStmt>(
+      LValue("n"), ConstExpr::integer(3)));
+  auto LP = lowerProgram(*P, In, Diags);
+  EXPECT_FALSE(LP);
+}
+
+TEST(LowerTest, NegativeLoopRangeIsEmpty) {
+  InputBindings In;
+  In.setInt("n", 3);
+  auto LP = lower(R"(
+program P(n: int) {
+  x: real;
+  x = 0.0;
+  for i in n..0 { x = 1.0; }
+  return x;
+}
+)",
+                  In);
+  ASSERT_TRUE(LP);
+  EXPECT_EQ(LP->Stmts.size(), 1u);
+}

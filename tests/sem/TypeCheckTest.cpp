@@ -1,0 +1,287 @@
+//===- tests/sem/TypeCheckTest.cpp - Type checker unit tests --------------===//
+
+#include "sem/TypeCheck.h"
+
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::optional<std::vector<HoleSignature>>
+check(const std::string &Source, std::string *Errors = nullptr) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (!P)
+    return std::nullopt;
+  auto Result = typeCheck(*P, Diags);
+  if (Errors)
+    *Errors = Diags.str();
+  return Result;
+}
+
+bool checks(const std::string &Source) { return check(Source).has_value(); }
+
+ExprPtr completion(const std::string &Source) {
+  DiagEngine Diags;
+  auto E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+} // namespace
+
+TEST(TypeCheckTest, AcceptsWellTypedProgram) {
+  EXPECT_TRUE(checks(R"(
+program P(n: int, data: real[]) {
+  x: real;
+  flags: bool[n];
+  x ~ Gaussian(data[0], 1.0);
+  for i in 0..n {
+    flags[i] = x > data[i];
+  }
+  observe(flags[0]);
+  return x, flags;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsUndeclaredVariable) {
+  EXPECT_FALSE(checks("program P() { x: real; x = y; return x; }"));
+}
+
+TEST(TypeCheckTest, RejectsArrayWithoutIndex) {
+  EXPECT_FALSE(checks(
+      "program P(a: real[]) { x: real; x = a; return x; }"));
+}
+
+TEST(TypeCheckTest, RejectsIndexingScalar) {
+  EXPECT_FALSE(checks(
+      "program P() { x: real; y: real; y = x[0]; x = 0.0; return x; }"));
+}
+
+TEST(TypeCheckTest, RejectsNonIntegerIndex) {
+  EXPECT_FALSE(checks(
+      "program P(a: real[]) { x: real; x = a[1.5]; return x; }"));
+}
+
+TEST(TypeCheckTest, RejectsBoolRealMixInArithmetic) {
+  EXPECT_FALSE(checks(R"(
+program P() {
+  x: real;
+  b: bool;
+  b ~ Bernoulli(0.5);
+  x = b + 1.0;
+  return x;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsNumericOperandsOfLogicalOps) {
+  EXPECT_FALSE(checks(R"(
+program P() {
+  b: bool;
+  b = 1.0 && 2.0;
+  return b;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsBoolComparison) {
+  EXPECT_FALSE(checks(R"(
+program P() {
+  a: bool;
+  b: bool;
+  c: bool;
+  a ~ Bernoulli(0.5);
+  b ~ Bernoulli(0.5);
+  c = a > b;
+  return c;
+}
+)"));
+}
+
+TEST(TypeCheckTest, EqualityOnBoolsAndNumericsOnly) {
+  EXPECT_TRUE(checks(R"(
+program P() {
+  a: bool;
+  b: bool;
+  c: bool;
+  a ~ Bernoulli(0.5);
+  b ~ Bernoulli(0.5);
+  c = a == b;
+  return c;
+}
+)"));
+  EXPECT_FALSE(checks(R"(
+program P() {
+  a: bool;
+  x: real;
+  c: bool;
+  a ~ Bernoulli(0.5);
+  x = 1.0;
+  c = a == x;
+  return c;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsNonBooleanObserve) {
+  EXPECT_FALSE(checks(
+      "program P() { x: real; x = 1.0; observe(x); return x; }"));
+}
+
+TEST(TypeCheckTest, RejectsNonBooleanIfCondition) {
+  EXPECT_FALSE(checks(R"(
+program P() {
+  x: real;
+  x = 0.0;
+  if (x) { x = 1.0; }
+  return x;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsRealLoopBounds) {
+  EXPECT_FALSE(checks(R"(
+program P() {
+  x: real;
+  x = 0.0;
+  for i in 0..2.5 { x = x + 1.0; }
+  return x;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsLoopVarShadowingDeclaration) {
+  EXPECT_FALSE(checks(R"(
+program P(n: int) {
+  i: real;
+  i = 0.0;
+  for i in 0..n { skip; }
+  return i;
+}
+)"));
+}
+
+TEST(TypeCheckTest, AllowsLoopVarReuseInSiblingLoops) {
+  EXPECT_TRUE(checks(R"(
+program P(n: int) {
+  x: real;
+  x = 0.0;
+  for g in 0..n { x = x + 1.0; }
+  for g in 0..n { x = x + 1.0; }
+  return x;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsDuplicateDeclaration) {
+  EXPECT_FALSE(checks(
+      "program P() { x: real; x: real; x = 1.0; return x; }"));
+}
+
+TEST(TypeCheckTest, RejectsUnknownReturn) {
+  EXPECT_FALSE(checks("program P() { x: real; x = 1.0; return z; }"));
+}
+
+TEST(TypeCheckTest, RejectsAssignToWholeArray) {
+  EXPECT_FALSE(checks(
+      "program P(n: int) { a: real[n]; a = 1.0; return a; }"));
+}
+
+TEST(TypeCheckTest, RejectsBooleanDistributionParameter) {
+  EXPECT_FALSE(checks(R"(
+program P() {
+  b: bool;
+  x: real;
+  b ~ Bernoulli(0.5);
+  x ~ Gaussian(b, 1.0);
+  return x;
+}
+)"));
+}
+
+TEST(TypeCheckTest, HoleSignaturesRecordKinds) {
+  auto Sigs = check(R"(
+program S(n: int) {
+  x: real;
+  flag: bool;
+  x = ??;
+  flag = ??(x, n);
+  return x, flag;
+}
+)");
+  ASSERT_TRUE(Sigs);
+  ASSERT_EQ(Sigs->size(), 2u);
+  EXPECT_EQ((*Sigs)[0].ResultKind, ScalarKind::Real);
+  EXPECT_TRUE((*Sigs)[0].ArgKinds.empty());
+  EXPECT_EQ((*Sigs)[1].ResultKind, ScalarKind::Bool);
+  ASSERT_EQ((*Sigs)[1].ArgKinds.size(), 2u);
+  EXPECT_EQ((*Sigs)[1].ArgKinds[0], ScalarKind::Real);
+  EXPECT_EQ((*Sigs)[1].ArgKinds[1], ScalarKind::Int);
+}
+
+TEST(TypeCheckTest, HoleExpectedKindFromAssignmentTarget) {
+  auto Sigs = check(R"(
+program S() {
+  b: bool;
+  b = ??;
+  return b;
+}
+)");
+  ASSERT_TRUE(Sigs);
+  EXPECT_EQ((*Sigs)[0].ResultKind, ScalarKind::Bool);
+}
+
+TEST(CompletionCheckTest, AcceptsWellTypedRealCompletion) {
+  HoleSignature Sig{0, ScalarKind::Real, {ScalarKind::Real}};
+  EXPECT_TRUE(checkCompletion(*completion("Gaussian(%0, 15.0)"), Sig));
+  EXPECT_TRUE(checkCompletion(*completion("%0 + 1.0"), Sig));
+  EXPECT_TRUE(checkCompletion(
+      *completion("ite(%0 > 0.0, Gaussian(1.0, 1.0), 2.0)"), Sig));
+}
+
+TEST(CompletionCheckTest, AcceptsWellTypedBoolCompletion) {
+  HoleSignature Sig{0, ScalarKind::Bool,
+                    {ScalarKind::Real, ScalarKind::Real}};
+  EXPECT_TRUE(checkCompletion(
+      *completion("Gaussian(%0, 15.0) > Gaussian(%1, 15.0)"), Sig));
+  EXPECT_TRUE(checkCompletion(*completion("Bernoulli(0.5)"), Sig));
+}
+
+TEST(CompletionCheckTest, RejectsKindMismatch) {
+  HoleSignature RealSig{0, ScalarKind::Real, {}};
+  EXPECT_FALSE(checkCompletion(*completion("true"), RealSig));
+  HoleSignature BoolSig{0, ScalarKind::Bool, {}};
+  EXPECT_FALSE(checkCompletion(*completion("1.0 + 2.0"), BoolSig));
+}
+
+TEST(CompletionCheckTest, RejectsOutOfRangeFormal) {
+  HoleSignature Sig{0, ScalarKind::Real, {ScalarKind::Real}};
+  EXPECT_FALSE(checkCompletion(*completion("%1"), Sig));
+}
+
+TEST(CompletionCheckTest, RejectsProgramVariables) {
+  HoleSignature Sig{0, ScalarKind::Real, {}};
+  EXPECT_FALSE(checkCompletion(*completion("someVar + 1.0"), Sig));
+}
+
+TEST(CompletionCheckTest, EnforcesDistributionParameterRestriction) {
+  HoleSignature Sig{0, ScalarKind::Real, {ScalarKind::Real}};
+  // Section 4.1: distribution parameters must be variables/constants.
+  EXPECT_FALSE(checkCompletion(*completion("Gaussian(%0 + 1.0, 2.0)"), Sig));
+  EXPECT_TRUE(checkCompletion(*completion("Gaussian(%0, 2.0)"), Sig));
+}
+
+TEST(CompletionCheckTest, BoolFormalUsableAsCondition) {
+  HoleSignature Sig{0, ScalarKind::Real, {ScalarKind::Bool}};
+  EXPECT_TRUE(checkCompletion(
+      *completion("ite(%0, Gaussian(0.0, 1.0), Gaussian(10.0, 2.0))"),
+      Sig));
+  // ... but not as a numeric operand.
+  EXPECT_FALSE(checkCompletion(*completion("%0 + 1.0"), Sig));
+}

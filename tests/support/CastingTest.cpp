@@ -1,0 +1,68 @@
+//===- tests/support/CastingTest.cpp - isa/cast/dyn_cast unit tests -------===//
+
+#include "support/Casting.h"
+
+#include "ast/Expr.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+ExprPtr makeAdd() {
+  return std::make_unique<BinaryExpr>(BinaryOp::Add, ConstExpr::real(1.0),
+                                      ConstExpr::real(2.0));
+}
+
+} // namespace
+
+TEST(CastingTest, IsaPositiveAndNegative) {
+  ExprPtr E = makeAdd();
+  EXPECT_TRUE(isa<BinaryExpr>(E.get()));
+  EXPECT_FALSE(isa<ConstExpr>(E.get()));
+  EXPECT_TRUE(isa<BinaryExpr>(*E));
+}
+
+TEST(CastingTest, CastReturnsTypedPointer) {
+  ExprPtr E = makeAdd();
+  BinaryExpr *B = cast<BinaryExpr>(E.get());
+  EXPECT_EQ(B->getOp(), BinaryOp::Add);
+  const Expr *CE = E.get();
+  const BinaryExpr *CB = cast<BinaryExpr>(CE);
+  EXPECT_EQ(CB, B);
+}
+
+TEST(CastingTest, CastReference) {
+  ExprPtr E = makeAdd();
+  BinaryExpr &B = cast<BinaryExpr>(*E);
+  EXPECT_EQ(B.getOp(), BinaryOp::Add);
+}
+
+TEST(CastingTest, DynCastNullOnMismatch) {
+  ExprPtr E = makeAdd();
+  EXPECT_EQ(dyn_cast<ConstExpr>(E.get()), nullptr);
+  EXPECT_NE(dyn_cast<BinaryExpr>(E.get()), nullptr);
+}
+
+TEST(CastingTest, DynCastOrNullHandlesNull) {
+  Expr *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<ConstExpr>(Null), nullptr);
+  ExprPtr E = makeAdd();
+  EXPECT_NE(dyn_cast_or_null<BinaryExpr>(E.get()), nullptr);
+}
+
+TEST(CastingTest, WorksAcrossAllExprKinds) {
+  ExprPtr V = std::make_unique<VarExpr>("x");
+  ExprPtr H = std::make_unique<HoleExpr>(0, std::vector<ExprPtr>());
+  ExprPtr S = std::make_unique<SampleExpr>(
+      DistKind::Bernoulli, [] {
+        std::vector<ExprPtr> Args;
+        Args.push_back(ConstExpr::real(0.5));
+        return Args;
+      }());
+  EXPECT_TRUE(isa<VarExpr>(V.get()));
+  EXPECT_TRUE(isa<HoleExpr>(H.get()));
+  EXPECT_TRUE(isa<SampleExpr>(S.get()));
+  EXPECT_FALSE(isa<VarExpr>(H.get()));
+}

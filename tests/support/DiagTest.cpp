@@ -1,0 +1,55 @@
+//===- tests/support/DiagTest.cpp - Diagnostics unit tests -----------------===//
+
+#include "support/Diag.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(DiagTest, SourceLocValidity) {
+  SourceLoc Unknown;
+  EXPECT_FALSE(Unknown.isValid());
+  EXPECT_EQ(Unknown.str(), "<unknown>");
+  SourceLoc Loc{3, 7};
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "3:7");
+}
+
+TEST(DiagTest, ErrorCountsAndFlags) {
+  DiagEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning({1, 1}, "just a warning");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({2, 1}, "an error");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  D.error({3, 1}, "another");
+  EXPECT_EQ(D.errorCount(), 2u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(DiagTest, RenderedFormat) {
+  DiagEngine D;
+  D.error({4, 2}, "expected ';'");
+  EXPECT_EQ(D.diagnostics()[0].str(), "4:2: error: expected ';'");
+  D.note({4, 3}, "see here");
+  EXPECT_EQ(D.diagnostics()[1].str(), "4:3: note: see here");
+  D.warning({1, 1}, "odd");
+  EXPECT_EQ(D.diagnostics()[2].str(), "1:1: warning: odd");
+}
+
+TEST(DiagTest, StrJoinsAllDiagnostics) {
+  DiagEngine D;
+  D.error({1, 1}, "one");
+  D.error({2, 2}, "two");
+  EXPECT_EQ(D.str(), "1:1: error: one\n2:2: error: two\n");
+}
+
+TEST(DiagTest, ClearResets) {
+  DiagEngine D;
+  D.error({1, 1}, "boom");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+  EXPECT_EQ(D.str(), "");
+}

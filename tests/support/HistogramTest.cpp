@@ -1,0 +1,89 @@
+//===- tests/support/HistogramTest.cpp - Histogram unit tests -------------===//
+
+#include "support/Histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+TEST(HistogramTest, BinsAndRange) {
+  Histogram H(0.0, 10.0, 5);
+  EXPECT_EQ(H.bins(), 5u);
+  EXPECT_EQ(H.lo(), 0.0);
+  EXPECT_EQ(H.hi(), 10.0);
+  EXPECT_EQ(H.total(), 0u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram H(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(H.binCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(H.binCenter(4), 9.0);
+}
+
+TEST(HistogramTest, AddPlacesInCorrectBin) {
+  Histogram H(0.0, 10.0, 5);
+  H.add(2.5);
+  EXPECT_DOUBLE_EQ(H.mass(1), 1.0);
+  EXPECT_DOUBLE_EQ(H.mass(0), 0.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToBoundaryBins) {
+  Histogram H(0.0, 10.0, 5);
+  H.add(-100.0);
+  H.add(100.0);
+  EXPECT_DOUBLE_EQ(H.mass(0), 0.5);
+  EXPECT_DOUBLE_EQ(H.mass(4), 0.5);
+  EXPECT_EQ(H.total(), 2u);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  Histogram H(-5.0, 5.0, 20);
+  for (int I = 0; I < 1000; ++I)
+    H.add(-4.9 + 9.8 * (I / 1000.0));
+  double Width = 10.0 / 20.0;
+  double Mass = 0;
+  for (size_t I = 0; I < H.bins(); ++I)
+    Mass += H.density(I) * Width;
+  EXPECT_NEAR(Mass, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, MeanAndStddev) {
+  Histogram H(0.0, 10.0, 10);
+  H.addAll({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(H.mean(), 5.0);
+  EXPECT_NEAR(H.stddev(), std::sqrt(5.0), 1e-12);
+}
+
+TEST(HistogramTest, L1DistanceIdenticalIsZero) {
+  Histogram A(0.0, 1.0, 4), B(0.0, 1.0, 4);
+  A.addAll({0.1, 0.6});
+  B.addAll({0.1, 0.6});
+  EXPECT_DOUBLE_EQ(Histogram::l1Distance(A, B), 0.0);
+}
+
+TEST(HistogramTest, L1DistanceDisjointIsTwo) {
+  Histogram A(0.0, 1.0, 4), B(0.0, 1.0, 4);
+  A.add(0.1);
+  B.add(0.9);
+  EXPECT_DOUBLE_EQ(Histogram::l1Distance(A, B), 2.0);
+}
+
+TEST(HistogramTest, SeriesHasOneLinePerBin) {
+  Histogram H(0.0, 1.0, 3);
+  H.add(0.5);
+  std::string S = H.series("label");
+  size_t Lines = 0;
+  for (char C : S)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 3u);
+  EXPECT_EQ(S.rfind("label ", 0), 0u);
+}
+
+TEST(HistogramTest, EmptyHistogramHasZeroDensity) {
+  Histogram H(0.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(H.density(0), 0.0);
+  EXPECT_DOUBLE_EQ(H.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(H.stddev(), 0.0);
+}

@@ -1,0 +1,179 @@
+//===- tests/support/RngTest.cpp - Rng unit tests --------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace psketch;
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_DOUBLE_EQ(A.uniform(), B.uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Different = 0;
+  for (int I = 0; I < 32; ++I)
+    Different += A.uniform() != B.uniform();
+  EXPECT_GT(Different, 0);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng A(7);
+  double First = A.uniform();
+  A.uniform();
+  A.seed(7);
+  EXPECT_DOUBLE_EQ(A.uniform(), First);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng R(3);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng R(4);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform(-3.0, 5.0);
+    EXPECT_GE(U, -3.0);
+    EXPECT_LT(U, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng R(5);
+  std::set<int> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    int V = R.uniformInt(2, 5);
+    EXPECT_GE(V, 2);
+    EXPECT_LE(V, 5);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(RngTest, IndexStaysInRange) {
+  Rng R(6);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.index(7), 7u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(8);
+  double Sum = 0, SumSq = 0;
+  const int N = 200000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.gaussian(10.0, 3.0);
+    Sum += X;
+    SumSq += X * X;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(Var), 3.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng R(9);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.bernoulli(0.3);
+  EXPECT_NEAR(double(Hits) / N, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliClampsProbability) {
+  Rng R(10);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.bernoulli(-0.5));
+    EXPECT_TRUE(R.bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BetaMoments) {
+  Rng R(11);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.beta(2.0, 6.0);
+    EXPECT_GE(X, 0.0);
+    EXPECT_LE(X, 1.0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / N, 0.25, 0.01);
+}
+
+TEST(RngTest, GammaMoments) {
+  Rng R(12);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.gamma(3.0, 2.0);
+    EXPECT_GE(X, 0.0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / N, 6.0, 0.1);
+}
+
+TEST(RngTest, PoissonMoments) {
+  Rng R(13);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I) {
+    int X = R.poisson(4.5);
+    EXPECT_GE(X, 0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / N, 4.5, 0.1);
+}
+
+TEST(RngTest, PoissonZeroRate) {
+  Rng R(14);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(R.poisson(0.0), 0);
+}
+
+TEST(RngTest, GeometricSupportStartsAtOne) {
+  Rng R(15);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_GE(R.geometric(0.5), 1);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng R(16);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.geometric(0.25);
+  EXPECT_NEAR(Sum / N, 4.0, 0.1);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng R(17);
+  std::vector<double> W = {1.0, 0.0, 3.0};
+  int Counts[3] = {0, 0, 0};
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[R.weightedIndex(W)];
+  EXPECT_EQ(Counts[1], 0);
+  EXPECT_NEAR(double(Counts[0]) / N, 0.25, 0.01);
+  EXPECT_NEAR(double(Counts[2]) / N, 0.75, 0.01);
+}
+
+TEST(RngTest, PickReturnsElement) {
+  Rng R(18);
+  std::vector<int> Items = {4, 8, 15};
+  for (int I = 0; I < 100; ++I) {
+    int V = R.pick(Items);
+    EXPECT_TRUE(V == 4 || V == 8 || V == 15);
+  }
+}

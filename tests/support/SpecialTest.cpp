@@ -1,0 +1,141 @@
+//===- tests/support/SpecialTest.cpp - Special-function unit tests --------===//
+
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+TEST(SpecialTest, GaussianPdfStandardNormalAtZero) {
+  EXPECT_NEAR(gaussianPdf(0.0, 0.0, 1.0), 0.3989422804014327, 1e-12);
+}
+
+TEST(SpecialTest, GaussianPdfScalesWithSigma) {
+  EXPECT_NEAR(gaussianPdf(5.0, 5.0, 2.0), 0.3989422804014327 / 2.0, 1e-12);
+}
+
+TEST(SpecialTest, GaussianLogPdfMatchesLogOfPdf) {
+  for (double X : {-3.0, -1.0, 0.0, 0.5, 2.0})
+    EXPECT_NEAR(gaussianLogPdf(X, 1.0, 2.5),
+                std::log(gaussianPdf(X, 1.0, 2.5)), 1e-12);
+}
+
+TEST(SpecialTest, GaussianLogPdfDegenerateSigmaIsFinite) {
+  double LL = gaussianLogPdf(1.0, 1.0, 0.0);
+  EXPECT_TRUE(std::isfinite(LL));
+  EXPECT_LT(LL, -100);
+}
+
+TEST(SpecialTest, GaussianCdfAtMeanIsHalf) {
+  EXPECT_NEAR(gaussianCdf(7.0, 7.0, 3.0), 0.5, 1e-12);
+}
+
+TEST(SpecialTest, GaussianCdfMonotone) {
+  double Prev = 0;
+  for (double X = -5; X <= 5; X += 0.25) {
+    double C = gaussianCdf(X, 0.0, 1.0);
+    EXPECT_GE(C, Prev);
+    Prev = C;
+  }
+}
+
+TEST(SpecialTest, GaussianCdfDegenerateSigmaIsStep) {
+  EXPECT_EQ(gaussianCdf(1.0, 2.0, 0.0), 0.0);
+  EXPECT_EQ(gaussianCdf(3.0, 2.0, 0.0), 1.0);
+}
+
+TEST(SpecialTest, GaussianGreaterProbSymmetricEqualMeans) {
+  EXPECT_NEAR(gaussianGreaterProb(0, 1, 0, 1), 0.5, 1e-12);
+}
+
+TEST(SpecialTest, GaussianGreaterProbComplement) {
+  double P = gaussianGreaterProb(1.0, 2.0, 3.0, 0.5);
+  double Q = gaussianGreaterProb(3.0, 0.5, 1.0, 2.0);
+  EXPECT_NEAR(P + Q, 1.0, 1e-12);
+}
+
+TEST(SpecialTest, GaussianGreaterProbDominantMean) {
+  EXPECT_GT(gaussianGreaterProb(10.0, 1.0, 0.0, 1.0), 0.999);
+  EXPECT_LT(gaussianGreaterProb(0.0, 1.0, 10.0, 1.0), 0.001);
+}
+
+TEST(SpecialTest, GaussianGreaterProbDegenerate) {
+  EXPECT_EQ(gaussianGreaterProb(2.0, 0.0, 1.0, 0.0), 1.0);
+  EXPECT_EQ(gaussianGreaterProb(1.0, 0.0, 2.0, 0.0), 0.0);
+  EXPECT_EQ(gaussianGreaterProb(1.0, 0.0, 1.0, 0.0), 0.5);
+}
+
+TEST(SpecialTest, LogAddExpBasic) {
+  EXPECT_NEAR(logAddExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+}
+
+TEST(SpecialTest, LogAddExpHandlesNegInfinity) {
+  double NegInf = -std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(logAddExp(NegInf, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(logAddExp(1.5, NegInf), 1.5);
+}
+
+TEST(SpecialTest, LogAddExpExtremeScales) {
+  // Would overflow in linear space.
+  EXPECT_NEAR(logAddExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(SpecialTest, LogSumExpMatchesDirectSum) {
+  std::vector<double> V = {std::log(1.0), std::log(2.0), std::log(4.0)};
+  EXPECT_NEAR(logSumExp(V), std::log(7.0), 1e-12);
+}
+
+TEST(SpecialTest, ClampProbBounds) {
+  EXPECT_EQ(clampProb(-1.0), TinyProb);
+  EXPECT_EQ(clampProb(2.0), 1.0 - 1e-15);
+  EXPECT_EQ(clampProb(0.5), 0.5);
+  EXPECT_EQ(clampProb(std::nan("")), TinyProb);
+}
+
+TEST(SpecialTest, BernoulliLogPmf) {
+  EXPECT_NEAR(bernoulliLogPmf(true, 0.25), std::log(0.25), 1e-12);
+  EXPECT_NEAR(bernoulliLogPmf(false, 0.25), std::log(0.75), 1e-12);
+  EXPECT_TRUE(std::isfinite(bernoulliLogPmf(true, 0.0)));
+}
+
+TEST(SpecialTest, MixtureLogPdfSingleComponent) {
+  EXPECT_NEAR(mixtureLogPdf(1.0, {1.0}, {0.0}, {2.0}),
+              gaussianLogPdf(1.0, 0.0, 2.0), 1e-12);
+}
+
+TEST(SpecialTest, MixtureLogPdfTwoComponents) {
+  double Direct = std::log(0.3 * gaussianPdf(1.0, 0.0, 1.0) +
+                           0.7 * gaussianPdf(1.0, 5.0, 2.0));
+  EXPECT_NEAR(mixtureLogPdf(1.0, {0.3, 0.7}, {0.0, 5.0}, {1.0, 2.0}),
+              Direct, 1e-12);
+}
+
+TEST(SpecialTest, BetaMomentsUniform) {
+  double Mean, Sd;
+  betaMoments(1.0, 1.0, Mean, Sd);
+  EXPECT_NEAR(Mean, 0.5, 1e-12);
+  EXPECT_NEAR(Sd, std::sqrt(1.0 / 12.0), 1e-12);
+}
+
+TEST(SpecialTest, BetaMomentsSkewed) {
+  double Mean, Sd;
+  betaMoments(2.0, 6.0, Mean, Sd);
+  EXPECT_NEAR(Mean, 0.25, 1e-12);
+  EXPECT_NEAR(Sd, std::sqrt(2.0 * 6.0 / (64.0 * 9.0)), 1e-12);
+}
+
+TEST(SpecialTest, GammaMoments) {
+  double Mean, Sd;
+  gammaMoments(4.0, 0.5, Mean, Sd);
+  EXPECT_NEAR(Mean, 2.0, 1e-12);
+  EXPECT_NEAR(Sd, 1.0, 1e-12);
+}
+
+TEST(SpecialTest, PoissonMomentsMatchRate) {
+  double Mean, Sd;
+  poissonMoments(9.0, Mean, Sd);
+  EXPECT_NEAR(Mean, 9.0, 1e-12);
+  EXPECT_NEAR(Sd, 3.0, 1e-12);
+}

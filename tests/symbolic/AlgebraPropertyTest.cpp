@@ -1,0 +1,191 @@
+//===- tests/symbolic/AlgebraPropertyTest.cpp - Randomized properties -----===//
+//
+// Property-style sweeps over randomly generated mixtures: densities
+// integrate to one, comparison probabilities are complementary, Monte
+// Carlo statistics of the concrete distributions agree with the
+// symbolic results for the *precise* (unstarred) Figure 6 rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Algebra.h"
+
+#include "support/Rng.h"
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+struct RandomCase {
+  uint64_t Seed;
+};
+
+class MixtureProperty : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override { R.seed(GetParam()); }
+
+  /// A random constant-parameter mixture with 1-4 components.
+  SymValue randomMixture() {
+    unsigned N = unsigned(R.uniformInt(1, 4));
+    std::vector<double> W(N);
+    double Total = 0;
+    for (double &X : W) {
+      X = R.uniform(0.1, 1.0);
+      Total += X;
+    }
+    std::vector<MoGComponent> Comps;
+    for (unsigned I = 0; I != N; ++I)
+      Comps.push_back({B.constant(W[I] / Total),
+                       B.constant(R.uniform(-20, 20)),
+                       B.constant(R.uniform(0.5, 5.0))});
+    return SymValue::mog(Comps);
+  }
+
+  /// Numerically integrates exp(logDensityAt) over a wide support.
+  double integratedMass(const SymValue &V) {
+    const int Steps = 4000;
+    const double Lo = -120, Hi = 120;
+    double Step = (Hi - Lo) / Steps;
+    double Mass = 0;
+    for (int I = 0; I <= Steps; ++I) {
+      double X = Lo + Step * I;
+      Mass += std::exp(B.eval(A.logDensityAt(V, B.constant(X)), {}));
+    }
+    return Mass * Step;
+  }
+
+  /// Draws one sample from a constant-parameter mixture.
+  double sampleMixture(const SymValue &V) {
+    std::vector<double> W;
+    for (const MoGComponent &C : V.components()) {
+      double X = 0;
+      B.isConst(C.W, X);
+      W.push_back(X);
+    }
+    size_t I = R.weightedIndex(W);
+    double Mu = 0, Sigma = 0;
+    B.isConst(V.components()[I].Mu, Mu);
+    B.isConst(V.components()[I].Sigma, Sigma);
+    return R.gaussian(Mu, Sigma);
+  }
+
+  double constOf(NumId Id) {
+    double V = 0;
+    EXPECT_TRUE(B.isConst(Id, V));
+    return V;
+  }
+
+  NumExprBuilder B;
+  MoGAlgebra A{B};
+  Rng R{0};
+};
+
+TEST_P(MixtureProperty, DensityIntegratesToOne) {
+  SymValue M = randomMixture();
+  EXPECT_NEAR(integratedMass(M), 1.0, 0.02);
+}
+
+TEST_P(MixtureProperty, SumDensityIntegratesToOne) {
+  SymValue S = A.add(randomMixture(), randomMixture());
+  EXPECT_NEAR(integratedMass(S), 1.0, 0.02);
+}
+
+TEST_P(MixtureProperty, IteDensityIntegratesToOne) {
+  SymValue S = A.ite(SymValue::bern(B.constant(R.uniform(0.05, 0.95))),
+                     randomMixture(), randomMixture());
+  EXPECT_NEAR(integratedMass(S), 1.0, 0.02);
+}
+
+TEST_P(MixtureProperty, AdditionIsCommutativeInDistribution) {
+  SymValue X = randomMixture(), Y = randomMixture();
+  SymValue S1 = A.add(X, Y), S2 = A.add(Y, X);
+  for (double T : {-15.0, -3.0, 0.0, 4.0, 18.0}) {
+    double D1 = B.eval(A.logDensityAt(S1, B.constant(T)), {});
+    double D2 = B.eval(A.logDensityAt(S2, B.constant(T)), {});
+    EXPECT_NEAR(D1, D2, 1e-9);
+  }
+}
+
+TEST_P(MixtureProperty, GreaterProbabilitiesAreComplementary) {
+  SymValue X = randomMixture(), Y = randomMixture();
+  double P = constOf(A.greater(X, Y).bernProb());
+  double Q = constOf(A.greater(Y, X).bernProb());
+  EXPECT_GE(P, 0.0);
+  EXPECT_LE(P, 1.0);
+  // Continuous distributions: ties have measure zero.
+  EXPECT_NEAR(P + Q, 1.0, 1e-9);
+}
+
+TEST_P(MixtureProperty, GreaterMatchesMonteCarlo) {
+  SymValue X = randomMixture(), Y = randomMixture();
+  double P = constOf(A.greater(X, Y).bernProb());
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I)
+    Hits += sampleMixture(X) > sampleMixture(Y);
+  EXPECT_NEAR(P, double(Hits) / N, 0.02);
+}
+
+TEST_P(MixtureProperty, SumMatchesMonteCarloMoments) {
+  SymValue X = randomMixture(), Y = randomMixture();
+  SymValue S = A.add(X, Y);
+  // Symbolic mean of the sum.
+  double SymMean = constOf(A.meanOf(S).knownValue());
+  double McMean = 0;
+  const int N = 40000;
+  for (int I = 0; I != N; ++I)
+    McMean += sampleMixture(X) + sampleMixture(Y);
+  McMean /= N;
+  EXPECT_NEAR(SymMean, McMean, 0.25);
+}
+
+TEST_P(MixtureProperty, CompoundGaussianMatchesMonteCarlo) {
+  SymValue Mean = randomMixture();
+  double Sigma = R.uniform(0.5, 3.0);
+  SymValue S = A.gaussian(Mean, SymValue::known(B.constant(Sigma)));
+  double SymMean = constOf(A.meanOf(S).knownValue());
+  double McMean = 0;
+  const int N = 40000;
+  for (int I = 0; I != N; ++I)
+    McMean += R.gaussian(sampleMixture(Mean), Sigma);
+  McMean /= N;
+  EXPECT_NEAR(SymMean, McMean, 0.25);
+}
+
+TEST_P(MixtureProperty, NotNotIsIdentity) {
+  double P = R.uniform(0.0, 1.0);
+  SymValue V = SymValue::bern(B.constant(P));
+  EXPECT_NEAR(constOf(A.logicalNot(A.logicalNot(V)).bernProb()), P,
+              1e-12);
+}
+
+TEST_P(MixtureProperty, DeMorganUnderIndependence) {
+  double P = R.uniform(0.0, 1.0), Q = R.uniform(0.0, 1.0);
+  SymValue VP = SymValue::bern(B.constant(P));
+  SymValue VQ = SymValue::bern(B.constant(Q));
+  double Lhs = constOf(A.logicalNot(A.logicalAnd(VP, VQ)).bernProb());
+  double Rhs = constOf(
+      A.logicalOr(A.logicalNot(VP), A.logicalNot(VQ)).bernProb());
+  EXPECT_NEAR(Lhs, Rhs, 1e-12);
+}
+
+TEST_P(MixtureProperty, IteWeightsAreConvex) {
+  double P = R.uniform(0.05, 0.95);
+  SymValue S = A.ite(SymValue::bern(B.constant(P)), randomMixture(),
+                     randomMixture());
+  ASSERT_TRUE(S.isMoG());
+  double Total = 0;
+  for (const MoGComponent &C : S.components())
+    Total += constOf(C.W);
+  EXPECT_NEAR(Total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixtureProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));
+
+} // namespace

@@ -1,0 +1,334 @@
+//===- tests/symbolic/AlgebraTest.cpp - Figure 6 rule unit tests ----------===//
+
+#include "symbolic/Algebra.h"
+
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+/// Fixture holding one builder + algebra and small helpers.
+class AlgebraTest : public ::testing::Test {
+protected:
+  double constOf(NumId Id) {
+    double V = 0;
+    EXPECT_TRUE(B.isConst(Id, V)) << B.str(Id);
+    return V;
+  }
+
+  SymValue gauss(double Mu, double Sigma) {
+    return SymValue::mog(
+        {{B.constant(1.0), B.constant(Mu), B.constant(Sigma)}});
+  }
+
+  SymValue known(double V) { return SymValue::known(B.constant(V)); }
+
+  /// Evaluates a (constant-parameter) symbolic density at X.
+  double densityAt(const SymValue &V, double X) {
+    return std::exp(B.eval(A.logDensityAt(V, B.constant(X)), {}));
+  }
+
+  NumExprBuilder B;
+  MoGAlgebra A{B};
+};
+
+TEST_F(AlgebraTest, KnownArithmeticFolds) {
+  SymValue S = A.add(known(2.0), known(3.0));
+  ASSERT_TRUE(S.isKnown());
+  EXPECT_DOUBLE_EQ(constOf(S.knownValue()), 5.0);
+  EXPECT_DOUBLE_EQ(constOf(A.mul(known(2.0), known(4.0)).knownValue()),
+                   8.0);
+  EXPECT_DOUBLE_EQ(constOf(A.sub(known(2.0), known(4.0)).knownValue()),
+                   -2.0);
+  EXPECT_DOUBLE_EQ(constOf(A.negate(known(2.0)).knownValue()), -2.0);
+}
+
+TEST_F(AlgebraTest, MoGPlusMoGConvolvesComponents) {
+  // N(1, 3) + N(2, 4) = N(3, 5).
+  SymValue S = A.add(gauss(1.0, 3.0), gauss(2.0, 4.0));
+  ASSERT_TRUE(S.isMoG());
+  ASSERT_EQ(S.components().size(), 1u);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 3.0);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Sigma), 5.0);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].W), 1.0);
+}
+
+TEST_F(AlgebraTest, MoGMinusMoG) {
+  SymValue S = A.sub(gauss(5.0, 3.0), gauss(2.0, 4.0));
+  ASSERT_TRUE(S.isMoG());
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 3.0);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Sigma), 5.0);
+}
+
+TEST_F(AlgebraTest, MixturePlusMixtureHasPairwiseComponents) {
+  SymValue M1 = SymValue::mog(
+      {{B.constant(0.4), B.constant(0.0), B.constant(1.0)},
+       {B.constant(0.6), B.constant(10.0), B.constant(2.0)}});
+  SymValue S = A.add(M1, gauss(1.0, 1.0));
+  ASSERT_TRUE(S.isMoG());
+  ASSERT_EQ(S.components().size(), 2u);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].W), 0.4);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 1.0);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[1].Mu), 11.0);
+}
+
+TEST_F(AlgebraTest, KnownShiftIsExact) {
+  // Known + MoG must not inflate the deviation (no bandwidth smear in
+  // the default mode).
+  SymValue S = A.add(known(5.0), gauss(1.0, 2.0));
+  ASSERT_TRUE(S.isMoG());
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 6.0);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Sigma), 2.0);
+}
+
+TEST_F(AlgebraTest, KnownScaleIsExact) {
+  SymValue S = A.mul(known(-3.0), gauss(2.0, 1.5));
+  ASSERT_TRUE(S.isMoG());
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), -6.0);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Sigma), 4.5);
+}
+
+TEST_F(AlgebraTest, StrictLiftingSmearsConstants) {
+  AlgebraConfig Cfg;
+  Cfg.StrictConstLifting = true;
+  Cfg.Bandwidth = 0.5;
+  MoGAlgebra Strict(B, Cfg);
+  SymValue S = Strict.add(SymValue::known(B.constant(5.0)),
+                          gauss(1.0, 2.0));
+  ASSERT_TRUE(S.isMoG());
+  double V = 0;
+  ASSERT_TRUE(B.isConst(S.components()[0].Sigma, V));
+  EXPECT_NEAR(V, std::sqrt(4.0 + 0.25), 1e-12);
+}
+
+TEST_F(AlgebraTest, PaperProductRule) {
+  // The starred MoG x MoG rule: precision-weighted mean, harmonic
+  // variance.
+  SymValue S = A.mul(gauss(2.0, 1.0), gauss(6.0, 1.0));
+  ASSERT_TRUE(S.isMoG());
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 4.0);
+  EXPECT_NEAR(constOf(S.components()[0].Sigma), std::sqrt(0.5), 1e-12);
+}
+
+TEST_F(AlgebraTest, GreaterYieldsErfProbability) {
+  SymValue P = A.greater(gauss(3.0, 1.0), gauss(1.0, 2.0));
+  ASSERT_TRUE(P.isBern());
+  EXPECT_NEAR(constOf(P.bernProb()),
+              gaussianGreaterProb(3.0, 1.0, 1.0, 2.0), 1e-12);
+}
+
+TEST_F(AlgebraTest, GreaterAgainstKnownIsExactTail) {
+  SymValue P = A.greater(gauss(0.0, 1.0), known(1.0));
+  ASSERT_TRUE(P.isBern());
+  EXPECT_NEAR(constOf(P.bernProb()), 1.0 - gaussianCdf(1.0, 0.0, 1.0),
+              1e-12);
+}
+
+TEST_F(AlgebraTest, LessIsMirrorOfGreater) {
+  SymValue P1 = A.less(gauss(1.0, 2.0), gauss(3.0, 1.0));
+  SymValue P2 = A.greater(gauss(3.0, 1.0), gauss(1.0, 2.0));
+  EXPECT_DOUBLE_EQ(constOf(P1.bernProb()), constOf(P2.bernProb()));
+}
+
+TEST_F(AlgebraTest, KnownComparisonIsIndicator) {
+  EXPECT_DOUBLE_EQ(
+      constOf(A.greater(known(2.0), known(1.0)).bernProb()), 1.0);
+  EXPECT_DOUBLE_EQ(
+      constOf(A.greater(known(1.0), known(2.0)).bernProb()), 0.0);
+}
+
+TEST_F(AlgebraTest, MixtureGreaterSumsPairwise) {
+  SymValue M = SymValue::mog(
+      {{B.constant(0.5), B.constant(-10.0), B.constant(1.0)},
+       {B.constant(0.5), B.constant(10.0), B.constant(1.0)}});
+  SymValue P = A.greater(M, known(0.0));
+  EXPECT_NEAR(constOf(P.bernProb()), 0.5, 1e-9);
+}
+
+TEST_F(AlgebraTest, BernoulliLogic) {
+  SymValue P = SymValue::bern(B.constant(0.3));
+  SymValue Q = SymValue::bern(B.constant(0.5));
+  EXPECT_NEAR(constOf(A.logicalAnd(P, Q).bernProb()), 0.15, 1e-12);
+  EXPECT_NEAR(constOf(A.logicalOr(P, Q).bernProb()), 0.65, 1e-12);
+  EXPECT_NEAR(constOf(A.logicalNot(P).bernProb()), 0.7, 1e-12);
+}
+
+TEST_F(AlgebraTest, BernoulliEquality) {
+  SymValue P = SymValue::bern(B.constant(0.3));
+  SymValue Q = SymValue::bern(B.constant(0.5));
+  // agree = pq + (1-p)(1-q) = 0.15 + 0.35 = 0.5.
+  EXPECT_NEAR(constOf(A.equal(P, Q).bernProb()), 0.5, 1e-12);
+}
+
+TEST_F(AlgebraTest, KnownEqualityIsIndicator) {
+  EXPECT_DOUBLE_EQ(constOf(A.equal(known(2.0), known(2.0)).bernProb()),
+                   1.0);
+  EXPECT_DOUBLE_EQ(constOf(A.equal(known(2.0), known(3.0)).bernProb()),
+                   0.0);
+}
+
+TEST_F(AlgebraTest, ContinuousEqualityIsUnit) {
+  EXPECT_TRUE(A.equal(gauss(0, 1), known(0.0)).isUnit());
+}
+
+TEST_F(AlgebraTest, IteMixesNumericBranches) {
+  SymValue Cond = SymValue::bern(B.constant(0.25));
+  SymValue S = A.ite(Cond, gauss(0.0, 1.0), gauss(10.0, 2.0));
+  ASSERT_TRUE(S.isMoG());
+  ASSERT_EQ(S.components().size(), 2u);
+  EXPECT_NEAR(constOf(S.components()[0].W), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 0.0);
+  EXPECT_NEAR(constOf(S.components()[1].W), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[1].Mu), 10.0);
+}
+
+TEST_F(AlgebraTest, IteWithConstantConditionPicksBranch) {
+  SymValue T = A.ite(SymValue::bern(B.constant(1.0)), gauss(0, 1),
+                     gauss(10, 2));
+  ASSERT_TRUE(T.isMoG());
+  EXPECT_EQ(T.components().size(), 1u);
+  EXPECT_DOUBLE_EQ(constOf(T.components()[0].Mu), 0.0);
+  SymValue F = A.ite(SymValue::bern(B.constant(0.0)), gauss(0, 1),
+                     gauss(10, 2));
+  EXPECT_DOUBLE_EQ(constOf(F.components()[0].Mu), 10.0);
+}
+
+TEST_F(AlgebraTest, IteOfBernoullisCombines) {
+  SymValue S = A.ite(SymValue::bern(B.constant(0.5)),
+                     SymValue::bern(B.constant(0.8)),
+                     SymValue::bern(B.constant(0.2)));
+  ASSERT_TRUE(S.isBern());
+  EXPECT_NEAR(constOf(S.bernProb()), 0.5, 1e-12);
+}
+
+TEST_F(AlgebraTest, GaussianConstructorKnownParams) {
+  SymValue S = A.gaussian(known(5.0), known(2.0));
+  ASSERT_TRUE(S.isMoG());
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 5.0);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Sigma), 2.0);
+}
+
+TEST_F(AlgebraTest, GaussianNegativeSigmaIsRectified) {
+  SymValue S = A.gaussian(known(0.0), known(-2.0));
+  ASSERT_TRUE(S.isMoG());
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Sigma), 2.0);
+}
+
+TEST_F(AlgebraTest, CompoundGaussianAddsVariances) {
+  // Gaussian(m, 15) with m ~ N(100, 10) == N(100, sqrt(325)).
+  SymValue S = A.gaussian(gauss(100.0, 10.0), known(15.0));
+  ASSERT_TRUE(S.isMoG());
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 100.0);
+  EXPECT_NEAR(constOf(S.components()[0].Sigma), std::sqrt(325.0), 1e-12);
+}
+
+TEST_F(AlgebraTest, BernoulliConstructorClampsAndAcceptsMoG) {
+  EXPECT_NEAR(constOf(A.bernoulli(known(0.3)).bernProb()), 0.3, 1e-12);
+  EXPECT_NEAR(constOf(A.bernoulli(known(1.7)).bernProb()), 1.0, 1e-12);
+  // Mixture-distributed p collapses to its mean.
+  SymValue P = A.bernoulli(gauss(0.4, 0.1));
+  EXPECT_NEAR(constOf(P.bernProb()), 0.4, 1e-9);
+}
+
+TEST_F(AlgebraTest, BetaMomentMatching) {
+  SymValue S = A.beta(known(2.0), known(6.0));
+  ASSERT_TRUE(S.isMoG());
+  double Mean, Sd;
+  betaMoments(2.0, 6.0, Mean, Sd);
+  EXPECT_NEAR(constOf(S.components()[0].Mu), Mean, 1e-12);
+  EXPECT_NEAR(constOf(S.components()[0].Sigma), Sd, 1e-12);
+}
+
+TEST_F(AlgebraTest, GammaMomentMatching) {
+  SymValue S = A.gammaDist(known(4.0), known(0.5));
+  double Mean, Sd;
+  gammaMoments(4.0, 0.5, Mean, Sd);
+  EXPECT_NEAR(constOf(S.components()[0].Mu), Mean, 1e-12);
+  EXPECT_NEAR(constOf(S.components()[0].Sigma), Sd, 1e-12);
+}
+
+TEST_F(AlgebraTest, PoissonMomentMatching) {
+  SymValue S = A.poisson(known(9.0));
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Mu), 9.0);
+  EXPECT_DOUBLE_EQ(constOf(S.components()[0].Sigma), 3.0);
+}
+
+TEST_F(AlgebraTest, UnsupportedCombinationsYieldUnit) {
+  SymValue P = SymValue::bern(B.constant(0.5));
+  EXPECT_TRUE(A.add(P, gauss(0, 1)).isUnit());
+  EXPECT_TRUE(A.logicalAnd(known(1.0), P).isUnit());
+  EXPECT_TRUE(A.greater(P, known(0.0)).isUnit());
+  EXPECT_TRUE(A.gaussian(P, known(1.0)).isUnit());
+}
+
+TEST_F(AlgebraTest, ProbabilityOfUnitIsOne) {
+  EXPECT_DOUBLE_EQ(constOf(A.probabilityOf(SymValue::unit())), 1.0);
+}
+
+TEST_F(AlgebraTest, LogDensityOfMoGMatchesClosedForm) {
+  SymValue M = SymValue::mog(
+      {{B.constant(0.3), B.constant(0.0), B.constant(1.0)},
+       {B.constant(0.7), B.constant(5.0), B.constant(2.0)}});
+  for (double X : {-1.0, 0.0, 2.5, 5.0})
+    EXPECT_NEAR(std::log(densityAt(M, X)),
+                mixtureLogPdf(X, {0.3, 0.7}, {0.0, 5.0}, {1.0, 2.0}),
+                1e-9);
+}
+
+TEST_F(AlgebraTest, LogDensityOfSingleComponentAvoidsUnderflow) {
+  SymValue G = gauss(0.0, 1.0);
+  // 60 sigma out: the linear-space density underflows, the single
+  // component fast path must not.
+  NumId LL = A.logDensityAt(G, B.constant(60.0));
+  EXPECT_NEAR(B.eval(LL, {}), gaussianLogPdf(60.0, 0.0, 1.0), 1e-6);
+}
+
+TEST_F(AlgebraTest, LogDensityOfBernoulli) {
+  SymValue P = SymValue::bern(B.constant(0.3));
+  EXPECT_NEAR(B.eval(A.logDensityAt(P, B.constant(1.0)), {}),
+              std::log(0.3), 1e-9);
+  EXPECT_NEAR(B.eval(A.logDensityAt(P, B.constant(0.0)), {}),
+              std::log(0.7), 1e-9);
+}
+
+TEST_F(AlgebraTest, LogDensityOfKnownUsesBandwidth) {
+  SymValue K = known(2.0);
+  EXPECT_NEAR(B.eval(A.logDensityAt(K, B.constant(2.0)), {}),
+              gaussianLogPdf(2.0, 2.0, A.config().Bandwidth), 1e-9);
+}
+
+TEST_F(AlgebraTest, MeanOfMixture) {
+  SymValue M = SymValue::mog(
+      {{B.constant(0.25), B.constant(0.0), B.constant(1.0)},
+       {B.constant(0.75), B.constant(4.0), B.constant(1.0)}});
+  SymValue Mean = A.meanOf(M);
+  ASSERT_TRUE(Mean.isKnown());
+  EXPECT_NEAR(constOf(Mean.knownValue()), 3.0, 1e-12);
+}
+
+TEST_F(AlgebraTest, ComponentCapPrunesAndRenormalizes) {
+  AlgebraConfig Cfg;
+  Cfg.MaxComponents = 4;
+  MoGAlgebra Small(B, Cfg);
+  // Build an 8-component mixture by three doublings.
+  SymValue M = gauss(0.0, 1.0);
+  for (int I = 0; I < 3; ++I)
+    M = Small.ite(SymValue::bern(B.constant(0.5)), M,
+                  Small.add(M, gauss(1.0, 1.0)));
+  ASSERT_TRUE(M.isMoG());
+  EXPECT_LE(M.components().size(), 4u);
+  double TotalW = 0;
+  for (const MoGComponent &C : M.components()) {
+    double W = 0;
+    ASSERT_TRUE(B.isConst(C.W, W));
+    TotalW += W;
+  }
+  EXPECT_NEAR(TotalW, 1.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,124 @@
+//===- tests/symbolic/NumExprTest.cpp - NumExpr builder unit tests --------===//
+
+#include "symbolic/NumExpr.h"
+
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+TEST(NumExprTest, HashConsingDeduplicates) {
+  NumExprBuilder B;
+  NumId A = B.add(B.dataRef(0), B.constant(1.0));
+  NumId C = B.add(B.dataRef(0), B.constant(1.0));
+  EXPECT_EQ(A, C);
+  size_t Before = B.size();
+  B.add(B.dataRef(0), B.constant(1.0));
+  EXPECT_EQ(B.size(), Before);
+}
+
+TEST(NumExprTest, ConstantFoldingBinary) {
+  NumExprBuilder B;
+  double V;
+  EXPECT_TRUE(B.isConst(B.add(B.constant(2), B.constant(3)), V));
+  EXPECT_DOUBLE_EQ(V, 5.0);
+  EXPECT_TRUE(B.isConst(B.mul(B.constant(4), B.constant(0.5)), V));
+  EXPECT_DOUBLE_EQ(V, 2.0);
+  EXPECT_TRUE(B.isConst(B.sub(B.constant(1), B.constant(4)), V));
+  EXPECT_DOUBLE_EQ(V, -3.0);
+  EXPECT_TRUE(B.isConst(B.div(B.constant(9), B.constant(3)), V));
+  EXPECT_DOUBLE_EQ(V, 3.0);
+}
+
+TEST(NumExprTest, ConstantFoldingUnary) {
+  NumExprBuilder B;
+  double V;
+  EXPECT_TRUE(B.isConst(B.neg(B.constant(2)), V));
+  EXPECT_DOUBLE_EQ(V, -2.0);
+  EXPECT_TRUE(B.isConst(B.exp(B.constant(0)), V));
+  EXPECT_DOUBLE_EQ(V, 1.0);
+  EXPECT_TRUE(B.isConst(B.sqrt(B.constant(9)), V));
+  EXPECT_DOUBLE_EQ(V, 3.0);
+  EXPECT_TRUE(B.isConst(B.abs(B.constant(-7)), V));
+  EXPECT_DOUBLE_EQ(V, 7.0);
+  EXPECT_TRUE(B.isConst(B.erf(B.constant(0)), V));
+  EXPECT_DOUBLE_EQ(V, 0.0);
+}
+
+TEST(NumExprTest, AlgebraicIdentities) {
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  EXPECT_EQ(B.add(X, B.constant(0)), X);
+  EXPECT_EQ(B.add(B.constant(0), X), X);
+  EXPECT_EQ(B.mul(X, B.constant(1)), X);
+  EXPECT_EQ(B.mul(B.constant(1), X), X);
+  double V;
+  EXPECT_TRUE(B.isConst(B.mul(X, B.constant(0)), V));
+  EXPECT_DOUBLE_EQ(V, 0.0);
+  EXPECT_EQ(B.sub(X, B.constant(0)), X);
+  EXPECT_TRUE(B.isConst(B.sub(X, X), V));
+  EXPECT_DOUBLE_EQ(V, 0.0);
+  EXPECT_EQ(B.neg(B.neg(X)), X);
+  EXPECT_EQ(B.div(X, B.constant(1)), X);
+  EXPECT_EQ(B.max(X, X), X);
+  EXPECT_TRUE(B.isConst(B.eq(X, X), V));
+  EXPECT_DOUBLE_EQ(V, 1.0);
+}
+
+TEST(NumExprTest, EvalAgainstRow) {
+  NumExprBuilder B;
+  // (x0 - 2) * x1 + sqrt(x1)
+  NumId E = B.add(B.mul(B.sub(B.dataRef(0), B.constant(2.0)), B.dataRef(1)),
+                  B.sqrt(B.dataRef(1)));
+  EXPECT_DOUBLE_EQ(B.eval(E, {5.0, 4.0}), 14.0);
+}
+
+TEST(NumExprTest, EvalComparisonOps) {
+  NumExprBuilder B;
+  NumId G = B.gt(B.dataRef(0), B.constant(1.0));
+  EXPECT_DOUBLE_EQ(B.eval(G, {2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(B.eval(G, {0.5}), 0.0);
+  NumId Q = B.eq(B.dataRef(0), B.constant(1.0));
+  EXPECT_DOUBLE_EQ(B.eval(Q, {1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(B.eval(Q, {1.5}), 0.0);
+}
+
+TEST(NumExprTest, ClampProbBounds) {
+  NumExprBuilder B;
+  NumId P = B.clampProb(B.dataRef(0));
+  EXPECT_DOUBLE_EQ(B.eval(P, {0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(B.eval(P, {-3.0}), TinyProb);
+  EXPECT_DOUBLE_EQ(B.eval(P, {7.0}), 1.0 - 1e-15);
+}
+
+TEST(NumExprTest, GaussianLogPdfMatchesSupport) {
+  NumExprBuilder B;
+  NumId E = B.gaussianLogPdf(B.dataRef(0), B.constant(2.0),
+                             B.constant(1.5));
+  for (double X : {-1.0, 0.0, 2.0, 4.5})
+    EXPECT_NEAR(B.eval(E, {X}), gaussianLogPdf(X, 2.0, 1.5), 1e-12);
+}
+
+TEST(NumExprTest, GaussianGreaterProbMatchesSupport) {
+  NumExprBuilder B;
+  NumId E = B.gaussianGreaterProb(B.dataRef(0), B.constant(1.0),
+                                  B.dataRef(1), B.constant(2.0));
+  EXPECT_NEAR(B.eval(E, {3.0, 1.0}),
+              gaussianGreaterProb(3.0, 1.0, 1.0, 2.0), 1e-12);
+  EXPECT_NEAR(B.eval(E, {0.0, 0.0}), 0.5, 1e-12);
+}
+
+TEST(NumExprTest, StrRendersReadably) {
+  NumExprBuilder B;
+  NumId E = B.add(B.dataRef(1), B.constant(2.0));
+  EXPECT_EQ(B.str(E), "+($1, 2)");
+}
+
+TEST(NumExprTest, DataRefOutOfRowAsserts) {
+  NumExprBuilder B;
+  NumId E = B.dataRef(3);
+  EXPECT_DOUBLE_EQ(B.eval(E, {0.0, 1.0, 2.0, 42.0}), 42.0);
+}

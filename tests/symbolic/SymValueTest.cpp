@@ -1,0 +1,54 @@
+//===- tests/symbolic/SymValueTest.cpp - SymValue unit tests --------------===//
+
+#include "symbolic/SymValue.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(SymValueTest, DefaultIsUnit) {
+  SymValue V;
+  EXPECT_TRUE(V.isUnit());
+  EXPECT_FALSE(V.isKnown());
+  EXPECT_FALSE(V.isMoG());
+  EXPECT_FALSE(V.isBern());
+  EXPECT_EQ(V.kind(), SymValue::Kind::Unit);
+}
+
+TEST(SymValueTest, KnownHoldsExpression) {
+  NumExprBuilder B;
+  NumId E = B.add(B.dataRef(0), B.constant(1.0));
+  SymValue V = SymValue::known(E);
+  ASSERT_TRUE(V.isKnown());
+  EXPECT_EQ(V.knownValue(), E);
+}
+
+TEST(SymValueTest, BernHoldsProbability) {
+  NumExprBuilder B;
+  NumId P = B.constant(0.25);
+  SymValue V = SymValue::bern(P);
+  ASSERT_TRUE(V.isBern());
+  EXPECT_EQ(V.bernProb(), P);
+}
+
+TEST(SymValueTest, MoGHoldsComponents) {
+  NumExprBuilder B;
+  SymValue V = SymValue::mog(
+      {{B.constant(0.3), B.constant(0.0), B.constant(1.0)},
+       {B.constant(0.7), B.constant(5.0), B.constant(2.0)}});
+  ASSERT_TRUE(V.isMoG());
+  ASSERT_EQ(V.components().size(), 2u);
+  double W = 0;
+  EXPECT_TRUE(B.isConst(V.components()[1].W, W));
+  EXPECT_DOUBLE_EQ(W, 0.7);
+}
+
+TEST(SymValueTest, CopyKeepsKindAndPayload) {
+  NumExprBuilder B;
+  SymValue V = SymValue::mog(
+      {{B.constant(1.0), B.constant(2.0), B.constant(3.0)}});
+  SymValue Copy = V;
+  ASSERT_TRUE(Copy.isMoG());
+  EXPECT_EQ(Copy.components().size(), 1u);
+  EXPECT_EQ(Copy.components()[0].Mu, V.components()[0].Mu);
+}

@@ -1,0 +1,179 @@
+//===- tests/synth/GeneratorTest.cpp - Random generator unit tests --------===//
+
+#include "synth/Generator.h"
+
+#include "ast/ASTUtil.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+HoleSignature realHole(std::vector<ScalarKind> Args = {}) {
+  return HoleSignature{0, ScalarKind::Real, std::move(Args)};
+}
+
+HoleSignature boolHole(std::vector<ScalarKind> Args = {}) {
+  return HoleSignature{0, ScalarKind::Bool, std::move(Args)};
+}
+
+} // namespace
+
+TEST(GeneratorTest, GeneratedRealCompletionsAlwaysTypeCheck) {
+  Rng R(100);
+  GeneratorConfig Cfg;
+  HoleSignature Sig = realHole({ScalarKind::Real, ScalarKind::Real});
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 2000; ++I) {
+    ExprPtr E = Gen.generate();
+    ASSERT_TRUE(E);
+    EXPECT_TRUE(checkCompletion(*E, Sig)) << "iteration " << I;
+  }
+}
+
+TEST(GeneratorTest, GeneratedBoolCompletionsAlwaysTypeCheck) {
+  Rng R(101);
+  GeneratorConfig Cfg;
+  HoleSignature Sig = boolHole({ScalarKind::Real, ScalarKind::Bool});
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 2000; ++I) {
+    ExprPtr E = Gen.generate();
+    ASSERT_TRUE(E);
+    EXPECT_TRUE(checkCompletion(*E, Sig)) << "iteration " << I;
+  }
+}
+
+TEST(GeneratorTest, DepthIsBounded) {
+  Rng R(102);
+  GeneratorConfig Cfg;
+  Cfg.MaxDepth = 3;
+  Cfg.TerminalBias = 0.0; // Force recursion until the limit.
+  HoleSignature Sig = realHole({ScalarKind::Real});
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 500; ++I) {
+    ExprPtr E = Gen.generate();
+    // Distribution parameters are terminals, so a draw at the depth
+    // limit adds one more level at most.
+    EXPECT_LE(exprDepth(*E), 4u);
+  }
+}
+
+TEST(GeneratorTest, DistributionParamsAreTerminals) {
+  Rng R(103);
+  GeneratorConfig Cfg;
+  Cfg.TerminalBias = 0.1;
+  HoleSignature Sig = realHole({ScalarKind::Real});
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 1000; ++I) {
+    ExprPtr E = Gen.generate();
+    forEachNode(*E, [](const Expr &N) {
+      if (const auto *S = dyn_cast<SampleExpr>(&N)) {
+        for (const ExprPtr &A : S->getArgs())
+          EXPECT_TRUE(isa<ConstExpr>(A.get()) ||
+                      isa<HoleArgExpr>(A.get()));
+      }
+    });
+  }
+}
+
+TEST(GeneratorTest, BernoulliProbabilityConstantsInUnitInterval) {
+  Rng R(104);
+  GeneratorConfig Cfg;
+  HoleSignature Sig = boolHole();
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 1000; ++I) {
+    ExprPtr E = Gen.generate();
+    forEachNode(*E, [](const Expr &N) {
+      const auto *S = dyn_cast<SampleExpr>(&N);
+      if (!S || S->getDist() != DistKind::Bernoulli)
+        return;
+      if (const auto *C = dyn_cast<ConstExpr>(&S->getArg(0))) {
+        EXPECT_GE(C->getValue(), 0.0);
+        EXPECT_LE(C->getValue(), 1.0);
+      }
+    });
+  }
+}
+
+TEST(GeneratorTest, FormalsOfKindFiltersByBoolVsNumeric) {
+  Rng R(105);
+  GeneratorConfig Cfg;
+  HoleSignature Sig{0, ScalarKind::Real,
+                    {ScalarKind::Real, ScalarKind::Bool, ScalarKind::Int}};
+  ExprGenerator Gen(Sig, Cfg, R);
+  auto RealFormals = Gen.formalsOfKind(ScalarKind::Real);
+  ASSERT_EQ(RealFormals.size(), 2u);
+  EXPECT_EQ(RealFormals[0], 0u);
+  EXPECT_EQ(RealFormals[1], 2u);
+  auto BoolFormals = Gen.formalsOfKind(ScalarKind::Bool);
+  ASSERT_EQ(BoolFormals.size(), 1u);
+  EXPECT_EQ(BoolFormals[0], 1u);
+}
+
+TEST(GeneratorTest, FormalsAppearInGeneratedCode) {
+  Rng R(106);
+  GeneratorConfig Cfg;
+  HoleSignature Sig = realHole({ScalarKind::Real});
+  ExprGenerator Gen(Sig, Cfg, R);
+  int WithFormal = 0;
+  for (int I = 0; I < 500; ++I) {
+    ExprPtr E = Gen.generate();
+    bool Found = false;
+    forEachNode(*E, [&](const Expr &N) { Found |= isa<HoleArgExpr>(N); });
+    WithFormal += Found;
+  }
+  // Holes with dependences should usually use them.
+  EXPECT_GT(WithFormal, 150);
+}
+
+TEST(GeneratorTest, RespectsDistWhitelist) {
+  Rng R(107);
+  GeneratorConfig Cfg;
+  Cfg.Dists = {DistKind::Gaussian};
+  HoleSignature Sig = realHole();
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 500; ++I) {
+    ExprPtr E = Gen.generate();
+    forEachNode(*E, [](const Expr &N) {
+      if (const auto *S = dyn_cast<SampleExpr>(&N)) {
+        EXPECT_EQ(S->getDist(), DistKind::Gaussian);
+      }
+    });
+  }
+}
+
+TEST(GeneratorTest, NoSampleWhenDisabled) {
+  Rng R(108);
+  GeneratorConfig Cfg;
+  Cfg.AllowSample = false;
+  HoleSignature Sig = realHole({ScalarKind::Real});
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 500; ++I)
+    EXPECT_FALSE(containsSample(*Gen.generate()));
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  GeneratorConfig Cfg;
+  HoleSignature Sig = realHole({ScalarKind::Real});
+  Rng R1(42), R2(42);
+  ExprGenerator G1(Sig, Cfg, R1), G2(Sig, Cfg, R2);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_TRUE(structurallyEqual(*G1.generate(), *G2.generate()));
+}
+
+TEST(GeneratorTest, TerminalsRespectRole) {
+  Rng R(109);
+  GeneratorConfig Cfg;
+  HoleSignature Sig = realHole();
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 500; ++I) {
+    ExprPtr P = Gen.generateConstant(ScalarKind::Real, GenRole::DistProb);
+    auto &C = cast<ConstExpr>(*P);
+    EXPECT_GE(C.getValue(), 0.0);
+    EXPECT_LE(C.getValue(), 1.0);
+    ExprPtr S = Gen.generateConstant(ScalarKind::Real, GenRole::DistScale);
+    EXPECT_GT(cast<ConstExpr>(*S).getValue(), 0.0);
+  }
+}

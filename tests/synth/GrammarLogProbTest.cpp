@@ -1,0 +1,233 @@
+//===- tests/synth/GrammarLogProbTest.cpp - Grammar density tests ---------===//
+//
+// grammarLogProb must be the exact density of ExprGenerator::generate:
+// closed-form cases are checked by hand, and the structure marginal is
+// validated against Monte Carlo frequencies of generated trees.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Generator.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "parse/Parser.h"
+#include "support/Casting.h"
+#include "support/Special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <map>
+
+using namespace psketch;
+
+namespace {
+
+ExprPtr parse(const std::string &Source) {
+  DiagEngine Diags;
+  auto E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+/// A coarse structural fingerprint used to bucket generated trees for
+/// the Monte Carlo check (constants collapse, so each bucket's
+/// probability is the *structure* marginal — integrating the constant
+/// densities out gives exactly the discrete part of grammarLogProb).
+std::string shapeOf(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::Const:
+    return "c";
+  case Expr::Kind::HoleArg:
+    return "%" + std::to_string(cast<HoleArgExpr>(E).getArgIndex());
+  case Expr::Kind::Unary:
+    return "!" + shapeOf(cast<UnaryExpr>(E).getSub());
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    return std::string("(") + shapeOf(B.getLHS()) +
+           binaryOpName(B.getOp()) + shapeOf(B.getRHS()) + ")";
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(E);
+    return "ite(" + shapeOf(I.getCond()) + "," + shapeOf(I.getThen()) +
+           "," + shapeOf(I.getElse()) + ")";
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(E);
+    std::string Shape = distKindName(S.getDist());
+    Shape += "(";
+    for (unsigned I = 0; I != S.getNumArgs(); ++I)
+      Shape += shapeOf(S.getArg(I)) + ",";
+    return Shape + ")";
+  }
+  default:
+    return "?";
+  }
+}
+
+/// The discrete (structure-only) part of grammarLogProb: recompute the
+/// log density and strip each constant's continuous contribution by
+/// integrating it out — equivalently, re-evaluate with the constants'
+/// density replaced by 1.  We do this by summing grammarLogProb over
+/// the tree and subtracting each constant's density term; simplest is
+/// to compute directly with a visitor mirror, but replacing constants
+/// with a fixed probe value and correcting is error-prone.  Instead we
+/// exploit linearity: logP(tree) = logP(structure) + sum of constant
+/// densities, so logP(structure) = logP(tree) - sum(density(c_i)).
+double structureLogProb(const Expr &E, const HoleSignature &Sig,
+                        const GeneratorConfig &Cfg, ScalarKind Kind) {
+  double LogP = grammarLogProb(E, Sig, Cfg, Kind);
+  // Subtract continuous constant densities; they are the only
+  // non-discrete factors.  Identify each constant's role the same way
+  // the generator does: dist args have dist-specific roles, everything
+  // else is Value.
+  std::function<void(const Expr &, GenRole)> Visit =
+      [&](const Expr &Node, GenRole Role) {
+        if (const auto *C = dyn_cast<ConstExpr>(&Node)) {
+          if (C->getScalarKind() == ScalarKind::Bool)
+            return; // discrete
+          double V = C->getValue();
+          switch (Role) {
+          case GenRole::DistProb:
+            LogP -= -std::log(0.96);
+            return;
+          case GenRole::DistScale:
+            LogP -= std::log(2.0) +
+                    gaussianLogPdf(V - 0.5, 0.0, Cfg.ConstSd);
+            return;
+          default:
+            LogP -= gaussianLogPdf(V, 0.0, Cfg.ConstSd);
+            return;
+          }
+        }
+        if (const auto *S = dyn_cast<SampleExpr>(&Node)) {
+          for (unsigned I = 0; I != S->getNumArgs(); ++I) {
+            GenRole ArgRole =
+                (S->getDist() == DistKind::Gaussian && I == 0)
+                    ? GenRole::DistMean
+                    : (S->getDist() == DistKind::Bernoulli
+                           ? GenRole::DistProb
+                           : GenRole::DistScale);
+            Visit(S->getArg(I), ArgRole);
+          }
+          return;
+        }
+        forEachChildSlot(const_cast<Expr &>(Node), [&](ExprPtr &Child) {
+          Visit(*Child, GenRole::Value);
+        });
+      };
+  Visit(E, GenRole::Value);
+  return LogP;
+}
+
+} // namespace
+
+TEST(GrammarLogProbTest, TerminalFormalClosedForm) {
+  HoleSignature Sig{0, ScalarKind::Real,
+                    {ScalarKind::Real, ScalarKind::Real}};
+  GeneratorConfig Cfg;
+  // P = TerminalBias * 0.6 * (1/2) for %0 at depth 0.
+  double Expected = std::log(Cfg.TerminalBias * 0.6 * 0.5);
+  EXPECT_NEAR(grammarLogProb(*parse("%0"), Sig, Cfg, ScalarKind::Real),
+              Expected, 1e-12);
+}
+
+TEST(GrammarLogProbTest, TerminalConstantClosedForm) {
+  HoleSignature Sig{0, ScalarKind::Real, {}};
+  GeneratorConfig Cfg;
+  // No formals: the constant branch has probability 1; density is the
+  // Gaussian(0, ConstSd) pdf.
+  double Expected = std::log(Cfg.TerminalBias) +
+                    gaussianLogPdf(7.0, 0.0, Cfg.ConstSd);
+  EXPECT_NEAR(grammarLogProb(*parse("7.0"), Sig, Cfg, ScalarKind::Real),
+              Expected, 1e-12);
+}
+
+TEST(GrammarLogProbTest, UnproducibleTreesHaveZeroDensity) {
+  HoleSignature Sig{0, ScalarKind::Real, {ScalarKind::Real}};
+  GeneratorConfig Cfg;
+  // %1 is out of range for a single-formal hole.
+  EXPECT_EQ(grammarLogProb(*parse("%1"), Sig, Cfg, ScalarKind::Real),
+            -std::numeric_limits<double>::infinity());
+  // Mul is excluded from the default arithmetic set.
+  EXPECT_EQ(grammarLogProb(*parse("%0 * %0"), Sig, Cfg, ScalarKind::Real),
+            -std::numeric_limits<double>::infinity());
+  // Poisson is not in the default distribution set.
+  EXPECT_EQ(
+      grammarLogProb(*parse("Poisson(4.0)"), Sig, Cfg, ScalarKind::Real),
+      -std::numeric_limits<double>::infinity());
+  // A DistScale constant below the 0.5 floor cannot be generated.
+  EXPECT_EQ(grammarLogProb(*parse("Gaussian(%0, 0.1)"), Sig, Cfg,
+                           ScalarKind::Real),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(GrammarLogProbTest, GeneratedTreesAlwaysHavePositiveDensity) {
+  HoleSignature Sig{0, ScalarKind::Bool,
+                    {ScalarKind::Real, ScalarKind::Bool}};
+  GeneratorConfig Cfg;
+  Rng R(321);
+  ExprGenerator Gen(Sig, Cfg, R);
+  for (int I = 0; I < 2000; ++I) {
+    ExprPtr E = Gen.generate();
+    double LogP = grammarLogProb(*E, Sig, Cfg, Sig.ResultKind);
+    EXPECT_TRUE(std::isfinite(LogP)) << toString(*E);
+  }
+}
+
+TEST(GrammarLogProbTest, StructureMarginalMatchesMonteCarlo) {
+  HoleSignature Sig{0, ScalarKind::Real, {ScalarKind::Real}};
+  GeneratorConfig Cfg;
+  Cfg.MaxDepth = 3; // Small space so buckets get solid counts.
+  Rng R(777);
+  ExprGenerator Gen(Sig, Cfg, R);
+  const int N = 200000;
+  std::map<std::string, int> Counts;
+  std::map<std::string, ExprPtr> Representatives;
+  for (int I = 0; I < N; ++I) {
+    ExprPtr E = Gen.generate();
+    std::string Shape = shapeOf(*E);
+    ++Counts[Shape];
+    if (!Representatives.count(Shape))
+      Representatives[Shape] = std::move(E);
+  }
+  // Check the most frequent structures against the analytic marginal.
+  int Checked = 0;
+  for (const auto &[Shape, Count] : Counts) {
+    if (Count < 5000)
+      continue;
+    double Analytic = std::exp(structureLogProb(
+        *Representatives[Shape], Sig, Cfg, ScalarKind::Real));
+    double Empirical = double(Count) / N;
+    EXPECT_NEAR(Analytic, Empirical, 0.1 * Empirical + 0.002)
+        << Shape << " count " << Count;
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 3);
+}
+
+TEST(GrammarLogProbTest, DeeperTreesAreLessLikely) {
+  HoleSignature Sig{0, ScalarKind::Real, {ScalarKind::Real}};
+  GeneratorConfig Cfg;
+  double Leaf = grammarLogProb(*parse("%0"), Sig, Cfg, ScalarKind::Real);
+  double OneOp =
+      grammarLogProb(*parse("%0 + %0"), Sig, Cfg, ScalarKind::Real);
+  double TwoOps = grammarLogProb(*parse("%0 + (%0 - %0)"), Sig, Cfg,
+                                 ScalarKind::Real);
+  EXPECT_GT(Leaf, OneOp);
+  EXPECT_GT(OneOp, TwoOps);
+}
+
+TEST(GrammarLogProbTest, DepthLimitForbidsDeepTrees) {
+  HoleSignature Sig{0, ScalarKind::Real, {ScalarKind::Real}};
+  GeneratorConfig Cfg;
+  Cfg.MaxDepth = 2;
+  // Depth-2 trees: the children are at the depth limit, so a nested
+  // binary is unproducible.
+  EXPECT_TRUE(std::isfinite(
+      grammarLogProb(*parse("%0 + %0"), Sig, Cfg, ScalarKind::Real)));
+  EXPECT_EQ(grammarLogProb(*parse("%0 + (%0 + %0)"), Sig, Cfg,
+                           ScalarKind::Real),
+            -std::numeric_limits<double>::infinity());
+}

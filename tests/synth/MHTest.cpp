@@ -1,0 +1,251 @@
+//===- tests/synth/MHTest.cpp - MCMC-SYN (Algorithm 1) unit tests ---------===//
+
+#include "synth/Synthesizer.h"
+
+#include "ast/ASTPrinter.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+/// Generates a dataset from a target source under empty inputs.
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+const char *GaussTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+
+const char *GaussSketch = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+} // namespace
+
+TEST(MHTest, RecoversGaussianParameters) {
+  Dataset Data = makeData(GaussTarget, 200, 31);
+  ASSERT_EQ(Data.numRows(), 200u);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 4000;
+  Config.Seed = 17;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  SynthesisResult Result = Synth.run();
+  ASSERT_TRUE(Result.Succeeded);
+
+  // Compare against the target's own likelihood on the same data.
+  DiagEngine Diags;
+  auto Target = parseP(GaussTarget);
+  ASSERT_TRUE(typeCheck(*Target, Diags));
+  auto TargetLP = lowerProgram(*Target, {}, Diags);
+  auto F = LikelihoodFunction::compile(*TargetLP, Data);
+  ASSERT_TRUE(F);
+  double TargetLL = F->logLikelihood(Data);
+  EXPECT_GT(Result.BestLogLikelihood, TargetLL - 10.0)
+      << toString(*Result.BestProgram);
+}
+
+TEST(MHTest, SameSeedSameResult) {
+  Dataset Data = makeData(GaussTarget, 100, 32);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 500;
+  Config.Seed = 5;
+  Synthesizer S1(*Sketch, {}, Data, Config);
+  Synthesizer S2(*Sketch, {}, Data, Config);
+  auto R1 = S1.run();
+  auto R2 = S2.run();
+  ASSERT_TRUE(R1.Succeeded && R2.Succeeded);
+  EXPECT_DOUBLE_EQ(R1.BestLogLikelihood, R2.BestLogLikelihood);
+  ASSERT_EQ(R1.BestCompletions.size(), R2.BestCompletions.size());
+  EXPECT_EQ(toString(*R1.BestCompletions[0]),
+            toString(*R2.BestCompletions[0]));
+}
+
+TEST(MHTest, DifferentSeedsExploreDifferently) {
+  Dataset Data = makeData(GaussTarget, 100, 33);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig C1, C2;
+  C1.Iterations = C2.Iterations = 300;
+  C1.Seed = 1;
+  C2.Seed = 2;
+  auto R1 = Synthesizer(*Sketch, {}, Data, C1).run();
+  auto R2 = Synthesizer(*Sketch, {}, Data, C2).run();
+  ASSERT_TRUE(R1.Succeeded && R2.Succeeded);
+  EXPECT_NE(toString(*R1.BestCompletions[0]),
+            toString(*R2.BestCompletions[0]));
+}
+
+TEST(MHTest, BestTraceIsMonotone) {
+  Dataset Data = makeData(GaussTarget, 100, 34);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 800;
+  Config.Seed = 9;
+  Config.TrackBestTrace = true;
+  auto Result = Synthesizer(*Sketch, {}, Data, Config).run();
+  ASSERT_TRUE(Result.Succeeded);
+  ASSERT_EQ(Result.BestTrace.size(), 800u);
+  for (size_t I = 1; I < Result.BestTrace.size(); ++I)
+    EXPECT_GE(Result.BestTrace[I], Result.BestTrace[I - 1]);
+  EXPECT_DOUBLE_EQ(Result.BestTrace.back(), Result.BestLogLikelihood);
+}
+
+TEST(MHTest, StatsAreConsistent) {
+  Dataset Data = makeData(GaussTarget, 100, 35);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 600;
+  Config.Seed = 10;
+  auto Result = Synthesizer(*Sketch, {}, Data, Config).run();
+  ASSERT_TRUE(Result.Succeeded);
+  EXPECT_EQ(Result.Stats.Proposed, 600u);
+  EXPECT_LE(Result.Stats.Accepted, Result.Stats.Proposed);
+  EXPECT_LE(Result.Stats.Invalid, Result.Stats.Proposed);
+  EXPECT_GT(Result.Stats.Scored, 0u);
+  EXPECT_GT(Result.Stats.acceptanceRate(), 0.0);
+  EXPECT_LT(Result.Stats.acceptanceRate(), 1.0);
+  EXPECT_GT(Result.Stats.Seconds, 0.0);
+  EXPECT_GT(Result.Stats.candidatesPer100Sec(), 0.0);
+}
+
+TEST(MHTest, BestProgramIsHoleFreeAndScoresAsReported) {
+  Dataset Data = makeData(GaussTarget, 100, 36);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 500;
+  Config.Seed = 11;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  auto Result = Synth.run();
+  ASSERT_TRUE(Result.Succeeded);
+  ASSERT_TRUE(Result.BestProgram);
+  auto Rescored = Synth.scoreWithMoG(*Result.BestProgram);
+  ASSERT_TRUE(Rescored);
+  EXPECT_NEAR(*Rescored, Result.BestLogLikelihood, 1e-9);
+}
+
+TEST(MHTest, InvalidSketchReportsDiagnostics) {
+  auto Sketch = parseP(R"(
+program Bad() {
+  x: real;
+  x = undeclared + ??;
+  return x;
+}
+)");
+  Dataset Data({"x"});
+  Data.addRow({0.0});
+  Synthesizer Synth(*Sketch, {}, Data, {});
+  EXPECT_FALSE(Synth.valid());
+  EXPECT_TRUE(Synth.diagnostics().hasErrors());
+  auto Result = Synth.run();
+  EXPECT_FALSE(Result.Succeeded);
+}
+
+TEST(MHTest, CustomScorerIsUsed) {
+  Dataset Data = makeData(GaussTarget, 50, 37);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 50;
+  Config.Seed = 12;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  int Calls = 0;
+  Synth.setScorer([&](const Program &) -> std::optional<double> {
+    ++Calls;
+    return -1.0;
+  });
+  auto Result = Synth.run();
+  ASSERT_TRUE(Result.Succeeded);
+  EXPECT_GT(Calls, 0);
+  EXPECT_DOUBLE_EQ(Result.BestLogLikelihood, -1.0);
+}
+
+TEST(MHTest, AllInvalidScorerFailsGracefully) {
+  Dataset Data = makeData(GaussTarget, 50, 38);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 20;
+  Config.MaxInitTries = 10;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  Synth.setScorer(
+      [](const Program &) -> std::optional<double> { return std::nullopt; });
+  auto Result = Synth.run();
+  EXPECT_FALSE(Result.Succeeded);
+}
+
+TEST(MHTest, MultiHoleSketchSynthesizesBothHoles) {
+  const char *Target = R"(
+program T() {
+  z: bool;
+  x: real;
+  z ~ Bernoulli(0.5);
+  x = ite(z, Gaussian(0.0, 1.0), Gaussian(20.0, 1.0));
+  return z, x;
+}
+)";
+  const char *SketchSource = R"(
+program S() {
+  z: bool;
+  x: real;
+  z = ??;
+  x = ??(z);
+  return z, x;
+}
+)";
+  Dataset Data = makeData(Target, 150, 39);
+  ASSERT_EQ(Data.numRows(), 150u);
+  auto Sketch = parseP(SketchSource);
+  SynthesisConfig Config;
+  Config.Iterations = 6000;
+  Config.Seed = 13;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_EQ(Synth.holeSignatures().size(), 2u);
+  auto Result = Synth.run();
+  ASSERT_TRUE(Result.Succeeded);
+
+  // The synthesized model must separate the two modes: its likelihood
+  // should beat a single-Gaussian fit by a wide margin.
+  DiagEngine Diags;
+  auto Single = parseP(R"(
+program Single() {
+  z: bool;
+  x: real;
+  z ~ Bernoulli(0.5);
+  x ~ Gaussian(10.0, 10.5);
+  return z, x;
+}
+)");
+  ASSERT_TRUE(typeCheck(*Single, Diags));
+  auto SingleLP = lowerProgram(*Single, {}, Diags);
+  auto F = LikelihoodFunction::compile(*SingleLP, Data);
+  ASSERT_TRUE(F);
+  EXPECT_GT(Result.BestLogLikelihood, F->logLikelihood(Data) + 20.0)
+      << toString(*Result.BestProgram);
+}

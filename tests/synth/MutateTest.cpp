@@ -1,0 +1,206 @@
+//===- tests/synth/MutateTest.cpp - Mutation operator unit tests ----------===//
+
+#include "synth/Mutate.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "parse/Parser.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+ExprPtr parse(const std::string &Source) {
+  DiagEngine Diags;
+  ExprPtr E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+struct MutatorHarness {
+  std::vector<HoleSignature> Sigs;
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R;
+  Mutator M;
+
+  explicit MutatorHarness(std::vector<HoleSignature> SigsIn,
+                          uint64_t Seed = 7)
+      : Sigs(std::move(SigsIn)), R(Seed), M(Sigs, Gen, Cfg, R) {}
+};
+
+} // namespace
+
+TEST(MutateTest, CollectTypedSlotsTracksKinds) {
+  ExprPtr E = parse("ite(%0 > 1.0, Gaussian(%1, 2.0), 3.0)");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  // Nodes: ite, >, %0, 1.0, Gaussian, %1, 2.0, 3.0.
+  ASSERT_EQ(Slots.size(), 8u);
+  EXPECT_EQ(Slots[0].Kind, ScalarKind::Real); // ite root
+  EXPECT_EQ(Slots[1].Kind, ScalarKind::Bool); // comparison
+  EXPECT_EQ(Slots[2].Kind, ScalarKind::Real); // %0
+  int DistParams = 0;
+  for (const TypedSlot &S : Slots)
+    DistParams += S.IsDistParam;
+  EXPECT_EQ(DistParams, 2);
+}
+
+TEST(MutateTest, VariableSwapReplacesFormal) {
+  MutatorHarness H({{0, ScalarKind::Real,
+                     {ScalarKind::Real, ScalarKind::Real}}});
+  ExprPtr E = parse("%0");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  ASSERT_TRUE(H.M.applyVariableSwap(Slots[0], H.Sigs[0]));
+  EXPECT_EQ(cast<HoleArgExpr>(*E).getArgIndex(), 1u);
+}
+
+TEST(MutateTest, VariableSwapInapplicableWithSingleFormal) {
+  MutatorHarness H({{0, ScalarKind::Real, {ScalarKind::Real}}});
+  ExprPtr E = parse("%0");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  EXPECT_FALSE(H.M.applyVariableSwap(Slots[0], H.Sigs[0]));
+}
+
+TEST(MutateTest, ConstantPerturbChangesValueOnly) {
+  MutatorHarness H({{0, ScalarKind::Real, {}}});
+  ExprPtr E = parse("11.3");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  double Before = cast<ConstExpr>(*E).getValue();
+  ASSERT_TRUE(H.M.applyConstantPerturb(Slots[0]));
+  EXPECT_TRUE(isa<ConstExpr>(E.get()));
+  EXPECT_NE(cast<ConstExpr>(*E).getValue(), Before);
+  // Perturbation is local: sigma = 1 + 0.15*11.3 ~ 2.7.
+  EXPECT_NEAR(cast<ConstExpr>(*E).getValue(), Before, 15.0);
+}
+
+TEST(MutateTest, ConstantPerturbSkipsBooleans) {
+  MutatorHarness H({{0, ScalarKind::Bool, {}}});
+  ExprPtr E = parse("true");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Bool, Slots);
+  EXPECT_FALSE(H.M.applyConstantPerturb(Slots[0]));
+}
+
+TEST(MutateTest, ConstantPerturbRoundsIntegers) {
+  MutatorHarness H({{0, ScalarKind::Int, {}}});
+  ExprPtr E = parse("5");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Int, Slots);
+  ASSERT_TRUE(H.M.applyConstantPerturb(Slots[0]));
+  double V = cast<ConstExpr>(*E).getValue();
+  EXPECT_EQ(V, std::floor(V));
+}
+
+TEST(MutateTest, OperatorSwapStaysInClass) {
+  MutatorHarness H({{0, ScalarKind::Real,
+                     {ScalarKind::Real, ScalarKind::Real}}});
+  for (int I = 0; I < 50; ++I) {
+    ExprPtr E = parse("%0 + %1");
+    std::vector<TypedSlot> Slots;
+    collectTypedSlots(E, ScalarKind::Real, Slots);
+    ASSERT_TRUE(H.M.applyOperatorSwap(Slots[0]));
+    BinaryOp Op = cast<BinaryExpr>(*E).getOp();
+    // The default generator config excludes Mul, so + only swaps to -.
+    EXPECT_TRUE(Op == BinaryOp::Sub);
+  }
+}
+
+TEST(MutateTest, OperatorSwapOnDistributions) {
+  MutatorHarness H({{0, ScalarKind::Real, {}}});
+  ExprPtr E = parse("Gaussian(1.0, 2.0)");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  ASSERT_TRUE(H.M.applyOperatorSwap(Slots[0]));
+  const auto &S = cast<SampleExpr>(*E);
+  EXPECT_NE(S.getDist(), DistKind::Gaussian);
+  EXPECT_EQ(distArity(S.getDist()), 2u);
+  EXPECT_FALSE(distReturnsBool(S.getDist()));
+  // Arguments survive the swap.
+  EXPECT_EQ(S.getNumArgs(), 2u);
+}
+
+TEST(MutateTest, OperatorSwapInapplicableToEquality) {
+  MutatorHarness H({{0, ScalarKind::Bool, {}}});
+  ExprPtr E = parse("true == false");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Bool, Slots);
+  EXPECT_FALSE(H.M.applyOperatorSwap(Slots[0]));
+}
+
+TEST(MutateTest, RegenerateKeepsKindAndRespectsRestriction) {
+  MutatorHarness H({{0, ScalarKind::Bool,
+                     {ScalarKind::Real, ScalarKind::Real}}});
+  for (int I = 0; I < 200; ++I) {
+    ExprPtr E = parse("Gaussian(%0, 15.0) > Gaussian(%1, 15.0)");
+    std::vector<TypedSlot> Slots;
+    collectTypedSlots(E, ScalarKind::Bool, Slots);
+    size_t Pick = H.R.index(Slots.size());
+    if (!H.M.applyRegenerate(Slots[Pick], H.Sigs[0]))
+      continue;
+    EXPECT_TRUE(checkCompletion(*E, H.Sigs[0])) << toString(*E);
+  }
+}
+
+TEST(MutateTest, ProposeClonesInput) {
+  MutatorHarness H({{0, ScalarKind::Real, {ScalarKind::Real}}});
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(%0, 15.0)"));
+  std::string Before = toString(*Current[0]);
+  for (int I = 0; I < 20; ++I)
+    (void)H.M.propose(Current);
+  // The current tuple is never modified in place.
+  EXPECT_EQ(toString(*Current[0]), Before);
+}
+
+TEST(MutateTest, ProposeEventuallyChangesSomething) {
+  MutatorHarness H({{0, ScalarKind::Real, {ScalarKind::Real}}});
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(%0, 15.0)"));
+  int Changed = 0;
+  for (int I = 0; I < 50; ++I) {
+    auto Proposal = H.M.propose(Current);
+    Changed += !structurallyEqual(*Proposal[0], *Current[0]);
+  }
+  EXPECT_GT(Changed, 25);
+}
+
+TEST(MutateTest, ProposeOnMultiHoleTupleTouchesBothHoles) {
+  MutatorHarness H({{0, ScalarKind::Real, {}},
+                    {1, ScalarKind::Bool, {ScalarKind::Real}}});
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(0.0, 1.0)"));
+  Current.push_back(parse("%0 > 0.5"));
+  bool Hole0Changed = false, Hole1Changed = false;
+  for (int I = 0; I < 200; ++I) {
+    auto Proposal = H.M.propose(Current);
+    Hole0Changed |= !structurallyEqual(*Proposal[0], *Current[0]);
+    Hole1Changed |= !structurallyEqual(*Proposal[1], *Current[1]);
+  }
+  EXPECT_TRUE(Hole0Changed);
+  EXPECT_TRUE(Hole1Changed);
+}
+
+TEST(MutateTest, MutationIsDeterministicUnderSeed) {
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real,
+                                      {ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R1(5), R2(5);
+  Mutator M1(Sigs, Gen, Cfg, R1), M2(Sigs, Gen, Cfg, R2);
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(%0, 15.0) + 1.0"));
+  for (int I = 0; I < 30; ++I) {
+    auto P1 = M1.propose(Current);
+    auto P2 = M2.propose(Current);
+    EXPECT_TRUE(structurallyEqual(*P1[0], *P2[0]));
+  }
+}

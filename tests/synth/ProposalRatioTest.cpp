@@ -1,0 +1,171 @@
+//===- tests/synth/ProposalRatioTest.cpp - Asymmetric MH ratio tests ------===//
+
+#include "synth/Mutate.h"
+#include "synth/Synthesizer.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+ExprPtr parse(const std::string &Source) {
+  DiagEngine Diags;
+  auto E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+} // namespace
+
+TEST(ProposalRatioTest, RatioIsResetPerProposal) {
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real,
+                                      {ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R(3);
+  Mutator M(Sigs, Gen, Cfg, R);
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(%0, 15.0)"));
+  double Previous = 0;
+  bool SawDifferent = false;
+  for (int I = 0; I < 50; ++I) {
+    (void)M.propose(Current);
+    double Ratio = M.lastProposalLogQRatio();
+    EXPECT_TRUE(std::isfinite(Ratio) || Ratio == -INFINITY ||
+                Ratio == INFINITY);
+    SawDifferent |= I > 0 && Ratio != Previous;
+    Previous = Ratio;
+  }
+  EXPECT_TRUE(SawDifferent);
+}
+
+TEST(ProposalRatioTest, VariableSwapIsSymmetric) {
+  std::vector<HoleSignature> Sigs = {
+      {0, ScalarKind::Real, {ScalarKind::Real, ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R(4);
+  Mutator M(Sigs, Gen, Cfg, R);
+  ExprPtr E = parse("%0");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  (void)M.propose([&] {
+    std::vector<ExprPtr> C;
+    C.push_back(parse("%0"));
+    return C;
+  }()); // reset
+  ASSERT_TRUE(M.applyVariableSwap(Slots[0], Sigs[0]));
+  // applyVariableSwap adds nothing beyond whatever propose() left; use
+  // a fresh check: swapping formals contributes no density terms.
+  // (The propose() call above may have mutated; re-verify directly.)
+  Rng R2(5);
+  Mutator M2(Sigs, Gen, Cfg, R2);
+  ExprPtr E2 = parse("%1");
+  std::vector<TypedSlot> Slots2;
+  collectTypedSlots(E2, ScalarKind::Real, Slots2);
+  double Before = M2.lastProposalLogQRatio();
+  ASSERT_TRUE(M2.applyVariableSwap(Slots2[0], Sigs[0]));
+  EXPECT_DOUBLE_EQ(M2.lastProposalLogQRatio(), Before);
+}
+
+TEST(ProposalRatioTest, ConstantPerturbNearlySymmetric) {
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real, {}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Cfg.ConstRelSd = 0.0; // With a fixed sigma the move is exactly
+                        // symmetric.
+  Rng R(6);
+  Mutator M(Sigs, Gen, Cfg, R);
+  ExprPtr E = parse("11.3");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  ASSERT_TRUE(M.applyConstantPerturb(Slots[0]));
+  EXPECT_NEAR(M.lastProposalLogQRatio(), 0.0, 1e-12);
+}
+
+TEST(ProposalRatioTest, RegenerateRatioMatchesGrammarDensities) {
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real,
+                                      {ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R(7);
+  Mutator M(Sigs, Gen, Cfg, R);
+  ExprPtr E = parse("Gaussian(%0, 15.0)");
+  double OldLP = grammarLogProb(*E, Sigs[0], Gen, ScalarKind::Real);
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  ASSERT_TRUE(M.applyRegenerate(Slots[0], Sigs[0]));
+  double NewLP = grammarLogProb(*E, Sigs[0], Gen, ScalarKind::Real);
+  EXPECT_NEAR(M.lastProposalLogQRatio(), OldLP - NewLP, 1e-9);
+}
+
+TEST(ProposalRatioTest, GrowShrinkAreInverseMoves) {
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real,
+                                      {ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R(8);
+  Mutator M(Sigs, Gen, Cfg, R);
+  ExprPtr E = parse("Gaussian(%0, 15.0)");
+  std::vector<TypedSlot> Slots;
+  collectTypedSlots(E, ScalarKind::Real, Slots);
+  ASSERT_TRUE(M.applyGrow(Slots[0], Sigs[0]));
+  double GrowRatio = M.lastProposalLogQRatio();
+  // Growing adds fresh subtrees, so the reverse (a 1/2 shrink) is
+  // more likely than the forward generation: ratio > 0... in log
+  // terms, -[density of generated parts] which is typically positive
+  // because densities of non-trivial trees are << 1.
+  EXPECT_TRUE(std::isfinite(GrowRatio));
+  // Now shrink back: its contribution is +[density of dropped parts].
+  std::vector<TypedSlot> GrownSlots;
+  collectTypedSlots(E, ScalarKind::Real, GrownSlots);
+  ASSERT_TRUE(M.applyShrink(GrownSlots[0]));
+  // After a grow followed by the exact inverse shrink, the summed
+  // ratio cancels (up to the branch the shrink kept).
+  EXPECT_TRUE(std::isfinite(M.lastProposalLogQRatio()));
+}
+
+TEST(ProposalRatioTest, SynthesisWithRatioStillConverges) {
+  const char *Target = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+  const char *SketchSource = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+  DiagEngine Diags;
+  auto TargetP = parseProgramSource(Target, Diags);
+  ASSERT_TRUE(typeCheck(*TargetP, Diags));
+  auto LP = lowerProgram(*TargetP, {}, Diags);
+  Rng R(41);
+  Dataset Data = generateDataset(*LP, 150, R);
+  auto F = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(F);
+  double TargetLL = F->logLikelihood(Data);
+
+  auto Sketch = parseProgramSource(SketchSource, Diags);
+  SynthesisConfig Config;
+  Config.Iterations = 4000;
+  Config.Chains = 2;
+  Config.Seed = 23;
+  Config.UseProposalRatio = true;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  auto Result = Synth.run();
+  ASSERT_TRUE(Result.Succeeded);
+  EXPECT_GT(Result.BestLogLikelihood, TargetLL - 10.0);
+}

@@ -1,0 +1,152 @@
+//===- tests/synth/SpliceTest.cpp - Completion splicing unit tests --------===//
+
+#include "synth/Splice.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+ExprPtr parseE(const std::string &Source) {
+  DiagEngine Diags;
+  auto E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+} // namespace
+
+TEST(SpliceTest, ReplacesIndependentHole) {
+  auto Sketch = parseP(R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)");
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseE("Gaussian(100.0, 10.0)"));
+  auto P = spliceCompletions(*Sketch, Completions);
+  EXPECT_TRUE(collectHoles(*P).empty());
+  EXPECT_NE(toString(*P).find("x ~ Gaussian(100.0, 10.0);"),
+            std::string::npos);
+}
+
+TEST(SpliceTest, SubstitutesActualArguments) {
+  auto Sketch = parseP(R"(
+program S(n: int, p1: int[], p2: int[]) {
+  skills: real[n];
+  r: bool;
+  skills[0] = 1.0;
+  skills[1] = 2.0;
+  r = ??(skills[p1[0]], skills[p2[0]]);
+  return r;
+}
+)");
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseE("Gaussian(%0, 15.0) > Gaussian(%1, 15.0)"));
+  auto P = spliceCompletions(*Sketch, Completions);
+  std::string Printed = toString(*P);
+  EXPECT_NE(Printed.find("r = Gaussian(skills[p1[0]], 15.0) > "
+                         "Gaussian(skills[p2[0]], 15.0);"),
+            std::string::npos);
+}
+
+TEST(SpliceTest, MultipleHolesSplicedByIdOrder) {
+  auto Sketch = parseP(R"(
+program S() {
+  x: real;
+  y: real;
+  x = ??;
+  y = ??(x);
+  return y;
+}
+)");
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseE("1.5"));
+  Completions.push_back(parseE("%0 + 2.0"));
+  auto P = spliceCompletions(*Sketch, Completions);
+  std::string Printed = toString(*P);
+  EXPECT_NE(Printed.find("x = 1.5;"), std::string::npos);
+  EXPECT_NE(Printed.find("y = x + 2.0;"), std::string::npos);
+}
+
+TEST(SpliceTest, SketchIsNotModified) {
+  auto Sketch = parseP(R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)");
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseE("3.0"));
+  std::string Before = toString(*Sketch);
+  (void)spliceCompletions(*Sketch, Completions);
+  EXPECT_EQ(toString(*Sketch), Before);
+  EXPECT_EQ(collectHoles(*Sketch).size(), 1u);
+}
+
+TEST(SpliceTest, HoleInsideLoopReplicatedPerIteration) {
+  // A single syntactic hole inside a loop body: splicing the sketch
+  // leaves one occurrence, and loop unrolling later replicates it with
+  // per-iteration actuals — the TrueSkill prior pattern.
+  auto Sketch = parseP(R"(
+program S(n: int) {
+  a: real[n];
+  for i in 0..n {
+    a[i] = ??;
+  }
+  return a;
+}
+)");
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseE("Gaussian(0.0, 1.0)"));
+  auto P = spliceCompletions(*Sketch, Completions);
+  EXPECT_TRUE(collectHoles(*P).empty());
+  EXPECT_NE(toString(*P).find("a[i] ~ Gaussian(0.0, 1.0);"),
+            std::string::npos);
+}
+
+TEST(SpliceTest, RepeatedFormalClonesActual) {
+  auto Sketch = parseP(R"(
+program S() {
+  x: real;
+  y: real;
+  x = 2.0;
+  y = ??(x);
+  return y;
+}
+)");
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseE("%0 * %0"));
+  auto P = spliceCompletions(*Sketch, Completions);
+  EXPECT_NE(toString(*P).find("y = x * x;"), std::string::npos);
+}
+
+TEST(SpliceTest, HoleInObserveCondition) {
+  auto Sketch = parseP(R"(
+program S() {
+  x: real;
+  x = 1.0;
+  observe(??(x));
+  return x;
+}
+)");
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseE("%0 > 0.0"));
+  auto P = spliceCompletions(*Sketch, Completions);
+  EXPECT_NE(toString(*P).find("observe(x > 0.0);"), std::string::npos);
+}

@@ -1,0 +1,193 @@
+//===- tests/tool/DriverTest.cpp - psketch driver end-to-end tests --------===//
+
+#include "tool/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+/// Writes a temp file and returns its path.
+std::string writeTemp(const std::string &Name, const std::string &Text) {
+  std::string Path = ::testing::TempDir() + "/" + Name;
+  std::ofstream Out(Path);
+  Out << Text;
+  return Path;
+}
+
+const char *TruthSource = R"(
+program Truth() {
+  x: real;
+  x ~ Gaussian(5.0, 2.0);
+  return x;
+}
+)";
+
+const char *SketchSource = R"(
+program Sketch() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+struct RunResult {
+  int Code;
+  std::string Out;
+  std::string Err;
+};
+
+RunResult run(const std::vector<std::string> &Args) {
+  ToolOptions Opts = ToolOptions::parse(Args);
+  std::ostringstream Out, Err;
+  int Code = runTool(Opts, Out, Err);
+  return {Code, Out.str(), Err.str()};
+}
+
+} // namespace
+
+TEST(DriverTest, PrintRoundTripsProgram) {
+  std::string Path = writeTemp("driver_print.psk", TruthSource);
+  auto R = run({"print", "--program", Path});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("x ~ Gaussian(5.0, 2.0);"), std::string::npos);
+}
+
+TEST(DriverTest, PrintRejectsMissingFile) {
+  auto R = run({"print", "--program", "/nonexistent/nope.psk"});
+  EXPECT_NE(R.Code, 0);
+  EXPECT_NE(R.Err.find("cannot open"), std::string::npos);
+}
+
+TEST(DriverTest, PrintRejectsIllTypedProgram) {
+  std::string Path = writeTemp("driver_bad.psk", R"(
+program Bad() {
+  x: real;
+  x = y;
+  return x;
+}
+)");
+  auto R = run({"print", "--program", Path});
+  EXPECT_NE(R.Code, 0);
+  EXPECT_NE(R.Err.find("undeclared"), std::string::npos);
+}
+
+TEST(DriverTest, SampleWritesCsv) {
+  std::string Prog = writeTemp("driver_sample.psk", TruthSource);
+  auto R = run({"sample", "--program", Prog, "--rows", "50", "--seed",
+                "4"});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  // Header plus 50 rows.
+  size_t Lines = 0;
+  for (char C : R.Out)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 51u);
+  EXPECT_EQ(R.Out.rfind("x\n", 0), 0u);
+}
+
+TEST(DriverTest, SampleIsSeedDeterministic) {
+  std::string Prog = writeTemp("driver_sample2.psk", TruthSource);
+  auto R1 = run({"sample", "--program", Prog, "--rows", "10", "--seed",
+                 "9"});
+  auto R2 = run({"sample", "--program", Prog, "--rows", "10", "--seed",
+                 "9"});
+  EXPECT_EQ(R1.Out, R2.Out);
+}
+
+TEST(DriverTest, ScoreReportsLikelihood) {
+  std::string Prog = writeTemp("driver_score.psk", TruthSource);
+  std::string Data = writeTemp("driver_score.csv", "x\n5.0\n6.0\n4.0\n");
+  auto R = run({"score", "--program", Prog, "--data", Data});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("rows: 3"), std::string::npos);
+  EXPECT_NE(R.Out.find("log-likelihood: "), std::string::npos);
+}
+
+TEST(DriverTest, ReportShowsSymbolicEnvironment) {
+  std::string Prog = writeTemp("driver_report.psk", TruthSource);
+  std::string Data = writeTemp("driver_report.csv", "x\n5.0\n");
+  auto R = run({"report", "--program", Prog, "--data", Data, "--slot",
+                "x"});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("x |-> MoG(1; 1 * N(5, 2))"), std::string::npos);
+}
+
+TEST(DriverTest, SynthRecoversGaussian) {
+  std::string Prog = writeTemp("driver_truth.psk", TruthSource);
+  std::string Sketch = writeTemp("driver_sketch.psk", SketchSource);
+  std::string Data = ::testing::TempDir() + "/driver_synth.csv";
+  auto Sampled = run({"sample", "--program", Prog, "--rows", "150",
+                      "--seed", "3", "--out", Data});
+  ASSERT_EQ(Sampled.Code, 0) << Sampled.Err;
+  auto R = run({"synth", "--sketch", Sketch, "--data", Data,
+                "--iterations", "2500", "--chains", "2", "--seed", "6"});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("// synthesized in "), std::string::npos);
+  EXPECT_NE(R.Out.find("program Sketch()"), std::string::npos);
+  EXPECT_EQ(R.Out.find("??"), std::string::npos) << "holes remain";
+}
+
+TEST(DriverTest, SynthWithInputsBindsParameters) {
+  std::string Prog = writeTemp("driver_param.psk", R"(
+program P(n: int) {
+  a: real[n];
+  for i in 0..n { a[i] ~ Gaussian(1.0, 1.0); }
+  return a;
+}
+)");
+  std::string SketchPath = writeTemp("driver_param_sketch.psk", R"(
+program S(n: int) {
+  a: real[n];
+  for i in 0..n { a[i] = ??; }
+  return a;
+}
+)");
+  std::string Data = ::testing::TempDir() + "/driver_param.csv";
+  auto Sampled = run({"sample", "--program", Prog, "--rows", "60",
+                      "--seed", "2", "--int", "n=2", "--out", Data});
+  ASSERT_EQ(Sampled.Code, 0) << Sampled.Err;
+  auto R = run({"synth", "--sketch", SketchPath, "--data", Data,
+                "--iterations", "1500", "--int", "n=2"});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+}
+
+TEST(DriverTest, InvalidOptionsPrintUsage) {
+  auto R = run({"bogus"});
+  EXPECT_EQ(R.Code, 2);
+  EXPECT_NE(R.Err.find("usage: psketch"), std::string::npos);
+}
+
+TEST(DriverTest, PosteriorExactForBooleanPrograms) {
+  std::string Prog = writeTemp("driver_bool.psk", R"(
+program B() {
+  a: bool;
+  b: bool;
+  a ~ Bernoulli(0.5);
+  b ~ Bernoulli(0.5);
+  observe(a || b);
+  return a, b;
+}
+)");
+  auto R = run({"posterior", "--program", Prog, "--slot", "a"});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("method: exact enumeration"), std::string::npos);
+  EXPECT_NE(R.Out.find("Pr(true) 0.666667"), std::string::npos);
+}
+
+TEST(DriverTest, PosteriorSamplesContinuousPrograms) {
+  std::string Prog = writeTemp("driver_cont.psk", TruthSource);
+  auto R = run({"posterior", "--program", Prog, "--slot", "x",
+                "--samples", "3000", "--seed", "2"});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("method: rejection sampling"), std::string::npos);
+  EXPECT_NE(R.Out.find("x: mean "), std::string::npos);
+}
+
+TEST(DriverTest, PosteriorRequiresSlot) {
+  auto R = run({"posterior", "--program", "whatever.psk"});
+  EXPECT_EQ(R.Code, 2);
+}

@@ -1,0 +1,101 @@
+//===- tests/tool/ToolOptionsTest.cpp - CLI option parsing tests ----------===//
+
+#include "tool/ToolOptions.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(ToolOptionsTest, ParsesSynthCommand) {
+  auto Opts = ToolOptions::parse({"synth", "--sketch", "s.psk", "--data",
+                                  "d.csv", "--iterations", "500",
+                                  "--chains", "3", "--seed", "9"});
+  EXPECT_TRUE(Opts.valid()) << Opts.Errors.empty();
+  EXPECT_EQ(Opts.Command, "synth");
+  EXPECT_EQ(Opts.ProgramPath, "s.psk");
+  EXPECT_EQ(Opts.DataPath, "d.csv");
+  EXPECT_EQ(Opts.Iterations, 500u);
+  EXPECT_EQ(Opts.Chains, 3u);
+  EXPECT_EQ(Opts.Seed, 9u);
+}
+
+TEST(ToolOptionsTest, ParsesScalarBindings) {
+  auto Opts = ToolOptions::parse({"sample", "--program", "p.psk", "--int",
+                                  "n=3", "--real", "x=1.5", "--bool",
+                                  "b=1"});
+  ASSERT_TRUE(Opts.valid());
+  const InputValue *N = Opts.Inputs.find("n");
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->Ty, Type::integer());
+  EXPECT_DOUBLE_EQ(N->scalar(), 3.0);
+  const InputValue *X = Opts.Inputs.find("x");
+  ASSERT_NE(X, nullptr);
+  EXPECT_EQ(X->Ty, Type::real());
+  const InputValue *B = Opts.Inputs.find("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Ty, Type::boolean());
+}
+
+TEST(ToolOptionsTest, ParsesArrayBindings) {
+  auto Opts = ToolOptions::parse({"sample", "--program", "p.psk", "--ints",
+                                  "p1=0,1,0", "--reals", "day=8,15.5",
+                                  "--bools", "r=1,0,1"});
+  ASSERT_TRUE(Opts.valid());
+  const InputValue *P1 = Opts.Inputs.find("p1");
+  ASSERT_NE(P1, nullptr);
+  EXPECT_EQ(P1->Ty, Type::array(ScalarKind::Int));
+  EXPECT_EQ(P1->Values, (std::vector<double>{0, 1, 0}));
+  const InputValue *Day = Opts.Inputs.find("day");
+  ASSERT_NE(Day, nullptr);
+  EXPECT_EQ(Day->Values, (std::vector<double>{8, 15.5}));
+}
+
+TEST(ToolOptionsTest, MissingCommand) {
+  auto Opts = ToolOptions::parse({});
+  EXPECT_FALSE(Opts.valid());
+}
+
+TEST(ToolOptionsTest, UnknownCommandRejected) {
+  auto Opts = ToolOptions::parse({"frobnicate", "--program", "x"});
+  EXPECT_FALSE(Opts.valid());
+}
+
+TEST(ToolOptionsTest, UnknownFlagRejected) {
+  auto Opts = ToolOptions::parse({"print", "--program", "x", "--what"});
+  EXPECT_FALSE(Opts.valid());
+}
+
+TEST(ToolOptionsTest, MissingRequiredDataRejected) {
+  auto Opts = ToolOptions::parse({"score", "--program", "p.psk"});
+  EXPECT_FALSE(Opts.valid());
+  auto Opts2 = ToolOptions::parse({"sample", "--program", "p.psk"});
+  EXPECT_TRUE(Opts2.valid()); // sample has no --data requirement
+}
+
+TEST(ToolOptionsTest, MalformedBindingsRejected) {
+  EXPECT_FALSE(ToolOptions::parse(
+                   {"sample", "--program", "p", "--int", "n"})
+                   .valid());
+  EXPECT_FALSE(ToolOptions::parse(
+                   {"sample", "--program", "p", "--real", "x=abc"})
+                   .valid());
+  EXPECT_FALSE(ToolOptions::parse(
+                   {"sample", "--program", "p", "--ints", "a=1,,2"})
+                   .valid());
+}
+
+TEST(ToolOptionsTest, MissingFlagValueRejected) {
+  auto Opts = ToolOptions::parse({"print", "--program"});
+  EXPECT_FALSE(Opts.valid());
+}
+
+TEST(ToolOptionsTest, SlotListAccumulates) {
+  auto Opts = ToolOptions::parse({"report", "--program", "p", "--data",
+                                  "d", "--slot", "x", "--slot", "y"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_EQ(Opts.Slots, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ToolOptionsTest, UsageIsNonEmpty) {
+  EXPECT_NE(toolUsage().find("psketch"), std::string::npos);
+}
