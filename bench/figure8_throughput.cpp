@@ -16,6 +16,7 @@
 #include "suite/Prepare.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 using namespace psketch;
@@ -24,18 +25,81 @@ namespace {
 
 double secondsPerMoGCandidate(const PreparedBenchmark &P,
                               unsigned Candidates) {
+  ColumnarDataset Cols(P.Data);
   auto Start = std::chrono::steady_clock::now();
   double Sink = 0;
   for (unsigned I = 0; I != Candidates; ++I) {
     DiagEngine Diags;
     auto LP = lowerProgram(*P.Target, P.Inputs, Diags);
     auto F = LikelihoodFunction::compile(*LP, P.Data);
-    Sink += F->logLikelihood(P.Data);
+    Sink += F->logLikelihood(Cols);
   }
   auto End = std::chrono::steady_clock::now();
   (void)Sink;
   return std::chrono::duration<double>(End - Start).count() /
          double(Candidates);
+}
+
+/// Seconds per candidate along the seed's serial scoring path:
+/// lower + compile + row-at-a-time tape evaluation.
+double secondsPerRowwiseCandidate(const PreparedBenchmark &P,
+                                  unsigned Candidates) {
+  auto Start = std::chrono::steady_clock::now();
+  double Sink = 0;
+  for (unsigned I = 0; I != Candidates; ++I) {
+    DiagEngine Diags;
+    auto LP = lowerProgram(*P.Target, P.Inputs, Diags);
+    auto F = LikelihoodFunction::compile(*LP, P.Data);
+    Sink += F->logLikelihoodRowwise(P.Data);
+  }
+  auto End = std::chrono::steady_clock::now();
+  (void)Sink;
+  return std::chrono::duration<double>(End - Start).count() /
+         double(Candidates);
+}
+
+/// Max |row-wise - batched| over per-row log-likelihoods.
+double maxPerRowDivergence(const PreparedBenchmark &P) {
+  DiagEngine Diags;
+  auto LP = lowerProgram(*P.Target, P.Inputs, Diags);
+  auto F = LikelihoodFunction::compile(*LP, P.Data);
+  ColumnarDataset Cols(P.Data);
+  std::vector<double> Batched;
+  F->logLikelihoodRows(Cols, Batched);
+  double MaxDiff = 0;
+  for (size_t R = 0; R != P.Data.numRows(); ++R)
+    MaxDiff = std::max(MaxDiff,
+                       std::fabs(F->logLikelihoodRow(P.Data.row(R)) -
+                                 Batched[R]));
+  return MaxDiff;
+}
+
+/// Candidates per 100 s of a short TrueSkill synthesis run under
+/// \p Config, with an optional row-wise scorer emulating the seed path.
+SynthesisStats trueSkillSynthStats(const PreparedBenchmark &P,
+                                   SynthesisConfig Config, bool Rowwise,
+                                   double &BestLL) {
+  Synthesizer Synth(*P.Sketch, P.Inputs, P.Data, Config);
+  if (Rowwise)
+    Synth.setScorer([&P, &Config](const Program &Cand)
+                        -> std::optional<double> {
+      DiagEngine Diags;
+      auto LP = lowerProgram(Cand, P.Inputs, Diags);
+      if (!LP)
+        return std::nullopt;
+      if (!checkDefiniteAssignment(*LP, Diags))
+        return std::nullopt;
+      auto F = LikelihoodFunction::compile(*LP, P.Data, Config.Algebra);
+      if (!F)
+        return std::nullopt;
+      double LL = F->logLikelihoodRowwise(P.Data);
+      if (std::isnan(LL))
+        return std::nullopt;
+      return LL;
+    });
+  SynthesisResult Result = Synth.run();
+  BestLL = Result.BestLogLikelihood;
+  return Result.Stats;
 }
 
 double secondsPerBaselineCandidate(const PreparedBenchmark &P) {
@@ -87,5 +151,69 @@ int main() {
   std::printf("\nspeedup range across benchmarks: %.0fx .. %.0fx "
               "(paper: ~1000x)\n",
               MinRatio, MaxRatio);
+
+  // -- Batched columnar vs row-wise scoring ------------------------------
+  // Same lower + compile per candidate; only the tape evaluation path
+  // differs.  The per-row divergence column validates that the batched
+  // evaluator reproduces row-wise results (<= 1e-12 required).
+  std::printf("\nBatched columnar vs row-wise candidate scoring "
+              "(lower + compile + evaluate):\n\n");
+  std::printf("%-14s %15s %15s %9s %12s\n", "benchmark", "rowwise/100s",
+              "batched/100s", "speedup", "max|diff|");
+  for (const Benchmark &B : allBenchmarks()) {
+    DiagEngine Diags;
+    auto P = prepareBenchmark(B, Diags);
+    if (!P)
+      continue;
+    double RowSec = secondsPerRowwiseCandidate(*P, 50);
+    double BatchSec = secondsPerMoGCandidate(*P, 50);
+    std::printf("%-14s %15.0f %15.0f %8.2fx %12.2e\n", B.Name.c_str(),
+                100.0 / RowSec, 100.0 / BatchSec, RowSec / BatchSec,
+                maxPerRowDivergence(*P));
+  }
+
+  // -- Serial seed path vs parallel + batched + cached synthesis ---------
+  // The end-to-end Figure 8 metric on TrueSkill: candidates per 100 s
+  // of the MH walk itself.  "seed" is the pre-batching configuration
+  // (row-wise scoring, one thread, no score cache); "new" is the
+  // batched scorer with Chains run on 4 pool threads and the
+  // candidate-score cache on.
+  {
+    DiagEngine Diags;
+    const Benchmark *TS = findBenchmark("TrueSkill");
+    auto P = TS ? prepareBenchmark(*TS, Diags) : std::nullopt;
+    if (P) {
+      SynthesisConfig Base = TS->Synth;
+      Base.Iterations = 1500;
+      Base.Chains = 4;
+
+      SynthesisConfig SeedCfg = Base;
+      SeedCfg.Threads = 1;
+      SeedCfg.ScoreCacheSize = 0;
+      SynthesisConfig NewCfg = Base;
+      NewCfg.Threads = 4;
+
+      double SeedLL = 0, NewLL = 0;
+      SynthesisStats SeedStats =
+          trueSkillSynthStats(*P, SeedCfg, /*Rowwise=*/true, SeedLL);
+      SynthesisStats NewStats =
+          trueSkillSynthStats(*P, NewCfg, /*Rowwise=*/false, NewLL);
+
+      std::printf("\nTrueSkill MH synthesis throughput (%u iterations x "
+                  "%u chains):\n\n",
+                  Base.Iterations, Base.Chains);
+      std::printf("  seed path (row-wise, 1 thread, no cache): "
+                  "%.0f candidates/100s (best LL %.2f)\n",
+                  SeedStats.candidatesPer100Sec(), SeedLL);
+      std::printf("  new path  (batched, 4 threads, LRU cache): "
+                  "%.0f candidates/100s (best LL %.2f, "
+                  "cache hit rate %.0f%%)\n",
+                  NewStats.candidatesPer100Sec(), NewLL,
+                  NewStats.cacheHitRate() * 100.0);
+      std::printf("  throughput ratio: %.2fx\n",
+                  NewStats.candidatesPer100Sec() /
+                      SeedStats.candidatesPer100Sec());
+    }
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "support/Casting.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace psketch;
 
@@ -228,6 +229,90 @@ size_t psketch::structuralHash(const Expr &E) {
     H = hashCombine(H, structuralHash(*Child));
   });
   return H;
+}
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Order-sensitive fold of \p V into \p Seed.
+uint64_t foldHash(uint64_t Seed, uint64_t V) {
+  return mix64(Seed ^ mix64(V));
+}
+
+uint64_t foldHash(uint64_t Seed, const std::string &S) {
+  // FNV-1a over the bytes: stable, no dependence on std::hash.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S)
+    H = (H ^ C) * 0x100000001b3ULL;
+  return foldHash(Seed, H);
+}
+
+uint64_t hashDouble(double V) {
+  // structurallyEqual compares constants with ==; canonicalize -0.0 so
+  // hashing stays consistent with it.
+  if (V == 0.0)
+    V = 0.0;
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double is not 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+} // namespace
+
+uint64_t psketch::hashExpr(const Expr &E) {
+  uint64_t H = foldHash(0x50534b45ULL /*"PSKE"*/, uint64_t(E.getKind()));
+  switch (E.getKind()) {
+  case Expr::Kind::Const: {
+    const auto &C = cast<ConstExpr>(E);
+    H = foldHash(H, hashDouble(C.getValue()));
+    H = foldHash(H, uint64_t(C.getScalarKind()));
+    break;
+  }
+  case Expr::Kind::Var:
+    H = foldHash(H, cast<VarExpr>(E).getName());
+    break;
+  case Expr::Kind::Index:
+    H = foldHash(H, cast<IndexExpr>(E).getArrayName());
+    break;
+  case Expr::Kind::HoleArg:
+    H = foldHash(H, uint64_t(cast<HoleArgExpr>(E).getArgIndex()));
+    break;
+  case Expr::Kind::Unary:
+    H = foldHash(H, uint64_t(cast<UnaryExpr>(E).getOp()));
+    break;
+  case Expr::Kind::Binary:
+    H = foldHash(H, uint64_t(cast<BinaryExpr>(E).getOp()));
+    break;
+  case Expr::Kind::Ite:
+    break;
+  case Expr::Kind::Sample:
+    H = foldHash(H, uint64_t(cast<SampleExpr>(E).getDist()));
+    break;
+  case Expr::Kind::Hole:
+    H = foldHash(H, uint64_t(cast<HoleExpr>(E).getHoleId()));
+    break;
+  }
+  uint64_t Arity = 0;
+  forEachChildSlot(const_cast<Expr &>(E), [&](ExprPtr &Child) {
+    H = foldHash(H, foldHash(Arity, hashExpr(*Child)));
+    ++Arity;
+  });
+  return foldHash(H, Arity);
+}
+
+uint64_t psketch::hashExprTuple(const std::vector<ExprPtr> &Exprs) {
+  uint64_t H = 0x54504c45ULL /*"TPLE"*/;
+  for (size_t I = 0, E = Exprs.size(); I != E; ++I)
+    H = foldHash(H, foldHash(I, hashExpr(*Exprs[I])));
+  return foldHash(H, Exprs.size());
 }
 
 void psketch::forEachStmtExprSlot(Stmt &S,

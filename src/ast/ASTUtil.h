@@ -50,6 +50,19 @@ bool structurallyEqual(const Stmt &A, const Stmt &B);
 /// Structural hash consistent with structurallyEqual.
 size_t structuralHash(const Expr &E);
 
+/// Canonical 64-bit structural hash of \p E: locations are ignored,
+/// hole formals hash by index (so alpha-identical completions hash
+/// equal), and every discriminating payload — constant value and
+/// scalar kind, operator, distribution, variable/array name, child
+/// order and arity — feeds a splitmix-style mixer.  Consistent with
+/// structurallyEqual and strong enough to key the synthesizer's
+/// candidate-score cache (see synth/ScoreCache.h).
+uint64_t hashExpr(const Expr &E);
+
+/// Position-sensitive combination of hashExpr over a completion tuple
+/// (hole-id order); the score-cache key of one candidate.
+uint64_t hashExprTuple(const std::vector<ExprPtr> &Exprs);
+
 /// Invokes \p Fn on each top-level expression slot reachable from \p S:
 /// assignment values and indices, observe conditions, if conditions, for
 /// bounds; recurses into nested blocks/ifs/fors but not into the

@@ -1,0 +1,20 @@
+//===- likelihood/ColumnarDataset.cpp - SoA view of a Dataset -------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/ColumnarDataset.h"
+
+using namespace psketch;
+
+ColumnarDataset::ColumnarDataset(const Dataset &Data)
+    : Columns(Data.numColumns()), NRows(Data.numRows()) {
+  for (std::vector<double> &Col : Columns)
+    Col.resize(NRows);
+  for (size_t R = 0; R != NRows; ++R) {
+    const std::vector<double> &Row = Data.row(R);
+    for (size_t C = 0, E = Columns.size(); C != E; ++C)
+      Columns[C][R] = Row[C];
+  }
+}

@@ -1,0 +1,57 @@
+//===- likelihood/ColumnarDataset.h - SoA view of a Dataset ---------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structure-of-arrays view of a Dataset: one contiguous double
+/// buffer per column.  The batched tape evaluator (Tape::evalBatch)
+/// walks the instruction tape once per instruction over a block of
+/// rows, so its inner loops read and write contiguous doubles — the
+/// layout this view provides.  Building the view is O(rows * cols);
+/// candidate scoring in the MH walk builds it once per synthesis run,
+/// not once per candidate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_COLUMNARDATASET_H
+#define PSKETCH_LIKELIHOOD_COLUMNARDATASET_H
+
+#include "likelihood/Dataset.h"
+
+#include <cassert>
+
+namespace psketch {
+
+/// Column-major (SoA) copy of a Dataset's values.
+class ColumnarDataset {
+public:
+  ColumnarDataset() = default;
+
+  /// Transposes \p Data into per-column buffers.
+  explicit ColumnarDataset(const Dataset &Data);
+
+  size_t numRows() const { return NRows; }
+  size_t numColumns() const { return Columns.size(); }
+  bool empty() const { return NRows == 0; }
+
+  /// Contiguous buffer of column \p Col, numRows() doubles long.
+  const double *column(size_t Col) const {
+    assert(Col < Columns.size() && "column index out of range");
+    return Columns[Col].data();
+  }
+
+  double at(size_t Row, size_t Col) const {
+    assert(Row < NRows && "row index out of range");
+    return column(Col)[Row];
+  }
+
+private:
+  std::vector<std::vector<double>> Columns; ///< [col][row].
+  size_t NRows = 0;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_COLUMNARDATASET_H

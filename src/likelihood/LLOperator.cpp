@@ -75,11 +75,41 @@ SymValue LLExecutor::evalExpr(const Expr &Ex, const Env &E) {
       Args.push_back(evalExpr(S.getArg(I), E));
     return Algebra.applyDist(S.getDist(), Args);
   }
+  case Expr::Kind::Hole: {
+    // Template execution: evaluate the hole's completion in place.
+    // The completion is closed over its formals (checkCompletion
+    // rejects free variables), so only CurHoleArgs changes context.
+    const auto &H = cast<HoleExpr>(Ex);
+    if (!Completions || H.getHoleId() >= Completions->size() ||
+        !(*Completions)[H.getHoleId()]) {
+      Malformed = true;
+      return SymValue::unit();
+    }
+    const std::vector<ExprPtr> *Saved = CurHoleArgs;
+    CurHoleArgs = &H.getArgs();
+    SymValue V = evalExpr(*(*Completions)[H.getHoleId()], E);
+    CurHoleArgs = Saved;
+    return V;
+  }
+  case Expr::Kind::HoleArg: {
+    // A hole formal `%i`: re-evaluate the hole site's i-th argument,
+    // exactly as textual substitution would have copied it here.  The
+    // argument belongs to the template, so evaluate it outside the
+    // current completion context.
+    const auto &A = cast<HoleArgExpr>(Ex);
+    if (!CurHoleArgs || A.getArgIndex() >= CurHoleArgs->size()) {
+      Malformed = true;
+      return SymValue::unit();
+    }
+    const std::vector<ExprPtr> *Saved = CurHoleArgs;
+    CurHoleArgs = nullptr;
+    SymValue V = evalExpr(*(*Saved)[A.getArgIndex()], E);
+    CurHoleArgs = Saved;
+    return V;
+  }
   case Expr::Kind::Index:
-  case Expr::Kind::HoleArg:
-  case Expr::Kind::Hole:
-    // Lowering removes all of these; seeing one means the candidate was
-    // not preprocessed correctly.
+    // Lowering removes array indexing; seeing one means the candidate
+    // was not preprocessed correctly.
     Malformed = true;
     return SymValue::unit();
   }

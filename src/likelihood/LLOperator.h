@@ -53,6 +53,14 @@ public:
   /// slot that was never written).
   std::optional<NumId> run(const LoweredProgram &LP);
 
+  /// Completion tuple for template execution: when set, hole
+  /// expressions in \p LP evaluate to their completion with each hole
+  /// formal `%i` re-evaluated from the hole site's (lowered) argument
+  /// at every occurrence — the exact semantics of textual splicing, so
+  /// a template run builds the same node sequence (and therefore the
+  /// same tape, bit for bit) as running the spliced program.
+  void setCompletions(const std::vector<ExprPtr> *C) { Completions = C; }
+
   /// After run(): the final symbolic value of \p Slot, for tests and
   /// the worked-example printer.
   const SymValue *finalValue(const std::string &Slot) const;
@@ -78,6 +86,12 @@ private:
   Env Final;
   NumId Rho = 0;
   bool Malformed = false;
+  /// Per-hole completion bodies for template execution (unowned).
+  const std::vector<ExprPtr> *Completions = nullptr;
+  /// Arguments of the hole currently being completed; hole formals
+  /// `%i` re-evaluate CurHoleArgs[i].  Saved/restored around nested
+  /// hole evaluation.
+  const std::vector<ExprPtr> *CurHoleArgs = nullptr;
 };
 
 } // namespace psketch

@@ -6,6 +6,7 @@
 
 #include "likelihood/Likelihood.h"
 
+#include <algorithm>
 #include <sstream>
 
 using namespace psketch;
@@ -23,11 +24,14 @@ psketch::observedSlots(const LoweredProgram &LP, const Dataset &Data) {
 
 std::optional<LikelihoodFunction>
 LikelihoodFunction::compile(const LoweredProgram &LP, const Dataset &Data,
-                            AlgebraConfig Config) {
+                            AlgebraConfig Config,
+                            const std::vector<ExprPtr> *Completions) {
   NumExprBuilder B;
   MoGAlgebra Algebra(B, Config);
   auto Observed = observedSlots(LP, Data);
   LLExecutor Exec(Algebra, Observed);
+  if (Completions)
+    Exec.setCompletions(Completions);
   std::optional<NumId> Root = Exec.run(LP);
   if (!Root)
     return std::nullopt;
@@ -36,16 +40,61 @@ LikelihoodFunction::compile(const LoweredProgram &LP, const Dataset &Data,
   return F;
 }
 
+namespace {
+
+/// Kahan-compensated accumulator: the sum of per-row log-likelihoods
+/// comes out the same whether rows arrive one at a time or in blocks,
+/// which keeps MH acceptance decisions independent of the evaluation
+/// path.
+struct KahanSum {
+  double Sum = 0, Comp = 0;
+  void add(double X) {
+    double Y = X - Comp;
+    double T = Sum + Y;
+    Comp = (T - Sum) - Y;
+    Sum = T;
+  }
+};
+
+} // namespace
+
 double
 LikelihoodFunction::logLikelihoodRow(const std::vector<double> &Row) const {
   return Compiled->eval(Row, Scratch);
 }
 
 double LikelihoodFunction::logLikelihood(const Dataset &Data) const {
-  double Total = 0;
+  return logLikelihood(ColumnarDataset(Data));
+}
+
+double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols) const {
+  KahanSum Total;
+  const size_t Rows = Cols.numRows();
+  BatchOut.resize(std::min(Rows, BatchBlockRows));
+  for (size_t Begin = 0; Begin < Rows; Begin += BatchBlockRows) {
+    size_t N = std::min(BatchBlockRows, Rows - Begin);
+    Compiled->evalBatch(Cols, Begin, N, BatchOut.data(), BatchScratch);
+    for (size_t I = 0; I != N; ++I)
+      Total.add(BatchOut[I]);
+  }
+  return Total.Sum;
+}
+
+void LikelihoodFunction::logLikelihoodRows(const ColumnarDataset &Cols,
+                                           std::vector<double> &Out) const {
+  const size_t Rows = Cols.numRows();
+  Out.resize(Rows);
+  for (size_t Begin = 0; Begin < Rows; Begin += BatchBlockRows) {
+    size_t N = std::min(BatchBlockRows, Rows - Begin);
+    Compiled->evalBatch(Cols, Begin, N, Out.data() + Begin, BatchScratch);
+  }
+}
+
+double LikelihoodFunction::logLikelihoodRowwise(const Dataset &Data) const {
+  KahanSum Total;
   for (const std::vector<double> &Row : Data.rows())
-    Total += Compiled->eval(Row, Scratch);
-  return Total;
+    Total.add(Compiled->eval(Row, Scratch));
+  return Total.Sum;
 }
 
 namespace {

@@ -17,6 +17,7 @@
 #ifndef PSKETCH_LIKELIHOOD_LIKELIHOOD_H
 #define PSKETCH_LIKELIHOOD_LIKELIHOOD_H
 
+#include "likelihood/ColumnarDataset.h"
 #include "likelihood/Dataset.h"
 #include "likelihood/LLOperator.h"
 #include "likelihood/Tape.h"
@@ -32,28 +33,62 @@ class LikelihoodFunction {
 public:
   /// Compiles \p LP against the columns of \p Data.  Returns nullopt
   /// when the candidate is malformed (reads an unwritten slot, contains
-  /// residual holes).
+  /// residual holes).  With \p Completions, \p LP may be a sketch
+  /// template (lowered with KeepHoles) and each hole evaluates to its
+  /// completion in place — same tape, bit for bit, as compiling the
+  /// spliced candidate, without the per-candidate splice + re-lower.
   static std::optional<LikelihoodFunction>
   compile(const LoweredProgram &LP, const Dataset &Data,
-          AlgebraConfig Config = {});
+          AlgebraConfig Config = {},
+          const std::vector<ExprPtr> *Completions = nullptr);
 
   /// log-likelihood of one row.
   double logLikelihoodRow(const std::vector<double> &Row) const;
 
   /// Sum of per-row log-likelihoods over the whole dataset (the paper's
-  /// data log-likelihood, Table 1).
+  /// data log-likelihood, Table 1).  Converts to a columnar view and
+  /// takes the batched path below.
   double logLikelihood(const Dataset &Data) const;
+
+  /// Batched sum of per-row log-likelihoods: evaluates the tape over
+  /// BatchBlockRows-row blocks of \p Cols (Tape::evalBatch) and sums
+  /// with a Kahan-compensated accumulator, so the total is independent
+  /// of the block size and stable enough for MH acceptance decisions.
+  double logLikelihood(const ColumnarDataset &Cols) const;
+
+  /// Row-at-a-time reference sum (same per-row values, same Kahan
+  /// accumulation order as the batched path); kept for the Figure 8
+  /// batched-vs-row-wise comparison.
+  double logLikelihoodRowwise(const Dataset &Data) const;
+
+  /// Per-row log-likelihoods via the batched evaluator, one entry per
+  /// row of \p Cols (benches and tests validating batched-vs-row-wise
+  /// agreement).
+  void logLikelihoodRows(const ColumnarDataset &Cols,
+                         std::vector<double> &Out) const;
+
+  /// Rows per evalBatch block: large enough that the per-instruction
+  /// dispatch amortizes, small enough that a tape-size x block scratch
+  /// stays in cache.
+  static constexpr size_t BatchBlockRows = 256;
 
   /// Instruction count of the compiled tape.
   size_t tapeSize() const { return Compiled->size(); }
+
+  /// The compiled tape (introspection: benches report how much of a
+  /// candidate's tape the batched evaluator hoists as row-invariant).
+  const Tape &tape() const { return *Compiled; }
 
 private:
   LikelihoodFunction() = default;
 
   std::shared_ptr<Tape> Compiled;
-  // Scratch buffer reused across rows (mutable: evaluation is
-  // const).
+  // Scratch buffers reused across calls (mutable: evaluation is
+  // const).  They make one LikelihoodFunction instance non-reentrant;
+  // concurrent chains each compile their own instance (DESIGN.md §6).
   mutable std::vector<double> Scratch;
+  mutable std::vector<double> BatchScratch;
+  mutable std::vector<double> BatchOut;
 };
 
 /// Builds the observed-slot map: every dataset column that names a slot

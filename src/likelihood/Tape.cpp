@@ -40,7 +40,76 @@ Tape::Tape(const NumExprBuilder &B, NumId Root) {
     Renumber[Id] = NumId(Code.size());
     Code.push_back(N);
   }
+
+  // Row-invariance analysis: an instruction's value is the same for
+  // every data row iff it is not a DataRef and none of its transitive
+  // operands is.  Invariant instructions are evaluated once per
+  // evalBatch call; the varying ones get densely renumbered row-block
+  // registers so the batched scratch matrix only holds what actually
+  // varies.
+  RowInvariant.resize(Code.size(), 0);
+  VecSlot.resize(Code.size(), 0);
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const NumNode &N = Code[I];
+    bool Invariant;
+    if (N.Op == NumOp::DataRef)
+      Invariant = false;
+    else if (N.Op == NumOp::Const)
+      Invariant = true;
+    else
+      Invariant = RowInvariant[N.A] &&
+                  (!numOpIsBinary(N.Op) || RowInvariant[N.B]);
+    RowInvariant[I] = Invariant ? 1 : 0;
+    if (!Invariant)
+      VecSlot[I] = uint32_t(NumVarying++);
+  }
 }
+
+namespace {
+
+/// One scalar step of the tape machine; shared by the row-invariant
+/// hoist in evalBatch.  Performs exactly the IEEE operation the per-row
+/// interpreter would, so hoisted values are bitwise identical.
+double evalScalarOp(NumOp Op, double A, double B, double Value) {
+  switch (Op) {
+  case NumOp::Const:
+    return Value;
+  case NumOp::DataRef:
+    assert(false && "data references are never row-invariant");
+    return 0.0;
+  case NumOp::Add:
+    return A + B;
+  case NumOp::Sub:
+    return A - B;
+  case NumOp::Mul:
+    return A * B;
+  case NumOp::Div:
+    return A / B;
+  case NumOp::Neg:
+    return -A;
+  case NumOp::Abs:
+    return std::fabs(A);
+  case NumOp::Log:
+    return std::log(A);
+  case NumOp::Exp:
+    return std::exp(A);
+  case NumOp::Sqrt:
+    return std::sqrt(A);
+  case NumOp::Erf:
+    return std::erf(A);
+  case NumOp::Max:
+    return A > B ? A : B;
+  case NumOp::Min:
+    return A < B ? A : B;
+  case NumOp::Gt:
+    return A > B ? 1.0 : 0.0;
+  case NumOp::Eq:
+    return A == B ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+} // namespace
 
 double Tape::eval(const std::vector<double> &Row,
                   std::vector<double> &Scratch) const {
@@ -108,4 +177,135 @@ double Tape::eval(const std::vector<double> &Row,
 double Tape::eval(const std::vector<double> &Row) const {
   std::vector<double> Scratch;
   return eval(Row, Scratch);
+}
+
+void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
+                     double *Out, std::vector<double> &Scratch) const {
+  if (N == 0)
+    return;
+  if (Code.empty()) {
+    for (size_t R = 0; R != N; ++R)
+      Out[R] = 0.0;
+    return;
+  }
+  // Scratch layout: one N-wide row-block register per *varying*
+  // instruction, one N-wide broadcast buffer for invariant operands of
+  // mixed instructions, then one scalar slot per instruction for the
+  // hoisted row-invariant values.
+  Scratch.resize(NumVarying * N + N + Code.size());
+  double *S = Scratch.data();
+  double *Bcast = S + NumVarying * N;
+  double *U = Bcast + N;
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const NumNode &Ins = Code[I];
+    if (RowInvariant[I]) {
+      // Parameter-only subexpression: evaluate once, not once per row.
+      const double OpA = Ins.Op == NumOp::Const ? 0.0 : U[Ins.A];
+      const double OpB = numOpIsBinary(Ins.Op) ? U[Ins.B] : 0.0;
+      U[I] = evalScalarOp(Ins.Op, OpA, OpB, Ins.Value);
+      continue;
+    }
+    double *R = S + size_t(VecSlot[I]) * N;
+    if (Ins.Op == NumOp::DataRef) {
+      size_t Slot = size_t(Ins.Value);
+      assert(Slot < Cols.numColumns() && "data reference outside row");
+      const double *Col = Cols.column(Slot) + Begin;
+      for (size_t J = 0; J != N; ++J)
+        R[J] = Col[J];
+      continue;
+    }
+    // A varying instruction has at least one varying operand, so at
+    // most one operand needs the broadcast buffer.
+    const double *A;
+    const double *B = nullptr;
+    if (RowInvariant[Ins.A]) {
+      const double V = U[Ins.A];
+      for (size_t J = 0; J != N; ++J)
+        Bcast[J] = V;
+      A = Bcast;
+    } else {
+      A = S + size_t(VecSlot[Ins.A]) * N;
+    }
+    if (numOpIsBinary(Ins.Op)) {
+      if (RowInvariant[Ins.B]) {
+        const double V = U[Ins.B];
+        for (size_t J = 0; J != N; ++J)
+          Bcast[J] = V;
+        B = Bcast;
+      } else {
+        B = S + size_t(VecSlot[Ins.B]) * N;
+      }
+    }
+    switch (Ins.Op) {
+    case NumOp::Const:
+    case NumOp::DataRef:
+      break; // Handled above: Const is always invariant.
+    case NumOp::Add:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] + B[J];
+      break;
+    case NumOp::Sub:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] - B[J];
+      break;
+    case NumOp::Mul:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] * B[J];
+      break;
+    case NumOp::Div:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] / B[J];
+      break;
+    case NumOp::Neg:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = -A[J];
+      break;
+    case NumOp::Abs:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::fabs(A[J]);
+      break;
+    case NumOp::Log:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::log(A[J]);
+      break;
+    case NumOp::Exp:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::exp(A[J]);
+      break;
+    case NumOp::Sqrt:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::sqrt(A[J]);
+      break;
+    case NumOp::Erf:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::erf(A[J]);
+      break;
+    case NumOp::Max:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] > B[J] ? A[J] : B[J];
+      break;
+    case NumOp::Min:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] < B[J] ? A[J] : B[J];
+      break;
+    case NumOp::Gt:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] > B[J] ? 1.0 : 0.0;
+      break;
+    case NumOp::Eq:
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] == B[J] ? 1.0 : 0.0;
+      break;
+    }
+  }
+  const size_t Root = Code.size() - 1;
+  if (RowInvariant[Root]) {
+    const double V = U[Root];
+    for (size_t J = 0; J != N; ++J)
+      Out[J] = V;
+    return;
+  }
+  const double *Last = S + size_t(VecSlot[Root]) * N;
+  for (size_t J = 0; J != N; ++J)
+    Out[J] = Last[J];
 }

@@ -17,8 +17,10 @@
 #ifndef PSKETCH_LIKELIHOOD_TAPE_H
 #define PSKETCH_LIKELIHOOD_TAPE_H
 
+#include "likelihood/ColumnarDataset.h"
 #include "symbolic/NumExpr.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace psketch {
@@ -38,11 +40,35 @@ public:
   double eval(const std::vector<double> &Row,
               std::vector<double> &Scratch) const;
 
-  /// Convenience evaluation with internal scratch (allocates).
+  /// Convenience evaluation with internal scratch (allocates; hot loops
+  /// must use the Scratch-supplied overload or evalBatch).
   double eval(const std::vector<double> &Row) const;
+
+  /// Batched evaluation of rows [Begin, Begin + N) of \p Cols: the tape
+  /// is walked once per *instruction*, each instruction looping over
+  /// the whole row block with contiguous loads/stores, so the inner
+  /// loops auto-vectorize.  Row-invariant instructions (parameter-only
+  /// subexpressions, e.g. a candidate's log-variance term) are computed
+  /// once per call instead of once per row; the result of every IEEE
+  /// operation is input-deterministic, so per-row results stay identical
+  /// bit-for-bit to row-wise eval.  Results land in Out[0..N).
+  /// \p Scratch is caller-provided and resized as needed.
+  void evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
+                 double *Out, std::vector<double> &Scratch) const;
+
+  /// Number of instructions whose value does not depend on the data row
+  /// (hoisted out of the per-row loop by evalBatch).
+  size_t numRowInvariant() const { return Code.size() - NumVarying; }
 
 private:
   std::vector<NumNode> Code; ///< Operands renumbered into tape space.
+  /// Per instruction: true when the value is the same for every data
+  /// row (no DataRef in its transitive operands).
+  std::vector<uint8_t> RowInvariant;
+  /// Per instruction: index of its row-block register in the batched
+  /// scratch matrix (meaningful only for varying instructions).
+  std::vector<uint32_t> VecSlot;
+  size_t NumVarying = 0; ///< Number of row-varying instructions.
 };
 
 } // namespace psketch

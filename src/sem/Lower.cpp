@@ -29,8 +29,9 @@ std::string slotName(const std::string &Array, long Index) {
 
 class Lowerer {
 public:
-  Lowerer(const Program &P, const InputBindings &Inputs, DiagEngine &Diags)
-      : P(P), Inputs(Inputs), Diags(Diags) {}
+  Lowerer(const Program &P, const InputBindings &Inputs, DiagEngine &Diags,
+          bool KeepHoles)
+      : P(P), Inputs(Inputs), Diags(Diags), KeepHoles(KeepHoles) {}
 
   std::unique_ptr<LoweredProgram> run();
 
@@ -50,6 +51,7 @@ private:
   DiagEngine &Diags;
   LoweredProgram *LP = nullptr;
   std::unordered_map<std::string, long> LoopVals;
+  bool KeepHoles = false;
 };
 
 bool Lowerer::registerSlots(LoweredProgram &Out) {
@@ -246,8 +248,29 @@ ExprPtr Lowerer::lowerExpr(const Expr &E) {
     return std::make_unique<SampleExpr>(S.getDist(), std::move(Args),
                                         E.getLoc());
   }
+  case Expr::Kind::Hole: {
+    if (!KeepHoles) {
+      Diags.error(E.getLoc(),
+                  "holes must be instantiated before lowering");
+      return nullptr;
+    }
+    // Template mode: keep the hole, lower its arguments in this
+    // unrolling context so each site's references are resolved.
+    const auto &H = cast<HoleExpr>(E);
+    std::vector<ExprPtr> Args;
+    Args.reserve(H.getNumArgs());
+    for (const ExprPtr &A : H.getArgs()) {
+      ExprPtr LA = lowerExpr(*A);
+      if (!LA)
+        return nullptr;
+      Args.push_back(std::move(LA));
+    }
+    auto Out = std::make_unique<HoleExpr>(H.getHoleId(), std::move(Args),
+                                          E.getLoc());
+    Out->setExpectedKind(H.getExpectedKind());
+    return Out;
+  }
   case Expr::Kind::HoleArg:
-  case Expr::Kind::Hole:
     Diags.error(E.getLoc(),
                 "holes must be instantiated before lowering");
     return nullptr;
@@ -445,8 +468,8 @@ bool checkStmts(const std::vector<StmtPtr> &Stmts,
 
 std::unique_ptr<LoweredProgram>
 psketch::lowerProgram(const Program &P, const InputBindings &Inputs,
-                      DiagEngine &Diags) {
-  Lowerer L(P, Inputs, Diags);
+                      DiagEngine &Diags, bool KeepHoles) {
+  Lowerer L(P, Inputs, Diags, KeepHoles);
   auto Result = L.run();
   if (Diags.hasErrors())
     return nullptr;

@@ -60,9 +60,18 @@ struct LoweredProgram {
 /// Lowers \p P under \p Inputs.  \p P must be hole-free and well typed.
 /// Returns nullptr and reports to \p Diags on failure (unbound inputs,
 /// non-constant loop bounds or array indices, out-of-bounds accesses).
+///
+/// With \p KeepHoles, hole expressions survive lowering with their
+/// arguments lowered in place (loop unrolling resolves each hole
+/// site's argument references individually).  This produces a sketch
+/// *template*: the synthesizer lowers the sketch once and the symbolic
+/// executor plugs completion tuples into the template per candidate,
+/// instead of re-splicing and re-lowering the AST for every proposal.
+/// Holes in structural positions (loop bounds, array sizes or indices)
+/// still fail to lower; callers fall back to per-candidate splicing.
 std::unique_ptr<LoweredProgram>
 lowerProgram(const Program &P, const InputBindings &Inputs,
-             DiagEngine &Diags);
+             DiagEngine &Diags, bool KeepHoles = false);
 
 /// Checks definite assignment on a lowered program: every slot read is
 /// written on all paths beforehand, and every returned slot is written.

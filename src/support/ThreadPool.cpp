@@ -1,0 +1,67 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace psketch;
+
+unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned Count = resolveThreadCount(Threads);
+  Workers.reserve(Count);
+  for (unsigned I = 0; I != Count; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mtx);
+    Stopping = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::unique_lock<std::mutex> Lock(Mtx);
+    Jobs.push_back(std::move(Job));
+    ++Outstanding;
+  }
+  JobReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mtx);
+  JobsDone.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mtx);
+      JobReady.wait(Lock, [this] { return Stopping || !Jobs.empty(); });
+      if (Jobs.empty())
+        return; // Stopping and drained.
+      Job = std::move(Jobs.front());
+      Jobs.pop_front();
+    }
+    Job();
+    {
+      std::unique_lock<std::mutex> Lock(Mtx);
+      if (--Outstanding == 0)
+        JobsDone.notify_all();
+    }
+  }
+}

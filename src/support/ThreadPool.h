@@ -1,0 +1,69 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool (no OpenMP dependency) used to run
+/// independent MH chains concurrently.  Jobs are opaque closures;
+/// completion is observed with wait().  The pool makes no ordering or
+/// affinity promises — callers that need determinism must make each
+/// job independent (own RNG stream, own output slot) and merge results
+/// in a fixed order after wait(), which is exactly what
+/// Synthesizer::run does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_THREADPOOL_H
+#define PSKETCH_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psketch {
+
+/// Fixed-size pool; threads are started in the constructor and joined
+/// in the destructor.
+class ThreadPool {
+public:
+  /// Starts \p Threads workers; 0 means hardware_concurrency (at least
+  /// one worker either way).
+  explicit ThreadPool(unsigned Threads);
+
+  /// Drains pending jobs (waits for them) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Job for execution on some worker.
+  void submit(std::function<void()> Job);
+
+  /// Blocks until every submitted job has finished.
+  void wait();
+
+  unsigned size() const { return unsigned(Workers.size()); }
+
+  /// Resolves a thread-count knob: 0 means hardware_concurrency.
+  static unsigned resolveThreadCount(unsigned Requested);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Jobs;
+  std::mutex Mtx;
+  std::condition_variable JobReady;  ///< Signals workers.
+  std::condition_variable JobsDone;  ///< Signals wait().
+  size_t Outstanding = 0; ///< Queued + running jobs.
+  bool Stopping = false;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_THREADPOOL_H

@@ -133,15 +133,36 @@ double applyBinary(NumOp Op, double A, double B) {
 } // namespace
 
 NumId NumExprBuilder::intern(NumNode N) {
-  uint64_t H = hashNode(N);
-  std::vector<NumId> &Bucket = Buckets[H];
-  for (NumId Id : Bucket)
-    if (sameNode(Nodes[Id], N))
-      return Id;
+  if (Table.empty()) {
+    Table.assign(256, 0);
+    TableMask = Table.size() - 1;
+  } else if ((Nodes.size() + 1) * 4 > Table.size() * 3) {
+    growTable();
+  }
+  size_t Slot = hashNode(N) & TableMask;
+  while (uint32_t Entry = Table[Slot]) {
+    if (sameNode(Nodes[Entry - 1], N))
+      return Entry - 1;
+    Slot = (Slot + 1) & TableMask;
+  }
   NumId Id = NumId(Nodes.size());
   Nodes.push_back(N);
-  Bucket.push_back(Id);
+  Table[Slot] = Id + 1;
   return Id;
+}
+
+void NumExprBuilder::growTable() {
+  std::vector<uint32_t> Old = std::move(Table);
+  Table.assign(Old.size() * 2, 0);
+  TableMask = Table.size() - 1;
+  for (uint32_t Entry : Old) {
+    if (!Entry)
+      continue;
+    size_t Slot = hashNode(Nodes[Entry - 1]) & TableMask;
+    while (Table[Slot])
+      Slot = (Slot + 1) & TableMask;
+    Table[Slot] = Entry;
+  }
 }
 
 bool NumExprBuilder::isConst(NumId Id, double &V) const {

@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace psketch {
@@ -117,9 +116,15 @@ public:
 
 private:
   NumId intern(NumNode N);
+  void growTable();
 
   std::vector<NumNode> Nodes;
-  std::unordered_map<uint64_t, std::vector<NumId>> Buckets;
+  /// Open-addressed hash-consing index (linear probing, power-of-two
+  /// capacity).  Entries store id + 1; 0 marks an empty slot.  A flat
+  /// table keeps interning allocation-free on the hot synthesis path,
+  /// where a builder lives for exactly one candidate compilation.
+  std::vector<uint32_t> Table;
+  size_t TableMask = 0;
 };
 
 } // namespace psketch

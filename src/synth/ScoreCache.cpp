@@ -1,0 +1,34 @@
+//===- synth/ScoreCache.cpp - LRU memo table for candidate scores ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/ScoreCache.h"
+
+using namespace psketch;
+
+std::optional<ScoreCache::Score> ScoreCache::lookup(uint64_t Key) {
+  auto It = Map.find(Key);
+  if (It == Map.end())
+    return std::nullopt;
+  Order.splice(Order.begin(), Order, It->second);
+  return It->second->second;
+}
+
+void ScoreCache::insert(uint64_t Key, Score S) {
+  if (Cap == 0)
+    return;
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    It->second->second = S;
+    Order.splice(Order.begin(), Order, It->second);
+    return;
+  }
+  if (Map.size() == Cap) {
+    Map.erase(Order.back().first);
+    Order.pop_back();
+  }
+  Order.emplace_front(Key, S);
+  Map[Key] = Order.begin();
+}

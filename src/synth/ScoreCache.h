@@ -1,0 +1,66 @@
+//===- synth/ScoreCache.h - LRU memo table for candidate scores -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An LRU memo table from completion-tuple hashes (ast/ASTUtil's
+/// hashExprTuple) to candidate scores.  The MH walk of Algorithm 1
+/// frequently revisits completions — a rejected proposal leaves the
+/// chain where it was, and Operation-1/-3 mutations often undo each
+/// other — so memoizing log Pr(D | P[H]) skips the lower + compile +
+/// evaluate pipeline for every revisit.  Invalid candidates (nullopt
+/// scores) are memoized too: re-proposing a known-bad completion costs
+/// one hash instead of one lowering attempt.
+///
+/// Scoring is deterministic, so a hit returns exactly the double a
+/// recompute would produce; cache size only affects speed, never
+/// results.  Each chain owns a private cache (no locking, and hit/miss
+/// counters stay deterministic under Threads > 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_SCORECACHE_H
+#define PSKETCH_SYNTH_SCORECACHE_H
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+namespace psketch {
+
+/// Fixed-capacity LRU map from 64-bit candidate keys to scores.
+class ScoreCache {
+public:
+  /// A cached score: nullopt marks a candidate that scored invalid.
+  using Score = std::optional<double>;
+
+  explicit ScoreCache(size_t Capacity) : Cap(Capacity) {}
+
+  size_t capacity() const { return Cap; }
+  size_t size() const { return Map.size(); }
+
+  /// Returns the memoized score of \p Key and marks it most recently
+  /// used; outer nullopt means "not cached".
+  std::optional<Score> lookup(uint64_t Key);
+
+  /// Memoizes \p Key -> \p S, evicting the least recently used entry
+  /// when full.  Inserting an existing key refreshes its recency.
+  void insert(uint64_t Key, Score S);
+
+  /// True when \p Key is resident (does not touch recency; tests).
+  bool contains(uint64_t Key) const { return Map.count(Key) != 0; }
+
+private:
+  using Entry = std::pair<uint64_t, Score>;
+
+  size_t Cap;
+  std::list<Entry> Order; ///< Most recently used at the front.
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Map;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_SCORECACHE_H

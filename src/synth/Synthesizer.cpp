@@ -6,14 +6,30 @@
 
 #include "synth/Synthesizer.h"
 
+#include "ast/ASTUtil.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
 using namespace psketch;
 
+/// Per-chain results: best state, per-chain counters, and the chain's
+/// *local* best-so-far trace.  run() merges outcomes in chain order, so
+/// the merged result is a pure function of the seeds — independent of
+/// how many pool threads executed the chains.
+struct Synthesizer::ChainOutcome {
+  bool Succeeded = false;
+  std::vector<ExprPtr> BestCompletions;
+  double BestLogLikelihood = -std::numeric_limits<double>::infinity();
+  SynthesisStats Stats; ///< Seconds unused (timed around the whole run).
+  std::vector<double> Trace; ///< Chain-local best-so-far per iteration.
+};
+
 Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
                          const Dataset &Data, SynthesisConfig Config)
-    : Sketch(SketchIn.clone()), Inputs(Inputs), Data(Data),
+    : Sketch(SketchIn.clone()), Inputs(Inputs), Data(Data), ColData(Data),
       Config(std::move(Config)) {
   auto SigsOpt = typeCheck(*Sketch, Diags);
   if (!SigsOpt)
@@ -31,6 +47,34 @@ Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
   Score = [this](const Program &Candidate) {
     return scoreWithMoG(Candidate);
   };
+  // Lower the sketch once as a template (holes kept in place).  The
+  // validity of lowering and definite assignment cannot depend on the
+  // completions — they are closed over their hole formals — so both are
+  // decided here, and per-candidate scoring plugs the tuple straight
+  // into the symbolic executor.  Sketches with holes in structural
+  // positions (loop bounds, array indices) fail template lowering and
+  // fall back to per-candidate splice + lower.
+  DiagEngine TemplateDiags;
+  Template = lowerProgram(*Sketch, this->Inputs, TemplateDiags,
+                          /*KeepHoles=*/true);
+  if (Template) {
+    DiagEngine DADiags;
+    TemplateDefAssignOK = checkDefiniteAssignment(*Template, DADiags);
+  }
+}
+
+std::optional<double> Synthesizer::scoreWithTemplate(
+    const std::vector<ExprPtr> &Completions) const {
+  if (!TemplateDefAssignOK)
+    return std::nullopt;
+  auto F = LikelihoodFunction::compile(*Template, Data, Config.Algebra,
+                                       &Completions);
+  if (!F)
+    return std::nullopt;
+  double LL = F->logLikelihood(ColData);
+  if (std::isnan(LL))
+    return std::nullopt;
+  return LL;
 }
 
 std::optional<double>
@@ -44,7 +88,7 @@ Synthesizer::scoreWithMoG(const Program &Candidate) const {
   auto F = LikelihoodFunction::compile(*LP, Data, Config.Algebra);
   if (!F)
     return std::nullopt;
-  double LL = F->logLikelihood(Data);
+  double LL = F->logLikelihood(ColData);
   if (std::isnan(LL))
     return std::nullopt;
   return LL;
@@ -58,18 +102,49 @@ bool Synthesizer::completionsValid(
   return true;
 }
 
-void Synthesizer::runChain(uint64_t Seed, SynthesisResult &Result) {
+void Synthesizer::runChain(uint64_t Seed, ChainOutcome &Out) const {
   Rng R(Seed);
   Mutator Mut(Sigs, Config.Gen, Config.Mut, R);
+  ScoreCache Cache(Config.ScoreCacheSize);
 
   auto RecordBest = [&](const std::vector<ExprPtr> &Completions, double LL) {
-    if (Result.Succeeded && LL <= Result.BestLogLikelihood)
+    if (Out.Succeeded && LL <= Out.BestLogLikelihood)
       return;
-    Result.BestCompletions.clear();
+    Out.BestCompletions.clear();
     for (const ExprPtr &C : Completions)
-      Result.BestCompletions.push_back(C->clone());
-    Result.BestLogLikelihood = LL;
-    Result.Succeeded = true;
+      Out.BestCompletions.push_back(C->clone());
+    Out.BestLogLikelihood = LL;
+    Out.Succeeded = true;
+  };
+
+  // Score one completion tuple, memoized on the tuple's structural
+  // hash.  Scoring is deterministic, so a hit returns the exact double
+  // a recompute would.  With the lowered template available (and the
+  // default scorer), the tuple is scored in place — no per-candidate
+  // splice, lower, or definite-assignment pass — which is
+  // bitwise-identical to scoring the spliced program.
+  const bool UseTemplate = !CustomScorer && Template != nullptr;
+  auto ScoreOnce =
+      [&](const std::vector<ExprPtr> &Completions) -> std::optional<double> {
+    ++Out.Stats.Scored;
+    if (UseTemplate)
+      return scoreWithTemplate(Completions);
+    auto Spliced = spliceCompletions(*Sketch, Completions);
+    return Score(*Spliced);
+  };
+  auto ScoreCompletions =
+      [&](const std::vector<ExprPtr> &Completions) -> std::optional<double> {
+    if (Cache.capacity() == 0)
+      return ScoreOnce(Completions);
+    uint64_t Key = hashExprTuple(Completions);
+    if (auto Hit = Cache.lookup(Key)) {
+      ++Out.Stats.CacheHits;
+      return *Hit;
+    }
+    ++Out.Stats.CacheMisses;
+    auto LL = ScoreOnce(Completions);
+    Cache.insert(Key, LL);
+    return LL;
   };
 
   // Algorithm 1, line 2: H ~ Sigma_P[.] — draw until the tuple passes
@@ -86,9 +161,7 @@ void Synthesizer::runChain(uint64_t Seed, SynthesisResult &Result) {
     }
     if (!completionsValid(Candidate))
       continue;
-    auto Spliced = spliceCompletions(*Sketch, Candidate);
-    auto LL = Score(*Spliced);
-    ++Result.Stats.Scored;
+    auto LL = ScoreCompletions(Candidate);
     if (!LL)
       continue;
     Current = std::move(Candidate);
@@ -102,15 +175,13 @@ void Synthesizer::runChain(uint64_t Seed, SynthesisResult &Result) {
   for (unsigned Iter = 0; Iter != Config.Iterations; ++Iter) {
     // Line 4: H' := mutate(H).
     std::vector<ExprPtr> Proposal = Mut.propose(Current);
-    ++Result.Stats.Proposed;
+    ++Out.Stats.Proposed;
     if (!completionsValid(Proposal)) {
-      ++Result.Stats.Invalid;
+      ++Out.Stats.Invalid;
     } else {
-      auto Spliced = spliceCompletions(*Sketch, Proposal);
-      auto LL = Score(*Spliced);
-      ++Result.Stats.Scored;
+      auto LL = ScoreCompletions(Proposal);
       if (!LL) {
-        ++Result.Stats.Invalid;
+        ++Out.Stats.Invalid;
       } else {
         // Line 5: accept with min(1, ratio); with a uniform prior the
         // ratio is the likelihood ratio times (optionally) the
@@ -121,7 +192,7 @@ void Synthesizer::runChain(uint64_t Seed, SynthesisResult &Result) {
         if (LogAlpha >= 0 || std::log(R.uniform()) < LogAlpha) {
           Current = std::move(Proposal);
           CurrentLL = *LL;
-          ++Result.Stats.Accepted;
+          ++Out.Stats.Accepted;
         }
       }
     }
@@ -129,7 +200,7 @@ void Synthesizer::runChain(uint64_t Seed, SynthesisResult &Result) {
     // the best current state seen so far.
     RecordBest(Current, CurrentLL);
     if (Config.TrackBestTrace)
-      Result.BestTrace.push_back(Result.BestLogLikelihood);
+      Out.Trace.push_back(Out.BestLogLikelihood);
   }
 }
 
@@ -138,8 +209,49 @@ SynthesisResult Synthesizer::run() {
   if (!SketchValid)
     return Result;
   auto Start = std::chrono::steady_clock::now();
-  for (unsigned Chain = 0; Chain != std::max(Config.Chains, 1u); ++Chain)
-    runChain(Config.Seed + Chain, Result);
+
+  const unsigned Chains = std::max(Config.Chains, 1u);
+  std::vector<ChainOutcome> Outcomes(Chains);
+  const unsigned Threads =
+      std::min(ThreadPool::resolveThreadCount(Config.Threads), Chains);
+  if (Threads <= 1) {
+    for (unsigned Chain = 0; Chain != Chains; ++Chain)
+      runChain(Config.Seed + Chain, Outcomes[Chain]);
+  } else {
+    ThreadPool Pool(Threads);
+    for (unsigned Chain = 0; Chain != Chains; ++Chain)
+      Pool.submit([this, Chain, &Outcomes] {
+        runChain(Config.Seed + Chain, Outcomes[Chain]);
+      });
+    Pool.wait();
+  }
+
+  // Merge in chain order: stats sum; the trace entry at iteration i of
+  // chain c is the best over chains < c and chain c's own first i
+  // iterations (exactly what a serial run interleaving RecordBest
+  // across chains would have recorded); best state goes to the
+  // earliest chain on ties.
+  for (ChainOutcome &Out : Outcomes) {
+    Result.Stats.Proposed += Out.Stats.Proposed;
+    Result.Stats.Accepted += Out.Stats.Accepted;
+    Result.Stats.Invalid += Out.Stats.Invalid;
+    Result.Stats.Scored += Out.Stats.Scored;
+    Result.Stats.CacheHits += Out.Stats.CacheHits;
+    Result.Stats.CacheMisses += Out.Stats.CacheMisses;
+    if (Config.TrackBestTrace) {
+      double PrefixBest = Result.BestLogLikelihood; // -inf before any win.
+      for (double E : Out.Trace)
+        Result.BestTrace.push_back(std::max(PrefixBest, E));
+    }
+    if (Out.Succeeded &&
+        (!Result.Succeeded ||
+         Out.BestLogLikelihood > Result.BestLogLikelihood)) {
+      Result.BestCompletions = std::move(Out.BestCompletions);
+      Result.BestLogLikelihood = Out.BestLogLikelihood;
+      Result.Succeeded = true;
+    }
+  }
+
   auto End = std::chrono::steady_clock::now();
   Result.Stats.Seconds =
       std::chrono::duration<double>(End - Start).count();

@@ -25,6 +25,7 @@
 
 #include "likelihood/Likelihood.h"
 #include "synth/Mutate.h"
+#include "synth/ScoreCache.h"
 #include "synth/Splice.h"
 
 #include <functional>
@@ -44,6 +45,20 @@ struct SynthesisConfig {
   /// the best state across chains is returned.  Chain c uses seed
   /// Seed + c.
   unsigned Chains = 1;
+
+  /// Worker threads running the restarts concurrently; 0 means
+  /// hardware_concurrency.  Chains are fully independent (own RNG
+  /// stream seeded Seed + c, own stats, own best state) and their
+  /// results are merged in chain order after the join, so any Threads
+  /// value produces results identical to Threads = 1.  With
+  /// Threads > 1 a replaced scorer (setScorer) must be thread-safe.
+  unsigned Threads = 1;
+
+  /// Capacity of the per-chain LRU candidate-score cache keyed by the
+  /// structural hash of the completion tuple (ast/ASTUtil hashExprTuple);
+  /// 0 disables memoization.  Scoring is deterministic, so the cache
+  /// changes cost only, never results.
+  size_t ScoreCacheSize = 4096;
 
   /// Seed for the whole run (initial draw, proposals, acceptances).
   uint64_t Seed = 1;
@@ -68,18 +83,26 @@ struct SynthesisConfig {
 
 /// Counters and timing of one run.
 struct SynthesisStats {
-  unsigned Proposed = 0;  ///< Mutation proposals drawn.
-  unsigned Accepted = 0;  ///< Proposals accepted by the MH ratio.
-  unsigned Invalid = 0;   ///< Proposals rejected by the validity filter.
-  unsigned Scored = 0;    ///< Candidates whose likelihood was evaluated.
-  double Seconds = 0;     ///< Wall-clock of the MH loop.
+  unsigned Proposed = 0;   ///< Mutation proposals drawn.
+  unsigned Accepted = 0;   ///< Proposals accepted by the MH ratio.
+  unsigned Invalid = 0;    ///< Proposals rejected by the validity filter.
+  unsigned Scored = 0;     ///< Candidates whose likelihood was evaluated.
+  unsigned CacheHits = 0;  ///< Candidates answered by the score cache.
+  unsigned CacheMisses = 0; ///< Cache probes that fell through to scoring.
+  double Seconds = 0;      ///< Wall-clock of the MH loop.
 
   /// The Figure 8 metric, scaled to the paper's reporting window.
+  /// Cache hits count as evaluated candidates: a hit hands the walk a
+  /// usable score exactly as an evaluation would.
   double candidatesPer100Sec() const {
-    return Seconds > 0 ? double(Scored) / Seconds * 100.0 : 0;
+    return Seconds > 0 ? double(Scored + CacheHits) / Seconds * 100.0 : 0;
   }
   double acceptanceRate() const {
     return Proposed ? double(Accepted) / double(Proposed) : 0;
+  }
+  double cacheHitRate() const {
+    unsigned Probes = CacheHits + CacheMisses;
+    return Probes ? double(CacheHits) / double(Probes) : 0;
   }
 };
 
@@ -109,8 +132,13 @@ public:
   bool valid() const { return SketchValid; }
   const DiagEngine &diagnostics() const { return Diags; }
 
-  /// Replaces the likelihood scorer (Figure 8 baseline mode).
-  void setScorer(Scorer S) { Score = std::move(S); }
+  /// Replaces the likelihood scorer (Figure 8 baseline mode).  A custom
+  /// scorer receives the spliced candidate program, so this also turns
+  /// off the lowered-template scoring shortcut.
+  void setScorer(Scorer S) {
+    Score = std::move(S);
+    CustomScorer = true;
+  }
 
   /// The default MoG-likelihood scoring of one candidate (exposed so
   /// benches can time scoring in isolation).
@@ -122,17 +150,39 @@ public:
   const std::vector<HoleSignature> &holeSignatures() const { return Sigs; }
 
 private:
+  /// Everything one chain produces; chains never see each other's
+  /// state, which is what makes the Threads knob result-neutral.
+  struct ChainOutcome;
+
   bool completionsValid(const std::vector<ExprPtr> &Completions) const;
-  void runChain(uint64_t Seed, SynthesisResult &Result);
+
+  /// Runs one MH chain.  Const and self-contained (own RNG, own
+  /// mutator, own score cache) so chains can run on pool threads.
+  void runChain(uint64_t Seed, ChainOutcome &Out) const;
+
+  /// Scores one completion tuple against the lowered sketch template
+  /// (no per-candidate splice/lower; bitwise-identical to splicing).
+  std::optional<double>
+  scoreWithTemplate(const std::vector<ExprPtr> &Completions) const;
 
   std::unique_ptr<Program> Sketch;
   InputBindings Inputs;
   const Dataset &Data;
+  ColumnarDataset ColData; ///< SoA view feeding Tape::evalBatch.
   SynthesisConfig Config;
   std::vector<HoleSignature> Sigs;
   Scorer Score;
   DiagEngine Diags;
   bool SketchValid = false;
+
+  /// The sketch lowered once with holes kept in place (nullptr when the
+  /// sketch has holes in structural positions and every candidate must
+  /// be spliced + re-lowered instead).  Completions are closed over
+  /// their formals, so lowering and definite assignment are computed
+  /// once here instead of once per candidate.
+  std::unique_ptr<LoweredProgram> Template;
+  bool TemplateDefAssignOK = false;
+  bool CustomScorer = false;
 };
 
 } // namespace psketch

@@ -149,6 +149,7 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
   SynthesisConfig Config;
   Config.Iterations = Opts.Iterations;
   Config.Chains = Opts.Chains;
+  Config.Threads = Opts.Threads;
   Config.Seed = Opts.Seed;
   Synthesizer Synth(*Sketch, Opts.Inputs, *Data, Config);
   if (!Synth.valid()) {
@@ -162,7 +163,8 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
     return 1;
   }
   Out << "// synthesized in " << Result.Stats.Seconds << " s; "
-      << Result.Stats.Scored << " candidates scored; log-likelihood "
+      << Result.Stats.Scored << " candidates scored; "
+      << Result.Stats.CacheHits << " cache hits; log-likelihood "
       << Result.BestLogLikelihood << "\n";
   Out << toString(*Result.BestProgram);
   if (!Opts.OutPath.empty()) {

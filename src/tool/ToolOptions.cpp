@@ -68,7 +68,7 @@ std::string psketch::toolUsage() {
          "  score  --program FILE --data FILE.csv\n"
          "  report --program FILE --data FILE.csv [--slot NAME ...]\n"
          "  synth  --sketch FILE --data FILE.csv [--iterations N]\n"
-         "         [--chains N] [--seed S]\n"
+         "         [--chains N] [--seed S] [--threads N (0 = all cores)]\n"
          "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
          "inputs: --int n=3 --real x=1.5 --bool b=1\n"
          "        --ints a=0,1 --reals a=1.5,2 --bools a=1,0\n";
@@ -115,7 +115,7 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.Slots.push_back(Value);
     } else if (Flag == "--rows" || Flag == "--iterations" ||
                Flag == "--chains" || Flag == "--seed" ||
-               Flag == "--samples") {
+               Flag == "--samples" || Flag == "--threads") {
       if (!NextValue(I, Flag, Value))
         continue;
       auto V = parseNumber(Value);
@@ -132,6 +132,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.Iterations = unsigned(*V);
       else if (Flag == "--chains")
         Opts.Chains = unsigned(*V);
+      else if (Flag == "--threads")
+        Opts.Threads = unsigned(*V);
       else
         Opts.Seed = uint64_t(*V);
     } else if (Flag == "--int" || Flag == "--real" || Flag == "--bool") {

@@ -15,6 +15,7 @@
 ///   psketch report --program FILE --data FILE.csv [--slot NAME ...]
 ///   psketch synth  --sketch FILE --data FILE.csv
 ///                  [--iterations N] [--chains N] [--seed S]
+///                  [--threads N]
 ///   psketch posterior --program FILE --slot NAME [--samples N]
 ///                  [--seed S]
 ///
@@ -45,6 +46,7 @@ struct ToolOptions {
   unsigned Samples = 20000; ///< --samples (posterior).
   unsigned Iterations = 4000;
   unsigned Chains = 2;
+  unsigned Threads = 1; ///< --threads; 0 = hardware_concurrency.
   uint64_t Seed = 1;
   InputBindings Inputs;
 

@@ -1,0 +1,94 @@
+//===- tests/ast/HashExprTest.cpp - Canonical structural hash tests -------===//
+
+#include "ast/ASTUtil.h"
+
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+ExprPtr parse(const std::string &Source) {
+  DiagEngine Diags;
+  ExprPtr E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+} // namespace
+
+TEST(HashExprTest, IgnoresLocationsAndWhitespace) {
+  EXPECT_EQ(hashExpr(*parse("x + 1.0 * y")), hashExpr(*parse("x   +   1.0*y")));
+  EXPECT_EQ(hashExpr(*parse("ite(a, b, c)")), hashExpr(*parse("ite( a,b , c )")));
+}
+
+TEST(HashExprTest, AlphaIdenticalCompletionsHashEqual) {
+  // Completions reference hole formals by index, so two textually
+  // separate parses of the same completion are alpha-identical and
+  // must collide.
+  EXPECT_EQ(hashExpr(*parse("%0 + Gaussian(%1, 1.0)")),
+            hashExpr(*parse("%0 + Gaussian(%1, 1.0)")));
+  EXPECT_NE(hashExpr(*parse("%0 + Gaussian(%1, 1.0)")),
+            hashExpr(*parse("%1 + Gaussian(%0, 1.0)")));
+}
+
+TEST(HashExprTest, ConstValueDiscriminates) {
+  EXPECT_NE(hashExpr(*parse("1.0")), hashExpr(*parse("2.0")));
+  EXPECT_NE(hashExpr(*parse("x + 1.0")), hashExpr(*parse("x + 1.5")));
+}
+
+TEST(HashExprTest, NegativeZeroHashesLikeZero) {
+  // structurallyEqual compares constants with ==, under which -0.0 and
+  // 0.0 are equal; the hash must agree.
+  auto A = std::make_unique<ConstExpr>(0.0, ScalarKind::Real);
+  auto B = std::make_unique<ConstExpr>(-0.0, ScalarKind::Real);
+  ASSERT_TRUE(structurallyEqual(*A, *B));
+  EXPECT_EQ(hashExpr(*A), hashExpr(*B));
+}
+
+TEST(HashExprTest, OpKindDiscriminates) {
+  EXPECT_NE(hashExpr(*parse("x + y")), hashExpr(*parse("x - y")));
+  EXPECT_NE(hashExpr(*parse("x + y")), hashExpr(*parse("x * y")));
+  EXPECT_NE(hashExpr(*parse("Gaussian(x, 1.0)")),
+            hashExpr(*parse("Gamma(x, 1.0)")));
+}
+
+TEST(HashExprTest, ChildOrderDiscriminates) {
+  EXPECT_NE(hashExpr(*parse("x - y")), hashExpr(*parse("y - x")));
+  EXPECT_NE(hashExpr(*parse("ite(a, b, c)")), hashExpr(*parse("ite(a, c, b)")));
+}
+
+TEST(HashExprTest, VariableNameDiscriminates) {
+  EXPECT_NE(hashExpr(*parse("x")), hashExpr(*parse("y")));
+}
+
+TEST(HashExprTest, ConsistentWithStructuralEquality) {
+  const char *Sources[] = {"x", "y", "x + y", "y + x", "1.0", "2.0",
+                           "ite(a, b, c)", "Gaussian(x, 1.0)", "%0 + %1"};
+  for (const char *SA : Sources)
+    for (const char *SB : Sources) {
+      ExprPtr A = parse(SA), B = parse(SB);
+      if (structurallyEqual(*A, *B))
+        EXPECT_EQ(hashExpr(*A), hashExpr(*B)) << SA << " vs " << SB;
+      else
+        EXPECT_NE(hashExpr(*A), hashExpr(*B)) << SA << " vs " << SB;
+    }
+}
+
+TEST(HashExprTest, TupleHashIsOrderAndAritySensitive) {
+  std::vector<ExprPtr> AB, BA, A;
+  AB.push_back(parse("x"));
+  AB.push_back(parse("y"));
+  BA.push_back(parse("y"));
+  BA.push_back(parse("x"));
+  A.push_back(parse("x"));
+  EXPECT_NE(hashExprTuple(AB), hashExprTuple(BA));
+  EXPECT_NE(hashExprTuple(AB), hashExprTuple(A));
+
+  std::vector<ExprPtr> AB2;
+  AB2.push_back(parse("x"));
+  AB2.push_back(parse("y"));
+  EXPECT_EQ(hashExprTuple(AB), hashExprTuple(AB2));
+}

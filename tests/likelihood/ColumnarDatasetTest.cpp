@@ -1,0 +1,118 @@
+//===- tests/likelihood/ColumnarDatasetTest.cpp - SoA view + evalBatch ----===//
+
+#include "likelihood/ColumnarDataset.h"
+
+#include "likelihood/Likelihood.h"
+#include "suite/Prepare.h"
+#include "support/Rng.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(ColumnarDatasetTest, RoundTripMatchesDatasetAt) {
+  Dataset Data({"a", "b", "c"});
+  Rng R(21);
+  for (int I = 0; I != 17; ++I)
+    Data.addRow({R.uniform(-5, 5), R.uniform(-5, 5), double(I)});
+  ColumnarDataset Cols(Data);
+  ASSERT_EQ(Cols.numRows(), Data.numRows());
+  ASSERT_EQ(Cols.numColumns(), Data.numColumns());
+  for (size_t Row = 0; Row != Data.numRows(); ++Row) {
+    EXPECT_EQ(Cols.at(Row, 0), Data.at(Row, "a"));
+    EXPECT_EQ(Cols.at(Row, 1), Data.at(Row, "b"));
+    EXPECT_EQ(Cols.at(Row, 2), Data.at(Row, "c"));
+  }
+}
+
+TEST(ColumnarDatasetTest, EmptyDataset) {
+  Dataset Data({"x"});
+  ColumnarDataset Cols(Data);
+  EXPECT_TRUE(Cols.empty());
+  EXPECT_EQ(Cols.numColumns(), 1u);
+}
+
+TEST(ColumnarDatasetTest, EvalBatchMatchesRowwiseOnRandomTapes) {
+  // Random DAGs over two columns, a dataset spanning several 256-row
+  // blocks (including a ragged tail), per-row agreement must be exact.
+  Rng R(77);
+  Dataset Data({"c0", "c1"});
+  for (int I = 0; I != 600; ++I)
+    Data.addRow({R.uniform(-3, 3), R.uniform(0.1, 4)});
+  ColumnarDataset Cols(Data);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    NumExprBuilder B;
+    std::vector<NumId> Pool = {B.dataRef(0), B.dataRef(1),
+                               B.constant(R.uniform(-2, 2))};
+    for (int I = 0; I != 25; ++I) {
+      NumId X = Pool[R.index(Pool.size())];
+      NumId Y = Pool[R.index(Pool.size())];
+      switch (R.index(6)) {
+      case 0:
+        Pool.push_back(B.add(X, Y));
+        break;
+      case 1:
+        Pool.push_back(B.mul(X, Y));
+        break;
+      case 2:
+        Pool.push_back(B.sub(X, Y));
+        break;
+      case 3:
+        Pool.push_back(B.exp(B.neg(B.abs(X))));
+        break;
+      case 4:
+        Pool.push_back(B.log(B.add(B.abs(X), B.constant(1.0))));
+        break;
+      case 5:
+        Pool.push_back(B.max(X, Y));
+        break;
+      }
+    }
+    Tape T(B, Pool.back());
+    std::vector<double> Scratch, BatchScratch, Out(Data.numRows());
+    T.evalBatch(Cols, 0, Data.numRows(), Out.data(), BatchScratch);
+    for (size_t Row = 0; Row != Data.numRows(); ++Row)
+      EXPECT_EQ(T.eval(Data.row(Row), Scratch), Out[Row])
+          << "trial " << Trial << " row " << Row;
+  }
+}
+
+TEST(ColumnarDatasetTest, EvalBatchHonorsBeginOffset) {
+  NumExprBuilder B;
+  NumId Root = B.mul(B.dataRef(0), B.constant(3.0));
+  Tape T(B, Root);
+  Dataset Data({"x"});
+  for (int I = 0; I != 10; ++I)
+    Data.addRow({double(I)});
+  ColumnarDataset Cols(Data);
+  std::vector<double> Scratch, Out(4);
+  T.evalBatch(Cols, 5, 4, Out.data(), Scratch);
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_DOUBLE_EQ(Out[I], 3.0 * double(5 + I));
+}
+
+TEST(ColumnarDatasetTest, BatchedAgreesWithRowwiseOnEveryBenchmark) {
+  // The acceptance gate of the batched evaluator: per-row and summed
+  // log-likelihoods along both paths agree on all 16 paper benchmarks.
+  for (const Benchmark &B : allBenchmarks()) {
+    DiagEngine Diags;
+    auto P = prepareBenchmark(B, Diags);
+    ASSERT_TRUE(P) << B.Name << ": " << Diags.str();
+    auto F = LikelihoodFunction::compile(*P->TargetLowered, P->Data);
+    ASSERT_TRUE(F) << B.Name;
+    ColumnarDataset Cols(P->Data);
+    std::vector<double> Batched;
+    F->logLikelihoodRows(Cols, Batched);
+    ASSERT_EQ(Batched.size(), P->Data.numRows());
+    for (size_t Row = 0; Row != P->Data.numRows(); ++Row) {
+      double Rowwise = F->logLikelihoodRow(P->Data.row(Row));
+      EXPECT_NEAR(Rowwise, Batched[Row], 1e-12)
+          << B.Name << " row " << Row;
+    }
+    EXPECT_NEAR(F->logLikelihood(Cols), F->logLikelihoodRowwise(P->Data),
+                1e-12)
+        << B.Name;
+    EXPECT_EQ(F->logLikelihood(Cols), F->logLikelihood(P->Data)) << B.Name;
+  }
+}

@@ -1,0 +1,62 @@
+//===- tests/support/ThreadPoolTest.cpp - Worker pool unit tests ----------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(ThreadPoolTest, RunsEveryJob) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.size(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoJobsReturnsImmediately) {
+  ThreadPool Pool(2);
+  Pool.wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, JobsWriteDisjointSlots) {
+  // The synthesizer's usage pattern: each job owns one output slot;
+  // after wait() every slot is filled.
+  ThreadPool Pool(3);
+  std::vector<int> Slots(64, 0);
+  for (size_t I = 0; I != Slots.size(); ++I)
+    Pool.submit([&Slots, I] { Slots[I] = int(I) + 1; });
+  Pool.wait();
+  for (size_t I = 0; I != Slots.size(); ++I)
+    EXPECT_EQ(Slots[I], int(I) + 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int Wave = 0; Wave != 3; ++Wave) {
+    for (int I = 0; I != 10; ++I)
+      Pool.submit([&Count] { ++Count; });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), (Wave + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingJobs) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I != 20; ++I)
+      Pool.submit([&Count] { ++Count; });
+  } // No wait(): the destructor must still run everything.
+  EXPECT_EQ(Count.load(), 20);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::resolveThreadCount(5), 5u);
+  EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
+}

@@ -1,0 +1,67 @@
+//===- tests/synth/ScoreCacheTest.cpp - LRU score cache unit tests --------===//
+
+#include "synth/ScoreCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(ScoreCacheTest, MissThenHit) {
+  ScoreCache C(4);
+  EXPECT_FALSE(C.lookup(1).has_value());
+  C.insert(1, -3.5);
+  auto Hit = C.lookup(1);
+  ASSERT_TRUE(Hit.has_value());
+  ASSERT_TRUE(Hit->has_value());
+  EXPECT_DOUBLE_EQ(**Hit, -3.5);
+}
+
+TEST(ScoreCacheTest, MemoizesInvalidCandidates) {
+  ScoreCache C(4);
+  C.insert(7, std::nullopt);
+  auto Hit = C.lookup(7);
+  ASSERT_TRUE(Hit.has_value());  // Cached...
+  EXPECT_FALSE(Hit->has_value()); // ...as "scored invalid".
+}
+
+TEST(ScoreCacheTest, EvictsLeastRecentlyUsed) {
+  ScoreCache C(2);
+  C.insert(1, -1.0);
+  C.insert(2, -2.0);
+  C.insert(3, -3.0); // Evicts 1.
+  EXPECT_FALSE(C.contains(1));
+  EXPECT_TRUE(C.contains(2));
+  EXPECT_TRUE(C.contains(3));
+  EXPECT_EQ(C.size(), 2u);
+}
+
+TEST(ScoreCacheTest, LookupRefreshesRecency) {
+  ScoreCache C(2);
+  C.insert(1, -1.0);
+  C.insert(2, -2.0);
+  EXPECT_TRUE(C.lookup(1).has_value()); // 1 becomes most recent.
+  C.insert(3, -3.0);                    // Evicts 2, not 1.
+  EXPECT_TRUE(C.contains(1));
+  EXPECT_FALSE(C.contains(2));
+  EXPECT_TRUE(C.contains(3));
+}
+
+TEST(ScoreCacheTest, ReinsertUpdatesValueAndRecency) {
+  ScoreCache C(2);
+  C.insert(1, -1.0);
+  C.insert(2, -2.0);
+  C.insert(1, -9.0); // Refresh, no growth.
+  EXPECT_EQ(C.size(), 2u);
+  C.insert(3, -3.0); // Evicts 2.
+  EXPECT_FALSE(C.contains(2));
+  auto Hit = C.lookup(1);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_DOUBLE_EQ(**Hit, -9.0);
+}
+
+TEST(ScoreCacheTest, ZeroCapacityNeverStores) {
+  ScoreCache C(0);
+  C.insert(1, -1.0);
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_FALSE(C.lookup(1).has_value());
+}

@@ -1,0 +1,171 @@
+//===- tests/synth/TemplateScoringTest.cpp - Template fast path ----------===//
+//
+// The synthesizer scores candidates against the sketch lowered once as a
+// template (holes kept in place) instead of splicing + re-lowering every
+// candidate.  These tests pin the contract: the fast path is
+// bitwise-identical to spliced scoring — same accept decisions, same
+// traces, same stats — so it can never change synthesis results, only
+// cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "ast/ASTPrinter.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+uint64_t bitsOf(double X) {
+  uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  return B;
+}
+
+/// Runs the same synthesis twice — once on the template fast path
+/// (default scorer) and once with the shortcut disabled via setScorer,
+/// which forces per-candidate splice + lower with the very same MoG
+/// scoring — and requires bitwise-identical outcomes.
+void expectTemplateMatchesSpliced(const char *Target, const char *Sketch,
+                                  unsigned Iterations, uint64_t Seed) {
+  Dataset Data = makeData(Target, 120, Seed + 100);
+  auto SketchP = parseP(Sketch);
+  SynthesisConfig Config;
+  Config.Iterations = Iterations;
+  Config.Seed = Seed;
+  Config.TrackBestTrace = true;
+
+  Synthesizer Fast(*SketchP, {}, Data, Config);
+  ASSERT_TRUE(Fast.valid()) << Fast.diagnostics().str();
+
+  Synthesizer Spliced(*SketchP, {}, Data, Config);
+  ASSERT_TRUE(Spliced.valid()) << Spliced.diagnostics().str();
+  // scoreWithMoG is the default scoring; routing it through setScorer
+  // only turns off the template shortcut.
+  Spliced.setScorer([&Spliced](const Program &Candidate) {
+    return Spliced.scoreWithMoG(Candidate);
+  });
+
+  SynthesisResult RF = Fast.run();
+  SynthesisResult RS = Spliced.run();
+  ASSERT_TRUE(RF.Succeeded);
+  ASSERT_TRUE(RS.Succeeded);
+
+  EXPECT_EQ(bitsOf(RF.BestLogLikelihood), bitsOf(RS.BestLogLikelihood));
+  ASSERT_EQ(RF.BestCompletions.size(), RS.BestCompletions.size());
+  for (size_t I = 0; I != RF.BestCompletions.size(); ++I)
+    EXPECT_EQ(toString(*RF.BestCompletions[I]),
+              toString(*RS.BestCompletions[I]));
+
+  // Every iteration's best-so-far must agree bit for bit: a single
+  // accept decision that differed anywhere would fork the walks.
+  ASSERT_EQ(RF.BestTrace.size(), RS.BestTrace.size());
+  for (size_t I = 0; I != RF.BestTrace.size(); ++I)
+    ASSERT_EQ(bitsOf(RF.BestTrace[I]), bitsOf(RS.BestTrace[I]))
+        << "traces diverge at iteration " << I;
+
+  EXPECT_EQ(RF.Stats.Proposed, RS.Stats.Proposed);
+  EXPECT_EQ(RF.Stats.Accepted, RS.Stats.Accepted);
+  EXPECT_EQ(RF.Stats.Invalid, RS.Stats.Invalid);
+  EXPECT_EQ(RF.Stats.Scored, RS.Stats.Scored);
+  EXPECT_EQ(RF.Stats.CacheHits, RS.Stats.CacheHits);
+  EXPECT_EQ(RF.Stats.CacheMisses, RS.Stats.CacheMisses);
+}
+
+const char *GaussTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+
+const char *GaussSketch = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+} // namespace
+
+TEST(TemplateScoringTest, MatchesSplicedBitwise) {
+  expectTemplateMatchesSpliced(GaussTarget, GaussSketch,
+                               /*Iterations=*/600, /*Seed=*/21);
+}
+
+TEST(TemplateScoringTest, MatchesSplicedWithHoleArguments) {
+  // ??(z) exercises the %-formal path: the template evaluator must
+  // re-evaluate the hole-site argument at every occurrence inside the
+  // completion, exactly as textual substitution copies it.
+  const char *Target = R"(
+program T() {
+  z: bool;
+  x: real;
+  z ~ Bernoulli(0.5);
+  x = ite(z, Gaussian(0.0, 1.0), Gaussian(20.0, 1.0));
+  return z, x;
+}
+)";
+  const char *Sketch = R"(
+program S() {
+  z: bool;
+  x: real;
+  z = ??;
+  x = ??(z);
+  return z, x;
+}
+)";
+  expectTemplateMatchesSpliced(Target, Sketch,
+                               /*Iterations=*/600, /*Seed=*/23);
+}
+
+TEST(TemplateScoringTest, MatchesSplicedWithCacheDisabled) {
+  Dataset Data = makeData(GaussTarget, 80, 301);
+  auto SketchP = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 300;
+  Config.Seed = 9;
+  Config.ScoreCacheSize = 0; // Every score goes through the scorer.
+  Config.TrackBestTrace = true;
+
+  Synthesizer Fast(*SketchP, {}, Data, Config);
+  Synthesizer Spliced(*SketchP, {}, Data, Config);
+  Spliced.setScorer([&Spliced](const Program &Candidate) {
+    return Spliced.scoreWithMoG(Candidate);
+  });
+  SynthesisResult RF = Fast.run();
+  SynthesisResult RS = Spliced.run();
+  ASSERT_TRUE(RF.Succeeded && RS.Succeeded);
+  EXPECT_EQ(bitsOf(RF.BestLogLikelihood), bitsOf(RS.BestLogLikelihood));
+  EXPECT_EQ(RF.Stats.Scored, RS.Stats.Scored);
+  EXPECT_EQ(RF.Stats.CacheHits, 0u);
+  ASSERT_EQ(RF.BestTrace.size(), RS.BestTrace.size());
+  for (size_t I = 0; I != RF.BestTrace.size(); ++I)
+    ASSERT_EQ(bitsOf(RF.BestTrace[I]), bitsOf(RS.BestTrace[I]));
+}
