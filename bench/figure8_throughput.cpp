@@ -13,11 +13,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/GridLikelihood.h"
+#include "obs/Json.h"
 #include "suite/Prepare.h"
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 using namespace psketch;
 
@@ -122,9 +125,28 @@ double secondsPerBaselineCandidate(const PreparedBenchmark &P) {
   return PerRow * double(P.Data.numRows());
 }
 
+/// PSKETCH_BENCH_QUICK=1 shrinks the candidate / iteration budgets so
+/// CI can exercise the bench (and still upload its BENCH_*.json)
+/// without paying full measurement time.
+bool quickMode() {
+  const char *Env = std::getenv("PSKETCH_BENCH_QUICK");
+  return Env && *Env && *Env != '0';
+}
+
 } // namespace
 
 int main() {
+  const bool Quick = quickMode();
+  const unsigned Candidates = Quick ? 5 : 50;
+
+  // Machine-readable results, written to BENCH_figure8_throughput.json
+  // alongside the human-readable table.
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "figure8_throughput");
+  W.field("quick", Quick);
+  W.beginArray("benchmarks");
+
   std::printf("Figure 8: candidate programs evaluated per 100 s, with the "
               "MoG approximation\n(PSKETCH) and without it (numeric "
               "integration baseline).\n\n");
@@ -138,7 +160,7 @@ int main() {
       std::printf("%-14s PREPARE FAILED\n", B.Name.c_str());
       continue;
     }
-    double MoGSec = secondsPerMoGCandidate(*P, 50);
+    double MoGSec = secondsPerMoGCandidate(*P, Candidates);
     double BaseSec = secondsPerBaselineCandidate(*P);
     double MoGRate = 100.0 / MoGSec;
     double BaseRate = 100.0 / BaseSec;
@@ -147,7 +169,16 @@ int main() {
     MaxRatio = std::max(MaxRatio, Ratio);
     std::printf("%-14s %15.0f %15.1f %9.0fx\n", B.Name.c_str(), MoGRate,
                 BaseRate, Ratio);
+    W.beginObject()
+        .field("name", B.Name)
+        .field("mog_per_100s", MoGRate)
+        .field("baseline_per_100s", BaseRate)
+        .field("speedup", Ratio)
+        .endObject();
   }
+  W.endArray();
+  W.field("speedup_min", MinRatio);
+  W.field("speedup_max", MaxRatio);
   std::printf("\nspeedup range across benchmarks: %.0fx .. %.0fx "
               "(paper: ~1000x)\n",
               MinRatio, MaxRatio);
@@ -160,17 +191,27 @@ int main() {
               "(lower + compile + evaluate):\n\n");
   std::printf("%-14s %15s %15s %9s %12s\n", "benchmark", "rowwise/100s",
               "batched/100s", "speedup", "max|diff|");
+  W.beginArray("batched_vs_rowwise");
   for (const Benchmark &B : allBenchmarks()) {
     DiagEngine Diags;
     auto P = prepareBenchmark(B, Diags);
     if (!P)
       continue;
-    double RowSec = secondsPerRowwiseCandidate(*P, 50);
-    double BatchSec = secondsPerMoGCandidate(*P, 50);
+    double RowSec = secondsPerRowwiseCandidate(*P, Candidates);
+    double BatchSec = secondsPerMoGCandidate(*P, Candidates);
+    double MaxDiff = maxPerRowDivergence(*P);
     std::printf("%-14s %15.0f %15.0f %8.2fx %12.2e\n", B.Name.c_str(),
                 100.0 / RowSec, 100.0 / BatchSec, RowSec / BatchSec,
-                maxPerRowDivergence(*P));
+                MaxDiff);
+    W.beginObject()
+        .field("name", B.Name)
+        .field("rowwise_per_100s", 100.0 / RowSec)
+        .field("batched_per_100s", 100.0 / BatchSec)
+        .field("speedup", RowSec / BatchSec)
+        .field("max_row_divergence", MaxDiff)
+        .endObject();
   }
+  W.endArray();
 
   // -- Serial seed path vs parallel + batched + cached synthesis ---------
   // The end-to-end Figure 8 metric on TrueSkill: candidates per 100 s
@@ -184,7 +225,7 @@ int main() {
     auto P = TS ? prepareBenchmark(*TS, Diags) : std::nullopt;
     if (P) {
       SynthesisConfig Base = TS->Synth;
-      Base.Iterations = 1500;
+      Base.Iterations = Quick ? 200 : 1500;
       Base.Chains = 4;
 
       SynthesisConfig SeedCfg = Base;
@@ -213,7 +254,23 @@ int main() {
       std::printf("  throughput ratio: %.2fx\n",
                   NewStats.candidatesPer100Sec() /
                       SeedStats.candidatesPer100Sec());
+      W.beginObject("trueskill_mh")
+          .field("iterations", uint64_t(Base.Iterations))
+          .field("chains", uint64_t(Base.Chains))
+          .field("seed_per_100s", SeedStats.candidatesPer100Sec())
+          .field("new_per_100s", NewStats.candidatesPer100Sec())
+          .field("ratio", NewStats.candidatesPer100Sec() /
+                              SeedStats.candidatesPer100Sec())
+          .field("seed_best_ll", SeedLL)
+          .field("new_best_ll", NewLL)
+          .field("cache_hit_rate", NewStats.cacheHitRate())
+          .endObject();
     }
   }
+
+  W.endObject();
+  std::ofstream Json("BENCH_figure8_throughput.json");
+  Json << W.str() << "\n";
+  std::printf("\nwrote BENCH_figure8_throughput.json\n");
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "likelihood/Dataset.h"
 
+#include <cstring>
+
 using namespace psketch;
 
 Dataset::Dataset(std::vector<std::string> Columns) : Cols(std::move(Columns)) {
@@ -42,4 +44,30 @@ std::vector<double> Dataset::columnValues(const std::string &Column) const {
 void Dataset::truncate(size_t N) {
   if (N < Rows.size())
     Rows.resize(N);
+}
+
+uint64_t Dataset::fingerprint() const {
+  // FNV-1a, folding in column names (with terminators so "ab","c" and
+  // "a","bc" differ) and the raw bit pattern of every cell in row
+  // order.
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Mix = [&H](const unsigned char *Bytes, size_t N) {
+    for (size_t I = 0; I != N; ++I) {
+      H ^= Bytes[I];
+      H *= 0x100000001b3ull;
+    }
+  };
+  for (const std::string &Col : Cols) {
+    Mix(reinterpret_cast<const unsigned char *>(Col.data()), Col.size());
+    unsigned char Sep = 0;
+    Mix(&Sep, 1);
+  }
+  for (const std::vector<double> &R : Rows)
+    for (double V : R) {
+      uint64_t Bits;
+      static_assert(sizeof(Bits) == sizeof(V));
+      std::memcpy(&Bits, &V, sizeof(Bits));
+      Mix(reinterpret_cast<const unsigned char *>(&Bits), sizeof(Bits));
+    }
+  return H;
 }

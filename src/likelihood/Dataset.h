@@ -18,6 +18,7 @@
 #define PSKETCH_LIKELIHOOD_DATASET_H
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,12 @@ public:
 
   /// Keeps only the first \p N rows.
   void truncate(size_t N);
+
+  /// Order-sensitive FNV-1a hash of the column names and every cell's
+  /// bit pattern — the dataset identity recorded in a synthesis run's
+  /// trace manifest, so a trace can be matched to the exact data it
+  /// was produced from.
+  uint64_t fingerprint() const;
 
 private:
   std::vector<std::string> Cols;

@@ -6,6 +6,8 @@
 
 #include "likelihood/Likelihood.h"
 
+#include "obs/StageTimer.h"
+
 #include <algorithm>
 #include <sstream>
 
@@ -68,6 +70,9 @@ double LikelihoodFunction::logLikelihood(const Dataset &Data) const {
 }
 
 double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols) const {
+  // Charged to the EvalBatch stage when the calling chain installed a
+  // sink; a no-op (no clock read) otherwise.
+  ScopedStage Span(Stage::EvalBatch);
   KahanSum Total;
   const size_t Rows = Cols.numRows();
   BatchOut.resize(std::min(Rows, BatchBlockRows));

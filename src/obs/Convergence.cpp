@@ -1,0 +1,198 @@
+//===- obs/Convergence.cpp - MCMC convergence diagnostics -----------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+/// Splits every chain in half (dropping the middle element of odd
+/// lengths) after truncating all chains to the shortest length.
+std::vector<std::vector<double>>
+splitChains(const std::vector<std::vector<double>> &Chains) {
+  size_t MinLen = SIZE_MAX;
+  for (const auto &C : Chains)
+    MinLen = std::min(MinLen, C.size());
+  if (Chains.empty() || MinLen < 4)
+    return {};
+  size_t Half = MinLen / 2;
+  std::vector<std::vector<double>> Out;
+  Out.reserve(Chains.size() * 2);
+  for (const auto &C : Chains) {
+    Out.emplace_back(C.begin(), C.begin() + Half);
+    Out.emplace_back(C.begin() + long(MinLen - Half), C.begin() + long(MinLen));
+  }
+  return Out;
+}
+
+double mean(const std::vector<double> &Xs) {
+  double S = 0;
+  for (double X : Xs)
+    S += X;
+  return S / double(Xs.size());
+}
+
+/// Sample variance (n-1 denominator).
+double sampleVar(const std::vector<double> &Xs, double Mean) {
+  double S = 0;
+  for (double X : Xs)
+    S += (X - Mean) * (X - Mean);
+  return S / double(Xs.size() - 1);
+}
+
+/// Between/within variance decomposition of equal-length sequences.
+struct VarDecomp {
+  double W = 0;    ///< Mean within-sequence variance.
+  double VarPlus = 0; ///< Marginal posterior variance estimate.
+  size_t N = 0;    ///< Sequence length.
+  size_t M = 0;    ///< Sequence count.
+  std::vector<double> Means;
+};
+
+VarDecomp decompose(const std::vector<std::vector<double>> &Seqs) {
+  VarDecomp D;
+  D.M = Seqs.size();
+  D.N = Seqs.front().size();
+  double WSum = 0;
+  for (const auto &S : Seqs) {
+    double Mu = mean(S);
+    D.Means.push_back(Mu);
+    WSum += sampleVar(S, Mu);
+  }
+  D.W = WSum / double(D.M);
+  double Grand = mean(D.Means);
+  double B = 0; // B/n, directly.
+  for (double Mu : D.Means)
+    B += (Mu - Grand) * (Mu - Grand);
+  B /= double(D.M - 1); // = B/n in BDA3 notation.
+  D.VarPlus = double(D.N - 1) / double(D.N) * D.W + B;
+  return D;
+}
+
+/// Autocovariance of \p Xs at \p Lag (biased, 1/n normalization, as in
+/// the standard ESS estimator).
+double autoCov(const std::vector<double> &Xs, double Mean, size_t Lag) {
+  double S = 0;
+  for (size_t I = Lag, E = Xs.size(); I != E; ++I)
+    S += (Xs[I] - Mean) * (Xs[I - Lag] - Mean);
+  return S / double(Xs.size());
+}
+
+} // namespace
+
+double psketch::splitRHat(const std::vector<std::vector<double>> &Chains) {
+  auto Seqs = splitChains(Chains);
+  if (Seqs.size() < 2)
+    return std::numeric_limits<double>::quiet_NaN();
+  VarDecomp D = decompose(Seqs);
+  if (D.W <= 0) {
+    // Constant sequences: identical means converge trivially,
+    // disagreeing means never will.
+    double Lo = *std::min_element(D.Means.begin(), D.Means.end());
+    double Hi = *std::max_element(D.Means.begin(), D.Means.end());
+    return Lo == Hi ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::sqrt(D.VarPlus / D.W);
+}
+
+double
+psketch::effectiveSampleSize(const std::vector<std::vector<double>> &Chains) {
+  auto Seqs = splitChains(Chains);
+  if (Seqs.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  VarDecomp D = decompose(Seqs);
+  double Pooled = double(D.M * D.N);
+  if (D.VarPlus <= 0)
+    return Pooled; // Constant chains carry no autocorrelation signal.
+
+  // Combined autocorrelation at each lag (Stan's formulation):
+  //   rho_t = 1 - (W - mean_m acov_m(t)) / var_plus
+  // summed with Geyer's initial monotone positive pairs.
+  std::vector<double> ChainMeans = D.Means;
+  size_t MaxLag = D.N - 1;
+  double Tau = 1.0; // 1 + 2 * sum of paired correlations.
+  double PrevPair = std::numeric_limits<double>::infinity();
+  for (size_t T = 1; T + 1 <= MaxLag; T += 2) {
+    auto Rho = [&](size_t Lag) {
+      double AcovMean = 0;
+      for (size_t C = 0; C != D.M; ++C)
+        AcovMean += autoCov(Seqs[C], ChainMeans[C], Lag);
+      AcovMean /= double(D.M);
+      return 1.0 - (D.W - AcovMean) / D.VarPlus;
+    };
+    double Pair = Rho(T) + Rho(T + 1);
+    if (Pair < 0)
+      break; // Initial positive sequence ends.
+    Pair = std::min(Pair, PrevPair); // Enforce monotone decrease.
+    PrevPair = Pair;
+    Tau += 2.0 * Pair;
+  }
+  double ESS = Pooled / Tau;
+  return std::min(ESS, Pooled);
+}
+
+double psketch::windowedAcceptanceRate(const std::vector<uint8_t> &Accepts,
+                                       size_t Window) {
+  if (Accepts.empty() || Window == 0)
+    return 0;
+  size_t W = std::min(Window, Accepts.size());
+  uint64_t Hits = 0;
+  for (size_t I = Accepts.size() - W, E = Accepts.size(); I != E; ++I)
+    Hits += Accepts[I] != 0;
+  return double(Hits) / double(W);
+}
+
+ConvergenceReport psketch::computeConvergence(
+    const std::vector<std::vector<double>> &ChainLL,
+    const std::vector<std::vector<uint8_t>> &ChainAccepts, size_t Window,
+    double StuckAcceptRate) {
+  ConvergenceReport R;
+  R.Computed = !ChainLL.empty();
+  R.Window = unsigned(Window);
+  R.SplitRHat = splitRHat(ChainLL);
+  R.ESS = effectiveSampleSize(ChainLL);
+  for (size_t C = 0; C != ChainAccepts.size(); ++C)
+    R.WindowedAcceptRate.push_back(
+        windowedAcceptanceRate(ChainAccepts[C], Window));
+  for (size_t C = 0; C != ChainLL.size(); ++C) {
+    bool Stuck = false;
+    if (C < R.WindowedAcceptRate.size() && !ChainAccepts[C].empty() &&
+        R.WindowedAcceptRate[C] < StuckAcceptRate)
+      Stuck = true;
+    const std::vector<double> &LL = ChainLL[C];
+    if (LL.size() >= 4) {
+      bool Constant = true;
+      for (size_t I = LL.size() / 2 + 1, E = LL.size(); I != E; ++I)
+        if (LL[I] != LL[LL.size() / 2]) {
+          Constant = false;
+          break;
+        }
+      Stuck = Stuck || Constant;
+    }
+    if (Stuck)
+      R.StuckChains.push_back(unsigned(C));
+  }
+  return R;
+}
+
+std::string ConvergenceReport::str() const {
+  std::ostringstream OS;
+  OS << "split-R-hat " << SplitRHat << ", ESS " << ESS;
+  OS << ", windowed acceptance (last " << Window << "):";
+  for (size_t C = 0; C != WindowedAcceptRate.size(); ++C)
+    OS << " chain" << C << "=" << WindowedAcceptRate[C];
+  if (!StuckChains.empty()) {
+    OS << ", stuck:";
+    for (unsigned C : StuckChains)
+      OS << " chain" << C;
+  }
+  return OS.str();
+}

@@ -1,0 +1,85 @@
+//===- obs/Convergence.h - MCMC convergence diagnostics -------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard MCMC health diagnostics computed from the per-chain
+/// current-state log-likelihood traces of the MH walk (Section 4.4
+/// argues convergence; these make it measurable):
+///
+///  * **split-R-hat** (Gelman-Rubin with split chains, BDA3) — each
+///    chain is split in half and the between/within variance ratio is
+///    computed over the 2m half-sequences.  Values near 1 indicate the
+///    chains explore the same distribution; > ~1.05 means the walk has
+///    not mixed.
+///
+///  * **effective sample size** — m*n discounted by the chains'
+///    autocorrelation (Geyer initial-monotone-positive-pairs summation
+///    over the combined autocorrelation estimate, as in Stan).
+///
+///  * **windowed acceptance rate** — acceptance fraction over a
+///    trailing window, per chain, the walk's liveness signal.
+///
+///  * **stuck-chain detection** — a chain whose trailing window
+///    accepted (almost) nothing or whose second-half trace is constant
+///    is flagged; restarts are cheaper than waiting it out.
+///
+/// All functions are pure; the synthesizer calls computeConvergence on
+/// the deterministic merged traces, so the report is reproducible from
+/// the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_OBS_CONVERGENCE_H
+#define PSKETCH_OBS_CONVERGENCE_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Split-R-hat over \p Chains (one value series per chain; lengths may
+/// differ — all are truncated to the shortest).  Returns NaN when
+/// there is not enough data (fewer than 2 half-sequences of length 2);
+/// 1.0 when every sequence is constant and equal; +inf when chains are
+/// constant but disagree.
+double splitRHat(const std::vector<std::vector<double>> &Chains);
+
+/// Effective sample size of the pooled chains.  Returns NaN when there
+/// is not enough data; never exceeds the pooled draw count.
+double effectiveSampleSize(const std::vector<std::vector<double>> &Chains);
+
+/// Acceptance fraction of the trailing \p Window entries of
+/// \p Accepts (1 = accepted); the whole series when shorter.
+double windowedAcceptanceRate(const std::vector<uint8_t> &Accepts,
+                              size_t Window);
+
+/// The per-run convergence digest surfaced in SynthesisResult.
+struct ConvergenceReport {
+  bool Computed = false;
+  double SplitRHat = std::numeric_limits<double>::quiet_NaN();
+  double ESS = std::numeric_limits<double>::quiet_NaN();
+  unsigned Window = 0;
+  std::vector<double> WindowedAcceptRate; ///< One per chain.
+  std::vector<unsigned> StuckChains;      ///< Chain indices flagged stuck.
+
+  std::string str() const;
+};
+
+/// Computes the full report.  \p ChainLL holds each chain's
+/// current-state LL per iteration; \p ChainAccepts the matching
+/// accept flags.  A chain is flagged stuck when its trailing-window
+/// acceptance falls below \p StuckAcceptRate or the second half of its
+/// LL trace is constant.
+ConvergenceReport
+computeConvergence(const std::vector<std::vector<double>> &ChainLL,
+                   const std::vector<std::vector<uint8_t>> &ChainAccepts,
+                   size_t Window = 200, double StuckAcceptRate = 0.01);
+
+} // namespace psketch
+
+#endif // PSKETCH_OBS_CONVERGENCE_H

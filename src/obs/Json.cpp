@@ -1,0 +1,510 @@
+//===- obs/Json.cpp - Minimal JSON writing and parsing --------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <limits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace psketch;
+
+std::string psketch::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string psketch::jsonNumber(double V) {
+  if (std::isnan(V))
+    return "\"nan\"";
+  if (std::isinf(V))
+    return V > 0 ? "\"inf\"" : "\"-inf\"";
+  char Buf[40];
+  // %.17g round-trips any double; trim to the shortest representation
+  // that still parses back to the same value.
+  for (int Prec = 15; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, V);
+    if (std::strtod(Buf, nullptr) == V)
+      break;
+  }
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonValue
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Obj.find(Key);
+  return It == Obj.end() ? nullptr : &It->second;
+}
+
+std::optional<double> JsonValue::getNumber(const std::string &Key) const {
+  const JsonValue *V = get(Key);
+  if (!V)
+    return std::nullopt;
+  if (V->kind() == Kind::Number)
+    return V->number();
+  if (V->kind() == Kind::String) {
+    if (V->str() == "inf")
+      return std::numeric_limits<double>::infinity();
+    if (V->str() == "-inf")
+      return -std::numeric_limits<double>::infinity();
+    if (V->str() == "nan")
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> JsonValue::getString(const std::string &Key) const {
+  const JsonValue *V = get(Key);
+  if (!V || V->kind() != Kind::String)
+    return std::nullopt;
+  return V->str();
+}
+
+std::optional<bool> JsonValue::getBool(const std::string &Key) const {
+  const JsonValue *V = get(Key);
+  if (!V || V->kind() != Kind::Bool)
+    return std::nullopt;
+  return V->boolean();
+}
+
+std::optional<uint64_t> JsonValue::getUInt64(const std::string &Key) const {
+  const JsonValue *V = get(Key);
+  if (!V || V->kind() != Kind::Number)
+    return std::nullopt;
+  if (auto Exact = V->exactUInt64())
+    return Exact;
+  if (V->number() >= 0 && V->number() == std::floor(V->number()))
+    return uint64_t(V->number());
+  return std::nullopt;
+}
+
+JsonValue JsonValue::makeBool(bool V) {
+  JsonValue J;
+  J.K = Kind::Bool;
+  J.B = V;
+  return J;
+}
+
+JsonValue JsonValue::makeNumber(double V) {
+  JsonValue J;
+  J.K = Kind::Number;
+  J.Num = V;
+  return J;
+}
+
+JsonValue JsonValue::makeString(std::string V) {
+  JsonValue J;
+  J.K = Kind::String;
+  J.Str = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Array;
+  J.Arr = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::makeObject(std::map<std::string, JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Object;
+  J.Obj = std::move(V);
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Err)
+      : Text(Text), Err(Err) {}
+
+  std::optional<JsonValue> parse() {
+    skipWs();
+    auto V = parseValue();
+    if (!V)
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing garbage");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  void fail(const std::string &Why) {
+    if (Err.empty())
+      Err = Why + " at offset " + std::to_string(Pos);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = std::strlen(Lit);
+    if (Text.compare(Pos, N, Lit) == 0) {
+      Pos += N;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parseValue() {
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      auto S = parseString();
+      if (!S)
+        return std::nullopt;
+      return JsonValue::makeString(std::move(*S));
+    }
+    if (literal("true"))
+      return JsonValue::makeBool(true);
+    if (literal("false"))
+      return JsonValue::makeBool(false);
+    if (literal("null"))
+      return JsonValue::makeNull();
+    return parseNumber();
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return std::nullopt;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= unsigned(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= unsigned(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= unsigned(H - 'A' + 10);
+          else {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+        }
+        // The telemetry only escapes control characters, which are
+        // single-byte; emit the low byte.
+        Out += char(Code & 0xFF);
+        break;
+      }
+      default:
+        fail("bad escape");
+        return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start) {
+      fail("expected value");
+      return std::nullopt;
+    }
+    std::string Num = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double V = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size()) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    JsonValue J = JsonValue::makeNumber(V);
+    // Plain non-negative integer literals additionally keep their exact
+    // 64-bit value — a double only holds integers up to 2^53 and
+    // fingerprints use all 64 bits.
+    if (Num.find_first_not_of("0123456789") == std::string::npos &&
+        !Num.empty()) {
+      errno = 0;
+      uint64_t U = std::strtoull(Num.c_str(), &End, 10);
+      if (errno == 0 && End == Num.c_str() + Num.size())
+        J.setExactUInt64(U);
+    }
+    return J;
+  }
+
+  std::optional<JsonValue> parseObject() {
+    consume('{');
+    std::map<std::string, JsonValue> Members;
+    skipWs();
+    if (consume('}'))
+      return JsonValue::makeObject(std::move(Members));
+    while (true) {
+      skipWs();
+      auto Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipWs();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      skipWs();
+      auto V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Members[std::move(*Key)] = std::move(*V);
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return JsonValue::makeObject(std::move(Members));
+      fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parseArray() {
+    consume('[');
+    std::vector<JsonValue> Elems;
+    skipWs();
+    if (consume(']'))
+      return JsonValue::makeArray(std::move(Elems));
+    while (true) {
+      skipWs();
+      auto V = parseValue();
+      if (!V)
+        return std::nullopt;
+      Elems.push_back(std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return JsonValue::makeArray(std::move(Elems));
+      fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  const std::string &Text;
+  std::string &Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> psketch::parseJson(const std::string &Text,
+                                            std::string &Err) {
+  return Parser(Text, Err).parse();
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::comma() {
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out += ',';
+    NeedComma.back() = true;
+  }
+}
+
+void JsonWriter::key(const std::string &K) {
+  comma();
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += "\":";
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  comma();
+  Out += '{';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginObject(const std::string &Key) {
+  key(Key);
+  Out += '{';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  Out += '}';
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  comma();
+  Out += '[';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray(const std::string &Key) {
+  key(Key);
+  Out += '[';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  Out += ']';
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, double V) {
+  key(Key);
+  Out += jsonNumber(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, uint64_t V) {
+  key(Key);
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, const std::string &V) {
+  key(Key);
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, const char *V) {
+  return field(Key, std::string(V));
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, bool V) {
+  key(Key);
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::element(double V) {
+  comma();
+  Out += jsonNumber(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::element(const std::string &V) {
+  comma();
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+  return *this;
+}

@@ -1,0 +1,147 @@
+//===- obs/Json.h - Minimal JSON writing and parsing ----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON layer for the observability outputs: a
+/// streaming writer (metrics files, JSONL trace events, BENCH_*.json)
+/// and a recursive-descent parser used to round-trip those outputs in
+/// `psketch trace-stats` and the tests.  It supports exactly the JSON
+/// subset the telemetry emits — objects, arrays, strings, finite and
+/// non-finite numbers, booleans, null — and nothing more.
+///
+/// Non-finite doubles have no JSON literal; the writer emits them as
+/// the strings "inf" / "-inf" / "nan" and the value API converts them
+/// back, so log-likelihood traces survive a round trip even before the
+/// first valid candidate (best LL is -inf then).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_OBS_JSON_H
+#define PSKETCH_OBS_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(const std::string &S);
+
+/// Renders \p V with enough digits to round-trip a double exactly;
+/// non-finite values become the quoted strings "inf"/"-inf"/"nan".
+std::string jsonNumber(double V);
+
+/// An owned JSON document node.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  Kind kind() const { return K; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+
+  bool boolean() const { return B; }
+  double number() const { return Num; }
+  /// The exact unsigned value when the literal was a plain non-negative
+  /// integer that fits uint64_t (doubles lose integers above 2^53 —
+  /// dataset fingerprints need all 64 bits).
+  std::optional<uint64_t> exactUInt64() const {
+    return HasU64 ? std::optional<uint64_t>(U64) : std::nullopt;
+  }
+  void setExactUInt64(uint64_t V) {
+    HasU64 = true;
+    U64 = V;
+  }
+  const std::string &str() const { return Str; }
+  const std::vector<JsonValue> &array() const { return Arr; }
+  const std::map<std::string, JsonValue> &object() const { return Obj; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue *get(const std::string &Key) const;
+
+  /// Numeric member coercion: a Number member returns its value, and
+  /// the sentinel strings "inf"/"-inf"/"nan" convert back to doubles.
+  std::optional<double> getNumber(const std::string &Key) const;
+  std::optional<std::string> getString(const std::string &Key) const;
+  std::optional<bool> getBool(const std::string &Key) const;
+
+  /// Exact unsigned member lookup: prefers the literal's preserved
+  /// 64-bit value, falling back to the double when it is integral.
+  std::optional<uint64_t> getUInt64(const std::string &Key) const;
+
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool V);
+  static JsonValue makeNumber(double V);
+  static JsonValue makeString(std::string V);
+  static JsonValue makeArray(std::vector<JsonValue> V);
+  static JsonValue makeObject(std::map<std::string, JsonValue> V);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  bool HasU64 = false;
+  uint64_t U64 = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue> Obj;
+};
+
+/// Parses one JSON document from \p Text.  Returns nullopt and fills
+/// \p Err (with a byte offset) on malformed input or trailing garbage.
+std::optional<JsonValue> parseJson(const std::string &Text,
+                                   std::string &Err);
+
+/// An append-only JSON object/array builder that writes text directly;
+/// values appear in insertion order.  Usage:
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.field("seed", 42.0);
+///   W.field("name", "TrueSkill");
+///   W.endObject();
+///   Out << W.str();
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Object members (must be inside an object).
+  JsonWriter &field(const std::string &Key, double V);
+  JsonWriter &field(const std::string &Key, uint64_t V);
+  JsonWriter &field(const std::string &Key, const std::string &V);
+  JsonWriter &field(const std::string &Key, const char *V);
+  JsonWriter &field(const std::string &Key, bool V);
+  /// Opens a nested object/array member.
+  JsonWriter &beginObject(const std::string &Key);
+  JsonWriter &beginArray(const std::string &Key);
+
+  /// Array elements (must be inside an array).
+  JsonWriter &element(double V);
+  JsonWriter &element(const std::string &V);
+
+  const std::string &str() const { return Out; }
+
+private:
+  void comma();
+  void key(const std::string &K);
+
+  std::string Out;
+  std::vector<bool> NeedComma; ///< One entry per open scope.
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_OBS_JSON_H

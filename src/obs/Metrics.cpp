@@ -1,0 +1,100 @@
+//===- obs/Metrics.cpp - Thread-safe metrics registry ---------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+using namespace psketch;
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+HistogramMetric &MetricsRegistry::histogram(const std::string &Name,
+                                            double Lo, double Hi,
+                                            size_t Bins) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<HistogramMetric>(Lo, Hi, Bins);
+  return *Slot;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  // Snapshot Other's maps under its lock, then update self metric by
+  // metric; the metric objects themselves are individually
+  // thread-safe.
+  std::vector<std::pair<std::string, uint64_t>> OtherCounters;
+  std::vector<std::pair<std::string, const Gauge *>> OtherGauges;
+  std::vector<std::pair<std::string, Histogram>> OtherHists;
+  {
+    std::lock_guard<std::mutex> Lock(Other.M);
+    for (const auto &[Name, C] : Other.Counters)
+      OtherCounters.emplace_back(Name, C->value());
+    for (const auto &[Name, G] : Other.Gauges)
+      OtherGauges.emplace_back(Name, G.get());
+    for (const auto &[Name, H] : Other.Histograms)
+      OtherHists.emplace_back(Name, H->snapshot());
+  }
+  for (const auto &[Name, V] : OtherCounters)
+    counter(Name).add(V);
+  for (const auto &[Name, G] : OtherGauges)
+    if (G->written())
+      gauge(Name).set(G->value());
+  for (const auto &[Name, H] : OtherHists)
+    histogram(Name, H.lo(), H.hi(), H.bins()).mergeFrom(H);
+}
+
+size_t MetricsRegistry::numMetrics() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Counters.size() + Gauges.size() + Histograms.size();
+}
+
+std::string MetricsRegistry::toJson() const {
+  // Snapshot under the registry lock; maps are sorted by name already.
+  std::lock_guard<std::mutex> Lock(M);
+  JsonWriter W;
+  W.beginObject();
+  W.beginObject("counters");
+  for (const auto &[Name, C] : Counters)
+    W.field(Name, C->value());
+  W.endObject();
+  W.beginObject("gauges");
+  for (const auto &[Name, G] : Gauges)
+    W.field(Name, G->value());
+  W.endObject();
+  W.beginObject("histograms");
+  for (const auto &[Name, H] : Histograms) {
+    Histogram Snap = H->snapshot();
+    W.beginObject(Name);
+    W.field("lo", Snap.lo());
+    W.field("hi", Snap.hi());
+    W.field("total", uint64_t(Snap.total()));
+    W.field("mean", Snap.mean());
+    W.field("stddev", Snap.stddev());
+    W.beginArray("counts");
+    for (size_t I = 0, E = Snap.bins(); I != E; ++I)
+      W.element(double(Snap.count(I)));
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,149 @@
+//===- obs/Metrics.h - Thread-safe metrics registry -----------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable counterpart of SynthesisStats: a registry of
+/// named counters, gauges and histograms that a synthesis run (or a
+/// bench) populates and exports as JSON.
+///
+/// Two usage modes, matching the two threading regimes of the MH walk:
+///
+///  * **Shared registry** — registration and every update are
+///    thread-safe (atomic counters; mutexed gauges and histograms), so
+///    independent components may bump metrics on one registry
+///    concurrently.
+///
+///  * **Per-chain shards** — each MH chain owns a private registry and
+///    the synthesizer merges the shards *in chain order* after the
+///    join, next to the existing deterministic chain-merge.  merge()
+///    sums counters and histogram bins and takes the last-written
+///    gauge, so the merged registry — and its JSON rendering — is a
+///    pure function of the seeds, independent of the Threads knob.
+///
+/// Metric names are dotted lowercase paths ("synth.proposed",
+/// "synth.cache.hits"); the registry stores them in sorted order so
+/// serialization is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_OBS_METRICS_H
+#define PSKETCH_OBS_METRICS_H
+
+#include "support/Histogram.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace psketch {
+
+/// A monotonically increasing count (proposals, cache hits, ...).
+class Counter {
+public:
+  void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Value{0};
+};
+
+/// A last-value-wins measurement (best LL, wall-clock seconds, R-hat).
+class Gauge {
+public:
+  void set(double V) {
+    std::lock_guard<std::mutex> Lock(M);
+    Value = V;
+    Written = true;
+  }
+  double value() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Value;
+  }
+  bool written() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Written;
+  }
+
+private:
+  mutable std::mutex M;
+  double Value = 0;
+  bool Written = false;
+};
+
+/// A mutex-guarded support/Histogram (the registry's distributions:
+/// mutations per proposal, per-candidate scoring cost, ...).
+class HistogramMetric {
+public:
+  HistogramMetric(double Lo, double Hi, size_t Bins) : H(Lo, Hi, Bins) {}
+
+  void observe(double X) {
+    std::lock_guard<std::mutex> Lock(M);
+    H.add(X);
+  }
+
+  /// Copies out a consistent snapshot.
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return H;
+  }
+
+  /// Accumulates \p Other bin-wise; no-op when the binnings differ.
+  void mergeFrom(const Histogram &Other) {
+    std::lock_guard<std::mutex> Lock(M);
+    H.merge(Other);
+  }
+
+private:
+  mutable std::mutex M;
+  Histogram H;
+};
+
+/// Named metrics, created on first use.
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// Returns the counter named \p Name, creating it on first use.  The
+  /// returned reference stays valid for the registry's lifetime.
+  Counter &counter(const std::string &Name);
+
+  /// Returns the gauge named \p Name, creating it on first use.
+  Gauge &gauge(const std::string &Name);
+
+  /// Returns the histogram named \p Name, creating it with the given
+  /// binning on first use.  A name reused with a different binning
+  /// keeps the original binning (first registration wins).
+  HistogramMetric &histogram(const std::string &Name, double Lo, double Hi,
+                             size_t Bins);
+
+  /// Merges \p Other into this registry: counters sum, histograms with
+  /// matching binning sum bin-wise, and written gauges overwrite.
+  /// Calling merge over shards in a fixed order yields identical
+  /// contents regardless of which threads populated the shards.
+  void merge(const MetricsRegistry &Other);
+
+  /// Renders every metric as one JSON object, keys sorted:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// Histograms serialize their binning, counts and moments.
+  std::string toJson() const;
+
+  size_t numMetrics() const;
+
+private:
+  mutable std::mutex M; ///< Guards the maps, not the metric values.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> Histograms;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_OBS_METRICS_H

@@ -1,0 +1,35 @@
+//===- obs/StageTimer.cpp - RAII spans for the synthesis hot stages -------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/StageTimer.h"
+
+using namespace psketch;
+
+const char *psketch::stageName(Stage S) {
+  switch (S) {
+  case Stage::LowerCompile:
+    return "lower_compile";
+  case Stage::EvalBatch:
+    return "eval_batch";
+  case Stage::CacheProbe:
+    return "cache_probe";
+  case Stage::Splice:
+    return "splice";
+  }
+  return "unknown";
+}
+
+namespace {
+thread_local StageTimes *CurrentSink = nullptr;
+} // namespace
+
+StageTimes *psketch::threadStageTimes() { return CurrentSink; }
+
+StageTimes *psketch::setThreadStageTimes(StageTimes *T) {
+  StageTimes *Prev = CurrentSink;
+  CurrentSink = T;
+  return Prev;
+}

@@ -1,0 +1,116 @@
+//===- obs/StageTimer.h - RAII spans for the synthesis hot stages ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-stage cost accounting for the candidate-scoring pipeline.  A
+/// chain that wants timings installs a StageTimes sink in a
+/// thread-local slot; the instrumented stages (lower + compile, the
+/// batched tape evaluation, the score-cache probe, the splice
+/// fallback) open a ScopedStage that charges its lifetime to the sink.
+///
+/// The disabled path — no sink installed, which is the default — costs
+/// one thread-local load and one predictable branch per span and never
+/// reads the clock, so uninstrumented runs keep their throughput (the
+/// Figure 8 acceptance bar is < 2% regression; see DESIGN.md §8).
+///
+/// StageTimes is plain data: each chain owns one (no atomics — a chain
+/// is single-threaded) and the synthesizer merges them in chain order
+/// with the rest of the per-chain state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_OBS_STAGETIMER_H
+#define PSKETCH_OBS_STAGETIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace psketch {
+
+/// The instrumented stages of candidate scoring.
+enum class Stage : unsigned {
+  LowerCompile, ///< lowerProgram + LikelihoodFunction::compile.
+  EvalBatch,    ///< Tape::evalBatch over the dataset.
+  CacheProbe,   ///< hashExprTuple + ScoreCache lookup.
+  Splice,       ///< spliceCompletions fallback (no template).
+};
+constexpr unsigned NumStages = 4;
+
+/// Dotted metric-style name of \p S ("lower_compile", ...).
+const char *stageName(Stage S);
+
+/// Accumulated nanoseconds and span counts, one slot per Stage.
+struct StageTimes {
+  uint64_t Ns[NumStages] = {};
+  uint64_t Calls[NumStages] = {};
+
+  void merge(const StageTimes &Other) {
+    for (unsigned I = 0; I != NumStages; ++I) {
+      Ns[I] += Other.Ns[I];
+      Calls[I] += Other.Calls[I];
+    }
+  }
+
+  double seconds(Stage S) const { return double(Ns[unsigned(S)]) * 1e-9; }
+  uint64_t calls(Stage S) const { return Calls[unsigned(S)]; }
+  bool empty() const {
+    for (uint64_t C : Calls)
+      if (C)
+        return false;
+    return true;
+  }
+};
+
+/// The calling thread's active sink; nullptr when timing is off.
+StageTimes *threadStageTimes();
+
+/// Installs \p T as the calling thread's sink (nullptr disables).
+/// Returns the previous sink so nested scopes can restore it.
+StageTimes *setThreadStageTimes(StageTimes *T);
+
+/// Installs a sink for the current scope and restores the previous one
+/// on exit.  Chains use this around their whole MH loop.
+class StageTimesScope {
+public:
+  explicit StageTimesScope(StageTimes *T) : Prev(setThreadStageTimes(T)) {}
+  ~StageTimesScope() { setThreadStageTimes(Prev); }
+  StageTimesScope(const StageTimesScope &) = delete;
+  StageTimesScope &operator=(const StageTimesScope &) = delete;
+
+private:
+  StageTimes *Prev;
+};
+
+/// Charges its lifetime to the thread's sink under \p S; a no-op (no
+/// clock read) when no sink is installed.
+class ScopedStage {
+public:
+  explicit ScopedStage(Stage S) : T(threadStageTimes()), S(S) {
+    if (T)
+      Start = std::chrono::steady_clock::now();
+  }
+  ~ScopedStage() {
+    if (!T)
+      return;
+    auto End = std::chrono::steady_clock::now();
+    T->Ns[unsigned(S)] +=
+        uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     End - Start)
+                     .count());
+    ++T->Calls[unsigned(S)];
+  }
+  ScopedStage(const ScopedStage &) = delete;
+  ScopedStage &operator=(const ScopedStage &) = delete;
+
+private:
+  StageTimes *T;
+  Stage S;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_OBS_STAGETIMER_H

@@ -1,0 +1,244 @@
+//===- obs/Trace.cpp - JSONL chain-trace events ----------------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace psketch;
+
+const char *psketch::traceOutcomeName(TraceOutcome O) {
+  switch (O) {
+  case TraceOutcome::Accept:
+    return "accept";
+  case TraceOutcome::Reject:
+    return "reject";
+  case TraceOutcome::Invalid:
+    return "invalid";
+  }
+  return "unknown";
+}
+
+std::optional<TraceOutcome>
+psketch::parseTraceOutcome(const std::string &Name) {
+  if (Name == "accept")
+    return TraceOutcome::Accept;
+  if (Name == "reject")
+    return TraceOutcome::Reject;
+  if (Name == "invalid")
+    return TraceOutcome::Invalid;
+  return std::nullopt;
+}
+
+std::string psketch::traceManifestLine(const RunManifest &M) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("type", "manifest");
+  W.field("seed", M.Seed);
+  W.field("iterations", uint64_t(M.Iterations));
+  W.field("chains", uint64_t(M.Chains));
+  W.field("threads", uint64_t(M.Threads));
+  W.field("sketch", M.Sketch);
+  W.field("dataset_rows", M.DatasetRows);
+  W.field("dataset_cols", M.DatasetCols);
+  W.field("dataset_fingerprint", M.DatasetFingerprint);
+  W.field("score_cache", M.ScoreCacheSize);
+  W.field("proposal_ratio", M.UseProposalRatio);
+  W.endObject();
+  return W.str();
+}
+
+std::string psketch::traceEventLine(const TraceEvent &E) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("type", "event");
+  W.field("chain", uint64_t(E.Chain));
+  W.field("iter", uint64_t(E.Iter));
+  W.field("mutation", E.Mutation);
+  W.field("outcome", traceOutcomeName(E.Outcome));
+  W.field("candidate_ll", E.CandidateLL);
+  W.field("best_ll", E.BestLL);
+  W.field("cache_hit", E.CacheHit);
+  W.endObject();
+  return W.str();
+}
+
+void psketch::writeJsonlTrace(std::ostream &OS, const RunManifest &M,
+                              const std::vector<TraceEvent> &Events) {
+  OS << traceManifestLine(M) << '\n';
+  for (const TraceEvent &E : Events)
+    OS << traceEventLine(E) << '\n';
+}
+
+namespace {
+
+bool parseManifest(const JsonValue &V, RunManifest &M) {
+  auto U64 = [&](const char *Key, uint64_t &Out) {
+    auto N = V.getUInt64(Key);
+    if (!N)
+      return false;
+    Out = *N;
+    return true;
+  };
+  uint64_t Iter = 0, Chains = 0, Threads = 0;
+  if (!U64("seed", M.Seed) || !U64("iterations", Iter) ||
+      !U64("chains", Chains) || !U64("threads", Threads) ||
+      !U64("dataset_rows", M.DatasetRows) ||
+      !U64("dataset_cols", M.DatasetCols) ||
+      !U64("dataset_fingerprint", M.DatasetFingerprint) ||
+      !U64("score_cache", M.ScoreCacheSize))
+    return false;
+  M.Iterations = unsigned(Iter);
+  M.Chains = unsigned(Chains);
+  M.Threads = unsigned(Threads);
+  auto Sketch = V.getString("sketch");
+  auto Ratio = V.getBool("proposal_ratio");
+  if (!Sketch || !Ratio)
+    return false;
+  M.Sketch = *Sketch;
+  M.UseProposalRatio = *Ratio;
+  return true;
+}
+
+bool parseEvent(const JsonValue &V, TraceEvent &E) {
+  auto Chain = V.getNumber("chain");
+  auto Iter = V.getNumber("iter");
+  auto Mutation = V.getString("mutation");
+  auto OutcomeName = V.getString("outcome");
+  auto CandLL = V.getNumber("candidate_ll");
+  auto BestLL = V.getNumber("best_ll");
+  auto CacheHit = V.getBool("cache_hit");
+  if (!Chain || !Iter || !Mutation || !OutcomeName || !CandLL || !BestLL ||
+      !CacheHit)
+    return false;
+  auto Outcome = parseTraceOutcome(*OutcomeName);
+  if (!Outcome)
+    return false;
+  E.Chain = unsigned(*Chain);
+  E.Iter = unsigned(*Iter);
+  E.Mutation = *Mutation;
+  E.Outcome = *Outcome;
+  E.CandidateLL = *CandLL;
+  E.BestLL = *BestLL;
+  E.CacheHit = *CacheHit;
+  return true;
+}
+
+} // namespace
+
+std::optional<ParsedTrace> psketch::readJsonlTrace(std::istream &IS,
+                                                   std::string &Err) {
+  ParsedTrace T;
+  std::string Line;
+  size_t LineNo = 0;
+  bool SawManifest = false;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::string ParseErr;
+    auto V = parseJson(Line, ParseErr);
+    if (!V || !V->isObject()) {
+      Err = "line " + std::to_string(LineNo) + ": " +
+            (ParseErr.empty() ? "not a JSON object" : ParseErr);
+      return std::nullopt;
+    }
+    auto Type = V->getString("type");
+    if (!Type) {
+      Err = "line " + std::to_string(LineNo) + ": missing \"type\"";
+      return std::nullopt;
+    }
+    if (*Type == "manifest") {
+      if (SawManifest) {
+        Err = "line " + std::to_string(LineNo) + ": duplicate manifest";
+        return std::nullopt;
+      }
+      if (!parseManifest(*V, T.Manifest)) {
+        Err = "line " + std::to_string(LineNo) + ": malformed manifest";
+        return std::nullopt;
+      }
+      SawManifest = true;
+    } else if (*Type == "event") {
+      if (!SawManifest) {
+        Err = "line " + std::to_string(LineNo) +
+              ": event before manifest";
+        return std::nullopt;
+      }
+      TraceEvent E;
+      if (!parseEvent(*V, E)) {
+        Err = "line " + std::to_string(LineNo) + ": malformed event";
+        return std::nullopt;
+      }
+      T.Events.push_back(std::move(E));
+    } else {
+      Err = "line " + std::to_string(LineNo) + ": unknown type '" +
+            *Type + "'";
+      return std::nullopt;
+    }
+  }
+  if (!SawManifest) {
+    Err = "trace has no manifest line";
+    return std::nullopt;
+  }
+  return T;
+}
+
+TraceSummary psketch::summarizeTrace(const ParsedTrace &T, size_t Window) {
+  TraceSummary S;
+  std::map<unsigned, std::vector<const TraceEvent *>> ByChain;
+  for (const TraceEvent &E : T.Events) {
+    ++S.Events;
+    S.Accepted += E.Outcome == TraceOutcome::Accept;
+    S.Invalid += E.Outcome == TraceOutcome::Invalid;
+    S.CacheHits += E.CacheHit;
+    S.BestLL = std::max(S.BestLL, E.BestLL);
+    ByChain[E.Chain].push_back(&E);
+  }
+  for (const auto &[Chain, Events] : ByChain) {
+    ChainSummary C;
+    C.Chain = Chain;
+    C.Events = Events.size();
+    for (const TraceEvent *E : Events) {
+      C.Accepted += E->Outcome == TraceOutcome::Accept;
+      C.Invalid += E->Outcome == TraceOutcome::Invalid;
+      C.CacheHits += E->CacheHit;
+    }
+    C.FirstBestLL = Events.front()->BestLL;
+    C.FinalBestLL = Events.back()->BestLL;
+    size_t W = std::min(Window, Events.size());
+    uint64_t WinAccepts = 0;
+    for (size_t I = Events.size() - W; I != Events.size(); ++I)
+      WinAccepts += Events[I]->Outcome == TraceOutcome::Accept;
+    C.WindowAcceptRate = W ? double(WinAccepts) / double(W) : 0;
+    S.PerChain.push_back(std::move(C));
+  }
+  return S;
+}
+
+std::string psketch::formatTraceSummary(const TraceSummary &S) {
+  std::ostringstream OS;
+  OS << "events: " << S.Events << "\n";
+  double AccRate = S.Events ? double(S.Accepted) / double(S.Events) : 0;
+  double InvRate = S.Events ? double(S.Invalid) / double(S.Events) : 0;
+  double HitRate = S.Events ? double(S.CacheHits) / double(S.Events) : 0;
+  OS << "accepted: " << S.Accepted << " (" << AccRate * 100 << "%)\n";
+  OS << "invalid: " << S.Invalid << " (" << InvRate * 100 << "%)\n";
+  OS << "cache hits: " << S.CacheHits << " (" << HitRate * 100 << "%)\n";
+  OS << "best log-likelihood: " << S.BestLL << "\n";
+  for (const ChainSummary &C : S.PerChain) {
+    double Rate = C.Events ? double(C.Accepted) / double(C.Events) : 0;
+    OS << "chain " << C.Chain << ": " << C.Events << " events, accept "
+       << Rate * 100 << "%, windowed accept " << C.WindowAcceptRate * 100
+       << "%, best LL " << C.FirstBestLL << " -> " << C.FinalBestLL
+       << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,130 @@
+//===- obs/Trace.h - JSONL chain-trace events ------------------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-iteration event record of the MH walk and its JSONL
+/// serialization.  A trace file is line-delimited JSON:
+///
+///   line 1:   {"type":"manifest", seed, iterations, chains, threads,
+///              sketch, dataset_rows, dataset_cols,
+///              dataset_fingerprint, score_cache, proposal_ratio}
+///   line 2..: {"type":"event", chain, iter, mutation,
+///              outcome ("accept"|"reject"|"invalid"),
+///              candidate_ll, best_ll, cache_hit}
+///
+/// Chains buffer their events locally and the synthesizer emits them in
+/// chain order after the deterministic merge, so a trace — like every
+/// other synthesis output — is a pure function of the seeds regardless
+/// of the Threads knob.  One event is emitted per proposal, so a
+/// well-formed trace has exactly SynthesisStats::Proposed event lines.
+///
+/// readJsonlTrace parses a trace back (every line must parse);
+/// summarizeTrace computes the acceptance-rate / LL-progress digest
+/// printed by `psketch trace-stats`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_OBS_TRACE_H
+#define PSKETCH_OBS_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Identification of one synthesis run, written as the first trace
+/// line so a trace is self-describing and reproducible.
+struct RunManifest {
+  uint64_t Seed = 0;
+  unsigned Iterations = 0;
+  unsigned Chains = 0;
+  unsigned Threads = 0;
+  std::string Sketch;             ///< Path or benchmark name.
+  uint64_t DatasetRows = 0;
+  uint64_t DatasetCols = 0;
+  uint64_t DatasetFingerprint = 0; ///< Dataset::fingerprint().
+  uint64_t ScoreCacheSize = 0;
+  bool UseProposalRatio = false;
+};
+
+/// What happened to one MH proposal.
+enum class TraceOutcome { Accept, Reject, Invalid };
+
+const char *traceOutcomeName(TraceOutcome O);
+std::optional<TraceOutcome> parseTraceOutcome(const std::string &Name);
+
+/// One MH iteration of one chain.
+struct TraceEvent {
+  unsigned Chain = 0;
+  unsigned Iter = 0;
+  std::string Mutation; ///< '+'-joined mutation-op names; "none" if 0.
+  TraceOutcome Outcome = TraceOutcome::Invalid;
+  /// Candidate log-likelihood; NaN for invalid candidates.
+  double CandidateLL = std::numeric_limits<double>::quiet_NaN();
+  double BestLL = -std::numeric_limits<double>::infinity();
+  bool CacheHit = false;
+};
+
+/// Serializes one manifest / event as a single JSON line (no trailing
+/// newline).
+std::string traceManifestLine(const RunManifest &M);
+std::string traceEventLine(const TraceEvent &E);
+
+/// Writes the full trace: manifest first, then events in order, one
+/// JSON object per line.
+void writeJsonlTrace(std::ostream &OS, const RunManifest &M,
+                     const std::vector<TraceEvent> &Events);
+
+/// A parsed trace file.
+struct ParsedTrace {
+  RunManifest Manifest;
+  std::vector<TraceEvent> Events;
+};
+
+/// Parses a JSONL trace; every line must be valid JSON of a known type
+/// and the first line must be the manifest.  On failure returns
+/// nullopt with a line-numbered message in \p Err.
+std::optional<ParsedTrace> readJsonlTrace(std::istream &IS,
+                                          std::string &Err);
+
+/// Per-chain digest of a trace.
+struct ChainSummary {
+  unsigned Chain = 0;
+  uint64_t Events = 0;
+  uint64_t Accepted = 0;
+  uint64_t Invalid = 0;
+  uint64_t CacheHits = 0;
+  double FirstBestLL = -std::numeric_limits<double>::infinity();
+  double FinalBestLL = -std::numeric_limits<double>::infinity();
+  /// Acceptance rate over the trailing \p Window events.
+  double WindowAcceptRate = 0;
+};
+
+/// Whole-trace digest (what `psketch trace-stats` prints).
+struct TraceSummary {
+  uint64_t Events = 0;
+  uint64_t Accepted = 0;
+  uint64_t Invalid = 0;
+  uint64_t CacheHits = 0;
+  double BestLL = -std::numeric_limits<double>::infinity();
+  std::vector<ChainSummary> PerChain;
+};
+
+/// Digests \p T; \p Window is the trailing-window length for the
+/// per-chain windowed acceptance rate.
+TraceSummary summarizeTrace(const ParsedTrace &T, size_t Window = 200);
+
+/// Human-readable rendering of a summary.
+std::string formatTraceSummary(const TraceSummary &S);
+
+} // namespace psketch
+
+#endif // PSKETCH_OBS_TRACE_H

@@ -37,19 +37,23 @@ std::string Diagnostic::str() const {
 }
 
 void DiagEngine::error(SourceLoc Loc, std::string Message) {
+  std::lock_guard<std::mutex> Lock(M);
   Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
-  ++NumErrors;
+  NumErrors.fetch_add(1, std::memory_order_relaxed);
 }
 
 void DiagEngine::warning(SourceLoc Loc, std::string Message) {
+  std::lock_guard<std::mutex> Lock(M);
   Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
 }
 
 void DiagEngine::note(SourceLoc Loc, std::string Message) {
+  std::lock_guard<std::mutex> Lock(M);
   Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
 }
 
 std::string DiagEngine::str() const {
+  std::lock_guard<std::mutex> Lock(M);
   std::ostringstream OS;
   for (const Diagnostic &D : Diags)
     OS << D.str() << '\n';
@@ -57,6 +61,7 @@ std::string DiagEngine::str() const {
 }
 
 void DiagEngine::clear() {
+  std::lock_guard<std::mutex> Lock(M);
   Diags.clear();
-  NumErrors = 0;
+  NumErrors.store(0, std::memory_order_relaxed);
 }

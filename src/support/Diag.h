@@ -14,6 +14,8 @@
 #ifndef PSKETCH_SUPPORT_DIAG_H
 #define PSKETCH_SUPPORT_DIAG_H
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,8 +44,20 @@ struct Diagnostic {
 };
 
 /// Collects diagnostics produced while processing one source buffer.
+///
+/// Thread-awareness: recording (error/warning/note/clear) and the
+/// str()/hasErrors()/errorCount() queries are safe to call from
+/// concurrent MH chains — recording serializes on an internal mutex
+/// and the error count is atomic.  diagnostics() returns a reference
+/// into the live vector and therefore must only be called once all
+/// writers have joined (the synthesizer inspects it after run()).
+/// DiagEngine is intentionally non-copyable; pass it by reference.
 class DiagEngine {
 public:
+  DiagEngine() = default;
+  DiagEngine(const DiagEngine &) = delete;
+  DiagEngine &operator=(const DiagEngine &) = delete;
+
   /// Records an error at \p Loc; message style follows the LLVM
   /// convention (lowercase first word, no trailing period).
   void error(SourceLoc Loc, std::string Message);
@@ -54,8 +68,14 @@ public:
   /// Records a note at \p Loc.
   void note(SourceLoc Loc, std::string Message);
 
-  bool hasErrors() const { return NumErrors != 0; }
-  unsigned errorCount() const { return NumErrors; }
+  bool hasErrors() const {
+    return NumErrors.load(std::memory_order_relaxed) != 0;
+  }
+  unsigned errorCount() const {
+    return NumErrors.load(std::memory_order_relaxed);
+  }
+
+  /// Single-threaded inspection only (see class comment).
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
   /// Renders all diagnostics, one per line.
@@ -65,8 +85,9 @@ public:
   void clear();
 
 private:
+  mutable std::mutex M; ///< Guards Diags.
   std::vector<Diagnostic> Diags;
-  unsigned NumErrors = 0;
+  std::atomic<unsigned> NumErrors{0};
 };
 
 } // namespace psketch

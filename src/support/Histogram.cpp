@@ -42,6 +42,22 @@ double Histogram::binCenter(size_t I) const {
   return Lo + (double(I) + 0.5) * Width;
 }
 
+size_t Histogram::count(size_t I) const {
+  assert(I < Counts.size() && "bin index out of range");
+  return Counts[I];
+}
+
+bool Histogram::merge(const Histogram &Other) {
+  if (!sameBinning(Other))
+    return false;
+  for (size_t I = 0, E = Counts.size(); I != E; ++I)
+    Counts[I] += Other.Counts[I];
+  Total += Other.Total;
+  Sum += Other.Sum;
+  SumSq += Other.SumSq;
+  return true;
+}
+
 double Histogram::density(size_t I) const {
   if (Total == 0)
     return 0.0;

@@ -37,6 +37,20 @@ public:
   /// Center of bin \p I.
   double binCenter(size_t I) const;
 
+  /// Raw sample count of bin \p I.
+  size_t count(size_t I) const;
+
+  /// True when \p Other shares this histogram's binning exactly.
+  bool sameBinning(const Histogram &Other) const {
+    return bins() == Other.bins() && Lo == Other.Lo && Hi == Other.Hi;
+  }
+
+  /// Accumulates \p Other's bins and moments into this histogram.
+  /// Returns false (leaving this unchanged) when the binnings differ.
+  /// Merging is commutative and associative, so sharded histograms
+  /// merged in any fixed order agree bin for bin.
+  bool merge(const Histogram &Other);
+
   /// Normalized density estimate for bin \p I (integrates to ~1).
   double density(size_t I) const;
 

@@ -1,0 +1,62 @@
+//===- support/Log.cpp - Severity-filtered structured logging -------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+
+#include <iostream>
+#include <mutex>
+
+using namespace psketch;
+
+const char *psketch::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "unknown";
+}
+
+namespace {
+std::atomic<int> MinLevel{int(LogLevel::Warn)};
+std::ostream *Sink = &std::cerr;
+std::mutex SinkMutex;
+} // namespace
+
+LogLevel psketch::logLevel() {
+  return LogLevel(MinLevel.load(std::memory_order_relaxed));
+}
+
+void psketch::setLogLevel(LogLevel L) {
+  MinLevel.store(int(L), std::memory_order_relaxed);
+}
+
+bool psketch::logEnabled(LogLevel L) {
+  return int(L) >= MinLevel.load(std::memory_order_relaxed) &&
+         L != LogLevel::Off;
+}
+
+std::ostream *psketch::setLogStream(std::ostream *OS) {
+  std::lock_guard<std::mutex> Lock(SinkMutex);
+  std::ostream *Prev = Sink;
+  Sink = OS ? OS : &std::cerr;
+  return Prev;
+}
+
+void psketch::logMessage(LogLevel L, const char *Component,
+                         const std::string &Message) {
+  std::lock_guard<std::mutex> Lock(SinkMutex);
+  *Sink << '[' << logLevelName(L) << "] " << Component << ": " << Message
+        << '\n';
+  Sink->flush();
+}

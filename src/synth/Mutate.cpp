@@ -228,50 +228,91 @@ bool Mutator::mutateOnce(std::vector<ExprPtr> &Completions) {
 
   // Determine the applicable operations for this node and pick one
   // uniformly (Section 4.1).
-  enum OpKind { VarSwap, ConstPerturb, OpSwap, Regen, Grow, Shrink };
-  std::vector<OpKind> Applicable;
+  std::vector<MutationOp> Applicable;
   Expr *E = Slot.Ptr->get();
   if (isa<HoleArgExpr>(E) && Sig.ArgKinds.size() >= 2)
-    Applicable.push_back(VarSwap);
+    Applicable.push_back(MutationOp::VarSwap);
   if (const auto *C = dyn_cast<ConstExpr>(E);
       C && C->getScalarKind() != ScalarKind::Bool)
-    Applicable.push_back(ConstPerturb);
+    Applicable.push_back(MutationOp::ConstPerturb);
   if (const auto *B = dyn_cast<BinaryExpr>(E);
       B && !equivalentOps(B->getOp()).empty())
-    Applicable.push_back(OpSwap);
+    Applicable.push_back(MutationOp::OpSwap);
   if (isa<SampleExpr>(E))
-    Applicable.push_back(OpSwap);
-  Applicable.push_back(Regen); // Operation-4 applies to all node types.
+    Applicable.push_back(MutationOp::OpSwap);
+  // Operation-4 applies to all node types.
+  Applicable.push_back(MutationOp::Regen);
   if (Config.EnableGrowShrink) {
     // Grow is gated: including it unconditionally bloats candidates
     // (every slot is eligible), which slows scoring without improving
     // mixing.
     if (!Slot.IsDistParam && R.bernoulli(0.25))
-      Applicable.push_back(Grow);
+      Applicable.push_back(MutationOp::Grow);
     if (isa<IteExpr>(E))
-      Applicable.push_back(Shrink);
+      Applicable.push_back(MutationOp::Shrink);
   }
 
-  switch (Applicable[R.index(Applicable.size())]) {
-  case VarSwap:
-    return applyVariableSwap(Slot, Sig);
-  case ConstPerturb:
-    return applyConstantPerturb(Slot);
-  case OpSwap:
-    return applyOperatorSwap(Slot);
-  case Regen:
-    return applyRegenerate(Slot, Sig);
-  case Grow:
-    return applyGrow(Slot, Sig);
-  case Shrink:
-    return applyShrink(Slot);
+  MutationOp Op = Applicable[R.index(Applicable.size())];
+  bool Applied = false;
+  switch (Op) {
+  case MutationOp::VarSwap:
+    Applied = applyVariableSwap(Slot, Sig);
+    break;
+  case MutationOp::ConstPerturb:
+    Applied = applyConstantPerturb(Slot);
+    break;
+  case MutationOp::OpSwap:
+    Applied = applyOperatorSwap(Slot);
+    break;
+  case MutationOp::Regen:
+    Applied = applyRegenerate(Slot, Sig);
+    break;
+  case MutationOp::Grow:
+    Applied = applyGrow(Slot, Sig);
+    break;
+  case MutationOp::Shrink:
+    Applied = applyShrink(Slot);
+    break;
   }
-  return false;
+  if (Applied)
+    LastOps.push_back(Op);
+  return Applied;
+}
+
+const char *psketch::mutationOpName(MutationOp Op) {
+  switch (Op) {
+  case MutationOp::VarSwap:
+    return "var_swap";
+  case MutationOp::ConstPerturb:
+    return "const_perturb";
+  case MutationOp::OpSwap:
+    return "op_swap";
+  case MutationOp::Regen:
+    return "regen";
+  case MutationOp::Grow:
+    return "grow";
+  case MutationOp::Shrink:
+    return "shrink";
+  }
+  return "unknown";
+}
+
+std::string psketch::describeMutations(const std::vector<MutationOp> &Ops) {
+  if (Ops.empty())
+    return "none";
+  std::string Out;
+  for (MutationOp Op : Ops) {
+    if (!Out.empty())
+      Out += '+';
+    Out += mutationOpName(Op);
+  }
+  return Out;
 }
 
 std::vector<ExprPtr>
 Mutator::propose(const std::vector<ExprPtr> &Completions) {
   QRatio = 0;
+  LastOps.clear();
   std::vector<ExprPtr> Proposal;
   Proposal.reserve(Completions.size());
   for (const ExprPtr &C : Completions)

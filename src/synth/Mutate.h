@@ -27,6 +27,7 @@
 
 #include "synth/Generator.h"
 
+#include <string>
 #include <vector>
 
 namespace psketch {
@@ -55,6 +56,25 @@ struct MutateConfig {
   /// paper-literal proposal (ablated in bench/ablation_design_choices).
   bool EnableGrowShrink = true;
 };
+
+/// The mutation operations of Section 4.1 plus the grow/shrink
+/// extension, named so the chain trace can record what each proposal
+/// did.
+enum class MutationOp {
+  VarSwap,      ///< Operation-1: swap a hole-formal reference.
+  ConstPerturb, ///< Operation-2: Gaussian-perturb a constant.
+  OpSwap,       ///< Operation-3: swap an equivalent operator.
+  Regen,        ///< Operation-4: regenerate the subtree.
+  Grow,         ///< Extension: wrap in ite(fresh, E, fresh).
+  Shrink,       ///< Extension: collapse an ite to one branch.
+};
+
+/// Trace name of \p Op ("var_swap", "const_perturb", ...).
+const char *mutationOpName(MutationOp Op);
+
+/// Renders an applied-op list as "regen+const_perturb"; "none" when
+/// the proposal applied no operation (geometric draw of zero).
+std::string describeMutations(const std::vector<MutationOp> &Ops);
 
 /// A mutable slot in a completion tree, annotated with the scalar kind
 /// an expression in this position must have and whether the position is
@@ -92,6 +112,11 @@ public:
   /// ignored — see DESIGN.md §3.
   double lastProposalLogQRatio() const { return QRatio; }
 
+  /// The mutation operations the last propose() actually applied, in
+  /// application order (telemetry; empty when the geometric draw was
+  /// zero or no operation applied).
+  const std::vector<MutationOp> &lastMutationOps() const { return LastOps; }
+
   /// Applies exactly one mutation operation at a random node of the
   /// tuple (exposed for tests).  Returns false if no operation applied.
   bool mutateOnce(std::vector<ExprPtr> &Completions);
@@ -111,6 +136,7 @@ private:
   const MutateConfig &Config;
   Rng &R;
   double QRatio = 0;
+  std::vector<MutationOp> LastOps;
 };
 
 } // namespace psketch

@@ -7,6 +7,7 @@
 #include "synth/Synthesizer.h"
 
 #include "ast/ASTUtil.h"
+#include "support/Log.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -15,17 +16,35 @@
 
 using namespace psketch;
 
-/// Per-chain results: best state, per-chain counters, and the chain's
-/// *local* best-so-far trace.  run() merges outcomes in chain order, so
-/// the merged result is a pure function of the seeds — independent of
-/// how many pool threads executed the chains.
+/// Per-chain results: best state, per-chain counters, telemetry
+/// buffers, and the chain's *local* best-so-far trace.  run() merges
+/// outcomes in chain order, so the merged result is a pure function of
+/// the seeds — independent of how many pool threads executed the
+/// chains.
 struct Synthesizer::ChainOutcome {
   bool Succeeded = false;
   std::vector<ExprPtr> BestCompletions;
   double BestLogLikelihood = -std::numeric_limits<double>::infinity();
   SynthesisStats Stats; ///< Seconds unused (timed around the whole run).
   std::vector<double> Trace; ///< Chain-local best-so-far per iteration.
+
+  // Telemetry, populated per the Config knobs (empty/null otherwise).
+  std::vector<TraceEvent> Events;     ///< One per proposal.
+  std::vector<double> CurrentLL;      ///< Current-state LL per iteration.
+  std::vector<uint8_t> Accepts;       ///< 1 where the proposal accepted.
+  std::shared_ptr<MetricsRegistry> Shard; ///< Per-chain metric shard.
 };
+
+void SynthesisStats::merge(const SynthesisStats &Other) {
+  Proposed += Other.Proposed;
+  Accepted += Other.Accepted;
+  Invalid += Other.Invalid;
+  Scored += Other.Scored;
+  CacheHits += Other.CacheHits;
+  CacheMisses += Other.CacheMisses;
+  Seconds += Other.Seconds;
+  Stage.merge(Other.Stage);
+}
 
 Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
                          const Dataset &Data, SynthesisConfig Config)
@@ -67,8 +86,12 @@ std::optional<double> Synthesizer::scoreWithTemplate(
     const std::vector<ExprPtr> &Completions) const {
   if (!TemplateDefAssignOK)
     return std::nullopt;
-  auto F = LikelihoodFunction::compile(*Template, Data, Config.Algebra,
-                                       &Completions);
+  std::optional<LikelihoodFunction> F;
+  {
+    ScopedStage Span(Stage::LowerCompile);
+    F = LikelihoodFunction::compile(*Template, Data, Config.Algebra,
+                                    &Completions);
+  }
   if (!F)
     return std::nullopt;
   double LL = F->logLikelihood(ColData);
@@ -80,12 +103,16 @@ std::optional<double> Synthesizer::scoreWithTemplate(
 std::optional<double>
 Synthesizer::scoreWithMoG(const Program &Candidate) const {
   DiagEngine LocalDiags;
-  auto LP = lowerProgram(Candidate, Inputs, LocalDiags);
-  if (!LP)
-    return std::nullopt;
-  if (!checkDefiniteAssignment(*LP, LocalDiags))
-    return std::nullopt;
-  auto F = LikelihoodFunction::compile(*LP, Data, Config.Algebra);
+  std::optional<LikelihoodFunction> F;
+  {
+    ScopedStage Span(Stage::LowerCompile);
+    auto LP = lowerProgram(Candidate, Inputs, LocalDiags);
+    if (!LP)
+      return std::nullopt;
+    if (!checkDefiniteAssignment(*LP, LocalDiags))
+      return std::nullopt;
+    F = LikelihoodFunction::compile(*LP, Data, Config.Algebra);
+  }
   if (!F)
     return std::nullopt;
   double LL = F->logLikelihood(ColData);
@@ -102,10 +129,30 @@ bool Synthesizer::completionsValid(
   return true;
 }
 
-void Synthesizer::runChain(uint64_t Seed, ChainOutcome &Out) const {
+void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
+                           ChainOutcome &Out) const {
   Rng R(Seed);
   Mutator Mut(Sigs, Config.Gen, Config.Mut, R);
   ScoreCache Cache(Config.ScoreCacheSize);
+
+  // Install this chain's stage-time sink for the scoring spans (in
+  // this file and in likelihood/Likelihood.cpp); restored on exit so
+  // pool threads never leak a sink into the next chain.
+  StageTimesScope Spans(Config.StageTimers ? &Out.Stats.Stage : nullptr);
+
+  // Mutations per proposal: the geometric draw in action.  Fetched
+  // once — the registry lookup does not belong in the MH loop.
+  HistogramMetric *MutHist = nullptr;
+  if (Config.Metrics) {
+    Out.Shard = std::make_shared<MetricsRegistry>();
+    MutHist = &Out.Shard->histogram("synth.mutations_per_proposal", 0, 16, 16);
+  }
+  if (Config.CollectTrace)
+    Out.Events.reserve(Config.Iterations);
+  if (Config.Diagnostics) {
+    Out.CurrentLL.reserve(Config.Iterations);
+    Out.Accepts.reserve(Config.Iterations);
+  }
 
   auto RecordBest = [&](const std::vector<ExprPtr> &Completions, double LL) {
     if (Out.Succeeded && LL <= Out.BestLogLikelihood)
@@ -129,16 +176,31 @@ void Synthesizer::runChain(uint64_t Seed, ChainOutcome &Out) const {
     ++Out.Stats.Scored;
     if (UseTemplate)
       return scoreWithTemplate(Completions);
-    auto Spliced = spliceCompletions(*Sketch, Completions);
+    std::unique_ptr<Program> Spliced;
+    {
+      ScopedStage Span(Stage::Splice);
+      Spliced = spliceCompletions(*Sketch, Completions);
+    }
     return Score(*Spliced);
   };
+  // LastProbeHit reports whether the most recent ScoreCompletions call
+  // was answered by the cache (telemetry only).
+  bool LastProbeHit = false;
   auto ScoreCompletions =
       [&](const std::vector<ExprPtr> &Completions) -> std::optional<double> {
+    LastProbeHit = false;
     if (Cache.capacity() == 0)
       return ScoreOnce(Completions);
-    uint64_t Key = hashExprTuple(Completions);
-    if (auto Hit = Cache.lookup(Key)) {
+    uint64_t Key;
+    std::optional<ScoreCache::Score> Hit;
+    {
+      ScopedStage Span(Stage::CacheProbe);
+      Key = hashExprTuple(Completions);
+      Hit = Cache.lookup(Key);
+    }
+    if (Hit) {
       ++Out.Stats.CacheHits;
+      LastProbeHit = true;
       return *Hit;
     }
     ++Out.Stats.CacheMisses;
@@ -176,6 +238,10 @@ void Synthesizer::runChain(uint64_t Seed, ChainOutcome &Out) const {
     // Line 4: H' := mutate(H).
     std::vector<ExprPtr> Proposal = Mut.propose(Current);
     ++Out.Stats.Proposed;
+    if (MutHist)
+      MutHist->observe(double(Mut.lastMutationOps().size()));
+    TraceOutcome Outcome = TraceOutcome::Invalid;
+    double CandidateLL = std::numeric_limits<double>::quiet_NaN();
     if (!completionsValid(Proposal)) {
       ++Out.Stats.Invalid;
     } else {
@@ -183,6 +249,7 @@ void Synthesizer::runChain(uint64_t Seed, ChainOutcome &Out) const {
       if (!LL) {
         ++Out.Stats.Invalid;
       } else {
+        CandidateLL = *LL;
         // Line 5: accept with min(1, ratio); with a uniform prior the
         // ratio is the likelihood ratio times (optionally) the
         // approximate proposal-density ratio of Section 4.2.
@@ -193,6 +260,9 @@ void Synthesizer::runChain(uint64_t Seed, ChainOutcome &Out) const {
           Current = std::move(Proposal);
           CurrentLL = *LL;
           ++Out.Stats.Accepted;
+          Outcome = TraceOutcome::Accept;
+        } else {
+          Outcome = TraceOutcome::Reject;
         }
       }
     }
@@ -201,7 +271,44 @@ void Synthesizer::runChain(uint64_t Seed, ChainOutcome &Out) const {
     RecordBest(Current, CurrentLL);
     if (Config.TrackBestTrace)
       Out.Trace.push_back(Out.BestLogLikelihood);
+
+    if (Config.CollectTrace) {
+      TraceEvent E;
+      E.Chain = ChainIndex;
+      E.Iter = Iter;
+      E.Mutation = describeMutations(Mut.lastMutationOps());
+      E.Outcome = Outcome;
+      E.CandidateLL = CandidateLL;
+      E.BestLL = Out.BestLogLikelihood;
+      E.CacheHit = LastProbeHit;
+      Out.Events.push_back(std::move(E));
+    }
+    if (Config.Diagnostics) {
+      Out.CurrentLL.push_back(CurrentLL);
+      Out.Accepts.push_back(Outcome == TraceOutcome::Accept);
+    }
+    if (Config.ProgressEvery && Config.Progress &&
+        ((Iter + 1) % Config.ProgressEvery == 0 ||
+         Iter + 1 == Config.Iterations))
+      Config.Progress({ChainIndex, Iter + 1, Config.Iterations,
+                       Out.BestLogLikelihood});
   }
+
+  if (Out.Shard) {
+    MetricsRegistry &Reg = *Out.Shard;
+    Reg.counter("synth.proposed").add(Out.Stats.Proposed);
+    Reg.counter("synth.accepted").add(Out.Stats.Accepted);
+    Reg.counter("synth.invalid").add(Out.Stats.Invalid);
+    Reg.counter("synth.scored").add(Out.Stats.Scored);
+    Reg.counter("synth.cache.hits").add(Out.Stats.CacheHits);
+    Reg.counter("synth.cache.misses").add(Out.Stats.CacheMisses);
+  }
+
+  PSKETCH_LOG(Debug, "synth",
+              "chain " << ChainIndex << " finished: "
+                       << Out.Stats.Proposed << " proposed, "
+                       << Out.Stats.Accepted << " accepted, best LL "
+                       << Out.BestLogLikelihood);
 }
 
 SynthesisResult Synthesizer::run() {
@@ -216,12 +323,12 @@ SynthesisResult Synthesizer::run() {
       std::min(ThreadPool::resolveThreadCount(Config.Threads), Chains);
   if (Threads <= 1) {
     for (unsigned Chain = 0; Chain != Chains; ++Chain)
-      runChain(Config.Seed + Chain, Outcomes[Chain]);
+      runChain(Chain, Config.Seed + Chain, Outcomes[Chain]);
   } else {
     ThreadPool Pool(Threads);
     for (unsigned Chain = 0; Chain != Chains; ++Chain)
       Pool.submit([this, Chain, &Outcomes] {
-        runChain(Config.Seed + Chain, Outcomes[Chain]);
+        runChain(Chain, Config.Seed + Chain, Outcomes[Chain]);
       });
     Pool.wait();
   }
@@ -230,19 +337,28 @@ SynthesisResult Synthesizer::run() {
   // chain c is the best over chains < c and chain c's own first i
   // iterations (exactly what a serial run interleaving RecordBest
   // across chains would have recorded); best state goes to the
-  // earliest chain on ties.
+  // earliest chain on ties.  Telemetry merges in the same fixed order,
+  // so traces, metrics and diagnostics are independent of Threads.
+  if (Config.Metrics)
+    Result.Metrics = std::make_shared<MetricsRegistry>();
+  std::vector<std::vector<uint8_t>> ChainAccepts;
   for (ChainOutcome &Out : Outcomes) {
-    Result.Stats.Proposed += Out.Stats.Proposed;
-    Result.Stats.Accepted += Out.Stats.Accepted;
-    Result.Stats.Invalid += Out.Stats.Invalid;
-    Result.Stats.Scored += Out.Stats.Scored;
-    Result.Stats.CacheHits += Out.Stats.CacheHits;
-    Result.Stats.CacheMisses += Out.Stats.CacheMisses;
+    Result.Stats.merge(Out.Stats);
     if (Config.TrackBestTrace) {
       double PrefixBest = Result.BestLogLikelihood; // -inf before any win.
       for (double E : Out.Trace)
         Result.BestTrace.push_back(std::max(PrefixBest, E));
     }
+    if (Config.CollectTrace)
+      Result.TraceEvents.insert(Result.TraceEvents.end(),
+                                std::make_move_iterator(Out.Events.begin()),
+                                std::make_move_iterator(Out.Events.end()));
+    if (Config.Diagnostics) {
+      Result.ChainLLTraces.push_back(std::move(Out.CurrentLL));
+      ChainAccepts.push_back(std::move(Out.Accepts));
+    }
+    if (Result.Metrics && Out.Shard)
+      Result.Metrics->merge(*Out.Shard);
     if (Out.Succeeded &&
         (!Result.Succeeded ||
          Out.BestLogLikelihood > Result.BestLogLikelihood)) {
@@ -252,11 +368,55 @@ SynthesisResult Synthesizer::run() {
     }
   }
 
+  if (Config.Diagnostics)
+    Result.Convergence = computeConvergence(
+        Result.ChainLLTraces, ChainAccepts, Config.DiagWindow);
+
   auto End = std::chrono::steady_clock::now();
   Result.Stats.Seconds =
       std::chrono::duration<double>(End - Start).count();
 
+  if (Result.Metrics) {
+    Result.Metrics->gauge("synth.best_ll").set(Result.BestLogLikelihood);
+    Result.Metrics->gauge("synth.seconds").set(Result.Stats.Seconds);
+    Result.Metrics
+        ->gauge("synth.candidates_per_100s")
+        .set(Result.Stats.candidatesPer100Sec());
+    if (Config.StageTimers)
+      for (unsigned S = 0; S != NumStages; ++S)
+        Result.Metrics
+            ->gauge(std::string("synth.stage.") + stageName(Stage(S)) +
+                    ".seconds")
+            .set(Result.Stats.Stage.seconds(Stage(S)));
+    if (Config.Diagnostics) {
+      Result.Metrics->gauge("synth.rhat").set(Result.Convergence.SplitRHat);
+      Result.Metrics->gauge("synth.ess").set(Result.Convergence.ESS);
+      Result.Metrics
+          ->gauge("synth.stuck_chains")
+          .set(double(Result.Convergence.StuckChains.size()));
+    }
+  }
+
+  if (Config.Diagnostics)
+    PSKETCH_LOG(Info, "synth", "convergence: " << Result.Convergence.str());
+
   if (Result.Succeeded)
     Result.BestProgram = spliceCompletions(*Sketch, Result.BestCompletions);
   return Result;
+}
+
+RunManifest Synthesizer::makeManifest(const std::string &SketchName) const {
+  RunManifest M;
+  M.Seed = Config.Seed;
+  M.Iterations = Config.Iterations;
+  M.Chains = std::max(Config.Chains, 1u);
+  M.Threads = std::min(ThreadPool::resolveThreadCount(Config.Threads),
+                       M.Chains);
+  M.Sketch = SketchName;
+  M.DatasetRows = Data.numRows();
+  M.DatasetCols = Data.numColumns();
+  M.DatasetFingerprint = Data.fingerprint();
+  M.ScoreCacheSize = Config.ScoreCacheSize;
+  M.UseProposalRatio = Config.UseProposalRatio;
+  return M;
 }

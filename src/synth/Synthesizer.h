@@ -24,6 +24,10 @@
 #define PSKETCH_SYNTH_SYNTHESIZER_H
 
 #include "likelihood/Likelihood.h"
+#include "obs/Convergence.h"
+#include "obs/Metrics.h"
+#include "obs/StageTimer.h"
+#include "obs/Trace.h"
 #include "synth/Mutate.h"
 #include "synth/ScoreCache.h"
 #include "synth/Splice.h"
@@ -79,6 +83,44 @@ struct SynthesisConfig {
   /// (Section 4.2's full MH ratio) instead of assuming a symmetric
   /// proposal; ablated in bench/ablation_design_choices.
   bool UseProposalRatio = false;
+
+  // --- Telemetry (DESIGN.md §8).  All off by default; every knob is
+  // result-neutral — it adds outputs without perturbing the walk. ---
+
+  /// Emit one TraceEvent per MH proposal into
+  /// SynthesisResult::TraceEvents (chain-major order, the JSONL trace
+  /// of `psketch synth --trace-out`).
+  bool CollectTrace = false;
+
+  /// Time the scoring stages (lower/compile, batched eval, cache
+  /// probe, splice) into SynthesisStats::Stage via thread-local RAII
+  /// spans.
+  bool StageTimers = false;
+
+  /// Record per-chain current-state LL traces and accept flags and
+  /// compute split-R-hat / ESS / windowed acceptance / stuck-chain
+  /// detection into SynthesisResult::Convergence.
+  bool Diagnostics = false;
+
+  /// Trailing-window length for the windowed acceptance rate and the
+  /// stuck-chain detector.
+  unsigned DiagWindow = 200;
+
+  /// Record counters and histograms into a per-chain MetricsRegistry
+  /// shard, merged deterministically into SynthesisResult::Metrics.
+  bool Metrics = false;
+
+  /// When set, invoked every ProgressEvery iterations of each chain
+  /// (and once at each chain's end).  Called from chain threads —
+  /// must be thread-safe when Threads > 1.
+  struct ProgressUpdate {
+    unsigned Chain = 0;
+    unsigned Iter = 0;
+    unsigned Iterations = 0;
+    double BestLL = -std::numeric_limits<double>::infinity();
+  };
+  unsigned ProgressEvery = 0; ///< 0 disables progress callbacks.
+  std::function<void(const ProgressUpdate &)> Progress;
 };
 
 /// Counters and timing of one run.
@@ -90,6 +132,17 @@ struct SynthesisStats {
   unsigned CacheHits = 0;  ///< Candidates answered by the score cache.
   unsigned CacheMisses = 0; ///< Cache probes that fell through to scoring.
   double Seconds = 0;      ///< Wall-clock of the MH loop.
+
+  /// Per-stage scoring cost (lower/compile, batched eval, cache probe,
+  /// splice), populated when SynthesisConfig::StageTimers is on; all
+  /// zeros otherwise.
+  StageTimes Stage;
+
+  /// Accumulates \p Other into this: counters, stage times and Seconds
+  /// all sum.  Used by the deterministic chain merge (per-chain stats
+  /// carry Seconds = 0; the run's wall clock is timed around the whole
+  /// loop).
+  void merge(const SynthesisStats &Other);
 
   /// The Figure 8 metric, scaled to the paper's reporting window.
   /// Cache hits count as evaluated candidates: a hit hands the walk a
@@ -114,6 +167,23 @@ struct SynthesisResult {
   std::unique_ptr<Program> BestProgram; ///< The spliced best candidate.
   SynthesisStats Stats;
   std::vector<double> BestTrace; ///< Best-so-far LL per iteration.
+
+  /// One event per MH proposal in chain-major order (chain 0's events,
+  /// then chain 1's, ...); populated when Config.CollectTrace.  The
+  /// event count equals Stats.Proposed.
+  std::vector<TraceEvent> TraceEvents;
+
+  /// Per-chain current-state LL per iteration; populated when
+  /// Config.Diagnostics.
+  std::vector<std::vector<double>> ChainLLTraces;
+
+  /// Convergence diagnostics over ChainLLTraces; Computed only when
+  /// Config.Diagnostics.
+  ConvergenceReport Convergence;
+
+  /// Merged per-chain metric shards; non-null when Config.Metrics.
+  /// Deterministic: contents depend on the seeds, not on Threads.
+  std::shared_ptr<MetricsRegistry> Metrics;
 };
 
 /// Runs MCMC-SYN over one sketch + dataset.
@@ -147,6 +217,11 @@ public:
   /// Algorithm 1.
   SynthesisResult run();
 
+  /// The run manifest written as a trace's first line: seed, budget,
+  /// dataset shape and fingerprint.  \p SketchName identifies the
+  /// sketch (file path or benchmark name).
+  RunManifest makeManifest(const std::string &SketchName) const;
+
   const std::vector<HoleSignature> &holeSignatures() const { return Sigs; }
 
 private:
@@ -157,8 +232,9 @@ private:
   bool completionsValid(const std::vector<ExprPtr> &Completions) const;
 
   /// Runs one MH chain.  Const and self-contained (own RNG, own
-  /// mutator, own score cache) so chains can run on pool threads.
-  void runChain(uint64_t Seed, ChainOutcome &Out) const;
+  /// mutator, own score cache, own telemetry buffers) so chains can
+  /// run on pool threads.
+  void runChain(unsigned ChainIndex, uint64_t Seed, ChainOutcome &Out) const;
 
   /// Scores one completion tuple against the lowered sketch template
   /// (no per-candidate splice/lower; bitwise-identical to splicing).

@@ -11,10 +11,13 @@
 #include "interp/Interp.h"
 #include "likelihood/DatasetIO.h"
 #include "likelihood/Likelihood.h"
+#include "obs/Trace.h"
 #include "parse/Parser.h"
 #include "sem/TypeCheck.h"
+#include "support/Log.h"
 #include "synth/Synthesizer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <ostream>
@@ -151,12 +154,50 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
   Config.Chains = Opts.Chains;
   Config.Threads = Opts.Threads;
   Config.Seed = Opts.Seed;
+
+  // Telemetry: each output the user asked for switches on exactly the
+  // collection it needs; everything stays off otherwise.
+  Config.CollectTrace = !Opts.TraceOutPath.empty();
+  Config.Metrics = !Opts.MetricsOutPath.empty();
+  Config.StageTimers = Config.Metrics;
+  Config.Diagnostics = Config.CollectTrace || Config.Metrics;
+  if (Opts.Progress) {
+    if (logLevel() > LogLevel::Info)
+      setLogLevel(LogLevel::Info);
+    Config.ProgressEvery = std::max(1u, Opts.Iterations / 10);
+    Config.Progress = [](const SynthesisConfig::ProgressUpdate &U) {
+      PSKETCH_LOG(Info, "synth",
+                  "chain " << U.Chain << ": " << U.Iter << "/"
+                           << U.Iterations << " iterations, best LL "
+                           << U.BestLL);
+    };
+  }
+
   Synthesizer Synth(*Sketch, Opts.Inputs, *Data, Config);
   if (!Synth.valid()) {
     Err << Synth.diagnostics().str();
     return 1;
   }
   SynthesisResult Result = Synth.run();
+
+  if (!Opts.TraceOutPath.empty()) {
+    std::ofstream Trace(Opts.TraceOutPath);
+    if (!Trace) {
+      Err << "error: cannot write '" << Opts.TraceOutPath << "'\n";
+      return 1;
+    }
+    writeJsonlTrace(Trace, Synth.makeManifest(Opts.ProgramPath),
+                    Result.TraceEvents);
+  }
+  if (!Opts.MetricsOutPath.empty()) {
+    std::ofstream Metrics(Opts.MetricsOutPath);
+    if (!Metrics) {
+      Err << "error: cannot write '" << Opts.MetricsOutPath << "'\n";
+      return 1;
+    }
+    Metrics << Result.Metrics->toJson() << "\n";
+  }
+
   if (!Result.Succeeded) {
     Err << "error: no valid completion found (try more --iterations or "
            "--chains)\n";
@@ -166,6 +207,8 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
       << Result.Stats.Scored << " candidates scored; "
       << Result.Stats.CacheHits << " cache hits; log-likelihood "
       << Result.BestLogLikelihood << "\n";
+  if (Result.Convergence.Computed)
+    Out << "// " << Result.Convergence.str() << "\n";
   Out << toString(*Result.BestProgram);
   if (!Opts.OutPath.empty()) {
     std::ofstream File(Opts.OutPath);
@@ -175,6 +218,27 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
     }
     File << toString(*Result.BestProgram);
   }
+  return 0;
+}
+
+int cmdTraceStats(const ToolOptions &Opts, std::ostream &Out,
+                  std::ostream &Err) {
+  std::ifstream In(Opts.TracePath);
+  if (!In) {
+    Err << "error: cannot open '" << Opts.TracePath << "'\n";
+    return 1;
+  }
+  std::string ParseErr;
+  auto Trace = readJsonlTrace(In, ParseErr);
+  if (!Trace) {
+    Err << "error: " << Opts.TracePath << ": " << ParseErr << "\n";
+    return 1;
+  }
+  Out << "sketch: " << Trace->Manifest.Sketch << "\n"
+      << "seed: " << Trace->Manifest.Seed << ", iterations: "
+      << Trace->Manifest.Iterations << ", chains: "
+      << Trace->Manifest.Chains << "\n";
+  Out << formatTraceSummary(summarizeTrace(*Trace));
   return 0;
 }
 
@@ -244,6 +308,8 @@ int psketch::runTool(const ToolOptions &Opts, std::ostream &Out,
     return cmdSynth(Opts, Out, Err);
   if (Opts.Command == "posterior")
     return cmdPosterior(Opts, Out, Err);
+  if (Opts.Command == "trace-stats")
+    return cmdTraceStats(Opts, Out, Err);
   Err << toolUsage();
   return 2;
 }

@@ -62,14 +62,18 @@ std::optional<std::vector<double>> parseNumberList(const std::string &Text) {
 
 std::string psketch::toolUsage() {
   return "usage: psketch "
-         "<print|sample|score|report|synth|posterior> [options]\n"
+         "<print|sample|score|report|synth|posterior|trace-stats> "
+         "[options]\n"
          "  print  --program FILE\n"
          "  sample --program FILE [--rows N] [--seed S] [--out FILE.csv]\n"
          "  score  --program FILE --data FILE.csv\n"
          "  report --program FILE --data FILE.csv [--slot NAME ...]\n"
          "  synth  --sketch FILE --data FILE.csv [--iterations N]\n"
          "         [--chains N] [--seed S] [--threads N (0 = all cores)]\n"
+         "         [--trace-out FILE.jsonl] [--metrics-out FILE.json]\n"
+         "         [--progress]\n"
          "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
+         "  trace-stats --trace FILE.jsonl\n"
          "inputs: --int n=3 --real x=1.5 --bool b=1\n"
          "        --ints a=0,1 --reals a=1.5,2 --bools a=1,0\n";
 }
@@ -84,7 +88,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
   const bool KnownCommand =
       Opts.Command == "print" || Opts.Command == "sample" ||
       Opts.Command == "score" || Opts.Command == "report" ||
-      Opts.Command == "synth" || Opts.Command == "posterior";
+      Opts.Command == "synth" || Opts.Command == "posterior" ||
+      Opts.Command == "trace-stats";
   if (!KnownCommand)
     Opts.Errors.push_back("unknown command '" + Opts.Command + "'");
 
@@ -110,6 +115,17 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
     } else if (Flag == "--out") {
       if (NextValue(I, Flag, Value))
         Opts.OutPath = Value;
+    } else if (Flag == "--trace-out") {
+      if (NextValue(I, Flag, Value))
+        Opts.TraceOutPath = Value;
+    } else if (Flag == "--metrics-out") {
+      if (NextValue(I, Flag, Value))
+        Opts.MetricsOutPath = Value;
+    } else if (Flag == "--trace") {
+      if (NextValue(I, Flag, Value))
+        Opts.TracePath = Value;
+    } else if (Flag == "--progress") {
+      Opts.Progress = true;
     } else if (Flag == "--slot") {
       if (NextValue(I, Flag, Value))
         Opts.Slots.push_back(Value);
@@ -175,6 +191,11 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
 
   // Per-command requirements.
   if (KnownCommand) {
+    if (Opts.Command == "trace-stats") {
+      if (Opts.TracePath.empty())
+        Opts.Errors.push_back("command 'trace-stats' requires --trace");
+      return Opts;
+    }
     if (Opts.ProgramPath.empty())
       Opts.Errors.push_back("missing --program/--sketch");
     bool NeedsData = Opts.Command == "score" || Opts.Command == "report" ||

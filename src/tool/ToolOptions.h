@@ -15,9 +15,11 @@
 ///   psketch report --program FILE --data FILE.csv [--slot NAME ...]
 ///   psketch synth  --sketch FILE --data FILE.csv
 ///                  [--iterations N] [--chains N] [--seed S]
-///                  [--threads N]
+///                  [--threads N] [--trace-out FILE.jsonl]
+///                  [--metrics-out FILE.json] [--progress]
 ///   psketch posterior --program FILE --slot NAME [--samples N]
 ///                  [--seed S]
+///   psketch trace-stats --trace FILE.jsonl
 ///
 /// Program inputs are bound with repeatable flags:
 ///   --int n=3  --real x=1.5  --bool flag=1
@@ -41,6 +43,10 @@ struct ToolOptions {
   std::string ProgramPath; ///< --program or --sketch.
   std::string DataPath;    ///< --data.
   std::string OutPath;     ///< --out.
+  std::string TraceOutPath;   ///< --trace-out (synth): JSONL MH trace.
+  std::string MetricsOutPath; ///< --metrics-out (synth): metrics JSON.
+  std::string TracePath;      ///< --trace (trace-stats): JSONL to read.
+  bool Progress = false;      ///< --progress (synth): periodic updates.
   std::vector<std::string> Slots; ///< --slot (report).
   unsigned Rows = 100;
   unsigned Samples = 20000; ///< --samples (posterior).

@@ -1,0 +1,162 @@
+//===- tests/obs/ConvergenceTest.cpp - R-hat / ESS oracle tests -----------===//
+//
+// The diagnostics are validated on synthetic chains with known answers:
+// iid draws from one distribution must look converged (R-hat near 1,
+// ESS near the pooled draw count); chains with shifted means must not;
+// a strongly autocorrelated AR(1) walk must discount ESS heavily; and
+// constant / frozen chains must trip the stuck detector.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Convergence.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+/// \p N iid Gaussian draws (mean \p Mu, sd \p Sigma).
+std::vector<double> iidChain(uint64_t Seed, size_t N, double Mu,
+                             double Sigma) {
+  Rng R(Seed);
+  std::vector<double> Xs;
+  Xs.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Xs.push_back(R.gaussian(Mu, Sigma));
+  return Xs;
+}
+
+/// AR(1) walk x[t] = Phi * x[t-1] + e[t]; autocorrelation Phi^t.
+std::vector<double> arChain(uint64_t Seed, size_t N, double Phi) {
+  Rng R(Seed);
+  std::vector<double> Xs;
+  Xs.reserve(N);
+  double X = 0;
+  for (size_t I = 0; I != N; ++I) {
+    X = Phi * X + R.gaussian(0, 1);
+    Xs.push_back(X);
+  }
+  return Xs;
+}
+
+} // namespace
+
+TEST(ConvergenceTest, RHatNearOneForWellMixedChains) {
+  std::vector<std::vector<double>> Chains;
+  for (uint64_t C = 0; C != 4; ++C)
+    Chains.push_back(iidChain(100 + C, 500, 0.0, 1.0));
+  double R = splitRHat(Chains);
+  EXPECT_GT(R, 0.9);
+  EXPECT_LT(R, 1.05);
+}
+
+TEST(ConvergenceTest, RHatDetectsShiftedChains) {
+  // Two chains sampling distributions 10 sds apart: between-chain
+  // variance dwarfs within-chain variance.
+  std::vector<std::vector<double>> Chains = {
+      iidChain(1, 500, 0.0, 1.0), iidChain(2, 500, 10.0, 1.0)};
+  EXPECT_GT(splitRHat(Chains), 1.5);
+}
+
+TEST(ConvergenceTest, RHatHandlesConstantChains) {
+  // All-equal constant chains are trivially converged.
+  std::vector<std::vector<double>> Same = {{2.0, 2.0, 2.0, 2.0},
+                                           {2.0, 2.0, 2.0, 2.0}};
+  EXPECT_EQ(splitRHat(Same), 1.0);
+
+  // Constant but disagreeing chains never mix.
+  std::vector<std::vector<double>> Diff = {{1.0, 1.0, 1.0, 1.0},
+                                           {2.0, 2.0, 2.0, 2.0}};
+  EXPECT_TRUE(std::isinf(splitRHat(Diff)));
+}
+
+TEST(ConvergenceTest, RHatNeedsEnoughData) {
+  EXPECT_TRUE(std::isnan(splitRHat({})));
+  EXPECT_TRUE(std::isnan(splitRHat({{1.0, 2.0}})));
+  EXPECT_TRUE(std::isnan(splitRHat({{1.0, 2.0, 3.0}, {1.0}})));
+}
+
+TEST(ConvergenceTest, ESSNearPooledCountForIidDraws) {
+  std::vector<std::vector<double>> Chains;
+  for (uint64_t C = 0; C != 4; ++C)
+    Chains.push_back(iidChain(200 + C, 500, 0.0, 1.0));
+  double ESS = effectiveSampleSize(Chains);
+  double Pooled = 4 * 500;
+  EXPECT_GT(ESS, 0.5 * Pooled);
+  EXPECT_LE(ESS, Pooled);
+}
+
+TEST(ConvergenceTest, ESSDiscountsAutocorrelatedChains) {
+  // AR(1) with Phi = 0.9 has ESS/N about (1-Phi)/(1+Phi) ~ 5%.
+  std::vector<std::vector<double>> Chains;
+  for (uint64_t C = 0; C != 4; ++C)
+    Chains.push_back(arChain(300 + C, 500, 0.9));
+  double ESS = effectiveSampleSize(Chains);
+  double Pooled = 4 * 500;
+  EXPECT_LT(ESS, 0.3 * Pooled);
+  EXPECT_GT(ESS, 0);
+}
+
+TEST(ConvergenceTest, WindowedAcceptanceRateUsesTrailingWindow) {
+  // 10 rejects then 10 accepts.
+  std::vector<uint8_t> Accepts(10, 0);
+  Accepts.insert(Accepts.end(), 10, 1);
+  EXPECT_EQ(windowedAcceptanceRate(Accepts, 10), 1.0);
+  EXPECT_EQ(windowedAcceptanceRate(Accepts, 20), 0.5);
+  // Window longer than the series uses everything.
+  EXPECT_EQ(windowedAcceptanceRate(Accepts, 100), 0.5);
+  EXPECT_EQ(windowedAcceptanceRate({}, 10), 0.0);
+}
+
+TEST(ConvergenceTest, ComputeConvergenceFlagsStuckChains) {
+  // Chain 0 mixes; chain 1 froze (constant trace, no accepts).
+  std::vector<std::vector<double>> LL = {iidChain(7, 400, -50.0, 1.0),
+                                         std::vector<double>(400, -80.0)};
+  std::vector<std::vector<uint8_t>> Accepts(2);
+  Rng R(9);
+  for (size_t I = 0; I != 400; ++I) {
+    Accepts[0].push_back(R.uniform() < 0.3);
+    Accepts[1].push_back(0);
+  }
+  ConvergenceReport Report = computeConvergence(LL, Accepts, 100);
+  ASSERT_TRUE(Report.Computed);
+  ASSERT_EQ(Report.WindowedAcceptRate.size(), 2u);
+  EXPECT_GT(Report.WindowedAcceptRate[0], 0.1);
+  EXPECT_EQ(Report.WindowedAcceptRate[1], 0.0);
+  ASSERT_EQ(Report.StuckChains.size(), 1u);
+  EXPECT_EQ(Report.StuckChains[0], 1u);
+  // Frozen-vs-mixing chains cannot have mixed.
+  EXPECT_GT(Report.SplitRHat, 1.05);
+
+  std::string Render = Report.str();
+  EXPECT_NE(Render.find("stuck"), std::string::npos);
+}
+
+TEST(ConvergenceTest, ComputeConvergenceCleanRun) {
+  std::vector<std::vector<double>> LL;
+  std::vector<std::vector<uint8_t>> Accepts;
+  Rng R(11);
+  for (uint64_t C = 0; C != 4; ++C) {
+    LL.push_back(iidChain(400 + C, 500, -10.0, 0.5));
+    std::vector<uint8_t> A;
+    for (size_t I = 0; I != 500; ++I)
+      A.push_back(R.uniform() < 0.4);
+    Accepts.push_back(std::move(A));
+  }
+  ConvergenceReport Report = computeConvergence(LL, Accepts, 200);
+  ASSERT_TRUE(Report.Computed);
+  EXPECT_TRUE(Report.StuckChains.empty());
+  EXPECT_LT(Report.SplitRHat, 1.05);
+  EXPECT_GT(Report.ESS, 100.0);
+  EXPECT_EQ(Report.Window, 200u);
+}
+
+TEST(ConvergenceTest, EmptyInputYieldsUncomputedReport) {
+  ConvergenceReport Report = computeConvergence({}, {}, 200);
+  EXPECT_FALSE(Report.Computed);
+}

@@ -1,0 +1,132 @@
+//===- tests/obs/JsonTest.cpp - JSON writer/parser unit tests -------------===//
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace psketch;
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  std::string Err;
+  auto V = parseJson(Text, Err);
+  EXPECT_TRUE(V) << Err;
+  return V ? *V : JsonValue();
+}
+
+} // namespace
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonTest, NumbersRoundTripExactly) {
+  for (double V : {0.0, 1.0, -1.5, 0.1, 1.0 / 3.0, 1e-300, 1e300,
+                   -123456.789012345}) {
+    std::string Text = jsonNumber(V);
+    JsonValue P = parseOk(Text);
+    ASSERT_EQ(P.kind(), JsonValue::Kind::Number) << Text;
+    EXPECT_EQ(P.number(), V) << Text;
+  }
+}
+
+TEST(JsonTest, NonFiniteNumbersUseSentinelStrings) {
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "\"inf\"");
+  EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+            "\"-inf\"");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+            "\"nan\"");
+
+  // getNumber converts the sentinels back.
+  JsonValue V = parseOk(R"({"a": "inf", "b": "-inf", "c": "nan"})");
+  ASSERT_TRUE(V.getNumber("a"));
+  EXPECT_TRUE(std::isinf(*V.getNumber("a")) && *V.getNumber("a") > 0);
+  ASSERT_TRUE(V.getNumber("b"));
+  EXPECT_TRUE(std::isinf(*V.getNumber("b")) && *V.getNumber("b") < 0);
+  ASSERT_TRUE(V.getNumber("c"));
+  EXPECT_TRUE(std::isnan(*V.getNumber("c")));
+}
+
+TEST(JsonTest, ParsesNestedDocuments) {
+  JsonValue V = parseOk(
+      R"({"name": "x", "ok": true, "none": null,
+          "arr": [1, 2.5, "s", false], "obj": {"k": -3}})");
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.getString("name"), "x");
+  EXPECT_EQ(V.getBool("ok"), true);
+  ASSERT_TRUE(V.get("none"));
+  EXPECT_EQ(V.get("none")->kind(), JsonValue::Kind::Null);
+  const JsonValue *Arr = V.get("arr");
+  ASSERT_TRUE(Arr && Arr->isArray());
+  ASSERT_EQ(Arr->array().size(), 4u);
+  EXPECT_EQ(Arr->array()[1].number(), 2.5);
+  EXPECT_EQ(Arr->array()[2].str(), "s");
+  const JsonValue *Obj = V.get("obj");
+  ASSERT_TRUE(Obj && Obj->isObject());
+  EXPECT_EQ(Obj->getNumber("k"), -3.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  std::string Err;
+  EXPECT_FALSE(parseJson("{", Err));
+  EXPECT_FALSE(parseJson("[1,]", Err));
+  EXPECT_FALSE(parseJson("{\"a\" 1}", Err));
+  EXPECT_FALSE(parseJson("tru", Err));
+  EXPECT_FALSE(parseJson("", Err));
+  // Trailing garbage after a complete document is an error too.
+  EXPECT_FALSE(parseJson("{} x", Err));
+  EXPECT_NE(Err.find("offset"), std::string::npos);
+}
+
+TEST(JsonTest, MissingMembersReturnNullopt) {
+  JsonValue V = parseOk(R"({"a": 1})");
+  EXPECT_FALSE(V.getNumber("missing"));
+  EXPECT_FALSE(V.getString("a")); // wrong kind
+  EXPECT_FALSE(V.getBool("a"));
+  EXPECT_EQ(V.get("missing"), nullptr);
+}
+
+TEST(JsonTest, WriterProducesParsableNestedOutput) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("seed", uint64_t(42));
+  W.field("name", "TrueSkill");
+  W.field("ok", true);
+  W.field("ll", -86.5);
+  W.beginArray("rows");
+  W.element(1.0);
+  W.element(std::string("two"));
+  W.endArray();
+  W.beginObject("nested");
+  W.field("inf", std::numeric_limits<double>::infinity());
+  W.endObject();
+  W.endObject();
+
+  JsonValue V = parseOk(W.str());
+  EXPECT_EQ(V.getNumber("seed"), 42.0);
+  EXPECT_EQ(V.getString("name"), "TrueSkill");
+  EXPECT_EQ(V.getBool("ok"), true);
+  EXPECT_EQ(V.getNumber("ll"), -86.5);
+  ASSERT_TRUE(V.get("rows"));
+  EXPECT_EQ(V.get("rows")->array().size(), 2u);
+  ASSERT_TRUE(V.get("nested"));
+  EXPECT_TRUE(std::isinf(*V.get("nested")->getNumber("inf")));
+}
+
+TEST(JsonTest, LargeUint64FieldsSurviveTextually) {
+  // Fingerprints are 64-bit; they are written as integer text (not via
+  // double) so the textual form is exact.
+  JsonWriter W;
+  W.beginObject();
+  W.field("fp", uint64_t(0xdeadbeefcafebabeull));
+  W.endObject();
+  EXPECT_NE(W.str().find("16045690984503098046"), std::string::npos);
+}

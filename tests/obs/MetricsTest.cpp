@@ -1,0 +1,136 @@
+//===- tests/obs/MetricsTest.cpp - Metrics registry unit tests ------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace psketch;
+
+TEST(MetricsTest, CountersCreateOnFirstUseAndAccumulate) {
+  MetricsRegistry R;
+  R.counter("a").add();
+  R.counter("a").add(4);
+  EXPECT_EQ(R.counter("a").value(), 5u);
+  EXPECT_EQ(R.counter("b").value(), 0u);
+  EXPECT_EQ(R.numMetrics(), 2u);
+}
+
+TEST(MetricsTest, GaugesKeepLastWrite) {
+  MetricsRegistry R;
+  EXPECT_FALSE(R.gauge("g").written());
+  R.gauge("g").set(1.5);
+  R.gauge("g").set(-2.5);
+  EXPECT_TRUE(R.gauge("g").written());
+  EXPECT_EQ(R.gauge("g").value(), -2.5);
+}
+
+TEST(MetricsTest, HistogramFirstRegistrationWins) {
+  MetricsRegistry R;
+  R.histogram("h", 0, 10, 10).observe(3.0);
+  // Re-registration with a different binning returns the original.
+  Histogram S = R.histogram("h", 0, 100, 5).snapshot();
+  EXPECT_EQ(S.bins(), 10u);
+  EXPECT_EQ(S.total(), 1u);
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry R;
+  Counter &C = R.counter("hits");
+  constexpr unsigned Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&C] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        C.add();
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(C.value(), uint64_t(Threads) * PerThread);
+}
+
+TEST(MetricsTest, MergeSumsCountersAndHistograms) {
+  MetricsRegistry A, B;
+  A.counter("c").add(3);
+  B.counter("c").add(4);
+  B.counter("only_b").add(1);
+  A.histogram("h", 0, 4, 4).observe(1.0);
+  B.histogram("h", 0, 4, 4).observe(3.0);
+  B.gauge("g").set(9.0);
+
+  A.merge(B);
+  EXPECT_EQ(A.counter("c").value(), 7u);
+  EXPECT_EQ(A.counter("only_b").value(), 1u);
+  Histogram H = A.histogram("h", 0, 4, 4).snapshot();
+  EXPECT_EQ(H.total(), 2u);
+  EXPECT_EQ(H.count(1), 1u);
+  EXPECT_EQ(H.count(3), 1u);
+  EXPECT_EQ(A.gauge("g").value(), 9.0);
+}
+
+TEST(MetricsTest, MergeSkipsUnwrittenGauges) {
+  MetricsRegistry A, B;
+  A.gauge("g").set(5.0);
+  (void)B.gauge("g"); // registered but never written
+  A.merge(B);
+  EXPECT_EQ(A.gauge("g").value(), 5.0);
+}
+
+TEST(MetricsTest, ShardMergeOrderIsDeterministic) {
+  // Simulate per-chain shards populated from different "threads" and
+  // check that merging them in chain order yields identical JSON no
+  // matter which threads did the populating (here: populate twice and
+  // compare — contents depend only on the shard values and the merge
+  // order).
+  auto Populate = [](MetricsRegistry &Shard, unsigned Chain) {
+    Shard.counter("synth.proposed").add(100 + Chain);
+    Shard.counter("synth.accepted").add(10 * Chain);
+    Shard.histogram("synth.mutations_per_proposal", 0, 16, 16)
+        .observe(double(Chain % 4));
+  };
+
+  std::string Renders[2];
+  for (std::string &Render : Renders) {
+    std::vector<std::unique_ptr<MetricsRegistry>> Shards;
+    for (unsigned Chain = 0; Chain != 4; ++Chain) {
+      Shards.push_back(std::make_unique<MetricsRegistry>());
+      Populate(*Shards.back(), Chain);
+    }
+    MetricsRegistry Merged;
+    for (auto &Shard : Shards)
+      Merged.merge(*Shard);
+    Render = Merged.toJson();
+  }
+  EXPECT_EQ(Renders[0], Renders[1]);
+  EXPECT_NE(Renders[0].find("\"synth.proposed\":406"), std::string::npos);
+}
+
+TEST(MetricsTest, ToJsonIsSortedAndParsable) {
+  MetricsRegistry R;
+  R.counter("z.last").add(1);
+  R.counter("a.first").add(2);
+  R.gauge("m.gauge").set(0.5);
+  R.histogram("h.hist", 0, 2, 2).observe(1.5);
+
+  std::string Text = R.toJson();
+  // Sorted: a.first before z.last.
+  EXPECT_LT(Text.find("a.first"), Text.find("z.last"));
+
+  std::string Err;
+  auto V = parseJson(Text, Err);
+  ASSERT_TRUE(V) << Err;
+  const JsonValue *Counters = V->get("counters");
+  ASSERT_TRUE(Counters);
+  EXPECT_EQ(Counters->getNumber("a.first"), 2.0);
+  const JsonValue *Hists = V->get("histograms");
+  ASSERT_TRUE(Hists);
+  const JsonValue *H = Hists->get("h.hist");
+  ASSERT_TRUE(H);
+  EXPECT_EQ(H->getNumber("total"), 1.0);
+  ASSERT_TRUE(H->get("counts"));
+  EXPECT_EQ(H->get("counts")->array().size(), 2u);
+}

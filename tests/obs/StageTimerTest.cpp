@@ -1,0 +1,86 @@
+//===- tests/obs/StageTimerTest.cpp - RAII stage-span unit tests ----------===//
+
+#include "obs/StageTimer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace psketch;
+
+TEST(StageTimerTest, NoSinkMeansNoCharge) {
+  ASSERT_EQ(threadStageTimes(), nullptr);
+  { ScopedStage Span(Stage::EvalBatch); }
+  // Nothing to observe directly — the span had nowhere to write — but
+  // installing a sink afterwards must start from zero.
+  StageTimes T;
+  StageTimesScope Scope(&T);
+  EXPECT_TRUE(T.empty());
+}
+
+TEST(StageTimerTest, SpansChargeTheInstalledSink) {
+  StageTimes T;
+  {
+    StageTimesScope Scope(&T);
+    { ScopedStage Span(Stage::LowerCompile); }
+    { ScopedStage Span(Stage::LowerCompile); }
+    { ScopedStage Span(Stage::Splice); }
+  }
+  EXPECT_EQ(T.calls(Stage::LowerCompile), 2u);
+  EXPECT_EQ(T.calls(Stage::Splice), 1u);
+  EXPECT_EQ(T.calls(Stage::EvalBatch), 0u);
+  EXPECT_FALSE(T.empty());
+}
+
+TEST(StageTimerTest, ScopeRestoresThePreviousSink) {
+  StageTimes Outer, Inner;
+  StageTimesScope OuterScope(&Outer);
+  EXPECT_EQ(threadStageTimes(), &Outer);
+  {
+    StageTimesScope InnerScope(&Inner);
+    EXPECT_EQ(threadStageTimes(), &Inner);
+    ScopedStage Span(Stage::CacheProbe);
+  }
+  EXPECT_EQ(threadStageTimes(), &Outer);
+  EXPECT_EQ(Inner.calls(Stage::CacheProbe), 1u);
+  EXPECT_EQ(Outer.calls(Stage::CacheProbe), 0u);
+  setThreadStageTimes(nullptr);
+}
+
+TEST(StageTimerTest, SinksAreThreadLocal) {
+  StageTimes Main;
+  StageTimesScope Scope(&Main);
+  std::thread Worker([] {
+    // The worker starts with no sink even while the main thread has
+    // one installed.
+    EXPECT_EQ(threadStageTimes(), nullptr);
+    StageTimes Mine;
+    StageTimesScope S(&Mine);
+    { ScopedStage Span(Stage::EvalBatch); }
+    EXPECT_EQ(Mine.calls(Stage::EvalBatch), 1u);
+  });
+  Worker.join();
+  EXPECT_EQ(Main.calls(Stage::EvalBatch), 0u);
+}
+
+TEST(StageTimerTest, MergeSumsNanosAndCalls) {
+  StageTimes A, B;
+  A.Ns[unsigned(Stage::EvalBatch)] = 100;
+  A.Calls[unsigned(Stage::EvalBatch)] = 2;
+  B.Ns[unsigned(Stage::EvalBatch)] = 50;
+  B.Calls[unsigned(Stage::EvalBatch)] = 1;
+  B.Ns[unsigned(Stage::Splice)] = 7;
+  B.Calls[unsigned(Stage::Splice)] = 1;
+  A.merge(B);
+  EXPECT_EQ(A.Ns[unsigned(Stage::EvalBatch)], 150u);
+  EXPECT_EQ(A.calls(Stage::EvalBatch), 3u);
+  EXPECT_EQ(A.calls(Stage::Splice), 1u);
+  EXPECT_DOUBLE_EQ(A.seconds(Stage::EvalBatch), 150e-9);
+}
+
+TEST(StageTimerTest, StageNamesAreStable) {
+  EXPECT_STREQ(stageName(Stage::LowerCompile), "lower_compile");
+  EXPECT_STREQ(stageName(Stage::EvalBatch), "eval_batch");
+  EXPECT_STREQ(stageName(Stage::CacheProbe), "cache_probe");
+  EXPECT_STREQ(stageName(Stage::Splice), "splice");
+}

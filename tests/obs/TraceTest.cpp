@@ -1,0 +1,198 @@
+//===- tests/obs/TraceTest.cpp - JSONL trace round-trip tests -------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+RunManifest sampleManifest() {
+  RunManifest M;
+  M.Seed = 7;
+  M.Iterations = 300;
+  M.Chains = 2;
+  M.Threads = 4;
+  M.Sketch = "sketch.psk";
+  M.DatasetRows = 40;
+  M.DatasetCols = 3;
+  M.DatasetFingerprint = 0xdeadbeefcafebabeull;
+  M.ScoreCacheSize = 4096;
+  M.UseProposalRatio = true;
+  return M;
+}
+
+std::vector<TraceEvent> sampleEvents() {
+  std::vector<TraceEvent> Events;
+  TraceEvent A;
+  A.Chain = 0;
+  A.Iter = 0;
+  A.Mutation = "const_perturb";
+  A.Outcome = TraceOutcome::Accept;
+  A.CandidateLL = -12.5;
+  A.BestLL = -12.5;
+  A.CacheHit = false;
+  Events.push_back(A);
+
+  TraceEvent B;
+  B.Chain = 0;
+  B.Iter = 1;
+  B.Mutation = "regen+grow";
+  B.Outcome = TraceOutcome::Invalid;
+  // CandidateLL stays NaN; BestLL stays as before.
+  B.BestLL = -12.5;
+  Events.push_back(B);
+
+  TraceEvent C;
+  C.Chain = 1;
+  C.Iter = 0;
+  C.Mutation = "op_swap";
+  C.Outcome = TraceOutcome::Reject;
+  C.CandidateLL = -99.25;
+  C.BestLL = -12.5;
+  C.CacheHit = true;
+  Events.push_back(C);
+  return Events;
+}
+
+} // namespace
+
+TEST(TraceTest, OutcomeNamesRoundTrip) {
+  for (TraceOutcome O : {TraceOutcome::Accept, TraceOutcome::Reject,
+                         TraceOutcome::Invalid}) {
+    auto Back = parseTraceOutcome(traceOutcomeName(O));
+    ASSERT_TRUE(Back);
+    EXPECT_EQ(*Back, O);
+  }
+  EXPECT_FALSE(parseTraceOutcome("bogus"));
+}
+
+TEST(TraceTest, EveryLineIsValidJson) {
+  std::ostringstream OS;
+  writeJsonlTrace(OS, sampleManifest(), sampleEvents());
+  std::istringstream IS(OS.str());
+  std::string Line;
+  unsigned Lines = 0;
+  while (std::getline(IS, Line)) {
+    ++Lines;
+    std::string Err;
+    EXPECT_TRUE(parseJson(Line, Err))
+        << "line " << Lines << ": " << Err << "\n" << Line;
+  }
+  EXPECT_EQ(Lines, 1u + sampleEvents().size());
+}
+
+TEST(TraceTest, RoundTripPreservesAllFields) {
+  std::ostringstream OS;
+  writeJsonlTrace(OS, sampleManifest(), sampleEvents());
+  std::istringstream IS(OS.str());
+  std::string Err;
+  auto T = readJsonlTrace(IS, Err);
+  ASSERT_TRUE(T) << Err;
+
+  RunManifest M = sampleManifest();
+  EXPECT_EQ(T->Manifest.Seed, M.Seed);
+  EXPECT_EQ(T->Manifest.Iterations, M.Iterations);
+  EXPECT_EQ(T->Manifest.Chains, M.Chains);
+  EXPECT_EQ(T->Manifest.Threads, M.Threads);
+  EXPECT_EQ(T->Manifest.Sketch, M.Sketch);
+  EXPECT_EQ(T->Manifest.DatasetRows, M.DatasetRows);
+  EXPECT_EQ(T->Manifest.DatasetCols, M.DatasetCols);
+  EXPECT_EQ(T->Manifest.DatasetFingerprint, M.DatasetFingerprint);
+  EXPECT_EQ(T->Manifest.ScoreCacheSize, M.ScoreCacheSize);
+  EXPECT_EQ(T->Manifest.UseProposalRatio, M.UseProposalRatio);
+
+  std::vector<TraceEvent> Events = sampleEvents();
+  ASSERT_EQ(T->Events.size(), Events.size());
+  for (size_t I = 0; I != Events.size(); ++I) {
+    EXPECT_EQ(T->Events[I].Chain, Events[I].Chain);
+    EXPECT_EQ(T->Events[I].Iter, Events[I].Iter);
+    EXPECT_EQ(T->Events[I].Mutation, Events[I].Mutation);
+    EXPECT_EQ(T->Events[I].Outcome, Events[I].Outcome);
+    EXPECT_EQ(T->Events[I].BestLL, Events[I].BestLL);
+    EXPECT_EQ(T->Events[I].CacheHit, Events[I].CacheHit);
+    if (std::isnan(Events[I].CandidateLL))
+      EXPECT_TRUE(std::isnan(T->Events[I].CandidateLL));
+    else
+      EXPECT_EQ(T->Events[I].CandidateLL, Events[I].CandidateLL);
+  }
+}
+
+TEST(TraceTest, NegativeInfinityBestLLSurvives) {
+  // Before the first valid candidate the best LL is -inf; the JSONL
+  // form must carry it through.
+  RunManifest M = sampleManifest();
+  TraceEvent E;
+  E.Chain = 0;
+  E.Iter = 0;
+  E.Mutation = "none";
+  E.Outcome = TraceOutcome::Invalid;
+  std::ostringstream OS;
+  writeJsonlTrace(OS, M, {E});
+  std::istringstream IS(OS.str());
+  std::string Err;
+  auto T = readJsonlTrace(IS, Err);
+  ASSERT_TRUE(T) << Err;
+  ASSERT_EQ(T->Events.size(), 1u);
+  EXPECT_TRUE(std::isinf(T->Events[0].BestLL));
+  EXPECT_LT(T->Events[0].BestLL, 0);
+}
+
+TEST(TraceTest, RejectsGarbageLinesWithLineNumbers) {
+  std::ostringstream OS;
+  writeJsonlTrace(OS, sampleManifest(), sampleEvents());
+  std::string Text = OS.str() + "this is not json\n";
+  std::istringstream IS(Text);
+  std::string Err;
+  EXPECT_FALSE(readJsonlTrace(IS, Err));
+  EXPECT_NE(Err.find("line 5"), std::string::npos) << Err;
+}
+
+TEST(TraceTest, RejectsMissingManifest) {
+  std::ostringstream OS;
+  // Events only, no manifest first line.
+  OS << traceEventLine(sampleEvents()[0]) << "\n";
+  std::istringstream IS(OS.str());
+  std::string Err;
+  EXPECT_FALSE(readJsonlTrace(IS, Err));
+  EXPECT_NE(Err.find("manifest"), std::string::npos) << Err;
+}
+
+TEST(TraceTest, RejectsEmptyInput) {
+  std::istringstream IS("");
+  std::string Err;
+  EXPECT_FALSE(readJsonlTrace(IS, Err));
+}
+
+TEST(TraceTest, SummaryCountsPerChainAndOverall) {
+  std::ostringstream OS;
+  writeJsonlTrace(OS, sampleManifest(), sampleEvents());
+  std::istringstream IS(OS.str());
+  std::string Err;
+  auto T = readJsonlTrace(IS, Err);
+  ASSERT_TRUE(T) << Err;
+
+  TraceSummary S = summarizeTrace(*T, /*Window=*/200);
+  EXPECT_EQ(S.Events, 3u);
+  EXPECT_EQ(S.Accepted, 1u);
+  EXPECT_EQ(S.Invalid, 1u);
+  EXPECT_EQ(S.CacheHits, 1u);
+  EXPECT_EQ(S.BestLL, -12.5);
+  ASSERT_EQ(S.PerChain.size(), 2u);
+  EXPECT_EQ(S.PerChain[0].Chain, 0u);
+  EXPECT_EQ(S.PerChain[0].Events, 2u);
+  EXPECT_EQ(S.PerChain[0].Accepted, 1u);
+  EXPECT_EQ(S.PerChain[0].WindowAcceptRate, 0.5);
+  EXPECT_EQ(S.PerChain[1].Events, 1u);
+  EXPECT_EQ(S.PerChain[1].CacheHits, 1u);
+
+  std::string Render = formatTraceSummary(S);
+  EXPECT_NE(Render.find("chain 0"), std::string::npos);
+  EXPECT_NE(Render.find("chain 1"), std::string::npos);
+}

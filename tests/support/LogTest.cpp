@@ -1,0 +1,100 @@
+//===- tests/support/LogTest.cpp - PSKETCH_LOG unit tests -----------------===//
+
+#include "support/Log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace psketch;
+
+namespace {
+
+/// Redirects the log sink and restores level + sink on destruction.
+struct LogCapture {
+  std::ostringstream OS;
+  std::ostream *PrevStream;
+  LogLevel PrevLevel;
+
+  LogCapture() : PrevStream(setLogStream(&OS)), PrevLevel(logLevel()) {}
+  ~LogCapture() {
+    setLogStream(PrevStream);
+    setLogLevel(PrevLevel);
+  }
+  std::string text() const { return OS.str(); }
+};
+
+} // namespace
+
+TEST(LogTest, DefaultLevelIsWarn) {
+  LogCapture Cap;
+  setLogLevel(LogLevel::Warn);
+  EXPECT_FALSE(logEnabled(LogLevel::Debug));
+  EXPECT_FALSE(logEnabled(LogLevel::Info));
+  EXPECT_TRUE(logEnabled(LogLevel::Warn));
+  EXPECT_TRUE(logEnabled(LogLevel::Error));
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  LogCapture Cap;
+  setLogLevel(LogLevel::Off);
+  EXPECT_FALSE(logEnabled(LogLevel::Error));
+  PSKETCH_LOG(Error, "test", "should not appear");
+  EXPECT_EQ(Cap.text(), "");
+}
+
+TEST(LogTest, MessagesCarrySeverityAndComponent) {
+  LogCapture Cap;
+  setLogLevel(LogLevel::Info);
+  PSKETCH_LOG(Info, "synth", "chain " << 3 << " finished");
+  EXPECT_EQ(Cap.text(), "[info] synth: chain 3 finished\n");
+}
+
+TEST(LogTest, FilteredMessagesSkipStreamEvaluation) {
+  LogCapture Cap;
+  setLogLevel(LogLevel::Warn);
+  int Evaluations = 0;
+  auto Probe = [&Evaluations]() {
+    ++Evaluations;
+    return 1;
+  };
+  PSKETCH_LOG(Debug, "test", "value " << Probe());
+  EXPECT_EQ(Evaluations, 0);
+  EXPECT_EQ(Cap.text(), "");
+  PSKETCH_LOG(Warn, "test", "value " << Probe());
+  EXPECT_EQ(Evaluations, 1);
+  EXPECT_EQ(Cap.text(), "[warn] test: value 1\n");
+}
+
+TEST(LogTest, LevelNamesAreStable) {
+  EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
+  EXPECT_STREQ(logLevelName(LogLevel::Info), "info");
+  EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+  EXPECT_STREQ(logLevelName(LogLevel::Error), "error");
+}
+
+TEST(LogTest, ConcurrentMessagesNeverInterleave) {
+  LogCapture Cap;
+  setLogLevel(LogLevel::Info);
+  constexpr unsigned Threads = 4, PerThread = 50;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([T] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        PSKETCH_LOG(Info, "worker", "t" << T << " message " << I);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  // Every line is complete: starts with the severity tag, ends cleanly.
+  std::istringstream IS(Cap.text());
+  std::string Line;
+  unsigned Lines = 0;
+  while (std::getline(IS, Line)) {
+    ++Lines;
+    EXPECT_EQ(Line.rfind("[info] worker: t", 0), 0u) << Line;
+  }
+  EXPECT_EQ(Lines, Threads * PerThread);
+}

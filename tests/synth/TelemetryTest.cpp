@@ -1,0 +1,317 @@
+//===- tests/synth/TelemetryTest.cpp - Synthesis telemetry tests ----------===//
+//
+// The telemetry knobs (trace, metrics, stage timers, diagnostics) must
+// be result-neutral, mutually consistent with SynthesisStats, and — like
+// every other synthesis output — a pure function of the seeds,
+// independent of the Threads knob.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "interp/Interp.h"
+#include "obs/Json.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+const char *GaussTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+
+const char *GaussSketch = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+SynthesisResult runTelemetry(const Dataset &Data, unsigned Threads,
+                             unsigned Chains = 2,
+                             unsigned Iterations = 150) {
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = Iterations;
+  Config.Chains = Chains;
+  Config.Threads = Threads;
+  Config.Seed = 5;
+  Config.CollectTrace = true;
+  Config.Metrics = true;
+  Config.StageTimers = true;
+  Config.Diagnostics = true;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  EXPECT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  return Synth.run();
+}
+
+} // namespace
+
+TEST(TelemetryTest, StatsMergeSumsEveryField) {
+  SynthesisStats A, B;
+  A.Proposed = 10;
+  A.Accepted = 4;
+  A.Invalid = 1;
+  A.Scored = 8;
+  A.CacheHits = 2;
+  A.CacheMisses = 6;
+  A.Seconds = 1.5;
+  A.Stage.Ns[unsigned(Stage::EvalBatch)] = 100;
+  A.Stage.Calls[unsigned(Stage::EvalBatch)] = 3;
+  B.Proposed = 5;
+  B.Accepted = 1;
+  B.Invalid = 2;
+  B.Scored = 3;
+  B.CacheHits = 1;
+  B.CacheMisses = 2;
+  B.Seconds = 0.5;
+  B.Stage.Ns[unsigned(Stage::EvalBatch)] = 50;
+  B.Stage.Calls[unsigned(Stage::EvalBatch)] = 1;
+
+  A.merge(B);
+  EXPECT_EQ(A.Proposed, 15u);
+  EXPECT_EQ(A.Accepted, 5u);
+  EXPECT_EQ(A.Invalid, 3u);
+  EXPECT_EQ(A.Scored, 11u);
+  EXPECT_EQ(A.CacheHits, 3u);
+  EXPECT_EQ(A.CacheMisses, 8u);
+  EXPECT_DOUBLE_EQ(A.Seconds, 2.0);
+  EXPECT_EQ(A.Stage.Ns[unsigned(Stage::EvalBatch)], 150u);
+  EXPECT_EQ(A.Stage.calls(Stage::EvalBatch), 4u);
+}
+
+TEST(TelemetryTest, TraceEventCountEqualsProposed) {
+  Dataset Data = makeData(GaussTarget, 60, 21);
+  SynthesisResult R = runTelemetry(Data, 1);
+  EXPECT_EQ(R.TraceEvents.size(), size_t(R.Stats.Proposed));
+
+  // Chain-major ordering with per-chain iteration numbering.
+  unsigned PrevChain = 0, Accepted = 0, Invalid = 0, CacheHits = 0;
+  unsigned NextIter = 0;
+  for (const TraceEvent &E : R.TraceEvents) {
+    if (E.Chain != PrevChain) {
+      EXPECT_EQ(E.Chain, PrevChain + 1);
+      PrevChain = E.Chain;
+      NextIter = 0;
+    }
+    EXPECT_EQ(E.Iter, NextIter++);
+    Accepted += E.Outcome == TraceOutcome::Accept;
+    Invalid += E.Outcome == TraceOutcome::Invalid;
+    CacheHits += E.CacheHit;
+  }
+  EXPECT_EQ(Accepted, R.Stats.Accepted);
+  EXPECT_EQ(Invalid, R.Stats.Invalid);
+  EXPECT_EQ(CacheHits, R.Stats.CacheHits);
+}
+
+TEST(TelemetryTest, BestLLIsMonotoneWithinTheMergedTrace) {
+  Dataset Data = makeData(GaussTarget, 60, 22);
+  SynthesisResult R = runTelemetry(Data, 1);
+  // The merged trace interleaves chains in chain order; within the
+  // whole sequence best-so-far only improves (each chain starts from
+  // the -inf floor but the merge keeps per-chain subsequences intact).
+  unsigned Chain = 0;
+  double Best = -std::numeric_limits<double>::infinity();
+  for (const TraceEvent &E : R.TraceEvents) {
+    if (E.Chain != Chain) {
+      Chain = E.Chain;
+      Best = -std::numeric_limits<double>::infinity();
+    }
+    EXPECT_GE(E.BestLL, Best);
+    Best = E.BestLL;
+  }
+}
+
+TEST(TelemetryTest, MetricsAgreeWithStats) {
+  Dataset Data = makeData(GaussTarget, 60, 23);
+  SynthesisResult R = runTelemetry(Data, 1);
+  ASSERT_TRUE(R.Metrics);
+  EXPECT_EQ(R.Metrics->counter("synth.proposed").value(),
+            uint64_t(R.Stats.Proposed));
+  EXPECT_EQ(R.Metrics->counter("synth.accepted").value(),
+            uint64_t(R.Stats.Accepted));
+  EXPECT_EQ(R.Metrics->counter("synth.invalid").value(),
+            uint64_t(R.Stats.Invalid));
+  EXPECT_EQ(R.Metrics->counter("synth.scored").value(),
+            uint64_t(R.Stats.Scored));
+  EXPECT_EQ(R.Metrics->counter("synth.cache.hits").value(),
+            uint64_t(R.Stats.CacheHits));
+  EXPECT_EQ(R.Metrics->counter("synth.cache.misses").value(),
+            uint64_t(R.Stats.CacheMisses));
+  EXPECT_EQ(R.Metrics->gauge("synth.best_ll").value(),
+            R.BestLogLikelihood);
+
+  // One histogram observation per proposal.
+  Histogram H = R.Metrics
+                    ->histogram("synth.mutations_per_proposal", 0, 16, 16)
+                    .snapshot();
+  EXPECT_EQ(H.total(), size_t(R.Stats.Proposed));
+
+  // The whole registry renders as parsable JSON.
+  std::string Err;
+  EXPECT_TRUE(parseJson(R.Metrics->toJson(), Err)) << Err;
+}
+
+TEST(TelemetryTest, StageTimersChargeTheHotStages) {
+  Dataset Data = makeData(GaussTarget, 60, 24);
+  SynthesisResult R = runTelemetry(Data, 1);
+  // Template scoring evaluates the tape once per scored candidate.
+  EXPECT_EQ(R.Stats.Stage.calls(Stage::EvalBatch),
+            uint64_t(R.Stats.Scored));
+  // Every proposal probes the cache (capacity is on by default).
+  EXPECT_EQ(R.Stats.Stage.calls(Stage::CacheProbe),
+            uint64_t(R.Stats.CacheHits + R.Stats.CacheMisses));
+  EXPECT_GT(R.Stats.Stage.seconds(Stage::EvalBatch), 0.0);
+}
+
+TEST(TelemetryTest, DiagnosticsCoverEveryChain) {
+  Dataset Data = makeData(GaussTarget, 60, 25);
+  SynthesisResult R = runTelemetry(Data, 1, /*Chains=*/3);
+  ASSERT_EQ(R.ChainLLTraces.size(), 3u);
+  for (const auto &Trace : R.ChainLLTraces)
+    EXPECT_EQ(Trace.size(), 150u);
+  ASSERT_TRUE(R.Convergence.Computed);
+  EXPECT_EQ(R.Convergence.WindowedAcceptRate.size(), 3u);
+  EXPECT_FALSE(std::isnan(R.Convergence.SplitRHat));
+  EXPECT_FALSE(std::isnan(R.Convergence.ESS));
+}
+
+TEST(TelemetryTest, TelemetryIsThreadCountInvariant) {
+  Dataset Data = makeData(GaussTarget, 60, 26);
+  SynthesisResult Serial = runTelemetry(Data, 1, /*Chains=*/4);
+  SynthesisResult Parallel = runTelemetry(Data, 4, /*Chains=*/4);
+
+  ASSERT_EQ(Serial.TraceEvents.size(), Parallel.TraceEvents.size());
+  for (size_t I = 0; I != Serial.TraceEvents.size(); ++I) {
+    const TraceEvent &A = Serial.TraceEvents[I];
+    const TraceEvent &B = Parallel.TraceEvents[I];
+    EXPECT_EQ(A.Chain, B.Chain);
+    EXPECT_EQ(A.Iter, B.Iter);
+    EXPECT_EQ(A.Mutation, B.Mutation);
+    EXPECT_EQ(A.Outcome, B.Outcome);
+    EXPECT_EQ(A.CacheHit, B.CacheHit);
+    if (std::isnan(A.CandidateLL))
+      EXPECT_TRUE(std::isnan(B.CandidateLL));
+    else
+      EXPECT_EQ(A.CandidateLL, B.CandidateLL);
+    EXPECT_EQ(A.BestLL, B.BestLL);
+  }
+
+  EXPECT_EQ(Serial.ChainLLTraces, Parallel.ChainLLTraces);
+  EXPECT_EQ(Serial.Convergence.SplitRHat, Parallel.Convergence.SplitRHat);
+  EXPECT_EQ(Serial.Convergence.ESS, Parallel.Convergence.ESS);
+  EXPECT_EQ(Serial.Convergence.StuckChains,
+            Parallel.Convergence.StuckChains);
+
+  ASSERT_TRUE(Serial.Metrics && Parallel.Metrics);
+  EXPECT_EQ(Serial.Metrics->counter("synth.proposed").value(),
+            Parallel.Metrics->counter("synth.proposed").value());
+  EXPECT_EQ(Serial.Metrics->counter("synth.accepted").value(),
+            Parallel.Metrics->counter("synth.accepted").value());
+}
+
+TEST(TelemetryTest, TelemetryOffLeavesResultsUntouched) {
+  Dataset Data = makeData(GaussTarget, 60, 27);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Plain;
+  Plain.Iterations = 150;
+  Plain.Chains = 2;
+  Plain.Seed = 5;
+  Synthesizer PlainSynth(*Sketch, {}, Data, Plain);
+  ASSERT_TRUE(PlainSynth.valid());
+  SynthesisResult Off = PlainSynth.run();
+
+  SynthesisResult On = runTelemetry(Data, 1);
+
+  // Telemetry never perturbs the walk.
+  EXPECT_EQ(Off.BestLogLikelihood, On.BestLogLikelihood);
+  EXPECT_EQ(Off.Stats.Proposed, On.Stats.Proposed);
+  EXPECT_EQ(Off.Stats.Accepted, On.Stats.Accepted);
+  EXPECT_EQ(Off.Stats.Scored, On.Stats.Scored);
+
+  // And off means off: no buffers, no registry, no timings.
+  EXPECT_TRUE(Off.TraceEvents.empty());
+  EXPECT_TRUE(Off.ChainLLTraces.empty());
+  EXPECT_FALSE(Off.Convergence.Computed);
+  EXPECT_FALSE(Off.Metrics);
+  EXPECT_TRUE(Off.Stats.Stage.empty());
+}
+
+TEST(TelemetryTest, ProgressCallbackFiresPerChain) {
+  Dataset Data = makeData(GaussTarget, 40, 28);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 100;
+  Config.Chains = 2;
+  Config.Seed = 5;
+  Config.ProgressEvery = 25;
+  std::vector<SynthesisConfig::ProgressUpdate> Updates;
+  Config.Progress = [&Updates](const SynthesisConfig::ProgressUpdate &U) {
+    Updates.push_back(U);
+  };
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid());
+  Synth.run();
+
+  // 100 / 25 = 4 periodic updates per chain; the final iteration
+  // coincides with a period so there is no extra end-of-chain call.
+  ASSERT_EQ(Updates.size(), 8u);
+  EXPECT_EQ(Updates.front().Chain, 0u);
+  EXPECT_EQ(Updates.front().Iter, 25u);
+  EXPECT_EQ(Updates.back().Chain, 1u);
+  EXPECT_EQ(Updates.back().Iter, 100u);
+  for (const auto &U : Updates)
+    EXPECT_EQ(U.Iterations, 100u);
+}
+
+TEST(TelemetryTest, ManifestDescribesTheRun) {
+  Dataset Data = makeData(GaussTarget, 40, 29);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 123;
+  Config.Chains = 3;
+  Config.Threads = 1;
+  Config.Seed = 77;
+  Config.ScoreCacheSize = 512;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid());
+  RunManifest M = Synth.makeManifest("gauss.psk");
+  EXPECT_EQ(M.Seed, 77u);
+  EXPECT_EQ(M.Iterations, 123u);
+  EXPECT_EQ(M.Chains, 3u);
+  EXPECT_EQ(M.Threads, 1u);
+  EXPECT_EQ(M.Sketch, "gauss.psk");
+  EXPECT_EQ(M.DatasetRows, Data.numRows());
+  EXPECT_EQ(M.DatasetCols, Data.numColumns());
+  EXPECT_EQ(M.DatasetFingerprint, Data.fingerprint());
+  EXPECT_EQ(M.ScoreCacheSize, 512u);
+  EXPECT_FALSE(M.UseProposalRatio);
+}

@@ -2,6 +2,9 @@
 
 #include "tool/Driver.h"
 
+#include "obs/Json.h"
+#include "obs/Trace.h"
+
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -190,4 +193,92 @@ TEST(DriverTest, PosteriorSamplesContinuousPrograms) {
 TEST(DriverTest, PosteriorRequiresSlot) {
   auto R = run({"posterior", "--program", "whatever.psk"});
   EXPECT_EQ(R.Code, 2);
+}
+
+TEST(DriverTest, SynthTraceOutWritesValidJsonl) {
+  std::string Prog = writeTemp("driver_trace_truth.psk", TruthSource);
+  std::string Sketch = writeTemp("driver_trace_sketch.psk", SketchSource);
+  std::string Data = ::testing::TempDir() + "/driver_trace.csv";
+  std::string TracePath = ::testing::TempDir() + "/driver_trace.jsonl";
+  std::string MetricsPath = ::testing::TempDir() + "/driver_metrics.json";
+  auto Sampled = run({"sample", "--program", Prog, "--rows", "50",
+                      "--seed", "3", "--out", Data});
+  ASSERT_EQ(Sampled.Code, 0) << Sampled.Err;
+  auto R = run({"synth", "--sketch", Sketch, "--data", Data,
+                "--iterations", "200", "--chains", "2", "--seed", "6",
+                "--trace-out", TracePath, "--metrics-out", MetricsPath});
+  ASSERT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("split-R-hat"), std::string::npos);
+
+  // Every line of the trace parses; the trace round-trips through the
+  // reader; event count equals chains * iterations (one per proposal).
+  std::ifstream Trace(TracePath);
+  ASSERT_TRUE(Trace.is_open());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(Trace, Line)) {
+    ++Lines;
+    std::string Err;
+    EXPECT_TRUE(parseJson(Line, Err))
+        << "line " << Lines << ": " << Err;
+  }
+  EXPECT_EQ(Lines, 1u + 2u * 200u);
+
+  Trace.clear();
+  Trace.seekg(0);
+  std::string Err;
+  auto Parsed = readJsonlTrace(Trace, Err);
+  ASSERT_TRUE(Parsed) << Err;
+  EXPECT_EQ(Parsed->Manifest.Seed, 6u);
+  EXPECT_EQ(Parsed->Manifest.Chains, 2u);
+  EXPECT_EQ(Parsed->Events.size(), 2u * 200u);
+
+  // The metrics file is one valid JSON document whose counters agree
+  // with the trace.
+  std::ifstream Metrics(MetricsPath);
+  ASSERT_TRUE(Metrics.is_open());
+  std::ostringstream MetricsText;
+  MetricsText << Metrics.rdbuf();
+  auto MetricsJson = parseJson(MetricsText.str(), Err);
+  ASSERT_TRUE(MetricsJson) << Err;
+  const JsonValue *Counters = MetricsJson->get("counters");
+  ASSERT_TRUE(Counters);
+  EXPECT_EQ(Counters->getNumber("synth.proposed"), 400.0);
+  ASSERT_TRUE(MetricsJson->get("gauges"));
+  EXPECT_TRUE(MetricsJson->get("gauges")->getNumber("synth.rhat"));
+}
+
+TEST(DriverTest, TraceStatsSummarizesATrace) {
+  std::string Prog = writeTemp("driver_ts_truth.psk", TruthSource);
+  std::string Sketch = writeTemp("driver_ts_sketch.psk", SketchSource);
+  std::string Data = ::testing::TempDir() + "/driver_ts.csv";
+  std::string TracePath = ::testing::TempDir() + "/driver_ts.jsonl";
+  auto Sampled = run({"sample", "--program", Prog, "--rows", "40",
+                      "--seed", "4", "--out", Data});
+  ASSERT_EQ(Sampled.Code, 0) << Sampled.Err;
+  auto Synth = run({"synth", "--sketch", Sketch, "--data", Data,
+                    "--iterations", "150", "--chains", "2", "--seed", "9",
+                    "--trace-out", TracePath});
+  ASSERT_EQ(Synth.Code, 0) << Synth.Err;
+
+  auto R = run({"trace-stats", "--trace", TracePath});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("events: 300"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("chain 0:"), std::string::npos);
+  EXPECT_NE(R.Out.find("chain 1:"), std::string::npos);
+  EXPECT_NE(R.Out.find("best log-likelihood:"), std::string::npos);
+}
+
+TEST(DriverTest, TraceStatsRejectsMalformedTrace) {
+  std::string Bad = writeTemp("driver_bad_trace.jsonl",
+                              "{\"type\":\"manifest\"}\nnot json\n");
+  auto R = run({"trace-stats", "--trace", Bad});
+  EXPECT_NE(R.Code, 0);
+  EXPECT_NE(R.Err.find("line 1"), std::string::npos) << R.Err;
+}
+
+TEST(DriverTest, TraceStatsRejectsMissingFile) {
+  auto R = run({"trace-stats", "--trace", "/nonexistent/trace.jsonl"});
+  EXPECT_NE(R.Code, 0);
+  EXPECT_NE(R.Err.find("cannot open"), std::string::npos);
 }

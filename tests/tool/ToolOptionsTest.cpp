@@ -99,3 +99,30 @@ TEST(ToolOptionsTest, SlotListAccumulates) {
 TEST(ToolOptionsTest, UsageIsNonEmpty) {
   EXPECT_NE(toolUsage().find("psketch"), std::string::npos);
 }
+
+TEST(ToolOptionsTest, SynthTelemetryFlagsParse) {
+  auto Opts = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv", "--trace-out",
+       "t.jsonl", "--metrics-out", "m.json", "--progress"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_EQ(Opts.TraceOutPath, "t.jsonl");
+  EXPECT_EQ(Opts.MetricsOutPath, "m.json");
+  EXPECT_TRUE(Opts.Progress);
+}
+
+TEST(ToolOptionsTest, TelemetryFlagsDefaultOff) {
+  auto Opts = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_TRUE(Opts.TraceOutPath.empty());
+  EXPECT_TRUE(Opts.MetricsOutPath.empty());
+  EXPECT_FALSE(Opts.Progress);
+}
+
+TEST(ToolOptionsTest, TraceStatsRequiresTraceOnly) {
+  // --trace is required, --program/--sketch is not.
+  auto Opts = ToolOptions::parse({"trace-stats", "--trace", "t.jsonl"});
+  EXPECT_TRUE(Opts.valid());
+  EXPECT_EQ(Opts.TracePath, "t.jsonl");
+  EXPECT_FALSE(ToolOptions::parse({"trace-stats"}).valid());
+}
