@@ -7,10 +7,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/GridDensity.h"
+#include "obs/Json.h"
 #include "parse/Parser.h"
 #include "suite/Prepare.h"
 
 #include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 using namespace psketch;
 
@@ -181,6 +185,159 @@ void BM_MoGAddSymbolic(benchmark::State &State) {
 }
 BENCHMARK(BM_MoGAddSymbolic);
 
+//===----------------------------------------------------------------------===//
+// Tape-optimization report (DESIGN.md §9): tape sizes before/after the
+// simplifier + fusion passes, and MH scoring throughput with the
+// column-cache incremental evaluator off vs on.  Written to
+// BENCH_tapeopt.json so CI can archive the numbers per commit.
+//===----------------------------------------------------------------------===//
+
+/// PSKETCH_BENCH_QUICK=1 shrinks iteration budgets so CI can exercise
+/// the bench (and still upload BENCH_tapeopt.json) quickly.
+bool quickMode() {
+  const char *Env = std::getenv("PSKETCH_BENCH_QUICK");
+  return Env && *Env && *Env != '0';
+}
+
+void writeTapeOptReport() {
+  const bool Quick = quickMode();
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "tapeopt");
+  W.field("quick", Quick);
+
+  // -- Tape sizes across the suite ---------------------------------------
+  // raw = live DAG nodes before the simplifier (the instruction count an
+  // unoptimized tape would have); simplified = post-simplifier,
+  // pre-fusion; final = shipped tape (simplify + fusion).
+  std::printf("Likelihood tape sizes (instructions):\n\n");
+  std::printf("%-14s %6s %10s %6s %6s %9s\n", "benchmark", "raw",
+              "simplified", "final", "fused", "shrink");
+  W.beginArray("tape_sizes");
+  uint64_t TotalRaw = 0, TotalFinal = 0;
+  for (const Benchmark &B : allBenchmarks()) {
+    DiagEngine Diags;
+    auto P = prepareBenchmark(B, Diags);
+    if (!P)
+      continue;
+    LikelihoodOptions NoFuse;
+    NoFuse.Tape.Fuse = false;
+    auto Simp = LikelihoodFunction::compile(*P->TargetLowered, P->Data, {},
+                                            nullptr, NoFuse);
+    auto Full = LikelihoodFunction::compile(*P->TargetLowered, P->Data);
+    if (!Simp || !Full)
+      continue;
+    TotalRaw += Full->rawTapeSize();
+    TotalFinal += Full->tapeSize();
+    std::printf("%-14s %6zu %10zu %6zu %6zu %8.0f%%\n", B.Name.c_str(),
+                Full->rawTapeSize(), Simp->tapeSize(), Full->tapeSize(),
+                Full->tape().numFused(),
+                100.0 * (1.0 - double(Full->tapeSize()) /
+                                   double(Full->rawTapeSize())));
+    W.beginObject()
+        .field("name", B.Name)
+        .field("raw_instructions", uint64_t(Full->rawTapeSize()))
+        .field("simplified_instructions", uint64_t(Simp->tapeSize()))
+        .field("final_instructions", uint64_t(Full->tapeSize()))
+        .field("fused", uint64_t(Full->tape().numFused()))
+        .endObject();
+  }
+  W.endArray();
+  W.field("total_raw_instructions", TotalRaw);
+  W.field("total_final_instructions", TotalFinal);
+
+  // -- Incremental scoring throughput ------------------------------------
+  // The Figure 8 metric on a single thread: candidates scored per second
+  // of the TrueSkill MH walk, comparing the PR 2 pipeline (plain batched
+  // eval: no simplifier, no fusion, no column cache) against the shipped
+  // defaults (simplify + fuse + incremental).  ScoreCacheSize = 0 so
+  // every candidate is actually scored in both runs; all three knobs are
+  // bit-exact, so the two runs do identical synthesis work.
+  {
+    DiagEngine Diags;
+    const Benchmark *TS = findBenchmark("TrueSkill");
+    auto P = TS ? prepareBenchmark(*TS, Diags) : std::nullopt;
+    if (P) {
+      SynthesisConfig Base = TS->Synth;
+      // Not shortened in quick mode: a leg costs ~0.3 s, and fewer
+      // iterations would measure the column cache before it warms.
+      Base.Iterations = 3000;
+      Base.Chains = 2;
+      Base.Threads = 1;
+      Base.ScoreCacheSize = 0;
+
+      SynthesisConfig OffCfg = Base; // The PR 2 baseline pipeline.
+      OffCfg.Incremental = false;
+      OffCfg.Likelihood.Simplify = false;
+      OffCfg.Likelihood.Tape.Fuse = false;
+      SynthesisConfig OnCfg = Base; // Shipped defaults.
+      OnCfg.Incremental = true;
+
+      // Best of three runs per leg: the walk is deterministic (fixed
+      // seeds), so repeats differ only by scheduler noise, and the
+      // fastest run is the least-perturbed measurement of each.
+      auto RunOne = [&](const SynthesisConfig &Cfg) {
+        std::optional<SynthesisResult> Best;
+        for (int Rep = 0; Rep != 3; ++Rep) {
+          Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Cfg);
+          SynthesisResult R = Synth.run();
+          if (!Best || R.Stats.Seconds < Best->Stats.Seconds)
+            Best = std::move(R);
+        }
+        return std::move(*Best);
+      };
+      SynthesisResult Off = RunOne(OffCfg);
+      SynthesisResult On = RunOne(OnCfg);
+
+      const double OffRate =
+          Off.Stats.Seconds > 0 ? Off.Stats.Scored / Off.Stats.Seconds : 0;
+      const double OnRate =
+          On.Stats.Seconds > 0 ? On.Stats.Scored / On.Stats.Seconds : 0;
+      const double Ratio = OffRate > 0 ? OnRate / OffRate : 0;
+      std::printf("\nTrueSkill MH scoring throughput, single thread "
+                  "(%u iterations x %u chains, score cache off):\n\n",
+                  Base.Iterations, Base.Chains);
+      std::printf("  PR 2 baseline (no simplify/fuse/incremental): "
+                  "%8.0f candidates/s (best LL %.4f)\n",
+                  OffRate, Off.BestLogLikelihood);
+      std::printf("  optimized defaults:                           "
+                  "%8.0f candidates/s (best LL %.4f, "
+                  "column-cache hit rate %.0f%%)\n",
+                  OnRate, On.BestLogLikelihood,
+                  On.Stats.colCacheHitRate() * 100.0);
+      std::printf("  speedup: %.2fx  (scores bit-identical: %s)\n", Ratio,
+                  Off.BestLogLikelihood == On.BestLogLikelihood ? "yes"
+                                                                : "NO");
+      W.beginObject("incremental_scoring")
+          .field("benchmark", std::string("TrueSkill"))
+          .field("iterations", uint64_t(Base.Iterations))
+          .field("chains", uint64_t(Base.Chains))
+          .field("threads", uint64_t(1))
+          .field("baseline_candidates_per_sec", OffRate)
+          .field("optimized_candidates_per_sec", OnRate)
+          .field("speedup", Ratio)
+          .field("col_cache_hit_rate", On.Stats.colCacheHitRate())
+          .field("col_cache_evictions", On.Stats.ColCacheEvictions)
+          .field("scores_bit_identical",
+                 Off.BestLogLikelihood == On.BestLogLikelihood)
+          .endObject();
+    }
+  }
+
+  W.endObject();
+  std::ofstream Json("BENCH_tapeopt.json");
+  Json << W.str() << "\n";
+  std::printf("\nwrote BENCH_tapeopt.json\n");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeTapeOptReport();
+  return 0;
+}

@@ -1,0 +1,204 @@
+//===- likelihood/ColumnCache.cpp - Cross-candidate column cache ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/ColumnCache.h"
+
+using namespace psketch;
+
+namespace {
+
+/// Finalizer of splitmix64: a full-avalanche 64 -> 64 mix.
+uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+} // namespace
+
+SubtreeKey SubtreeKey::leaf(uint64_t Tag, uint64_t Payload) {
+  // Two independently-seeded mixes give the two 64-bit halves; each half
+  // avalanches over both inputs.
+  SubtreeKey K;
+  K.Hi = mix64(Tag * 0x9e3779b97f4a7c15ULL ^ mix64(Payload));
+  K.Lo = mix64(Payload * 0xc2b2ae3d27d4eb4fULL ^ Tag ^
+               0x165667b19e3779f9ULL);
+  return K;
+}
+
+SubtreeKey SubtreeKey::combine(uint64_t Tag, const SubtreeKey &A,
+                               const SubtreeKey &B) {
+  // Order-sensitive Merkle combine: distinct multipliers for the A and B
+  // halves keep combine(t, a, b) and combine(t, b, a) unrelated.
+  SubtreeKey K;
+  K.Hi = mix64(Tag * 0x9e3779b97f4a7c15ULL ^ (A.Hi + 0x8ebc6af09c88c6e3ULL) ^
+               mix64(B.Hi * 0x589965cc75374cc3ULL));
+  K.Lo = mix64(Tag * 0xc2b2ae3d27d4eb4fULL ^ (A.Lo * 0xd6e8feb86659fd93ULL) ^
+               mix64(B.Lo + 0xa0761d6478bd642fULL));
+  return K;
+}
+
+size_t ColumnCache::findSlot(const EntryKey &K) const {
+  if (Slots.empty())
+    return SIZE_MAX;
+  size_t I = hashKey(K) & Mask;
+  // Linear probe: stop at the first truly-empty slot; tombstones keep
+  // the probe chain alive.
+  while (Slots[I].State != 0) {
+    if (Slots[I].State == 1 && Slots[I].Key == K)
+      return I;
+    I = (I + 1) & Mask;
+  }
+  return SIZE_MAX;
+}
+
+void ColumnCache::unlink(size_t I) {
+  Slot &S = Slots[I];
+  if (S.Prev)
+    Slots[S.Prev - 1].Next = S.Next;
+  else
+    Head = S.Next;
+  if (S.Next)
+    Slots[S.Next - 1].Prev = S.Prev;
+  else
+    Tail = S.Prev;
+  S.Prev = S.Next = 0;
+}
+
+void ColumnCache::linkFront(size_t I) {
+  Slot &S = Slots[I];
+  S.Prev = 0;
+  S.Next = Head;
+  if (Head)
+    Slots[Head - 1].Prev = uint32_t(I + 1);
+  Head = uint32_t(I + 1);
+  if (!Tail)
+    Tail = uint32_t(I + 1);
+}
+
+void ColumnCache::touch(size_t I) {
+  if (Head == uint32_t(I + 1))
+    return; // Already most recent.
+  unlink(I);
+  linkFront(I);
+}
+
+void ColumnCache::evictTail() {
+  const size_t I = size_t(Tail - 1);
+  Slot &S = Slots[I];
+  Bytes -= S.Col->size() * sizeof(double);
+  unlink(I);
+  S.Col.reset();
+  S.State = 2;
+  --Count;
+  ++Tombstones;
+  ++Evictions;
+}
+
+void ColumnCache::rehash(size_t NewCap) {
+  // Collect the survivors in LRU-to-MRU order, then relink them in that
+  // order so recency is preserved exactly.
+  std::vector<Slot> Old = std::move(Slots);
+  const uint32_t OldTail = Tail;
+  Slots.assign(NewCap, Slot{});
+  Mask = NewCap - 1;
+  Head = Tail = 0;
+  Tombstones = 0;
+  for (uint32_t At = OldTail; At;) {
+    Slot &O = Old[At - 1];
+    size_t I = hashKey(O.Key) & Mask;
+    while (Slots[I].State != 0)
+      I = (I + 1) & Mask;
+    Slots[I].Key = O.Key;
+    Slots[I].Col = std::move(O.Col);
+    Slots[I].State = 1;
+    linkFront(I);
+    At = O.Prev;
+  }
+}
+
+ColumnCache::ColumnPtr ColumnCache::lookup(const SubtreeKey &Key,
+                                           uint64_t Block) {
+  const size_t I = findSlot(EntryKey{Key, Block});
+  if (I == SIZE_MAX) {
+    ++Misses;
+    return nullptr;
+  }
+  ++Hits;
+  touch(I); // Refresh recency.
+  return Slots[I].Col;
+}
+
+void ColumnCache::insert(const SubtreeKey &Key, uint64_t Block,
+                         ColumnPtr Col) {
+  if (Budget == 0 || !Col)
+    return;
+  ++Inserts;
+  const EntryKey EK{Key, Block};
+  const size_t ColBytes = Col->size() * sizeof(double);
+  size_t I = findSlot(EK);
+  if (I != SIZE_MAX) {
+    Bytes -= Slots[I].Col->size() * sizeof(double);
+    Slots[I].Col = std::move(Col);
+    Bytes += ColBytes;
+    touch(I);
+  } else {
+    // Keep the probe chains short: grow/compact at 3/4 load counting
+    // tombstones (they lengthen probes exactly like live entries).
+    if (Slots.empty())
+      rehash(256);
+    else if ((Count + Tombstones + 1) * 4 > Slots.size() * 3)
+      rehash(Count * 4 > Slots.size() ? Slots.size() * 2 : Slots.size());
+    I = hashKey(EK) & Mask;
+    while (Slots[I].State == 1)
+      I = (I + 1) & Mask;
+    if (Slots[I].State == 2)
+      --Tombstones;
+    Slots[I].Key = EK;
+    Slots[I].Col = std::move(Col);
+    Slots[I].State = 1;
+    ++Count;
+    linkFront(I);
+    Bytes += ColBytes;
+  }
+  // Evict from the cold end until the budget holds; never evict the
+  // entry just touched (stop when it is the only one left).
+  while (Bytes > Budget && Count > 1)
+    evictTail();
+}
+
+bool ColumnCache::admit(const SubtreeKey &Key, uint64_t Block) {
+  if (Budget == 0)
+    return false;
+  // 8K slots x 8 bytes.  A direct-mapped table forgets old fingerprints
+  // by overwrite, which is exactly the retention we want: "missed
+  // recently" is the signal, not "missed ever".
+  constexpr size_t TableSize = 1u << 13;
+  if (Seen.empty())
+    Seen.assign(TableSize, 0);
+  uint64_t Fp = Key.Lo ^ (Key.Hi * 0x9e3779b97f4a7c15ULL) ^
+                (Block * 0xff51afd7ed558ccdULL);
+  Fp += Fp == 0; // Reserve 0 for "empty slot".
+  uint64_t &Slot = Seen[size_t(Fp) & (TableSize - 1)];
+  if (Slot == Fp)
+    return true;
+  Slot = Fp;
+  return false;
+}
+
+void ColumnCache::clear() {
+  Slots.clear();
+  Slots.shrink_to_fit();
+  Mask = 0;
+  Count = 0;
+  Tombstones = 0;
+  Head = Tail = 0;
+  Seen.clear();
+  Bytes = 0;
+}

@@ -1,0 +1,164 @@
+//===- likelihood/ColumnCache.h - Cross-candidate evaluated-column cache --===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MH proposals are hole-local (Section 4.1), so consecutive candidates
+/// share almost their entire likelihood DAG.  The column cache exploits
+/// that: every tape instruction carries a *structural* 128-bit Merkle
+/// key (builder-independent — the same subexpression hashes the same no
+/// matter which candidate's NumExprBuilder produced it), and the cache
+/// maps (subtree key, row-block) to the evaluated row-block column.
+/// Tape::evalIncremental then recomputes only the instructions
+/// downstream of the mutated hole; everything shared with previously
+/// scored candidates is served from cached columns, bit for bit.
+///
+/// One cache per chain (chains are independent; sharing would introduce
+/// cross-chain ordering effects).  Eviction is LRU under a byte budget;
+/// columns are handed out as shared_ptr, so a column still referenced
+/// by an in-flight evaluation survives its eviction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_COLUMNCACHE_H
+#define PSKETCH_LIKELIHOOD_COLUMNCACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace psketch {
+
+/// Structural identity of a NumExpr subtree: a 128-bit Merkle hash over
+/// (op, literal bits, operand keys).  128 bits make silent collisions
+/// (two different subexpressions sharing a key, which would corrupt
+/// scores without any diagnostic) astronomically unlikely; keys are
+/// compared in full, never truncated.
+struct SubtreeKey {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const SubtreeKey &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+
+  /// Leaf key from raw tag bits (op + literal payload).
+  static SubtreeKey leaf(uint64_t Tag, uint64_t Payload);
+
+  /// Key of an interior node from its op tag and operand keys.  Order
+  /// sensitive: combine(t, a, b) != combine(t, b, a).
+  static SubtreeKey combine(uint64_t Tag, const SubtreeKey &A,
+                            const SubtreeKey &B);
+};
+
+/// Per-chain LRU cache of evaluated row-block columns keyed by
+/// (structural subtree key, block start row).
+class ColumnCache {
+public:
+  using ColumnPtr = std::shared_ptr<const std::vector<double>>;
+
+  /// \p ByteBudget bounds the resident column bytes (payload only; the
+  /// small per-entry bookkeeping is not charged).  0 disables caching:
+  /// lookups miss and inserts are dropped.
+  explicit ColumnCache(size_t ByteBudget) : Budget(ByteBudget) {}
+
+  /// Returns the cached column of \p Key at row-block \p Block, or
+  /// nullptr.  A hit refreshes LRU recency.
+  ColumnPtr lookup(const SubtreeKey &Key, uint64_t Block);
+
+  /// Inserts \p Col, then evicts least-recently-used entries until the
+  /// budget holds.  Re-inserting an existing key refreshes the column.
+  void insert(const SubtreeKey &Key, uint64_t Block, ColumnPtr Col);
+
+  /// Second-touch admission filter: returns true when (\p Key, \p
+  /// Block) is worth inserting because it already missed once before.
+  /// The first encounter records a fingerprint and answers false.  Most
+  /// MH proposals are rejected, so a proposal-specific subtree is
+  /// usually evaluated exactly once; admitting a column only on
+  /// re-encounter keeps the one-shot churn (allocation, map insert,
+  /// eventual eviction) out of the cache entirely while the columns of
+  /// the chain's *current* state — re-probed by every proposal made
+  /// from it — still get cached on their second evaluation.  The filter
+  /// is a fixed-size fingerprint table, so false "already seen" answers
+  /// are possible under collision; they cost one early insert, never
+  /// correctness.
+  bool admit(const SubtreeKey &Key, uint64_t Block);
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+  size_t byteBudget() const { return Budget; }
+  size_t bytes() const { return Bytes; }
+  size_t size() const { return Count; }
+
+  // Lifetime counters (monotonic; survive clear()).
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t evictions() const { return Evictions; }
+  uint64_t inserts() const { return Inserts; }
+  double hitRate() const {
+    const uint64_t Probes = Hits + Misses;
+    return Probes ? double(Hits) / double(Probes) : 0.0;
+  }
+
+private:
+  struct EntryKey {
+    SubtreeKey Key;
+    uint64_t Block;
+    bool operator==(const EntryKey &O) const {
+      return Key == O.Key && Block == O.Block;
+    }
+  };
+
+  /// One slot of the open-addressed table.  Entries are probed linearly
+  /// and double as intrusive LRU list nodes (Prev/Next are slot indices
+  /// + 1; 0 is the null link), so a probe-hit touches exactly one cache
+  /// line of metadata and the cache performs zero per-entry heap
+  /// allocation — the evaluator probes every cache-worthy instruction
+  /// of every candidate, which made the node-based map the hottest
+  /// non-kernel code in the incremental evaluator's profile.
+  struct Slot {
+    EntryKey Key{};
+    ColumnPtr Col;
+    uint32_t Prev = 0, Next = 0;
+    /// 0 = empty, 1 = occupied, 2 = tombstone (erased; probe continues
+    /// through it).
+    uint8_t State = 0;
+  };
+
+  static size_t hashKey(const EntryKey &K) {
+    // The key is already a high-quality hash; fold in the block.
+    return size_t(K.Key.Lo ^ (K.Key.Hi * 0x9e3779b97f4a7c15ULL) ^
+                  (K.Block * 0xff51afd7ed558ccdULL));
+  }
+
+  /// Index of the occupied slot holding \p K, or SIZE_MAX.
+  size_t findSlot(const EntryKey &K) const;
+  /// Moves slot \p I to the MRU end of the intrusive list.
+  void touch(size_t I);
+  void unlink(size_t I);
+  void linkFront(size_t I);
+  /// Erases the LRU tail entry (must exist) and counts an eviction.
+  void evictTail();
+  /// Grows (or compacts tombstones out of) the table.
+  void rehash(size_t NewCap);
+
+  std::vector<Slot> Slots; ///< Power-of-two sized; empty until first use.
+  size_t Mask = 0;
+  size_t Count = 0;      ///< Occupied slots.
+  size_t Tombstones = 0; ///< Erased slots still blocking probes.
+  uint32_t Head = 0, Tail = 0; ///< MRU / LRU ends (slot index + 1).
+  size_t Budget = 0;
+  size_t Bytes = 0;
+  uint64_t Hits = 0, Misses = 0, Evictions = 0, Inserts = 0;
+  /// Direct-mapped fingerprint table of the admission filter (see
+  /// admit()); zero = empty slot.
+  std::vector<uint64_t> Seen;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_COLUMNCACHE_H

@@ -33,6 +33,20 @@ SymValue LLExecutor::evalExpr(const Expr &Ex, const Env &E) {
     // Observed slots evaluate to their data values (Figure 4 keeps
     // skill[0] symbolic in perf1's mean); the data reference is plugged
     // in per row at tape-evaluation time.
+    if (ObservedBySlot) {
+      // Pre-resolved fast path: one name lookup, then array indexing.
+      unsigned SlotId = LP->slotId(Slot);
+      if (SlotId != ~0u && (*ObservedBySlot)[SlotId] != ~0u) {
+        bool IsBool = LP->SlotKinds[SlotId] == ScalarKind::Bool;
+        NumId Ref = B.dataRef((*ObservedBySlot)[SlotId]);
+        return IsBool ? SymValue::bern(Ref) : SymValue::known(Ref);
+      }
+      if (SlotId == ~0u || !E[SlotId].has_value()) {
+        Malformed = true;
+        return SymValue::unit();
+      }
+      return *E[SlotId];
+    }
     auto ObsIt = Observed.find(Slot);
     if (ObsIt != Observed.end()) {
       unsigned SlotId = LP->slotId(Slot);
@@ -232,6 +246,19 @@ std::optional<NumId> LLExecutor::run(const LoweredProgram &Lowered) {
 
   NumId Root = B.log(B.max(Rho, B.constant(TinyProb)));
   // Deterministic column order keeps floating-point sums reproducible.
+  if (ObservedOrder) {
+    // Pre-sorted by the caller (setResolvedObserved): same column order,
+    // no per-run copy + sort of the name map.
+    for (const auto &[Col, SlotId] : *ObservedOrder) {
+      NumId X = B.dataRef(Col);
+      if (!Final[SlotId].has_value()) {
+        Root = B.add(Root, B.constant(std::log(TinyProb)));
+        continue;
+      }
+      Root = B.add(Root, Algebra.logDensityAt(*Final[SlotId], X));
+    }
+    return Root;
+  }
   std::vector<std::pair<std::string, unsigned>> Ordered(Observed.begin(),
                                                         Observed.end());
   std::sort(Ordered.begin(), Ordered.end(),

@@ -53,6 +53,20 @@ public:
   /// slot that was never written).
   std::optional<NumId> run(const LoweredProgram &LP);
 
+  /// Pre-resolved observed-slot tables (see CompileScratch): \p SlotCol
+  /// maps slot id to dataset column (~0u = latent), \p Order lists the
+  /// modeled observed slots as (column, slot id) column-ascending.
+  /// Both must describe exactly the Observed map this executor was
+  /// built with; when set, variable references and the final
+  /// density-sum loop skip the per-name string hashing.  Purely a
+  /// lookup-cost shortcut — the node sequence built is identical.
+  void setResolvedObserved(const std::vector<unsigned> *SlotCol,
+                           const std::vector<std::pair<unsigned, unsigned>>
+                               *Order) {
+    ObservedBySlot = SlotCol;
+    ObservedOrder = Order;
+  }
+
   /// Completion tuple for template execution: when set, hole
   /// expressions in \p LP evaluate to their completion with each hole
   /// formal `%i` re-evaluated from the hole site's (lowered) argument
@@ -82,6 +96,9 @@ private:
   MoGAlgebra &Algebra;
   NumExprBuilder &B;
   const std::unordered_map<std::string, unsigned> &Observed;
+  /// Optional pre-resolved views of Observed (setResolvedObserved).
+  const std::vector<unsigned> *ObservedBySlot = nullptr;
+  const std::vector<std::pair<unsigned, unsigned>> *ObservedOrder = nullptr;
   const LoweredProgram *LP = nullptr;
   Env Final;
   NumId Rho = 0;

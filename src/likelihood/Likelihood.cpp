@@ -27,19 +27,91 @@ psketch::observedSlots(const LoweredProgram &LP, const Dataset &Data) {
 std::optional<LikelihoodFunction>
 LikelihoodFunction::compile(const LoweredProgram &LP, const Dataset &Data,
                             AlgebraConfig Config,
-                            const std::vector<ExprPtr> *Completions) {
-  NumExprBuilder B;
+                            const std::vector<ExprPtr> *Completions,
+                            const LikelihoodOptions &Opts,
+                            CompileScratch *Scratch) {
+  // With a scratch, the builder's storage and the observed-slot map
+  // stay warm across the caller's candidate loop; the compilation
+  // itself is oblivious to the reuse.
+  NumExprBuilder LocalBuilder;
+  NumExprBuilder &B = Scratch ? Scratch->Builder : LocalBuilder;
+  if (Scratch)
+    B.reset();
+  std::unordered_map<std::string, unsigned> LocalObserved;
+  const std::unordered_map<std::string, unsigned> *Observed;
+  if (Scratch) {
+    if (Scratch->ObservedLP != &LP || Scratch->ObservedData != &Data) {
+      Scratch->Observed = observedSlots(LP, Data);
+      // Resolve the name map into slot-id-indexed tables once; the
+      // executor then never hashes a slot name twice per reference.
+      Scratch->SlotObservedCol.assign(LP.Slots.size(), ~0u);
+      Scratch->ObservedOrder.clear();
+      for (const auto &[Name, Col] : Scratch->Observed) {
+        unsigned SlotId = LP.slotId(Name);
+        if (SlotId == ~0u)
+          continue; // Observed column the program does not model.
+        Scratch->SlotObservedCol[SlotId] = Col;
+        Scratch->ObservedOrder.emplace_back(Col, SlotId);
+      }
+      std::sort(Scratch->ObservedOrder.begin(),
+                Scratch->ObservedOrder.end());
+      Scratch->ObservedLP = &LP;
+      Scratch->ObservedData = &Data;
+    }
+    Observed = &Scratch->Observed;
+  } else {
+    LocalObserved = observedSlots(LP, Data);
+    Observed = &LocalObserved;
+  }
   MoGAlgebra Algebra(B, Config);
-  auto Observed = observedSlots(LP, Data);
-  LLExecutor Exec(Algebra, Observed);
+  LLExecutor Exec(Algebra, *Observed);
+  if (Scratch)
+    Exec.setResolvedObserved(&Scratch->SlotObservedCol,
+                             &Scratch->ObservedOrder);
   if (Completions)
     Exec.setCompletions(Completions);
   std::optional<NumId> Root = Exec.run(LP);
   if (!Root)
     return std::nullopt;
   LikelihoodFunction F;
-  F.Compiled = std::make_shared<Tape>(B, *Root);
+  NumId TapeRoot = *Root;
+  if (Opts.Simplify) {
+    SimplifyOptions SO;
+    SO.FastMath = Opts.Tape.FastTape;
+    TapeRoot = simplifyNumExpr(B, *Root, SO, &F.SimpStats);
+    F.RawSize = F.SimpStats.NodesIn;
+  } else {
+    F.RawSize = liveNodeCount(B, *Root);
+  }
+  // Recycled storage (see CompileScratch): the previous candidate's
+  // dead tape donates its vectors, and the evaluation buffers carry
+  // over pre-sized.  Donate only when this compile is the tape's sole
+  // owner — a still-shared tape may be evaluating elsewhere.
+  Tape *Donor = nullptr;
+  std::shared_ptr<Tape> DonorHold;
+  if (Scratch && Scratch->RecycledTape &&
+      Scratch->RecycledTape.use_count() == 1) {
+    DonorHold = std::move(Scratch->RecycledTape);
+    Donor = DonorHold.get();
+  }
+  if (Scratch)
+    Scratch->RecycledTape.reset();
+  F.Compiled = std::make_shared<Tape>(B, TapeRoot, Opts.Tape, Donor);
+  if (Scratch) {
+    F.Scratch = std::move(Scratch->RecRowScratch);
+    F.BatchScratch = std::move(Scratch->RecBatchScratch);
+    F.BatchOut = std::move(Scratch->RecBatchOut);
+    F.IncScratch = std::move(Scratch->RecIncScratch);
+  }
   return F;
+}
+
+void LikelihoodFunction::recycleStorage(CompileScratch &S) {
+  S.RecycledTape = std::move(Compiled);
+  S.RecRowScratch = std::move(Scratch);
+  S.RecBatchScratch = std::move(BatchScratch);
+  S.RecBatchOut = std::move(BatchOut);
+  S.RecIncScratch = std::move(IncScratch);
 }
 
 namespace {
@@ -79,6 +151,22 @@ double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols) const {
   for (size_t Begin = 0; Begin < Rows; Begin += BatchBlockRows) {
     size_t N = std::min(BatchBlockRows, Rows - Begin);
     Compiled->evalBatch(Cols, Begin, N, BatchOut.data(), BatchScratch);
+    for (size_t I = 0; I != N; ++I)
+      Total.add(BatchOut[I]);
+  }
+  return Total.Sum;
+}
+
+double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols,
+                                         ColumnCache &Cache) const {
+  ScopedStage Span(Stage::EvalBatch);
+  KahanSum Total;
+  const size_t Rows = Cols.numRows();
+  BatchOut.resize(std::min(Rows, BatchBlockRows));
+  for (size_t Begin = 0; Begin < Rows; Begin += BatchBlockRows) {
+    size_t N = std::min(BatchBlockRows, Rows - Begin);
+    Compiled->evalIncremental(Cols, Begin, N, BatchOut.data(), Cache,
+                              IncScratch);
     for (size_t I = 0; I != N; ++I)
       Total.add(BatchOut[I]);
   }

@@ -17,16 +17,64 @@
 #ifndef PSKETCH_LIKELIHOOD_LIKELIHOOD_H
 #define PSKETCH_LIKELIHOOD_LIKELIHOOD_H
 
+#include "likelihood/ColumnCache.h"
 #include "likelihood/ColumnarDataset.h"
 #include "likelihood/Dataset.h"
 #include "likelihood/LLOperator.h"
 #include "likelihood/Tape.h"
+#include "symbolic/Simplify.h"
 
 #include <memory>
 #include <optional>
 #include <string>
 
 namespace psketch {
+
+/// Knobs of the likelihood compilation pipeline (DESIGN.md §9).  The
+/// defaults are the fast path; every knob is bit-exact in default mode,
+/// so toggling them changes cost, never scores.
+struct LikelihoodOptions {
+  /// Run the IEEE-exact NumExpr simplifier pass (symbolic/Simplify.h)
+  /// before tape compilation.  `synth --no-simplify` turns it off.
+  bool Simplify = true;
+
+  /// Tape-level knobs: superinstruction fusion (`--no-fuse`) and
+  /// explicit FMA contraction (`--ffast-tape`, value-changing).
+  TapeOptions Tape;
+};
+
+/// Reusable state of the per-candidate compile hot path.  An MH chain
+/// compiles thousands of same-shaped candidates back to back; routing
+/// them through one scratch keeps the NumExpr builder's node storage
+/// and hash table warm (no per-candidate allocation or rehash) and
+/// caches the observed-slot map, which depends only on the program's
+/// slots and the dataset's columns.  The cached map is keyed on the
+/// addresses of the LoweredProgram and Dataset it was built from; a
+/// compile call with different objects rebuilds it.
+struct CompileScratch {
+  NumExprBuilder Builder;
+  std::unordered_map<std::string, unsigned> Observed;
+  /// Slot-id-indexed resolution of Observed (dataset column, or ~0u for
+  /// a latent slot), so the executor's per-variable-reference "is this
+  /// slot observed?" test is an array index instead of a string hash.
+  std::vector<unsigned> SlotObservedCol;
+  /// The modeled observed slots as (column, slot id), column-ascending —
+  /// the deterministic iteration order LLExecutor::run needs, computed
+  /// once instead of sorted per candidate.
+  std::vector<std::pair<unsigned, unsigned>> ObservedOrder;
+  const void *ObservedLP = nullptr;
+  const void *ObservedData = nullptr;
+  /// Heap storage handed back by the previously compiled function
+  /// (LikelihoodFunction::recycleStorage): the dead tape donates its
+  /// vectors to the next Tape built here, and the evaluation scratch
+  /// buffers — already sized for this dataset — carry straight over.
+  /// Contents are never read, only capacity.
+  std::shared_ptr<Tape> RecycledTape;
+  std::vector<double> RecRowScratch;
+  std::vector<double> RecBatchScratch;
+  std::vector<double> RecBatchOut;
+  IncrementalScratch RecIncScratch;
+};
 
 /// A compiled per-program likelihood function.
 class LikelihoodFunction {
@@ -37,10 +85,14 @@ public:
   /// template (lowered with KeepHoles) and each hole evaluates to its
   /// completion in place — same tape, bit for bit, as compiling the
   /// spliced candidate, without the per-candidate splice + re-lower.
+  /// \p Scratch, when provided, is reset and reused (see CompileScratch);
+  /// compilation results are identical with or without it.
   static std::optional<LikelihoodFunction>
   compile(const LoweredProgram &LP, const Dataset &Data,
           AlgebraConfig Config = {},
-          const std::vector<ExprPtr> *Completions = nullptr);
+          const std::vector<ExprPtr> *Completions = nullptr,
+          const LikelihoodOptions &Opts = {},
+          CompileScratch *Scratch = nullptr);
 
   /// log-likelihood of one row.
   double logLikelihoodRow(const std::vector<double> &Row) const;
@@ -56,6 +108,14 @@ public:
   /// of the block size and stable enough for MH acceptance decisions.
   double logLikelihood(const ColumnarDataset &Cols) const;
 
+  /// Batched sum via Tape::evalIncremental: row-blocks of subtrees
+  /// already evaluated by earlier candidates are served from \p Cache.
+  /// Block boundaries, kernels and Kahan accumulation order are
+  /// identical to the plain overload, so the total is bit-identical to
+  /// it whatever the cache contains.
+  double logLikelihood(const ColumnarDataset &Cols,
+                       ColumnCache &Cache) const;
+
   /// Row-at-a-time reference sum (same per-row values, same Kahan
   /// accumulation order as the batched path); kept for the Figure 8
   /// batched-vs-row-wise comparison.
@@ -68,27 +128,46 @@ public:
                          std::vector<double> &Out) const;
 
   /// Rows per evalBatch block: large enough that the per-instruction
-  /// dispatch amortizes, small enough that a tape-size x block scratch
-  /// stays in cache.
-  static constexpr size_t BatchBlockRows = 256;
+  /// dispatch (and, on the incremental path, the per-block cache
+  /// probing) amortizes, small enough that a tape-size x block scratch
+  /// stays in cache.  The block size is score-neutral: rows are summed
+  /// in dataset order with Kahan compensation whatever the partition.
+  static constexpr size_t BatchBlockRows = 512;
 
-  /// Instruction count of the compiled tape.
+  /// Instruction count of the compiled tape (after simplify + fusion).
   size_t tapeSize() const { return Compiled->size(); }
+
+  /// Live node count of the likelihood DAG before the simplifier ran —
+  /// the instruction count an unoptimized tape would have.  Equals the
+  /// post-simplify count when Simplify was off.
+  size_t rawTapeSize() const { return RawSize; }
+
+  /// Counters of the simplifier run (zeros when Simplify was off).
+  const SimplifyStats &simplifyStats() const { return SimpStats; }
 
   /// The compiled tape (introspection: benches report how much of a
   /// candidate's tape the batched evaluator hoists as row-invariant).
   const Tape &tape() const { return *Compiled; }
 
+  /// Hands this function's heap storage back to \p S so the next
+  /// compile() against the same scratch can reuse the capacity (tape
+  /// vectors, evaluation buffers).  Call when the function is done
+  /// scoring; it is left unusable afterwards.
+  void recycleStorage(CompileScratch &S);
+
 private:
   LikelihoodFunction() = default;
 
   std::shared_ptr<Tape> Compiled;
+  size_t RawSize = 0;
+  SimplifyStats SimpStats;
   // Scratch buffers reused across calls (mutable: evaluation is
   // const).  They make one LikelihoodFunction instance non-reentrant;
   // concurrent chains each compile their own instance (DESIGN.md §6).
   mutable std::vector<double> Scratch;
   mutable std::vector<double> BatchScratch;
   mutable std::vector<double> BatchOut;
+  mutable IncrementalScratch IncScratch;
 };
 
 /// Builds the observed-slot map: every dataset column that names a slot

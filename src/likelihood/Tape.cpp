@@ -2,20 +2,406 @@
 //
 // Part of the PSketch project, under the MIT License.
 //
+// NOTE: this file is compiled with -ffp-contract=off (see
+// src/likelihood/CMakeLists.txt).  Fused superinstructions promise the
+// exact two-rounding IEEE sequence of the pair they replaced; letting
+// the compiler contract `a*b + c` into a single-rounding FMA would
+// silently break the bitwise differential guarantee.  FastTape mode
+// requests the contraction explicitly via std::fma.
+//
 //===----------------------------------------------------------------------===//
 
 #include "likelihood/Tape.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 using namespace psketch;
 
-Tape::Tape(const NumExprBuilder &B, NumId Root) {
+// TapeOp mirrors NumOp over the shared prefix so the compiler can
+// translate by re-tagging.
+static_assert(uint8_t(TapeOp::Const) == uint8_t(NumOp::Const));
+static_assert(uint8_t(TapeOp::DataRef) == uint8_t(NumOp::DataRef));
+static_assert(uint8_t(TapeOp::Add) == uint8_t(NumOp::Add));
+static_assert(uint8_t(TapeOp::Neg) == uint8_t(NumOp::Neg));
+static_assert(uint8_t(TapeOp::Eq) == uint8_t(NumOp::Eq));
+
+const char *psketch::tapeOpName(TapeOp Op) {
+  switch (Op) {
+  case TapeOp::MulAdd:
+    return "mul+add";
+  case TapeOp::MulSub:
+    return "mul+sub";
+  case TapeOp::SubMul:
+    return "sub+mul";
+  case TapeOp::SubDiv:
+    return "sub+div";
+  case TapeOp::MulMul:
+    return "mul+mul";
+  case TapeOp::AddAdd:
+    return "add+add";
+  case TapeOp::AddMul:
+    return "add+mul";
+  default:
+    return numOpName(NumOp(uint8_t(Op)));
+  }
+}
+
+namespace {
+
+/// Operand count of \p Op: 0 for leaves, 3 for fused superinstructions.
+unsigned arity(TapeOp Op) {
+  switch (Op) {
+  case TapeOp::Const:
+  case TapeOp::DataRef:
+    return 0;
+  case TapeOp::Neg:
+  case TapeOp::Abs:
+  case TapeOp::Log:
+  case TapeOp::Exp:
+  case TapeOp::Sqrt:
+  case TapeOp::Erf:
+    return 1;
+  case TapeOp::Add:
+  case TapeOp::Sub:
+  case TapeOp::Mul:
+  case TapeOp::Div:
+  case TapeOp::Max:
+  case TapeOp::Min:
+  case TapeOp::Gt:
+  case TapeOp::Eq:
+    return 2;
+  case TapeOp::MulAdd:
+  case TapeOp::MulSub:
+  case TapeOp::SubMul:
+  case TapeOp::SubDiv:
+  case TapeOp::MulMul:
+  case TapeOp::AddAdd:
+  case TapeOp::AddMul:
+    return 3;
+  }
+  return 0;
+}
+
+/// One scalar step of the tape machine; shared by the per-row
+/// interpreter, the row-invariant hoist, and the incremental evaluator.
+/// Performs exactly the IEEE operations the batched kernels do, so
+/// every path produces bitwise-identical values.
+double scalarOp(TapeOp Op, double A, double B, double C, double Value,
+                bool Fast) {
+  switch (Op) {
+  case TapeOp::Const:
+    return Value;
+  case TapeOp::DataRef:
+    assert(false && "data references are resolved by the callers");
+    return 0.0;
+  case TapeOp::Add:
+    return A + B;
+  case TapeOp::Sub:
+    return A - B;
+  case TapeOp::Mul:
+    return A * B;
+  case TapeOp::Div:
+    return A / B;
+  case TapeOp::Neg:
+    return -A;
+  case TapeOp::Abs:
+    return std::fabs(A);
+  case TapeOp::Log:
+    return std::log(A);
+  case TapeOp::Exp:
+    return std::exp(A);
+  case TapeOp::Sqrt:
+    return std::sqrt(A);
+  case TapeOp::Erf:
+    return std::erf(A);
+  case TapeOp::Max:
+    return A > B ? A : B;
+  case TapeOp::Min:
+    return A < B ? A : B;
+  case TapeOp::Gt:
+    return A > B ? 1.0 : 0.0;
+  case TapeOp::Eq:
+    return A == B ? 1.0 : 0.0;
+  case TapeOp::MulAdd:
+    return Fast ? std::fma(A, B, C) : A * B + C;
+  case TapeOp::MulSub:
+    return Fast ? std::fma(A, B, -C) : A * B - C;
+  case TapeOp::SubMul:
+    return (A - B) * C;
+  case TapeOp::SubDiv:
+    return (A - B) / C;
+  case TapeOp::MulMul:
+    return (A * B) * C;
+  case TapeOp::AddAdd:
+    return (A + B) + C;
+  case TapeOp::AddMul:
+    return (A + B) * C;
+  }
+  return 0.0;
+}
+
+/// Applies \p Op element-wise over a row block.  Per-op loops with
+/// contiguous loads/stores so they auto-vectorize; \p B / \p C may be
+/// null for ops that do not use them.  Shared by evalBatch and
+/// evalIncremental — the shared kernel is what makes the two paths
+/// bitwise-interchangeable.
+void applyVecOp(TapeOp Op, const double *A, const double *B, const double *C,
+                double *R, size_t N, bool Fast) {
+  switch (Op) {
+  case TapeOp::Const:
+  case TapeOp::DataRef:
+    assert(false && "leaf instructions are resolved by the callers");
+    break;
+  case TapeOp::Add:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = A[J] + B[J];
+    break;
+  case TapeOp::Sub:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = A[J] - B[J];
+    break;
+  case TapeOp::Mul:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = A[J] * B[J];
+    break;
+  case TapeOp::Div:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = A[J] / B[J];
+    break;
+  case TapeOp::Neg:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = -A[J];
+    break;
+  case TapeOp::Abs:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = std::fabs(A[J]);
+    break;
+  case TapeOp::Log:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = std::log(A[J]);
+    break;
+  case TapeOp::Exp:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = std::exp(A[J]);
+    break;
+  case TapeOp::Sqrt:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = std::sqrt(A[J]);
+    break;
+  case TapeOp::Erf:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = std::erf(A[J]);
+    break;
+  case TapeOp::Max:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = A[J] > B[J] ? A[J] : B[J];
+    break;
+  case TapeOp::Min:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = A[J] < B[J] ? A[J] : B[J];
+    break;
+  case TapeOp::Gt:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = A[J] > B[J] ? 1.0 : 0.0;
+    break;
+  case TapeOp::Eq:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = A[J] == B[J] ? 1.0 : 0.0;
+    break;
+  case TapeOp::MulAdd:
+    if (Fast) {
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::fma(A[J], B[J], C[J]);
+    } else {
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] * B[J] + C[J];
+    }
+    break;
+  case TapeOp::MulSub:
+    if (Fast) {
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::fma(A[J], B[J], -C[J]);
+    } else {
+      for (size_t J = 0; J != N; ++J)
+        R[J] = A[J] * B[J] - C[J];
+    }
+    break;
+  case TapeOp::SubMul:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = (A[J] - B[J]) * C[J];
+    break;
+  case TapeOp::SubDiv:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = (A[J] - B[J]) / C[J];
+    break;
+  case TapeOp::MulMul:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = (A[J] * B[J]) * C[J];
+    break;
+  case TapeOp::AddAdd:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = (A[J] + B[J]) + C[J];
+    break;
+  case TapeOp::AddMul:
+    for (size_t J = 0; J != N; ++J)
+      R[J] = (A[J] + B[J]) * C[J];
+    break;
+  }
+}
+
+/// The superinstruction peephole (DESIGN.md §9): absorbs a single-use
+/// row-varying producer into its (necessarily row-varying) consumer.
+/// Every fused form evaluates the identical two-rounding IEEE sequence;
+/// the only reorderings used are the value-exact commutations of Add
+/// and Mul when the producer sits on the consumer's right.  Invariant
+/// instructions are never fused — they are hoisted out of the row loop
+/// anyway, so fusing them would only obscure the hoist.
+void fuseTape(std::vector<TapeIns> &Code, std::vector<SubtreeKey> &Keys,
+              std::vector<uint8_t> &RowInvariant, size_t &NumFused) {
+  const size_t E = Code.size();
+  if (E < 2)
+    return;
+  // All pass-local storage is thread-local (chains run on separate
+  // threads): template scoring fuses one tape per candidate, and the
+  // capacities stay warm across those thousands of same-shaped tapes.
+  static thread_local std::vector<uint32_t> Uses;
+  Uses.assign(E, 0);
+  for (const TapeIns &Ins : Code) {
+    const unsigned Ar = arity(Ins.Op);
+    if (Ar >= 1)
+      ++Uses[Ins.A];
+    if (Ar >= 2)
+      ++Uses[Ins.B];
+  }
+
+  static thread_local std::vector<uint8_t> Absorbed;
+  Absorbed.assign(E, 0);
+  for (size_t I = 0; I != E; ++I) {
+    TapeIns &Ins = Code[I];
+    if (RowInvariant[I])
+      continue;
+    // A producer is fusable into this consumer when this is its only
+    // use (no duplicated evaluation), it varies per row, and it still
+    // is the plain op (not already a fused instruction itself).
+    auto Fusable = [&](uint32_t P, TapeOp Want) {
+      return !RowInvariant[P] && Code[P].Op == Want && Uses[P] == 1 &&
+             !Absorbed[P];
+    };
+    auto Fuse = [&](TapeOp NewOp, uint32_t P, uint32_t Other) {
+      Absorbed[P] = 1;
+      Ins.Op = NewOp;
+      Ins.A = Code[P].A;
+      Ins.B = Code[P].B;
+      Ins.C = Other;
+      Ins.Value = 0;
+      ++NumFused;
+    };
+    switch (Ins.Op) {
+    case TapeOp::Add:
+      if (Fusable(Ins.A, TapeOp::Mul))
+        Fuse(TapeOp::MulAdd, Ins.A, Ins.B);
+      else if (Fusable(Ins.B, TapeOp::Mul))
+        Fuse(TapeOp::MulAdd, Ins.B, Ins.A); // x + (a*b): Add commutes.
+      else if (Fusable(Ins.A, TapeOp::Add))
+        Fuse(TapeOp::AddAdd, Ins.A, Ins.B);
+      else if (Fusable(Ins.B, TapeOp::Add))
+        Fuse(TapeOp::AddAdd, Ins.B, Ins.A);
+      break;
+    case TapeOp::Sub:
+      // Only the left side: x - (a*b) has no exact fused form here.
+      if (Fusable(Ins.A, TapeOp::Mul))
+        Fuse(TapeOp::MulSub, Ins.A, Ins.B);
+      break;
+    case TapeOp::Mul:
+      if (Fusable(Ins.A, TapeOp::Sub))
+        Fuse(TapeOp::SubMul, Ins.A, Ins.B); // Gaussian quad: (x-mu)*c.
+      else if (Fusable(Ins.B, TapeOp::Sub))
+        Fuse(TapeOp::SubMul, Ins.B, Ins.A); // Mul commutes.
+      else if (Fusable(Ins.A, TapeOp::Mul))
+        Fuse(TapeOp::MulMul, Ins.A, Ins.B);
+      else if (Fusable(Ins.B, TapeOp::Mul))
+        Fuse(TapeOp::MulMul, Ins.B, Ins.A);
+      else if (Fusable(Ins.A, TapeOp::Add))
+        Fuse(TapeOp::AddMul, Ins.A, Ins.B);
+      else if (Fusable(Ins.B, TapeOp::Add))
+        Fuse(TapeOp::AddMul, Ins.B, Ins.A);
+      break;
+    case TapeOp::Div:
+      if (Fusable(Ins.A, TapeOp::Sub))
+        Fuse(TapeOp::SubDiv, Ins.A, Ins.B); // Gaussian z = (x-mu)/sigma.
+      break;
+    default:
+      break;
+    }
+  }
+  if (!NumFused)
+    return;
+
+  // Compact absorbed producers out of the tape.  The fused consumer
+  // keeps its own structural key — it computes that node's value — so
+  // column-cache identities are unaffected by fusion.  The swap at the
+  // end parks the replaced vectors' capacity in the thread-locals for
+  // the next candidate.
+  static thread_local std::vector<uint32_t> NewIdx;
+  NewIdx.assign(E, 0);
+  static thread_local std::vector<TapeIns> NewCode;
+  static thread_local std::vector<SubtreeKey> NewKeys;
+  static thread_local std::vector<uint8_t> NewInv;
+  NewCode.clear();
+  NewKeys.clear();
+  NewInv.clear();
+  NewCode.reserve(E);
+  NewKeys.reserve(E);
+  NewInv.reserve(E);
+  for (size_t I = 0; I != E; ++I) {
+    if (Absorbed[I])
+      continue;
+    TapeIns Ins = Code[I];
+    const unsigned Ar = arity(Ins.Op);
+    if (Ar >= 1)
+      Ins.A = NewIdx[Ins.A];
+    if (Ar >= 2)
+      Ins.B = NewIdx[Ins.B];
+    if (Ar >= 3)
+      Ins.C = NewIdx[Ins.C];
+    NewIdx[I] = uint32_t(NewCode.size());
+    NewCode.push_back(Ins);
+    NewKeys.push_back(Keys[I]);
+    NewInv.push_back(RowInvariant[I]);
+  }
+  std::swap(Code, NewCode);
+  std::swap(Keys, NewKeys);
+  std::swap(RowInvariant, NewInv);
+}
+
+} // namespace
+
+Tape::Tape(const NumExprBuilder &B, NumId Root, const TapeOptions &Opts,
+           Tape *Recycle)
+    : FastTape(Opts.FastTape) {
+  // Storage recycling: steal the donor's (typically the previous
+  // candidate's) member vectors so their capacity is reused instead of
+  // reallocated — contents are fully overwritten below.
+  if (Recycle) {
+    Code = std::move(Recycle->Code);
+    Code.clear();
+    Keys = std::move(Recycle->Keys);
+    Keys.clear();
+    RowInvariant = std::move(Recycle->RowInvariant);
+    RowInvariant.clear();
+    VecSlot = std::move(Recycle->VecSlot);
+    CacheWorthy = std::move(Recycle->CacheWorthy);
+  }
   // Builder ids are already topologically ordered (operands are created
   // before their users), so one marking pass from the root followed by a
-  // forward renumbering scan compiles the tape.
-  std::vector<uint8_t> Live(Root + 1, 0);
+  // forward renumbering scan compiles the tape.  The pass-local vectors
+  // are thread-local: one tape is built per candidate, and the warm
+  // capacity carries across the chain's candidate loop.
+  static thread_local std::vector<uint8_t> Live;
+  Live.assign(Root + 1, 0);
   Live[Root] = 1;
   for (NumId Id = Root + 1; Id-- > 0;) {
     if (!Live[Id])
@@ -27,18 +413,45 @@ Tape::Tape(const NumExprBuilder &B, NumId Root) {
     if (numOpIsBinary(N.Op))
       Live[N.B] = 1;
   }
-  std::vector<NumId> Renumber(Root + 1, 0);
+  static thread_local std::vector<NumId> Renumber;
+  Renumber.assign(Root + 1, 0);
   for (NumId Id = 0; Id <= Root; ++Id) {
     if (!Live[Id])
       continue;
-    NumNode N = B.node(Id);
+    const NumNode &N = B.node(Id);
+    TapeIns Ins;
+    Ins.Op = TapeOp(uint8_t(N.Op));
+    Ins.Value = N.Value;
     if (N.Op != NumOp::Const && N.Op != NumOp::DataRef) {
-      N.A = Renumber[N.A];
+      Ins.A = Renumber[N.A];
       if (numOpIsBinary(N.Op))
-        N.B = Renumber[N.B];
+        Ins.B = Renumber[N.B];
     }
     Renumber[Id] = NumId(Code.size());
-    Code.push_back(N);
+    Code.push_back(Ins);
+  }
+
+  // Structural subtree keys, bottom-up.  Computed from (op, literal
+  // bits, operand keys) only — independent of builder node ids — so the
+  // same subexpression gets the same key in every candidate's builder,
+  // which is what lets the column cache survive across candidates.
+  Keys.resize(Code.size());
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const TapeIns &Ins = Code[I];
+    const uint64_t Tag = uint64_t(Ins.Op) + 1;
+    switch (arity(Ins.Op)) {
+    case 0: {
+      uint64_t Bits;
+      std::memcpy(&Bits, &Ins.Value, sizeof(Bits));
+      Keys[I] = SubtreeKey::leaf(Tag, Bits);
+      break;
+    }
+    case 1:
+      Keys[I] = SubtreeKey::combine(Tag, Keys[Ins.A], SubtreeKey{});
+      break;
+    default:
+      Keys[I] = SubtreeKey::combine(Tag, Keys[Ins.A], Keys[Ins.B]);
+    }
   }
 
   // Row-invariance analysis: an instruction's value is the same for
@@ -48,127 +461,106 @@ Tape::Tape(const NumExprBuilder &B, NumId Root) {
   // registers so the batched scratch matrix only holds what actually
   // varies.
   RowInvariant.resize(Code.size(), 0);
-  VecSlot.resize(Code.size(), 0);
   for (size_t I = 0, E = Code.size(); I != E; ++I) {
-    const NumNode &N = Code[I];
+    const TapeIns &Ins = Code[I];
     bool Invariant;
-    if (N.Op == NumOp::DataRef)
+    if (Ins.Op == TapeOp::DataRef)
       Invariant = false;
-    else if (N.Op == NumOp::Const)
+    else if (Ins.Op == TapeOp::Const)
       Invariant = true;
     else
-      Invariant = RowInvariant[N.A] &&
-                  (!numOpIsBinary(N.Op) || RowInvariant[N.B]);
+      Invariant = RowInvariant[Ins.A] &&
+                  (arity(Ins.Op) < 2 || RowInvariant[Ins.B]);
     RowInvariant[I] = Invariant ? 1 : 0;
-    if (!Invariant)
+  }
+
+  if (Opts.Fuse)
+    fuseTape(Code, Keys, RowInvariant, NumFused);
+
+  VecSlot.assign(Code.size(), 0);
+  NumVarying = 0;
+  for (size_t I = 0, E = Code.size(); I != E; ++I)
+    if (!RowInvariant[I])
       VecSlot[I] = uint32_t(NumVarying++);
+
+  // Cache-worthiness policy for evalIncremental.  Probing the column
+  // cache costs a 128-bit hash-map lookup, and a miss additionally
+  // heap-allocates the column it stores — more than the auto-vectorized
+  // kernel of a cheap arithmetic op over a whole row block.  Caching
+  // only pays where a hit prunes real recompute work, so an instruction
+  // participates only when the weighted cost of its row-varying subtree
+  // clears a threshold.  The weights rank per-element kernel cost: libm
+  // calls dominate everything else by an order of magnitude, divides
+  // are several times a multiply, the rest is noise.  The subtree cost
+  // ignores DAG sharing (it may double-count a shared operand); that
+  // only ever over-estimates, and the policy is heuristic anyway.
+  // Purely a cost decision — which columns get cached — never what any
+  // instruction computes, so bitwise results are unaffected.
+  auto OpWeight = [](TapeOp Op) -> uint32_t {
+    switch (Op) {
+    case TapeOp::Log:
+    case TapeOp::Exp:
+    case TapeOp::Sqrt:
+    case TapeOp::Erf:
+      return 16;
+    case TapeOp::Div:
+    case TapeOp::SubDiv:
+      return 4;
+    case TapeOp::MulAdd:
+    case TapeOp::MulSub:
+    case TapeOp::SubMul:
+    case TapeOp::MulMul:
+    case TapeOp::AddAdd:
+    case TapeOp::AddMul:
+      return 2; // A fused pair: two plain ops' worth of work.
+    default:
+      return 1;
+    }
+  };
+  constexpr uint32_t CacheCostThreshold = 8;
+  CacheWorthy.assign(Code.size(), 0);
+  static thread_local std::vector<uint32_t> SubtreeCost;
+  SubtreeCost.assign(Code.size(), 0);
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    const TapeIns &Ins = Code[I];
+    if (RowInvariant[I] || Ins.Op == TapeOp::DataRef)
+      continue; // Hoisted / served zero-copy: nothing to cache.
+    uint64_t Cost = OpWeight(Ins.Op);
+    const unsigned Ar = arity(Ins.Op);
+    if (Ar >= 1 && !RowInvariant[Ins.A])
+      Cost += SubtreeCost[Ins.A];
+    if (Ar >= 2 && !RowInvariant[Ins.B])
+      Cost += SubtreeCost[Ins.B];
+    if (Ar >= 3 && !RowInvariant[Ins.C])
+      Cost += SubtreeCost[Ins.C];
+    // Saturate: the double-counting of shared operands can compound
+    // exponentially through a deep DAG.
+    SubtreeCost[I] = uint32_t(std::min<uint64_t>(Cost, 1u << 20));
+    CacheWorthy[I] = Cost >= CacheCostThreshold ? 1 : 0;
   }
 }
-
-namespace {
-
-/// One scalar step of the tape machine; shared by the row-invariant
-/// hoist in evalBatch.  Performs exactly the IEEE operation the per-row
-/// interpreter would, so hoisted values are bitwise identical.
-double evalScalarOp(NumOp Op, double A, double B, double Value) {
-  switch (Op) {
-  case NumOp::Const:
-    return Value;
-  case NumOp::DataRef:
-    assert(false && "data references are never row-invariant");
-    return 0.0;
-  case NumOp::Add:
-    return A + B;
-  case NumOp::Sub:
-    return A - B;
-  case NumOp::Mul:
-    return A * B;
-  case NumOp::Div:
-    return A / B;
-  case NumOp::Neg:
-    return -A;
-  case NumOp::Abs:
-    return std::fabs(A);
-  case NumOp::Log:
-    return std::log(A);
-  case NumOp::Exp:
-    return std::exp(A);
-  case NumOp::Sqrt:
-    return std::sqrt(A);
-  case NumOp::Erf:
-    return std::erf(A);
-  case NumOp::Max:
-    return A > B ? A : B;
-  case NumOp::Min:
-    return A < B ? A : B;
-  case NumOp::Gt:
-    return A > B ? 1.0 : 0.0;
-  case NumOp::Eq:
-    return A == B ? 1.0 : 0.0;
-  }
-  return 0.0;
-}
-
-} // namespace
 
 double Tape::eval(const std::vector<double> &Row,
                   std::vector<double> &Scratch) const {
   Scratch.resize(Code.size());
   double *R = Scratch.data();
   for (size_t I = 0, E = Code.size(); I != E; ++I) {
-    const NumNode &N = Code[I];
-    switch (N.Op) {
-    case NumOp::Const:
-      R[I] = N.Value;
+    const TapeIns &Ins = Code[I];
+    switch (Ins.Op) {
+    case TapeOp::Const:
+      R[I] = Ins.Value;
       break;
-    case NumOp::DataRef: {
-      size_t Slot = size_t(N.Value);
+    case TapeOp::DataRef: {
+      size_t Slot = size_t(Ins.Value);
       assert(Slot < Row.size() && "data reference outside row");
       R[I] = Row[Slot];
       break;
     }
-    case NumOp::Add:
-      R[I] = R[N.A] + R[N.B];
-      break;
-    case NumOp::Sub:
-      R[I] = R[N.A] - R[N.B];
-      break;
-    case NumOp::Mul:
-      R[I] = R[N.A] * R[N.B];
-      break;
-    case NumOp::Div:
-      R[I] = R[N.A] / R[N.B];
-      break;
-    case NumOp::Neg:
-      R[I] = -R[N.A];
-      break;
-    case NumOp::Abs:
-      R[I] = std::fabs(R[N.A]);
-      break;
-    case NumOp::Log:
-      R[I] = std::log(R[N.A]);
-      break;
-    case NumOp::Exp:
-      R[I] = std::exp(R[N.A]);
-      break;
-    case NumOp::Sqrt:
-      R[I] = std::sqrt(R[N.A]);
-      break;
-    case NumOp::Erf:
-      R[I] = std::erf(R[N.A]);
-      break;
-    case NumOp::Max:
-      R[I] = R[N.A] > R[N.B] ? R[N.A] : R[N.B];
-      break;
-    case NumOp::Min:
-      R[I] = R[N.A] < R[N.B] ? R[N.A] : R[N.B];
-      break;
-    case NumOp::Gt:
-      R[I] = R[N.A] > R[N.B] ? 1.0 : 0.0;
-      break;
-    case NumOp::Eq:
-      R[I] = R[N.A] == R[N.B] ? 1.0 : 0.0;
-      break;
+    default: {
+      const unsigned Ar = arity(Ins.Op);
+      R[I] = scalarOp(Ins.Op, R[Ins.A], Ar >= 2 ? R[Ins.B] : 0.0,
+                      Ar >= 3 ? R[Ins.C] : 0.0, Ins.Value, FastTape);
+    }
     }
   }
   return Code.empty() ? 0.0 : R[Code.size() - 1];
@@ -189,24 +581,39 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
     return;
   }
   // Scratch layout: one N-wide row-block register per *varying*
-  // instruction, one N-wide broadcast buffer for invariant operands of
-  // mixed instructions, then one scalar slot per instruction for the
+  // instruction, three N-wide broadcast buffers for invariant operands
+  // of mixed instructions (a fused instruction can have up to two
+  // invariant operands), then one scalar slot per instruction for the
   // hoisted row-invariant values.
-  Scratch.resize(NumVarying * N + N + Code.size());
+  Scratch.resize(NumVarying * N + 3 * N + Code.size());
   double *S = Scratch.data();
-  double *Bcast = S + NumVarying * N;
-  double *U = Bcast + N;
+  double *BcA = S + NumVarying * N;
+  double *BcB = BcA + N;
+  double *BcC = BcB + N;
+  double *U = BcC + N;
+  // Resolves an operand to a row-block pointer: varying operands live
+  // in their register; invariant ones are broadcast into a dedicated
+  // buffer.
+  auto Operand = [&](uint32_t X, double *Bcast) -> const double * {
+    if (!RowInvariant[X])
+      return S + size_t(VecSlot[X]) * N;
+    const double V = U[X];
+    for (size_t J = 0; J != N; ++J)
+      Bcast[J] = V;
+    return Bcast;
+  };
   for (size_t I = 0, E = Code.size(); I != E; ++I) {
-    const NumNode &Ins = Code[I];
+    const TapeIns &Ins = Code[I];
+    const unsigned Ar = arity(Ins.Op);
     if (RowInvariant[I]) {
       // Parameter-only subexpression: evaluate once, not once per row.
-      const double OpA = Ins.Op == NumOp::Const ? 0.0 : U[Ins.A];
-      const double OpB = numOpIsBinary(Ins.Op) ? U[Ins.B] : 0.0;
-      U[I] = evalScalarOp(Ins.Op, OpA, OpB, Ins.Value);
+      U[I] = scalarOp(Ins.Op, Ar >= 1 ? U[Ins.A] : 0.0,
+                      Ar >= 2 ? U[Ins.B] : 0.0, Ar >= 3 ? U[Ins.C] : 0.0,
+                      Ins.Value, FastTape);
       continue;
     }
     double *R = S + size_t(VecSlot[I]) * N;
-    if (Ins.Op == NumOp::DataRef) {
+    if (Ins.Op == TapeOp::DataRef) {
       size_t Slot = size_t(Ins.Value);
       assert(Slot < Cols.numColumns() && "data reference outside row");
       const double *Col = Cols.column(Slot) + Begin;
@@ -214,89 +621,10 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
         R[J] = Col[J];
       continue;
     }
-    // A varying instruction has at least one varying operand, so at
-    // most one operand needs the broadcast buffer.
-    const double *A;
-    const double *B = nullptr;
-    if (RowInvariant[Ins.A]) {
-      const double V = U[Ins.A];
-      for (size_t J = 0; J != N; ++J)
-        Bcast[J] = V;
-      A = Bcast;
-    } else {
-      A = S + size_t(VecSlot[Ins.A]) * N;
-    }
-    if (numOpIsBinary(Ins.Op)) {
-      if (RowInvariant[Ins.B]) {
-        const double V = U[Ins.B];
-        for (size_t J = 0; J != N; ++J)
-          Bcast[J] = V;
-        B = Bcast;
-      } else {
-        B = S + size_t(VecSlot[Ins.B]) * N;
-      }
-    }
-    switch (Ins.Op) {
-    case NumOp::Const:
-    case NumOp::DataRef:
-      break; // Handled above: Const is always invariant.
-    case NumOp::Add:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] + B[J];
-      break;
-    case NumOp::Sub:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] - B[J];
-      break;
-    case NumOp::Mul:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] * B[J];
-      break;
-    case NumOp::Div:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] / B[J];
-      break;
-    case NumOp::Neg:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = -A[J];
-      break;
-    case NumOp::Abs:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = std::fabs(A[J]);
-      break;
-    case NumOp::Log:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = std::log(A[J]);
-      break;
-    case NumOp::Exp:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = std::exp(A[J]);
-      break;
-    case NumOp::Sqrt:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = std::sqrt(A[J]);
-      break;
-    case NumOp::Erf:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = std::erf(A[J]);
-      break;
-    case NumOp::Max:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] > B[J] ? A[J] : B[J];
-      break;
-    case NumOp::Min:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] < B[J] ? A[J] : B[J];
-      break;
-    case NumOp::Gt:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] > B[J] ? 1.0 : 0.0;
-      break;
-    case NumOp::Eq:
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] == B[J] ? 1.0 : 0.0;
-      break;
-    }
+    const double *A = Operand(Ins.A, BcA);
+    const double *Bp = Ar >= 2 ? Operand(Ins.B, BcB) : nullptr;
+    const double *Cp = Ar >= 3 ? Operand(Ins.C, BcC) : nullptr;
+    applyVecOp(Ins.Op, A, Bp, Cp, R, N, FastTape);
   }
   const size_t Root = Code.size() - 1;
   if (RowInvariant[Root]) {
@@ -308,4 +636,122 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
   const double *Last = S + size_t(VecSlot[Root]) * N;
   for (size_t J = 0; J != N; ++J)
     Out[J] = Last[J];
+}
+
+void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
+                           size_t N, double *Out, ColumnCache &Cache,
+                           IncrementalScratch &Scr) const {
+  if (N == 0)
+    return;
+  const size_t E = Code.size();
+  if (E == 0) {
+    for (size_t R = 0; R != N; ++R)
+      Out[R] = 0.0;
+    return;
+  }
+  Scr.Need.assign(E, 0);
+  Scr.Col.assign(E, nullptr);
+  Scr.Pinned.clear();
+  Scr.Invariant.resize(E);
+  Scr.BcastA.resize(N);
+  Scr.BcastB.resize(N);
+  Scr.BcastC.resize(N);
+  Scr.Flat.resize(NumVarying * N);
+  double *U = Scr.Invariant.data();
+
+  // Backward need-marking from the root.  A needed varying instruction
+  // probes the cache if it is worth caching (see cacheWorthy); a hit
+  // (or a DataRef, served zero-copy from the dataset) resolves its
+  // column and prunes its whole subtree — the operands stay unmarked
+  // unless some other miss needs them.
+  Scr.Need[E - 1] = 1;
+  for (size_t I = E; I-- > 0;) {
+    if (!Scr.Need[I])
+      continue;
+    const TapeIns &Ins = Code[I];
+    if (!RowInvariant[I]) {
+      if (Ins.Op == TapeOp::DataRef) {
+        size_t Slot = size_t(Ins.Value);
+        assert(Slot < Cols.numColumns() && "data reference outside row");
+        Scr.Col[I] = Cols.column(Slot) + Begin;
+        continue;
+      }
+      if (CacheWorthy[I]) {
+        if (ColumnCache::ColumnPtr Hit = Cache.lookup(Keys[I], Begin)) {
+          assert(Hit->size() == N && "cached column block size mismatch");
+          Scr.Col[I] = Hit->data();
+          Scr.Pinned.push_back(std::move(Hit));
+          continue;
+        }
+      }
+    }
+    const unsigned Ar = arity(Ins.Op);
+    if (Ar >= 1)
+      Scr.Need[Ins.A] = 1;
+    if (Ar >= 2)
+      Scr.Need[Ins.B] = 1;
+    if (Ar >= 3)
+      Scr.Need[Ins.C] = 1;
+  }
+
+  auto Operand = [&](uint32_t X,
+                     std::vector<double> &Bcast) -> const double * {
+    if (!RowInvariant[X])
+      return Scr.Col[X];
+    const double V = U[X];
+    for (size_t J = 0; J != N; ++J)
+      Bcast[J] = V;
+    return Bcast.data();
+  };
+
+  // Forward compute of what the cache could not serve.  Each computed
+  // column runs the same applyVecOp kernel as evalBatch (and cached
+  // columns were produced by this very loop on an earlier candidate),
+  // so results are bitwise identical to a from-scratch evalBatch.
+  for (size_t I = 0; I != E; ++I) {
+    if (!Scr.Need[I])
+      continue;
+    const TapeIns &Ins = Code[I];
+    const unsigned Ar = arity(Ins.Op);
+    if (RowInvariant[I]) {
+      U[I] = scalarOp(Ins.Op, Ar >= 1 ? U[Ins.A] : 0.0,
+                      Ar >= 2 ? U[Ins.B] : 0.0, Ar >= 3 ? U[Ins.C] : 0.0,
+                      Ins.Value, FastTape);
+      continue;
+    }
+    if (Scr.Col[I])
+      continue; // Cache hit or DataRef, already resolved.
+    // Cache-worthy misses the cache admits (second-touch policy; see
+    // ColumnCache::admit) compute into a freshly owned column that is
+    // handed to the cache for reuse by later candidates; everything
+    // else computes in place in the flat register matrix, exactly like
+    // evalBatch — no allocation, no cache traffic.
+    double *R;
+    std::shared_ptr<std::vector<double>> Buf;
+    if (CacheWorthy[I] && Cache.admit(Keys[I], Begin)) {
+      Buf = std::make_shared<std::vector<double>>(N);
+      R = Buf->data();
+    } else {
+      R = Scr.Flat.data() + size_t(VecSlot[I]) * N;
+    }
+    const double *A = Operand(Ins.A, Scr.BcastA);
+    const double *Bp = Ar >= 2 ? Operand(Ins.B, Scr.BcastB) : nullptr;
+    const double *Cp = Ar >= 3 ? Operand(Ins.C, Scr.BcastC) : nullptr;
+    applyVecOp(Ins.Op, A, Bp, Cp, R, N, FastTape);
+    Scr.Col[I] = R;
+    if (Buf) {
+      Cache.insert(Keys[I], Begin, Buf);
+      Scr.Pinned.push_back(std::move(Buf));
+    }
+  }
+
+  if (RowInvariant[E - 1]) {
+    const double V = U[E - 1];
+    for (size_t J = 0; J != N; ++J)
+      Out[J] = V;
+    return;
+  }
+  const double *RootCol = Scr.Col[E - 1];
+  for (size_t J = 0; J != N; ++J)
+    Out[J] = RootCol[J];
 }

@@ -12,11 +12,32 @@
 /// scan per data row — the paper's "plug in the desired data to evaluate
 /// the likelihood in linear time" (Section 3).
 ///
+/// On top of the base compile the tape applies two optimizations
+/// (DESIGN.md §9), both bit-exact in default mode:
+///
+///  * **Fused superinstructions** — a peephole pass collapses a
+///    single-use row-varying producer into its consumer (Mul+Add →
+///    MulAdd, Sub+Div → SubDiv, the Gaussian log-pdf residual chain,
+///    ...).  A fused op performs the identical IEEE operation sequence
+///    with both roundings, it merely saves one dispatch and one
+///    register round-trip per row.  Tape.cpp is compiled with
+///    -ffp-contract=off so the compiler cannot contract `a*b + c` into
+///    an FMA behind our back; only TapeOptions::FastTape (the
+///    `--ffast-tape` flag) opts into single-rounding std::fma, which
+///    may change results by ~1 ulp per fused multiply-add.
+///
+///  * **Structural subtree keys** — every instruction carries a 128-bit
+///    builder-independent Merkle key of the subexpression it computes,
+///    which keys the cross-candidate column cache: evalIncremental
+///    serves row-blocks of unchanged subtrees from the cache and only
+///    recomputes instructions downstream of a mutated hole.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_LIKELIHOOD_TAPE_H
 #define PSKETCH_LIKELIHOOD_TAPE_H
 
+#include "likelihood/ColumnCache.h"
 #include "likelihood/ColumnarDataset.h"
 #include "symbolic/NumExpr.h"
 
@@ -25,23 +46,106 @@
 
 namespace psketch {
 
+/// Tape instruction set: the NumExpr operations (same encoding, same
+/// order) plus three-operand fused superinstructions.  Each fused op
+/// computes the exact two-rounding IEEE sequence of the pair it
+/// replaces.
+enum class TapeOp : uint8_t {
+  // Mirrors NumOp — keep in sync (static_asserts in Tape.cpp).
+  Const,
+  DataRef,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Abs,
+  Log,
+  Exp,
+  Sqrt,
+  Erf,
+  Max,
+  Min,
+  Gt,
+  Eq,
+  // Fused superinstructions (A, B from the absorbed producer, C the
+  // consumer's other operand).
+  MulAdd, ///< (A * B) + C
+  MulSub, ///< (A * B) - C
+  SubMul, ///< (A - B) * C
+  SubDiv, ///< (A - B) / C
+  MulMul, ///< (A * B) * C
+  AddAdd, ///< (A + B) + C
+  AddMul, ///< (A + B) * C
+};
+
+/// Returns the printable name of \p Op.
+const char *tapeOpName(TapeOp Op);
+
+/// One tape instruction.  A/B/C index earlier instructions (B unused
+/// for unary ops, C only used by fused ops); Value is the literal for
+/// Const and the column slot for DataRef.
+struct TapeIns {
+  TapeOp Op = TapeOp::Const;
+  double Value = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+};
+
+/// Compile-time knobs of the tape (the DAG-level simplifier pass has
+/// its own toggle in the layers above — see LikelihoodFunction).
+struct TapeOptions {
+  /// Run the superinstruction peephole (bit-exact; on by default).
+  bool Fuse = true;
+
+  /// `--ffast-tape`: evaluate fused multiply-adds with std::fma (single
+  /// rounding).  Changes results by up to ~1 ulp per fused op relative
+  /// to default mode; off by default and excluded from the bitwise
+  /// differential tests.
+  bool FastTape = false;
+};
+
+/// Reusable buffers of Tape::evalIncremental, owned by the caller so
+/// the tape itself stays immutable and shareable.
+struct IncrementalScratch {
+  std::vector<uint8_t> Need;        ///< Per-instruction needed flag.
+  std::vector<const double *> Col;  ///< Resolved column per instruction.
+  std::vector<ColumnCache::ColumnPtr> Pinned; ///< Keeps columns alive.
+  std::vector<double> Invariant;    ///< Hoisted row-invariant scalars.
+  std::vector<double> BcastA, BcastB, BcastC; ///< Invariant broadcasts.
+  /// Row-block registers for recomputed instructions that are not worth
+  /// caching (see Tape::cacheWorthy): they are evaluated in place, with
+  /// no heap allocation and no cache traffic, exactly like evalBatch.
+  std::vector<double> Flat;
+};
+
 /// A compiled, self-contained evaluation tape (independent of the
 /// builder it came from).
 class Tape {
 public:
-  /// Compiles the DAG reachable from \p Root in \p B.
-  Tape(const NumExprBuilder &B, NumId Root);
+  /// Compiles the DAG reachable from \p Root in \p B.  \p Recycle, when
+  /// given, is a dead tape whose heap storage is stolen for this one
+  /// (the per-candidate compile loop hands each tape back as the next
+  /// one's donor); its contents are discarded.
+  explicit Tape(const NumExprBuilder &B, NumId Root,
+                const TapeOptions &Opts = {}, Tape *Recycle = nullptr);
 
-  /// Number of retained instructions.
+  /// Number of retained instructions (after fusion).
   size_t size() const { return Code.size(); }
+
+  /// Number of fused superinstructions emitted (each replaced a pair).
+  size_t numFused() const { return NumFused; }
 
   /// Evaluates against one data row.  \p Scratch is caller-provided to
   /// avoid per-call allocation; it is resized as needed.
   double eval(const std::vector<double> &Row,
               std::vector<double> &Scratch) const;
 
-  /// Convenience evaluation with internal scratch (allocates; hot loops
-  /// must use the Scratch-supplied overload or evalBatch).
+  /// Convenience evaluation with internal scratch.  Allocates per call:
+  /// cold paths only (one-off probes, error reporting).  Anything
+  /// called per row or per candidate must use the Scratch-supplied
+  /// overload or evalBatch.
   double eval(const std::vector<double> &Row) const;
 
   /// Batched evaluation of rows [Begin, Begin + N) of \p Cols: the tape
@@ -56,19 +160,56 @@ public:
   void evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
                  double *Out, std::vector<double> &Scratch) const;
 
+  /// Like evalBatch, but serves row-blocks of subtrees already
+  /// evaluated by earlier candidates from \p Cache (keyed by structural
+  /// subtree identity + block start) and inserts what it computes.
+  /// Only instructions downstream of a cache miss are recomputed, so a
+  /// hole-local MH proposal re-evaluates a few instructions instead of
+  /// the whole tape.  Every computed element runs the identical kernel
+  /// in the identical order as evalBatch, so results are bit-identical
+  /// with the cache on, off, hot or cold.
+  void evalIncremental(const ColumnarDataset &Cols, size_t Begin, size_t N,
+                       double *Out, ColumnCache &Cache,
+                       IncrementalScratch &Scratch) const;
+
   /// Number of instructions whose value does not depend on the data row
   /// (hoisted out of the per-row loop by evalBatch).
   size_t numRowInvariant() const { return Code.size() - NumVarying; }
 
+  /// Structural key of instruction \p I (tests).
+  const SubtreeKey &key(size_t I) const { return Keys[I]; }
+
+  /// Whether instruction \p I participates in the column cache.  A
+  /// probe + (on miss) a heap-allocated column costs more than the
+  /// vectorized kernel of a cheap op over one row block, so only
+  /// instructions whose row-varying subtree is expensive enough to
+  /// recompute — weighted so libm calls count heavily — are probed and
+  /// inserted; the rest always recompute into flat scratch.  Purely a
+  /// cost policy: evaluation results are unaffected.
+  bool cacheWorthy(size_t I) const { return CacheWorthy[I] != 0; }
+
+  /// Instruction \p I (tests, benches).
+  const TapeIns &instruction(size_t I) const { return Code[I]; }
+
 private:
-  std::vector<NumNode> Code; ///< Operands renumbered into tape space.
+  std::vector<TapeIns> Code;
+  /// Builder-independent structural identity per instruction.  A fused
+  /// instruction keeps the key of the consumer it replaced (it computes
+  /// that node's value).
+  std::vector<SubtreeKey> Keys;
   /// Per instruction: true when the value is the same for every data
   /// row (no DataRef in its transitive operands).
   std::vector<uint8_t> RowInvariant;
   /// Per instruction: index of its row-block register in the batched
   /// scratch matrix (meaningful only for varying instructions).
   std::vector<uint32_t> VecSlot;
+  /// Per instruction: participates in the column cache (varying, not a
+  /// DataRef, and its varying subtree is costly enough that a cache hit
+  /// saves more than the probe + insert overhead).
+  std::vector<uint8_t> CacheWorthy;
   size_t NumVarying = 0; ///< Number of row-varying instructions.
+  size_t NumFused = 0;   ///< Fused superinstructions emitted.
+  bool FastTape = false; ///< FMA-contract fused multiply-adds.
 };
 
 } // namespace psketch

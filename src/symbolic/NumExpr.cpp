@@ -8,6 +8,7 @@
 
 #include "support/Special.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -151,6 +152,13 @@ NumId NumExprBuilder::intern(NumNode N) {
   return Id;
 }
 
+void NumExprBuilder::reset() {
+  Nodes.clear();
+  // Keep the table's capacity; just empty the slots.  A builder reused
+  // across same-shaped candidates never rehashes again.
+  std::fill(Table.begin(), Table.end(), 0);
+}
+
 void NumExprBuilder::growTable() {
   std::vector<uint32_t> Old = std::move(Table);
   Table.assign(Old.size() * 2, 0);
@@ -171,6 +179,10 @@ bool NumExprBuilder::isConst(NumId Id, double &V) const {
     return false;
   V = N.Value;
   return true;
+}
+
+NumId NumExprBuilder::rawNode(NumOp Op, double Value, NumId A, NumId B) {
+  return intern({Op, Value, A, B});
 }
 
 NumId NumExprBuilder::constant(double V) {

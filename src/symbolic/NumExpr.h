@@ -101,8 +101,21 @@ public:
   /// pair: 1/2 + 1/2 erf((MuA - MuB) / sqrt(2 (SigmaA^2 + SigmaB^2))).
   NumId gaussianGreaterProb(NumId MuA, NumId SigmaA, NumId MuB, NumId SigmaB);
 
+  /// Interns a node verbatim: hash-consing only, no constant folding or
+  /// algebraic identities.  The simplifier pass (symbolic/Simplify.h)
+  /// uses it to rebuild nodes under its own IEEE-exactness rules, and
+  /// the differential tests use it to construct patterns the smart
+  /// factories would fold away.
+  NumId rawNode(NumOp Op, double Value, NumId A, NumId B);
+
   const NumNode &node(NumId Id) const { return Nodes[Id]; }
   size_t size() const { return Nodes.size(); }
+
+  /// Empties the builder while keeping node storage and hash-table
+  /// capacity, so a builder reused across many same-shaped candidate
+  /// compilations (the synthesis hot path) stops allocating after the
+  /// first.  All previously returned NumIds are invalidated.
+  void reset();
 
   /// True when \p Id is a literal; \p V receives its value.
   bool isConst(NumId Id, double &V) const;

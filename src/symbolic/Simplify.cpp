@@ -1,0 +1,462 @@
+//===- symbolic/Simplify.cpp - IEEE-exact NumExpr simplifier pass ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Rule table (default mode; every rule is bitwise-exact per the header
+// contract, with the NaN-intermediate sign/payload caveat):
+//
+//   R1  neg(neg x)        -> x          negation is an involution.
+//   R2  add(a, neg b)     -> sub(a, b)  IEEE defines x - y as x + (-y);
+//       add(neg a, b)     -> sub(b, a)  addition is commutative on
+//                                       values (rounding is a function
+//                                       of the exact sum).
+//   R3  sub(a, neg b)     -> add(a, b)  same identity, reversed.
+//   R4  mul(neg a, neg b) -> mul(a, b)  sign cancellation: magnitudes
+//       div(neg a, neg b) -> div(a, b)  and rounding are sign-blind.
+//   R5  mul(x, 1), mul(1, x) -> x       exact for every x (incl. -0,
+//                                       Inf, NaN).
+//   R6  div(x, 1)         -> x          exact for every x.
+//   R7  add(x, -0)        -> x          x + (-0) == x for every x;
+//       add(x, +0)        -> x          only when x provably never
+//                                       evaluates to -0 (else -0 + +0
+//                                       would turn into -0).
+//   R8  sub(x, +0)        -> x          exact for every x;
+//       sub(x, -0)        -> x          only when x is never -0.
+//   R9  const op const    -> folded     the same IEEE operation done at
+//                                       compile time.
+//   R10 max(x, x), min(x, x) -> x       exact under the tape's
+//                                       "a>b ? a : b" semantics, incl.
+//                                       NaN (comparison false -> b).
+//   R11 abs(abs x)        -> abs x      idempotent;
+//       abs(neg x)        -> abs x      |-x| == |x| bitwise (sign
+//                                       cleared either way).
+//
+// Deliberately NOT applied in default mode (each fails bitwise
+// exactness on some input):
+//
+//   mul(x, 0) -> 0        Inf*0 and NaN*0 are NaN; (-5)*0 is -0.
+//   sub(x, x) -> 0        Inf - Inf and NaN - NaN are NaN.
+//   neg(sub(a, b)) -> sub(b, a)   -(a-b) is -0 when a==b, sub(b,a) +0.
+//   add(neg a, neg b) -> neg(add(a, b))  (+0)+(-0) edge: lhs +0 path
+//                                        gives +0, rhs gives -0.
+//   log(exp x) -> x       double rounding: off by ~1 ulp (FastMath).
+//   exp(log x) -> x       same (FastMath).
+//   sqrt(mul(x, x)) -> abs(x)  x*x rounds before sqrt (FastMath).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Simplify.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace psketch;
+
+namespace {
+
+/// Marks the nodes reachable from \p Root.  Builder ids are
+/// topologically ordered (operands precede users), so one backward scan
+/// suffices.
+std::vector<uint8_t> markLive(const NumExprBuilder &B, NumId Root) {
+  std::vector<uint8_t> Live(Root + 1, 0);
+  Live[Root] = 1;
+  for (NumId Id = Root + 1; Id-- > 0;) {
+    if (!Live[Id])
+      continue;
+    const NumNode &N = B.node(Id);
+    if (N.Op == NumOp::Const || N.Op == NumOp::DataRef)
+      continue;
+    Live[N.A] = 1;
+    if (numOpIsBinary(N.Op))
+      Live[N.B] = 1;
+  }
+  return Live;
+}
+
+/// True when \p Id provably never evaluates to -0.0 for any row: the
+/// operand-sign analysis behind the R7/R8 zero-identity rules.
+bool neverNegZero(const NumExprBuilder &B, NumId Id) {
+  const NumNode &N = B.node(Id);
+  switch (N.Op) {
+  case NumOp::Const:
+    return !(N.Value == 0.0 && std::signbit(N.Value));
+  case NumOp::Abs: // fabs clears the sign bit, so abs(-0) is +0.
+  case NumOp::Exp: // exp is positive; exp(-Inf) underflows to +0.
+  case NumOp::Gt:  // Indicators produce exactly 0.0 or 1.0.
+  case NumOp::Eq:
+    return true;
+  case NumOp::Max: // Either operand may be selected; both must qualify.
+  case NumOp::Min:
+    return neverNegZero(B, N.A) && neverNegZero(B, N.B);
+  default:
+    return false;
+  }
+}
+
+bool isConstValue(const NumExprBuilder &B, NumId Id, double &V) {
+  return B.isConst(Id, V);
+}
+
+/// One scalar application of \p Op (compile-time constant folding, R9).
+double foldUnary(NumOp Op, double A) {
+  switch (Op) {
+  case NumOp::Neg:
+    return -A;
+  case NumOp::Abs:
+    return std::fabs(A);
+  case NumOp::Log:
+    return std::log(A);
+  case NumOp::Exp:
+    return std::exp(A);
+  case NumOp::Sqrt:
+    return std::sqrt(A);
+  case NumOp::Erf:
+    return std::erf(A);
+  default:
+    assert(false && "not a unary op");
+    return 0;
+  }
+}
+
+double foldBinary(NumOp Op, double A, double B) {
+  switch (Op) {
+  case NumOp::Add:
+    return A + B;
+  case NumOp::Sub:
+    return A - B;
+  case NumOp::Mul:
+    return A * B;
+  case NumOp::Div:
+    return A / B;
+  case NumOp::Max:
+    return A > B ? A : B;
+  case NumOp::Min:
+    return A < B ? A : B;
+  case NumOp::Gt:
+    return A > B ? 1.0 : 0.0;
+  case NumOp::Eq:
+    return A == B ? 1.0 : 0.0;
+  default:
+    assert(false && "not a binary op");
+    return 0;
+  }
+}
+
+struct Rewriter {
+  NumExprBuilder &B;
+  SimplifyOptions Options;
+  size_t Rewrites = 0;
+
+  bool isNeg(NumId Id) const { return B.node(Id).Op == NumOp::Neg; }
+  NumId negOperand(NumId Id) const { return B.node(Id).A; }
+
+  /// Rebuilds one node whose (already simplified) operands are \p A and
+  /// \p Bo.  Only bitwise-exact rewrites in default mode; falls back to
+  /// verbatim re-interning, which dedups against existing nodes.
+  NumId rebuild(NumOp Op, double Value, NumId A, NumId Bo) {
+    double VA = 0, VB = 0;
+    const bool CA = numOpIsBinary(Op) || Op != NumOp::Const
+                        ? isConstValue(B, A, VA)
+                        : false;
+
+    switch (Op) {
+    case NumOp::Const:
+    case NumOp::DataRef:
+      return B.rawNode(Op, Value, 0, 0);
+
+    case NumOp::Neg:
+      if (CA)
+        return B.constant(-VA); // R9.
+      if (isNeg(A)) {           // R1.
+        ++Rewrites;
+        return negOperand(A);
+      }
+      return B.rawNode(Op, 0, A, 0);
+
+    case NumOp::Abs:
+      if (CA)
+        return B.constant(std::fabs(VA)); // R9.
+      if (B.node(A).Op == NumOp::Abs)     // R11 (idempotence).
+        return A;
+      if (isNeg(A)) { // R11: |-x| == |x| bitwise.
+        ++Rewrites;
+        return rebuild(NumOp::Abs, 0, negOperand(A), 0);
+      }
+      return B.rawNode(Op, 0, A, 0);
+
+    case NumOp::Log:
+      if (CA)
+        return B.constant(std::log(VA)); // R9.
+      if (Options.FastMath && B.node(A).Op == NumOp::Exp) {
+        ++Rewrites;
+        return B.node(A).A; // log(exp x) -> x, fast mode only.
+      }
+      return B.rawNode(Op, 0, A, 0);
+
+    case NumOp::Exp:
+      if (CA)
+        return B.constant(std::exp(VA)); // R9.
+      if (Options.FastMath && B.node(A).Op == NumOp::Log) {
+        ++Rewrites;
+        return B.node(A).A; // exp(log x) -> x, fast mode only.
+      }
+      return B.rawNode(Op, 0, A, 0);
+
+    case NumOp::Sqrt:
+    case NumOp::Erf:
+      if (CA)
+        return B.constant(foldUnary(Op, VA)); // R9.
+      return B.rawNode(Op, 0, A, 0);
+
+    case NumOp::Add: {
+      const bool CB = isConstValue(B, Bo, VB);
+      if (CA && CB)
+        return B.constant(VA + VB); // R9.
+      // R7: x + (-0) always; x + (+0) only when x is never -0.
+      if (CB && VB == 0.0 && (std::signbit(VB) || neverNegZero(B, A))) {
+        ++Rewrites;
+        return A;
+      }
+      if (CA && VA == 0.0 && (std::signbit(VA) || neverNegZero(B, Bo))) {
+        ++Rewrites;
+        return Bo;
+      }
+      if (isNeg(Bo)) { // R2.
+        ++Rewrites;
+        return rebuild(NumOp::Sub, 0, A, negOperand(Bo));
+      }
+      if (isNeg(A)) { // R2, commuted.
+        ++Rewrites;
+        return rebuild(NumOp::Sub, 0, Bo, negOperand(A));
+      }
+      return B.rawNode(Op, 0, A, Bo);
+    }
+
+    case NumOp::Sub: {
+      const bool CB = isConstValue(B, Bo, VB);
+      if (CA && CB)
+        return B.constant(VA - VB); // R9.
+      // R8: x - (+0) always; x - (-0) only when x is never -0.
+      if (CB && VB == 0.0 && (!std::signbit(VB) || neverNegZero(B, A))) {
+        ++Rewrites;
+        return A;
+      }
+      if (isNeg(Bo)) { // R3.
+        ++Rewrites;
+        return rebuild(NumOp::Add, 0, A, negOperand(Bo));
+      }
+      return B.rawNode(Op, 0, A, Bo);
+    }
+
+    case NumOp::Mul: {
+      const bool CB = isConstValue(B, Bo, VB);
+      if (CA && CB)
+        return B.constant(VA * VB); // R9.
+      if (CB && VB == 1.0) {        // R5.
+        ++Rewrites;
+        return A;
+      }
+      if (CA && VA == 1.0) { // R5.
+        ++Rewrites;
+        return Bo;
+      }
+      if (isNeg(A) && isNeg(Bo)) { // R4.
+        ++Rewrites;
+        return rebuild(NumOp::Mul, 0, negOperand(A), negOperand(Bo));
+      }
+      return B.rawNode(Op, 0, A, Bo);
+    }
+
+    case NumOp::Div: {
+      const bool CB = isConstValue(B, Bo, VB);
+      if (CA && CB)
+        return B.constant(VA / VB); // R9.
+      if (CB && VB == 1.0) {        // R6.
+        ++Rewrites;
+        return A;
+      }
+      if (isNeg(A) && isNeg(Bo)) { // R4.
+        ++Rewrites;
+        return rebuild(NumOp::Div, 0, negOperand(A), negOperand(Bo));
+      }
+      return B.rawNode(Op, 0, A, Bo);
+    }
+
+    case NumOp::Max:
+    case NumOp::Min: {
+      const bool CB = isConstValue(B, Bo, VB);
+      if (CA && CB)
+        return B.constant(foldBinary(Op, VA, VB)); // R9.
+      if (A == Bo) {                               // R10.
+        ++Rewrites;
+        return A;
+      }
+      return B.rawNode(Op, 0, A, Bo);
+    }
+
+    case NumOp::Gt:
+    case NumOp::Eq: {
+      const bool CB = isConstValue(B, Bo, VB);
+      if (CA && CB)
+        return B.constant(foldBinary(Op, VA, VB)); // R9.
+      // Note: eq(x, x) -> 1 is NOT exact (NaN != NaN); left alone.
+      return B.rawNode(Op, 0, A, Bo);
+    }
+    }
+    return B.rawNode(Op, Value, A, Bo);
+  }
+};
+
+/// Exact applicability pre-scan: true when some rule of rebuild() would
+/// fire on \p N given its *original* operands.  When no rule fires on
+/// any live node, rebuild() maps every node to itself (rawNode interning
+/// dedups against the existing nodes), so the whole pass is an identity
+/// and can be skipped without the per-node re-interning cost — the
+/// common case for factory-built DAGs, whose smart constructors already
+/// fold everything these rules cover.  The conditions below mirror
+/// rebuild() case by case; keep them in sync.
+bool mayRewrite(const NumExprBuilder &B, const NumNode &N,
+                const SimplifyOptions &Options) {
+  const auto OpOf = [&](NumId Id) { return B.node(Id).Op; };
+  double VA = 0, VB = 0;
+  switch (N.Op) {
+  case NumOp::Const:
+  case NumOp::DataRef:
+    return false;
+  case NumOp::Neg:
+    return B.isConst(N.A, VA) || OpOf(N.A) == NumOp::Neg;
+  case NumOp::Abs:
+    return B.isConst(N.A, VA) || OpOf(N.A) == NumOp::Abs ||
+           OpOf(N.A) == NumOp::Neg;
+  case NumOp::Log:
+    return B.isConst(N.A, VA) ||
+           (Options.FastMath && OpOf(N.A) == NumOp::Exp);
+  case NumOp::Exp:
+    return B.isConst(N.A, VA) ||
+           (Options.FastMath && OpOf(N.A) == NumOp::Log);
+  case NumOp::Sqrt:
+  case NumOp::Erf:
+    return B.isConst(N.A, VA);
+  case NumOp::Add: {
+    const bool CA = B.isConst(N.A, VA), CB = B.isConst(N.B, VB);
+    if (CA && CB)
+      return true; // R9.
+    if (CB && VB == 0.0 && (std::signbit(VB) || neverNegZero(B, N.A)))
+      return true; // R7.
+    if (CA && VA == 0.0 && (std::signbit(VA) || neverNegZero(B, N.B)))
+      return true; // R7.
+    return OpOf(N.B) == NumOp::Neg || OpOf(N.A) == NumOp::Neg; // R2.
+  }
+  case NumOp::Sub: {
+    const bool CA = B.isConst(N.A, VA), CB = B.isConst(N.B, VB);
+    if (CA && CB)
+      return true; // R9.
+    if (CB && VB == 0.0 && (!std::signbit(VB) || neverNegZero(B, N.A)))
+      return true;                       // R8.
+    return OpOf(N.B) == NumOp::Neg;      // R3.
+  }
+  case NumOp::Mul: {
+    const bool CA = B.isConst(N.A, VA), CB = B.isConst(N.B, VB);
+    if (CA && CB)
+      return true; // R9.
+    if ((CB && VB == 1.0) || (CA && VA == 1.0))
+      return true; // R5.
+    return OpOf(N.A) == NumOp::Neg && OpOf(N.B) == NumOp::Neg; // R4.
+  }
+  case NumOp::Div: {
+    const bool CA = B.isConst(N.A, VA), CB = B.isConst(N.B, VB);
+    if (CA && CB)
+      return true; // R9.
+    if (CB && VB == 1.0)
+      return true; // R6.
+    return OpOf(N.A) == NumOp::Neg && OpOf(N.B) == NumOp::Neg; // R4.
+  }
+  case NumOp::Max:
+  case NumOp::Min:
+    return (B.isConst(N.A, VA) && B.isConst(N.B, VB)) ||
+           N.A == N.B; // R9, R10.
+  case NumOp::Gt:
+  case NumOp::Eq:
+    return B.isConst(N.A, VA) && B.isConst(N.B, VB); // R9.
+  }
+  return false;
+}
+
+} // namespace
+
+size_t psketch::liveNodeCount(const NumExprBuilder &B, NumId Root) {
+  std::vector<uint8_t> Live = markLive(B, Root);
+  size_t Count = 0;
+  for (uint8_t L : Live)
+    Count += L;
+  return Count;
+}
+
+NumId psketch::simplifyNumExpr(NumExprBuilder &B, NumId Root,
+                               const SimplifyOptions &Options,
+                               SimplifyStats *Stats) {
+  // One backward pass marks liveness, counts live nodes, and tests rule
+  // applicability in the same cache-warm sweep.  The scratch is
+  // thread-local (chains run on separate threads) so the per-candidate
+  // hot path never allocates here.
+  static thread_local std::vector<uint8_t> LiveScratch;
+  std::vector<uint8_t> &Live = LiveScratch;
+  Live.assign(Root + 1, 0);
+  Live[Root] = 1;
+  size_t NodesIn = 0;
+  // Pre-scan folded into the marking: when no rule applies anywhere,
+  // the rebuild below is a guaranteed identity — skip its per-node
+  // re-interning.  This is the synthesis hot path: candidates come from
+  // the smart factories, which already fold what the exact rules cover.
+  bool AnyRule = false;
+  for (NumId Id = Root + 1; Id-- > 0;) {
+    if (!Live[Id])
+      continue;
+    ++NodesIn;
+    const NumNode &N = B.node(Id);
+    if (N.Op != NumOp::Const && N.Op != NumOp::DataRef) {
+      Live[N.A] = 1;
+      if (numOpIsBinary(N.Op))
+        Live[N.B] = 1;
+    }
+    if (!AnyRule)
+      AnyRule = mayRewrite(B, N, Options);
+  }
+  if (!AnyRule) {
+    if (Stats) {
+      Stats->NodesIn = NodesIn;
+      Stats->NodesOut = NodesIn;
+      Stats->Rewrites = 0;
+    }
+    return Root;
+  }
+
+  Rewriter R{B, Options, 0};
+  // Map[id] is the simplified replacement of live node id.  Operands
+  // precede users, so a single forward scan sees simplified operands.
+  std::vector<NumId> Map(Root + 1, 0);
+  for (NumId Id = 0; Id <= Root; ++Id) {
+    if (!Live[Id])
+      continue;
+    // Copy: rebuild() interns new nodes, which may reallocate the
+    // builder's node storage under a reference.
+    const NumNode N = B.node(Id);
+    if (N.Op == NumOp::Const || N.Op == NumOp::DataRef) {
+      Map[Id] = Id;
+      continue;
+    }
+    const NumId A = Map[N.A];
+    const NumId Bo = numOpIsBinary(N.Op) ? Map[N.B] : 0;
+    Map[Id] = R.rebuild(N.Op, N.Value, A, Bo);
+  }
+
+  if (Stats) {
+    Stats->NodesIn = NodesIn;
+    Stats->NodesOut = liveNodeCount(B, Map[Root]);
+    Stats->Rewrites = R.Rewrites;
+  }
+  return Map[Root];
+}

@@ -1,0 +1,72 @@
+//===- symbolic/Simplify.h - IEEE-exact NumExpr simplifier pass -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bottom-up rewrite pass over the likelihood NumExpr DAG, run before
+/// tape compilation (DESIGN.md §9).  The smart factories of
+/// NumExprBuilder already fold constants and cheap identities at
+/// construction time; this pass catches what only becomes visible after
+/// other rewrites (a double negation cancelling into an identity
+/// operand, a Neg feeding an Add) and applies the negation-to-Sub
+/// family the factories do not attempt.
+///
+/// **Exactness contract.**  In the default mode every rule rewrites a
+/// node into an expression whose IEEE-754 evaluation is bit-identical
+/// for every input — including NaN, ±Inf and ±0 — so compiled scores do
+/// not change when the pass is toggled.  The only tolerated deviation
+/// is the sign/payload of NaN *intermediates* (e.g. `a + neg(b)` and
+/// `a - b` may disagree in the NaN sign bit); NaN bit patterns cannot
+/// reach a non-NaN result through the tape's Max/Min/Gt/Eq operations,
+/// which compare by value, so non-NaN outputs stay bit-identical and
+/// NaN outputs stay NaN.  The per-rule exactness arguments live next to
+/// each rule in Simplify.cpp.
+///
+/// With Options.FastMath (the `--ffast-tape` CLI flag) the pass also
+/// applies mathematically-exact but not bitwise-exact inverses
+/// (log(exp x) → x, exp(log x) → x), which may change results by ~1 ulp
+/// per eliminated pair and alter Inf/NaN edge behaviour; fast mode is
+/// off by default and excluded from the bitwise differential tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYMBOLIC_SIMPLIFY_H
+#define PSKETCH_SYMBOLIC_SIMPLIFY_H
+
+#include "symbolic/NumExpr.h"
+
+namespace psketch {
+
+/// Knobs of the simplifier pass.
+struct SimplifyOptions {
+  /// Enables value-changing rewrites (inverse-function cancellation).
+  /// Off by default: the default pass is bitwise result-preserving.
+  bool FastMath = false;
+};
+
+/// Counters of one simplify run (telemetry; cheap to fill).
+struct SimplifyStats {
+  size_t NodesIn = 0;    ///< Live nodes reachable from the input root.
+  size_t NodesOut = 0;   ///< Live nodes reachable from the result root.
+  size_t Rewrites = 0;   ///< Pattern rules fired (not counting refolds).
+};
+
+/// Rewrites the DAG reachable from \p Root bottom-up into \p B and
+/// returns the new root.  Nodes the pass leaves alone keep their ids;
+/// rewritten nodes are re-interned (hash-consing dedups).  Dead nodes
+/// left behind are pruned by the tape compiler, which only retains
+/// instructions reachable from its root.
+NumId simplifyNumExpr(NumExprBuilder &B, NumId Root,
+                      const SimplifyOptions &Options = {},
+                      SimplifyStats *Stats = nullptr);
+
+/// Number of nodes reachable from \p Root — the instruction count a
+/// tape compiled at \p Root would have before fusion.  Used to report
+/// tape-size deltas of the simplifier.
+size_t liveNodeCount(const NumExprBuilder &B, NumId Root);
+
+} // namespace psketch
+
+#endif // PSKETCH_SYMBOLIC_SIMPLIFY_H

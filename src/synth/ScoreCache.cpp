@@ -28,6 +28,7 @@ void ScoreCache::insert(uint64_t Key, Score S) {
   if (Map.size() == Cap) {
     Map.erase(Order.back().first);
     Order.pop_back();
+    ++Evictions;
   }
   Order.emplace_front(Key, S);
   Map[Key] = Order.begin();

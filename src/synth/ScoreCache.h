@@ -53,10 +53,17 @@ public:
   /// True when \p Key is resident (does not touch recency; tests).
   bool contains(uint64_t Key) const { return Map.count(Key) != 0; }
 
+  /// Entries dropped to make room (lifetime count; exported as
+  /// `synth.cache.evictions` when metrics are on).  A high rate against
+  /// hits means the walk revisits more distinct candidates than the
+  /// capacity holds.
+  uint64_t evictions() const { return Evictions; }
+
 private:
   using Entry = std::pair<uint64_t, Score>;
 
   size_t Cap;
+  uint64_t Evictions = 0;
   std::list<Entry> Order; ///< Most recently used at the front.
   std::unordered_map<uint64_t, std::list<Entry>::iterator> Map;
 };

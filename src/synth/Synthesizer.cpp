@@ -43,6 +43,13 @@ void SynthesisStats::merge(const SynthesisStats &Other) {
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
   Seconds += Other.Seconds;
+  ScoreCacheEvictions += Other.ScoreCacheEvictions;
+  ColCacheHits += Other.ColCacheHits;
+  ColCacheMisses += Other.ColCacheMisses;
+  ColCacheEvictions += Other.ColCacheEvictions;
+  TapeRawIns += Other.TapeRawIns;
+  TapeFinalIns += Other.TapeFinalIns;
+  TapeFused += Other.TapeFused;
   Stage.merge(Other.Stage);
 }
 
@@ -83,18 +90,30 @@ Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
 }
 
 std::optional<double> Synthesizer::scoreWithTemplate(
-    const std::vector<ExprPtr> &Completions) const {
+    const std::vector<ExprPtr> &Completions, ColumnCache *ColCache,
+    SynthesisStats *Stats, CompileScratch *Scratch) const {
   if (!TemplateDefAssignOK)
     return std::nullopt;
   std::optional<LikelihoodFunction> F;
   {
     ScopedStage Span(Stage::LowerCompile);
     F = LikelihoodFunction::compile(*Template, Data, Config.Algebra,
-                                    &Completions);
+                                    &Completions, Config.Likelihood,
+                                    Scratch);
   }
   if (!F)
     return std::nullopt;
-  double LL = F->logLikelihood(ColData);
+  if (Stats) {
+    Stats->TapeRawIns += F->rawTapeSize();
+    Stats->TapeFinalIns += F->tapeSize();
+    Stats->TapeFused += F->tape().numFused();
+  }
+  double LL = ColCache ? F->logLikelihood(ColData, *ColCache)
+                       : F->logLikelihood(ColData);
+  // Done scoring: hand the function's heap storage back to the chain's
+  // scratch so the next candidate compiles into warm capacity.
+  if (Scratch)
+    F->recycleStorage(*Scratch);
   if (std::isnan(LL))
     return std::nullopt;
   return LL;
@@ -111,7 +130,9 @@ Synthesizer::scoreWithMoG(const Program &Candidate) const {
       return std::nullopt;
     if (!checkDefiniteAssignment(*LP, LocalDiags))
       return std::nullopt;
-    F = LikelihoodFunction::compile(*LP, Data, Config.Algebra);
+    F = LikelihoodFunction::compile(*LP, Data, Config.Algebra,
+                                    /*Completions=*/nullptr,
+                                    Config.Likelihood);
   }
   if (!F)
     return std::nullopt;
@@ -171,11 +192,28 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   // splice, lower, or definite-assignment pass — which is
   // bitwise-identical to scoring the spliced program.
   const bool UseTemplate = !CustomScorer && Template != nullptr;
+  // The chain's cross-candidate column cache (DESIGN.md §9): hole-local
+  // proposals share most of the likelihood DAG with the current state,
+  // so most row-blocks are served from here instead of recomputed.
+  // Chain-private, like the score cache, so Threads stays result- and
+  // telemetry-neutral.
+  std::optional<ColumnCache> ColCache;
+  if (Config.Incremental && UseTemplate)
+    ColCache.emplace(Config.ColumnCacheBytes);
+  // Chain-private compile scratch: keeps the NumExpr builder's storage
+  // warm across the thousands of same-shaped candidate compilations of
+  // this chain.  Like the caches above, never shared across chains, and
+  // like them part of the incremental machinery — `--no-incremental`
+  // restores the fully independent per-candidate compilation of the
+  // pre-incremental pipeline.
+  CompileScratch Scratch;
+  CompileScratch *ScratchPtr = Config.Incremental ? &Scratch : nullptr;
   auto ScoreOnce =
       [&](const std::vector<ExprPtr> &Completions) -> std::optional<double> {
     ++Out.Stats.Scored;
     if (UseTemplate)
-      return scoreWithTemplate(Completions);
+      return scoreWithTemplate(Completions, ColCache ? &*ColCache : nullptr,
+                               &Out.Stats, ScratchPtr);
     std::unique_ptr<Program> Spliced;
     {
       ScopedStage Span(Stage::Splice);
@@ -291,7 +329,15 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
         ((Iter + 1) % Config.ProgressEvery == 0 ||
          Iter + 1 == Config.Iterations))
       Config.Progress({ChainIndex, Iter + 1, Config.Iterations,
-                       Out.BestLogLikelihood});
+                       Out.BestLogLikelihood,
+                       ColCache ? ColCache->hitRate() : 0.0});
+  }
+
+  Out.Stats.ScoreCacheEvictions = Cache.evictions();
+  if (ColCache) {
+    Out.Stats.ColCacheHits = ColCache->hits();
+    Out.Stats.ColCacheMisses = ColCache->misses();
+    Out.Stats.ColCacheEvictions = ColCache->evictions();
   }
 
   if (Out.Shard) {
@@ -302,6 +348,14 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     Reg.counter("synth.scored").add(Out.Stats.Scored);
     Reg.counter("synth.cache.hits").add(Out.Stats.CacheHits);
     Reg.counter("synth.cache.misses").add(Out.Stats.CacheMisses);
+    Reg.counter("synth.cache.evictions").add(Out.Stats.ScoreCacheEvictions);
+    Reg.counter("synth.colcache.hits").add(Out.Stats.ColCacheHits);
+    Reg.counter("synth.colcache.misses").add(Out.Stats.ColCacheMisses);
+    Reg.counter("synth.colcache.evictions")
+        .add(Out.Stats.ColCacheEvictions);
+    Reg.counter("synth.tape.raw_instructions").add(Out.Stats.TapeRawIns);
+    Reg.counter("synth.tape.instructions").add(Out.Stats.TapeFinalIns);
+    Reg.counter("synth.tape.fused").add(Out.Stats.TapeFused);
   }
 
   PSKETCH_LOG(Debug, "synth",
@@ -382,6 +436,9 @@ SynthesisResult Synthesizer::run() {
     Result.Metrics
         ->gauge("synth.candidates_per_100s")
         .set(Result.Stats.candidatesPer100Sec());
+    Result.Metrics
+        ->gauge("synth.colcache.hit_rate")
+        .set(Result.Stats.colCacheHitRate());
     if (Config.StageTimers)
       for (unsigned S = 0; S != NumStages; ++S)
         Result.Metrics

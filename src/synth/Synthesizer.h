@@ -64,6 +64,26 @@ struct SynthesisConfig {
   /// changes cost only, never results.
   size_t ScoreCacheSize = 4096;
 
+  /// Likelihood-compilation pipeline knobs (DESIGN.md §9): the NumExpr
+  /// simplifier pass (`--no-simplify`), tape superinstruction fusion
+  /// (`--no-fuse`) and explicit FMA contraction (`--ffast-tape`).
+  /// Everything except FastTape is bit-exact — scores are identical
+  /// with the knobs on or off.
+  LikelihoodOptions Likelihood;
+
+  /// Cross-candidate incremental scoring (`--no-incremental` turns it
+  /// off): each chain keeps a column cache of evaluated row-blocks
+  /// keyed by structural subtree identity, so a hole-local proposal
+  /// only re-evaluates tape instructions downstream of the mutation.
+  /// Bit-exact — a hit returns exactly what recomputation would — and
+  /// per-chain, so results stay independent of Threads.  Applies to
+  /// the default template scoring path (custom scorers via setScorer
+  /// manage their own evaluation).
+  bool Incremental = true;
+
+  /// Byte budget of each chain's column cache (LRU eviction).
+  size_t ColumnCacheBytes = size_t(32) << 20;
+
   /// Seed for the whole run (initial draw, proposals, acceptances).
   uint64_t Seed = 1;
 
@@ -118,6 +138,9 @@ struct SynthesisConfig {
     unsigned Iter = 0;
     unsigned Iterations = 0;
     double BestLL = -std::numeric_limits<double>::infinity();
+    /// Column-cache hit rate of this chain so far (0 when incremental
+    /// scoring is off).
+    double ColCacheHitRate = 0;
   };
   unsigned ProgressEvery = 0; ///< 0 disables progress callbacks.
   std::function<void(const ProgressUpdate &)> Progress;
@@ -132,6 +155,23 @@ struct SynthesisStats {
   unsigned CacheHits = 0;  ///< Candidates answered by the score cache.
   unsigned CacheMisses = 0; ///< Cache probes that fell through to scoring.
   double Seconds = 0;      ///< Wall-clock of the MH loop.
+
+  /// Score-cache entries evicted by the LRU policy.
+  uint64_t ScoreCacheEvictions = 0;
+
+  // Column-cache telemetry (zeros unless Config.Incremental and the
+  // default template scoring path were in effect).  Hits/misses count
+  // row-block probes inside Tape::evalIncremental.
+  uint64_t ColCacheHits = 0;
+  uint64_t ColCacheMisses = 0;
+  uint64_t ColCacheEvictions = 0;
+
+  // Tape-size telemetry summed over compiled candidates: instruction
+  // counts before the simplifier, after simplify + fusion, and the
+  // number of fused superinstructions emitted.
+  uint64_t TapeRawIns = 0;
+  uint64_t TapeFinalIns = 0;
+  uint64_t TapeFused = 0;
 
   /// Per-stage scoring cost (lower/compile, batched eval, cache probe,
   /// splice), populated when SynthesisConfig::StageTimers is on; all
@@ -156,6 +196,10 @@ struct SynthesisStats {
   double cacheHitRate() const {
     unsigned Probes = CacheHits + CacheMisses;
     return Probes ? double(CacheHits) / double(Probes) : 0;
+  }
+  double colCacheHitRate() const {
+    uint64_t Probes = ColCacheHits + ColCacheMisses;
+    return Probes ? double(ColCacheHits) / double(Probes) : 0;
   }
 };
 
@@ -238,8 +282,14 @@ private:
 
   /// Scores one completion tuple against the lowered sketch template
   /// (no per-candidate splice/lower; bitwise-identical to splicing).
+  /// With \p ColCache, evaluation runs incrementally against it; with
+  /// \p Stats, tape-size counters accumulate there.  \p Scratch (one
+  /// per chain) keeps compile-time storage warm across candidates.
   std::optional<double>
-  scoreWithTemplate(const std::vector<ExprPtr> &Completions) const;
+  scoreWithTemplate(const std::vector<ExprPtr> &Completions,
+                    ColumnCache *ColCache = nullptr,
+                    SynthesisStats *Stats = nullptr,
+                    CompileScratch *Scratch = nullptr) const;
 
   std::unique_ptr<Program> Sketch;
   InputBindings Inputs;

@@ -155,6 +155,14 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
   Config.Threads = Opts.Threads;
   Config.Seed = Opts.Seed;
 
+  // Likelihood-pipeline escape hatches (DESIGN.md §9); defaults leave
+  // every bit-exact optimization on.
+  Config.Incremental = !Opts.NoIncremental;
+  Config.Likelihood.Simplify = !Opts.NoSimplify;
+  Config.Likelihood.Tape.Fuse = !Opts.NoFuse;
+  Config.Likelihood.Tape.FastTape = Opts.FastTape;
+  Config.ColumnCacheBytes = size_t(Opts.ColumnCacheMB) << 20;
+
   // Telemetry: each output the user asked for switches on exactly the
   // collection it needs; everything stays off otherwise.
   Config.CollectTrace = !Opts.TraceOutPath.empty();
@@ -165,11 +173,20 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
     if (logLevel() > LogLevel::Info)
       setLogLevel(LogLevel::Info);
     Config.ProgressEvery = std::max(1u, Opts.Iterations / 10);
-    Config.Progress = [](const SynthesisConfig::ProgressUpdate &U) {
-      PSKETCH_LOG(Info, "synth",
-                  "chain " << U.Chain << ": " << U.Iter << "/"
-                           << U.Iterations << " iterations, best LL "
-                           << U.BestLL);
+    const bool Incremental = Config.Incremental;
+    Config.Progress = [Incremental](
+                          const SynthesisConfig::ProgressUpdate &U) {
+      if (Incremental)
+        PSKETCH_LOG(Info, "synth",
+                    "chain " << U.Chain << ": " << U.Iter << "/"
+                             << U.Iterations << " iterations, best LL "
+                             << U.BestLL << ", column-cache hit rate "
+                             << int(U.ColCacheHitRate * 100) << "%");
+      else
+        PSKETCH_LOG(Info, "synth",
+                    "chain " << U.Chain << ": " << U.Iter << "/"
+                             << U.Iterations << " iterations, best LL "
+                             << U.BestLL);
     };
   }
 
@@ -207,6 +224,11 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
       << Result.Stats.Scored << " candidates scored; "
       << Result.Stats.CacheHits << " cache hits; log-likelihood "
       << Result.BestLogLikelihood << "\n";
+  if (Result.Stats.ColCacheHits + Result.Stats.ColCacheMisses > 0)
+    Out << "// column cache: "
+        << int(Result.Stats.colCacheHitRate() * 100) << "% hit rate ("
+        << Result.Stats.ColCacheHits << " hits, "
+        << Result.Stats.ColCacheEvictions << " evictions)\n";
   if (Result.Convergence.Computed)
     Out << "// " << Result.Convergence.str() << "\n";
   Out << toString(*Result.BestProgram);

@@ -71,7 +71,8 @@ std::string psketch::toolUsage() {
          "  synth  --sketch FILE --data FILE.csv [--iterations N]\n"
          "         [--chains N] [--seed S] [--threads N (0 = all cores)]\n"
          "         [--trace-out FILE.jsonl] [--metrics-out FILE.json]\n"
-         "         [--progress]\n"
+         "         [--progress] [--no-incremental] [--no-simplify]\n"
+         "         [--no-fuse] [--ffast-tape] [--column-cache-mb N]\n"
          "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
          "  trace-stats --trace FILE.jsonl\n"
          "inputs: --int n=3 --real x=1.5 --bool b=1\n"
@@ -126,12 +127,21 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.TracePath = Value;
     } else if (Flag == "--progress") {
       Opts.Progress = true;
+    } else if (Flag == "--no-incremental") {
+      Opts.NoIncremental = true;
+    } else if (Flag == "--no-simplify") {
+      Opts.NoSimplify = true;
+    } else if (Flag == "--no-fuse") {
+      Opts.NoFuse = true;
+    } else if (Flag == "--ffast-tape") {
+      Opts.FastTape = true;
     } else if (Flag == "--slot") {
       if (NextValue(I, Flag, Value))
         Opts.Slots.push_back(Value);
     } else if (Flag == "--rows" || Flag == "--iterations" ||
                Flag == "--chains" || Flag == "--seed" ||
-               Flag == "--samples" || Flag == "--threads") {
+               Flag == "--samples" || Flag == "--threads" ||
+               Flag == "--column-cache-mb") {
       if (!NextValue(I, Flag, Value))
         continue;
       auto V = parseNumber(Value);
@@ -150,6 +160,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.Chains = unsigned(*V);
       else if (Flag == "--threads")
         Opts.Threads = unsigned(*V);
+      else if (Flag == "--column-cache-mb")
+        Opts.ColumnCacheMB = unsigned(*V);
       else
         Opts.Seed = uint64_t(*V);
     } else if (Flag == "--int" || Flag == "--real" || Flag == "--bool") {

@@ -47,6 +47,15 @@ struct ToolOptions {
   std::string MetricsOutPath; ///< --metrics-out (synth): metrics JSON.
   std::string TracePath;      ///< --trace (trace-stats): JSONL to read.
   bool Progress = false;      ///< --progress (synth): periodic updates.
+
+  // Likelihood-pipeline escape hatches (synth; DESIGN.md §9).  The
+  // optimizations are bit-exact and on by default; the toggles exist so
+  // a regression can be bisected to one layer.
+  bool NoIncremental = false; ///< --no-incremental: no column cache.
+  bool NoSimplify = false;    ///< --no-simplify: skip the NumExpr pass.
+  bool NoFuse = false;        ///< --no-fuse: skip superinstructions.
+  bool FastTape = false;      ///< --ffast-tape: FMA contraction (~1 ulp).
+  unsigned ColumnCacheMB = 32; ///< --column-cache-mb: per-chain budget.
   std::vector<std::string> Slots; ///< --slot (report).
   unsigned Rows = 100;
   unsigned Samples = 20000; ///< --samples (posterior).

@@ -1,0 +1,378 @@
+//===- tests/likelihood/TapeOptTest.cpp - Tape optimization tests ---------===//
+//
+// Differential tests of the likelihood-pipeline optimizations
+// (DESIGN.md §9): the simplified + fused tape and the column-cache
+// incremental evaluator must produce results bit-identical to the
+// unoptimized per-row interpreter, across rows containing NaN, ±Inf
+// and ±0.  Also unit tests of ColumnCache (LRU, budget, counters) and
+// of structural SubtreeKey builder-independence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/Tape.h"
+
+#include "likelihood/ColumnCache.h"
+#include "likelihood/ColumnarDataset.h"
+#include "likelihood/Dataset.h"
+#include "support/Rng.h"
+#include "symbolic/Simplify.h"
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <limits>
+
+using namespace psketch;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+const double NaN = std::numeric_limits<double>::quiet_NaN();
+
+uint64_t bits(double X) {
+  uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  return B;
+}
+
+/// Bitwise equality with the documented NaN tolerance (non-NaN results
+/// exact including zero signs; NaN results may differ in sign/payload).
+::testing::AssertionResult sameValue(double X, double Y) {
+  if (std::isnan(X) && std::isnan(Y))
+    return ::testing::AssertionSuccess();
+  if (bits(X) == bits(Y))
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << X << " (0x" << std::hex << bits(X) << ") vs " << Y << " (0x"
+         << bits(Y) << ")";
+}
+
+/// A two-column dataset mixing ordinary magnitudes with IEEE special
+/// values, deterministic per \p Seed.
+ColumnarDataset specialDataset(size_t Rows, uint64_t Seed) {
+  const double Specials[] = {0.0,  -0.0, 1.0, -1.0, 0.5,  -2.5,
+                             3.25, Inf,  -Inf, NaN, 1e300, 1e-300};
+  Rng R(Seed);
+  Dataset D({"x", "y"});
+  for (size_t I = 0; I < Rows; ++I)
+    D.addRow({Specials[R.index(12)], Specials[R.index(12)]});
+  return ColumnarDataset(D);
+}
+
+/// A random unfolded DAG over slots 0 and 1, built with rawNode so the
+/// smart factories cannot pre-simplify the patterns under test.
+NumId randomDag(NumExprBuilder &B, Rng &R, int Nodes) {
+  std::vector<NumId> Pool = {B.dataRef(0),      B.dataRef(1),
+                             B.constant(1.0),   B.constant(0.0),
+                             B.constant(-0.0),  B.constant(2.5),
+                             B.constant(-0.75), B.constant(3.0)};
+  for (int I = 0; I < Nodes; ++I) {
+    NumId A = Pool[R.index(Pool.size())];
+    NumId C = Pool[R.index(Pool.size())];
+    NumOp Op = NumOp(2 + R.index(14)); // Add .. Eq.
+    Pool.push_back(numOpIsBinary(Op) ? B.rawNode(Op, 0, A, C)
+                                     : B.rawNode(Op, 0, A, 0));
+  }
+  return Pool.back();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential fuzz: optimized pipeline vs unoptimized reference.
+//===----------------------------------------------------------------------===//
+
+TEST(TapeOptTest, SimplifiedFusedTapeMatchesUnoptimizedBitwise) {
+  Rng R(77);
+  ColumnarDataset Cols = specialDataset(64, 99);
+  std::vector<double> RefScratch, EvalScratch, BatchScratch;
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    NumExprBuilder B;
+    NumId Root = randomDag(B, R, 30);
+    NumId Simp = simplifyNumExpr(B, Root);
+
+    TapeOptions Plain;
+    Plain.Fuse = false;
+    Tape Ref(B, Root, Plain);     // Unsimplified, unfused.
+    Tape Opt(B, Simp, {});        // Simplified + fused (defaults).
+    EXPECT_LE(Opt.size(), Ref.size());
+
+    std::vector<double> Batch(Cols.numRows());
+    Opt.evalBatch(Cols, 0, Cols.numRows(), Batch.data(), BatchScratch);
+    for (size_t Row = 0; Row < Cols.numRows(); ++Row) {
+      std::vector<double> RowVals = {Cols.at(Row, 0), Cols.at(Row, 1)};
+      const double Want = Ref.eval(RowVals, RefScratch);
+      EXPECT_TRUE(sameValue(Opt.eval(RowVals, EvalScratch), Want))
+          << "trial " << Trial << " row " << Row << ": " << B.str(Root);
+      EXPECT_TRUE(sameValue(Batch[Row], Want))
+          << "trial " << Trial << " batch row " << Row << ": "
+          << B.str(Root);
+    }
+  }
+}
+
+TEST(TapeOptTest, IncrementalEvalIsBitIdenticalColdAndHot) {
+  Rng R(31);
+  ColumnarDataset Cols = specialDataset(128, 5);
+  std::vector<double> BatchScratch;
+  IncrementalScratch Inc;
+  ColumnCache Cache(size_t(8) << 20);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    NumExprBuilder B;
+    NumId Root = randomDag(B, R, 25);
+    Tape T(B, simplifyNumExpr(B, Root), {});
+
+    std::vector<double> Want(Cols.numRows()), Got(Cols.numRows());
+    T.evalBatch(Cols, 0, Cols.numRows(), Want.data(), BatchScratch);
+
+    // Cold pass (records admission fingerprints), warm pass (second
+    // touch: inserts), hot pass (served from cache): all must be
+    // bitwise equal to the batch evaluator, NaN payloads included.
+    for (int Pass = 0; Pass < 3; ++Pass) {
+      T.evalIncremental(Cols, 0, Cols.numRows(), Got.data(), Cache, Inc);
+      EXPECT_EQ(std::memcmp(Got.data(), Want.data(),
+                            Want.size() * sizeof(double)),
+                0)
+          << "trial " << Trial << " pass " << Pass;
+    }
+  }
+  EXPECT_GT(Cache.hits(), 0u);
+  EXPECT_GT(Cache.inserts(), 0u);
+}
+
+TEST(TapeOptTest, IncrementalReusesSubtreesAcrossCandidates) {
+  // Two candidates differing in one hole parameter, as hole-local MH
+  // proposals produce: the shared Gaussian term's columns must be
+  // served from cache, and results must still match evalBatch exactly.
+  Dataset D({"x", "y"});
+  Rng R(12);
+  for (int I = 0; I < 300; ++I)
+    D.addRow({R.gaussian(1.0, 2.0), R.gaussian(-0.5, 1.0)});
+  ColumnarDataset Cols(D);
+
+  auto Build = [](NumExprBuilder &B, double Mu2) {
+    NumId Shared = B.gaussianLogPdf(B.dataRef(0), B.constant(1.0),
+                                    B.constant(2.0));
+    NumId Varies = B.gaussianLogPdf(B.dataRef(1), B.constant(Mu2),
+                                    B.constant(1.0));
+    return B.add(Shared, Varies);
+  };
+
+  ColumnCache Cache(size_t(8) << 20);
+  IncrementalScratch Inc;
+  std::vector<double> BatchScratch;
+  double LastHitRate = 0;
+  for (double Mu2 : {-0.5, -0.4, -0.3}) {
+    NumExprBuilder B;
+    NumId Root = Build(B, Mu2);
+    Tape T(B, simplifyNumExpr(B, Root), {});
+    std::vector<double> Want(Cols.numRows()), Got(Cols.numRows());
+    T.evalBatch(Cols, 0, Cols.numRows(), Want.data(), BatchScratch);
+    T.evalIncremental(Cols, 0, Cols.numRows(), Got.data(), Cache, Inc);
+    EXPECT_EQ(std::memcmp(Got.data(), Want.data(),
+                          Want.size() * sizeof(double)),
+              0)
+        << "Mu2 = " << Mu2;
+    LastHitRate = Cache.hitRate();
+  }
+  // The second and third candidates share the slot-0 Gaussian with the
+  // first, so the cache must have served real hits.
+  EXPECT_GT(Cache.hits(), 0u);
+  EXPECT_GT(LastHitRate, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural keys.
+//===----------------------------------------------------------------------===//
+
+TEST(TapeOptTest, SubtreeKeysAreBuilderIndependent) {
+  // The same expression built in two builders — one polluted with junk
+  // nodes so every NumId differs — must produce identical root keys.
+  NumExprBuilder B1;
+  NumId R1 = B1.gaussianLogPdf(B1.dataRef(0), B1.constant(0.5),
+                               B1.constant(1.5));
+  NumExprBuilder B2;
+  for (int I = 0; I < 10; ++I)
+    B2.rawNode(NumOp::Add, 0, B2.constant(double(I)), B2.dataRef(3));
+  NumId R2 = B2.gaussianLogPdf(B2.dataRef(0), B2.constant(0.5),
+                               B2.constant(1.5));
+
+  Tape T1(B1, R1, {}), T2(B2, R2, {});
+  ASSERT_EQ(T1.size(), T2.size());
+  EXPECT_TRUE(T1.key(T1.size() - 1) == T2.key(T2.size() - 1));
+}
+
+TEST(TapeOptTest, SubtreeKeysDistinguishOperandOrderAndConstants) {
+  NumExprBuilder B;
+  NumId X = B.dataRef(0), Y = B.dataRef(1);
+  Tape Txy(B, B.rawNode(NumOp::Sub, 0, X, Y), {});
+  Tape Tyx(B, B.rawNode(NumOp::Sub, 0, Y, X), {});
+  EXPECT_FALSE(Txy.key(Txy.size() - 1) == Tyx.key(Tyx.size() - 1));
+
+  Tape Ta(B, B.rawNode(NumOp::Add, 0, X, B.constant(1.0)), {});
+  Tape Tb(B, B.rawNode(NumOp::Add, 0, X, B.constant(2.0)), {});
+  EXPECT_FALSE(Ta.key(Ta.size() - 1) == Tb.key(Tb.size() - 1));
+}
+
+TEST(TapeOptTest, FusedInstructionKeepsConsumersKey) {
+  // Fusion must not change an instruction's structural identity, or the
+  // column cache would miss (or worse, mismatch) across fusion choices.
+  NumExprBuilder B;
+  NumId Root = B.rawNode(
+      NumOp::Add, 0,
+      B.rawNode(NumOp::Mul, 0, B.dataRef(0), B.dataRef(1)),
+      B.dataRef(0));
+  TapeOptions NoFuse;
+  NoFuse.Fuse = false;
+  Tape Plain(B, Root, NoFuse);
+  Tape Fused(B, Root, {});
+  ASSERT_GT(Fused.numFused(), 0u);
+  EXPECT_LT(Fused.size(), Plain.size());
+  EXPECT_TRUE(Fused.key(Fused.size() - 1) == Plain.key(Plain.size() - 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Fusion patterns.
+//===----------------------------------------------------------------------===//
+
+TEST(TapeOptTest, GaussianLogPdfTapeFusesResidualChain) {
+  NumExprBuilder B;
+  NumId Root =
+      B.gaussianLogPdf(B.dataRef(0), B.dataRef(1), B.constant(2.0));
+  TapeOptions NoFuse;
+  NoFuse.Fuse = false;
+  Tape Plain(B, Root, NoFuse);
+  Tape Fused(B, Root, {});
+  EXPECT_GT(Fused.numFused(), 0u);
+  EXPECT_EQ(Fused.size(), Plain.size() - Fused.numFused());
+
+  bool SawFused = false;
+  for (size_t I = 0; I < Fused.size(); ++I)
+    SawFused |= Fused.instruction(I).Op >= TapeOp::MulAdd;
+  EXPECT_TRUE(SawFused);
+
+  // And fusion stays bit-exact on real data.
+  Dataset D({"x", "mu"});
+  Rng R(8);
+  for (int I = 0; I < 100; ++I)
+    D.addRow({R.gaussian(0, 3), R.gaussian(0, 1)});
+  ColumnarDataset Cols(D);
+  std::vector<double> A(Cols.numRows()), C(Cols.numRows()), S1, S2;
+  Plain.evalBatch(Cols, 0, Cols.numRows(), A.data(), S1);
+  Fused.evalBatch(Cols, 0, Cols.numRows(), C.data(), S2);
+  EXPECT_EQ(std::memcmp(A.data(), C.data(), A.size() * sizeof(double)), 0);
+}
+
+TEST(TapeOptTest, MultiUseProducerIsNotFused) {
+  // mul(x, y) feeding two consumers must stay a separate instruction:
+  // fusing it into either would duplicate the multiply.
+  NumExprBuilder B;
+  NumId M = B.rawNode(NumOp::Mul, 0, B.dataRef(0), B.dataRef(1));
+  NumId Root = B.rawNode(NumOp::Add, 0,
+                         B.rawNode(NumOp::Add, 0, M, B.dataRef(0)), M);
+  Tape T(B, Root, {});
+  size_t Muls = 0;
+  for (size_t I = 0; I < T.size(); ++I)
+    Muls += T.instruction(I).Op == TapeOp::Mul;
+  EXPECT_EQ(Muls, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// ColumnCache unit tests.
+//===----------------------------------------------------------------------===//
+
+namespace {
+ColumnCache::ColumnPtr makeColumn(size_t N, double Fill) {
+  return std::make_shared<std::vector<double>>(N, Fill);
+}
+} // namespace
+
+TEST(ColumnCacheTest, LruEvictionUnderByteBudget) {
+  // Budget fits exactly two 256-row columns.
+  ColumnCache Cache(2 * 256 * sizeof(double));
+  SubtreeKey K1 = SubtreeKey::leaf(1, 0), K2 = SubtreeKey::leaf(2, 0),
+             K3 = SubtreeKey::leaf(3, 0);
+  Cache.insert(K1, 0, makeColumn(256, 1.0));
+  Cache.insert(K2, 0, makeColumn(256, 2.0));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.evictions(), 0u);
+
+  // Touch K1 so K2 becomes the LRU victim.
+  EXPECT_NE(Cache.lookup(K1, 0), nullptr);
+  Cache.insert(K3, 0, makeColumn(256, 3.0));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_NE(Cache.lookup(K1, 0), nullptr);
+  EXPECT_EQ(Cache.lookup(K2, 0), nullptr);
+  EXPECT_NE(Cache.lookup(K3, 0), nullptr);
+  EXPECT_LE(Cache.bytes(), Cache.byteBudget());
+}
+
+TEST(ColumnCacheTest, BlockIndexIsPartOfTheKey) {
+  ColumnCache Cache(size_t(1) << 20);
+  SubtreeKey K = SubtreeKey::leaf(7, 7);
+  Cache.insert(K, 0, makeColumn(16, 1.0));
+  Cache.insert(K, 256, makeColumn(16, 2.0));
+  auto B0 = Cache.lookup(K, 0);
+  auto B1 = Cache.lookup(K, 256);
+  ASSERT_NE(B0, nullptr);
+  ASSERT_NE(B1, nullptr);
+  EXPECT_DOUBLE_EQ((*B0)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*B1)[0], 2.0);
+  EXPECT_EQ(Cache.lookup(K, 512), nullptr);
+}
+
+TEST(ColumnCacheTest, ZeroBudgetDisablesCaching) {
+  ColumnCache Cache(0);
+  SubtreeKey K = SubtreeKey::leaf(1, 1);
+  Cache.insert(K, 0, makeColumn(8, 1.0));
+  EXPECT_EQ(Cache.lookup(K, 0), nullptr);
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+TEST(ColumnCacheTest, EvictedColumnSurvivesWhilePinned) {
+  // An in-flight evaluation holding a ColumnPtr must keep its data
+  // valid even after the entry is evicted.
+  ColumnCache Cache(256 * sizeof(double));
+  SubtreeKey K1 = SubtreeKey::leaf(1, 0), K2 = SubtreeKey::leaf(2, 0);
+  Cache.insert(K1, 0, makeColumn(256, 42.0));
+  ColumnCache::ColumnPtr Pinned = Cache.lookup(K1, 0);
+  ASSERT_NE(Pinned, nullptr);
+  Cache.insert(K2, 0, makeColumn(256, 7.0)); // Evicts K1.
+  EXPECT_EQ(Cache.lookup(K1, 0), nullptr);
+  EXPECT_DOUBLE_EQ((*Pinned)[0], 42.0);
+}
+
+TEST(ColumnCacheTest, CountersTrackProbesAndHitRate) {
+  ColumnCache Cache(size_t(1) << 20);
+  SubtreeKey K = SubtreeKey::leaf(9, 9);
+  EXPECT_EQ(Cache.lookup(K, 0), nullptr); // Miss.
+  Cache.insert(K, 0, makeColumn(8, 1.0));
+  EXPECT_NE(Cache.lookup(K, 0), nullptr); // Hit.
+  EXPECT_NE(Cache.lookup(K, 0), nullptr); // Hit.
+  EXPECT_EQ(Cache.hits(), 2u);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.inserts(), 1u);
+  EXPECT_NEAR(Cache.hitRate(), 2.0 / 3.0, 1e-12);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.hits(), 2u); // Counters survive clear().
+}
+
+TEST(ColumnCacheTest, AdmitsOnlyOnSecondTouch) {
+  ColumnCache Cache(size_t(1) << 20);
+  SubtreeKey K1 = SubtreeKey::leaf(1, 1);
+  SubtreeKey K2 = SubtreeKey::leaf(2, 2);
+  EXPECT_FALSE(Cache.admit(K1, 0)); // First encounter: record, reject.
+  EXPECT_TRUE(Cache.admit(K1, 0));  // Second encounter: admit.
+  EXPECT_TRUE(Cache.admit(K1, 0));  // Stays admitted.
+  EXPECT_FALSE(Cache.admit(K1, 256)); // Another block is another entry.
+  EXPECT_FALSE(Cache.admit(K2, 0));
+  Cache.clear(); // Drops the fingerprints too.
+  EXPECT_FALSE(Cache.admit(K1, 0));
+
+  ColumnCache Disabled(0);
+  EXPECT_FALSE(Disabled.admit(K1, 0)); // Budget 0: caching is off.
+  EXPECT_FALSE(Disabled.admit(K1, 0));
+}

@@ -12,8 +12,9 @@ TEST(TapeTest, EvaluatesSimpleExpression) {
   NumExprBuilder B;
   NumId Root = B.add(B.mul(B.dataRef(0), B.constant(2.0)), B.constant(1.0));
   Tape T(B, Root);
-  EXPECT_DOUBLE_EQ(T.eval({3.0}), 7.0);
-  EXPECT_DOUBLE_EQ(T.eval({-1.0}), -1.0);
+  std::vector<double> Scratch;
+  EXPECT_DOUBLE_EQ(T.eval({3.0}, Scratch), 7.0);
+  EXPECT_DOUBLE_EQ(T.eval({-1.0}, Scratch), -1.0);
 }
 
 TEST(TapeTest, MatchesBuilderEvalOnRandomDags) {
@@ -51,8 +52,9 @@ TEST(TapeTest, MatchesBuilderEvalOnRandomDags) {
     }
     NumId Root = Pool.back();
     Tape T(B, Root);
+    std::vector<double> Scratch;
     std::vector<double> Row = {R.uniform(-3, 3), R.uniform(-3, 3)};
-    EXPECT_NEAR(T.eval(Row), B.eval(Root, Row), 1e-12);
+    EXPECT_NEAR(T.eval(Row, Scratch), B.eval(Root, Row), 1e-12);
   }
 }
 
@@ -63,8 +65,9 @@ TEST(TapeTest, PrunesUnreachableNodes) {
     B.add(B.dataRef(0), B.constant(double(I) + 0.5));
   NumId Root = B.mul(B.dataRef(1), B.constant(3.0));
   Tape T(B, Root);
+  std::vector<double> Scratch;
   EXPECT_LT(T.size(), 10u);
-  EXPECT_DOUBLE_EQ(T.eval({0.0, 2.0}), 6.0);
+  EXPECT_DOUBLE_EQ(T.eval({0.0, 2.0}, Scratch), 6.0);
 }
 
 TEST(TapeTest, SharedSubexpressionsEvaluatedOnce) {
@@ -74,8 +77,9 @@ TEST(TapeTest, SharedSubexpressionsEvaluatedOnce) {
   Tape T(B, Root);
   // data^2 appears once in the tape thanks to hash consing: nodes are
   // {data, mul, add}.
+  std::vector<double> Scratch;
   EXPECT_EQ(T.size(), 3u);
-  EXPECT_DOUBLE_EQ(T.eval({3.0}), 18.0);
+  EXPECT_DOUBLE_EQ(T.eval({3.0}, Scratch), 18.0);
 }
 
 TEST(TapeTest, ScratchReuseGivesSameResults) {
@@ -95,6 +99,7 @@ TEST(TapeTest, ConstantRootTape) {
   NumExprBuilder B;
   NumId Root = B.constant(42.0);
   Tape T(B, Root);
+  std::vector<double> Scratch;
   EXPECT_EQ(T.size(), 1u);
-  EXPECT_DOUBLE_EQ(T.eval({}), 42.0);
+  EXPECT_DOUBLE_EQ(T.eval({}, Scratch), 42.0);
 }

@@ -1,0 +1,295 @@
+//===- tests/symbolic/SimplifyTest.cpp - NumExpr simplifier unit tests ----===//
+//
+// Per-rule checks of the IEEE-exactness contract (Simplify.h): every
+// default-mode rewrite must be bitwise result-preserving for every
+// input, including NaN, ±Inf and ±0; rules that cannot guarantee that
+// must not fire.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/Simplify.h"
+
+#include "support/Rng.h"
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <limits>
+
+using namespace psketch;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+const double NaN = std::numeric_limits<double>::quiet_NaN();
+
+uint64_t bits(double X) {
+  uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  return B;
+}
+
+/// Bitwise equality with the documented NaN tolerance: non-NaN results
+/// must match exactly (including the sign of zero); NaN results must
+/// both be NaN (sign/payload may differ across operand reorderings).
+::testing::AssertionResult sameValue(double X, double Y) {
+  if (std::isnan(X) && std::isnan(Y))
+    return ::testing::AssertionSuccess();
+  if (bits(X) == bits(Y))
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << X << " (0x" << std::hex << bits(X) << ") vs " << Y << " (0x"
+         << bits(Y) << ")";
+}
+
+} // namespace
+
+TEST(SimplifyTest, DoubleNegationCancels) {
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Neg, 0, B.rawNode(NumOp::Neg, 0, X, 0), 0);
+  SimplifyStats Stats;
+  NumId S = simplifyNumExpr(B, Root, {}, &Stats);
+  EXPECT_EQ(S, X);
+  EXPECT_EQ(Stats.NodesIn, 3u);
+  EXPECT_EQ(Stats.NodesOut, 1u);
+  EXPECT_GE(Stats.Rewrites, 1u);
+}
+
+TEST(SimplifyTest, NegFeedingAddBecomesSub) {
+  NumExprBuilder B;
+  NumId A = B.dataRef(0), C = B.dataRef(1);
+  // a + neg(b)  ->  a - b (IEEE defines subtraction that way).
+  NumId Root =
+      B.rawNode(NumOp::Add, 0, A, B.rawNode(NumOp::Neg, 0, C, 0));
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Sub);
+  for (double X : {1.5, -0.0, 0.0, Inf, -Inf, NaN})
+    for (double Y : {2.25, -0.0, 0.0, Inf, -Inf, NaN})
+      EXPECT_TRUE(sameValue(B.eval(S, {X, Y}), B.eval(Root, {X, Y})))
+          << "x=" << X << " y=" << Y;
+}
+
+TEST(SimplifyTest, NegOnLeftOfAddCommutesIntoSub) {
+  NumExprBuilder B;
+  NumId A = B.dataRef(0), C = B.dataRef(1);
+  // neg(a) + b  ->  b - a; addition commutes value-exactly.
+  NumId Root =
+      B.rawNode(NumOp::Add, 0, B.rawNode(NumOp::Neg, 0, A, 0), C);
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Sub);
+  for (double X : {1.5, 0.0, -0.0, Inf, -Inf, NaN})
+    for (double Y : {0.5, 0.0, -0.0, Inf, -Inf, NaN})
+      EXPECT_TRUE(sameValue(B.eval(S, {X, Y}), B.eval(Root, {X, Y})));
+}
+
+TEST(SimplifyTest, SubOfNegBecomesAdd) {
+  NumExprBuilder B;
+  NumId A = B.dataRef(0), C = B.dataRef(1);
+  NumId Root =
+      B.rawNode(NumOp::Sub, 0, A, B.rawNode(NumOp::Neg, 0, C, 0));
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Add);
+  for (double X : {1.5, 0.0, -0.0, Inf, -Inf, NaN})
+    for (double Y : {0.5, 0.0, -0.0, Inf, -Inf, NaN})
+      EXPECT_TRUE(sameValue(B.eval(S, {X, Y}), B.eval(Root, {X, Y})));
+}
+
+TEST(SimplifyTest, MulByOneDropsForEveryValue) {
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Mul, 0, X, B.constant(1.0));
+  EXPECT_EQ(simplifyNumExpr(B, Root), X);
+  NumId RootL = B.rawNode(NumOp::Mul, 0, B.constant(1.0), X);
+  EXPECT_EQ(simplifyNumExpr(B, RootL), X);
+  NumId RootD = B.rawNode(NumOp::Div, 0, X, B.constant(1.0));
+  EXPECT_EQ(simplifyNumExpr(B, RootD), X);
+}
+
+TEST(SimplifyTest, MulByZeroIsNotRewritten) {
+  // x * 0 is NOT identically 0: Inf * 0 and NaN * 0 are NaN, and
+  // (-5) * 0 is -0.  The rule must not fire.
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Mul, 0, X, B.constant(0.0));
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Mul);
+  for (double V : {3.0, -5.0, Inf, -Inf, NaN})
+    EXPECT_TRUE(sameValue(B.eval(S, {V}), B.eval(Root, {V})));
+}
+
+TEST(SimplifyTest, AddNegativeZeroDropsAlways) {
+  // x + (-0) == x for every x, including x == -0 and x == NaN.
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Add, 0, X, B.constant(-0.0));
+  EXPECT_EQ(simplifyNumExpr(B, Root), X);
+}
+
+TEST(SimplifyTest, AddPositiveZeroKeptWhenOperandMayBeNegZero) {
+  // (-0) + (+0) is +0, so x + 0 -> x would flip the sign of zero when
+  // x evaluates to -0.  A bare data reference can be -0.
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Add, 0, X, B.constant(0.0));
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Add);
+  EXPECT_TRUE(sameValue(B.eval(S, {-0.0}), 0.0));
+  EXPECT_FALSE(std::signbit(B.eval(S, {-0.0})));
+}
+
+TEST(SimplifyTest, AddPositiveZeroDropsWhenOperandNeverNegZero) {
+  // abs(x) is never -0 (fabs clears the sign bit), so the identity is
+  // exact there.
+  NumExprBuilder B;
+  NumId A = B.rawNode(NumOp::Abs, 0, B.dataRef(0), 0);
+  NumId Root = B.rawNode(NumOp::Add, 0, A, B.constant(0.0));
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Abs);
+}
+
+TEST(SimplifyTest, SubPositiveZeroDropsAlways) {
+  // x - (+0) == x for every x including -0 (IEEE: -0 - +0 = -0).
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Sub, 0, X, B.constant(0.0));
+  EXPECT_EQ(simplifyNumExpr(B, Root), X);
+}
+
+TEST(SimplifyTest, SubNegativeZeroKeptWhenOperandMayBeNegZero) {
+  // (-0) - (-0) is +0, so x - (-0) -> x is wrong when x can be -0.
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Sub, 0, X, B.constant(-0.0));
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Sub);
+  EXPECT_FALSE(std::signbit(B.eval(S, {-0.0})));
+}
+
+TEST(SimplifyTest, SubOfEqualOperandsIsNotRewritten) {
+  // x - x is NaN for x = Inf and NaN, not 0.
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Sub, 0, X, X);
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Sub);
+  EXPECT_TRUE(std::isnan(B.eval(S, {Inf})));
+}
+
+TEST(SimplifyTest, ConstantsFold) {
+  NumExprBuilder B;
+  NumId Root =
+      B.rawNode(NumOp::Mul, 0, B.constant(3.0),
+                B.rawNode(NumOp::Add, 0, B.constant(1.5), B.constant(2.5)));
+  NumId S = simplifyNumExpr(B, Root);
+  ASSERT_EQ(B.node(S).Op, NumOp::Const);
+  EXPECT_DOUBLE_EQ(B.node(S).Value, 12.0);
+}
+
+TEST(SimplifyTest, NegatedOperandsOfMulCancel) {
+  NumExprBuilder B;
+  NumId A = B.dataRef(0), C = B.dataRef(1);
+  NumId Root = B.rawNode(NumOp::Mul, 0, B.rawNode(NumOp::Neg, 0, A, 0),
+                         B.rawNode(NumOp::Neg, 0, C, 0));
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Mul);
+  EXPECT_EQ(B.node(S).A, A);
+  EXPECT_EQ(B.node(S).B, C);
+  for (double X : {2.0, -0.0, Inf, NaN})
+    for (double Y : {-3.0, 0.0, -Inf, NaN})
+      EXPECT_TRUE(sameValue(B.eval(S, {X, Y}), B.eval(Root, {X, Y})));
+}
+
+TEST(SimplifyTest, MaxMinOfEqualOperandsCollapse) {
+  NumExprBuilder B;
+  NumId X = B.rawNode(NumOp::Mul, 0, B.dataRef(0), B.dataRef(1));
+  EXPECT_EQ(simplifyNumExpr(B, B.rawNode(NumOp::Max, 0, X, X)), X);
+  EXPECT_EQ(simplifyNumExpr(B, B.rawNode(NumOp::Min, 0, X, X)), X);
+}
+
+TEST(SimplifyTest, EqOfEqualOperandsIsNotRewritten) {
+  // eq(x, x) is 0, not 1, when x is NaN.
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root = B.rawNode(NumOp::Eq, 0, X, X);
+  NumId S = simplifyNumExpr(B, Root);
+  EXPECT_EQ(B.node(S).Op, NumOp::Eq);
+  EXPECT_DOUBLE_EQ(B.eval(S, {NaN}), 0.0);
+}
+
+TEST(SimplifyTest, AbsOfNegAndAbsOfAbs) {
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId AbsNeg =
+      B.rawNode(NumOp::Abs, 0, B.rawNode(NumOp::Neg, 0, X, 0), 0);
+  NumId S = simplifyNumExpr(B, AbsNeg);
+  EXPECT_EQ(B.node(S).Op, NumOp::Abs);
+  EXPECT_EQ(B.node(S).A, X);
+  NumId AbsAbs = B.rawNode(NumOp::Abs, 0, S, 0);
+  EXPECT_EQ(simplifyNumExpr(B, AbsAbs), S);
+}
+
+TEST(SimplifyTest, LogExpInverseOnlyInFastMath) {
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  NumId Root =
+      B.rawNode(NumOp::Log, 0, B.rawNode(NumOp::Exp, 0, X, 0), 0);
+  // Default: log(exp x) can differ from x by a rounding, so no rewrite.
+  EXPECT_EQ(B.node(simplifyNumExpr(B, Root)).Op, NumOp::Log);
+  SimplifyOptions Fast;
+  Fast.FastMath = true;
+  EXPECT_EQ(simplifyNumExpr(B, Root, Fast), X);
+}
+
+TEST(SimplifyTest, CascadedRewritesReachFixpointBottomUp) {
+  NumExprBuilder B;
+  NumId X = B.dataRef(0);
+  // neg(neg(x)) * 1 + (-0)  ->  x, through three distinct rules.
+  NumId Inner = B.rawNode(NumOp::Neg, 0, B.rawNode(NumOp::Neg, 0, X, 0), 0);
+  NumId Root = B.rawNode(
+      NumOp::Add, 0, B.rawNode(NumOp::Mul, 0, Inner, B.constant(1.0)),
+      B.constant(-0.0));
+  EXPECT_EQ(simplifyNumExpr(B, Root), X);
+}
+
+TEST(SimplifyTest, LiveNodeCountIgnoresDeadNodes) {
+  NumExprBuilder B;
+  for (int I = 0; I < 20; ++I)
+    B.rawNode(NumOp::Add, 0, B.dataRef(0), B.constant(double(I) + 0.5));
+  NumId Root = B.rawNode(NumOp::Mul, 0, B.dataRef(1), B.dataRef(0));
+  EXPECT_EQ(liveNodeCount(B, Root), 3u);
+}
+
+TEST(SimplifyTest, RandomUnfoldedDagsPreserveValuesBitwise) {
+  // Differential fuzz at the DAG level: random expressions built with
+  // rawNode (so factory folding cannot pre-empt the pass), evaluated on
+  // rows mixing ordinary values with NaN/Inf/±0.
+  Rng R(2024);
+  const double Specials[] = {0.0, -0.0, 1.0,  -1.0, 0.5,
+                             Inf, -Inf, NaN,  3.25, -2.5};
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    NumExprBuilder B;
+    std::vector<NumId> Pool = {B.dataRef(0), B.dataRef(1),
+                               B.constant(Specials[R.index(10)]),
+                               B.constant(1.0), B.constant(0.0),
+                               B.constant(-0.0)};
+    for (int I = 0; I < 40; ++I) {
+      NumId A = Pool[R.index(Pool.size())];
+      NumId C = Pool[R.index(Pool.size())];
+      NumOp Op = NumOp(2 + R.index(14)); // Add .. Eq.
+      Pool.push_back(numOpIsBinary(Op) ? B.rawNode(Op, 0, A, C)
+                                       : B.rawNode(Op, 0, A, 0));
+    }
+    NumId Root = Pool.back();
+    SimplifyStats Stats;
+    NumId S = simplifyNumExpr(B, Root, {}, &Stats);
+    EXPECT_LE(Stats.NodesOut, Stats.NodesIn);
+    for (int Row = 0; Row < 12; ++Row) {
+      std::vector<double> Data = {Specials[R.index(10)],
+                                  Specials[R.index(10)]};
+      EXPECT_TRUE(sameValue(B.eval(S, Data), B.eval(Root, Data)))
+          << "trial " << Trial << " row {" << Data[0] << ", " << Data[1]
+          << "}: " << B.str(Root) << "  =>  " << B.str(S);
+    }
+  }
+}

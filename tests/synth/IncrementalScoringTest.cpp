@@ -1,0 +1,176 @@
+//===- tests/synth/IncrementalScoringTest.cpp - Optimization neutrality ---===//
+//
+// The likelihood-pipeline optimizations (DESIGN.md §9) — the NumExpr
+// simplifier, tape superinstruction fusion and column-cache incremental
+// scoring — are all bit-exact in default mode, so a full MH run must
+// produce *identical* results with any combination of them switched
+// off: same best score to the last bit, same accept/score counters
+// (the walk visited the same states), same synthesized program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "ast/ASTPrinter.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+// A two-variable target so candidate likelihoods have non-trivial DAGs
+// with shared structure across hole-local proposals.
+const char *Target = R"(
+program T() {
+  x: real;
+  y: real;
+  x ~ Gaussian(3.0, 1.5);
+  y ~ Gaussian(x, 0.5);
+  return x, y;
+}
+)";
+
+const char *SketchSrc = R"(
+program S() {
+  x: real;
+  y: real;
+  x = ??;
+  y ~ Gaussian(x, 0.5);
+  return x, y;
+}
+)";
+
+struct Toggles {
+  bool Incremental = true;
+  bool Simplify = true;
+  bool Fuse = true;
+};
+
+SynthesisResult runWith(const Dataset &Data, const Toggles &T) {
+  auto Sketch = parseP(SketchSrc);
+  SynthesisConfig Config;
+  Config.Iterations = 300;
+  Config.Chains = 2;
+  Config.Seed = 17;
+  Config.Incremental = T.Incremental;
+  Config.Likelihood.Simplify = T.Simplify;
+  Config.Likelihood.Tape.Fuse = T.Fuse;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  EXPECT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  return Synth.run();
+}
+
+void expectSameWalk(const SynthesisResult &A, const SynthesisResult &B) {
+  ASSERT_TRUE(A.Succeeded && B.Succeeded);
+  // Bitwise, not approximate: any drift would mean an optimization
+  // changed a score and the walks diverged.
+  EXPECT_EQ(A.BestLogLikelihood, B.BestLogLikelihood);
+  EXPECT_EQ(toString(*A.BestProgram), toString(*B.BestProgram));
+  EXPECT_EQ(A.Stats.Proposed, B.Stats.Proposed);
+  EXPECT_EQ(A.Stats.Accepted, B.Stats.Accepted);
+  EXPECT_EQ(A.Stats.Invalid, B.Stats.Invalid);
+  EXPECT_EQ(A.Stats.Scored, B.Stats.Scored);
+  EXPECT_EQ(A.Stats.CacheHits, B.Stats.CacheHits);
+}
+
+} // namespace
+
+TEST(IncrementalScoringTest, IncrementalScoringIsResultNeutral) {
+  Dataset Data = makeData(Target, 150, 7);
+  SynthesisResult On = runWith(Data, {true, true, true});
+  SynthesisResult Off = runWith(Data, {false, true, true});
+  expectSameWalk(On, Off);
+  // The incremental run really exercised the cache; the plain run
+  // never touched one.
+  EXPECT_GT(On.Stats.ColCacheHits, 0u);
+  EXPECT_GT(On.Stats.colCacheHitRate(), 0.0);
+  EXPECT_EQ(Off.Stats.ColCacheHits, 0u);
+  EXPECT_EQ(Off.Stats.ColCacheMisses, 0u);
+}
+
+TEST(IncrementalScoringTest, SimplifierAndFusionAreResultNeutral) {
+  Dataset Data = makeData(Target, 150, 8);
+  SynthesisResult AllOn = runWith(Data, {true, true, true});
+  SynthesisResult NoSimp = runWith(Data, {true, false, true});
+  SynthesisResult NoFuse = runWith(Data, {true, true, false});
+  SynthesisResult AllOff = runWith(Data, {false, false, false});
+  expectSameWalk(AllOn, NoSimp);
+  expectSameWalk(AllOn, NoFuse);
+  expectSameWalk(AllOn, AllOff);
+}
+
+TEST(IncrementalScoringTest, TapeTelemetryReflectsOptimizations) {
+  Dataset Data = makeData(Target, 100, 9);
+  SynthesisResult On = runWith(Data, {true, true, true});
+  ASSERT_TRUE(On.Succeeded);
+  // Raw counts are pre-simplifier, final counts post-simplify+fusion.
+  EXPECT_GT(On.Stats.TapeRawIns, 0u);
+  EXPECT_GT(On.Stats.TapeFinalIns, 0u);
+  EXPECT_LE(On.Stats.TapeFinalIns, On.Stats.TapeRawIns);
+  EXPECT_GT(On.Stats.TapeFused, 0u);
+
+  SynthesisResult NoFuse = runWith(Data, {true, true, false});
+  EXPECT_EQ(NoFuse.Stats.TapeFused, 0u);
+}
+
+TEST(IncrementalScoringTest, ColumnCacheSurvivesTinyBudget) {
+  // A 1 MB budget forces constant eviction on 150-row candidates with
+  // many subtrees; results must still match the unbounded run exactly.
+  Dataset Data = makeData(Target, 150, 10);
+  auto Run = [&](size_t Bytes) {
+    auto Sketch = parseP(SketchSrc);
+    SynthesisConfig Config;
+    Config.Iterations = 200;
+    Config.Chains = 1;
+    Config.Seed = 21;
+    Config.ColumnCacheBytes = Bytes;
+    Synthesizer Synth(*Sketch, {}, Data, Config);
+    EXPECT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+    return Synth.run();
+  };
+  SynthesisResult Big = Run(size_t(32) << 20);
+  SynthesisResult Tiny = Run(size_t(16) << 10);
+  expectSameWalk(Big, Tiny);
+  EXPECT_GT(Tiny.Stats.ColCacheEvictions, Big.Stats.ColCacheEvictions);
+}
+
+TEST(IncrementalScoringTest, MetricsExportColumnCacheAndTapeCounters) {
+  Dataset Data = makeData(Target, 100, 11);
+  auto Sketch = parseP(SketchSrc);
+  SynthesisConfig Config;
+  Config.Iterations = 200;
+  Config.Chains = 1;
+  Config.Seed = 5;
+  Config.Metrics = true;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  SynthesisResult R = Synth.run();
+  ASSERT_TRUE(R.Succeeded);
+  ASSERT_NE(R.Metrics, nullptr);
+  const std::string Json = R.Metrics->toJson();
+  EXPECT_NE(Json.find("synth.colcache.hits"), std::string::npos);
+  EXPECT_NE(Json.find("synth.colcache.hit_rate"), std::string::npos);
+  EXPECT_NE(Json.find("synth.tape.instructions"), std::string::npos);
+  EXPECT_NE(Json.find("synth.cache.evictions"), std::string::npos);
+}

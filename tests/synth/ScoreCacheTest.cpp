@@ -65,3 +65,15 @@ TEST(ScoreCacheTest, ZeroCapacityNeverStores) {
   EXPECT_EQ(C.size(), 0u);
   EXPECT_FALSE(C.lookup(1).has_value());
 }
+
+TEST(ScoreCacheTest, CountsEvictions) {
+  ScoreCache C(2);
+  C.insert(1, -1.0);
+  C.insert(2, -2.0);
+  EXPECT_EQ(C.evictions(), 0u);
+  C.insert(3, -3.0); // Evicts 1.
+  C.insert(4, -4.0); // Evicts 2.
+  EXPECT_EQ(C.evictions(), 2u);
+  C.insert(4, -5.0); // Refresh: no eviction.
+  EXPECT_EQ(C.evictions(), 2u);
+}

@@ -119,6 +119,33 @@ TEST(ToolOptionsTest, TelemetryFlagsDefaultOff) {
   EXPECT_FALSE(Opts.Progress);
 }
 
+TEST(ToolOptionsTest, TapeOptimizationFlagsParse) {
+  auto Opts = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv", "--no-incremental",
+       "--no-simplify", "--no-fuse", "--ffast-tape", "--column-cache-mb",
+       "64"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_TRUE(Opts.NoIncremental);
+  EXPECT_TRUE(Opts.NoSimplify);
+  EXPECT_TRUE(Opts.NoFuse);
+  EXPECT_TRUE(Opts.FastTape);
+  EXPECT_EQ(Opts.ColumnCacheMB, 64u);
+}
+
+TEST(ToolOptionsTest, TapeOptimizationFlagsDefaultOn) {
+  auto Opts = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_FALSE(Opts.NoIncremental);
+  EXPECT_FALSE(Opts.NoSimplify);
+  EXPECT_FALSE(Opts.NoFuse);
+  EXPECT_FALSE(Opts.FastTape);
+  EXPECT_EQ(Opts.ColumnCacheMB, 32u);
+  EXPECT_FALSE(ToolOptions::parse({"synth", "--sketch", "s", "--data",
+                                   "d", "--column-cache-mb", "x"})
+                   .valid());
+}
+
 TEST(ToolOptionsTest, TraceStatsRequiresTraceOnly) {
   // --trace is required, --program/--sketch is not.
   auto Opts = ToolOptions::parse({"trace-stats", "--trace", "t.jsonl"});
