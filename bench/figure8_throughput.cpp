@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 using namespace psketch;
@@ -264,6 +265,63 @@ int main() {
           .field("seed_best_ll", SeedLL)
           .field("new_best_ll", NewLL)
           .field("cache_hit_rate", NewStats.cacheHitRate())
+          .endObject();
+    }
+  }
+
+  // -- STATIC-REJECT pre-filter on vs off --------------------------------
+  // The abstract-interpretation pre-filter (DESIGN.md §10) rejects
+  // proposals with provably-invalid draw parameters before the lower /
+  // LL(.) / tape pipeline runs.  Its verdict defines domain validity in
+  // both modes, so the best score must be bit-identical; the flag only
+  // decides whether rejected proposals pay scoring cost first.
+  {
+    DiagEngine Diags;
+    const Benchmark *TS = findBenchmark("TrueSkill");
+    auto P = TS ? prepareBenchmark(*TS, Diags) : std::nullopt;
+    if (P) {
+      SynthesisConfig Base = TS->Synth;
+      Base.Iterations = Quick ? 200 : 1500;
+      Base.Chains = 4;
+      Base.Threads = 4;
+      SynthesisConfig OnCfg = Base;
+      OnCfg.StaticAnalysis = true;
+      SynthesisConfig OffCfg = Base;
+      OffCfg.StaticAnalysis = false;
+
+      double OnLL = 0, OffLL = 0;
+      SynthesisStats OnStats =
+          trueSkillSynthStats(*P, OnCfg, /*Rowwise=*/false, OnLL);
+      SynthesisStats OffStats =
+          trueSkillSynthStats(*P, OffCfg, /*Rowwise=*/false, OffLL);
+      double RejectRate =
+          OnStats.Proposed
+              ? double(OnStats.InvalidStatic) / double(OnStats.Proposed)
+              : 0;
+      bool BitIdentical = std::memcmp(&OnLL, &OffLL, sizeof(double)) == 0;
+
+      std::printf("\nTrueSkill STATIC-REJECT pre-filter (%u iterations x "
+                  "%u chains):\n\n",
+                  Base.Iterations, Base.Chains);
+      std::printf("  on : %.0f candidates/100s, %u of %u proposals "
+                  "statically rejected (%.1f%%), best LL %.2f\n",
+                  OnStats.candidatesPer100Sec(), OnStats.InvalidStatic,
+                  OnStats.Proposed, RejectRate * 100.0, OnLL);
+      std::printf("  off: %.0f candidates/100s, best LL %.2f\n",
+                  OffStats.candidatesPer100Sec(), OffLL);
+      std::printf("  best LL bit-identical: %s\n",
+                  BitIdentical ? "yes" : "NO (BUG)");
+      W.beginObject("trueskill_static_reject")
+          .field("iterations", uint64_t(Base.Iterations))
+          .field("chains", uint64_t(Base.Chains))
+          .field("proposed", uint64_t(OnStats.Proposed))
+          .field("static_rejects", uint64_t(OnStats.InvalidStatic))
+          .field("static_reject_rate", RejectRate)
+          .field("on_per_100s", OnStats.candidatesPer100Sec())
+          .field("off_per_100s", OffStats.candidatesPer100Sec())
+          .field("best_ll_on", OnLL)
+          .field("best_ll_off", OffLL)
+          .field("best_ll_bit_identical", BitIdentical)
           .endObject();
     }
   }

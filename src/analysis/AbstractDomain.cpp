@@ -1,0 +1,533 @@
+//===- analysis/AbstractDomain.cpp - Interval x sign x NaN domain --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractDomain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// Round an interval endpoint outward by one ulp.  The concrete
+/// evaluators use round-to-nearest double arithmetic, under which +, -
+/// and * are monotone, so corner-point endpoint arithmetic is already
+/// sound; the extra ulp keeps the guarantee under FMA contraction
+/// (--ffast-tape) and any future reassociation in the simplifier.
+double ulpDown(double X) { return X == -Inf ? X : std::nextafter(X, -Inf); }
+double ulpUp(double X) { return X == Inf ? X : std::nextafter(X, Inf); }
+
+/// Sign values as subsets of {negative, zero, positive}.
+constexpr unsigned MaskNeg = 1, MaskZero = 2, MaskPos = 4;
+
+unsigned signMask(Sign S) {
+  switch (S) {
+  case Sign::Bottom:
+    return 0;
+  case Sign::Neg:
+    return MaskNeg;
+  case Sign::Zero:
+    return MaskZero;
+  case Sign::Pos:
+    return MaskPos;
+  case Sign::NonPos:
+    return MaskNeg | MaskZero;
+  case Sign::NonZero:
+    return MaskNeg | MaskPos;
+  case Sign::NonNeg:
+    return MaskZero | MaskPos;
+  case Sign::Top:
+    return MaskNeg | MaskZero | MaskPos;
+  }
+  return MaskNeg | MaskZero | MaskPos;
+}
+
+Sign maskSign(unsigned M) {
+  static constexpr Sign Table[8] = {Sign::Bottom, Sign::Neg,    Sign::Zero,
+                                    Sign::NonPos, Sign::Pos,    Sign::NonZero,
+                                    Sign::NonNeg, Sign::Top};
+  return Table[M & 7u];
+}
+
+unsigned intervalMask(double Lo, double Hi) {
+  if (Lo > Hi)
+    return 0;
+  unsigned M = 0;
+  if (Lo < 0)
+    M |= MaskNeg;
+  if (Lo <= 0 && Hi >= 0)
+    M |= MaskZero;
+  if (Hi > 0)
+    M |= MaskPos;
+  return M;
+}
+
+bool mayBeInfinite(const AbstractValue &A) {
+  return !A.emptyRange() && (A.Lo == -Inf || A.Hi == Inf);
+}
+
+bool mayBeZero(const AbstractValue &A) {
+  return !A.emptyRange() && A.Lo <= 0 && A.Hi >= 0 &&
+         (signMask(A.Si) & MaskZero);
+}
+
+/// Endpoint addition that never manufactures NaN: an (-inf) + (+inf)
+/// endpoint pair means "unbounded on this side", so the result endpoint
+/// is the requested infinity.
+double safeAdd(double X, double Y, double IfIndeterminate) {
+  if (std::isinf(X) && std::isinf(Y) && X != Y)
+    return IfIndeterminate;
+  return X + Y;
+}
+
+/// Truth-view of an abstract value used as a condition.  The language
+/// types conditions as Bool (values are exactly 0 or 1), but the view is
+/// kept sound for any numeric value: nonzero and NaN both act as true
+/// under the concrete evaluators' `!= 0` tests.
+void truthiness(const AbstractValue &A, bool &CanBeFalse, bool &CanBeTrue) {
+  if (A.isBottom()) {
+    CanBeFalse = CanBeTrue = false;
+    return;
+  }
+  CanBeFalse = mayBeZero(A);
+  CanBeTrue = A.mayBeNaN() || (!A.emptyRange() && (A.Lo < 0 || A.Hi > 0));
+}
+
+} // namespace
+
+//===--- Sign lattice ------------------------------------------------------===//
+
+Sign psketch::joinSign(Sign A, Sign B) {
+  return maskSign(signMask(A) | signMask(B));
+}
+
+Sign psketch::meetSign(Sign A, Sign B) {
+  return maskSign(signMask(A) & signMask(B));
+}
+
+bool psketch::signContains(Sign S, double V) {
+  assert(!std::isnan(V) && "sign lattice only constrains non-NaN values");
+  unsigned M = signMask(S);
+  if (V < 0)
+    return M & MaskNeg;
+  if (V > 0)
+    return M & MaskPos;
+  return M & MaskZero;
+}
+
+const char *psketch::signName(Sign S) {
+  switch (S) {
+  case Sign::Bottom:
+    return "bottom";
+  case Sign::Neg:
+    return "neg";
+  case Sign::Zero:
+    return "zero";
+  case Sign::Pos:
+    return "pos";
+  case Sign::NonPos:
+    return "nonpos";
+  case Sign::NonZero:
+    return "nonzero";
+  case Sign::NonNeg:
+    return "nonneg";
+  case Sign::Top:
+    return "top";
+  }
+  return "top";
+}
+
+//===--- AbstractValue -----------------------------------------------------===//
+
+AbstractValue AbstractValue::topReal() { return {-Inf, Inf, Sign::Top, false}; }
+
+AbstractValue AbstractValue::topBool() { return {0, 1, Sign::NonNeg, true}; }
+
+AbstractValue AbstractValue::bottom() { return {Inf, -Inf, Sign::Bottom, true}; }
+
+AbstractValue AbstractValue::constant(double V) {
+  if (std::isnan(V))
+    return {Inf, -Inf, Sign::Bottom, false}; // NaN-only: empty range, may-NaN
+  AbstractValue A{V, V, Sign::Top, true};
+  return A.reduce();
+}
+
+AbstractValue AbstractValue::range(double Lo, double Hi) {
+  assert(Lo <= Hi && "range endpoints out of order");
+  AbstractValue A{Lo, Hi, Sign::Top, true};
+  return A.reduce();
+}
+
+AbstractValue AbstractValue::boolValue(bool CanBeFalse, bool CanBeTrue) {
+  if (!CanBeFalse && !CanBeTrue)
+    return bottom();
+  double Lo = CanBeFalse ? 0 : 1, Hi = CanBeTrue ? 1 : 0;
+  AbstractValue A{Lo, Hi, Sign::Top, true};
+  return A.reduce();
+}
+
+bool AbstractValue::contains(double V) const {
+  if (std::isnan(V))
+    return mayBeNaN();
+  return !emptyRange() && V >= Lo && V <= Hi && signContains(Si, V);
+}
+
+std::string AbstractValue::str() const {
+  if (isBottom())
+    return "bottom";
+  std::ostringstream OS;
+  if (emptyRange())
+    OS << "{}";
+  else
+    OS << "[" << Lo << ", " << Hi << "]";
+  if (Si != maskSign(intervalMask(Lo, Hi)))
+    OS << " " << signName(Si);
+  if (mayBeNaN())
+    OS << " nan?";
+  return OS.str();
+}
+
+AbstractValue AbstractValue::reduce() const {
+  AbstractValue R = *this;
+  unsigned M = signMask(R.Si) & intervalMask(R.Lo, R.Hi);
+  if (M == 0) {
+    // Empty interval: either bottom or a NaN-only value.
+    R.Lo = Inf;
+    R.Hi = -Inf;
+    R.Si = Sign::Bottom;
+    return R;
+  }
+  // Tighten the interval with the sign constraint.  The endpoints stay
+  // exact: when zero is excluded the closed double interval can step to
+  // the adjacent subnormal.
+  constexpr double Tiny = std::numeric_limits<double>::denorm_min();
+  if (!(M & MaskNeg) && R.Lo < 0)
+    R.Lo = (M & MaskZero) ? 0.0 : Tiny;
+  if (!(M & MaskPos) && R.Hi > 0)
+    R.Hi = (M & MaskZero) ? 0.0 : -Tiny;
+  if (!(M & MaskZero)) {
+    if (R.Lo == 0)
+      R.Lo = Tiny;
+    if (R.Hi == 0)
+      R.Hi = -Tiny;
+  }
+  if (R.Lo > R.Hi) { // sign and interval were jointly unsatisfiable
+    R.Lo = Inf;
+    R.Hi = -Inf;
+    R.Si = Sign::Bottom;
+    return R;
+  }
+  R.Si = maskSign(M & intervalMask(R.Lo, R.Hi));
+  return R;
+}
+
+//===--- Lattice operations ------------------------------------------------===//
+
+AbstractValue psketch::join(const AbstractValue &A, const AbstractValue &B) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  AbstractValue R;
+  R.NaNFree = A.NaNFree && B.NaNFree;
+  if (A.emptyRange()) {
+    R.Lo = B.Lo;
+    R.Hi = B.Hi;
+    R.Si = B.Si;
+  } else if (B.emptyRange()) {
+    R.Lo = A.Lo;
+    R.Hi = A.Hi;
+    R.Si = A.Si;
+  } else {
+    R.Lo = std::min(A.Lo, B.Lo);
+    R.Hi = std::max(A.Hi, B.Hi);
+    R.Si = joinSign(A.Si, B.Si);
+  }
+  return R.reduce();
+}
+
+AbstractValue psketch::widen(const AbstractValue &Prev,
+                             const AbstractValue &Next) {
+  if (Prev.isBottom())
+    return Next;
+  AbstractValue J = join(Prev, Next);
+  if (J.emptyRange())
+    return J;
+  AbstractValue R = J;
+  if (!Prev.emptyRange()) {
+    if (J.Lo < Prev.Lo)
+      R.Lo = -Inf;
+    if (J.Hi > Prev.Hi)
+      R.Hi = Inf;
+  } else {
+    R.Lo = -Inf;
+    R.Hi = Inf;
+  }
+  return R.reduce();
+}
+
+//===--- Transfer functions ------------------------------------------------===//
+
+AbstractValue psketch::absNeg(const AbstractValue &A) {
+  if (A.isBottom())
+    return A;
+  AbstractValue R;
+  R.NaNFree = A.NaNFree;
+  if (A.emptyRange()) {
+    R.Lo = Inf;
+    R.Hi = -Inf;
+    R.Si = Sign::Bottom;
+    return R;
+  }
+  R.Lo = -A.Hi; // exact: negation does not round
+  R.Hi = -A.Lo;
+  unsigned M = signMask(A.Si);
+  unsigned Flipped = (M & MaskZero);
+  if (M & MaskNeg)
+    Flipped |= MaskPos;
+  if (M & MaskPos)
+    Flipped |= MaskNeg;
+  R.Si = maskSign(Flipped);
+  return R.reduce();
+}
+
+AbstractValue psketch::absNot(const AbstractValue &A) {
+  bool CanBeFalse, CanBeTrue;
+  truthiness(A, CanBeFalse, CanBeTrue);
+  return AbstractValue::boolValue(/*CanBeFalse=*/CanBeTrue,
+                                  /*CanBeTrue=*/CanBeFalse);
+}
+
+AbstractValue psketch::absAdd(const AbstractValue &A, const AbstractValue &B) {
+  if (A.isBottom() || B.isBottom())
+    return AbstractValue::bottom();
+  AbstractValue R;
+  R.NaNFree = A.NaNFree && B.NaNFree;
+  if (A.emptyRange() || B.emptyRange()) { // NaN-only operand
+    R.Lo = Inf;
+    R.Hi = -Inf;
+    R.Si = Sign::Bottom;
+    return R;
+  }
+  // (+inf) + (-inf) is the one way addition manufactures NaN.
+  if ((A.Hi == Inf && B.Lo == -Inf) || (A.Lo == -Inf && B.Hi == Inf))
+    R.NaNFree = false;
+  R.Lo = ulpDown(safeAdd(A.Lo, B.Lo, -Inf));
+  R.Hi = ulpUp(safeAdd(A.Hi, B.Hi, Inf));
+  // Sign algebra: x > 0, y >= 0 implies fl(x + y) > 0 (no cancellation,
+  // rounding is monotone and sign-preserving for same-sign addends).
+  unsigned MA = signMask(A.Si), MB = signMask(B.Si), M = 0;
+  for (unsigned CA = 1; CA <= 4; CA <<= 1) {
+    if (!(MA & CA))
+      continue;
+    for (unsigned CB = 1; CB <= 4; CB <<= 1) {
+      if (!(MB & CB))
+        continue;
+      if (CA == MaskZero)
+        M |= CB;
+      else if (CB == MaskZero || CB == CA)
+        M |= CA;
+      else // opposite signs: anything can happen
+        M |= MaskNeg | MaskZero | MaskPos;
+    }
+  }
+  R.Si = maskSign(M);
+  return R.reduce();
+}
+
+AbstractValue psketch::absSub(const AbstractValue &A, const AbstractValue &B) {
+  return absAdd(A, absNeg(B));
+}
+
+AbstractValue psketch::absMul(const AbstractValue &A, const AbstractValue &B) {
+  if (A.isBottom() || B.isBottom())
+    return AbstractValue::bottom();
+  AbstractValue R;
+  R.NaNFree = A.NaNFree && B.NaNFree;
+  if (A.emptyRange() || B.emptyRange()) { // NaN-only operand
+    R.Lo = Inf;
+    R.Hi = -Inf;
+    R.Si = Sign::Bottom;
+    return R;
+  }
+  // 0 * inf is the one way multiplication manufactures NaN; when the
+  // corner products are indeterminate the interval collapses to top.
+  if ((mayBeZero(A) && mayBeInfinite(B)) || (mayBeZero(B) && mayBeInfinite(A)))
+    R.NaNFree = false;
+  double C[4] = {A.Lo * B.Lo, A.Lo * B.Hi, A.Hi * B.Lo, A.Hi * B.Hi};
+  double Lo = Inf, Hi = -Inf;
+  bool Indeterminate = false;
+  for (double P : C) {
+    if (std::isnan(P)) {
+      Indeterminate = true;
+      continue;
+    }
+    Lo = std::min(Lo, P);
+    Hi = std::max(Hi, P);
+  }
+  if (Indeterminate) {
+    Lo = -Inf;
+    Hi = Inf;
+  }
+  R.Lo = ulpDown(Lo);
+  R.Hi = ulpUp(Hi);
+  // Sign products; underflow can flush a product of nonzeros to zero, so
+  // zero joins whenever both factors may be nonzero.
+  unsigned MA = signMask(A.Si), MB = signMask(B.Si), M = 0;
+  if ((MA & MaskZero) || (MB & MaskZero))
+    M |= MaskZero;
+  if ((MA & (MaskNeg | MaskPos)) && (MB & (MaskNeg | MaskPos)))
+    M |= MaskZero; // underflow
+  if (((MA & MaskPos) && (MB & MaskPos)) || ((MA & MaskNeg) && (MB & MaskNeg)))
+    M |= MaskPos;
+  if (((MA & MaskPos) && (MB & MaskNeg)) || ((MA & MaskNeg) && (MB & MaskPos)))
+    M |= MaskNeg;
+  R.Si = maskSign(M);
+  return R.reduce();
+}
+
+AbstractValue psketch::absAnd(const AbstractValue &A, const AbstractValue &B) {
+  if (A.isBottom() || B.isBottom())
+    return AbstractValue::bottom();
+  bool AF, AT, BF, BT;
+  truthiness(A, AF, AT);
+  truthiness(B, BF, BT);
+  return AbstractValue::boolValue(AF || BF, AT && BT);
+}
+
+AbstractValue psketch::absOr(const AbstractValue &A, const AbstractValue &B) {
+  if (A.isBottom() || B.isBottom())
+    return AbstractValue::bottom();
+  bool AF, AT, BF, BT;
+  truthiness(A, AF, AT);
+  truthiness(B, BF, BT);
+  return AbstractValue::boolValue(AF && BF, AT || BT);
+}
+
+namespace {
+
+/// Shared comparison shape: NaN operands make every comparison false.
+AbstractValue compareResult(const AbstractValue &A, const AbstractValue &B,
+                            bool CanBeTrue, bool CanBeFalse) {
+  if (A.isBottom() || B.isBottom())
+    return AbstractValue::bottom();
+  if (A.mayBeNaN() || B.mayBeNaN())
+    CanBeFalse = true;
+  if (A.emptyRange() || B.emptyRange()) // NaN-only operand: always false
+    CanBeTrue = false;
+  return AbstractValue::boolValue(CanBeFalse, CanBeTrue);
+}
+
+} // namespace
+
+AbstractValue psketch::absGt(const AbstractValue &A, const AbstractValue &B) {
+  bool CanBeTrue = !A.emptyRange() && !B.emptyRange() && A.Hi > B.Lo;
+  bool CanBeFalse = !A.emptyRange() && !B.emptyRange() && A.Lo <= B.Hi;
+  return compareResult(A, B, CanBeTrue, CanBeFalse);
+}
+
+AbstractValue psketch::absLt(const AbstractValue &A, const AbstractValue &B) {
+  return absGt(B, A);
+}
+
+AbstractValue psketch::absEq(const AbstractValue &A, const AbstractValue &B) {
+  bool Overlap = !A.emptyRange() && !B.emptyRange() &&
+                 std::max(A.Lo, B.Lo) <= std::min(A.Hi, B.Hi) &&
+                 meetSign(A.Si, B.Si) != Sign::Bottom;
+  bool BothSameSingleton = A.isSingleton() && B.isSingleton() && A.Lo == B.Lo;
+  return compareResult(A, B, /*CanBeTrue=*/Overlap,
+                       /*CanBeFalse=*/!BothSameSingleton);
+}
+
+AbstractValue psketch::applyUnary(UnaryOp Op, const AbstractValue &A) {
+  switch (Op) {
+  case UnaryOp::Not:
+    return absNot(A);
+  case UnaryOp::Neg:
+    return absNeg(A);
+  }
+  return AbstractValue::topReal();
+}
+
+AbstractValue psketch::applyBinary(BinaryOp Op, const AbstractValue &A,
+                                   const AbstractValue &B) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return absAdd(A, B);
+  case BinaryOp::Sub:
+    return absSub(A, B);
+  case BinaryOp::Mul:
+    return absMul(A, B);
+  case BinaryOp::And:
+    return absAnd(A, B);
+  case BinaryOp::Or:
+    return absOr(A, B);
+  case BinaryOp::Gt:
+    return absGt(A, B);
+  case BinaryOp::Lt:
+    return absLt(A, B);
+  case BinaryOp::Eq:
+    return absEq(A, B);
+  }
+  return AbstractValue::topReal();
+}
+
+AbstractValue psketch::distResultRange(DistKind D) {
+  switch (D) {
+  case DistKind::Gaussian:
+    return AbstractValue::range(-Inf, Inf);
+  case DistKind::Bernoulli:
+    return AbstractValue::topBool();
+  case DistKind::Beta:
+    return AbstractValue::range(0, 1);
+  case DistKind::Gamma:
+  case DistKind::Poisson:
+    return AbstractValue::range(0, Inf);
+  }
+  return AbstractValue::topReal();
+}
+
+bool psketch::definitelyInvalidParam(DistKind D, unsigned ArgIdx,
+                                     const AbstractValue &V) {
+  // A may-be-NaN parameter is never definitely invalid: the runtime
+  // clamps NaN parameters into the valid domain, so the draw can still
+  // execute and score finite.
+  if (!V.NaNFree || V.isBottom())
+    return false;
+  switch (D) {
+  case DistKind::Gaussian:
+    return ArgIdx == 1 && V.definitelyLE(0); // sigma > 0
+  case DistKind::Bernoulli:
+    return V.definitelyLT(0) || V.definitelyGT(1); // p in [0, 1]
+  case DistKind::Beta:
+    return V.definitelyLE(0); // alpha, beta > 0
+  case DistKind::Gamma:
+    return V.definitelyLE(0); // shape, scale > 0
+  case DistKind::Poisson:
+    return V.definitelyLE(0); // rate > 0
+  }
+  return false;
+}
+
+const char *psketch::distParamName(DistKind D, unsigned ArgIdx) {
+  switch (D) {
+  case DistKind::Gaussian:
+    return ArgIdx == 0 ? "mean" : "sigma";
+  case DistKind::Bernoulli:
+    return "probability";
+  case DistKind::Beta:
+    return ArgIdx == 0 ? "alpha" : "beta";
+  case DistKind::Gamma:
+    return ArgIdx == 0 ? "shape" : "scale";
+  case DistKind::Poisson:
+    return "rate";
+  }
+  return "parameter";
+}

@@ -1,0 +1,169 @@
+//===- analysis/AbstractDomain.h - Interval x sign x NaN domain ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract value domain for the candidate analyzer and sketch linter:
+/// a reduced product of a closed floating-point interval, a sign lattice,
+/// and a definitely-NaN-free bit (DESIGN.md §10).
+///
+/// Every transfer function over-approximates the concrete IEEE-754
+/// semantics of the evaluators (interp and the likelihood executor):
+/// if a concrete run can produce value v at an expression, the abstract
+/// value computed for that expression contains v.  Interval endpoints of
+/// inexact arithmetic are widened outward by one ulp so the guarantee
+/// holds under any rounding mode the concrete evaluator uses.  NaN is
+/// tracked separately from the interval: `NaNFree == false` means the
+/// value may additionally be NaN.
+///
+/// Booleans are embedded as the interval {0, 1}: definitely-true is
+/// [1, 1], definitely-false is [0, 0].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_ABSTRACTDOMAIN_H
+#define PSKETCH_ANALYSIS_ABSTRACTDOMAIN_H
+
+#include "ast/Ops.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace psketch {
+
+/// Sign lattice: Bottom < {Neg, Zero, Pos} < {NonPos, NonZero, NonNeg} < Top.
+/// The sign component can carry strictness the closed interval cannot
+/// (e.g. "positive" when the interval is [0, 5] but 0 is excluded).
+enum class Sign : uint8_t {
+  Bottom,  ///< no value
+  Neg,     ///< < 0
+  Zero,    ///< == 0
+  Pos,     ///< > 0
+  NonPos,  ///< <= 0
+  NonZero, ///< != 0
+  NonNeg,  ///< >= 0
+  Top,     ///< any value
+};
+
+Sign joinSign(Sign A, Sign B);
+Sign meetSign(Sign A, Sign B);
+/// Does sign \p S admit the concrete value \p V (V must not be NaN)?
+bool signContains(Sign S, double V);
+const char *signName(Sign S);
+
+/// An abstract scalar: all concrete values lie in [Lo, Hi] (closed; the
+/// endpoints may be +-infinity), additionally constrained by Si, and the
+/// value may be NaN only when NaNFree is false.  Bottom (unreachable /
+/// no value) is represented by an empty interval with NaNFree set.
+struct AbstractValue {
+  double Lo = -std::numeric_limits<double>::infinity();
+  double Hi = std::numeric_limits<double>::infinity();
+  Sign Si = Sign::Top;
+  bool NaNFree = false;
+
+  //===--- Constructors ---------------------------------------------------===//
+
+  /// The unconstrained real value (may be NaN).
+  static AbstractValue topReal();
+  /// The unconstrained boolean: {0, 1}, never NaN.
+  static AbstractValue topBool();
+  /// The unreachable value.
+  static AbstractValue bottom();
+  /// The single concrete value \p V (NaN yields the maybe-NaN empty range).
+  static AbstractValue constant(double V);
+  /// All values in [\p Lo, \p Hi], never NaN.  Requires Lo <= Hi.
+  static AbstractValue range(double Lo, double Hi);
+  /// The abstract boolean covering \p CanBeFalse / \p CanBeTrue.
+  static AbstractValue boolValue(bool CanBeFalse, bool CanBeTrue);
+
+  //===--- Predicates -----------------------------------------------------===//
+
+  bool isBottom() const { return Lo > Hi && NaNFree; }
+  bool mayBeNaN() const { return !NaNFree; }
+  /// Interval part is empty (value is NaN-only or bottom).
+  bool emptyRange() const { return Lo > Hi; }
+  bool isSingleton() const { return NaNFree && Lo == Hi; }
+  /// Does the abstract value admit concrete \p V (NaN allowed)?
+  bool contains(double V) const;
+
+  /// Boolean-view predicates (for values known to be 0/1 embeddings).
+  bool definitelyTrue() const { return NaNFree && Lo == 1 && Hi == 1; }
+  bool definitelyFalse() const { return NaNFree && Lo == 0 && Hi == 0; }
+
+  /// Every admitted value is <= / < / >= / > \p Bound (false if the value
+  /// may be NaN: NaN satisfies no ordering).
+  bool definitelyLE(double Bound) const {
+    return NaNFree && !isBottom() && Hi <= Bound;
+  }
+  bool definitelyLT(double Bound) const {
+    return NaNFree && !isBottom() && Hi < Bound;
+  }
+  bool definitelyGE(double Bound) const {
+    return NaNFree && !isBottom() && Lo >= Bound;
+  }
+  bool definitelyGT(double Bound) const {
+    return NaNFree && !isBottom() && Lo > Bound;
+  }
+
+  bool operator==(const AbstractValue &O) const {
+    // Compare bitwise on endpoints so bottom representations unify via
+    // canonicalization in reduce(), not here.
+    return Lo == O.Lo && Hi == O.Hi && Si == O.Si && NaNFree == O.NaNFree &&
+           isBottom() == O.isBottom();
+  }
+  bool operator!=(const AbstractValue &O) const { return !(*this == O); }
+
+  /// "[lo, hi] sign nan?" rendering for diagnostics and tests.
+  std::string str() const;
+
+  /// Re-establish the reduced-product invariants: intersect the interval
+  /// with the sign constraint and recompute the sign from the interval.
+  AbstractValue reduce() const;
+};
+
+//===--- Lattice operations ------------------------------------------------===//
+
+AbstractValue join(const AbstractValue &A, const AbstractValue &B);
+/// Widening for loop fixpoints: unstable bounds jump to +-infinity.
+AbstractValue widen(const AbstractValue &Prev, const AbstractValue &Next);
+
+//===--- Transfer functions ------------------------------------------------===//
+
+AbstractValue absNeg(const AbstractValue &A);
+AbstractValue absNot(const AbstractValue &A);
+AbstractValue absAdd(const AbstractValue &A, const AbstractValue &B);
+AbstractValue absSub(const AbstractValue &A, const AbstractValue &B);
+AbstractValue absMul(const AbstractValue &A, const AbstractValue &B);
+AbstractValue absAnd(const AbstractValue &A, const AbstractValue &B);
+AbstractValue absOr(const AbstractValue &A, const AbstractValue &B);
+/// Comparisons mirror IEEE semantics: any comparison with NaN is false.
+AbstractValue absGt(const AbstractValue &A, const AbstractValue &B);
+AbstractValue absLt(const AbstractValue &A, const AbstractValue &B);
+AbstractValue absEq(const AbstractValue &A, const AbstractValue &B);
+
+AbstractValue applyUnary(UnaryOp Op, const AbstractValue &A);
+AbstractValue applyBinary(BinaryOp Op, const AbstractValue &A,
+                          const AbstractValue &B);
+
+/// Over-approximation of a draw's result given the runtime's
+/// parameter-clamping semantics (Gaussian results are any NaN-free real;
+/// Bernoulli is {0,1}; Beta is [0,1]; Gamma and Poisson are [0, inf)).
+AbstractValue distResultRange(DistKind D);
+
+/// Is parameter \p ArgIdx of distribution \p D *definitely* outside the
+/// distribution's valid domain for every concrete value \p V admits?
+/// This is the STATIC-REJECT rule: it holds only when V is NaN-free
+/// (the runtime clamps NaN parameters to valid defaults, so a may-be-NaN
+/// parameter can still score finite) and non-bottom.
+bool definitelyInvalidParam(DistKind D, unsigned ArgIdx,
+                            const AbstractValue &V);
+
+/// Human-readable name of parameter \p ArgIdx of \p D ("sigma", ...).
+const char *distParamName(DistKind D, unsigned ArgIdx);
+
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_ABSTRACTDOMAIN_H

@@ -1,0 +1,49 @@
+//===- analysis/CandidateAnalyzer.cpp - STATIC-REJECT candidate verdicts -===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CandidateAnalyzer.h"
+
+#include <sstream>
+
+using namespace psketch;
+
+std::string CandidateVerdict::str() const {
+  if (!Rejected)
+    return "accepted";
+  std::ostringstream OS;
+  OS << distKindName(Dist) << " " << distParamName(Dist, ArgIndex) << " in "
+     << Value.str() << " (must be " << distParamRequirement(Dist, ArgIndex)
+     << ")";
+  return OS.str();
+}
+
+CandidateVerdict
+CandidateAnalyzer::analyze(const std::vector<ExprPtr> &Completions) const {
+  AnalysisResult R = PA.analyzeCandidate(Completions);
+  CandidateVerdict V;
+  if (!R.Rejected)
+    return V;
+  V.Rejected = true;
+  V.Dist = R.RejectDist;
+  V.ArgIndex = R.RejectArg;
+  V.Loc = R.RejectSite ? R.RejectSite->getLoc() : SourceLoc();
+  V.Value = R.RejectValue;
+  return V;
+}
+
+const char *psketch::distParamRequirement(DistKind D, unsigned ArgIdx) {
+  switch (D) {
+  case DistKind::Gaussian:
+    return ArgIdx == 0 ? "any real" : "> 0";
+  case DistKind::Bernoulli:
+    return "in [0, 1]";
+  case DistKind::Beta:
+  case DistKind::Gamma:
+  case DistKind::Poisson:
+    return "> 0";
+  }
+  return "valid";
+}

@@ -1,0 +1,66 @@
+//===- analysis/CandidateAnalyzer.h - STATIC-REJECT candidate verdicts ---===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthesizer-facing face of the abstract interpreter: given a
+/// sketch, concrete input bindings and a hole-completion tuple, decide
+/// in microseconds whether the candidate is doomed — some reachable draw
+/// parameter is definitely outside its distribution's domain for every
+/// concrete execution — before the lower / LL(.) / simplify /
+/// tape-compile pipeline spends orders of magnitude more on it.
+///
+/// The verdict is the *definition* of domain validity for the
+/// synthesizer: with `--no-static-analysis` the same verdict is applied
+/// after scoring instead of before, so the accepted-candidate set, every
+/// trace event and every cached entry are bit-identical either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_CANDIDATEANALYZER_H
+#define PSKETCH_ANALYSIS_CANDIDATEANALYZER_H
+
+#include "analysis/ProgramAnalysis.h"
+
+namespace psketch {
+
+/// A STATIC-REJECT decision for one completion tuple.
+struct CandidateVerdict {
+  bool Rejected = false;
+  DistKind Dist = DistKind::Gaussian;
+  unsigned ArgIndex = 0;
+  SourceLoc Loc;
+  AbstractValue Value;
+
+  /// "Gaussian sigma in [-3, -1] (must be > 0)" — for logs and tests.
+  std::string str() const;
+};
+
+/// Shared, thread-safe analyzer bound to one sketch + input bindings
+/// (both must outlive it).  analyze() carries no mutable state, so a
+/// single instance serves all chains of a synthesis run.
+class CandidateAnalyzer {
+public:
+  CandidateAnalyzer(const Program &Sketch, const InputBindings &Inputs)
+      : PA(Sketch, &Inputs) {}
+
+  /// Verdict for \p Completions (indexed by hole id).  Early-outs on the
+  /// first definitely-invalid reachable draw parameter.
+  CandidateVerdict analyze(const std::vector<ExprPtr> &Completions) const;
+
+  /// The underlying interpreter (for the linter and the fuzz tests).
+  const ProgramAnalysis &programAnalysis() const { return PA; }
+
+private:
+  ProgramAnalysis PA;
+};
+
+/// The textual domain requirement of a distribution parameter, e.g.
+/// "> 0" for a Gaussian sigma or "in [0, 1]" for a Bernoulli p.
+const char *distParamRequirement(DistKind D, unsigned ArgIdx);
+
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_CANDIDATEANALYZER_H

@@ -1,0 +1,85 @@
+//===- analysis/Lint.cpp - Rule-based sketch and program linter ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/CandidateAnalyzer.h"
+
+#include <sstream>
+
+using namespace psketch;
+
+LintResult psketch::lintProgram(const Program &P, DiagEngine &Diags,
+                                const InputBindings *Inputs) {
+  LintResult R;
+  auto Error = [&](SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    ++R.Errors;
+  };
+  auto Warning = [&](SourceLoc Loc, const std::string &Msg) {
+    Diags.warning(Loc, Msg);
+    ++R.Warnings;
+  };
+
+  ProgramAnalysis PA(P, Inputs);
+  AnalysisResult Facts = PA.analyzeFull(/*Completions=*/nullptr);
+
+  // unbound-variable / unused-variable.
+  for (const VarFacts &V : Facts.Vars) {
+    if (V.ReadMaybeUnassigned) {
+      std::ostringstream OS;
+      OS << "variable '" << V.Name << "' is read before "
+         << (V.EverAssigned ? "it is assigned on every path"
+                            : "any assignment")
+         << " (unbound)";
+      Error(V.FirstBadRead, OS.str());
+    }
+    if (!V.EverRead)
+      Warning(SourceLoc(), "variable '" + V.Name + "' is never used");
+  }
+
+  // constant-observe.
+  for (const ObserveFacts &O : Facts.Observes) {
+    SourceLoc Loc = O.Site->getLoc().isValid() ? O.Site->getLoc()
+                                               : O.Site->getCond().getLoc();
+    if (O.Cond.definitelyTrue())
+      Warning(Loc, "observe condition is statically true; the observation "
+                   "never constrains a run");
+    else if (O.Cond.definitelyFalse())
+      Warning(Loc, "observe condition is statically false; every run is "
+                   "rejected");
+  }
+
+  // invalid-param-interval: the parameter is outside the distribution's
+  // domain no matter how the holes are completed (holes analyze as the
+  // top value of their kind here).
+  for (const DrawSiteFacts &D : Facts.Draws) {
+    for (unsigned I = 0; I != D.Params.size(); ++I) {
+      if (!definitelyInvalidParam(D.Dist, I, D.Params[I]))
+        continue;
+      std::ostringstream OS;
+      OS << distKindName(D.Dist) << " " << distParamName(D.Dist, I)
+         << " lies in " << D.Params[I].str() << " but must be "
+         << distParamRequirement(D.Dist, I)
+         << "; this draw is invalid for every completion";
+      Error(D.Site->getLoc(), OS.str());
+    }
+  }
+
+  // uncompletable-hole: the completion grammar generates real- and
+  // bool-kinded expressions only; a hole typed `int` (array index, loop
+  // bound, array size, int-variable assignment) can never be filled.
+  for (const HoleFacts &H : Facts.Holes) {
+    if (H.ExpectedKind != ScalarKind::Int)
+      continue;
+    std::ostringstream OS;
+    OS << "hole expects an int completion, which the completion grammar "
+       << "cannot produce; this hole is uncompletable";
+    Error(H.Site->getLoc(), OS.str());
+  }
+
+  return R;
+}

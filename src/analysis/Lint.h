@@ -1,0 +1,53 @@
+//===- analysis/Lint.h - Rule-based sketch and program linter ------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `psketch lint` rule set, built on the abstract interpreter's fact
+/// base.  Rules (diagnostics go through the DiagEngine with source
+/// locations):
+///
+///   unbound-variable        error    a variable is read at a point no
+///                                    assignment definitely dominates
+///   unused-variable         warning  a local is never read (and not
+///                                    returned)
+///   constant-observe        warning  an observe condition is statically
+///                                    true (vacuous) or false (rejects
+///                                    every run)
+///   invalid-param-interval  error    a draw parameter is outside its
+///                                    distribution's domain for every
+///                                    completion
+///   uncompletable-hole      error    a hole expects an `int` completion,
+///                                    which the completion grammar cannot
+///                                    produce (holes in array-index /
+///                                    loop-bound / array-size position)
+///
+/// The caller must have run typeCheck() on the program first (lint
+/// relies on hole expected-kind annotations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_LINT_H
+#define PSKETCH_ANALYSIS_LINT_H
+
+#include "analysis/ProgramAnalysis.h"
+#include "support/Diag.h"
+
+namespace psketch {
+
+struct LintResult {
+  unsigned Errors = 0;
+  unsigned Warnings = 0;
+};
+
+/// Runs every lint rule over \p P, reporting through \p Diags.
+/// \p Inputs may be null; binding the program's inputs tightens the
+/// draw-parameter intervals the invalid-param rule sees.
+LintResult lintProgram(const Program &P, DiagEngine &Diags,
+                       const InputBindings *Inputs = nullptr);
+
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_LINT_H

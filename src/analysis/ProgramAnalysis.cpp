@@ -1,0 +1,615 @@
+//===- analysis/ProgramAnalysis.cpp - Abstract interpreter over programs -===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProgramAnalysis.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+using namespace psketch;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// Rounds of a loop fixpoint before giving up (widening makes the
+/// iteration converge long before this; the cap is a defensive bound).
+constexpr unsigned MaxFixpointRounds = 16;
+
+/// One environment cell: a scalar variable, or the single summary cell
+/// of an array (weak updates, element reads join all written values).
+struct Cell {
+  AbstractValue Val = AbstractValue::bottom();
+  ScalarKind Kind = ScalarKind::Real;
+  bool IsArray = false;
+  bool IsLocal = false;
+  /// No assignment definitely dominates the current point.
+  bool MaybeUnassigned = true;
+  bool EverAssigned = false;
+  bool EverRead = false;
+  bool ReadMaybeUnassigned = false;
+  SourceLoc FirstBadRead;
+};
+
+using Env = std::unordered_map<std::string, Cell>;
+
+/// The per-run walker.  All state is local to one analysis call, so a
+/// shared ProgramAnalysis can run concurrently from many chains.
+struct Walker {
+  const Program &P;
+  const InputBindings *Inputs;
+  const std::vector<ExprPtr> *Completions;
+  bool Collect;
+  bool StopOnReject;
+
+  AnalysisResult Res;
+  Env E;
+  /// Formal values of the completion currently being evaluated (null
+  /// outside hole sites).
+  const std::vector<AbstractValue> *Formals = nullptr;
+  bool InCompletion = false;
+  /// A definitely-false observe was passed: no concrete run reaches the
+  /// current point, so draw-validity checks no longer apply.
+  bool Unreachable = false;
+  /// StopOnReject fired; unwinding.
+  bool Done = false;
+
+  std::unordered_map<const SampleExpr *, size_t> DrawIndex;
+  std::unordered_map<const ObserveStmt *, size_t> ObserveIndex;
+  std::unordered_map<const HoleExpr *, size_t> HoleIndex;
+
+  Walker(const Program &P, const InputBindings *Inputs,
+         const std::vector<ExprPtr> *Completions, bool Collect,
+         bool StopOnReject)
+      : P(P), Inputs(Inputs), Completions(Completions), Collect(Collect),
+        StopOnReject(StopOnReject) {}
+
+  //===--- Environment ----------------------------------------------------===//
+
+  AbstractValue inputValue(const Param &Pm) const {
+    const InputValue *IV = Inputs ? Inputs->find(Pm.Name) : nullptr;
+    if (!IV)
+      return topOfKind(Pm.Ty.Kind);
+    if (!IV->isArray())
+      return AbstractValue::constant(IV->scalar());
+    if (IV->Values.empty())
+      return topOfKind(Pm.Ty.Kind);
+    double Lo = Inf, Hi = -Inf;
+    bool SawNaN = false;
+    for (double V : IV->Values) {
+      if (std::isnan(V)) {
+        SawNaN = true;
+        continue;
+      }
+      Lo = std::min(Lo, V);
+      Hi = std::max(Hi, V);
+    }
+    AbstractValue A = Lo <= Hi ? AbstractValue::range(Lo, Hi)
+                               : AbstractValue::bottom();
+    A.NaNFree = !SawNaN;
+    return A;
+  }
+
+  void seedEnv() {
+    for (const Param &Pm : P.getParams()) {
+      Cell C;
+      C.Kind = Pm.Ty.Kind;
+      C.IsArray = Pm.Ty.IsArray;
+      C.MaybeUnassigned = false;
+      C.EverAssigned = true;
+      C.Val = inputValue(Pm);
+      E.emplace(Pm.Name, std::move(C));
+    }
+    for (const LocalDecl &D : P.getDecls()) {
+      if (D.ArraySize)
+        evalExpr(*D.ArraySize); // reads of size parameters
+      Cell C;
+      C.Kind = D.Kind;
+      C.IsArray = D.isArray();
+      C.IsLocal = true;
+      E.emplace(D.Name, std::move(C));
+    }
+  }
+
+  Cell &lookup(const std::string &Name) {
+    auto It = E.find(Name);
+    if (It == E.end()) {
+      // TypeCheck rejects undeclared names; be defensive anyway.
+      Cell C;
+      C.MaybeUnassigned = false;
+      C.EverAssigned = true;
+      C.Val = AbstractValue::topReal();
+      It = E.emplace(Name, std::move(C)).first;
+    }
+    return It->second;
+  }
+
+  AbstractValue readVar(const std::string &Name, SourceLoc Loc) {
+    Cell &C = lookup(Name);
+    C.EverRead = true;
+    if (C.MaybeUnassigned && !C.ReadMaybeUnassigned) {
+      C.ReadMaybeUnassigned = true;
+      C.FirstBadRead = Loc;
+    }
+    // A read with no dominating assignment aborts the concrete run
+    // (interp marks it invalid; the symbolic executor reports the
+    // program malformed), so over-approximating with the kind's top
+    // value stays sound for whatever follows.
+    if (!C.EverAssigned)
+      return topOfKind(C.Kind);
+    if (C.MaybeUnassigned)
+      return join(C.Val, topOfKind(C.Kind));
+    return C.Val;
+  }
+
+  //===--- Fact recording --------------------------------------------------===//
+
+  void recordDraw(const SampleExpr &S, const std::vector<AbstractValue> &Args) {
+    if (Collect) {
+      auto [It, Fresh] = DrawIndex.try_emplace(&S, Res.Draws.size());
+      if (Fresh) {
+        DrawSiteFacts F;
+        F.Site = &S;
+        F.Dist = S.getDist();
+        F.InCompletion = InCompletion;
+        F.Params = Args;
+        Res.Draws.push_back(std::move(F));
+      } else {
+        auto &Params = Res.Draws[It->second].Params;
+        for (size_t I = 0; I != Args.size() && I != Params.size(); ++I)
+          Params[I] = join(Params[I], Args[I]);
+      }
+    }
+    if (Unreachable || (Res.Rejected && StopOnReject))
+      return;
+    for (unsigned I = 0; I != Args.size(); ++I) {
+      if (!definitelyInvalidParam(S.getDist(), I, Args[I]))
+        continue;
+      if (!Res.Rejected) {
+        Res.Rejected = true;
+        Res.RejectSite = &S;
+        Res.RejectDist = S.getDist();
+        Res.RejectArg = I;
+        Res.RejectValue = Args[I];
+      }
+      if (StopOnReject)
+        Done = true;
+      return;
+    }
+  }
+
+  void recordObserve(const ObserveStmt &S, const AbstractValue &Cond) {
+    if (!Collect)
+      return;
+    auto [It, Fresh] = ObserveIndex.try_emplace(&S, Res.Observes.size());
+    if (Fresh)
+      Res.Observes.push_back({&S, Cond});
+    else
+      Res.Observes[It->second].Cond = join(Res.Observes[It->second].Cond, Cond);
+  }
+
+  void recordHole(const HoleExpr &H) {
+    if (!Collect)
+      return;
+    auto [It, Fresh] = HoleIndex.try_emplace(&H, Res.Holes.size());
+    (void)It;
+    if (Fresh)
+      Res.Holes.push_back({&H, H.getExpectedKind()});
+  }
+
+  //===--- Expressions -----------------------------------------------------===//
+
+  AbstractValue evalExpr(const Expr &Ex) {
+    if (Done)
+      return AbstractValue::topReal();
+    switch (Ex.getKind()) {
+    case Expr::Kind::Const: {
+      const auto &C = cast<ConstExpr>(Ex);
+      return AbstractValue::constant(C.getValue());
+    }
+    case Expr::Kind::Var: {
+      const auto &V = cast<VarExpr>(Ex);
+      return readVar(V.getName(), V.getLoc());
+    }
+    case Expr::Kind::Index: {
+      const auto &Ix = cast<IndexExpr>(Ex);
+      evalExpr(Ix.getIndex());
+      return readVar(Ix.getArrayName(), Ix.getLoc());
+    }
+    case Expr::Kind::HoleArg: {
+      const auto &HA = cast<HoleArgExpr>(Ex);
+      if (Formals && HA.getArgIndex() < Formals->size())
+        return (*Formals)[HA.getArgIndex()];
+      return topOfKind(HA.getScalarKind());
+    }
+    case Expr::Kind::Unary: {
+      const auto &U = cast<UnaryExpr>(Ex);
+      return applyUnary(U.getOp(), evalExpr(U.getSub()));
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = cast<BinaryExpr>(Ex);
+      // Both operands are evaluated even where the concrete interpreter
+      // short-circuits: skipped concrete evaluations contribute no
+      // values, so evaluating more abstractly only widens the fact base.
+      AbstractValue L = evalExpr(B.getLHS());
+      AbstractValue R = evalExpr(B.getRHS());
+      return applyBinary(B.getOp(), L, R);
+    }
+    case Expr::Kind::Ite: {
+      const auto &I = cast<IteExpr>(Ex);
+      AbstractValue C = evalExpr(I.getCond());
+      if (C.definitelyTrue())
+        return evalExpr(I.getThen());
+      if (C.definitelyFalse())
+        return evalExpr(I.getElse());
+      return join(evalExpr(I.getThen()), evalExpr(I.getElse()));
+    }
+    case Expr::Kind::Sample: {
+      const auto &S = cast<SampleExpr>(Ex);
+      std::vector<AbstractValue> Args;
+      Args.reserve(S.getNumArgs());
+      for (unsigned I = 0, N = S.getNumArgs(); I != N; ++I)
+        Args.push_back(evalExpr(S.getArg(I)));
+      recordDraw(S, Args);
+      return drawResult(S.getDist(), Args);
+    }
+    case Expr::Kind::Hole: {
+      const auto &H = cast<HoleExpr>(Ex);
+      recordHole(H);
+      std::vector<AbstractValue> Args;
+      Args.reserve(H.getNumArgs());
+      for (unsigned I = 0, N = H.getNumArgs(); I != N; ++I)
+        Args.push_back(evalExpr(H.getArg(I)));
+      const Expr *Completion = nullptr;
+      if (Completions && H.getHoleId() < Completions->size())
+        Completion = (*Completions)[H.getHoleId()].get();
+      if (!Completion || InCompletion)
+        return topOfKind(H.getExpectedKind());
+      const std::vector<AbstractValue> *SavedFormals = Formals;
+      bool SavedIn = InCompletion;
+      Formals = &Args;
+      InCompletion = true;
+      AbstractValue V = evalExpr(*Completion);
+      Formals = SavedFormals;
+      InCompletion = SavedIn;
+      return V;
+    }
+    }
+    return AbstractValue::topReal();
+  }
+
+  /// Result range of a draw, refined by the abstract parameter values:
+  /// a Gaussian with definitely-finite, NaN-free parameters cannot
+  /// produce NaN; NaN or infinite parameters may.
+  static AbstractValue drawResult(DistKind D,
+                                  const std::vector<AbstractValue> &Args) {
+    bool CleanParams = true, FiniteParams = true;
+    for (const AbstractValue &A : Args) {
+      if (A.mayBeNaN())
+        CleanParams = false;
+      if (A.emptyRange() || A.Lo == -Inf || A.Hi == Inf)
+        FiniteParams = false;
+    }
+    AbstractValue R = distResultRange(D);
+    switch (D) {
+    case DistKind::Bernoulli:
+      return R; // always exactly {0, 1}
+    case DistKind::Beta:
+      R.NaNFree = CleanParams;
+      return R;
+    case DistKind::Gaussian:
+    case DistKind::Gamma:
+    case DistKind::Poisson:
+      R.NaNFree = CleanParams && FiniteParams;
+      return R;
+    }
+    return R;
+  }
+
+  //===--- Statements ------------------------------------------------------===//
+
+  void flowStmt(const Stmt &S) {
+    if (Done)
+      return;
+    switch (S.getKind()) {
+    case Stmt::Kind::Skip:
+      return;
+    case Stmt::Kind::Assign: {
+      const auto &A = cast<AssignStmt>(S);
+      AbstractValue V = evalExpr(A.getValue());
+      const LValue &T = A.getTarget();
+      if (T.Index)
+        evalExpr(*T.Index);
+      Cell &C = lookup(T.Name);
+      if (C.IsArray || T.Index) {
+        // Weak update: the summary cell joins every written value.
+        C.Val = C.EverAssigned ? join(C.Val, V) : V;
+        C.EverAssigned = true;
+        // Element coverage is unknown, so reads stay maybe-unassigned.
+      } else {
+        C.Val = V;
+        C.EverAssigned = true;
+        C.MaybeUnassigned = false;
+      }
+      return;
+    }
+    case Stmt::Kind::Observe: {
+      const auto &O = cast<ObserveStmt>(S);
+      AbstractValue C = evalExpr(O.getCond());
+      recordObserve(O, C);
+      if (C.definitelyFalse())
+        Unreachable = true; // no concrete run survives this observe
+      return;
+    }
+    case Stmt::Kind::Block: {
+      for (const StmtPtr &Sub : cast<BlockStmt>(S).getStmts())
+        flowStmt(*Sub);
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto &I = cast<IfStmt>(S);
+      AbstractValue C = evalExpr(I.getCond());
+      if (C.definitelyTrue())
+        return flowStmt(I.getThen());
+      if (C.definitelyFalse())
+        return flowStmt(I.getElse());
+      Env Saved = E;
+      bool SavedUnreach = Unreachable;
+      flowStmt(I.getThen());
+      Env ThenEnv = std::move(E);
+      bool ThenUnreach = Unreachable;
+      E = std::move(Saved);
+      Unreachable = SavedUnreach;
+      flowStmt(I.getElse());
+      joinInto(E, ThenEnv);
+      Unreachable = Unreachable && ThenUnreach;
+      return;
+    }
+    case Stmt::Kind::For: {
+      flowFor(cast<ForStmt>(S));
+      return;
+    }
+    }
+  }
+
+  void flowFor(const ForStmt &F) {
+    AbstractValue Lo = evalExpr(F.getLo());
+    AbstractValue Hi = evalExpr(F.getHi());
+    // Definitely zero-trip: every admitted lo is >= every admitted hi.
+    if (!Lo.emptyRange() && !Hi.emptyRange() && Lo.NaNFree && Hi.NaNFree &&
+        Lo.Lo >= Hi.Hi)
+      return;
+    double IdxLo = Lo.emptyRange() ? -Inf : Lo.Lo;
+    double IdxHi = Hi.emptyRange() ? Inf : (Hi.Hi == Inf ? Inf : Hi.Hi - 1);
+    if (IdxLo > IdxHi)
+      return;
+    AbstractValue IdxVal = AbstractValue::range(IdxLo, IdxHi);
+
+    // The loop invariant is the least fixpoint of
+    //   E -> Entry  join  flow(body, E with index bound),
+    // reached by iteration with widening; the post-state is the
+    // invariant itself (it covers zero or more iterations).
+    bool HadOuterIdx = E.count(F.getIndexVar()) != 0;
+    Cell OuterIdx;
+    if (HadOuterIdx)
+      OuterIdx = E[F.getIndexVar()];
+
+    bool EntryUnreach = Unreachable;
+    for (unsigned Round = 0; Round != MaxFixpointRounds && !Done; ++Round) {
+      Env Invariant = E;
+      bool InvariantUnreach = Unreachable;
+      Cell IdxCell;
+      IdxCell.Kind = ScalarKind::Int;
+      IdxCell.MaybeUnassigned = false;
+      IdxCell.EverAssigned = true;
+      IdxCell.Val = IdxVal;
+      E[F.getIndexVar()] = IdxCell;
+      flowStmt(F.getBody());
+      E.erase(F.getIndexVar());
+      joinInto(E, Invariant);
+      Unreachable = Unreachable && InvariantUnreach;
+      if (Round >= 2)
+        widenInto(E, Invariant);
+      if (envEqual(E, Invariant) && Unreachable == InvariantUnreach)
+        break;
+    }
+    Unreachable = Unreachable && EntryUnreach;
+    if (HadOuterIdx)
+      E[F.getIndexVar()] = OuterIdx;
+    else
+      E.erase(F.getIndexVar());
+  }
+
+  //===--- Env lattice helpers ---------------------------------------------===//
+
+  static void joinCell(Cell &Dst, const Cell &Src) {
+    if (!Src.EverAssigned) {
+      // nothing written on the other path
+    } else if (!Dst.EverAssigned) {
+      Dst.Val = Src.Val;
+    } else {
+      Dst.Val = join(Dst.Val, Src.Val);
+    }
+    Dst.EverAssigned = Dst.EverAssigned || Src.EverAssigned;
+    Dst.MaybeUnassigned = Dst.MaybeUnassigned || Src.MaybeUnassigned;
+    Dst.EverRead = Dst.EverRead || Src.EverRead;
+    if (Src.ReadMaybeUnassigned && !Dst.ReadMaybeUnassigned) {
+      Dst.ReadMaybeUnassigned = true;
+      Dst.FirstBadRead = Src.FirstBadRead;
+    }
+  }
+
+  static void joinInto(Env &Dst, const Env &Src) {
+    for (const auto &[Name, C] : Src) {
+      auto It = Dst.find(Name);
+      if (It == Dst.end())
+        Dst.emplace(Name, C);
+      else
+        joinCell(It->second, C);
+    }
+  }
+
+  static void widenInto(Env &Dst, const Env &Prev) {
+    for (auto &[Name, C] : Dst) {
+      auto It = Prev.find(Name);
+      if (It != Prev.end())
+        C.Val = widen(It->second.Val, C.Val);
+    }
+  }
+
+  static bool envEqual(const Env &A, const Env &B) {
+    if (A.size() != B.size())
+      return false;
+    for (const auto &[Name, C] : A) {
+      auto It = B.find(Name);
+      if (It == B.end())
+        return false;
+      const Cell &D = It->second;
+      if (C.Val != D.Val || C.MaybeUnassigned != D.MaybeUnassigned ||
+          C.EverAssigned != D.EverAssigned)
+        return false;
+    }
+    return true;
+  }
+
+  //===--- Entry -----------------------------------------------------------===//
+
+  void runAll() {
+    seedEnv();
+    for (const StmtPtr &S : P.getBody().getStmts()) {
+      flowStmt(*S);
+      if (Done)
+        break;
+    }
+    for (const std::string &Ret : P.getReturns()) {
+      // Returning a variable reads it: a maybe-unassigned return slot
+      // is an unbound read like any other (the interpreter aborts the
+      // run), unless no run reaches the program end at all.
+      Cell &C = lookup(Ret);
+      C.EverRead = true;
+      if (!Done && !Unreachable && C.MaybeUnassigned &&
+          !C.ReadMaybeUnassigned) {
+        C.ReadMaybeUnassigned = true;
+        C.FirstBadRead = SourceLoc();
+      }
+    }
+    if (!Collect)
+      return;
+    for (const LocalDecl &D : P.getDecls()) {
+      auto It = E.find(D.Name);
+      if (It == E.end())
+        continue;
+      const Cell &C = It->second;
+      VarFacts F;
+      F.Name = D.Name;
+      F.Kind = D.Kind;
+      F.IsArray = C.IsArray;
+      F.EverRead = C.EverRead;
+      F.EverAssigned = C.EverAssigned;
+      F.ReadMaybeUnassigned = C.ReadMaybeUnassigned;
+      F.FirstBadRead = C.FirstBadRead;
+      Res.Vars.push_back(std::move(F));
+      if (!C.IsArray)
+        Res.FinalEnv.emplace(D.Name, C.Val);
+    }
+  }
+};
+
+} // namespace
+
+std::string AnalysisResult::rejectReason() const {
+  if (!Rejected)
+    return "";
+  std::ostringstream OS;
+  OS << distKindName(RejectDist) << " " << distParamName(RejectDist, RejectArg)
+     << " in " << RejectValue.str();
+  return OS.str();
+}
+
+ProgramAnalysis::ProgramAnalysis(const Program &P, const InputBindings *Inputs)
+    : Prog(P), Inputs(Inputs) {}
+
+AnalysisResult
+ProgramAnalysis::analyzeCandidate(const std::vector<ExprPtr> &Completions) const {
+  return run(&Completions, /*Collect=*/false, /*StopOnReject=*/true);
+}
+
+AnalysisResult
+ProgramAnalysis::analyzeFull(const std::vector<ExprPtr> *Completions) const {
+  return run(Completions, /*Collect=*/true, /*StopOnReject=*/false);
+}
+
+AnalysisResult ProgramAnalysis::run(const std::vector<ExprPtr> *Completions,
+                                    bool Collect, bool StopOnReject) const {
+  Walker W(Prog, Inputs, Completions, Collect, StopOnReject);
+  W.runAll();
+  return std::move(W.Res);
+}
+
+AbstractValue psketch::topOfKind(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Real:
+    return AbstractValue::topReal();
+  case ScalarKind::Bool:
+    return AbstractValue::topBool();
+  case ScalarKind::Int: {
+    AbstractValue A = AbstractValue::range(-Inf, Inf);
+    return A;
+  }
+  }
+  return AbstractValue::topReal();
+}
+
+AbstractValue
+psketch::evalCompletionAbstract(const Expr &Ex,
+                                const std::vector<AbstractValue> &Formals) {
+  switch (Ex.getKind()) {
+  case Expr::Kind::Const:
+    return AbstractValue::constant(cast<ConstExpr>(Ex).getValue());
+  case Expr::Kind::HoleArg: {
+    const auto &HA = cast<HoleArgExpr>(Ex);
+    if (HA.getArgIndex() < Formals.size())
+      return Formals[HA.getArgIndex()];
+    return topOfKind(HA.getScalarKind());
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(Ex);
+    return applyUnary(U.getOp(), evalCompletionAbstract(U.getSub(), Formals));
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(Ex);
+    return applyBinary(B.getOp(), evalCompletionAbstract(B.getLHS(), Formals),
+                       evalCompletionAbstract(B.getRHS(), Formals));
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(Ex);
+    AbstractValue C = evalCompletionAbstract(I.getCond(), Formals);
+    if (C.definitelyTrue())
+      return evalCompletionAbstract(I.getThen(), Formals);
+    if (C.definitelyFalse())
+      return evalCompletionAbstract(I.getElse(), Formals);
+    return join(evalCompletionAbstract(I.getThen(), Formals),
+                evalCompletionAbstract(I.getElse(), Formals));
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(Ex);
+    std::vector<AbstractValue> Args;
+    Args.reserve(S.getNumArgs());
+    for (unsigned I = 0, N = S.getNumArgs(); I != N; ++I)
+      Args.push_back(evalCompletionAbstract(S.getArg(I), Formals));
+    return Walker::drawResult(S.getDist(), Args);
+  }
+  case Expr::Kind::Var:
+  case Expr::Kind::Index:
+  case Expr::Kind::Hole:
+    break; // not legal inside completions
+  }
+  return AbstractValue::topReal();
+}

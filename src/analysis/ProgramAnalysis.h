@@ -1,0 +1,143 @@
+//===- analysis/ProgramAnalysis.h - Abstract interpreter over programs ---===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract interpretation of Figure-3 programs over the interval x sign
+/// x NaN-free domain (AbstractDomain.h).  The interpreter flows through
+/// every statement — including the distribution-parameter expressions of
+/// every draw site — with branch joins, weak array updates (arrays are
+/// summarized by a single cell), and widened loop fixpoints (loops are
+/// never unrolled, so analysis cost is independent of trip counts).
+///
+/// Two consumers sit on top:
+///  * CandidateAnalyzer asks for an early-out verdict on a hole
+///    completion tuple (the synthesizer's STATIC-REJECT pre-filter);
+///  * the sketch linter asks for the full fact base (draw-parameter
+///    ranges, observe-condition constancy, read-before-assign and
+///    unused-variable facts, hole sites).
+///
+/// Soundness invariant: for every concrete execution of the program
+/// under inputs admitted by the bindings, every value the execution
+/// computes at an expression is contained in the abstract value the
+/// interpreter computes there (see DESIGN.md §10 for the argument and
+/// tests/analysis for the differential fuzz).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_PROGRAMANALYSIS_H
+#define PSKETCH_ANALYSIS_PROGRAMANALYSIS_H
+
+#include "analysis/AbstractDomain.h"
+#include "ast/Program.h"
+#include "sem/Bindings.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Joined abstract parameter values of one textual draw site (occurrences
+/// inside loops and branches are joined).
+struct DrawSiteFacts {
+  const SampleExpr *Site = nullptr;
+  DistKind Dist = DistKind::Gaussian;
+  /// True when the draw lives inside a hole completion rather than the
+  /// sketch text itself.
+  bool InCompletion = false;
+  std::vector<AbstractValue> Params;
+};
+
+/// Joined abstract condition value of one observe statement.
+struct ObserveFacts {
+  const ObserveStmt *Site = nullptr;
+  AbstractValue Cond;
+};
+
+/// One hole site of the sketch (for the linter's completability rule).
+struct HoleFacts {
+  const HoleExpr *Site = nullptr;
+  ScalarKind ExpectedKind = ScalarKind::Real;
+};
+
+/// Per-local-variable lint facts.
+struct VarFacts {
+  std::string Name;
+  ScalarKind Kind = ScalarKind::Real;
+  bool IsArray = false;
+  bool EverRead = false;
+  bool EverAssigned = false;
+  /// A read was seen at a point where no assignment definitely dominates
+  /// it; FirstBadRead is the earliest such read's location.
+  bool ReadMaybeUnassigned = false;
+  SourceLoc FirstBadRead;
+};
+
+/// Result of one abstract run.
+struct AnalysisResult {
+  /// STATIC-REJECT verdict: some reachable draw parameter is definitely
+  /// outside its distribution's domain for every admitted value.
+  bool Rejected = false;
+  const SampleExpr *RejectSite = nullptr;
+  DistKind RejectDist = DistKind::Gaussian;
+  unsigned RejectArg = 0;
+  AbstractValue RejectValue;
+
+  /// Fact base (populated only in full mode).
+  std::vector<DrawSiteFacts> Draws;
+  std::vector<ObserveFacts> Observes;
+  std::vector<HoleFacts> Holes;
+  std::vector<VarFacts> Vars; ///< locals, in declaration order
+  /// Final abstract value of every scalar local (for tests/diagnostics).
+  std::map<std::string, AbstractValue> FinalEnv;
+
+  /// One-line description of the reject ("Gaussian sigma in [-3, -1] ...").
+  std::string rejectReason() const;
+};
+
+/// The abstract interpreter.  Holds only references: the program and the
+/// bindings must outlive it.  Analysis runs are const and carry no
+/// mutable state, so one instance may be shared across threads.
+class ProgramAnalysis {
+public:
+  /// \p Inputs may be null (all parameters unconstrained).  Bound scalar
+  /// parameters become singletons and bound arrays become their exact
+  /// [min, max] ranges, which is what makes sketch-level draw-parameter
+  /// intervals tight enough to act on.
+  explicit ProgramAnalysis(const Program &P,
+                           const InputBindings *Inputs = nullptr);
+
+  /// Early-out candidate verdict: stops at the first definitely-invalid
+  /// reachable draw parameter; collects no facts.  \p Completions is
+  /// indexed by hole id.
+  AnalysisResult analyzeCandidate(const std::vector<ExprPtr> &Completions) const;
+
+  /// Full fact collection for the linter; \p Completions may be null
+  /// (hole results are then the top value of their expected kind).
+  AnalysisResult analyzeFull(const std::vector<ExprPtr> *Completions) const;
+
+private:
+  AnalysisResult run(const std::vector<ExprPtr> *Completions, bool Collect,
+                     bool StopOnReject) const;
+
+  const Program &Prog;
+  const InputBindings *Inputs;
+};
+
+/// The top abstract value of a scalar kind: reals may be anything
+/// including NaN; ints are any (finite or infinite) non-NaN value;
+/// booleans are {0, 1}.
+AbstractValue topOfKind(ScalarKind K);
+
+/// Abstract evaluation of a hole completion expression (an expression
+/// over hole formals `%i`) under abstract formal values.  Exposed for
+/// the interval-soundness property tests.
+AbstractValue evalCompletionAbstract(const Expr &E,
+                                     const std::vector<AbstractValue> &Formals);
+
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_PROGRAMANALYSIS_H

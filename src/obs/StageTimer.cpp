@@ -18,6 +18,8 @@ const char *psketch::stageName(Stage S) {
     return "cache_probe";
   case Stage::Splice:
     return "splice";
+  case Stage::StaticCheck:
+    return "static_check";
   }
   return "unknown";
 }

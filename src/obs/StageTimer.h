@@ -36,8 +36,9 @@ enum class Stage : unsigned {
   EvalBatch,    ///< Tape::evalBatch over the dataset.
   CacheProbe,   ///< hashExprTuple + ScoreCache lookup.
   Splice,       ///< spliceCompletions fallback (no template).
+  StaticCheck,  ///< abstract-interpretation STATIC-REJECT pre-filter.
 };
-constexpr unsigned NumStages = 4;
+constexpr unsigned NumStages = 5;
 
 /// Dotted metric-style name of \p S ("lower_compile", ...).
 const char *stageName(Stage S);

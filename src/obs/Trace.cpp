@@ -21,8 +21,12 @@ const char *psketch::traceOutcomeName(TraceOutcome O) {
     return "accept";
   case TraceOutcome::Reject:
     return "reject";
-  case TraceOutcome::Invalid:
-    return "invalid";
+  case TraceOutcome::InvalidType:
+    return "invalid_type";
+  case TraceOutcome::InvalidDomain:
+    return "invalid_domain";
+  case TraceOutcome::InvalidStatic:
+    return "invalid_static";
   }
   return "unknown";
 }
@@ -33,8 +37,14 @@ psketch::parseTraceOutcome(const std::string &Name) {
     return TraceOutcome::Accept;
   if (Name == "reject")
     return TraceOutcome::Reject;
-  if (Name == "invalid")
-    return TraceOutcome::Invalid;
+  if (Name == "invalid_type")
+    return TraceOutcome::InvalidType;
+  if (Name == "invalid_domain")
+    return TraceOutcome::InvalidDomain;
+  if (Name == "invalid_static")
+    return TraceOutcome::InvalidStatic;
+  if (Name == "invalid") // legacy traces, pre reason split
+    return TraceOutcome::InvalidDomain;
   return std::nullopt;
 }
 
@@ -197,7 +207,10 @@ TraceSummary psketch::summarizeTrace(const ParsedTrace &T, size_t Window) {
   for (const TraceEvent &E : T.Events) {
     ++S.Events;
     S.Accepted += E.Outcome == TraceOutcome::Accept;
-    S.Invalid += E.Outcome == TraceOutcome::Invalid;
+    S.Invalid += isInvalidOutcome(E.Outcome);
+    S.InvalidType += E.Outcome == TraceOutcome::InvalidType;
+    S.InvalidDomain += E.Outcome == TraceOutcome::InvalidDomain;
+    S.InvalidStatic += E.Outcome == TraceOutcome::InvalidStatic;
     S.CacheHits += E.CacheHit;
     S.BestLL = std::max(S.BestLL, E.BestLL);
     ByChain[E.Chain].push_back(&E);
@@ -208,7 +221,10 @@ TraceSummary psketch::summarizeTrace(const ParsedTrace &T, size_t Window) {
     C.Events = Events.size();
     for (const TraceEvent *E : Events) {
       C.Accepted += E->Outcome == TraceOutcome::Accept;
-      C.Invalid += E->Outcome == TraceOutcome::Invalid;
+      C.Invalid += isInvalidOutcome(E->Outcome);
+      C.InvalidType += E->Outcome == TraceOutcome::InvalidType;
+      C.InvalidDomain += E->Outcome == TraceOutcome::InvalidDomain;
+      C.InvalidStatic += E->Outcome == TraceOutcome::InvalidStatic;
       C.CacheHits += E->CacheHit;
     }
     C.FirstBestLL = Events.front()->BestLL;
@@ -230,7 +246,9 @@ std::string psketch::formatTraceSummary(const TraceSummary &S) {
   double InvRate = S.Events ? double(S.Invalid) / double(S.Events) : 0;
   double HitRate = S.Events ? double(S.CacheHits) / double(S.Events) : 0;
   OS << "accepted: " << S.Accepted << " (" << AccRate * 100 << "%)\n";
-  OS << "invalid: " << S.Invalid << " (" << InvRate * 100 << "%)\n";
+  OS << "invalid: " << S.Invalid << " (" << InvRate * 100 << "%)"
+     << " [type " << S.InvalidType << ", domain " << S.InvalidDomain
+     << ", static " << S.InvalidStatic << "]\n";
   OS << "cache hits: " << S.CacheHits << " (" << HitRate * 100 << "%)\n";
   OS << "best log-likelihood: " << S.BestLL << "\n";
   for (const ChainSummary &C : S.PerChain) {

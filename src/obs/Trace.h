@@ -55,10 +55,27 @@ struct RunManifest {
   bool UseProposalRatio = false;
 };
 
-/// What happened to one MH proposal.
-enum class TraceOutcome { Accept, Reject, Invalid };
+/// What happened to one MH proposal.  Invalid proposals carry the
+/// rejection source: a failed completion type check (InvalidType), a
+/// scorer that produced no finite likelihood (InvalidDomain), or the
+/// abstract interpreter's STATIC-REJECT verdict (InvalidStatic).
+enum class TraceOutcome {
+  Accept,
+  Reject,
+  InvalidType,
+  InvalidDomain,
+  InvalidStatic,
+};
+
+/// Is \p O one of the invalid outcomes?
+inline bool isInvalidOutcome(TraceOutcome O) {
+  return O == TraceOutcome::InvalidType || O == TraceOutcome::InvalidDomain ||
+         O == TraceOutcome::InvalidStatic;
+}
 
 const char *traceOutcomeName(TraceOutcome O);
+/// Parses an outcome name; the legacy spelling "invalid" (pre-split
+/// traces) parses as InvalidDomain.
 std::optional<TraceOutcome> parseTraceOutcome(const std::string &Name);
 
 /// One MH iteration of one chain.
@@ -66,7 +83,7 @@ struct TraceEvent {
   unsigned Chain = 0;
   unsigned Iter = 0;
   std::string Mutation; ///< '+'-joined mutation-op names; "none" if 0.
-  TraceOutcome Outcome = TraceOutcome::Invalid;
+  TraceOutcome Outcome = TraceOutcome::InvalidDomain;
   /// Candidate log-likelihood; NaN for invalid candidates.
   double CandidateLL = std::numeric_limits<double>::quiet_NaN();
   double BestLL = -std::numeric_limits<double>::infinity();
@@ -100,7 +117,10 @@ struct ChainSummary {
   unsigned Chain = 0;
   uint64_t Events = 0;
   uint64_t Accepted = 0;
-  uint64_t Invalid = 0;
+  uint64_t Invalid = 0; ///< total across the three invalid outcomes
+  uint64_t InvalidType = 0;
+  uint64_t InvalidDomain = 0;
+  uint64_t InvalidStatic = 0;
   uint64_t CacheHits = 0;
   double FirstBestLL = -std::numeric_limits<double>::infinity();
   double FinalBestLL = -std::numeric_limits<double>::infinity();
@@ -112,7 +132,10 @@ struct ChainSummary {
 struct TraceSummary {
   uint64_t Events = 0;
   uint64_t Accepted = 0;
-  uint64_t Invalid = 0;
+  uint64_t Invalid = 0; ///< total across the three invalid outcomes
+  uint64_t InvalidType = 0;
+  uint64_t InvalidDomain = 0;
+  uint64_t InvalidStatic = 0;
   uint64_t CacheHits = 0;
   double BestLL = -std::numeric_limits<double>::infinity();
   std::vector<ChainSummary> PerChain;

@@ -8,7 +8,21 @@
 
 using namespace psketch;
 
-std::optional<ScoreCache::Score> ScoreCache::lookup(uint64_t Key) {
+const char *psketch::rejectReasonName(RejectReason R) {
+  switch (R) {
+  case RejectReason::None:
+    return "none";
+  case RejectReason::Type:
+    return "type";
+  case RejectReason::Domain:
+    return "domain";
+  case RejectReason::Static:
+    return "static";
+  }
+  return "none";
+}
+
+std::optional<CachedScore> ScoreCache::lookup(uint64_t Key) {
   auto It = Map.find(Key);
   if (It == Map.end())
     return std::nullopt;
@@ -16,7 +30,7 @@ std::optional<ScoreCache::Score> ScoreCache::lookup(uint64_t Key) {
   return It->second->second;
 }
 
-void ScoreCache::insert(uint64_t Key, Score S) {
+void ScoreCache::insert(uint64_t Key, CachedScore S) {
   if (Cap == 0)
     return;
   auto It = Map.find(Key);

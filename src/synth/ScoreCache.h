@@ -6,13 +6,16 @@
 ///
 /// \file
 /// An LRU memo table from completion-tuple hashes (ast/ASTUtil's
-/// hashExprTuple) to candidate scores.  The MH walk of Algorithm 1
+/// hashExprTuple) to candidate verdicts.  The MH walk of Algorithm 1
 /// frequently revisits completions — a rejected proposal leaves the
 /// chain where it was, and Operation-1/-3 mutations often undo each
 /// other — so memoizing log Pr(D | P[H]) skips the lower + compile +
-/// evaluate pipeline for every revisit.  Invalid candidates (nullopt
-/// scores) are memoized too: re-proposing a known-bad completion costs
-/// one hash instead of one lowering attempt.
+/// evaluate pipeline for every revisit.  Invalid candidates are memoized
+/// too, *with the reason they were rejected* (type check, domain
+/// validity, STATIC-REJECT): re-proposing a known-bad completion costs
+/// one hash instead of one analysis or lowering attempt, and a cache-hit
+/// rejection replays exactly the reason the original rejection recorded
+/// (asserted in debug builds by the synthesizer).
 ///
 /// Scoring is deterministic, so a hit returns exactly the double a
 /// recompute would produce; cache size only affects speed, never
@@ -31,24 +34,52 @@
 
 namespace psketch {
 
-/// Fixed-capacity LRU map from 64-bit candidate keys to scores.
+/// Why a candidate failed to produce a usable score.
+enum class RejectReason : uint8_t {
+  None,   ///< not rejected: the score is valid
+  Type,   ///< a completion failed the signature type check
+  Domain, ///< the scorer returned no finite likelihood
+  Static, ///< the abstract interpreter proved a draw parameter invalid
+};
+
+/// Short name for traces and logs ("type", "domain", "static").
+const char *rejectReasonName(RejectReason R);
+
+/// A memoized candidate verdict: a score when the candidate is valid
+/// (Reason == None), otherwise the reason it was rejected.
+struct CachedScore {
+  std::optional<double> LL;
+  RejectReason Reason = RejectReason::None;
+
+  CachedScore() = default;
+  /// A valid score.
+  explicit CachedScore(double Score) : LL(Score) {}
+  /// A rejection with its reason.
+  explicit CachedScore(RejectReason R) : Reason(R) {}
+
+  bool valid() const { return LL.has_value(); }
+
+  bool operator==(const CachedScore &O) const {
+    return LL == O.LL && Reason == O.Reason;
+  }
+  bool operator!=(const CachedScore &O) const { return !(*this == O); }
+};
+
+/// Fixed-capacity LRU map from 64-bit candidate keys to verdicts.
 class ScoreCache {
 public:
-  /// A cached score: nullopt marks a candidate that scored invalid.
-  using Score = std::optional<double>;
-
   explicit ScoreCache(size_t Capacity) : Cap(Capacity) {}
 
   size_t capacity() const { return Cap; }
   size_t size() const { return Map.size(); }
 
-  /// Returns the memoized score of \p Key and marks it most recently
-  /// used; outer nullopt means "not cached".
-  std::optional<Score> lookup(uint64_t Key);
+  /// Returns the memoized verdict of \p Key and marks it most recently
+  /// used; nullopt means "not cached".
+  std::optional<CachedScore> lookup(uint64_t Key);
 
   /// Memoizes \p Key -> \p S, evicting the least recently used entry
   /// when full.  Inserting an existing key refreshes its recency.
-  void insert(uint64_t Key, Score S);
+  void insert(uint64_t Key, CachedScore S);
 
   /// True when \p Key is resident (does not touch recency; tests).
   bool contains(uint64_t Key) const { return Map.count(Key) != 0; }
@@ -60,7 +91,7 @@ public:
   uint64_t evictions() const { return Evictions; }
 
 private:
-  using Entry = std::pair<uint64_t, Score>;
+  using Entry = std::pair<uint64_t, CachedScore>;
 
   size_t Cap;
   uint64_t Evictions = 0;

@@ -11,6 +11,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 
@@ -39,6 +40,9 @@ void SynthesisStats::merge(const SynthesisStats &Other) {
   Proposed += Other.Proposed;
   Accepted += Other.Accepted;
   Invalid += Other.Invalid;
+  InvalidType += Other.InvalidType;
+  InvalidDomain += Other.InvalidDomain;
+  InvalidStatic += Other.InvalidStatic;
   Scored += Other.Scored;
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
@@ -73,6 +77,10 @@ Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
   Score = [this](const Program &Candidate) {
     return scoreWithMoG(Candidate);
   };
+  // One analyzer per synthesizer: analyze() is const and stateless, so
+  // every chain shares it.  Its verdict defines domain validity whether
+  // or not the pre-filter is enabled (see SynthesisConfig::StaticAnalysis).
+  Analyzer = std::make_unique<CandidateAnalyzer>(*Sketch, this->Inputs);
   // Lower the sketch once as a template (holes kept in place).  The
   // validity of lowering and definite assignment cannot depend on the
   // completions — they are closed over their hole formals — so both are
@@ -144,10 +152,32 @@ Synthesizer::scoreWithMoG(const Program &Candidate) const {
 
 bool Synthesizer::completionsValid(
     const std::vector<ExprPtr> &Completions) const {
+  if (Completions.size() != Sigs.size())
+    return false;
   for (unsigned I = 0, E = unsigned(Sigs.size()); I != E; ++I)
     if (!checkCompletion(*Completions[I], Sigs[I]))
       return false;
   return true;
+}
+
+CachedScore Synthesizer::classifyCompletions(
+    const std::vector<ExprPtr> &Completions) const {
+  if (!SketchValid || !completionsValid(Completions))
+    return CachedScore(RejectReason::Type);
+  if (Config.StaticAnalysis && Analyzer->analyze(Completions).Rejected)
+    return CachedScore(RejectReason::Static);
+  std::optional<double> LL;
+  if (!CustomScorer && Template) {
+    LL = scoreWithTemplate(Completions);
+  } else {
+    std::unique_ptr<Program> Spliced = spliceCompletions(*Sketch, Completions);
+    LL = Score(*Spliced);
+  }
+  if (!Config.StaticAnalysis && Analyzer->analyze(Completions).Rejected)
+    return CachedScore(RejectReason::Static);
+  if (!LL)
+    return CachedScore(RejectReason::Domain);
+  return CachedScore(*LL);
 }
 
 void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
@@ -221,16 +251,39 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     }
     return Score(*Spliced);
   };
+  // The STATIC-REJECT verdict of one tuple, timed under its own stage.
+  auto StaticReject = [&](const std::vector<ExprPtr> &Completions) -> bool {
+    ScopedStage Span(Stage::StaticCheck);
+    return Analyzer->analyze(Completions).Rejected;
+  };
+  // Full verdict for one tuple (no memoization).  The analyzer is the
+  // single definition of domain validity: with StaticAnalysis on its
+  // verdict short-circuits the scoring pipeline; with it off the same
+  // verdict is applied after scoring and still overrides the scorer's
+  // answer.  Either way the returned CachedScore is identical, so the
+  // walk — and everything derived from it — is bit-identical in both
+  // modes; the flag only decides whether rejected candidates pay for a
+  // lowering + evaluation first.
+  auto Classify = [&](const std::vector<ExprPtr> &Completions) -> CachedScore {
+    if (Config.StaticAnalysis && StaticReject(Completions))
+      return CachedScore(RejectReason::Static);
+    auto LL = ScoreOnce(Completions);
+    if (!Config.StaticAnalysis && StaticReject(Completions))
+      return CachedScore(RejectReason::Static);
+    if (!LL)
+      return CachedScore(RejectReason::Domain);
+    return CachedScore(*LL);
+  };
   // LastProbeHit reports whether the most recent ScoreCompletions call
   // was answered by the cache (telemetry only).
   bool LastProbeHit = false;
   auto ScoreCompletions =
-      [&](const std::vector<ExprPtr> &Completions) -> std::optional<double> {
+      [&](const std::vector<ExprPtr> &Completions) -> CachedScore {
     LastProbeHit = false;
     if (Cache.capacity() == 0)
-      return ScoreOnce(Completions);
+      return Classify(Completions);
     uint64_t Key;
-    std::optional<ScoreCache::Score> Hit;
+    std::optional<CachedScore> Hit;
     {
       ScopedStage Span(Stage::CacheProbe);
       Key = hashExprTuple(Completions);
@@ -239,12 +292,18 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     if (Hit) {
       ++Out.Stats.CacheHits;
       LastProbeHit = true;
+      // A cache-hit rejection must replay exactly the reason the miss
+      // recorded; recheck the (pure, side-effect-free) analyzer verdict
+      // in debug builds.
+      assert((Hit->Reason != RejectReason::Static ||
+              Analyzer->analyze(Completions).Rejected) &&
+             "cached STATIC-REJECT no longer reproducible");
       return *Hit;
     }
     ++Out.Stats.CacheMisses;
-    auto LL = ScoreOnce(Completions);
-    Cache.insert(Key, LL);
-    return LL;
+    CachedScore S = Classify(Completions);
+    Cache.insert(Key, S);
+    return S;
   };
 
   // Algorithm 1, line 2: H ~ Sigma_P[.] — draw until the tuple passes
@@ -261,11 +320,11 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     }
     if (!completionsValid(Candidate))
       continue;
-    auto LL = ScoreCompletions(Candidate);
-    if (!LL)
+    CachedScore S = ScoreCompletions(Candidate);
+    if (!S.valid())
       continue;
     Current = std::move(Candidate);
-    CurrentLL = *LL;
+    CurrentLL = *S.LL;
     Initialized = true;
   }
   if (!Initialized)
@@ -278,25 +337,33 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     ++Out.Stats.Proposed;
     if (MutHist)
       MutHist->observe(double(Mut.lastMutationOps().size()));
-    TraceOutcome Outcome = TraceOutcome::Invalid;
+    TraceOutcome Outcome = TraceOutcome::InvalidType;
     double CandidateLL = std::numeric_limits<double>::quiet_NaN();
     if (!completionsValid(Proposal)) {
       ++Out.Stats.Invalid;
+      ++Out.Stats.InvalidType;
     } else {
-      auto LL = ScoreCompletions(Proposal);
-      if (!LL) {
+      CachedScore S = ScoreCompletions(Proposal);
+      if (!S.valid()) {
         ++Out.Stats.Invalid;
+        if (S.Reason == RejectReason::Static) {
+          ++Out.Stats.InvalidStatic;
+          Outcome = TraceOutcome::InvalidStatic;
+        } else {
+          ++Out.Stats.InvalidDomain;
+          Outcome = TraceOutcome::InvalidDomain;
+        }
       } else {
-        CandidateLL = *LL;
+        CandidateLL = *S.LL;
         // Line 5: accept with min(1, ratio); with a uniform prior the
         // ratio is the likelihood ratio times (optionally) the
         // approximate proposal-density ratio of Section 4.2.
-        double LogAlpha = *LL - CurrentLL;
+        double LogAlpha = *S.LL - CurrentLL;
         if (Config.UseProposalRatio)
           LogAlpha += Mut.lastProposalLogQRatio();
         if (LogAlpha >= 0 || std::log(R.uniform()) < LogAlpha) {
           Current = std::move(Proposal);
-          CurrentLL = *LL;
+          CurrentLL = *S.LL;
           ++Out.Stats.Accepted;
           Outcome = TraceOutcome::Accept;
         } else {
@@ -330,7 +397,8 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
          Iter + 1 == Config.Iterations))
       Config.Progress({ChainIndex, Iter + 1, Config.Iterations,
                        Out.BestLogLikelihood,
-                       ColCache ? ColCache->hitRate() : 0.0});
+                       ColCache ? ColCache->hitRate() : 0.0,
+                       Out.Stats.InvalidStatic});
   }
 
   Out.Stats.ScoreCacheEvictions = Cache.evictions();
@@ -345,6 +413,13 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     Reg.counter("synth.proposed").add(Out.Stats.Proposed);
     Reg.counter("synth.accepted").add(Out.Stats.Accepted);
     Reg.counter("synth.invalid").add(Out.Stats.Invalid);
+    Reg.counter("synth.invalid_type").add(Out.Stats.InvalidType);
+    Reg.counter("synth.invalid_domain").add(Out.Stats.InvalidDomain);
+    Reg.counter("synth.invalid_static").add(Out.Stats.InvalidStatic);
+    // Alias with the subsystem's headline name: proposals the abstract
+    // interpreter rejected before (or, with the pre-filter off,
+    // regardless of) scoring.
+    Reg.counter("synth.static_reject").add(Out.Stats.InvalidStatic);
     Reg.counter("synth.scored").add(Out.Stats.Scored);
     Reg.counter("synth.cache.hits").add(Out.Stats.CacheHits);
     Reg.counter("synth.cache.misses").add(Out.Stats.CacheMisses);

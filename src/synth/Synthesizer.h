@@ -23,6 +23,7 @@
 #ifndef PSKETCH_SYNTH_SYNTHESIZER_H
 #define PSKETCH_SYNTH_SYNTHESIZER_H
 
+#include "analysis/CandidateAnalyzer.h"
 #include "likelihood/Likelihood.h"
 #include "obs/Convergence.h"
 #include "obs/Metrics.h"
@@ -84,6 +85,19 @@ struct SynthesisConfig {
   /// Byte budget of each chain's column cache (LRU eviction).
   size_t ColumnCacheBytes = size_t(32) << 20;
 
+  /// Abstract-interpretation STATIC-REJECT pre-filter (`--no-static-
+  /// analysis` turns it off): every proposal's completion tuple is run
+  /// through the interval x sign x NaN-free candidate analyzer, and a
+  /// candidate with a draw parameter that is provably outside its
+  /// distribution's domain is rejected *before* the lower / LL(.) /
+  /// tape pipeline spends anything on it.  The analyzer's verdict is
+  /// the definition of domain validity either way: with the flag off
+  /// the same verdict is applied after scoring, so the accepted
+  /// candidate set, every score, every trace event and every cached
+  /// verdict are bit-identical on vs off — the flag only moves where
+  /// the rejection cost is paid (DESIGN.md §10).
+  bool StaticAnalysis = true;
+
   /// Seed for the whole run (initial draw, proposals, acceptances).
   uint64_t Seed = 1;
 
@@ -141,6 +155,9 @@ struct SynthesisConfig {
     /// Column-cache hit rate of this chain so far (0 when incremental
     /// scoring is off).
     double ColCacheHitRate = 0;
+    /// Proposals rejected by the STATIC-REJECT pre-filter so far
+    /// (this chain).
+    unsigned StaticRejects = 0;
   };
   unsigned ProgressEvery = 0; ///< 0 disables progress callbacks.
   std::function<void(const ProgressUpdate &)> Progress;
@@ -151,6 +168,12 @@ struct SynthesisStats {
   unsigned Proposed = 0;   ///< Mutation proposals drawn.
   unsigned Accepted = 0;   ///< Proposals accepted by the MH ratio.
   unsigned Invalid = 0;    ///< Proposals rejected by the validity filter.
+  /// Breakdown of Invalid by rejection source (always sums to Invalid):
+  /// the completion type check, the scorer returning no finite
+  /// likelihood, and the abstract interpreter's STATIC-REJECT verdict.
+  unsigned InvalidType = 0;
+  unsigned InvalidDomain = 0;
+  unsigned InvalidStatic = 0;
   unsigned Scored = 0;     ///< Candidates whose likelihood was evaluated.
   unsigned CacheHits = 0;  ///< Candidates answered by the score cache.
   unsigned CacheMisses = 0; ///< Cache probes that fell through to scoring.
@@ -258,6 +281,16 @@ public:
   /// benches can time scoring in isolation).
   std::optional<double> scoreWithMoG(const Program &Candidate) const;
 
+  /// The shared STATIC-REJECT analyzer bound to this sketch + inputs
+  /// (exposed for the differential soundness fuzz tests).  Null only
+  /// when the sketch failed to type check.
+  const CandidateAnalyzer *analyzer() const { return Analyzer.get(); }
+
+  /// The full verdict for one completion tuple exactly as the MH loop
+  /// computes it (type check, then static/domain classification under
+  /// the current StaticAnalysis mode), bypassing the per-chain cache.
+  CachedScore classifyCompletions(const std::vector<ExprPtr> &Completions) const;
+
   /// Algorithm 1.
   SynthesisResult run();
 
@@ -309,6 +342,9 @@ private:
   std::unique_ptr<LoweredProgram> Template;
   bool TemplateDefAssignOK = false;
   bool CustomScorer = false;
+
+  /// Shared across chains (analyze() is const and stateless).
+  std::unique_ptr<CandidateAnalyzer> Analyzer;
 };
 
 } // namespace psketch

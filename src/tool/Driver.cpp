@@ -6,6 +6,7 @@
 
 #include "tool/Driver.h"
 
+#include "analysis/Lint.h"
 #include "ast/ASTPrinter.h"
 #include "interp/Enumerate.h"
 #include "interp/Interp.h"
@@ -74,6 +75,19 @@ int cmdPrint(const ToolOptions &Opts, std::ostream &Out,
     return 1;
   Out << toString(*P);
   return 0;
+}
+
+int cmdLint(const ToolOptions &Opts, std::ostream &Out,
+            std::ostream &Err) {
+  auto P = loadProgram(Opts.ProgramPath, Err);
+  if (!P)
+    return 1;
+  DiagEngine Diags;
+  LintResult R = lintProgram(*P, Diags, &Opts.Inputs);
+  Out << Diags.str();
+  Out << Opts.ProgramPath << ": " << R.Errors << " error(s), "
+      << R.Warnings << " warning(s)\n";
+  return R.Errors ? 1 : 0;
 }
 
 int cmdSample(const ToolOptions &Opts, std::ostream &Out,
@@ -162,6 +176,7 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
   Config.Likelihood.Tape.Fuse = !Opts.NoFuse;
   Config.Likelihood.Tape.FastTape = Opts.FastTape;
   Config.ColumnCacheBytes = size_t(Opts.ColumnCacheMB) << 20;
+  Config.StaticAnalysis = !Opts.NoStaticAnalysis;
 
   // Telemetry: each output the user asked for switches on exactly the
   // collection it needs; everything stays off otherwise.
@@ -181,12 +196,14 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
                     "chain " << U.Chain << ": " << U.Iter << "/"
                              << U.Iterations << " iterations, best LL "
                              << U.BestLL << ", column-cache hit rate "
-                             << int(U.ColCacheHitRate * 100) << "%");
+                             << int(U.ColCacheHitRate * 100)
+                             << "%, static rejects " << U.StaticRejects);
       else
         PSKETCH_LOG(Info, "synth",
                     "chain " << U.Chain << ": " << U.Iter << "/"
                              << U.Iterations << " iterations, best LL "
-                             << U.BestLL);
+                             << U.BestLL << ", static rejects "
+                             << U.StaticRejects);
     };
   }
 
@@ -224,6 +241,9 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
       << Result.Stats.Scored << " candidates scored; "
       << Result.Stats.CacheHits << " cache hits; log-likelihood "
       << Result.BestLogLikelihood << "\n";
+  if (Result.Stats.InvalidStatic > 0)
+    Out << "// static analysis rejected " << Result.Stats.InvalidStatic
+        << " of " << Result.Stats.Proposed << " proposals\n";
   if (Result.Stats.ColCacheHits + Result.Stats.ColCacheMisses > 0)
     Out << "// column cache: "
         << int(Result.Stats.colCacheHitRate() * 100) << "% hit rate ("
@@ -320,6 +340,8 @@ int psketch::runTool(const ToolOptions &Opts, std::ostream &Out,
   }
   if (Opts.Command == "print")
     return cmdPrint(Opts, Out, Err);
+  if (Opts.Command == "lint")
+    return cmdLint(Opts, Out, Err);
   if (Opts.Command == "sample")
     return cmdSample(Opts, Out, Err);
   if (Opts.Command == "score")

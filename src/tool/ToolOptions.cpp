@@ -62,9 +62,12 @@ std::optional<std::vector<double>> parseNumberList(const std::string &Text) {
 
 std::string psketch::toolUsage() {
   return "usage: psketch "
-         "<print|sample|score|report|synth|posterior|trace-stats> "
+         "<print|lint|sample|score|report|synth|posterior|trace-stats> "
          "[options]\n"
          "  print  --program FILE\n"
+         "  lint   --program FILE (static diagnostics: unbound/unused\n"
+         "         variables, constant observes, invalid draw parameters,\n"
+         "         uncompletable holes)\n"
          "  sample --program FILE [--rows N] [--seed S] [--out FILE.csv]\n"
          "  score  --program FILE --data FILE.csv\n"
          "  report --program FILE --data FILE.csv [--slot NAME ...]\n"
@@ -73,6 +76,7 @@ std::string psketch::toolUsage() {
          "         [--trace-out FILE.jsonl] [--metrics-out FILE.json]\n"
          "         [--progress] [--no-incremental] [--no-simplify]\n"
          "         [--no-fuse] [--ffast-tape] [--column-cache-mb N]\n"
+         "         [--no-static-analysis]\n"
          "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
          "  trace-stats --trace FILE.jsonl\n"
          "inputs: --int n=3 --real x=1.5 --bool b=1\n"
@@ -87,10 +91,10 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
   }
   Opts.Command = Args[0];
   const bool KnownCommand =
-      Opts.Command == "print" || Opts.Command == "sample" ||
-      Opts.Command == "score" || Opts.Command == "report" ||
-      Opts.Command == "synth" || Opts.Command == "posterior" ||
-      Opts.Command == "trace-stats";
+      Opts.Command == "print" || Opts.Command == "lint" ||
+      Opts.Command == "sample" || Opts.Command == "score" ||
+      Opts.Command == "report" || Opts.Command == "synth" ||
+      Opts.Command == "posterior" || Opts.Command == "trace-stats";
   if (!KnownCommand)
     Opts.Errors.push_back("unknown command '" + Opts.Command + "'");
 
@@ -135,6 +139,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
       Opts.NoFuse = true;
     } else if (Flag == "--ffast-tape") {
       Opts.FastTape = true;
+    } else if (Flag == "--no-static-analysis") {
+      Opts.NoStaticAnalysis = true;
     } else if (Flag == "--slot") {
       if (NextValue(I, Flag, Value))
         Opts.Slots.push_back(Value);

@@ -10,6 +10,7 @@
 /// commands:
 ///
 ///   psketch print  --program FILE
+///   psketch lint   --program FILE
 ///   psketch sample --program FILE --rows N [--out FILE.csv] [--seed S]
 ///   psketch score  --program FILE --data FILE.csv
 ///   psketch report --program FILE --data FILE.csv [--slot NAME ...]
@@ -55,6 +56,11 @@ struct ToolOptions {
   bool NoSimplify = false;    ///< --no-simplify: skip the NumExpr pass.
   bool NoFuse = false;        ///< --no-fuse: skip superinstructions.
   bool FastTape = false;      ///< --ffast-tape: FMA contraction (~1 ulp).
+  /// --no-static-analysis (synth): apply the abstract interpreter's
+  /// STATIC-REJECT verdict after scoring instead of before it.  Results
+  /// are bit-identical either way (the verdict still applies); the flag
+  /// exists to measure / bisect the pre-filter's cost and savings.
+  bool NoStaticAnalysis = false;
   unsigned ColumnCacheMB = 32; ///< --column-cache-mb: per-chain budget.
   std::vector<std::string> Slots; ///< --slot (report).
   unsigned Rows = 100;

@@ -1,0 +1,214 @@
+//===- tests/analysis/AbstractDomainTest.cpp - Interval x sign x NaN -----===//
+
+#include "analysis/AbstractDomain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace psketch;
+
+namespace {
+constexpr double Inf = std::numeric_limits<double>::infinity();
+const double NaN = std::numeric_limits<double>::quiet_NaN();
+} // namespace
+
+TEST(AbstractDomainTest, ConstantsAreSingletons) {
+  AbstractValue V = AbstractValue::constant(3.5);
+  EXPECT_TRUE(V.isSingleton());
+  EXPECT_TRUE(V.contains(3.5));
+  EXPECT_FALSE(V.contains(3.0));
+  EXPECT_FALSE(V.mayBeNaN());
+  EXPECT_EQ(V.Si, Sign::Pos);
+}
+
+TEST(AbstractDomainTest, NaNConstantIsMaybeNaNEmptyRange) {
+  AbstractValue V = AbstractValue::constant(NaN);
+  EXPECT_TRUE(V.mayBeNaN());
+  EXPECT_TRUE(V.emptyRange());
+  EXPECT_FALSE(V.isBottom());
+  EXPECT_TRUE(V.contains(NaN));
+  EXPECT_FALSE(V.contains(0.0));
+}
+
+TEST(AbstractDomainTest, TopContainsEverything) {
+  AbstractValue T = AbstractValue::topReal();
+  EXPECT_TRUE(T.contains(0.0));
+  EXPECT_TRUE(T.contains(-Inf));
+  EXPECT_TRUE(T.contains(Inf));
+  EXPECT_TRUE(T.contains(NaN));
+}
+
+TEST(AbstractDomainTest, BottomContainsNothing) {
+  AbstractValue B = AbstractValue::bottom();
+  EXPECT_TRUE(B.isBottom());
+  EXPECT_FALSE(B.contains(0.0));
+  EXPECT_FALSE(B.contains(NaN));
+}
+
+TEST(AbstractDomainTest, JoinCoversBothOperands) {
+  AbstractValue A = AbstractValue::range(-2, 1);
+  AbstractValue B = AbstractValue::range(5, 9);
+  AbstractValue J = join(A, B);
+  EXPECT_TRUE(J.contains(-2));
+  EXPECT_TRUE(J.contains(9));
+  EXPECT_TRUE(J.contains(3)); // Convex hull admits the gap.
+  EXPECT_FALSE(J.mayBeNaN());
+  // Bottom is the identity.
+  EXPECT_EQ(join(AbstractValue::bottom(), A), A.reduce());
+  // NaN taints the join.
+  EXPECT_TRUE(join(A, AbstractValue::constant(NaN)).mayBeNaN());
+}
+
+TEST(AbstractDomainTest, WidenBlowsUnstableBoundsToInfinity) {
+  AbstractValue Prev = AbstractValue::range(0, 10);
+  AbstractValue Grown = AbstractValue::range(0, 11);
+  AbstractValue W = widen(Prev, Grown);
+  EXPECT_EQ(W.Lo, 0.0);
+  EXPECT_EQ(W.Hi, Inf);
+  // Stable bounds stay.
+  AbstractValue Same = widen(Prev, Prev);
+  EXPECT_EQ(Same.Lo, 0.0);
+  EXPECT_EQ(Same.Hi, 10.0);
+}
+
+TEST(AbstractDomainTest, AddTracksInfMinusInfNaN) {
+  AbstractValue PosInf = AbstractValue::range(Inf, Inf);
+  AbstractValue NegInf = AbstractValue::range(-Inf, -Inf);
+  AbstractValue Sum = absAdd(PosInf, NegInf);
+  EXPECT_TRUE(Sum.mayBeNaN()); // inf + (-inf) == NaN.
+  AbstractValue Fin = absAdd(AbstractValue::range(1, 2),
+                             AbstractValue::range(10, 20));
+  EXPECT_FALSE(Fin.mayBeNaN());
+  EXPECT_TRUE(Fin.contains(11));
+  EXPECT_TRUE(Fin.contains(22));
+  EXPECT_FALSE(Fin.contains(9));
+}
+
+TEST(AbstractDomainTest, MulTracksZeroTimesInfNaN) {
+  AbstractValue Zero = AbstractValue::constant(0.0);
+  AbstractValue Wide = AbstractValue::range(0, Inf);
+  EXPECT_TRUE(absMul(Zero, Wide).mayBeNaN()); // 0 * inf == NaN.
+  AbstractValue Fin = absMul(AbstractValue::range(2, 3),
+                             AbstractValue::range(-4, 5));
+  EXPECT_FALSE(Fin.mayBeNaN());
+  EXPECT_TRUE(Fin.contains(-12));
+  EXPECT_TRUE(Fin.contains(15));
+}
+
+TEST(AbstractDomainTest, SameSignAdditionPreservesSign) {
+  AbstractValue A = AbstractValue::range(1, 5);
+  AbstractValue B = AbstractValue::range(2, 3);
+  EXPECT_EQ(absAdd(A, B).Si, Sign::Pos);
+  EXPECT_EQ(absAdd(absNeg(A), absNeg(B)).Si, Sign::Neg);
+}
+
+TEST(AbstractDomainTest, ComparisonsWithPossibleNaNAreNeverDefinitelyTrue) {
+  AbstractValue MaybeNaN = AbstractValue::topReal();
+  AbstractValue Two = AbstractValue::constant(2.0);
+  AbstractValue G = absGt(MaybeNaN, Two);
+  EXPECT_FALSE(G.definitelyTrue());
+  EXPECT_FALSE(G.definitelyFalse());
+  // Disjoint NaN-free ranges decide.
+  AbstractValue Big = AbstractValue::range(10, 20);
+  EXPECT_TRUE(absGt(Big, Two).definitelyTrue());
+  EXPECT_TRUE(absLt(Big, Two).definitelyFalse());
+  // NaN-only operand: every comparison is definitely false.
+  EXPECT_TRUE(absGt(AbstractValue::constant(NaN), Two).definitelyFalse());
+}
+
+TEST(AbstractDomainTest, EqOnDistinctSingletonsIsFalse) {
+  AbstractValue A = AbstractValue::constant(1.0);
+  AbstractValue B = AbstractValue::constant(2.0);
+  EXPECT_TRUE(absEq(A, B).definitelyFalse());
+  EXPECT_TRUE(absEq(A, A).definitelyTrue());
+  AbstractValue R = AbstractValue::range(0, 3);
+  AbstractValue E = absEq(A, R);
+  EXPECT_FALSE(E.definitelyTrue());
+  EXPECT_FALSE(E.definitelyFalse());
+}
+
+TEST(AbstractDomainTest, BooleanOperatorsHonorTruthTables) {
+  AbstractValue T = AbstractValue::boolValue(false, true);
+  AbstractValue F = AbstractValue::boolValue(true, false);
+  AbstractValue U = AbstractValue::topBool();
+  EXPECT_TRUE(absAnd(T, T).definitelyTrue());
+  EXPECT_TRUE(absAnd(F, U).definitelyFalse());
+  EXPECT_TRUE(absOr(T, U).definitelyTrue());
+  EXPECT_TRUE(absOr(F, F).definitelyFalse());
+  EXPECT_TRUE(absNot(T).definitelyFalse());
+  EXPECT_TRUE(absNot(F).definitelyTrue());
+  AbstractValue Mixed = absAnd(U, T);
+  EXPECT_FALSE(Mixed.definitelyTrue());
+  EXPECT_FALSE(Mixed.definitelyFalse());
+}
+
+TEST(AbstractDomainTest, ReduceTightensExcludedZeroEndpoints) {
+  AbstractValue V;
+  V.Lo = 0;
+  V.Hi = 5;
+  V.Si = Sign::Pos;
+  V.NaNFree = true;
+  AbstractValue R = V.reduce();
+  EXPECT_GT(R.Lo, 0.0); // 0 is excluded by the sign component.
+  EXPECT_TRUE(R.definitelyGT(0.0));
+}
+
+TEST(AbstractDomainTest, DistResultRanges) {
+  EXPECT_EQ(distResultRange(DistKind::Bernoulli).Lo, 0.0);
+  EXPECT_EQ(distResultRange(DistKind::Bernoulli).Hi, 1.0);
+  EXPECT_EQ(distResultRange(DistKind::Beta).Lo, 0.0);
+  EXPECT_EQ(distResultRange(DistKind::Beta).Hi, 1.0);
+  EXPECT_EQ(distResultRange(DistKind::Gamma).Lo, 0.0);
+  EXPECT_EQ(distResultRange(DistKind::Gamma).Hi, Inf);
+  EXPECT_EQ(distResultRange(DistKind::Poisson).Lo, 0.0);
+  EXPECT_EQ(distResultRange(DistKind::Gaussian).Hi, Inf);
+}
+
+TEST(AbstractDomainTest, InvalidParamRules) {
+  AbstractValue Neg = AbstractValue::range(-3, -1);
+  AbstractValue Pos = AbstractValue::range(1, 3);
+  AbstractValue Span = AbstractValue::range(-1, 1);
+
+  // Gaussian: only sigma (arg 1) constrained, must be > 0.
+  EXPECT_FALSE(definitelyInvalidParam(DistKind::Gaussian, 0, Neg));
+  EXPECT_TRUE(definitelyInvalidParam(DistKind::Gaussian, 1, Neg));
+  EXPECT_TRUE(definitelyInvalidParam(DistKind::Gaussian, 1,
+                                     AbstractValue::constant(0.0)));
+  EXPECT_FALSE(definitelyInvalidParam(DistKind::Gaussian, 1, Span));
+  EXPECT_FALSE(definitelyInvalidParam(DistKind::Gaussian, 1, Pos));
+
+  // Bernoulli: p in [0, 1].
+  EXPECT_TRUE(definitelyInvalidParam(DistKind::Bernoulli, 0, Neg));
+  EXPECT_TRUE(definitelyInvalidParam(DistKind::Bernoulli, 0,
+                                     AbstractValue::range(1.5, 2)));
+  EXPECT_FALSE(definitelyInvalidParam(DistKind::Bernoulli, 0, Span));
+
+  // Beta / Gamma: both shape parameters must be > 0.
+  for (DistKind D : {DistKind::Beta, DistKind::Gamma}) {
+    EXPECT_TRUE(definitelyInvalidParam(D, 0, Neg));
+    EXPECT_TRUE(definitelyInvalidParam(D, 1, Neg));
+    EXPECT_FALSE(definitelyInvalidParam(D, 0, Span));
+    EXPECT_FALSE(definitelyInvalidParam(D, 1, Pos));
+  }
+
+  // Poisson: rate must be positive.
+  EXPECT_TRUE(definitelyInvalidParam(DistKind::Poisson, 0, Neg));
+  EXPECT_FALSE(definitelyInvalidParam(DistKind::Poisson, 0, Pos));
+
+  // A may-be-NaN parameter never STATIC-REJECTs (the runtime clamps
+  // NaN into the valid domain), and neither does bottom (unreachable).
+  AbstractValue MaybeNaNNeg = Neg;
+  MaybeNaNNeg.NaNFree = false;
+  EXPECT_FALSE(definitelyInvalidParam(DistKind::Gaussian, 1, MaybeNaNNeg));
+  EXPECT_FALSE(
+      definitelyInvalidParam(DistKind::Gaussian, 1, AbstractValue::bottom()));
+}
+
+TEST(AbstractDomainTest, StrRendersIntervalAndSign) {
+  AbstractValue V = AbstractValue::range(-3, -1);
+  std::string S = V.str();
+  EXPECT_NE(S.find("-3"), std::string::npos);
+  EXPECT_NE(S.find("-1"), std::string::npos);
+}

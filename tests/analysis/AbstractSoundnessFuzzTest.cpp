@@ -1,0 +1,229 @@
+//===- tests/analysis/AbstractSoundnessFuzzTest.cpp - Domain soundness ---===//
+//
+// Differential property fuzz for the abstract transfer functions: build
+// random completion expressions over hole formals, give each formal a
+// random abstract interval, then check that the concrete value of the
+// expression — evaluated with the interpreter's exact semantics
+// (short-circuit &&/||, taken-branch ternaries, IEEE arithmetic) at
+// concrete formal values drawn from those intervals — is contained in
+// the abstract value evalCompletionAbstract computes.  This is the
+// soundness contract the STATIC-REJECT pre-filter rests on: an interval
+// that ever excluded a reachable concrete value could reject a
+// candidate the scorer would score finite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ProgramAnalysis.h"
+#include "ast/Expr.h"
+#include "support/Casting.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+using namespace psketch;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+constexpr unsigned NumFormals = 4;
+
+/// A random expression over real-valued formals %0..%3.  Boolean
+/// positions (conditions, logical operands) are built from comparisons,
+/// so every generated tree is well-kinded.
+ExprPtr randomExpr(Rng &R, unsigned Depth, bool WantBool);
+
+double randomConstant(Rng &R) {
+  switch (R.index(8)) {
+  case 0:
+    return 0.0;
+  case 1:
+    return -0.0;
+  case 2:
+    return Inf;
+  case 3:
+    return -Inf;
+  case 4:
+    return 1e300; // Overflow fodder for products and sums.
+  default:
+    return R.gaussian(0, 10);
+  }
+}
+
+ExprPtr randomReal(Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.uniform() < 0.35) {
+    if (R.uniform() < 0.5)
+      return std::make_unique<HoleArgExpr>(unsigned(R.index(NumFormals)));
+    return ConstExpr::real(randomConstant(R));
+  }
+  switch (R.index(5)) {
+  case 0:
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg,
+                                       randomReal(R, Depth - 1));
+  case 1:
+  case 2: {
+    BinaryOp Ops[] = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul};
+    return std::make_unique<BinaryExpr>(Ops[R.index(3)],
+                                        randomReal(R, Depth - 1),
+                                        randomReal(R, Depth - 1));
+  }
+  default:
+    return std::make_unique<IteExpr>(randomExpr(R, Depth - 1, true),
+                                     randomReal(R, Depth - 1),
+                                     randomReal(R, Depth - 1));
+  }
+}
+
+ExprPtr randomBool(Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.uniform() < 0.3) {
+    BinaryOp Ops[] = {BinaryOp::Gt, BinaryOp::Lt, BinaryOp::Eq};
+    return std::make_unique<BinaryExpr>(Ops[R.index(3)], randomReal(R, 1),
+                                        randomReal(R, 1));
+  }
+  switch (R.index(3)) {
+  case 0:
+    return std::make_unique<UnaryExpr>(UnaryOp::Not,
+                                       randomBool(R, Depth - 1));
+  default:
+    return std::make_unique<BinaryExpr>(
+        R.uniform() < 0.5 ? BinaryOp::And : BinaryOp::Or,
+        randomBool(R, Depth - 1), randomBool(R, Depth - 1));
+  }
+}
+
+ExprPtr randomExpr(Rng &R, unsigned Depth, bool WantBool) {
+  return WantBool ? randomBool(R, Depth) : randomReal(R, Depth);
+}
+
+/// Concrete evaluation with the interpreter's semantics (Interp.cpp):
+/// `&&`/`||` short-circuit on the left operand, ternaries evaluate the
+/// taken branch only, comparisons on NaN are false.
+double evalConcrete(const Expr &E, const std::vector<double> &Formals) {
+  switch (E.getKind()) {
+  case Expr::Kind::Const:
+    return cast<ConstExpr>(E).getValue();
+  case Expr::Kind::HoleArg:
+    return Formals[cast<HoleArgExpr>(E).getArgIndex()];
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    double Sub = evalConcrete(U.getSub(), Formals);
+    return U.getOp() == UnaryOp::Not ? (Sub != 0.0 ? 0.0 : 1.0) : -Sub;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    double L = evalConcrete(B.getLHS(), Formals);
+    if (B.getOp() == BinaryOp::And && L == 0.0)
+      return 0.0;
+    if (B.getOp() == BinaryOp::Or && L != 0.0)
+      return 1.0;
+    double R = evalConcrete(B.getRHS(), Formals);
+    switch (B.getOp()) {
+    case BinaryOp::Add:
+      return L + R;
+    case BinaryOp::Sub:
+      return L - R;
+    case BinaryOp::Mul:
+      return L * R;
+    case BinaryOp::And:
+      return (L != 0.0 && R != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::Or:
+      return (L != 0.0 || R != 0.0) ? 1.0 : 0.0;
+    case BinaryOp::Gt:
+      return L > R ? 1.0 : 0.0;
+    case BinaryOp::Lt:
+      return L < R ? 1.0 : 0.0;
+    case BinaryOp::Eq:
+      return L == R ? 1.0 : 0.0;
+    }
+    return 0.0;
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(E);
+    double C = evalConcrete(I.getCond(), Formals);
+    return evalConcrete(C != 0.0 ? I.getThen() : I.getElse(), Formals);
+  }
+  default:
+    ADD_FAILURE() << "unexpected node kind in fuzz expression";
+    return 0.0;
+  }
+}
+
+/// A concrete value drawn from (the interval part of) \p V.
+double sampleFrom(const AbstractValue &V, Rng &R) {
+  if (V.isSingleton())
+    return V.Lo;
+  double Lo = std::isinf(V.Lo) ? -1e9 : V.Lo;
+  double Hi = std::isinf(V.Hi) ? 1e9 : V.Hi;
+  double X = Lo + (Hi - Lo) * R.uniform();
+  // Occasionally pin an endpoint: bugs live at the corners.
+  if (R.uniform() < 0.25)
+    X = R.uniform() < 0.5 ? V.Lo : V.Hi;
+  return X;
+}
+
+AbstractValue randomFormalRange(Rng &R) {
+  switch (R.index(6)) {
+  case 0:
+    return AbstractValue::constant(R.gaussian(0, 5));
+  case 1:
+    return AbstractValue::range(-Inf, R.gaussian(0, 5));
+  case 2: {
+    double Lo = R.gaussian(0, 5);
+    return AbstractValue::range(Lo, Inf);
+  }
+  default: {
+    double A = R.gaussian(0, 5), B = R.gaussian(0, 5);
+    return AbstractValue::range(std::min(A, B), std::max(A, B));
+  }
+  }
+}
+
+} // namespace
+
+TEST(AbstractSoundnessFuzz, ConcreteValuesLieInAbstractIntervals) {
+  Rng R(20260806);
+  constexpr unsigned NumExprs = 12000;
+  constexpr unsigned SamplesPerExpr = 3;
+  for (unsigned Iter = 0; Iter != NumExprs; ++Iter) {
+    ExprPtr E = randomExpr(R, 1 + unsigned(R.index(4)),
+                           /*WantBool=*/R.index(4) == 0);
+    std::vector<AbstractValue> AbsFormals;
+    for (unsigned I = 0; I != NumFormals; ++I)
+      AbsFormals.push_back(randomFormalRange(R));
+    AbstractValue Abs = evalCompletionAbstract(*E, AbsFormals);
+    for (unsigned S = 0; S != SamplesPerExpr; ++S) {
+      std::vector<double> Formals;
+      for (const AbstractValue &AV : AbsFormals)
+        Formals.push_back(sampleFrom(AV, R));
+      double V = evalConcrete(*E, Formals);
+      ASSERT_TRUE(Abs.contains(V))
+          << "iter " << Iter << ": concrete " << V << " escapes abstract "
+          << Abs.str();
+    }
+  }
+}
+
+TEST(AbstractSoundnessFuzz, SingletonFormalsNeverLoseTheExactValue) {
+  // With every formal a singleton the abstract walk follows one concrete
+  // execution; containment must still hold bit-for-bit (including the
+  // 1-ulp outward rounding absorbing any FMA contraction difference).
+  Rng R(77);
+  for (unsigned Iter = 0; Iter != 4000; ++Iter) {
+    ExprPtr E = randomExpr(R, 1 + unsigned(R.index(4)), false);
+    std::vector<AbstractValue> AbsFormals;
+    std::vector<double> Formals;
+    for (unsigned I = 0; I != NumFormals; ++I) {
+      double V = R.gaussian(0, 10);
+      Formals.push_back(V);
+      AbsFormals.push_back(AbstractValue::constant(V));
+    }
+    AbstractValue Abs = evalCompletionAbstract(*E, AbsFormals);
+    double V = evalConcrete(*E, Formals);
+    ASSERT_TRUE(Abs.contains(V))
+        << "iter " << Iter << ": concrete " << V << " escapes abstract "
+        << Abs.str();
+  }
+}

@@ -1,0 +1,143 @@
+//===- tests/analysis/CandidateAnalyzerTest.cpp - STATIC-REJECT verdicts -===//
+
+#include "analysis/CandidateAnalyzer.h"
+
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parse(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (P) {
+    EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  }
+  return P;
+}
+
+const char *SigmaHoleSketch = R"(
+program S() {
+  x: real;
+  x ~ Gaussian(0.0, ??);
+  return x;
+}
+)";
+
+} // namespace
+
+TEST(CandidateAnalyzerTest, RejectsProvablyNegativeScale) {
+  auto P = parse(SigmaHoleSketch);
+  InputBindings Inputs;
+  CandidateAnalyzer A(*P, Inputs);
+
+  std::vector<ExprPtr> Bad;
+  Bad.push_back(ConstExpr::real(-2.0));
+  CandidateVerdict V = A.analyze(Bad);
+  EXPECT_TRUE(V.Rejected);
+  EXPECT_EQ(V.Dist, DistKind::Gaussian);
+  EXPECT_EQ(V.ArgIndex, 1u);
+  EXPECT_TRUE(V.Value.definitelyLE(0.0));
+  // The verdict names the parameter and the requirement.
+  EXPECT_NE(V.str().find("Gaussian"), std::string::npos);
+  EXPECT_NE(V.str().find("sigma"), std::string::npos);
+  EXPECT_NE(V.str().find("> 0"), std::string::npos);
+}
+
+TEST(CandidateAnalyzerTest, VerdictCarriesTheDrawSiteLocation) {
+  auto P = parse(SigmaHoleSketch);
+  InputBindings Inputs;
+  CandidateAnalyzer A(*P, Inputs);
+  std::vector<ExprPtr> Bad;
+  Bad.push_back(ConstExpr::real(-1.0));
+  CandidateVerdict V = A.analyze(Bad);
+  ASSERT_TRUE(V.Rejected);
+  // `x ~ Gaussian(...)` sits on line 4 of the source above.
+  EXPECT_EQ(V.Loc.Line, 4u);
+}
+
+TEST(CandidateAnalyzerTest, AcceptsPositiveScale) {
+  auto P = parse(SigmaHoleSketch);
+  InputBindings Inputs;
+  CandidateAnalyzer A(*P, Inputs);
+  std::vector<ExprPtr> Good;
+  Good.push_back(ConstExpr::real(2.0));
+  EXPECT_FALSE(A.analyze(Good).Rejected);
+}
+
+TEST(CandidateAnalyzerTest, AcceptsUndecidableScale) {
+  // A completion that *may* be negative is not *definitely* invalid.
+  auto P = parse(SigmaHoleSketch);
+  InputBindings Inputs;
+  CandidateAnalyzer A(*P, Inputs);
+  std::vector<ExprPtr> Maybe;
+  std::vector<ExprPtr> Args;
+  Args.push_back(ConstExpr::real(1.0));
+  Args.push_back(ConstExpr::real(3.0));
+  Maybe.push_back(
+      std::make_unique<SampleExpr>(DistKind::Gaussian, std::move(Args)));
+  EXPECT_FALSE(A.analyze(Maybe).Rejected);
+}
+
+TEST(CandidateAnalyzerTest, CompletionArithmeticIsTracked) {
+  // ?? completed with (c - 5) where c = 1: provably -4.
+  auto P = parse(R"(
+program S() {
+  c: real;
+  x: real;
+  c = 1.0;
+  x ~ Gaussian(0.0, ??(c));
+  return x;
+}
+)");
+  InputBindings Inputs;
+  CandidateAnalyzer A(*P, Inputs);
+  std::vector<ExprPtr> Bad;
+  Bad.push_back(std::make_unique<BinaryExpr>(
+      BinaryOp::Sub, std::make_unique<HoleArgExpr>(0u),
+      ConstExpr::real(5.0)));
+  CandidateVerdict V = A.analyze(Bad);
+  EXPECT_TRUE(V.Rejected) << "1 - 5 is provably negative";
+
+  std::vector<ExprPtr> Good;
+  Good.push_back(std::make_unique<BinaryExpr>(
+      BinaryOp::Add, std::make_unique<HoleArgExpr>(0u),
+      ConstExpr::real(5.0)));
+  EXPECT_FALSE(A.analyze(Good).Rejected);
+}
+
+TEST(CandidateAnalyzerTest, BernoulliProbabilityBounds) {
+  auto P = parse(R"(
+program S() {
+  b: bool;
+  b ~ Bernoulli(??);
+  return b;
+}
+)");
+  InputBindings Inputs;
+  CandidateAnalyzer A(*P, Inputs);
+  std::vector<ExprPtr> TooBig;
+  TooBig.push_back(ConstExpr::real(1.5));
+  CandidateVerdict V = A.analyze(TooBig);
+  EXPECT_TRUE(V.Rejected);
+  EXPECT_EQ(V.Dist, DistKind::Bernoulli);
+  EXPECT_NE(V.str().find("[0, 1]"), std::string::npos);
+
+  std::vector<ExprPtr> Edge;
+  Edge.push_back(ConstExpr::real(1.0)); // p == 1 is valid.
+  EXPECT_FALSE(A.analyze(Edge).Rejected);
+}
+
+TEST(CandidateAnalyzerTest, DistParamRequirementStrings) {
+  EXPECT_STREQ(distParamRequirement(DistKind::Gaussian, 0), "any real");
+  EXPECT_STREQ(distParamRequirement(DistKind::Gaussian, 1), "> 0");
+  EXPECT_STREQ(distParamRequirement(DistKind::Bernoulli, 0), "in [0, 1]");
+  EXPECT_STREQ(distParamRequirement(DistKind::Beta, 0), "> 0");
+  EXPECT_STREQ(distParamRequirement(DistKind::Gamma, 1), "> 0");
+  EXPECT_STREQ(distParamRequirement(DistKind::Poisson, 0), "> 0");
+}

@@ -1,0 +1,192 @@
+//===- tests/analysis/LintTest.cpp - psketch lint rule coverage ----------===//
+
+#include "analysis/Lint.h"
+
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parse(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (P) {
+    EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  }
+  return P;
+}
+
+struct LintRun {
+  LintResult Result;
+  std::string Text;
+};
+
+LintRun lint(const std::string &Source, const InputBindings *Inputs = nullptr) {
+  auto P = parse(Source);
+  DiagEngine Diags;
+  LintRun R;
+  R.Result = lintProgram(*P, Diags, Inputs);
+  R.Text = Diags.str();
+  return R;
+}
+
+} // namespace
+
+TEST(LintTest, CleanProgramIsQuiet) {
+  LintRun R = lint(R"(
+program Clean(n: real) {
+  x: real;
+  x ~ Gaussian(n, 1.0);
+  observe(x > 0.0);
+  return x;
+}
+)");
+  EXPECT_EQ(R.Result.Errors, 0u) << R.Text;
+  EXPECT_EQ(R.Result.Warnings, 0u) << R.Text;
+  EXPECT_TRUE(R.Text.empty()) << R.Text;
+}
+
+TEST(LintTest, UnboundVariableIsAnError) {
+  LintRun R = lint(R"(
+program Unbound() {
+  y: real;
+  observe(y > 0.0);
+  return y;
+}
+)");
+  EXPECT_GE(R.Result.Errors, 1u);
+  EXPECT_NE(R.Text.find("'y'"), std::string::npos) << R.Text;
+  EXPECT_NE(R.Text.find("unbound"), std::string::npos) << R.Text;
+  // The diagnostic points at the first offending read, line 4.
+  EXPECT_NE(R.Text.find("4:"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, PartiallyAssignedVariableIsStillUnbound) {
+  // Assigned on one branch only: the read is not definitely dominated.
+  LintRun R = lint(R"(
+program Partial(c: bool) {
+  y: real;
+  if (c) {
+    y = 1.0;
+  } else {
+  }
+  return y;
+}
+)");
+  EXPECT_GE(R.Result.Errors, 1u);
+  EXPECT_NE(R.Text.find("every path"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, UnusedVariableIsAWarning) {
+  LintRun R = lint(R"(
+program Unused() {
+  x: real;
+  dead: real;
+  x = 1.0;
+  dead = 2.0;
+  return x;
+}
+)");
+  EXPECT_EQ(R.Result.Errors, 0u) << R.Text;
+  EXPECT_GE(R.Result.Warnings, 1u);
+  EXPECT_NE(R.Text.find("'dead'"), std::string::npos) << R.Text;
+  EXPECT_NE(R.Text.find("never used"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, ConstantObserveBothPolarities) {
+  LintRun R = lint(R"(
+program ConstObs() {
+  x: real;
+  x = 1.0;
+  observe(1.0 > 2.0);
+  observe(x > 0.0);
+  return x;
+}
+)");
+  EXPECT_GE(R.Result.Warnings, 1u);
+  EXPECT_NE(R.Text.find("statically false"), std::string::npos) << R.Text;
+
+  LintRun T = lint(R"(
+program Vacuous() {
+  x: real;
+  x = 1.0;
+  observe(x > 0.0);
+  return x;
+}
+)");
+  // x == 1 is provably positive: the observe is vacuous.
+  EXPECT_GE(T.Result.Warnings, 1u);
+  EXPECT_NE(T.Text.find("statically true"), std::string::npos) << T.Text;
+}
+
+TEST(LintTest, InvalidParamIntervalIsAnError) {
+  LintRun R = lint(R"(
+program BadSigma() {
+  x: real;
+  x ~ Gaussian(0.0, -2.0);
+  return x;
+}
+)");
+  EXPECT_GE(R.Result.Errors, 1u);
+  EXPECT_NE(R.Text.find("Gaussian"), std::string::npos) << R.Text;
+  EXPECT_NE(R.Text.find("sigma"), std::string::npos) << R.Text;
+  EXPECT_NE(R.Text.find("every completion"), std::string::npos) << R.Text;
+  // Location of the draw statement, line 4.
+  EXPECT_NE(R.Text.find("4:"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, HolesInParamPositionSuppressTheInvalidParamRule) {
+  // With a hole in sigma position the interval is top: some completion
+  // may be valid, so lint must not flag the draw.
+  LintRun R = lint(R"(
+program HoleSigma() {
+  x: real;
+  x ~ Gaussian(0.0, ??);
+  return x;
+}
+)");
+  EXPECT_EQ(R.Result.Errors, 0u) << R.Text;
+}
+
+TEST(LintTest, BoundInputsTightenTheInvalidParamRule) {
+  const char *Src = R"(
+program Scaled(s: real) {
+  x: real;
+  x ~ Gaussian(0.0, s);
+  return x;
+}
+)";
+  // Unbound input: s is top, no error.
+  LintRun Free = lint(Src);
+  EXPECT_EQ(Free.Result.Errors, 0u) << Free.Text;
+
+  // s bound to -1: the draw is provably invalid.
+  InputBindings Inputs;
+  Inputs.setScalar("s", -1.0);
+  LintRun Bound = lint(Src, &Inputs);
+  EXPECT_GE(Bound.Result.Errors, 1u) << Bound.Text;
+}
+
+TEST(LintTest, MultipleFindingsAreAllCounted) {
+  LintRun R = lint(R"(
+program Messy() {
+  y: real;
+  dead: real;
+  x: real;
+  dead = 3.0;
+  x ~ Gaussian(0.0, -2.0);
+  observe(y > 0.0);
+  observe(1.0 > 2.0);
+  return x;
+}
+)");
+  // unbound y + invalid sigma = 2 errors; unused dead + constant
+  // observe = 2 warnings.
+  EXPECT_EQ(R.Result.Errors, 2u) << R.Text;
+  EXPECT_EQ(R.Result.Warnings, 2u) << R.Text;
+}

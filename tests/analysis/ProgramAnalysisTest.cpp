@@ -1,0 +1,338 @@
+//===- tests/analysis/ProgramAnalysisTest.cpp - Abstract interpreter -----===//
+
+#include "analysis/ProgramAnalysis.h"
+
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace psketch;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// Parses and type checks \p Source (must succeed).
+std::unique_ptr<Program> parse(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (!P)
+    return nullptr;
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  return P;
+}
+
+const DrawSiteFacts *findDraw(const AnalysisResult &R, DistKind D) {
+  for (const DrawSiteFacts &F : R.Draws)
+    if (F.Dist == D)
+      return &F;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(ProgramAnalysisTest, ConstantsFlowIntoDrawParameters) {
+  auto P = parse(R"(
+program T() {
+  s: real;
+  x: real;
+  s = 2.0 + 3.0;
+  x ~ Gaussian(1.0, s);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  EXPECT_FALSE(R.Rejected);
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  ASSERT_EQ(G->Params.size(), 2u);
+  EXPECT_TRUE(G->Params[0].isSingleton());
+  EXPECT_DOUBLE_EQ(G->Params[0].Lo, 1.0);
+  // 2.0 + 3.0 lands within one ulp of 5.
+  EXPECT_TRUE(G->Params[1].contains(5.0));
+  EXPECT_TRUE(G->Params[1].definitelyGT(0.0));
+}
+
+TEST(ProgramAnalysisTest, NegativeSigmaRejects) {
+  auto P = parse(R"(
+program T() {
+  x: real;
+  x ~ Gaussian(0.0, -2.0);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeCandidate({});
+  EXPECT_TRUE(R.Rejected);
+  EXPECT_EQ(R.RejectDist, DistKind::Gaussian);
+  EXPECT_EQ(R.RejectArg, 1u);
+  EXPECT_NE(R.rejectReason().find("sigma"), std::string::npos);
+}
+
+TEST(ProgramAnalysisTest, UnreachableDrawDoesNotReject) {
+  // The invalid draw sits behind a statically-false branch; every
+  // concrete run avoids it, so the candidate must not be rejected.
+  auto P = parse(R"(
+program T() {
+  x: real;
+  if (1.0 > 2.0) {
+    x ~ Gaussian(0.0, -1.0);
+  } else {
+    x ~ Gaussian(0.0, 1.0);
+  }
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  EXPECT_FALSE(PA.analyzeCandidate({}).Rejected);
+}
+
+TEST(ProgramAnalysisTest, DrawAfterFalseObserveDoesNotReject) {
+  // observe(false) rejects every concrete run before the draw executes,
+  // so the draw is unreachable and its invalid parameter is moot.
+  auto P = parse(R"(
+program T() {
+  x: real;
+  observe(1.0 > 2.0);
+  x ~ Gaussian(0.0, -1.0);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeCandidate({});
+  EXPECT_FALSE(R.Rejected);
+}
+
+TEST(ProgramAnalysisTest, BranchJoinWidensParameters) {
+  auto P = parse(R"(
+program T(c: bool) {
+  s: real;
+  x: real;
+  if (c) { s = 1.0; } else { s = -1.0; }
+  x ~ Gaussian(0.0, s);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  // s may be 1 — cannot be *definitely* invalid.
+  EXPECT_FALSE(R.Rejected);
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  EXPECT_TRUE(G->Params[1].contains(1.0));
+  EXPECT_TRUE(G->Params[1].contains(-1.0));
+}
+
+TEST(ProgramAnalysisTest, BoundInputsTightenBranches) {
+  auto P = parse(R"(
+program T(c: bool) {
+  s: real;
+  x: real;
+  if (c) { s = 1.0; } else { s = -1.0; }
+  x ~ Gaussian(0.0, s);
+  return x;
+}
+)");
+  InputBindings Inputs;
+  Inputs.setScalar("c", 0.0, ScalarKind::Bool); // Definitely the else arm.
+  ProgramAnalysis PA(*P, &Inputs);
+  AnalysisResult R = PA.analyzeCandidate({});
+  EXPECT_TRUE(R.Rejected) << "bound input should select the -1 branch";
+}
+
+TEST(ProgramAnalysisTest, LoopFixpointTerminatesAndCoversAllIterations) {
+  auto P = parse(R"(
+program T(n: int) {
+  acc: real;
+  x: real;
+  acc = 0.0;
+  for i in 0..n {
+    acc = acc + 1.0;
+  }
+  x ~ Gaussian(acc, 1.0);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  EXPECT_FALSE(R.Rejected);
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  // Widening: the accumulator covers every trip count.
+  EXPECT_TRUE(G->Params[0].contains(0.0));
+  EXPECT_TRUE(G->Params[0].contains(1000.0));
+}
+
+TEST(ProgramAnalysisTest, ArraysAreSummarizedWeakly) {
+  auto P = parse(R"(
+program T(n: int) {
+  a: real[n];
+  x: real;
+  for i in 0..n {
+    a[i] = 2.0;
+  }
+  x ~ Gaussian(a[0], 1.0);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  EXPECT_FALSE(R.Rejected);
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  EXPECT_TRUE(G->Params[0].contains(2.0));
+}
+
+TEST(ProgramAnalysisTest, BoundArrayInputsGiveMinMaxRanges) {
+  auto P = parse(R"(
+program T(v: real[]) {
+  x: real;
+  x ~ Gaussian(v[0], 1.0);
+  return x;
+}
+)");
+  InputBindings Inputs;
+  Inputs.setArray("v", {2.0, 5.0, 3.0}, ScalarKind::Real);
+  ProgramAnalysis PA(*P, &Inputs);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  EXPECT_TRUE(G->Params[0].contains(2.0));
+  EXPECT_TRUE(G->Params[0].contains(5.0));
+  EXPECT_TRUE(G->Params[0].definitelyGE(2.0));
+  EXPECT_TRUE(G->Params[0].definitelyLE(5.0));
+}
+
+TEST(ProgramAnalysisTest, DrawResultsFeedDownstreamParameters) {
+  auto P = parse(R"(
+program T() {
+  p: real;
+  b: bool;
+  p ~ Beta(2.0, 2.0);
+  b ~ Bernoulli(p);
+  return b;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  // Beta results lie in [0, 1] — a valid Bernoulli probability.
+  EXPECT_FALSE(R.Rejected);
+  const DrawSiteFacts *B = findDraw(R, DistKind::Bernoulli);
+  ASSERT_TRUE(B);
+  EXPECT_TRUE(B->Params[0].definitelyGE(0.0));
+  EXPECT_TRUE(B->Params[0].definitelyLE(1.0));
+}
+
+TEST(ProgramAnalysisTest, GaussianFedScaleIsNotDefinitelyInvalid) {
+  // A Gaussian draw can be negative, but not *definitely* negative:
+  // the scale position must not reject.
+  auto P = parse(R"(
+program T() {
+  s: real;
+  x: real;
+  s ~ Gaussian(1.0, 1.0);
+  x ~ Gaussian(0.0, s);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  EXPECT_FALSE(PA.analyzeCandidate({}).Rejected);
+}
+
+TEST(ProgramAnalysisTest, CompletionsFlowIntoHoleResults) {
+  auto P = parse(R"(
+program T() {
+  x: real;
+  y: real;
+  x = ??;
+  y ~ Gaussian(0.0, x);
+  return y;
+}
+)");
+  DiagEngine Diags;
+  auto Sigs = typeCheck(*P, Diags);
+  ASSERT_TRUE(Sigs);
+  ProgramAnalysis PA(*P);
+
+  std::vector<ExprPtr> Bad;
+  Bad.push_back(ConstExpr::real(-4.0));
+  AnalysisResult R = PA.analyzeCandidate(Bad);
+  EXPECT_TRUE(R.Rejected);
+  EXPECT_EQ(R.RejectDist, DistKind::Gaussian);
+
+  std::vector<ExprPtr> Good;
+  Good.push_back(ConstExpr::real(4.0));
+  EXPECT_FALSE(PA.analyzeCandidate(Good).Rejected);
+
+  // No completions (lint mode): the hole is top-of-kind, so nothing is
+  // definitely invalid.
+  EXPECT_FALSE(PA.analyzeFull(nullptr).Rejected);
+}
+
+TEST(ProgramAnalysisTest, ObserveConstancyIsDetected) {
+  auto P = parse(R"(
+program T() {
+  x: real;
+  x ~ Gaussian(0.0, 1.0);
+  observe(2.0 > 1.0);
+  observe(x > 0.0);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  ASSERT_EQ(R.Observes.size(), 2u);
+  EXPECT_TRUE(R.Observes[0].Cond.definitelyTrue());
+  EXPECT_FALSE(R.Observes[1].Cond.definitelyTrue());
+  EXPECT_FALSE(R.Observes[1].Cond.definitelyFalse());
+}
+
+TEST(ProgramAnalysisTest, VarFactsTrackReadsAndAssignments) {
+  auto P = parse(R"(
+program T() {
+  used: real;
+  unused: real;
+  used ~ Gaussian(0.0, 1.0);
+  unused ~ Gaussian(0.0, 1.0);
+  return used;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  ASSERT_EQ(R.Vars.size(), 2u);
+  EXPECT_EQ(R.Vars[0].Name, "used");
+  EXPECT_TRUE(R.Vars[0].EverRead); // Returned counts as read.
+  EXPECT_EQ(R.Vars[1].Name, "unused");
+  EXPECT_FALSE(R.Vars[1].EverRead);
+  EXPECT_TRUE(R.Vars[1].EverAssigned);
+}
+
+TEST(ProgramAnalysisTest, FinalEnvHoldsScalarRanges) {
+  auto P = parse(R"(
+program T() {
+  x: real;
+  x = 3.0;
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  auto It = R.FinalEnv.find("x");
+  ASSERT_NE(It, R.FinalEnv.end());
+  EXPECT_TRUE(It->second.isSingleton());
+  EXPECT_DOUBLE_EQ(It->second.Lo, 3.0);
+}
+
+TEST(ProgramAnalysisTest, TopOfKindShapes) {
+  EXPECT_TRUE(topOfKind(ScalarKind::Real).mayBeNaN());
+  EXPECT_FALSE(topOfKind(ScalarKind::Bool).mayBeNaN());
+  EXPECT_EQ(topOfKind(ScalarKind::Bool).Lo, 0.0);
+  EXPECT_EQ(topOfKind(ScalarKind::Bool).Hi, 1.0);
+  EXPECT_FALSE(topOfKind(ScalarKind::Int).mayBeNaN());
+  EXPECT_EQ(topOfKind(ScalarKind::Int).Hi, Inf);
+}

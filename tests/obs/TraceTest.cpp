@@ -44,7 +44,7 @@ std::vector<TraceEvent> sampleEvents() {
   B.Chain = 0;
   B.Iter = 1;
   B.Mutation = "regen+grow";
-  B.Outcome = TraceOutcome::Invalid;
+  B.Outcome = TraceOutcome::InvalidType;
   // CandidateLL stays NaN; BestLL stays as before.
   B.BestLL = -12.5;
   Events.push_back(B);
@@ -64,12 +64,17 @@ std::vector<TraceEvent> sampleEvents() {
 } // namespace
 
 TEST(TraceTest, OutcomeNamesRoundTrip) {
-  for (TraceOutcome O : {TraceOutcome::Accept, TraceOutcome::Reject,
-                         TraceOutcome::Invalid}) {
+  for (TraceOutcome O :
+       {TraceOutcome::Accept, TraceOutcome::Reject, TraceOutcome::InvalidType,
+        TraceOutcome::InvalidDomain, TraceOutcome::InvalidStatic}) {
     auto Back = parseTraceOutcome(traceOutcomeName(O));
     ASSERT_TRUE(Back);
     EXPECT_EQ(*Back, O);
   }
+  // Legacy traces predate the invalid-reason split.
+  auto Legacy = parseTraceOutcome("invalid");
+  ASSERT_TRUE(Legacy);
+  EXPECT_EQ(*Legacy, TraceOutcome::InvalidDomain);
   EXPECT_FALSE(parseTraceOutcome("bogus"));
 }
 
@@ -132,7 +137,7 @@ TEST(TraceTest, NegativeInfinityBestLLSurvives) {
   E.Chain = 0;
   E.Iter = 0;
   E.Mutation = "none";
-  E.Outcome = TraceOutcome::Invalid;
+  E.Outcome = TraceOutcome::InvalidDomain;
   std::ostringstream OS;
   writeJsonlTrace(OS, M, {E});
   std::istringstream IS(OS.str());

@@ -285,3 +285,74 @@ TEST(CompletionCheckTest, BoolFormalUsableAsCondition) {
   // ... but not as a numeric operand.
   EXPECT_FALSE(checkCompletion(*completion("%0 + 1.0"), Sig));
 }
+
+TEST(TypeCheckTest, HoleInDistributionParameterPositionIsRealKinded) {
+  // A hole used as a distribution parameter type-checks and is
+  // expected to complete to a real (the STATIC-REJECT analyzer keys
+  // off this annotation).
+  auto Sigs = check(R"(
+program P(m: real) {
+  x: real;
+  b: bool;
+  x ~ Gaussian(??(m), ??);
+  b ~ Bernoulli(??);
+  observe(b);
+  return x;
+}
+)");
+  ASSERT_TRUE(Sigs.has_value());
+  ASSERT_EQ(Sigs->size(), 3u);
+  for (const HoleSignature &Sig : *Sigs)
+    EXPECT_EQ(Sig.ResultKind, ScalarKind::Real);
+  ASSERT_EQ((*Sigs)[0].ArgKinds.size(), 1u);
+  EXPECT_EQ((*Sigs)[0].ArgKinds[0], ScalarKind::Real);
+}
+
+TEST(TypeCheckTest, NestedTernariesOverHoles) {
+  // Ternaries nesting through hole and draw positions stay well-kinded;
+  // the hole under the inner ternary is real-kinded.
+  auto Sigs = check(R"(
+program P(c: bool, d: bool) {
+  x: real;
+  x = ite(c, ite(d, ??, 1.0), ite(d, 2.0, ?? + 3.0));
+  return x;
+}
+)");
+  ASSERT_TRUE(Sigs.has_value());
+  ASSERT_EQ(Sigs->size(), 2u);
+  EXPECT_EQ((*Sigs)[0].ResultKind, ScalarKind::Real);
+  EXPECT_EQ((*Sigs)[1].ResultKind, ScalarKind::Real);
+
+  // A bool-kinded branch in a real ternary is rejected even with the
+  // other branch a hole.
+  EXPECT_FALSE(checks(R"(
+program P(c: bool) {
+  x: real;
+  x = ite(c, ??, c);
+  return x;
+}
+)"));
+}
+
+TEST(TypeCheckTest, ObserveOverBernoulliDraws) {
+  // Drawing a bool and observing it (possibly through logic) is the
+  // canonical conditioning pattern; observing a real draw is an error.
+  EXPECT_TRUE(checks(R"(
+program P() {
+  a: bool;
+  b: bool;
+  a ~ Bernoulli(0.3);
+  b ~ Bernoulli(0.9);
+  observe(a && !b);
+  return a;
+}
+)"));
+  EXPECT_FALSE(checks(R"(
+program P() {
+  x: real;
+  x ~ Gaussian(0.0, 1.0);
+  observe(x);
+  return x;
+}
+)"));
+}

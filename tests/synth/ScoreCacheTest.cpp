@@ -9,26 +9,40 @@ using namespace psketch;
 TEST(ScoreCacheTest, MissThenHit) {
   ScoreCache C(4);
   EXPECT_FALSE(C.lookup(1).has_value());
-  C.insert(1, -3.5);
+  C.insert(1, CachedScore(-3.5));
   auto Hit = C.lookup(1);
   ASSERT_TRUE(Hit.has_value());
-  ASSERT_TRUE(Hit->has_value());
-  EXPECT_DOUBLE_EQ(**Hit, -3.5);
+  ASSERT_TRUE(Hit->valid());
+  EXPECT_EQ(Hit->Reason, RejectReason::None);
+  EXPECT_DOUBLE_EQ(*Hit->LL, -3.5);
 }
 
-TEST(ScoreCacheTest, MemoizesInvalidCandidates) {
+TEST(ScoreCacheTest, MemoizesInvalidCandidatesWithTheirReason) {
   ScoreCache C(4);
-  C.insert(7, std::nullopt);
-  auto Hit = C.lookup(7);
-  ASSERT_TRUE(Hit.has_value());  // Cached...
-  EXPECT_FALSE(Hit->has_value()); // ...as "scored invalid".
+  C.insert(7, CachedScore(RejectReason::Domain));
+  C.insert(8, CachedScore(RejectReason::Static));
+  auto Domain = C.lookup(7);
+  ASSERT_TRUE(Domain.has_value()); // Cached...
+  EXPECT_FALSE(Domain->valid());   // ...as "rejected"...
+  EXPECT_EQ(Domain->Reason, RejectReason::Domain); // ...with its reason.
+  auto Static = C.lookup(8);
+  ASSERT_TRUE(Static.has_value());
+  EXPECT_FALSE(Static->valid());
+  EXPECT_EQ(Static->Reason, RejectReason::Static);
+}
+
+TEST(ScoreCacheTest, RejectReasonNamesAreStable) {
+  EXPECT_STREQ(rejectReasonName(RejectReason::None), "none");
+  EXPECT_STREQ(rejectReasonName(RejectReason::Type), "type");
+  EXPECT_STREQ(rejectReasonName(RejectReason::Domain), "domain");
+  EXPECT_STREQ(rejectReasonName(RejectReason::Static), "static");
 }
 
 TEST(ScoreCacheTest, EvictsLeastRecentlyUsed) {
   ScoreCache C(2);
-  C.insert(1, -1.0);
-  C.insert(2, -2.0);
-  C.insert(3, -3.0); // Evicts 1.
+  C.insert(1, CachedScore(-1.0));
+  C.insert(2, CachedScore(-2.0));
+  C.insert(3, CachedScore(-3.0)); // Evicts 1.
   EXPECT_FALSE(C.contains(1));
   EXPECT_TRUE(C.contains(2));
   EXPECT_TRUE(C.contains(3));
@@ -37,10 +51,10 @@ TEST(ScoreCacheTest, EvictsLeastRecentlyUsed) {
 
 TEST(ScoreCacheTest, LookupRefreshesRecency) {
   ScoreCache C(2);
-  C.insert(1, -1.0);
-  C.insert(2, -2.0);
+  C.insert(1, CachedScore(-1.0));
+  C.insert(2, CachedScore(-2.0));
   EXPECT_TRUE(C.lookup(1).has_value()); // 1 becomes most recent.
-  C.insert(3, -3.0);                    // Evicts 2, not 1.
+  C.insert(3, CachedScore(-3.0));       // Evicts 2, not 1.
   EXPECT_TRUE(C.contains(1));
   EXPECT_FALSE(C.contains(2));
   EXPECT_TRUE(C.contains(3));
@@ -48,32 +62,33 @@ TEST(ScoreCacheTest, LookupRefreshesRecency) {
 
 TEST(ScoreCacheTest, ReinsertUpdatesValueAndRecency) {
   ScoreCache C(2);
-  C.insert(1, -1.0);
-  C.insert(2, -2.0);
-  C.insert(1, -9.0); // Refresh, no growth.
+  C.insert(1, CachedScore(-1.0));
+  C.insert(2, CachedScore(-2.0));
+  C.insert(1, CachedScore(-9.0)); // Refresh, no growth.
   EXPECT_EQ(C.size(), 2u);
-  C.insert(3, -3.0); // Evicts 2.
+  C.insert(3, CachedScore(-3.0)); // Evicts 2.
   EXPECT_FALSE(C.contains(2));
   auto Hit = C.lookup(1);
   ASSERT_TRUE(Hit.has_value());
-  EXPECT_DOUBLE_EQ(**Hit, -9.0);
+  ASSERT_TRUE(Hit->valid());
+  EXPECT_DOUBLE_EQ(*Hit->LL, -9.0);
 }
 
 TEST(ScoreCacheTest, ZeroCapacityNeverStores) {
   ScoreCache C(0);
-  C.insert(1, -1.0);
+  C.insert(1, CachedScore(-1.0));
   EXPECT_EQ(C.size(), 0u);
   EXPECT_FALSE(C.lookup(1).has_value());
 }
 
 TEST(ScoreCacheTest, CountsEvictions) {
   ScoreCache C(2);
-  C.insert(1, -1.0);
-  C.insert(2, -2.0);
+  C.insert(1, CachedScore(-1.0));
+  C.insert(2, CachedScore(-2.0));
   EXPECT_EQ(C.evictions(), 0u);
-  C.insert(3, -3.0); // Evicts 1.
-  C.insert(4, -4.0); // Evicts 2.
+  C.insert(3, CachedScore(-3.0)); // Evicts 1.
+  C.insert(4, CachedScore(-4.0)); // Evicts 2.
   EXPECT_EQ(C.evictions(), 2u);
-  C.insert(4, -5.0); // Refresh: no eviction.
+  C.insert(4, CachedScore(-5.0)); // Refresh: no eviction.
   EXPECT_EQ(C.evictions(), 2u);
 }

@@ -1,0 +1,230 @@
+//===- tests/synth/StaticRejectTest.cpp - STATIC-REJECT integration -------===//
+//
+// The pre-filter contract (DESIGN.md §10): the abstract interpreter's
+// verdict defines domain validity whether StaticAnalysis is on or off —
+// the flag only moves the verdict before or after scoring.  So the two
+// modes must produce bit-identical walks, traces and best scores, while
+// the on-mode skips the scoring pipeline for rejected proposals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "ast/ASTPrinter.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+const char *ScaleTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(3.0, 1.5);
+  return x;
+}
+)";
+
+/// Both Gaussian parameters are holes; mutation walks the scale hole
+/// through negative constants, so the static pre-filter has real work.
+const char *ScaleSketch = R"(
+program S() {
+  x: real;
+  x ~ Gaussian(??, ??);
+  return x;
+}
+)";
+
+bool sameDouble(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+} // namespace
+
+TEST(StaticRejectTest, PrefilterFiresOnScaleHoleSketch) {
+  Dataset Data = makeData(ScaleTarget, 120, 41);
+  auto Sketch = parseP(ScaleSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 2000;
+  Config.Seed = 11;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  SynthesisResult R = Synth.run();
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_GT(R.Stats.InvalidStatic, 0u)
+      << "a scale-position hole should produce statically-invalid "
+         "proposals";
+  EXPECT_EQ(R.Stats.Invalid,
+            R.Stats.InvalidType + R.Stats.InvalidDomain +
+                R.Stats.InvalidStatic);
+}
+
+TEST(StaticRejectTest, OnAndOffModesAreBitIdentical) {
+  Dataset Data = makeData(ScaleTarget, 120, 42);
+  auto Sketch = parseP(ScaleSketch);
+  SynthesisConfig On, Off;
+  On.Iterations = Off.Iterations = 1500;
+  On.Seed = Off.Seed = 23;
+  On.CollectTrace = Off.CollectTrace = true;
+  On.StaticAnalysis = true;
+  Off.StaticAnalysis = false;
+
+  Synthesizer SOn(*Sketch, {}, Data, On);
+  Synthesizer SOff(*Sketch, {}, Data, Off);
+  SynthesisResult ROn = SOn.run();
+  SynthesisResult ROff = SOff.run();
+  ASSERT_TRUE(ROn.Succeeded && ROff.Succeeded);
+
+  EXPECT_TRUE(
+      sameDouble(ROn.BestLogLikelihood, ROff.BestLogLikelihood));
+  ASSERT_EQ(ROn.BestCompletions.size(), ROff.BestCompletions.size());
+  for (size_t I = 0; I != ROn.BestCompletions.size(); ++I)
+    EXPECT_EQ(toString(*ROn.BestCompletions[I]),
+              toString(*ROff.BestCompletions[I]));
+
+  // Same rejection counts either way; only *when* the verdict is
+  // applied differs, which shows up as scored-candidate count.
+  EXPECT_EQ(ROn.Stats.InvalidStatic, ROff.Stats.InvalidStatic);
+  EXPECT_EQ(ROn.Stats.InvalidDomain, ROff.Stats.InvalidDomain);
+  EXPECT_EQ(ROn.Stats.InvalidType, ROff.Stats.InvalidType);
+  EXPECT_EQ(ROn.Stats.Accepted, ROff.Stats.Accepted);
+  EXPECT_GT(ROn.Stats.InvalidStatic, 0u);
+  EXPECT_LT(ROn.Stats.Scored, ROff.Stats.Scored)
+      << "on-mode must not score statically-rejected proposals";
+
+  // Event-identical traces.
+  ASSERT_EQ(ROn.TraceEvents.size(), ROff.TraceEvents.size());
+  for (size_t I = 0; I != ROn.TraceEvents.size(); ++I) {
+    const TraceEvent &A = ROn.TraceEvents[I];
+    const TraceEvent &B = ROff.TraceEvents[I];
+    EXPECT_EQ(A.Chain, B.Chain);
+    EXPECT_EQ(A.Iter, B.Iter);
+    EXPECT_EQ(A.Mutation, B.Mutation);
+    EXPECT_EQ(A.Outcome, B.Outcome) << "event " << I;
+    EXPECT_TRUE(sameDouble(A.CandidateLL, B.CandidateLL)) << "event " << I;
+    EXPECT_TRUE(sameDouble(A.BestLL, B.BestLL)) << "event " << I;
+    EXPECT_EQ(A.CacheHit, B.CacheHit) << "event " << I;
+  }
+}
+
+TEST(StaticRejectTest, ClassifyCompletionsReportsReasons) {
+  Dataset Data = makeData(ScaleTarget, 60, 43);
+  auto Sketch = parseP(ScaleSketch);
+  SynthesisConfig Config;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid());
+
+  std::vector<ExprPtr> BadScale;
+  BadScale.push_back(ConstExpr::real(3.0));
+  BadScale.push_back(ConstExpr::real(-1.0));
+  CachedScore S = Synth.classifyCompletions(BadScale);
+  EXPECT_FALSE(S.valid());
+  EXPECT_EQ(S.Reason, RejectReason::Static);
+
+  std::vector<ExprPtr> Good;
+  Good.push_back(ConstExpr::real(3.0));
+  Good.push_back(ConstExpr::real(1.5));
+  CachedScore G = Synth.classifyCompletions(Good);
+  EXPECT_TRUE(G.valid());
+  EXPECT_TRUE(std::isfinite(*G.LL));
+
+  std::vector<ExprPtr> WrongArity;
+  WrongArity.push_back(ConstExpr::real(3.0));
+  CachedScore W = Synth.classifyCompletions(WrongArity);
+  EXPECT_EQ(W.Reason, RejectReason::Type);
+}
+
+TEST(StaticRejectTest, StaticVerdictsAreCachedAndReplayed) {
+  // With a tiny iteration budget over a two-hole sketch the walk
+  // revisits tuples; cached STATIC-REJECT verdicts must replay as the
+  // same outcome (the debug-build assert in the cache-hit path checks
+  // the reason is still reproducible from the analyzer).
+  Dataset Data = makeData(ScaleTarget, 60, 44);
+  auto Sketch = parseP(ScaleSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 3000;
+  Config.Seed = 7;
+  Config.CollectTrace = true;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid());
+  SynthesisResult R = Synth.run();
+  ASSERT_TRUE(R.Succeeded);
+
+  // Every InvalidStatic event, cached or not, carries a NaN LL: the
+  // scoring pipeline never ran for it.
+  unsigned StaticEvents = 0, CachedStatic = 0;
+  for (const TraceEvent &E : R.TraceEvents) {
+    if (E.Outcome != TraceOutcome::InvalidStatic)
+      continue;
+    ++StaticEvents;
+    CachedStatic += E.CacheHit;
+    EXPECT_TRUE(std::isnan(E.CandidateLL));
+  }
+  EXPECT_EQ(StaticEvents, R.Stats.InvalidStatic);
+  EXPECT_GT(CachedStatic, 0u)
+      << "expected at least one static verdict to be served from the "
+         "score cache";
+}
+
+TEST(StaticRejectTest, MetricsCarryTheInvalidBreakdown) {
+  Dataset Data = makeData(ScaleTarget, 60, 45);
+  auto Sketch = parseP(ScaleSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 1200;
+  Config.Seed = 13;
+  Config.Metrics = true;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid());
+  SynthesisResult R = Synth.run();
+  ASSERT_TRUE(R.Succeeded);
+  ASSERT_TRUE(R.Metrics);
+  EXPECT_EQ(R.Metrics->counter("synth.invalid_static").value(),
+            R.Stats.InvalidStatic);
+  EXPECT_EQ(R.Metrics->counter("synth.static_reject").value(),
+            R.Stats.InvalidStatic);
+  EXPECT_EQ(R.Metrics->counter("synth.invalid_domain").value(),
+            R.Stats.InvalidDomain);
+  EXPECT_EQ(R.Metrics->counter("synth.invalid_type").value(),
+            R.Stats.InvalidType);
+}
+
+TEST(StaticRejectTest, ProgressReportsStaticRejects) {
+  Dataset Data = makeData(ScaleTarget, 60, 46);
+  auto Sketch = parseP(ScaleSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 1000;
+  Config.Seed = 3;
+  Config.ProgressEvery = 250;
+  unsigned FinalStaticRejects = 0;
+  Config.Progress = [&](const SynthesisConfig::ProgressUpdate &U) {
+    FinalStaticRejects = U.StaticRejects;
+  };
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid());
+  SynthesisResult R = Synth.run();
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_EQ(FinalStaticRejects, R.Stats.InvalidStatic);
+}

@@ -124,7 +124,7 @@ TEST(TelemetryTest, TraceEventCountEqualsProposed) {
     }
     EXPECT_EQ(E.Iter, NextIter++);
     Accepted += E.Outcome == TraceOutcome::Accept;
-    Invalid += E.Outcome == TraceOutcome::Invalid;
+    Invalid += isInvalidOutcome(E.Outcome);
     CacheHits += E.CacheHit;
   }
   EXPECT_EQ(Accepted, R.Stats.Accepted);

@@ -282,3 +282,71 @@ TEST(DriverTest, TraceStatsRejectsMissingFile) {
   EXPECT_NE(R.Code, 0);
   EXPECT_NE(R.Err.find("cannot open"), std::string::npos);
 }
+
+TEST(DriverTest, LintReportsDiagnosticsAndFails) {
+  std::string Path = writeTemp("driver_lint_bad.psk", R"(
+program Messy() {
+  y: real;
+  dead: real;
+  x: real;
+  dead = 3.0;
+  x ~ Gaussian(0.0, -2.0);
+  observe(y > 0.0);
+  return x;
+}
+)");
+  RunResult R = run({"lint", "--program", Path});
+  EXPECT_EQ(R.Code, 1);
+  EXPECT_NE(R.Out.find("unbound"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("never used"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("sigma"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("error(s)"), std::string::npos) << R.Out;
+}
+
+TEST(DriverTest, LintPassesCleanProgram) {
+  std::string Path = writeTemp("driver_lint_clean.psk", TruthSource);
+  RunResult R = run({"lint", "--program", Path});
+  EXPECT_EQ(R.Code, 0) << R.Out << R.Err;
+  EXPECT_NE(R.Out.find("0 error(s)"), std::string::npos) << R.Out;
+}
+
+TEST(DriverTest, SynthNoStaticAnalysisGivesIdenticalResults) {
+  std::string Prog = writeTemp("driver_nsa_truth.psk", TruthSource);
+  std::string Sketch = writeTemp("driver_nsa_sketch.psk", SketchSource);
+  std::string Data = ::testing::TempDir() + "/driver_nsa.csv";
+  RunResult S =
+      run({"sample", "--program", Prog, "--rows", "80", "--seed", "21",
+           "--out", Data});
+  ASSERT_EQ(S.Code, 0) << S.Err;
+  std::vector<std::string> Common = {"synth",  "--sketch",     Sketch,
+                                     "--data", Data,           "--iterations",
+                                     "400",    "--seed",       "5"};
+  RunResult On = run(Common);
+  std::vector<std::string> OffArgs = Common;
+  OffArgs.push_back("--no-static-analysis");
+  RunResult Off = run(OffArgs);
+  ASSERT_EQ(On.Code, 0) << On.Err;
+  ASSERT_EQ(Off.Code, 0) << Off.Err;
+  // The walk, best program and score are bit-identical.  The `//`
+  // summary comments legitimately differ between modes (wall-clock,
+  // scored-candidate counts — off-mode scores statically-rejected
+  // proposals before discarding them), so compare the program text and
+  // the reported log-likelihood only.
+  auto Strip = [](const std::string &Text) {
+    std::istringstream IS(Text);
+    std::string Line, Kept;
+    while (std::getline(IS, Line)) {
+      if (Line.rfind("//", 0) != 0) {
+        Kept += Line + "\n";
+      }
+    }
+    return Kept;
+  };
+  EXPECT_EQ(Strip(On.Out), Strip(Off.Out));
+  size_t OnLL = On.Out.find("log-likelihood");
+  size_t OffLL = Off.Out.find("log-likelihood");
+  ASSERT_NE(OnLL, std::string::npos);
+  ASSERT_NE(OffLL, std::string::npos);
+  EXPECT_EQ(On.Out.substr(OnLL, On.Out.find('\n', OnLL) - OnLL),
+            Off.Out.substr(OffLL, Off.Out.find('\n', OffLL) - OffLL));
+}

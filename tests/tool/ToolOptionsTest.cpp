@@ -153,3 +153,23 @@ TEST(ToolOptionsTest, TraceStatsRequiresTraceOnly) {
   EXPECT_EQ(Opts.TracePath, "t.jsonl");
   EXPECT_FALSE(ToolOptions::parse({"trace-stats"}).valid());
 }
+
+TEST(ToolOptionsTest, StaticAnalysisFlagParsesAndDefaultsOn) {
+  auto Opts = ToolOptions::parse({"synth", "--sketch", "s.psk", "--data",
+                                  "d.csv", "--no-static-analysis"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_TRUE(Opts.NoStaticAnalysis);
+  auto Default = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv"});
+  ASSERT_TRUE(Default.valid());
+  EXPECT_FALSE(Default.NoStaticAnalysis);
+}
+
+TEST(ToolOptionsTest, LintCommandParses) {
+  auto Opts = ToolOptions::parse({"lint", "--program", "p.psk"});
+  ASSERT_TRUE(Opts.valid()) << (Opts.Errors.empty() ? "" : Opts.Errors[0]);
+  EXPECT_EQ(Opts.Command, "lint");
+  EXPECT_EQ(Opts.ProgramPath, "p.psk");
+  // Like every program-consuming command, lint requires --program.
+  EXPECT_FALSE(ToolOptions::parse({"lint"}).valid());
+}
