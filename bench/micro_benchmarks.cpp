@@ -7,11 +7,17 @@
 //===----------------------------------------------------------------------===//
 
 #include "baseline/GridDensity.h"
+#include "interp/Interp.h"
+#include "likelihood/RowParallel.h"
+#include "likelihood/TapeKernels.h"
 #include "obs/Json.h"
 #include "parse/Parser.h"
 #include "suite/Prepare.h"
+#include "support/Simd.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -330,6 +336,240 @@ void writeTapeOptReport() {
   std::printf("\nwrote BENCH_tapeopt.json\n");
 }
 
+//===----------------------------------------------------------------------===//
+// SIMD scoring report (DESIGN.md §11): batched tape throughput at every
+// runnable kernel tier, the --fast-simd-math delta, and the
+// --row-threads block-parallel likelihood.  Written to BENCH_simd.json
+// so CI can archive the numbers per commit.
+//===----------------------------------------------------------------------===//
+
+/// Rows/second for one full evalBatch pass over \p Cols in the 512-row
+/// blocks the scoring loop uses, best of three timed passes (the walk
+/// is deterministic; the fastest repeat is the least-perturbed one).
+double measureBatchRate(const Tape &T, const ColumnarDataset &Cols,
+                        int Passes) {
+  std::vector<double> Scratch, Out(Cols.numRows());
+  const size_t Block = 512;
+  double BestSec = 0;
+  for (int Rep = 0; Rep != 3; ++Rep) {
+    const auto T0 = std::chrono::steady_clock::now();
+    for (int P = 0; P != Passes; ++P)
+      for (size_t Begin = 0; Begin < Cols.numRows(); Begin += Block) {
+        const size_t N = std::min(Block, Cols.numRows() - Begin);
+        T.evalBatch(Cols, Begin, N, Out.data() + Begin, Scratch);
+      }
+    const double Sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    if (Rep == 0 || Sec < BestSec)
+      BestSec = Sec;
+  }
+  return BestSec > 0 ? double(Cols.numRows()) * Passes / BestSec : 0;
+}
+
+void writeSimdReport() {
+  const bool Quick = quickMode();
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "simd_scoring");
+  W.field("quick", Quick);
+  W.field("compiled_max", simdLevelName(maxCompiledSimdLevel()));
+  W.field("cpu_max", simdLevelName(detectCpuSimdLevel()));
+
+  // -- Kernel-tier throughput --------------------------------------------
+  // Two tape shapes over a synthetic two-column dataset, every runnable
+  // tier forced in turn via the same cap the PSKETCH_SIMD_LEVEL env var
+  // uses (default mode is bit-exact across tiers, so the legs do
+  // identical numeric work):
+  //
+  //  * arith — the shape scoring tapes actually have after the
+  //    simplifier hoists row-invariant subtrees (log(sigma) etc. leave
+  //    the per-row loop): subtract/square/divide chains plus the fused
+  //    superinstructions and compare/select ops, all fully lane-wise.
+  //    This is the headline speedup the SIMD backend is for.
+  //
+  //  * transcendental — per-row Log/Exp/Erf, which default mode routes
+  //    to scalar libm for bit-exactness.  Amdahl bounds this shape; it
+  //    is reported as the documented worst case, and is what
+  //    --fast-simd-math (polynomial Log/Exp, measured below) lifts.
+  //
+  // The workload this models is the MH inner loop: the same small
+  // dataset re-scored thousands of times per chain, columns
+  // cache-resident by construction.  The bench therefore fixes a
+  // cache-resident row count and scales repetition instead — a
+  // multi-megabyte dataset would measure DRAM streaming, which no
+  // kernel tier can beat.
+  const size_t Rows = 8192;
+  const int Passes = Quick ? 300 : 1000;
+  Dataset Data({"c0", "c1"});
+  {
+    Rng R(7);
+    for (size_t I = 0; I != Rows; ++I)
+      Data.addRow({R.uniform(-4, 4), R.uniform(-4, 4)});
+  }
+  ColumnarDataset Cols(Data);
+
+  NumExprBuilder BA;
+  NumId Arith;
+  {
+    NumId X = BA.dataRef(0), Y = BA.dataRef(1);
+    NumId T1 = BA.add(BA.mul(X, Y), X);                    // MulAdd
+    NumId T2 = BA.mul(BA.sub(X, Y), BA.constant(0.5));     // SubMul
+    NumId T3 = BA.sub(BA.mul(X, BA.constant(1.5)), Y);     // MulSub
+    NumId T4 = BA.div(BA.sub(X, BA.constant(0.25)),
+                      BA.add(BA.mul(Y, Y), BA.constant(1.0))); // SubDiv
+    NumId T5 = BA.mul(BA.add(X, BA.constant(2.0)), Y);     // AddMul
+    NumId T6 = BA.add(BA.add(X, Y), BA.constant(3.0));     // AddAdd
+    NumId T7 = BA.mul(BA.mul(T1, T2), T3);                 // MulMul
+    NumId Sel = BA.max(BA.min(T4, T5), BA.neg(T6));
+    NumId Cmp = BA.add(BA.gt(X, Y), BA.sqrt(BA.abs(T7)));
+    Arith = BA.add(BA.add(T7, Sel), BA.add(Cmp, T4));
+  }
+
+  NumExprBuilder BT;
+  NumId Trans;
+  {
+    NumId X = BT.dataRef(0), Y = BT.dataRef(1);
+    NumId Mu = BT.add(BT.mul(Y, BT.constant(0.5)), BT.constant(1.0));
+    NumId D = BT.sub(X, Mu);
+    NumId Q = BT.mul(BT.mul(D, D), BT.constant(-0.5));
+    Trans = BT.add(
+        BT.sub(Q, BT.log(BT.add(BT.abs(Y), BT.constant(1.5)))),
+        BT.add(BT.exp(BT.neg(BT.abs(D))),
+               BT.erf(BT.mul(D, BT.constant(0.25)))));
+  }
+
+  std::vector<SimdLevel> Levels = {SimdLevel::Scalar};
+  const uint8_t Max = std::min(uint8_t(maxCompiledSimdLevel()),
+                               uint8_t(detectCpuSimdLevel()));
+  if (Max >= uint8_t(SimdLevel::Sse2))
+    Levels.push_back(SimdLevel::Sse2);
+  if (Max >= uint8_t(SimdLevel::Avx2))
+    Levels.push_back(SimdLevel::Avx2);
+
+  std::printf("SIMD batched scoring throughput (%zu rows x %d passes, "
+              "best of 3):\n\n",
+              Rows, Passes);
+  double ArithScalar = 0, ArithTop = 0, TransScalar = 0;
+  auto MeasureTiers = [&](const char *Shape, const NumExprBuilder &B,
+                          NumId Root, double &ScalarRate, double *TopRate) {
+    W.beginArray(Shape);
+    for (SimdLevel L : Levels) {
+      setSimdLevelOverride(L);
+      Tape T(B, Root);
+      clearSimdLevelOverride();
+      const double Rate = measureBatchRate(T, Cols, Passes);
+      if (L == SimdLevel::Scalar)
+        ScalarRate = Rate;
+      if (TopRate)
+        *TopRate = Rate;
+      std::printf("  %-14s %-6s (%u lanes): %12.0f rows/s  "
+                  "(%.2fx scalar)\n",
+                  Shape, simdLevelName(L), T.laneWidth(), Rate,
+                  ScalarRate > 0 ? Rate / ScalarRate : 0.0);
+      W.beginObject()
+          .field("level", simdLevelName(L))
+          .field("lane_width", uint64_t(T.laneWidth()))
+          .field("rows_per_sec", Rate)
+          .field("speedup_vs_scalar",
+                 ScalarRate > 0 ? Rate / ScalarRate : 0.0)
+          .endObject();
+    }
+    W.endArray();
+  };
+  MeasureTiers("arith", BA, Arith, ArithScalar, &ArithTop);
+  MeasureTiers("transcendental", BT, Trans, TransScalar, nullptr);
+  W.field("speedup_top_vs_scalar",
+          ArithScalar > 0 ? ArithTop / ArithScalar : 0.0);
+
+  // --fast-simd-math at the top tier: value-changing polynomial Log/Exp
+  // (documented tolerances in likelihood/TapeKernels.h) lifting the
+  // transcendental shape's libm bottleneck.
+  {
+    TapeOptions Fast;
+    Fast.FastSimdMath = true;
+    Tape T(BT, Trans, Fast);
+    const double Rate = measureBatchRate(T, Cols, Passes);
+    std::printf("  %-14s %-6s + --fast-simd-math: %8.0f rows/s  "
+                "(%.2fx scalar libm)\n",
+                "transcendental", simdLevelName(T.simdLevel()), Rate,
+                TransScalar > 0 ? Rate / TransScalar : 0.0);
+    W.beginObject("fast_simd_math")
+        .field("level", simdLevelName(T.simdLevel()))
+        .field("rows_per_sec", Rate)
+        .field("speedup_vs_scalar_libm",
+               TransScalar > 0 ? Rate / TransScalar : 0.0)
+        .endObject();
+  }
+
+  // -- Row-parallel likelihood -------------------------------------------
+  // Full logLikelihood on a compiled model: serial blocks vs the same
+  // blocks farmed to a worker pool.  The fixed-shape partial reduction
+  // makes the two totals bit-identical — asserted here, since a silent
+  // mismatch would invalidate the determinism story, not just the bench.
+  {
+    DiagEngine Diags;
+    auto Target = parseProgramSource(R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)",
+                                     Diags);
+    typeCheck(*Target, Diags);
+    auto LP = lowerProgram(*Target, {}, Diags);
+    Rng R(11);
+    Dataset LData = generateDataset(*LP, Rows, R);
+    ColumnarDataset LCols(LData);
+    auto F = LikelihoodFunction::compile(*LP, LData);
+    const unsigned Workers = 4;
+    ThreadPool Pool(Workers);
+    RowEvalContext Ctx(Pool, Workers);
+
+    auto Measure = [&](RowEvalContext *Par) {
+      double BestSec = 0, LL = 0;
+      for (int Rep = 0; Rep != 3; ++Rep) {
+        const auto T0 = std::chrono::steady_clock::now();
+        for (int P = 0; P != Passes; ++P)
+          LL = F->logLikelihood(LCols, Par);
+        const double Sec = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - T0)
+                               .count();
+        if (Rep == 0 || Sec < BestSec)
+          BestSec = Sec;
+      }
+      const double Rate =
+          BestSec > 0 ? double(Rows) * Passes / BestSec : 0;
+      return std::make_pair(Rate, LL);
+    };
+    auto [SerialRate, SerialLL] = Measure(nullptr);
+    auto [ParRate, ParLL] = Measure(&Ctx);
+    const bool Identical = SerialLL == ParLL;
+    std::printf("\nRow-parallel logLikelihood (%zu rows, %u workers):\n\n",
+                Rows, Workers);
+    std::printf("  serial blocks:    %12.0f rows/s\n", SerialRate);
+    std::printf("  --row-threads %u:  %12.0f rows/s  (%.2fx, totals "
+                "bit-identical: %s)\n",
+                Workers, ParRate,
+                SerialRate > 0 ? ParRate / SerialRate : 0.0,
+                Identical ? "yes" : "NO");
+    W.beginObject("row_parallel")
+        .field("rows", uint64_t(Rows))
+        .field("workers", uint64_t(Workers))
+        .field("serial_rows_per_sec", SerialRate)
+        .field("parallel_rows_per_sec", ParRate)
+        .field("speedup", SerialRate > 0 ? ParRate / SerialRate : 0.0)
+        .field("totals_bit_identical", Identical)
+        .endObject();
+  }
+
+  W.endObject();
+  std::ofstream Json("BENCH_simd.json");
+  Json << W.str() << "\n";
+  std::printf("\nwrote BENCH_simd.json\n");
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -339,5 +579,6 @@ int main(int argc, char **argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   writeTapeOptReport();
+  writeSimdReport();
   return 0;
 }

@@ -125,6 +125,9 @@ void ColumnCache::rehash(size_t NewCap) {
 
 ColumnCache::ColumnPtr ColumnCache::lookup(const SubtreeKey &Key,
                                            uint64_t Block) {
+  std::unique_lock<std::mutex> Lock(Mtx, std::defer_lock);
+  if (Shared)
+    Lock.lock();
   const size_t I = findSlot(EntryKey{Key, Block});
   if (I == SIZE_MAX) {
     ++Misses;
@@ -139,6 +142,9 @@ void ColumnCache::insert(const SubtreeKey &Key, uint64_t Block,
                          ColumnPtr Col) {
   if (Budget == 0 || !Col)
     return;
+  std::unique_lock<std::mutex> Lock(Mtx, std::defer_lock);
+  if (Shared)
+    Lock.lock();
   ++Inserts;
   const EntryKey EK{Key, Block};
   const size_t ColBytes = Col->size() * sizeof(double);
@@ -176,6 +182,9 @@ void ColumnCache::insert(const SubtreeKey &Key, uint64_t Block,
 bool ColumnCache::admit(const SubtreeKey &Key, uint64_t Block) {
   if (Budget == 0)
     return false;
+  std::unique_lock<std::mutex> Lock(Mtx, std::defer_lock);
+  if (Shared)
+    Lock.lock();
   // 8K slots x 8 bytes.  A direct-mapped table forgets old fingerprints
   // by overwrite, which is exactly the retention we want: "missed
   // recently" is the signal, not "missed ever".
@@ -193,6 +202,9 @@ bool ColumnCache::admit(const SubtreeKey &Key, uint64_t Block) {
 }
 
 void ColumnCache::clear() {
+  std::unique_lock<std::mutex> Lock(Mtx, std::defer_lock);
+  if (Shared)
+    Lock.lock();
   Slots.clear();
   Slots.shrink_to_fit();
   Mask = 0;

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace psketch {
@@ -89,6 +90,17 @@ public:
 
   /// Drops every entry (counters are kept).
   void clear();
+
+  /// Row-parallel sharing (DESIGN.md §11): with \p S true, lookup /
+  /// insert / admit / clear serialize on an internal mutex so the row
+  /// workers of *one chain* can share this cache.  The cache stays
+  /// chain-private either way; which worker wins an insert race only
+  /// decides which identical column is retained (both hold the same
+  /// bits, so results never depend on the interleaving — only hit/miss
+  /// counters do).  Toggle only while no evaluation is in flight.
+  /// The counter accessors below stay lock-free: read them between
+  /// evaluations (after the row-group wait), as the chain loop does.
+  void setShared(bool S) { Shared = S; }
 
   size_t byteBudget() const { return Budget; }
   size_t bytes() const { return Bytes; }
@@ -154,6 +166,10 @@ private:
   size_t Budget = 0;
   size_t Bytes = 0;
   uint64_t Hits = 0, Misses = 0, Evictions = 0, Inserts = 0;
+  /// Serializes the public mutators when setShared(true); never taken
+  /// in the (default) chain-private mode.
+  bool Shared = false;
+  std::mutex Mtx;
   /// Direct-mapped fingerprint table of the admission filter (see
   /// admit()); zero = empty slot.
   std::vector<uint64_t> Seen;

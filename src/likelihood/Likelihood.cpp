@@ -6,6 +6,7 @@
 
 #include "likelihood/Likelihood.h"
 
+#include "likelihood/RowParallel.h"
 #include "obs/StageTimer.h"
 
 #include <algorithm>
@@ -116,10 +117,12 @@ void LikelihoodFunction::recycleStorage(CompileScratch &S) {
 
 namespace {
 
-/// Kahan-compensated accumulator: the sum of per-row log-likelihoods
-/// comes out the same whether rows arrive one at a time or in blocks,
-/// which keeps MH acceptance decisions independent of the evaluation
-/// path.
+/// Kahan-compensated accumulator for the rows *within* one block; block
+/// partials are then combined by the fixed-shape tree reduction below.
+/// Splitting the sum at the (fixed) block boundaries is what lets the
+/// serial and row-parallel evaluators produce the same bits: every
+/// partial depends only on its own block's rows, and the combination
+/// order is a function of the block count alone.
 struct KahanSum {
   double Sum = 0, Comp = 0;
   void add(double X) {
@@ -129,6 +132,22 @@ struct KahanSum {
     Sum = T;
   }
 };
+
+/// Fixed-shape pairwise tree reduction over the block partials, in
+/// place.  The addition tree depends only on P.size(), so the result is
+/// identical however (and on whatever thread) the partials were
+/// produced — the determinism anchor of `--row-threads` (DESIGN.md
+/// §11).  Pairwise combination also keeps the error growth logarithmic
+/// in the block count, matching the intra-block Kahan compensation.
+double reduceBlockPartials(std::vector<double> &P) {
+  const size_t N = P.size();
+  if (N == 0)
+    return 0.0;
+  for (size_t Stride = 1; Stride < N; Stride *= 2)
+    for (size_t I = 0; I + Stride < N; I += 2 * Stride)
+      P[I] += P[I + Stride];
+  return P[0];
+}
 
 } // namespace
 
@@ -141,36 +160,75 @@ double LikelihoodFunction::logLikelihood(const Dataset &Data) const {
   return logLikelihood(ColumnarDataset(Data));
 }
 
-double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols) const {
+double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols,
+                                         RowEvalContext *Par) const {
   // Charged to the EvalBatch stage when the calling chain installed a
   // sink; a no-op (no clock read) otherwise.
   ScopedStage Span(Stage::EvalBatch);
-  KahanSum Total;
   const size_t Rows = Cols.numRows();
-  BatchOut.resize(std::min(Rows, BatchBlockRows));
-  for (size_t Begin = 0; Begin < Rows; Begin += BatchBlockRows) {
-    size_t N = std::min(BatchBlockRows, Rows - Begin);
-    Compiled->evalBatch(Cols, Begin, N, BatchOut.data(), BatchScratch);
-    for (size_t I = 0; I != N; ++I)
-      Total.add(BatchOut[I]);
+  const size_t NumBlocks = (Rows + BatchBlockRows - 1) / BatchBlockRows;
+  BlockPartials.assign(NumBlocks, 0.0);
+  if (Par && Par->workers() > 1 && NumBlocks > 1) {
+    Par->forEachBlock(
+        NumBlocks, [&](size_t Blk, RowEvalContext::WorkerSlot &S) {
+          const size_t Begin = Blk * BatchBlockRows;
+          const size_t N = std::min(BatchBlockRows, Rows - Begin);
+          S.Out.resize(BatchBlockRows);
+          Compiled->evalBatch(Cols, Begin, N, S.Out.data(), S.BatchScratch);
+          KahanSum Partial;
+          for (size_t I = 0; I != N; ++I)
+            Partial.add(S.Out[I]);
+          BlockPartials[Blk] = Partial.Sum;
+        });
+    return reduceBlockPartials(BlockPartials);
   }
-  return Total.Sum;
+  BatchOut.resize(std::min(Rows, BatchBlockRows));
+  for (size_t Blk = 0; Blk != NumBlocks; ++Blk) {
+    const size_t Begin = Blk * BatchBlockRows;
+    const size_t N = std::min(BatchBlockRows, Rows - Begin);
+    Compiled->evalBatch(Cols, Begin, N, BatchOut.data(), BatchScratch);
+    KahanSum Partial;
+    for (size_t I = 0; I != N; ++I)
+      Partial.add(BatchOut[I]);
+    BlockPartials[Blk] = Partial.Sum;
+  }
+  return reduceBlockPartials(BlockPartials);
 }
 
 double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols,
-                                         ColumnCache &Cache) const {
+                                         ColumnCache &Cache,
+                                         RowEvalContext *Par) const {
   ScopedStage Span(Stage::EvalBatch);
-  KahanSum Total;
   const size_t Rows = Cols.numRows();
+  const size_t NumBlocks = (Rows + BatchBlockRows - 1) / BatchBlockRows;
+  BlockPartials.assign(NumBlocks, 0.0);
+  if (Par && Par->workers() > 1 && NumBlocks > 1) {
+    Par->forEachBlock(
+        NumBlocks, [&](size_t Blk, RowEvalContext::WorkerSlot &S) {
+          const size_t Begin = Blk * BatchBlockRows;
+          const size_t N = std::min(BatchBlockRows, Rows - Begin);
+          S.Out.resize(BatchBlockRows);
+          Compiled->evalIncremental(Cols, Begin, N, S.Out.data(), Cache,
+                                    S.Inc);
+          KahanSum Partial;
+          for (size_t I = 0; I != N; ++I)
+            Partial.add(S.Out[I]);
+          BlockPartials[Blk] = Partial.Sum;
+        });
+    return reduceBlockPartials(BlockPartials);
+  }
   BatchOut.resize(std::min(Rows, BatchBlockRows));
-  for (size_t Begin = 0; Begin < Rows; Begin += BatchBlockRows) {
-    size_t N = std::min(BatchBlockRows, Rows - Begin);
+  for (size_t Blk = 0; Blk != NumBlocks; ++Blk) {
+    const size_t Begin = Blk * BatchBlockRows;
+    const size_t N = std::min(BatchBlockRows, Rows - Begin);
     Compiled->evalIncremental(Cols, Begin, N, BatchOut.data(), Cache,
                               IncScratch);
+    KahanSum Partial;
     for (size_t I = 0; I != N; ++I)
-      Total.add(BatchOut[I]);
+      Partial.add(BatchOut[I]);
+    BlockPartials[Blk] = Partial.Sum;
   }
-  return Total.Sum;
+  return reduceBlockPartials(BlockPartials);
 }
 
 void LikelihoodFunction::logLikelihoodRows(const ColumnarDataset &Cols,
@@ -184,10 +242,18 @@ void LikelihoodFunction::logLikelihoodRows(const ColumnarDataset &Cols,
 }
 
 double LikelihoodFunction::logLikelihoodRowwise(const Dataset &Data) const {
-  KahanSum Total;
-  for (const std::vector<double> &Row : Data.rows())
-    Total.add(Compiled->eval(Row, Scratch));
-  return Total.Sum;
+  const size_t Rows = Data.numRows();
+  const size_t NumBlocks = (Rows + BatchBlockRows - 1) / BatchBlockRows;
+  BlockPartials.assign(NumBlocks, 0.0);
+  for (size_t Blk = 0; Blk != NumBlocks; ++Blk) {
+    const size_t Begin = Blk * BatchBlockRows;
+    const size_t N = std::min(BatchBlockRows, Rows - Begin);
+    KahanSum Partial;
+    for (size_t I = 0; I != N; ++I)
+      Partial.add(Compiled->eval(Data.rows()[Begin + I], Scratch));
+    BlockPartials[Blk] = Partial.Sum;
+  }
+  return reduceBlockPartials(BlockPartials);
 }
 
 namespace {

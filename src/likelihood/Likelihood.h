@@ -30,6 +30,8 @@
 
 namespace psketch {
 
+class RowEvalContext;
+
 /// Knobs of the likelihood compilation pipeline (DESIGN.md §9).  The
 /// defaults are the fast path; every knob is bit-exact in default mode,
 /// so toggling them changes cost, never scores.
@@ -103,22 +105,29 @@ public:
   double logLikelihood(const Dataset &Data) const;
 
   /// Batched sum of per-row log-likelihoods: evaluates the tape over
-  /// BatchBlockRows-row blocks of \p Cols (Tape::evalBatch) and sums
-  /// with a Kahan-compensated accumulator, so the total is independent
-  /// of the block size and stable enough for MH acceptance decisions.
-  double logLikelihood(const ColumnarDataset &Cols) const;
+  /// BatchBlockRows-row blocks of \p Cols (Tape::evalBatch), Kahan-sums
+  /// each block into its own partial, and combines the partials with a
+  /// fixed-shape pairwise tree reduction.  The reduction shape depends
+  /// only on the row count — never on threads or schedule — so the
+  /// total is bit-identical whether the blocks were evaluated serially
+  /// or farmed to row workers via \p Par (DESIGN.md §11).  \p Par, when
+  /// non-null and the dataset spans multiple blocks, distributes block
+  /// evaluation over the run's row pool.
+  double logLikelihood(const ColumnarDataset &Cols,
+                       RowEvalContext *Par = nullptr) const;
 
   /// Batched sum via Tape::evalIncremental: row-blocks of subtrees
   /// already evaluated by earlier candidates are served from \p Cache.
-  /// Block boundaries, kernels and Kahan accumulation order are
+  /// Block boundaries, kernels and the partial-sum reduction are
   /// identical to the plain overload, so the total is bit-identical to
-  /// it whatever the cache contains.
-  double logLikelihood(const ColumnarDataset &Cols,
-                       ColumnCache &Cache) const;
+  /// it whatever the cache contains.  With \p Par the cache must be in
+  /// shared mode (ColumnCache::setShared).
+  double logLikelihood(const ColumnarDataset &Cols, ColumnCache &Cache,
+                       RowEvalContext *Par = nullptr) const;
 
-  /// Row-at-a-time reference sum (same per-row values, same Kahan
-  /// accumulation order as the batched path); kept for the Figure 8
-  /// batched-vs-row-wise comparison.
+  /// Row-at-a-time reference sum (same per-row values, same block
+  /// partials and tree reduction as the batched path); kept for the
+  /// Figure 8 batched-vs-row-wise comparison.
   double logLikelihoodRowwise(const Dataset &Data) const;
 
   /// Per-row log-likelihoods via the batched evaluator, one entry per
@@ -168,6 +177,10 @@ private:
   mutable std::vector<double> BatchScratch;
   mutable std::vector<double> BatchOut;
   mutable IncrementalScratch IncScratch;
+  /// One Kahan partial per row block, combined by the fixed-shape tree
+  /// reduction.  Written at block index — disjoint slots — so row
+  /// workers share it without synchronization.
+  mutable std::vector<double> BlockPartials;
 };
 
 /// Builds the observed-slot map: every dataset column that names a slot

@@ -1,0 +1,52 @@
+//===- likelihood/RowParallel.cpp - Deterministic row-block parallelism ---===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/RowParallel.h"
+
+#include <algorithm>
+
+using namespace psketch;
+
+RowEvalContext::RowEvalContext(ThreadPool &P, unsigned Workers)
+    : Pool(P), NumWorkers(std::max(1u, Workers)), Slots(NumWorkers),
+      Tallies(NumWorkers) {}
+
+void RowEvalContext::forEachBlock(
+    size_t NumBlocks, const std::function<void(size_t, WorkerSlot &)> &Fn) {
+  if (NumBlocks == 0)
+    return;
+
+  const size_t Chunks = std::min<size_t>(NumWorkers, NumBlocks);
+  if (Chunks <= 1) {
+    // Degenerate fan-out: run inline; rows tally straight onto the
+    // calling thread, no group round-trip.
+    WorkerSlot &S = Slots[0];
+    for (size_t B = 0; B != NumBlocks; ++B)
+      Fn(B, S);
+    return;
+  }
+
+  ThreadPool::Group G;
+  for (size_t Ci = 0; Ci != Chunks; ++Ci) {
+    const size_t Lo = NumBlocks * Ci / Chunks;
+    const size_t Hi = NumBlocks * (Ci + 1) / Chunks;
+    Pool.submit(G, [this, Lo, Hi, Ci, &Fn] {
+      WorkerSlot &S = Slots[Ci];
+      for (size_t B = Lo; B != Hi; ++B)
+        Fn(B, S);
+      // Drain the worker thread's tally into this task's slot; row
+      // tasks always drain on exit, so the thread-local is zero at the
+      // start of every task and tasks never see each other's rows.
+      Tallies[Ci] = takeSimdRowTally();
+    });
+  }
+  Pool.wait(G);
+
+  for (size_t Ci = 0; Ci != Chunks; ++Ci) {
+    creditSimdRowTally(Tallies[Ci]);
+    Tallies[Ci] = SimdRowTally{};
+  }
+}

@@ -1,0 +1,78 @@
+//===- likelihood/RowParallel.h - Deterministic row-block parallelism -----===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intra-chain row parallelism for large datasets (DESIGN.md §11): one
+/// RowEvalContext per chain farms the fixed 512-row blocks of a
+/// likelihood evaluation to a shared ThreadPool, waiting on its own
+/// ThreadPool::Group so concurrent chains can share one row pool.
+///
+/// Determinism by construction: each block's Kahan partial sum depends
+/// only on that block's rows (blocks never share an accumulator), the
+/// partials land in a block-indexed array, and the caller combines
+/// them with a fixed-shape tree reduction (Likelihood.cpp).  The final
+/// double is therefore bit-identical for every `--row-threads` value
+/// and every block→worker assignment — the schedule decides only *who*
+/// computes each partial, never *what* is computed or summed in which
+/// order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_ROWPARALLEL_H
+#define PSKETCH_LIKELIHOOD_ROWPARALLEL_H
+
+#include "likelihood/Tape.h"
+#include "likelihood/TapeKernels.h"
+#include "support/ThreadPool.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace psketch {
+
+/// Per-chain handle on the run's shared row-worker pool.  Owns one
+/// scratch slot per concurrent task, so block evaluations never share
+/// mutable state; reused across the chain's thousands of scoring calls
+/// to keep the slots' buffer capacity warm.
+class RowEvalContext {
+public:
+  /// \p Pool is the run-wide row pool (shared by all chains); \p
+  /// Workers is how many tasks one evaluation fans out to — the run's
+  /// `--row-threads` (more would only add scheduling overhead, fewer
+  /// would idle workers).
+  RowEvalContext(ThreadPool &Pool, unsigned Workers);
+
+  unsigned workers() const { return NumWorkers; }
+
+  /// Caller-owned buffers of one row-block task; handed to every
+  /// invocation of the block function so evaluation allocates nothing
+  /// after warm-up.
+  struct WorkerSlot {
+    std::vector<double> BatchScratch;
+    std::vector<double> Out;
+    IncrementalScratch Inc;
+  };
+
+  /// Runs \p Fn(Block, Slot) for every block in [0, NumBlocks):
+  /// contiguous block ranges are submitted as workers() tasks and
+  /// waited for.  \p Fn must write only block-indexed state (its
+  /// partial-sum slot) and its WorkerSlot.  SIMD row tallies
+  /// accumulated on the workers are drained per task and credited back
+  /// to the calling thread, so per-chain telemetry stays exact.
+  void forEachBlock(size_t NumBlocks,
+                    const std::function<void(size_t, WorkerSlot &)> &Fn);
+
+private:
+  ThreadPool &Pool;
+  unsigned NumWorkers;
+  std::vector<WorkerSlot> Slots;
+  std::vector<SimdRowTally> Tallies; ///< One per slot, drained per call.
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_ROWPARALLEL_H

@@ -13,7 +13,10 @@
 
 #include "likelihood/Tape.h"
 
+#include "likelihood/TapeKernels.h"
+
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -51,206 +54,9 @@ const char *psketch::tapeOpName(TapeOp Op) {
 
 namespace {
 
-/// Operand count of \p Op: 0 for leaves, 3 for fused superinstructions.
-unsigned arity(TapeOp Op) {
-  switch (Op) {
-  case TapeOp::Const:
-  case TapeOp::DataRef:
-    return 0;
-  case TapeOp::Neg:
-  case TapeOp::Abs:
-  case TapeOp::Log:
-  case TapeOp::Exp:
-  case TapeOp::Sqrt:
-  case TapeOp::Erf:
-    return 1;
-  case TapeOp::Add:
-  case TapeOp::Sub:
-  case TapeOp::Mul:
-  case TapeOp::Div:
-  case TapeOp::Max:
-  case TapeOp::Min:
-  case TapeOp::Gt:
-  case TapeOp::Eq:
-    return 2;
-  case TapeOp::MulAdd:
-  case TapeOp::MulSub:
-  case TapeOp::SubMul:
-  case TapeOp::SubDiv:
-  case TapeOp::MulMul:
-  case TapeOp::AddAdd:
-  case TapeOp::AddMul:
-    return 3;
-  }
-  return 0;
-}
-
-/// One scalar step of the tape machine; shared by the per-row
-/// interpreter, the row-invariant hoist, and the incremental evaluator.
-/// Performs exactly the IEEE operations the batched kernels do, so
-/// every path produces bitwise-identical values.
-double scalarOp(TapeOp Op, double A, double B, double C, double Value,
-                bool Fast) {
-  switch (Op) {
-  case TapeOp::Const:
-    return Value;
-  case TapeOp::DataRef:
-    assert(false && "data references are resolved by the callers");
-    return 0.0;
-  case TapeOp::Add:
-    return A + B;
-  case TapeOp::Sub:
-    return A - B;
-  case TapeOp::Mul:
-    return A * B;
-  case TapeOp::Div:
-    return A / B;
-  case TapeOp::Neg:
-    return -A;
-  case TapeOp::Abs:
-    return std::fabs(A);
-  case TapeOp::Log:
-    return std::log(A);
-  case TapeOp::Exp:
-    return std::exp(A);
-  case TapeOp::Sqrt:
-    return std::sqrt(A);
-  case TapeOp::Erf:
-    return std::erf(A);
-  case TapeOp::Max:
-    return A > B ? A : B;
-  case TapeOp::Min:
-    return A < B ? A : B;
-  case TapeOp::Gt:
-    return A > B ? 1.0 : 0.0;
-  case TapeOp::Eq:
-    return A == B ? 1.0 : 0.0;
-  case TapeOp::MulAdd:
-    return Fast ? std::fma(A, B, C) : A * B + C;
-  case TapeOp::MulSub:
-    return Fast ? std::fma(A, B, -C) : A * B - C;
-  case TapeOp::SubMul:
-    return (A - B) * C;
-  case TapeOp::SubDiv:
-    return (A - B) / C;
-  case TapeOp::MulMul:
-    return (A * B) * C;
-  case TapeOp::AddAdd:
-    return (A + B) + C;
-  case TapeOp::AddMul:
-    return (A + B) * C;
-  }
-  return 0.0;
-}
-
-/// Applies \p Op element-wise over a row block.  Per-op loops with
-/// contiguous loads/stores so they auto-vectorize; \p B / \p C may be
-/// null for ops that do not use them.  Shared by evalBatch and
-/// evalIncremental — the shared kernel is what makes the two paths
-/// bitwise-interchangeable.
-void applyVecOp(TapeOp Op, const double *A, const double *B, const double *C,
-                double *R, size_t N, bool Fast) {
-  switch (Op) {
-  case TapeOp::Const:
-  case TapeOp::DataRef:
-    assert(false && "leaf instructions are resolved by the callers");
-    break;
-  case TapeOp::Add:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = A[J] + B[J];
-    break;
-  case TapeOp::Sub:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = A[J] - B[J];
-    break;
-  case TapeOp::Mul:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = A[J] * B[J];
-    break;
-  case TapeOp::Div:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = A[J] / B[J];
-    break;
-  case TapeOp::Neg:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = -A[J];
-    break;
-  case TapeOp::Abs:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = std::fabs(A[J]);
-    break;
-  case TapeOp::Log:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = std::log(A[J]);
-    break;
-  case TapeOp::Exp:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = std::exp(A[J]);
-    break;
-  case TapeOp::Sqrt:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = std::sqrt(A[J]);
-    break;
-  case TapeOp::Erf:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = std::erf(A[J]);
-    break;
-  case TapeOp::Max:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = A[J] > B[J] ? A[J] : B[J];
-    break;
-  case TapeOp::Min:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = A[J] < B[J] ? A[J] : B[J];
-    break;
-  case TapeOp::Gt:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = A[J] > B[J] ? 1.0 : 0.0;
-    break;
-  case TapeOp::Eq:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = A[J] == B[J] ? 1.0 : 0.0;
-    break;
-  case TapeOp::MulAdd:
-    if (Fast) {
-      for (size_t J = 0; J != N; ++J)
-        R[J] = std::fma(A[J], B[J], C[J]);
-    } else {
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] * B[J] + C[J];
-    }
-    break;
-  case TapeOp::MulSub:
-    if (Fast) {
-      for (size_t J = 0; J != N; ++J)
-        R[J] = std::fma(A[J], B[J], -C[J]);
-    } else {
-      for (size_t J = 0; J != N; ++J)
-        R[J] = A[J] * B[J] - C[J];
-    }
-    break;
-  case TapeOp::SubMul:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = (A[J] - B[J]) * C[J];
-    break;
-  case TapeOp::SubDiv:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = (A[J] - B[J]) / C[J];
-    break;
-  case TapeOp::MulMul:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = (A[J] * B[J]) * C[J];
-    break;
-  case TapeOp::AddAdd:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = (A[J] + B[J]) + C[J];
-    break;
-  case TapeOp::AddMul:
-    for (size_t J = 0; J != N; ++J)
-      R[J] = (A[J] + B[J]) * C[J];
-    break;
-  }
-}
+/// Local alias: the scalar semantics and arity tables moved to
+/// TapeKernels.h so every kernel tier shares the one definition.
+inline unsigned arity(TapeOp Op) { return tapeOpArity(Op); }
 
 /// The superinstruction peephole (DESIGN.md §9): absorbs a single-use
 /// row-varying producer into its (necessarily row-varying) consumer.
@@ -381,7 +187,16 @@ void fuseTape(std::vector<TapeIns> &Code, std::vector<SubtreeKey> &Keys,
 
 Tape::Tape(const NumExprBuilder &B, NumId Root, const TapeOptions &Opts,
            Tape *Recycle)
-    : FastTape(Opts.FastTape) {
+    : Flags{Opts.FastTape, Opts.FastSimdMath} {
+  // Resolve the batched kernel once: the requested tier (Simd off
+  // forces scalar) clamped by the CPU probe and by what this binary
+  // compiled in.  Every tier is lane-wise bit-identical, so this choice
+  // is pure throughput.
+  const TapeKernel K = resolveTapeKernel(
+      Opts.Simd ? activeSimdLevel() : SimdLevel::Scalar);
+  Kernel = K.Fn;
+  KernelLevel = K.Level;
+  KernelWidth = K.Width;
   // Storage recycling: steal the donor's (typically the previous
   // candidate's) member vectors so their capacity is reused instead of
   // reallocated — contents are fully overwritten below.
@@ -394,6 +209,9 @@ Tape::Tape(const NumExprBuilder &B, NumId Root, const TapeOptions &Opts,
     RowInvariant.clear();
     VecSlot = std::move(Recycle->VecSlot);
     CacheWorthy = std::move(Recycle->CacheWorthy);
+    NeedsBcast = std::move(Recycle->NeedsBcast);
+    BcastSlot = std::move(Recycle->BcastSlot);
+    HoistedU = std::move(Recycle->HoistedU);
   }
   // Builder ids are already topologically ordered (operands are created
   // before their users), so one marking pass from the root followed by a
@@ -483,6 +301,49 @@ Tape::Tape(const NumExprBuilder &B, NumId Root, const TapeOptions &Opts,
     if (!RowInvariant[I])
       VecSlot[I] = uint32_t(NumVarying++);
 
+  // Invariant operands of varying instructions must be materialized as
+  // N-wide registers for the kernels (the kernel ABI takes memory
+  // operands only).  Give each such instruction a dedicated broadcast
+  // register so the fill happens once per evaluation call, not once per
+  // use.
+  NeedsBcast.assign(Code.size(), 0);
+  BcastSlot.assign(Code.size(), 0);
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    if (RowInvariant[I])
+      continue;
+    const TapeIns &Ins = Code[I];
+    const unsigned Ar = arity(Ins.Op);
+    if (Ar >= 1 && RowInvariant[Ins.A])
+      NeedsBcast[Ins.A] = 1;
+    if (Ar >= 2 && RowInvariant[Ins.B])
+      NeedsBcast[Ins.B] = 1;
+    if (Ar >= 3 && RowInvariant[Ins.C])
+      NeedsBcast[Ins.C] = 1;
+  }
+  NumBcast = 0;
+  for (size_t I = 0, E = Code.size(); I != E; ++I)
+    if (NeedsBcast[I])
+      BcastSlot[I] = uint32_t(NumBcast++);
+
+  // Row-invariant values cannot depend on the data, so they are
+  // constants of the tape: evaluate them once here instead of once per
+  // row block.  The stamp below lets persistent broadcast scratch
+  // recognize fills made by this very tape (address reuse via the
+  // Recycle donor makes pointers unusable as identity).
+  HoistedU.assign(Code.size(), 0.0);
+  for (size_t I = 0, E = Code.size(); I != E; ++I) {
+    if (!RowInvariant[I])
+      continue;
+    const TapeIns &Ins = Code[I];
+    const unsigned Ar = arity(Ins.Op);
+    HoistedU[I] = tapeScalarOp(Ins.Op, Ar >= 1 ? HoistedU[Ins.A] : 0.0,
+                               Ar >= 2 ? HoistedU[Ins.B] : 0.0,
+                               Ar >= 3 ? HoistedU[Ins.C] : 0.0, Ins.Value,
+                               Flags);
+  }
+  static std::atomic<uint64_t> NextGen{0};
+  Gen = NextGen.fetch_add(1, std::memory_order_relaxed) + 1;
+
   // Cache-worthiness policy for evalIncremental.  Probing the column
   // cache costs a 128-bit hash-map lookup, and a miss additionally
   // heap-allocates the column it stores — more than the auto-vectorized
@@ -558,8 +419,8 @@ double Tape::eval(const std::vector<double> &Row,
     }
     default: {
       const unsigned Ar = arity(Ins.Op);
-      R[I] = scalarOp(Ins.Op, R[Ins.A], Ar >= 2 ? R[Ins.B] : 0.0,
-                      Ar >= 3 ? R[Ins.C] : 0.0, Ins.Value, FastTape);
+      R[I] = tapeScalarOp(Ins.Op, R[Ins.A], Ar >= 2 ? R[Ins.B] : 0.0,
+                          Ar >= 3 ? R[Ins.C] : 0.0, Ins.Value, Flags);
     }
     }
   }
@@ -580,62 +441,71 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
       Out[R] = 0.0;
     return;
   }
-  // Scratch layout: one N-wide row-block register per *varying*
-  // instruction, three N-wide broadcast buffers for invariant operands
-  // of mixed instructions (a fused instruction can have up to two
-  // invariant operands), then one scalar slot per instruction for the
-  // hoisted row-invariant values.
-  Scratch.resize(NumVarying * N + 3 * N + Code.size());
-  double *S = Scratch.data();
-  double *BcA = S + NumVarying * N;
-  double *BcB = BcA + N;
-  double *BcC = BcB + N;
-  double *U = BcC + N;
-  // Resolves an operand to a row-block pointer: varying operands live
-  // in their register; invariant ones are broadcast into a dedicated
-  // buffer.
-  auto Operand = [&](uint32_t X, double *Bcast) -> const double * {
-    if (!RowInvariant[X])
-      return S + size_t(VecSlot[X]) * N;
-    const double V = U[X];
-    for (size_t J = 0; J != N; ++J)
-      Bcast[J] = V;
-    return Bcast;
-  };
+  tallySimdRows(N, KernelWidth);
+  // Scratch layout: a two-slot stamp header, one N-wide row-block
+  // register per *varying* instruction, then one N-wide broadcast
+  // register per invariant instruction feeding a varying one.
+  // Invariant values were evaluated at construction (HoistedU), so the
+  // broadcast fill happens only when this scratch was last used by a
+  // different tape or block size — per-block evaluation of a hot tape
+  // does no invariant work at all.
+  constexpr size_t HdrSlots = 2;
+  Scratch.resize(HdrSlots + NumVarying * N + NumBcast * N);
+  double *S = Scratch.data() + HdrSlots;
+  double *BC = S + NumVarying * N;
+  uint64_t StampGen = 0, StampN = 0;
+  std::memcpy(&StampGen, Scratch.data(), sizeof StampGen);
+  std::memcpy(&StampN, Scratch.data() + 1, sizeof StampN);
+  if (StampGen != Gen || StampN != uint64_t(N)) {
+    for (size_t I = 0, E = Code.size(); I != E; ++I)
+      if (NeedsBcast[I]) {
+        double *Bp = BC + size_t(BcastSlot[I]) * N;
+        const double V = HoistedU[I];
+        for (size_t J = 0; J != N; ++J)
+          Bp[J] = V;
+      }
+    StampGen = Gen;
+    StampN = uint64_t(N);
+    std::memcpy(Scratch.data(), &StampGen, sizeof StampGen);
+    std::memcpy(Scratch.data() + 1, &StampN, sizeof StampN);
+  }
+  // Resolved row-block pointer per instruction.  DataRefs resolve to
+  // the dataset column itself — zero-copy — and invariants to their
+  // broadcast register, so the only memory the walk writes is one
+  // kernel output register per varying instruction.
+  static thread_local std::vector<const double *> Ptr;
+  Ptr.resize(Code.size());
+  const size_t Root = Code.size() - 1;
   for (size_t I = 0, E = Code.size(); I != E; ++I) {
     const TapeIns &Ins = Code[I];
-    const unsigned Ar = arity(Ins.Op);
     if (RowInvariant[I]) {
-      // Parameter-only subexpression: evaluate once, not once per row.
-      U[I] = scalarOp(Ins.Op, Ar >= 1 ? U[Ins.A] : 0.0,
-                      Ar >= 2 ? U[Ins.B] : 0.0, Ar >= 3 ? U[Ins.C] : 0.0,
-                      Ins.Value, FastTape);
+      if (NeedsBcast[I])
+        Ptr[I] = BC + size_t(BcastSlot[I]) * N;
       continue;
     }
-    double *R = S + size_t(VecSlot[I]) * N;
     if (Ins.Op == TapeOp::DataRef) {
       size_t Slot = size_t(Ins.Value);
       assert(Slot < Cols.numColumns() && "data reference outside row");
-      const double *Col = Cols.column(Slot) + Begin;
-      for (size_t J = 0; J != N; ++J)
-        R[J] = Col[J];
+      Ptr[I] = Cols.column(Slot) + Begin;
       continue;
     }
-    const double *A = Operand(Ins.A, BcA);
-    const double *Bp = Ar >= 2 ? Operand(Ins.B, BcB) : nullptr;
-    const double *Cp = Ar >= 3 ? Operand(Ins.C, BcC) : nullptr;
-    applyVecOp(Ins.Op, A, Bp, Cp, R, N, FastTape);
+    // The root's kernel writes straight into the caller's output — no
+    // final copy pass.
+    double *R = I == Root ? Out : S + size_t(VecSlot[I]) * N;
+    const unsigned Ar = arity(Ins.Op);
+    Kernel(Ins.Op, Ptr[Ins.A], Ar >= 2 ? Ptr[Ins.B] : nullptr,
+           Ar >= 3 ? Ptr[Ins.C] : nullptr, R, N, Flags);
+    Ptr[I] = R;
   }
-  const size_t Root = Code.size() - 1;
   if (RowInvariant[Root]) {
-    const double V = U[Root];
+    const double V = HoistedU[Root];
     for (size_t J = 0; J != N; ++J)
       Out[J] = V;
-    return;
+  } else if (Code[Root].Op == TapeOp::DataRef) {
+    const double *Last = Ptr[Root];
+    for (size_t J = 0; J != N; ++J)
+      Out[J] = Last[J];
   }
-  const double *Last = S + size_t(VecSlot[Root]) * N;
-  for (size_t J = 0; J != N; ++J)
-    Out[J] = Last[J];
 }
 
 void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
@@ -649,15 +519,27 @@ void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
       Out[R] = 0.0;
     return;
   }
+  tallySimdRows(N, KernelWidth);
   Scr.Need.assign(E, 0);
   Scr.Col.assign(E, nullptr);
   Scr.Pinned.clear();
-  Scr.Invariant.resize(E);
-  Scr.BcastA.resize(N);
-  Scr.BcastB.resize(N);
-  Scr.BcastC.resize(N);
+  Scr.Bcast.resize(NumBcast * N);
   Scr.Flat.resize(NumVarying * N);
-  double *U = Scr.Invariant.data();
+  // Invariant values were evaluated once at construction (HoistedU);
+  // their broadcast registers persist in the scratch across calls,
+  // refilled only when the scratch was last used by a different tape
+  // or block size.
+  if (Scr.BcastGen != Gen || Scr.BcastN != N) {
+    for (size_t I = 0; I != E; ++I)
+      if (NeedsBcast[I]) {
+        double *Bp = Scr.Bcast.data() + size_t(BcastSlot[I]) * N;
+        const double V = HoistedU[I];
+        for (size_t J = 0; J != N; ++J)
+          Bp[J] = V;
+      }
+    Scr.BcastGen = Gen;
+    Scr.BcastN = N;
+  }
 
   // Backward need-marking from the root.  A needed varying instruction
   // probes the cache if it is worth caching (see cacheWorthy); a hit
@@ -694,14 +576,12 @@ void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
       Scr.Need[Ins.C] = 1;
   }
 
-  auto Operand = [&](uint32_t X,
-                     std::vector<double> &Bcast) -> const double * {
-    if (!RowInvariant[X])
-      return Scr.Col[X];
-    const double V = U[X];
-    for (size_t J = 0; J != N; ++J)
-      Bcast[J] = V;
-    return Bcast.data();
+  // Varying operands resolve to their column (cache hit, DataRef —
+  // zero-copy — or recomputed register); invariant ones to their
+  // persistent broadcast register.
+  auto Operand = [&](uint32_t X) -> const double * {
+    return RowInvariant[X] ? Scr.Bcast.data() + size_t(BcastSlot[X]) * N
+                           : Scr.Col[X];
   };
 
   // Forward compute of what the cache could not serve.  Each computed
@@ -711,33 +591,31 @@ void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
   for (size_t I = 0; I != E; ++I) {
     if (!Scr.Need[I])
       continue;
+    if (RowInvariant[I])
+      continue; // Hoisted at construction; broadcast filled above.
     const TapeIns &Ins = Code[I];
     const unsigned Ar = arity(Ins.Op);
-    if (RowInvariant[I]) {
-      U[I] = scalarOp(Ins.Op, Ar >= 1 ? U[Ins.A] : 0.0,
-                      Ar >= 2 ? U[Ins.B] : 0.0, Ar >= 3 ? U[Ins.C] : 0.0,
-                      Ins.Value, FastTape);
-      continue;
-    }
     if (Scr.Col[I])
       continue; // Cache hit or DataRef, already resolved.
     // Cache-worthy misses the cache admits (second-touch policy; see
     // ColumnCache::admit) compute into a freshly owned column that is
     // handed to the cache for reuse by later candidates; everything
     // else computes in place in the flat register matrix, exactly like
-    // evalBatch — no allocation, no cache traffic.
+    // evalBatch — no allocation, no cache traffic.  The root, when it
+    // is not headed for the cache, computes straight into the caller's
+    // output.
     double *R;
     std::shared_ptr<std::vector<double>> Buf;
     if (CacheWorthy[I] && Cache.admit(Keys[I], Begin)) {
       Buf = std::make_shared<std::vector<double>>(N);
       R = Buf->data();
+    } else if (I == E - 1) {
+      R = Out;
     } else {
       R = Scr.Flat.data() + size_t(VecSlot[I]) * N;
     }
-    const double *A = Operand(Ins.A, Scr.BcastA);
-    const double *Bp = Ar >= 2 ? Operand(Ins.B, Scr.BcastB) : nullptr;
-    const double *Cp = Ar >= 3 ? Operand(Ins.C, Scr.BcastC) : nullptr;
-    applyVecOp(Ins.Op, A, Bp, Cp, R, N, FastTape);
+    Kernel(Ins.Op, Operand(Ins.A), Ar >= 2 ? Operand(Ins.B) : nullptr,
+           Ar >= 3 ? Operand(Ins.C) : nullptr, R, N, Flags);
     Scr.Col[I] = R;
     if (Buf) {
       Cache.insert(Keys[I], Begin, Buf);
@@ -746,12 +624,13 @@ void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
   }
 
   if (RowInvariant[E - 1]) {
-    const double V = U[E - 1];
+    const double V = HoistedU[E - 1];
     for (size_t J = 0; J != N; ++J)
       Out[J] = V;
     return;
   }
   const double *RootCol = Scr.Col[E - 1];
-  for (size_t J = 0; J != N; ++J)
-    Out[J] = RootCol[J];
+  if (RootCol != Out)
+    for (size_t J = 0; J != N; ++J)
+      Out[J] = RootCol[J];
 }

@@ -39,6 +39,7 @@
 
 #include "likelihood/ColumnCache.h"
 #include "likelihood/ColumnarDataset.h"
+#include "support/Simd.h"
 #include "symbolic/NumExpr.h"
 
 #include <cstdint>
@@ -104,7 +105,35 @@ struct TapeOptions {
   /// to default mode; off by default and excluded from the bitwise
   /// differential tests.
   bool FastTape = false;
+
+  /// Dispatch the batched kernels to the best compiled-in SIMD tier the
+  /// CPU supports (`--no-simd` turns it off).  Every tier performs the
+  /// identical IEEE operation lane-wise — transcendentals stay on
+  /// scalar libm — so results are bit-identical at every level
+  /// (DESIGN.md §11); the knob only trades dispatch for debuggability.
+  bool Simd = true;
+
+  /// `--fast-simd-math`: evaluate Log and Exp with branch-free
+  /// polynomial kernels (special operands fall back to libm) that
+  /// vectorize instead of calling out per lane.  Value-changing
+  /// relative to libm — within the documented relative-error bound of
+  /// TapeKernels.h — but deterministic: every SIMD level and the
+  /// row-wise interpreter produce the same bits as each other.
+  bool FastSimdMath = false;
 };
+
+/// Flags threaded through every batched kernel invocation.
+struct TapeKernelFlags {
+  bool FastTape = false;     ///< Single-rounding FMA in fused mul-adds.
+  bool FastSimdMath = false; ///< Polynomial Log/Exp kernels.
+};
+
+/// One batched-kernel entry point: applies \p Op element-wise over
+/// R[0..N) from operand columns A/B/C (null when unused by the op's
+/// arity).  Implementations exist per SIMD tier (TapeKernels.h).
+using ApplyVecOpFn = void (*)(TapeOp Op, const double *A, const double *B,
+                              const double *C, double *R, size_t N,
+                              TapeKernelFlags Flags);
 
 /// Reusable buffers of Tape::evalIncremental, owned by the caller so
 /// the tape itself stays immutable and shareable.
@@ -112,8 +141,15 @@ struct IncrementalScratch {
   std::vector<uint8_t> Need;        ///< Per-instruction needed flag.
   std::vector<const double *> Col;  ///< Resolved column per instruction.
   std::vector<ColumnCache::ColumnPtr> Pinned; ///< Keeps columns alive.
-  std::vector<double> Invariant;    ///< Hoisted row-invariant scalars.
-  std::vector<double> BcastA, BcastB, BcastC; ///< Invariant broadcasts.
+  /// Invariant-operand broadcast registers: one N-wide slot per
+  /// invariant instruction feeding a varying one (the kernel ABI takes
+  /// memory operands only).  Invariant values are a pure function of
+  /// the tape, so the fill survives across blocks and candidates; the
+  /// generation stamp below says which (tape, N) the contents belong
+  /// to.
+  std::vector<double> Bcast;
+  uint64_t BcastGen = 0; ///< Tape generation the Bcast fill belongs to.
+  size_t BcastN = 0;     ///< Block size the Bcast fill belongs to.
   /// Row-block registers for recomputed instructions that are not worth
   /// caching (see Tape::cacheWorthy): they are evaluated in place, with
   /// no heap allocation and no cache traffic, exactly like evalBatch.
@@ -179,6 +215,16 @@ public:
   /// Structural key of instruction \p I (tests).
   const SubtreeKey &key(size_t I) const { return Keys[I]; }
 
+  /// The SIMD tier the batched kernels of this tape dispatch to
+  /// (resolved at construction: TapeOptions::Simd, the runtime CPU
+  /// probe, and what was compiled in).
+  SimdLevel simdLevel() const { return KernelLevel; }
+
+  /// Doubles per vector step of the dispatched kernel (1, 2 or 4).
+  /// Rows beyond the last full lane group of a block run the scalar
+  /// tail loop — same IEEE ops, same bits.
+  unsigned laneWidth() const { return KernelWidth; }
+
   /// Whether instruction \p I participates in the column cache.  A
   /// probe + (on miss) a heap-allocated column costs more than the
   /// vectorized kernel of a cheap op over one row block, so only
@@ -203,13 +249,36 @@ private:
   /// Per instruction: index of its row-block register in the batched
   /// scratch matrix (meaningful only for varying instructions).
   std::vector<uint32_t> VecSlot;
+  /// Per instruction: true when it is row-invariant and feeds at least
+  /// one varying instruction, so its hoisted scalar must be broadcast
+  /// into an N-wide register for the kernels (once per call).
+  std::vector<uint8_t> NeedsBcast;
+  /// Per instruction: index of its broadcast register (meaningful only
+  /// when NeedsBcast).
+  std::vector<uint32_t> BcastSlot;
+  size_t NumBcast = 0; ///< Number of broadcast registers.
+  /// Row-invariant instruction values, evaluated once at construction
+  /// (they cannot depend on data rows, so they are constants of the
+  /// tape).  Varying slots hold 0.
+  std::vector<double> HoistedU;
+  /// Process-unique construction stamp: lets persistent scratch
+  /// (broadcast registers) recognize whether its contents were filled
+  /// by *this* tape — recycled storage can land a new tape at an old
+  /// address, so pointers would not do.
+  uint64_t Gen = 0;
   /// Per instruction: participates in the column cache (varying, not a
   /// DataRef, and its varying subtree is costly enough that a cache hit
   /// saves more than the probe + insert overhead).
   std::vector<uint8_t> CacheWorthy;
   size_t NumVarying = 0; ///< Number of row-varying instructions.
   size_t NumFused = 0;   ///< Fused superinstructions emitted.
-  bool FastTape = false; ///< FMA-contract fused multiply-adds.
+  TapeKernelFlags Flags; ///< FastTape / FastSimdMath evaluation modes.
+  /// The batched kernel all blocks of this tape run, resolved once at
+  /// construction (TapeOptions::Simd x activeSimdLevel() x compiled-in
+  /// tiers) so evaluation pays zero per-call dispatch.
+  ApplyVecOpFn Kernel = nullptr;
+  SimdLevel KernelLevel = SimdLevel::Scalar;
+  unsigned KernelWidth = 1;
 };
 
 } // namespace psketch

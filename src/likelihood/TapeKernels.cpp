@@ -1,0 +1,81 @@
+//===- likelihood/TapeKernels.cpp - Kernel dispatch and row tallies -------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/TapeKernels.h"
+
+using namespace psketch;
+
+namespace psketch {
+namespace tapekernels {
+
+// Per-tier entry points; the SSE2/AVX2 TUs exist only when CMake found
+// the compiler flags on an x86-64 build with PSKETCH_SIMD on (the
+// PSKETCH_HAVE_*_KERNELS defines mirror that).
+void applyVecOpPortable(TapeOp Op, const double *A, const double *B,
+                        const double *C, double *R, size_t N,
+                        TapeKernelFlags Flags);
+#ifdef PSKETCH_HAVE_SSE2_KERNELS
+void applyVecOpSse2(TapeOp Op, const double *A, const double *B,
+                    const double *C, double *R, size_t N,
+                    TapeKernelFlags Flags);
+#endif
+#ifdef PSKETCH_HAVE_AVX2_KERNELS
+void applyVecOpAvx2(TapeOp Op, const double *A, const double *B,
+                    const double *C, double *R, size_t N,
+                    TapeKernelFlags Flags);
+#endif
+
+} // namespace tapekernels
+} // namespace psketch
+
+SimdLevel psketch::maxCompiledSimdLevel() {
+#ifdef PSKETCH_HAVE_AVX2_KERNELS
+  return SimdLevel::Avx2;
+#elif defined(PSKETCH_HAVE_SSE2_KERNELS)
+  return SimdLevel::Sse2;
+#else
+  return SimdLevel::Scalar;
+#endif
+}
+
+TapeKernel psketch::resolveTapeKernel(SimdLevel Requested) {
+  // Fall through tier by tier: a level is used only when both the CPU
+  // (the caller's Requested already reflects it) and this binary have
+  // it.  Which tier runs never changes results — only throughput.
+#ifdef PSKETCH_HAVE_AVX2_KERNELS
+  if (Requested >= SimdLevel::Avx2)
+    return {tapekernels::applyVecOpAvx2, SimdLevel::Avx2, 4};
+#endif
+#ifdef PSKETCH_HAVE_SSE2_KERNELS
+  if (Requested >= SimdLevel::Sse2)
+    return {tapekernels::applyVecOpSse2, SimdLevel::Sse2, 2};
+#endif
+  (void)Requested;
+  return {tapekernels::applyVecOpPortable, SimdLevel::Scalar, 1};
+}
+
+namespace {
+
+thread_local SimdRowTally Tally;
+
+} // namespace
+
+SimdRowTally psketch::takeSimdRowTally() {
+  SimdRowTally T = Tally;
+  Tally = SimdRowTally{};
+  return T;
+}
+
+void psketch::creditSimdRowTally(const SimdRowTally &T) {
+  Tally.RowsSimd += T.RowsSimd;
+  Tally.RowsTail += T.RowsTail;
+}
+
+void psketch::tallySimdRows(size_t Rows, unsigned Width) {
+  const size_t Tail = Width > 1 ? Rows % Width : Rows;
+  Tally.RowsSimd += Rows - Tail;
+  Tally.RowsTail += Tail;
+}

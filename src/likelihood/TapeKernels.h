@@ -1,0 +1,294 @@
+//===- likelihood/TapeKernels.h - Batched tape kernel dispatch ------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SIMD backend of the tape interpreter (DESIGN.md §11).  The
+/// element-wise kernel behind Tape::evalBatch / evalIncremental exists
+/// in up to three tiers — portable, SSE2 and AVX2, each a separate
+/// translation unit compiled with its own ISA flags — and a tape
+/// resolves one of them at construction via resolveTapeKernel().
+///
+/// **Bit-exactness.**  In default mode every tier computes lane-wise
+/// identical IEEE results, so dispatch never changes a score:
+///
+///  * +, -, *, / and sqrt are correctly-rounded IEEE operations in both
+///    scalar and packed form; neg is a sign-bit flip and abs a sign-bit
+///    clear in either form.
+///  * x86 `maxpd(a, b)` implements exactly `a > b ? a : b` (second
+///    operand on NaN and on +/-0 ties) — the tape's scalar Max
+///    semantics; `minpd` likewise matches `a < b ? a : b`.
+///  * Gt/Eq are a packed compare producing an all-ones/all-zeros mask,
+///    ANDed with 1.0 — identical to the scalar ternary, including
+///    NaN operands comparing false.
+///  * log, exp and erf stay on scalar libm calls lane by lane (their
+///    packed forms do not exist / are library-dependent), so their bits
+///    match the scalar interpreter trivially.
+///  * Fused superinstructions evaluate the same two-rounding sequence
+///    as scalar mode; only FastTape mode uses real FMA, where
+///    `_mm256_fmadd_pd` and std::fma are both the correctly-rounded
+///    fused operation and therefore also agree bit for bit.
+///
+/// **--fast-simd-math.**  Opt-in polynomial Log/Exp (fastLog/fastExp
+/// below): branch-free core that auto-vectorizes, plus a cheap fixup
+/// pass routing special operands (nonpositive/denormal/inf/NaN inputs,
+/// |x| > 708 for exp) to libm.  Deterministic — the same pure-IEEE
+/// lane sequence at every tier, so results are still bit-identical
+/// across scalar/SSE2/AVX2 and across --threads/--row-threads — but
+/// different from libm by design.  Documented accuracy on the fast
+/// path: relative error <= 5e-15 (a few ulp) for fastLog on normal
+/// positive inputs away from 1 (absolute error <= 5e-15 * |z| near
+/// log ~ 0), and <= 5e-15 relative for fastExp with |x| <= 708.  The
+/// differential fuzz test asserts a 1e-13 ceiling with margin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_TAPEKERNELS_H
+#define PSKETCH_LIKELIHOOD_TAPEKERNELS_H
+
+#include "likelihood/Tape.h"
+#include "support/Simd.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace psketch {
+
+/// Operand count of \p Op: 0 for leaves, 3 for fused superinstructions.
+inline unsigned tapeOpArity(TapeOp Op) {
+  switch (Op) {
+  case TapeOp::Const:
+  case TapeOp::DataRef:
+    return 0;
+  case TapeOp::Neg:
+  case TapeOp::Abs:
+  case TapeOp::Log:
+  case TapeOp::Exp:
+  case TapeOp::Sqrt:
+  case TapeOp::Erf:
+    return 1;
+  case TapeOp::Add:
+  case TapeOp::Sub:
+  case TapeOp::Mul:
+  case TapeOp::Div:
+  case TapeOp::Max:
+  case TapeOp::Min:
+  case TapeOp::Gt:
+  case TapeOp::Eq:
+    return 2;
+  case TapeOp::MulAdd:
+  case TapeOp::MulSub:
+  case TapeOp::SubMul:
+  case TapeOp::SubDiv:
+  case TapeOp::MulMul:
+  case TapeOp::AddAdd:
+  case TapeOp::AddMul:
+    return 3;
+  }
+  return 0;
+}
+
+/// Branch-free core of the fast-math log: valid for finite positive
+/// *normal* inputs; callers patch everything else via libm (see
+/// fastLog).  Pure element-wise IEEE arithmetic — no libm call, no
+/// table — so the compiler can vectorize a loop of these, and every
+/// lane computes the identical operation sequence at every SIMD tier.
+inline double fastLogCore(double X) {
+  // Decompose X = M * 2^E with M in [sqrt2/2, sqrt2), so z below stays
+  // in [-0.1716, 0.1716] and the atanh series converges fast.
+  uint64_t Bits;
+  std::memcpy(&Bits, &X, sizeof(Bits));
+  double E = double(int64_t(Bits >> 52) - 1023);
+  uint64_t MBits =
+      (Bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL;
+  double M;
+  std::memcpy(&M, &MBits, sizeof(M));
+  // Fold [sqrt2, 2) down one octave (exact: *0.5 and +1 change no
+  // mantissa bits).  Ternaries compile to compare+blend.
+  const bool Fold = M >= 1.41421356237309515;
+  M = Fold ? M * 0.5 : M;
+  E = Fold ? E + 1.0 : E;
+  // log(M) = 2 atanh(z) = 2z (1 + z^2/3 + z^4/5 + ...), z=(M-1)/(M+1).
+  const double Z = (M - 1.0) / (M + 1.0);
+  const double Z2 = Z * Z;
+  double P = 1.0 / 21;
+  P = P * Z2 + 1.0 / 19;
+  P = P * Z2 + 1.0 / 17;
+  P = P * Z2 + 1.0 / 15;
+  P = P * Z2 + 1.0 / 13;
+  P = P * Z2 + 1.0 / 11;
+  P = P * Z2 + 1.0 / 9;
+  P = P * Z2 + 1.0 / 7;
+  P = P * Z2 + 1.0 / 5;
+  P = P * Z2 + 1.0 / 3;
+  const double LogM = 2.0 * Z + 2.0 * Z * (Z2 * P);
+  // ln2 split hi/lo so E*ln2 keeps ~107 significant bits.
+  const double Ln2Hi = 6.93147180369123816490e-01;
+  const double Ln2Lo = 1.90821492927058770002e-10;
+  return E * Ln2Hi + (LogM + E * Ln2Lo);
+}
+
+/// True when fastLogCore does not apply to \p X and libm must answer:
+/// nonpositive, denormal, NaN (all fail the >= DBL_MIN test) or +inf.
+inline bool fastLogNeedsLibm(double X) {
+  return !(X >= 2.2250738585072014e-308) ||
+         X > 1.7976931348623157e308;
+}
+
+/// Fast-math log with the libm fallback folded in (row-wise eval and
+/// kernel tail lanes; the vector kernels run core + fixup as two
+/// passes over the block, same bits).
+inline double fastLog(double X) {
+  return fastLogNeedsLibm(X) ? std::log(X) : fastLogCore(X);
+}
+
+/// Branch-free core of the fast-math exp: valid for |X| <= 708 (result
+/// spans the whole normal range); callers patch the rest via libm.
+inline double fastExpCore(double X) {
+  const double InvLn2 = 1.44269504088896340736;
+  const double Ln2Hi = 6.93147180369123816490e-01;
+  const double Ln2Lo = 1.90821492927058770002e-10;
+  // K = round-to-nearest(X/ln2) via the 1.5*2^52 shifter (round mode is
+  // the default nearest-even; |X/ln2| <= 1022 is far inside range).
+  const double Shifter = 6755399441055744.0;
+  const double K = (X * InvLn2 + Shifter) - Shifter;
+  // r = X - K*ln2 in two pieces; |r| <= ln2/2 + epsilon.
+  const double R = (X - K * Ln2Hi) - K * Ln2Lo;
+  // exp(r): Taylor through r^13/13! (truncation ~4e-18 relative).
+  double P = 1.0 / 6227020800.0;
+  P = P * R + 1.0 / 479001600.0;
+  P = P * R + 1.0 / 39916800.0;
+  P = P * R + 1.0 / 3628800.0;
+  P = P * R + 1.0 / 362880.0;
+  P = P * R + 1.0 / 40320.0;
+  P = P * R + 1.0 / 5040.0;
+  P = P * R + 1.0 / 720.0;
+  P = P * R + 1.0 / 120.0;
+  P = P * R + 1.0 / 24.0;
+  P = P * R + 1.0 / 6.0;
+  P = P * R + 0.5;
+  P = P * R + 1.0;
+  P = P * R + 1.0;
+  // Scale by 2^K: build the exponent directly.  K in [-1022, 1022], so
+  // the biased exponent stays normal and int32 conversion is exact.
+  const int32_t Ki = int32_t(K);
+  uint64_t SBits = uint64_t(int64_t(Ki) + 1023) << 52;
+  double S;
+  std::memcpy(&S, &SBits, sizeof(S));
+  return P * S;
+}
+
+/// True when fastExpCore does not apply and libm must answer: NaN and
+/// |X| > 708 (overflow, and underflow-to-denormal territory).
+inline bool fastExpNeedsLibm(double X) { return !(std::fabs(X) <= 708.0); }
+
+/// Fast-math exp with the libm fallback folded in.
+inline double fastExp(double X) {
+  return fastExpNeedsLibm(X) ? std::exp(X) : fastExpCore(X);
+}
+
+/// One scalar step of the tape machine; the single definition of the
+/// tape's arithmetic semantics.  Shared by the per-row interpreter,
+/// the row-invariant hoist, the incremental evaluator, and the scalar
+/// tail lanes of every vector kernel — which is what makes all paths
+/// produce bitwise-identical values.
+inline double tapeScalarOp(TapeOp Op, double A, double B, double C,
+                           double Value, TapeKernelFlags Flags) {
+  switch (Op) {
+  case TapeOp::Const:
+    return Value;
+  case TapeOp::DataRef:
+    assert(false && "data references are resolved by the callers");
+    return 0.0;
+  case TapeOp::Add:
+    return A + B;
+  case TapeOp::Sub:
+    return A - B;
+  case TapeOp::Mul:
+    return A * B;
+  case TapeOp::Div:
+    return A / B;
+  case TapeOp::Neg:
+    return -A;
+  case TapeOp::Abs:
+    return std::fabs(A);
+  case TapeOp::Log:
+    return Flags.FastSimdMath ? fastLog(A) : std::log(A);
+  case TapeOp::Exp:
+    return Flags.FastSimdMath ? fastExp(A) : std::exp(A);
+  case TapeOp::Sqrt:
+    return std::sqrt(A);
+  case TapeOp::Erf:
+    return std::erf(A);
+  case TapeOp::Max:
+    return A > B ? A : B;
+  case TapeOp::Min:
+    return A < B ? A : B;
+  case TapeOp::Gt:
+    return A > B ? 1.0 : 0.0;
+  case TapeOp::Eq:
+    return A == B ? 1.0 : 0.0;
+  case TapeOp::MulAdd:
+    return Flags.FastTape ? std::fma(A, B, C) : A * B + C;
+  case TapeOp::MulSub:
+    return Flags.FastTape ? std::fma(A, B, -C) : A * B - C;
+  case TapeOp::SubMul:
+    return (A - B) * C;
+  case TapeOp::SubDiv:
+    return (A - B) / C;
+  case TapeOp::MulMul:
+    return (A * B) * C;
+  case TapeOp::AddAdd:
+    return (A + B) + C;
+  case TapeOp::AddMul:
+    return (A + B) * C;
+  }
+  return 0.0;
+}
+
+/// A resolved batched kernel: the entry point plus the tier it
+/// implements (Width doubles per vector step; rows past the last full
+/// group of a block take the scalar tail).
+struct TapeKernel {
+  ApplyVecOpFn Fn = nullptr;
+  SimdLevel Level = SimdLevel::Scalar;
+  unsigned Width = 1;
+};
+
+/// Resolves \p Requested against the tiers compiled into this binary
+/// (PSKETCH_SIMD + per-ISA TU availability), falling back tier by tier.
+/// Callers pass activeSimdLevel() (already clamped to the CPU).
+TapeKernel resolveTapeKernel(SimdLevel Requested);
+
+/// Highest tier compiled into this binary (tests skip tiers above it).
+SimdLevel maxCompiledSimdLevel();
+
+/// Per-thread row counts of the batched evaluators: rows processed by
+/// full vector lane groups vs. the scalar tail loop.  Counted once per
+/// block evaluation (not per instruction).  Threads accumulate into a
+/// thread-local tally; row-parallel workers drain theirs at task end
+/// and credit the owning chain (RowEvalContext), so per-chain totals
+/// are exact whatever thread ran the blocks.
+struct SimdRowTally {
+  uint64_t RowsSimd = 0; ///< Rows evaluated in full lane groups.
+  uint64_t RowsTail = 0; ///< Rows evaluated by the scalar tail.
+};
+
+/// Returns and zeroes the calling thread's tally.
+SimdRowTally takeSimdRowTally();
+
+/// Adds \p T to the calling thread's tally (crediting a drained worker
+/// tally back to the chain thread).
+void creditSimdRowTally(const SimdRowTally &T);
+
+/// Counts one block evaluation of \p Rows rows at lane width \p Width
+/// into the calling thread's tally.
+void tallySimdRows(size_t Rows, unsigned Width);
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_TAPEKERNELS_H

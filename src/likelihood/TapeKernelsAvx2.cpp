@@ -1,0 +1,59 @@
+//===- likelihood/TapeKernelsAvx2.cpp - AVX2-tier kernel TU ---------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+// Compiled with -mavx2 -mfma -ffp-contract=off, only on x86-64 builds
+// with PSKETCH_SIMD on.  4 x double lanes; dispatched only on CPUs
+// reporting both AVX2 and FMA (support/Simd.cpp).  Contraction stays
+// off — -mfma merely makes the *explicit* vfmadd intrinsic available,
+// which only FastTape mode uses, where `_mm256_fmadd_pd` and std::fma
+// are both the correctly-rounded fused op and agree bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/TapeKernelsImpl.h"
+
+#include <immintrin.h>
+
+namespace psketch {
+namespace tapekernels {
+namespace {
+
+struct Avx2Traits {
+  static constexpr size_t W = 4;
+  static constexpr bool HasFma = true;
+  using V = __m256d;
+  static V load(const double *P) { return _mm256_loadu_pd(P); }
+  static void store(double *P, V X) { _mm256_storeu_pd(P, X); }
+  static V add(V A, V B) { return _mm256_add_pd(A, B); }
+  static V sub(V A, V B) { return _mm256_sub_pd(A, B); }
+  static V mul(V A, V B) { return _mm256_mul_pd(A, B); }
+  static V div(V A, V B) { return _mm256_div_pd(A, B); }
+  static V neg(V A) { return _mm256_xor_pd(A, _mm256_set1_pd(-0.0)); }
+  static V abs(V A) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), A);
+  }
+  static V sqrt(V A) { return _mm256_sqrt_pd(A); }
+  static V max(V A, V B) { return _mm256_max_pd(A, B); }
+  static V min(V A, V B) { return _mm256_min_pd(A, B); }
+  static V gt01(V A, V B) {
+    return _mm256_and_pd(_mm256_cmp_pd(A, B, _CMP_GT_OQ),
+                         _mm256_set1_pd(1.0));
+  }
+  static V eq01(V A, V B) {
+    return _mm256_and_pd(_mm256_cmp_pd(A, B, _CMP_EQ_OQ),
+                         _mm256_set1_pd(1.0));
+  }
+  static V fma(V A, V B, V C) { return _mm256_fmadd_pd(A, B, C); }
+};
+
+} // namespace
+
+void applyVecOpAvx2(TapeOp Op, const double *A, const double *B,
+                    const double *C, double *R, size_t N,
+                    TapeKernelFlags Flags) {
+  applyVecOpT<Avx2Traits>(Op, A, B, C, R, N, Flags);
+}
+
+} // namespace tapekernels
+} // namespace psketch

@@ -1,0 +1,249 @@
+//===- likelihood/TapeKernelsImpl.h - Lane-width-templated kernel ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one kernel body behind every SIMD tier: applyVecOpT<VT> walks a
+/// row block in VT::W-lane steps and finishes the ragged tail with
+/// tapeScalarOp — the same scalar semantics every other evaluation
+/// path uses.  Each per-ISA translation unit (TapeKernelsPortable /
+/// Sse2 / Avx2.cpp) instantiates it with its own vector traits and its
+/// own compiler flags; all of them are compiled with -ffp-contract=off
+/// so no tier can contract a two-rounding sequence into an FMA behind
+/// the differential guarantee's back.
+///
+/// Traits contract (see ScalarTraits in TapeKernelsPortable.cpp for the
+/// reference implementation): W lanes, V vector type, load/store
+/// (unaligned), add/sub/mul/div/neg/abs/sqrt/max/min/gt01/eq01, and —
+/// when HasFma — a correctly-rounded fused multiply-add.  Every op must
+/// be the packed form of the identical IEEE scalar operation; max/min
+/// must implement `a > b ? a : b` / `a < b ? a : b` exactly (x86
+/// maxpd/minpd do: second operand on NaN and on signed-zero ties).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_TAPEKERNELSIMPL_H
+#define PSKETCH_LIKELIHOOD_TAPEKERNELSIMPL_H
+
+#include "likelihood/TapeKernels.h"
+
+namespace psketch {
+namespace tapekernels {
+
+/// Element-wise map helpers: the vector main loop covers the largest
+/// W-multiple prefix, the scalar functor finishes the tail.  With
+/// W == 1 the tail is dead and the "vector" loop is the plain scalar
+/// loop the portable tier has always run.
+
+template <class VT, class VF, class SF>
+inline void mapUnary(const double *A, double *R, size_t N, VF Vec, SF Scl) {
+  constexpr size_t W = VT::W;
+  size_t J = 0;
+  for (; J + W <= N; J += W)
+    VT::store(R + J, Vec(VT::load(A + J)));
+  for (; J != N; ++J)
+    R[J] = Scl(A[J]);
+}
+
+template <class VT, class VF, class SF>
+inline void mapBinary(const double *A, const double *B, double *R, size_t N,
+                      VF Vec, SF Scl) {
+  constexpr size_t W = VT::W;
+  size_t J = 0;
+  for (; J + W <= N; J += W)
+    VT::store(R + J, Vec(VT::load(A + J), VT::load(B + J)));
+  for (; J != N; ++J)
+    R[J] = Scl(A[J], B[J]);
+}
+
+template <class VT, class VF, class SF>
+inline void mapTernary(const double *A, const double *B, const double *C,
+                       double *R, size_t N, VF Vec, SF Scl) {
+  constexpr size_t W = VT::W;
+  size_t J = 0;
+  for (; J + W <= N; J += W)
+    VT::store(R + J,
+              Vec(VT::load(A + J), VT::load(B + J), VT::load(C + J)));
+  for (; J != N; ++J)
+    R[J] = Scl(A[J], B[J], C[J]);
+}
+
+/// The templated kernel: semantics of applyVecOp at lane width VT::W.
+template <class VT>
+void applyVecOpT(TapeOp Op, const double *A, const double *B,
+                 const double *C, double *R, size_t N,
+                 TapeKernelFlags Flags) {
+  using V = typename VT::V;
+  switch (Op) {
+  case TapeOp::Const:
+  case TapeOp::DataRef:
+    assert(false && "leaf instructions are resolved by the callers");
+    break;
+  case TapeOp::Add:
+    mapBinary<VT>(
+        A, B, R, N, [](V X, V Y) { return VT::add(X, Y); },
+        [](double X, double Y) { return X + Y; });
+    break;
+  case TapeOp::Sub:
+    mapBinary<VT>(
+        A, B, R, N, [](V X, V Y) { return VT::sub(X, Y); },
+        [](double X, double Y) { return X - Y; });
+    break;
+  case TapeOp::Mul:
+    mapBinary<VT>(
+        A, B, R, N, [](V X, V Y) { return VT::mul(X, Y); },
+        [](double X, double Y) { return X * Y; });
+    break;
+  case TapeOp::Div:
+    mapBinary<VT>(
+        A, B, R, N, [](V X, V Y) { return VT::div(X, Y); },
+        [](double X, double Y) { return X / Y; });
+    break;
+  case TapeOp::Neg:
+    mapUnary<VT>(
+        A, R, N, [](V X) { return VT::neg(X); },
+        [](double X) { return -X; });
+    break;
+  case TapeOp::Abs:
+    mapUnary<VT>(
+        A, R, N, [](V X) { return VT::abs(X); },
+        [](double X) { return std::fabs(X); });
+    break;
+  case TapeOp::Log:
+    // Transcendental: scalar libm lane by lane in default mode (there
+    // is no packed libm to match bits against).  Fast mode runs the
+    // branch-free polynomial core over the whole block — an
+    // auto-vectorizable pure-IEEE loop — then patches the rare special
+    // operands from libm.  Both loops are element-wise with a fixed
+    // per-lane operation sequence, so every tier produces the same
+    // bits in either mode.
+    if (Flags.FastSimdMath) {
+      for (size_t J = 0; J != N; ++J)
+        R[J] = fastLogCore(A[J]);
+      for (size_t J = 0; J != N; ++J)
+        if (fastLogNeedsLibm(A[J]))
+          R[J] = std::log(A[J]);
+    } else {
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::log(A[J]);
+    }
+    break;
+  case TapeOp::Exp:
+    if (Flags.FastSimdMath) {
+      for (size_t J = 0; J != N; ++J)
+        R[J] = fastExpCore(A[J]);
+      for (size_t J = 0; J != N; ++J)
+        if (fastExpNeedsLibm(A[J]))
+          R[J] = std::exp(A[J]);
+    } else {
+      for (size_t J = 0; J != N; ++J)
+        R[J] = std::exp(A[J]);
+    }
+    break;
+  case TapeOp::Sqrt:
+    // sqrtpd is correctly rounded — the one "hard" function the ISA
+    // guarantees bit-equal to std::sqrt.
+    mapUnary<VT>(
+        A, R, N, [](V X) { return VT::sqrt(X); },
+        [](double X) { return std::sqrt(X); });
+    break;
+  case TapeOp::Erf:
+    // No packed form and no fast path: always scalar libm.
+    for (size_t J = 0; J != N; ++J)
+      R[J] = std::erf(A[J]);
+    break;
+  case TapeOp::Max:
+    mapBinary<VT>(
+        A, B, R, N, [](V X, V Y) { return VT::max(X, Y); },
+        [](double X, double Y) { return X > Y ? X : Y; });
+    break;
+  case TapeOp::Min:
+    mapBinary<VT>(
+        A, B, R, N, [](V X, V Y) { return VT::min(X, Y); },
+        [](double X, double Y) { return X < Y ? X : Y; });
+    break;
+  case TapeOp::Gt:
+    mapBinary<VT>(
+        A, B, R, N, [](V X, V Y) { return VT::gt01(X, Y); },
+        [](double X, double Y) { return X > Y ? 1.0 : 0.0; });
+    break;
+  case TapeOp::Eq:
+    mapBinary<VT>(
+        A, B, R, N, [](V X, V Y) { return VT::eq01(X, Y); },
+        [](double X, double Y) { return X == Y ? 1.0 : 0.0; });
+    break;
+  case TapeOp::MulAdd:
+    if (Flags.FastTape) {
+      if constexpr (VT::HasFma)
+        mapTernary<VT>(
+            A, B, C, R, N,
+            [](V X, V Y, V Z) { return VT::fma(X, Y, Z); },
+            [](double X, double Y, double Z) { return std::fma(X, Y, Z); });
+      else
+        for (size_t J = 0; J != N; ++J)
+          R[J] = std::fma(A[J], B[J], C[J]);
+    } else {
+      mapTernary<VT>(
+          A, B, C, R, N,
+          [](V X, V Y, V Z) { return VT::add(VT::mul(X, Y), Z); },
+          [](double X, double Y, double Z) { return X * Y + Z; });
+    }
+    break;
+  case TapeOp::MulSub:
+    if (Flags.FastTape) {
+      if constexpr (VT::HasFma)
+        mapTernary<VT>(
+            A, B, C, R, N,
+            [](V X, V Y, V Z) { return VT::fma(X, Y, VT::neg(Z)); },
+            [](double X, double Y, double Z) {
+              return std::fma(X, Y, -Z);
+            });
+      else
+        for (size_t J = 0; J != N; ++J)
+          R[J] = std::fma(A[J], B[J], -C[J]);
+    } else {
+      mapTernary<VT>(
+          A, B, C, R, N,
+          [](V X, V Y, V Z) { return VT::sub(VT::mul(X, Y), Z); },
+          [](double X, double Y, double Z) { return X * Y - Z; });
+    }
+    break;
+  case TapeOp::SubMul:
+    mapTernary<VT>(
+        A, B, C, R, N,
+        [](V X, V Y, V Z) { return VT::mul(VT::sub(X, Y), Z); },
+        [](double X, double Y, double Z) { return (X - Y) * Z; });
+    break;
+  case TapeOp::SubDiv:
+    mapTernary<VT>(
+        A, B, C, R, N,
+        [](V X, V Y, V Z) { return VT::div(VT::sub(X, Y), Z); },
+        [](double X, double Y, double Z) { return (X - Y) / Z; });
+    break;
+  case TapeOp::MulMul:
+    mapTernary<VT>(
+        A, B, C, R, N,
+        [](V X, V Y, V Z) { return VT::mul(VT::mul(X, Y), Z); },
+        [](double X, double Y, double Z) { return (X * Y) * Z; });
+    break;
+  case TapeOp::AddAdd:
+    mapTernary<VT>(
+        A, B, C, R, N,
+        [](V X, V Y, V Z) { return VT::add(VT::add(X, Y), Z); },
+        [](double X, double Y, double Z) { return (X + Y) + Z; });
+    break;
+  case TapeOp::AddMul:
+    mapTernary<VT>(
+        A, B, C, R, N,
+        [](V X, V Y, V Z) { return VT::mul(VT::add(X, Y), Z); },
+        [](double X, double Y, double Z) { return (X + Y) * Z; });
+    break;
+  }
+}
+
+} // namespace tapekernels
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_TAPEKERNELSIMPL_H

@@ -1,0 +1,51 @@
+//===- likelihood/TapeKernelsPortable.cpp - Scalar-tier kernel TU ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+// Compiled with -ffp-contract=off and no ISA flags: the reference tier,
+// always present.  With W == 1 the template's "vector" loop is exactly
+// the plain per-element loop of the pre-SIMD interpreter (which the
+// compiler remains free to auto-vectorize for the baseline ISA — that
+// never changes per-lane IEEE results).
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/TapeKernelsImpl.h"
+
+namespace psketch {
+namespace tapekernels {
+namespace {
+
+/// Reference traits: one lane, plain IEEE scalar arithmetic.  Every
+/// other tier's ops must match these bit for bit (header comment of
+/// TapeKernelsImpl.h).
+struct ScalarTraits {
+  static constexpr size_t W = 1;
+  static constexpr bool HasFma = true; // std::fma is the scalar FMA.
+  using V = double;
+  static V load(const double *P) { return *P; }
+  static void store(double *P, V X) { *P = X; }
+  static V add(V A, V B) { return A + B; }
+  static V sub(V A, V B) { return A - B; }
+  static V mul(V A, V B) { return A * B; }
+  static V div(V A, V B) { return A / B; }
+  static V neg(V A) { return -A; }
+  static V abs(V A) { return std::fabs(A); }
+  static V sqrt(V A) { return std::sqrt(A); }
+  static V max(V A, V B) { return A > B ? A : B; }
+  static V min(V A, V B) { return A < B ? A : B; }
+  static V gt01(V A, V B) { return A > B ? 1.0 : 0.0; }
+  static V eq01(V A, V B) { return A == B ? 1.0 : 0.0; }
+  static V fma(V A, V B, V C) { return std::fma(A, B, C); }
+};
+
+} // namespace
+
+void applyVecOpPortable(TapeOp Op, const double *A, const double *B,
+                        const double *C, double *R, size_t N,
+                        TapeKernelFlags Flags) {
+  applyVecOpT<ScalarTraits>(Op, A, B, C, R, N, Flags);
+}
+
+} // namespace tapekernels
+} // namespace psketch

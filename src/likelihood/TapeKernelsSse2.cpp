@@ -1,0 +1,66 @@
+//===- likelihood/TapeKernelsSse2.cpp - SSE2-tier kernel TU ---------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+// Compiled with -msse2 -ffp-contract=off, only on x86-64 builds with
+// PSKETCH_SIMD on.  2 x double lanes via explicit intrinsics; every op
+// below is the packed form of the identical IEEE scalar operation
+// (TapeKernelsImpl.h header lays out the bit-exactness argument).  No
+// vector FMA at this tier — FastTape fused ops run std::fma per lane.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/TapeKernelsImpl.h"
+
+#include <emmintrin.h>
+
+namespace psketch {
+namespace tapekernels {
+namespace {
+
+struct Sse2Traits {
+  static constexpr size_t W = 2;
+  static constexpr bool HasFma = false;
+  using V = __m128d;
+  static V load(const double *P) { return _mm_loadu_pd(P); }
+  static void store(double *P, V X) { _mm_storeu_pd(P, X); }
+  static V add(V A, V B) { return _mm_add_pd(A, B); }
+  static V sub(V A, V B) { return _mm_sub_pd(A, B); }
+  static V mul(V A, V B) { return _mm_mul_pd(A, B); }
+  static V div(V A, V B) { return _mm_div_pd(A, B); }
+  static V neg(V A) {
+    // Sign-bit flip — bit-identical to scalar negation for every
+    // operand class including NaN payloads.
+    return _mm_xor_pd(A, _mm_set1_pd(-0.0));
+  }
+  static V abs(V A) {
+    return _mm_andnot_pd(_mm_set1_pd(-0.0), A);
+  }
+  static V sqrt(V A) { return _mm_sqrt_pd(A); }
+  static V max(V A, V B) {
+    // maxpd computes exactly `a > b ? a : b` (second operand on NaN
+    // and on +/-0 ties) — the tape's scalar Max semantics.
+    return _mm_max_pd(A, B);
+  }
+  static V min(V A, V B) { return _mm_min_pd(A, B); }
+  static V gt01(V A, V B) {
+    // All-ones/all-zeros compare mask ANDed with 1.0: identical to the
+    // scalar ternary, NaN comparing false included.
+    return _mm_and_pd(_mm_cmpgt_pd(A, B), _mm_set1_pd(1.0));
+  }
+  static V eq01(V A, V B) {
+    return _mm_and_pd(_mm_cmpeq_pd(A, B), _mm_set1_pd(1.0));
+  }
+  static V fma(V, V, V) { return _mm_setzero_pd(); } // Unused: !HasFma.
+};
+
+} // namespace
+
+void applyVecOpSse2(TapeOp Op, const double *A, const double *B,
+                    const double *C, double *R, size_t N,
+                    TapeKernelFlags Flags) {
+  applyVecOpT<Sse2Traits>(Op, A, B, C, R, N, Flags);
+}
+
+} // namespace tapekernels
+} // namespace psketch

@@ -1,0 +1,92 @@
+//===- support/Simd.cpp - SIMD capability detection and selection ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+using namespace psketch;
+
+const char *psketch::simdLevelName(SimdLevel L) {
+  switch (L) {
+  case SimdLevel::Scalar:
+    return "scalar";
+  case SimdLevel::Sse2:
+    return "sse2";
+  case SimdLevel::Avx2:
+    return "avx2";
+  }
+  return "scalar";
+}
+
+unsigned psketch::simdLaneWidth(SimdLevel L) {
+  switch (L) {
+  case SimdLevel::Scalar:
+    return 1;
+  case SimdLevel::Sse2:
+    return 2;
+  case SimdLevel::Avx2:
+    return 4;
+  }
+  return 1;
+}
+
+SimdLevel psketch::detectCpuSimdLevel() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // Static init runs the CPUID probe once per process.
+  static const SimdLevel Detected = [] {
+#if defined(__GNUC__) || defined(__clang__)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      return SimdLevel::Avx2;
+#endif
+    return SimdLevel::Sse2; // Baseline of the x86-64 ABI.
+  }();
+  return Detected;
+#else
+  return SimdLevel::Scalar;
+#endif
+}
+
+namespace {
+
+/// Programmatic cap; 3 = no cap (one past the highest level).
+std::atomic<uint8_t> OverrideCap{3};
+
+SimdLevel envSimdCap() {
+  static const SimdLevel Cap = [] {
+    const char *Env = std::getenv("PSKETCH_SIMD_LEVEL");
+    if (!Env)
+      return SimdLevel::Avx2;
+    if (!std::strcmp(Env, "scalar") || !std::strcmp(Env, "off"))
+      return SimdLevel::Scalar;
+    if (!std::strcmp(Env, "sse2"))
+      return SimdLevel::Sse2;
+    return SimdLevel::Avx2; // "avx2" or unrecognized: no extra cap.
+  }();
+  return Cap;
+}
+
+} // namespace
+
+SimdLevel psketch::activeSimdLevel() {
+  SimdLevel L = detectCpuSimdLevel();
+  if (envSimdCap() < L)
+    L = envSimdCap();
+  const uint8_t Cap = OverrideCap.load(std::memory_order_relaxed);
+  if (Cap < uint8_t(L))
+    L = SimdLevel(Cap);
+  return L;
+}
+
+void psketch::setSimdLevelOverride(SimdLevel L) {
+  OverrideCap.store(uint8_t(L), std::memory_order_relaxed);
+}
+
+void psketch::clearSimdLevelOverride() {
+  OverrideCap.store(3, std::memory_order_relaxed);
+}

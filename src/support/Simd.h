@@ -1,0 +1,61 @@
+//===- support/Simd.h - SIMD capability detection and selection -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime SIMD instruction-set detection for the tape interpreter's
+/// vector kernels (likelihood/TapeKernels.h).  The level reported here
+/// is the *CPU's* capability, clamped by an optional override; the
+/// kernel dispatcher additionally clamps to what was compiled in
+/// (PSKETCH_SIMD CMake option, per-ISA translation units).
+///
+/// Every kernel level computes lane-wise identical IEEE results (see
+/// DESIGN.md §11), so the selection here affects throughput only —
+/// never a single bit of any score.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_SIMD_H
+#define PSKETCH_SUPPORT_SIMD_H
+
+#include <cstdint>
+
+namespace psketch {
+
+/// Kernel instruction-set tiers, ordered: a level implies all lower
+/// ones.  Scalar is the portable fallback (plain loops the compiler
+/// may still auto-vectorize for the baseline ISA).
+enum class SimdLevel : uint8_t {
+  Scalar = 0, ///< Portable kernels, one lane per step.
+  Sse2 = 1,   ///< 2 x double (x86-64 baseline, explicit intrinsics).
+  Avx2 = 2,   ///< 4 x double (+ FMA, used only by --ffast-tape).
+};
+
+/// Printable name of \p L ("scalar", "sse2", "avx2").
+const char *simdLevelName(SimdLevel L);
+
+/// Doubles per vector register at \p L (1, 2 or 4).
+unsigned simdLaneWidth(SimdLevel L);
+
+/// The highest level this CPU supports (cached CPUID probe; Avx2 also
+/// requires FMA — every AVX2 CPU has it).  Scalar on non-x86-64 hosts.
+SimdLevel detectCpuSimdLevel();
+
+/// The level evaluation should use: the CPU's level, clamped by
+/// setSimdLevelOverride() and by the PSKETCH_SIMD_LEVEL environment
+/// variable ("scalar"/"off", "sse2", "avx2"; read once).  Overrides
+/// only ever lower the level — the CPU capability is a hard ceiling.
+SimdLevel activeSimdLevel();
+
+/// Caps activeSimdLevel() at \p L (tests and benches exercising every
+/// tier on one machine).  Takes effect for tapes compiled afterwards.
+void setSimdLevelOverride(SimdLevel L);
+
+/// Removes the setSimdLevelOverride() cap (the environment cap stays).
+void clearSimdLevelOverride();
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_SIMD_H

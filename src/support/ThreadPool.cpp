@@ -35,8 +35,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> Job) {
   {
     std::unique_lock<std::mutex> Lock(Mtx);
-    Jobs.push_back(std::move(Job));
+    Jobs.push_back(Item{std::move(Job), nullptr});
     ++Outstanding;
+  }
+  JobReady.notify_one();
+}
+
+void ThreadPool::submit(Group &G, std::function<void()> Job) {
+  {
+    std::unique_lock<std::mutex> Lock(Mtx);
+    Jobs.push_back(Item{std::move(Job), &G});
+    ++Outstanding;
+    ++G.Outstanding;
   }
   JobReady.notify_one();
 }
@@ -46,9 +56,14 @@ void ThreadPool::wait() {
   JobsDone.wait(Lock, [this] { return Outstanding == 0; });
 }
 
+void ThreadPool::wait(Group &G) {
+  std::unique_lock<std::mutex> Lock(Mtx);
+  G.Done.wait(Lock, [&G] { return G.Outstanding == 0; });
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
-    std::function<void()> Job;
+    Item Job;
     {
       std::unique_lock<std::mutex> Lock(Mtx);
       JobReady.wait(Lock, [this] { return Stopping || !Jobs.empty(); });
@@ -57,9 +72,11 @@ void ThreadPool::workerLoop() {
       Job = std::move(Jobs.front());
       Jobs.pop_front();
     }
-    Job();
+    Job.Fn();
     {
       std::unique_lock<std::mutex> Lock(Mtx);
+      if (Job.G && --Job.G->Outstanding == 0)
+        Job.G->Done.notify_all();
       if (--Outstanding == 0)
         JobsDone.notify_all();
     }

@@ -41,11 +41,29 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
+  /// Completion tracker for a subset of jobs: several clients can share
+  /// one pool and each wait for only its own submissions (the
+  /// row-parallel evaluators of concurrent chains share the run's row
+  /// pool this way).  The group must outlive its jobs; waiting on it
+  /// before destroying it guarantees that.
+  class Group {
+    friend class ThreadPool;
+    size_t Outstanding = 0;
+    std::condition_variable Done;
+  };
+
   /// Enqueues \p Job for execution on some worker.
   void submit(std::function<void()> Job);
 
+  /// Enqueues \p Job tracked under \p G (and under the pool-wide
+  /// wait() as every job is).
+  void submit(Group &G, std::function<void()> Job);
+
   /// Blocks until every submitted job has finished.
   void wait();
+
+  /// Blocks until every job submitted under \p G has finished.
+  void wait(Group &G);
 
   unsigned size() const { return unsigned(Workers.size()); }
 
@@ -53,10 +71,15 @@ public:
   static unsigned resolveThreadCount(unsigned Requested);
 
 private:
+  struct Item {
+    std::function<void()> Fn;
+    Group *G = nullptr;
+  };
+
   void workerLoop();
 
   std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Jobs;
+  std::deque<Item> Jobs;
   std::mutex Mtx;
   std::condition_variable JobReady;  ///< Signals workers.
   std::condition_variable JobsDone;  ///< Signals wait().

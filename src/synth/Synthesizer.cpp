@@ -7,6 +7,8 @@
 #include "synth/Synthesizer.h"
 
 #include "ast/ASTUtil.h"
+#include "likelihood/RowParallel.h"
+#include "likelihood/TapeKernels.h"
 #include "support/Log.h"
 #include "support/ThreadPool.h"
 
@@ -54,6 +56,9 @@ void SynthesisStats::merge(const SynthesisStats &Other) {
   TapeRawIns += Other.TapeRawIns;
   TapeFinalIns += Other.TapeFinalIns;
   TapeFused += Other.TapeFused;
+  RowsScored += Other.RowsScored;
+  RowsSimd += Other.RowsSimd;
+  RowsScalarTail += Other.RowsScalarTail;
   Stage.merge(Other.Stage);
 }
 
@@ -99,7 +104,8 @@ Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
 
 std::optional<double> Synthesizer::scoreWithTemplate(
     const std::vector<ExprPtr> &Completions, ColumnCache *ColCache,
-    SynthesisStats *Stats, CompileScratch *Scratch) const {
+    SynthesisStats *Stats, CompileScratch *Scratch,
+    RowEvalContext *Rows) const {
   if (!TemplateDefAssignOK)
     return std::nullopt;
   std::optional<LikelihoodFunction> F;
@@ -115,9 +121,10 @@ std::optional<double> Synthesizer::scoreWithTemplate(
     Stats->TapeRawIns += F->rawTapeSize();
     Stats->TapeFinalIns += F->tapeSize();
     Stats->TapeFused += F->tape().numFused();
+    Stats->RowsScored += ColData.numRows();
   }
-  double LL = ColCache ? F->logLikelihood(ColData, *ColCache)
-                       : F->logLikelihood(ColData);
+  double LL = ColCache ? F->logLikelihood(ColData, *ColCache, Rows)
+                       : F->logLikelihood(ColData, Rows);
   // Done scoring: hand the function's heap storage back to the chain's
   // scratch so the next candidate compiles into warm capacity.
   if (Scratch)
@@ -181,10 +188,14 @@ CachedScore Synthesizer::classifyCompletions(
 }
 
 void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
-                           ChainOutcome &Out) const {
+                           ChainOutcome &Out, ThreadPool *RowPool) const {
   Rng R(Seed);
   Mutator Mut(Sigs, Config.Gen, Config.Mut, R);
   ScoreCache Cache(Config.ScoreCacheSize);
+  const auto ChainStart = std::chrono::steady_clock::now();
+  // Drain any SIMD row tally a previous chain left on this pool
+  // thread, so this chain's counters start from zero.
+  (void)takeSimdRowTally();
 
   // Install this chain's stage-time sink for the scoring spans (in
   // this file and in likelihood/Likelihood.cpp); restored on exit so
@@ -230,6 +241,16 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   std::optional<ColumnCache> ColCache;
   if (Config.Incremental && UseTemplate)
     ColCache.emplace(Config.ColumnCacheBytes);
+  // This chain's handle on the run-wide row pool (null unless
+  // `--row-threads` > 1 and the dataset is big enough — see run()).
+  // The column cache stays chain-private but must serialize its
+  // mutators once several row workers probe it concurrently.
+  std::optional<RowEvalContext> RowCtx;
+  if (RowPool && UseTemplate) {
+    RowCtx.emplace(*RowPool, Config.RowThreads);
+    if (ColCache)
+      ColCache->setShared(true);
+  }
   // Chain-private compile scratch: keeps the NumExpr builder's storage
   // warm across the thousands of same-shaped candidate compilations of
   // this chain.  Like the caches above, never shared across chains, and
@@ -243,7 +264,8 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     ++Out.Stats.Scored;
     if (UseTemplate)
       return scoreWithTemplate(Completions, ColCache ? &*ColCache : nullptr,
-                               &Out.Stats, ScratchPtr);
+                               &Out.Stats, ScratchPtr,
+                               RowCtx ? &*RowCtx : nullptr);
     std::unique_ptr<Program> Spliced;
     {
       ScopedStage Span(Stage::Splice);
@@ -394,12 +416,26 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     }
     if (Config.ProgressEvery && Config.Progress &&
         ((Iter + 1) % Config.ProgressEvery == 0 ||
-         Iter + 1 == Config.Iterations))
+         Iter + 1 == Config.Iterations)) {
+      const double Elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        ChainStart)
+              .count();
       Config.Progress({ChainIndex, Iter + 1, Config.Iterations,
                        Out.BestLogLikelihood,
                        ColCache ? ColCache->hitRate() : 0.0,
-                       Out.Stats.InvalidStatic});
+                       Out.Stats.InvalidStatic,
+                       Elapsed > 0 ? double(Out.Stats.RowsScored) / Elapsed
+                                   : 0.0});
+    }
   }
+
+  // The chain's SIMD row split: everything the thread-local tally
+  // accumulated since the drain at chain start — serial evaluations
+  // directly, row-parallel ones via the per-task credits.
+  const SimdRowTally Tally = takeSimdRowTally();
+  Out.Stats.RowsSimd = Tally.RowsSimd;
+  Out.Stats.RowsScalarTail = Tally.RowsTail;
 
   Out.Stats.ScoreCacheEvictions = Cache.evictions();
   if (ColCache) {
@@ -431,6 +467,9 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     Reg.counter("synth.tape.raw_instructions").add(Out.Stats.TapeRawIns);
     Reg.counter("synth.tape.instructions").add(Out.Stats.TapeFinalIns);
     Reg.counter("synth.tape.fused").add(Out.Stats.TapeFused);
+    Reg.counter("synth.rows_scored").add(Out.Stats.RowsScored);
+    Reg.counter("tape.rows_simd").add(Out.Stats.RowsSimd);
+    Reg.counter("tape.rows_scalar_tail").add(Out.Stats.RowsScalarTail);
   }
 
   PSKETCH_LOG(Debug, "synth",
@@ -450,14 +489,22 @@ SynthesisResult Synthesizer::run() {
   std::vector<ChainOutcome> Outcomes(Chains);
   const unsigned Threads =
       std::min(ThreadPool::resolveThreadCount(Config.Threads), Chains);
+  // One run-wide row-worker pool shared by every chain (each chain
+  // waits on its own ThreadPool::Group), created only when the knob is
+  // on and the template path + dataset size can use it.  Score-neutral:
+  // see SynthesisConfig::RowThreads.
+  std::unique_ptr<ThreadPool> RowPool;
+  if (Config.RowThreads > 1 && Template && !CustomScorer &&
+      Data.numRows() > LikelihoodFunction::BatchBlockRows)
+    RowPool = std::make_unique<ThreadPool>(Config.RowThreads);
   if (Threads <= 1) {
     for (unsigned Chain = 0; Chain != Chains; ++Chain)
-      runChain(Chain, Config.Seed + Chain, Outcomes[Chain]);
+      runChain(Chain, Config.Seed + Chain, Outcomes[Chain], RowPool.get());
   } else {
     ThreadPool Pool(Threads);
     for (unsigned Chain = 0; Chain != Chains; ++Chain)
-      Pool.submit([this, Chain, &Outcomes] {
-        runChain(Chain, Config.Seed + Chain, Outcomes[Chain]);
+      Pool.submit([this, Chain, &Outcomes, &RowPool] {
+        runChain(Chain, Config.Seed + Chain, Outcomes[Chain], RowPool.get());
       });
     Pool.wait();
   }
@@ -514,6 +561,19 @@ SynthesisResult Synthesizer::run() {
     Result.Metrics
         ->gauge("synth.colcache.hit_rate")
         .set(Result.Stats.colCacheHitRate());
+    Result.Metrics
+        ->gauge("synth.rows_per_sec")
+        .set(Result.Stats.Seconds > 0
+                 ? double(Result.Stats.RowsScored) / Result.Stats.Seconds
+                 : 0.0);
+    // The lane width the run's tapes dispatch to (1 scalar, 2 SSE2,
+    // 4 AVX2) — resolved exactly as Tape's constructor resolves it.
+    Result.Metrics
+        ->gauge("tape.simd_width")
+        .set(double(resolveTapeKernel(Config.Likelihood.Tape.Simd
+                                          ? activeSimdLevel()
+                                          : SimdLevel::Scalar)
+                        .Width));
     if (Config.StageTimers)
       for (unsigned S = 0; S != NumStages; ++S)
         Result.Metrics

@@ -40,6 +40,8 @@
 
 namespace psketch {
 
+class ThreadPool;
+
 /// All knobs of one synthesis run.
 struct SynthesisConfig {
   /// MH iterations per chain (Algorithm 1's N).
@@ -58,6 +60,18 @@ struct SynthesisConfig {
   /// value produces results identical to Threads = 1.  With
   /// Threads > 1 a replaced scorer (setScorer) must be thread-safe.
   unsigned Threads = 1;
+
+  /// Row workers for *intra-chain* likelihood evaluation (`--row-threads`):
+  /// with a value > 1, each scoring call farms its 512-row blocks to a
+  /// run-wide row pool of this many workers (shared by all chains, each
+  /// chain waiting only on its own block group).  Every block's partial
+  /// sum and the fixed-shape reduction combining them are independent of
+  /// the schedule, so scores — and therefore the walk — are bit-identical
+  /// for every RowThreads value (DESIGN.md §11).  Effective only on the
+  /// default template scoring path and only when the dataset spans more
+  /// than one block; pays off on large datasets where one candidate's
+  /// evaluation dwarfs the per-block dispatch.
+  unsigned RowThreads = 1;
 
   /// Capacity of the per-chain LRU candidate-score cache keyed by the
   /// structural hash of the completion tuple (ast/ASTUtil hashExprTuple);
@@ -158,6 +172,9 @@ struct SynthesisConfig {
     /// Proposals rejected by the STATIC-REJECT pre-filter so far
     /// (this chain).
     unsigned StaticRejects = 0;
+    /// Data rows scored per wall-clock second by this chain so far
+    /// (scoring throughput; 0 on non-template scoring paths).
+    double RowsPerSec = 0;
   };
   unsigned ProgressEvery = 0; ///< 0 disables progress callbacks.
   std::function<void(const ProgressUpdate &)> Progress;
@@ -195,6 +212,17 @@ struct SynthesisStats {
   uint64_t TapeRawIns = 0;
   uint64_t TapeFinalIns = 0;
   uint64_t TapeFused = 0;
+
+  // Row-throughput telemetry (DESIGN.md §11).  RowsScored counts data
+  // rows evaluated through the template scoring path (dataset rows x
+  // evaluated candidates); RowsSimd / RowsScalarTail split the rows the
+  // batched kernels processed into full-lane-group rows and scalar-tail
+  // rows (with the scalar kernel every row is a tail row).  The split
+  // is a function of row counts and lane width only — never of threads
+  // or cache state — so it is deterministic like everything above.
+  uint64_t RowsScored = 0;
+  uint64_t RowsSimd = 0;
+  uint64_t RowsScalarTail = 0;
 
   /// Per-stage scoring cost (lower/compile, batched eval, cache probe,
   /// splice), populated when SynthesisConfig::StageTimers is on; all
@@ -310,19 +338,25 @@ private:
 
   /// Runs one MH chain.  Const and self-contained (own RNG, own
   /// mutator, own score cache, own telemetry buffers) so chains can
-  /// run on pool threads.
-  void runChain(unsigned ChainIndex, uint64_t Seed, ChainOutcome &Out) const;
+  /// run on pool threads.  \p RowPool, when non-null, is the run-wide
+  /// row-worker pool: the chain evaluates likelihood row blocks on it
+  /// through its own RowEvalContext (score-neutral — see
+  /// SynthesisConfig::RowThreads).
+  void runChain(unsigned ChainIndex, uint64_t Seed, ChainOutcome &Out,
+                ThreadPool *RowPool) const;
 
   /// Scores one completion tuple against the lowered sketch template
   /// (no per-candidate splice/lower; bitwise-identical to splicing).
   /// With \p ColCache, evaluation runs incrementally against it; with
   /// \p Stats, tape-size counters accumulate there.  \p Scratch (one
   /// per chain) keeps compile-time storage warm across candidates.
+  /// \p Rows distributes block evaluation over the row pool.
   std::optional<double>
   scoreWithTemplate(const std::vector<ExprPtr> &Completions,
                     ColumnCache *ColCache = nullptr,
                     SynthesisStats *Stats = nullptr,
-                    CompileScratch *Scratch = nullptr) const;
+                    CompileScratch *Scratch = nullptr,
+                    RowEvalContext *Rows = nullptr) const;
 
   std::unique_ptr<Program> Sketch;
   InputBindings Inputs;

@@ -128,7 +128,10 @@ int cmdScore(const ToolOptions &Opts, std::ostream &Out,
   auto Data = loadData(Opts.DataPath, Err);
   if (!Data)
     return 1;
-  auto F = LikelihoodFunction::compile(*LP, *Data);
+  LikelihoodOptions LOpts;
+  LOpts.Tape.Simd = !Opts.NoSimd;
+  LOpts.Tape.FastSimdMath = Opts.FastSimdMath;
+  auto F = LikelihoodFunction::compile(*LP, *Data, {}, nullptr, LOpts);
   if (!F) {
     Err << "error: candidate is malformed (reads an unwritten slot?)\n";
     return 1;
@@ -167,14 +170,17 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
   Config.Iterations = Opts.Iterations;
   Config.Chains = Opts.Chains;
   Config.Threads = Opts.Threads;
+  Config.RowThreads = Opts.RowThreads;
   Config.Seed = Opts.Seed;
 
-  // Likelihood-pipeline escape hatches (DESIGN.md §9); defaults leave
-  // every bit-exact optimization on.
+  // Likelihood-pipeline escape hatches (DESIGN.md §9, §11); defaults
+  // leave every bit-exact optimization on.
   Config.Incremental = !Opts.NoIncremental;
   Config.Likelihood.Simplify = !Opts.NoSimplify;
   Config.Likelihood.Tape.Fuse = !Opts.NoFuse;
   Config.Likelihood.Tape.FastTape = Opts.FastTape;
+  Config.Likelihood.Tape.Simd = !Opts.NoSimd;
+  Config.Likelihood.Tape.FastSimdMath = Opts.FastSimdMath;
   Config.ColumnCacheBytes = size_t(Opts.ColumnCacheMB) << 20;
   Config.StaticAnalysis = !Opts.NoStaticAnalysis;
 
@@ -197,13 +203,15 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
                              << U.Iterations << " iterations, best LL "
                              << U.BestLL << ", column-cache hit rate "
                              << int(U.ColCacheHitRate * 100)
-                             << "%, static rejects " << U.StaticRejects);
+                             << "%, static rejects " << U.StaticRejects
+                             << ", " << uint64_t(U.RowsPerSec) << " rows/s");
       else
         PSKETCH_LOG(Info, "synth",
                     "chain " << U.Chain << ": " << U.Iter << "/"
                              << U.Iterations << " iterations, best LL "
                              << U.BestLL << ", static rejects "
-                             << U.StaticRejects);
+                             << U.StaticRejects << ", "
+                             << uint64_t(U.RowsPerSec) << " rows/s");
     };
   }
 

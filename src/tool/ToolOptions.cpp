@@ -76,7 +76,8 @@ std::string psketch::toolUsage() {
          "         [--trace-out FILE.jsonl] [--metrics-out FILE.json]\n"
          "         [--progress] [--no-incremental] [--no-simplify]\n"
          "         [--no-fuse] [--ffast-tape] [--column-cache-mb N]\n"
-         "         [--no-static-analysis]\n"
+         "         [--no-static-analysis] [--no-simd] [--fast-simd-math]\n"
+         "         [--row-threads N]\n"
          "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
          "  trace-stats --trace FILE.jsonl\n"
          "inputs: --int n=3 --real x=1.5 --bool b=1\n"
@@ -141,13 +142,17 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
       Opts.FastTape = true;
     } else if (Flag == "--no-static-analysis") {
       Opts.NoStaticAnalysis = true;
+    } else if (Flag == "--no-simd") {
+      Opts.NoSimd = true;
+    } else if (Flag == "--fast-simd-math") {
+      Opts.FastSimdMath = true;
     } else if (Flag == "--slot") {
       if (NextValue(I, Flag, Value))
         Opts.Slots.push_back(Value);
     } else if (Flag == "--rows" || Flag == "--iterations" ||
                Flag == "--chains" || Flag == "--seed" ||
                Flag == "--samples" || Flag == "--threads" ||
-               Flag == "--column-cache-mb") {
+               Flag == "--row-threads" || Flag == "--column-cache-mb") {
       if (!NextValue(I, Flag, Value))
         continue;
       auto V = parseNumber(Value);
@@ -166,6 +171,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.Chains = unsigned(*V);
       else if (Flag == "--threads")
         Opts.Threads = unsigned(*V);
+      else if (Flag == "--row-threads")
+        Opts.RowThreads = unsigned(*V);
       else if (Flag == "--column-cache-mb")
         Opts.ColumnCacheMB = unsigned(*V);
       else

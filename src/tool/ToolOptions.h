@@ -61,6 +61,17 @@ struct ToolOptions {
   /// are bit-identical either way (the verdict still applies); the flag
   /// exists to measure / bisect the pre-filter's cost and savings.
   bool NoStaticAnalysis = false;
+  /// --no-simd (synth/score): run the batched tape kernels on the
+  /// portable scalar tier instead of the best compiled-in SIMD tier.
+  /// Bit-exact — every tier performs the identical IEEE operations
+  /// lane-wise (DESIGN.md §11); the flag exists for bisection and for
+  /// the differential tests.
+  bool NoSimd = false;
+  /// --fast-simd-math (synth/score): polynomial Log/Exp kernels instead
+  /// of per-lane libm calls.  Value-changing (documented relative-error
+  /// bound in likelihood/TapeKernels.h) but deterministic across SIMD
+  /// tiers and thread counts.
+  bool FastSimdMath = false;
   unsigned ColumnCacheMB = 32; ///< --column-cache-mb: per-chain budget.
   std::vector<std::string> Slots; ///< --slot (report).
   unsigned Rows = 100;
@@ -68,6 +79,9 @@ struct ToolOptions {
   unsigned Iterations = 4000;
   unsigned Chains = 2;
   unsigned Threads = 1; ///< --threads; 0 = hardware_concurrency.
+  /// --row-threads (synth): intra-chain row workers per likelihood
+  /// evaluation; 1 = serial.  Score-neutral at every value.
+  unsigned RowThreads = 1;
   uint64_t Seed = 1;
   InputBindings Inputs;
 

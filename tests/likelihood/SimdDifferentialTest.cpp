@@ -1,0 +1,250 @@
+//===- tests/likelihood/SimdDifferentialTest.cpp - SIMD vs scalar fuzz ----===//
+//
+// Differential fuzzing of the SIMD backend (DESIGN.md §11):
+//
+//  * Default mode — random tapes over random data must evaluate
+//    bit-identically on every compiled-in tier and with --no-simd.
+//    This is the contract that lets `psketch synth` enable SIMD by
+//    default without perturbing a single MH decision.
+//
+//  * --fast-simd-math — the polynomial Log/Exp kernels are
+//    value-changing relative to libm but must stay (a) within the
+//    tolerance documented in likelihood/TapeKernels.h, (b) exactly
+//    libm on the special operands routed to the fallback, and (c)
+//    bit-identical across tiers (same pure-IEEE per-lane sequence, so
+//    lane width cannot change results).
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/TapeKernels.h"
+
+#include "likelihood/Tape.h"
+#include "support/Rng.h"
+#include "support/Simd.h"
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <limits>
+#include <vector>
+
+using namespace psketch;
+
+namespace {
+
+struct SimdLevelGuard {
+  explicit SimdLevelGuard(SimdLevel L) { setSimdLevelOverride(L); }
+  ~SimdLevelGuard() { clearSimdLevelOverride(); }
+};
+
+std::vector<SimdLevel> runnableLevels() {
+  std::vector<SimdLevel> Levels = {SimdLevel::Scalar};
+  const uint8_t Max = std::min(uint8_t(maxCompiledSimdLevel()),
+                               uint8_t(detectCpuSimdLevel()));
+  if (Max >= uint8_t(SimdLevel::Sse2))
+    Levels.push_back(SimdLevel::Sse2);
+  if (Max >= uint8_t(SimdLevel::Avx2))
+    Levels.push_back(SimdLevel::Avx2);
+  return Levels;
+}
+
+/// Bit equality with NaNs collapsed to one class: IEEE-754 leaves the
+/// sign/payload of a NaN produced by an arithmetic op unspecified (and
+/// the compiler may commute `a + b` when both operands are NaN), so
+/// bitwise agreement is only demanded of non-NaN results.
+bool bitEq(double A, double B) {
+  if (std::isnan(A) && std::isnan(B))
+    return true;
+  uint64_t X, Y;
+  std::memcpy(&X, &A, sizeof X);
+  std::memcpy(&Y, &B, sizeof Y);
+  return X == Y;
+}
+
+/// Random DAG over two data columns exercising the full op set,
+/// including constructions the peephole fuses.
+NumId randomDag(NumExprBuilder &B, Rng &R) {
+  std::vector<NumId> Pool = {B.dataRef(0), B.dataRef(1),
+                             B.constant(R.uniform(-2, 2)),
+                             B.constant(R.uniform(0.1, 3))};
+  for (int I = 0; I != 40; ++I) {
+    NumId X = Pool[R.index(Pool.size())];
+    NumId Y = Pool[R.index(Pool.size())];
+    switch (R.index(12)) {
+    case 0:
+      Pool.push_back(B.add(X, Y));
+      break;
+    case 1:
+      Pool.push_back(B.sub(X, Y));
+      break;
+    case 2:
+      Pool.push_back(B.mul(X, Y));
+      break;
+    case 3:
+      // Divisor bounded away from zero to keep values finite-ish; the
+      // special-value test covers the singular cases directly.
+      Pool.push_back(B.div(X, B.add(B.abs(Y), B.constant(0.5))));
+      break;
+    case 4:
+      Pool.push_back(B.neg(X));
+      break;
+    case 5:
+      Pool.push_back(B.log(B.add(B.abs(X), B.constant(0.25))));
+      break;
+    case 6:
+      Pool.push_back(B.exp(B.neg(B.abs(X))));
+      break;
+    case 7:
+      Pool.push_back(B.sqrt(B.abs(X)));
+      break;
+    case 8:
+      Pool.push_back(B.erf(X));
+      break;
+    case 9:
+      Pool.push_back(B.max(X, Y));
+      break;
+    case 10:
+      Pool.push_back(B.min(X, Y));
+      break;
+    case 11:
+      Pool.push_back(B.add(B.gt(X, Y), B.eq(X, X)));
+      break;
+    }
+  }
+  // Fold the tail of the pool so the root depends on many nodes.
+  NumId Root = Pool.back();
+  for (size_t I = Pool.size() - 5; I < Pool.size() - 1; ++I)
+    Root = B.add(Root, Pool[I]);
+  return Root;
+}
+
+Dataset randomData(size_t Rows, Rng &R) {
+  Dataset Data({"c0", "c1"});
+  for (size_t I = 0; I != Rows; ++I)
+    Data.addRow({R.uniform(-5, 5), R.uniform(-5, 5)});
+  return Data;
+}
+
+/// Evaluates \p Root over all rows with the given options at the given
+/// (capped) tier.
+std::vector<double> evalAt(const NumExprBuilder &B, NumId Root,
+                           const ColumnarDataset &Cols, SimdLevel L,
+                           TapeOptions Opts = {}) {
+  SimdLevelGuard Guard(L);
+  Tape T(B, Root, Opts);
+  std::vector<double> Scratch, Out(Cols.numRows());
+  T.evalBatch(Cols, 0, Cols.numRows(), Out.data(), Scratch);
+  return Out;
+}
+
+} // namespace
+
+TEST(SimdDifferentialTest, RandomTapesBitIdenticalAcrossTiersAndNoSimd) {
+  Rng R(20260807);
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    NumExprBuilder B;
+    NumId Root = randomDag(B, R);
+    // Row count straddles lane groups and the 512-row block size.
+    Dataset Data = randomData(512 + R.index(60) + 1, R);
+    ColumnarDataset Cols(Data);
+    TapeOptions NoSimd;
+    NoSimd.Simd = false;
+    const std::vector<double> Ref =
+        evalAt(B, Root, Cols, SimdLevel::Scalar, NoSimd);
+    for (SimdLevel L : runnableLevels()) {
+      const std::vector<double> Got = evalAt(B, Root, Cols, L);
+      ASSERT_EQ(Got.size(), Ref.size());
+      for (size_t Row = 0; Row != Ref.size(); ++Row)
+        ASSERT_TRUE(bitEq(Ref[Row], Got[Row]))
+            << "trial " << Trial << " level " << simdLevelName(L)
+            << " row " << Row << ": " << Got[Row] << " != " << Ref[Row];
+    }
+  }
+}
+
+TEST(SimdDifferentialTest, FastLogWithinToleranceAndExactOnSpecials) {
+  Rng R(101);
+  // Sweep magnitudes from denormal-adjacent to huge; the documented
+  // bound is ~5e-15 relative, asserted here with 1e-13 headroom.
+  for (int I = 0; I != 20000; ++I) {
+    const double Mag = std::pow(10.0, R.uniform(-300, 300));
+    const double X = Mag * R.uniform(0.5, 2.0);
+    const double Ref = std::log(X);
+    const double Got = fastLog(X);
+    ASSERT_LE(std::abs(Got - Ref), 1e-13 * std::abs(Ref) + 1e-16)
+        << "x = " << X;
+  }
+  // Special operands route to libm and must be bit-exact with it.
+  const double Specials[] = {0.0, -0.0, -1.0, -1e300,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::denorm_min(),
+                             4.9e-324, 1e-320,
+                             std::numeric_limits<double>::max()};
+  for (double X : Specials)
+    EXPECT_TRUE(bitEq(fastLog(X), std::log(X))) << "x = " << X;
+  EXPECT_TRUE(bitEq(fastLog(1.0), 0.0));
+}
+
+TEST(SimdDifferentialTest, FastExpWithinToleranceAndExactOnSpecials) {
+  Rng R(102);
+  for (int I = 0; I != 20000; ++I) {
+    const double X = R.uniform(-700, 700);
+    const double Ref = std::exp(X);
+    const double Got = fastExp(X);
+    ASSERT_LE(std::abs(Got - Ref), 1e-13 * Ref) << "x = " << X;
+  }
+  const double Specials[] = {709.0, -709.0, 1000.0, -1000.0,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN()};
+  for (double X : Specials)
+    EXPECT_TRUE(bitEq(fastExp(X), std::exp(X))) << "x = " << X;
+  EXPECT_TRUE(bitEq(fastExp(0.0), 1.0));
+}
+
+TEST(SimdDifferentialTest, FastSimdMathBitIdenticalAcrossTiers) {
+  // Value-changing vs libm, but the polynomial kernels are pure IEEE
+  // arithmetic applied per lane in a fixed sequence — so every tier
+  // (and the scalar tail inside each tier) must produce the same bits.
+  Rng R(303);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    NumExprBuilder B;
+    NumId Root = randomDag(B, R);
+    Dataset Data = randomData(512 + R.index(60) + 1, R);
+    ColumnarDataset Cols(Data);
+    TapeOptions Fast;
+    Fast.FastSimdMath = true;
+    std::vector<std::vector<double>> PerTier;
+    for (SimdLevel L : runnableLevels())
+      PerTier.push_back(evalAt(B, Root, Cols, L, Fast));
+    for (size_t Tier = 1; Tier < PerTier.size(); ++Tier)
+      for (size_t Row = 0; Row != PerTier[0].size(); ++Row)
+        ASSERT_TRUE(bitEq(PerTier[0][Row], PerTier[Tier][Row]))
+            << "trial " << Trial << " tier " << Tier << " row " << Row;
+  }
+}
+
+TEST(SimdDifferentialTest, FastSimdMathNearLibmOnSmoothTape) {
+  // Whole-tape comparison on a smooth log/exp pipeline (no compares to
+  // amplify a last-ulp difference into a 0/1 flip): per-row agreement
+  // with the libm tape within a small multiple of the per-op bound.
+  NumExprBuilder B;
+  NumId X = B.dataRef(0), Y = B.dataRef(1);
+  NumId Root = B.add(B.log(B.add(B.abs(X), B.constant(0.25))),
+                     B.exp(B.neg(B.mul(Y, Y))));
+  Rng R(404);
+  Dataset Data = randomData(777, R);
+  ColumnarDataset Cols(Data);
+  TapeOptions Fast;
+  Fast.FastSimdMath = true;
+  const std::vector<double> Libm =
+      evalAt(B, Root, Cols, SimdLevel::Scalar);
+  const std::vector<double> Poly =
+      evalAt(B, Root, Cols, SimdLevel::Scalar, Fast);
+  for (size_t Row = 0; Row != Libm.size(); ++Row)
+    EXPECT_NEAR(Poly[Row], Libm[Row],
+                1e-12 * std::max(1.0, std::abs(Libm[Row])))
+        << "row " << Row;
+}

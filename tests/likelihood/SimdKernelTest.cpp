@@ -1,0 +1,266 @@
+//===- tests/likelihood/SimdKernelTest.cpp - SIMD tape kernel tiers -------===//
+//
+// The lane-width-templated batched kernels (DESIGN.md §11) must be
+// bit-identical to the row-wise interpreter at every SIMD tier: same
+// IEEE operations lane-wise, scalar tail for the ragged rows, libm
+// transcendentals.  These tests force each compiled-in tier with
+// setSimdLevelOverride and compare element-wise against Tape::eval
+// through the fused superinstructions and every tail size around the
+// lane boundaries.  One carve-out: IEEE-754 leaves the sign/payload of
+// a NaN produced by an arithmetic op unspecified, and when *both*
+// operands of a + are NaN the compiler may commute them (x86 addsd
+// keeps the first operand's payload), so all NaNs count as one
+// equivalence class.  That is harmless for determinism — no NaN
+// payload can ever steer control flow (comparisons with NaN are
+// uniformly false, Gt/Eq emit 0.0, Min/Max select the other operand),
+// so a NaN score rejects a candidate identically whatever its bits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/TapeKernels.h"
+
+#include "likelihood/Likelihood.h"
+#include "likelihood/Tape.h"
+#include "support/Rng.h"
+#include "support/Simd.h"
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <limits>
+#include <vector>
+
+using namespace psketch;
+
+namespace {
+
+/// Caps the active SIMD level for the enclosed scope (the cap can only
+/// lower below what the CPU and the build support, so requesting an
+/// unavailable tier is harmless — resolution falls through).
+struct SimdLevelGuard {
+  explicit SimdLevelGuard(SimdLevel L) { setSimdLevelOverride(L); }
+  ~SimdLevelGuard() { clearSimdLevelOverride(); }
+};
+
+/// The tiers this binary can actually run: compiled in AND supported by
+/// the CPU.  Scalar is always present.
+std::vector<SimdLevel> runnableLevels() {
+  std::vector<SimdLevel> Levels = {SimdLevel::Scalar};
+  const uint8_t Max = std::min(uint8_t(maxCompiledSimdLevel()),
+                               uint8_t(detectCpuSimdLevel()));
+  if (Max >= uint8_t(SimdLevel::Sse2))
+    Levels.push_back(SimdLevel::Sse2);
+  if (Max >= uint8_t(SimdLevel::Avx2))
+    Levels.push_back(SimdLevel::Avx2);
+  return Levels;
+}
+
+/// Bit equality with NaNs collapsed to one class (see the file header:
+/// IEEE-754 does not pin the payload an arithmetic op gives a NaN, so
+/// bitwise agreement is only required of non-NaN results).
+bool bitEq(double A, double B) {
+  if (std::isnan(A) && std::isnan(B))
+    return true;
+  uint64_t X, Y;
+  std::memcpy(&X, &A, sizeof X);
+  std::memcpy(&Y, &B, sizeof Y);
+  return X == Y;
+}
+
+/// Asserts evalBatch over [0, N) of \p Cols matches row-wise eval bit
+/// for bit under the tape's resolved kernel.
+void expectBatchMatchesEval(const Tape &T, const Dataset &Data,
+                            const ColumnarDataset &Cols, size_t N,
+                            const char *What) {
+  std::vector<double> Scratch, BatchScratch, Out(N);
+  T.evalBatch(Cols, 0, N, Out.data(), BatchScratch);
+  for (size_t Row = 0; Row != N; ++Row) {
+    const double Ref = T.eval(Data.row(Row), Scratch);
+    EXPECT_TRUE(bitEq(Ref, Out[Row]))
+        << What << ": level " << simdLevelName(T.simdLevel()) << " row "
+        << Row << " got " << Out[Row] << " want " << Ref;
+  }
+}
+
+/// A DAG that routes row data through every tape op, with single-use
+/// producers positioned so the peephole emits the fused
+/// superinstructions (MulAdd, SubDiv, ...).
+NumId buildAllOpsDag(NumExprBuilder &B) {
+  NumId X = B.dataRef(0), Y = B.dataRef(1);
+  NumId MA = B.add(B.mul(X, Y), Y);               // MulAdd
+  NumId MS = B.sub(B.mul(X, B.constant(1.5)), Y); // MulSub
+  NumId SM = B.mul(B.sub(X, Y), B.constant(0.5)); // SubMul
+  NumId SD = B.div(B.sub(X, B.constant(0.25)),
+                   B.add(B.abs(Y), B.constant(1.0))); // SubDiv
+  NumId MM = B.mul(B.mul(X, B.constant(-2.0)), Y);    // MulMul
+  NumId AA = B.add(B.add(X, Y), B.constant(3.0));     // AddAdd
+  NumId AM = B.mul(B.add(X, B.constant(2.0)), Y);     // AddMul
+  NumId Trans = B.add(B.log(B.add(B.abs(X), B.constant(0.5))),
+                      B.exp(B.neg(B.abs(Y))));
+  NumId Special = B.add(B.sqrt(B.abs(MA)), B.erf(SM));
+  NumId Cmp = B.add(B.gt(X, Y), B.eq(X, B.constant(0.0)));
+  NumId MinMax = B.max(B.min(X, Y), B.neg(SD));
+  NumId Acc = B.add(MA, MS);
+  Acc = B.add(Acc, B.add(MM, AA));
+  Acc = B.add(Acc, B.add(AM, Trans));
+  Acc = B.add(Acc, B.add(Special, Cmp));
+  return B.add(Acc, MinMax);
+}
+
+Dataset randomData(size_t Rows, uint64_t Seed) {
+  Dataset Data({"c0", "c1"});
+  Rng R(Seed);
+  for (size_t I = 0; I != Rows; ++I)
+    Data.addRow({R.uniform(-4, 4), R.uniform(-4, 4)});
+  return Data;
+}
+
+} // namespace
+
+TEST(SimdKernelTest, LaneWidthReflectsForcedTier) {
+  NumExprBuilder B;
+  NumId Root = B.add(B.dataRef(0), B.constant(1.0));
+  for (SimdLevel L : runnableLevels()) {
+    SimdLevelGuard Guard(L);
+    Tape T(B, Root);
+    EXPECT_EQ(T.simdLevel(), L);
+    EXPECT_EQ(T.laneWidth(), simdLaneWidth(L));
+  }
+}
+
+TEST(SimdKernelTest, SimdOffOptionForcesScalarKernel) {
+  NumExprBuilder B;
+  NumId Root = B.add(B.dataRef(0), B.constant(1.0));
+  TapeOptions Opts;
+  Opts.Simd = false;
+  Tape T(B, Root, Opts);
+  EXPECT_EQ(T.simdLevel(), SimdLevel::Scalar);
+  EXPECT_EQ(T.laneWidth(), 1u);
+}
+
+TEST(SimdKernelTest, EnvCapLowersActiveLevel) {
+  // The override used by these tests rides the same min() as the
+  // PSKETCH_SIMD_LEVEL env cap; forcing Scalar must always win.
+  SimdLevelGuard Guard(SimdLevel::Scalar);
+  EXPECT_EQ(activeSimdLevel(), SimdLevel::Scalar);
+}
+
+TEST(SimdKernelTest, TailSizesMatchRowwiseBitwiseAtEveryTier) {
+  // Every N around the lane-group boundaries, including N smaller than
+  // one lane group and N straddling the 512-row block size used above
+  // this layer.
+  const size_t Sizes[] = {1, 2, 3, 4, 5, 6, 7, 8, 63, 64, 65, 511, 513, 1023};
+  Dataset Data = randomData(1023, 91);
+  ColumnarDataset Cols(Data);
+  NumExprBuilder B;
+  NumId Root = buildAllOpsDag(B);
+  for (SimdLevel L : runnableLevels()) {
+    SimdLevelGuard Guard(L);
+    Tape T(B, Root);
+    ASSERT_GT(T.numFused(), 0u); // The DAG must exercise the fused ops.
+    for (size_t N : Sizes)
+      expectBatchMatchesEval(T, Data, Cols, N, "tail");
+  }
+}
+
+TEST(SimdKernelTest, SpecialValuesThroughFusedOpsAreBitExact) {
+  // NaN, +/-inf, +/-0 and denormals flowing through the fused
+  // superinstructions and the compare/select ops must match the
+  // row-wise interpreter at every tier — bitwise for every non-NaN
+  // result (signed zeros and infinities included), and up to the
+  // IEEE-unspecified payload when the result is NaN.
+  const double NaN = std::numeric_limits<double>::quiet_NaN();
+  const double Inf = std::numeric_limits<double>::infinity();
+  const double Den = std::numeric_limits<double>::denorm_min();
+  Dataset Data({"c0", "c1"});
+  const double Specials[] = {NaN, Inf, -Inf, 0.0, -0.0, Den, -Den,
+                             1.0, -1.0, 1e308, -1e308, 1e-308};
+  for (double A : Specials)
+    for (double Bv : Specials)
+      Data.addRow({A, Bv});
+  // Ragged tail on purpose: 144 rows is not a multiple of 4.
+  Data.addRow({NaN, 0.0});
+  ColumnarDataset Cols(Data);
+  NumExprBuilder B;
+  NumId Root = buildAllOpsDag(B);
+  for (SimdLevel L : runnableLevels()) {
+    SimdLevelGuard Guard(L);
+    Tape T(B, Root);
+    expectBatchMatchesEval(T, Data, Cols, Data.numRows(), "specials");
+  }
+}
+
+TEST(SimdKernelTest, FastTapeFmaAgreesAcrossTiers) {
+  // --ffast-tape contracts fused multiply-adds to one rounding.  Scalar
+  // std::fma and the AVX2 vfmadd are both correctly rounded, and the
+  // SSE2 tier (no FMA instruction) falls back to scalar std::fma, so
+  // all tiers still agree bit for bit *with each other* (they may
+  // differ from default mode by design).
+  Dataset Data = randomData(517, 92);
+  ColumnarDataset Cols(Data);
+  NumExprBuilder B;
+  NumId Root = buildAllOpsDag(B);
+  TapeOptions Opts;
+  Opts.FastTape = true;
+  std::vector<std::vector<double>> PerTier;
+  for (SimdLevel L : runnableLevels()) {
+    SimdLevelGuard Guard(L);
+    Tape T(B, Root, Opts);
+    std::vector<double> Scratch, Out(Data.numRows());
+    T.evalBatch(Cols, 0, Data.numRows(), Out.data(), Scratch);
+    PerTier.push_back(std::move(Out));
+  }
+  for (size_t Tier = 1; Tier < PerTier.size(); ++Tier)
+    for (size_t Row = 0; Row != PerTier[0].size(); ++Row)
+      EXPECT_TRUE(bitEq(PerTier[0][Row], PerTier[Tier][Row]))
+          << "tier " << Tier << " row " << Row;
+}
+
+TEST(SimdKernelTest, RowTallySplitsFullGroupsAndTail) {
+  NumExprBuilder B;
+  NumId Root = B.add(B.dataRef(0), B.dataRef(1));
+  Dataset Data = randomData(515, 93);
+  ColumnarDataset Cols(Data);
+  for (SimdLevel L : runnableLevels()) {
+    SimdLevelGuard Guard(L);
+    Tape T(B, Root);
+    (void)takeSimdRowTally(); // Reset this thread's counters.
+    std::vector<double> Scratch, Out(Data.numRows());
+    T.evalBatch(Cols, 0, Data.numRows(), Out.data(), Scratch);
+    const SimdRowTally Tally = takeSimdRowTally();
+    const unsigned W = T.laneWidth();
+    const uint64_t ExpectTail = W > 1 ? 515 % W : 515;
+    EXPECT_EQ(Tally.RowsSimd, 515 - ExpectTail)
+        << simdLevelName(T.simdLevel());
+    EXPECT_EQ(Tally.RowsTail, ExpectTail) << simdLevelName(T.simdLevel());
+  }
+  // Credit round-trips: what a worker takes, the chain gets back.
+  (void)takeSimdRowTally();
+  creditSimdRowTally({40, 2});
+  creditSimdRowTally({8, 1});
+  const SimdRowTally Sum = takeSimdRowTally();
+  EXPECT_EQ(Sum.RowsSimd, 48u);
+  EXPECT_EQ(Sum.RowsTail, 3u);
+}
+
+TEST(SimdKernelTest, LikelihoodSumsIdenticalAcrossTiers) {
+  // End to end through LikelihoodFunction: the block-partial Kahan +
+  // tree reduction must give the exact same total at every tier.
+  Dataset Data = randomData(1500, 94);
+  ColumnarDataset Cols(Data);
+  NumExprBuilder B;
+  NumId Root = buildAllOpsDag(B);
+  std::vector<double> Totals;
+  for (SimdLevel L : runnableLevels()) {
+    SimdLevelGuard Guard(L);
+    Tape T(B, Root);
+    std::vector<double> Scratch, Out(Data.numRows());
+    T.evalBatch(Cols, 0, Data.numRows(), Out.data(), Scratch);
+    double Sum = 0;
+    for (double V : Out)
+      Sum += V;
+    Totals.push_back(Sum);
+  }
+  for (size_t I = 1; I < Totals.size(); ++I)
+    EXPECT_TRUE(bitEq(Totals[0], Totals[I])) << "tier " << I;
+}

@@ -60,3 +60,41 @@ TEST(ThreadPoolTest, ResolveThreadCount) {
   EXPECT_EQ(ThreadPool::resolveThreadCount(5), 5u);
   EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
 }
+
+TEST(ThreadPoolTest, GroupWaitCoversOnlyItsOwnJobs) {
+  // Two clients sharing one pool (the row-parallel evaluators of
+  // concurrent chains): waiting on one group must see all of that
+  // group's jobs done, whatever the other group is still running.
+  ThreadPool Pool(3);
+  std::atomic<int> A{0}, B{0};
+  for (int Wave = 0; Wave != 20; ++Wave) {
+    ThreadPool::Group GA, GB;
+    for (int I = 0; I != 8; ++I)
+      Pool.submit(GA, [&A] { ++A; });
+    for (int I = 0; I != 5; ++I)
+      Pool.submit(GB, [&B] { ++B; });
+    Pool.wait(GA);
+    EXPECT_EQ(A.load(), (Wave + 1) * 8);
+    Pool.wait(GB);
+    EXPECT_EQ(B.load(), (Wave + 1) * 5);
+  }
+  Pool.wait();
+}
+
+TEST(ThreadPoolTest, GroupWaitWithNoJobsReturnsImmediately) {
+  ThreadPool Pool(2);
+  ThreadPool::Group G;
+  Pool.wait(G);
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, GroupJobsAlsoCountTowardPoolWait) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  ThreadPool::Group G;
+  for (int I = 0; I != 30; ++I)
+    Pool.submit(G, [&Count] { ++Count; });
+  Pool.wait(); // Pool-wide wait, not the group's.
+  EXPECT_EQ(Count.load(), 30);
+  Pool.wait(G); // Already drained; must not hang.
+}
