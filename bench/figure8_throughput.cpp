@@ -14,6 +14,7 @@
 
 #include "baseline/GridLikelihood.h"
 #include "obs/Json.h"
+#include "obs/Profiler.h"
 #include "suite/Prepare.h"
 
 #include <chrono>
@@ -145,6 +146,7 @@ int main() {
   JsonWriter W;
   W.beginObject();
   W.field("bench", "figure8_throughput");
+  W.field("schema_version", TelemetrySchemaVersion);
   W.field("quick", Quick);
   W.beginArray("benchmarks");
 
@@ -322,6 +324,58 @@ int main() {
           .field("best_ll_on", OnLL)
           .field("best_ll_off", OffLL)
           .field("best_ll_bit_identical", BitIdentical)
+          .endObject();
+    }
+  }
+
+  // -- Profiled TrueSkill run --------------------------------------------
+  // One short synthesis with `--profile` on: writes the attribution
+  // report (PROFILE_figure8_trueskill.json) and the folded stacks for
+  // flamegraph.pl (PROFILE_figure8_trueskill.folded), and records the
+  // attribution quality in the bench JSON.
+  {
+    DiagEngine Diags;
+    const Benchmark *TS = findBenchmark("TrueSkill");
+    auto P = TS ? prepareBenchmark(*TS, Diags) : std::nullopt;
+    if (P) {
+      SynthesisConfig Cfg = TS->Synth;
+      Cfg.Iterations = Quick ? 200 : 1500;
+      Cfg.Chains = 2;
+      Cfg.Profile = true;
+      Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Cfg);
+      SynthesisResult Result = Synth.run();
+      ProfileReport Report = makeProfileReport(Result, Cfg);
+      Report.Sketch = "TrueSkill";
+      double Attributed =
+          attributedEvalFraction(Result.Profile.Tape, Result.Stats.Stage);
+      double Opcode =
+          opcodeEvalFraction(Result.Profile.Tape, Result.Stats.Stage);
+
+      std::printf("\nTrueSkill profiled run (%u iterations x %u chains): "
+                  "%.1f%% of eval_batch attributed (%.1f%% to opcodes), "
+                  "hw counters %s\n",
+                  Cfg.Iterations, Cfg.Chains, Attributed * 100.0,
+                  Opcode * 100.0,
+                  Result.Profile.Perf.Available ? "available"
+                                                : "unavailable");
+      {
+        std::ofstream F("PROFILE_figure8_trueskill.json");
+        F << profileReportJson(Report) << "\n";
+      }
+      {
+        std::ofstream F("PROFILE_figure8_trueskill.folded");
+        F << profileFoldedStacks(Report);
+      }
+      std::printf("wrote PROFILE_figure8_trueskill.json and "
+                  "PROFILE_figure8_trueskill.folded\n");
+      W.beginObject("trueskill_profile")
+          .field("iterations", uint64_t(Cfg.Iterations))
+          .field("chains", uint64_t(Cfg.Chains))
+          .field("attributed_fraction", Attributed)
+          .field("opcode_fraction", Opcode)
+          .field("blocks_profiled",
+                 uint64_t(Result.Profile.Tape.BlocksProfiled))
+          .field("perf_counters_available", Result.Profile.Perf.Available)
           .endObject();
     }
   }

@@ -210,6 +210,7 @@ void writeTapeOptReport() {
   JsonWriter W;
   W.beginObject();
   W.field("bench", "tapeopt");
+  W.field("schema_version", TelemetrySchemaVersion);
   W.field("quick", Quick);
 
   // -- Tape sizes across the suite ---------------------------------------
@@ -372,6 +373,7 @@ void writeSimdReport() {
   JsonWriter W;
   W.beginObject();
   W.field("bench", "simd_scoring");
+  W.field("schema_version", TelemetrySchemaVersion);
   W.field("quick", Quick);
   W.field("compiled_max", simdLevelName(maxCompiledSimdLevel()));
   W.field("cpu_max", simdLevelName(detectCpuSimdLevel()));

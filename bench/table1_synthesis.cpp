@@ -32,6 +32,7 @@ int main() {
   JsonWriter W;
   W.beginObject();
   W.field("bench", "table1_synthesis");
+  W.field("schema_version", TelemetrySchemaVersion);
   W.field("quick", Quick);
   W.beginArray("rows");
 

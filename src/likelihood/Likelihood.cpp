@@ -7,6 +7,7 @@
 #include "likelihood/Likelihood.h"
 
 #include "likelihood/RowParallel.h"
+#include "obs/Profiler.h"
 #include "obs/StageTimer.h"
 
 #include <algorithm>
@@ -167,32 +168,52 @@ double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols,
   ScopedStage Span(Stage::EvalBatch);
   const size_t Rows = Cols.numRows();
   const size_t NumBlocks = (Rows + BatchBlockRows - 1) / BatchBlockRows;
+  // Profiler charges (--profile; every ProfTick member is a no-op when
+  // no sink is installed): the evaluators attribute their own interior,
+  // these ticks charge the Kahan row-reduction to the "sum"
+  // pseudo-opcode and the glue around it to cost centers, so the whole
+  // EvalBatch span is charged somewhere.
+  ProfTick Tick(threadTapeProfile());
   BlockPartials.assign(NumBlocks, 0.0);
   if (Par && Par->workers() > 1 && NumBlocks > 1) {
     Par->forEachBlock(
         NumBlocks, [&](size_t Blk, RowEvalContext::WorkerSlot &S) {
           const size_t Begin = Blk * BatchBlockRows;
           const size_t N = std::min(BatchBlockRows, Rows - Begin);
+          // Workers carry their own profile sink, so the tick is
+          // per-block and per-thread here.
+          ProfTick WTick(threadTapeProfile());
           S.Out.resize(BatchBlockRows);
+          WTick.charge(ProfileCostCenter::Dispatch);
           Compiled->evalBatch(Cols, Begin, N, S.Out.data(), S.BatchScratch);
+          WTick.reset();
           KahanSum Partial;
           for (size_t I = 0; I != N; ++I)
             Partial.add(S.Out[I]);
           BlockPartials[Blk] = Partial.Sum;
+          WTick.chargeOp(TapeSumOpIndex, N);
         });
-    return reduceBlockPartials(BlockPartials);
+    Tick.reset();
+    double Total = reduceBlockPartials(BlockPartials);
+    Tick.charge(ProfileCostCenter::BlockSum);
+    return Total;
   }
   BatchOut.resize(std::min(Rows, BatchBlockRows));
   for (size_t Blk = 0; Blk != NumBlocks; ++Blk) {
     const size_t Begin = Blk * BatchBlockRows;
     const size_t N = std::min(BatchBlockRows, Rows - Begin);
+    Tick.charge(ProfileCostCenter::Dispatch);
     Compiled->evalBatch(Cols, Begin, N, BatchOut.data(), BatchScratch);
+    Tick.reset();
     KahanSum Partial;
     for (size_t I = 0; I != N; ++I)
       Partial.add(BatchOut[I]);
     BlockPartials[Blk] = Partial.Sum;
+    Tick.chargeOp(TapeSumOpIndex, N);
   }
-  return reduceBlockPartials(BlockPartials);
+  double Total = reduceBlockPartials(BlockPartials);
+  Tick.charge(ProfileCostCenter::BlockSum);
+  return Total;
 }
 
 double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols,
@@ -201,34 +222,47 @@ double LikelihoodFunction::logLikelihood(const ColumnarDataset &Cols,
   ScopedStage Span(Stage::EvalBatch);
   const size_t Rows = Cols.numRows();
   const size_t NumBlocks = (Rows + BatchBlockRows - 1) / BatchBlockRows;
+  ProfTick Tick(threadTapeProfile());
   BlockPartials.assign(NumBlocks, 0.0);
   if (Par && Par->workers() > 1 && NumBlocks > 1) {
     Par->forEachBlock(
         NumBlocks, [&](size_t Blk, RowEvalContext::WorkerSlot &S) {
           const size_t Begin = Blk * BatchBlockRows;
           const size_t N = std::min(BatchBlockRows, Rows - Begin);
+          ProfTick WTick(threadTapeProfile());
           S.Out.resize(BatchBlockRows);
+          WTick.charge(ProfileCostCenter::Dispatch);
           Compiled->evalIncremental(Cols, Begin, N, S.Out.data(), Cache,
                                     S.Inc);
+          WTick.reset();
           KahanSum Partial;
           for (size_t I = 0; I != N; ++I)
             Partial.add(S.Out[I]);
           BlockPartials[Blk] = Partial.Sum;
+          WTick.chargeOp(TapeSumOpIndex, N);
         });
-    return reduceBlockPartials(BlockPartials);
+    Tick.reset();
+    double Total = reduceBlockPartials(BlockPartials);
+    Tick.charge(ProfileCostCenter::BlockSum);
+    return Total;
   }
   BatchOut.resize(std::min(Rows, BatchBlockRows));
   for (size_t Blk = 0; Blk != NumBlocks; ++Blk) {
     const size_t Begin = Blk * BatchBlockRows;
     const size_t N = std::min(BatchBlockRows, Rows - Begin);
+    Tick.charge(ProfileCostCenter::Dispatch);
     Compiled->evalIncremental(Cols, Begin, N, BatchOut.data(), Cache,
                               IncScratch);
+    Tick.reset();
     KahanSum Partial;
     for (size_t I = 0; I != N; ++I)
       Partial.add(BatchOut[I]);
     BlockPartials[Blk] = Partial.Sum;
+    Tick.chargeOp(TapeSumOpIndex, N);
   }
-  return reduceBlockPartials(BlockPartials);
+  double Total = reduceBlockPartials(BlockPartials);
+  Tick.charge(ProfileCostCenter::BlockSum);
+  return Total;
 }
 
 void LikelihoodFunction::logLikelihoodRows(const ColumnarDataset &Cols,

@@ -14,6 +14,13 @@ RowEvalContext::RowEvalContext(ThreadPool &P, unsigned Workers)
     : Pool(P), NumWorkers(std::max(1u, Workers)), Slots(NumWorkers),
       Tallies(NumWorkers) {}
 
+void RowEvalContext::enableProfiling(unsigned SampleEvery) {
+  Profiling = true;
+  Profiles.assign(NumWorkers, TapeProfile());
+  for (TapeProfile &P : Profiles)
+    P.SampleEvery = SampleEvery > 0 ? SampleEvery : 1;
+}
+
 void RowEvalContext::forEachBlock(
     size_t NumBlocks, const std::function<void(size_t, WorkerSlot &)> &Fn) {
   if (NumBlocks == 0)
@@ -35,8 +42,16 @@ void RowEvalContext::forEachBlock(
     const size_t Hi = NumBlocks * (Ci + 1) / Chunks;
     Pool.submit(G, [this, Lo, Hi, Ci, &Fn] {
       WorkerSlot &S = Slots[Ci];
+      // While profiling, the task's slot profile is the worker
+      // thread's sink for exactly this task (saved/restored like any
+      // nested scope), so concurrent tasks never share a sink.
+      TapeProfile *PrevProf = nullptr;
+      if (Profiling)
+        PrevProf = setThreadTapeProfile(&Profiles[Ci]);
       for (size_t B = Lo; B != Hi; ++B)
         Fn(B, S);
+      if (Profiling)
+        setThreadTapeProfile(PrevProf);
       // Drain the worker thread's tally into this task's slot; row
       // tasks always drain on exit, so the thread-local is zero at the
       // start of every task and tasks never see each other's rows.
@@ -48,5 +63,14 @@ void RowEvalContext::forEachBlock(
   for (size_t Ci = 0; Ci != Chunks; ++Ci) {
     creditSimdRowTally(Tallies[Ci]);
     Tallies[Ci] = SimdRowTally{};
+  }
+  if (Profiling) {
+    // Slot-order merge into the chain's own sink (the group wait
+    // ordered every worker write before these reads).
+    if (TapeProfile *Chain = threadTapeProfile())
+      for (size_t Ci = 0; Ci != Chunks; ++Ci)
+        Chain->merge(Profiles[Ci]);
+    for (size_t Ci = 0; Ci != Chunks; ++Ci)
+      Profiles[Ci].reset();
   }
 }

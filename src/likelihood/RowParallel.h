@@ -26,6 +26,7 @@
 
 #include "likelihood/Tape.h"
 #include "likelihood/TapeKernels.h"
+#include "obs/Profiler.h"
 #include "support/ThreadPool.h"
 
 #include <cstddef>
@@ -66,11 +67,21 @@ public:
   void forEachBlock(size_t NumBlocks,
                     const std::function<void(size_t, WorkerSlot &)> &Fn);
 
+  /// `--profile` with row workers: gives each task slot its own
+  /// TapeProfile sink (installed thread-locally for the task's
+  /// duration, like the SIMD row tally) and merges the slots into the
+  /// calling chain's sink after every fan-out, so per-chain
+  /// attribution stays exact and merge order is slot order —
+  /// deterministic regardless of which pool thread ran which task.
+  void enableProfiling(unsigned SampleEvery);
+
 private:
   ThreadPool &Pool;
   unsigned NumWorkers;
   std::vector<WorkerSlot> Slots;
   std::vector<SimdRowTally> Tallies; ///< One per slot, drained per call.
+  std::vector<TapeProfile> Profiles; ///< One per slot when profiling.
+  bool Profiling = false;
 };
 
 } // namespace psketch

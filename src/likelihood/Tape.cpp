@@ -14,10 +14,12 @@
 #include "likelihood/Tape.h"
 
 #include "likelihood/TapeKernels.h"
+#include "obs/Profiler.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -50,6 +52,14 @@ const char *psketch::tapeOpName(TapeOp Op) {
   default:
     return numOpName(NumOp(uint8_t(Op)));
   }
+}
+
+const char *psketch::profiledTapeOpName(unsigned Idx) {
+  if (Idx < NumTapeOps)
+    return tapeOpName(TapeOp(Idx));
+  if (Idx == TapeSumOpIndex)
+    return "sum";
+  return nullptr;
 }
 
 namespace {
@@ -442,6 +452,21 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
     return;
   }
   tallySimdRows(N, KernelWidth);
+  // Cost attribution (--profile; obs/Profiler.h): one chained clock
+  // read per executed kernel when this block is sampled, so every
+  // nanosecond between here and the end of the function lands in an
+  // opcode bucket or the dispatch center.  Unsampled blocks charge
+  // their whole span to one bucket with a single extra clock read.
+  // No sink installed — the default — skips every clock read; the
+  // charges only observe time, so results are bit-identical either
+  // way.
+  TapeProfile *Prof = threadTapeProfile();
+  bool ProfSampled = false;
+  std::chrono::steady_clock::time_point ProfLast;
+  if (Prof) {
+    ProfSampled = Prof->beginBlock(N, KernelWidth);
+    ProfLast = std::chrono::steady_clock::now();
+  }
   // Scratch layout: a two-slot stamp header, one N-wide row-block
   // register per *varying* instruction, then one N-wide broadcast
   // register per invariant instruction feeding a varying one.
@@ -463,6 +488,15 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
         const double V = HoistedU[I];
         for (size_t J = 0; J != N; ++J)
           Bp[J] = V;
+        // Materializing an invariant instruction's broadcast register
+        // is that instruction's work: every fresh tape (one per scored
+        // candidate) pays it, so folding it into the dispatch center
+        // would hide a real per-opcode cost.
+        if (ProfSampled) {
+          auto ProfNow = std::chrono::steady_clock::now();
+          Prof->chargeOp(unsigned(Code[I].Op), ProfNow - ProfLast, N);
+          ProfLast = ProfNow;
+        }
       }
     StampGen = Gen;
     StampN = uint64_t(N);
@@ -475,6 +509,12 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
   // kernel output register per varying instruction.
   static thread_local std::vector<const double *> Ptr;
   Ptr.resize(Code.size());
+  if (ProfSampled) {
+    // Scratch/broadcast setup is dispatch glue, not opcode work.
+    auto ProfNow = std::chrono::steady_clock::now();
+    Prof->charge(ProfileCostCenter::Dispatch, ProfNow - ProfLast);
+    ProfLast = ProfNow;
+  }
   const size_t Root = Code.size() - 1;
   for (size_t I = 0, E = Code.size(); I != E; ++I) {
     const TapeIns &Ins = Code[I];
@@ -496,6 +536,11 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
     Kernel(Ins.Op, Ptr[Ins.A], Ar >= 2 ? Ptr[Ins.B] : nullptr,
            Ar >= 3 ? Ptr[Ins.C] : nullptr, R, N, Flags);
     Ptr[I] = R;
+    if (ProfSampled) {
+      auto ProfNow = std::chrono::steady_clock::now();
+      Prof->chargeOp(unsigned(Ins.Op), ProfNow - ProfLast, N);
+      ProfLast = ProfNow;
+    }
   }
   if (RowInvariant[Root]) {
     const double V = HoistedU[Root];
@@ -505,6 +550,13 @@ void Tape::evalBatch(const ColumnarDataset &Cols, size_t Begin, size_t N,
     const double *Last = Ptr[Root];
     for (size_t J = 0; J != N; ++J)
       Out[J] = Last[J];
+  }
+  if (Prof) {
+    auto ProfNow = std::chrono::steady_clock::now();
+    if (ProfSampled)
+      Prof->charge(ProfileCostCenter::Dispatch, ProfNow - ProfLast);
+    else
+      Prof->charge(ProfileCostCenter::Unsampled, ProfNow - ProfLast, N);
   }
 }
 
@@ -520,6 +572,15 @@ void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
     return;
   }
   tallySimdRows(N, KernelWidth);
+  // Same chained-clock attribution as evalBatch, with one extra cost
+  // center: the backward need-marking / cache-probe walk (ColProbe).
+  TapeProfile *Prof = threadTapeProfile();
+  bool ProfSampled = false;
+  std::chrono::steady_clock::time_point ProfLast;
+  if (Prof) {
+    ProfSampled = Prof->beginBlock(N, KernelWidth);
+    ProfLast = std::chrono::steady_clock::now();
+  }
   Scr.Need.assign(E, 0);
   Scr.Col.assign(E, nullptr);
   Scr.Pinned.clear();
@@ -536,6 +597,13 @@ void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
         const double V = HoistedU[I];
         for (size_t J = 0; J != N; ++J)
           Bp[J] = V;
+        // Broadcast materialization is the invariant instruction's own
+        // cost (see evalBatch): charge its opcode, not dispatch.
+        if (ProfSampled) {
+          auto ProfNow = std::chrono::steady_clock::now();
+          Prof->chargeOp(unsigned(Code[I].Op), ProfNow - ProfLast, N);
+          ProfLast = ProfNow;
+        }
       }
     Scr.BcastGen = Gen;
     Scr.BcastN = N;
@@ -574,6 +642,11 @@ void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
       Scr.Need[Ins.B] = 1;
     if (Ar >= 3)
       Scr.Need[Ins.C] = 1;
+  }
+  if (ProfSampled) {
+    auto ProfNow = std::chrono::steady_clock::now();
+    Prof->charge(ProfileCostCenter::ColProbe, ProfNow - ProfLast, N);
+    ProfLast = ProfNow;
   }
 
   // Varying operands resolve to their column (cache hit, DataRef —
@@ -621,16 +694,30 @@ void Tape::evalIncremental(const ColumnarDataset &Cols, size_t Begin,
       Cache.insert(Keys[I], Begin, Buf);
       Scr.Pinned.push_back(std::move(Buf));
     }
+    if (ProfSampled) {
+      // The cache insert rides on the opcode's delta: it is per-op
+      // maintenance a from-scratch evalBatch would not pay.
+      auto ProfNow = std::chrono::steady_clock::now();
+      Prof->chargeOp(unsigned(Ins.Op), ProfNow - ProfLast, N);
+      ProfLast = ProfNow;
+    }
   }
 
   if (RowInvariant[E - 1]) {
     const double V = HoistedU[E - 1];
     for (size_t J = 0; J != N; ++J)
       Out[J] = V;
-    return;
+  } else {
+    const double *RootCol = Scr.Col[E - 1];
+    if (RootCol != Out)
+      for (size_t J = 0; J != N; ++J)
+        Out[J] = RootCol[J];
   }
-  const double *RootCol = Scr.Col[E - 1];
-  if (RootCol != Out)
-    for (size_t J = 0; J != N; ++J)
-      Out[J] = RootCol[J];
+  if (Prof) {
+    auto ProfNow = std::chrono::steady_clock::now();
+    if (ProfSampled)
+      Prof->charge(ProfileCostCenter::Dispatch, ProfNow - ProfLast);
+    else
+      Prof->charge(ProfileCostCenter::Unsampled, ProfNow - ProfLast, N);
+  }
 }

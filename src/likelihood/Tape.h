@@ -80,8 +80,25 @@ enum class TapeOp : uint8_t {
   AddMul, ///< (A + B) * C
 };
 
+/// Number of distinct tape opcodes (the profiler sizes its per-opcode
+/// buckets against this; it must stay <= ProfileMaxOps).
+constexpr unsigned NumTapeOps = unsigned(TapeOp::AddMul) + 1;
+
 /// Returns the printable name of \p Op.
 const char *tapeOpName(TapeOp Op);
+
+/// One-past-the-end pseudo-opcode the profiler charges the per-block
+/// Kahan reduction of row log-likelihoods to.  The reduction is the
+/// root node of every likelihood evaluation — per-instruction reports
+/// rank it alongside the real opcodes instead of burying it in an
+/// opaque cost center.
+constexpr unsigned TapeSumOpIndex = NumTapeOps;
+constexpr unsigned NumProfiledTapeOps = NumTapeOps + 1;
+
+/// tapeOpName extended over the profiler's pseudo-opcodes: real opcode
+/// names for indices below NumTapeOps, "sum" for TapeSumOpIndex, and
+/// nullptr beyond.
+const char *profiledTapeOpName(unsigned Idx);
 
 /// One tape instruction.  A/B/C index earlier instructions (B unused
 /// for unary ops, C only used by fused ops); Value is the literal for

@@ -1,0 +1,283 @@
+//===- obs/BenchCompare.cpp - BENCH_*.json regression comparison ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BenchCompare.h"
+
+#include "obs/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::char_traits<char>::length(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+} // namespace
+
+int psketch::benchMetricDirection(const std::string &Key) {
+  if (endsWith(Key, "_per_100s") || endsWith(Key, "_per_sec") ||
+      endsWith(Key, "_per_s") || Key == "rows_per_sec" ||
+      Key == "speedup" || endsWith(Key, "_speedup") ||
+      Key == "speedup_min" || Key == "speedup_max")
+    return 1;
+  if (endsWith(Key, "_seconds") || endsWith(Key, "_ns") ||
+      endsWith(Key, "_ms") || endsWith(Key, "_us") || Key == "seconds")
+    return -1;
+  return 0;
+}
+
+namespace {
+
+struct DiffWalk {
+  double Tol;
+  BenchDiffResult &R;
+
+  void number(const std::string &Path, const std::string &Key,
+              double Old, double New) {
+    BenchDeltaRow Row;
+    Row.Path = Path;
+    Row.OldValue = Old;
+    Row.NewValue = New;
+    Row.Direction = benchMetricDirection(Key);
+    if (Old != 0 && std::isfinite(Old) && std::isfinite(New)) {
+      Row.Delta = (New - Old) / std::fabs(Old);
+    } else if (Old != New) {
+      // Zero or non-finite baseline: relative change is undefined, so
+      // the leaf is shown but never gates.
+      Row.Direction = 0;
+    }
+    if (Row.Direction != 0) {
+      ++R.Gated;
+      double Against = Row.Direction > 0 ? -Row.Delta : Row.Delta;
+      Row.Regressed = Against > Tol;
+      Row.Improved = -Against > Tol;
+      if (Row.Regressed)
+        ++R.Regressions;
+      if (Row.Improved)
+        ++R.Improvements;
+    }
+    R.Rows.push_back(std::move(Row));
+  }
+
+  void value(const std::string &Path, const std::string &Key,
+             const JsonValue &Old, const JsonValue &New) {
+    if (Old.kind() != New.kind()) {
+      R.Notes.push_back(Path + ": type changed between files");
+      return;
+    }
+    switch (Old.kind()) {
+    case JsonValue::Kind::Number:
+      number(Path, Key, Old.number(), New.number());
+      break;
+    case JsonValue::Kind::Bool:
+      if (Old.boolean() != New.boolean()) {
+        if (endsWith(Key, "_bit_identical") && Old.boolean()) {
+          // A correctness invariant the bench checks flipped off.
+          ++R.Gated;
+          ++R.Regressions;
+          R.Notes.push_back("REGRESSION " + Path +
+                            ": was true, now false");
+        } else {
+          R.Notes.push_back(Path + ": " +
+                            (Old.boolean() ? "true -> false"
+                                           : "false -> true"));
+        }
+      }
+      break;
+    case JsonValue::Kind::String:
+      if (Old.str() != New.str())
+        R.Notes.push_back(Path + ": \"" + Old.str() + "\" -> \"" +
+                          New.str() + "\"");
+      break;
+    case JsonValue::Kind::Object:
+      object(Path, Old, New);
+      break;
+    case JsonValue::Kind::Array:
+      array(Path, Old, New);
+      break;
+    case JsonValue::Kind::Null:
+      break;
+    }
+  }
+
+  void object(const std::string &Path, const JsonValue &Old,
+              const JsonValue &New) {
+    for (const auto &[Key, OldMember] : Old.object()) {
+      if (Key == "schema_version")
+        continue;
+      const JsonValue *NewMember = New.get(Key);
+      std::string Sub = Path.empty() ? Key : Path + "." + Key;
+      if (!NewMember) {
+        R.Notes.push_back(Sub + ": missing in new file");
+        continue;
+      }
+      value(Sub, Key, OldMember, *NewMember);
+    }
+    for (const auto &[Key, NewMember] : New.object()) {
+      (void)NewMember;
+      if (Key != "schema_version" && !Old.get(Key))
+        R.Notes.push_back((Path.empty() ? Key : Path + "." + Key) +
+                          ": only in new file");
+    }
+  }
+
+  void array(const std::string &Path, const JsonValue &Old,
+             const JsonValue &New) {
+    // Arrays of named sections (the "benchmarks" tables) match by
+    // name so reordering or adding a benchmark is not a regression.
+    bool Named = !Old.array().empty();
+    for (const JsonValue &E : Old.array())
+      Named = Named && E.isObject() && E.getString("name");
+    if (Named) {
+      for (const JsonValue &OldElem : Old.array()) {
+        std::string Name = *OldElem.getString("name");
+        const JsonValue *Match = nullptr;
+        for (const JsonValue &NewElem : New.array())
+          if (NewElem.isObject() && NewElem.getString("name") &&
+              *NewElem.getString("name") == Name) {
+            Match = &NewElem;
+            break;
+          }
+        std::string Sub = Path + "[" + Name + "]";
+        if (!Match) {
+          R.Notes.push_back(Sub + ": missing in new file");
+          continue;
+        }
+        value(Sub, "", OldElem, *Match);
+      }
+      for (const JsonValue &NewElem : New.array())
+        if (NewElem.isObject() && NewElem.getString("name")) {
+          std::string Name = *NewElem.getString("name");
+          bool Known = false;
+          for (const JsonValue &OldElem : Old.array())
+            Known = Known || (OldElem.isObject() &&
+                              OldElem.getString("name") &&
+                              *OldElem.getString("name") == Name);
+          if (!Known)
+            R.Notes.push_back(Path + "[" + Name + "]: only in new file");
+        }
+      return;
+    }
+    size_t N = std::min(Old.array().size(), New.array().size());
+    if (Old.array().size() != New.array().size())
+      R.Notes.push_back(Path + ": length " +
+                        std::to_string(Old.array().size()) + " -> " +
+                        std::to_string(New.array().size()));
+    for (size_t I = 0; I != N; ++I)
+      value(Path + "[" + std::to_string(I) + "]", "", Old.array()[I],
+            New.array()[I]);
+  }
+};
+
+/// Absent schema_version is accepted (legacy files predate the field);
+/// any other mismatch refuses the comparison.
+bool checkSchemaVersion(const JsonValue &Doc, const char *Which,
+                        std::string &Err) {
+  if (!Doc.get("schema_version"))
+    return true;
+  std::optional<uint64_t> V = Doc.getUInt64("schema_version");
+  if (!V || *V != TelemetrySchemaVersion) {
+    Err = std::string(Which) + " file has unsupported schema_version " +
+          (V ? std::to_string(*V) : std::string("(non-integer)")) +
+          " (this build reads version " +
+          std::to_string(TelemetrySchemaVersion) + ")";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+BenchDiffResult psketch::compareBenchReports(const JsonValue &Old,
+                                             const JsonValue &New,
+                                             double Tolerance) {
+  BenchDiffResult R;
+  if (!Old.isObject() || !New.isObject()) {
+    R.Error = "bench reports must be JSON objects";
+    return R;
+  }
+  if (!checkSchemaVersion(Old, "old", R.Error) ||
+      !checkSchemaVersion(New, "new", R.Error))
+    return R;
+  std::optional<std::string> OldBench = Old.getString("bench");
+  std::optional<std::string> NewBench = New.getString("bench");
+  if (OldBench && NewBench && *OldBench != *NewBench) {
+    R.Error = "files are from different benches: '" + *OldBench +
+              "' vs '" + *NewBench + "'";
+    return R;
+  }
+  R.Ok = true;
+  DiffWalk Walk{Tolerance, R};
+  Walk.object("", Old, New);
+  return R;
+}
+
+BenchDiffResult psketch::compareBenchFiles(const std::string &OldPath,
+                                           const std::string &NewPath,
+                                           double Tolerance) {
+  BenchDiffResult R;
+  auto Load = [&R](const std::string &Path,
+                   std::optional<JsonValue> &Out) {
+    std::ifstream In(Path);
+    if (!In) {
+      R.Error = "cannot open '" + Path + "'";
+      return false;
+    }
+    std::ostringstream Text;
+    Text << In.rdbuf();
+    std::string Err;
+    Out = parseJson(Text.str(), Err);
+    if (!Out) {
+      R.Error = Path + ": " + Err;
+      return false;
+    }
+    return true;
+  };
+  std::optional<JsonValue> Old, New;
+  if (!Load(OldPath, Old) || !Load(NewPath, New))
+    return R;
+  return compareBenchReports(*Old, *New, Tolerance);
+}
+
+std::string psketch::formatBenchDiff(const BenchDiffResult &R,
+                                     double Tolerance) {
+  std::string Out;
+  char Buf[512];
+  if (!R.Ok) {
+    Out = "bench-diff error: " + R.Error + "\n";
+    return Out;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%-52s %14s %14s %9s  %s\n", "metric",
+                "old", "new", "delta", "verdict");
+  Out += Buf;
+  for (const BenchDeltaRow &Row : R.Rows) {
+    const char *Verdict = Row.Regressed    ? "REGRESSED"
+                          : Row.Improved   ? "improved"
+                          : Row.Direction  ? "ok"
+                                           : "";
+    std::snprintf(Buf, sizeof(Buf), "%-52s %14.6g %14.6g %+8.1f%%  %s\n",
+                  Row.Path.c_str(), Row.OldValue, Row.NewValue,
+                  Row.Delta * 100.0, Verdict);
+    Out += Buf;
+  }
+  for (const std::string &Note : R.Notes)
+    Out += "note: " + Note + "\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "%zu metrics compared, %u gated at %.0f%% tolerance: "
+                "%u regressed, %u improved\n",
+                R.Rows.size(), R.Gated, Tolerance * 100.0,
+                R.Regressions, R.Improvements);
+  Out += Buf;
+  Out += R.passed() ? "PASS\n" : "FAIL\n";
+  return Out;
+}

@@ -1,0 +1,90 @@
+//===- obs/BenchCompare.h - BENCH_*.json regression comparison ------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section-by-section comparison of two BENCH_*.json files for
+/// `psketch bench-diff` and the CI regression gate.  The comparator
+/// walks both documents in parallel — objects member-by-member, arrays
+/// of named sections matched by their "name" field — and classifies
+/// every numeric leaf by its key:
+///
+///   - throughput-style keys (`*_per_100s`, `*_per_sec`, `rows_per_sec`,
+///     `speedup*`) are gated higher-is-better;
+///   - latency-style keys (`*_seconds`, `*_ns`, `*_ms`, `*_us`) are
+///     gated lower-is-better;
+///   - everything else (counts, rates, log-likelihoods, configuration)
+///     is reported but never gates.
+///
+/// A gated metric regresses when it moves against its direction by
+/// more than the relative tolerance.  Boolean `*_bit_identical` fields
+/// flipping true -> false also regress — those record correctness
+/// invariants the benches check.  Files must agree on their "bench"
+/// name and carry a compatible schema_version (absent = legacy,
+/// accepted) or the comparison refuses with an error instead of
+/// producing a nonsense table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_OBS_BENCHCOMPARE_H
+#define PSKETCH_OBS_BENCHCOMPARE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+class JsonValue;
+
+/// Gating direction of metric key \p Key: +1 higher-is-better, -1
+/// lower-is-better, 0 informational.
+int benchMetricDirection(const std::string &Key);
+
+/// One compared numeric leaf.
+struct BenchDeltaRow {
+  std::string Path; ///< Dotted path, e.g. "benchmarks[TrueSkill].speedup".
+  double OldValue = 0;
+  double NewValue = 0;
+  /// Relative change (New - Old) / |Old|; 0 when Old == 0.
+  double Delta = 0;
+  int Direction = 0; ///< benchMetricDirection of the leaf key.
+  bool Regressed = false;
+  bool Improved = false;
+};
+
+struct BenchDiffResult {
+  /// False when the files could not be parsed or are incompatible
+  /// (different bench, unsupported schema_version) — Error says why.
+  bool Ok = false;
+  std::string Error;
+  std::vector<BenchDeltaRow> Rows;
+  /// Structural mismatches (missing sections, type changes, boolean
+  /// flips) that are worth printing but are not numeric rows.
+  std::vector<std::string> Notes;
+  unsigned Gated = 0;
+  unsigned Regressions = 0;
+  unsigned Improvements = 0;
+
+  bool passed() const { return Ok && Regressions == 0; }
+};
+
+/// Compares two parsed bench documents under relative \p Tolerance.
+BenchDiffResult compareBenchReports(const JsonValue &Old,
+                                    const JsonValue &New,
+                                    double Tolerance);
+
+/// Reads, parses and compares two files (Error mentions the path on
+/// I/O or parse failure).
+BenchDiffResult compareBenchFiles(const std::string &OldPath,
+                                  const std::string &NewPath,
+                                  double Tolerance);
+
+/// The per-benchmark delta table plus a verdict line.
+std::string formatBenchDiff(const BenchDiffResult &R, double Tolerance);
+
+} // namespace psketch
+
+#endif // PSKETCH_OBS_BENCHCOMPARE_H

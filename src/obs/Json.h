@@ -31,6 +31,14 @@
 
 namespace psketch {
 
+/// Version stamped into every machine-readable telemetry artifact
+/// (--metrics-out, --trace-out manifests, BENCH_*.json, profile
+/// reports) as a "schema_version" field.  Readers accept files with a
+/// matching version — or none at all, for artifacts written before the
+/// field existed — and reject anything else with a clear error instead
+/// of misparsing.  Bump on any incompatible field change.
+constexpr uint64_t TelemetrySchemaVersion = 1;
+
 /// Escapes \p S for inclusion in a JSON string literal (quotes not
 /// included).
 std::string jsonEscape(const std::string &S);

@@ -71,6 +71,7 @@ std::string MetricsRegistry::toJson() const {
   std::lock_guard<std::mutex> Lock(M);
   JsonWriter W;
   W.beginObject();
+  W.field("schema_version", TelemetrySchemaVersion);
   W.beginObject("counters");
   for (const auto &[Name, C] : Counters)
     W.field(Name, C->value());

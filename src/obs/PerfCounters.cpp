@@ -1,0 +1,165 @@
+//===- obs/PerfCounters.cpp - Hardware counters per synthesis stage -------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfCounters.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define PSKETCH_HAVE_PERF_EVENT 1
+#include <cerrno>
+#include <cstring>
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define PSKETCH_HAVE_PERF_EVENT 0
+#endif
+
+using namespace psketch;
+
+#if PSKETCH_HAVE_PERF_EVENT
+namespace {
+
+int perfEventOpen(uint64_t Config, int GroupFd) {
+  perf_event_attr Attr;
+  std::memset(&Attr, 0, sizeof(Attr));
+  Attr.type = PERF_TYPE_HARDWARE;
+  Attr.size = sizeof(Attr);
+  Attr.config = Config;
+  // Counting starts immediately; spans are measured as read() deltas,
+  // so no enable/disable ioctls are needed on the hot path.
+  Attr.disabled = 0;
+  Attr.exclude_kernel = 1;
+  Attr.exclude_hv = 1;
+  // This thread only, any CPU.
+  return int(::syscall(SYS_perf_event_open, &Attr, 0, -1, GroupFd, 0));
+}
+
+} // namespace
+#endif
+
+bool PerfCounterGroup::open() {
+  close();
+#if !PSKETCH_HAVE_PERF_EVENT
+  Reason = "perf_event_open not available on this platform; "
+           "wall-clock timings only";
+  return false;
+#else
+  static const uint64_t Configs[4] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+  Fd[0] = perfEventOpen(Configs[0], -1);
+  if (Fd[0] < 0) {
+    // EPERM/EACCES: perf_event_paranoid or seccomp (containers);
+    // ENOSYS: kernel without perf; ENOENT: no hardware PMU (VMs).
+    Reason = std::string("perf_event_open(cycles) failed: ") +
+             std::strerror(errno) + "; wall-clock timings only";
+    return false;
+  }
+  // Siblings share the leader's fd so the kernel schedules the four
+  // counters together; any that fail to open simply read as 0.
+  for (unsigned I = 1; I != 4; ++I)
+    Fd[I] = perfEventOpen(Configs[I], Fd[0]);
+  Open = true;
+  Reason.clear();
+  return true;
+#endif
+}
+
+void PerfCounterGroup::close() {
+#if PSKETCH_HAVE_PERF_EVENT
+  for (int &F : Fd) {
+    if (F >= 0)
+      ::close(F);
+    F = -1;
+  }
+#endif
+  Open = false;
+}
+
+PerfCounts PerfCounterGroup::read() const {
+  PerfCounts C;
+#if PSKETCH_HAVE_PERF_EVENT
+  auto ReadOne = [](int F) -> uint64_t {
+    if (F < 0)
+      return 0;
+    uint64_t V = 0;
+    if (::read(F, &V, sizeof(V)) != ssize_t(sizeof(V)))
+      return 0;
+    return V;
+  };
+  C.Cycles = ReadOne(Fd[0]);
+  C.Instructions = ReadOne(Fd[1]);
+  C.CacheMisses = ReadOne(Fd[2]);
+  C.BranchMisses = ReadOne(Fd[3]);
+#endif
+  return C;
+}
+
+bool StagePerfSink::open() {
+  Data = StagePerf();
+  if (!Group.open()) {
+    Data.Available = false;
+    Data.FallbackReason = Group.unavailableReason();
+    return false;
+  }
+  Data.Available = true;
+  return true;
+}
+
+void StagePerfSink::beginRun() {
+  if (!Group.isOpen())
+    return;
+  RunBegin = Group.read();
+  InRun = true;
+}
+
+void StagePerfSink::endRun() {
+  if (!InRun)
+    return;
+  Data.Total.addDelta(RunBegin, Group.read());
+  InRun = false;
+}
+
+void StagePerfSink::enterSpan() {
+  if (!Group.isOpen())
+    return;
+  if (Depth < MaxDepth)
+    Begin[Depth] = Group.read();
+  ++Depth;
+}
+
+void StagePerfSink::exitSpan(Stage S) {
+  if (!Group.isOpen())
+    return;
+  if (Depth == 0)
+    return;
+  --Depth;
+  if (Depth < MaxDepth)
+    Data.Stage[unsigned(S)].addDelta(Begin[Depth], Group.read());
+}
+
+// -- Thread-local registration consulted by ScopedStage ------------------
+// Declared in StageTimer.h (forward-declared class, free functions) so
+// the stage spans can bracket themselves with counter reads without
+// StageTimer.h pulling in this header.
+
+namespace {
+thread_local StagePerfSink *CurrentPerfSink = nullptr;
+} // namespace
+
+StagePerfSink *psketch::threadStagePerfSink() { return CurrentPerfSink; }
+
+StagePerfSink *psketch::setThreadStagePerfSink(StagePerfSink *S) {
+  StagePerfSink *Prev = CurrentPerfSink;
+  CurrentPerfSink = S;
+  return Prev;
+}
+
+void psketch::stagePerfSpanEnter(StagePerfSink &S) { S.enterSpan(); }
+
+void psketch::stagePerfSpanExit(StagePerfSink &S, Stage St) {
+  S.exitSpan(St);
+}

@@ -1,0 +1,148 @@
+//===- obs/PerfCounters.h - Hardware counters per synthesis stage ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hardware performance counters (cycles, instructions, cache misses,
+/// branch misses) read via perf_event_open and charged to the same
+/// stage spans the StageTimer covers.  The syscall is best-effort by
+/// nature — containers commonly seccomp-filter it, perf_event_paranoid
+/// may forbid it, non-Linux hosts lack it entirely — so everything
+/// here degrades gracefully: when the counters cannot be opened the
+/// sink records *why* (StagePerf::FallbackReason) and the profile
+/// report falls back to std::chrono-only timings (DESIGN.md §12 has
+/// the fallback matrix).
+///
+/// A StagePerfSink is per-chain, opened on the chain's own thread
+/// (perf fds count the opening thread), and registered in a
+/// thread-local slot that ScopedStage consults: when a sink is
+/// installed each stage span brackets itself with counter reads.  Row
+/// workers do not inherit the chain's fds — their kernel time is
+/// attributed by the wall-clock profiler instead; the counter report
+/// covers the chain thread, and says so.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_OBS_PERFCOUNTERS_H
+#define PSKETCH_OBS_PERFCOUNTERS_H
+
+#include "obs/StageTimer.h"
+
+#include <cstdint>
+#include <string>
+
+namespace psketch {
+
+/// One sample (or accumulated delta) of the four counters.  A counter
+/// the kernel would not open stays 0 — PerCounterGroup tracks which
+/// ones are live.
+struct PerfCounts {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t BranchMisses = 0;
+
+  void add(const PerfCounts &O) {
+    Cycles += O.Cycles;
+    Instructions += O.Instructions;
+    CacheMisses += O.CacheMisses;
+    BranchMisses += O.BranchMisses;
+  }
+
+  /// Accumulates End - Begin per counter (counters are monotonic on a
+  /// fixed thread, so saturation only guards a counter going away).
+  void addDelta(const PerfCounts &Begin, const PerfCounts &End) {
+    auto D = [](uint64_t B, uint64_t E) { return E > B ? E - B : 0; };
+    Cycles += D(Begin.Cycles, End.Cycles);
+    Instructions += D(Begin.Instructions, End.Instructions);
+    CacheMisses += D(Begin.CacheMisses, End.CacheMisses);
+    BranchMisses += D(Begin.BranchMisses, End.BranchMisses);
+  }
+
+  bool any() const {
+    return Cycles || Instructions || CacheMisses || BranchMisses;
+  }
+};
+
+/// Owns up to four per-thread perf fds (cycles, instructions,
+/// cache-misses, branch-misses).  open() requires the cycles counter;
+/// the others are optional — hosts without a cache-miss event still
+/// report cycles and instructions.
+class PerfCounterGroup {
+public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup() { close(); }
+  PerfCounterGroup(const PerfCounterGroup &) = delete;
+  PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+  /// Opens the counters on the calling thread.  Returns false and
+  /// records a reason when the syscall is unavailable or denied.
+  bool open();
+  void close();
+  bool isOpen() const { return Open; }
+
+  /// Why open() failed ("" while open).
+  const std::string &unavailableReason() const { return Reason; }
+
+  /// Current counter values (zeros for counters that did not open).
+  PerfCounts read() const;
+
+private:
+  int Fd[4] = {-1, -1, -1, -1};
+  bool Open = false;
+  std::string Reason;
+};
+
+/// Per-stage and whole-run counter deltas for one chain, plus the
+/// availability verdict.  Plain data, merged in chain order like
+/// StageTimes.
+struct StagePerf {
+  PerfCounts Stage[NumStages];
+  PerfCounts Total;
+  bool Available = false;
+  std::string FallbackReason;
+
+  void merge(const StagePerf &O) {
+    for (unsigned I = 0; I != NumStages; ++I)
+      Stage[I].add(O.Stage[I]);
+    Total.add(O.Total);
+    Available = Available || O.Available;
+    if (FallbackReason.empty())
+      FallbackReason = O.FallbackReason;
+  }
+};
+
+/// The per-chain sink ScopedStage charges counter deltas to.  Opened
+/// and installed (StagePerfScope) on the chain thread; stage spans may
+/// nest a few levels deep, so span begins are kept on a small stack.
+class StagePerfSink {
+public:
+  /// Opens the counter group on the calling thread.  On failure the
+  /// sink still take()s a StagePerf carrying the fallback reason.
+  bool open();
+
+  /// Brackets the whole chain run for the Total row.
+  void beginRun();
+  void endRun();
+
+  void enterSpan();
+  void exitSpan(Stage S);
+
+  /// The accumulated result (callable once the run is over).
+  StagePerf take() { return Data; }
+
+private:
+  static constexpr unsigned MaxDepth = 8;
+  PerfCounterGroup Group;
+  PerfCounts Begin[MaxDepth];
+  unsigned Depth = 0;
+  PerfCounts RunBegin;
+  bool InRun = false;
+  StagePerf Data;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_OBS_PERFCOUNTERS_H

@@ -1,0 +1,354 @@
+//===- obs/Profiler.cpp - Per-opcode cost attribution for tape eval -------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profiler.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+using namespace psketch;
+
+const char *psketch::profileCostCenterName(ProfileCostCenter C) {
+  switch (C) {
+  case ProfileCostCenter::BlockSum:
+    return "block_sum";
+  case ProfileCostCenter::ColProbe:
+    return "col_probe";
+  case ProfileCostCenter::Dispatch:
+    return "dispatch";
+  case ProfileCostCenter::Unsampled:
+    return "unsampled";
+  }
+  return "unknown";
+}
+
+void TapeProfile::merge(const TapeProfile &O) {
+  for (unsigned I = 0; I != ProfileMaxOps; ++I)
+    Op[I].merge(O.Op[I]);
+  for (unsigned I = 0; I != NumProfileCostCenters; ++I)
+    Center[I].merge(O.Center[I]);
+  BlocksTotal += O.BlocksTotal;
+  BlocksProfiled += O.BlocksProfiled;
+  RowsTotal += O.RowsTotal;
+  RowsProfiled += O.RowsProfiled;
+  SimdWidthMax = std::max(SimdWidthMax, O.SimdWidthMax);
+}
+
+void TapeProfile::reset() {
+  unsigned Keep = SampleEvery;
+  *this = TapeProfile();
+  SampleEvery = Keep;
+}
+
+uint64_t TapeProfile::opNs() const {
+  uint64_t Total = 0;
+  for (const ProfileBucket &B : Op)
+    Total += B.Ns;
+  return Total;
+}
+
+uint64_t TapeProfile::centerNs() const {
+  uint64_t Total = 0;
+  for (const ProfileBucket &B : Center)
+    Total += B.Ns;
+  return Total;
+}
+
+int TapeProfile::topOp(uint64_t *NsOut) const {
+  int Best = -1;
+  uint64_t BestNs = 0;
+  for (unsigned I = 0; I != ProfileMaxOps; ++I)
+    if (Op[I].Ns > BestNs) {
+      Best = int(I);
+      BestNs = Op[I].Ns;
+    }
+  if (NsOut)
+    *NsOut = BestNs;
+  return Best;
+}
+
+namespace {
+thread_local TapeProfile *CurrentProfile = nullptr;
+} // namespace
+
+TapeProfile *psketch::threadTapeProfile() { return CurrentProfile; }
+
+TapeProfile *psketch::setThreadTapeProfile(TapeProfile *P) {
+  TapeProfile *Prev = CurrentProfile;
+  CurrentProfile = P;
+  return Prev;
+}
+
+double psketch::attributedEvalFraction(const TapeProfile &T,
+                                       const StageTimes &S) {
+  uint64_t EvalNs = S.Ns[unsigned(Stage::EvalBatch)];
+  if (!EvalNs)
+    return 0;
+  return double(T.opNs() + T.centerNs()) / double(EvalNs);
+}
+
+double psketch::opcodeEvalFraction(const TapeProfile &T,
+                                   const StageTimes &S) {
+  uint64_t EvalNs = S.Ns[unsigned(Stage::EvalBatch)];
+  if (!EvalNs)
+    return 0;
+  return double(T.opNs()) / double(EvalNs);
+}
+
+namespace {
+
+/// Display name for opcode bucket \p I: the caller-supplied name, or a
+/// positional fallback when the report was built without names.
+std::string opDisplayName(const ProfileReport &R, unsigned I) {
+  if (I < R.OpNames.size() && !R.OpNames[I].empty())
+    return R.OpNames[I];
+  return "op" + std::to_string(I);
+}
+
+bool isFusedOpName(const std::string &Name) {
+  return Name.find('+') != std::string::npos;
+}
+
+/// Opcode bucket indices with charges, most expensive first (ties by
+/// index so the order is deterministic).
+std::vector<unsigned> chargedOpsByCost(const TapeProfile &T) {
+  std::vector<unsigned> Idx;
+  for (unsigned I = 0; I != ProfileMaxOps; ++I)
+    if (T.Op[I].Calls)
+      Idx.push_back(I);
+  std::stable_sort(Idx.begin(), Idx.end(), [&T](unsigned A, unsigned B) {
+    return T.Op[A].Ns > T.Op[B].Ns;
+  });
+  return Idx;
+}
+
+void writePerfCounts(JsonWriter &W, const PerfCounts &C) {
+  W.field("cycles", C.Cycles);
+  W.field("instructions", C.Instructions);
+  W.field("cache_misses", C.CacheMisses);
+  W.field("branch_misses", C.BranchMisses);
+  W.field("ipc", C.Cycles ? double(C.Instructions) / double(C.Cycles) : 0.0);
+}
+
+} // namespace
+
+std::string psketch::profileReportJson(const ProfileReport &R) {
+  const TapeProfile &T = R.Tape;
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema_version", TelemetrySchemaVersion);
+  W.field("report", "profile");
+  W.field("sketch", R.Sketch);
+  W.field("seed", R.Seed);
+  W.field("iterations", uint64_t(R.Iterations));
+  W.field("chains", uint64_t(R.Chains));
+  W.field("row_threads", uint64_t(R.RowThreads));
+  W.field("run_seconds", R.RunSeconds);
+  W.field("rows_scored", R.RowsScored);
+  W.field("candidates_scored", R.CandidatesScored);
+
+  W.beginObject("simd");
+  W.field("level", R.SimdLevel);
+  W.field("width", uint64_t(R.SimdWidth));
+  W.field("width_max_seen", uint64_t(T.SimdWidthMax));
+  W.endObject();
+
+  W.beginObject("stages");
+  for (unsigned I = 0; I != NumStages; ++I) {
+    W.beginObject(stageName(Stage(I)));
+    W.field("seconds", double(R.Stages.Ns[I]) * 1e-9);
+    W.field("calls", R.Stages.Calls[I]);
+    W.endObject();
+  }
+  W.endObject();
+
+  W.beginObject("eval_attribution");
+  W.field("eval_batch_seconds",
+          double(R.Stages.Ns[unsigned(Stage::EvalBatch)]) * 1e-9);
+  W.field("attributed_fraction", attributedEvalFraction(T, R.Stages));
+  W.field("opcode_fraction", opcodeEvalFraction(T, R.Stages));
+  // With row workers the buckets hold per-worker CPU time, whose sum
+  // can exceed the stage's wall-clock span.
+  W.field("attribution_is_cpu_time", R.RowThreads > 1);
+  W.field("blocks_total", T.BlocksTotal);
+  W.field("blocks_profiled", T.BlocksProfiled);
+  W.field("rows_total", T.RowsTotal);
+  W.field("rows_profiled", T.RowsProfiled);
+  W.field("sample_every", uint64_t(T.SampleEvery));
+  uint64_t AttribNs = T.opNs() + T.centerNs();
+  W.beginArray("ops");
+  for (unsigned I : chargedOpsByCost(T)) {
+    std::string Name = opDisplayName(R, I);
+    W.beginObject();
+    W.field("op", Name);
+    W.field("fused", isFusedOpName(Name));
+    W.field("ns", T.Op[I].Ns);
+    W.field("rows", T.Op[I].Rows);
+    W.field("calls", T.Op[I].Calls);
+    W.field("share",
+            AttribNs ? double(T.Op[I].Ns) / double(AttribNs) : 0.0);
+    W.endObject();
+  }
+  W.endArray();
+  W.beginArray("centers");
+  for (unsigned I = 0; I != NumProfileCostCenters; ++I) {
+    const ProfileBucket &B = T.Center[I];
+    W.beginObject();
+    W.field("center", profileCostCenterName(ProfileCostCenter(I)));
+    W.field("ns", B.Ns);
+    W.field("rows", B.Rows);
+    W.field("calls", B.Calls);
+    W.field("share", AttribNs ? double(B.Ns) / double(AttribNs) : 0.0);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  W.beginObject("perf_counters");
+  W.field("available", R.Perf.Available);
+  W.field("fallback_reason", R.Perf.FallbackReason);
+  // Counters cover the chain threads only; row-worker kernel time is
+  // attributed by the wall-clock profiler above.
+  W.field("scope", "chain_threads");
+  if (R.Perf.Available) {
+    W.beginObject("total");
+    writePerfCounts(W, R.Perf.Total);
+    W.endObject();
+    W.beginObject("stages");
+    for (unsigned I = 0; I != NumStages; ++I) {
+      W.beginObject(stageName(Stage(I)));
+      writePerfCounts(W, R.Perf.Stage[I]);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+  return W.str();
+}
+
+std::string psketch::profileFoldedStacks(const ProfileReport &R) {
+  const TapeProfile &T = R.Tape;
+  std::string Out;
+  auto Emit = [&Out](const std::string &Stack, uint64_t Ns) {
+    uint64_t Us = Ns / 1000;
+    if (!Us)
+      return;
+    Out += Stack;
+    Out += ' ';
+    Out += std::to_string(Us);
+    Out += '\n';
+  };
+
+  uint64_t AttribNs = 0;
+  for (unsigned I : chargedOpsByCost(T)) {
+    Emit("psketch;synth;eval_batch;op:" + opDisplayName(R, I), T.Op[I].Ns);
+    AttribNs += T.Op[I].Ns;
+  }
+  for (unsigned I = 0; I != NumProfileCostCenters; ++I) {
+    Emit("psketch;synth;eval_batch;" +
+             std::string(profileCostCenterName(ProfileCostCenter(I))),
+         T.Center[I].Ns);
+    AttribNs += T.Center[I].Ns;
+  }
+  uint64_t EvalNs = R.Stages.Ns[unsigned(Stage::EvalBatch)];
+  if (EvalNs > AttribNs)
+    Emit("psketch;synth;eval_batch;(unattributed)", EvalNs - AttribNs);
+  for (unsigned I = 0; I != NumStages; ++I) {
+    if (Stage(I) == Stage::EvalBatch)
+      continue;
+    Emit(std::string("psketch;synth;") + stageName(Stage(I)),
+         R.Stages.Ns[I]);
+  }
+  return Out;
+}
+
+std::string psketch::formatProfileReport(const ProfileReport &R) {
+  const TapeProfile &T = R.Tape;
+  std::string Out;
+  char Buf[256];
+  auto Line = [&Out, &Buf](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out += Buf;
+    Out += '\n';
+  };
+
+  Line("profile: %s (seed %llu, %u iterations x %u chains, "
+       "row-threads %u)",
+       R.Sketch.c_str(), (unsigned long long)R.Seed, R.Iterations,
+       R.Chains, R.RowThreads);
+  Line("simd: %s (width %u), run %.3f s, %llu rows scored",
+       R.SimdLevel.c_str(), R.SimdWidth, R.RunSeconds,
+       (unsigned long long)R.RowsScored);
+  Out += '\n';
+
+  Line("%-14s %12s %12s", "stage", "seconds", "calls");
+  for (unsigned I = 0; I != NumStages; ++I)
+    Line("%-14s %12.4f %12llu", stageName(Stage(I)),
+         double(R.Stages.Ns[I]) * 1e-9,
+         (unsigned long long)R.Stages.Calls[I]);
+  Out += '\n';
+
+  double Attrib = attributedEvalFraction(T, R.Stages);
+  double OpFrac = opcodeEvalFraction(T, R.Stages);
+  Line("eval_batch attribution: %.1f%% of the span charged "
+       "(%.1f%% to opcodes), %llu/%llu blocks profiled "
+       "(sample 1/%u)",
+       Attrib * 100.0, OpFrac * 100.0,
+       (unsigned long long)T.BlocksProfiled,
+       (unsigned long long)T.BlocksTotal, T.SampleEvery);
+  if (R.RowThreads > 1)
+    Line("  (row-threads %u: charges are summed worker CPU time and "
+         "may exceed the wall-clock span)",
+         R.RowThreads);
+  uint64_t AttribNs = T.opNs() + T.centerNs();
+  Line("  %-14s %12s %7s %14s %9s", "op", "ns", "share", "rows",
+       "ns/row");
+  for (unsigned I : chargedOpsByCost(T)) {
+    const ProfileBucket &B = T.Op[I];
+    Line("  %-14s %12llu %6.1f%% %14llu %9.2f",
+         opDisplayName(R, I).c_str(), (unsigned long long)B.Ns,
+         AttribNs ? 100.0 * double(B.Ns) / double(AttribNs) : 0.0,
+         (unsigned long long)B.Rows,
+         B.Rows ? double(B.Ns) / double(B.Rows) : 0.0);
+  }
+  for (unsigned I = 0; I != NumProfileCostCenters; ++I) {
+    const ProfileBucket &B = T.Center[I];
+    if (!B.Calls)
+      continue;
+    Line("  %-14s %12llu %6.1f%% %14llu %9s",
+         profileCostCenterName(ProfileCostCenter(I)),
+         (unsigned long long)B.Ns,
+         AttribNs ? 100.0 * double(B.Ns) / double(AttribNs) : 0.0,
+         (unsigned long long)B.Rows, "-");
+  }
+  Out += '\n';
+
+  if (!R.Perf.Available) {
+    Line("hardware counters: unavailable (%s)",
+         R.Perf.FallbackReason.c_str());
+  } else {
+    Line("hardware counters (chain threads):");
+    Line("  %-14s %14s %14s %6s %12s %12s", "stage", "cycles",
+         "instructions", "ipc", "cache-miss", "branch-miss");
+    auto PerfLine = [&Line](const char *Name, const PerfCounts &C) {
+      Line("  %-14s %14llu %14llu %6.2f %12llu %12llu", Name,
+           (unsigned long long)C.Cycles,
+           (unsigned long long)C.Instructions,
+           C.Cycles ? double(C.Instructions) / double(C.Cycles) : 0.0,
+           (unsigned long long)C.CacheMisses,
+           (unsigned long long)C.BranchMisses);
+    };
+    for (unsigned I = 0; I != NumStages; ++I)
+      PerfLine(stageName(Stage(I)), R.Perf.Stage[I]);
+    PerfLine("total", R.Perf.Total);
+  }
+  return Out;
+}

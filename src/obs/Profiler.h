@@ -1,0 +1,258 @@
+//===- obs/Profiler.h - Per-opcode cost attribution for tape eval ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sampling cost profiler behind `--profile` (DESIGN.md §12).  It
+/// attributes the wall time of the eval_batch stage to individual tape
+/// opcodes (fused superinstructions and the per-block "sum" reduction
+/// included — they are opcodes of their own) and to the non-opcode
+/// cost centers around them (cross-block reduction, incremental
+/// need-marking, operand dispatch), and counts the rows evaluated
+/// through each bucket.
+///
+/// The design mirrors StageTimer: a chain that wants attribution
+/// installs a TapeProfile sink in a thread-local slot; the tape
+/// evaluators charge chained clock deltas to it.  No sink installed —
+/// the default — costs one thread-local load per block evaluation and
+/// never reads the clock, and the enabled path only *reads* clocks, so
+/// scores, walks, traces and metrics are bit-identical with the
+/// profiler on or off.
+///
+/// TapeProfile is plain data owned by one chain (row workers get one
+/// slot each, merged by the chain after every parallel region), and
+/// the synthesizer merges chains in chain order, so the merged report
+/// shape is deterministic even though the timings themselves are
+/// measurements.
+///
+/// Attribution never relies on symbolication: every nanosecond between
+/// the first and last clock read of a block lands in an opcode bucket
+/// or a named cost center, so attributed_fraction of the eval span is
+/// structurally close to 1 (clock-read glue is the only leakage).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_OBS_PROFILER_H
+#define PSKETCH_OBS_PROFILER_H
+
+#include "obs/PerfCounters.h"
+#include "obs/StageTimer.h"
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Wall time, rows and call counts accumulated against one bucket.
+/// Rows counts rows *evaluated through* the bucket: a 512-row block
+/// executing an opcode twice adds 1024 to that opcode's Rows.
+struct ProfileBucket {
+  uint64_t Ns = 0;
+  uint64_t Rows = 0;
+  uint64_t Calls = 0;
+
+  void merge(const ProfileBucket &O) {
+    Ns += O.Ns;
+    Rows += O.Rows;
+    Calls += O.Calls;
+  }
+};
+
+/// Upper bound on distinct tape opcodes the profiler can distinguish.
+/// The tape has 23 opcodes today; charges with an index at or beyond
+/// this bound fold into the last bucket rather than writing out of
+/// bounds, so the obs layer needs no dependency on the tape enum.
+constexpr unsigned ProfileMaxOps = 32;
+
+/// Non-opcode cost centers inside the eval_batch span.  Together with
+/// the opcode buckets they tile the whole span: whatever is not kernel
+/// execution is block summation, need-marking, dispatch glue, or a
+/// block the sampler skipped.
+enum class ProfileCostCenter : unsigned {
+  BlockSum,  ///< Cross-block reduction of per-block partial sums.  The
+             ///  per-row Kahan loop itself is charged to the caller's
+             ///  "sum" pseudo-opcode (TapeSumOpIndex) so the reduction
+             ///  ranks in per-instruction reports.
+  ColProbe,  ///< evalIncremental need-marking / column-cache probing.
+  Dispatch,  ///< Operand setup, root copies, dispatch glue.
+  Unsampled, ///< Whole blocks the sampler skipped (SampleEvery > 1).
+};
+constexpr unsigned NumProfileCostCenters = 4;
+
+/// Metric-style name of \p C ("block_sum", ...).
+const char *profileCostCenterName(ProfileCostCenter C);
+
+/// Per-chain cost attribution for the tape evaluators.  Opcode buckets
+/// are filled only for sampled blocks (SampleEvery == 1, the default,
+/// samples every block); skipped blocks charge their whole span to the
+/// Unsampled center so the accounting stays exact either way.
+struct TapeProfile {
+  ProfileBucket Op[ProfileMaxOps];
+  ProfileBucket Center[NumProfileCostCenters];
+  uint64_t BlocksTotal = 0;
+  uint64_t BlocksProfiled = 0;
+  uint64_t RowsTotal = 0;
+  uint64_t RowsProfiled = 0;
+  /// Widest kernel lane width seen (4 under AVX2, 2 under SSE2, 1
+  /// scalar) — records the SIMD tier the attributed kernels ran at.
+  unsigned SimdWidthMax = 0;
+  /// Profile 1 of every SampleEvery block evaluations; 1 = all.
+  unsigned SampleEvery = 1;
+
+  /// Registers a block of \p Rows rows about to be evaluated at lane
+  /// width \p LaneWidth.  Returns true when this block should charge
+  /// per-opcode deltas (callers skip all further clock reads but the
+  /// final one otherwise).
+  bool beginBlock(size_t Rows, unsigned LaneWidth) {
+    ++BlocksTotal;
+    RowsTotal += Rows;
+    if (LaneWidth > SimdWidthMax)
+      SimdWidthMax = LaneWidth;
+    if (SampleEvery > 1 && (BlocksTotal % SampleEvery) != 1)
+      return false;
+    ++BlocksProfiled;
+    RowsProfiled += Rows;
+    return true;
+  }
+
+  void chargeOp(unsigned OpIdx, std::chrono::steady_clock::duration D,
+                size_t Rows) {
+    ProfileBucket &B = Op[OpIdx < ProfileMaxOps ? OpIdx : ProfileMaxOps - 1];
+    B.Ns += uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(D).count());
+    B.Rows += Rows;
+    ++B.Calls;
+  }
+
+  void charge(ProfileCostCenter C, std::chrono::steady_clock::duration D,
+              size_t Rows = 0) {
+    ProfileBucket &B = Center[unsigned(C)];
+    B.Ns += uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(D).count());
+    B.Rows += Rows;
+    ++B.Calls;
+  }
+
+  void merge(const TapeProfile &O);
+  /// Zeroes every bucket and counter but keeps SampleEvery.
+  void reset();
+  bool empty() const { return BlocksTotal == 0; }
+
+  /// Total nanoseconds charged to opcode buckets / to cost centers.
+  uint64_t opNs() const;
+  uint64_t centerNs() const;
+  /// Index of the most expensive opcode bucket, -1 when none charged;
+  /// \p NsOut receives its nanoseconds when non-null.
+  int topOp(uint64_t *NsOut = nullptr) const;
+};
+
+/// The calling thread's active profile sink; nullptr when off.
+TapeProfile *threadTapeProfile();
+
+/// Installs \p P as the calling thread's sink (nullptr disables).
+/// Returns the previous sink so nested scopes can restore it.
+TapeProfile *setThreadTapeProfile(TapeProfile *P);
+
+/// Installs a sink for the current scope and restores the previous one
+/// on exit.  Chains use this around their whole MH loop.
+class TapeProfileScope {
+public:
+  explicit TapeProfileScope(TapeProfile *P) : Prev(setThreadTapeProfile(P)) {}
+  ~TapeProfileScope() { setThreadTapeProfile(Prev); }
+  TapeProfileScope(const TapeProfileScope &) = delete;
+  TapeProfileScope &operator=(const TapeProfileScope &) = delete;
+
+private:
+  TapeProfile *Prev;
+};
+
+/// Chained-clock helper for charging the stretches *around* the tape
+/// evaluators (buffer setup, Kahan loops, reductions): one clock read
+/// per charge, the end stamp of one delta doubling as the start of the
+/// next.  Constructed against a possibly-null sink; every member is a
+/// no-op when the sink is null, so callers need no branches.
+class ProfTick {
+public:
+  explicit ProfTick(TapeProfile *P) : P(P) {
+    if (P)
+      Last = std::chrono::steady_clock::now();
+  }
+
+  /// Charges the time since the previous stamp to \p C and re-stamps.
+  void charge(ProfileCostCenter C, size_t Rows = 0) {
+    if (!P)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    P->charge(C, Now - Last, Rows);
+    Last = Now;
+  }
+
+  /// Charges the time since the previous stamp to opcode bucket
+  /// \p OpIdx and re-stamps — used for reduction work the caller
+  /// reports as a pseudo-opcode (TapeSumOpIndex).
+  void chargeOp(unsigned OpIdx, size_t Rows = 0) {
+    if (!P)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    P->chargeOp(OpIdx, Now - Last, Rows);
+    Last = Now;
+  }
+
+  /// Re-stamps without charging — used after a callee that did its own
+  /// internal attribution, so its span is not double-charged.
+  void reset() {
+    if (P)
+      Last = std::chrono::steady_clock::now();
+  }
+
+private:
+  TapeProfile *P;
+  std::chrono::steady_clock::time_point Last;
+};
+
+/// Everything a rendered profile report needs, gathered by the caller
+/// (the obs layer cannot name tape opcodes itself — OpNames[i] is the
+/// display name of opcode index i, supplied by the synth/tool layer).
+struct ProfileReport {
+  TapeProfile Tape;
+  StageTimes Stages;
+  StagePerf Perf;
+  std::vector<std::string> OpNames;
+  std::string SimdLevel = "scalar";
+  unsigned SimdWidth = 1;
+  double RunSeconds = 0;
+  uint64_t RowsScored = 0;
+  uint64_t CandidatesScored = 0;
+  std::string Sketch;
+  uint64_t Seed = 0;
+  unsigned Iterations = 0;
+  unsigned Chains = 0;
+  unsigned RowThreads = 1;
+};
+
+/// Fraction of the eval_batch stage wall time charged to *any* bucket
+/// (opcodes + cost centers), and to opcode buckets alone.  Both are in
+/// [0, ~1] at --row-threads 1; with row workers the buckets hold CPU
+/// time summed across workers, which can legitimately exceed the
+/// stage's wall-clock span (the report states which it is).
+double attributedEvalFraction(const TapeProfile &T, const StageTimes &S);
+double opcodeEvalFraction(const TapeProfile &T, const StageTimes &S);
+
+/// The JSON profile report (schema_version'd; DESIGN.md §12).
+std::string profileReportJson(const ProfileReport &R);
+
+/// Folded-stack lines ("psketch;synth;eval_batch;op:mul+add 1234",
+/// counts in microseconds) consumable by flamegraph.pl.
+std::string profileFoldedStacks(const ProfileReport &R);
+
+/// Human-readable summary table.
+std::string formatProfileReport(const ProfileReport &R);
+
+} // namespace psketch
+
+#endif // PSKETCH_OBS_PROFILER_H

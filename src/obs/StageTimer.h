@@ -72,6 +72,31 @@ StageTimes *threadStageTimes();
 /// Returns the previous sink so nested scopes can restore it.
 StageTimes *setThreadStageTimes(StageTimes *T);
 
+/// Optional second sink: hardware counters per stage (`--profile`;
+/// PerfCounters.h).  Forward-declared here so ScopedStage can bracket
+/// its span with counter reads without this header depending on the
+/// perf layer; the functions are defined in PerfCounters.cpp.
+class StagePerfSink;
+StagePerfSink *threadStagePerfSink();
+StagePerfSink *setThreadStagePerfSink(StagePerfSink *S);
+void stagePerfSpanEnter(StagePerfSink &S);
+void stagePerfSpanExit(StagePerfSink &S, Stage St);
+
+/// Installs a per-stage hardware-counter sink for the current scope
+/// and restores the previous one on exit (the perf analogue of
+/// StageTimesScope).
+class StagePerfScope {
+public:
+  explicit StagePerfScope(StagePerfSink *S)
+      : Prev(setThreadStagePerfSink(S)) {}
+  ~StagePerfScope() { setThreadStagePerfSink(Prev); }
+  StagePerfScope(const StagePerfScope &) = delete;
+  StagePerfScope &operator=(const StagePerfScope &) = delete;
+
+private:
+  StagePerfSink *Prev;
+};
+
 /// Installs a sink for the current scope and restores the previous one
 /// on exit.  Chains use this around their whole MH loop.
 class StageTimesScope {
@@ -86,14 +111,24 @@ private:
 };
 
 /// Charges its lifetime to the thread's sink under \p S; a no-op (no
-/// clock read) when no sink is installed.
+/// clock read) when no sink is installed.  When a perf sink is also
+/// installed (`--profile` with counters available) the span brackets
+/// itself with hardware-counter reads; those syscalls land inside the
+/// timed span, which is fine — counter spans are milliseconds, the
+/// reads are microseconds, and without a perf sink (the default) the
+/// cost is one extra thread-local load per span.
 class ScopedStage {
 public:
-  explicit ScopedStage(Stage S) : T(threadStageTimes()), S(S) {
+  explicit ScopedStage(Stage S)
+      : T(threadStageTimes()), P(threadStagePerfSink()), S(S) {
     if (T)
       Start = std::chrono::steady_clock::now();
+    if (P)
+      stagePerfSpanEnter(*P);
   }
   ~ScopedStage() {
+    if (P)
+      stagePerfSpanExit(*P, S);
     if (!T)
       return;
     auto End = std::chrono::steady_clock::now();
@@ -108,6 +143,7 @@ public:
 
 private:
   StageTimes *T;
+  StagePerfSink *P;
   Stage S;
   std::chrono::steady_clock::time_point Start;
 };

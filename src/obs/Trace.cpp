@@ -52,6 +52,7 @@ std::string psketch::traceManifestLine(const RunManifest &M) {
   JsonWriter W;
   W.beginObject();
   W.field("type", "manifest");
+  W.field("schema_version", TelemetrySchemaVersion);
   W.field("seed", M.Seed);
   W.field("iterations", uint64_t(M.Iterations));
   W.field("chains", uint64_t(M.Chains));
@@ -171,6 +172,16 @@ std::optional<ParsedTrace> psketch::readJsonlTrace(std::istream &IS,
         Err = "line " + std::to_string(LineNo) + ": duplicate manifest";
         return std::nullopt;
       }
+      // Legacy traces (no schema_version) are accepted; a declared
+      // version must match this build's.
+      if (auto Schema = V->getUInt64("schema_version");
+          Schema && *Schema != TelemetrySchemaVersion) {
+        Err = "line " + std::to_string(LineNo) +
+              ": unsupported schema_version " + std::to_string(*Schema) +
+              " (this build reads version " +
+              std::to_string(TelemetrySchemaVersion) + ")";
+        return std::nullopt;
+      }
       if (!parseManifest(*V, T.Manifest)) {
         Err = "line " + std::to_string(LineNo) + ": malformed manifest";
         return std::nullopt;
@@ -199,6 +210,44 @@ std::optional<ParsedTrace> psketch::readJsonlTrace(std::istream &IS,
     return std::nullopt;
   }
   return T;
+}
+
+ParsedTrace
+psketch::mergeParsedTraces(const std::vector<ParsedTrace> &Traces,
+                           std::vector<std::string> *Warnings) {
+  ParsedTrace Merged;
+  if (Traces.empty())
+    return Merged;
+  Merged.Manifest = Traces.front().Manifest;
+  unsigned NextChain = 0;
+  for (size_t TI = 0; TI != Traces.size(); ++TI) {
+    const ParsedTrace &T = Traces[TI];
+    if (TI && Warnings) {
+      if (T.Manifest.Sketch != Merged.Manifest.Sketch)
+        Warnings->push_back("trace " + std::to_string(TI + 1) +
+                            " is for sketch '" + T.Manifest.Sketch +
+                            "', not '" + Merged.Manifest.Sketch + "'");
+      if (T.Manifest.DatasetFingerprint !=
+          Merged.Manifest.DatasetFingerprint)
+        Warnings->push_back(
+            "trace " + std::to_string(TI + 1) +
+            " has a different dataset fingerprint — the combined "
+            "likelihoods are not comparable");
+    }
+    const unsigned Offset = NextChain;
+    unsigned TopChain = 0;
+    for (const TraceEvent &E : T.Events) {
+      TraceEvent Renumbered = E;
+      Renumbered.Chain += Offset;
+      TopChain = std::max(TopChain, E.Chain + 1);
+      Merged.Events.push_back(std::move(Renumbered));
+    }
+    NextChain = Offset + std::max(T.Manifest.Chains, TopChain);
+    Merged.Manifest.Iterations =
+        std::max(Merged.Manifest.Iterations, T.Manifest.Iterations);
+  }
+  Merged.Manifest.Chains = NextChain;
+  return Merged;
 }
 
 TraceSummary psketch::summarizeTrace(const ParsedTrace &T, size_t Window) {

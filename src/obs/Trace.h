@@ -107,10 +107,21 @@ struct ParsedTrace {
 };
 
 /// Parses a JSONL trace; every line must be valid JSON of a known type
-/// and the first line must be the manifest.  On failure returns
-/// nullopt with a line-numbered message in \p Err.
+/// and the first line must be the manifest.  Manifests without a
+/// schema_version field (legacy traces) are accepted; a declared
+/// version other than TelemetrySchemaVersion is rejected.  On failure
+/// returns nullopt with a line-numbered message in \p Err.
 std::optional<ParsedTrace> readJsonlTrace(std::istream &IS,
                                           std::string &Err);
+
+/// Merges several parsed traces into one (`psketch trace-stats` with
+/// repeated --trace): the first trace's manifest is kept, every file's
+/// chains are renumbered to follow the chains of the files before it,
+/// and Iterations/Chains are widened to cover the union.  Manifest
+/// mismatches that make the combination dubious (different sketch or
+/// dataset fingerprint) are reported into \p Warnings when non-null.
+ParsedTrace mergeParsedTraces(const std::vector<ParsedTrace> &Traces,
+                              std::vector<std::string> *Warnings = nullptr);
 
 /// Per-chain digest of a trace.
 struct ChainSummary {

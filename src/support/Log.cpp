@@ -55,8 +55,22 @@ std::ostream *psketch::setLogStream(std::ostream *OS) {
 
 void psketch::logMessage(LogLevel L, const char *Component,
                          const std::string &Message) {
+  // Compose the whole line first and emit it with ONE stream insertion:
+  // std::cerr is unit-buffered, so every `<<` is its own write(2), and
+  // chained insertions from concurrent chains interleave mid-line on a
+  // shared terminal even with the mutex held (the writes race against
+  // anything else appending to the same fd).  One insertion per line
+  // keeps `--progress` updates whole at any --threads/--row-threads.
+  std::string Line;
+  Line.reserve(Message.size() + 32);
+  Line += '[';
+  Line += logLevelName(L);
+  Line += "] ";
+  Line += Component;
+  Line += ": ";
+  Line += Message;
+  Line += '\n';
   std::lock_guard<std::mutex> Lock(SinkMutex);
-  *Sink << '[' << logLevelName(L) << "] " << Component << ": " << Message
-        << '\n';
+  *Sink << Line;
   Sink->flush();
 }

@@ -53,8 +53,10 @@ bool logEnabled(LogLevel L);
 /// logMessage calls — redirect before spawning logging threads.
 std::ostream *setLogStream(std::ostream *OS);
 
-/// Emits "[level] component: message\n" under a global mutex, so lines
-/// from concurrent chains never interleave.
+/// Emits "[level] component: message\n" — composed into one string and
+/// written with a single stream insertion under a global mutex, so
+/// lines from concurrent chains never interleave or tear mid-line even
+/// on a unit-buffered sink.
 void logMessage(LogLevel L, const char *Component,
                 const std::string &Message);
 

@@ -36,6 +36,8 @@ struct Synthesizer::ChainOutcome {
   std::vector<double> CurrentLL;      ///< Current-state LL per iteration.
   std::vector<uint8_t> Accepts;       ///< 1 where the proposal accepted.
   std::shared_ptr<MetricsRegistry> Shard; ///< Per-chain metric shard.
+  TapeProfile Prof; ///< Per-opcode attribution (Config.Profile).
+  StagePerf Perf;   ///< Per-stage hardware counters (Config.Profile).
 };
 
 void SynthesisStats::merge(const SynthesisStats &Other) {
@@ -79,6 +81,10 @@ Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
     }
   }
   SketchValid = true;
+  // Attribution fractions are stated against the stage spans, so
+  // profiling without the timers would have no denominator.
+  if (this->Config.Profile)
+    this->Config.StageTimers = true;
   Score = [this](const Program &Candidate) {
     return scoreWithMoG(Candidate);
   };
@@ -202,6 +208,20 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   // pool threads never leak a sink into the next chain.
   StageTimesScope Spans(Config.StageTimers ? &Out.Stats.Stage : nullptr);
 
+  // `--profile` sinks, installed the same way: the tape-profile sink
+  // the evaluators charge opcode deltas to, and — when perf_event_open
+  // works on this thread — a hardware-counter sink the stage spans
+  // bracket themselves with.  Both are chain-private plain data,
+  // merged in chain order by run().
+  Out.Prof.SampleEvery = std::max(1u, Config.ProfileSampleEvery);
+  TapeProfileScope ProfScope(Config.Profile ? &Out.Prof : nullptr);
+  StagePerfSink PerfSink;
+  std::optional<StagePerfScope> PerfScope;
+  if (Config.Profile && PerfSink.open()) {
+    PerfScope.emplace(&PerfSink);
+    PerfSink.beginRun();
+  }
+
   // Mutations per proposal: the geometric draw in action.  Fetched
   // once — the registry lookup does not belong in the MH loop.
   HistogramMetric *MutHist = nullptr;
@@ -250,6 +270,8 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     RowCtx.emplace(*RowPool, Config.RowThreads);
     if (ColCache)
       ColCache->setShared(true);
+    if (Config.Profile)
+      RowCtx->enableProfiling(Out.Prof.SampleEvery);
   }
   // Chain-private compile scratch: keeps the NumExpr builder's storage
   // warm across the thousands of same-shaped candidate compilations of
@@ -421,12 +443,21 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         ChainStart)
               .count();
+      int ProfTopOp = -1;
+      double ProfTopShare = 0;
+      if (Config.Profile) {
+        uint64_t TopNs = 0;
+        ProfTopOp = Out.Prof.topOp(&TopNs);
+        uint64_t Attrib = Out.Prof.opNs() + Out.Prof.centerNs();
+        ProfTopShare = Attrib ? double(TopNs) / double(Attrib) : 0.0;
+      }
       Config.Progress({ChainIndex, Iter + 1, Config.Iterations,
                        Out.BestLogLikelihood,
                        ColCache ? ColCache->hitRate() : 0.0,
                        Out.Stats.InvalidStatic,
                        Elapsed > 0 ? double(Out.Stats.RowsScored) / Elapsed
-                                   : 0.0});
+                                   : 0.0,
+                       ProfTopOp, ProfTopShare});
     }
   }
 
@@ -436,6 +467,11 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   const SimdRowTally Tally = takeSimdRowTally();
   Out.Stats.RowsSimd = Tally.RowsSimd;
   Out.Stats.RowsScalarTail = Tally.RowsTail;
+
+  if (Config.Profile) {
+    PerfSink.endRun(); // No-op when the counters never opened.
+    Out.Perf = PerfSink.take();
+  }
 
   Out.Stats.ScoreCacheEvictions = Cache.evictions();
   if (ColCache) {
@@ -535,6 +571,10 @@ SynthesisResult Synthesizer::run() {
     }
     if (Result.Metrics && Out.Shard)
       Result.Metrics->merge(*Out.Shard);
+    if (Config.Profile) {
+      Result.Profile.Tape.merge(Out.Prof);
+      Result.Profile.Perf.merge(Out.Perf);
+    }
     if (Out.Succeeded &&
         (!Result.Succeeded ||
          Out.BestLogLikelihood > Result.BestLogLikelihood)) {
@@ -551,6 +591,10 @@ SynthesisResult Synthesizer::run() {
   auto End = std::chrono::steady_clock::now();
   Result.Stats.Seconds =
       std::chrono::duration<double>(End - Start).count();
+
+  Result.Profile.Enabled = Config.Profile;
+  if (Config.Profile)
+    Result.Profile.Tape.SampleEvery = std::max(1u, Config.ProfileSampleEvery);
 
   if (Result.Metrics) {
     Result.Metrics->gauge("synth.best_ll").set(Result.BestLogLikelihood);
@@ -587,6 +631,57 @@ SynthesisResult Synthesizer::run() {
           ->gauge("synth.stuck_chains")
           .set(double(Result.Convergence.StuckChains.size()));
     }
+    if (Config.Profile) {
+      // Profile report fields, routed into the registry so
+      // --metrics-out carries the attribution alongside the rest of
+      // the run's telemetry.  Opcode names come from profiledTapeOpName
+      // (the "sum" pseudo-opcode included), with
+      // '+' mapped to '_' to keep the dotted-name grammar.
+      const TapeProfile &TP = Result.Profile.Tape;
+      Result.Metrics
+          ->gauge("profile.attributed_fraction")
+          .set(attributedEvalFraction(TP, Result.Stats.Stage));
+      Result.Metrics
+          ->gauge("profile.opcode_fraction")
+          .set(opcodeEvalFraction(TP, Result.Stats.Stage));
+      Result.Metrics->counter("profile.blocks_total").add(TP.BlocksTotal);
+      Result.Metrics
+          ->counter("profile.blocks_profiled")
+          .add(TP.BlocksProfiled);
+      for (unsigned I = 0; I != NumProfiledTapeOps; ++I) {
+        if (!TP.Op[I].Calls)
+          continue;
+        std::string Name = profiledTapeOpName(I);
+        for (char &C : Name)
+          if (C == '+')
+            C = '_';
+        Result.Metrics->counter("profile.op." + Name + ".ns")
+            .add(TP.Op[I].Ns);
+        Result.Metrics->counter("profile.op." + Name + ".rows")
+            .add(TP.Op[I].Rows);
+      }
+      for (unsigned I = 0; I != NumProfileCostCenters; ++I)
+        Result.Metrics
+            ->counter(std::string("profile.center.") +
+                      profileCostCenterName(ProfileCostCenter(I)) + ".ns")
+            .add(TP.Center[I].Ns);
+      const StagePerf &PP = Result.Profile.Perf;
+      Result.Metrics
+          ->gauge("profile.perf.available")
+          .set(PP.Available ? 1.0 : 0.0);
+      if (PP.Available) {
+        Result.Metrics->counter("profile.perf.cycles").add(PP.Total.Cycles);
+        Result.Metrics
+            ->counter("profile.perf.instructions")
+            .add(PP.Total.Instructions);
+        Result.Metrics
+            ->counter("profile.perf.cache_misses")
+            .add(PP.Total.CacheMisses);
+        Result.Metrics
+            ->counter("profile.perf.branch_misses")
+            .add(PP.Total.BranchMisses);
+      }
+    }
   }
 
   if (Config.Diagnostics)
@@ -611,4 +706,27 @@ RunManifest Synthesizer::makeManifest(const std::string &SketchName) const {
   M.ScoreCacheSize = Config.ScoreCacheSize;
   M.UseProposalRatio = Config.UseProposalRatio;
   return M;
+}
+
+ProfileReport psketch::makeProfileReport(const SynthesisResult &Result,
+                                         const SynthesisConfig &Config) {
+  ProfileReport R;
+  R.Tape = Result.Profile.Tape;
+  R.Stages = Result.Stats.Stage;
+  R.Perf = Result.Profile.Perf;
+  R.OpNames.reserve(NumProfiledTapeOps);
+  for (unsigned I = 0; I != NumProfiledTapeOps; ++I)
+    R.OpNames.push_back(profiledTapeOpName(I));
+  const TapeKernel Kernels = resolveTapeKernel(
+      Config.Likelihood.Tape.Simd ? activeSimdLevel() : SimdLevel::Scalar);
+  R.SimdLevel = simdLevelName(Kernels.Level);
+  R.SimdWidth = Kernels.Width;
+  R.RunSeconds = Result.Stats.Seconds;
+  R.RowsScored = Result.Stats.RowsScored;
+  R.CandidatesScored = Result.Stats.Scored;
+  R.Seed = Config.Seed;
+  R.Iterations = Config.Iterations;
+  R.Chains = std::max(Config.Chains, 1u);
+  R.RowThreads = std::max(Config.RowThreads, 1u);
+  return R;
 }

@@ -27,6 +27,8 @@
 #include "likelihood/Likelihood.h"
 #include "obs/Convergence.h"
 #include "obs/Metrics.h"
+#include "obs/PerfCounters.h"
+#include "obs/Profiler.h"
 #include "obs/StageTimer.h"
 #include "obs/Trace.h"
 #include "synth/Mutate.h"
@@ -158,6 +160,20 @@ struct SynthesisConfig {
   /// shard, merged deterministically into SynthesisResult::Metrics.
   bool Metrics = false;
 
+  /// `--profile` (DESIGN.md §12): attribute eval_batch wall time to
+  /// individual tape opcodes and cost centers (obs/Profiler.h) and
+  /// read hardware counters per stage when perf_event_open works
+  /// (obs/PerfCounters.h), into SynthesisResult::Profile.  Implies
+  /// StageTimers (attribution needs the stage spans as denominators).
+  /// Result-neutral like the rest of the telemetry: the enabled path
+  /// only reads clocks and counters, so scores, walks, traces and
+  /// (non-profile) metrics are bit-identical on vs off.
+  bool Profile = false;
+
+  /// Profile 1 of every K block evaluations (1 = every block); the
+  /// skipped blocks' time is still accounted, as one lump per block.
+  unsigned ProfileSampleEvery = 1;
+
   /// When set, invoked every ProgressEvery iterations of each chain
   /// (and once at each chain's end).  Called from chain threads —
   /// must be thread-safe when Threads > 1.
@@ -175,6 +191,11 @@ struct SynthesisConfig {
     /// Data rows scored per wall-clock second by this chain so far
     /// (scoring throughput; 0 on non-template scoring paths).
     double RowsPerSec = 0;
+    /// With Profile on: index (into tapeOpName order) and share of the
+    /// most expensive opcode in this chain's attribution so far; -1 /
+    /// 0 when profiling is off or nothing is charged yet.
+    int ProfTopOp = -1;
+    double ProfTopShare = 0;
   };
   unsigned ProgressEvery = 0; ///< 0 disables progress callbacks.
   std::function<void(const ProgressUpdate &)> Progress;
@@ -254,6 +275,15 @@ struct SynthesisStats {
   }
 };
 
+/// Merged profiler output of one run (Config.Profile): per-opcode /
+/// cost-center attribution and per-stage hardware counters, combined
+/// over chains in chain order.
+struct SynthesisProfile {
+  bool Enabled = false;
+  TapeProfile Tape;
+  StagePerf Perf;
+};
+
 /// Outcome of one synthesis run.
 struct SynthesisResult {
   bool Succeeded = false;
@@ -279,7 +309,19 @@ struct SynthesisResult {
   /// Merged per-chain metric shards; non-null when Config.Metrics.
   /// Deterministic: contents depend on the seeds, not on Threads.
   std::shared_ptr<MetricsRegistry> Metrics;
+
+  /// Profiler output; Enabled mirrors Config.Profile (all zeros when
+  /// off).
+  SynthesisProfile Profile;
 };
+
+/// Assembles the renderable profile report from a finished run: the
+/// merged attribution and counters plus the opcode-name table and the
+/// resolved SIMD tier (which live in the likelihood layer, out of
+/// obs's reach).  Identity fields (Sketch, Seed) are filled from
+/// \p Config; callers override Sketch with a display name as needed.
+ProfileReport makeProfileReport(const SynthesisResult &Result,
+                                const SynthesisConfig &Config);
 
 /// Runs MCMC-SYN over one sketch + dataset.
 class Synthesizer {

@@ -12,6 +12,9 @@
 #include "interp/Interp.h"
 #include "likelihood/DatasetIO.h"
 #include "likelihood/Likelihood.h"
+#include "likelihood/Tape.h"
+#include "obs/BenchCompare.h"
+#include "obs/Profiler.h"
 #include "obs/Trace.h"
 #include "parse/Parser.h"
 #include "sem/TypeCheck.h"
@@ -158,14 +161,10 @@ int cmdReport(const ToolOptions &Opts, std::ostream &Out,
   return 0;
 }
 
-int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
-             std::ostream &Err) {
-  auto Sketch = loadProgram(Opts.ProgramPath, Err);
-  if (!Sketch)
-    return 1;
-  auto Data = loadData(Opts.DataPath, Err);
-  if (!Data)
-    return 1;
+/// The synth-family SynthesisConfig shared by `synth` and `profile`:
+/// iteration/seed knobs, the likelihood escape hatches, and the
+/// telemetry switches derived from the requested outputs.
+SynthesisConfig makeSynthConfig(const ToolOptions &Opts) {
   SynthesisConfig Config;
   Config.Iterations = Opts.Iterations;
   Config.Chains = Opts.Chains;
@@ -190,6 +189,20 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
   Config.Metrics = !Opts.MetricsOutPath.empty();
   Config.StageTimers = Config.Metrics;
   Config.Diagnostics = Config.CollectTrace || Config.Metrics;
+  Config.Profile = Opts.Profile;
+  Config.ProfileSampleEvery = Opts.ProfileSampleEvery;
+  return Config;
+}
+
+int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
+             std::ostream &Err) {
+  auto Sketch = loadProgram(Opts.ProgramPath, Err);
+  if (!Sketch)
+    return 1;
+  auto Data = loadData(Opts.DataPath, Err);
+  if (!Data)
+    return 1;
+  SynthesisConfig Config = makeSynthConfig(Opts);
   if (Opts.Progress) {
     if (logLevel() > LogLevel::Info)
       setLogLevel(LogLevel::Info);
@@ -197,6 +210,16 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
     const bool Incremental = Config.Incremental;
     Config.Progress = [Incremental](
                           const SynthesisConfig::ProgressUpdate &U) {
+      // `--profile --progress`: tag each update with the hottest tape
+      // opcode so a drifting workload is visible mid-run.
+      std::string Hot;
+      if (U.ProfTopOp >= 0 && unsigned(U.ProfTopOp) < NumProfiledTapeOps) {
+        std::ostringstream HotOS;
+        HotOS << ", hot op " << profiledTapeOpName(unsigned(U.ProfTopOp))
+              << " "
+              << int(U.ProfTopShare * 100) << "%";
+        Hot = HotOS.str();
+      }
       if (Incremental)
         PSKETCH_LOG(Info, "synth",
                     "chain " << U.Chain << ": " << U.Iter << "/"
@@ -204,14 +227,15 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
                              << U.BestLL << ", column-cache hit rate "
                              << int(U.ColCacheHitRate * 100)
                              << "%, static rejects " << U.StaticRejects
-                             << ", " << uint64_t(U.RowsPerSec) << " rows/s");
+                             << ", " << uint64_t(U.RowsPerSec) << " rows/s"
+                             << Hot);
       else
         PSKETCH_LOG(Info, "synth",
                     "chain " << U.Chain << ": " << U.Iter << "/"
                              << U.Iterations << " iterations, best LL "
                              << U.BestLL << ", static rejects "
                              << U.StaticRejects << ", "
-                             << uint64_t(U.RowsPerSec) << " rows/s");
+                             << uint64_t(U.RowsPerSec) << " rows/s" << Hot);
     };
   }
 
@@ -257,6 +281,25 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
         << int(Result.Stats.colCacheHitRate() * 100) << "% hit rate ("
         << Result.Stats.ColCacheHits << " hits, "
         << Result.Stats.ColCacheEvictions << " evictions)\n";
+  if (Opts.Profile) {
+    const TapeProfile &TP = Result.Profile.Tape;
+    Out << "// profile: "
+        << int(opcodeEvalFraction(TP, Result.Stats.Stage) * 100)
+        << "% of eval_batch in opcodes, "
+        << int(attributedEvalFraction(TP, Result.Stats.Stage) * 100)
+        << "% attributed";
+    uint64_t TopNs = 0;
+    int Top = TP.topOp(&TopNs);
+    if (Top >= 0 && unsigned(Top) < NumProfiledTapeOps && TopNs > 0)
+      Out << "; hot op " << profiledTapeOpName(unsigned(Top));
+    if (Result.Profile.Perf.Available)
+      Out << "; " << Result.Profile.Perf.Total.Cycles << " cycles, "
+          << Result.Profile.Perf.Total.Instructions << " instructions";
+    else if (!Result.Profile.Perf.FallbackReason.empty())
+      Out << "; hw counters unavailable ("
+          << Result.Profile.Perf.FallbackReason << ")";
+    Out << "\n";
+  }
   if (Result.Convergence.Computed)
     Out << "// " << Result.Convergence.str() << "\n";
   Out << toString(*Result.BestProgram);
@@ -273,23 +316,90 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
 
 int cmdTraceStats(const ToolOptions &Opts, std::ostream &Out,
                   std::ostream &Err) {
-  std::ifstream In(Opts.TracePath);
-  if (!In) {
-    Err << "error: cannot open '" << Opts.TracePath << "'\n";
-    return 1;
+  std::vector<ParsedTrace> Traces;
+  for (const std::string &Path : Opts.TracePaths) {
+    std::ifstream In(Path);
+    if (!In) {
+      Err << "error: cannot open '" << Path << "'\n";
+      return 1;
+    }
+    std::string ParseErr;
+    auto Trace = readJsonlTrace(In, ParseErr);
+    if (!Trace) {
+      Err << "error: " << Path << ": " << ParseErr << "\n";
+      return 1;
+    }
+    Traces.push_back(std::move(*Trace));
   }
-  std::string ParseErr;
-  auto Trace = readJsonlTrace(In, ParseErr);
-  if (!Trace) {
-    Err << "error: " << Opts.TracePath << ": " << ParseErr << "\n";
-    return 1;
-  }
-  Out << "sketch: " << Trace->Manifest.Sketch << "\n"
-      << "seed: " << Trace->Manifest.Seed << ", iterations: "
-      << Trace->Manifest.Iterations << ", chains: "
-      << Trace->Manifest.Chains << "\n";
-  Out << formatTraceSummary(summarizeTrace(*Trace));
+  // One file passes through the merge unchanged; several files are
+  // combined with each file's chains renumbered after the last.
+  std::vector<std::string> Warnings;
+  ParsedTrace Merged = mergeParsedTraces(Traces, &Warnings);
+  for (const std::string &W : Warnings)
+    Err << "warning: " << W << "\n";
+  if (Traces.size() > 1)
+    Out << "traces: " << Traces.size() << " files\n";
+  Out << "sketch: " << Merged.Manifest.Sketch << "\n"
+      << "seed: " << Merged.Manifest.Seed << ", iterations: "
+      << Merged.Manifest.Iterations << ", chains: "
+      << Merged.Manifest.Chains << "\n";
+  Out << formatTraceSummary(summarizeTrace(Merged));
   return 0;
+}
+
+int cmdProfile(const ToolOptions &Opts, std::ostream &Out,
+               std::ostream &Err) {
+  auto Sketch = loadProgram(Opts.ProgramPath, Err);
+  if (!Sketch)
+    return 1;
+  auto Data = loadData(Opts.DataPath, Err);
+  if (!Data)
+    return 1;
+  SynthesisConfig Config = makeSynthConfig(Opts);
+  Config.Profile = true;
+  Synthesizer Synth(*Sketch, Opts.Inputs, *Data, Config);
+  if (!Synth.valid()) {
+    Err << Synth.diagnostics().str();
+    return 1;
+  }
+  SynthesisResult Result = Synth.run();
+  if (!Result.Succeeded)
+    Err << "warning: no valid completion found; the profile below "
+           "still covers the full search\n";
+
+  ProfileReport Report = makeProfileReport(Result, Config);
+  Report.Sketch = Opts.ProgramPath;
+  if (!Opts.OutPath.empty()) {
+    std::ofstream File(Opts.OutPath);
+    if (!File) {
+      Err << "error: cannot write '" << Opts.OutPath << "'\n";
+      return 1;
+    }
+    File << profileReportJson(Report) << "\n";
+  }
+  if (!Opts.FoldedOutPath.empty()) {
+    std::ofstream File(Opts.FoldedOutPath);
+    if (!File) {
+      Err << "error: cannot write '" << Opts.FoldedOutPath << "'\n";
+      return 1;
+    }
+    File << profileFoldedStacks(Report);
+  }
+  Out << formatProfileReport(Report);
+  return 0;
+}
+
+int cmdBenchDiff(const ToolOptions &Opts, std::ostream &Out,
+                 std::ostream &Err) {
+  BenchDiffResult R =
+      compareBenchFiles(Opts.BenchOldPath, Opts.BenchNewPath,
+                        Opts.Tolerance);
+  if (!R.Ok) {
+    Err << "error: " << R.Error << "\n";
+    return 2;
+  }
+  Out << formatBenchDiff(R, Opts.Tolerance);
+  return R.passed() ? 0 : 1;
 }
 
 int cmdPosterior(const ToolOptions &Opts, std::ostream &Out,
@@ -362,6 +472,10 @@ int psketch::runTool(const ToolOptions &Opts, std::ostream &Out,
     return cmdPosterior(Opts, Out, Err);
   if (Opts.Command == "trace-stats")
     return cmdTraceStats(Opts, Out, Err);
+  if (Opts.Command == "profile")
+    return cmdProfile(Opts, Out, Err);
+  if (Opts.Command == "bench-diff")
+    return cmdBenchDiff(Opts, Out, Err);
   Err << toolUsage();
   return 2;
 }

@@ -62,8 +62,8 @@ std::optional<std::vector<double>> parseNumberList(const std::string &Text) {
 
 std::string psketch::toolUsage() {
   return "usage: psketch "
-         "<print|lint|sample|score|report|synth|posterior|trace-stats> "
-         "[options]\n"
+         "<print|lint|sample|score|report|synth|posterior|trace-stats"
+         "|profile|bench-diff> [options]\n"
          "  print  --program FILE\n"
          "  lint   --program FILE (static diagnostics: unbound/unused\n"
          "         variables, constant observes, invalid draw parameters,\n"
@@ -77,9 +77,13 @@ std::string psketch::toolUsage() {
          "         [--progress] [--no-incremental] [--no-simplify]\n"
          "         [--no-fuse] [--ffast-tape] [--column-cache-mb N]\n"
          "         [--no-static-analysis] [--no-simd] [--fast-simd-math]\n"
-         "         [--row-threads N]\n"
+         "         [--row-threads N] [--profile]\n"
+         "         [--profile-sample-every K]\n"
          "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
-         "  trace-stats --trace FILE.jsonl\n"
+         "  trace-stats --trace FILE.jsonl [--trace FILE.jsonl ...]\n"
+         "  profile --sketch FILE --data FILE.csv [synth options]\n"
+         "         [--out FILE.json] [--folded FILE.folded]\n"
+         "  bench-diff OLD.json NEW.json [--tolerance 0.15]\n"
          "inputs: --int n=3 --real x=1.5 --bool b=1\n"
          "        --ints a=0,1 --reals a=1.5,2 --bools a=1,0\n";
 }
@@ -95,7 +99,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
       Opts.Command == "print" || Opts.Command == "lint" ||
       Opts.Command == "sample" || Opts.Command == "score" ||
       Opts.Command == "report" || Opts.Command == "synth" ||
-      Opts.Command == "posterior" || Opts.Command == "trace-stats";
+      Opts.Command == "posterior" || Opts.Command == "trace-stats" ||
+      Opts.Command == "profile" || Opts.Command == "bench-diff";
   if (!KnownCommand)
     Opts.Errors.push_back("unknown command '" + Opts.Command + "'");
 
@@ -129,9 +134,24 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.MetricsOutPath = Value;
     } else if (Flag == "--trace") {
       if (NextValue(I, Flag, Value))
-        Opts.TracePath = Value;
+        Opts.TracePaths.push_back(Value);
+    } else if (Flag == "--folded") {
+      if (NextValue(I, Flag, Value))
+        Opts.FoldedOutPath = Value;
     } else if (Flag == "--progress") {
       Opts.Progress = true;
+    } else if (Flag == "--profile") {
+      Opts.Profile = true;
+    } else if (Flag == "--tolerance") {
+      if (!NextValue(I, Flag, Value))
+        continue;
+      auto V = parseNumber(Value);
+      if (!V || *V < 0) {
+        Opts.Errors.push_back("malformed value for --tolerance: '" +
+                              Value + "'");
+        continue;
+      }
+      Opts.Tolerance = *V;
     } else if (Flag == "--no-incremental") {
       Opts.NoIncremental = true;
     } else if (Flag == "--no-simplify") {
@@ -152,7 +172,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
     } else if (Flag == "--rows" || Flag == "--iterations" ||
                Flag == "--chains" || Flag == "--seed" ||
                Flag == "--samples" || Flag == "--threads" ||
-               Flag == "--row-threads" || Flag == "--column-cache-mb") {
+               Flag == "--row-threads" || Flag == "--column-cache-mb" ||
+               Flag == "--profile-sample-every") {
       if (!NextValue(I, Flag, Value))
         continue;
       auto V = parseNumber(Value);
@@ -175,6 +196,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.RowThreads = unsigned(*V);
       else if (Flag == "--column-cache-mb")
         Opts.ColumnCacheMB = unsigned(*V);
+      else if (Flag == "--profile-sample-every")
+        Opts.ProfileSampleEvery = std::max(1u, unsigned(*V));
       else
         Opts.Seed = uint64_t(*V);
     } else if (Flag == "--int" || Flag == "--real" || Flag == "--bool") {
@@ -209,6 +232,14 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
                         : Flag == "--reals" ? ScalarKind::Real
                                             : ScalarKind::Bool;
       Opts.Inputs.setArray(Name, std::move(*Nums), Kind);
+    } else if (Opts.Command == "bench-diff" && !Flag.empty() &&
+               Flag[0] != '-') {
+      if (Opts.BenchOldPath.empty())
+        Opts.BenchOldPath = Flag;
+      else if (Opts.BenchNewPath.empty())
+        Opts.BenchNewPath = Flag;
+      else
+        Opts.Errors.push_back("unexpected extra argument '" + Flag + "'");
     } else {
       Opts.Errors.push_back("unknown flag '" + Flag + "'");
     }
@@ -217,14 +248,21 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
   // Per-command requirements.
   if (KnownCommand) {
     if (Opts.Command == "trace-stats") {
-      if (Opts.TracePath.empty())
+      if (Opts.TracePaths.empty())
         Opts.Errors.push_back("command 'trace-stats' requires --trace");
+      return Opts;
+    }
+    if (Opts.Command == "bench-diff") {
+      if (Opts.BenchOldPath.empty() || Opts.BenchNewPath.empty())
+        Opts.Errors.push_back(
+            "command 'bench-diff' requires two positional arguments: "
+            "OLD.json NEW.json");
       return Opts;
     }
     if (Opts.ProgramPath.empty())
       Opts.Errors.push_back("missing --program/--sketch");
     bool NeedsData = Opts.Command == "score" || Opts.Command == "report" ||
-                     Opts.Command == "synth";
+                     Opts.Command == "synth" || Opts.Command == "profile";
     if (NeedsData && Opts.DataPath.empty())
       Opts.Errors.push_back("command '" + Opts.Command +
                             "' requires --data");

@@ -20,7 +20,10 @@
 ///                  [--metrics-out FILE.json] [--progress]
 ///   psketch posterior --program FILE --slot NAME [--samples N]
 ///                  [--seed S]
-///   psketch trace-stats --trace FILE.jsonl
+///   psketch trace-stats --trace FILE.jsonl [--trace FILE.jsonl ...]
+///   psketch profile --sketch FILE --data FILE.csv [synth options]
+///                  [--out FILE.json] [--folded FILE.folded]
+///   psketch bench-diff OLD.json NEW.json [--tolerance 0.15]
 ///
 /// Program inputs are bound with repeatable flags:
 ///   --int n=3  --real x=1.5  --bool flag=1
@@ -46,8 +49,22 @@ struct ToolOptions {
   std::string OutPath;     ///< --out.
   std::string TraceOutPath;   ///< --trace-out (synth): JSONL MH trace.
   std::string MetricsOutPath; ///< --metrics-out (synth): metrics JSON.
-  std::string TracePath;      ///< --trace (trace-stats): JSONL to read.
-  bool Progress = false;      ///< --progress (synth): periodic updates.
+  /// --trace (trace-stats, repeatable): JSONL files to read; several
+  /// files are merged into one report (per-file chains renumbered).
+  std::vector<std::string> TracePaths;
+  std::string FoldedOutPath; ///< --folded (profile): folded stacks.
+  bool Progress = false;     ///< --progress (synth): periodic updates.
+  /// --profile (synth): per-opcode cost attribution + per-stage
+  /// hardware counters.  Result-neutral — scores, traces, and metrics
+  /// are byte-identical with it on or off.
+  bool Profile = false;
+  /// --profile-sample-every (synth/profile): profile 1 of every K
+  /// block evaluations; skipped blocks stay counted (exact face-value
+  /// accounting, no scaling).  1 profiles every block.
+  unsigned ProfileSampleEvery = 1;
+  double Tolerance = 0.15;  ///< --tolerance (bench-diff): gate width.
+  std::string BenchOldPath; ///< bench-diff positional 1: baseline.
+  std::string BenchNewPath; ///< bench-diff positional 2: candidate.
 
   // Likelihood-pipeline escape hatches (synth; DESIGN.md §9).  The
   // optimizations are bit-exact and on by default; the toggles exist so

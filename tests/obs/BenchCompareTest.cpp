@@ -1,0 +1,199 @@
+//===- tests/obs/BenchCompareTest.cpp - bench-diff comparator tests -------===//
+
+#include "obs/BenchCompare.h"
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+BenchDiffResult diff(const std::string &OldText, const std::string &NewText,
+                     double Tolerance = 0.15) {
+  std::string Err;
+  auto Old = parseJson(OldText, Err);
+  EXPECT_TRUE(Old) << Err;
+  auto New = parseJson(NewText, Err);
+  EXPECT_TRUE(New) << Err;
+  return compareBenchReports(*Old, *New, Tolerance);
+}
+
+const BenchDeltaRow *findRow(const BenchDiffResult &R,
+                             const std::string &Path) {
+  for (const BenchDeltaRow &Row : R.Rows)
+    if (Row.Path == Path)
+      return &Row;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(BenchCompareTest, DirectionClassifier) {
+  EXPECT_EQ(benchMetricDirection("mog_per_100s"), 1);
+  EXPECT_EQ(benchMetricDirection("rows_per_sec"), 1);
+  EXPECT_EQ(benchMetricDirection("speedup"), 1);
+  EXPECT_EQ(benchMetricDirection("speedup_min"), 1);
+  EXPECT_EQ(benchMetricDirection("compile_seconds"), -1);
+  EXPECT_EQ(benchMetricDirection("eval_ns"), -1);
+  EXPECT_EQ(benchMetricDirection("best_ll"), 0);
+  EXPECT_EQ(benchMetricDirection("iterations"), 0);
+  EXPECT_EQ(benchMetricDirection("cache_hit_rate"), 0);
+}
+
+TEST(BenchCompareTest, IdenticalFilesPass) {
+  std::string Doc = R"({"bench":"x","a_per_100s":100,"b_seconds":2})";
+  BenchDiffResult R = diff(Doc, Doc);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.passed());
+  EXPECT_EQ(R.Regressions, 0u);
+  EXPECT_EQ(R.Gated, 2u);
+}
+
+TEST(BenchCompareTest, ThroughputDropBeyondToleranceRegresses) {
+  BenchDiffResult R = diff(R"({"bench":"x","a_per_100s":100})",
+                           R"({"bench":"x","a_per_100s":80})");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_FALSE(R.passed());
+  EXPECT_EQ(R.Regressions, 1u);
+  const BenchDeltaRow *Row = findRow(R, "a_per_100s");
+  ASSERT_NE(Row, nullptr);
+  EXPECT_TRUE(Row->Regressed);
+  EXPECT_NEAR(Row->Delta, -0.2, 1e-12);
+}
+
+TEST(BenchCompareTest, ThroughputDropWithinToleranceIsOk) {
+  BenchDiffResult R = diff(R"({"bench":"x","a_per_100s":100})",
+                           R"({"bench":"x","a_per_100s":90})");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.passed());
+  EXPECT_EQ(R.Regressions, 0u);
+}
+
+TEST(BenchCompareTest, LatencyIncreaseRegressesAndDecreaseImproves) {
+  BenchDiffResult Up = diff(R"({"bench":"x","run_seconds":1.0})",
+                            R"({"bench":"x","run_seconds":1.5})");
+  ASSERT_TRUE(Up.Ok);
+  EXPECT_EQ(Up.Regressions, 1u);
+
+  BenchDiffResult Down = diff(R"({"bench":"x","run_seconds":1.5})",
+                              R"({"bench":"x","run_seconds":1.0})");
+  ASSERT_TRUE(Down.Ok);
+  EXPECT_EQ(Down.Regressions, 0u);
+  EXPECT_EQ(Down.Improvements, 1u);
+}
+
+TEST(BenchCompareTest, InformationalMetricsNeverGate) {
+  BenchDiffResult R = diff(R"({"bench":"x","best_ll":-100})",
+                           R"({"bench":"x","best_ll":-99999})");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.passed());
+  EXPECT_EQ(R.Gated, 0u);
+}
+
+TEST(BenchCompareTest, BitIdenticalFlipToFalseRegresses) {
+  BenchDiffResult R =
+      diff(R"({"bench":"x","best_ll_bit_identical":true})",
+           R"({"bench":"x","best_ll_bit_identical":false})");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_FALSE(R.passed());
+  EXPECT_EQ(R.Regressions, 1u);
+  // The flip back to true is fine.
+  BenchDiffResult Back =
+      diff(R"({"bench":"x","best_ll_bit_identical":false})",
+           R"({"bench":"x","best_ll_bit_identical":true})");
+  EXPECT_TRUE(Back.passed());
+}
+
+TEST(BenchCompareTest, ArraysMatchByNameNotIndex) {
+  // Same sections, different order: must pair A with A and B with B.
+  BenchDiffResult R = diff(
+      R"({"bench":"x","benchmarks":[
+            {"name":"A","mog_per_100s":100},
+            {"name":"B","mog_per_100s":200}]})",
+      R"({"bench":"x","benchmarks":[
+            {"name":"B","mog_per_100s":200},
+            {"name":"A","mog_per_100s":100}]})");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.passed());
+  const BenchDeltaRow *A = findRow(R, "benchmarks[A].mog_per_100s");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->OldValue, 100.0);
+  EXPECT_EQ(A->NewValue, 100.0);
+}
+
+TEST(BenchCompareTest, MissingSectionIsANoteNotACrash) {
+  BenchDiffResult R = diff(
+      R"({"bench":"x","a_per_100s":1,"gone_per_100s":5})",
+      R"({"bench":"x","a_per_100s":1,"added_per_100s":9})");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.passed());
+  bool SawMissing = false, SawAdded = false;
+  for (const std::string &N : R.Notes) {
+    SawMissing |= N.find("gone_per_100s") != std::string::npos;
+    SawAdded |= N.find("added_per_100s") != std::string::npos;
+  }
+  EXPECT_TRUE(SawMissing);
+  EXPECT_TRUE(SawAdded);
+}
+
+TEST(BenchCompareTest, DifferentBenchNamesRefuse) {
+  BenchDiffResult R = diff(R"({"bench":"figure8"})", R"({"bench":"table1"})");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("figure8"), std::string::npos);
+  EXPECT_NE(R.Error.find("table1"), std::string::npos);
+}
+
+TEST(BenchCompareTest, SchemaVersionRules) {
+  // Absent on either side: legacy, accepted.
+  EXPECT_TRUE(diff(R"({"bench":"x"})",
+                   R"({"bench":"x","schema_version":1})")
+                  .Ok);
+  // Declared and matching: accepted.
+  EXPECT_TRUE(diff(R"({"bench":"x","schema_version":1})",
+                   R"({"bench":"x","schema_version":1})")
+                  .Ok);
+  // Declared and mismatched: refused with a clear error.
+  BenchDiffResult R = diff(R"({"bench":"x","schema_version":1})",
+                           R"({"bench":"x","schema_version":99})");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("schema_version"), std::string::npos);
+}
+
+TEST(BenchCompareTest, ZeroBaselineIsInformational) {
+  BenchDiffResult R = diff(R"({"bench":"x","a_per_100s":0})",
+                           R"({"bench":"x","a_per_100s":50})");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.passed());
+  EXPECT_EQ(R.Gated, 0u);
+}
+
+TEST(BenchCompareTest, ToleranceIsConfigurable) {
+  // 10% drop: regresses at 5% tolerance, passes at 15%.
+  EXPECT_FALSE(diff(R"({"bench":"x","a_per_100s":100})",
+                    R"({"bench":"x","a_per_100s":90})", 0.05)
+                   .passed());
+  EXPECT_TRUE(diff(R"({"bench":"x","a_per_100s":100})",
+                   R"({"bench":"x","a_per_100s":90})", 0.15)
+                  .passed());
+}
+
+TEST(BenchCompareTest, UnreadableFileReportsPath) {
+  BenchDiffResult R =
+      compareBenchFiles("/nonexistent/old.json", "/nonexistent/new.json",
+                        0.15);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("/nonexistent/old.json"), std::string::npos);
+}
+
+TEST(BenchCompareTest, FormatMentionsVerdictAndCounts) {
+  BenchDiffResult R = diff(R"({"bench":"x","a_per_100s":100})",
+                           R"({"bench":"x","a_per_100s":50})");
+  std::string Text = formatBenchDiff(R, 0.15);
+  EXPECT_NE(Text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(Text.find("FAIL"), std::string::npos);
+  BenchDiffResult OkR = diff(R"({"bench":"x","a_per_100s":100})",
+                             R"({"bench":"x","a_per_100s":100})");
+  EXPECT_NE(formatBenchDiff(OkR, 0.15).find("PASS"), std::string::npos);
+}

@@ -1,0 +1,100 @@
+//===- tests/obs/PerfCountersTest.cpp - Hardware-counter plumbing tests ---===//
+//
+// perf_event_open is best-effort (seccomp filters, perf_event_paranoid,
+// non-Linux hosts), so these tests assert the arithmetic and the
+// graceful-degradation contract, never that counters actually opened.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfCounters.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+TEST(PerfCountersTest, AddAccumulatesAllFourCounters) {
+  PerfCounts A, B;
+  A.Cycles = 10;
+  A.Instructions = 20;
+  B.Cycles = 1;
+  B.CacheMisses = 2;
+  B.BranchMisses = 3;
+  A.add(B);
+  EXPECT_EQ(A.Cycles, 11u);
+  EXPECT_EQ(A.Instructions, 20u);
+  EXPECT_EQ(A.CacheMisses, 2u);
+  EXPECT_EQ(A.BranchMisses, 3u);
+  EXPECT_TRUE(A.any());
+  EXPECT_FALSE(PerfCounts{}.any());
+}
+
+TEST(PerfCountersTest, AddDeltaSaturatesAtZero) {
+  PerfCounts Begin, End, Acc;
+  Begin.Cycles = 100;
+  End.Cycles = 150;
+  Begin.Instructions = 500; // counter "went backwards" (went away)
+  End.Instructions = 400;
+  Acc.addDelta(Begin, End);
+  EXPECT_EQ(Acc.Cycles, 50u);
+  EXPECT_EQ(Acc.Instructions, 0u);
+}
+
+TEST(PerfCountersTest, MergeOrsAvailabilityAndKeepsFirstReason) {
+  StagePerf A, B;
+  A.Available = false;
+  A.FallbackReason = "first";
+  B.Available = true;
+  B.FallbackReason = "second";
+  B.Total.Cycles = 5;
+  B.Stage[unsigned(Stage::EvalBatch)].Cycles = 4;
+  A.merge(B);
+  EXPECT_TRUE(A.Available);
+  EXPECT_EQ(A.FallbackReason, "first");
+  EXPECT_EQ(A.Total.Cycles, 5u);
+  EXPECT_EQ(A.Stage[unsigned(Stage::EvalBatch)].Cycles, 4u);
+}
+
+TEST(PerfCountersTest, OpenEitherSucceedsOrExplainsWhy) {
+  PerfCounterGroup G;
+  bool Opened = G.open();
+  if (Opened) {
+    EXPECT_TRUE(G.isOpen());
+    EXPECT_TRUE(G.unavailableReason().empty());
+    // Counters are monotonic on this thread while open.
+    PerfCounts First = G.read();
+    volatile uint64_t Sink = 0;
+    for (unsigned I = 0; I != 100000; ++I)
+      Sink = Sink + I;
+    PerfCounts Second = G.read();
+    EXPECT_GE(Second.Cycles, First.Cycles);
+  } else {
+    EXPECT_FALSE(G.isOpen());
+    EXPECT_FALSE(G.unavailableReason().empty());
+    // read() on a closed group is all zeros, not UB.
+    EXPECT_FALSE(G.read().any());
+  }
+}
+
+TEST(PerfCountersTest, SinkDegradesGracefullyWhenCountersUnavailable) {
+  StagePerfSink Sink;
+  bool Opened = Sink.open();
+  Sink.beginRun();
+  Sink.enterSpan();
+  Sink.exitSpan(Stage::EvalBatch);
+  Sink.endRun();
+  StagePerf P = Sink.take();
+  EXPECT_EQ(P.Available, Opened);
+  if (!Opened) {
+    EXPECT_FALSE(P.FallbackReason.empty());
+  }
+}
+
+TEST(PerfCountersTest, ThreadLocalPerfSinkInstallAndRestore) {
+  EXPECT_EQ(threadStagePerfSink(), nullptr);
+  StagePerfSink S;
+  {
+    StagePerfScope Scope(&S);
+    EXPECT_EQ(threadStagePerfSink(), &S);
+  }
+  EXPECT_EQ(threadStagePerfSink(), nullptr);
+}

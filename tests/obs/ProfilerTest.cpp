@@ -1,0 +1,220 @@
+//===- tests/obs/ProfilerTest.cpp - Tape cost-attribution tests -----------===//
+
+#include "obs/Profiler.h"
+
+#include "obs/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+std::chrono::nanoseconds ns(uint64_t N) { return std::chrono::nanoseconds(N); }
+
+/// A profile with deterministic, hand-charged buckets (no clock reads),
+/// so every assertion below is exact.
+TapeProfile sampleProfile() {
+  TapeProfile P;
+  EXPECT_TRUE(P.beginBlock(512, 4));
+  P.chargeOp(2, ns(3000), 512);
+  P.chargeOp(5, ns(1000), 512);
+  P.chargeOp(2, ns(2000), 512);
+  P.charge(ProfileCostCenter::BlockSum, ns(500), 512);
+  P.charge(ProfileCostCenter::Dispatch, ns(250));
+  return P;
+}
+
+/// OpNames table naming indices 0..7 "op0".."op7" with one fused name.
+std::vector<std::string> sampleOpNames() {
+  std::vector<std::string> Names;
+  for (unsigned I = 0; I != 8; ++I)
+    Names.push_back(I == 5 ? "mul+add" : "op" + std::to_string(I));
+  return Names;
+}
+
+ProfileReport sampleReport() {
+  ProfileReport R;
+  R.Tape = sampleProfile();
+  R.Stages.Ns[unsigned(Stage::EvalBatch)] = 10000;
+  R.Stages.Calls[unsigned(Stage::EvalBatch)] = 1;
+  R.Stages.Ns[unsigned(Stage::LowerCompile)] = 4000;
+  R.Stages.Calls[unsigned(Stage::LowerCompile)] = 1;
+  R.OpNames = sampleOpNames();
+  R.SimdLevel = "avx2";
+  R.SimdWidth = 4;
+  R.RunSeconds = 0.5;
+  R.RowsScored = 512;
+  R.CandidatesScored = 1;
+  R.Sketch = "unit.psk";
+  R.Seed = 7;
+  R.Iterations = 100;
+  R.Chains = 2;
+  return R;
+}
+
+} // namespace
+
+TEST(ProfilerTest, BucketAccountingIsExact) {
+  TapeProfile P = sampleProfile();
+  EXPECT_EQ(P.BlocksTotal, 1u);
+  EXPECT_EQ(P.BlocksProfiled, 1u);
+  EXPECT_EQ(P.RowsTotal, 512u);
+  EXPECT_EQ(P.RowsProfiled, 512u);
+  EXPECT_EQ(P.SimdWidthMax, 4u);
+  EXPECT_EQ(P.Op[2].Ns, 5000u);
+  EXPECT_EQ(P.Op[2].Rows, 1024u);
+  EXPECT_EQ(P.Op[2].Calls, 2u);
+  EXPECT_EQ(P.Op[5].Ns, 1000u);
+  EXPECT_EQ(P.opNs(), 6000u);
+  EXPECT_EQ(P.centerNs(), 750u);
+  uint64_t TopNs = 0;
+  EXPECT_EQ(P.topOp(&TopNs), 2);
+  EXPECT_EQ(TopNs, 5000u);
+}
+
+TEST(ProfilerTest, OutOfRangeOpIndexFoldsIntoLastBucket) {
+  TapeProfile P;
+  P.chargeOp(ProfileMaxOps + 10, ns(100), 16);
+  EXPECT_EQ(P.Op[ProfileMaxOps - 1].Ns, 100u);
+  EXPECT_EQ(P.opNs(), 100u);
+}
+
+TEST(ProfilerTest, SamplingSkipsBlocksButCountsThem) {
+  TapeProfile P;
+  P.SampleEvery = 4;
+  unsigned Sampled = 0;
+  for (unsigned I = 0; I != 16; ++I)
+    Sampled += P.beginBlock(512, 1);
+  // Blocks 1, 5, 9, 13 (1-indexed, BlocksTotal % 4 == 1) are sampled.
+  EXPECT_EQ(Sampled, 4u);
+  EXPECT_EQ(P.BlocksTotal, 16u);
+  EXPECT_EQ(P.BlocksProfiled, 4u);
+  EXPECT_EQ(P.RowsTotal, 16u * 512u);
+  EXPECT_EQ(P.RowsProfiled, 4u * 512u);
+}
+
+TEST(ProfilerTest, MergeAddsBucketsAndResetKeepsSampleEvery) {
+  TapeProfile A = sampleProfile();
+  TapeProfile B = sampleProfile();
+  A.merge(B);
+  EXPECT_EQ(A.Op[2].Ns, 10000u);
+  EXPECT_EQ(A.BlocksTotal, 2u);
+  EXPECT_EQ(A.RowsTotal, 1024u);
+  EXPECT_EQ(A.SimdWidthMax, 4u);
+
+  A.SampleEvery = 8;
+  A.reset();
+  EXPECT_TRUE(A.empty());
+  EXPECT_EQ(A.opNs(), 0u);
+  EXPECT_EQ(A.SampleEvery, 8u);
+}
+
+TEST(ProfilerTest, ThreadLocalSinkInstallAndRestore) {
+  EXPECT_EQ(threadTapeProfile(), nullptr);
+  TapeProfile Outer, Inner;
+  {
+    TapeProfileScope S1(&Outer);
+    EXPECT_EQ(threadTapeProfile(), &Outer);
+    {
+      TapeProfileScope S2(&Inner);
+      EXPECT_EQ(threadTapeProfile(), &Inner);
+    }
+    EXPECT_EQ(threadTapeProfile(), &Outer);
+  }
+  EXPECT_EQ(threadTapeProfile(), nullptr);
+}
+
+TEST(ProfilerTest, ProfTickAgainstNullSinkIsANoOp) {
+  ProfTick T(nullptr);
+  T.charge(ProfileCostCenter::BlockSum, 512); // must not crash
+  T.reset();
+}
+
+TEST(ProfilerTest, ProfTickChargesElapsedTime) {
+  TapeProfile P;
+  ProfTick T(&P);
+  // Busy-wait a little so the delta is non-zero on any clock.
+  volatile uint64_t Sink = 0;
+  for (unsigned I = 0; I != 100000; ++I)
+    Sink = Sink + I;
+  T.charge(ProfileCostCenter::BlockSum, 512);
+  EXPECT_GT(P.Center[unsigned(ProfileCostCenter::BlockSum)].Ns, 0u);
+  EXPECT_EQ(P.Center[unsigned(ProfileCostCenter::BlockSum)].Rows, 512u);
+}
+
+TEST(ProfilerTest, AttributionFractionsAgainstStageTimes) {
+  ProfileReport R = sampleReport();
+  // 6000 op ns + 750 center ns over a 10000 ns eval_batch span.
+  EXPECT_DOUBLE_EQ(attributedEvalFraction(R.Tape, R.Stages), 0.675);
+  EXPECT_DOUBLE_EQ(opcodeEvalFraction(R.Tape, R.Stages), 0.6);
+  // No eval span recorded -> fractions are 0, not NaN.
+  StageTimes Zero;
+  EXPECT_EQ(attributedEvalFraction(R.Tape, Zero), 0.0);
+  EXPECT_EQ(opcodeEvalFraction(R.Tape, Zero), 0.0);
+}
+
+TEST(ProfilerTest, ReportJsonIsValidAndCarriesSchema) {
+  std::string Json = profileReportJson(sampleReport());
+  std::string Err;
+  auto V = parseJson(Json, Err);
+  ASSERT_TRUE(V) << Err;
+  EXPECT_EQ(V->getUInt64("schema_version").value_or(0),
+            TelemetrySchemaVersion);
+  EXPECT_EQ(V->getString("report").value_or(""), "profile");
+  EXPECT_EQ(V->getString("sketch").value_or(""), "unit.psk");
+  // Opcode table: sorted by descending ns, fused ops flagged.
+  EXPECT_NE(Json.find("\"op\":\"op2\""), std::string::npos);
+  EXPECT_NE(Json.find("\"op\":\"mul+add\""), std::string::npos);
+  EXPECT_NE(Json.find("\"fused\":true"), std::string::npos);
+  EXPECT_LT(Json.find("\"op\":\"op2\""), Json.find("\"op\":\"mul+add\""));
+  EXPECT_NE(Json.find("\"eval_attribution\""), std::string::npos);
+  EXPECT_NE(Json.find("\"attribution_is_cpu_time\":false"),
+            std::string::npos);
+}
+
+TEST(ProfilerTest, FoldedStacksHaveFlamegraphShape) {
+  std::string Folded = profileFoldedStacks(sampleReport());
+  EXPECT_NE(Folded.find("psketch;synth;eval_batch;op:op2 5"),
+            std::string::npos)
+      << Folded;
+  EXPECT_NE(Folded.find("psketch;synth;eval_batch;op:mul+add 1"),
+            std::string::npos);
+  EXPECT_NE(Folded.find("psketch;synth;lower_compile 4"),
+            std::string::npos);
+  // The unattributed remainder of the eval span gets its own frame.
+  EXPECT_NE(Folded.find("(unattributed)"), std::string::npos);
+  // Every line is "semicolon;separated;stack count".
+  std::istringstream IS(Folded);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    ASSERT_FALSE(Line.empty());
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    EXPECT_NE(Line.find("psketch;"), std::string::npos) << Line;
+    for (size_t I = Space + 1; I != Line.size(); ++I)
+      EXPECT_TRUE(Line[I] >= '0' && Line[I] <= '9') << Line;
+  }
+}
+
+TEST(ProfilerTest, HumanReportNamesOpsAndStages) {
+  std::string Text = formatProfileReport(sampleReport());
+  EXPECT_NE(Text.find("op2"), std::string::npos);
+  EXPECT_NE(Text.find("mul+add"), std::string::npos);
+  EXPECT_NE(Text.find("eval_batch"), std::string::npos);
+  EXPECT_NE(Text.find("unit.psk"), std::string::npos);
+}
+
+TEST(ProfilerTest, CostCenterNamesAreStable) {
+  EXPECT_STREQ(profileCostCenterName(ProfileCostCenter::BlockSum),
+               "block_sum");
+  EXPECT_STREQ(profileCostCenterName(ProfileCostCenter::ColProbe),
+               "col_probe");
+  EXPECT_STREQ(profileCostCenterName(ProfileCostCenter::Dispatch),
+               "dispatch");
+  EXPECT_STREQ(profileCostCenterName(ProfileCostCenter::Unsampled),
+               "unsampled");
+}

@@ -175,6 +175,141 @@ TEST(TraceTest, RejectsEmptyInput) {
   EXPECT_FALSE(readJsonlTrace(IS, Err));
 }
 
+TEST(TraceTest, ManifestLineCarriesSchemaVersion) {
+  std::string Line = traceManifestLine(sampleManifest());
+  std::string Err;
+  auto V = parseJson(Line, Err);
+  ASSERT_TRUE(V) << Err;
+  auto Schema = V->getUInt64("schema_version");
+  ASSERT_TRUE(Schema);
+  EXPECT_EQ(*Schema, TelemetrySchemaVersion);
+}
+
+TEST(TraceTest, RejectsFutureSchemaVersion) {
+  // A trace from a newer, incompatible build declares a higher
+  // schema_version; the reader must refuse it with a clear message
+  // rather than misparse the contents.
+  std::string Line = traceManifestLine(sampleManifest());
+  size_t Pos = Line.find("\"schema_version\":1");
+  ASSERT_NE(Pos, std::string::npos);
+  Line.replace(Pos, 18, "\"schema_version\":999");
+  std::istringstream IS(Line + "\n");
+  std::string Err;
+  EXPECT_FALSE(readJsonlTrace(IS, Err));
+  EXPECT_NE(Err.find("schema_version 999"), std::string::npos) << Err;
+}
+
+TEST(TraceTest, AcceptsLegacyManifestWithoutSchemaVersion) {
+  // Traces written before the field existed have no schema_version at
+  // all; they must keep parsing.
+  std::string Line = traceManifestLine(sampleManifest());
+  size_t Pos = Line.find("\"schema_version\":1,");
+  ASSERT_NE(Pos, std::string::npos);
+  Line.erase(Pos, 19);
+  std::ostringstream OS;
+  OS << Line << "\n" << traceEventLine(sampleEvents()[0]) << "\n";
+  std::istringstream IS(OS.str());
+  std::string Err;
+  auto T = readJsonlTrace(IS, Err);
+  ASSERT_TRUE(T) << Err;
+  EXPECT_EQ(T->Events.size(), 1u);
+}
+
+TEST(TraceTest, TruncatedFinalLineIsALineError) {
+  // A crash mid-write leaves the last line cut off; the reader must
+  // report the exact line instead of crashing or silently dropping it.
+  std::ostringstream OS;
+  writeJsonlTrace(OS, sampleManifest(), sampleEvents());
+  std::string Text = OS.str();
+  std::string LastLine = traceEventLine(sampleEvents()[2]);
+  Text += LastLine.substr(0, LastLine.size() / 2);
+  Text += "\n";
+  std::istringstream IS(Text);
+  std::string Err;
+  EXPECT_FALSE(readJsonlTrace(IS, Err));
+  EXPECT_NE(Err.find("line 5"), std::string::npos) << Err;
+}
+
+TEST(TraceTest, CorruptEventIsALineError) {
+  // Valid JSON with a mangled field (outcome that parses as no known
+  // value) is a malformed event, reported with its line number.
+  std::ostringstream OS;
+  OS << traceManifestLine(sampleManifest()) << "\n";
+  OS << "{\"type\":\"event\",\"chain\":0,\"iter\":0,\"mutation\":\"x\","
+        "\"outcome\":\"exploded\",\"candidate_ll\":0,\"best_ll\":0,"
+        "\"cache_hit\":false}\n";
+  std::istringstream IS(OS.str());
+  std::string Err;
+  EXPECT_FALSE(readJsonlTrace(IS, Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("malformed event"), std::string::npos) << Err;
+}
+
+TEST(TraceTest, UnknownFieldsAreIgnoredForwardCompat) {
+  // A newer writer of the SAME schema version may add fields; readers
+  // must skip what they don't know.
+  std::ostringstream OS;
+  std::string Manifest = traceManifestLine(sampleManifest());
+  Manifest.insert(Manifest.size() - 1, ",\"future_field\":[1,2,3]");
+  std::string Event = traceEventLine(sampleEvents()[0]);
+  Event.insert(Event.size() - 1, ",\"gpu_ns\":42");
+  OS << Manifest << "\n" << Event << "\n";
+  std::istringstream IS(OS.str());
+  std::string Err;
+  auto T = readJsonlTrace(IS, Err);
+  ASSERT_TRUE(T) << Err;
+  ASSERT_EQ(T->Events.size(), 1u);
+  EXPECT_EQ(T->Events[0].Mutation, "const_perturb");
+}
+
+TEST(TraceTest, MergeRenumbersChainsAcrossFiles) {
+  ParsedTrace A;
+  A.Manifest = sampleManifest(); // 2 chains
+  A.Events = sampleEvents();     // chains 0 and 1
+  ParsedTrace B = A;             // same shape, different run
+  B.Manifest.Seed = 8;
+
+  std::vector<std::string> Warnings;
+  ParsedTrace Merged = mergeParsedTraces({A, B}, &Warnings);
+  EXPECT_TRUE(Warnings.empty());
+  EXPECT_EQ(Merged.Manifest.Chains, 4u);
+  ASSERT_EQ(Merged.Events.size(), 6u);
+  // First file's chains pass through; second file's shift by 2.
+  EXPECT_EQ(Merged.Events[0].Chain, 0u);
+  EXPECT_EQ(Merged.Events[2].Chain, 1u);
+  EXPECT_EQ(Merged.Events[3].Chain, 2u);
+  EXPECT_EQ(Merged.Events[5].Chain, 3u);
+  // The merged digest sees four distinct chains.
+  TraceSummary S = summarizeTrace(Merged);
+  EXPECT_EQ(S.PerChain.size(), 4u);
+}
+
+TEST(TraceTest, MergeSingleTraceIsIdentity) {
+  ParsedTrace A;
+  A.Manifest = sampleManifest();
+  A.Events = sampleEvents();
+  ParsedTrace Merged = mergeParsedTraces({A});
+  EXPECT_EQ(Merged.Manifest.Chains, A.Manifest.Chains);
+  ASSERT_EQ(Merged.Events.size(), A.Events.size());
+  for (size_t I = 0; I != A.Events.size(); ++I)
+    EXPECT_EQ(Merged.Events[I].Chain, A.Events[I].Chain);
+}
+
+TEST(TraceTest, MergeWarnsOnMismatchedRuns) {
+  ParsedTrace A;
+  A.Manifest = sampleManifest();
+  A.Events = sampleEvents();
+  ParsedTrace B = A;
+  B.Manifest.Sketch = "other.psk";
+  B.Manifest.DatasetFingerprint ^= 1;
+
+  std::vector<std::string> Warnings;
+  mergeParsedTraces({A, B}, &Warnings);
+  ASSERT_EQ(Warnings.size(), 2u);
+  EXPECT_NE(Warnings[0].find("other.psk"), std::string::npos);
+  EXPECT_NE(Warnings[1].find("fingerprint"), std::string::npos);
+}
+
 TEST(TraceTest, SummaryCountsPerChainAndOverall) {
   std::ostringstream OS;
   writeJsonlTrace(OS, sampleManifest(), sampleEvents());

