@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 using namespace psketch;
 
@@ -572,6 +573,126 @@ program T() {
   std::printf("\nwrote BENCH_simd.json\n");
 }
 
+//===----------------------------------------------------------------------===//
+// Speculation scaling report (DESIGN.md §13): MH scoring throughput
+// with `--speculate-depth 3` on a worker pool vs the sequential walk,
+// on the four slowest Figure 8 benchmarks (lowest candidates/100s in
+// BENCH_figure8_throughput.json: Grading, Conference, RATS, TrueSkill
+// — the ones whose per-candidate compile+score cost speculation is
+// for).  Written to BENCH_speculation.json so `psketch bench-diff`
+// gates the speedups per commit.
+//===----------------------------------------------------------------------===//
+
+void writeSpeculationReport() {
+  const bool Quick = quickMode();
+  const unsigned Depth = 3;
+  const unsigned Threads = 8; // 1 chain thread + 7 speculation workers.
+  // Speedup here is wall-clock, so it measures real speculation gain
+  // only when the host can actually run the workers concurrently.  On
+  // fewer cores than workers the same numbers instead measure
+  // oversubscription (every mispredicted node serializes onto a core
+  // the realized walk needed) — record the host context so a reader,
+  // and bench-diff runs on heterogeneous machines, can tell the two
+  // apart.
+  const unsigned HostCores = std::thread::hardware_concurrency();
+  JsonWriter W;
+  W.beginObject();
+  W.field("bench", "speculation_scaling");
+  W.field("schema_version", TelemetrySchemaVersion);
+  W.field("quick", Quick);
+  W.field("speculate_depth", uint64_t(Depth));
+  W.field("threads", uint64_t(Threads));
+  W.field("hardware_concurrency", uint64_t(HostCores));
+  W.field("oversubscribed", HostCores < Threads);
+
+  std::printf("MH speculation scaling, depth %u on %u threads vs "
+              "sequential (1 chain, score cache off, best of 3):\n\n",
+              Depth, Threads);
+  if (HostCores < Threads)
+    std::printf("  NOTE: host has %u hardware thread(s) for %u workers; "
+                "speedups below measure oversubscription, not "
+                "speculation.\n\n",
+                HostCores, Threads);
+  std::printf("%-12s %14s %14s %8s %11s %10s\n", "benchmark", "seq cand/s",
+              "spec cand/s", "speedup", "mispredict", "identical");
+
+  W.beginArray("benchmarks");
+  for (const char *Name : {"Grading", "Conference", "RATS", "TrueSkill"}) {
+    DiagEngine Diags;
+    const Benchmark *B = findBenchmark(Name);
+    auto P = B ? prepareBenchmark(*B, Diags) : std::nullopt;
+    if (!P)
+      continue;
+    SynthesisConfig Base = B->Synth;
+    Base.Iterations = Quick ? 300 : 2000;
+    Base.Chains = 1;
+    // Cache off: every candidate pays the full lower+compile+score
+    // pipeline, which is the cost speculation pipelines.  (With the
+    // cache on, the walk's revisits are memo lookups in both legs and
+    // the bench would mostly measure the cache.)
+    Base.ScoreCacheSize = 0;
+
+    SynthesisConfig SeqCfg = Base;
+    SeqCfg.Threads = 1;
+    SeqCfg.SpeculateDepth = 0;
+    SynthesisConfig SpecCfg = Base;
+    SpecCfg.Threads = Threads;
+    SpecCfg.SpeculateDepth = Depth;
+
+    // Best of three runs per leg: the walks are deterministic, so
+    // repeats differ only by scheduler noise.
+    auto RunOne = [&](const SynthesisConfig &Cfg) {
+      std::optional<SynthesisResult> Best;
+      for (int Rep = 0; Rep != 3; ++Rep) {
+        Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Cfg);
+        SynthesisResult R = Synth.run();
+        if (!Best || R.Stats.Seconds < Best->Stats.Seconds)
+          Best = std::move(R);
+      }
+      return std::move(*Best);
+    };
+    SynthesisResult Seq = RunOne(SeqCfg);
+    SynthesisResult Spec = RunOne(SpecCfg);
+
+    const double SeqRate =
+        Seq.Stats.Seconds > 0 ? Seq.Stats.Scored / Seq.Stats.Seconds : 0;
+    const double SpecRate =
+        Spec.Stats.Seconds > 0 ? Spec.Stats.Scored / Spec.Stats.Seconds : 0;
+    const double Speedup = SeqRate > 0 ? SpecRate / SeqRate : 0;
+    const double Mispredict =
+        Spec.Stats.SpecNodes
+            ? double(Spec.Stats.SpecWasted) / double(Spec.Stats.SpecNodes)
+            : 0;
+    const bool Identical =
+        Seq.BestLogLikelihood == Spec.BestLogLikelihood &&
+        Seq.Stats.Scored == Spec.Stats.Scored &&
+        Seq.Stats.Accepted == Spec.Stats.Accepted;
+
+    std::printf("%-12s %14.0f %14.0f %7.2fx %10.0f%% %10s\n", Name,
+                SeqRate, SpecRate, Speedup, Mispredict * 100.0,
+                Identical ? "yes" : "NO (BUG)");
+    W.beginObject()
+        .field("name", std::string(Name))
+        .field("iterations", uint64_t(Base.Iterations))
+        .field("sequential_candidates_per_sec", SeqRate)
+        .field("speculative_candidates_per_sec", SpecRate)
+        .field("speedup", Speedup)
+        .field("spec_blocks", Spec.Stats.SpecBlocks)
+        .field("spec_nodes", Spec.Stats.SpecNodes)
+        .field("spec_consumed", Spec.Stats.SpecConsumed)
+        .field("spec_wasted", Spec.Stats.SpecWasted)
+        .field("mispredict_rate", Mispredict)
+        .field("best_ll_bit_identical", Identical)
+        .endObject();
+  }
+  W.endArray();
+
+  W.endObject();
+  std::ofstream Json("BENCH_speculation.json");
+  Json << W.str() << "\n";
+  std::printf("\nwrote BENCH_speculation.json\n");
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -582,5 +703,6 @@ int main(int argc, char **argv) {
   benchmark::Shutdown();
   writeTapeOptReport();
   writeSimdReport();
+  writeSpeculationReport();
   return 0;
 }

@@ -24,6 +24,12 @@ const char *psketch::profileCostCenterName(ProfileCostCenter C) {
     return "dispatch";
   case ProfileCostCenter::Unsampled:
     return "unsampled";
+  case ProfileCostCenter::SpecPredicted:
+    return "spec_predicted";
+  case ProfileCostCenter::SpecMispredict:
+    return "spec_mispredict_wasted";
+  case ProfileCostCenter::SpecCancel:
+    return "spec_cancel";
   }
   return "unknown";
 }
@@ -60,6 +66,13 @@ uint64_t TapeProfile::centerNs() const {
   return Total;
 }
 
+uint64_t TapeProfile::evalCenterNs() const {
+  uint64_t Total = 0;
+  for (unsigned I = 0; I != NumEvalCostCenters; ++I)
+    Total += Center[I].Ns;
+  return Total;
+}
+
 int TapeProfile::topOp(uint64_t *NsOut) const {
   int Best = -1;
   uint64_t BestNs = 0;
@@ -90,7 +103,10 @@ double psketch::attributedEvalFraction(const TapeProfile &T,
   uint64_t EvalNs = S.Ns[unsigned(Stage::EvalBatch)];
   if (!EvalNs)
     return 0;
-  return double(T.opNs() + T.centerNs()) / double(EvalNs);
+  // Speculation centers hold time charged outside the eval_batch span
+  // (worker CPU of speculative computes, cancellation latency), so only
+  // the eval centers belong in this fraction.
+  return double(T.opNs() + T.evalCenterNs()) / double(EvalNs);
 }
 
 double psketch::opcodeEvalFraction(const TapeProfile &T,
@@ -252,12 +268,19 @@ std::string psketch::profileFoldedStacks(const ProfileReport &R) {
     Emit("psketch;synth;eval_batch;op:" + opDisplayName(R, I), T.Op[I].Ns);
     AttribNs += T.Op[I].Ns;
   }
-  for (unsigned I = 0; I != NumProfileCostCenters; ++I) {
+  for (unsigned I = 0; I != NumEvalCostCenters; ++I) {
     Emit("psketch;synth;eval_batch;" +
              std::string(profileCostCenterName(ProfileCostCenter(I))),
          T.Center[I].Ns);
     AttribNs += T.Center[I].Ns;
   }
+  // Speculation centers live outside the eval_batch span: worker CPU
+  // time of speculative computes and main-thread cancellation latency
+  // get their own frame so they never inflate eval_batch.
+  for (unsigned I = NumEvalCostCenters; I != NumProfileCostCenters; ++I)
+    Emit("psketch;synth;speculate;" +
+             std::string(profileCostCenterName(ProfileCostCenter(I))),
+         T.Center[I].Ns);
   uint64_t EvalNs = R.Stages.Ns[unsigned(Stage::EvalBatch)];
   if (EvalNs > AttribNs)
     Emit("psketch;synth;eval_batch;(unattributed)", EvalNs - AttribNs);

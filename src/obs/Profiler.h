@@ -81,8 +81,23 @@ enum class ProfileCostCenter : unsigned {
   ColProbe,  ///< evalIncremental need-marking / column-cache probing.
   Dispatch,  ///< Operand setup, root copies, dispatch glue.
   Unsampled, ///< Whole blocks the sampler skipped (SampleEvery > 1).
+
+  // Speculation cost centers (`--speculate-depth`; DESIGN.md §13).
+  // Unlike the four above these lie *outside* the eval_batch span —
+  // they hold worker CPU time of speculative candidate computes and
+  // main-thread cancellation time — so the eval-attribution fractions
+  // below sum only the eval centers.
+  SpecPredicted,  ///< Compute time of speculative nodes the realized
+                  ///  walk consumed (correctly predicted lookahead).
+  SpecMispredict, ///< Compute time of nodes the walk never consumed
+                  ///  (mispredicted branches; pure waste).
+  SpecCancel,     ///< Main-thread subtree cancellation + block
+                  ///  teardown latency.
 };
-constexpr unsigned NumProfileCostCenters = 4;
+constexpr unsigned NumProfileCostCenters = 7;
+/// The leading centers that tile the eval_batch span; the speculation
+/// centers after them are charged outside it.
+constexpr unsigned NumEvalCostCenters = 4;
 
 /// Metric-style name of \p C ("block_sum", ...).
 const char *profileCostCenterName(ProfileCostCenter C);
@@ -146,6 +161,10 @@ struct TapeProfile {
   /// Total nanoseconds charged to opcode buckets / to cost centers.
   uint64_t opNs() const;
   uint64_t centerNs() const;
+  /// Nanoseconds charged to the eval-span centers alone (the first
+  /// NumEvalCostCenters) — the denominator-compatible subset for
+  /// attributedEvalFraction; speculation centers are excluded.
+  uint64_t evalCenterNs() const;
   /// Index of the most expensive opcode bucket, -1 when none charged;
   /// \p NsOut receives its nanoseconds when non-null.
   int topOp(uint64_t *NsOut = nullptr) const;

@@ -20,6 +20,8 @@ const char *psketch::stageName(Stage S) {
     return "splice";
   case Stage::StaticCheck:
     return "static_check";
+  case Stage::Speculate:
+    return "speculate";
   }
   return "unknown";
 }

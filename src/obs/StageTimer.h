@@ -37,8 +37,11 @@ enum class Stage : unsigned {
   CacheProbe,   ///< hashExprTuple + ScoreCache lookup.
   Splice,       ///< spliceCompletions fallback (no template).
   StaticCheck,  ///< abstract-interpretation STATIC-REJECT pre-filter.
+  Speculate,    ///< speculation coordination: tree expansion/dispatch,
+                ///  waiting on worker verdicts, cancellation/teardown
+                ///  (`--speculate-depth`; zero at depth 0).
 };
-constexpr unsigned NumStages = 5;
+constexpr unsigned NumStages = 6;
 
 /// Dotted metric-style name of \p S ("lower_compile", ...).
 const char *stageName(Stage S);

@@ -12,6 +12,30 @@
 
 using namespace psketch;
 
+uint64_t psketch::splitMix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t psketch::deriveStreamSeed(uint64_t Seed, uint64_t Stream,
+                                   uint64_t Counter) {
+  // Chained finalizers: each input is absorbed through a full
+  // permutation, so (seed, stream, counter) triples that differ in any
+  // one component land in unrelated parts of the output space.
+  return splitMix64(splitMix64(splitMix64(Seed) ^ Stream) ^ Counter);
+}
+
+double psketch::counterUniform(uint64_t Seed, uint64_t Stream,
+                               uint64_t Counter) {
+  // Top 53 bits -> [0, 1) with the usual 2^-53 grid; one more mix so
+  // the value is not the stream seed itself (which callers may also
+  // use to seed an engine).
+  uint64_t Bits = splitMix64(deriveStreamSeed(Seed, Stream, Counter));
+  return double(Bits >> 11) * 0x1.0p-53;
+}
+
 double Rng::uniform() {
   return std::uniform_real_distribution<double>(0.0, 1.0)(Engine);
 }

@@ -12,6 +12,15 @@
 /// All stochastic components of the library take an Rng by reference so
 /// that every experiment is reproducible from a single 64-bit seed.
 ///
+/// Besides the sequential engine, this header provides *counter-based
+/// stream splitting* (splitMix64 / deriveStreamSeed / counterUniform):
+/// a way to derive the seed of a sub-stream, or a single uniform draw,
+/// as a pure function of (root seed, stream tag, counter).  Split
+/// streams are what make speculative execution deterministic — the
+/// randomness of MH iteration i is indexed by i itself, so any thread
+/// can reproduce it without observing the draws of iterations < i
+/// (DESIGN.md §13).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_SUPPORT_RNG_H
@@ -22,6 +31,28 @@
 #include <vector>
 
 namespace psketch {
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit permutation
+/// (Steele, Lea & Flood 2014).  Every output bit depends on every
+/// input bit, which is what keying RNG streams by small consecutive
+/// counters needs.
+uint64_t splitMix64(uint64_t X);
+
+/// Seed of the sub-stream identified by (\p Seed, \p Stream,
+/// \p Counter): a pure function of its inputs, suitable for seeding a
+/// fresh engine.  Distinct (Stream, Counter) pairs yield independent-
+/// looking streams under the same root seed; the same triple always
+/// yields the same stream, no matter which thread derives it or in
+/// which order.
+uint64_t deriveStreamSeed(uint64_t Seed, uint64_t Stream, uint64_t Counter);
+
+/// One uniform draw in [0, 1) derived directly from (\p Seed,
+/// \p Stream, \p Counter) without any engine state: the 53-bit
+/// mantissa construction over deriveStreamSeed's output.  Used for the
+/// MH acceptance draw of iteration \p Counter so accept/reject can be
+/// decided (or speculated) independently of how many draws the
+/// proposal consumed.
+double counterUniform(uint64_t Seed, uint64_t Stream, uint64_t Counter);
 
 /// Deterministic pseudo-random source.  Wraps a Mersenne twister and
 /// exposes the distribution draws used across the library.

@@ -1,0 +1,76 @@
+//===- support/SpinWait.h - Bounded busy-wait primitives ------------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded spin-before-sleep helpers for the latency-sensitive
+/// hand-offs in the speculation layer (DESIGN.md §13).  A speculated
+/// candidate's compile + score takes tens of microseconds — the same
+/// order as one condition-variable sleep/wake round trip — so a thread
+/// that parks the moment it has nothing to do pays the full wake
+/// latency on every block.  Spinning briefly first converts those
+/// wakes into loads on a line the producer is about to write, without
+/// giving up the bounded-CPU guarantee: every spin here has a hard
+/// time budget and falls back to the normal blocking path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SUPPORT_SPINWAIT_H
+#define PSKETCH_SUPPORT_SPINWAIT_H
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace psketch {
+
+/// Politeness hint inside a busy-wait loop: backs the core off so the
+/// sibling hyperthread (often the producer) gets the execution ports.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// True when the host can actually run two threads at once.  On a
+/// single-CPU host a spinning waiter steals the very cycles the thread
+/// it waits on needs, so every spin here degrades to its blocking
+/// fallback instead.
+inline bool spinProfitable() {
+  static const bool Multi = std::thread::hardware_concurrency() > 1;
+  return Multi;
+}
+
+/// Spins until \p Pred() holds or roughly \p BudgetNs elapsed,
+/// re-checking the clock only every few dozen iterations (a steady
+/// clock read costs more than a pause).  Returns the final value of
+/// \p Pred() — false means the budget ran out and the caller should
+/// fall back to its blocking wait.  Checks \p Pred exactly once (no
+/// spin) when the host is single-CPU.
+template <typename PredT> bool spinBriefly(PredT &&Pred, uint64_t BudgetNs) {
+  if (!spinProfitable())
+    return Pred();
+  const auto T0 = std::chrono::steady_clock::now();
+  for (;;) {
+    for (int I = 0; I != 64; ++I) {
+      if (Pred())
+        return true;
+      cpuRelax();
+    }
+    const auto Elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count();
+    if (Elapsed >= int64_t(BudgetNs))
+      return Pred();
+  }
+}
+
+} // namespace psketch
+
+#endif // PSKETCH_SUPPORT_SPINWAIT_H

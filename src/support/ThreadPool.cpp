@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/SpinWait.h"
+
 using namespace psketch;
 
 unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
@@ -15,7 +17,8 @@ unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
   return HW ? HW : 1;
 }
 
-ThreadPool::ThreadPool(unsigned Threads) {
+ThreadPool::ThreadPool(unsigned Threads, uint64_t IdleSpinNs)
+    : IdleSpinNs(IdleSpinNs) {
   unsigned Count = resolveThreadCount(Threads);
   Workers.reserve(Count);
   for (unsigned I = 0; I != Count; ++I)
@@ -37,6 +40,7 @@ void ThreadPool::submit(std::function<void()> Job) {
     std::unique_lock<std::mutex> Lock(Mtx);
     Jobs.push_back(Item{std::move(Job), nullptr});
     ++Outstanding;
+    QueueDepth.store(Jobs.size(), std::memory_order_release);
   }
   JobReady.notify_one();
 }
@@ -47,6 +51,7 @@ void ThreadPool::submit(Group &G, std::function<void()> Job) {
     Jobs.push_back(Item{std::move(Job), &G});
     ++Outstanding;
     ++G.Outstanding;
+    QueueDepth.store(Jobs.size(), std::memory_order_release);
   }
   JobReady.notify_one();
 }
@@ -61,16 +66,55 @@ void ThreadPool::wait(Group &G) {
   G.Done.wait(Lock, [&G] { return G.Outstanding == 0; });
 }
 
+size_t ThreadPool::cancel(Group &G) {
+  std::unique_lock<std::mutex> Lock(Mtx);
+  size_t Dropped = 0;
+  for (auto It = Jobs.begin(); It != Jobs.end();) {
+    if (It->G == &G) {
+      It = Jobs.erase(It);
+      ++Dropped;
+    } else {
+      ++It;
+    }
+  }
+  if (Dropped) {
+    G.Outstanding -= Dropped;
+    G.Cancelled += Dropped;
+    Outstanding -= Dropped;
+    QueueDepth.store(Jobs.size(), std::memory_order_release);
+    // Notify under the lock: waiters re-check their predicates under
+    // the same mutex, so this cannot miss a wakeup.
+    if (G.Outstanding == 0)
+      G.Done.notify_all();
+    if (Outstanding == 0)
+      JobsDone.notify_all();
+  }
+  return Dropped;
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     Item Job;
     {
       std::unique_lock<std::mutex> Lock(Mtx);
+      if (IdleSpinNs && Jobs.empty() && !Stopping) {
+        // Busy-poll the queue mirror before parking: burst clients
+        // resubmit within the budget far more often than not, and a
+        // poll hit skips the sleep/wake round trip entirely.  The
+        // predicate is re-checked under the lock either way, so a
+        // stale read costs nothing but the fall-through to wait().
+        Lock.unlock();
+        spinBriefly(
+            [this] { return QueueDepth.load(std::memory_order_acquire) != 0; },
+            IdleSpinNs);
+        Lock.lock();
+      }
       JobReady.wait(Lock, [this] { return Stopping || !Jobs.empty(); });
       if (Jobs.empty())
         return; // Stopping and drained.
       Job = std::move(Jobs.front());
       Jobs.pop_front();
+      QueueDepth.store(Jobs.size(), std::memory_order_release);
     }
     Job.Fn();
     {

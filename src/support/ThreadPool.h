@@ -18,7 +18,9 @@
 #ifndef PSKETCH_SUPPORT_THREADPOOL_H
 #define PSKETCH_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -32,8 +34,13 @@ namespace psketch {
 class ThreadPool {
 public:
   /// Starts \p Threads workers; 0 means hardware_concurrency (at least
-  /// one worker either way).
-  explicit ThreadPool(unsigned Threads);
+  /// one worker either way).  \p IdleSpinNs > 0 makes an idle worker
+  /// busy-poll the queue for roughly that long before sleeping on the
+  /// condition variable — worth it only for clients that submit
+  /// microsecond-scale jobs in bursts (the speculation scheduler),
+  /// where a sleep/wake round trip rivals the job itself.  The default
+  /// parks workers immediately.
+  explicit ThreadPool(unsigned Threads, uint64_t IdleSpinNs = 0);
 
   /// Drains pending jobs (waits for them) and joins the workers.
   ~ThreadPool();
@@ -44,11 +51,16 @@ public:
   /// Completion tracker for a subset of jobs: several clients can share
   /// one pool and each wait for only its own submissions (the
   /// row-parallel evaluators of concurrent chains share the run's row
-  /// pool this way).  The group must outlive its jobs; waiting on it
-  /// before destroying it guarantees that.
+  /// pool this way, and so do the speculation schedulers of concurrent
+  /// chains).  The group must outlive its jobs; waiting on it before
+  /// destroying it guarantees that.  Groups nest freely: a job running
+  /// under one group may submit and wait on another group, as long as
+  /// the pool has enough workers that the inner jobs can be picked up
+  /// while the outer job blocks.
   class Group {
     friend class ThreadPool;
     size_t Outstanding = 0;
+    uint64_t Cancelled = 0;
     std::condition_variable Done;
   };
 
@@ -64,6 +76,17 @@ public:
 
   /// Blocks until every job submitted under \p G has finished.
   void wait(Group &G);
+
+  /// Drops every job of \p G that is still queued and unstarted; jobs
+  /// already running are unaffected (callers that need prompt
+  /// cancellation of running work must cooperate through their own
+  /// flags, which is what the speculation layer does).  Returns the
+  /// number of jobs dropped.  wait(G) after cancel(G) blocks only on
+  /// the jobs that had already started.
+  size_t cancel(Group &G);
+
+  /// Lifetime count of jobs cancel() dropped from \p G's queue.
+  static uint64_t cancelled(const Group &G) { return G.Cancelled; }
 
   unsigned size() const { return unsigned(Workers.size()); }
 
@@ -85,6 +108,10 @@ private:
   std::condition_variable JobsDone;  ///< Signals wait().
   size_t Outstanding = 0; ///< Queued + running jobs.
   bool Stopping = false;
+  uint64_t IdleSpinNs = 0; ///< Busy-poll budget before a worker parks.
+  /// Lock-free mirror of Jobs.size(), so the idle spin can poll for
+  /// work without touching Mtx.  Maintained under Mtx; read outside.
+  std::atomic<size_t> QueueDepth{0};
 };
 
 } // namespace psketch

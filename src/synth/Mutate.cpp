@@ -311,9 +311,23 @@ std::string psketch::describeMutations(const std::vector<MutationOp> &Ops) {
 
 std::vector<ExprPtr>
 Mutator::propose(const std::vector<ExprPtr> &Completions) {
+  return proposeInto(Completions, /*Pool=*/nullptr);
+}
+
+std::vector<ExprPtr>
+Mutator::propose(const std::vector<ExprPtr> &Completions, uint64_t StreamSeed,
+                 ProposalPool *Pool) {
+  R.seed(StreamSeed);
+  return proposeInto(Completions, Pool);
+}
+
+std::vector<ExprPtr>
+Mutator::proposeInto(const std::vector<ExprPtr> &Completions,
+                     ProposalPool *Pool) {
   QRatio = 0;
   LastOps.clear();
-  std::vector<ExprPtr> Proposal;
+  std::vector<ExprPtr> Proposal =
+      Pool ? Pool->acquire() : std::vector<ExprPtr>();
   Proposal.reserve(Completions.size());
   for (const ExprPtr &C : Completions)
     Proposal.push_back(C->clone());

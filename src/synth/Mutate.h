@@ -90,6 +90,53 @@ struct TypedSlot {
 void collectTypedSlots(ExprPtr &Root, ScalarKind RootKind,
                        std::vector<TypedSlot> &Slots);
 
+/// Free-list of completion-tuple vectors, recycling the proposal
+/// allocations of one chain.  Every MH iteration deep-clones the
+/// current tuple into a fresh std::vector<ExprPtr>, and all but the
+/// accepted proposals are discarded within the iteration; routing the
+/// discards back through this pool lets the next propose() reuse the
+/// vector's capacity instead of paying malloc/free per proposal.
+/// Chain-private (like the score cache), so no locking and the
+/// reuse counters stay deterministic.
+class ProposalPool {
+public:
+  /// A tuple vector ready to be filled: recycled when the free-list is
+  /// non-empty, freshly allocated otherwise.
+  std::vector<ExprPtr> acquire() {
+    if (Free.empty()) {
+      ++Allocated;
+      return {};
+    }
+    ++Reused;
+    std::vector<ExprPtr> V = std::move(Free.back());
+    Free.pop_back();
+    return V;
+  }
+
+  /// Returns \p V to the free-list.  The held expressions are
+  /// destroyed here (their nodes are tree-shaped and cannot be
+  /// recycled wholesale); only the vector's capacity survives.
+  void release(std::vector<ExprPtr> V) {
+    V.clear();
+    if (Free.size() < MaxFree)
+      Free.push_back(std::move(V));
+  }
+
+  /// Tuples served from the free-list vs freshly allocated (exported
+  /// as synth.proposal_pool.reused / .allocated when metrics are on).
+  uint64_t reused() const { return Reused; }
+  uint64_t allocated() const { return Allocated; }
+
+private:
+  /// Bound on retained vectors: the sequential walk needs 1-2, a
+  /// depth-K speculation block up to 2^K; beyond that the pool would
+  /// just hoard memory.
+  static constexpr size_t MaxFree = 64;
+  std::vector<std::vector<ExprPtr>> Free;
+  uint64_t Reused = 0;
+  uint64_t Allocated = 0;
+};
+
 /// Mutates completion tuples under per-hole signatures.
 class Mutator {
 public:
@@ -102,6 +149,16 @@ public:
   /// hole-id order).  Always returns a structurally valid tuple; type
   /// correctness is re-checked by the synthesizer's validity filter.
   std::vector<ExprPtr> propose(const std::vector<ExprPtr> &Completions);
+
+  /// Keyed variant: reseeds the shared engine with \p StreamSeed first,
+  /// so the result is a pure function of (\p Completions,
+  /// \p StreamSeed) — the property the speculation tree relies on to
+  /// expand the proposal of iteration i+d from any hypothetical state
+  /// (DESIGN.md §13).  The tuple's vector storage is drawn from \p Pool
+  /// when one is given.
+  std::vector<ExprPtr> propose(const std::vector<ExprPtr> &Completions,
+                               uint64_t StreamSeed,
+                               ProposalPool *Pool = nullptr);
 
   /// Approximate log proposal-density ratio of the last propose():
   /// log Q(H | H') - log Q(H' | H).  Symmetric operations contribute
@@ -131,6 +188,10 @@ public:
   bool applyShrink(TypedSlot Slot);
 
 private:
+  /// Common body of the two propose() overloads.
+  std::vector<ExprPtr> proposeInto(const std::vector<ExprPtr> &Completions,
+                                   ProposalPool *Pool);
+
   const std::vector<HoleSignature> &Sigs;
   const GeneratorConfig &GenConfig;
   const MutateConfig &Config;

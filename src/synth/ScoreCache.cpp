@@ -26,8 +26,20 @@ std::optional<CachedScore> ScoreCache::lookup(uint64_t Key) {
   auto It = Map.find(Key);
   if (It == Map.end())
     return std::nullopt;
+  Entry &E = *It->second;
+  if (E.Epoch < CurrentEpoch) {
+    ++WarmHits;
+    E.Epoch = CurrentEpoch; // Count each survivor once per epoch.
+  }
   Order.splice(Order.begin(), Order, It->second);
-  return It->second->second;
+  return E.S;
+}
+
+std::optional<CachedScore> ScoreCache::peek(uint64_t Key) const {
+  auto It = Map.find(Key);
+  if (It == Map.end())
+    return std::nullopt;
+  return It->second->S;
 }
 
 void ScoreCache::insert(uint64_t Key, CachedScore S) {
@@ -35,15 +47,63 @@ void ScoreCache::insert(uint64_t Key, CachedScore S) {
     return;
   auto It = Map.find(Key);
   if (It != Map.end()) {
-    It->second->second = S;
+    It->second->S = S;
+    It->second->Epoch = CurrentEpoch;
     Order.splice(Order.begin(), Order, It->second);
+    if (Shared)
+      mirrorInsert(Key, S);
     return;
   }
   if (Map.size() == Cap) {
-    Map.erase(Order.back().first);
+    const Entry &Victim = Order.back();
+    if (Victim.Epoch < CurrentEpoch)
+      ++WarmEvictions;
+    if (Shared)
+      mirrorErase(Victim.Key);
+    Map.erase(Victim.Key);
     Order.pop_back();
     ++Evictions;
   }
-  Order.emplace_front(Key, S);
+  Order.push_front(Entry{Key, S, CurrentEpoch});
   Map[Key] = Order.begin();
+  if (Shared)
+    mirrorInsert(Key, S);
+}
+
+void ScoreCache::setShared(bool Enable) {
+  if (Shared == Enable)
+    return;
+  Shared = Enable;
+  for (Stripe &St : Stripes) {
+    std::lock_guard<std::mutex> Lock(St.M);
+    St.Map.clear();
+  }
+  if (!Enable)
+    return;
+  for (const Entry &E : Order) {
+    Stripe &St = Stripes[E.Key % NumStripes];
+    std::lock_guard<std::mutex> Lock(St.M);
+    St.Map[E.Key] = E.S;
+  }
+}
+
+std::optional<CachedScore> ScoreCache::peekShared(uint64_t Key) const {
+  const Stripe &St = Stripes[Key % NumStripes];
+  std::lock_guard<std::mutex> Lock(St.M);
+  auto It = St.Map.find(Key);
+  if (It == St.Map.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void ScoreCache::mirrorInsert(uint64_t Key, const CachedScore &S) {
+  Stripe &St = Stripes[Key % NumStripes];
+  std::lock_guard<std::mutex> Lock(St.M);
+  St.Map[Key] = S;
+}
+
+void ScoreCache::mirrorErase(uint64_t Key) {
+  Stripe &St = Stripes[Key % NumStripes];
+  std::lock_guard<std::mutex> Lock(St.M);
+  St.Map.erase(Key);
 }

@@ -19,16 +19,40 @@
 ///
 /// Scoring is deterministic, so a hit returns exactly the double a
 /// recompute would produce; cache size only affects speed, never
-/// results.  Each chain owns a private cache (no locking, and hit/miss
-/// counters stay deterministic under Threads > 1).
+/// results.  Each chain owns one cache for its whole lifetime (owned by
+/// Synthesizer::run, not rebuilt when the chain's speculation scheduler
+/// tears a block down), and only the chain's main thread mutates it —
+/// lookup/insert happen in realized iteration order, so hit/miss and
+/// eviction counters stay deterministic under any thread count and any
+/// speculation depth.
+///
+/// Two read-only side doors serve the speculation layer (DESIGN.md §13):
+///
+///  * peek() — a recency-free probe for the owning thread, used when
+///    expanding a speculation tree so that lookahead probes do not
+///    perturb the LRU order the realized walk will replay; and
+///  * peekShared() — the same probe for worker threads, served from a
+///    striped mirror of the table that the owner maintains on every
+///    insert/evict while setShared(true).  A mirror hit lets a worker
+///    skip a compile+score whose verdict the realized walk would take
+///    from the cache anyway; mirror reads never feed back into scores
+///    or traces, so their timing-dependence is invisible to results.
+///
+/// Epochs measure how much the cache carries across speculation-block
+/// rebuilds and chain restarts: beginEpoch() stamps a generation, and
+/// hits on (or evictions of) entries born in an earlier epoch count as
+/// *warm* — proof that hoisting the cache above the rebuild boundary
+/// actually preserves useful entries.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PSKETCH_SYNTH_SCORECACHE_H
 #define PSKETCH_SYNTH_SCORECACHE_H
 
+#include <array>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -74,12 +98,18 @@ public:
   size_t size() const { return Map.size(); }
 
   /// Returns the memoized verdict of \p Key and marks it most recently
-  /// used; nullopt means "not cached".
+  /// used; nullopt means "not cached".  Owner thread only.
   std::optional<CachedScore> lookup(uint64_t Key);
 
   /// Memoizes \p Key -> \p S, evicting the least recently used entry
   /// when full.  Inserting an existing key refreshes its recency.
+  /// Owner thread only.
   void insert(uint64_t Key, CachedScore S);
+
+  /// Recency-free probe: the verdict of \p Key without touching LRU
+  /// order, hit/warm counters, or the shared mirror.  Owner thread
+  /// only (worker threads use peekShared).
+  std::optional<CachedScore> peek(uint64_t Key) const;
 
   /// True when \p Key is resident (does not touch recency; tests).
   bool contains(uint64_t Key) const { return Map.count(Key) != 0; }
@@ -90,13 +120,63 @@ public:
   /// capacity holds.
   uint64_t evictions() const { return Evictions; }
 
+  /// Starts a new entry generation: entries inserted before this call
+  /// become *warm* for the counters below.  Called at every
+  /// speculation-block rebuild (and at chain-restart boundaries), so
+  /// the warm counters certify that the cache outlives those
+  /// boundaries.
+  void beginEpoch() { ++CurrentEpoch; }
+
+  /// Lifetime hits served by an entry born in an earlier epoch.  Each
+  /// entry counts at most once per epoch (a warm hit re-stamps it).
+  uint64_t warmHits() const { return WarmHits; }
+
+  /// Lifetime evictions of entries born in an earlier epoch — entries
+  /// that survived at least one rebuild before being displaced.
+  uint64_t warmEvictions() const { return WarmEvictions; }
+
+  /// Enables (or tears down) the striped read mirror for peekShared.
+  /// Enabling copies the current contents into the stripes; while
+  /// enabled, every insert/evict maintains the mirror under the
+  /// affected stripe's mutex.
+  void setShared(bool Shared);
+  bool isShared() const { return Shared; }
+
+  /// Concurrent recency-free probe served from the striped mirror;
+  /// only valid while setShared(true).  Safe to call from any thread
+  /// concurrently with owner-thread insert/evict.  Mirror hits may
+  /// only ever save work — the realized walk re-resolves every verdict
+  /// through lookup()/insert() in order.
+  std::optional<CachedScore> peekShared(uint64_t Key) const;
+
 private:
-  using Entry = std::pair<uint64_t, CachedScore>;
+  struct Entry {
+    uint64_t Key;
+    CachedScore S;
+    uint64_t Epoch;
+  };
+
+  void mirrorInsert(uint64_t Key, const CachedScore &S);
+  void mirrorErase(uint64_t Key);
+
+  /// Stripe count: power of two, small enough that setShared stays
+  /// cheap, large enough that eight speculation workers rarely collide
+  /// on a stripe mutex.
+  static constexpr size_t NumStripes = 8;
+  struct Stripe {
+    mutable std::mutex M;
+    std::unordered_map<uint64_t, CachedScore> Map;
+  };
 
   size_t Cap;
   uint64_t Evictions = 0;
+  uint64_t CurrentEpoch = 0;
+  uint64_t WarmHits = 0;
+  uint64_t WarmEvictions = 0;
+  bool Shared = false;
   std::list<Entry> Order; ///< Most recently used at the front.
   std::unordered_map<uint64_t, std::list<Entry>::iterator> Map;
+  std::array<Stripe, NumStripes> Stripes;
 };
 
 } // namespace psketch

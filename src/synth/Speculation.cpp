@@ -1,0 +1,324 @@
+//===- synth/Speculation.cpp - Speculative MH proposal prefetching --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Speculation.h"
+
+#include "ast/ASTUtil.h"
+#include "likelihood/Likelihood.h"
+#include "obs/StageTimer.h"
+#include "support/Rng.h"
+#include "support/SpinWait.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace psketch;
+
+namespace {
+
+/// Busy-wait budget before any wait here falls back to the condition
+/// variable.  Node computes are typically tens of microseconds — the
+/// same order as a sleep/wake round trip — so a bounded spin usually
+/// observes Done at a fraction of the cost of parking.
+constexpr uint64_t SpecSpinBudgetNs = 150000;
+
+uint64_t nsSince(std::chrono::steady_clock::time_point T0) {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count());
+}
+
+/// Level of heap index \p I (root is level 0).
+unsigned levelOf(size_t I) {
+  unsigned L = 0;
+  while ((size_t(2) << L) - 1 <= I)
+    ++L;
+  return L;
+}
+
+} // namespace
+
+SpeculationTree::SpeculationTree(unsigned Depth, ThreadPool *Pool,
+                                 ThreadPool::Group &Group, ComputeFn Compute,
+                                 ValidFn Valid, bool UseScratch)
+    : Depth(Depth), Pool(Pool), Group(Group), Compute(std::move(Compute)),
+      Valid(std::move(Valid)), UseScratch(UseScratch) {
+  assert(Depth >= 1 && Depth <= 16 && "unreasonable speculation depth");
+  Nodes.reserve((size_t(1) << Depth) - 1);
+  for (size_t I = 0, E = (size_t(1) << Depth) - 1; I != E; ++I)
+    Nodes.push_back(std::make_unique<Node>());
+}
+
+SpeculationTree::~SpeculationTree() {
+  // Never let a job outlive the node storage it captures.  endBlock
+  // deliberately does not drain the group (a dequeued-but-unclaimed
+  // job may straggle past it, harmlessly), so the full wait happens
+  // exactly once, here.
+  if (Pool) {
+    Pool->cancel(Group);
+    Pool->wait(Group);
+  }
+}
+
+void SpeculationTree::beginBlock(const std::vector<ExprPtr> &Current,
+                                 Mutator &Mut, ProposalPool &PPool,
+                                 const ScoreCache *Cache, uint64_t ChainSeed,
+                                 unsigned BaseIter, unsigned Len) {
+  assert(!inBlock() && "previous block not torn down");
+  assert(Len >= 1 && Len <= Depth && "block length out of range");
+  BlockLen = Len;
+  Level = 0;
+  Cur = 0;
+  BlockNodes = (size_t(1) << Len) - 1;
+  ++Stats.Blocks;
+
+  // Expand in heap order.  Each node's proposal is a pure function of
+  // (its hypothetical chain state, the iteration-keyed stream seed), so
+  // expansion order — and therefore the pool's reuse counters and the
+  // dispatch queue — is deterministic.  State[] points at the block's
+  // Current or at an ancestor's Proposal; the pointers are used only
+  // inside this function (realization may move an accepted proposal
+  // out of its node afterwards).
+  const bool Peekable = Cache && Cache->capacity() != 0;
+  std::vector<const std::vector<ExprPtr> *> State(BlockNodes, nullptr);
+  std::vector<uint8_t> Reach(BlockNodes, 0);
+  State[0] = &Current;
+  Reach[0] = 1;
+  for (size_t I = 0; I != BlockNodes; ++I) {
+    if (!Reach[I])
+      continue;
+    Node &N = *Nodes[I];
+    N.Live = true;
+    ++Stats.Nodes;
+    const unsigned L = levelOf(I);
+    N.Proposal = Mut.propose(
+        *State[I], deriveStreamSeed(ChainSeed, SpecStreamPropose, BaseIter + L),
+        &PPool);
+    N.Ops = Mut.lastMutationOps();
+    N.QRatio = Mut.lastProposalLogQRatio();
+    N.TypeValid = Valid(N.Proposal);
+    // Can this node's iteration possibly accept?  Its accept subtree is
+    // unreachable otherwise and need not be expanded.
+    bool CanAccept = N.TypeValid;
+    bool Resolved = false;
+    if (N.TypeValid && Peekable) {
+      N.Key = hashExprTuple(N.Proposal);
+      // Recency-free peek: every peek of this block happens before any
+      // of its inserts, so the set of peek-resolved nodes is a pure
+      // function of realized history — never of worker timing.
+      if (std::optional<CachedScore> Hit = Cache->peek(N.Key)) {
+        N.R.Verdict = *Hit;
+        N.PeekResolved = true;
+        ++Stats.PeekResolved;
+        N.State.store(NodeState::Done);
+        Resolved = true;
+        CanAccept = Hit->valid();
+      }
+    }
+    // Dispatch immediately rather than after the full expansion pass:
+    // the root's compute then overlaps the proposes of the rest of the
+    // block.  Safe because a worker reads only its own node's Proposal,
+    // and expansion reads ancestor Proposals — all reads after this
+    // point.
+    if (!N.TypeValid) {
+      // The walk rejects these before scoring; give them a terminal
+      // verdict so nothing ever waits on them.
+      N.R.Verdict = CachedScore(RejectReason::Type);
+      N.State.store(NodeState::Done);
+    } else if (!Resolved) {
+      N.State.store(NodeState::Queued);
+      if (Pool)
+        Pool->submit(Group, [this, &N] { runNode(N); });
+    }
+    if (L + 1 < Len) {
+      const size_t Accept = 2 * I + 1, Reject = 2 * I + 2;
+      Reach[Reject] = 1;
+      State[Reject] = State[I]; // Rejection leaves the state unchanged.
+      if (CanAccept) {
+        Reach[Accept] = 1;
+        State[Accept] = &N.Proposal;
+      }
+    }
+  }
+}
+
+void SpeculationTree::runNode(Node &N) {
+  NodeState Expected = NodeState::Queued;
+  if (!N.State.compare_exchange_strong(Expected, NodeState::Running))
+    return; // Stolen by the main thread or cancelled.
+  CompileScratch *S = acquireScratch();
+  Compute(N.Proposal, N.Key, N.R, S);
+  releaseScratch(S);
+  markDone(N);
+}
+
+void SpeculationTree::markDone(Node &N) {
+  {
+    // Store under the mutex so the await() predicate cannot miss the
+    // transition between its check and its wait.
+    std::lock_guard<std::mutex> Lock(DoneMtx);
+    N.State.store(NodeState::Done);
+  }
+  DoneCv.notify_all();
+}
+
+void SpeculationTree::await(Node &N) {
+  NodeState S = N.State.load();
+  assert(S != NodeState::Cancelled && "awaiting a cancelled node");
+  if (S == NodeState::Done)
+    return;
+  if (S == NodeState::Queued) {
+    NodeState Expected = NodeState::Queued;
+    if (N.State.compare_exchange_strong(Expected, NodeState::Running)) {
+      // Steal: compute inline rather than idling behind the queue.
+      // With no pool at all this is how every realized node resolves —
+      // the sequential walk's compute, just routed through the tree.
+      CompileScratch *Sc = acquireScratch();
+      Compute(N.Proposal, N.Key, N.R, Sc);
+      releaseScratch(Sc);
+      markDone(N);
+      return;
+    }
+  }
+  // A worker owns it; the wait (not the worker's compute) is the
+  // speculation layer's coordination cost.  Spin first: the worker is
+  // usually within a few tens of microseconds of finishing, and a
+  // sleep/wake round trip costs about that much by itself.
+  ScopedStage Span(Stage::Speculate);
+  if (spinBriefly(
+          [&N] {
+            return N.State.load(std::memory_order_acquire) ==
+                   NodeState::Done;
+          },
+          SpecSpinBudgetNs))
+    return;
+  std::unique_lock<std::mutex> Lock(DoneMtx);
+  DoneCv.wait(Lock, [&N] { return N.State.load() == NodeState::Done; });
+}
+
+void SpeculationTree::advance(bool Accepted) {
+  assert(inBlock() && Level < BlockLen && "advance outside a block");
+  Node &N = *Nodes[Cur];
+  assert(N.Live && "realized path entered an unexpanded node");
+  if (!N.Consumed) {
+    // The realized walk resolved this iteration without the node's
+    // compute (cache hit in replay); don't let a queued job spend
+    // anything on it.
+    NodeState Expected = NodeState::Queued;
+    N.State.compare_exchange_strong(Expected, NodeState::Cancelled);
+  }
+  const size_t Win = Accepted ? 2 * Cur + 1 : 2 * Cur + 2;
+  const size_t Lose = Accepted ? 2 * Cur + 2 : 2 * Cur + 1;
+  if (Level + 1 < BlockLen) {
+    const auto T0 = std::chrono::steady_clock::now();
+    cancelSubtree(Lose);
+    Stats.CancelNs += nsSince(T0);
+    Cur = Win;
+  }
+  ++Level;
+}
+
+void SpeculationTree::cancelSubtree(size_t Root) {
+  if (Root >= BlockNodes)
+    return;
+  Node &N = *Nodes[Root];
+  if (N.Live) {
+    NodeState Expected = NodeState::Queued;
+    N.State.compare_exchange_strong(Expected, NodeState::Cancelled);
+    // Running nodes finish on their own (cooperative protocol — see
+    // ThreadPool::cancel); their time is accounted as waste.
+  }
+  cancelSubtree(2 * Root + 1);
+  cancelSubtree(2 * Root + 2);
+}
+
+void SpeculationTree::endBlock(ProposalPool &PPool) {
+  assert(inBlock() && "no block to tear down");
+  const auto T0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I != BlockNodes; ++I) {
+    Node &N = *Nodes[I];
+    if (!N.Live)
+      continue;
+    NodeState Expected = NodeState::Queued;
+    N.State.compare_exchange_strong(Expected, NodeState::Cancelled);
+  }
+  if (Pool) {
+    // Drop this chain's still-queued jobs (their CAS would no-op, but
+    // dropping skips the dequeue churn), then wait out only the nodes
+    // some worker actually claimed: those are the only jobs that write
+    // node state, and Running→Done is their sole remaining transition.
+    // A dequeued-but-unclaimed straggler is harmless — its claiming CAS
+    // loses against the Cancelled (or the next block's Queued) value
+    // and the job returns without touching anything, so there is no
+    // need to pay a full group barrier here; the destructor drains.
+    Stats.QueueDropped += Pool->cancel(Group);
+    for (size_t I = 0; I != BlockNodes; ++I) {
+      Node &N = *Nodes[I];
+      if (!N.Live ||
+          N.State.load(std::memory_order_acquire) != NodeState::Running)
+        continue;
+      if (spinBriefly(
+              [&N] {
+                return N.State.load(std::memory_order_acquire) ==
+                       NodeState::Done;
+              },
+              SpecSpinBudgetNs))
+        continue;
+      std::unique_lock<std::mutex> Lock(DoneMtx);
+      DoneCv.wait(Lock, [&N] { return N.State.load() == NodeState::Done; });
+    }
+  }
+  for (size_t I = 0; I != BlockNodes; ++I) {
+    Node &N = *Nodes[I];
+    if (!N.Live)
+      continue;
+    if (N.Consumed) {
+      ++Stats.Consumed;
+      Stats.PredictedNs += N.R.ComputeNs;
+    } else if (N.State.load() == NodeState::Done && N.TypeValid &&
+               !N.PeekResolved && !N.R.FromMirror) {
+      ++Stats.Wasted; // Mispredicted: computed, never consumed.
+      Stats.WastedNs += N.R.ComputeNs;
+    } else if (N.State.load() == NodeState::Cancelled) {
+      ++Stats.CancelledEarly;
+    }
+    if (N.Proposal.capacity())
+      PPool.release(std::move(N.Proposal));
+    N.Proposal = std::vector<ExprPtr>();
+    N.Ops.clear();
+    N.QRatio = 0;
+    N.Key = 0;
+    N.TypeValid = N.Live = N.PeekResolved = N.Consumed = false;
+    N.R = SpecCompute();
+    N.State.store(NodeState::Cancelled);
+  }
+  Stats.CancelNs += nsSince(T0);
+  BlockLen = 0;
+  Level = 0;
+  Cur = 0;
+  BlockNodes = 0;
+}
+
+CompileScratch *SpeculationTree::acquireScratch() {
+  if (!UseScratch)
+    return nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(ScratchMtx);
+    if (!FreeScratch.empty()) {
+      CompileScratch *S = FreeScratch.back().release();
+      FreeScratch.pop_back();
+      return S;
+    }
+  }
+  return new CompileScratch();
+}
+
+void SpeculationTree::releaseScratch(CompileScratch *S) {
+  if (!S)
+    return;
+  std::lock_guard<std::mutex> Lock(ScratchMtx);
+  FreeScratch.push_back(std::unique_ptr<CompileScratch>(S));
+}

@@ -1,0 +1,229 @@
+//===- synth/Speculation.h - Speculative MH proposal prefetching ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The speculative execution layer of the MH walk (DESIGN.md §13).
+/// One MH iteration has exactly two successors — the proposal is
+/// accepted or it is not — and under the keyed RNG discipline
+/// (support/Rng.h) the proposal of iteration i+d is a pure function of
+/// the chain state at i+d and the iteration index itself.  A chain can
+/// therefore expand a binary *speculation tree* of the next D
+/// iterations before the first of them has resolved: node (d, path)
+/// holds the proposal iteration i+d would draw if the previous d
+/// accept/reject decisions came out as `path`, and every node's
+/// compile + score is an independent job a worker pool can start
+/// immediately.
+///
+/// The scheduler here owns the tree: expansion (main thread; proposals
+/// are cheap next to scoring), dispatch to a shared ThreadPool,
+/// main-thread stealing of still-queued nodes, cooperative
+/// cancellation of subtrees the realized walk rules out, and the
+/// waste/hit accounting behind `synth.spec.*` and the profiler's
+/// speculation cost centers.
+///
+/// What it deliberately does NOT own is the replay of results into the
+/// walk: the chain loop in Synthesizer.cpp re-resolves every realized
+/// iteration through its score cache in realized order, consuming a
+/// node's verdict only where the sequential walk would have computed
+/// one.  That protocol — not anything here — is what makes traces,
+/// scores and stats byte-identical for every depth and thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_SPECULATION_H
+#define PSKETCH_SYNTH_SPECULATION_H
+
+#include "likelihood/TapeKernels.h"
+#include "support/ThreadPool.h"
+#include "synth/Mutate.h"
+#include "synth/ScoreCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace psketch {
+
+struct CompileScratch;
+
+/// Stream tags of the keyed MH walk: the proposal of iteration i is
+/// drawn from an engine seeded deriveStreamSeed(ChainSeed,
+/// SpecStreamPropose, i), and its acceptance uniform is
+/// counterUniform(ChainSeed, SpecStreamAccept, i).  Chain c's seed is
+/// Config.Seed + c, so streams never collide across chains.
+constexpr uint64_t SpecStreamPropose = 0x70726f706f7365ULL; // "propose"
+constexpr uint64_t SpecStreamAccept = 0x616363657074ULL;    // "accept"
+
+/// What one node's speculative compute produced, recorded by whichever
+/// thread ran it and applied to the chain's stats only if the realized
+/// walk consumes this node.
+struct SpecCompute {
+  CachedScore Verdict;
+  /// The sequential walk's ScoreOnce ran for this verdict (Scored and
+  /// the tape counters below count only in that case — a STATIC-REJECT
+  /// under the pre-filter never reaches the scorer).
+  bool Scored = false;
+  /// Answered by the score cache's shared mirror instead of computing;
+  /// the verdict is usable but no counters were produced (the chain
+  /// classifies inline in the rare case the realized probe misses).
+  bool FromMirror = false;
+  uint64_t TapeRawIns = 0;
+  uint64_t TapeFinalIns = 0;
+  uint64_t TapeFused = 0;
+  uint64_t RowsScored = 0;
+  SimdRowTally Tally; ///< SIMD/tail row split of this compute alone.
+  uint64_t ComputeNs = 0;
+};
+
+/// Aggregate speculation telemetry of one chain (exported as
+/// `synth.spec.*` and folded into the profiler's speculation cost
+/// centers).  Timing-dependent by nature — which nodes a worker
+/// finished before cancellation depends on scheduling — so none of it
+/// feeds traces or the deterministic walk stats.
+struct SpeculationStats {
+  uint64_t Blocks = 0;        ///< Speculation blocks expanded.
+  uint64_t Nodes = 0;         ///< Live proposal nodes expanded.
+  uint64_t Consumed = 0;      ///< Node verdicts the realized walk used.
+  uint64_t Wasted = 0;        ///< Nodes computed but never consumed.
+  uint64_t CancelledEarly = 0; ///< Nodes cancelled before any compute.
+  uint64_t PeekResolved = 0;  ///< Nodes answered by an expansion-time peek.
+  uint64_t QueueDropped = 0;  ///< Queued jobs ThreadPool::cancel removed.
+  uint64_t PredictedNs = 0;   ///< Compute time of consumed nodes.
+  uint64_t WastedNs = 0;      ///< Compute time of unconsumed nodes.
+  uint64_t CancelNs = 0;      ///< Main-thread cancellation/teardown time.
+};
+
+/// Per-chain speculation scheduler: a binary tree of depth <= Depth
+/// re-expanded block by block.  Construct once per chain; beginBlock /
+/// realized / advance / endBlock drive one block.
+class SpeculationTree {
+public:
+  enum class NodeState : uint8_t {
+    Queued,    ///< Dispatched (or awaiting inline steal).
+    Running,   ///< Some thread is computing it.
+    Done,      ///< Result is valid.
+    Cancelled, ///< Ruled out before any thread claimed it.
+  };
+
+  struct Node {
+    std::vector<ExprPtr> Proposal;
+    std::vector<MutationOp> Ops; ///< For the trace's mutation string.
+    double QRatio = 0;           ///< Mutator's log proposal-density ratio.
+    uint64_t Key = 0;            ///< hashExprTuple (when TypeValid).
+    bool TypeValid = false;
+    bool Live = false;         ///< Expanded (reachable) in this block.
+    bool PeekResolved = false; ///< Verdict from an expansion-time peek.
+    bool Consumed = false;     ///< Realized walk used this verdict.
+    std::atomic<NodeState> State{NodeState::Cancelled};
+    SpecCompute R;
+  };
+
+  /// Computes the verdict (and counters) of \p Proposal; must be safe
+  /// to call from any thread concurrently.  \p Key is the proposal's
+  /// structural hash (for the score-cache mirror probe); \p Scratch is
+  /// a per-task compile scratch from the tree's free-list (null when
+  /// the chain runs without incremental compilation).
+  using ComputeFn = std::function<void(const std::vector<ExprPtr> &Proposal,
+                                       uint64_t Key, SpecCompute &R,
+                                       CompileScratch *Scratch)>;
+
+  /// Type-validity filter (the synthesizer's completionsValid), applied
+  /// at expansion so invalid proposals never reach the pool.
+  using ValidFn = std::function<bool(const std::vector<ExprPtr> &)>;
+
+  /// \p Pool may be null: every node is then computed inline by the
+  /// main thread's await() steal, which is the Threads == 1 path and
+  /// costs exactly the sequential walk's compute.  \p Group must
+  /// outlive the tree (the chain owns both).
+  SpeculationTree(unsigned Depth, ThreadPool *Pool, ThreadPool::Group &Group,
+                  ComputeFn Compute, ValidFn Valid, bool UseScratch);
+  ~SpeculationTree();
+
+  SpeculationTree(const SpeculationTree &) = delete;
+  SpeculationTree &operator=(const SpeculationTree &) = delete;
+
+  bool inBlock() const { return BlockLen != 0; }
+  /// True when every realized iteration of the current block has been
+  /// advanced past — time to endBlock().
+  bool exhausted() const { return inBlock() && Level == BlockLen; }
+
+  /// Expands a block of \p Len <= Depth iterations starting at absolute
+  /// iteration \p BaseIter from chain state \p Current, then dispatches
+  /// every unresolved live node to the pool.  \p Cache, when non-null
+  /// and non-zero-capacity, is peeked (recency-free) to resolve nodes
+  /// whose verdict the realized walk would take from the cache; the
+  /// peeks happen before any of this block's inserts, so which nodes
+  /// resolve this way is a pure function of realized history.
+  void beginBlock(const std::vector<ExprPtr> &Current, Mutator &Mut,
+                  ProposalPool &PPool, const ScoreCache *Cache,
+                  uint64_t ChainSeed, unsigned BaseIter, unsigned Len);
+
+  /// The node of the current realized iteration.
+  Node &realized() { return *Nodes[Cur]; }
+
+  /// Marks the realized node consumed (its recorded counters were
+  /// applied to the chain's stats).
+  void markConsumed(Node &N) { N.Consumed = true; }
+
+  /// Records the realized accept/reject decision: cancels the losing
+  /// subtree (and the realized node's own compute when nothing consumed
+  /// it) and steps to the winning child.
+  void advance(bool Accepted);
+
+  /// Cancels whatever the realized walk never reached, drops this
+  /// group's queued jobs from the pool, waits out in-flight ones,
+  /// accounts waste, and recycles every proposal buffer into \p PPool.
+  void endBlock(ProposalPool &PPool);
+
+  /// Blocks until \p N is Done.  A still-queued node is stolen and
+  /// computed inline — the calling thread never idles behind the queue.
+  void await(Node &N);
+
+  const SpeculationStats &stats() const { return Stats; }
+
+private:
+  void runNode(Node &N);
+  void markDone(Node &N);
+  /// CAS-cancels every live, still-queued node of the subtree rooted at
+  /// heap index \p Root.
+  void cancelSubtree(size_t Root);
+
+  CompileScratch *acquireScratch();
+  void releaseScratch(CompileScratch *S);
+
+  unsigned Depth;
+  ThreadPool *Pool;
+  ThreadPool::Group &Group;
+  ComputeFn Compute;
+  ValidFn Valid;
+  bool UseScratch;
+
+  /// Heap-shaped tree: node i's accept child is 2i+1, reject child
+  /// 2i+2.  unique_ptr because Node holds an atomic (non-movable);
+  /// allocated once for the full depth and reused across blocks.
+  std::vector<std::unique_ptr<Node>> Nodes;
+
+  std::mutex DoneMtx;
+  std::condition_variable DoneCv;
+
+  std::mutex ScratchMtx;
+  std::vector<std::unique_ptr<CompileScratch>> FreeScratch;
+
+  unsigned BlockLen = 0;  ///< 0 when no block is active.
+  unsigned Level = 0;     ///< Realized depth within the block.
+  size_t Cur = 0;         ///< Heap index of the realized node.
+  size_t BlockNodes = 0;  ///< Heap slots of the active block (2^Len - 1).
+  SpeculationStats Stats;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_SPECULATION_H

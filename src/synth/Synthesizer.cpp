@@ -10,7 +10,9 @@
 #include "likelihood/RowParallel.h"
 #include "likelihood/TapeKernels.h"
 #include "support/Log.h"
+#include "support/Rng.h"
 #include "support/ThreadPool.h"
+#include "synth/Speculation.h"
 
 #include <algorithm>
 #include <cassert>
@@ -61,6 +63,17 @@ void SynthesisStats::merge(const SynthesisStats &Other) {
   RowsScored += Other.RowsScored;
   RowsSimd += Other.RowsSimd;
   RowsScalarTail += Other.RowsScalarTail;
+  ProposalPoolReused += Other.ProposalPoolReused;
+  ProposalPoolAllocated += Other.ProposalPoolAllocated;
+  ScoreCacheWarmHits += Other.ScoreCacheWarmHits;
+  ScoreCacheWarmEvictions += Other.ScoreCacheWarmEvictions;
+  SpecBlocks += Other.SpecBlocks;
+  SpecNodes += Other.SpecNodes;
+  SpecConsumed += Other.SpecConsumed;
+  SpecWasted += Other.SpecWasted;
+  SpecCancelledEarly += Other.SpecCancelledEarly;
+  SpecPeekResolved += Other.SpecPeekResolved;
+  SpecQueueDropped += Other.SpecQueueDropped;
   Stage.merge(Other.Stage);
 }
 
@@ -194,10 +207,13 @@ CachedScore Synthesizer::classifyCompletions(
 }
 
 void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
-                           ChainOutcome &Out, ThreadPool *RowPool) const {
+                           ChainOutcome &Out, ScoreCache &Cache,
+                           ThreadPool *RowPool, ThreadPool *SpecPool) const {
   Rng R(Seed);
   Mutator Mut(Sigs, Config.Gen, Config.Mut, R);
-  ScoreCache Cache(Config.ScoreCacheSize);
+  // Proposal tuple storage recycles through this free-list for the
+  // chain's whole life (speculation blocks included).
+  ProposalPool PPool;
   const auto ChainStart = std::chrono::steady_clock::now();
   // Drain any SIMD row tally a previous chain left on this pool
   // thread, so this chain's counters start from zero.
@@ -350,6 +366,138 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     return S;
   };
 
+  // --- Speculative proposal prefetching (DESIGN.md §13) ---------------
+  // Active only on the template scoring path: the speculative compute
+  // below is scoreWithTemplate, so sketches on the splice fallback (or
+  // a custom scorer) run the plain sequential loop regardless of the
+  // knob.  Depth is clamped: the tree allocates 2^D - 1 nodes.
+  const unsigned SpecDepth =
+      (Config.SpeculateDepth && UseTemplate && TemplateDefAssignOK)
+          ? std::min(Config.SpeculateDepth, 8u)
+          : 0;
+  ThreadPool::Group SpecGroup;
+  std::optional<SpeculationTree> Spec;
+  // Worker-side candidate verdict: exactly Classify, minus every
+  // chain-stats side effect (those are recorded into CR and applied by
+  // the main thread only if the realized walk consumes this node).
+  // Runs on pool workers and on the main thread's await() steals; the
+  // stage/profile spans inside are charged only where a sink is
+  // installed — the main thread — so worker compute never pollutes the
+  // chain's stage accounting.
+  auto SpecComputeFn = [&](const std::vector<ExprPtr> &Prop, uint64_t Key,
+                           SpecCompute &CR, CompileScratch *TaskScratch) {
+    const auto T0 = std::chrono::steady_clock::now();
+    if (Cache.isShared()) {
+      // The realized walk would answer this candidate from its cache;
+      // skip the compute.  Mirror hits save work only — the walk
+      // re-resolves through lookup()/insert() in realized order.
+      if (std::optional<CachedScore> Hit = Cache.peekShared(Key)) {
+        CR.Verdict = *Hit;
+        CR.FromMirror = true;
+        CR.ComputeNs = uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count());
+        return;
+      }
+    }
+    if (Config.StaticAnalysis && StaticReject(Prop)) {
+      CR.Verdict = CachedScore(RejectReason::Static);
+    } else {
+      CR.Scored = true;
+      // Keep this task's SIMD row split separate from whatever tally
+      // the executing thread is accumulating (the main thread's chain
+      // tally, on a steal): it is applied to the chain's stats only if
+      // the node is consumed.
+      const SimdRowTally Resident = takeSimdRowTally();
+      SynthesisStats Tmp;
+      std::optional<double> LL =
+          scoreWithTemplate(Prop, ColCache ? &*ColCache : nullptr, &Tmp,
+                            TaskScratch, /*Rows=*/nullptr);
+      CR.Tally = takeSimdRowTally();
+      creditSimdRowTally(Resident);
+      CR.TapeRawIns = Tmp.TapeRawIns;
+      CR.TapeFinalIns = Tmp.TapeFinalIns;
+      CR.TapeFused = Tmp.TapeFused;
+      CR.RowsScored = Tmp.RowsScored;
+      if (!Config.StaticAnalysis && StaticReject(Prop))
+        CR.Verdict = CachedScore(RejectReason::Static);
+      else if (!LL)
+        CR.Verdict = CachedScore(RejectReason::Domain);
+      else
+        CR.Verdict = CachedScore(*LL);
+    }
+    CR.ComputeNs =
+        uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - T0)
+                     .count());
+  };
+  if (SpecDepth) {
+    if (SpecPool) {
+      // Workers probe both caches read-only; the striped score-cache
+      // mirror and the column cache's internal mutex make that safe.
+      // Neither probe can change a score, so enabling sharing is
+      // result-neutral (the column-cache *counters* become
+      // timing-dependent — documented on SynthesisStats).
+      if (ColCache)
+        ColCache->setShared(true);
+      if (Cache.capacity())
+        Cache.setShared(true);
+    }
+    Spec.emplace(
+        SpecDepth, SpecPool, SpecGroup, SpecComputeFn,
+        [this](const std::vector<ExprPtr> &P) { return completionsValid(P); },
+        Config.Incremental);
+  }
+  // Applies a consumed node's recorded counters to the chain's stats —
+  // the exact side effects ScoreOnce/Classify would have had — and
+  // returns its verdict.  Peek- and mirror-resolved nodes recorded no
+  // counters (their compute was skipped), so the rare realized miss on
+  // one classifies inline, which accrues counters naturally.
+  auto ConsumeSpec = [&](SpeculationTree::Node &N) -> CachedScore {
+    Spec->await(N);
+    if (N.PeekResolved || N.R.FromMirror)
+      return Classify(N.Proposal);
+    if (N.R.Scored) {
+      ++Out.Stats.Scored;
+      Out.Stats.TapeRawIns += N.R.TapeRawIns;
+      Out.Stats.TapeFinalIns += N.R.TapeFinalIns;
+      Out.Stats.TapeFused += N.R.TapeFused;
+      Out.Stats.RowsScored += N.R.RowsScored;
+      Out.Stats.RowsSimd += N.R.Tally.RowsSimd;
+      Out.Stats.RowsScalarTail += N.R.Tally.RowsTail;
+    }
+    Spec->markConsumed(N);
+    return N.R.Verdict;
+  };
+  // ScoreCompletions for a speculated iteration: the same probe ->
+  // classify -> insert protocol against the same chain cache, with the
+  // node's verdict standing in for Classify.  Byte-identity across
+  // depths holds because every cache mutation still happens here, on
+  // the main thread, in realized order.
+  auto ResolveSpec = [&](SpeculationTree::Node &N) -> CachedScore {
+    LastProbeHit = false;
+    if (Cache.capacity() == 0)
+      return ConsumeSpec(N);
+    std::optional<CachedScore> Hit;
+    {
+      ScopedStage Span(Stage::CacheProbe);
+      Hit = Cache.lookup(N.Key);
+    }
+    if (Hit) {
+      ++Out.Stats.CacheHits;
+      LastProbeHit = true;
+      assert((Hit->Reason != RejectReason::Static ||
+              Analyzer->analyze(N.Proposal).Rejected) &&
+             "cached STATIC-REJECT no longer reproducible");
+      return *Hit;
+    }
+    ++Out.Stats.CacheMisses;
+    CachedScore S = ConsumeSpec(N);
+    Cache.insert(N.Key, S);
+    return S;
+  };
+
   // Algorithm 1, line 2: H ~ Sigma_P[.] — draw until the tuple passes
   // the validity filter and scores.
   std::vector<ExprPtr> Current;
@@ -376,18 +524,44 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   RecordBest(Current, CurrentLL);
 
   for (unsigned Iter = 0; Iter != Config.Iterations; ++Iter) {
-    // Line 4: H' := mutate(H).
-    std::vector<ExprPtr> Proposal = Mut.propose(Current);
+    // Open a speculation block when none is active: stamp a cache
+    // epoch (so surviving entries count as warm), expand the next
+    // min(Depth, remaining) iterations, and dispatch their computes.
+    if (Spec && !Spec->inBlock()) {
+      Cache.beginEpoch();
+      ScopedStage Span(Stage::Speculate);
+      Spec->beginBlock(Current, Mut, PPool,
+                       Cache.capacity() ? &Cache : nullptr, Seed, Iter,
+                       std::min(SpecDepth, Config.Iterations - Iter));
+    }
+    SpeculationTree::Node *SpecNode = Spec ? &Spec->realized() : nullptr;
+
+    // Line 4: H' := mutate(H).  The proposal of iteration i is drawn
+    // from its own keyed stream (support/Rng.h), so it is a pure
+    // function of (chain seed, i, current state) — the property that
+    // lets the speculation tree have drawn the identical tuple ahead
+    // of time.  When speculating, the realized node *is* that draw.
+    std::vector<ExprPtr> Proposal;
+    if (!SpecNode)
+      Proposal = Mut.propose(
+          Current, deriveStreamSeed(Seed, SpecStreamPropose, Iter), &PPool);
+    const std::vector<ExprPtr> &Prop = SpecNode ? SpecNode->Proposal : Proposal;
+    const std::vector<MutationOp> &OpsApplied =
+        SpecNode ? SpecNode->Ops : Mut.lastMutationOps();
     ++Out.Stats.Proposed;
     if (MutHist)
-      MutHist->observe(double(Mut.lastMutationOps().size()));
+      MutHist->observe(double(OpsApplied.size()));
     TraceOutcome Outcome = TraceOutcome::InvalidType;
     double CandidateLL = std::numeric_limits<double>::quiet_NaN();
-    if (!completionsValid(Proposal)) {
+    bool AcceptedNow = false;
+    LastProbeHit = false;
+    const bool TypeValid =
+        SpecNode ? SpecNode->TypeValid : completionsValid(Prop);
+    if (!TypeValid) {
       ++Out.Stats.Invalid;
       ++Out.Stats.InvalidType;
     } else {
-      CachedScore S = ScoreCompletions(Proposal);
+      CachedScore S = SpecNode ? ResolveSpec(*SpecNode) : ScoreCompletions(Prop);
       if (!S.valid()) {
         ++Out.Stats.Invalid;
         if (S.Reason == RejectReason::Static) {
@@ -401,20 +575,49 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
         CandidateLL = *S.LL;
         // Line 5: accept with min(1, ratio); with a uniform prior the
         // ratio is the likelihood ratio times (optionally) the
-        // approximate proposal-density ratio of Section 4.2.
+        // approximate proposal-density ratio of Section 4.2.  The
+        // acceptance uniform comes from the iteration-keyed counter
+        // stream, so it too is independent of speculation depth.
         double LogAlpha = *S.LL - CurrentLL;
         if (Config.UseProposalRatio)
-          LogAlpha += Mut.lastProposalLogQRatio();
-        if (LogAlpha >= 0 || std::log(R.uniform()) < LogAlpha) {
-          Current = std::move(Proposal);
+          LogAlpha +=
+              SpecNode ? SpecNode->QRatio : Mut.lastProposalLogQRatio();
+        if (LogAlpha >= 0 ||
+            std::log(counterUniform(Seed, SpecStreamAccept, Iter)) <
+                LogAlpha) {
+          PPool.release(std::move(Current));
+          if (!SpecNode) {
+            Current = std::move(Proposal);
+            Proposal = std::vector<ExprPtr>();
+          } else if (!LastProbeHit) {
+            // ConsumeSpec awaited the node, so no worker can still be
+            // reading its buffer — safe to move.
+            Current = std::move(SpecNode->Proposal);
+          } else {
+            // The verdict came from the replay cache and the node's
+            // own compute was never awaited: a worker may still be
+            // reading the buffer (reads race with reads harmlessly,
+            // moves do not).  Whether one actually is would be
+            // scheduling — clone unconditionally so the chain's
+            // allocation behavior stays deterministic.
+            Current = PPool.acquire();
+            Current.reserve(SpecNode->Proposal.size());
+            for (const ExprPtr &C : SpecNode->Proposal)
+              Current.push_back(C->clone());
+          }
           CurrentLL = *S.LL;
           ++Out.Stats.Accepted;
           Outcome = TraceOutcome::Accept;
+          AcceptedNow = true;
         } else {
           Outcome = TraceOutcome::Reject;
         }
       }
     }
+    // A locally drawn proposal that was not accepted recycles here;
+    // speculated proposals recycle in endBlock.
+    if (!SpecNode && !AcceptedNow && !Proposal.empty())
+      PPool.release(std::move(Proposal));
     // Line 8: S := S + {H}; line 10's argmax over S reduces to keeping
     // the best current state seen so far.
     RecordBest(Current, CurrentLL);
@@ -425,12 +628,22 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
       TraceEvent E;
       E.Chain = ChainIndex;
       E.Iter = Iter;
-      E.Mutation = describeMutations(Mut.lastMutationOps());
+      E.Mutation = describeMutations(OpsApplied);
       E.Outcome = Outcome;
       E.CandidateLL = CandidateLL;
       E.BestLL = Out.BestLogLikelihood;
       E.CacheHit = LastProbeHit;
       Out.Events.push_back(std::move(E));
+    }
+    if (Spec) {
+      // Feed the realized decision back: cancel the subtree this
+      // decision ruled out, step to the winning child, and tear the
+      // block down once its last iteration has resolved.
+      Spec->advance(AcceptedNow);
+      if (Spec->exhausted()) {
+        ScopedStage Span(Stage::Speculate);
+        Spec->endBlock(PPool);
+      }
     }
     if (Config.Diagnostics) {
       Out.CurrentLL.push_back(CurrentLL);
@@ -463,10 +676,42 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
 
   // The chain's SIMD row split: everything the thread-local tally
   // accumulated since the drain at chain start — serial evaluations
-  // directly, row-parallel ones via the per-task credits.
+  // directly, row-parallel ones via the per-task credits — plus (+=)
+  // the consumed speculative computes credited in ConsumeSpec.
   const SimdRowTally Tally = takeSimdRowTally();
-  Out.Stats.RowsSimd = Tally.RowsSimd;
-  Out.Stats.RowsScalarTail = Tally.RowsTail;
+  Out.Stats.RowsSimd += Tally.RowsSimd;
+  Out.Stats.RowsScalarTail += Tally.RowsTail;
+
+  Out.Stats.ProposalPoolReused = PPool.reused();
+  Out.Stats.ProposalPoolAllocated = PPool.allocated();
+  Out.Stats.ScoreCacheWarmHits = Cache.warmHits();
+  Out.Stats.ScoreCacheWarmEvictions = Cache.warmEvictions();
+  if (Spec) {
+    const SpeculationStats &SS = Spec->stats();
+    Out.Stats.SpecBlocks = SS.Blocks;
+    Out.Stats.SpecNodes = SS.Nodes;
+    Out.Stats.SpecConsumed = SS.Consumed;
+    Out.Stats.SpecWasted = SS.Wasted;
+    Out.Stats.SpecCancelledEarly = SS.CancelledEarly;
+    Out.Stats.SpecPeekResolved = SS.PeekResolved;
+    Out.Stats.SpecQueueDropped = SS.QueueDropped;
+    if (Config.Profile) {
+      // Speculation cost centers (outside the eval_batch span; the
+      // attribution fractions exclude them — see Profiler.h).
+      ProfileBucket &Hit =
+          Out.Prof.Center[unsigned(ProfileCostCenter::SpecPredicted)];
+      Hit.Ns += SS.PredictedNs;
+      Hit.Calls += SS.Consumed;
+      ProfileBucket &Miss =
+          Out.Prof.Center[unsigned(ProfileCostCenter::SpecMispredict)];
+      Miss.Ns += SS.WastedNs;
+      Miss.Calls += SS.Wasted;
+      ProfileBucket &Cancel =
+          Out.Prof.Center[unsigned(ProfileCostCenter::SpecCancel)];
+      Cancel.Ns += SS.CancelNs;
+      Cancel.Calls += SS.Blocks;
+    }
+  }
 
   if (Config.Profile) {
     PerfSink.endRun(); // No-op when the counters never opened.
@@ -496,6 +741,25 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     Reg.counter("synth.cache.hits").add(Out.Stats.CacheHits);
     Reg.counter("synth.cache.misses").add(Out.Stats.CacheMisses);
     Reg.counter("synth.cache.evictions").add(Out.Stats.ScoreCacheEvictions);
+    Reg.counter("synth.cache.warm_hits").add(Out.Stats.ScoreCacheWarmHits);
+    Reg.counter("synth.cache.warm_evictions")
+        .add(Out.Stats.ScoreCacheWarmEvictions);
+    Reg.counter("synth.proposal_pool.reused")
+        .add(Out.Stats.ProposalPoolReused);
+    Reg.counter("synth.proposal_pool.allocated")
+        .add(Out.Stats.ProposalPoolAllocated);
+    if (Spec) {
+      Reg.counter("synth.spec.blocks").add(Out.Stats.SpecBlocks);
+      Reg.counter("synth.spec.nodes").add(Out.Stats.SpecNodes);
+      Reg.counter("synth.spec.consumed").add(Out.Stats.SpecConsumed);
+      Reg.counter("synth.spec.wasted").add(Out.Stats.SpecWasted);
+      Reg.counter("synth.spec.cancelled_early")
+          .add(Out.Stats.SpecCancelledEarly);
+      Reg.counter("synth.spec.peek_resolved")
+          .add(Out.Stats.SpecPeekResolved);
+      Reg.counter("synth.spec.queue_dropped")
+          .add(Out.Stats.SpecQueueDropped);
+    }
     Reg.counter("synth.colcache.hits").add(Out.Stats.ColCacheHits);
     Reg.counter("synth.colcache.misses").add(Out.Stats.ColCacheMisses);
     Reg.counter("synth.colcache.evictions")
@@ -523,8 +787,16 @@ SynthesisResult Synthesizer::run() {
 
   const unsigned Chains = std::max(Config.Chains, 1u);
   std::vector<ChainOutcome> Outcomes(Chains);
-  const unsigned Threads =
-      std::min(ThreadPool::resolveThreadCount(Config.Threads), Chains);
+  const unsigned Requested = ThreadPool::resolveThreadCount(Config.Threads);
+  const unsigned Threads = std::min(Requested, Chains);
+  // Per-chain score caches, owned here so each spans its chain's whole
+  // lifetime — entries survive every speculation-block boundary (the
+  // warm-hit counters certify it).  unique_ptr because the striped
+  // mirror's mutexes make ScoreCache non-movable.
+  std::vector<std::unique_ptr<ScoreCache>> Caches;
+  Caches.reserve(Chains);
+  for (unsigned Chain = 0; Chain != Chains; ++Chain)
+    Caches.push_back(std::make_unique<ScoreCache>(Config.ScoreCacheSize));
   // One run-wide row-worker pool shared by every chain (each chain
   // waits on its own ThreadPool::Group), created only when the knob is
   // on and the template path + dataset size can use it.  Score-neutral:
@@ -533,14 +805,31 @@ SynthesisResult Synthesizer::run() {
   if (Config.RowThreads > 1 && Template && !CustomScorer &&
       Data.numRows() > LikelihoodFunction::BatchBlockRows)
     RowPool = std::make_unique<ThreadPool>(Config.RowThreads);
+  // One run-wide speculation pool, likewise shared via per-chain
+  // groups.  It gets the threads chain dispatch leaves unused — with
+  // more chains than threads there are none, and the chains fall back
+  // to inline (steal-only) speculation, which costs nothing over the
+  // sequential walk.  Score-neutral: see SynthesisConfig::SpeculateDepth.
+  std::unique_ptr<ThreadPool> SpecPool;
+  if (Config.SpeculateDepth > 0 && Template && !CustomScorer &&
+      TemplateDefAssignOK && Requested > Threads) {
+    // Speculation jobs are tens of microseconds and arrive in a burst
+    // at every block, so idle workers busy-poll briefly before parking
+    // — a parked worker's wake latency rivals a whole node compute.
+    constexpr uint64_t SpecPoolIdleSpinNs = 150000;
+    SpecPool =
+        std::make_unique<ThreadPool>(Requested - Threads, SpecPoolIdleSpinNs);
+  }
   if (Threads <= 1) {
     for (unsigned Chain = 0; Chain != Chains; ++Chain)
-      runChain(Chain, Config.Seed + Chain, Outcomes[Chain], RowPool.get());
+      runChain(Chain, Config.Seed + Chain, Outcomes[Chain], *Caches[Chain],
+               RowPool.get(), SpecPool.get());
   } else {
     ThreadPool Pool(Threads);
     for (unsigned Chain = 0; Chain != Chains; ++Chain)
-      Pool.submit([this, Chain, &Outcomes, &RowPool] {
-        runChain(Chain, Config.Seed + Chain, Outcomes[Chain], RowPool.get());
+      Pool.submit([this, Chain, &Outcomes, &Caches, &RowPool, &SpecPool] {
+        runChain(Chain, Config.Seed + Chain, Outcomes[Chain], *Caches[Chain],
+                 RowPool.get(), SpecPool.get());
       });
     Pool.wait();
   }

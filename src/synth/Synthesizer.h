@@ -75,6 +75,22 @@ struct SynthesisConfig {
   /// evaluation dwarfs the per-block dispatch.
   unsigned RowThreads = 1;
 
+  /// Speculative proposal prefetching (`--speculate-depth`; DESIGN.md
+  /// §13): with a depth K > 0, each chain expands a binary speculation
+  /// tree of its next K proposals — one node per accept/reject history
+  /// — and farms the nodes' compile + score to the run's speculation
+  /// pool while the realized walk resolves them in order.  The walk's
+  /// randomness is keyed by iteration index (counter-split streams, see
+  /// support/Rng.h) and results are replayed through the score cache in
+  /// realized order, so scores, traces, best-LL and every deterministic
+  /// counter are byte-identical for every depth and every Threads /
+  /// RowThreads value; the knob only changes how much future work is in
+  /// flight.  0 (the default) disables speculation entirely.  Effective
+  /// only on the default template scoring path; the speculation pool
+  /// gets the Threads workers left over after one per chain, and with
+  /// none left the chain computes nodes inline (same cost as depth 0).
+  unsigned SpeculateDepth = 0;
+
   /// Capacity of the per-chain LRU candidate-score cache keyed by the
   /// structural hash of the completion tuple (ast/ASTUtil hashExprTuple);
   /// 0 disables memoization.  Scoring is deterministic, so the cache
@@ -245,9 +261,35 @@ struct SynthesisStats {
   uint64_t RowsSimd = 0;
   uint64_t RowsScalarTail = 0;
 
+  // Proposal-pool telemetry: completion-tuple vectors served from the
+  // per-chain free-list vs freshly allocated.  Deterministic per
+  // (seed, depth) — speculation expands more proposals per iteration,
+  // so the split differs across SpeculateDepth values (never across
+  // Threads).
+  uint64_t ProposalPoolReused = 0;
+  uint64_t ProposalPoolAllocated = 0;
+
+  // Score-cache epoch telemetry (see ScoreCache::beginEpoch): hits on
+  // and evictions of entries that survived at least one speculation-
+  // block rebuild.  Zero at depth 0 (no epochs are opened).
+  uint64_t ScoreCacheWarmHits = 0;
+  uint64_t ScoreCacheWarmEvictions = 0;
+
+  // Speculation telemetry (`--speculate-depth`; all zero at depth 0).
+  // Blocks/Nodes/PeekResolved are deterministic per (seed, depth);
+  // Consumed/Wasted/CancelledEarly/QueueDropped depend on worker timing
+  // and are excluded from the cross-configuration identity guarantees.
+  uint64_t SpecBlocks = 0;
+  uint64_t SpecNodes = 0;
+  uint64_t SpecConsumed = 0;
+  uint64_t SpecWasted = 0;
+  uint64_t SpecCancelledEarly = 0;
+  uint64_t SpecPeekResolved = 0;
+  uint64_t SpecQueueDropped = 0;
+
   /// Per-stage scoring cost (lower/compile, batched eval, cache probe,
-  /// splice), populated when SynthesisConfig::StageTimers is on; all
-  /// zeros otherwise.
+  /// splice, speculation coordination), populated when
+  /// SynthesisConfig::StageTimers is on; all zeros otherwise.
   StageTimes Stage;
 
   /// Accumulates \p Other into this: counters, stage times and Seconds
@@ -379,13 +421,18 @@ private:
   bool completionsValid(const std::vector<ExprPtr> &Completions) const;
 
   /// Runs one MH chain.  Const and self-contained (own RNG, own
-  /// mutator, own score cache, own telemetry buffers) so chains can
-  /// run on pool threads.  \p RowPool, when non-null, is the run-wide
+  /// mutator, own telemetry buffers) so chains can run on pool
+  /// threads.  \p Cache is the chain's score cache, owned by run() so
+  /// it spans the chain's whole lifetime (and every speculation-block
+  /// rebuild within it).  \p RowPool, when non-null, is the run-wide
   /// row-worker pool: the chain evaluates likelihood row blocks on it
   /// through its own RowEvalContext (score-neutral — see
-  /// SynthesisConfig::RowThreads).
+  /// SynthesisConfig::RowThreads).  \p SpecPool, when non-null, is the
+  /// run-wide speculation pool (see SynthesisConfig::SpeculateDepth);
+  /// the chain tracks its speculative jobs under its own group.
   void runChain(unsigned ChainIndex, uint64_t Seed, ChainOutcome &Out,
-                ThreadPool *RowPool) const;
+                ScoreCache &Cache, ThreadPool *RowPool,
+                ThreadPool *SpecPool) const;
 
   /// Scores one completion tuple against the lowered sketch template
   /// (no per-candidate splice/lower; bitwise-identical to splicing).

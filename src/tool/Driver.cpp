@@ -170,6 +170,7 @@ SynthesisConfig makeSynthConfig(const ToolOptions &Opts) {
   Config.Chains = Opts.Chains;
   Config.Threads = Opts.Threads;
   Config.RowThreads = Opts.RowThreads;
+  Config.SpeculateDepth = Opts.SpeculateDepth;
   Config.Seed = Opts.Seed;
 
   // Likelihood-pipeline escape hatches (DESIGN.md §9, §11); defaults

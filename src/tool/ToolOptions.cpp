@@ -77,7 +77,7 @@ std::string psketch::toolUsage() {
          "         [--progress] [--no-incremental] [--no-simplify]\n"
          "         [--no-fuse] [--ffast-tape] [--column-cache-mb N]\n"
          "         [--no-static-analysis] [--no-simd] [--fast-simd-math]\n"
-         "         [--row-threads N] [--profile]\n"
+         "         [--row-threads N] [--speculate-depth K] [--profile]\n"
          "         [--profile-sample-every K]\n"
          "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
          "  trace-stats --trace FILE.jsonl [--trace FILE.jsonl ...]\n"
@@ -173,7 +173,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
                Flag == "--chains" || Flag == "--seed" ||
                Flag == "--samples" || Flag == "--threads" ||
                Flag == "--row-threads" || Flag == "--column-cache-mb" ||
-               Flag == "--profile-sample-every") {
+               Flag == "--profile-sample-every" ||
+               Flag == "--speculate-depth") {
       if (!NextValue(I, Flag, Value))
         continue;
       auto V = parseNumber(Value);
@@ -194,6 +195,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.Threads = unsigned(*V);
       else if (Flag == "--row-threads")
         Opts.RowThreads = unsigned(*V);
+      else if (Flag == "--speculate-depth")
+        Opts.SpeculateDepth = unsigned(*V);
       else if (Flag == "--column-cache-mb")
         Opts.ColumnCacheMB = unsigned(*V);
       else if (Flag == "--profile-sample-every")

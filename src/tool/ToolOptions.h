@@ -99,6 +99,10 @@ struct ToolOptions {
   /// --row-threads (synth): intra-chain row workers per likelihood
   /// evaluation; 1 = serial.  Score-neutral at every value.
   unsigned RowThreads = 1;
+  /// --speculate-depth (synth/profile): MH lookahead depth per chain;
+  /// 0 = off.  Result-neutral at every value (byte-identical traces,
+  /// scores and best LL) — see SynthesisConfig::SpeculateDepth.
+  unsigned SpeculateDepth = 0;
   uint64_t Seed = 1;
   InputBindings Inputs;
 

@@ -98,3 +98,115 @@ TEST(ThreadPoolTest, GroupJobsAlsoCountTowardPoolWait) {
   EXPECT_EQ(Count.load(), 30);
   Pool.wait(G); // Already drained; must not hang.
 }
+
+TEST(ThreadPoolTest, NestedGroupWaits) {
+  // A job running under an outer group submits and waits on an inner
+  // group (a speculation worker driving row-parallel scoring does
+  // exactly this).  Needs spare workers so the inner jobs can start
+  // while the outer job blocks.
+  ThreadPool Pool(4);
+  std::atomic<int> Inner{0};
+  std::atomic<int> InnerSeenByOuter{-1};
+  ThreadPool::Group Outer;
+  Pool.submit(Outer, [&] {
+    ThreadPool::Group G;
+    for (int I = 0; I != 16; ++I)
+      Pool.submit(G, [&Inner] { ++Inner; });
+    Pool.wait(G);
+    InnerSeenByOuter = Inner.load();
+  });
+  Pool.wait(Outer);
+  EXPECT_EQ(Inner.load(), 16);
+  // The inner wait really completed inside the outer job.
+  EXPECT_EQ(InnerSeenByOuter.load(), 16);
+}
+
+TEST(ThreadPoolTest, CancelDropsQueuedUnstartedJobs) {
+  // One worker pinned on a gate job; everything queued behind it is
+  // still unstarted when cancel() runs and must never execute.
+  ThreadPool Pool(1);
+  std::atomic<bool> Started{false}, Release{false};
+  std::atomic<int> Ran{0};
+  ThreadPool::Group G;
+  Pool.submit(G, [&Started, &Release] {
+    Started = true;
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  while (!Started.load()) // The gate must be running, not queued,
+    std::this_thread::yield(); // or cancel() would drop it too.
+  for (int I = 0; I != 10; ++I)
+    Pool.submit(G, [&Ran] { ++Ran; });
+  size_t Dropped = Pool.cancel(G);
+  EXPECT_EQ(Dropped, 10u);
+  EXPECT_EQ(ThreadPool::cancelled(G), 10u);
+  Release = true;
+  Pool.wait(G); // Blocks only on the gate job, which is running.
+  EXPECT_EQ(Ran.load(), 0);
+}
+
+TEST(ThreadPoolTest, CancelLeavesOtherGroupsAlone) {
+  ThreadPool Pool(1);
+  std::atomic<bool> Started{false}, Release{false};
+  std::atomic<int> A{0}, B{0};
+  ThreadPool::Group GA, GB;
+  Pool.submit(GA, [&Started, &Release] {
+    Started = true;
+    while (!Release.load())
+      std::this_thread::yield();
+  });
+  while (!Started.load())
+    std::this_thread::yield();
+  for (int I = 0; I != 6; ++I)
+    Pool.submit(GA, [&A] { ++A; });
+  for (int I = 0; I != 7; ++I)
+    Pool.submit(GB, [&B] { ++B; });
+  EXPECT_EQ(Pool.cancel(GA), 6u);
+  Release = true;
+  Pool.wait();
+  EXPECT_EQ(A.load(), 0);
+  EXPECT_EQ(B.load(), 7); // GB's jobs survived GA's cancellation.
+}
+
+TEST(ThreadPoolTest, CancelOnEmptyGroupIsANoOp) {
+  ThreadPool Pool(2);
+  ThreadPool::Group G;
+  EXPECT_EQ(Pool.cancel(G), 0u);
+  EXPECT_EQ(ThreadPool::cancelled(G), 0u);
+  Pool.wait(G);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsGroupJobsInFlight) {
+  // Shutdown with group-tracked tasks in flight (the speculation
+  // teardown path): the destructor must run or drop everything without
+  // deadlocking, and never lose the count.
+  std::atomic<int> Ran{0};
+  int Submitted = 40;
+  {
+    ThreadPool Pool(3);
+    ThreadPool::Group G;
+    for (int I = 0; I != Submitted; ++I)
+      Pool.submit(G, [&Ran] {
+        std::this_thread::yield();
+        ++Ran;
+      });
+    Pool.wait(G); // The group must be idle before it is destroyed.
+  }
+  EXPECT_EQ(Ran.load(), Submitted);
+}
+
+TEST(ThreadPoolTest, WaitAfterCancelThenReuseGroup) {
+  // A group survives a cancel/wait cycle and can track new jobs — the
+  // speculation scheduler reuses one group across blocks this way.
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  ThreadPool::Group G;
+  for (int Block = 0; Block != 5; ++Block) {
+    for (int I = 0; I != 12; ++I)
+      Pool.submit(G, [&Ran] { ++Ran; });
+    Pool.cancel(G); // Whatever had not started is dropped.
+    Pool.wait(G);
+  }
+  // Every job either ran to completion or was counted as cancelled.
+  EXPECT_EQ(uint64_t(Ran.load()) + ThreadPool::cancelled(G), 60u);
+}

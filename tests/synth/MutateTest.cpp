@@ -204,3 +204,100 @@ TEST(MutateTest, MutationIsDeterministicUnderSeed) {
     EXPECT_TRUE(structurallyEqual(*P1[0], *P2[0]));
   }
 }
+
+TEST(MutateTest, KeyedProposeIsPureInEngineState) {
+  // The speculation contract: propose(state, streamSeed) is a pure
+  // function of its arguments.  Scramble one mutator's engine arbitrarily
+  // between keyed calls — the proposals must not notice.
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real,
+                                      {ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R1(5), R2(777); // Different engine seeds on purpose.
+  Mutator M1(Sigs, Gen, Cfg, R1), M2(Sigs, Gen, Cfg, R2);
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(%0, 15.0) + 1.0"));
+  for (uint64_t I = 0; I < 30; ++I) {
+    uint64_t Key = deriveStreamSeed(42, 0x70726f706f7365ULL, I);
+    auto P1 = M1.propose(Current, Key);
+    for (int J = 0; J < int(I % 4); ++J)
+      R2.uniform(); // Perturb M2's engine position.
+    auto P2 = M2.propose(Current, Key);
+    EXPECT_TRUE(structurallyEqual(*P1[0], *P2[0])) << "iteration " << I;
+    EXPECT_EQ(M1.lastProposalLogQRatio(), M2.lastProposalLogQRatio());
+    EXPECT_EQ(M1.lastMutationOps(), M2.lastMutationOps());
+  }
+}
+
+TEST(MutateTest, KeyedProposeMatchesReseededPlainPropose) {
+  // The keyed overload is exactly "seed, then propose": the sequential
+  // walk and the speculation tree draw from the same distribution.
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real,
+                                      {ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R1(1), R2(1);
+  Mutator Keyed(Sigs, Gen, Cfg, R1), Plain(Sigs, Gen, Cfg, R2);
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(%0, 15.0)"));
+  for (uint64_t I = 0; I < 20; ++I) {
+    uint64_t Key = deriveStreamSeed(9, 0xBEEF, I);
+    auto PK = Keyed.propose(Current, Key);
+    R2.seed(Key);
+    auto PP = Plain.propose(Current);
+    EXPECT_TRUE(structurallyEqual(*PK[0], *PP[0])) << "iteration " << I;
+  }
+}
+
+TEST(MutateTest, ProposalPoolRecyclesVectors) {
+  ProposalPool Pool;
+  auto V1 = Pool.acquire();
+  EXPECT_EQ(Pool.allocated(), 1u);
+  EXPECT_EQ(Pool.reused(), 0u);
+  V1.reserve(8);
+  Pool.release(std::move(V1));
+  auto V2 = Pool.acquire();
+  EXPECT_EQ(Pool.reused(), 1u);
+  EXPECT_EQ(Pool.allocated(), 1u);
+  EXPECT_TRUE(V2.empty());         // Released contents are destroyed...
+  EXPECT_GE(V2.capacity(), 8u);    // ...but the capacity survives.
+}
+
+TEST(MutateTest, ProposalPoolFeedsKeyedPropose) {
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real,
+                                      {ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R(3);
+  Mutator M(Sigs, Gen, Cfg, R);
+  ProposalPool Pool;
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(%0, 15.0)"));
+  for (uint64_t I = 0; I < 10; ++I) {
+    auto P = M.propose(Current, deriveStreamSeed(4, 2, I), &Pool);
+    ASSERT_EQ(P.size(), 1u);
+    Pool.release(std::move(P));
+  }
+  // First iteration allocates, the rest recycle the same vector.
+  EXPECT_EQ(Pool.allocated(), 1u);
+  EXPECT_EQ(Pool.reused(), 9u);
+}
+
+TEST(MutateTest, ProposalPoolResultsMatchUnpooled) {
+  std::vector<HoleSignature> Sigs = {{0, ScalarKind::Real,
+                                      {ScalarKind::Real}}};
+  GeneratorConfig Gen;
+  MutateConfig Cfg;
+  Rng R1(6), R2(6);
+  Mutator M1(Sigs, Gen, Cfg, R1), M2(Sigs, Gen, Cfg, R2);
+  ProposalPool Pool;
+  std::vector<ExprPtr> Current;
+  Current.push_back(parse("Gaussian(%0, 15.0) + 1.0"));
+  for (uint64_t I = 0; I < 20; ++I) {
+    uint64_t Key = deriveStreamSeed(8, 1, I);
+    auto Pooled = M1.propose(Current, Key, &Pool);
+    auto Fresh = M2.propose(Current, Key);
+    EXPECT_TRUE(structurallyEqual(*Pooled[0], *Fresh[0]));
+    Pool.release(std::move(Pooled));
+  }
+}

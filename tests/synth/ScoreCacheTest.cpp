@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 using namespace psketch;
 
 TEST(ScoreCacheTest, MissThenHit) {
@@ -91,4 +94,132 @@ TEST(ScoreCacheTest, CountsEvictions) {
   EXPECT_EQ(C.evictions(), 2u);
   C.insert(4, CachedScore(-5.0)); // Refresh: no eviction.
   EXPECT_EQ(C.evictions(), 2u);
+}
+
+TEST(ScoreCacheTest, PeekDoesNotTouchRecency) {
+  // The speculation expander probes with peek(); the realized walk then
+  // replays the same keys through lookup().  If peek() refreshed
+  // recency, lookahead would perturb the eviction order the sequential
+  // walk produces.
+  ScoreCache C(2);
+  C.insert(1, CachedScore(-1.0));
+  C.insert(2, CachedScore(-2.0));
+  auto P = C.peek(1); // Must NOT make 1 most recent.
+  ASSERT_TRUE(P.has_value());
+  EXPECT_DOUBLE_EQ(*P->LL, -1.0);
+  C.insert(3, CachedScore(-3.0)); // Still evicts 1 (the LRU entry).
+  EXPECT_FALSE(C.contains(1));
+  EXPECT_TRUE(C.contains(2));
+}
+
+TEST(ScoreCacheTest, PeekMissesCleanly) {
+  ScoreCache C(2);
+  EXPECT_FALSE(C.peek(99).has_value());
+  ScoreCache Z(0);
+  EXPECT_FALSE(Z.peek(1).has_value());
+}
+
+TEST(ScoreCacheTest, EpochsCountWarmHitsOncePerEpoch) {
+  ScoreCache C(8);
+  C.insert(1, CachedScore(-1.0));
+  EXPECT_TRUE(C.lookup(1).has_value()); // Same epoch: not warm.
+  EXPECT_EQ(C.warmHits(), 0u);
+  C.beginEpoch();
+  EXPECT_TRUE(C.lookup(1).has_value()); // Survived a rebuild: warm.
+  EXPECT_EQ(C.warmHits(), 1u);
+  EXPECT_TRUE(C.lookup(1).has_value()); // Re-stamped: counts once.
+  EXPECT_EQ(C.warmHits(), 1u);
+  C.beginEpoch();
+  EXPECT_TRUE(C.lookup(1).has_value()); // Next epoch: warm again.
+  EXPECT_EQ(C.warmHits(), 2u);
+}
+
+TEST(ScoreCacheTest, EpochsCountWarmEvictions) {
+  ScoreCache C(2);
+  C.insert(1, CachedScore(-1.0));
+  C.beginEpoch();
+  C.insert(2, CachedScore(-2.0)); // Born in epoch 1.
+  C.insert(3, CachedScore(-3.0)); // Evicts 1, which predates the epoch.
+  EXPECT_EQ(C.warmEvictions(), 1u);
+  C.insert(4, CachedScore(-4.0)); // Evicts 2: same epoch, not warm.
+  EXPECT_EQ(C.warmEvictions(), 1u);
+  EXPECT_EQ(C.evictions(), 2u);
+}
+
+TEST(ScoreCacheTest, PeekDoesNotTouchWarmCounters) {
+  ScoreCache C(4);
+  C.insert(1, CachedScore(-1.0));
+  C.beginEpoch();
+  EXPECT_TRUE(C.peek(1).has_value());
+  EXPECT_EQ(C.warmHits(), 0u); // peek is counter-free by contract.
+}
+
+TEST(ScoreCacheTest, SharedMirrorServesExistingAndNewEntries) {
+  ScoreCache C(8);
+  C.insert(1, CachedScore(-1.0));
+  C.setShared(true); // Copies current contents into the stripes.
+  auto Hit = C.peekShared(1);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_DOUBLE_EQ(*Hit->LL, -1.0);
+  C.insert(2, CachedScore(RejectReason::Domain)); // Mirror maintained.
+  auto Rej = C.peekShared(2);
+  ASSERT_TRUE(Rej.has_value());
+  EXPECT_EQ(Rej->Reason, RejectReason::Domain);
+  EXPECT_FALSE(C.peekShared(3).has_value());
+}
+
+TEST(ScoreCacheTest, SharedMirrorDropsEvictedEntries) {
+  // A stale mirror entry would hand a worker a verdict the realized
+  // walk will recompute — harmless for results but a lie in the
+  // telemetry; the owner erases mirror entries on evict.
+  ScoreCache C(2);
+  C.setShared(true);
+  C.insert(1, CachedScore(-1.0));
+  C.insert(2, CachedScore(-2.0));
+  C.insert(3, CachedScore(-3.0)); // Evicts 1 from table AND mirror.
+  EXPECT_FALSE(C.peekShared(1).has_value());
+  EXPECT_TRUE(C.peekShared(2).has_value());
+  EXPECT_TRUE(C.peekShared(3).has_value());
+}
+
+TEST(ScoreCacheTest, SharedMirrorConcurrentReadsUnderOwnerWrites) {
+  // TSan coverage for the one concurrent structure the speculation
+  // layer adds: readers on peekShared while the owner inserts/evicts.
+  ScoreCache C(64);
+  C.setShared(true);
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Hits{0};
+  std::vector<std::thread> Readers;
+  for (int T = 0; T != 4; ++T)
+    Readers.emplace_back([&] {
+      uint64_t Local = 0;
+      bool Done = false;
+      do { // At least one full scan, even if the owner already finished.
+        Done = Stop.load();
+        for (uint64_t K = 0; K != 128; ++K)
+          if (auto S = C.peekShared(K)) {
+            // Values are never torn: key K always maps to -double(K).
+            EXPECT_DOUBLE_EQ(*S->LL, -double(K));
+            ++Local;
+          }
+      } while (!Done);
+      Hits += Local;
+    });
+  for (int Round = 0; Round != 200; ++Round)
+    C.insert(uint64_t(Round % 128), CachedScore(-double(Round % 128)));
+  Stop = true;
+  for (std::thread &T : Readers)
+    T.join();
+  EXPECT_GT(Hits.load(), 0u);
+}
+
+TEST(ScoreCacheTest, DisablingSharedTearsDownMirror) {
+  ScoreCache C(4);
+  C.insert(1, CachedScore(-1.0));
+  C.setShared(true);
+  EXPECT_TRUE(C.isShared());
+  C.setShared(false);
+  EXPECT_FALSE(C.isShared());
+  // The owner-side table is unaffected.
+  EXPECT_TRUE(C.contains(1));
 }

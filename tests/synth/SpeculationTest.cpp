@@ -1,0 +1,305 @@
+//===- tests/synth/SpeculationTest.cpp - Speculation depth neutrality -----===//
+//
+// `--speculate-depth` prefetches future MH proposals onto a worker
+// pool; the acceptance criterion of DESIGN.md §13 is that it never
+// changes what the synthesizer computes: for any depth and any
+// Threads / RowThreads value, scores, traces, best LL and every
+// deterministic counter must be byte-identical to the sequential walk.
+// These tests compare depth {1, 2, 3} runs (inline, pooled, and
+// composed with chain / row workers) against depth 0 at that
+// granularity, plus the speculation-specific telemetry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Synthesizer.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+const char *GaussTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+
+const char *GaussSketch = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+struct RunKnobs {
+  unsigned SpeculateDepth = 0;
+  unsigned Threads = 1;
+  unsigned RowThreads = 1;
+  unsigned Chains = 1;
+  size_t CacheSize = 4096;
+  bool UseProposalRatio = false;
+};
+
+SynthesisResult runWith(const Dataset &Data, const RunKnobs &K) {
+  auto Sketch = parseP(GaussSketch);
+  SynthesisConfig Config;
+  Config.Iterations = 300;
+  Config.Chains = K.Chains;
+  Config.Seed = 71;
+  Config.Threads = K.Threads;
+  Config.RowThreads = K.RowThreads;
+  Config.SpeculateDepth = K.SpeculateDepth;
+  Config.ScoreCacheSize = K.CacheSize;
+  Config.UseProposalRatio = K.UseProposalRatio;
+  Config.TrackBestTrace = true;
+  Config.CollectTrace = true;
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  EXPECT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  return Synth.run();
+}
+
+/// Byte-identity over everything `--speculate-depth` promises to keep:
+/// the walk, the traces, and every counter that is deterministic per
+/// seed (speculation/pool/warm telemetry is depth-dependent by design
+/// and deliberately not compared here).
+void expectIdentical(const SynthesisResult &A, const SynthesisResult &B) {
+  ASSERT_TRUE(A.Succeeded && B.Succeeded);
+  EXPECT_EQ(A.BestLogLikelihood, B.BestLogLikelihood);
+  ASSERT_EQ(A.BestCompletions.size(), B.BestCompletions.size());
+  for (size_t I = 0; I != A.BestCompletions.size(); ++I)
+    EXPECT_EQ(toString(*A.BestCompletions[I]),
+              toString(*B.BestCompletions[I]));
+  EXPECT_EQ(A.Stats.Proposed, B.Stats.Proposed);
+  EXPECT_EQ(A.Stats.Accepted, B.Stats.Accepted);
+  EXPECT_EQ(A.Stats.Invalid, B.Stats.Invalid);
+  EXPECT_EQ(A.Stats.InvalidType, B.Stats.InvalidType);
+  EXPECT_EQ(A.Stats.InvalidDomain, B.Stats.InvalidDomain);
+  EXPECT_EQ(A.Stats.InvalidStatic, B.Stats.InvalidStatic);
+  EXPECT_EQ(A.Stats.Scored, B.Stats.Scored);
+  EXPECT_EQ(A.Stats.CacheHits, B.Stats.CacheHits);
+  EXPECT_EQ(A.Stats.CacheMisses, B.Stats.CacheMisses);
+  EXPECT_EQ(A.Stats.ScoreCacheEvictions, B.Stats.ScoreCacheEvictions);
+  EXPECT_EQ(A.Stats.TapeRawIns, B.Stats.TapeRawIns);
+  EXPECT_EQ(A.Stats.TapeFinalIns, B.Stats.TapeFinalIns);
+  EXPECT_EQ(A.Stats.TapeFused, B.Stats.TapeFused);
+  EXPECT_EQ(A.Stats.RowsScored, B.Stats.RowsScored);
+  EXPECT_EQ(A.Stats.RowsSimd, B.Stats.RowsSimd);
+  EXPECT_EQ(A.Stats.RowsScalarTail, B.Stats.RowsScalarTail);
+  ASSERT_EQ(A.BestTrace.size(), B.BestTrace.size());
+  for (size_t I = 0; I != A.BestTrace.size(); ++I)
+    ASSERT_EQ(A.BestTrace[I], B.BestTrace[I]) << "trace index " << I;
+  ASSERT_EQ(A.TraceEvents.size(), B.TraceEvents.size());
+  for (size_t I = 0; I != A.TraceEvents.size(); ++I) {
+    const TraceEvent &EA = A.TraceEvents[I];
+    const TraceEvent &EB = B.TraceEvents[I];
+    EXPECT_EQ(EA.Chain, EB.Chain) << "event " << I;
+    EXPECT_EQ(EA.Iter, EB.Iter) << "event " << I;
+    EXPECT_EQ(EA.Mutation, EB.Mutation) << "event " << I;
+    EXPECT_EQ(EA.Outcome, EB.Outcome) << "event " << I;
+    // NaN for unscored candidates: compare representations, not values.
+    EXPECT_EQ(std::isnan(EA.CandidateLL), std::isnan(EB.CandidateLL))
+        << "event " << I;
+    if (!std::isnan(EA.CandidateLL))
+      EXPECT_EQ(EA.CandidateLL, EB.CandidateLL) << "event " << I;
+    EXPECT_EQ(EA.BestLL, EB.BestLL) << "event " << I;
+    EXPECT_EQ(EA.CacheHit, EB.CacheHit) << "event " << I;
+  }
+}
+
+} // namespace
+
+TEST(SpeculationTest, InlineDepthOneMatchesSequential) {
+  // Threads == Chains leaves no workers for the speculation pool; every
+  // node resolves through the main thread's await() steal.  The purest
+  // test of the replay protocol — no concurrency anywhere.
+  Dataset Data = makeData(GaussTarget, 120, 81);
+  SynthesisResult Plain = runWith(Data, {});
+  RunKnobs K;
+  K.SpeculateDepth = 1;
+  expectIdentical(Plain, runWith(Data, K));
+}
+
+TEST(SpeculationTest, InlineDepthThreeMatchesSequential) {
+  Dataset Data = makeData(GaussTarget, 120, 81);
+  SynthesisResult Plain = runWith(Data, {});
+  RunKnobs K;
+  K.SpeculateDepth = 3;
+  expectIdentical(Plain, runWith(Data, K));
+}
+
+TEST(SpeculationTest, PooledDepthThreeMatchesSequential) {
+  // One chain, four threads: three go to the speculation pool, so the
+  // realized walk races real workers for every node.
+  Dataset Data = makeData(GaussTarget, 120, 82);
+  SynthesisResult Plain = runWith(Data, {});
+  RunKnobs K;
+  K.SpeculateDepth = 3;
+  K.Threads = 4;
+  expectIdentical(Plain, runWith(Data, K));
+}
+
+TEST(SpeculationTest, PooledRunsAreRepeatable) {
+  // Two pooled runs against each other: worker scheduling varies, the
+  // results must not.
+  Dataset Data = makeData(GaussTarget, 120, 83);
+  RunKnobs K;
+  K.SpeculateDepth = 3;
+  K.Threads = 4;
+  SynthesisResult First = runWith(Data, K);
+  SynthesisResult Second = runWith(Data, K);
+  expectIdentical(First, Second);
+}
+
+TEST(SpeculationTest, ComposesWithChainThreads) {
+  // Two chains, eight threads: two dispatch chains, six speculate.
+  // Chains share the speculation pool through per-chain groups.
+  Dataset Data = makeData(GaussTarget, 120, 84);
+  RunKnobs Base;
+  Base.Chains = 2;
+  SynthesisResult Plain = runWith(Data, Base);
+  RunKnobs K = Base;
+  K.SpeculateDepth = 2;
+  K.Threads = 8;
+  expectIdentical(Plain, runWith(Data, K));
+}
+
+TEST(SpeculationTest, ComposesWithRowThreads) {
+  // A dataset spanning several row blocks engages the row pool for the
+  // main thread's evaluations while speculation workers score serially;
+  // both paths are bit-identical, so the composition must be too.
+  Dataset Data = makeData(GaussTarget, 1400, 85);
+  SynthesisResult Plain = runWith(Data, {});
+  RunKnobs K;
+  K.SpeculateDepth = 2;
+  K.Threads = 4;
+  K.RowThreads = 2;
+  expectIdentical(Plain, runWith(Data, K));
+}
+
+TEST(SpeculationTest, SmallCacheEvictionOrderSurvivesSpeculation) {
+  // A 16-entry cache churns constantly; hit/miss and eviction counts
+  // replay the LRU order, so any speculative insert or recency update
+  // would show up here immediately.
+  Dataset Data = makeData(GaussTarget, 120, 86);
+  RunKnobs Base;
+  Base.CacheSize = 16;
+  SynthesisResult Plain = runWith(Data, Base);
+  ASSERT_GT(Plain.Stats.ScoreCacheEvictions, 0u);
+  RunKnobs K = Base;
+  K.SpeculateDepth = 3;
+  K.Threads = 4;
+  expectIdentical(Plain, runWith(Data, K));
+}
+
+TEST(SpeculationTest, UncachedWalkSurvivesSpeculation) {
+  // Cache capacity 0 removes the replay cache entirely: every realized
+  // verdict must come from the node itself (or an inline steal).
+  Dataset Data = makeData(GaussTarget, 120, 87);
+  RunKnobs Base;
+  Base.CacheSize = 0;
+  SynthesisResult Plain = runWith(Data, Base);
+  RunKnobs K = Base;
+  K.SpeculateDepth = 2;
+  K.Threads = 4;
+  expectIdentical(Plain, runWith(Data, K));
+}
+
+TEST(SpeculationTest, ComposesWithProposalRatio) {
+  // The node carries the mutator's Q-ratio from expansion time; the
+  // acceptance test must see exactly the value the sequential walk
+  // would recompute.
+  Dataset Data = makeData(GaussTarget, 120, 88);
+  RunKnobs Base;
+  Base.UseProposalRatio = true;
+  SynthesisResult Plain = runWith(Data, Base);
+  RunKnobs K = Base;
+  K.SpeculateDepth = 2;
+  K.Threads = 4;
+  expectIdentical(Plain, runWith(Data, K));
+}
+
+TEST(SpeculationTest, SpeculationTelemetryIsPopulated) {
+  Dataset Data = makeData(GaussTarget, 120, 89);
+  RunKnobs K;
+  K.SpeculateDepth = 3;
+  K.Threads = 4;
+  SynthesisResult R = runWith(Data, K);
+  ASSERT_TRUE(R.Succeeded);
+  // 300 iterations in depth-3 blocks.
+  EXPECT_EQ(R.Stats.SpecBlocks, 100u);
+  // Each block expands at least its realized path.
+  EXPECT_GE(R.Stats.SpecNodes, R.Stats.SpecBlocks * 3);
+  EXPECT_LE(R.Stats.SpecNodes, R.Stats.SpecBlocks * 7);
+  // The realized walk consumed or cache-replayed every iteration; at
+  // least some nodes must have been consumed for speculation to have
+  // paid for anything.
+  EXPECT_GT(R.Stats.SpecConsumed + R.Stats.CacheHits, 0u);
+  // The warm counters certify the chain-lifetime cache: entries
+  // surviving a block rebuild get re-hit.
+  EXPECT_GT(R.Stats.ScoreCacheWarmHits, 0u);
+  // Proposal vectors recycle block over block.
+  EXPECT_GT(R.Stats.ProposalPoolReused, 0u);
+  EXPECT_GT(R.Stats.ProposalPoolAllocated, 0u);
+}
+
+TEST(SpeculationTest, DepthZeroKeepsSpeculationTelemetryZero) {
+  Dataset Data = makeData(GaussTarget, 120, 90);
+  SynthesisResult R = runWith(Data, {});
+  ASSERT_TRUE(R.Succeeded);
+  EXPECT_EQ(R.Stats.SpecBlocks, 0u);
+  EXPECT_EQ(R.Stats.SpecNodes, 0u);
+  EXPECT_EQ(R.Stats.SpecConsumed, 0u);
+  EXPECT_EQ(R.Stats.SpecWasted, 0u);
+  EXPECT_EQ(R.Stats.ScoreCacheWarmHits, 0u);
+  EXPECT_EQ(R.Stats.ScoreCacheWarmEvictions, 0u);
+}
+
+TEST(SpeculationTest, SpeculationStatsAreDeterministicInline) {
+  // With no pool (inline steals only) even the waste/consumption split
+  // is a pure function of the walk: two runs agree exactly.
+  Dataset Data = makeData(GaussTarget, 120, 91);
+  RunKnobs K;
+  K.SpeculateDepth = 2;
+  SynthesisResult A = runWith(Data, K);
+  SynthesisResult B = runWith(Data, K);
+  EXPECT_EQ(A.Stats.SpecBlocks, B.Stats.SpecBlocks);
+  EXPECT_EQ(A.Stats.SpecNodes, B.Stats.SpecNodes);
+  EXPECT_EQ(A.Stats.SpecConsumed, B.Stats.SpecConsumed);
+  EXPECT_EQ(A.Stats.SpecWasted, B.Stats.SpecWasted);
+  EXPECT_EQ(A.Stats.SpecCancelledEarly, B.Stats.SpecCancelledEarly);
+  EXPECT_EQ(A.Stats.SpecPeekResolved, B.Stats.SpecPeekResolved);
+  EXPECT_EQ(A.Stats.ProposalPoolReused, B.Stats.ProposalPoolReused);
+  EXPECT_EQ(A.Stats.ProposalPoolAllocated, B.Stats.ProposalPoolAllocated);
+  EXPECT_EQ(A.Stats.ScoreCacheWarmHits, B.Stats.ScoreCacheWarmHits);
+  EXPECT_EQ(A.Stats.ScoreCacheWarmEvictions,
+            B.Stats.ScoreCacheWarmEvictions);
+}
