@@ -1,0 +1,409 @@
+//===- analysis/DependenceGraph.cpp - Hole→observe dependence -------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceGraph.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace psketch;
+
+namespace {
+
+/// Rounds of the loop mask fixpoint before giving up.  The join makes
+/// the environment strictly monotone, so convergence needs at most
+/// 64 × |vars| rounds; the cap is a defensive bound — on hitting it,
+/// every variable the loop body assigns saturates to all-ones.
+constexpr unsigned MaxMaskFixpointRounds = 256;
+
+/// Largest hole id seen in an expression tree (~0u when hole-free).
+void maxHoleId(const Expr &Ex, unsigned &Max, bool &Any) {
+  switch (Ex.getKind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::Var:
+  case Expr::Kind::HoleArg:
+    return;
+  case Expr::Kind::Index:
+    maxHoleId(cast<IndexExpr>(Ex).getIndex(), Max, Any);
+    return;
+  case Expr::Kind::Unary:
+    maxHoleId(cast<UnaryExpr>(Ex).getSub(), Max, Any);
+    return;
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(Ex);
+    maxHoleId(B.getLHS(), Max, Any);
+    maxHoleId(B.getRHS(), Max, Any);
+    return;
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(Ex);
+    maxHoleId(I.getCond(), Max, Any);
+    maxHoleId(I.getThen(), Max, Any);
+    maxHoleId(I.getElse(), Max, Any);
+    return;
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(Ex);
+    for (const ExprPtr &A : S.getArgs())
+      maxHoleId(*A, Max, Any);
+    return;
+  }
+  case Expr::Kind::Hole: {
+    const auto &H = cast<HoleExpr>(Ex);
+    Any = true;
+    Max = std::max(Max, H.getHoleId());
+    for (const ExprPtr &A : H.getArgs())
+      maxHoleId(*A, Max, Any);
+    return;
+  }
+  }
+}
+
+void maxHoleId(const std::vector<StmtPtr> &Stmts, unsigned &Max, bool &Any) {
+  for (const StmtPtr &SP : Stmts) {
+    const Stmt &S = *SP;
+    switch (S.getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto &A = cast<AssignStmt>(S);
+      if (A.getTarget().Index)
+        maxHoleId(*A.getTarget().Index, Max, Any);
+      maxHoleId(A.getValue(), Max, Any);
+      break;
+    }
+    case Stmt::Kind::Observe:
+      maxHoleId(cast<ObserveStmt>(S).getCond(), Max, Any);
+      break;
+    case Stmt::Kind::Block:
+      maxHoleId(cast<BlockStmt>(S).getStmts(), Max, Any);
+      break;
+    case Stmt::Kind::If: {
+      const auto &I = cast<IfStmt>(S);
+      maxHoleId(I.getCond(), Max, Any);
+      maxHoleId(I.getThen().getStmts(), Max, Any);
+      maxHoleId(I.getElse().getStmts(), Max, Any);
+      break;
+    }
+    case Stmt::Kind::For: {
+      const auto &F = cast<ForStmt>(S);
+      maxHoleId(F.getLo(), Max, Any);
+      maxHoleId(F.getHi(), Max, Any);
+      maxHoleId(F.getBody().getStmts(), Max, Any);
+      break;
+    }
+    case Stmt::Kind::Skip:
+      break;
+    }
+  }
+}
+
+/// The walker: one forward pass (loops to fixpoint) propagating hole
+/// masks through an environment keyed by variable name — array
+/// elements share their base name's summary cell (weak updates).
+struct MaskWalker {
+  /// Variable names whose *reads* are data references (observed
+  /// columns): either the raw-build column set or the lowered-build
+  /// observed map.  The cells themselves still accumulate masks — the
+  /// density term of an observed slot depends on its accumulated
+  /// value, only reads of it are cut.
+  const std::set<std::string> *CutSet = nullptr;
+  const std::unordered_map<std::string, unsigned> *CutMap = nullptr;
+  bool SaturateAll = false;
+
+  std::unordered_map<std::string, HoleMask> Env;
+  HoleMask Rho = 0;
+  std::vector<const ObserveStmt *> ObserveOrder;
+  std::unordered_map<const ObserveStmt *, HoleMask> ObserveMask;
+
+  bool isCutRead(const std::string &Name) const {
+    if (CutSet)
+      return CutSet->count(Name) != 0;
+    if (CutMap)
+      return CutMap->count(Name) != 0;
+    return false;
+  }
+
+  HoleMask bit(unsigned H) const {
+    return (SaturateAll || H >= 64) ? ~HoleMask(0) : HoleMask(1) << H;
+  }
+
+  HoleMask envMask(const std::string &Name) const {
+    auto It = Env.find(Name);
+    return It == Env.end() ? 0 : It->second;
+  }
+
+  /// Mask of an array-element read: joins the base-name summary with
+  /// every per-element cell (lowered programs scalarize `a[i]` into
+  /// slots named `a[0]`, `a[1]`, ...), skipping cut element names.
+  HoleMask arrayReadMask(const std::string &Base) const {
+    HoleMask M = isCutRead(Base) ? 0 : envMask(Base);
+    const std::string Prefix = Base + "[";
+    for (const auto &[Name, Mask] : Env)
+      if (Name.compare(0, Prefix.size(), Prefix) == 0 && !isCutRead(Name))
+        M |= Mask;
+    return M;
+  }
+
+  HoleMask exprMask(const Expr &Ex) const {
+    switch (Ex.getKind()) {
+    case Expr::Kind::Const:
+      return 0;
+    case Expr::Kind::Var: {
+      const std::string &Name = cast<VarExpr>(Ex).getName();
+      return isCutRead(Name) ? 0 : envMask(Name);
+    }
+    case Expr::Kind::Index: {
+      const auto &Ix = cast<IndexExpr>(Ex);
+      // Which element is read depends on the index, so its mask joins
+      // the element masks.
+      return arrayReadMask(Ix.getArrayName()) | exprMask(Ix.getIndex());
+    }
+    case Expr::Kind::HoleArg:
+      // Only legal inside completions, which this walker never enters:
+      // a hole's own bit covers whatever its completion reads.
+      return 0;
+    case Expr::Kind::Unary:
+      return exprMask(cast<UnaryExpr>(Ex).getSub());
+    case Expr::Kind::Binary: {
+      const auto &B = cast<BinaryExpr>(Ex);
+      return exprMask(B.getLHS()) | exprMask(B.getRHS());
+    }
+    case Expr::Kind::Ite: {
+      const auto &I = cast<IteExpr>(Ex);
+      return exprMask(I.getCond()) | exprMask(I.getThen()) |
+             exprMask(I.getElse());
+    }
+    case Expr::Kind::Sample: {
+      const auto &S = cast<SampleExpr>(Ex);
+      HoleMask M = 0;
+      for (const ExprPtr &A : S.getArgs())
+        M |= exprMask(*A);
+      return M;
+    }
+    case Expr::Kind::Hole: {
+      const auto &H = cast<HoleExpr>(Ex);
+      HoleMask M = bit(H.getHoleId());
+      for (const ExprPtr &A : H.getArgs())
+        M |= exprMask(*A);
+      return M;
+    }
+    }
+    return ~HoleMask(0);
+  }
+
+  void recordObserve(const ObserveStmt &O, HoleMask M) {
+    auto [It, Inserted] = ObserveMask.emplace(&O, M);
+    if (Inserted)
+      ObserveOrder.push_back(&O);
+    else
+      It->second |= M; // Loop revisits join monotonically.
+    Rho |= M;
+  }
+
+  /// Names the statements can assign (loop saturation fallback).
+  static void assignedNames(const std::vector<StmtPtr> &Stmts,
+                            std::set<std::string> &Names) {
+    for (const StmtPtr &SP : Stmts) {
+      const Stmt &S = *SP;
+      switch (S.getKind()) {
+      case Stmt::Kind::Assign:
+        Names.insert(cast<AssignStmt>(S).getTarget().Name);
+        break;
+      case Stmt::Kind::Block:
+        assignedNames(cast<BlockStmt>(S).getStmts(), Names);
+        break;
+      case Stmt::Kind::If: {
+        const auto &I = cast<IfStmt>(S);
+        assignedNames(I.getThen().getStmts(), Names);
+        assignedNames(I.getElse().getStmts(), Names);
+        break;
+      }
+      case Stmt::Kind::For:
+        assignedNames(cast<ForStmt>(S).getBody().getStmts(), Names);
+        break;
+      case Stmt::Kind::Observe:
+      case Stmt::Kind::Skip:
+        break;
+      }
+    }
+  }
+
+  /// \p Control is the mask of every enclosing branch condition and
+  /// loop bound: it taints assignments (which value survives depends
+  /// on the path taken) and observes (their factor is weighted by the
+  /// enclosing branch probabilities).
+  void walkStmts(const std::vector<StmtPtr> &Stmts, HoleMask Control) {
+    for (const StmtPtr &SP : Stmts) {
+      const Stmt &S = *SP;
+      switch (S.getKind()) {
+      case Stmt::Kind::Assign: {
+        const auto &A = cast<AssignStmt>(S);
+        HoleMask M = exprMask(A.getValue()) | Control;
+        if (A.getTarget().isArrayElement()) {
+          // Weak update on the base-name summary cell: any element may
+          // hold this value afterwards, none loses its old one.
+          M |= exprMask(*A.getTarget().Index);
+          Env[A.getTarget().Name] |= M;
+        } else {
+          Env[A.getTarget().Name] = M;
+        }
+        break;
+      }
+      case Stmt::Kind::Observe: {
+        const auto &O = cast<ObserveStmt>(S);
+        recordObserve(O, exprMask(O.getCond()) | Control);
+        break;
+      }
+      case Stmt::Kind::Block:
+        walkStmts(cast<BlockStmt>(S).getStmts(), Control);
+        break;
+      case Stmt::Kind::If: {
+        const auto &I = cast<IfStmt>(S);
+        HoleMask CondM = exprMask(I.getCond());
+        // rho ← rho · (p·rho1 + (1−p)·rho2) always multiplies a
+        // p-dependent factor in, observes or not: p + (1−p) ≠ 1 in
+        // floating point, so the product depends on the condition.
+        Rho |= CondM | Control;
+        std::unordered_map<std::string, HoleMask> Pre = Env;
+        walkStmts(I.getThen().getStmts(), Control | CondM);
+        std::unordered_map<std::string, HoleMask> ThenEnv = std::move(Env);
+        Env = Pre;
+        walkStmts(I.getElse().getStmts(), Control | CondM);
+        // envmerge: a slot either branch touched becomes
+        // ite(cond, then, else) — join both branch masks plus the
+        // condition's.  Untouched slots keep their pre-branch mask.
+        // The walk never erases keys, so ThenEnv and Env (now the else
+        // state) are both supersets of Pre.
+        for (const auto &[Name, ThenM] : ThenEnv) {
+          auto ElseIt = Env.find(Name);
+          HoleMask ElseM = ElseIt == Env.end() ? 0 : ElseIt->second;
+          auto PreIt = Pre.find(Name);
+          bool InPre = PreIt != Pre.end();
+          HoleMask PreM = InPre ? PreIt->second : 0;
+          bool Touched = !InPre || ThenM != PreM || ElseM != PreM;
+          HoleMask Merged = Touched ? (ThenM | ElseM | CondM) : PreM;
+          Env[Name] = Merged;
+        }
+        for (auto &[Name, ElseM] : Env) {
+          if (ThenEnv.count(Name))
+            continue; // Merged above.
+          // Else-only addition (absent from Pre too, since the walk
+          // only adds keys).
+          ElseM |= CondM;
+        }
+        break;
+      }
+      case Stmt::Kind::For: {
+        const auto &F = cast<ForStmt>(S);
+        HoleMask BoundM = exprMask(F.getLo()) | exprMask(F.getHi());
+        HoleMask Inner = Control | BoundM;
+        // The index variable is concrete at every unrolled iteration;
+        // only hole-dependent bounds taint it.
+        Env[F.getIndexVar()] = BoundM;
+        // Monotone fixpoint: each round re-walks the body, then joins
+        // with the round's entry state so the result covers executing
+        // zero, one, or many more iterations.
+        unsigned Round = 0;
+        for (; Round != MaxMaskFixpointRounds; ++Round) {
+          std::unordered_map<std::string, HoleMask> Start = Env;
+          HoleMask StartRho = Rho;
+          auto StartObs = ObserveMask;
+          walkStmts(F.getBody().getStmts(), Inner);
+          for (const auto &[Name, M] : Start)
+            Env[Name] |= M;
+          if (Env == Start && Rho == StartRho && ObserveMask == StartObs)
+            break;
+        }
+        if (Round == MaxMaskFixpointRounds) {
+          // Defensive saturation: everything the body can assign — and
+          // rho — is assumed to depend on every hole.
+          std::set<std::string> Names;
+          assignedNames(F.getBody().getStmts(), Names);
+          for (const std::string &Name : Names)
+            Env[Name] = ~HoleMask(0);
+          Rho = ~HoleMask(0);
+          for (auto &[Site, M] : ObserveMask)
+            M = ~HoleMask(0);
+        }
+        break;
+      }
+      case Stmt::Kind::Skip:
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+DependenceGraph
+DependenceGraph::build(const Program &P,
+                       const std::set<std::string> *ObservedColumns) {
+  DependenceGraph G;
+  unsigned Max = 0;
+  bool Any = false;
+  maxHoleId(P.getBody().getStmts(), Max, Any);
+  G.NumHoles = Any ? Max + 1 : 0;
+  G.Saturated = Any && Max >= 64;
+
+  MaskWalker W;
+  W.CutSet = ObservedColumns;
+  W.SaturateAll = G.Saturated;
+  W.walkStmts(P.getBody().getStmts(), 0);
+
+  G.Rho = W.Rho;
+  for (const ObserveStmt *O : W.ObserveOrder)
+    G.Observes.push_back({O, W.ObserveMask[O]});
+  // Sinks: every observed column the program models (these are the
+  // likelihood's density terms — name-ascending, the std::set order),
+  // then any returned variable not already among them.
+  std::set<std::string> Emitted;
+  if (ObservedColumns) {
+    for (const std::string &Name : *ObservedColumns) {
+      if (!W.Env.count(Name))
+        continue;
+      G.Outputs.push_back({Name, W.envMask(Name)});
+      Emitted.insert(Name);
+    }
+  }
+  for (const std::string &Name : P.getReturns())
+    if (Emitted.insert(Name).second)
+      G.Outputs.push_back({Name, W.envMask(Name)});
+  G.FinalEnv = std::move(W.Env);
+  return G;
+}
+
+DependenceGraph
+DependenceGraph::build(const LoweredProgram &LP,
+                       const std::unordered_map<std::string, unsigned>
+                           &Observed) {
+  DependenceGraph G;
+  unsigned Max = 0;
+  bool Any = false;
+  maxHoleId(LP.Stmts, Max, Any);
+  G.NumHoles = Any ? Max + 1 : 0;
+  G.Saturated = Any && Max >= 64;
+
+  MaskWalker W;
+  W.CutMap = &Observed;
+  W.SaturateAll = G.Saturated;
+  W.walkStmts(LP.Stmts, 0);
+
+  G.Rho = W.Rho;
+  for (const ObserveStmt *O : W.ObserveOrder)
+    G.Observes.push_back({O, W.ObserveMask[O]});
+  // Outputs = the modeled observed slots, column-ascending — the term
+  // order of LLExecutor::runTerms.
+  std::vector<std::pair<unsigned, std::string>> Ordered;
+  for (const auto &[Name, Col] : Observed)
+    if (LP.slotId(Name) != ~0u)
+      Ordered.emplace_back(Col, Name);
+  std::sort(Ordered.begin(), Ordered.end());
+  for (const auto &[Col, Name] : Ordered)
+    G.Outputs.push_back({Name, W.envMask(Name)});
+  G.FinalEnv = std::move(W.Env);
+  return G;
+}

@@ -1,0 +1,153 @@
+//===- analysis/DependenceGraph.h - Hole→observe dependence ---------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement-level def-use/dependence analysis over programs: for every
+/// hole, which observe statements, returned outputs and branch weights
+/// its completion can transitively influence — through assignments,
+/// probabilistic assignments, branch conditions and weak array
+/// summaries (DESIGN.md §14; in the spirit of slicing for probabilistic
+/// programs, Hur et al. PLDI 2014).
+///
+/// Dependence is tracked as a per-variable bitmask of hole ids
+/// (HoleMask).  Reads of *observed* slots (dataset columns) carry no
+/// dependence — the LL(.) executor turns them into DataRef nodes — but
+/// an observed slot's own accumulated value does, which is exactly what
+/// its log-density term depends on.  Every `if` condition is part of
+/// the constraint product's mask: LL multiplies rho by
+/// p·rho1 + (1−p)·rho2, and p + (1−p) is not exactly 1 in floating
+/// point, so rho numerically depends on every branch condition whether
+/// or not the branches observe anything.
+///
+/// The analysis is deliberately conservative (may over-approximate a
+/// hole's reach, never under-approximate): clients use it to *skip*
+/// work — factored-likelihood group caching and dead-proposal pruning
+/// in synth, disconnected-observe/unreachable-statement lints — so
+/// soundness means extra masks are harmless and missing masks are not.
+/// Programs with 64 or more holes saturate every mask to all-ones,
+/// degrading cleanly to "everything depends on everything".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_DEPENDENCEGRAPH_H
+#define PSKETCH_ANALYSIS_DEPENDENCEGRAPH_H
+
+#include "ast/Program.h"
+#include "sem/Lower.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace psketch {
+
+/// Bitmask over hole ids 0..63.  Saturated (all-ones) when the program
+/// has a hole id >= 64.
+using HoleMask = std::uint64_t;
+
+/// The dependence mask of one observe statement: holes whose value can
+/// reach its condition (including the conditions of enclosing
+/// branches).
+struct ObserveDependence {
+  const ObserveStmt *Site = nullptr;
+  HoleMask Mask = 0;
+};
+
+/// The dependence mask of one program output: for a raw-program build,
+/// a returned variable; for a lowered build, a modeled observed column
+/// (whose log-density term depends on exactly this mask).
+struct OutputDependence {
+  std::string Slot;
+  HoleMask Mask = 0;
+};
+
+/// The hole→sink dependence summary of one program.  Build once per
+/// sketch; queries are O(1) or O(sinks).
+class DependenceGraph {
+public:
+  /// Analyzes a raw (unlowered) program: loops run to a monotone mask
+  /// fixpoint (weak array summaries by base name), outputs are the
+  /// returned variables in declaration order.  \p ObservedColumns,
+  /// when non-null, names the dataset columns — reads of those
+  /// variables carry no dependence, matching the lowered semantics.
+  static DependenceGraph build(const Program &P,
+                               const std::set<std::string> *ObservedColumns =
+                                   nullptr);
+
+  /// Analyzes a lowered program against the observed-slot map of a
+  /// dataset (see observedSlots in likelihood/Likelihood.h): outputs
+  /// are the modeled observed slots in column-ascending order — the
+  /// exact term order of the factored likelihood.
+  static DependenceGraph
+  build(const LoweredProgram &LP,
+        const std::unordered_map<std::string, unsigned> &Observed);
+
+  /// Bit of hole \p H under this graph's saturation state.
+  HoleMask holeBit(unsigned H) const {
+    return (Saturated || H >= 64) ? ~HoleMask(0) : HoleMask(1) << H;
+  }
+
+  /// Number of holes (max hole id + 1; 0 for a hole-free program).
+  unsigned numHoles() const { return NumHoles; }
+
+  /// True when a hole id >= 64 forced every mask to all-ones.
+  bool saturated() const { return Saturated; }
+
+  /// Mask with one bit per hole of the program.
+  HoleMask allHolesMask() const {
+    if (NumHoles == 0)
+      return 0;
+    if (Saturated || NumHoles >= 64)
+      return ~HoleMask(0);
+    return (HoleMask(1) << NumHoles) - 1;
+  }
+
+  /// Holes reaching the constraint product rho: every observe condition
+  /// and every branch condition (see file comment).
+  HoleMask rhoMask() const { return Rho; }
+
+  /// Observe statements in first-encounter order.
+  const std::vector<ObserveDependence> &observes() const { return Observes; }
+
+  /// Program outputs (flavor-dependent; see the build overloads).
+  const std::vector<OutputDependence> &outputs() const { return Outputs; }
+
+  /// Final dependence mask of variable/slot \p Name (its accumulated
+  /// value at program end); 0 when never assigned.  Not cut for
+  /// observed slots — this is the mask their density term carries.
+  HoleMask slotMask(const std::string &Name) const {
+    auto It = FinalEnv.find(Name);
+    return It == FinalEnv.end() ? 0 : It->second;
+  }
+
+  /// Holes that can influence rho, an observe, or an output.
+  HoleMask liveMask() const {
+    HoleMask M = Rho;
+    for (const ObserveDependence &O : Observes)
+      M |= O.Mask;
+    for (const OutputDependence &O : Outputs)
+      M |= O.Mask;
+    return M & allHolesMask();
+  }
+
+  /// Holes that provably influence nothing the score depends on:
+  /// mutating only these cannot change any candidate's likelihood.
+  HoleMask deadMask() const { return allHolesMask() & ~liveMask(); }
+
+private:
+  unsigned NumHoles = 0;
+  bool Saturated = false;
+  HoleMask Rho = 0;
+  std::vector<ObserveDependence> Observes;
+  std::vector<OutputDependence> Outputs;
+  std::unordered_map<std::string, HoleMask> FinalEnv;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_DEPENDENCEGRAPH_H

@@ -7,6 +7,7 @@
 #include "analysis/Lint.h"
 
 #include "analysis/CandidateAnalyzer.h"
+#include "analysis/Slicer.h"
 
 #include <sstream>
 
@@ -68,6 +69,34 @@ LintResult psketch::lintProgram(const Program &P, DiagEngine &Diags,
       Error(D.Site->getLoc(), OS.str());
     }
   }
+
+  // Dependence-based rules (Slicer.h).
+  Slicer Slice(P);
+
+  // observe-disconnected-from-holes: only meaningful in a sketch —
+  // with no holes there is nothing synthesis could connect.  Saturated
+  // analyses report all-ones masks, so they stay silent rather than
+  // guessing.
+  if (Slice.graph().numHoles() > 0) {
+    for (const ObserveDependence &O : Slice.graph().observes()) {
+      if (O.Mask != 0)
+        continue;
+      SourceLoc Loc = O.Site->getLoc().isValid()
+                          ? O.Site->getLoc()
+                          : O.Site->getCond().getLoc();
+      Warning(Loc, "observe condition depends on no hole; no completion "
+                   "can change whether it holds");
+    }
+  }
+
+  // unreachable-statement: the assigned value is read somewhere, yet
+  // provably flows into no observe and no returned output.  (Never-read
+  // targets are the unused-variable rule's, above.)
+  for (const AssignStmt *A : Slice.unreachableAssignments())
+    Warning(A->getLoc(), "value assigned to '" + A->getTarget().Name +
+                             "' cannot reach any observe or returned "
+                             "output; the statement has no effect on the "
+                             "program's distribution");
 
   // uncompletable-hole: the completion grammar generates real- and
   // bool-kinded expressions only; a hole typed `int` (array index, loop

@@ -23,6 +23,15 @@
 ///                                    which the completion grammar cannot
 ///                                    produce (holes in array-index /
 ///                                    loop-bound / array-size position)
+///   observe-disconnected-   warning  in a sketch with holes, an observe
+///   from-holes                       condition no hole can flow into —
+///                                    synthesis can never change whether
+///                                    it holds (dependence analysis,
+///                                    DependenceGraph.h)
+///   unreachable-statement   warning  an assigned value is read but
+///                                    provably flows into no observe and
+///                                    no returned output (backward
+///                                    relevance slice, Slicer.h)
 ///
 /// The caller must have run typeCheck() on the program first (lint
 /// relies on hole expected-kind annotations).

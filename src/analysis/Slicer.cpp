@@ -1,0 +1,256 @@
+//===- analysis/Slicer.cpp - Hole/observe slices and renderings -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Slicer.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace psketch;
+
+namespace {
+
+/// Variable names read by an expression (array reads by base name,
+/// hole arguments included — a completion may read any of them).
+void readVars(const Expr &Ex, std::set<std::string> &Out) {
+  switch (Ex.getKind()) {
+  case Expr::Kind::Const:
+  case Expr::Kind::HoleArg:
+    return;
+  case Expr::Kind::Var:
+    Out.insert(cast<VarExpr>(Ex).getName());
+    return;
+  case Expr::Kind::Index: {
+    const auto &Ix = cast<IndexExpr>(Ex);
+    Out.insert(Ix.getArrayName());
+    readVars(Ix.getIndex(), Out);
+    return;
+  }
+  case Expr::Kind::Unary:
+    readVars(cast<UnaryExpr>(Ex).getSub(), Out);
+    return;
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(Ex);
+    readVars(B.getLHS(), Out);
+    readVars(B.getRHS(), Out);
+    return;
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(Ex);
+    readVars(I.getCond(), Out);
+    readVars(I.getThen(), Out);
+    readVars(I.getElse(), Out);
+    return;
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(Ex);
+    for (const ExprPtr &A : S.getArgs())
+      readVars(*A, Out);
+    return;
+  }
+  case Expr::Kind::Hole: {
+    const auto &H = cast<HoleExpr>(Ex);
+    for (const ExprPtr &A : H.getArgs())
+      readVars(*A, Out);
+    return;
+  }
+  }
+}
+
+/// One assignment, flattened with the variables its execution reads —
+/// RHS, array index, and every enclosing branch condition / loop bound
+/// (which decide whether and how often it runs).
+struct FlatAssign {
+  const AssignStmt *S = nullptr;
+  std::string Target;
+  std::set<std::string> Reads;
+};
+
+struct RelevanceCollector {
+  std::vector<FlatAssign> Assigns;
+  std::set<std::string> Sinks;    ///< Vars read by observe conditions.
+  std::set<std::string> EverRead; ///< Vars read anywhere.
+
+  void walk(const std::vector<StmtPtr> &Stmts,
+            const std::set<std::string> &Ctrl) {
+    for (const StmtPtr &SP : Stmts) {
+      const Stmt &S = *SP;
+      switch (S.getKind()) {
+      case Stmt::Kind::Assign: {
+        const auto &A = cast<AssignStmt>(S);
+        FlatAssign F;
+        F.S = &A;
+        F.Target = A.getTarget().Name;
+        F.Reads = Ctrl;
+        readVars(A.getValue(), F.Reads);
+        if (A.getTarget().Index)
+          readVars(*A.getTarget().Index, F.Reads);
+        EverRead.insert(F.Reads.begin(), F.Reads.end());
+        Assigns.push_back(std::move(F));
+        break;
+      }
+      case Stmt::Kind::Observe: {
+        std::set<std::string> R = Ctrl;
+        readVars(cast<ObserveStmt>(S).getCond(), R);
+        EverRead.insert(R.begin(), R.end());
+        Sinks.insert(R.begin(), R.end());
+        break;
+      }
+      case Stmt::Kind::Block:
+        walk(cast<BlockStmt>(S).getStmts(), Ctrl);
+        break;
+      case Stmt::Kind::If: {
+        const auto &I = cast<IfStmt>(S);
+        std::set<std::string> Inner = Ctrl;
+        readVars(I.getCond(), Inner);
+        EverRead.insert(Inner.begin(), Inner.end());
+        walk(I.getThen().getStmts(), Inner);
+        walk(I.getElse().getStmts(), Inner);
+        break;
+      }
+      case Stmt::Kind::For: {
+        const auto &F = cast<ForStmt>(S);
+        std::set<std::string> Inner = Ctrl;
+        readVars(F.getLo(), Inner);
+        readVars(F.getHi(), Inner);
+        EverRead.insert(Inner.begin(), Inner.end());
+        walk(F.getBody().getStmts(), Inner);
+        break;
+      }
+      case Stmt::Kind::Skip:
+        break;
+      }
+    }
+  }
+};
+
+std::string holeLabel(unsigned H) {
+  std::ostringstream OS;
+  OS << "??" << H;
+  return OS.str();
+}
+
+std::string observeLabel(const ObserveStmt &O) {
+  std::ostringstream OS;
+  OS << "observe@" << O.getLoc().Line << ":" << O.getLoc().Col;
+  return OS.str();
+}
+
+} // namespace
+
+Slicer::Slicer(const Program &Prog,
+               const std::set<std::string> *ObservedColumns)
+    : P(Prog), DG(DependenceGraph::build(Prog, ObservedColumns)) {
+  RelevanceCollector C;
+  C.walk(P.getBody().getStmts(), {});
+  // Backward relevance: observe-condition vars and returned outputs
+  // seed the set; any assignment into it pulls in what it reads.
+  Relevant = C.Sinks;
+  Relevant.insert(P.getReturns().begin(), P.getReturns().end());
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const FlatAssign &F : C.Assigns) {
+      if (!Relevant.count(F.Target))
+        continue;
+      for (const std::string &R : F.Reads)
+        Changed |= Relevant.insert(R).second;
+    }
+  }
+  for (const FlatAssign &F : C.Assigns)
+    if (!Relevant.count(F.Target) && C.EverRead.count(F.Target))
+      Unreachable.push_back(F.S);
+}
+
+std::vector<unsigned> Slicer::deadHoles() const {
+  std::vector<unsigned> Dead;
+  HoleMask M = DG.deadMask();
+  for (unsigned H = 0; H != DG.numHoles() && H < 64; ++H)
+    if (M >> H & 1)
+      Dead.push_back(H);
+  return Dead;
+}
+
+std::string Slicer::matrixReport() const {
+  std::ostringstream OS;
+  OS << "program " << P.getName() << ": " << DG.numHoles() << " hole(s), "
+     << DG.observes().size() << " observe(s), " << DG.outputs().size()
+     << " output(s)\n";
+  if (DG.saturated())
+    OS << "note: >= 64 holes; dependence saturated (every hole assumed "
+          "live)\n";
+  // Sink labels first so the sink column can be width-padded.
+  std::vector<std::pair<std::string, HoleMask>> Rows;
+  Rows.emplace_back("rho (branch weights)", DG.rhoMask());
+  for (const ObserveDependence &O : DG.observes())
+    Rows.emplace_back(observeLabel(*O.Site), O.Mask);
+  for (const OutputDependence &O : DG.outputs())
+    Rows.emplace_back("output " + O.Slot, O.Mask);
+  size_t Width = std::string("sink").size();
+  for (const auto &[Label, Mask] : Rows)
+    Width = std::max(Width, Label.size());
+  auto Pad = [&](const std::string &S) {
+    std::string Out = S;
+    Out.resize(Width, ' ');
+    return Out;
+  };
+  OS << Pad("sink") << " |";
+  for (unsigned H = 0; H != DG.numHoles(); ++H)
+    OS << " " << holeLabel(H);
+  OS << "\n";
+  for (const auto &[Label, Mask] : Rows) {
+    OS << Pad(Label) << " |";
+    for (unsigned H = 0; H != DG.numHoles(); ++H) {
+      // Center the mark under the ??N header.
+      std::string Mark((Mask & DG.holeBit(H)) != 0 ? "X" : ".");
+      std::string Cell = holeLabel(H);
+      std::fill(Cell.begin(), Cell.end(), ' ');
+      Cell[Cell.size() / 2] = Mark[0];
+      OS << " " << Cell;
+    }
+    OS << "\n";
+  }
+  std::vector<unsigned> Dead = deadHoles();
+  OS << "dead holes:";
+  if (Dead.empty())
+    OS << " none";
+  else
+    for (unsigned H : Dead)
+      OS << " " << holeLabel(H);
+  OS << "\n";
+  return OS.str();
+}
+
+std::string Slicer::dot() const {
+  std::ostringstream OS;
+  OS << "digraph hole_observe_dependence {\n";
+  OS << "  rankdir=LR;\n";
+  for (unsigned H = 0; H != DG.numHoles(); ++H)
+    OS << "  h" << H << " [label=\"" << holeLabel(H)
+       << "\" shape=circle];\n";
+  OS << "  rho [label=\"rho (branch weights)\" shape=diamond];\n";
+  for (size_t I = 0; I != DG.observes().size(); ++I)
+    OS << "  o" << I << " [label=\""
+       << observeLabel(*DG.observes()[I].Site) << "\" shape=box];\n";
+  for (size_t I = 0; I != DG.outputs().size(); ++I)
+    OS << "  r" << I << " [label=\"output " << DG.outputs()[I].Slot
+       << "\" shape=box];\n";
+  for (unsigned H = 0; H != DG.numHoles(); ++H) {
+    HoleMask Bit = DG.holeBit(H);
+    if (DG.rhoMask() & Bit)
+      OS << "  h" << H << " -> rho;\n";
+    for (size_t I = 0; I != DG.observes().size(); ++I)
+      if (DG.observes()[I].Mask & Bit)
+        OS << "  h" << H << " -> o" << I << ";\n";
+    for (size_t I = 0; I != DG.outputs().size(); ++I)
+      if (DG.outputs()[I].Mask & Bit)
+        OS << "  h" << H << " -> r" << I << ";\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

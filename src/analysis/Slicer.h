@@ -1,0 +1,74 @@
+//===- analysis/Slicer.h - Hole/observe slices and renderings -------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client-facing views of the dependence analysis (DependenceGraph.h):
+/// the `psketch analyze` matrix and DOT renderings, the dead-hole
+/// query behind `synth.slice_skip`, and the backward relevance pass
+/// behind the `unreachable-statement` lint — which variables (and so
+/// which assignments) can flow into any observe condition or returned
+/// output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_ANALYSIS_SLICER_H
+#define PSKETCH_ANALYSIS_SLICER_H
+
+#include "analysis/DependenceGraph.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Slice views over one raw program.  Construction runs the dependence
+/// analysis plus a backward variable-relevance fixpoint; the program
+/// must outlive the slicer.
+class Slicer {
+public:
+  /// \p ObservedColumns: dataset column names, when known (`psketch
+  /// analyze --data`); reads of those variables carry no hole
+  /// dependence, matching the compiled likelihood.
+  explicit Slicer(const Program &P,
+                  const std::set<std::string> *ObservedColumns = nullptr);
+
+  const DependenceGraph &graph() const { return DG; }
+
+  /// The hole→sink dependence matrix, plain text: one row per sink
+  /// (the rho branch-weight product, each observe, each output), one
+  /// column per hole.  Stable formatting — CI goldens this.
+  std::string matrixReport() const;
+
+  /// GraphViz rendering of the hole→sink edges.
+  std::string dot() const;
+
+  /// Hole ids that provably influence no observe, no output and no
+  /// branch weight — mutating them cannot change any score.
+  std::vector<unsigned> deadHoles() const;
+
+  /// Variables whose value can flow into an observe condition or a
+  /// returned output (transitively, branch conditions included).
+  const std::set<std::string> &relevantVars() const { return Relevant; }
+
+  /// Assignments (source order) whose target is read somewhere but
+  /// provably flows into no observe and no output — the
+  /// `unreachable-statement` lint's subjects.  Never-read targets are
+  /// excluded: those are the unused-variable lint's business.
+  const std::vector<const AssignStmt *> &unreachableAssignments() const {
+    return Unreachable;
+  }
+
+private:
+  const Program &P;
+  DependenceGraph DG;
+  std::set<std::string> Relevant;
+  std::vector<const AssignStmt *> Unreachable;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_ANALYSIS_SLICER_H

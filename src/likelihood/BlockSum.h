@@ -1,0 +1,60 @@
+//===- likelihood/BlockSum.h - Fixed-shape blocked summation --------------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic per-row summation scheme shared by the monolithic
+/// likelihood evaluator (Likelihood.cpp) and the factored per-term
+/// evaluator (FactoredLikelihood.cpp): Kahan compensation inside each
+/// fixed 512-row block, then a fixed-shape pairwise tree over the block
+/// partials.  Both evaluators must use the exact same shape — it is the
+/// determinism anchor for `--row-threads` and the bit-identity anchor
+/// for `--no-slice-factoring` (DESIGN.md §11, §14).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_BLOCKSUM_H
+#define PSKETCH_LIKELIHOOD_BLOCKSUM_H
+
+#include <cstddef>
+#include <vector>
+
+namespace psketch {
+
+/// Kahan-compensated accumulator for the rows *within* one block; block
+/// partials are then combined by the fixed-shape tree reduction below.
+/// Splitting the sum at the (fixed) block boundaries is what lets the
+/// serial and row-parallel evaluators produce the same bits: every
+/// partial depends only on its own block's rows, and the combination
+/// order is a function of the block count alone.
+struct KahanSum {
+  double Sum = 0, Comp = 0;
+  void add(double X) {
+    double Y = X - Comp;
+    double T = Sum + Y;
+    Comp = (T - Sum) - Y;
+    Sum = T;
+  }
+};
+
+/// Fixed-shape pairwise tree reduction over the block partials, in
+/// place.  The addition tree depends only on P.size(), so the result is
+/// identical however (and on whatever thread) the partials were
+/// produced — the determinism anchor of `--row-threads` (DESIGN.md
+/// §11).  Pairwise combination also keeps the error growth logarithmic
+/// in the block count, matching the intra-block Kahan compensation.
+inline double reduceBlockPartials(std::vector<double> &P) {
+  const size_t N = P.size();
+  if (N == 0)
+    return 0.0;
+  for (size_t Stride = 1; Stride < N; Stride *= 2)
+    for (size_t I = 0; I + Stride < N; I += 2 * Stride)
+      P[I] += P[I + Stride];
+  return P[0];
+}
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_BLOCKSUM_H

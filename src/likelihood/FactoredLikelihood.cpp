@@ -1,0 +1,222 @@
+//===- likelihood/FactoredLikelihood.cpp - Per-term likelihood tapes ------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/FactoredLikelihood.h"
+
+#include "likelihood/BlockSum.h"
+#include "likelihood/RowParallel.h"
+#include "obs/Profiler.h"
+#include "obs/StageTimer.h"
+
+#include <algorithm>
+
+using namespace psketch;
+
+std::optional<FactoredLikelihoodFunction> FactoredLikelihoodFunction::compile(
+    const LoweredProgram &LP, const Dataset &Data, AlgebraConfig Config,
+    const std::vector<ExprPtr> *Completions, const LikelihoodOptions &Opts,
+    CompileScratch *Scratch, const TermPartition &Part,
+    const std::vector<char> *NeedGroup) {
+  if (!Part.valid())
+    return std::nullopt;
+  // Same warm-state preamble as LikelihoodFunction::compile: the
+  // builder storage and the observed-slot tables are shared with the
+  // monolithic path through the one CompileScratch per chain.
+  NumExprBuilder LocalBuilder;
+  NumExprBuilder &B = Scratch ? Scratch->Builder : LocalBuilder;
+  if (Scratch)
+    B.reset();
+  std::unordered_map<std::string, unsigned> LocalObserved;
+  const std::unordered_map<std::string, unsigned> *Observed;
+  if (Scratch) {
+    if (Scratch->ObservedLP != &LP || Scratch->ObservedData != &Data) {
+      Scratch->Observed = observedSlots(LP, Data);
+      Scratch->SlotObservedCol.assign(LP.Slots.size(), ~0u);
+      Scratch->ObservedOrder.clear();
+      for (const auto &[Name, Col] : Scratch->Observed) {
+        unsigned SlotId = LP.slotId(Name);
+        if (SlotId == ~0u)
+          continue; // Observed column the program does not model.
+        Scratch->SlotObservedCol[SlotId] = Col;
+        Scratch->ObservedOrder.emplace_back(Col, SlotId);
+      }
+      std::sort(Scratch->ObservedOrder.begin(),
+                Scratch->ObservedOrder.end());
+      Scratch->ObservedLP = &LP;
+      Scratch->ObservedData = &Data;
+    }
+    Observed = &Scratch->Observed;
+  } else {
+    LocalObserved = observedSlots(LP, Data);
+    Observed = &LocalObserved;
+  }
+  MoGAlgebra Algebra(B, Config);
+  LLExecutor Exec(Algebra, *Observed);
+  if (Scratch)
+    Exec.setResolvedObserved(&Scratch->SlotObservedCol,
+                             &Scratch->ObservedOrder);
+  if (Completions)
+    Exec.setCompletions(Completions);
+  std::optional<LLExecutor::TermRoots> Roots = Exec.runTerms(LP);
+  if (!Roots)
+    return std::nullopt;
+
+  FactoredLikelihoodFunction F;
+  F.Part = Part;
+  const unsigned NumTerms = 1 + unsigned(Roots->Terms.size());
+  if (Part.GroupOfTerm.size() != NumTerms)
+    return std::nullopt; // Partition was computed for a different schema.
+  if (NeedGroup && NeedGroup->size() != Part.NumGroups)
+    return std::nullopt;
+  F.GroupTerms.assign(Part.NumGroups, {});
+  for (unsigned T = 0; T != NumTerms; ++T)
+    F.GroupTerms[Part.GroupOfTerm[T]].push_back(T);
+
+  auto TakeDonor = [&]() -> std::shared_ptr<Tape> {
+    while (Scratch && !Scratch->RecycledTermTapes.empty()) {
+      std::shared_ptr<Tape> D = std::move(Scratch->RecycledTermTapes.back());
+      Scratch->RecycledTermTapes.pop_back();
+      // Donate only sole-owner tapes — a still-shared tape may be
+      // evaluating elsewhere (same rule as the monolithic recycler).
+      if (D && D.use_count() == 1)
+        return D;
+    }
+    return nullptr;
+  };
+
+  F.TermTapes.assign(NumTerms, nullptr);
+  for (unsigned T = 0; T != NumTerms; ++T) {
+    if (NeedGroup && !(*NeedGroup)[Part.GroupOfTerm[T]])
+      continue; // Served from the caller's group-value cache.
+    NumId Root = T == 0 ? Roots->Rho : Roots->Terms[T - 1];
+    NumId TapeRoot = Root;
+    if (Opts.Simplify) {
+      SimplifyOptions SO;
+      SO.FastMath = Opts.Tape.FastTape;
+      SimplifyStats Stats;
+      TapeRoot = simplifyNumExpr(B, Root, SO, &Stats);
+      F.RawSize += Stats.NodesIn;
+    } else {
+      F.RawSize += liveNodeCount(B, Root);
+    }
+    std::shared_ptr<Tape> Donor = TakeDonor();
+    F.TermTapes[T] =
+        std::make_shared<Tape>(B, TapeRoot, Opts.Tape, Donor.get());
+  }
+  if (Scratch) {
+    F.BatchScratch = std::move(Scratch->RecBatchScratch);
+    F.IncScratch = std::move(Scratch->RecIncScratch);
+  }
+  return F;
+}
+
+void FactoredLikelihoodFunction::recycleStorage(CompileScratch &S) {
+  for (std::shared_ptr<Tape> &T : TermTapes)
+    if (T)
+      S.RecycledTermTapes.push_back(std::move(T));
+  TermTapes.clear();
+  S.RecBatchScratch = std::move(BatchScratch);
+  S.RecIncScratch = std::move(IncScratch);
+}
+
+size_t FactoredLikelihoodFunction::tapeSize() const {
+  size_t Sum = 0;
+  for (const std::shared_ptr<Tape> &T : TermTapes)
+    if (T)
+      Sum += T->size();
+  return Sum;
+}
+
+size_t FactoredLikelihoodFunction::numFused() const {
+  size_t Sum = 0;
+  for (const std::shared_ptr<Tape> &T : TermTapes)
+    if (T)
+      Sum += T->numFused();
+  return Sum;
+}
+
+void FactoredLikelihoodFunction::evalGroupRows(
+    unsigned G, const ColumnarDataset &Cols,
+    std::vector<std::vector<double>> &Out, ColumnCache *Cache,
+    RowEvalContext *Par) const {
+  ScopedStage Span(Stage::EvalBatch);
+  constexpr size_t BlockRows = LikelihoodFunction::BatchBlockRows;
+  const std::vector<unsigned> &Terms = GroupTerms[G];
+  const size_t Rows = Cols.numRows();
+  const size_t NumBlocks = (Rows + BlockRows - 1) / BlockRows;
+  Out.resize(Terms.size());
+  for (std::vector<double> &V : Out)
+    V.resize(Rows);
+  // Writes land at term-row offsets — disjoint ranges per block — so
+  // row workers share the output vectors without synchronization, like
+  // the monolithic BlockPartials array.
+  if (Par && Par->workers() > 1 && NumBlocks > 1) {
+    Par->forEachBlock(
+        NumBlocks, [&](size_t Blk, RowEvalContext::WorkerSlot &S) {
+          const size_t Begin = Blk * BlockRows;
+          const size_t N = std::min(BlockRows, Rows - Begin);
+          ProfTick WTick(threadTapeProfile());
+          WTick.charge(ProfileCostCenter::Dispatch);
+          for (size_t I = 0; I != Terms.size(); ++I) {
+            const Tape &T = *TermTapes[Terms[I]];
+            if (Cache)
+              T.evalIncremental(Cols, Begin, N, Out[I].data() + Begin,
+                                *Cache, S.Inc);
+            else
+              T.evalBatch(Cols, Begin, N, Out[I].data() + Begin,
+                          S.BatchScratch);
+          }
+          WTick.reset();
+        });
+    return;
+  }
+  ProfTick Tick(threadTapeProfile());
+  for (size_t Blk = 0; Blk != NumBlocks; ++Blk) {
+    const size_t Begin = Blk * BlockRows;
+    const size_t N = std::min(BlockRows, Rows - Begin);
+    Tick.charge(ProfileCostCenter::Dispatch);
+    for (size_t I = 0; I != Terms.size(); ++I) {
+      const Tape &T = *TermTapes[Terms[I]];
+      if (Cache)
+        T.evalIncremental(Cols, Begin, N, Out[I].data() + Begin, *Cache,
+                          IncScratch);
+      else
+        T.evalBatch(Cols, Begin, N, Out[I].data() + Begin, BatchScratch);
+    }
+    Tick.reset();
+  }
+}
+
+double psketch::factoredLogLikelihood(
+    const std::vector<const std::vector<double> *> &TermRows, size_t Rows,
+    std::vector<double> &BlockPartials) {
+  constexpr size_t BlockRows = LikelihoodFunction::BatchBlockRows;
+  const size_t NumBlocks = (Rows + BlockRows - 1) / BlockRows;
+  BlockPartials.assign(NumBlocks, 0.0);
+  if (TermRows.empty())
+    return 0.0;
+  ProfTick Tick(threadTapeProfile());
+  for (size_t Blk = 0; Blk != NumBlocks; ++Blk) {
+    const size_t Begin = Blk * BlockRows;
+    const size_t N = std::min(BlockRows, Rows - Begin);
+    KahanSum Partial;
+    for (size_t I = 0; I != N; ++I) {
+      const size_t R = Begin + I;
+      // The monolithic tape's final fold is a left-to-right Add chain
+      // over the terms (LLOperator.cpp); re-adding the term values in
+      // the same order reproduces its per-row double bit for bit.
+      double V = (*TermRows[0])[R];
+      for (size_t T = 1; T != TermRows.size(); ++T)
+        V += (*TermRows[T])[R];
+      Partial.add(V);
+    }
+    BlockPartials[Blk] = Partial.Sum;
+    Tick.chargeOp(TapeSumOpIndex, N);
+  }
+  double Total = reduceBlockPartials(BlockPartials);
+  Tick.charge(ProfileCostCenter::BlockSum);
+  return Total;
+}

@@ -1,0 +1,135 @@
+//===- likelihood/FactoredLikelihood.h - Per-term likelihood tapes --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The factored (slice-grouped) likelihood path (DESIGN.md §14): instead
+/// of one monolithic per-row tape, one tape per *additive term* of the
+/// per-row log-likelihood — the log-constraint term log(max(rho, tiny))
+/// plus one log-density term per modeled observed column.  Terms are
+/// grouped by hole footprint (likelihood is layering-agnostic: the
+/// grouping arrives as a plain TermPartition, computed by the synth
+/// layer from analysis/DependenceGraph.h), so a caller that caches
+/// group values only re-evaluates the groups whose footprint a mutation
+/// touched.
+///
+/// Bit-identity contract: each term root is built by the same factory
+/// calls as the corresponding summand of the monolithic chain
+/// (LLExecutor::runTerms), the simplifier is value-preserving per root,
+/// and recombination re-adds the per-row term values in the exact chain
+/// order before the same per-block Kahan + tree reduction (BlockSum.h) —
+/// so the total equals the monolithic LikelihoodFunction total bit for
+/// bit.  The synthesizer's `--no-slice-factoring` differential and
+/// tests/likelihood/FactoredLikelihoodTest.cpp enforce this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_LIKELIHOOD_FACTOREDLIKELIHOOD_H
+#define PSKETCH_LIKELIHOOD_FACTOREDLIKELIHOOD_H
+
+#include "likelihood/Likelihood.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace psketch {
+
+/// Assignment of likelihood terms to evaluation groups.  Term 0 is the
+/// rho (log-constraint) term; terms 1..N the modeled observed columns
+/// in LLExecutor's deterministic column-ascending order.  Group ids are
+/// dense in [0, NumGroups).  Plain data so the likelihood layer does
+/// not depend on the analysis layer that computes it.
+struct TermPartition {
+  std::vector<unsigned> GroupOfTerm;
+  unsigned NumGroups = 0;
+
+  bool valid() const {
+    if (GroupOfTerm.empty() || NumGroups == 0)
+      return false;
+    for (unsigned G : GroupOfTerm)
+      if (G >= NumGroups)
+        return false;
+    return true;
+  }
+};
+
+/// A compiled per-program likelihood function split into per-term
+/// tapes.  Produces the same per-row values and the same total as
+/// LikelihoodFunction, term group by term group.
+class FactoredLikelihoodFunction {
+public:
+  /// Compiles \p LP against \p Data like LikelihoodFunction::compile,
+  /// but builds one tape per likelihood term of \p Part.  With
+  /// \p NeedGroup (size NumGroups), only the terms of flagged groups
+  /// are simplified and tape-compiled — callers serving the other
+  /// groups from a value cache skip their compile cost entirely.
+  /// Returns nullopt when the candidate is malformed or \p Part does
+  /// not match the program's term count.
+  static std::optional<FactoredLikelihoodFunction>
+  compile(const LoweredProgram &LP, const Dataset &Data,
+          AlgebraConfig Config, const std::vector<ExprPtr> *Completions,
+          const LikelihoodOptions &Opts, CompileScratch *Scratch,
+          const TermPartition &Part,
+          const std::vector<char> *NeedGroup = nullptr);
+
+  unsigned numTerms() const { return unsigned(Part.GroupOfTerm.size()); }
+  unsigned numGroups() const { return Part.NumGroups; }
+
+  /// Term indices of group \p G, ascending.
+  const std::vector<unsigned> &groupTerms(unsigned G) const {
+    return GroupTerms[G];
+  }
+
+  /// Evaluates every term of group \p G over all rows of \p Cols:
+  /// Out[i] receives the per-row values of groupTerms(G)[i] (resized to
+  /// the row count).  Uses the incremental evaluator when \p Cache is
+  /// non-null and farms row blocks to \p Par like the monolithic path;
+  /// per-row values are bit-identical either way.  The group's tapes
+  /// must have been compiled (NeedGroup flagged or omitted).
+  void evalGroupRows(unsigned G, const ColumnarDataset &Cols,
+                     std::vector<std::vector<double>> &Out,
+                     ColumnCache *Cache = nullptr,
+                     RowEvalContext *Par = nullptr) const;
+
+  /// Sum of compiled term-tape instruction counts (telemetry; covers
+  /// only the groups compiled this call).
+  size_t tapeSize() const;
+  /// Live node count before simplification, summed over compiled terms.
+  size_t rawTapeSize() const { return RawSize; }
+  /// Fused superinstructions, summed over compiled terms.
+  size_t numFused() const;
+
+  /// Hands tape storage back to \p S for the next factored compile.
+  void recycleStorage(CompileScratch &S);
+
+private:
+  FactoredLikelihoodFunction() = default;
+
+  TermPartition Part;
+  std::vector<std::vector<unsigned>> GroupTerms;
+  /// One tape per term; null for terms of groups not flagged in
+  /// NeedGroup.
+  std::vector<std::shared_ptr<Tape>> TermTapes;
+  size_t RawSize = 0;
+  // Evaluation scratch (mutable: evaluation is const), reused across
+  // groups; one instance is non-reentrant like LikelihoodFunction.
+  mutable std::vector<double> BatchScratch;
+  mutable IncrementalScratch IncScratch;
+};
+
+/// Recombines per-term row values into the dataset log-likelihood:
+/// per row, chain-adds TermRows[0][r] + TermRows[1][r] + ... left to
+/// right (the monolithic chain order — TermRows[0] must be the rho
+/// term), then Kahan-sums 512-row blocks and tree-reduces the partials
+/// exactly like LikelihoodFunction::logLikelihood.  \p BlockPartials is
+/// caller-owned scratch.  Bit-identical to the monolithic total.
+double factoredLogLikelihood(
+    const std::vector<const std::vector<double> *> &TermRows, size_t Rows,
+    std::vector<double> &BlockPartials);
+
+} // namespace psketch
+
+#endif // PSKETCH_LIKELIHOOD_FACTOREDLIKELIHOOD_H

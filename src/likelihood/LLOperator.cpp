@@ -279,6 +279,51 @@ std::optional<NumId> LLExecutor::run(const LoweredProgram &Lowered) {
   return Root;
 }
 
+std::optional<LLExecutor::TermRoots>
+LLExecutor::runTerms(const LoweredProgram &Lowered) {
+  LP = &Lowered;
+  Malformed = false;
+  Final.assign(LP->Slots.size(), std::nullopt);
+  NumId RhoProduct = B.constant(1.0);
+  if (!execStmts(LP->Stmts, Final, RhoProduct) || Malformed)
+    return std::nullopt;
+  Rho = RhoProduct;
+
+  // Mirrors run()'s final fold with the Adds left out: every term root
+  // below is produced by the identical factory calls on identical
+  // inputs, so each equals the corresponding summand of run()'s chain.
+  TermRoots T;
+  T.Rho = B.log(B.max(Rho, B.constant(TinyProb)));
+  if (ObservedOrder) {
+    T.Terms.reserve(ObservedOrder->size());
+    for (const auto &[Col, SlotId] : *ObservedOrder) {
+      NumId X = B.dataRef(Col);
+      if (!Final[SlotId].has_value()) {
+        T.Terms.push_back(B.constant(std::log(TinyProb)));
+        continue;
+      }
+      T.Terms.push_back(Algebra.logDensityAt(*Final[SlotId], X));
+    }
+    return T;
+  }
+  std::vector<std::pair<std::string, unsigned>> Ordered(Observed.begin(),
+                                                        Observed.end());
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &X, const auto &Y) { return X.second < Y.second; });
+  for (const auto &[Slot, Col] : Ordered) {
+    unsigned SlotId = LP->slotId(Slot);
+    if (SlotId == ~0u)
+      continue; // Observed column the program does not model.
+    NumId X = B.dataRef(Col);
+    if (!Final[SlotId].has_value()) {
+      T.Terms.push_back(B.constant(std::log(TinyProb)));
+      continue;
+    }
+    T.Terms.push_back(Algebra.logDensityAt(*Final[SlotId], X));
+  }
+  return T;
+}
+
 const SymValue *LLExecutor::finalValue(const std::string &Slot) const {
   unsigned SlotId = LP ? LP->slotId(Slot) : ~0u;
   if (SlotId == ~0u || !Final[SlotId].has_value())

@@ -53,6 +53,24 @@ public:
   /// slot that was never written).
   std::optional<NumId> run(const LoweredProgram &LP);
 
+  /// The per-row log-likelihood split into its top-level additive
+  /// terms, in the exact order run() chains them: Rho is the
+  /// log-constraint term `log(max(rho, tiny))`, Terms[i] the log-density
+  /// term of the i-th modeled observed column (column-ascending; a
+  /// `log(tiny)` constant when the program never generates that
+  /// output).  Each root is built by the same factory calls as the
+  /// corresponding summand inside run()'s chain, so re-adding the term
+  /// values left to right — Rho first — reproduces run()'s per-row
+  /// value bit for bit (DESIGN.md §14).
+  struct TermRoots {
+    NumId Rho = 0;
+    std::vector<NumId> Terms;
+  };
+
+  /// Like run(), but returns the un-chained terms for the factored
+  /// likelihood path.  Same nullopt conditions as run().
+  std::optional<TermRoots> runTerms(const LoweredProgram &LP);
+
   /// Pre-resolved observed-slot tables (see CompileScratch): \p SlotCol
   /// maps slot id to dataset column (~0u = latent), \p Order lists the
   /// modeled observed slots as (column, slot id) column-ascending.

@@ -6,6 +6,7 @@
 
 #include "likelihood/Likelihood.h"
 
+#include "likelihood/BlockSum.h"
 #include "likelihood/RowParallel.h"
 #include "obs/Profiler.h"
 #include "obs/StageTimer.h"
@@ -115,42 +116,6 @@ void LikelihoodFunction::recycleStorage(CompileScratch &S) {
   S.RecBatchOut = std::move(BatchOut);
   S.RecIncScratch = std::move(IncScratch);
 }
-
-namespace {
-
-/// Kahan-compensated accumulator for the rows *within* one block; block
-/// partials are then combined by the fixed-shape tree reduction below.
-/// Splitting the sum at the (fixed) block boundaries is what lets the
-/// serial and row-parallel evaluators produce the same bits: every
-/// partial depends only on its own block's rows, and the combination
-/// order is a function of the block count alone.
-struct KahanSum {
-  double Sum = 0, Comp = 0;
-  void add(double X) {
-    double Y = X - Comp;
-    double T = Sum + Y;
-    Comp = (T - Sum) - Y;
-    Sum = T;
-  }
-};
-
-/// Fixed-shape pairwise tree reduction over the block partials, in
-/// place.  The addition tree depends only on P.size(), so the result is
-/// identical however (and on whatever thread) the partials were
-/// produced — the determinism anchor of `--row-threads` (DESIGN.md
-/// §11).  Pairwise combination also keeps the error growth logarithmic
-/// in the block count, matching the intra-block Kahan compensation.
-double reduceBlockPartials(std::vector<double> &P) {
-  const size_t N = P.size();
-  if (N == 0)
-    return 0.0;
-  for (size_t Stride = 1; Stride < N; Stride *= 2)
-    for (size_t I = 0; I + Stride < N; I += 2 * Stride)
-      P[I] += P[I + Stride];
-  return P[0];
-}
-
-} // namespace
 
 double
 LikelihoodFunction::logLikelihoodRow(const std::vector<double> &Row) const {

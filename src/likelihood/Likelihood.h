@@ -72,10 +72,17 @@ struct CompileScratch {
   /// buffers — already sized for this dataset — carry straight over.
   /// Contents are never read, only capacity.
   std::shared_ptr<Tape> RecycledTape;
+  /// Donor pool of the factored path (FactoredLikelihood.h): dead term
+  /// tapes of the previous factored candidate, popped as construction
+  /// donors for the next one's term tapes.  Capacity reuse only.
+  std::vector<std::shared_ptr<Tape>> RecycledTermTapes;
   std::vector<double> RecRowScratch;
   std::vector<double> RecBatchScratch;
   std::vector<double> RecBatchOut;
   IncrementalScratch RecIncScratch;
+  /// Block-partial scratch of the factored recombination
+  /// (factoredLogLikelihood), kept warm like the buffers above.
+  std::vector<double> RecBlockPartials;
 };
 
 /// A compiled per-program likelihood function.

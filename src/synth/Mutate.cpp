@@ -274,8 +274,10 @@ bool Mutator::mutateOnce(std::vector<ExprPtr> &Completions) {
     Applied = applyShrink(Slot);
     break;
   }
-  if (Applied)
+  if (Applied) {
     LastOps.push_back(Op);
+    LastHoles.push_back(HoleIdx);
+  }
   return Applied;
 }
 
@@ -326,6 +328,7 @@ Mutator::proposeInto(const std::vector<ExprPtr> &Completions,
                      ProposalPool *Pool) {
   QRatio = 0;
   LastOps.clear();
+  LastHoles.clear();
   std::vector<ExprPtr> Proposal =
       Pool ? Pool->acquire() : std::vector<ExprPtr>();
   Proposal.reserve(Completions.size());

@@ -174,6 +174,13 @@ public:
   /// zero or no operation applied).
   const std::vector<MutationOp> &lastMutationOps() const { return LastOps; }
 
+  /// Hole ids whose completion the last propose() touched, in
+  /// application order (may repeat).  Empty iff no operation applied —
+  /// then the proposal is a verbatim copy of the input tuple.  The
+  /// synthesizer checks this set against the slice plan's dead mask to
+  /// skip scoring proposals that provably cannot change any score.
+  const std::vector<unsigned> &lastMutatedHoles() const { return LastHoles; }
+
   /// Applies exactly one mutation operation at a random node of the
   /// tuple (exposed for tests).  Returns false if no operation applied.
   bool mutateOnce(std::vector<ExprPtr> &Completions);
@@ -198,6 +205,7 @@ private:
   Rng &R;
   double QRatio = 0;
   std::vector<MutationOp> LastOps;
+  std::vector<unsigned> LastHoles;
 };
 
 } // namespace psketch

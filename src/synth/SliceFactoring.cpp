@@ -1,0 +1,76 @@
+//===- synth/SliceFactoring.cpp - Slice plans and group value caches ------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/SliceFactoring.h"
+
+#include "ast/ASTUtil.h"
+
+#include <map>
+
+using namespace psketch;
+
+SlicePlan psketch::buildSlicePlan(
+    const LoweredProgram &Template,
+    const std::unordered_map<std::string, unsigned> &Observed,
+    unsigned NumHoles) {
+  SlicePlan Plan;
+  if (NumHoles == 0 || NumHoles > 64)
+    return Plan;
+  DependenceGraph DG = DependenceGraph::build(Template, Observed);
+  if (DG.saturated())
+    return Plan;
+  if (DG.numHoles() > NumHoles)
+    return Plan; // Template mentions holes the signature set lacks.
+
+  Plan.AllMask =
+      NumHoles >= 64 ? ~HoleMask(0) : (HoleMask(1) << NumHoles) - 1;
+  // Term 0 is rho; the graph's outputs are the modeled observed
+  // columns in exactly the factored term order.
+  Plan.TermMask.push_back(DG.rhoMask() & Plan.AllMask);
+  for (const OutputDependence &O : DG.outputs())
+    Plan.TermMask.push_back(O.Mask & Plan.AllMask);
+
+  // Group terms by identical mask; group ids in first-seen term order
+  // so the grouping is deterministic.
+  std::map<HoleMask, unsigned> GroupOfMask;
+  for (HoleMask M : Plan.TermMask) {
+    auto [It, Inserted] = GroupOfMask.emplace(M, Plan.NumGroups);
+    if (Inserted) {
+      ++Plan.NumGroups;
+      std::vector<unsigned> Holes;
+      for (unsigned H = 0; H != NumHoles; ++H)
+        if (M >> H & 1)
+          Holes.push_back(H);
+      Plan.GroupHoles.push_back(std::move(Holes));
+    }
+    Plan.GroupOfTerm.push_back(It->second);
+    Plan.LiveMask |= M;
+  }
+  Plan.Usable = true;
+  return Plan;
+}
+
+namespace {
+
+/// splitmix64-style mixer: position-sensitive fold like hashExprTuple.
+std::uint64_t mix(std::uint64_t H, std::uint64_t X) {
+  H ^= X + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  H *= 0xff51afd7ed558ccdULL;
+  H ^= H >> 33;
+  return H;
+}
+
+} // namespace
+
+std::uint64_t psketch::sliceGroupKey(const SlicePlan &Plan, unsigned G,
+                                     const std::vector<ExprPtr>
+                                         &Completions) {
+  std::uint64_t H = 0x534c4943ULL /*"SLIC"*/;
+  H = mix(H, G);
+  for (unsigned Hole : Plan.GroupHoles[G])
+    H = mix(H, hashExpr(*Completions[Hole]));
+  return H;
+}

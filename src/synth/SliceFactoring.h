@@ -1,0 +1,130 @@
+//===- synth/SliceFactoring.h - Slice plans and group value caches --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synth side of the factored likelihood (DESIGN.md §14).  A
+/// SlicePlan is computed once per sketch from the hole→observe
+/// dependence graph (analysis/DependenceGraph.h): each likelihood term
+/// — rho plus one per modeled observed column, in the factored term
+/// order — gets the hole mask its value can depend on, and terms with
+/// identical masks form one evaluation group.  During the MH walk a
+/// chain-private SliceValueCache keeps each group's per-term row
+/// vectors keyed by the group's footprint sub-tuple, so a proposal
+/// that mutates hole H only re-evaluates the groups whose mask
+/// contains H; holes outside every mask (the plan's dead mask) cannot
+/// change any score at all and their proposals skip scoring entirely
+/// (`synth.slice_skip`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_SLICEFACTORING_H
+#define PSKETCH_SYNTH_SLICEFACTORING_H
+
+#include "analysis/DependenceGraph.h"
+#include "likelihood/FactoredLikelihood.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace psketch {
+
+/// The per-sketch factoring plan: term hole-masks, the term→group
+/// partition, and each group's hole footprint.
+struct SlicePlan {
+  /// False when the analysis could not produce a usable plan (no
+  /// holes, saturated masks, schema mismatch): callers fall back to
+  /// the monolithic path and skip nothing.
+  bool Usable = false;
+  /// Hole mask per term; term 0 is rho, terms 1..N the modeled
+  /// observed columns column-ascending (the runTerms order).
+  std::vector<HoleMask> TermMask;
+  /// Dense term→group assignment (terms with equal masks share one
+  /// group, so one cache entry covers them).
+  std::vector<unsigned> GroupOfTerm;
+  unsigned NumGroups = 0;
+  /// Sorted hole ids of each group's mask — the sub-tuple a group's
+  /// cache key hashes.
+  std::vector<std::vector<unsigned>> GroupHoles;
+  /// Union of every term mask: holes that can influence some score.
+  HoleMask LiveMask = 0;
+  /// One bit per hole of the sketch.
+  HoleMask AllMask = 0;
+
+  /// Holes whose mutation provably leaves every term — and so the
+  /// total score — bit-identical.
+  HoleMask deadMask() const { return AllMask & ~LiveMask; }
+
+  /// The plan as the likelihood layer's plain partition.
+  TermPartition partition() const {
+    TermPartition P;
+    P.GroupOfTerm = GroupOfTerm;
+    P.NumGroups = NumGroups;
+    return P;
+  }
+};
+
+/// Builds the plan for \p Template (lowered with KeepHoles) against
+/// the observed-slot map of the dataset.  \p NumHoles is the sketch's
+/// hole count (hole ids are contiguous from 0).  Returns an unusable
+/// plan when the sketch is hole-free or dependence saturated.
+SlicePlan buildSlicePlan(const LoweredProgram &Template,
+                         const std::unordered_map<std::string, unsigned>
+                             &Observed,
+                         unsigned NumHoles);
+
+/// Footprint key of group \p G under a completion tuple: a structural
+/// hash over exactly the completions of the group's holes, in hole-id
+/// order.  Two tuples agreeing on the footprint produce bit-identical
+/// term values for the group, whatever the other holes do.
+std::uint64_t sliceGroupKey(const SlicePlan &Plan, unsigned G,
+                            const std::vector<ExprPtr> &Completions);
+
+/// Chain-private LRU of per-group term row values.  An entry holds one
+/// row vector per member term of the group (group-term order); values
+/// are shared_ptr so an entry can be evicted while a borrower is still
+/// recombining it.
+class SliceValueCache {
+public:
+  using Value = std::shared_ptr<const std::vector<std::vector<double>>>;
+
+  explicit SliceValueCache(unsigned NumGroups, size_t PerGroupCapacity = 8)
+      : Entries(NumGroups), Capacity(PerGroupCapacity) {}
+
+  /// Cached rows of group \p G under footprint \p Key, or null.
+  /// A hit refreshes the entry's LRU position.
+  Value lookup(unsigned G, std::uint64_t Key) {
+    std::vector<Entry> &E = Entries[G];
+    for (size_t I = 0; I != E.size(); ++I) {
+      if (E[I].Key != Key)
+        continue;
+      if (I != 0)
+        std::rotate(E.begin(), E.begin() + I, E.begin() + I + 1);
+      return E.front().Rows;
+    }
+    return nullptr;
+  }
+
+  void insert(unsigned G, std::uint64_t Key, Value Rows) {
+    std::vector<Entry> &E = Entries[G];
+    if (E.size() == Capacity)
+      E.pop_back();
+    E.insert(E.begin(), Entry{Key, std::move(Rows)});
+  }
+
+private:
+  struct Entry {
+    std::uint64_t Key = 0;
+    Value Rows;
+  };
+  std::vector<std::vector<Entry>> Entries;
+  size_t Capacity;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_SLICEFACTORING_H

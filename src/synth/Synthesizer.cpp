@@ -74,6 +74,11 @@ void SynthesisStats::merge(const SynthesisStats &Other) {
   SpecCancelledEarly += Other.SpecCancelledEarly;
   SpecPeekResolved += Other.SpecPeekResolved;
   SpecQueueDropped += Other.SpecQueueDropped;
+  SliceSkip += Other.SliceSkip;
+  SliceGroupHits += Other.SliceGroupHits;
+  SliceGroupMisses += Other.SliceGroupMisses;
+  SliceRowsSaved += Other.SliceRowsSaved;
+  SliceRowsEvaluated += Other.SliceRowsEvaluated;
   Stage.merge(Other.Stage);
 }
 
@@ -119,14 +124,24 @@ Synthesizer::Synthesizer(const Program &SketchIn, const InputBindings &Inputs,
     DiagEngine DADiags;
     TemplateDefAssignOK = checkDefiniteAssignment(*Template, DADiags);
   }
+  // The hole->observe dependence plan (DESIGN.md §14), computed once
+  // per sketch like the template itself.  Unusable plans (hole-free
+  // sketch, saturated analysis, >64 holes) leave the monolithic path
+  // as the only one.
+  if (Template && TemplateDefAssignOK)
+    Plan = buildSlicePlan(*Template, observedSlots(*Template, Data),
+                          unsigned(Sigs.size()));
 }
 
 std::optional<double> Synthesizer::scoreWithTemplate(
     const std::vector<ExprPtr> &Completions, ColumnCache *ColCache,
     SynthesisStats *Stats, CompileScratch *Scratch,
-    RowEvalContext *Rows) const {
+    RowEvalContext *Rows, SliceValueCache *Slices) const {
   if (!TemplateDefAssignOK)
     return std::nullopt;
+  if (Slices && Plan.Usable)
+    return scoreFactored(Completions, ColCache, Stats, Scratch, Rows,
+                         *Slices);
   std::optional<LikelihoodFunction> F;
   {
     ScopedStage Span(Stage::LowerCompile);
@@ -148,6 +163,103 @@ std::optional<double> Synthesizer::scoreWithTemplate(
   // scratch so the next candidate compiles into warm capacity.
   if (Scratch)
     F->recycleStorage(*Scratch);
+  if (std::isnan(LL))
+    return std::nullopt;
+  return LL;
+}
+
+std::optional<double> Synthesizer::scoreFactored(
+    const std::vector<ExprPtr> &Completions, ColumnCache *ColCache,
+    SynthesisStats *Stats, CompileScratch *Scratch, RowEvalContext *Rows,
+    SliceValueCache &Slices) const {
+  const unsigned NG = Plan.NumGroups;
+  const size_t NumTerms = Plan.GroupOfTerm.size();
+  const size_t NumRows = ColData.numRows();
+
+  // Probe each group's footprint key.  A hit means some earlier tuple
+  // agreed with this one on every hole the group's terms can read, so
+  // its cached per-row values are bit-identical to a recompute.
+  std::vector<std::uint64_t> Keys(NG);
+  std::vector<SliceValueCache::Value> Vals(NG);
+  std::vector<char> NeedGroup(NG, 0);
+  unsigned Misses = 0;
+  for (unsigned G = 0; G != NG; ++G) {
+    Keys[G] = sliceGroupKey(Plan, G, Completions);
+    Vals[G] = Slices.lookup(G, Keys[G]);
+    if (!Vals[G]) {
+      NeedGroup[G] = 1;
+      ++Misses;
+    }
+  }
+  if (Stats) {
+    Stats->SliceGroupHits += NG - Misses;
+    Stats->SliceGroupMisses += Misses;
+    // Same semantics as the monolithic path: rows a candidate's score
+    // covers, independent of how many tape rows actually ran.
+    Stats->RowsScored += NumRows;
+  }
+
+  // Compile and evaluate only the missing groups.  When every group
+  // hits, there is nothing to compile at all: malformedness and
+  // definedness depend only on the template's structure and the
+  // completions the terms can read — all covered by the footprint keys
+  // — so a hit on every group certifies the tuple compiles to exactly
+  // these values.
+  std::optional<FactoredLikelihoodFunction> FF;
+  if (Misses) {
+    {
+      ScopedStage Span(Stage::LowerCompile);
+      FF = FactoredLikelihoodFunction::compile(
+          *Template, Data, Config.Algebra, &Completions, Config.Likelihood,
+          Scratch, Plan.partition(), &NeedGroup);
+    }
+    if (!FF)
+      return std::nullopt;
+    if (Stats) {
+      Stats->TapeRawIns += FF->rawTapeSize();
+      Stats->TapeFinalIns += FF->tapeSize();
+      Stats->TapeFused += FF->numFused();
+    }
+    for (unsigned G = 0; G != NG; ++G) {
+      if (!NeedGroup[G])
+        continue;
+      auto GroupRows = std::make_shared<std::vector<std::vector<double>>>();
+      FF->evalGroupRows(G, ColData, *GroupRows, ColCache, Rows);
+      Vals[G] = std::move(GroupRows);
+      Slices.insert(G, Keys[G], Vals[G]);
+    }
+  }
+  if (Stats) {
+    // Tape rows the cache saved vs evaluated: dataset rows times the
+    // member terms of each hit/missed group (the bench's reduction
+    // numerator and denominator).
+    std::vector<uint64_t> TermsOfGroup(NG, 0);
+    for (unsigned G : Plan.GroupOfTerm)
+      ++TermsOfGroup[G];
+    for (unsigned G = 0; G != NG; ++G) {
+      const uint64_t GroupTapeRows = TermsOfGroup[G] * uint64_t(NumRows);
+      if (NeedGroup[G])
+        Stats->SliceRowsEvaluated += GroupTapeRows;
+      else
+        Stats->SliceRowsSaved += GroupTapeRows;
+    }
+  }
+
+  // Recombine all terms — cached and fresh — in the monolithic chain
+  // order.  Vals[G][i] is the i-th member term of group G in ascending
+  // term order, so a per-group cursor recovers the global term index.
+  std::vector<const std::vector<double> *> TermRows(NumTerms);
+  std::vector<unsigned> Cursor(NG, 0);
+  for (size_t T = 0; T != NumTerms; ++T) {
+    const unsigned G = Plan.GroupOfTerm[T];
+    TermRows[T] = &(*Vals[G])[Cursor[G]++];
+  }
+  std::vector<double> LocalPartials;
+  double LL = factoredLogLikelihood(
+      TermRows, NumRows,
+      Scratch ? Scratch->RecBlockPartials : LocalPartials);
+  if (FF && Scratch)
+    FF->recycleStorage(*Scratch);
   if (std::isnan(LL))
     return std::nullopt;
   return LL;
@@ -297,13 +409,32 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   // pre-incremental pipeline.
   CompileScratch Scratch;
   CompileScratch *ScratchPtr = Config.Incremental ? &Scratch : nullptr;
+  // The chain's slice-value cache (DESIGN.md §14): per-group term row
+  // values keyed by hole footprint, so a hole-local proposal
+  // re-evaluates only the groups whose slice its mutation touched.
+  // Chain-private like every cache here, so Threads stays neutral.
+  // Single-group plans gain nothing (every mutation misses the one
+  // group), and FastTape's value-changing simplification voids the
+  // per-term bit-identity argument — both run monolithic.
+  // Cross-candidate state like the column cache and compile scratch,
+  // so `--no-incremental` disables it with the rest of the incremental
+  // machinery (the faithful per-candidate pipeline scores monolithic).
+  std::optional<SliceValueCache> Slices;
+  if (Config.SliceFactoring && Config.Incremental && UseTemplate &&
+      Plan.Usable && Plan.NumGroups > 1 && !Config.Likelihood.Tape.FastTape)
+    Slices.emplace(Plan.NumGroups);
+  // Dead-hole proposal pruning, sound whenever the plan is usable
+  // (dead completions never reach any tape root, FastTape or not).
+  const bool DeadSkip = Config.SliceFactoring && UseTemplate &&
+                        Plan.Usable && Plan.deadMask() != 0;
   auto ScoreOnce =
       [&](const std::vector<ExprPtr> &Completions) -> std::optional<double> {
     ++Out.Stats.Scored;
     if (UseTemplate)
       return scoreWithTemplate(Completions, ColCache ? &*ColCache : nullptr,
                                &Out.Stats, ScratchPtr,
-                               RowCtx ? &*RowCtx : nullptr);
+                               RowCtx ? &*RowCtx : nullptr,
+                               Slices ? &*Slices : nullptr);
     std::unique_ptr<Program> Spliced;
     {
       ScopedStage Span(Stage::Splice);
@@ -324,10 +455,24 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   // walk — and everything derived from it — is bit-identical in both
   // modes; the flag only decides whether rejected candidates pay for a
   // lowering + evaluation first.
-  auto Classify = [&](const std::vector<ExprPtr> &Completions) -> CachedScore {
+  // \p SkipLL, when set, is the dead-hole substitution: the proposal
+  // differs from the current state only in holes outside every term's
+  // mask, so its score is bit-for-bit the current LL and scoring is
+  // skipped (`synth.slice_skip`).  Everything else — the STATIC-REJECT
+  // ordering in particular — runs unchanged, so the verdict is
+  // identical to what ScoreOnce would have produced.
+  auto Classify = [&](const std::vector<ExprPtr> &Completions,
+                      std::optional<double> SkipLL =
+                          std::nullopt) -> CachedScore {
     if (Config.StaticAnalysis && StaticReject(Completions))
       return CachedScore(RejectReason::Static);
-    auto LL = ScoreOnce(Completions);
+    std::optional<double> LL;
+    if (SkipLL) {
+      ++Out.Stats.SliceSkip;
+      LL = SkipLL;
+    } else {
+      LL = ScoreOnce(Completions);
+    }
     if (!Config.StaticAnalysis && StaticReject(Completions))
       return CachedScore(RejectReason::Static);
     if (!LL)
@@ -338,10 +483,11 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   // was answered by the cache (telemetry only).
   bool LastProbeHit = false;
   auto ScoreCompletions =
-      [&](const std::vector<ExprPtr> &Completions) -> CachedScore {
+      [&](const std::vector<ExprPtr> &Completions,
+          std::optional<double> SkipLL = std::nullopt) -> CachedScore {
     LastProbeHit = false;
     if (Cache.capacity() == 0)
-      return Classify(Completions);
+      return Classify(Completions, SkipLL);
     uint64_t Key;
     std::optional<CachedScore> Hit;
     {
@@ -361,7 +507,7 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
       return *Hit;
     }
     ++Out.Stats.CacheMisses;
-    CachedScore S = Classify(Completions);
+    CachedScore S = Classify(Completions, SkipLL);
     Cache.insert(Key, S);
     return S;
   };
@@ -561,7 +707,22 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
       ++Out.Stats.Invalid;
       ++Out.Stats.InvalidType;
     } else {
-      CachedScore S = SpecNode ? ResolveSpec(*SpecNode) : ScoreCompletions(Prop);
+      // Mutation-impact pruning: a proposal whose applied operations
+      // all touched dead holes scores bit-for-bit the current LL.
+      // Non-speculated path only — speculated nodes were computed
+      // ahead of the state this test compares against, so the count
+      // (not the scores) varies with SpeculateDepth.
+      std::optional<double> SkipLL;
+      if (DeadSkip && !SpecNode) {
+        const std::vector<unsigned> &MutHoles = Mut.lastMutatedHoles();
+        bool AllDead = !MutHoles.empty();
+        for (unsigned H : MutHoles)
+          AllDead = AllDead && (Plan.deadMask() >> H & 1);
+        if (AllDead)
+          SkipLL = CurrentLL;
+      }
+      CachedScore S =
+          SpecNode ? ResolveSpec(*SpecNode) : ScoreCompletions(Prop, SkipLL);
       if (!S.valid()) {
         ++Out.Stats.Invalid;
         if (S.Reason == RejectReason::Static) {
@@ -768,6 +929,12 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     Reg.counter("synth.tape.instructions").add(Out.Stats.TapeFinalIns);
     Reg.counter("synth.tape.fused").add(Out.Stats.TapeFused);
     Reg.counter("synth.rows_scored").add(Out.Stats.RowsScored);
+    Reg.counter("synth.slice_skip").add(Out.Stats.SliceSkip);
+    Reg.counter("synth.slice.group_hits").add(Out.Stats.SliceGroupHits);
+    Reg.counter("synth.slice.group_misses").add(Out.Stats.SliceGroupMisses);
+    Reg.counter("synth.slice.rows_saved").add(Out.Stats.SliceRowsSaved);
+    Reg.counter("synth.slice.rows_evaluated")
+        .add(Out.Stats.SliceRowsEvaluated);
     Reg.counter("tape.rows_simd").add(Out.Stats.RowsSimd);
     Reg.counter("tape.rows_scalar_tail").add(Out.Stats.RowsScalarTail);
   }

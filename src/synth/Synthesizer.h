@@ -33,6 +33,7 @@
 #include "obs/Trace.h"
 #include "synth/Mutate.h"
 #include "synth/ScoreCache.h"
+#include "synth/SliceFactoring.h"
 #include "synth/Splice.h"
 
 #include <functional>
@@ -116,6 +117,18 @@ struct SynthesisConfig {
 
   /// Byte budget of each chain's column cache (LRU eviction).
   size_t ColumnCacheBytes = size_t(32) << 20;
+
+  /// Slice-factored scoring (`--no-slice-factoring` turns it off;
+  /// DESIGN.md §14): compile one tape per likelihood term group (terms
+  /// partitioned by hole footprint via the dependence analysis), cache
+  /// per-group row values keyed by the footprint sub-tuple, and skip
+  /// scoring proposals that only mutate holes outside every group
+  /// (`synth.slice_skip`).  Bit-exact: per-term values are recombined
+  /// in the monolithic chain order with the same blocked Kahan
+  /// reduction, so scores, traces and best-LL are byte-identical on vs
+  /// off.  Effective only on the default template scoring path with
+  /// FastTape off and a usable (multi-group, < 64 holes) plan.
+  bool SliceFactoring = true;
 
   /// Abstract-interpretation STATIC-REJECT pre-filter (`--no-static-
   /// analysis` turns it off): every proposal's completion tuple is run
@@ -260,6 +273,21 @@ struct SynthesisStats {
   uint64_t RowsScored = 0;
   uint64_t RowsSimd = 0;
   uint64_t RowsScalarTail = 0;
+
+  // Slice-factoring telemetry (zeros unless SliceFactoring was in
+  // effect on the template scoring path).  SliceSkip counts proposals
+  // whose mutated holes were all dead (scoring skipped, current LL
+  // substituted — non-speculated path only, so the count varies with
+  // SpeculateDepth like the Spec counters; scores do not).
+  // GroupHits/GroupMisses count group evaluations served from the
+  // chain's slice-value cache vs evaluated; RowsSaved/RowsEvaluated
+  // scale them by dataset rows x member terms — the "evaluated tape
+  // rows" reduction the bench reports.
+  uint64_t SliceSkip = 0;
+  uint64_t SliceGroupHits = 0;
+  uint64_t SliceGroupMisses = 0;
+  uint64_t SliceRowsSaved = 0;
+  uint64_t SliceRowsEvaluated = 0;
 
   // Proposal-pool telemetry: completion-tuple vectors served from the
   // per-chain free-list vs freshly allocated.  Deterministic per
@@ -413,6 +441,11 @@ public:
 
   const std::vector<HoleSignature> &holeSignatures() const { return Sigs; }
 
+  /// The sketch's slice-factoring plan (unusable when the template
+  /// path is unavailable, the sketch is hole-free, or dependence
+  /// saturated).  Exposed for tests and the slicing bench.
+  const SlicePlan &slicePlan() const { return Plan; }
+
 private:
   /// Everything one chain produces; chains never see each other's
   /// state, which is what makes the Threads knob result-neutral.
@@ -440,12 +473,25 @@ private:
   /// \p Stats, tape-size counters accumulate there.  \p Scratch (one
   /// per chain) keeps compile-time storage warm across candidates.
   /// \p Rows distributes block evaluation over the row pool.
+  /// \p Slices, when non-null, routes scoring through the factored
+  /// per-term path against the chain's slice-value cache (bit-identical
+  /// total; see SynthesisConfig::SliceFactoring).
   std::optional<double>
   scoreWithTemplate(const std::vector<ExprPtr> &Completions,
                     ColumnCache *ColCache = nullptr,
                     SynthesisStats *Stats = nullptr,
                     CompileScratch *Scratch = nullptr,
-                    RowEvalContext *Rows = nullptr) const;
+                    RowEvalContext *Rows = nullptr,
+                    SliceValueCache *Slices = nullptr) const;
+
+  /// The factored-path body of scoreWithTemplate: probe each group's
+  /// footprint key in \p Slices, compile + evaluate only the missing
+  /// groups, recombine all terms in monolithic chain order.
+  std::optional<double>
+  scoreFactored(const std::vector<ExprPtr> &Completions,
+                ColumnCache *ColCache, SynthesisStats *Stats,
+                CompileScratch *Scratch, RowEvalContext *Rows,
+                SliceValueCache &Slices) const;
 
   std::unique_ptr<Program> Sketch;
   InputBindings Inputs;
@@ -465,6 +511,11 @@ private:
   std::unique_ptr<LoweredProgram> Template;
   bool TemplateDefAssignOK = false;
   bool CustomScorer = false;
+
+  /// Computed once from Template + Data in the constructor (unusable
+  /// when no template).  Drives the factored scoring path and the
+  /// dead-hole proposal skip.
+  SlicePlan Plan;
 
   /// Shared across chains (analyze() is const and stateless).
   std::unique_ptr<CandidateAnalyzer> Analyzer;

@@ -7,6 +7,7 @@
 #include "tool/Driver.h"
 
 #include "analysis/Lint.h"
+#include "analysis/Slicer.h"
 #include "ast/ASTPrinter.h"
 #include "interp/Enumerate.h"
 #include "interp/Interp.h"
@@ -91,6 +92,36 @@ int cmdLint(const ToolOptions &Opts, std::ostream &Out,
   Out << Opts.ProgramPath << ": " << R.Errors << " error(s), "
       << R.Warnings << " warning(s)\n";
   return R.Errors ? 1 : 0;
+}
+
+int cmdAnalyze(const ToolOptions &Opts, std::ostream &Out,
+               std::ostream &Err) {
+  auto P = loadProgram(Opts.ProgramPath, Err);
+  if (!P)
+    return 1;
+  // With --data, reads of the dataset's columns are observation inputs
+  // (cut from the dependence chain) exactly as likelihood compilation
+  // treats them; without it every variable is latent.
+  std::set<std::string> ObservedColumns;
+  if (!Opts.DataPath.empty()) {
+    auto Data = loadData(Opts.DataPath, Err);
+    if (!Data)
+      return 1;
+    for (const std::string &Col : Data->columns())
+      ObservedColumns.insert(Col);
+  }
+  Slicer S(*P, Opts.DataPath.empty() ? nullptr : &ObservedColumns);
+  Out << S.matrixReport();
+  if (!Opts.DotOutPath.empty()) {
+    std::ofstream File(Opts.DotOutPath);
+    if (!File) {
+      Err << "error: cannot write '" << Opts.DotOutPath << "'\n";
+      return 1;
+    }
+    File << S.dot();
+    Out << "wrote dependence graph to " << Opts.DotOutPath << "\n";
+  }
+  return 0;
 }
 
 int cmdSample(const ToolOptions &Opts, std::ostream &Out,
@@ -183,6 +214,7 @@ SynthesisConfig makeSynthConfig(const ToolOptions &Opts) {
   Config.Likelihood.Tape.FastSimdMath = Opts.FastSimdMath;
   Config.ColumnCacheBytes = size_t(Opts.ColumnCacheMB) << 20;
   Config.StaticAnalysis = !Opts.NoStaticAnalysis;
+  Config.SliceFactoring = !Opts.NoSliceFactoring;
 
   // Telemetry: each output the user asked for switches on exactly the
   // collection it needs; everything stays off otherwise.
@@ -461,6 +493,8 @@ int psketch::runTool(const ToolOptions &Opts, std::ostream &Out,
     return cmdPrint(Opts, Out, Err);
   if (Opts.Command == "lint")
     return cmdLint(Opts, Out, Err);
+  if (Opts.Command == "analyze")
+    return cmdAnalyze(Opts, Out, Err);
   if (Opts.Command == "sample")
     return cmdSample(Opts, Out, Err);
   if (Opts.Command == "score")

@@ -62,12 +62,16 @@ std::optional<std::vector<double>> parseNumberList(const std::string &Text) {
 
 std::string psketch::toolUsage() {
   return "usage: psketch "
-         "<print|lint|sample|score|report|synth|posterior|trace-stats"
-         "|profile|bench-diff> [options]\n"
+         "<print|lint|analyze|sample|score|report|synth|posterior"
+         "|trace-stats|profile|bench-diff> [options]\n"
          "  print  --program FILE\n"
          "  lint   --program FILE (static diagnostics: unbound/unused\n"
          "         variables, constant observes, invalid draw parameters,\n"
-         "         uncompletable holes)\n"
+         "         uncompletable holes, unreachable statements,\n"
+         "         hole-disconnected observes)\n"
+         "  analyze --program FILE [--data FILE.csv]\n"
+         "         [--dot-out FILE.dot] (hole->observe dependence matrix;\n"
+         "         --data marks the dataset's observed columns)\n"
          "  sample --program FILE [--rows N] [--seed S] [--out FILE.csv]\n"
          "  score  --program FILE --data FILE.csv\n"
          "  report --program FILE --data FILE.csv [--slot NAME ...]\n"
@@ -76,7 +80,8 @@ std::string psketch::toolUsage() {
          "         [--trace-out FILE.jsonl] [--metrics-out FILE.json]\n"
          "         [--progress] [--no-incremental] [--no-simplify]\n"
          "         [--no-fuse] [--ffast-tape] [--column-cache-mb N]\n"
-         "         [--no-static-analysis] [--no-simd] [--fast-simd-math]\n"
+         "         [--no-static-analysis] [--no-slice-factoring]\n"
+         "         [--no-simd] [--fast-simd-math]\n"
          "         [--row-threads N] [--speculate-depth K] [--profile]\n"
          "         [--profile-sample-every K]\n"
          "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
@@ -97,10 +102,11 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
   Opts.Command = Args[0];
   const bool KnownCommand =
       Opts.Command == "print" || Opts.Command == "lint" ||
-      Opts.Command == "sample" || Opts.Command == "score" ||
-      Opts.Command == "report" || Opts.Command == "synth" ||
-      Opts.Command == "posterior" || Opts.Command == "trace-stats" ||
-      Opts.Command == "profile" || Opts.Command == "bench-diff";
+      Opts.Command == "analyze" || Opts.Command == "sample" ||
+      Opts.Command == "score" || Opts.Command == "report" ||
+      Opts.Command == "synth" || Opts.Command == "posterior" ||
+      Opts.Command == "trace-stats" || Opts.Command == "profile" ||
+      Opts.Command == "bench-diff";
   if (!KnownCommand)
     Opts.Errors.push_back("unknown command '" + Opts.Command + "'");
 
@@ -138,6 +144,9 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
     } else if (Flag == "--folded") {
       if (NextValue(I, Flag, Value))
         Opts.FoldedOutPath = Value;
+    } else if (Flag == "--dot-out") {
+      if (NextValue(I, Flag, Value))
+        Opts.DotOutPath = Value;
     } else if (Flag == "--progress") {
       Opts.Progress = true;
     } else if (Flag == "--profile") {
@@ -162,6 +171,8 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
       Opts.FastTape = true;
     } else if (Flag == "--no-static-analysis") {
       Opts.NoStaticAnalysis = true;
+    } else if (Flag == "--no-slice-factoring") {
+      Opts.NoSliceFactoring = true;
     } else if (Flag == "--no-simd") {
       Opts.NoSimd = true;
     } else if (Flag == "--fast-simd-math") {

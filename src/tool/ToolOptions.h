@@ -11,6 +11,7 @@
 ///
 ///   psketch print  --program FILE
 ///   psketch lint   --program FILE
+///   psketch analyze --program FILE [--data FILE.csv] [--dot-out FILE.dot]
 ///   psketch sample --program FILE --rows N [--out FILE.csv] [--seed S]
 ///   psketch score  --program FILE --data FILE.csv
 ///   psketch report --program FILE --data FILE.csv [--slot NAME ...]
@@ -53,6 +54,9 @@ struct ToolOptions {
   /// files are merged into one report (per-file chains renumbered).
   std::vector<std::string> TracePaths;
   std::string FoldedOutPath; ///< --folded (profile): folded stacks.
+  /// --dot-out (analyze): write the hole→observe dependence graph as
+  /// Graphviz DOT to this path.
+  std::string DotOutPath;
   bool Progress = false;     ///< --progress (synth): periodic updates.
   /// --profile (synth): per-opcode cost attribution + per-stage
   /// hardware counters.  Result-neutral — scores, traces, and metrics
@@ -78,6 +82,11 @@ struct ToolOptions {
   /// are bit-identical either way (the verdict still applies); the flag
   /// exists to measure / bisect the pre-filter's cost and savings.
   bool NoStaticAnalysis = false;
+  /// --no-slice-factoring (synth/profile): score every candidate on the
+  /// monolithic tape instead of the slice-factored per-term path.
+  /// Results are bit-identical either way (DESIGN.md §14); the flag is
+  /// the differential escape hatch and the bisection lever.
+  bool NoSliceFactoring = false;
   /// --no-simd (synth/score): run the batched tape kernels on the
   /// portable scalar tier instead of the best compiled-in SIMD tier.
   /// Bit-exact — every tier performs the identical IEEE operations

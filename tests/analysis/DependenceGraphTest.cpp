@@ -1,0 +1,306 @@
+//===- tests/analysis/DependenceGraphTest.cpp - Hole→observe masks --------===//
+//
+// The dependence analysis feeding the factored likelihood, the dead-hole
+// proposal skip and the `psketch analyze` report (DESIGN.md §14).  The
+// tests pin the mask semantics: data flow through assignments and
+// samples, control flow through branch conditions, observed-read
+// cutting, loop fixpoints, and the conservative direction (extra bits
+// are legal, missing bits are bugs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/Slicer.h"
+
+#include "parse/Parser.h"
+#include "sem/Lower.h"
+#include "sem/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (P)
+    EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  return P;
+}
+
+} // namespace
+
+TEST(DependenceGraphTest, StraightLineDataFlow) {
+  auto P = parseP(R"(
+program Chain() {
+  x: real;
+  y: real;
+  x = ?? + 1.0;
+  y = x * 2.0;
+  observe(y > 0.0);
+  return y;
+}
+)");
+  DependenceGraph G = DependenceGraph::build(*P);
+  EXPECT_EQ(G.numHoles(), 1u);
+  EXPECT_FALSE(G.saturated());
+  ASSERT_EQ(G.observes().size(), 1u);
+  EXPECT_EQ(G.observes()[0].Mask, HoleMask(1));
+  ASSERT_EQ(G.outputs().size(), 1u);
+  EXPECT_EQ(G.outputs()[0].Slot, "y");
+  EXPECT_EQ(G.outputs()[0].Mask, HoleMask(1));
+  EXPECT_EQ(G.deadMask(), HoleMask(0));
+}
+
+TEST(DependenceGraphTest, DisjointHolesStayDisjoint) {
+  auto P = parseP(R"(
+program Split() {
+  a: real;
+  b: real;
+  a ~ Gaussian(??, 1.0);
+  b ~ Gaussian(??, 1.0);
+  observe(a > 0.0);
+  observe(b > 0.0);
+  return a;
+}
+)");
+  DependenceGraph G = DependenceGraph::build(*P);
+  ASSERT_EQ(G.observes().size(), 2u);
+  EXPECT_EQ(G.observes()[0].Mask, HoleMask(1) << 0);
+  EXPECT_EQ(G.observes()[1].Mask, HoleMask(1) << 1);
+  // rho accumulates both observe conditions.
+  EXPECT_EQ(G.rhoMask(), HoleMask(0b11));
+}
+
+TEST(DependenceGraphTest, BranchConditionTaintsRhoAndMergedValues) {
+  auto P = parseP(R"(
+program Branch() {
+  g: bool;
+  x: real;
+  g ~ Bernoulli(??);
+  x = 0.0;
+  if (g) {
+    x = 1.0;
+  } else {
+  }
+  observe(x > 0.5);
+  return x;
+}
+)");
+  DependenceGraph G = DependenceGraph::build(*P);
+  // The If multiplies rho by p·rho1 + (1−p)·rho2, so the condition's
+  // hole reaches rho even though neither branch observes.
+  EXPECT_EQ(G.rhoMask() & HoleMask(1), HoleMask(1));
+  // envmerge: x is an ite over the condition, so the observe sees ??0.
+  ASSERT_EQ(G.observes().size(), 1u);
+  EXPECT_EQ(G.observes()[0].Mask, HoleMask(1));
+}
+
+TEST(DependenceGraphTest, UntouchedVariableKeepsPreBranchMask) {
+  auto P = parseP(R"(
+program Keep() {
+  g: bool;
+  x: real;
+  y: real;
+  g ~ Bernoulli(??);
+  x = ??;
+  y = 1.0;
+  if (g) {
+    y = 2.0;
+  } else {
+  }
+  observe(x > 0.0);
+  return y;
+}
+)");
+  DependenceGraph G = DependenceGraph::build(*P);
+  // x is assigned before the branch and not touched inside it, so its
+  // observe keeps the plain ??1 mask — no ??0 condition pollution.
+  ASSERT_EQ(G.observes().size(), 1u);
+  EXPECT_EQ(G.observes()[0].Mask, HoleMask(1) << 1);
+  // y IS touched, so the returned output picks up the condition's ??0.
+  ASSERT_EQ(G.outputs().size(), 1u);
+  EXPECT_EQ(G.outputs()[0].Slot, "y");
+  EXPECT_EQ(G.outputs()[0].Mask, HoleMask(1) << 0);
+}
+
+TEST(DependenceGraphTest, DeadHoleDetection) {
+  auto P = parseP(R"(
+program Dead() {
+  seen: real;
+  drift: real;
+  seen ~ Gaussian(??, 1.0);
+  drift ~ Gaussian(??, 1.0);
+  observe(seen > 0.0);
+  return seen;
+}
+)");
+  DependenceGraph G = DependenceGraph::build(*P);
+  EXPECT_EQ(G.numHoles(), 2u);
+  // ??1 feeds only `drift`, which no observe and no output reads.
+  EXPECT_EQ(G.deadMask(), HoleMask(1) << 1);
+  EXPECT_EQ(G.liveMask(), HoleMask(1));
+}
+
+TEST(DependenceGraphTest, ObservedReadsAreCutButOwnTermMaskSurvives) {
+  auto P = parseP(R"(
+program Cut() {
+  a: real;
+  b: real;
+  a ~ Gaussian(??, 1.0);
+  b ~ Gaussian(a * 2.0, 1.0);
+  return b;
+}
+)");
+  std::set<std::string> Observed{"a"};
+  DependenceGraph G = DependenceGraph::build(*P, &Observed);
+  // Reading observed `a` yields a data reference, so b's density term
+  // does not depend on ??0...
+  EXPECT_EQ(G.slotMask("b"), HoleMask(0));
+  // ...but a's own accumulated value (its density term's mean) does.
+  EXPECT_EQ(G.slotMask("a"), HoleMask(1));
+}
+
+TEST(DependenceGraphTest, ForLoopReachesFixpoint) {
+  auto P = parseP(R"(
+program Loop() {
+  acc: real;
+  acc = 0.0;
+  for i in 0..5 {
+    acc = acc + ??;
+  }
+  observe(acc > 0.0);
+  return acc;
+}
+)");
+  DependenceGraph G = DependenceGraph::build(*P);
+  ASSERT_EQ(G.observes().size(), 1u);
+  EXPECT_EQ(G.observes()[0].Mask & HoleMask(1), HoleMask(1));
+}
+
+TEST(DependenceGraphTest, ArrayWeakUpdateJoinsElementMasks) {
+  auto P = parseP(R"(
+program Arr() {
+  xs: real[3];
+  i: int;
+  xs[0] = ??;
+  xs[1] = 1.0;
+  xs[2] = 2.0;
+  i ~ Poisson(1.0);
+  observe(xs[i] > 0.0);
+  return i;
+}
+)");
+  DependenceGraph G = DependenceGraph::build(*P);
+  // xs[i] with a dynamic index reads the weak summary of every element,
+  // so the observe depends on ??0 even though only xs[0] holds it.
+  ASSERT_EQ(G.observes().size(), 1u);
+  EXPECT_EQ(G.observes()[0].Mask & HoleMask(1), HoleMask(1));
+}
+
+TEST(DependenceGraphTest, LoweredBuildOrdersOutputsByColumn) {
+  auto P = parseP(R"(
+program Cols() {
+  b: real;
+  a: real;
+  b ~ Gaussian(??, 1.0);
+  a ~ Gaussian(??, 1.0);
+  return a;
+}
+)");
+  DiagEngine Diags;
+  auto LP = lowerProgram(*P, {}, Diags, /*KeepHoles=*/true);
+  ASSERT_TRUE(LP) << Diags.str();
+  // Dataset column order: a=0, b=1 — outputs must follow it (the
+  // factored likelihood's term order), not declaration order.
+  std::unordered_map<std::string, unsigned> Observed{{"a", 0}, {"b", 1}};
+  DependenceGraph G = DependenceGraph::build(*LP, Observed);
+  ASSERT_EQ(G.outputs().size(), 2u);
+  EXPECT_EQ(G.outputs()[0].Slot, "a");
+  EXPECT_EQ(G.outputs()[0].Mask, HoleMask(1) << 1);
+  EXPECT_EQ(G.outputs()[1].Slot, "b");
+  EXPECT_EQ(G.outputs()[1].Mask, HoleMask(1) << 0);
+}
+
+TEST(SlicerTest, MatrixReportNamesHolesAndSinks) {
+  auto P = parseP(R"(
+program Report() {
+  x: real;
+  x ~ Gaussian(??, 1.0);
+  observe(x > 0.0);
+  return x;
+}
+)");
+  Slicer S(*P);
+  std::string R = S.matrixReport();
+  EXPECT_NE(R.find("program Report: 1 hole(s), 1 observe(s), 1 output(s)"),
+            std::string::npos)
+      << R;
+  EXPECT_NE(R.find("??0"), std::string::npos) << R;
+  EXPECT_NE(R.find("rho (branch weights)"), std::string::npos) << R;
+  EXPECT_NE(R.find("output x"), std::string::npos) << R;
+  EXPECT_NE(R.find("dead holes: none"), std::string::npos) << R;
+}
+
+TEST(SlicerTest, DotIsWellFormed) {
+  auto P = parseP(R"(
+program Dot() {
+  x: real;
+  x ~ Gaussian(??, 1.0);
+  observe(x > 0.0);
+  return x;
+}
+)");
+  Slicer S(*P);
+  std::string D = S.dot();
+  EXPECT_EQ(D.find("digraph hole_observe_dependence {"), 0u) << D;
+  EXPECT_NE(D.find("h0 -> "), std::string::npos) << D;
+  // Balanced braces: exactly one open and one close.
+  EXPECT_EQ(std::count(D.begin(), D.end(), '{'), 1) << D;
+  EXPECT_EQ(std::count(D.begin(), D.end(), '}'), 1) << D;
+}
+
+TEST(SlicerTest, UnreachableAssignmentsExcludeNeverRead) {
+  auto P = parseP(R"(
+program Unreach() {
+  x: real;
+  t: real;
+  d: real;
+  u: real;
+  x ~ Gaussian(0.0, 1.0);
+  t = x * 2.0;
+  d = t + 1.0;
+  t = d;
+  u = 9.0;
+  observe(x > 0.0);
+  return x;
+}
+)");
+  Slicer S(*P);
+  // t and d feed only each other; u is never read (the unused-variable
+  // lint's case, not ours).
+  std::vector<std::string> Targets;
+  for (const AssignStmt *A : S.unreachableAssignments())
+    Targets.push_back(A->getTarget().Name);
+  EXPECT_EQ(Targets, (std::vector<std::string>{"t", "d", "t"}));
+}
+
+TEST(SlicerTest, DeadHolesMatchGraphMask) {
+  auto P = parseP(R"(
+program DeadQ() {
+  seen: real;
+  drift: real;
+  seen ~ Gaussian(??, 1.0);
+  drift ~ Gaussian(??, 1.0);
+  observe(seen > 0.0);
+  return seen;
+}
+)");
+  Slicer S(*P);
+  EXPECT_EQ(S.deadHoles(), std::vector<unsigned>{1u});
+}

@@ -190,3 +190,109 @@ program Messy() {
   EXPECT_EQ(R.Result.Errors, 2u) << R.Text;
   EXPECT_EQ(R.Result.Warnings, 2u) << R.Text;
 }
+
+TEST(LintTest, DisconnectedObserveIsAWarning) {
+  LintRun R = lint(R"(
+program Gate() {
+  mean: real;
+  obs: real;
+  gate: bool;
+  mean = ??;
+  obs ~ Gaussian(mean, 1.0);
+  gate ~ Bernoulli(0.5);
+  observe(gate);
+  return obs;
+}
+)");
+  EXPECT_EQ(R.Result.Errors, 0u) << R.Text;
+  EXPECT_GE(R.Result.Warnings, 1u);
+  EXPECT_NE(R.Text.find("depends on no hole"), std::string::npos) << R.Text;
+  // Location of the observe statement, line 9.
+  EXPECT_NE(R.Text.find("9:"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, DisconnectedObserveRequiresHoles) {
+  // A hole-free program is not a sketch: there is nothing synthesis
+  // could connect, so the rule must stay silent.
+  LintRun R = lint(R"(
+program Plain() {
+  gate: bool;
+  gate ~ Bernoulli(0.5);
+  observe(gate);
+  return gate;
+}
+)");
+  EXPECT_EQ(R.Result.Errors, 0u) << R.Text;
+  EXPECT_EQ(R.Text.find("depends on no hole"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, ConnectedObserveIsQuiet) {
+  LintRun R = lint(R"(
+program Wired() {
+  x: real;
+  x ~ Gaussian(??, 1.0);
+  observe(x > 0.0);
+  return x;
+}
+)");
+  EXPECT_EQ(R.Text.find("depends on no hole"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, UnreachableStatementIsAWarning) {
+  LintRun R = lint(R"(
+program Scratch() {
+  x: real;
+  temp: real;
+  debug: real;
+  x ~ Gaussian(0.0, 1.0);
+  temp = x * 2.0;
+  debug = temp + 1.0;
+  temp = debug;
+  observe(x > 0.0);
+  return x;
+}
+)");
+  EXPECT_EQ(R.Result.Errors, 0u) << R.Text;
+  // Three assignments in the temp/debug scratch chain.
+  EXPECT_EQ(R.Result.Warnings, 3u) << R.Text;
+  EXPECT_NE(R.Text.find("'temp'"), std::string::npos) << R.Text;
+  EXPECT_NE(R.Text.find("'debug'"), std::string::npos) << R.Text;
+  EXPECT_NE(R.Text.find("no effect on the program's distribution"),
+            std::string::npos)
+      << R.Text;
+  // Location of the first scratch assignment, line 7.
+  EXPECT_NE(R.Text.find("7:"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, NeverReadTargetBelongsToUnusedVariableNotUnreachable) {
+  // `dead` is never read anywhere: that is the unused-variable rule's
+  // finding, and the unreachable-statement rule must not double-report.
+  LintRun R = lint(R"(
+program DeadStore() {
+  x: real;
+  dead: real;
+  x ~ Gaussian(0.0, 1.0);
+  dead = 2.0;
+  observe(x > 0.0);
+  return x;
+}
+)");
+  EXPECT_EQ(R.Result.Errors, 0u) << R.Text;
+  EXPECT_EQ(R.Result.Warnings, 1u) << R.Text;
+  EXPECT_NE(R.Text.find("never used"), std::string::npos) << R.Text;
+  EXPECT_EQ(R.Text.find("no effect"), std::string::npos) << R.Text;
+}
+
+TEST(LintTest, AssignmentsFeedingOnlyTheReturnAreReachable) {
+  LintRun R = lint(R"(
+program Out() {
+  x: real;
+  y: real;
+  x ~ Gaussian(0.0, 1.0);
+  y = x * 3.0;
+  return y;
+}
+)");
+  EXPECT_EQ(R.Result.Errors, 0u) << R.Text;
+  EXPECT_EQ(R.Result.Warnings, 0u) << R.Text;
+}

@@ -336,3 +336,135 @@ TEST(ProgramAnalysisTest, TopOfKindShapes) {
   EXPECT_FALSE(topOfKind(ScalarKind::Int).mayBeNaN());
   EXPECT_EQ(topOfKind(ScalarKind::Int).Hi, Inf);
 }
+
+TEST(ProgramAnalysisTest, NestedLoopsAtWideningThresholdTerminate) {
+  // The inner accumulator doubles per trip, so plain iteration would
+  // climb for far more than MaxFixpointRounds (16) rounds per nest
+  // level; widening must drive both levels to a sound fixpoint.  The
+  // test's assertion is partly that analyzeFull returns at all.
+  auto P = parse(R"(
+program T(n: int, m: int) {
+  acc: real;
+  x: real;
+  acc = 1.0;
+  for i in 0..n {
+    for j in 0..m {
+      acc = acc * 2.0 + 1.0;
+    }
+  }
+  x ~ Gaussian(acc, 1.0);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  EXPECT_FALSE(R.Rejected);
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  // Sound cover of every trip count: the zero-trip value and
+  // arbitrarily many doublings.
+  EXPECT_TRUE(G->Params[0].contains(1.0));
+  EXPECT_TRUE(G->Params[0].contains(1e18));
+  // acc starts at 1 and only grows; widening must not leak below the
+  // stable lower bound, and doubling a finite value never makes NaN.
+  EXPECT_TRUE(G->Params[0].definitelyGE(1.0));
+  EXPECT_FALSE(G->Params[0].mayBeNaN());
+}
+
+TEST(ProgramAnalysisTest, BranchJoinKeepsDefiniteNaNFreedom) {
+  // Both arms assign NaN-free singletons; the join must not drop the
+  // NaN-free fact (losing it would defeat the NaN-propagation static
+  // reject and weaken every downstream interval).
+  auto P = parse(R"(
+program T(c: bool) {
+  s: real;
+  x: real;
+  if (c) { s = 1.0; } else { s = 2.0; }
+  x ~ Gaussian(0.0, s);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  EXPECT_FALSE(R.Rejected);
+  auto It = R.FinalEnv.find("s");
+  ASSERT_NE(It, R.FinalEnv.end());
+  EXPECT_FALSE(It->second.mayBeNaN());
+  EXPECT_TRUE(It->second.definitelyGE(1.0));
+  EXPECT_TRUE(It->second.definitelyLE(2.0));
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  EXPECT_TRUE(G->Params[1].definitelyGT(0.0));
+  EXPECT_FALSE(G->Params[1].mayBeNaN());
+}
+
+TEST(ProgramAnalysisTest, WideningToInfinityStaysNaNFreeUnderAddition) {
+  // Widening sends the accumulator's upper bound to +inf.  Adding a
+  // positive constant to [0, inf] cannot manufacture NaN (only
+  // (+inf) + (-inf) can), so the NaN-free bit must survive widening.
+  auto P = parse(R"(
+program T(n: int) {
+  acc: real;
+  x: real;
+  acc = 0.0;
+  for i in 0..n {
+    acc = acc + 1.0;
+  }
+  x ~ Gaussian(acc, 1.0);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  EXPECT_FALSE(G->Params[0].mayBeNaN());
+  EXPECT_TRUE(G->Params[0].definitelyGE(0.0));
+}
+
+TEST(ProgramAnalysisTest, ArrayWeakUpdatesJoinInsteadOfOverwrite) {
+  // The array's single summary cell joins every written value: the
+  // second store must not erase the first (weak update), and a read
+  // must see both.
+  auto P = parse(R"(
+program T() {
+  a: real[2];
+  x: real;
+  a[0] = 1.0;
+  a[1] = 0.0 - 3.0;
+  x ~ Gaussian(a[0], 1.0);
+  return x;
+}
+)");
+  ProgramAnalysis PA(*P);
+  AnalysisResult R = PA.analyzeFull(nullptr);
+  EXPECT_FALSE(R.Rejected);
+  const DrawSiteFacts *G = findDraw(R, DistKind::Gaussian);
+  ASSERT_TRUE(G);
+  EXPECT_TRUE(G->Params[0].contains(1.0));
+  EXPECT_TRUE(G->Params[0].contains(-3.0));
+  // Element coverage of the summary cell is unknown (which elements a
+  // loop actually wrote is not tracked), so a read additionally joins
+  // top-of-kind — including the may-be-NaN unassigned possibility.
+  EXPECT_TRUE(G->Params[0].mayBeNaN());
+}
+
+TEST(ProgramAnalysisTest, ArraySummaryReadsAreNeverDefinitelyInvalid) {
+  // Weak summaries keep reads maybe-unassigned, and a maybe-NaN
+  // parameter is never *definitely* invalid — even when every value
+  // actually written to the array is negative, a sigma-position read
+  // must not static-reject (unsoundness here would discard candidates
+  // a concrete run accepts).
+  auto Bad = parse(R"(
+program T() {
+  a: real[2];
+  x: real;
+  a[0] = 0.0 - 1.0;
+  a[1] = 0.0 - 2.0;
+  x ~ Gaussian(0.0, a[0]);
+  return x;
+}
+)");
+  ProgramAnalysis PABad(*Bad);
+  EXPECT_FALSE(PABad.analyzeCandidate({}).Rejected);
+}

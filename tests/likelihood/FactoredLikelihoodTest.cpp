@@ -1,0 +1,212 @@
+//===- tests/likelihood/FactoredLikelihoodTest.cpp - Per-term tapes -------===//
+//
+// The factored likelihood's bit-identity contract (DESIGN.md §14): one
+// tape per additive term, recombined per row in chain order through the
+// same block-Kahan + tree reduction, must reproduce the monolithic
+// LikelihoodFunction total bit for bit — for any grouping of terms, and
+// for selective (NeedGroup) compiles serving part of the groups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "likelihood/FactoredLikelihood.h"
+
+#include "likelihood/ColumnarDataset.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<LoweredProgram> lowerSource(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  if (!P)
+    return nullptr;
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  auto LP = lowerProgram(*P, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  return LP;
+}
+
+std::uint64_t bitsOf(double D) {
+  std::uint64_t B;
+  std::memcpy(&B, &D, sizeof(B));
+  return B;
+}
+
+/// Three modeled channels plus a non-trivial observe, so the term list
+/// is [rho, a, b, c] with a cross-channel dependence through c.
+const char *ChannelsSource = R"(
+program Chan() {
+  a: real;
+  b: real;
+  c: real;
+  a ~ Gaussian(1.0, 2.0);
+  b ~ Gaussian(-1.0, 1.0);
+  c ~ Gaussian(a + b, 1.5);
+  observe(a < 10.0);
+  return a;
+}
+)";
+
+Dataset channelData() {
+  Dataset Data({"a", "b", "c"});
+  const double Rows[][3] = {{0.5, -1.2, -0.4}, {1.9, -0.3, 2.0},
+                            {2.2, -2.0, 0.1},  {-0.7, 0.4, -0.9},
+                            {1.0, -1.0, 0.0},  {3.3, 0.0, 3.1}};
+  for (const auto &R : Rows)
+    Data.addRow({R[0], R[1], R[2]});
+  return Data;
+}
+
+TermPartition singletons(unsigned NumTerms) {
+  TermPartition Part;
+  Part.NumGroups = NumTerms;
+  for (unsigned T = 0; T != NumTerms; ++T)
+    Part.GroupOfTerm.push_back(T);
+  return Part;
+}
+
+/// Evaluates every group and recombines — the caller picks the grouping.
+double evalFactored(const FactoredLikelihoodFunction &FF,
+                    const ColumnarDataset &Cols) {
+  std::vector<std::vector<std::vector<double>>> GroupVals(FF.numGroups());
+  for (unsigned G = 0; G != FF.numGroups(); ++G)
+    FF.evalGroupRows(G, Cols, GroupVals[G]);
+  std::vector<const std::vector<double> *> TermRows(FF.numTerms());
+  for (unsigned G = 0; G != FF.numGroups(); ++G) {
+    const std::vector<unsigned> &Terms = FF.groupTerms(G);
+    for (size_t I = 0; I != Terms.size(); ++I)
+      TermRows[Terms[I]] = &GroupVals[G][I];
+  }
+  std::vector<double> Partials;
+  return factoredLogLikelihood(TermRows, Cols.numRows(), Partials);
+}
+
+} // namespace
+
+TEST(FactoredLikelihoodTest, SingletonGroupsMatchMonolithicBitwise) {
+  auto LP = lowerSource(ChannelsSource);
+  ASSERT_TRUE(LP);
+  Dataset Data = channelData();
+  ColumnarDataset Cols(Data);
+
+  auto Mono = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(Mono);
+  double Expected = Mono->logLikelihood(Cols);
+
+  auto FF = FactoredLikelihoodFunction::compile(*LP, Data, {}, nullptr, {},
+                                                nullptr, singletons(4));
+  ASSERT_TRUE(FF);
+  EXPECT_EQ(FF->numTerms(), 4u);
+  EXPECT_EQ(bitsOf(evalFactored(*FF, Cols)), bitsOf(Expected));
+}
+
+TEST(FactoredLikelihoodTest, GroupingDoesNotChangeTheTotal) {
+  auto LP = lowerSource(ChannelsSource);
+  ASSERT_TRUE(LP);
+  Dataset Data = channelData();
+  ColumnarDataset Cols(Data);
+
+  auto Mono = LikelihoodFunction::compile(*LP, Data);
+  ASSERT_TRUE(Mono);
+  double Expected = Mono->logLikelihood(Cols);
+
+  // One lump group, and an uneven split {rho,c | a | b}: recombination
+  // runs in global term order regardless of grouping, so both match.
+  TermPartition Lump;
+  Lump.NumGroups = 1;
+  Lump.GroupOfTerm = {0, 0, 0, 0};
+  TermPartition Split;
+  Split.NumGroups = 3;
+  Split.GroupOfTerm = {0, 1, 2, 0};
+  for (const TermPartition &Part : {Lump, Split}) {
+    auto FF = FactoredLikelihoodFunction::compile(*LP, Data, {}, nullptr, {},
+                                                  nullptr, Part);
+    ASSERT_TRUE(FF);
+    EXPECT_EQ(bitsOf(evalFactored(*FF, Cols)), bitsOf(Expected));
+  }
+}
+
+TEST(FactoredLikelihoodTest, NeedGroupCompilesOnlyFlaggedGroups) {
+  auto LP = lowerSource(ChannelsSource);
+  ASSERT_TRUE(LP);
+  Dataset Data = channelData();
+  ColumnarDataset Cols(Data);
+
+  auto Full = FactoredLikelihoodFunction::compile(*LP, Data, {}, nullptr, {},
+                                                  nullptr, singletons(4));
+  ASSERT_TRUE(Full);
+  std::vector<std::vector<double>> FullVals;
+  Full->evalGroupRows(2, Cols, FullVals);
+
+  // Flag only group 2 (column b's term): its rows must match the full
+  // compile bit for bit, and the partial tape must be strictly smaller.
+  std::vector<char> Need(4, 0);
+  Need[2] = 1;
+  auto Partial = FactoredLikelihoodFunction::compile(
+      *LP, Data, {}, nullptr, {}, nullptr, singletons(4), &Need);
+  ASSERT_TRUE(Partial);
+  std::vector<std::vector<double>> PartVals;
+  Partial->evalGroupRows(2, Cols, PartVals);
+  ASSERT_EQ(PartVals.size(), FullVals.size());
+  ASSERT_EQ(PartVals[0].size(), Data.numRows());
+  for (size_t R = 0; R != Data.numRows(); ++R)
+    EXPECT_EQ(bitsOf(PartVals[0][R]), bitsOf(FullVals[0][R])) << "row " << R;
+  EXPECT_LT(Partial->tapeSize(), Full->tapeSize());
+}
+
+TEST(FactoredLikelihoodTest, MismatchedPartitionIsRejected) {
+  auto LP = lowerSource(ChannelsSource);
+  ASSERT_TRUE(LP);
+  Dataset Data = channelData();
+  // The program has 4 terms; a 3-term partition cannot apply.
+  auto FF = FactoredLikelihoodFunction::compile(*LP, Data, {}, nullptr, {},
+                                                nullptr, singletons(3));
+  EXPECT_FALSE(FF.has_value());
+}
+
+TEST(FactoredLikelihoodTest, TemplateCompletionsMatchMonolithicBitwise) {
+  // The synthesis shape: a sketch template lowered with KeepHoles plus a
+  // completion tuple, factored against the monolithic template path.
+  DiagEngine Diags;
+  auto P = parseProgramSource(R"(
+program Sketch() {
+  a: real;
+  b: real;
+  a ~ Gaussian(??, 1.0);
+  b ~ Gaussian(??, 2.0);
+  return a;
+}
+)",
+                              Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  auto LP = lowerProgram(*P, {}, Diags, /*KeepHoles=*/true);
+  ASSERT_TRUE(LP) << Diags.str();
+
+  Dataset Data({"a", "b"});
+  for (double X : {0.2, 1.4, -0.6, 2.8})
+    Data.addRow({X, -X});
+  ColumnarDataset Cols(Data);
+
+  std::vector<ExprPtr> Completions;
+  Completions.push_back(parseExprSource("0.7", Diags));
+  Completions.push_back(parseExprSource("0.0 - 1.3", Diags));
+  ASSERT_TRUE(Completions[0] && Completions[1]) << Diags.str();
+
+  auto Mono = LikelihoodFunction::compile(*LP, Data, {}, &Completions);
+  ASSERT_TRUE(Mono);
+  auto FF = FactoredLikelihoodFunction::compile(*LP, Data, {}, &Completions,
+                                                {}, nullptr, singletons(3));
+  ASSERT_TRUE(FF);
+  EXPECT_EQ(bitsOf(evalFactored(*FF, Cols)),
+            bitsOf(Mono->logLikelihood(Cols)));
+}

@@ -1,0 +1,334 @@
+//===- tests/synth/SliceFactoringTest.cpp - Slice plans and differentials -===//
+//
+// The synth side of DESIGN.md §14: the per-sketch SlicePlan, the group
+// footprint keys, the chain-private value cache, and — the load-bearing
+// contract — that slice factoring and the dead-hole proposal skip are
+// pure cost optimizations: scores, traces and accept decisions are
+// bit-identical with `SliceFactoring` on and off, at every threading
+// and speculation setting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/SliceFactoring.h"
+#include "synth/Synthesizer.h"
+
+#include "ast/ASTPrinter.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+
+#include <cstring>
+#include <functional>
+#include <gtest/gtest.h>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+ExprPtr parseE(const std::string &Source) {
+  DiagEngine Diags;
+  auto E = parseExprSource(Source, Diags);
+  EXPECT_TRUE(E) << Diags.str();
+  return E;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+uint64_t bitsOf(double X) {
+  uint64_t B;
+  std::memcpy(&B, &X, sizeof(B));
+  return B;
+}
+
+/// Three observed channels with per-channel holes plus a drift hole
+/// that feeds only the (unobserved) return — dead for synthesis.
+const char *ChannelTarget = R"(
+program T() {
+  a: real;
+  b: real;
+  c: real;
+  a ~ Gaussian(3.0, 1.0);
+  b ~ Gaussian(-2.0, 1.0);
+  c ~ Gaussian(7.0, 1.0);
+  return a, b, c;
+}
+)";
+
+const char *ChannelSketch = R"(
+program S() {
+  a: real;
+  b: real;
+  c: real;
+  drift: real;
+  a ~ Gaussian(??, 1.0);
+  b ~ Gaussian(??, 1.0);
+  c ~ Gaussian(??, 1.0);
+  drift ~ Gaussian(??, 1.0);
+  return drift;
+}
+)";
+
+std::unique_ptr<LoweredProgram> lowerTemplate(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  EXPECT_TRUE(typeCheck(*P, Diags)) << Diags.str();
+  auto LP = lowerProgram(*P, {}, Diags, /*KeepHoles=*/true);
+  EXPECT_TRUE(LP) << Diags.str();
+  return LP;
+}
+
+} // namespace
+
+TEST(SlicePlanTest, GroupsTermsByHoleFootprint) {
+  auto Template = lowerTemplate(ChannelSketch);
+  ASSERT_TRUE(Template);
+  Dataset Data = makeData(ChannelTarget, 40, 3);
+  SlicePlan Plan =
+      buildSlicePlan(*Template, observedSlots(*Template, Data), 4);
+  ASSERT_TRUE(Plan.Usable);
+  // Terms: rho (no observes → empty mask), then columns a, b, c with
+  // one private hole each — four distinct footprints, four groups.
+  ASSERT_EQ(Plan.TermMask.size(), 4u);
+  EXPECT_EQ(Plan.TermMask[0], HoleMask(0));
+  EXPECT_EQ(Plan.TermMask[1], HoleMask(1) << 0);
+  EXPECT_EQ(Plan.TermMask[2], HoleMask(1) << 1);
+  EXPECT_EQ(Plan.TermMask[3], HoleMask(1) << 2);
+  EXPECT_EQ(Plan.NumGroups, 4u);
+  ASSERT_TRUE(Plan.partition().valid());
+  // ??3 reaches no term: mutations to it cannot change any score.
+  EXPECT_EQ(Plan.deadMask(), HoleMask(1) << 3);
+}
+
+TEST(SlicePlanTest, SharedHoleMergesTerms) {
+  auto Template = lowerTemplate(R"(
+program Shared() {
+  a: real;
+  b: real;
+  a ~ Gaussian(??, 1.0);
+  b ~ Gaussian(??, 1.0);
+  observe(a + b > 0.0);
+  return a;
+}
+)");
+  ASSERT_TRUE(Template);
+  Dataset Data = makeData(R"(
+program T() {
+  a: real;
+  b: real;
+  a ~ Gaussian(1.0, 1.0);
+  b ~ Gaussian(2.0, 1.0);
+  return a, b;
+}
+)",
+                          30, 5);
+  SlicePlan Plan =
+      buildSlicePlan(*Template, observedSlots(*Template, Data), 2);
+  ASSERT_TRUE(Plan.Usable);
+  ASSERT_EQ(Plan.TermMask.size(), 3u);
+  // Both holes' draws are observed columns, so the observe's reads are
+  // data references — but the rho term is weighted under no branch here
+  // and the observe reads *observed* slots, leaving rho hole-free while
+  // each density term keeps its own hole.
+  EXPECT_EQ(Plan.TermMask[1], HoleMask(1) << 0);
+  EXPECT_EQ(Plan.TermMask[2], HoleMask(1) << 1);
+  EXPECT_EQ(Plan.deadMask(), HoleMask(0));
+}
+
+TEST(SlicePlanTest, HoleFreeSketchIsUnusable) {
+  auto Template = lowerTemplate(R"(
+program NoHoles() {
+  x: real;
+  x ~ Gaussian(1.0, 2.0);
+  return x;
+}
+)");
+  ASSERT_TRUE(Template);
+  Dataset Data = makeData(R"(
+program T() {
+  x: real;
+  x ~ Gaussian(1.0, 2.0);
+  return x;
+}
+)",
+                          20, 7);
+  SlicePlan Plan =
+      buildSlicePlan(*Template, observedSlots(*Template, Data), 0);
+  EXPECT_FALSE(Plan.Usable);
+}
+
+TEST(SliceGroupKeyTest, DependsOnlyOnTheGroupFootprint) {
+  auto Template = lowerTemplate(ChannelSketch);
+  ASSERT_TRUE(Template);
+  Dataset Data = makeData(ChannelTarget, 40, 3);
+  SlicePlan Plan =
+      buildSlicePlan(*Template, observedSlots(*Template, Data), 4);
+  ASSERT_TRUE(Plan.Usable);
+
+  std::vector<ExprPtr> Base;
+  for (const char *S : {"1.0", "2.0", "3.0", "4.0"})
+    Base.push_back(parseE(S));
+  // Group 1's footprint is {??0}: changing ??1's completion keeps the
+  // key, changing ??0's moves it.
+  std::vector<ExprPtr> OtherHole;
+  for (const char *S : {"1.0", "9.0", "3.0", "4.0"})
+    OtherHole.push_back(parseE(S));
+  std::vector<ExprPtr> OwnHole;
+  for (const char *S : {"5.5", "2.0", "3.0", "4.0"})
+    OwnHole.push_back(parseE(S));
+
+  EXPECT_EQ(sliceGroupKey(Plan, 1, Base), sliceGroupKey(Plan, 1, OtherHole));
+  EXPECT_NE(sliceGroupKey(Plan, 1, Base), sliceGroupKey(Plan, 1, OwnHole));
+  // Structural hashing: an equal tuple parsed separately agrees.
+  std::vector<ExprPtr> BaseCopy;
+  for (const char *S : {"1.0", "2.0", "3.0", "4.0"})
+    BaseCopy.push_back(parseE(S));
+  EXPECT_EQ(sliceGroupKey(Plan, 1, Base), sliceGroupKey(Plan, 1, BaseCopy));
+}
+
+TEST(SliceValueCacheTest, LRUEvictsOldestPerGroup) {
+  SliceValueCache Cache(/*NumGroups=*/2, /*PerGroupCapacity=*/2);
+  auto Mk = [](double V) {
+    return std::make_shared<const std::vector<std::vector<double>>>(
+        std::vector<std::vector<double>>{{V}});
+  };
+  Cache.insert(0, 10, Mk(1.0));
+  Cache.insert(0, 20, Mk(2.0));
+  // Touch key 10 so 20 becomes the LRU victim.
+  ASSERT_TRUE(Cache.lookup(0, 10));
+  Cache.insert(0, 30, Mk(3.0));
+  EXPECT_TRUE(Cache.lookup(0, 10));
+  EXPECT_FALSE(Cache.lookup(0, 20));
+  EXPECT_TRUE(Cache.lookup(0, 30));
+  // Groups are independent.
+  EXPECT_FALSE(Cache.lookup(1, 10));
+}
+
+namespace {
+
+/// Runs the channel synthesis with factoring on and off under \p Mutate
+/// applied to both configs, and requires bitwise-identical outcomes plus
+/// the expected skip/saved telemetry on the factored run.
+void expectFactoredMatchesMonolithic(
+    const std::function<void(SynthesisConfig &)> &Mutate,
+    bool ExpectSliceWork = true) {
+  Dataset Data = makeData(ChannelTarget, 120, 41);
+  auto SketchP = parseP(ChannelSketch);
+
+  SynthesisConfig On;
+  On.Iterations = 500;
+  On.Seed = 9;
+  On.TrackBestTrace = true;
+  Mutate(On);
+  SynthesisConfig Off = On;
+  On.SliceFactoring = true;
+  Off.SliceFactoring = false;
+
+  Synthesizer SOn(*SketchP, {}, Data, On);
+  ASSERT_TRUE(SOn.valid()) << SOn.diagnostics().str();
+  Synthesizer SOff(*SketchP, {}, Data, Off);
+  ASSERT_TRUE(SOff.valid()) << SOff.diagnostics().str();
+
+  SynthesisResult ROn = SOn.run();
+  SynthesisResult ROff = SOff.run();
+  ASSERT_TRUE(ROn.Succeeded);
+  ASSERT_TRUE(ROff.Succeeded);
+
+  EXPECT_EQ(bitsOf(ROn.BestLogLikelihood), bitsOf(ROff.BestLogLikelihood));
+  ASSERT_EQ(ROn.BestCompletions.size(), ROff.BestCompletions.size());
+  for (size_t I = 0; I != ROn.BestCompletions.size(); ++I)
+    EXPECT_EQ(toString(*ROn.BestCompletions[I]),
+              toString(*ROff.BestCompletions[I]));
+  ASSERT_EQ(ROn.BestTrace.size(), ROff.BestTrace.size());
+  for (size_t I = 0; I != ROn.BestTrace.size(); ++I)
+    ASSERT_EQ(bitsOf(ROn.BestTrace[I]), bitsOf(ROff.BestTrace[I]))
+        << "traces diverge at iteration " << I;
+  EXPECT_EQ(ROn.Stats.Proposed, ROff.Stats.Proposed);
+  EXPECT_EQ(ROn.Stats.Accepted, ROff.Stats.Accepted);
+  EXPECT_EQ(ROn.Stats.Invalid, ROff.Stats.Invalid);
+
+  // The factored run must actually factor: dead-hole (??3) proposals
+  // skip scoring, and cached groups save a healthy share of tape rows
+  // (the issue's bar is >= 30%).  Speculation workers score
+  // monolithically by design, so callers that route most scoring
+  // through them opt out of this telemetry check.
+  if (ExpectSliceWork) {
+    EXPECT_GT(ROn.Stats.SliceSkip, 0u);
+    EXPECT_GT(ROn.Stats.SliceGroupHits, 0u);
+    double Saved = double(ROn.Stats.SliceRowsSaved);
+    double Evaluated = double(ROn.Stats.SliceRowsEvaluated);
+    ASSERT_GT(Saved + Evaluated, 0.0);
+    EXPECT_GE(Saved / (Saved + Evaluated), 0.3);
+  }
+
+  // The monolithic run must not: the knob gates every slice mechanism.
+  EXPECT_EQ(ROff.Stats.SliceSkip, 0u);
+  EXPECT_EQ(ROff.Stats.SliceGroupHits, 0u);
+  EXPECT_EQ(ROff.Stats.SliceRowsSaved, 0u);
+}
+
+} // namespace
+
+TEST(SliceFactoringTest, OnOffBitIdenticalSerial) {
+  expectFactoredMatchesMonolithic([](SynthesisConfig &) {});
+}
+
+TEST(SliceFactoringTest, OnOffBitIdenticalMultiChain) {
+  expectFactoredMatchesMonolithic(
+      [](SynthesisConfig &C) { C.Threads = 2; });
+}
+
+TEST(SliceFactoringTest, OnOffBitIdenticalRowParallel) {
+  expectFactoredMatchesMonolithic(
+      [](SynthesisConfig &C) { C.RowThreads = 2; });
+}
+
+TEST(SliceFactoringTest, OnOffBitIdenticalSpeculative) {
+  expectFactoredMatchesMonolithic(
+      [](SynthesisConfig &C) { C.SpeculateDepth = 2; },
+      /*ExpectSliceWork=*/false);
+}
+
+TEST(SliceFactoringTest, FastTapeFallsBackToMonolithic) {
+  // FastTape's value-changing simplification voids the per-term
+  // bit-identity argument, so factoring must gate itself off — scores
+  // still match the monolithic FastTape run and no groups are cached.
+  // The dead-hole skip stays on: it never consults any tape.
+  Dataset Data = makeData(ChannelTarget, 80, 13);
+  auto SketchP = parseP(ChannelSketch);
+  SynthesisConfig On;
+  On.Iterations = 300;
+  On.Seed = 17;
+  On.Likelihood.Tape.FastTape = true;
+  SynthesisConfig Off = On;
+  On.SliceFactoring = true;
+  Off.SliceFactoring = false;
+
+  Synthesizer SOn(*SketchP, {}, Data, On);
+  ASSERT_TRUE(SOn.valid()) << SOn.diagnostics().str();
+  Synthesizer SOff(*SketchP, {}, Data, Off);
+  ASSERT_TRUE(SOff.valid()) << SOff.diagnostics().str();
+  SynthesisResult ROn = SOn.run();
+  SynthesisResult ROff = SOff.run();
+  ASSERT_TRUE(ROn.Succeeded);
+  ASSERT_TRUE(ROff.Succeeded);
+  EXPECT_EQ(bitsOf(ROn.BestLogLikelihood), bitsOf(ROff.BestLogLikelihood));
+  EXPECT_EQ(ROn.Stats.SliceGroupHits, 0u);
+  EXPECT_EQ(ROn.Stats.SliceGroupMisses, 0u);
+  EXPECT_GT(ROn.Stats.SliceSkip, 0u);
+}

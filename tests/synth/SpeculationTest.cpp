@@ -67,6 +67,7 @@ struct RunKnobs {
   unsigned Chains = 1;
   size_t CacheSize = 4096;
   bool UseProposalRatio = false;
+  bool SliceFactoring = true;
 };
 
 SynthesisResult runWith(const Dataset &Data, const RunKnobs &K) {
@@ -80,6 +81,7 @@ SynthesisResult runWith(const Dataset &Data, const RunKnobs &K) {
   Config.SpeculateDepth = K.SpeculateDepth;
   Config.ScoreCacheSize = K.CacheSize;
   Config.UseProposalRatio = K.UseProposalRatio;
+  Config.SliceFactoring = K.SliceFactoring;
   Config.TrackBestTrace = true;
   Config.CollectTrace = true;
   Synthesizer Synth(*Sketch, {}, Data, Config);
@@ -223,9 +225,16 @@ TEST(SpeculationTest, SmallCacheEvictionOrderSurvivesSpeculation) {
 TEST(SpeculationTest, UncachedWalkSurvivesSpeculation) {
   // Cache capacity 0 removes the replay cache entirely: every realized
   // verdict must come from the node itself (or an inline steal).
+  // Slice factoring is pinned off: without the score cache the
+  // depth-0 leg's slice-value cache absorbs revisited proposals
+  // (partial or no tape compiles) while speculation workers score
+  // monolithically by design (DESIGN.md §14.3), so the tape-compile
+  // counters compared here are pipeline-dependent.  The walk-level
+  // identity of factoring x speculation is SliceFactoringTest's.
   Dataset Data = makeData(GaussTarget, 120, 87);
   RunKnobs Base;
   Base.CacheSize = 0;
+  Base.SliceFactoring = false;
   SynthesisResult Plain = runWith(Data, Base);
   RunKnobs K = Base;
   K.SpeculateDepth = 2;

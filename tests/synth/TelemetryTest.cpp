@@ -57,7 +57,8 @@ program S() {
 
 SynthesisResult runTelemetry(const Dataset &Data, unsigned Threads,
                              unsigned Chains = 2,
-                             unsigned Iterations = 150) {
+                             unsigned Iterations = 150,
+                             bool SliceFactoring = true) {
   auto Sketch = parseP(GaussSketch);
   SynthesisConfig Config;
   Config.Iterations = Iterations;
@@ -68,6 +69,7 @@ SynthesisResult runTelemetry(const Dataset &Data, unsigned Threads,
   Config.Metrics = true;
   Config.StageTimers = true;
   Config.Diagnostics = true;
+  Config.SliceFactoring = SliceFactoring;
   Synthesizer Synth(*Sketch, {}, Data, Config);
   EXPECT_TRUE(Synth.valid()) << Synth.diagnostics().str();
   return Synth.run();
@@ -182,14 +184,27 @@ TEST(TelemetryTest, MetricsAgreeWithStats) {
 
 TEST(TelemetryTest, StageTimersChargeTheHotStages) {
   Dataset Data = makeData(GaussTarget, 60, 24);
-  SynthesisResult R = runTelemetry(Data, 1);
-  // Template scoring evaluates the tape once per scored candidate.
+  // Monolithic pipeline: one batched tape eval per scored candidate.
+  SynthesisResult R = runTelemetry(Data, 1, 2, 150,
+                                   /*SliceFactoring=*/false);
   EXPECT_EQ(R.Stats.Stage.calls(Stage::EvalBatch),
             uint64_t(R.Stats.Scored));
   // Every proposal probes the cache (capacity is on by default).
   EXPECT_EQ(R.Stats.Stage.calls(Stage::CacheProbe),
             uint64_t(R.Stats.CacheHits + R.Stats.CacheMisses));
   EXPECT_GT(R.Stats.Stage.seconds(Stage::EvalBatch), 0.0);
+}
+
+TEST(TelemetryTest, StageTimersChargeFactoredGroupEvals) {
+  Dataset Data = makeData(GaussTarget, 60, 24);
+  // Factored pipeline (DESIGN.md §14): one batched eval per *missed*
+  // slice group — hit groups replay cached rows, no tape runs at all.
+  SynthesisResult R = runTelemetry(Data, 1);
+  ASSERT_GT(R.Stats.SliceGroupHits, 0u);
+  EXPECT_EQ(R.Stats.Stage.calls(Stage::EvalBatch),
+            uint64_t(R.Stats.SliceGroupMisses));
+  EXPECT_EQ(R.Stats.Stage.calls(Stage::CacheProbe),
+            uint64_t(R.Stats.CacheHits + R.Stats.CacheMisses));
 }
 
 TEST(TelemetryTest, DiagnosticsCoverEveryChain) {

@@ -479,3 +479,156 @@ TEST(DriverTest, SynthNoStaticAnalysisGivesIdenticalResults) {
   EXPECT_EQ(On.Out.substr(OnLL, On.Out.find('\n', OnLL) - OnLL),
             Off.Out.substr(OffLL, Off.Out.find('\n', OffLL) - OffLL));
 }
+
+TEST(DriverTest, AnalyzePrintsDependenceMatrix) {
+  std::string Path = writeTemp("driver_an.psk", R"(
+program An() {
+  a: real;
+  b: real;
+  a ~ Gaussian(??, 1.0);
+  b ~ Gaussian(??, 1.0);
+  observe(a > 0.0);
+  return b;
+}
+)");
+  auto R = run({"analyze", "--program", Path});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("program An: 2 hole(s), 1 observe(s), 1 output(s)"),
+            std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("??0 ??1"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("rho (branch weights)"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("output b"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("dead holes: none"), std::string::npos) << R.Out;
+}
+
+TEST(DriverTest, AnalyzeWithDataMarksObservedColumns) {
+  std::string Prog = writeTemp("driver_an_data.psk", R"(
+program AnData() {
+  a: real;
+  drift: real;
+  a ~ Gaussian(??, 1.0);
+  drift ~ Gaussian(??, 1.0);
+  return drift;
+}
+)");
+  std::string Data = writeTemp("driver_an_data.csv", "a\n1.0\n2.0\n");
+  auto R = run({"analyze", "--program", Prog, "--data", Data});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  // Column `a` becomes a density-term sink; `drift` stays the returned
+  // output, so ??1 is live in this raw view.
+  EXPECT_NE(R.Out.find("output a"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("output drift"), std::string::npos) << R.Out;
+}
+
+TEST(DriverTest, AnalyzeWritesDotFile) {
+  std::string Prog = writeTemp("driver_an_dot.psk", R"(
+program AnDot() {
+  x: real;
+  x ~ Gaussian(??, 1.0);
+  observe(x > 0.0);
+  return x;
+}
+)");
+  std::string DotPath = ::testing::TempDir() + "/driver_an.dot";
+  auto R = run({"analyze", "--program", Prog, "--dot-out", DotPath});
+  EXPECT_EQ(R.Code, 0) << R.Err;
+  EXPECT_NE(R.Out.find("wrote dependence graph to " + DotPath),
+            std::string::npos)
+      << R.Out;
+  std::ifstream Dot(DotPath);
+  ASSERT_TRUE(Dot.is_open());
+  std::ostringstream DotText;
+  DotText << Dot.rdbuf();
+  EXPECT_EQ(DotText.str().rfind("digraph hole_observe_dependence {", 0), 0u)
+      << DotText.str();
+  EXPECT_NE(DotText.str().find("h0 -> o0;"), std::string::npos)
+      << DotText.str();
+}
+
+TEST(DriverTest, AnalyzeRejectsMissingFile) {
+  auto R = run({"analyze", "--program", "/nonexistent/nope.psk"});
+  EXPECT_NE(R.Code, 0);
+  EXPECT_NE(R.Err.find("cannot open"), std::string::npos);
+}
+
+TEST(DriverTest, LintNewRulesWarnButExitZero) {
+  // Warnings only — the lint gate reserves non-zero for errors.
+  std::string Path = writeTemp("driver_lint_slice.psk", R"(
+program SliceLint() {
+  mean: real;
+  obs: real;
+  gate: bool;
+  temp: real;
+  mean = ??;
+  obs ~ Gaussian(mean, 1.0);
+  gate ~ Bernoulli(0.5);
+  observe(gate);
+  temp = obs * 2.0;
+  temp = temp + 1.0;
+  return obs;
+}
+)");
+  RunResult R = run({"lint", "--program", Path});
+  EXPECT_EQ(R.Code, 0) << R.Out << R.Err;
+  EXPECT_NE(R.Out.find("depends on no hole"), std::string::npos) << R.Out;
+  EXPECT_NE(R.Out.find("no effect on the program's distribution"),
+            std::string::npos)
+      << R.Out;
+  EXPECT_NE(R.Out.find("0 error(s), 3 warning(s)"), std::string::npos)
+      << R.Out;
+}
+
+TEST(DriverTest, SynthNoSliceFactoringGivesIdenticalResults) {
+  std::string Prog = writeTemp("driver_nsf_truth.psk", R"(
+program T() {
+  a: real;
+  b: real;
+  a ~ Gaussian(3.0, 1.0);
+  b ~ Gaussian(-2.0, 1.0);
+  return a, b;
+}
+)");
+  std::string Sketch = writeTemp("driver_nsf_sketch.psk", R"(
+program S() {
+  a: real;
+  b: real;
+  a ~ Gaussian(??, 1.0);
+  b ~ Gaussian(??, 1.0);
+  return a;
+}
+)");
+  std::string Data = ::testing::TempDir() + "/driver_nsf.csv";
+  RunResult S = run({"sample", "--program", Prog, "--rows", "80", "--seed",
+                     "31", "--out", Data});
+  ASSERT_EQ(S.Code, 0) << S.Err;
+  std::vector<std::string> Common = {"synth",  "--sketch",     Sketch,
+                                     "--data", Data,           "--iterations",
+                                     "400",    "--seed",       "5"};
+  RunResult On = run(Common);
+  std::vector<std::string> OffArgs = Common;
+  OffArgs.push_back("--no-slice-factoring");
+  RunResult Off = run(OffArgs);
+  ASSERT_EQ(On.Code, 0) << On.Err;
+  ASSERT_EQ(Off.Code, 0) << Off.Err;
+  // Factoring is a pure cost optimization: program text and score are
+  // identical; only `//` summary comments (wall-clock, cache counters)
+  // may differ.
+  auto Strip = [](const std::string &Text) {
+    std::istringstream IS(Text);
+    std::string Line, Kept;
+    while (std::getline(IS, Line)) {
+      if (Line.rfind("//", 0) != 0) {
+        Kept += Line + "\n";
+      }
+    }
+    return Kept;
+  };
+  EXPECT_EQ(Strip(On.Out), Strip(Off.Out));
+  size_t OnLL = On.Out.find("log-likelihood");
+  size_t OffLL = Off.Out.find("log-likelihood");
+  ASSERT_NE(OnLL, std::string::npos);
+  ASSERT_NE(OffLL, std::string::npos);
+  EXPECT_EQ(On.Out.substr(OnLL, On.Out.find('\n', OnLL) - OnLL),
+            Off.Out.substr(OffLL, Off.Out.find('\n', OffLL) - OffLL));
+}

@@ -239,3 +239,38 @@ TEST(ToolOptionsTest, LintCommandParses) {
   // Like every program-consuming command, lint requires --program.
   EXPECT_FALSE(ToolOptions::parse({"lint"}).valid());
 }
+
+TEST(ToolOptionsTest, AnalyzeCommandParses) {
+  auto Opts = ToolOptions::parse({"analyze", "--program", "p.psk"});
+  ASSERT_TRUE(Opts.valid()) << (Opts.Errors.empty() ? "" : Opts.Errors[0]);
+  EXPECT_EQ(Opts.Command, "analyze");
+  EXPECT_EQ(Opts.ProgramPath, "p.psk");
+  EXPECT_TRUE(Opts.DotOutPath.empty());
+  // The program is required; data is optional (it only marks columns
+  // as observed in the report).
+  EXPECT_FALSE(ToolOptions::parse({"analyze"}).valid());
+  EXPECT_TRUE(ToolOptions::parse(
+                  {"analyze", "--program", "p.psk", "--data", "d.csv"})
+                  .valid());
+}
+
+TEST(ToolOptionsTest, AnalyzeDotOutParses) {
+  auto Opts = ToolOptions::parse(
+      {"analyze", "--program", "p.psk", "--dot-out", "dep.dot"});
+  ASSERT_TRUE(Opts.valid()) << (Opts.Errors.empty() ? "" : Opts.Errors[0]);
+  EXPECT_EQ(Opts.DotOutPath, "dep.dot");
+  EXPECT_FALSE(
+      ToolOptions::parse({"analyze", "--program", "p.psk", "--dot-out"})
+          .valid());
+}
+
+TEST(ToolOptionsTest, SliceFactoringFlagParsesAndDefaultsOn) {
+  auto Opts = ToolOptions::parse({"synth", "--sketch", "s.psk", "--data",
+                                  "d.csv", "--no-slice-factoring"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_TRUE(Opts.NoSliceFactoring);
+  auto Default = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv"});
+  ASSERT_TRUE(Default.valid());
+  EXPECT_FALSE(Default.NoSliceFactoring);
+}
