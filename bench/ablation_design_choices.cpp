@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Session.h"
 #include "baseline/GridLikelihood.h"
 #include "parse/Parser.h"
 #include "suite/Prepare.h"
@@ -109,8 +110,9 @@ void ablateGeometricP() {
     Config.Iterations = 4000;
     Config.Chains = 1;
     Config.Mut.GeomP = GeomP;
-    Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Config);
-    SynthesisResult R = Synth.run();
+    Session S;
+    S.sketch(*P->Sketch).data(P->Data).inputs(P->Inputs).configure(Config);
+    SynthesisResult R = S.run().Result;
     std::printf("%6.1f %14.2f %14.3f %14.3f\n", GeomP,
                 R.BestLogLikelihood, R.Stats.acceptanceRate(),
                 R.Stats.Proposed
@@ -172,8 +174,9 @@ void ablateProposalRatio() {
     Config.Iterations = 8000;
     Config.Chains = 6;
     Config.UseProposalRatio = UseRatio;
-    Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Config);
-    SynthesisResult R = Synth.run();
+    Session S;
+    S.sketch(*P->Sketch).data(P->Data).inputs(P->Inputs).configure(Config);
+    SynthesisResult R = S.run().Result;
     std::printf("%-12s %14.2f %14.3f\n",
                 UseRatio ? "asymmetric" : "symmetric",
                 R.BestLogLikelihood, R.Stats.acceptanceRate());

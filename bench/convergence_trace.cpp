@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Session.h"
 #include "suite/Prepare.h"
 
 #include <cstdio>
@@ -32,8 +33,9 @@ int main() {
     Config.Chains = 1;
     Config.Iterations = 8000;
     Config.TrackBestTrace = true;
-    Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Config);
-    SynthesisResult Result = Synth.run();
+    Session S;
+    S.sketch(*P->Sketch).data(P->Data).inputs(P->Inputs).configure(Config);
+    SynthesisResult Result = S.run().Result;
     if (!Result.Succeeded) {
       std::printf("%-14s synthesis failed\n", Name);
       continue;

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Session.h"
 #include "ast/ASTPrinter.h"
 #include "suite/Prepare.h"
 #include "support/Histogram.h"
@@ -55,8 +56,9 @@ int main() {
 
   std::printf("Figure 7: skill posteriors, true vs synthesized TrueSkill "
               "(3 players & 3 games)\n\n");
-  Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, B->Synth);
-  SynthesisResult Result = Synth.run();
+  Session S;
+  S.sketch(*P->Sketch).data(P->Data).inputs(P->Inputs).configure(B->Synth);
+  SynthesisResult Result = S.run().Result;
   if (!Result.Succeeded || !Result.BestProgram) {
     std::printf("synthesis failed\n");
     return 1;

@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Session.h"
 #include "baseline/GridLikelihood.h"
 #include "obs/Json.h"
 #include "obs/Profiler.h"
@@ -84,10 +85,11 @@ double maxPerRowDivergence(const PreparedBenchmark &P) {
 SynthesisStats trueSkillSynthStats(const PreparedBenchmark &P,
                                    SynthesisConfig Config, bool Rowwise,
                                    double &BestLL) {
-  Synthesizer Synth(*P.Sketch, P.Inputs, P.Data, Config);
+  Session S;
+  S.sketch(*P.Sketch).data(P.Data).inputs(P.Inputs).configure(Config);
   if (Rowwise)
-    Synth.setScorer([&P, &Config](const Program &Cand)
-                        -> std::optional<double> {
+    S.scorer([&P, &Config](const Program &Cand)
+                 -> std::optional<double> {
       DiagEngine Diags;
       auto LP = lowerProgram(Cand, P.Inputs, Diags);
       if (!LP)
@@ -102,7 +104,7 @@ SynthesisStats trueSkillSynthStats(const PreparedBenchmark &P,
         return std::nullopt;
       return LL;
     });
-  SynthesisResult Result = Synth.run();
+  SynthesisResult Result = S.run().Result;
   BestLL = Result.BestLogLikelihood;
   return Result.Stats;
 }
@@ -342,8 +344,9 @@ int main() {
       Cfg.Iterations = Quick ? 200 : 1500;
       Cfg.Chains = 2;
       Cfg.Profile = true;
-      Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Cfg);
-      SynthesisResult Result = Synth.run();
+      Session ProfS;
+      ProfS.sketch(*P->Sketch).data(P->Data).inputs(P->Inputs).configure(Cfg);
+      SynthesisResult Result = ProfS.run().Result;
       ProfileReport Report = makeProfileReport(Result, Cfg);
       Report.Sketch = "TrueSkill";
       double Attributed =

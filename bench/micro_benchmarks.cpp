@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Session.h"
 #include "baseline/GridDensity.h"
 #include "interp/Interp.h"
 #include "likelihood/RowParallel.h"
@@ -287,8 +288,9 @@ void writeTapeOptReport() {
       auto RunOne = [&](const SynthesisConfig &Cfg) {
         std::optional<SynthesisResult> Best;
         for (int Rep = 0; Rep != 3; ++Rep) {
-          Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Cfg);
-          SynthesisResult R = Synth.run();
+          Session S;
+          S.sketch(*P->Sketch).data(P->Data).inputs(P->Inputs).configure(Cfg);
+          SynthesisResult R = S.run().Result;
           if (!Best || R.Stats.Seconds < Best->Stats.Seconds)
             Best = std::move(R);
         }
@@ -644,8 +646,9 @@ void writeSpeculationReport() {
     auto RunOne = [&](const SynthesisConfig &Cfg) {
       std::optional<SynthesisResult> Best;
       for (int Rep = 0; Rep != 3; ++Rep) {
-        Synthesizer Synth(*P->Sketch, P->Inputs, P->Data, Cfg);
-        SynthesisResult R = Synth.run();
+        Session S;
+        S.sketch(*P->Sketch).data(P->Data).inputs(P->Inputs).configure(Cfg);
+        SynthesisResult R = S.run().Result;
         if (!Best || R.Stats.Seconds < Best->Stats.Seconds)
           Best = std::move(R);
       }
@@ -762,8 +765,9 @@ program Channels() {
   auto RunOne = [&](const SynthesisConfig &Cfg) {
     std::optional<SynthesisResult> Best;
     for (int Rep = 0; Rep != 3; ++Rep) {
-      Synthesizer Synth(*Sketch, {}, Data, Cfg);
-      SynthesisResult R = Synth.run();
+      Session S;
+      S.sketch(*Sketch).data(Data).configure(Cfg);
+      SynthesisResult R = S.run().Result;
       if (!Best || R.Stats.Seconds < Best->Stats.Seconds)
         Best = std::move(R);
     }

@@ -1,0 +1,276 @@
+//===- api/Session.cpp - Stable embedding facade for psketch runs ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Session.h"
+
+#include "likelihood/DatasetIO.h"
+#include "obs/Trace.h"
+#include "parse/Parser.h"
+#include "sem/TypeCheck.h"
+#include "synth/Checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace psketch;
+
+ToolExit Session::Outcome::exit() const {
+  if (Error.ok())
+    return Result.interrupted() ? ToolExit::Interrupted : ToolExit::Success;
+  if (Error.K == SessionError::Kind::Config)
+    return ToolExit::Usage;
+  // A cancelled run that found nothing is still an interruption — the
+  // caller asked us to stop, we stopped; exit 3 tells them their
+  // signal (not a failure) ended the run.
+  if (Error.K == SessionError::Kind::Synthesis && Result.interrupted())
+    return ToolExit::Interrupted;
+  return ToolExit::Failure;
+}
+
+Session::Session() = default;
+Session::~Session() = default;
+Session::Session(Session &&) noexcept = default;
+Session &Session::operator=(Session &&) noexcept = default;
+
+Session &Session::sketchFile(std::string Path) {
+  SketchPath = std::move(Path);
+  SketchName = SketchPath;
+  HaveSketchSrc = false;
+  OwnedSketch.reset();
+  SketchPtr = nullptr;
+  return *this;
+}
+
+Session &Session::sketchSource(std::string Source, std::string DisplayName) {
+  SketchSrc = std::move(Source);
+  SketchName = std::move(DisplayName);
+  HaveSketchSrc = true;
+  SketchPath.clear();
+  OwnedSketch.reset();
+  SketchPtr = nullptr;
+  return *this;
+}
+
+Session &Session::sketch(const Program &P, std::string DisplayName) {
+  SketchPtr = &P;
+  SketchName = std::move(DisplayName);
+  HaveSketchSrc = false;
+  SketchPath.clear();
+  OwnedSketch.reset();
+  return *this;
+}
+
+Session &Session::dataFile(std::string Path) {
+  DataPath = std::move(Path);
+  OwnedData.reset();
+  DataPtr = nullptr;
+  return *this;
+}
+
+Session &Session::data(const Dataset &D) {
+  DataPtr = &D;
+  DataPath.clear();
+  OwnedData.reset();
+  return *this;
+}
+
+Session &Session::inputs(InputBindings B) {
+  Bindings = std::move(B);
+  return *this;
+}
+
+Session &Session::iterations(unsigned N) {
+  Cfg.Iterations = N;
+  return *this;
+}
+
+Session &Session::chains(unsigned N) {
+  Cfg.Chains = N;
+  return *this;
+}
+
+Session &Session::seed(uint64_t S) {
+  Cfg.Seed = S;
+  return *this;
+}
+
+Session &Session::scorer(Synthesizer::Scorer S) {
+  CustomScorer = std::move(S);
+  return *this;
+}
+
+Session &Session::configure(const SynthesisConfig &C) {
+  Cfg = C;
+  Thr.Threads = C.Threads;
+  Thr.RowThreads = C.RowThreads;
+  Thr.SpeculateDepth = C.SpeculateDepth;
+  Bud.DeadlineSeconds = C.Budget.DeadlineSeconds;
+  Bud.MinProposalsPerSec = C.Budget.MinProposalsPerSec;
+  Bud.CheckpointPath = C.CheckpointPath;
+  Bud.CheckpointEvery = C.CheckpointEvery;
+  Bud.CheckpointKeep = C.CheckpointKeep;
+  Bud.Cancel = C.Cancel;
+  return *this;
+}
+
+bool Session::loadInputs(Outcome &O) {
+  if (!SketchPtr) {
+    std::string Source;
+    if (HaveSketchSrc) {
+      Source = SketchSrc;
+    } else if (!SketchPath.empty()) {
+      std::ifstream In(SketchPath);
+      if (!In) {
+        O.Error = {SessionError::Kind::Sketch,
+                   "cannot open '" + SketchPath + "'"};
+        return false;
+      }
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      Source = Buffer.str();
+    } else {
+      O.Error = {SessionError::Kind::Sketch,
+                 "no sketch provided (sketchFile / sketchSource / sketch)"};
+      return false;
+    }
+    DiagEngine Diags;
+    auto P = parseProgramSource(Source, Diags);
+    if (!P || !typeCheck(*P, Diags)) {
+      O.Error = {SessionError::Kind::Sketch,
+                 SketchName + ":\n" + Diags.str()};
+      return false;
+    }
+    OwnedSketch = std::move(P);
+    SketchPtr = OwnedSketch.get();
+  }
+  if (!DataPtr) {
+    if (DataPath.empty()) {
+      O.Error = {SessionError::Kind::Data,
+                 "no dataset provided (dataFile / data)"};
+      return false;
+    }
+    DiagEngine Diags;
+    auto D = readDatasetCsvFile(DataPath, Diags);
+    if (!D) {
+      O.Error = {SessionError::Kind::Data, DataPath + ":\n" + Diags.str()};
+      return false;
+    }
+    OwnedData = std::move(*D);
+    DataPtr = &*OwnedData;
+  }
+  return true;
+}
+
+Session::Outcome Session::run() {
+  Outcome O;
+  if (!loadInputs(O))
+    return O;
+
+  // Grouped knobs own their SynthesisConfig fields.
+  Cfg.Threads = Thr.Threads;
+  Cfg.RowThreads = Thr.RowThreads;
+  Cfg.SpeculateDepth = Thr.SpeculateDepth;
+  Cfg.Budget.DeadlineSeconds = Bud.DeadlineSeconds;
+  Cfg.Budget.MinProposalsPerSec = Bud.MinProposalsPerSec;
+  Cfg.CheckpointPath = Bud.CheckpointPath;
+  Cfg.CheckpointEvery = Bud.CheckpointEvery;
+  Cfg.CheckpointKeep = Bud.CheckpointKeep;
+  // Telemetry switches are additive: a path turns its collection on,
+  // an embedder's direct config() switches stay honored.
+  Cfg.CollectTrace = Cfg.CollectTrace || !Tel.TraceOut.empty();
+  Cfg.Metrics = Cfg.Metrics || !Tel.MetricsOut.empty();
+  Cfg.StageTimers = Cfg.StageTimers || Cfg.Metrics;
+  Cfg.Diagnostics = Cfg.Diagnostics || Cfg.CollectTrace || Cfg.Metrics;
+  Cfg.Profile = Cfg.Profile || Tel.Profile;
+  Cfg.ProfileSampleEvery =
+      std::max(Cfg.ProfileSampleEvery, Tel.ProfileSampleEvery);
+
+  // Validation: warnings surface on the Outcome, errors refuse the run
+  // before any work happens.
+  for (ConfigDiag &D : Cfg.validate()) {
+    if (D.Sev == ConfigDiag::Severity::Error) {
+      O.Error = {SessionError::Kind::Config, D.Message};
+      return O;
+    }
+    O.Warnings.push_back(std::move(D));
+  }
+
+  // Resume snapshot: loaded from ResumePath when given; a
+  // Resume already set on config() directly is left in place.
+  if (!Bud.ResumePath.empty()) {
+    Cfg.Resume.reset();
+    auto CP = std::make_shared<RunCheckpoint>();
+    std::string Err;
+    if (!readCheckpointFile(Bud.ResumePath, *CP, Err)) {
+      O.Error = {SessionError::Kind::Checkpoint,
+                 Bud.ResumePath + ": " + Err};
+      return O;
+    }
+    Cfg.Resume = std::move(CP);
+  }
+
+  // Cancellation: the caller's token if provided, else a private one
+  // when signal handling was requested.
+  std::shared_ptr<CancelToken> Token = Bud.Cancel;
+  if (!Token && Bud.HandleSignals)
+    Token = std::make_shared<CancelToken>();
+  Cfg.Cancel = Token;
+
+  Synthesizer Synth(*SketchPtr, Bindings, *DataPtr, Cfg);
+  if (!Synth.valid()) {
+    O.Error = {SessionError::Kind::Sketch, Synth.diagnostics().str()};
+    return O;
+  }
+  if (CustomScorer)
+    Synth.setScorer(CustomScorer);
+  O.Manifest = Synth.makeManifest(SketchName);
+
+  {
+    std::optional<SignalCancellationScope> Scope;
+    if (Bud.HandleSignals && Token)
+      Scope.emplace(Token);
+    O.Result = Synth.run();
+  }
+
+  if (!O.Result.Error.empty()) {
+    // run() refusals: configuration problems surfaced late (custom
+    // scorer paths) or a resume snapshot that does not match this run.
+    const bool IsConfig =
+        O.Result.Error.rfind("invalid configuration", 0) == 0;
+    O.Error = {IsConfig ? SessionError::Kind::Config
+                        : SessionError::Kind::Checkpoint,
+               O.Result.Error};
+    return O;
+  }
+
+  // Side outputs are written unconditionally — a budget-stopped or
+  // cancelled run's partial trace and metrics are valid outputs (and
+  // the resumed run's trace concatenates onto them).
+  if (!Tel.TraceOut.empty()) {
+    std::ofstream Trace(Tel.TraceOut);
+    if (!Trace) {
+      O.Error = {SessionError::Kind::Output,
+                 "cannot write '" + Tel.TraceOut + "'"};
+    } else {
+      writeJsonlTrace(Trace, O.Manifest, O.Result.TraceEvents);
+    }
+  }
+  if (!Tel.MetricsOut.empty() && O.Result.Metrics) {
+    std::ofstream Metrics(Tel.MetricsOut);
+    if (!Metrics) {
+      if (O.Error.ok())
+        O.Error = {SessionError::Kind::Output,
+                   "cannot write '" + Tel.MetricsOut + "'"};
+    } else {
+      Metrics << O.Result.Metrics->toJson() << "\n";
+    }
+  }
+  if (O.Error.ok() && !O.Result.Succeeded)
+    O.Error = {SessionError::Kind::Synthesis,
+               "no valid completion found (try more --iterations or "
+               "--chains)"};
+  return O;
+}

@@ -1,0 +1,213 @@
+//===- api/Session.h - Stable embedding facade for psketch runs -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stable programmatic entry point for running synthesis: one
+/// `Session` object carries a problem (sketch + dataset + input
+/// bindings), grouped configuration (threading / budget / telemetry),
+/// and produces one `Session::Outcome` per `run()` call.  The CLI's
+/// synth-family commands and every benchmark drive synthesis through
+/// this facade, so the CLI, the benches and embedders all get the same
+/// semantics: the same validation diagnostics, the same checkpoint /
+/// resume / cancellation behaviour (DESIGN.md §15), and the same
+/// trace/metrics side outputs.
+///
+/// Setup calls are chainable and never throw; every failure (missing
+/// file, parse error, bad checkpoint, invalid configuration) is
+/// reported as a structured `SessionError` on the returned Outcome,
+/// with a `ToolExit` mapping shared with the CLI.
+///
+///   Session S;
+///   S.sketchFile("model.psk").dataFile("data.csv")
+///    .iterations(4000).chains(2).seed(7);
+///   S.threading().Threads = 4;
+///   S.budget().DeadlineSeconds = 30;
+///   S.budget().CheckpointPath = "run.ckpt";
+///   Session::Outcome O = S.run();
+///   if (!O.ok()) { ... O.Error.Message ... }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_API_SESSION_H
+#define PSKETCH_API_SESSION_H
+
+#include "likelihood/Dataset.h"
+#include "sem/Bindings.h"
+#include "synth/Budget.h"
+#include "synth/Synthesizer.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Process exit codes of the `psketch` tool, shared with embedders so
+/// scripts can key off them stably.
+enum class ToolExit : int {
+  Success = 0,     ///< The command did what was asked.
+  Failure = 1,     ///< Input or runtime failure (bad file, no result).
+  Usage = 2,       ///< The invocation itself was malformed.
+  Interrupted = 3, ///< Cooperative cancellation (SIGINT/SIGTERM/token);
+                   ///< partial outputs were still written.
+};
+
+/// A structured failure from Session::run: what layer failed plus a
+/// human-readable message.  `Kind::None` means success.
+struct SessionError {
+  enum class Kind : uint8_t {
+    None,       ///< No error.
+    Sketch,     ///< Sketch missing / unparsable / failed type check.
+    Data,       ///< Dataset missing or malformed.
+    Config,     ///< SynthesisConfig::validate reported a hard error.
+    Checkpoint, ///< Resume snapshot unreadable, corrupt, or mismatched.
+    Output,     ///< A requested side output could not be written.
+    Synthesis,  ///< The run produced no valid completion.
+  };
+  Kind K = Kind::None;
+  std::string Message;
+
+  bool ok() const { return K == Kind::None; }
+};
+
+/// One synthesis problem plus its configuration; `run()` may be called
+/// repeatedly (e.g. resume loops) and each call returns a fresh
+/// Outcome.
+class Session {
+public:
+  /// Worker-allocation knobs; all result-neutral (DESIGN.md §11, §13).
+  struct ThreadingOptions {
+    unsigned Threads = 1;        ///< Chain workers; 0 = all cores.
+    unsigned RowThreads = 1;     ///< Intra-chain row workers.
+    unsigned SpeculateDepth = 0; ///< MH lookahead depth; 0 = off.
+  };
+
+  /// Stopping budgets and run durability (DESIGN.md §15).
+  struct BudgetOptions {
+    double DeadlineSeconds = 0;     ///< Wall-clock cap; 0 = none.
+    double MinProposalsPerSec = 0;  ///< Throughput floor; 0 = none.
+    std::string CheckpointPath;     ///< Snapshot file; empty = off.
+    unsigned CheckpointEvery = 0;   ///< Iterations between snapshots.
+    unsigned CheckpointKeep = 2;    ///< Rotated snapshot files kept.
+    std::string ResumePath;         ///< Snapshot to restart from.
+    /// Route SIGINT/SIGTERM to cooperative cancellation for the
+    /// duration of run() (the CLI turns this on).
+    bool HandleSignals = false;
+    /// Caller-owned cancellation token, polled at block boundaries.
+    /// Optional; one is created internally when HandleSignals is set.
+    std::shared_ptr<CancelToken> Cancel;
+  };
+
+  /// Side outputs; all result-neutral.
+  struct TelemetryOptions {
+    std::string TraceOut;   ///< JSONL MH trace path; empty = off.
+    std::string MetricsOut; ///< Metrics JSON path; empty = off.
+    bool Profile = false;   ///< Opcode/stage cost attribution.
+    unsigned ProfileSampleEvery = 1;
+  };
+
+  /// Everything run() produced, failures included.
+  struct Outcome {
+    SessionError Error;              ///< Kind::None on success.
+    std::vector<ConfigDiag> Warnings; ///< validate()'s soft findings.
+    SynthesisResult Result;          ///< Partial on budget stops.
+    RunManifest Manifest;            ///< Identity of the run.
+
+    bool ok() const { return Error.ok(); }
+    /// The CLI exit code this outcome maps to.
+    ToolExit exit() const;
+  };
+
+  Session();
+  ~Session();
+  Session(Session &&) noexcept;
+  Session &operator=(Session &&) noexcept;
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  // --- Problem setup (lazy: files are read inside run()) ---
+
+  /// Use the sketch in \p Path (parsed + type checked inside run()).
+  Session &sketchFile(std::string Path);
+  /// Use \p Source as the sketch text; \p DisplayName appears in
+  /// manifests and diagnostics.
+  Session &sketchSource(std::string Source,
+                        std::string DisplayName = "<source>");
+  /// Use an already-parsed sketch; \p P must outlive the Session.
+  Session &sketch(const Program &P, std::string DisplayName = "<program>");
+  /// Read the dataset from \p Path (CSV, inside run()).
+  Session &dataFile(std::string Path);
+  /// Use an in-memory dataset; \p D must outlive the Session.
+  Session &data(const Dataset &D);
+  /// Program input bindings (`--int n=3`, ...).
+  Session &inputs(InputBindings B);
+
+  // --- Core walk knobs ---
+
+  Session &iterations(unsigned N);
+  Session &chains(unsigned N);
+  Session &seed(uint64_t S);
+
+  // --- Grouped knobs; each group owns its fields (their values are
+  // --- copied into the SynthesisConfig when run() starts) ---
+
+  ThreadingOptions &threading() { return Thr; }
+  BudgetOptions &budget() { return Bud; }
+  TelemetryOptions &telemetry() { return Tel; }
+
+  /// The underlying configuration, for every knob without a group
+  /// (iteration caps, likelihood escape hatches, progress callbacks,
+  /// diagnostics switches).  Fields covered by the groups above are
+  /// overwritten from the groups at run() time.
+  SynthesisConfig &config() { return Cfg; }
+  const SynthesisConfig &config() const { return Cfg; }
+
+  /// Replaces the whole configuration, synchronizing the grouped
+  /// threading/budget views from the matching fields of \p C — the
+  /// one-call migration path for callers that already assemble a
+  /// SynthesisConfig.
+  Session &configure(const SynthesisConfig &C);
+
+  /// Replaces the likelihood scorer (Figure 8 baseline mode); see
+  /// Synthesizer::setScorer.
+  Session &scorer(Synthesizer::Scorer S);
+
+  /// Runs synthesis end to end: loads pending inputs, validates the
+  /// configuration, restores the resume snapshot, installs signal
+  /// handling when requested, runs the chains, and writes the
+  /// requested side outputs (also after budget stops and
+  /// cancellations — a stopped run's partial outputs are still
+  /// valid).  Never throws.
+  Outcome run();
+
+private:
+  bool loadInputs(Outcome &O);
+
+  // Sketch: exactly one of Path / Source / borrowed pointer is the
+  // origin; OwnedSketch holds the parse result for the first two.
+  std::string SketchPath;
+  std::string SketchSrc;
+  bool HaveSketchSrc = false;
+  std::string SketchName;
+  std::unique_ptr<Program> OwnedSketch;
+  const Program *SketchPtr = nullptr;
+
+  std::string DataPath;
+  std::optional<Dataset> OwnedData;
+  const Dataset *DataPtr = nullptr;
+
+  InputBindings Bindings;
+  SynthesisConfig Cfg;
+  ThreadingOptions Thr;
+  BudgetOptions Bud;
+  TelemetryOptions Tel;
+  Synthesizer::Scorer CustomScorer;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_API_SESSION_H

@@ -6,6 +6,7 @@
 
 #include "suite/Prepare.h"
 
+#include "api/Session.h"
 #include "ast/ASTPrinter.h"
 #include "parse/Parser.h"
 #include "sem/TypeCheck.h"
@@ -65,9 +66,12 @@ psketch::runBenchmark(const PreparedBenchmark &Prepared,
   Row.DatasetSize = unsigned(Prepared.Data.numRows());
 
   SynthesisConfig Config = ConfigOverride ? *ConfigOverride : B.Synth;
-  Synthesizer Synth(*Prepared.Sketch, Prepared.Inputs, Prepared.Data,
-                    Config);
-  SynthesisResult Result = Synth.run();
+  Session S;
+  S.sketch(*Prepared.Sketch, B.Name)
+      .data(Prepared.Data)
+      .inputs(Prepared.Inputs)
+      .configure(Config);
+  SynthesisResult Result = S.run().Result;
   Row.Succeeded = Result.Succeeded;
   Row.Stats = Result.Stats;
   Row.Seconds = Result.Stats.Seconds;

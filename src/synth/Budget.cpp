@@ -1,0 +1,126 @@
+//===- synth/Budget.cpp - Run budgets and cooperative cancellation --------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Budget.h"
+
+#include <csignal>
+
+using namespace psketch;
+
+const char *psketch::stopReasonName(StopReason R) {
+  switch (R) {
+  case StopReason::None:
+    return "none";
+  case StopReason::Cancelled:
+    return "cancelled";
+  case StopReason::Deadline:
+    return "deadline";
+  case StopReason::ThroughputFloor:
+    return "throughput_floor";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Target of the installed handlers.  A raw atomic pointer, not the
+/// shared_ptr (handlers must be async-signal-safe); the owning scope
+/// keeps the token alive while the pointer is published.
+std::atomic<CancelToken *> SignalTarget{nullptr};
+
+/// Guards against nested scopes: only the outermost installs handlers.
+std::atomic<bool> ScopeActive{false};
+
+#if defined(_WIN32)
+
+void handleSignal(int Sig) {
+  if (CancelToken *T = SignalTarget.load(std::memory_order_relaxed)) {
+    if (T->cancelled()) { // Second signal: die with default disposition.
+      std::signal(Sig, SIG_DFL);
+      std::raise(Sig);
+      return;
+    }
+    T->cancel();
+  }
+}
+
+struct SavedHandlers {
+  void (*Int)(int) = SIG_DFL;
+  void (*Term)(int) = SIG_DFL;
+};
+SavedHandlers Saved;
+
+void installHandlers() {
+  Saved.Int = std::signal(SIGINT, handleSignal);
+  Saved.Term = std::signal(SIGTERM, handleSignal);
+}
+
+void restoreHandlers() {
+  std::signal(SIGINT, Saved.Int);
+  std::signal(SIGTERM, Saved.Term);
+}
+
+#else // POSIX
+
+void handleSignal(int Sig) {
+  if (CancelToken *T = SignalTarget.load(std::memory_order_relaxed)) {
+    if (T->cancelled()) { // Second signal: die with default disposition.
+      struct sigaction Default {};
+      Default.sa_handler = SIG_DFL;
+      sigaction(Sig, &Default, nullptr);
+      raise(Sig);
+      return;
+    }
+    T->cancel();
+  }
+}
+
+struct SavedHandlers {
+  struct sigaction Int {};
+  struct sigaction Term {};
+};
+SavedHandlers Saved;
+
+void installHandlers() {
+  struct sigaction Action {};
+  Action.sa_handler = handleSignal;
+  sigemptyset(&Action.sa_mask);
+  // No SA_RESTART: an interrupted blocking read should return EINTR so
+  // the caller also notices promptly.
+  Action.sa_flags = 0;
+  sigaction(SIGINT, &Action, &Saved.Int);
+  sigaction(SIGTERM, &Action, &Saved.Term);
+}
+
+void restoreHandlers() {
+  sigaction(SIGINT, &Saved.Int, nullptr);
+  sigaction(SIGTERM, &Saved.Term, nullptr);
+}
+
+#endif
+
+} // namespace
+
+SignalCancellationScope::SignalCancellationScope(
+    std::shared_ptr<CancelToken> Token)
+    : Token(std::move(Token)) {
+  if (!this->Token)
+    return;
+  bool Expected = false;
+  if (!ScopeActive.compare_exchange_strong(Expected, true))
+    return; // Nested scope: inert.
+  Installed = true;
+  SignalTarget.store(this->Token.get(), std::memory_order_relaxed);
+  installHandlers();
+}
+
+SignalCancellationScope::~SignalCancellationScope() {
+  if (!Installed)
+    return;
+  restoreHandlers();
+  SignalTarget.store(nullptr, std::memory_order_relaxed);
+  ScopeActive.store(false, std::memory_order_relaxed);
+}

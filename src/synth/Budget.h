@@ -1,0 +1,155 @@
+//===- synth/Budget.h - Run budgets and cooperative cancellation ----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stopping side of durable synthesis runs (DESIGN.md §15).  MH
+/// converges only asymptotically (Section 4.4), so production runs are
+/// bounded by *budgets* rather than convergence: a wall-clock deadline,
+/// the iteration cap that SynthesisConfig::Iterations always was, and a
+/// proposals-per-second floor that stops a run whose throughput has
+/// collapsed (e.g. a dataset far too large for the deployment).  All
+/// budget checks — and the cooperative cancellation flag below — are
+/// evaluated at *block boundaries* only: between MH iterations, and
+/// never inside an open speculation block, so stopping always leaves
+/// the speculation and row pools drained and the chain state at a
+/// checkpointable iteration boundary.
+///
+/// Cooperative cancellation is a plain atomic token.  CancelToken is
+/// shared between the caller and the run; SignalCancellationScope
+/// optionally routes SIGINT/SIGTERM into a token so a killed `psketch
+/// synth` flushes a final checkpoint and returns a partial result with
+/// an Interrupted status instead of losing every chain's state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_BUDGET_H
+#define PSKETCH_SYNTH_BUDGET_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace psketch {
+
+/// Why a run stopped before exhausting its iteration budget.  Ordered
+/// by precedence: when several conditions hold at one boundary the
+/// smallest nonzero value wins.
+enum class StopReason : uint8_t {
+  None = 0,        ///< Ran to the iteration cap.
+  Cancelled,       ///< CancelToken set (signal or caller).
+  Deadline,        ///< BudgetPolicy::DeadlineSeconds exceeded.
+  ThroughputFloor, ///< Proposals/s fell below MinProposalsPerSec.
+};
+
+/// Short name for logs and results ("none", "cancelled", "deadline",
+/// "throughput_floor").
+const char *stopReasonName(StopReason R);
+
+/// Cooperative cancellation flag, shared between a synthesis run and
+/// whoever may stop it.  Setting it is sticky; the run polls it at
+/// block boundaries only, so cancellation latency is bounded by one
+/// speculation block (at most 8 iterations), not by one proposal.
+class CancelToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Declarative stopping budget of one run.  Everything defaults to
+/// "unbounded"; the iteration cap lives in SynthesisConfig::Iterations.
+struct BudgetPolicy {
+  /// Wall-clock budget in seconds, measured from Synthesizer::run()
+  /// entry of *this invocation* (a resumed run restarts the clock);
+  /// 0 disables.  Enforced at block boundaries, so a run overshoots by
+  /// at most one speculation block plus one proposal evaluation.
+  double DeadlineSeconds = 0;
+
+  /// Graceful early-stop floor: when a chain's lifetime proposal
+  /// throughput (proposals of this invocation / elapsed seconds) drops
+  /// below this after the warmup below, the chain stops with
+  /// StopReason::ThroughputFloor; 0 disables.
+  double MinProposalsPerSec = 0;
+
+  /// Throughput is not evaluated before this much wall clock has
+  /// elapsed — cold caches and compile warmup would otherwise trip the
+  /// floor on startup.
+  double ThroughputWarmupSeconds = 2.0;
+
+  bool active() const {
+    return DeadlineSeconds > 0 || MinProposalsPerSec > 0;
+  }
+};
+
+/// Per-chain budget evaluator: binds a policy, the run's start time
+/// and an optional cancel token, and answers "should this chain stop
+/// now?" at block boundaries.  Plain value type — each chain owns one,
+/// so checks touch no shared state beyond the token's atomic load.
+class BudgetTracker {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  BudgetTracker(const BudgetPolicy &Policy, Clock::time_point RunStart,
+                const CancelToken *Cancel)
+      : Policy(Policy), RunStart(RunStart), Cancel(Cancel) {}
+
+  /// The stop verdict at a block boundary; StopReason::None means keep
+  /// going.  \p Proposed is the number of proposals this chain has made
+  /// in this invocation (resumed iterations only).
+  StopReason check(uint64_t Proposed) const {
+    if (Cancel && Cancel->cancelled())
+      return StopReason::Cancelled;
+    if (!Policy.active())
+      return StopReason::None;
+    const double Elapsed =
+        std::chrono::duration<double>(Clock::now() - RunStart).count();
+    if (Policy.DeadlineSeconds > 0 && Elapsed >= Policy.DeadlineSeconds)
+      return StopReason::Deadline;
+    if (Policy.MinProposalsPerSec > 0 &&
+        Elapsed > Policy.ThroughputWarmupSeconds &&
+        double(Proposed) / Elapsed < Policy.MinProposalsPerSec)
+      return StopReason::ThroughputFloor;
+    return StopReason::None;
+  }
+
+private:
+  BudgetPolicy Policy;
+  Clock::time_point RunStart;
+  const CancelToken *Cancel;
+};
+
+/// RAII scope that routes SIGINT and SIGTERM into \p Token for its
+/// lifetime, restoring the previous handlers on destruction.  The
+/// handler only sets the token's atomic flag (async-signal-safe); the
+/// run notices at its next block boundary, flushes a checkpoint, and
+/// returns a partial result.  A second signal while the scope is
+/// active re-raises the default disposition, so an unresponsive run
+/// can still be killed hard.  At most one scope may be active per
+/// process; nested scopes are inert.
+class SignalCancellationScope {
+public:
+  explicit SignalCancellationScope(std::shared_ptr<CancelToken> Token);
+  ~SignalCancellationScope();
+
+  SignalCancellationScope(const SignalCancellationScope &) = delete;
+  SignalCancellationScope &operator=(const SignalCancellationScope &) = delete;
+
+  /// Whether this scope actually installed handlers (false when nested
+  /// inside another active scope).
+  bool active() const { return Installed; }
+
+private:
+  std::shared_ptr<CancelToken> Token;
+  bool Installed = false;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_BUDGET_H

@@ -1,0 +1,816 @@
+//===- synth/Checkpoint.cpp - Durable snapshots of MH chain state ---------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Checkpoint.h"
+
+#include "ast/ASTPrinter.h"
+#include "support/Casting.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace psketch;
+
+//===----------------------------------------------------------------------===//
+// Fingerprints
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t FnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+uint64_t fnv1a(uint64_t H, const void *Data, size_t Len) {
+  const auto *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+uint64_t fnvU64(uint64_t H, uint64_t V) { return fnv1a(H, &V, sizeof(V)); }
+
+uint64_t fnvF64(uint64_t H, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return fnvU64(H, Bits);
+}
+
+} // namespace
+
+uint64_t psketch::sketchFingerprint(const Program &Sketch) {
+  std::string Text = toString(Sketch);
+  return fnv1a(FnvOffset, Text.data(), Text.size());
+}
+
+uint64_t psketch::walkConfigFingerprint(const SynthesisConfig &Config) {
+  // Only knobs that change *which walk* is taken belong here; execution
+  // knobs proven result-neutral (Threads, RowThreads, SpeculateDepth,
+  // Incremental, SliceFactoring, StaticAnalysis, SIMD tiers, telemetry)
+  // are excluded so a run can resume under a different deployment.
+  uint64_t H = FnvOffset;
+  H = fnvU64(H, Config.Iterations);
+  H = fnvU64(H, Config.Chains);
+  H = fnvU64(H, Config.ScoreCacheSize);
+  H = fnvU64(H, Config.MaxInitTries);
+  H = fnvU64(H, Config.UseProposalRatio ? 1 : 0);
+  // Likelihood value-changing knobs: FastTape contracts FMAs.
+  H = fnvU64(H, Config.Likelihood.Tape.FastTape ? 1 : 0);
+  // Generator.
+  H = fnvU64(H, Config.Gen.MaxDepth);
+  H = fnvF64(H, Config.Gen.TerminalBias);
+  H = fnvF64(H, Config.Gen.ConstSd);
+  for (BinaryOp Op : Config.Gen.ArithOps)
+    H = fnvU64(H, uint64_t(Op) + 11);
+  for (BinaryOp Op : Config.Gen.LogicalOps)
+    H = fnvU64(H, uint64_t(Op) + 29);
+  for (BinaryOp Op : Config.Gen.CompareOps)
+    H = fnvU64(H, uint64_t(Op) + 47);
+  for (DistKind D : Config.Gen.Dists)
+    H = fnvU64(H, uint64_t(D) + 71);
+  H = fnvU64(H, (Config.Gen.AllowIte ? 1 : 0) | (Config.Gen.AllowNot ? 2 : 0) |
+                    (Config.Gen.AllowSample ? 4 : 0));
+  // Mutator.
+  H = fnvF64(H, Config.Mut.GeomP);
+  H = fnvF64(H, Config.Mut.ConstAbsSd);
+  H = fnvF64(H, Config.Mut.ConstRelSd);
+  H = fnvU64(H, Config.Mut.MaxNodes);
+  H = fnvU64(H, Config.Mut.EnableGrowShrink ? 1 : 0);
+  // MoG algebra (changes scores, therefore acceptances).
+  H = fnvF64(H, Config.Algebra.Bandwidth);
+  H = fnvU64(H, Config.Algebra.MaxComponents);
+  H = fnvU64(H, Config.Algebra.StrictConstLifting ? 1 : 0);
+  return H;
+}
+
+uint32_t psketch::checkpointCrc32(const uint8_t *Data, size_t Len) {
+  static const auto Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I != Len; ++I)
+    C = Table[(C ^ Data[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-level encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Little-endian append-only encoder.
+struct ByteWriter {
+  std::vector<uint8_t> &Out;
+
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Out.push_back(uint8_t(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Out.push_back(uint8_t(V >> (8 * I)));
+  }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(uint32_t(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+};
+
+/// Bounds-checked little-endian decoder; every read reports failure
+/// instead of walking past End, so corrupt snapshots fail loudly.
+struct ByteReader {
+  const uint8_t *P;
+  const uint8_t *End;
+  bool Failed = false;
+
+  bool need(size_t N) {
+    if (size_t(End - P) < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return *P++;
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= uint32_t(P[I]) << (8 * I);
+    P += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= uint64_t(P[I]) << (8 * I);
+    P += 8;
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (!need(N))
+      return {};
+    std::string S(reinterpret_cast<const char *>(P), N);
+    P += N;
+    return S;
+  }
+};
+
+/// Nesting bound for expression decoding: MaxNodes caps real
+/// completions far below this; the bound only stops adversarially deep
+/// byte strings from exhausting the stack.
+constexpr unsigned MaxExprDepth = 512;
+
+void writeExpr(ByteWriter &W, const Expr &E);
+
+void writeExprList(ByteWriter &W, const std::vector<ExprPtr> &Args) {
+  W.u32(uint32_t(Args.size()));
+  for (const ExprPtr &A : Args)
+    writeExpr(W, *A);
+}
+
+void writeExpr(ByteWriter &W, const Expr &E) {
+  W.u8(uint8_t(E.getKind()));
+  switch (E.getKind()) {
+  case Expr::Kind::Const: {
+    const auto &C = cast<ConstExpr>(E);
+    W.f64(C.getValue());
+    W.u8(uint8_t(C.getScalarKind()));
+    return;
+  }
+  case Expr::Kind::Var:
+    W.str(cast<VarExpr>(E).getName());
+    return;
+  case Expr::Kind::Index: {
+    const auto &X = cast<IndexExpr>(E);
+    W.str(X.getArrayName());
+    writeExpr(W, X.getIndex());
+    return;
+  }
+  case Expr::Kind::HoleArg: {
+    const auto &A = cast<HoleArgExpr>(E);
+    W.u32(A.getArgIndex());
+    W.u8(uint8_t(A.getScalarKind()));
+    return;
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = cast<UnaryExpr>(E);
+    W.u8(uint8_t(U.getOp()));
+    writeExpr(W, U.getSub());
+    return;
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = cast<BinaryExpr>(E);
+    W.u8(uint8_t(B.getOp()));
+    writeExpr(W, B.getLHS());
+    writeExpr(W, B.getRHS());
+    return;
+  }
+  case Expr::Kind::Ite: {
+    const auto &I = cast<IteExpr>(E);
+    writeExpr(W, I.getCond());
+    writeExpr(W, I.getThen());
+    writeExpr(W, I.getElse());
+    return;
+  }
+  case Expr::Kind::Sample: {
+    const auto &S = cast<SampleExpr>(E);
+    W.u8(uint8_t(S.getDist()));
+    writeExprList(W, S.getArgs());
+    return;
+  }
+  case Expr::Kind::Hole: {
+    const auto &H = cast<HoleExpr>(E);
+    W.u32(H.getHoleId());
+    W.u8(uint8_t(H.getExpectedKind()));
+    writeExprList(W, H.getArgs());
+    return;
+  }
+  }
+}
+
+bool validScalarKind(uint8_t K) { return K <= uint8_t(ScalarKind::Int); }
+
+ExprPtr readExpr(ByteReader &R, unsigned Depth);
+
+bool readExprList(ByteReader &R, unsigned Depth, std::vector<ExprPtr> &Out) {
+  uint32_t N = R.u32();
+  if (R.Failed || N > 1u << 20)
+    return false;
+  Out.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    ExprPtr E = readExpr(R, Depth);
+    if (!E)
+      return false;
+    Out.push_back(std::move(E));
+  }
+  return true;
+}
+
+ExprPtr readExpr(ByteReader &R, unsigned Depth) {
+  if (Depth > MaxExprDepth) {
+    R.Failed = true;
+    return nullptr;
+  }
+  uint8_t Kind = R.u8();
+  if (R.Failed)
+    return nullptr;
+  switch (Expr::Kind(Kind)) {
+  case Expr::Kind::Const: {
+    double V = R.f64();
+    uint8_t K = R.u8();
+    if (R.Failed || !validScalarKind(K))
+      return nullptr;
+    return std::make_unique<ConstExpr>(V, ScalarKind(K));
+  }
+  case Expr::Kind::Var: {
+    std::string Name = R.str();
+    if (R.Failed)
+      return nullptr;
+    return std::make_unique<VarExpr>(std::move(Name));
+  }
+  case Expr::Kind::Index: {
+    std::string Name = R.str();
+    ExprPtr Idx = readExpr(R, Depth + 1);
+    if (!Idx)
+      return nullptr;
+    return std::make_unique<IndexExpr>(std::move(Name), std::move(Idx));
+  }
+  case Expr::Kind::HoleArg: {
+    uint32_t Arg = R.u32();
+    uint8_t K = R.u8();
+    if (R.Failed || !validScalarKind(K))
+      return nullptr;
+    return std::make_unique<HoleArgExpr>(Arg, ScalarKind(K));
+  }
+  case Expr::Kind::Unary: {
+    uint8_t Op = R.u8();
+    ExprPtr Sub = readExpr(R, Depth + 1);
+    if (!Sub || Op > uint8_t(UnaryOp::Neg))
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp(Op), std::move(Sub));
+  }
+  case Expr::Kind::Binary: {
+    uint8_t Op = R.u8();
+    ExprPtr L = readExpr(R, Depth + 1);
+    ExprPtr Rhs = L ? readExpr(R, Depth + 1) : nullptr;
+    if (!Rhs || Op > uint8_t(BinaryOp::Eq))
+      return nullptr;
+    return std::make_unique<BinaryExpr>(BinaryOp(Op), std::move(L),
+                                        std::move(Rhs));
+  }
+  case Expr::Kind::Ite: {
+    ExprPtr C = readExpr(R, Depth + 1);
+    ExprPtr T = C ? readExpr(R, Depth + 1) : nullptr;
+    ExprPtr E = T ? readExpr(R, Depth + 1) : nullptr;
+    if (!E)
+      return nullptr;
+    return std::make_unique<IteExpr>(std::move(C), std::move(T),
+                                     std::move(E));
+  }
+  case Expr::Kind::Sample: {
+    uint8_t Dist = R.u8();
+    std::vector<ExprPtr> Args;
+    if (!readExprList(R, Depth + 1, Args) ||
+        Dist > uint8_t(DistKind::Poisson))
+      return nullptr;
+    return std::make_unique<SampleExpr>(DistKind(Dist), std::move(Args));
+  }
+  case Expr::Kind::Hole: {
+    uint32_t Id = R.u32();
+    uint8_t K = R.u8();
+    std::vector<ExprPtr> Args;
+    if (!readExprList(R, Depth + 1, Args) || !validScalarKind(K))
+      return nullptr;
+    auto H = std::make_unique<HoleExpr>(Id, std::move(Args));
+    H->setExpectedKind(ScalarKind(K));
+    return H;
+  }
+  }
+  R.Failed = true;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Payload encoding
+//===----------------------------------------------------------------------===//
+
+void writeStats(ByteWriter &W, const SynthesisStats &S) {
+  // Fixed field order; CheckpointVersion guards layout changes.  Stage
+  // timings are wall-clock telemetry, not resumable walk state, and are
+  // not serialized (a resumed run restarts them at zero).
+  W.u64(S.Proposed);
+  W.u64(S.Accepted);
+  W.u64(S.Invalid);
+  W.u64(S.InvalidType);
+  W.u64(S.InvalidDomain);
+  W.u64(S.InvalidStatic);
+  W.u64(S.Scored);
+  W.u64(S.CacheHits);
+  W.u64(S.CacheMisses);
+  W.f64(S.Seconds);
+  W.u64(S.ScoreCacheEvictions);
+  W.u64(S.ColCacheHits);
+  W.u64(S.ColCacheMisses);
+  W.u64(S.ColCacheEvictions);
+  W.u64(S.TapeRawIns);
+  W.u64(S.TapeFinalIns);
+  W.u64(S.TapeFused);
+  W.u64(S.RowsScored);
+  W.u64(S.RowsSimd);
+  W.u64(S.RowsScalarTail);
+  W.u64(S.SliceSkip);
+  W.u64(S.SliceGroupHits);
+  W.u64(S.SliceGroupMisses);
+  W.u64(S.SliceRowsSaved);
+  W.u64(S.SliceRowsEvaluated);
+  W.u64(S.ProposalPoolReused);
+  W.u64(S.ProposalPoolAllocated);
+  W.u64(S.ScoreCacheWarmHits);
+  W.u64(S.ScoreCacheWarmEvictions);
+  W.u64(S.SpecBlocks);
+  W.u64(S.SpecNodes);
+  W.u64(S.SpecConsumed);
+  W.u64(S.SpecWasted);
+  W.u64(S.SpecCancelledEarly);
+  W.u64(S.SpecPeekResolved);
+  W.u64(S.SpecQueueDropped);
+}
+
+void readStats(ByteReader &R, SynthesisStats &S) {
+  S.Proposed = unsigned(R.u64());
+  S.Accepted = unsigned(R.u64());
+  S.Invalid = unsigned(R.u64());
+  S.InvalidType = unsigned(R.u64());
+  S.InvalidDomain = unsigned(R.u64());
+  S.InvalidStatic = unsigned(R.u64());
+  S.Scored = unsigned(R.u64());
+  S.CacheHits = unsigned(R.u64());
+  S.CacheMisses = unsigned(R.u64());
+  S.Seconds = R.f64();
+  S.ScoreCacheEvictions = R.u64();
+  S.ColCacheHits = R.u64();
+  S.ColCacheMisses = R.u64();
+  S.ColCacheEvictions = R.u64();
+  S.TapeRawIns = R.u64();
+  S.TapeFinalIns = R.u64();
+  S.TapeFused = R.u64();
+  S.RowsScored = R.u64();
+  S.RowsSimd = R.u64();
+  S.RowsScalarTail = R.u64();
+  S.SliceSkip = R.u64();
+  S.SliceGroupHits = R.u64();
+  S.SliceGroupMisses = R.u64();
+  S.SliceRowsSaved = R.u64();
+  S.SliceRowsEvaluated = R.u64();
+  S.ProposalPoolReused = R.u64();
+  S.ProposalPoolAllocated = R.u64();
+  S.ScoreCacheWarmHits = R.u64();
+  S.ScoreCacheWarmEvictions = R.u64();
+  S.SpecBlocks = R.u64();
+  S.SpecNodes = R.u64();
+  S.SpecConsumed = R.u64();
+  S.SpecWasted = R.u64();
+  S.SpecCancelledEarly = R.u64();
+  S.SpecPeekResolved = R.u64();
+  S.SpecQueueDropped = R.u64();
+}
+
+void writeCachedScore(ByteWriter &W, const CachedScore &S) {
+  W.u8(S.LL.has_value() ? 1 : 0);
+  W.f64(S.LL.value_or(0));
+  W.u8(uint8_t(S.Reason));
+}
+
+bool readCachedScore(ByteReader &R, CachedScore &S) {
+  uint8_t Has = R.u8();
+  double LL = R.f64();
+  uint8_t Reason = R.u8();
+  if (R.Failed || Has > 1 || Reason > uint8_t(RejectReason::Static))
+    return false;
+  S = Has ? CachedScore(LL) : CachedScore(RejectReason(Reason));
+  return true;
+}
+
+void writeCacheState(ByteWriter &W, const ScoreCacheState &C) {
+  W.u64(C.Evictions);
+  W.u64(C.Epoch);
+  W.u64(C.WarmHits);
+  W.u64(C.WarmEvictions);
+  W.u64(C.Entries.size());
+  for (const SavedCacheEntry &E : C.Entries) {
+    W.u64(E.Key);
+    writeCachedScore(W, E.S);
+    W.u64(E.Epoch);
+  }
+}
+
+bool readCacheState(ByteReader &R, ScoreCacheState &C) {
+  C.Evictions = R.u64();
+  C.Epoch = R.u64();
+  C.WarmHits = R.u64();
+  C.WarmEvictions = R.u64();
+  uint64_t N = R.u64();
+  if (R.Failed || N > 1u << 26)
+    return false;
+  C.Entries.reserve(size_t(N));
+  for (uint64_t I = 0; I != N; ++I) {
+    SavedCacheEntry E;
+    E.Key = R.u64();
+    if (!readCachedScore(R, E.S))
+      return false;
+    E.Epoch = R.u64();
+    C.Entries.push_back(E);
+  }
+  return !R.Failed;
+}
+
+void writeChain(ByteWriter &W, const ChainCheckpoint &C) {
+  W.u32(C.ChainIndex);
+  W.u32(C.NextIter);
+  W.u8(C.Initialized ? 1 : 0);
+  W.f64(C.CurrentLL);
+  W.f64(C.BestLL);
+  writeExprList(W, C.Current);
+  writeExprList(W, C.Best);
+  writeStats(W, C.Stats);
+  writeCacheState(W, C.Cache);
+}
+
+bool readChain(ByteReader &R, ChainCheckpoint &C) {
+  C.ChainIndex = R.u32();
+  C.NextIter = R.u32();
+  C.Initialized = R.u8() != 0;
+  C.CurrentLL = R.f64();
+  C.BestLL = R.f64();
+  if (!readExprList(R, 0, C.Current) || !readExprList(R, 0, C.Best))
+    return false;
+  readStats(R, C.Stats);
+  return readCacheState(R, C.Cache) && !R.Failed;
+}
+
+constexpr char CheckpointMagic[8] = {'P', 'S', 'K', 'C', 'K', 'P', 'T', '\0'};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Snapshot (de)serialization
+//===----------------------------------------------------------------------===//
+
+ChainCheckpoint ChainCheckpoint::clone() const {
+  ChainCheckpoint C;
+  C.ChainIndex = ChainIndex;
+  C.NextIter = NextIter;
+  C.Initialized = Initialized;
+  C.CurrentLL = CurrentLL;
+  C.BestLL = BestLL;
+  C.Current.reserve(Current.size());
+  for (const ExprPtr &E : Current)
+    C.Current.push_back(E->clone());
+  C.Best.reserve(Best.size());
+  for (const ExprPtr &E : Best)
+    C.Best.push_back(E->clone());
+  C.Stats = Stats;
+  C.Cache = Cache;
+  return C;
+}
+
+RunCheckpoint RunCheckpoint::clone() const {
+  RunCheckpoint C;
+  C.Seed = Seed;
+  C.Chains = Chains;
+  C.IterationTarget = IterationTarget;
+  C.NumHoles = NumHoles;
+  C.SketchHash = SketchHash;
+  C.DatasetFingerprint = DatasetFingerprint;
+  C.WalkFingerprint = WalkFingerprint;
+  C.ChainStates.reserve(ChainStates.size());
+  for (const ChainCheckpoint &CC : ChainStates)
+    C.ChainStates.push_back(CC.clone());
+  return C;
+}
+
+void psketch::serializeExpr(std::vector<uint8_t> &Out, const Expr &E) {
+  ByteWriter W{Out};
+  writeExpr(W, E);
+}
+
+ExprPtr psketch::deserializeExpr(const uint8_t **P, const uint8_t *End) {
+  ByteReader R{*P, End};
+  ExprPtr E = readExpr(R, 0);
+  *P = R.P;
+  return R.Failed ? nullptr : std::move(E);
+}
+
+std::vector<uint8_t> psketch::serializeCheckpoint(const RunCheckpoint &CP) {
+  std::vector<uint8_t> Payload;
+  {
+    ByteWriter W{Payload};
+    W.u64(CP.Seed);
+    W.u32(CP.Chains);
+    W.u32(CP.IterationTarget);
+    W.u32(CP.NumHoles);
+    W.u64(CP.SketchHash);
+    W.u64(CP.DatasetFingerprint);
+    W.u64(CP.WalkFingerprint);
+    W.u32(uint32_t(CP.ChainStates.size()));
+    for (const ChainCheckpoint &C : CP.ChainStates)
+      writeChain(W, C);
+  }
+  std::vector<uint8_t> Out;
+  Out.reserve(Payload.size() + 24);
+  ByteWriter W{Out};
+  for (char C : CheckpointMagic)
+    W.u8(uint8_t(C));
+  W.u32(CheckpointVersion);
+  W.u64(Payload.size());
+  W.u32(checkpointCrc32(Payload.data(), Payload.size()));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+bool psketch::parseCheckpoint(const std::vector<uint8_t> &Bytes,
+                              RunCheckpoint &Out, std::string &Error) {
+  constexpr size_t HeaderSize = 8 + 4 + 8 + 4;
+  if (Bytes.size() < HeaderSize) {
+    Error = "checkpoint truncated: shorter than the header";
+    return false;
+  }
+  if (std::memcmp(Bytes.data(), CheckpointMagic, 8) != 0) {
+    Error = "not a psketch checkpoint (bad magic)";
+    return false;
+  }
+  ByteReader H{Bytes.data() + 8, Bytes.data() + HeaderSize};
+  uint32_t Version = H.u32();
+  uint64_t PayloadSize = H.u64();
+  uint32_t Crc = H.u32();
+  if (Version != CheckpointVersion) {
+    Error = "unsupported checkpoint version " + std::to_string(Version) +
+            " (this build reads version " +
+            std::to_string(CheckpointVersion) + ")";
+    return false;
+  }
+  if (Bytes.size() - HeaderSize != PayloadSize) {
+    Error = "checkpoint truncated: payload is " +
+            std::to_string(Bytes.size() - HeaderSize) + " bytes, header says " +
+            std::to_string(PayloadSize);
+    return false;
+  }
+  const uint8_t *Payload = Bytes.data() + HeaderSize;
+  if (checkpointCrc32(Payload, PayloadSize) != Crc) {
+    Error = "checkpoint corrupted: CRC mismatch";
+    return false;
+  }
+  ByteReader R{Payload, Payload + PayloadSize};
+  RunCheckpoint CP;
+  CP.Seed = R.u64();
+  CP.Chains = R.u32();
+  CP.IterationTarget = R.u32();
+  CP.NumHoles = R.u32();
+  CP.SketchHash = R.u64();
+  CP.DatasetFingerprint = R.u64();
+  CP.WalkFingerprint = R.u64();
+  uint32_t N = R.u32();
+  if (R.Failed || N != CP.Chains || N > 1u << 16) {
+    Error = "checkpoint corrupted: malformed chain table";
+    return false;
+  }
+  CP.ChainStates.resize(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    if (!readChain(R, CP.ChainStates[I])) {
+      Error = "checkpoint corrupted: malformed state of chain " +
+              std::to_string(I);
+      return false;
+    }
+  }
+  if (R.P != R.End) {
+    Error = "checkpoint corrupted: trailing bytes after the last chain";
+    return false;
+  }
+  Out = std::move(CP);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-safe file I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool fsyncPath(const std::string &Path, bool Directory, std::string &Error) {
+  int Fd = ::open(Path.c_str(), Directory ? O_RDONLY | O_DIRECTORY : O_RDONLY);
+  if (Fd < 0) {
+    // Some filesystems refuse O_DIRECTORY opens; the rename is still
+    // atomic, only its durability ordering is weakened.  Not an error.
+    if (Directory)
+      return true;
+    Error = "cannot open '" + Path + "' for fsync";
+    return false;
+  }
+  int Rc = ::fsync(Fd);
+  ::close(Fd);
+  if (Rc != 0 && !Directory) {
+    Error = "fsync('" + Path + "') failed";
+    return false;
+  }
+  return true;
+}
+
+std::string dirnameOf(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return ".";
+  if (Slash == 0)
+    return "/";
+  return Path.substr(0, Slash);
+}
+
+} // namespace
+
+bool psketch::writeCheckpointFile(const std::string &Path,
+                                  const RunCheckpoint &CP, unsigned Keep,
+                                  std::string &Error) {
+  std::vector<uint8_t> Bytes = serializeCheckpoint(CP);
+  const std::string Tmp = Path + ".tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    Error = "cannot create '" + Tmp + "'";
+    return false;
+  }
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N <= 0) {
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      Error = "short write to '" + Tmp + "'";
+      return false;
+    }
+    Off += size_t(N);
+  }
+  if (::fsync(Fd) != 0) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    Error = "fsync('" + Tmp + "') failed";
+    return false;
+  }
+  ::close(Fd);
+
+  // Rotate older snapshots: Path -> Path.1 -> ... -> Path.(Keep-1).
+  // A missing link in the chain is fine (first writes, deleted files).
+  for (unsigned I = Keep > 0 ? Keep - 1 : 0; I > 0; --I) {
+    std::string From = I == 1 ? Path : Path + "." + std::to_string(I - 1);
+    std::string To = Path + "." + std::to_string(I);
+    ::rename(From.c_str(), To.c_str());
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    Error = "rename('" + Tmp + "' -> '" + Path + "') failed";
+    return false;
+  }
+  return fsyncPath(dirnameOf(Path), /*Directory=*/true, Error);
+}
+
+bool psketch::readCheckpointFile(const std::string &Path, RunCheckpoint &Out,
+                                 std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open checkpoint '" + Path + "'";
+    return false;
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  bool ReadErr = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadErr) {
+    Error = "error reading checkpoint '" + Path + "'";
+    return false;
+  }
+  return parseCheckpoint(Bytes, Out, Error);
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointCoordinator
+//===----------------------------------------------------------------------===//
+
+CheckpointCoordinator::CheckpointCoordinator(std::string Path, unsigned Keep,
+                                             RunCheckpoint Header)
+    : Path(std::move(Path)), Keep(Keep), Snapshot(std::move(Header)) {
+  Snapshot.ChainStates.clear();
+  Snapshot.ChainStates.resize(Snapshot.Chains);
+  Deposited.assign(Snapshot.Chains, false);
+}
+
+void CheckpointCoordinator::deposit(uint32_t Chain, ChainCheckpoint CP) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Chain >= Snapshot.ChainStates.size())
+    return;
+  CP.ChainIndex = Chain;
+  Snapshot.ChainStates[Chain] = std::move(CP);
+  Deposited[Chain] = true;
+  for (bool D : Deposited)
+    if (!D)
+      return;
+  writeLocked();
+}
+
+bool CheckpointCoordinator::flush() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (bool D : Deposited)
+    if (!D)
+      return false;
+  return writeLocked();
+}
+
+bool CheckpointCoordinator::writeLocked() {
+  std::string Err;
+  if (writeCheckpointFile(Path, Snapshot, Keep, Err))
+    return true;
+  if (Error.empty())
+    Error = Err;
+  return false;
+}
+
+std::string CheckpointCoordinator::error() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Error;
+}

@@ -1,0 +1,197 @@
+//===- synth/Checkpoint.h - Durable snapshots of MH chain state -----------===//
+//
+// Part of the PSketch project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durability side of long synthesis runs (DESIGN.md §15): periodic
+/// per-chain snapshots of everything the MH walk needs to continue
+/// *byte-identically* after a restart, serialized to a versioned,
+/// CRC-guarded binary file written crash-safely (temp file + fsync +
+/// atomic rename, keep-last-K rotation).
+///
+/// What a chain's future depends on is remarkably small, because the
+/// walk's randomness is counter-split (support/Rng.h): the proposal of
+/// iteration i re-seeds the mutator from deriveStreamSeed(Seed,
+/// Propose, i) and the acceptance draw is counterUniform(Seed, Accept,
+/// i), so neither depends on any evolving RNG engine state.  A chain
+/// resumed at iteration k therefore needs only: the current and best
+/// completion tuples with their log-likelihoods, the next iteration
+/// index (the whole "RNG position"), the accumulated walk counters,
+/// and the exact score-cache state — entries in LRU order plus epoch
+/// stamps, because cache hit/miss flags are part of the JSONL trace
+/// and future evictions replay from the restored recency order.
+///
+/// A snapshot also pins the run's identity (seed, chain count,
+/// iteration target, hole count, sketch hash, dataset fingerprint, and
+/// a fingerprint of every walk-relevant config knob); resume refuses a
+/// snapshot whose identity differs, because continuing such a run
+/// could silently produce a walk no uninterrupted run would take.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PSKETCH_SYNTH_CHECKPOINT_H
+#define PSKETCH_SYNTH_CHECKPOINT_H
+
+#include "ast/Expr.h"
+#include "synth/ScoreCache.h"
+#include "synth/Synthesizer.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psketch {
+
+/// Snapshot format version; bump on any layout change.  parse rejects
+/// mismatches outright — snapshots are short-lived operational state,
+/// not an archival format, so there is no cross-version migration.
+constexpr uint32_t CheckpointVersion = 1;
+
+/// The resumable state of one MH chain, captured at an iteration
+/// boundary outside any speculation block.
+struct ChainCheckpoint {
+  uint32_t ChainIndex = 0;
+
+  /// First iteration the resumed chain will execute; equals the
+  /// iteration target when the chain finished before the snapshot.
+  uint32_t NextIter = 0;
+
+  /// True once the chain's init loop found a valid starting tuple.
+  /// (A chain that exhausted MaxInitTries deposits Initialized = false
+  /// and resume simply re-runs the failing init deterministically.)
+  bool Initialized = false;
+
+  double CurrentLL = 0;
+  double BestLL = 0;
+  std::vector<ExprPtr> Current; ///< One completion per hole.
+  std::vector<ExprPtr> Best;
+
+  /// Walk counters accumulated over all executed iterations.  The
+  /// walk-side counters (Proposed/Accepted/Invalid*/Scored/CacheHits/
+  /// CacheMisses/SliceSkip/RowsScored/...) resume exactly; cost-side
+  /// counters (column cache, proposal pool, speculation timing) restart
+  /// from cold caches — see DESIGN.md §15 for the split.
+  SynthesisStats Stats;
+
+  /// Exact score-cache state (LRU order, epochs, lifetime counters).
+  ScoreCacheState Cache;
+
+  ChainCheckpoint() = default;
+  ChainCheckpoint(ChainCheckpoint &&) = default;
+  ChainCheckpoint &operator=(ChainCheckpoint &&) = default;
+  /// Deep copy (completions are unique_ptr trees).
+  ChainCheckpoint clone() const;
+};
+
+/// One whole-run snapshot: the identity header plus every chain's
+/// state.  Chains may sit at different iterations — they are fully
+/// independent, so resume continues each from its own boundary.
+struct RunCheckpoint {
+  uint64_t Seed = 0;
+  uint32_t Chains = 0;
+  uint32_t IterationTarget = 0;
+  uint32_t NumHoles = 0;
+  uint64_t SketchHash = 0;          ///< sketchFingerprint(Sketch).
+  uint64_t DatasetFingerprint = 0;  ///< Dataset::fingerprint().
+  uint64_t WalkFingerprint = 0;     ///< walkConfigFingerprint(Config).
+  std::vector<ChainCheckpoint> ChainStates; ///< Size == Chains.
+
+  RunCheckpoint() = default;
+  RunCheckpoint(RunCheckpoint &&) = default;
+  RunCheckpoint &operator=(RunCheckpoint &&) = default;
+  RunCheckpoint clone() const;
+};
+
+/// FNV-1a over the sketch's printed form — structural identity of the
+/// program being synthesized.
+uint64_t sketchFingerprint(const Program &Sketch);
+
+/// Hash of every config knob that influences the walk itself (seed
+/// excluded — it is stored verbatim): GeomP and the other generator /
+/// mutator parameters, iteration-shape knobs, proposal-ratio mode, and
+/// the score-cache capacity.  Telemetry and cost-only knobs (threads,
+/// row threads, speculation depth, caches-off escape hatches that are
+/// proven bit-exact) are deliberately excluded so a run may be resumed
+/// under a different execution configuration.
+uint64_t walkConfigFingerprint(const SynthesisConfig &Config);
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320), exposed for the golden-file
+/// tests.
+uint32_t checkpointCrc32(const uint8_t *Data, size_t Len);
+
+/// Appends the binary encoding of one expression tree to \p Out
+/// (exposed for round-trip tests; the checkpoint payload embeds it).
+void serializeExpr(std::vector<uint8_t> &Out, const Expr &E);
+
+/// Decodes one expression from [*P, End); advances *P past it.
+/// Returns nullptr (and leaves *P unspecified) on malformed input.
+ExprPtr deserializeExpr(const uint8_t **P, const uint8_t *End);
+
+/// Serializes a whole snapshot: magic, version, payload length, CRC,
+/// payload.
+std::vector<uint8_t> serializeCheckpoint(const RunCheckpoint &CP);
+
+/// Parses bytes produced by serializeCheckpoint.  False on any
+/// malformation — bad magic, unsupported version, truncation, CRC
+/// mismatch, or payload decode failure — with \p Error explaining.
+bool parseCheckpoint(const std::vector<uint8_t> &Bytes, RunCheckpoint &Out,
+                     std::string &Error);
+
+/// Writes \p CP to \p Path crash-safely: serialize to Path.tmp, fsync
+/// the file, atomically rename over Path, fsync the directory.  With
+/// \p Keep > 1 the previous snapshots rotate to Path.1 … Path.(K-1)
+/// first, so a crash mid-write can cost at most the newest snapshot.
+bool writeCheckpointFile(const std::string &Path, const RunCheckpoint &CP,
+                         unsigned Keep, std::string &Error);
+
+/// Reads and parses a snapshot file.
+bool readCheckpointFile(const std::string &Path, RunCheckpoint &Out,
+                        std::string &Error);
+
+/// Collects per-chain deposits and writes whole-file snapshots.
+///
+/// Chains run on independent threads and reach their checkpoint
+/// boundaries at unrelated times, so the coordinator keeps the latest
+/// deposit per chain and writes the file whenever a deposit arrives
+/// and *every* chain has deposited at least once (each chain deposits
+/// its initial state right after init, so the file becomes complete as
+/// soon as all chains have started).  Writing happens on the deposing
+/// chain's thread under the mutex — snapshot files are small and the
+/// cadence is user-chosen, so simplicity beats a writer thread.
+class CheckpointCoordinator {
+public:
+  /// \p Header carries the identity fields; ChainStates is sized to
+  /// Header.Chains internally.
+  CheckpointCoordinator(std::string Path, unsigned Keep,
+                        RunCheckpoint Header);
+
+  /// Stores chain \p Chain's latest state and writes the snapshot file
+  /// if all chains have deposited.  Thread-safe.
+  void deposit(uint32_t Chain, ChainCheckpoint CP);
+
+  /// Forces a write of the current deposits (final flush); false when
+  /// some chain never deposited or the write failed.
+  bool flush();
+
+  /// First write error, empty when none.  Write failures are sticky
+  /// and non-fatal to the run: synthesis finishes and reports the
+  /// error alongside its result.
+  std::string error() const;
+
+private:
+  bool writeLocked(); ///< Caller holds M.
+
+  std::string Path;
+  unsigned Keep;
+  mutable std::mutex M;
+  RunCheckpoint Snapshot;
+  std::vector<bool> Deposited;
+  std::string Error;
+};
+
+} // namespace psketch
+
+#endif // PSKETCH_SYNTH_CHECKPOINT_H

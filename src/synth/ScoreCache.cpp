@@ -96,6 +96,37 @@ std::optional<CachedScore> ScoreCache::peekShared(uint64_t Key) const {
   return It->second;
 }
 
+ScoreCacheState ScoreCache::saveState() const {
+  ScoreCacheState State;
+  State.Evictions = Evictions;
+  State.Epoch = CurrentEpoch;
+  State.WarmHits = WarmHits;
+  State.WarmEvictions = WarmEvictions;
+  State.Entries.reserve(Order.size());
+  for (const Entry &E : Order)
+    State.Entries.push_back(SavedCacheEntry{E.Key, E.S, E.Epoch});
+  return State;
+}
+
+void ScoreCache::restoreState(const ScoreCacheState &State) {
+  Evictions = State.Evictions;
+  CurrentEpoch = State.Epoch;
+  WarmHits = State.WarmHits;
+  WarmEvictions = State.WarmEvictions;
+  Order.clear();
+  Map.clear();
+  for (const SavedCacheEntry &E : State.Entries) {
+    if (Cap == 0 || Order.size() == Cap)
+      break;
+    Order.push_back(Entry{E.Key, E.S, E.Epoch});
+    Map[E.Key] = std::prev(Order.end());
+  }
+  if (Shared) {
+    Shared = false;    // Force a rebuild from the restored contents.
+    setShared(true);
+  }
+}
+
 void ScoreCache::mirrorInsert(uint64_t Key, const CachedScore &S) {
   Stripe &St = Stripes[Key % NumStripes];
   std::lock_guard<std::mutex> Lock(St.M);

@@ -55,6 +55,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 namespace psketch {
 
@@ -87,6 +88,27 @@ struct CachedScore {
     return LL == O.LL && Reason == O.Reason;
   }
   bool operator!=(const CachedScore &O) const { return !(*this == O); }
+};
+
+/// One cache entry as captured by ScoreCache::saveState.
+struct SavedCacheEntry {
+  uint64_t Key = 0;
+  CachedScore S;
+  uint64_t Epoch = 0;
+};
+
+/// The complete serializable state of a ScoreCache (checkpoint/resume;
+/// DESIGN.md §15).  Everything that influences future observable
+/// behaviour is here: the entries *in LRU order* (so future evictions
+/// replay identically), their epoch stamps, and the lifetime counters
+/// that SynthesisStats reads at chain end.  Capacity is deliberately
+/// absent — it is part of the walk-config fingerprint, not the state.
+struct ScoreCacheState {
+  uint64_t Evictions = 0;
+  uint64_t Epoch = 0;
+  uint64_t WarmHits = 0;
+  uint64_t WarmEvictions = 0;
+  std::vector<SavedCacheEntry> Entries; ///< Most recently used first.
 };
 
 /// Fixed-capacity LRU map from 64-bit candidate keys to verdicts.
@@ -148,6 +170,16 @@ public:
   /// only ever save work — the realized walk re-resolves every verdict
   /// through lookup()/insert() in order.
   std::optional<CachedScore> peekShared(uint64_t Key) const;
+
+  /// Captures the full observable state for a checkpoint (owner thread
+  /// only, outside any speculation block).
+  ScoreCacheState saveState() const;
+
+  /// Replaces this cache's contents and counters with \p State (resume).
+  /// Entries beyond capacity are dropped from the LRU tail, which can
+  /// only happen when the walk-config fingerprint check was bypassed.
+  /// The shared mirror, if enabled, is rebuilt.
+  void restoreState(const ScoreCacheState &State);
 
 private:
   struct Entry {

@@ -12,6 +12,7 @@
 #include "support/Log.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
+#include "synth/Checkpoint.h"
 #include "synth/Speculation.h"
 
 #include <algorithm>
@@ -40,6 +41,13 @@ struct Synthesizer::ChainOutcome {
   std::shared_ptr<MetricsRegistry> Shard; ///< Per-chain metric shard.
   TapeProfile Prof; ///< Per-opcode attribution (Config.Profile).
   StagePerf Perf;   ///< Per-stage hardware counters (Config.Profile).
+
+  /// The next iteration this chain would execute: the iteration cap
+  /// after a full run, earlier when a budget stopped it (always at a
+  /// block boundary).
+  unsigned NextIter = 0;
+  /// Why the chain stopped early; None after a full run.
+  StopReason Stop = StopReason::None;
 };
 
 void SynthesisStats::merge(const SynthesisStats &Other) {
@@ -320,7 +328,10 @@ CachedScore Synthesizer::classifyCompletions(
 
 void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
                            ChainOutcome &Out, ScoreCache &Cache,
-                           ThreadPool *RowPool, ThreadPool *SpecPool) const {
+                           ThreadPool *RowPool, ThreadPool *SpecPool,
+                           const ChainCheckpoint *Resume,
+                           CheckpointCoordinator *Checkpoints,
+                           const BudgetTracker *Budget) const {
   Rng R(Seed);
   Mutator Mut(Sigs, Config.Gen, Config.Mut, R);
   // Proposal tuple storage recycles through this free-list for the
@@ -649,27 +660,118 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
   std::vector<ExprPtr> Current;
   double CurrentLL = 0;
   bool Initialized = false;
-  for (unsigned Try = 0; Try != Config.MaxInitTries && !Initialized; ++Try) {
-    std::vector<ExprPtr> Candidate;
-    Candidate.reserve(Sigs.size());
-    for (const HoleSignature &Sig : Sigs) {
-      ExprGenerator Gen(Sig, Config.Gen, R);
-      Candidate.push_back(Gen.generate());
-    }
-    if (!completionsValid(Candidate))
-      continue;
-    CachedScore S = ScoreCompletions(Candidate);
-    if (!S.valid())
-      continue;
-    Current = std::move(Candidate);
-    CurrentLL = *S.LL;
-    Initialized = true;
-  }
-  if (!Initialized)
-    return;
-  RecordBest(Current, CurrentLL);
+  unsigned StartIter = 0;
 
-  for (unsigned Iter = 0; Iter != Config.Iterations; ++Iter) {
+  // Captures the chain's resumable state (DESIGN.md §15).  Only legal
+  // at block boundaries: no speculation block is open, so the pools
+  // hold no in-flight reference to Current, and the thread-local SIMD
+  // tally covers completed evaluations only.  The deposited stats are
+  // Out.Stats plus the overlays the chain tail would apply — the
+  // score-cache lifetime counters and the resident row tally (taken
+  // and re-credited so the tail's own accounting stays intact).
+  auto DepositCheckpoint = [&](unsigned NextIter) {
+    if (!Checkpoints)
+      return;
+    ChainCheckpoint CP;
+    CP.ChainIndex = ChainIndex;
+    CP.NextIter = NextIter;
+    CP.Initialized = Initialized;
+    CP.CurrentLL = CurrentLL;
+    CP.BestLL = Out.BestLogLikelihood;
+    CP.Current.reserve(Current.size());
+    for (const ExprPtr &C : Current)
+      CP.Current.push_back(C->clone());
+    CP.Best.reserve(Out.BestCompletions.size());
+    for (const ExprPtr &C : Out.BestCompletions)
+      CP.Best.push_back(C->clone());
+    CP.Stats = Out.Stats;
+    const SimdRowTally Resident = takeSimdRowTally();
+    creditSimdRowTally(Resident);
+    CP.Stats.RowsSimd += Resident.RowsSimd;
+    CP.Stats.RowsScalarTail += Resident.RowsTail;
+    CP.Stats.ScoreCacheEvictions = Cache.evictions();
+    CP.Stats.ScoreCacheWarmHits = Cache.warmHits();
+    CP.Stats.ScoreCacheWarmEvictions = Cache.warmEvictions();
+    CP.Cache = Cache.saveState();
+    Checkpoints->deposit(ChainIndex, std::move(CP));
+  };
+
+  if (Resume && Resume->Initialized) {
+    // Restore instead of drawing: the walk's randomness is keyed by
+    // iteration index (counter-split streams), so the skipped init
+    // loop's RNG consumption is irrelevant to every future draw and
+    // the restored chain continues byte-identically.  The score cache
+    // is restored verbatim — LRU order, epochs and counters — so
+    // trace CacheHit flags and future evictions replay exactly.
+    Cache.restoreState(Resume->Cache);
+    Out.Stats = Resume->Stats;
+    Current.reserve(Resume->Current.size());
+    for (const ExprPtr &C : Resume->Current)
+      Current.push_back(C->clone());
+    CurrentLL = Resume->CurrentLL;
+    Out.BestCompletions.reserve(Resume->Best.size());
+    for (const ExprPtr &C : Resume->Best)
+      Out.BestCompletions.push_back(C->clone());
+    Out.BestLogLikelihood = Resume->BestLL;
+    Out.Succeeded = !Out.BestCompletions.empty() || Sigs.empty();
+    StartIter = std::min(Resume->NextIter, Config.Iterations);
+    Initialized = true;
+  } else {
+    // A never-initialized resumed chain re-runs the (deterministic)
+    // init loop from the chain seed, exactly as a fresh run would.
+    for (unsigned Try = 0; Try != Config.MaxInitTries && !Initialized;
+         ++Try) {
+      std::vector<ExprPtr> Candidate;
+      Candidate.reserve(Sigs.size());
+      for (const HoleSignature &Sig : Sigs) {
+        ExprGenerator Gen(Sig, Config.Gen, R);
+        Candidate.push_back(Gen.generate());
+      }
+      if (!completionsValid(Candidate))
+        continue;
+      CachedScore S = ScoreCompletions(Candidate);
+      if (!S.valid())
+        continue;
+      Current = std::move(Candidate);
+      CurrentLL = *S.LL;
+      Initialized = true;
+    }
+  }
+  if (!Initialized) {
+    DepositCheckpoint(0);
+    return;
+  }
+  RecordBest(Current, CurrentLL);
+  // Deposit the post-init state so the snapshot file is complete (and
+  // the run resumable) as soon as every chain has started walking.
+  DepositCheckpoint(StartIter);
+  // First block boundary at or after this mark triggers the next
+  // periodic deposit.
+  unsigned NextDeposit = Config.CheckpointEvery
+                             ? StartIter + Config.CheckpointEvery
+                             : Config.Iterations + 1;
+  // Throughput is judged on this invocation's proposals only — a
+  // resumed run's restored counters say nothing about current speed.
+  const uint64_t ProposedAtStart = Out.Stats.Proposed;
+
+  unsigned Iter = StartIter;
+  for (; Iter != Config.Iterations; ++Iter) {
+    // Block boundary (no speculation block open): the only points
+    // where the chain may stop or snapshot — the pools are drained and
+    // every cache mutation up to here happened in realized order.
+    if (!Spec || !Spec->inBlock()) {
+      if (Budget) {
+        StopReason SR = Budget->check(Out.Stats.Proposed - ProposedAtStart);
+        if (SR != StopReason::None) {
+          Out.Stop = SR;
+          break;
+        }
+      }
+      if (Iter >= NextDeposit) {
+        DepositCheckpoint(Iter);
+        NextDeposit = Iter + Config.CheckpointEvery;
+      }
+    }
     // Open a speculation block when none is active: stamp a cache
     // epoch (so surviving entries count as warm), expand the next
     // min(Depth, remaining) iterations, and dispatch their computes.
@@ -835,6 +937,8 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     }
   }
 
+  Out.NextIter = Iter;
+
   // The chain's SIMD row split: everything the thread-local tally
   // accumulated since the drain at chain start — serial evaluations
   // directly, row-parallel ones via the per-task credits — plus (+=)
@@ -939,20 +1043,142 @@ void Synthesizer::runChain(unsigned ChainIndex, uint64_t Seed,
     Reg.counter("tape.rows_scalar_tail").add(Out.Stats.RowsScalarTail);
   }
 
+  // Final deposit: the chain's end state (completion or budget stop).
+  // The resident tally was drained into Out.Stats above, so the
+  // deposit's overlay adds zero and the snapshot equals the finalized
+  // stats for everything it carries.
+  DepositCheckpoint(Out.NextIter);
+
   PSKETCH_LOG(Debug, "synth",
-              "chain " << ChainIndex << " finished: "
-                       << Out.Stats.Proposed << " proposed, "
+              "chain " << ChainIndex << " finished"
+                       << (Out.Stop != StopReason::None
+                               ? std::string(" (") +
+                                     stopReasonName(Out.Stop) + ")"
+                               : std::string())
+                       << ": " << Out.Stats.Proposed << " proposed, "
                        << Out.Stats.Accepted << " accepted, best LL "
                        << Out.BestLogLikelihood);
+}
+
+std::vector<ConfigDiag> SynthesisConfig::validate() const {
+  std::vector<ConfigDiag> Diags;
+  auto Err = [&](std::string Msg) {
+    Diags.push_back({ConfigDiag::Severity::Error, std::move(Msg)});
+  };
+  auto Warn = [&](std::string Msg) {
+    Diags.push_back({ConfigDiag::Severity::Warning, std::move(Msg)});
+  };
+
+  if (!(Mut.GeomP > 0.0) || Mut.GeomP > 1.0)
+    Err("mutation geometric parameter (--geom-p) must be in (0, 1], got " +
+        std::to_string(Mut.GeomP));
+  if (Gen.TerminalBias < 0.0 || Gen.TerminalBias > 1.0)
+    Err("generator terminal bias must be in [0, 1], got " +
+        std::to_string(Gen.TerminalBias));
+  if (Gen.MaxDepth == 0)
+    Err("generator max depth must be at least 1");
+  if (Algebra.MaxComponents == 0)
+    Err("algebra mixture cap (MaxComponents) must be at least 1");
+  if (Budget.DeadlineSeconds < 0.0)
+    Err("deadline (--deadline-s) must be non-negative, got " +
+        std::to_string(Budget.DeadlineSeconds));
+  if (Budget.MinProposalsPerSec < 0.0)
+    Err("throughput floor (--min-proposals-per-s) must be non-negative, "
+        "got " +
+        std::to_string(Budget.MinProposalsPerSec));
+  if (CheckpointEvery > 0 && CheckpointPath.empty())
+    Err("--checkpoint-every requires --checkpoint-out");
+
+  if (Chains == 0)
+    Warn("0 chains requested; running 1 chain");
+  if (SpeculateDepth > 8)
+    Warn("speculation depth " + std::to_string(SpeculateDepth) +
+         " exceeds the supported maximum of 8 and is clamped");
+  if (SpeculateDepth > 0 && Threads != 0 &&
+      Threads <= std::max(Chains, 1u))
+    Warn("speculation is enabled but every worker thread is consumed by "
+         "chain dispatch; nodes will be computed inline (no prefetch "
+         "benefit)");
+  if (SliceFactoring && Likelihood.Tape.FastTape)
+    Warn("slice-factored scoring is disabled while --ffast-tape is on "
+         "(the factored recombination is only bit-exact without FMA "
+         "contraction)");
+  if (SliceFactoring && !Incremental)
+    Warn("slice factoring without incremental scoring re-evaluates every "
+         "group on every proposal; consider leaving --no-incremental off");
+  return Diags;
 }
 
 SynthesisResult Synthesizer::run() {
   SynthesisResult Result;
   if (!SketchValid)
     return Result;
+  // Refuse to run on a config with hard errors; warnings are the
+  // caller's to surface (Session and the CLI both print them).
+  for (const ConfigDiag &D : Config.validate())
+    if (D.Sev == ConfigDiag::Severity::Error) {
+      Result.Error = "invalid configuration: " + D.Message;
+      return Result;
+    }
   auto Start = std::chrono::steady_clock::now();
 
   const unsigned Chains = std::max(Config.Chains, 1u);
+
+  // A checkpoint binds to one exact run identity: same sketch, same
+  // dataset, same seed/chains/iterations, and the same walk-relevant
+  // knobs (walkConfigFingerprint — deployment knobs like Threads are
+  // deliberately excluded).  Anything else diverges byte-for-byte from
+  // the run the snapshot came from, so we refuse rather than guess.
+  if (Config.Resume) {
+    const RunCheckpoint &CP = *Config.Resume;
+    auto Refuse = [&](const std::string &What) {
+      Result.Error = "checkpoint does not match this run (" + What + ")";
+    };
+    if (CP.Seed != Config.Seed)
+      Refuse("seed: checkpoint " + std::to_string(CP.Seed) + ", run " +
+             std::to_string(Config.Seed));
+    else if (CP.Chains != Chains)
+      Refuse("chains: checkpoint " + std::to_string(CP.Chains) + ", run " +
+             std::to_string(Chains));
+    else if (CP.IterationTarget != Config.Iterations)
+      Refuse("iterations: checkpoint " + std::to_string(CP.IterationTarget) +
+             ", run " + std::to_string(Config.Iterations));
+    else if (CP.NumHoles != Sigs.size())
+      Refuse("hole count: checkpoint " + std::to_string(CP.NumHoles) +
+             ", run " + std::to_string(Sigs.size()));
+    else if (CP.SketchHash != sketchFingerprint(*Sketch))
+      Refuse("sketch hash");
+    else if (CP.DatasetFingerprint != Data.fingerprint())
+      Refuse("dataset fingerprint");
+    else if (CP.WalkFingerprint != walkConfigFingerprint(Config))
+      Refuse("walk configuration fingerprint");
+    else if (CP.ChainStates.size() != Chains)
+      Refuse("chain state count");
+    if (!Result.Error.empty())
+      return Result;
+  }
+
+  // The coordinator collects per-chain snapshots and writes the file
+  // whenever every chain has deposited at least once; write failures
+  // are sticky but never abort synthesis.
+  std::unique_ptr<CheckpointCoordinator> Checkpoints;
+  if (!Config.CheckpointPath.empty()) {
+    RunCheckpoint Header;
+    Header.Seed = Config.Seed;
+    Header.Chains = Chains;
+    Header.IterationTarget = Config.Iterations;
+    Header.NumHoles = uint32_t(Sigs.size());
+    Header.SketchHash = sketchFingerprint(*Sketch);
+    Header.DatasetFingerprint = Data.fingerprint();
+    Header.WalkFingerprint = walkConfigFingerprint(Config);
+    Checkpoints = std::make_unique<CheckpointCoordinator>(
+        Config.CheckpointPath, std::max(1u, Config.CheckpointKeep),
+        std::move(Header));
+  }
+
+  BudgetTracker Budget(Config.Budget, Start, Config.Cancel.get());
+  const BudgetTracker *BudgetPtr =
+      (Config.Budget.active() || Config.Cancel) ? &Budget : nullptr;
   std::vector<ChainOutcome> Outcomes(Chains);
   const unsigned Requested = ThreadPool::resolveThreadCount(Config.Threads);
   const unsigned Threads = std::min(Requested, Chains);
@@ -987,16 +1213,24 @@ SynthesisResult Synthesizer::run() {
     SpecPool =
         std::make_unique<ThreadPool>(Requested - Threads, SpecPoolIdleSpinNs);
   }
+  auto ResumeFor = [&](unsigned Chain) -> const ChainCheckpoint * {
+    if (!Config.Resume || Chain >= Config.Resume->ChainStates.size())
+      return nullptr;
+    return &Config.Resume->ChainStates[Chain];
+  };
   if (Threads <= 1) {
     for (unsigned Chain = 0; Chain != Chains; ++Chain)
       runChain(Chain, Config.Seed + Chain, Outcomes[Chain], *Caches[Chain],
-               RowPool.get(), SpecPool.get());
+               RowPool.get(), SpecPool.get(), ResumeFor(Chain),
+               Checkpoints.get(), BudgetPtr);
   } else {
     ThreadPool Pool(Threads);
     for (unsigned Chain = 0; Chain != Chains; ++Chain)
-      Pool.submit([this, Chain, &Outcomes, &Caches, &RowPool, &SpecPool] {
+      Pool.submit([this, Chain, &Outcomes, &Caches, &RowPool, &SpecPool,
+                   &ResumeFor, &Checkpoints, BudgetPtr] {
         runChain(Chain, Config.Seed + Chain, Outcomes[Chain], *Caches[Chain],
-                 RowPool.get(), SpecPool.get());
+                 RowPool.get(), SpecPool.get(), ResumeFor(Chain),
+                 Checkpoints.get(), BudgetPtr);
       });
     Pool.wait();
   }
@@ -1011,6 +1245,13 @@ SynthesisResult Synthesizer::run() {
     Result.Metrics = std::make_shared<MetricsRegistry>();
   std::vector<std::vector<uint8_t>> ChainAccepts;
   for (ChainOutcome &Out : Outcomes) {
+    Result.ChainIterations.push_back(Out.NextIter);
+    // Stop reasons merge by precedence: smaller enum value wins
+    // (Cancelled < Deadline < ThroughputFloor), so a run that was both
+    // cancelled and past deadline reports the cancellation.
+    if (Out.Stop != StopReason::None &&
+        (Result.Stop == StopReason::None || Out.Stop < Result.Stop))
+      Result.Stop = Out.Stop;
     Result.Stats.merge(Out.Stats);
     if (Config.TrackBestTrace) {
       double PrefixBest = Result.BestLogLikelihood; // -inf before any win.
@@ -1038,6 +1279,13 @@ SynthesisResult Synthesizer::run() {
       Result.BestLogLikelihood = Out.BestLogLikelihood;
       Result.Succeeded = true;
     }
+  }
+
+  // Every chain has deposited its final state by now; flush makes the
+  // end-of-run snapshot durable even when CheckpointEvery never fired.
+  if (Checkpoints) {
+    Checkpoints->flush();
+    Result.CheckpointError = Checkpoints->error();
   }
 
   if (Config.Diagnostics)

@@ -31,6 +31,7 @@
 #include "obs/Profiler.h"
 #include "obs/StageTimer.h"
 #include "obs/Trace.h"
+#include "synth/Budget.h"
 #include "synth/Mutate.h"
 #include "synth/ScoreCache.h"
 #include "synth/SliceFactoring.h"
@@ -44,6 +45,18 @@
 namespace psketch {
 
 class ThreadPool;
+class CheckpointCoordinator;
+struct ChainCheckpoint;
+struct RunCheckpoint;
+
+/// One finding of SynthesisConfig::validate(): either a hard error
+/// (the run would be meaningless or refuse to start) or a warning
+/// about a knob combination that is legal but silently gated.
+struct ConfigDiag {
+  enum class Severity { Warning, Error };
+  Severity Sev = Severity::Warning;
+  std::string Message;
+};
 
 /// All knobs of one synthesis run.
 struct SynthesisConfig {
@@ -228,6 +241,49 @@ struct SynthesisConfig {
   };
   unsigned ProgressEvery = 0; ///< 0 disables progress callbacks.
   std::function<void(const ProgressUpdate &)> Progress;
+
+  // --- Run durability (DESIGN.md §15).  All off by default. ---
+
+  /// Stopping budget beyond the iteration cap: wall-clock deadline and
+  /// proposals/s floor, both enforced at speculation-block boundaries.
+  BudgetPolicy Budget;
+
+  /// Cooperative cancellation: when set, every chain polls the token
+  /// at block boundaries and stops with StopReason::Cancelled.  The
+  /// CLI routes SIGINT/SIGTERM here via SignalCancellationScope.
+  std::shared_ptr<CancelToken> Cancel;
+
+  /// When non-empty, the run writes crash-safe snapshots of every
+  /// chain's state to this path (`--checkpoint-out`): once after each
+  /// chain initializes, every CheckpointEvery iterations, and once at
+  /// each chain's end (completion or budget stop).
+  std::string CheckpointPath;
+
+  /// Iterations between periodic snapshots of each chain
+  /// (`--checkpoint-every`); 0 keeps only the initial and final ones.
+  /// Deposits land on the first block boundary at or after the mark,
+  /// so the cadence never perturbs the walk.
+  unsigned CheckpointEvery = 0;
+
+  /// Snapshot files retained (`--checkpoint-keep`): the newest at
+  /// CheckpointPath, older ones rotated to `.1`, `.2`, ...
+  unsigned CheckpointKeep = 2;
+
+  /// When set, run() restarts every chain from this snapshot
+  /// (`--resume`) instead of drawing initial states — byte-identically
+  /// to the uninterrupted run, provided the snapshot's identity header
+  /// (seed, sketch, dataset, walk-relevant knobs) matches; run()
+  /// refuses with SynthesisResult::Error otherwise.  shared_ptr const
+  /// because SynthesisConfig is copied per run but snapshots can be
+  /// large.
+  std::shared_ptr<const RunCheckpoint> Resume;
+
+  /// Checks the configuration for hard errors (nonsensical parameter
+  /// values, checkpoint cadence without a path) and for legal but
+  /// silently-gated knob combinations (FastTape disables slice
+  /// factoring, speculation without spare workers, ...).  run()
+  /// proceeds on warnings and refuses on errors.
+  std::vector<ConfigDiag> validate() const;
 };
 
 /// Counters and timing of one run.
@@ -363,6 +419,31 @@ struct SynthesisResult {
   SynthesisStats Stats;
   std::vector<double> BestTrace; ///< Best-so-far LL per iteration.
 
+  /// Why the run stopped early; None when every chain ran to the
+  /// iteration cap.  A stopped run is still a *valid partial result*:
+  /// Succeeded/BestCompletions reflect everything executed so far, and
+  /// the final checkpoint (when configured) resumes from here.  When
+  /// chains stopped for different reasons the highest-precedence one
+  /// (smallest enum value) is reported.
+  StopReason Stop = StopReason::None;
+
+  /// Whether the run was cancelled cooperatively (signal or caller
+  /// token) — the CLI's Interrupted exit code keys off this.
+  bool interrupted() const { return Stop == StopReason::Cancelled; }
+
+  /// Non-empty when run() refused to start (config validation error,
+  /// resume-identity mismatch) — Succeeded is false and nothing ran.
+  std::string Error;
+
+  /// Non-empty when a checkpoint write failed; the run itself
+  /// continued (durability is best-effort, synthesis is not).
+  std::string CheckpointError;
+
+  /// The next iteration each chain would execute — the iteration cap
+  /// when it finished, earlier when a budget stopped it.  Indexed by
+  /// chain; empty when the run never started.
+  std::vector<unsigned> ChainIterations;
+
   /// One event per MH proposal in chain-major order (chain 0's events,
   /// then chain 1's, ...); populated when Config.CollectTrace.  The
   /// event count equals Stats.Proposed.
@@ -463,9 +544,17 @@ private:
   /// SynthesisConfig::RowThreads).  \p SpecPool, when non-null, is the
   /// run-wide speculation pool (see SynthesisConfig::SpeculateDepth);
   /// the chain tracks its speculative jobs under its own group.
+  /// \p Resume, when non-null, is this chain's restored state: the
+  /// init loop is skipped and the walk continues from Resume->NextIter
+  /// byte-identically (DESIGN.md §15).  \p Checkpoints, when non-null,
+  /// receives this chain's state deposits (initial, periodic, final).
+  /// \p Budget, when non-null, is consulted at block boundaries; a
+  /// nonzero verdict stops the chain with ChainOutcome::Stop set.
   void runChain(unsigned ChainIndex, uint64_t Seed, ChainOutcome &Out,
-                ScoreCache &Cache, ThreadPool *RowPool,
-                ThreadPool *SpecPool) const;
+                ScoreCache &Cache, ThreadPool *RowPool, ThreadPool *SpecPool,
+                const ChainCheckpoint *Resume,
+                CheckpointCoordinator *Checkpoints,
+                const BudgetTracker *Budget) const;
 
   /// Scores one completion tuple against the lowered sketch template
   /// (no per-candidate splice/lower; bitwise-identical to splicing).

@@ -8,6 +8,7 @@
 
 #include "analysis/Lint.h"
 #include "analysis/Slicer.h"
+#include "api/Session.h"
 #include "ast/ASTPrinter.h"
 #include "interp/Enumerate.h"
 #include "interp/Interp.h"
@@ -20,6 +21,7 @@
 #include "parse/Parser.h"
 #include "sem/TypeCheck.h"
 #include "support/Log.h"
+#include "synth/Budget.h"
 #include "synth/Synthesizer.h"
 
 #include <algorithm>
@@ -72,33 +74,33 @@ std::optional<Dataset> loadData(const std::string &Path,
   return Data;
 }
 
-int cmdPrint(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdPrint(const ToolOptions &Opts, std::ostream &Out,
              std::ostream &Err) {
   auto P = loadProgram(Opts.ProgramPath, Err);
   if (!P)
-    return 1;
+    return ToolExit::Failure;
   Out << toString(*P);
-  return 0;
+  return ToolExit::Success;
 }
 
-int cmdLint(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdLint(const ToolOptions &Opts, std::ostream &Out,
             std::ostream &Err) {
   auto P = loadProgram(Opts.ProgramPath, Err);
   if (!P)
-    return 1;
+    return ToolExit::Failure;
   DiagEngine Diags;
   LintResult R = lintProgram(*P, Diags, &Opts.Inputs);
   Out << Diags.str();
   Out << Opts.ProgramPath << ": " << R.Errors << " error(s), "
       << R.Warnings << " warning(s)\n";
-  return R.Errors ? 1 : 0;
+  return R.Errors ? ToolExit::Failure : ToolExit::Success;
 }
 
-int cmdAnalyze(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdAnalyze(const ToolOptions &Opts, std::ostream &Out,
                std::ostream &Err) {
   auto P = loadProgram(Opts.ProgramPath, Err);
   if (!P)
-    return 1;
+    return ToolExit::Failure;
   // With --data, reads of the dataset's columns are observation inputs
   // (cut from the dependence chain) exactly as likelihood compilation
   // treats them; without it every variable is latent.
@@ -106,7 +108,7 @@ int cmdAnalyze(const ToolOptions &Opts, std::ostream &Out,
   if (!Opts.DataPath.empty()) {
     auto Data = loadData(Opts.DataPath, Err);
     if (!Data)
-      return 1;
+      return ToolExit::Failure;
     for (const std::string &Col : Data->columns())
       ObservedColumns.insert(Col);
   }
@@ -116,22 +118,22 @@ int cmdAnalyze(const ToolOptions &Opts, std::ostream &Out,
     std::ofstream File(Opts.DotOutPath);
     if (!File) {
       Err << "error: cannot write '" << Opts.DotOutPath << "'\n";
-      return 1;
+      return ToolExit::Failure;
     }
     File << S.dot();
     Out << "wrote dependence graph to " << Opts.DotOutPath << "\n";
   }
-  return 0;
+  return ToolExit::Success;
 }
 
-int cmdSample(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdSample(const ToolOptions &Opts, std::ostream &Out,
               std::ostream &Err) {
   auto P = loadProgram(Opts.ProgramPath, Err);
   if (!P)
-    return 1;
+    return ToolExit::Failure;
   auto LP = lowerLoaded(*P, Opts.Inputs, Err);
   if (!LP)
-    return 1;
+    return ToolExit::Failure;
   Rng R(Opts.Seed);
   Dataset Data = generateDataset(*LP, Opts.Rows, R);
   if (Data.numRows() < Opts.Rows)
@@ -141,71 +143,91 @@ int cmdSample(const ToolOptions &Opts, std::ostream &Out,
   if (!Opts.OutPath.empty()) {
     if (!writeDatasetCsvFile(Opts.OutPath, Data)) {
       Err << "error: cannot write '" << Opts.OutPath << "'\n";
-      return 1;
+      return ToolExit::Failure;
     }
     Out << "wrote " << Data.numRows() << " rows to " << Opts.OutPath
         << "\n";
-    return 0;
+    return ToolExit::Success;
   }
   writeDatasetCsv(Out, Data);
-  return 0;
+  return ToolExit::Success;
 }
 
-int cmdScore(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdScore(const ToolOptions &Opts, std::ostream &Out,
              std::ostream &Err) {
   auto P = loadProgram(Opts.ProgramPath, Err);
   if (!P)
-    return 1;
+    return ToolExit::Failure;
   auto LP = lowerLoaded(*P, Opts.Inputs, Err);
   if (!LP)
-    return 1;
+    return ToolExit::Failure;
   auto Data = loadData(Opts.DataPath, Err);
   if (!Data)
-    return 1;
+    return ToolExit::Failure;
   LikelihoodOptions LOpts;
   LOpts.Tape.Simd = !Opts.NoSimd;
   LOpts.Tape.FastSimdMath = Opts.FastSimdMath;
   auto F = LikelihoodFunction::compile(*LP, *Data, {}, nullptr, LOpts);
   if (!F) {
     Err << "error: candidate is malformed (reads an unwritten slot?)\n";
-    return 1;
+    return ToolExit::Failure;
   }
   Out << "rows: " << Data->numRows() << "\n";
   Out << "log-likelihood: " << F->logLikelihood(*Data) << "\n";
   Out << "per-row: " << F->logLikelihood(*Data) / double(Data->numRows())
       << "\n";
-  return 0;
+  return ToolExit::Success;
 }
 
-int cmdReport(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdReport(const ToolOptions &Opts, std::ostream &Out,
               std::ostream &Err) {
   auto P = loadProgram(Opts.ProgramPath, Err);
   if (!P)
-    return 1;
+    return ToolExit::Failure;
   auto LP = lowerLoaded(*P, Opts.Inputs, Err);
   if (!LP)
-    return 1;
+    return ToolExit::Failure;
   auto Data = loadData(Opts.DataPath, Err);
   if (!Data)
-    return 1;
+    return ToolExit::Failure;
   Out << symbolicReport(*LP, *Data, Opts.Slots);
-  return 0;
+  return ToolExit::Success;
 }
 
-/// The synth-family SynthesisConfig shared by `synth` and `profile`:
-/// iteration/seed knobs, the likelihood escape hatches, and the
-/// telemetry switches derived from the requested outputs.
-SynthesisConfig makeSynthConfig(const ToolOptions &Opts) {
-  SynthesisConfig Config;
-  Config.Iterations = Opts.Iterations;
-  Config.Chains = Opts.Chains;
-  Config.Threads = Opts.Threads;
-  Config.RowThreads = Opts.RowThreads;
-  Config.SpeculateDepth = Opts.SpeculateDepth;
-  Config.Seed = Opts.Seed;
+/// Configures \p S with the synth-family flags shared by `synth` and
+/// `profile`: problem files, the walk/threading/budget knobs (grouped
+/// on the Session), the likelihood escape hatches, and the telemetry
+/// outputs.
+void applySynthFlags(Session &S, const ToolOptions &Opts) {
+  S.sketchFile(Opts.ProgramPath)
+      .dataFile(Opts.DataPath)
+      .inputs(Opts.Inputs)
+      .iterations(Opts.Iterations)
+      .chains(Opts.Chains)
+      .seed(Opts.Seed);
+
+  S.threading().Threads = Opts.Threads;
+  S.threading().RowThreads = Opts.RowThreads;
+  S.threading().SpeculateDepth = Opts.SpeculateDepth;
+
+  S.budget().DeadlineSeconds = Opts.DeadlineSeconds;
+  S.budget().MinProposalsPerSec = Opts.MinProposalsPerSec;
+  S.budget().CheckpointPath = Opts.CheckpointOutPath;
+  S.budget().CheckpointEvery = Opts.CheckpointEvery;
+  S.budget().CheckpointKeep = Opts.CheckpointKeep;
+  S.budget().ResumePath = Opts.ResumePath;
+  // Ctrl-C / SIGTERM stop the walk cooperatively: the run flushes its
+  // checkpoint and partial outputs and exits with ToolExit::Interrupted.
+  S.budget().HandleSignals = true;
+
+  S.telemetry().TraceOut = Opts.TraceOutPath;
+  S.telemetry().MetricsOut = Opts.MetricsOutPath;
+  S.telemetry().Profile = Opts.Profile;
+  S.telemetry().ProfileSampleEvery = Opts.ProfileSampleEvery;
 
   // Likelihood-pipeline escape hatches (DESIGN.md §9, §11); defaults
   // leave every bit-exact optimization on.
+  SynthesisConfig &Config = S.config();
   Config.Incremental = !Opts.NoIncremental;
   Config.Likelihood.Simplify = !Opts.NoSimplify;
   Config.Likelihood.Tape.Fuse = !Opts.NoFuse;
@@ -215,30 +237,16 @@ SynthesisConfig makeSynthConfig(const ToolOptions &Opts) {
   Config.ColumnCacheBytes = size_t(Opts.ColumnCacheMB) << 20;
   Config.StaticAnalysis = !Opts.NoStaticAnalysis;
   Config.SliceFactoring = !Opts.NoSliceFactoring;
-
-  // Telemetry: each output the user asked for switches on exactly the
-  // collection it needs; everything stays off otherwise.
-  Config.CollectTrace = !Opts.TraceOutPath.empty();
-  Config.Metrics = !Opts.MetricsOutPath.empty();
-  Config.StageTimers = Config.Metrics;
-  Config.Diagnostics = Config.CollectTrace || Config.Metrics;
-  Config.Profile = Opts.Profile;
-  Config.ProfileSampleEvery = Opts.ProfileSampleEvery;
-  return Config;
 }
 
-int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
-             std::ostream &Err) {
-  auto Sketch = loadProgram(Opts.ProgramPath, Err);
-  if (!Sketch)
-    return 1;
-  auto Data = loadData(Opts.DataPath, Err);
-  if (!Data)
-    return 1;
-  SynthesisConfig Config = makeSynthConfig(Opts);
+ToolExit cmdSynth(const ToolOptions &Opts, std::ostream &Out,
+                  std::ostream &Err) {
+  Session S;
+  applySynthFlags(S, Opts);
   if (Opts.Progress) {
     if (logLevel() > LogLevel::Info)
       setLogLevel(LogLevel::Info);
+    SynthesisConfig &Config = S.config();
     Config.ProgressEvery = std::max(1u, Opts.Iterations / 10);
     const bool Incremental = Config.Incremental;
     Config.Progress = [Incremental](
@@ -272,36 +280,25 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
     };
   }
 
-  Synthesizer Synth(*Sketch, Opts.Inputs, *Data, Config);
-  if (!Synth.valid()) {
-    Err << Synth.diagnostics().str();
-    return 1;
+  Session::Outcome O = S.run();
+  for (const ConfigDiag &W : O.Warnings)
+    Err << "warning: " << W.Message << "\n";
+  if (!O.Result.CheckpointError.empty())
+    Err << "warning: checkpoint write failed: " << O.Result.CheckpointError
+        << "\n";
+  if (O.Result.Stop != StopReason::None) {
+    Err << "note: run stopped early (" << stopReasonName(O.Result.Stop)
+        << ")";
+    if (!Opts.CheckpointOutPath.empty())
+      Err << "; resume with --resume " << Opts.CheckpointOutPath;
+    Err << "\n";
   }
-  SynthesisResult Result = Synth.run();
-
-  if (!Opts.TraceOutPath.empty()) {
-    std::ofstream Trace(Opts.TraceOutPath);
-    if (!Trace) {
-      Err << "error: cannot write '" << Opts.TraceOutPath << "'\n";
-      return 1;
-    }
-    writeJsonlTrace(Trace, Synth.makeManifest(Opts.ProgramPath),
-                    Result.TraceEvents);
-  }
-  if (!Opts.MetricsOutPath.empty()) {
-    std::ofstream Metrics(Opts.MetricsOutPath);
-    if (!Metrics) {
-      Err << "error: cannot write '" << Opts.MetricsOutPath << "'\n";
-      return 1;
-    }
-    Metrics << Result.Metrics->toJson() << "\n";
+  if (!O.ok()) {
+    Err << "error: " << O.Error.Message << "\n";
+    return O.exit();
   }
 
-  if (!Result.Succeeded) {
-    Err << "error: no valid completion found (try more --iterations or "
-           "--chains)\n";
-    return 1;
-  }
+  const SynthesisResult &Result = O.Result;
   Out << "// synthesized in " << Result.Stats.Seconds << " s; "
       << Result.Stats.Scored << " candidates scored; "
       << Result.Stats.CacheHits << " cache hits; log-likelihood "
@@ -340,27 +337,27 @@ int cmdSynth(const ToolOptions &Opts, std::ostream &Out,
     std::ofstream File(Opts.OutPath);
     if (!File) {
       Err << "error: cannot write '" << Opts.OutPath << "'\n";
-      return 1;
+      return ToolExit::Failure;
     }
     File << toString(*Result.BestProgram);
   }
-  return 0;
+  return O.exit();
 }
 
-int cmdTraceStats(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdTraceStats(const ToolOptions &Opts, std::ostream &Out,
                   std::ostream &Err) {
   std::vector<ParsedTrace> Traces;
   for (const std::string &Path : Opts.TracePaths) {
     std::ifstream In(Path);
     if (!In) {
       Err << "error: cannot open '" << Path << "'\n";
-      return 1;
+      return ToolExit::Failure;
     }
     std::string ParseErr;
     auto Trace = readJsonlTrace(In, ParseErr);
     if (!Trace) {
       Err << "error: " << Path << ": " << ParseErr << "\n";
-      return 1;
+      return ToolExit::Failure;
     }
     Traces.push_back(std::move(*Trace));
   }
@@ -377,36 +374,32 @@ int cmdTraceStats(const ToolOptions &Opts, std::ostream &Out,
       << Merged.Manifest.Iterations << ", chains: "
       << Merged.Manifest.Chains << "\n";
   Out << formatTraceSummary(summarizeTrace(Merged));
-  return 0;
+  return ToolExit::Success;
 }
 
-int cmdProfile(const ToolOptions &Opts, std::ostream &Out,
-               std::ostream &Err) {
-  auto Sketch = loadProgram(Opts.ProgramPath, Err);
-  if (!Sketch)
-    return 1;
-  auto Data = loadData(Opts.DataPath, Err);
-  if (!Data)
-    return 1;
-  SynthesisConfig Config = makeSynthConfig(Opts);
-  Config.Profile = true;
-  Synthesizer Synth(*Sketch, Opts.Inputs, *Data, Config);
-  if (!Synth.valid()) {
-    Err << Synth.diagnostics().str();
-    return 1;
+ToolExit cmdProfile(const ToolOptions &Opts, std::ostream &Out,
+                    std::ostream &Err) {
+  Session S;
+  applySynthFlags(S, Opts);
+  S.telemetry().Profile = true;
+  Session::Outcome O = S.run();
+  for (const ConfigDiag &W : O.Warnings)
+    Err << "warning: " << W.Message << "\n";
+  if (!O.ok() && O.Error.K != SessionError::Kind::Synthesis) {
+    Err << "error: " << O.Error.Message << "\n";
+    return O.exit();
   }
-  SynthesisResult Result = Synth.run();
-  if (!Result.Succeeded)
+  if (!O.Result.Succeeded)
     Err << "warning: no valid completion found; the profile below "
            "still covers the full search\n";
 
-  ProfileReport Report = makeProfileReport(Result, Config);
+  ProfileReport Report = makeProfileReport(O.Result, S.config());
   Report.Sketch = Opts.ProgramPath;
   if (!Opts.OutPath.empty()) {
     std::ofstream File(Opts.OutPath);
     if (!File) {
       Err << "error: cannot write '" << Opts.OutPath << "'\n";
-      return 1;
+      return ToolExit::Failure;
     }
     File << profileReportJson(Report) << "\n";
   }
@@ -414,35 +407,35 @@ int cmdProfile(const ToolOptions &Opts, std::ostream &Out,
     std::ofstream File(Opts.FoldedOutPath);
     if (!File) {
       Err << "error: cannot write '" << Opts.FoldedOutPath << "'\n";
-      return 1;
+      return ToolExit::Failure;
     }
     File << profileFoldedStacks(Report);
   }
   Out << formatProfileReport(Report);
-  return 0;
+  return O.Result.interrupted() ? ToolExit::Interrupted : ToolExit::Success;
 }
 
-int cmdBenchDiff(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdBenchDiff(const ToolOptions &Opts, std::ostream &Out,
                  std::ostream &Err) {
   BenchDiffResult R =
       compareBenchFiles(Opts.BenchOldPath, Opts.BenchNewPath,
                         Opts.Tolerance);
   if (!R.Ok) {
     Err << "error: " << R.Error << "\n";
-    return 2;
+    return ToolExit::Usage;
   }
   Out << formatBenchDiff(R, Opts.Tolerance);
-  return R.passed() ? 0 : 1;
+  return R.passed() ? ToolExit::Success : ToolExit::Failure;
 }
 
-int cmdPosterior(const ToolOptions &Opts, std::ostream &Out,
+ToolExit cmdPosterior(const ToolOptions &Opts, std::ostream &Out,
                  std::ostream &Err) {
   auto P = loadProgram(Opts.ProgramPath, Err);
   if (!P)
-    return 1;
+    return ToolExit::Failure;
   auto LP = lowerLoaded(*P, Opts.Inputs, Err);
   if (!LP)
-    return 1;
+    return ToolExit::Failure;
   // Finite (Boolean-latent) programs get exact answers; everything
   // else falls back to rejection sampling.
   if (auto D = ExactDistribution::enumerate(*LP)) {
@@ -451,7 +444,7 @@ int cmdPosterior(const ToolOptions &Opts, std::ostream &Out,
     for (const std::string &Slot : Opts.Slots)
       Out << Slot << ": mean " << D->mean(Slot) << ", Pr(true) "
           << D->marginalTrue(Slot) << "\n";
-    return 0;
+    return ToolExit::Success;
   }
   Out << "method: rejection sampling (" << Opts.Samples
       << " requested samples)\n";
@@ -476,7 +469,7 @@ int cmdPosterior(const ToolOptions &Opts, std::ostream &Out,
     Out << Slot << ": mean " << Mean << ", sd " << Sd << " ("
         << Samples.size() << " samples)\n";
   }
-  return 0;
+  return ToolExit::Success;
 }
 
 } // namespace
@@ -487,30 +480,30 @@ int psketch::runTool(const ToolOptions &Opts, std::ostream &Out,
     for (const std::string &E : Opts.Errors)
       Err << "error: " << E << "\n";
     Err << toolUsage();
-    return 2;
+    return int(ToolExit::Usage);
   }
   if (Opts.Command == "print")
-    return cmdPrint(Opts, Out, Err);
+    return int(cmdPrint(Opts, Out, Err));
   if (Opts.Command == "lint")
-    return cmdLint(Opts, Out, Err);
+    return int(cmdLint(Opts, Out, Err));
   if (Opts.Command == "analyze")
-    return cmdAnalyze(Opts, Out, Err);
+    return int(cmdAnalyze(Opts, Out, Err));
   if (Opts.Command == "sample")
-    return cmdSample(Opts, Out, Err);
+    return int(cmdSample(Opts, Out, Err));
   if (Opts.Command == "score")
-    return cmdScore(Opts, Out, Err);
+    return int(cmdScore(Opts, Out, Err));
   if (Opts.Command == "report")
-    return cmdReport(Opts, Out, Err);
+    return int(cmdReport(Opts, Out, Err));
   if (Opts.Command == "synth")
-    return cmdSynth(Opts, Out, Err);
+    return int(cmdSynth(Opts, Out, Err));
   if (Opts.Command == "posterior")
-    return cmdPosterior(Opts, Out, Err);
+    return int(cmdPosterior(Opts, Out, Err));
   if (Opts.Command == "trace-stats")
-    return cmdTraceStats(Opts, Out, Err);
+    return int(cmdTraceStats(Opts, Out, Err));
   if (Opts.Command == "profile")
-    return cmdProfile(Opts, Out, Err);
+    return int(cmdProfile(Opts, Out, Err));
   if (Opts.Command == "bench-diff")
-    return cmdBenchDiff(Opts, Out, Err);
+    return int(cmdBenchDiff(Opts, Out, Err));
   Err << toolUsage();
-  return 2;
+  return int(ToolExit::Usage);
 }

@@ -6,7 +6,9 @@
 
 #include "tool/ToolOptions.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <iterator>
 #include <optional>
 
 using namespace psketch;
@@ -58,39 +60,149 @@ std::optional<std::vector<double>> parseNumberList(const std::string &Text) {
   return Values;
 }
 
+// --- The canonical flag table ---------------------------------------
+//
+// One row per flag: which commands accept it, whether it takes a
+// value, and where it is required.  toolUsage() is generated from
+// this table, so the help text can never drift from the set of flags
+// the parser accepts; parse() consults the same rows for the numeric
+// group.
+
+enum : unsigned {
+  CPrint = 1u << 0,
+  CLint = 1u << 1,
+  CAnalyze = 1u << 2,
+  CSample = 1u << 3,
+  CScore = 1u << 4,
+  CReport = 1u << 5,
+  CSynth = 1u << 6,
+  CPosterior = 1u << 7,
+  CTraceStats = 1u << 8,
+  CProfile = 1u << 9,
+  CBenchDiff = 1u << 10,
+};
+
+/// Commands taking a program/sketch file and input bindings.
+constexpr unsigned CProgramCmds = CPrint | CLint | CAnalyze | CSample |
+                                  CScore | CReport | CSynth | CPosterior |
+                                  CProfile;
+
+struct FlagSpec {
+  const char *Flag;  ///< "--iterations".
+  const char *Arg;   ///< Placeholder ("N"); nullptr for switches.
+  unsigned Cmds;     ///< Commands accepting the flag.
+  unsigned Required; ///< Commands where the flag is mandatory.
+};
+
+constexpr FlagSpec FlagTable[] = {
+    {"--program", "FILE", CProgramCmds & ~(CSynth | CProfile),
+     CProgramCmds & ~(CSynth | CProfile)},
+    {"--sketch", "FILE", CSynth | CProfile, CSynth | CProfile},
+    {"--data", "FILE.csv", CAnalyze | CScore | CReport | CSynth | CProfile,
+     CScore | CReport | CSynth | CProfile},
+    {"--iterations", "N", CSynth | CProfile, 0},
+    {"--chains", "N", CSynth | CProfile, 0},
+    {"--seed", "S", CSample | CSynth | CPosterior | CProfile, 0},
+    {"--threads", "N", CSynth | CProfile, 0},
+    {"--row-threads", "N", CSynth | CProfile, 0},
+    {"--speculate-depth", "K", CSynth | CProfile, 0},
+    {"--out", "FILE", CSample | CSynth | CProfile, 0},
+    {"--trace-out", "FILE.jsonl", CSynth, 0},
+    {"--metrics-out", "FILE.json", CSynth, 0},
+    {"--progress", nullptr, CSynth, 0},
+    {"--checkpoint-out", "FILE", CSynth, 0},
+    {"--checkpoint-every", "N", CSynth, 0},
+    {"--checkpoint-keep", "K", CSynth, 0},
+    {"--resume", "FILE", CSynth, 0},
+    {"--deadline-s", "T", CSynth, 0},
+    {"--min-proposals-per-s", "R", CSynth, 0},
+    {"--no-incremental", nullptr, CSynth | CProfile, 0},
+    {"--no-simplify", nullptr, CSynth | CProfile, 0},
+    {"--no-fuse", nullptr, CSynth | CProfile, 0},
+    {"--ffast-tape", nullptr, CSynth | CProfile, 0},
+    {"--no-static-analysis", nullptr, CSynth | CProfile, 0},
+    {"--no-slice-factoring", nullptr, CSynth | CProfile, 0},
+    {"--no-simd", nullptr, CScore | CSynth | CProfile, 0},
+    {"--fast-simd-math", nullptr, CScore | CSynth | CProfile, 0},
+    {"--column-cache-mb", "N", CSynth | CProfile, 0},
+    {"--profile", nullptr, CSynth, 0},
+    {"--profile-sample-every", "K", CSynth | CProfile, 0},
+    {"--rows", "N", CSample, 0},
+    {"--samples", "N", CPosterior, 0},
+    {"--slot", "NAME", CReport | CPosterior, CPosterior},
+    {"--trace", "FILE.jsonl", CTraceStats, CTraceStats},
+    {"--folded", "FILE.folded", CProfile, 0},
+    {"--dot-out", "FILE.dot", CAnalyze, 0},
+    {"--tolerance", "X", CBenchDiff, 0},
+};
+
+struct CommandSpec {
+  const char *Name;
+  unsigned Mask;
+  const char *Extra; ///< Positionals / notes appended to the line.
+};
+
+constexpr CommandSpec CommandTable[] = {
+    {"print", CPrint, nullptr},
+    {"lint", CLint, "(static diagnostics)"},
+    {"analyze", CAnalyze, "(hole->observe dependence matrix)"},
+    {"sample", CSample, nullptr},
+    {"score", CScore, nullptr},
+    {"report", CReport, nullptr},
+    {"synth", CSynth, nullptr},
+    {"posterior", CPosterior, nullptr},
+    {"trace-stats", CTraceStats, "(repeatable --trace merges files)"},
+    {"profile", CProfile, nullptr},
+    {"bench-diff", CBenchDiff, "OLD.json NEW.json"},
+};
+
 } // namespace
 
 std::string psketch::toolUsage() {
-  return "usage: psketch "
-         "<print|lint|analyze|sample|score|report|synth|posterior"
-         "|trace-stats|profile|bench-diff> [options]\n"
-         "  print  --program FILE\n"
-         "  lint   --program FILE (static diagnostics: unbound/unused\n"
-         "         variables, constant observes, invalid draw parameters,\n"
-         "         uncompletable holes, unreachable statements,\n"
-         "         hole-disconnected observes)\n"
-         "  analyze --program FILE [--data FILE.csv]\n"
-         "         [--dot-out FILE.dot] (hole->observe dependence matrix;\n"
-         "         --data marks the dataset's observed columns)\n"
-         "  sample --program FILE [--rows N] [--seed S] [--out FILE.csv]\n"
-         "  score  --program FILE --data FILE.csv\n"
-         "  report --program FILE --data FILE.csv [--slot NAME ...]\n"
-         "  synth  --sketch FILE --data FILE.csv [--iterations N]\n"
-         "         [--chains N] [--seed S] [--threads N (0 = all cores)]\n"
-         "         [--trace-out FILE.jsonl] [--metrics-out FILE.json]\n"
-         "         [--progress] [--no-incremental] [--no-simplify]\n"
-         "         [--no-fuse] [--ffast-tape] [--column-cache-mb N]\n"
-         "         [--no-static-analysis] [--no-slice-factoring]\n"
-         "         [--no-simd] [--fast-simd-math]\n"
-         "         [--row-threads N] [--speculate-depth K] [--profile]\n"
-         "         [--profile-sample-every K]\n"
-         "  posterior --program FILE --slot NAME [--samples N] [--seed S]\n"
-         "  trace-stats --trace FILE.jsonl [--trace FILE.jsonl ...]\n"
-         "  profile --sketch FILE --data FILE.csv [synth options]\n"
-         "         [--out FILE.json] [--folded FILE.folded]\n"
-         "  bench-diff OLD.json NEW.json [--tolerance 0.15]\n"
-         "inputs: --int n=3 --real x=1.5 --bool b=1\n"
-         "        --ints a=0,1 --reals a=1.5,2 --bools a=1,0\n";
+  std::string U = "usage: psketch <";
+  for (size_t I = 0; I != std::size(CommandTable); ++I) {
+    if (I)
+      U += '|';
+    U += CommandTable[I].Name;
+  }
+  U += "> [options]\n";
+  for (const CommandSpec &C : CommandTable) {
+    std::string Line = "  ";
+    Line += C.Name;
+    size_t Col = Line.size();
+    auto Emit = [&](const std::string &Word) {
+      if (Col + 1 + Word.size() > 72) {
+        U += Line;
+        U += '\n';
+        Line.assign(9, ' ');
+        Col = Line.size();
+      }
+      Line += ' ';
+      Line += Word;
+      Col += 1 + Word.size();
+    };
+    if (C.Extra && C.Extra[0] != '(')
+      Emit(C.Extra);
+    for (const FlagSpec &F : FlagTable) {
+      if (!(F.Cmds & C.Mask))
+        continue;
+      std::string Word = F.Flag;
+      if (F.Arg) {
+        Word += ' ';
+        Word += F.Arg;
+      }
+      if (!(F.Required & C.Mask))
+        Word = "[" + Word + "]";
+      Emit(Word);
+    }
+    if (C.Extra && C.Extra[0] == '(')
+      Emit(C.Extra);
+    U += Line;
+    U += '\n';
+  }
+  U += "inputs: --int n=3 --real x=1.5 --bool b=1\n"
+       "        --ints a=0,1 --reals a=1.5,2 --bools a=1,0\n";
+  return U;
 }
 
 ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
@@ -147,6 +259,12 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
     } else if (Flag == "--dot-out") {
       if (NextValue(I, Flag, Value))
         Opts.DotOutPath = Value;
+    } else if (Flag == "--checkpoint-out") {
+      if (NextValue(I, Flag, Value))
+        Opts.CheckpointOutPath = Value;
+    } else if (Flag == "--resume") {
+      if (NextValue(I, Flag, Value))
+        Opts.ResumePath = Value;
     } else if (Flag == "--progress") {
       Opts.Progress = true;
     } else if (Flag == "--profile") {
@@ -185,7 +303,10 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
                Flag == "--samples" || Flag == "--threads" ||
                Flag == "--row-threads" || Flag == "--column-cache-mb" ||
                Flag == "--profile-sample-every" ||
-               Flag == "--speculate-depth") {
+               Flag == "--speculate-depth" ||
+               Flag == "--checkpoint-every" ||
+               Flag == "--checkpoint-keep" || Flag == "--deadline-s" ||
+               Flag == "--min-proposals-per-s") {
       if (!NextValue(I, Flag, Value))
         continue;
       auto V = parseNumber(Value);
@@ -212,6 +333,14 @@ ToolOptions ToolOptions::parse(const std::vector<std::string> &Args) {
         Opts.ColumnCacheMB = unsigned(*V);
       else if (Flag == "--profile-sample-every")
         Opts.ProfileSampleEvery = std::max(1u, unsigned(*V));
+      else if (Flag == "--checkpoint-every")
+        Opts.CheckpointEvery = unsigned(*V);
+      else if (Flag == "--checkpoint-keep")
+        Opts.CheckpointKeep = std::max(1u, unsigned(*V));
+      else if (Flag == "--deadline-s")
+        Opts.DeadlineSeconds = *V;
+      else if (Flag == "--min-proposals-per-s")
+        Opts.MinProposalsPerSec = *V;
       else
         Opts.Seed = uint64_t(*V);
     } else if (Flag == "--int" || Flag == "--real" || Flag == "--bool") {

@@ -19,6 +19,9 @@
 ///                  [--iterations N] [--chains N] [--seed S]
 ///                  [--threads N] [--trace-out FILE.jsonl]
 ///                  [--metrics-out FILE.json] [--progress]
+///                  [--checkpoint-out FILE] [--checkpoint-every N]
+///                  [--resume FILE] [--deadline-s T]
+///                  [--min-proposals-per-s R]
 ///   psketch posterior --program FILE --slot NAME [--samples N]
 ///                  [--seed S]
 ///   psketch trace-stats --trace FILE.jsonl [--trace FILE.jsonl ...]
@@ -113,6 +116,25 @@ struct ToolOptions {
   /// scores and best LL) — see SynthesisConfig::SpeculateDepth.
   unsigned SpeculateDepth = 0;
   uint64_t Seed = 1;
+
+  // --- Run durability (synth; DESIGN.md §15) ---
+  /// --checkpoint-out: crash-safe snapshot file updated during the run.
+  std::string CheckpointOutPath;
+  /// --checkpoint-every: iterations between periodic snapshots (0
+  /// keeps only the initial and final ones).
+  unsigned CheckpointEvery = 0;
+  /// --checkpoint-keep: rotated snapshot files retained.
+  unsigned CheckpointKeep = 2;
+  /// --resume: restart every chain from this snapshot, byte-identically
+  /// to the uninterrupted run.
+  std::string ResumePath;
+  /// --deadline-s: wall-clock budget in seconds; 0 = none.  The run
+  /// stops at the next block boundary with a valid partial result.
+  double DeadlineSeconds = 0;
+  /// --min-proposals-per-s: throughput floor; a run proposing slower
+  /// than this (after warmup) stops early.  0 = none.
+  double MinProposalsPerSec = 0;
+
   InputBindings Inputs;
 
   /// Parse failures, in order; empty means the options are usable.

@@ -1,0 +1,299 @@
+//===- tests/api/SessionTest.cpp - Stable Session facade tests ------------===//
+//
+// The Session facade is the one entry point the CLI, the benches and
+// embedders share.  It must (a) produce byte-identical results to
+// driving the Synthesizer directly, (b) map every failure mode to a
+// structured SessionError with the CLI's exit code, and (c) carry the
+// checkpoint / resume / cancellation semantics end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Session.h"
+
+#include "ast/ASTPrinter.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+const char *GaussTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+
+const char *GaussSketch = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+} // namespace
+
+TEST(SessionTest, MatchesDirectSynthesizerBitwise) {
+  Dataset Data = makeData(GaussTarget, 120, 61);
+  auto Sketch = parseP(GaussSketch);
+
+  SynthesisConfig Config;
+  Config.Iterations = 300;
+  Config.Chains = 2;
+  Config.Seed = 17;
+  Synthesizer Direct(*Sketch, {}, Data, Config);
+  ASSERT_TRUE(Direct.valid());
+  SynthesisResult Want = Direct.run();
+
+  Session S;
+  S.sketch(*Sketch).data(Data).iterations(300).chains(2).seed(17);
+  Session::Outcome O = S.run();
+  ASSERT_TRUE(O.ok()) << O.Error.Message;
+  EXPECT_EQ(O.exit(), ToolExit::Success);
+  ASSERT_TRUE(O.Result.Succeeded);
+  EXPECT_EQ(Want.BestLogLikelihood, O.Result.BestLogLikelihood);
+  EXPECT_EQ(Want.Stats.Proposed, O.Result.Stats.Proposed);
+  EXPECT_EQ(Want.Stats.Accepted, O.Result.Stats.Accepted);
+  EXPECT_EQ(toString(*Want.BestCompletions[0]),
+            toString(*O.Result.BestCompletions[0]));
+  // The manifest pins the run identity embedders log alongside results.
+  EXPECT_EQ(O.Manifest.Seed, 17u);
+  EXPECT_EQ(O.Manifest.Chains, 2u);
+  EXPECT_EQ(O.Manifest.DatasetFingerprint, Data.fingerprint());
+}
+
+TEST(SessionTest, SketchSourceAndRepeatedRunsWork) {
+  Dataset Data = makeData(GaussTarget, 120, 62);
+  Session S;
+  S.sketchSource(GaussSketch, "inline.psk").data(Data);
+  S.iterations(200).chains(1).seed(5);
+  Session::Outcome A = S.run();
+  ASSERT_TRUE(A.ok()) << A.Error.Message;
+  // Same Session, same problem: run() is repeatable and deterministic.
+  Session::Outcome B = S.run();
+  ASSERT_TRUE(B.ok()) << B.Error.Message;
+  EXPECT_EQ(A.Result.BestLogLikelihood, B.Result.BestLogLikelihood);
+  EXPECT_EQ(A.Result.Stats.Proposed, B.Result.Stats.Proposed);
+}
+
+TEST(SessionTest, ConfigureSyncsGroupedViews) {
+  SynthesisConfig Config;
+  Config.Threads = 4;
+  Config.RowThreads = 2;
+  Config.SpeculateDepth = 3;
+  Config.Budget.DeadlineSeconds = 9;
+  Config.CheckpointPath = "x.ckpt";
+  Config.CheckpointEvery = 50;
+
+  Session S;
+  S.configure(Config);
+  EXPECT_EQ(S.threading().Threads, 4u);
+  EXPECT_EQ(S.threading().RowThreads, 2u);
+  EXPECT_EQ(S.threading().SpeculateDepth, 3u);
+  EXPECT_EQ(S.budget().DeadlineSeconds, 9.0);
+  EXPECT_EQ(S.budget().CheckpointPath, "x.ckpt");
+  EXPECT_EQ(S.budget().CheckpointEvery, 50u);
+
+  // And the groups own their fields afterwards: edits win over the
+  // stale config copy at run() time.
+  S.threading().Threads = 1;
+  EXPECT_EQ(S.config().Threads, 4u); // Folded in only at run().
+}
+
+//===----------------------------------------------------------------------===//
+// Structured failures and exit-code mapping.
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, MissingSketchIsSketchError) {
+  Session S;
+  Dataset Data = makeData(GaussTarget, 20, 63);
+  S.data(Data);
+  Session::Outcome O = S.run();
+  EXPECT_EQ(O.Error.K, SessionError::Kind::Sketch);
+  EXPECT_EQ(O.exit(), ToolExit::Failure);
+}
+
+TEST(SessionTest, UnreadableSketchFileIsSketchError) {
+  Session S;
+  Dataset Data = makeData(GaussTarget, 20, 63);
+  S.sketchFile("/nonexistent/model.psk").data(Data);
+  Session::Outcome O = S.run();
+  EXPECT_EQ(O.Error.K, SessionError::Kind::Sketch);
+  EXPECT_NE(O.Error.Message.find("cannot open"), std::string::npos);
+}
+
+TEST(SessionTest, ParseFailureIsSketchErrorWithDiagnostics) {
+  Session S;
+  Dataset Data = makeData(GaussTarget, 20, 63);
+  S.sketchSource("program Broken( {", "broken.psk").data(Data);
+  Session::Outcome O = S.run();
+  EXPECT_EQ(O.Error.K, SessionError::Kind::Sketch);
+  EXPECT_NE(O.Error.Message.find("broken.psk"), std::string::npos);
+}
+
+TEST(SessionTest, MissingDataIsDataError) {
+  Session S;
+  S.sketchSource(GaussSketch);
+  Session::Outcome O = S.run();
+  EXPECT_EQ(O.Error.K, SessionError::Kind::Data);
+}
+
+TEST(SessionTest, InvalidConfigIsUsageExit) {
+  Dataset Data = makeData(GaussTarget, 20, 63);
+  Session S;
+  S.sketchSource(GaussSketch).data(Data);
+  S.config().Mut.GeomP = 7.0; // Outside (0, 1].
+  Session::Outcome O = S.run();
+  EXPECT_EQ(O.Error.K, SessionError::Kind::Config);
+  EXPECT_EQ(O.exit(), ToolExit::Usage);
+  EXPECT_NE(O.Error.Message.find("--geom-p"), std::string::npos);
+}
+
+TEST(SessionTest, BadResumeFileIsCheckpointError) {
+  std::string Path = ::testing::TempDir() + "/session_garbage.ckpt";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << "not a checkpoint";
+  }
+  Dataset Data = makeData(GaussTarget, 20, 63);
+  Session S;
+  S.sketchSource(GaussSketch).data(Data);
+  S.budget().ResumePath = Path;
+  Session::Outcome O = S.run();
+  EXPECT_EQ(O.Error.K, SessionError::Kind::Checkpoint);
+  EXPECT_EQ(O.exit(), ToolExit::Failure);
+  EXPECT_NE(O.Error.Message.find(Path), std::string::npos);
+}
+
+TEST(SessionTest, ValidationWarningsSurfaceOnTheOutcome) {
+  Dataset Data = makeData(GaussTarget, 120, 64);
+  Session S;
+  S.sketchSource(GaussSketch).data(Data).iterations(50).seed(3).chains(2);
+  S.threading().Threads = 2;
+  S.threading().SpeculateDepth = 2; // Workers all consumed by chains.
+  Session::Outcome O = S.run();
+  ASSERT_TRUE(O.ok()) << O.Error.Message;
+  EXPECT_FALSE(O.Warnings.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Durability through the facade.
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, CancelTokenMapsToInterruptedExit) {
+  Dataset Data = makeData(GaussTarget, 120, 65);
+  Session S;
+  S.sketchSource(GaussSketch).data(Data).iterations(500000).chains(1)
+      .seed(9);
+  auto Token = std::make_shared<CancelToken>();
+  Token->cancel();
+  S.budget().Cancel = Token;
+  Session::Outcome O = S.run();
+  // Init still found a completion, so the run "succeeded" partially
+  // but reports the interruption through the exit code.
+  ASSERT_TRUE(O.ok()) << O.Error.Message;
+  EXPECT_EQ(O.Result.Stop, StopReason::Cancelled);
+  EXPECT_TRUE(O.Result.interrupted());
+  EXPECT_EQ(O.exit(), ToolExit::Interrupted);
+}
+
+TEST(SessionTest, CheckpointResumeRoundTripsThroughTheFacade) {
+  Dataset Data = makeData(GaussTarget, 120, 66);
+  std::string Ckpt = ::testing::TempDir() + "/session_resume.ckpt";
+  std::remove(Ckpt.c_str());
+
+  // Uninterrupted reference.
+  Session Ref;
+  Ref.sketchSource(GaussSketch).data(Data).iterations(200).chains(2)
+      .seed(31);
+  Session::Outcome Full = Ref.run();
+  ASSERT_TRUE(Full.ok()) << Full.Error.Message;
+
+  // Interrupted run writing checkpoints.
+  Session Part;
+  Part.sketchSource(GaussSketch).data(Data).iterations(200).chains(2)
+      .seed(31);
+  Part.budget().CheckpointPath = Ckpt;
+  auto Token = std::make_shared<CancelToken>();
+  Part.budget().Cancel = Token;
+  Part.config().ProgressEvery = 60;
+  Part.config().Progress =
+      [Token](const SynthesisConfig::ProgressUpdate &) { Token->cancel(); };
+  Session::Outcome Interrupted = Part.run();
+  ASSERT_TRUE(Interrupted.ok()) << Interrupted.Error.Message;
+  EXPECT_EQ(Interrupted.exit(), ToolExit::Interrupted);
+  ASSERT_TRUE(Interrupted.Result.CheckpointError.empty())
+      << Interrupted.Result.CheckpointError;
+
+  // Resume through the facade; the grouped ResumePath loads the file.
+  Session Rest;
+  Rest.sketchSource(GaussSketch).data(Data).iterations(200).chains(2)
+      .seed(31);
+  Rest.budget().ResumePath = Ckpt;
+  Session::Outcome Resumed = Rest.run();
+  ASSERT_TRUE(Resumed.ok()) << Resumed.Error.Message;
+  EXPECT_EQ(Resumed.exit(), ToolExit::Success);
+  EXPECT_EQ(Full.Result.BestLogLikelihood, Resumed.Result.BestLogLikelihood);
+  EXPECT_EQ(Full.Result.Stats.Proposed, Resumed.Result.Stats.Proposed);
+  EXPECT_EQ(Full.Result.Stats.Accepted, Resumed.Result.Stats.Accepted);
+  EXPECT_EQ(toString(*Full.Result.BestCompletions[0]),
+            toString(*Resumed.Result.BestCompletions[0]));
+}
+
+TEST(SessionTest, TelemetryPathsWriteSideOutputs) {
+  Dataset Data = makeData(GaussTarget, 120, 67);
+  std::string TracePath = ::testing::TempDir() + "/session_trace.jsonl";
+  std::string MetricsPath = ::testing::TempDir() + "/session_metrics.json";
+  std::remove(TracePath.c_str());
+  std::remove(MetricsPath.c_str());
+
+  Session S;
+  S.sketchSource(GaussSketch, "telemetry.psk").data(Data);
+  S.iterations(80).chains(1).seed(13);
+  S.telemetry().TraceOut = TracePath;
+  S.telemetry().MetricsOut = MetricsPath;
+  Session::Outcome O = S.run();
+  ASSERT_TRUE(O.ok()) << O.Error.Message;
+
+  std::ifstream Trace(TracePath);
+  ASSERT_TRUE(Trace.good());
+  std::string FirstLine;
+  ASSERT_TRUE(std::getline(Trace, FirstLine));
+  EXPECT_NE(FirstLine.find("telemetry.psk"), std::string::npos);
+  size_t Events = 0;
+  for (std::string Line; std::getline(Trace, Line);)
+    ++Events;
+  EXPECT_EQ(Events, 80u);
+
+  std::ifstream Metrics(MetricsPath);
+  ASSERT_TRUE(Metrics.good());
+  std::string Json((std::istreambuf_iterator<char>(Metrics)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(Json.find("{"), std::string::npos);
+}

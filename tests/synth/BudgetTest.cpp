@@ -1,0 +1,309 @@
+//===- tests/synth/BudgetTest.cpp - Budget / cancellation unit tests ------===//
+//
+// Wall-clock deadlines, the proposals/s floor and cooperative
+// cancellation all stop the walk at block boundaries with a valid
+// partial result (DESIGN.md §15).  The tracker itself is pure logic
+// over injected clocks, so its precedence and warmup rules are testable
+// without running synthesis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Budget.h"
+
+#include "ast/ASTPrinter.h"
+#include "interp/Interp.h"
+#include "parse/Parser.h"
+#include "synth/Synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+const char *GaussTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+
+const char *GaussSketch = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+SynthesisResult runWithConfig(const Dataset &Data, SynthesisConfig Config) {
+  auto Sketch = parseP(GaussSketch);
+  Synthesizer Synth(*Sketch, {}, Data, Config);
+  EXPECT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  return Synth.run();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Policy plumbing.
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, PolicyActiveOnlyWithALimit) {
+  BudgetPolicy P;
+  EXPECT_FALSE(P.active());
+  P.DeadlineSeconds = 5;
+  EXPECT_TRUE(P.active());
+  P = BudgetPolicy();
+  P.MinProposalsPerSec = 100;
+  EXPECT_TRUE(P.active());
+}
+
+TEST(BudgetTest, StopReasonNamesAreStable) {
+  // Scripts key off these strings in the CLI's early-stop note.
+  EXPECT_STREQ(stopReasonName(StopReason::None), "none");
+  EXPECT_STREQ(stopReasonName(StopReason::Cancelled), "cancelled");
+  EXPECT_STREQ(stopReasonName(StopReason::Deadline), "deadline");
+  EXPECT_STREQ(stopReasonName(StopReason::ThroughputFloor),
+               "throughput_floor");
+}
+
+TEST(BudgetTest, CancelTokenIsSticky) {
+  CancelToken T;
+  EXPECT_FALSE(T.cancelled());
+  T.cancel();
+  EXPECT_TRUE(T.cancelled());
+  T.cancel();
+  EXPECT_TRUE(T.cancelled());
+}
+
+TEST(BudgetTest, TrackerPrecedenceAndWarmup) {
+  using Clock = BudgetTracker::Clock;
+  const auto LongAgo = Clock::now() - std::chrono::seconds(100);
+
+  // Cancellation outranks every budget verdict.
+  CancelToken Token;
+  Token.cancel();
+  BudgetPolicy Both;
+  Both.DeadlineSeconds = 1; // Exceeded, but cancellation wins.
+  EXPECT_EQ(BudgetTracker(Both, LongAgo, &Token).check(0),
+            StopReason::Cancelled);
+
+  // Deadline outranks the throughput floor.
+  BudgetPolicy DeadlinePlusFloor;
+  DeadlinePlusFloor.DeadlineSeconds = 1;
+  DeadlinePlusFloor.MinProposalsPerSec = 1e12;
+  EXPECT_EQ(BudgetTracker(DeadlinePlusFloor, LongAgo, nullptr).check(0),
+            StopReason::Deadline);
+
+  // The floor only speaks after warmup...
+  BudgetPolicy Floor;
+  Floor.MinProposalsPerSec = 1e12;
+  Floor.ThroughputWarmupSeconds = 1000;
+  EXPECT_EQ(BudgetTracker(Floor, LongAgo, nullptr).check(0),
+            StopReason::None);
+  // ...and judges this invocation's proposals over elapsed time.
+  Floor.ThroughputWarmupSeconds = 1;
+  EXPECT_EQ(BudgetTracker(Floor, LongAgo, nullptr).check(10),
+            StopReason::ThroughputFloor);
+  Floor.MinProposalsPerSec = 1e-6;
+  EXPECT_EQ(BudgetTracker(Floor, LongAgo, nullptr).check(10),
+            StopReason::None);
+
+  // No policy, no token: always keep going.
+  EXPECT_EQ(BudgetTracker(BudgetPolicy(), LongAgo, nullptr).check(0),
+            StopReason::None);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end stops.
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, PreCancelledRunStopsImmediatelyWithPartialResult) {
+  Dataset Data = makeData(GaussTarget, 120, 51);
+  SynthesisConfig Config;
+  Config.Iterations = 50000;
+  Config.Chains = 2;
+  Config.Seed = 7;
+  auto Token = std::make_shared<CancelToken>();
+  Token->cancel();
+  Config.Cancel = Token;
+
+  SynthesisResult R = runWithConfig(Data, Config);
+  EXPECT_EQ(R.Stop, StopReason::Cancelled);
+  EXPECT_TRUE(R.interrupted());
+  ASSERT_EQ(R.ChainIterations.size(), 2u);
+  for (unsigned Iter : R.ChainIterations)
+    EXPECT_EQ(Iter, 0u);
+  // Init already found a valid tuple, so even an instantly-cancelled
+  // run carries a usable (if weak) partial result.
+  EXPECT_TRUE(R.Succeeded);
+  ASSERT_EQ(R.BestCompletions.size(), 1u);
+}
+
+TEST(BudgetTest, TinyDeadlineStopsEarly) {
+  Dataset Data = makeData(GaussTarget, 120, 52);
+  SynthesisConfig Config;
+  Config.Iterations = 2000000; // Far beyond what microseconds allow.
+  Config.Chains = 2;
+  Config.Seed = 7;
+  Config.Budget.DeadlineSeconds = 1e-6;
+
+  SynthesisResult R = runWithConfig(Data, Config);
+  EXPECT_EQ(R.Stop, StopReason::Deadline);
+  EXPECT_FALSE(R.interrupted()); // Budget stops are not interruptions.
+  ASSERT_EQ(R.ChainIterations.size(), 2u);
+  for (unsigned Iter : R.ChainIterations)
+    EXPECT_LT(Iter, Config.Iterations);
+  EXPECT_TRUE(R.Succeeded);
+}
+
+TEST(BudgetTest, UnreachableThroughputFloorStopsAfterWarmup) {
+  Dataset Data = makeData(GaussTarget, 120, 53);
+  SynthesisConfig Config;
+  Config.Iterations = 2000000;
+  Config.Chains = 1;
+  Config.Seed = 7;
+  Config.Budget.MinProposalsPerSec = 1e15; // No machine sustains this.
+  Config.Budget.ThroughputWarmupSeconds = 0.02;
+
+  SynthesisResult R = runWithConfig(Data, Config);
+  EXPECT_EQ(R.Stop, StopReason::ThroughputFloor);
+  EXPECT_FALSE(R.interrupted());
+  ASSERT_EQ(R.ChainIterations.size(), 1u);
+  EXPECT_LT(R.ChainIterations[0], Config.Iterations);
+}
+
+TEST(BudgetTest, GenerousBudgetDoesNotPerturbTheRun) {
+  // An unhit budget must be result-neutral: same walk, same best.
+  Dataset Data = makeData(GaussTarget, 120, 54);
+  SynthesisConfig Plain;
+  Plain.Iterations = 300;
+  Plain.Chains = 2;
+  Plain.Seed = 11;
+  SynthesisResult A = runWithConfig(Data, Plain);
+
+  SynthesisConfig Budgeted = Plain;
+  Budgeted.Budget.DeadlineSeconds = 3600;
+  Budgeted.Budget.MinProposalsPerSec = 1e-9;
+  SynthesisResult B = runWithConfig(Data, Budgeted);
+
+  EXPECT_EQ(B.Stop, StopReason::None);
+  ASSERT_TRUE(A.Succeeded && B.Succeeded);
+  EXPECT_EQ(A.BestLogLikelihood, B.BestLogLikelihood);
+  EXPECT_EQ(A.Stats.Proposed, B.Stats.Proposed);
+  EXPECT_EQ(A.Stats.Accepted, B.Stats.Accepted);
+  EXPECT_EQ(toString(*A.BestCompletions[0]), toString(*B.BestCompletions[0]));
+}
+
+TEST(BudgetTest, MidRunCancellationStopsAllChains) {
+  Dataset Data = makeData(GaussTarget, 120, 55);
+  SynthesisConfig Config;
+  Config.Iterations = 2000000;
+  Config.Chains = 2;
+  Config.Threads = 2;
+  Config.Seed = 7;
+  auto Token = std::make_shared<CancelToken>();
+  Config.Cancel = Token;
+  Config.ProgressEvery = 50;
+  Config.Progress = [Token](const SynthesisConfig::ProgressUpdate &) {
+    Token->cancel();
+  };
+
+  SynthesisResult R = runWithConfig(Data, Config);
+  EXPECT_EQ(R.Stop, StopReason::Cancelled);
+  EXPECT_TRUE(R.interrupted());
+  for (unsigned Iter : R.ChainIterations)
+    EXPECT_LT(Iter, Config.Iterations);
+}
+
+//===----------------------------------------------------------------------===//
+// Signal routing.
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, SignalScopeRoutesSigtermToToken) {
+  auto Token = std::make_shared<CancelToken>();
+  {
+    SignalCancellationScope Scope(Token);
+    EXPECT_FALSE(Token->cancelled());
+    std::raise(SIGTERM);
+    EXPECT_TRUE(Token->cancelled());
+  }
+  // Outside the scope the previous disposition is restored; the token
+  // stays sticky.
+  EXPECT_TRUE(Token->cancelled());
+}
+
+TEST(BudgetTest, SignalScopeRoutesSigintToFreshToken) {
+  auto Token = std::make_shared<CancelToken>();
+  {
+    SignalCancellationScope Scope(Token);
+    std::raise(SIGINT);
+    EXPECT_TRUE(Token->cancelled());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Configuration validation (the diagnostics the Session surfaces).
+//===----------------------------------------------------------------------===//
+
+TEST(BudgetTest, ValidateFlagsBadBudgets) {
+  SynthesisConfig Config;
+  Config.Budget.DeadlineSeconds = -1;
+  bool SawDeadline = false;
+  for (const ConfigDiag &D : Config.validate())
+    if (D.Sev == ConfigDiag::Severity::Error &&
+        D.Message.find("--deadline-s") != std::string::npos)
+      SawDeadline = true;
+  EXPECT_TRUE(SawDeadline);
+}
+
+TEST(BudgetTest, ValidateFlagsCheckpointCadenceWithoutPath) {
+  SynthesisConfig Config;
+  Config.CheckpointEvery = 100;
+  bool Saw = false;
+  for (const ConfigDiag &D : Config.validate())
+    if (D.Sev == ConfigDiag::Severity::Error &&
+        D.Message.find("--checkpoint-every requires --checkpoint-out") !=
+            std::string::npos)
+      Saw = true;
+  EXPECT_TRUE(Saw);
+}
+
+TEST(BudgetTest, ValidateAcceptsDefaultsSilently) {
+  SynthesisConfig Config;
+  EXPECT_TRUE(Config.validate().empty());
+}
+
+TEST(BudgetTest, ValidateWarnsOnOversubscribedSpeculation) {
+  SynthesisConfig Config;
+  Config.SpeculateDepth = 3;
+  Config.Threads = 2; // Both workers consumed by the two chains.
+  Config.Chains = 2;
+  bool SawWarning = false;
+  for (const ConfigDiag &D : Config.validate())
+    if (D.Sev == ConfigDiag::Severity::Warning)
+      SawWarning = true;
+  EXPECT_TRUE(SawWarning);
+}

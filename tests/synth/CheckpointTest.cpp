@@ -1,0 +1,443 @@
+//===- tests/synth/CheckpointTest.cpp - Durable snapshot / resume tests ---===//
+//
+// The durability contract (DESIGN.md §15): a run interrupted at any
+// block boundary and resumed from its snapshot must replay the exact
+// walk an uninterrupted run takes — byte-identical best results, walk
+// counters and per-iteration trace — under every thread / speculation
+// configuration.  The snapshot format itself must round-trip exactly
+// and refuse corrupted, truncated, version-skewed or mismatched files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/Checkpoint.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTUtil.h"
+#include "interp/Interp.h"
+#include "obs/Trace.h"
+#include "parse/Parser.h"
+#include "synth/Budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace psketch;
+
+namespace {
+
+std::unique_ptr<Program> parseP(const std::string &Source) {
+  DiagEngine Diags;
+  auto P = parseProgramSource(Source, Diags);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+Dataset makeData(const std::string &TargetSource, size_t Rows,
+                 uint64_t Seed) {
+  DiagEngine Diags;
+  auto Target = parseP(TargetSource);
+  EXPECT_TRUE(typeCheck(*Target, Diags)) << Diags.str();
+  auto LP = lowerProgram(*Target, {}, Diags);
+  EXPECT_TRUE(LP) << Diags.str();
+  Rng R(Seed);
+  return generateDataset(*LP, Rows, R);
+}
+
+const char *GaussTarget = R"(
+program T() {
+  x: real;
+  x ~ Gaussian(7.0, 2.0);
+  return x;
+}
+)";
+
+const char *GaussSketch = R"(
+program S() {
+  x: real;
+  x = ??;
+  return x;
+}
+)";
+
+SynthesisConfig baseConfig(unsigned Threads, unsigned SpeculateDepth) {
+  SynthesisConfig Config;
+  Config.Iterations = 160;
+  Config.Chains = 3;
+  Config.Seed = 23;
+  Config.Threads = Threads;
+  Config.SpeculateDepth = SpeculateDepth;
+  Config.ScoreCacheSize = 4096;
+  Config.CollectTrace = true;
+  return Config;
+}
+
+SynthesisResult runConfig(const Program &Sketch, const Dataset &Data,
+                          const SynthesisConfig &Config) {
+  Synthesizer Synth(Sketch, {}, Data, Config);
+  EXPECT_TRUE(Synth.valid()) << Synth.diagnostics().str();
+  return Synth.run();
+}
+
+/// The events of one chain rendered as JSONL lines (the comparison
+/// currency: the trace is the full per-iteration history of the walk).
+std::vector<std::string> chainLines(const SynthesisResult &R,
+                                    unsigned Chain) {
+  std::vector<std::string> Lines;
+  for (const TraceEvent &E : R.TraceEvents)
+    if (E.Chain == Chain)
+      Lines.push_back(traceEventLine(E));
+  return Lines;
+}
+
+/// Asserts partial-then-resumed equals the uninterrupted run: per-chain
+/// trace concatenation, then bitwise best / walk-counter equality.
+void expectSeamlessResume(const SynthesisResult &Full,
+                          const SynthesisResult &Partial,
+                          const SynthesisResult &Resumed, unsigned Chains) {
+  for (unsigned C = 0; C != Chains; ++C) {
+    SCOPED_TRACE("chain " + std::to_string(C));
+    std::vector<std::string> Stitched = chainLines(Partial, C);
+    std::vector<std::string> Tail = chainLines(Resumed, C);
+    Stitched.insert(Stitched.end(), Tail.begin(), Tail.end());
+    std::vector<std::string> Reference = chainLines(Full, C);
+    ASSERT_EQ(Stitched.size(), Reference.size());
+    for (size_t I = 0; I != Reference.size(); ++I)
+      EXPECT_EQ(Stitched[I], Reference[I]) << "iteration index " << I;
+  }
+  ASSERT_TRUE(Full.Succeeded && Resumed.Succeeded);
+  EXPECT_EQ(Full.BestLogLikelihood, Resumed.BestLogLikelihood);
+  ASSERT_EQ(Full.BestCompletions.size(), Resumed.BestCompletions.size());
+  for (size_t I = 0; I != Full.BestCompletions.size(); ++I)
+    EXPECT_EQ(toString(*Full.BestCompletions[I]),
+              toString(*Resumed.BestCompletions[I]));
+  // Walk-side counters accumulate across the interruption exactly.
+  EXPECT_EQ(Full.Stats.Proposed, Resumed.Stats.Proposed);
+  EXPECT_EQ(Full.Stats.Accepted, Resumed.Stats.Accepted);
+  EXPECT_EQ(Full.Stats.Invalid, Resumed.Stats.Invalid);
+  EXPECT_EQ(Full.Stats.Scored, Resumed.Stats.Scored);
+  EXPECT_EQ(Full.Stats.CacheHits, Resumed.Stats.CacheHits);
+  EXPECT_EQ(Full.Stats.CacheMisses, Resumed.Stats.CacheMisses);
+}
+
+std::vector<uint8_t> readAll(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+bool fileExists(const std::string &Path) {
+  return std::ifstream(Path).good();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Resume equivalence: the tentpole invariant.
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, ResumeIsByteIdenticalAcrossConfigurations) {
+  Dataset Data = makeData(GaussTarget, 120, 41);
+  auto Sketch = parseP(GaussSketch);
+  SynthesisResult Full = runConfig(*Sketch, Data, baseConfig(1, 0));
+
+  struct Case {
+    unsigned Threads, SpeculateDepth, CancelAt;
+  };
+  const Case Matrix[] = {
+      {1, 0, 1},  {1, 0, 80},  {4, 0, 1},  {4, 0, 80},
+      {1, 3, 1},  {1, 3, 80},  {4, 3, 1},  {4, 3, 80},
+  };
+  for (const Case &C : Matrix) {
+    SCOPED_TRACE("threads=" + std::to_string(C.Threads) +
+                 " spec=" + std::to_string(C.SpeculateDepth) +
+                 " cancel@" + std::to_string(C.CancelAt));
+    std::string Ckpt = ::testing::TempDir() + "/resume_matrix.ckpt";
+    std::remove(Ckpt.c_str());
+
+    // Partial run: a progress callback cancels the shared token once
+    // any chain passes CancelAt iterations; every chain then stops at
+    // its next block boundary, wherever that happens to fall.
+    SynthesisConfig PartialCfg = baseConfig(C.Threads, C.SpeculateDepth);
+    PartialCfg.CheckpointPath = Ckpt;
+    auto Token = std::make_shared<CancelToken>();
+    PartialCfg.Cancel = Token;
+    PartialCfg.ProgressEvery = C.CancelAt;
+    PartialCfg.Progress = [Token](const SynthesisConfig::ProgressUpdate &) {
+      Token->cancel();
+    };
+    auto SketchP = parseP(GaussSketch);
+    SynthesisResult Partial = runConfig(*SketchP, Data, PartialCfg);
+    ASSERT_TRUE(Partial.CheckpointError.empty()) << Partial.CheckpointError;
+    EXPECT_EQ(Partial.Stop, StopReason::Cancelled);
+    EXPECT_TRUE(Partial.interrupted());
+    ASSERT_EQ(Partial.ChainIterations.size(), 3u);
+
+    auto CP = std::make_shared<RunCheckpoint>();
+    std::string Err;
+    ASSERT_TRUE(readCheckpointFile(Ckpt, *CP, Err)) << Err;
+    ASSERT_EQ(CP->ChainStates.size(), 3u);
+    for (unsigned Chain = 0; Chain != 3; ++Chain)
+      EXPECT_EQ(CP->ChainStates[Chain].NextIter,
+                Partial.ChainIterations[Chain]);
+
+    SynthesisConfig ResumeCfg = baseConfig(C.Threads, C.SpeculateDepth);
+    ResumeCfg.Resume = CP;
+    SynthesisResult Resumed = runConfig(*SketchP, Data, ResumeCfg);
+    ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+    EXPECT_EQ(Resumed.Stop, StopReason::None);
+    expectSeamlessResume(Full, Partial, Resumed, 3);
+  }
+}
+
+TEST(CheckpointTest, ResumeFromCompletedRunIsIdentity) {
+  // The final snapshot of a finished run has every chain at the
+  // iteration target; resuming it performs zero iterations and
+  // reproduces the same best result.
+  Dataset Data = makeData(GaussTarget, 120, 41);
+  auto Sketch = parseP(GaussSketch);
+  std::string Ckpt = ::testing::TempDir() + "/resume_done.ckpt";
+  std::remove(Ckpt.c_str());
+
+  SynthesisConfig Cfg = baseConfig(1, 0);
+  Cfg.CheckpointPath = Ckpt;
+  SynthesisResult Full = runConfig(*Sketch, Data, Cfg);
+  ASSERT_TRUE(Full.Succeeded);
+  ASSERT_TRUE(Full.CheckpointError.empty()) << Full.CheckpointError;
+
+  auto CP = std::make_shared<RunCheckpoint>();
+  std::string Err;
+  ASSERT_TRUE(readCheckpointFile(Ckpt, *CP, Err)) << Err;
+  for (const ChainCheckpoint &Chain : CP->ChainStates)
+    EXPECT_EQ(Chain.NextIter, 160u);
+
+  SynthesisConfig ResumeCfg = baseConfig(1, 0);
+  ResumeCfg.Resume = CP;
+  SynthesisResult Resumed = runConfig(*Sketch, Data, ResumeCfg);
+  ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+  EXPECT_TRUE(Resumed.TraceEvents.empty());
+  EXPECT_EQ(Full.BestLogLikelihood, Resumed.BestLogLikelihood);
+  EXPECT_EQ(Full.Stats.Proposed, Resumed.Stats.Proposed);
+  EXPECT_EQ(toString(*Full.BestCompletions[0]),
+            toString(*Resumed.BestCompletions[0]));
+}
+
+//===----------------------------------------------------------------------===//
+// Identity checks: a snapshot only resumes the run it came from.
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, ResumeRefusesMismatchedRun) {
+  Dataset Data = makeData(GaussTarget, 120, 41);
+  auto Sketch = parseP(GaussSketch);
+  std::string Ckpt = ::testing::TempDir() + "/resume_mismatch.ckpt";
+  std::remove(Ckpt.c_str());
+
+  SynthesisConfig Cfg = baseConfig(1, 0);
+  Cfg.CheckpointPath = Ckpt;
+  runConfig(*Sketch, Data, Cfg);
+
+  auto CP = std::make_shared<RunCheckpoint>();
+  std::string Err;
+  ASSERT_TRUE(readCheckpointFile(Ckpt, *CP, Err)) << Err;
+
+  auto ExpectRefused = [&](const SynthesisConfig &Bad,
+                           const std::string &Wants) {
+    SynthesisResult R = runConfig(*Sketch, Data, Bad);
+    EXPECT_NE(R.Error.find("checkpoint does not match this run"),
+              std::string::npos)
+        << R.Error;
+    EXPECT_NE(R.Error.find(Wants), std::string::npos) << R.Error;
+  };
+
+  SynthesisConfig BadSeed = baseConfig(1, 0);
+  BadSeed.Resume = CP;
+  BadSeed.Seed = 99;
+  ExpectRefused(BadSeed, "seed");
+
+  SynthesisConfig BadIters = baseConfig(1, 0);
+  BadIters.Resume = CP;
+  BadIters.Iterations = 500;
+  ExpectRefused(BadIters, "iterations");
+
+  SynthesisConfig BadWalk = baseConfig(1, 0);
+  BadWalk.Resume = CP;
+  BadWalk.Mut.GeomP = 0.31;
+  ExpectRefused(BadWalk, "walk configuration");
+
+  // Threads and speculation are walk-neutral, so changing them must
+  // NOT refuse the resume (covered positively by the matrix test).
+  SynthesisConfig OkThreads = baseConfig(4, 3);
+  OkThreads.Resume = std::make_shared<RunCheckpoint>(CP->clone());
+  SynthesisResult R = runConfig(*Sketch, Data, OkThreads);
+  EXPECT_TRUE(R.Error.empty()) << R.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Format: round-trips, corruption rejection, rotation.
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointTest, ExprSerializationRoundTripsEveryKind) {
+  // One tree touching all nine node kinds.
+  std::vector<ExprPtr> SampleArgs;
+  SampleArgs.push_back(std::make_unique<HoleArgExpr>(0, ScalarKind::Real));
+  SampleArgs.push_back(ConstExpr::real(2.5));
+  std::vector<ExprPtr> HoleArgs;
+  HoleArgs.push_back(std::make_unique<VarExpr>("v"));
+  ExprPtr Tree = std::make_unique<IteExpr>(
+      std::make_unique<BinaryExpr>(
+          BinaryOp::Lt,
+          std::make_unique<IndexExpr>("xs", ConstExpr::integer(3)),
+          ConstExpr::real(1.5)),
+      std::make_unique<SampleExpr>(DistKind::Gaussian,
+                                   std::move(SampleArgs)),
+      std::make_unique<UnaryExpr>(
+          UnaryOp::Neg,
+          std::make_unique<HoleExpr>(2, std::move(HoleArgs))));
+
+  std::vector<uint8_t> Bytes;
+  serializeExpr(Bytes, *Tree);
+  const uint8_t *P = Bytes.data();
+  ExprPtr Back = deserializeExpr(&P, Bytes.data() + Bytes.size());
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(P, Bytes.data() + Bytes.size());
+  EXPECT_TRUE(structurallyEqual(*Tree, *Back));
+  EXPECT_EQ(toString(*Tree), toString(*Back));
+
+  // Truncated input must fail cleanly, not crash or over-read.
+  for (size_t Cut = 0; Cut != Bytes.size(); ++Cut) {
+    const uint8_t *Q = Bytes.data();
+    EXPECT_EQ(deserializeExpr(&Q, Bytes.data() + Cut), nullptr)
+        << "cut at " << Cut;
+  }
+}
+
+TEST(CheckpointTest, SnapshotRejectsCorruption) {
+  Dataset Data = makeData(GaussTarget, 120, 41);
+  auto Sketch = parseP(GaussSketch);
+  std::string Ckpt = ::testing::TempDir() + "/corrupt.ckpt";
+  std::remove(Ckpt.c_str());
+  SynthesisConfig Cfg = baseConfig(1, 0);
+  Cfg.CheckpointPath = Ckpt;
+  runConfig(*Sketch, Data, Cfg);
+
+  std::vector<uint8_t> Good = readAll(Ckpt);
+  ASSERT_GT(Good.size(), 32u);
+  RunCheckpoint CP;
+  std::string Err;
+  ASSERT_TRUE(parseCheckpoint(Good, CP, Err)) << Err;
+  EXPECT_EQ(CP.Chains, 3u);
+  EXPECT_EQ(CP.IterationTarget, 160u);
+
+  // Payload byte flip -> CRC.
+  std::vector<uint8_t> Flipped = Good;
+  Flipped[Flipped.size() - 5] ^= 0x40;
+  EXPECT_FALSE(parseCheckpoint(Flipped, CP, Err));
+  EXPECT_NE(Err.find("CRC mismatch"), std::string::npos) << Err;
+
+  // Truncation.
+  std::vector<uint8_t> Short(Good.begin(), Good.end() - 7);
+  EXPECT_FALSE(parseCheckpoint(Short, CP, Err));
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+  std::vector<uint8_t> Tiny(Good.begin(), Good.begin() + 10);
+  EXPECT_FALSE(parseCheckpoint(Tiny, CP, Err));
+  EXPECT_NE(Err.find("truncated"), std::string::npos) << Err;
+
+  // Version skew (version is the u32 after the 8-byte magic).
+  std::vector<uint8_t> Skewed = Good;
+  Skewed[8] = uint8_t(CheckpointVersion + 1);
+  EXPECT_FALSE(parseCheckpoint(Skewed, CP, Err));
+  EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+
+  // Wrong magic.
+  std::vector<uint8_t> Alien = Good;
+  Alien[0] = 'X';
+  EXPECT_FALSE(parseCheckpoint(Alien, CP, Err));
+  EXPECT_NE(Err.find("bad magic"), std::string::npos) << Err;
+
+  // Missing file.
+  EXPECT_FALSE(readCheckpointFile(Ckpt + ".nope", CP, Err));
+  EXPECT_NE(Err.find("cannot open"), std::string::npos) << Err;
+}
+
+TEST(CheckpointTest, SerializeParseRoundTripIsExact) {
+  RunCheckpoint CP;
+  CP.Seed = 0xDEADBEEFCAFE1234ull;
+  CP.Chains = 2;
+  CP.IterationTarget = 1000;
+  CP.NumHoles = 1;
+  CP.SketchHash = 11;
+  CP.DatasetFingerprint = 22;
+  CP.WalkFingerprint = 33;
+  CP.ChainStates.resize(2);
+  CP.ChainStates[0].ChainIndex = 0;
+  CP.ChainStates[0].NextIter = 400;
+  CP.ChainStates[0].Initialized = true;
+  CP.ChainStates[0].CurrentLL = -12.5;
+  CP.ChainStates[0].BestLL = -10.25;
+  CP.ChainStates[0].Current.push_back(ConstExpr::real(6.75));
+  CP.ChainStates[0].Best.push_back(ConstExpr::real(7.0));
+  CP.ChainStates[0].Stats.Proposed = 400;
+  CP.ChainStates[0].Stats.Accepted = 123;
+  CP.ChainStates[0].Cache.Epoch = 4;
+  CP.ChainStates[0].Cache.Entries.push_back(
+      SavedCacheEntry{0x1234, CachedScore(-10.25), 3});
+  CP.ChainStates[1].ChainIndex = 1;
+  CP.ChainStates[1].Initialized = false;
+
+  std::vector<uint8_t> Bytes = serializeCheckpoint(CP);
+  RunCheckpoint Back;
+  std::string Err;
+  ASSERT_TRUE(parseCheckpoint(Bytes, Back, Err)) << Err;
+  EXPECT_EQ(Back.Seed, CP.Seed);
+  EXPECT_EQ(Back.Chains, 2u);
+  EXPECT_EQ(Back.IterationTarget, 1000u);
+  EXPECT_EQ(Back.NumHoles, 1u);
+  EXPECT_EQ(Back.WalkFingerprint, 33u);
+  ASSERT_EQ(Back.ChainStates.size(), 2u);
+  const ChainCheckpoint &C0 = Back.ChainStates[0];
+  EXPECT_EQ(C0.NextIter, 400u);
+  EXPECT_TRUE(C0.Initialized);
+  EXPECT_EQ(C0.CurrentLL, -12.5);
+  EXPECT_EQ(C0.BestLL, -10.25);
+  ASSERT_EQ(C0.Current.size(), 1u);
+  EXPECT_EQ(toString(*C0.Current[0]), toString(*CP.ChainStates[0].Current[0]));
+  EXPECT_EQ(C0.Stats.Proposed, 400u);
+  EXPECT_EQ(C0.Stats.Accepted, 123u);
+  ASSERT_EQ(C0.Cache.Entries.size(), 1u);
+  EXPECT_EQ(C0.Cache.Entries[0].Key, 0x1234u);
+  ASSERT_TRUE(C0.Cache.Entries[0].S.valid());
+  EXPECT_EQ(*C0.Cache.Entries[0].S.LL, -10.25);
+  EXPECT_EQ(C0.Cache.Entries[0].Epoch, 3u);
+  EXPECT_FALSE(Back.ChainStates[1].Initialized);
+
+  // Serialization is deterministic: same snapshot, same bytes.
+  EXPECT_EQ(serializeCheckpoint(Back), Bytes);
+}
+
+TEST(CheckpointTest, WriteRotatesKeepLastK) {
+  std::string Path = ::testing::TempDir() + "/rotate.ckpt";
+  for (const std::string &P :
+       {Path, Path + ".1", Path + ".2", Path + ".tmp"})
+    std::remove(P.c_str());
+
+  RunCheckpoint CP;
+  CP.Chains = 1;
+  CP.ChainStates.resize(1);
+  std::string Err;
+  for (uint32_t Gen = 0; Gen != 3; ++Gen) {
+    CP.ChainStates[0].NextIter = Gen;
+    ASSERT_TRUE(writeCheckpointFile(Path, CP, /*Keep=*/2, Err)) << Err;
+  }
+  EXPECT_TRUE(fileExists(Path));
+  EXPECT_TRUE(fileExists(Path + ".1"));
+  EXPECT_FALSE(fileExists(Path + ".2"));
+  EXPECT_FALSE(fileExists(Path + ".tmp"));
+
+  RunCheckpoint Newest, Prev;
+  ASSERT_TRUE(readCheckpointFile(Path, Newest, Err)) << Err;
+  ASSERT_TRUE(readCheckpointFile(Path + ".1", Prev, Err)) << Err;
+  EXPECT_EQ(Newest.ChainStates[0].NextIter, 2u);
+  EXPECT_EQ(Prev.ChainStates[0].NextIter, 1u);
+}

@@ -264,6 +264,53 @@ TEST(ToolOptionsTest, AnalyzeDotOutParses) {
           .valid());
 }
 
+TEST(ToolOptionsTest, DurabilityFlagsParse) {
+  auto Opts = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv", "--checkpoint-out",
+       "run.ckpt", "--checkpoint-every", "500", "--checkpoint-keep", "3",
+       "--resume", "old.ckpt", "--deadline-s", "30.5",
+       "--min-proposals-per-s", "100"});
+  ASSERT_TRUE(Opts.valid()) << (Opts.Errors.empty() ? "" : Opts.Errors[0]);
+  EXPECT_EQ(Opts.CheckpointOutPath, "run.ckpt");
+  EXPECT_EQ(Opts.CheckpointEvery, 500u);
+  EXPECT_EQ(Opts.CheckpointKeep, 3u);
+  EXPECT_EQ(Opts.ResumePath, "old.ckpt");
+  EXPECT_DOUBLE_EQ(Opts.DeadlineSeconds, 30.5);
+  EXPECT_DOUBLE_EQ(Opts.MinProposalsPerSec, 100.0);
+}
+
+TEST(ToolOptionsTest, DurabilityFlagsDefaultOff) {
+  auto Opts = ToolOptions::parse(
+      {"synth", "--sketch", "s.psk", "--data", "d.csv"});
+  ASSERT_TRUE(Opts.valid());
+  EXPECT_TRUE(Opts.CheckpointOutPath.empty());
+  EXPECT_EQ(Opts.CheckpointEvery, 0u);
+  EXPECT_EQ(Opts.CheckpointKeep, 2u);
+  EXPECT_TRUE(Opts.ResumePath.empty());
+  EXPECT_DOUBLE_EQ(Opts.DeadlineSeconds, 0.0);
+  EXPECT_DOUBLE_EQ(Opts.MinProposalsPerSec, 0.0);
+  // Keeping zero rotated snapshots makes no sense; it clamps to 1.
+  EXPECT_EQ(ToolOptions::parse({"synth", "--sketch", "s", "--data", "d",
+                                "--checkpoint-keep", "0"})
+                .CheckpointKeep,
+            1u);
+  // Malformed numerics are rejected like every other numeric flag.
+  EXPECT_FALSE(ToolOptions::parse({"synth", "--sketch", "s", "--data", "d",
+                                   "--deadline-s", "soon"})
+                   .valid());
+  EXPECT_FALSE(ToolOptions::parse({"synth", "--sketch", "s", "--data", "d",
+                                   "--checkpoint-every", "x"})
+                   .valid());
+}
+
+TEST(ToolOptionsTest, UsageListsDurabilityFlags) {
+  std::string Usage = toolUsage();
+  EXPECT_NE(Usage.find("--checkpoint-out"), std::string::npos);
+  EXPECT_NE(Usage.find("--resume"), std::string::npos);
+  EXPECT_NE(Usage.find("--deadline-s"), std::string::npos);
+  EXPECT_NE(Usage.find("--min-proposals-per-s"), std::string::npos);
+}
+
 TEST(ToolOptionsTest, SliceFactoringFlagParsesAndDefaultsOn) {
   auto Opts = ToolOptions::parse({"synth", "--sketch", "s.psk", "--data",
                                   "d.csv", "--no-slice-factoring"});
